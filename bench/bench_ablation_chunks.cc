@@ -1,0 +1,139 @@
+// Ablation benches for AGD design choices called out in §3 and §4.5:
+//   (1) chunk size: compression ratio and per-chunk latency vs size (larger chunks
+//       compress better and amortize per-op costs; smaller chunks cut latency),
+//   (2) per-column codec choice: size/time tradeoffs per column type,
+//   (3) queue depth: bounded-queue flow control vs end-to-end time and memory.
+
+#include <memory>
+
+#include "bench/bench_common.h"
+#include "src/format/agd_chunk.h"
+#include "src/pipeline/agd_store_util.h"
+#include "src/pipeline/persona_pipeline.h"
+#include "src/storage/memory_store.h"
+
+namespace persona::bench {
+namespace {
+
+void ChunkSizeSweep(const Scenario& scenario) {
+  std::printf("\n(1) Chunk size sweep (bases column, zlib)\n");
+  std::printf("%12s %14s %12s %16s %18s\n", "chunk reads", "file bytes", "ratio",
+              "encode ms/chunk", "parse ms/chunk");
+  for (size_t chunk_reads : {250, 500, 1'000, 2'000, 4'000, 8'000}) {
+    size_t chunks = 0;
+    uint64_t file_bytes = 0;
+    uint64_t raw_bytes = 0;
+    double encode_ms = 0;
+    double parse_ms = 0;
+    for (size_t begin = 0; begin + chunk_reads <= scenario.reads.size();
+         begin += chunk_reads) {
+      format::ChunkBuilder builder(format::RecordType::kBases, compress::CodecId::kZlib);
+      for (size_t i = begin; i < begin + chunk_reads; ++i) {
+        builder.AddBases(scenario.reads[i].bases);
+        raw_bytes += scenario.reads[i].bases.size();
+      }
+      Buffer file;
+      Stopwatch encode_timer;
+      PERSONA_CHECK_OK(builder.Finalize(&file));
+      encode_ms += encode_timer.ElapsedSeconds() * 1000;
+      file_bytes += file.size();
+      Stopwatch parse_timer;
+      auto parsed = format::ParsedChunk::Parse(file.span());
+      PERSONA_CHECK_OK(parsed.status());
+      parse_ms += parse_timer.ElapsedSeconds() * 1000;
+      ++chunks;
+    }
+    if (chunks == 0) {
+      continue;
+    }
+    std::printf("%12zu %14s %11.2fx %15.2f %17.2f\n", chunk_reads,
+                HumanBytes(file_bytes).c_str(),
+                static_cast<double>(raw_bytes) / static_cast<double>(file_bytes),
+                encode_ms / static_cast<double>(chunks),
+                parse_ms / static_cast<double>(chunks));
+  }
+}
+
+void CodecSweep(const Scenario& scenario) {
+  std::printf("\n(2) Per-column codec sweep (%zu reads/column)\n", scenario.reads.size());
+  std::printf("%-10s %-10s %14s %12s %16s\n", "column", "codec", "bytes", "ratio",
+              "decode ms");
+  struct Column {
+    const char* name;
+    format::RecordType type;
+  };
+  for (const Column& column : {Column{"bases", format::RecordType::kBases},
+                               Column{"qual", format::RecordType::kQual},
+                               Column{"metadata", format::RecordType::kMetadata}}) {
+    for (compress::CodecId codec : {compress::CodecId::kIdentity, compress::CodecId::kZlib,
+                                    compress::CodecId::kLzss}) {
+      format::ChunkBuilder builder(column.type, codec);
+      uint64_t raw = 0;
+      for (const auto& read : scenario.reads) {
+        if (column.type == format::RecordType::kBases) {
+          builder.AddBases(read.bases);
+          raw += read.bases.size();
+        } else if (column.type == format::RecordType::kQual) {
+          builder.AddRecord(read.qual);
+          raw += read.qual.size();
+        } else {
+          builder.AddRecord(read.metadata);
+          raw += read.metadata.size();
+        }
+      }
+      Buffer file;
+      PERSONA_CHECK_OK(builder.Finalize(&file));
+      Stopwatch timer;
+      auto parsed = format::ParsedChunk::Parse(file.span());
+      PERSONA_CHECK_OK(parsed.status());
+      std::printf("%-10s %-10s %14s %11.2fx %15.2f\n", column.name,
+                  std::string(compress::CodecName(codec)).c_str(),
+                  HumanBytes(file.size()).c_str(),
+                  static_cast<double>(raw) / static_cast<double>(file.size()),
+                  timer.ElapsedSeconds() * 1000);
+    }
+  }
+}
+
+void QueueDepthSweep(const Scenario& scenario) {
+  std::printf("\n(3) Queue depth sweep (align pipeline end-to-end, throttled store)\n");
+  std::printf("%12s %12s %18s\n", "queue depth", "seconds", "in-flight bound");
+  align::SnapAligner aligner(&scenario.reference, scenario.seed_index.get());
+  for (size_t depth : {1, 2, 4, 8}) {
+    auto device = std::make_shared<storage::ThrottledDevice>(
+        storage::DeviceProfile::Raid0(scenario.device_scale));
+    storage::MemoryStore store(device);
+    auto manifest = pipeline::WriteAgdToStore(&store, "ds", scenario.reads, 500);
+    PERSONA_CHECK_OK(manifest.status());
+    dataflow::Executor executor(2);
+    pipeline::AlignPipelineOptions options;
+    options.align_nodes = 2;
+    options.queue_depth = depth;
+    options.subchunk_size = 128;
+    auto report = pipeline::RunPersonaAlignment(&store, *manifest, aligner, &executor,
+                                                options);
+    PERSONA_CHECK_OK(report.status());
+    std::printf("%12zu %11.2fs %17zu\n", depth, report->seconds, depth * 4);
+  }
+  std::printf("(paper §4.5: shallow queues bound memory and avoid stragglers; deeper\n"
+              "queues stop paying off once the pipeline is full)\n");
+}
+
+void Run() {
+  PrintHeader("Ablations: AGD chunk size, per-column codec, queue depth");
+  ScenarioSpec spec;
+  spec.num_reads = 16'000;
+  Scenario scenario = BuildScenario(spec);
+  PrintCalibration(scenario);
+  ChunkSizeSweep(scenario);
+  CodecSweep(scenario);
+  QueueDepthSweep(scenario);
+}
+
+}  // namespace
+}  // namespace persona::bench
+
+int main() {
+  persona::bench::Run();
+  return 0;
+}

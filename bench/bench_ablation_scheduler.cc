@@ -1,0 +1,264 @@
+// Ablation: straggler-avoidance strategies for skewed chunk costs (paper §4.5).
+//
+// The paper argues: "A server can become a straggler if its queue contains 'expensive'
+// chunks with high compute latency. Work stealing is an alternative to avoid stragglers,
+// but the approach of bounding the queues is simpler and incurs less communication."
+// This bench measures all three points of that design space on one skewed workload:
+//
+//   static        chunks pre-assigned in contiguous slices, no balancing — the
+//                 straggler baseline
+//   shared-queue  Persona's executor resource (§4.3): one bounded central queue,
+//                 workers pull when free (greedy list scheduling)
+//   work-steal    per-worker deques with stealing (src/dataflow/work_stealing.h)
+//
+// "Work" is deterministic spin units attributed to the executing worker, so imbalance
+// (max/mean per-worker work) is meaningful even on a single hardware core. Steal events
+// are the communication cost the paper refers to; the shared queue pays none.
+
+#include <atomic>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/dataflow/executor.h"
+#include "src/dataflow/work_stealing.h"
+#include "src/util/rng.h"
+
+namespace persona::bench {
+namespace {
+
+constexpr int kWorkers = 4;
+constexpr int kTasks = 600;
+constexpr int kBursts = 2;           // expensive chunks cluster (repeat-dense regions)
+constexpr int kBurstLength = 20;
+constexpr uint64_t kCheapUnits = 40;
+constexpr uint64_t kExpensiveUnits = 1'200;  // 30x cost skew
+
+// One deterministic work unit (opaque to the optimizer).
+void Spin(uint64_t units) {
+  volatile uint64_t x = 0;
+  for (uint64_t i = 0; i < units * 1'000; ++i) {
+    x += i;
+  }
+}
+
+// Chunk costs in dataset order: mostly cheap, with contiguous bursts of expensive
+// chunks. Bursts model what real genomes do — repeat-dense regions produce runs of
+// high-latency chunks, which is exactly the input that turns a statically assigned
+// node into a straggler.
+std::vector<uint64_t> MakeSkewedCosts() {
+  Rng rng(4242);
+  std::vector<uint64_t> costs(kTasks, kCheapUnits);
+  for (int b = 0; b < kBursts; ++b) {
+    const size_t start = rng.Uniform(kTasks - kBurstLength);
+    for (int k = 0; k < kBurstLength; ++k) {
+      costs[start + static_cast<size_t>(k)] = kExpensiveUnits;
+    }
+  }
+  return costs;
+}
+
+// Static assignment: worker w owns the contiguous slice [w*N/W, (w+1)*N/W) — the
+// natural naive split of a chunk list across nodes.
+int StaticHome(size_t task_index) {
+  return static_cast<int>(task_index * kWorkers / kTasks);
+}
+
+// Attributes work units to whichever OS thread executes each task.
+class WorkLedger {
+ public:
+  void Charge(uint64_t units) {
+    std::lock_guard<std::mutex> lock(mu_);
+    per_thread_[std::this_thread::get_id()] += units;
+  }
+
+  // {max, mean} over workers that executed anything, padded to `expected_workers`.
+  std::pair<uint64_t, double> MaxAndMean(size_t expected_workers) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    uint64_t max = 0;
+    uint64_t total = 0;
+    for (const auto& [id, units] : per_thread_) {
+      max = std::max(max, units);
+      total += units;
+    }
+    const double mean =
+        static_cast<double>(total) / static_cast<double>(expected_workers);
+    return {max, mean};
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::thread::id, uint64_t> per_thread_;
+};
+
+struct StrategyResult {
+  const char* name;
+  uint64_t makespan_units;  // max per-worker attributed work
+  double imbalance;         // makespan / mean
+  uint64_t steals;
+  double wall_seconds;
+};
+
+void PrintResult(const StrategyResult& r) {
+  std::printf("  %-13s makespan %8llu units   imbalance %5.2fx   steal events %5llu   "
+              "wall %.3f s\n",
+              r.name, static_cast<unsigned long long>(r.makespan_units), r.imbalance,
+              static_cast<unsigned long long>(r.steals), r.wall_seconds);
+}
+
+// Static partitioning: analytic — each worker processes exactly its slice.
+StrategyResult RunStatic(const std::vector<uint64_t>& costs) {
+  std::vector<uint64_t> work(kWorkers, 0);
+  for (size_t i = 0; i < costs.size(); ++i) {
+    work[static_cast<size_t>(StaticHome(i))] += costs[i];
+  }
+  uint64_t max = 0;
+  uint64_t total = 0;
+  for (uint64_t w : work) {
+    max = std::max(max, w);
+    total += w;
+  }
+  return {"static", max, static_cast<double>(max) * kWorkers / static_cast<double>(total),
+          0, 0.0};
+}
+
+// Persona's executor resource: one shared queue, workers pull when free.
+StrategyResult RunSharedQueue(const std::vector<uint64_t>& costs) {
+  WorkLedger ledger;
+  Stopwatch timer;
+  dataflow::Executor executor(kWorkers);
+  {
+    dataflow::TaskBatch batch(&executor);
+    for (uint64_t cost : costs) {
+      batch.Add([cost, &ledger] {
+        Spin(cost);
+        ledger.Charge(cost);
+      });
+    }
+    batch.Wait();
+  }
+  const double wall = timer.ElapsedSeconds();
+  auto [max, mean] = ledger.MaxAndMean(kWorkers);
+  return {"shared-queue", max, static_cast<double>(max) / mean, 0, wall};
+}
+
+StrategyResult RunWorkStealing(const std::vector<uint64_t>& costs) {
+  WorkLedger ledger;
+  Stopwatch timer;
+  uint64_t steals = 0;
+  {
+    dataflow::WorkStealingPool pool(kWorkers);
+    for (size_t i = 0; i < costs.size(); ++i) {
+      const uint64_t cost = costs[i];
+      pool.Submit(
+          [cost, &ledger] {
+            Spin(cost);
+            ledger.Charge(cost);
+          },
+          /*home=*/StaticHome(i));  // same initial placement the static split uses
+    }
+    pool.Drain();
+    steals = pool.steals();
+  }
+  const double wall = timer.ElapsedSeconds();
+  auto [max, mean] = ledger.MaxAndMean(kWorkers);
+  return {"work-steal", max, static_cast<double>(max) / mean, steals, wall};
+}
+
+// --- Fig. 4 ablation: subchunk granularity ---
+//
+// "We found the granularity of AGD chunks, being optimized for storage, is too coarse
+// for threads and produces work imbalance that leads to stragglers" (§4.3). Here: a few
+// storage-granular chunks of uneven cost, split into subchunk tasks of decreasing size,
+// all run through the shared executor. Finer tasks balance better; the price is task
+// count (queueing/notification overhead).
+
+void RunGranularitySweep() {
+  constexpr int kChunks = 6;
+  Rng rng(99);
+  std::vector<uint64_t> chunk_costs;
+  uint64_t total = 0;
+  for (int i = 0; i < kChunks; ++i) {
+    chunk_costs.push_back(2'000 + rng.Uniform(8'000));
+    total += chunk_costs.back();
+  }
+  std::printf("%d chunks on %d workers, chunk costs 2k-10k units, total %llu "
+              "(ideal makespan %llu)\n\n",
+              kChunks, kWorkers, static_cast<unsigned long long>(total),
+              static_cast<unsigned long long>(total / kWorkers));
+
+  for (uint64_t granularity : {uint64_t{0}, uint64_t{2'000}, uint64_t{500}, uint64_t{100}}) {
+    WorkLedger ledger;
+    size_t tasks = 0;
+    Stopwatch timer;
+    {
+      dataflow::Executor executor(kWorkers);
+      dataflow::TaskBatch batch(&executor);
+      for (uint64_t cost : chunk_costs) {
+        const uint64_t step = granularity == 0 ? cost : granularity;  // 0 = whole chunk
+        for (uint64_t done = 0; done < cost; done += step) {
+          const uint64_t units = std::min(step, cost - done);
+          batch.Add([units, &ledger] {
+            Spin(units);
+            ledger.Charge(units);
+          });
+          ++tasks;
+        }
+      }
+      batch.Wait();
+    }
+    const double wall = timer.ElapsedSeconds();
+    auto [max, mean] = ledger.MaxAndMean(kWorkers);
+    std::printf("  subchunk %5s units: %4zu tasks   makespan %6llu units   imbalance "
+                "%5.2fx   wall %.3f s\n",
+                granularity == 0 ? "chunk" : std::to_string(granularity).c_str(), tasks,
+                static_cast<unsigned long long>(max),
+                static_cast<double>(max) / mean, wall);
+  }
+
+  std::printf("\nShape targets: whole-chunk tasks leave workers idle behind the largest "
+              "chunks\n(imbalance >> 1); splitting to subchunks drives imbalance toward "
+              "1.0 at the cost of\nmore queue operations — why Persona decouples storage "
+              "granularity from task\ngranularity (Fig. 4).\n");
+}
+
+int Main() {
+  PrintHeader("Ablation: straggler avoidance — static vs shared queue vs work stealing "
+              "(paper §4.5)");
+  std::vector<uint64_t> costs = MakeSkewedCosts();
+  uint64_t total = 0;
+  uint64_t expensive = 0;
+  for (uint64_t c : costs) {
+    total += c;
+    expensive += c == kExpensiveUnits ? 1 : 0;
+  }
+  std::printf("%d tasks on %d workers; %llu expensive chunks in %d bursts (%llux cost "
+              "skew); total %llu units (ideal makespan %llu)\n\n",
+              kTasks, kWorkers, static_cast<unsigned long long>(expensive), kBursts,
+              static_cast<unsigned long long>(kExpensiveUnits / kCheapUnits),
+              static_cast<unsigned long long>(total),
+              static_cast<unsigned long long>(total / kWorkers));
+
+  PrintResult(RunStatic(costs));
+  PrintResult(RunSharedQueue(costs));
+  PrintResult(RunWorkStealing(costs));
+
+  std::printf("\nShape targets: static partitioning stalls on whichever worker drew the "
+              "most\nexpensive chunks (imbalance well above 1); both dynamic strategies "
+              "stay near 1.0.\nWork stealing matches the shared queue's balance but pays "
+              "for it in steal events\n(its 'communication'), which is why Persona bounds "
+              "central queues instead (§4.5).\n");
+
+  PrintHeader("Ablation: storage-granular chunks vs fine-grain subchunk tasks "
+              "(paper §4.3, Fig. 4)");
+  RunGranularitySweep();
+  return 0;
+}
+
+}  // namespace
+}  // namespace persona::bench
+
+int main() { return persona::bench::Main(); }

@@ -1,0 +1,104 @@
+// Shared scaffolding for the paper-reproduction benchmarks.
+//
+// Scale model: the paper's node aligns ~45.45 Mbases/s (48 threads) against storage with
+// fixed bandwidths (single disk 160 MB/s, RAID0 ~960 MB/s, Ceph 6 GB/s). Every result we
+// reproduce is about the *ratio* of compute demand to storage bandwidth, so each bench
+// (a) measures this machine's actual alignment rate, (b) scales all simulated device
+// bandwidths by measured_rate / paper_rate. The paper's crossovers then reappear at this
+// machine's scale.
+
+#ifndef PERSONA_BENCH_BENCH_COMMON_H_
+#define PERSONA_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/align/bwa_aligner.h"
+#include "src/align/snap_aligner.h"
+#include "src/genome/generator.h"
+#include "src/genome/read_simulator.h"
+#include "src/util/string_util.h"
+#include "src/util/stopwatch.h"
+
+namespace persona::bench {
+
+inline constexpr double kPaperNodeBasesPerSec = 45.45e6;  // §5.4/§5.5
+inline constexpr double kPaperSingleDiskBw = 160e6;
+
+// One shared scenario: synthetic reference + indexes + simulated reads.
+struct Scenario {
+  genome::ReferenceGenome reference;
+  std::unique_ptr<align::SeedIndex> seed_index;
+  std::unique_ptr<align::FmIndex> fm_index;
+  std::vector<genome::Read> reads;
+  double snap_bases_per_sec = 0;  // calibrated single-thread rate
+  double device_scale = 0;        // snap rate / paper node rate
+};
+
+struct ScenarioSpec {
+  int64_t genome_length = 400'000;
+  int num_contigs = 2;
+  size_t num_reads = 8'000;
+  int read_length = 101;
+  double duplicate_fraction = 0.0;
+  uint64_t seed = 1234;
+  bool build_fm_index = false;
+};
+
+inline Scenario BuildScenario(const ScenarioSpec& spec) {
+  Scenario s;
+  genome::GenomeSpec gspec;
+  gspec.num_contigs = spec.num_contigs;
+  gspec.contig_length = spec.genome_length / spec.num_contigs;
+  gspec.seed = spec.seed;
+  s.reference = genome::GenerateGenome(gspec);
+
+  align::SeedIndexOptions seed_options;
+  seed_options.seed_length = 20;
+  s.seed_index = std::make_unique<align::SeedIndex>(
+      align::SeedIndex::Build(s.reference, seed_options).value());
+  if (spec.build_fm_index) {
+    s.fm_index = std::make_unique<align::FmIndex>(align::FmIndex::Build(s.reference).value());
+  }
+
+  genome::ReadSimSpec rspec;
+  rspec.read_length = spec.read_length;
+  rspec.duplicate_fraction = spec.duplicate_fraction;
+  rspec.seed = spec.seed + 1;
+  genome::ReadSimulator sim(&s.reference, rspec);
+  s.reads = sim.Simulate(spec.num_reads);
+
+  // Calibration: measure the single-thread SNAP-style alignment rate on a sample.
+  align::SnapAligner aligner(&s.reference, s.seed_index.get());
+  size_t sample = std::min<size_t>(s.reads.size(), 500);
+  Stopwatch timer;
+  uint64_t bases = 0;
+  for (size_t i = 0; i < sample; ++i) {
+    (void)aligner.Align(s.reads[i], nullptr);
+    bases += s.reads[i].bases.size();
+  }
+  double seconds = timer.ElapsedSeconds();
+  s.snap_bases_per_sec = seconds > 0 ? static_cast<double>(bases) / seconds : 1e6;
+  s.device_scale = s.snap_bases_per_sec / kPaperNodeBasesPerSec;
+  return s;
+}
+
+// ---- Table formatting helpers (paper-style rows). ----
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void PrintCalibration(const Scenario& s) {
+  std::printf("[calibration] this machine: %.2f Mbases/s (paper node: %.2f); "
+              "device bandwidth scale = %.5f\n",
+              s.snap_bases_per_sec / 1e6, kPaperNodeBasesPerSec / 1e6, s.device_scale);
+}
+
+}  // namespace persona::bench
+
+#endif  // PERSONA_BENCH_BENCH_COMMON_H_

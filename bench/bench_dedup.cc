@@ -1,0 +1,104 @@
+// §5.6 reproduction: duplicate-marking throughput.
+//
+// Paper: Samblaster marks 364,963 reads/s; Persona (dense hashtable) marks 1.36M
+// reads/s (~3.7x), and needs only the results column from the dataset.
+//
+// Shape to reproduce: the open-addressing dense signature set beats the node-based
+// chained baseline by severalfold, and store-level dedup touches only results files.
+
+#include "bench/bench_common.h"
+#include "src/pipeline/agd_store_util.h"
+#include "src/pipeline/dedup.h"
+#include "src/pipeline/persona_pipeline.h"
+#include "src/storage/memory_store.h"
+
+namespace persona::bench {
+namespace {
+
+std::vector<align::AlignmentResult> SyntheticResults(size_t n, double duplicate_fraction,
+                                                     uint64_t seed) {
+  Rng rng(seed);
+  std::vector<align::AlignmentResult> results;
+  results.reserve(n);
+  int64_t genome = 3'000'000'000;  // human-scale location space
+  for (size_t i = 0; i < n; ++i) {
+    align::AlignmentResult r;
+    if (!results.empty() && rng.Bernoulli(duplicate_fraction)) {
+      r = results[rng.Uniform(results.size())];  // exact signature duplicate
+      r.flags &= static_cast<uint16_t>(~align::kFlagDuplicate);
+    } else {
+      r.location = static_cast<int64_t>(rng.Uniform(static_cast<uint64_t>(genome)));
+      r.flags = rng.Bernoulli(0.5) ? align::kFlagReverse : 0;
+    }
+    r.cigar = "101M";
+    results.push_back(std::move(r));
+  }
+  return results;
+}
+
+void Run() {
+  PrintHeader("Section 5.6: Duplicate marking throughput");
+
+  const size_t kReads = 2'000'000;
+  auto input = SyntheticResults(kReads, 0.15, 77);
+
+  auto dense_input = input;
+  pipeline::DedupReport dense = pipeline::MarkDuplicatesDense(dense_input);
+  auto chained_input = input;
+  pipeline::DedupReport chained = pipeline::MarkDuplicatesChained(chained_input);
+
+  std::printf("\n%-28s %14s %14s %12s\n", "Implementation", "reads/s", "duplicates",
+              "seconds");
+  std::printf("%-28s %14.0f %14llu %11.3fs\n", "Persona (dense hashtable)",
+              dense.reads_per_sec, static_cast<unsigned long long>(dense.duplicates),
+              dense.seconds);
+  std::printf("%-28s %14.0f %14llu %11.3fs\n", "Samblaster-like (chained)",
+              chained.reads_per_sec, static_cast<unsigned long long>(chained.duplicates),
+              chained.seconds);
+  std::printf("\nSpeedup: %.2fx   (paper: 1.36M vs 365k reads/s = 3.7x)\n",
+              dense.reads_per_sec / chained.reads_per_sec);
+  if (dense.duplicates != chained.duplicates) {
+    std::printf("WARNING: implementations disagree!\n");
+  }
+
+  // I/O advantage: whole-dataset dedup reads/writes only the results column.
+  ScenarioSpec spec;
+  spec.num_reads = 8'000;
+  spec.duplicate_fraction = 0.15;
+  Scenario scenario = BuildScenario(spec);
+  storage::MemoryStore store;
+  auto manifest = pipeline::WriteAgdToStore(&store, "ds", scenario.reads, 1'000);
+  PERSONA_CHECK_OK(manifest.status());
+  align::SnapAligner aligner(&scenario.reference, scenario.seed_index.get());
+  dataflow::Executor executor(2);
+  pipeline::AlignPipelineOptions options;
+  PERSONA_CHECK_OK(
+      pipeline::RunPersonaAlignment(&store, *manifest, aligner, &executor, options).status());
+  manifest->columns.push_back(format::ResultsColumn());
+
+  storage::StoreStats before = store.stats();
+  auto report = pipeline::DedupAgdResults(&store, *manifest);
+  PERSONA_CHECK_OK(report.status());
+  storage::StoreStats after = store.stats();
+  uint64_t results_bytes = after.bytes_read - before.bytes_read;
+  uint64_t dataset_bytes = 0;
+  std::vector<std::string> keys = store.List("ds-").value();
+  for (const auto& key : keys) {
+    dataset_bytes += store.Size(key).value();
+  }
+  std::printf("\nStore-level dedup on an aligned dataset (%llu reads): marked %llu\n",
+              static_cast<unsigned long long>(report->total),
+              static_cast<unsigned long long>(report->duplicates));
+  std::printf("bytes read: %s of a %s dataset (results column only, %.1f%%)\n",
+              HumanBytes(results_bytes).c_str(), HumanBytes(dataset_bytes).c_str(),
+              100.0 * static_cast<double>(results_bytes) /
+                  static_cast<double>(dataset_bytes));
+}
+
+}  // namespace
+}  // namespace persona::bench
+
+int main() {
+  persona::bench::Run();
+  return 0;
+}

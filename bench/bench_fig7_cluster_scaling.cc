@@ -1,0 +1,109 @@
+// Figure 7 reproduction: cluster throughput vs number of compute nodes.
+//
+// Paper: "Actual" (measured, 1..32 nodes) scales linearly to 1.353 Gbases/s at 32 nodes
+// (16.7 s per genome); the validated "Simulation" line extends to 100 nodes and shows
+// the Ceph cluster saturating at ~60 nodes, limited by result-write performance.
+//
+// Here: the "Actual" series runs real multi-node Persona pipelines (in-process nodes,
+// shared simulated object store, shared manifest server) at small node counts; the
+// "Simulation" series is the discrete-event model at paper scale. The bench also prints
+// the validation comparison between the two at the overlapping node counts, mirroring
+// the paper's methodology.
+
+#include "bench/bench_common.h"
+#include "src/cluster/cluster_runner.h"
+#include "src/cluster/des_sim.h"
+#include "src/pipeline/agd_store_util.h"
+#include "src/storage/ceph_sim.h"
+
+namespace persona::bench {
+namespace {
+
+void Run() {
+  PrintHeader("Figure 7: Cluster scaling — Actual (measured) and Simulation");
+  ScenarioSpec spec;
+  spec.num_reads = 6'000;
+  Scenario scenario = BuildScenario(spec);
+  PrintCalibration(scenario);
+
+  // ---- Actual: real pipelines over a shared simulated Ceph store. ----
+  std::printf("\n(1) Actual (in-process nodes, %zu reads, shared object store)\n",
+              scenario.reads.size());
+  std::printf("%7s %12s %16s %12s %14s\n", "nodes", "seconds", "Mbases/s", "imbalance",
+              "vs 1-node");
+  align::SnapAligner aligner(&scenario.reference, scenario.seed_index.get());
+  double one_node_rate = 0;
+  std::vector<std::pair<int, double>> actual;  // (nodes, Mbases/s)
+  for (int nodes : {1, 2, 3, 4}) {
+    storage::CephSimConfig ceph_config =
+        storage::CephSimConfig::Scaled(scenario.device_scale * nodes);
+    storage::CephSimStore store(ceph_config);
+    auto manifest = pipeline::WriteAgdToStore(&store, "cl", scenario.reads, 250);
+    PERSONA_CHECK_OK(manifest.status());
+
+    cluster::ClusterOptions options;
+    options.num_nodes = nodes;
+    options.threads_per_node = 1;
+    options.node_options.read_parallelism = 1;
+    options.node_options.parse_parallelism = 1;
+    options.node_options.align_nodes = 1;
+    options.node_options.write_parallelism = 1;
+    auto report = cluster::RunCluster(&store, *manifest, aligner, options);
+    PERSONA_CHECK_OK(report.status());
+    double mbases = report->gigabases_per_sec * 1000;
+    if (nodes == 1) {
+      one_node_rate = mbases;
+    }
+    actual.emplace_back(nodes, mbases);
+    std::printf("%7d %11.2fs %16.2f %11.1f%% %13.2fx\n", nodes, report->seconds, mbases,
+                report->imbalance() * 100, mbases / one_node_rate);
+  }
+  std::printf("note: node counts limited by this container's single core; the paper's\n"
+              "32-node 'Actual' region is covered by the validated simulation below.\n");
+
+  // ---- Simulation: DES at paper scale. ----
+  std::printf("\n(2) Simulation (paper-scale DES: 2231 chunks, 100k reads/chunk)\n");
+  std::printf("%7s %12s %20s %12s %13s\n", "nodes", "seconds", "Gbases aligned/s",
+              "read util", "write util");
+  cluster::DesParams params;
+  for (int nodes : {1, 2, 4, 8, 16, 32, 40, 50, 60, 70, 80, 90, 100}) {
+    cluster::DesPoint point = cluster::SimulateCluster(params, nodes);
+    std::printf("%7d %11.1fs %20.3f %11.0f%% %12.0f%%\n", nodes, point.seconds,
+                point.gigabases_per_sec, point.read_utilization * 100,
+                point.write_utilization * 100);
+  }
+
+  // ---- Validation: scaled-down DES vs measured actual (paper §5.5 methodology). ----
+  std::printf("\n(3) Validation: simulation vs actual at overlapping node counts\n");
+  cluster::DesParams small;
+  small.num_chunks = static_cast<int64_t>((scenario.reads.size() + 249) / 250);
+  small.reads_per_chunk = 250;
+  small.read_length = 101;
+  small.chunk_read_mb = 0.02;   // scaled dataset: ~20 KB of columns per chunk
+  small.chunk_write_mb = 0.006;
+  small.read_capacity_gb_per_sec = 6.0 * scenario.device_scale;
+  small.write_capacity_gb_per_sec = 1.62 * scenario.device_scale;
+  std::printf("(in-process nodes share this container's single core, so each simulated\n"
+              "node gets 1/N of the measured core rate)\n");
+  std::printf("%7s %16s %16s %10s\n", "nodes", "actual Mb/s", "sim Mb/s", "delta");
+  for (const auto& [nodes, measured] : actual) {
+    cluster::DesParams per = small;
+    per.node_megabases_per_sec = scenario.snap_bases_per_sec / 1e6 / nodes;
+    per.read_capacity_gb_per_sec *= nodes;   // store was scaled per run above
+    per.write_capacity_gb_per_sec *= nodes;
+    cluster::DesPoint sim = cluster::SimulateCluster(per, nodes);
+    double sim_mb = sim.gigabases_per_sec * 1000;
+    std::printf("%7d %16.2f %16.2f %9.0f%%\n", nodes, measured, sim_mb,
+                100 * (sim_mb - measured) / measured);
+  }
+  std::printf("\nShape check (paper): linear to 32 nodes (1.353 Gb/s, ~16.7 s/genome);\n"
+              "saturation at ~60 nodes, write-limited beyond.\n");
+}
+
+}  // namespace
+}  // namespace persona::bench
+
+int main() {
+  persona::bench::Run();
+  return 0;
+}

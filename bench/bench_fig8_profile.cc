@@ -1,0 +1,140 @@
+// Figure 8 reproduction: workload analysis of the aligner kernels.
+//
+// The paper profiles SNAP and BWA-MEM under VTune: both are heavily backend-bound; for
+// SNAP the stalls are core-bound (a short, branchy edit-distance kernel with dependent
+// instructions), for BWA-MEM they are memory-bound (cache/DTLB misses in the
+// occurrence-table walks), compared against SPEC reference points.
+//
+// VTune is proprietary (DESIGN.md §1), so this harness classifies by direct
+// instrumentation instead: per-kernel time attribution inside the aligners (seeding /
+// index walks vs verification arithmetic) plus two micro-reference workloads standing in
+// for the SPEC anchors — a dependent-arithmetic loop (core-bound) and a pointer-chasing
+// loop over a large working set (memory-bound) — measured in ns per operation.
+
+#include "bench/bench_common.h"
+
+namespace persona::bench {
+namespace {
+
+// Core-bound reference: long dependency chain of cheap ALU ops (no memory traffic).
+double CoreBoundNsPerOp(size_t iterations) {
+  volatile uint64_t sink = 0;
+  uint64_t x = 88172645463325252ull;
+  Stopwatch timer;
+  for (size_t i = 0; i < iterations; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+  }
+  sink = x;
+  (void)sink;
+  return static_cast<double>(timer.ElapsedNanos()) / static_cast<double>(iterations);
+}
+
+// Memory-bound reference: random pointer chase over a working set far beyond L2.
+double MemoryBoundNsPerOp(size_t iterations) {
+  const size_t n = 1 << 22;  // 32 MB of uint64 indices
+  std::vector<uint64_t> next(n);
+  Rng rng(5);
+  // A random permutation cycle.
+  std::vector<uint64_t> perm(n);
+  for (size_t i = 0; i < n; ++i) {
+    perm[i] = i;
+  }
+  for (size_t i = n - 1; i > 0; --i) {
+    std::swap(perm[i], perm[rng.Uniform(i + 1)]);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    next[perm[i]] = perm[(i + 1) % n];
+  }
+  volatile uint64_t sink = 0;
+  uint64_t pos = perm[0];
+  Stopwatch timer;
+  for (size_t i = 0; i < iterations; ++i) {
+    pos = next[pos];
+  }
+  sink = pos;
+  (void)sink;
+  return static_cast<double>(timer.ElapsedNanos()) / static_cast<double>(iterations);
+}
+
+struct KernelProfile {
+  double seed_share = 0;    // fraction of time in seeding / index walks (memory side)
+  double verify_share = 0;  // fraction in edit-distance / SW arithmetic (core side)
+  double mbases_per_sec = 0;
+  uint64_t probes_per_read = 0;
+  uint64_t candidates_per_read = 0;
+};
+
+KernelProfile ProfileAligner(const align::Aligner& aligner,
+                             std::span<const genome::Read> reads) {
+  align::AlignProfile profile;
+  Stopwatch timer;
+  uint64_t bases = 0;
+  for (const auto& read : reads) {
+    (void)aligner.Align(read, &profile);
+    bases += read.bases.size();
+  }
+  double seconds = timer.ElapsedSeconds();
+  KernelProfile out;
+  uint64_t kernel_ns = profile.seed_ns + profile.verify_ns;
+  if (kernel_ns > 0) {
+    out.seed_share = static_cast<double>(profile.seed_ns) / static_cast<double>(kernel_ns);
+    out.verify_share =
+        static_cast<double>(profile.verify_ns) / static_cast<double>(kernel_ns);
+  }
+  out.mbases_per_sec = static_cast<double>(bases) / seconds / 1e6;
+  out.probes_per_read = profile.index_probes / std::max<uint64_t>(profile.reads, 1);
+  out.candidates_per_read = profile.candidates / std::max<uint64_t>(profile.reads, 1);
+  return out;
+}
+
+void Run() {
+  PrintHeader("Figure 8: Workload analysis (instrumented; VTune substitution)");
+  ScenarioSpec spec;
+  spec.num_reads = 2'000;
+  spec.genome_length = 1'500'000;  // large enough that occ-table walks leave the cache
+  spec.build_fm_index = true;
+  Scenario scenario = BuildScenario(spec);
+  PrintCalibration(scenario);
+
+  align::SnapAligner snap(&scenario.reference, scenario.seed_index.get());
+  align::BwaMemAligner bwa(&scenario.reference, scenario.fm_index.get());
+
+  KernelProfile snap_profile = ProfileAligner(snap, scenario.reads);
+  KernelProfile bwa_profile = ProfileAligner(bwa, scenario.reads);
+
+  std::printf("\n(1) Kernel time attribution (share of aligner kernel time)\n");
+  std::printf("%-14s %18s %22s %14s\n", "Aligner", "index/seed walks",
+              "verify arithmetic", "Mbases/s");
+  std::printf("%-14s %17.1f%% %21.1f%% %14.2f\n", "SNAP-style",
+              snap_profile.seed_share * 100, snap_profile.verify_share * 100,
+              snap_profile.mbases_per_sec);
+  std::printf("%-14s %17.1f%% %21.1f%% %14.2f\n", "BWA-MEM-style",
+              bwa_profile.seed_share * 100, bwa_profile.verify_share * 100,
+              bwa_profile.mbases_per_sec);
+  std::printf("probes/read: SNAP %llu, BWA %llu; candidates/read: SNAP %llu, BWA %llu\n",
+              static_cast<unsigned long long>(snap_profile.probes_per_read),
+              static_cast<unsigned long long>(bwa_profile.probes_per_read),
+              static_cast<unsigned long long>(snap_profile.candidates_per_read),
+              static_cast<unsigned long long>(bwa_profile.candidates_per_read));
+
+  std::printf("\n(2) Micro-reference anchors (SPEC stand-ins)\n");
+  double core_ns = CoreBoundNsPerOp(50'000'000);
+  double mem_ns = MemoryBoundNsPerOp(5'000'000);
+  std::printf("core-bound reference (dependent ALU chain): %6.2f ns/op\n", core_ns);
+  std::printf("memory-bound reference (32MB pointer chase): %6.2f ns/op  (%.1fx slower)\n",
+              mem_ns, mem_ns / core_ns);
+
+  std::printf("\nShape check (paper): SNAP dominated by the core-bound edit-distance\n"
+              "kernel (verify share high); BWA dominated by memory-bound FM-index\n"
+              "occurrence walks (seed share high).\n");
+}
+
+}  // namespace
+}  // namespace persona::bench
+
+int main() {
+  persona::bench::Run();
+  return 0;
+}

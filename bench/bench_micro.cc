@@ -1,0 +1,339 @@
+// Google-benchmark microbenchmarks for Persona's hot kernels: edit distance,
+// Smith-Waterman, base compaction, block codecs, seed-index lookup, FM-index search,
+// varint coding, CRC32 — plus the extension kernels: pileup, genotyping,
+// reference-based compression, VCF serialization, record location, work stealing.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <memory>
+#include <numeric>
+
+#include "src/align/edit_distance.h"
+#include "src/align/fm_index.h"
+#include "src/align/seed_index.h"
+#include "src/align/smith_waterman.h"
+#include "src/compress/base_compaction.h"
+#include "src/compress/codec.h"
+#include "src/dataflow/work_stealing.h"
+#include "src/format/agd_index.h"
+#include "src/format/refcomp.h"
+#include "src/format/vcf.h"
+#include "src/genome/generator.h"
+#include "src/genome/read_simulator.h"
+#include "src/util/crc32.h"
+#include "src/variant/caller.h"
+#include "src/variant/pileup.h"
+#include "src/util/rng.h"
+#include "src/util/varint.h"
+
+namespace persona {
+namespace {
+
+const genome::ReferenceGenome& Reference() {
+  static const genome::ReferenceGenome* kReference = [] {
+    genome::GenomeSpec spec;
+    spec.num_contigs = 1;
+    spec.contig_length = 200'000;
+    return new genome::ReferenceGenome(genome::GenerateGenome(spec));
+  }();
+  return *kReference;
+}
+
+std::string RandomDna(size_t n, uint64_t seed) {
+  static const char kBases[] = {'A', 'C', 'G', 'T'};
+  Rng rng(seed);
+  std::string s;
+  s.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    s.push_back(kBases[rng.Uniform(4)]);
+  }
+  return s;
+}
+
+void BM_LandauVishkin(benchmark::State& state) {
+  int max_k = static_cast<int>(state.range(0));
+  std::string text = RandomDna(101 + 16, 1);
+  std::string pattern = text.substr(0, 101);
+  pattern[50] = pattern[50] == 'A' ? 'C' : 'A';
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(align::LandauVishkin(text, pattern, max_k));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LandauVishkin)->Arg(4)->Arg(8)->Arg(12);
+
+void BM_SmithWaterman(benchmark::State& state) {
+  size_t window = static_cast<size_t>(state.range(0));
+  std::string ref = RandomDna(window, 2);
+  std::string query = ref.substr(window / 4, 101);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(align::SmithWaterman(ref, query));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SmithWaterman)->Arg(128)->Arg(160)->Arg(256);
+
+void BM_PackBases(benchmark::State& state) {
+  std::string bases = RandomDna(static_cast<size_t>(state.range(0)), 3);
+  Buffer out;
+  for (auto _ : state) {
+    out.Clear();
+    compress::PackBases(bases, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PackBases)->Arg(101)->Arg(1010)->Arg(101000);
+
+void BM_CodecCompress(benchmark::State& state) {
+  auto codec_id = static_cast<compress::CodecId>(state.range(0));
+  std::string payload = RandomDna(1 << 18, 4);  // DNA-like compressible data
+  std::span<const uint8_t> input(reinterpret_cast<const uint8_t*>(payload.data()),
+                                 payload.size());
+  const compress::Codec& codec = compress::GetCodec(codec_id);
+  Buffer out;
+  for (auto _ : state) {
+    out.Clear();
+    benchmark::DoNotOptimize(codec.Compress(input, &out).ok());
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(payload.size()));
+  state.SetLabel(std::string(compress::CodecName(codec_id)));
+}
+BENCHMARK(BM_CodecCompress)
+    ->Arg(static_cast<int>(compress::CodecId::kZlib))
+    ->Arg(static_cast<int>(compress::CodecId::kLzss));
+
+void BM_SeedIndexLookup(benchmark::State& state) {
+  static const align::SeedIndex* kIndex = [] {
+    align::SeedIndexOptions options;
+    options.seed_length = 20;
+    return new align::SeedIndex(align::SeedIndex::Build(Reference(), options).value());
+  }();
+  const std::string& seq = Reference().contig(0).sequence;
+  Rng rng(6);
+  size_t hits = 0;
+  for (auto _ : state) {
+    uint64_t seed;
+    size_t off = rng.Uniform(seq.size() - 20);
+    if (align::SeedIndex::PackSeed(seq, off, 20, &seed)) {
+      hits += kIndex->Lookup(seed).size();
+    }
+  }
+  benchmark::DoNotOptimize(hits);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SeedIndexLookup);
+
+void BM_FmIndexCount(benchmark::State& state) {
+  static const align::FmIndex* kIndex = [] {
+    return new align::FmIndex(align::FmIndex::Build(Reference()).value());
+  }();
+  const std::string& seq = Reference().contig(0).sequence;
+  size_t pattern_len = static_cast<size_t>(state.range(0));
+  Rng rng(7);
+  int64_t total = 0;
+  for (auto _ : state) {
+    size_t off = rng.Uniform(seq.size() - pattern_len);
+    total += kIndex->Count(std::string_view(seq).substr(off, pattern_len)).size();
+  }
+  benchmark::DoNotOptimize(total);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FmIndexCount)->Arg(19)->Arg(31);
+
+void BM_Varint(benchmark::State& state) {
+  Buffer buf;
+  Rng rng(8);
+  std::vector<uint64_t> values(1024);
+  for (auto& v : values) {
+    v = rng.Next() >> (rng.Uniform(56));
+  }
+  for (auto _ : state) {
+    buf.Clear();
+    for (uint64_t v : values) {
+      PutVarint(v, &buf);
+    }
+    size_t offset = 0;
+    uint64_t sum = 0;
+    for (size_t i = 0; i < values.size(); ++i) {
+      sum += GetVarint(buf.span(), &offset).value();
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(values.size()));
+}
+BENCHMARK(BM_Varint);
+
+void BM_Crc32(benchmark::State& state) {
+  std::string payload = RandomDna(static_cast<size_t>(state.range(0)), 9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Crc32(std::string_view(payload)));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Crc32)->Arg(4096)->Arg(1 << 20);
+
+// --- Variant-calling and format-extension kernels ---
+
+// Simulated aligned reads over the shared reference, with exact "<len>M" CIGARs.
+struct AlignedCorpus {
+  std::vector<std::string> bases;
+  std::vector<std::string> quals;
+  std::vector<align::AlignmentResult> results;
+};
+
+const AlignedCorpus& Corpus() {
+  static const AlignedCorpus* kCorpus = [] {
+    auto* corpus = new AlignedCorpus();
+    genome::ReadSimSpec spec;
+    spec.read_length = 101;
+    spec.substitution_rate = 0.005;
+    spec.indel_rate = 0;
+    spec.seed = 321;
+    genome::ReadSimulator simulator(&Reference(), spec);
+    for (genome::Read& read : simulator.Simulate(2'000)) {
+      auto truth = genome::ParseReadTruth(Reference(), read.metadata);
+      auto location = Reference().LocalToGlobal(truth->contig_index, truth->position);
+      align::AlignmentResult result;
+      result.location = *location;
+      result.cigar = "101M";
+      result.flags = truth->reverse ? align::kFlagReverse : 0;
+      result.mapq = 60;
+      corpus->bases.push_back(std::move(read.bases));
+      corpus->quals.push_back(std::move(read.qual));
+      corpus->results.push_back(std::move(result));
+    }
+    return corpus;
+  }();
+  return *kCorpus;
+}
+
+void BM_PileupAddRead(benchmark::State& state) {
+  const AlignedCorpus& corpus = Corpus();
+  // Location order, as the streaming engine requires.
+  std::vector<size_t> order(corpus.bases.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return corpus.results[a].location < corpus.results[b].location;
+  });
+  variant::PileupOptions options;
+  options.realign_indels = state.range(0) != 0;
+  for (auto _ : state) {
+    variant::PileupEngine engine(&Reference(), options);
+    for (size_t i : order) {
+      benchmark::DoNotOptimize(
+          engine.AddRead(corpus.bases[i], corpus.quals[i], corpus.results[i]));
+    }
+    std::vector<variant::PileupColumn> columns;
+    engine.FlushAll(&columns);
+    benchmark::DoNotOptimize(columns.size());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(order.size()));
+}
+BENCHMARK(BM_PileupAddRead)->Arg(0)->Arg(1)->ArgNames({"realign"});
+
+void BM_GenotypeCallSite(benchmark::State& state) {
+  variant::PileupColumn column;
+  column.location = 1'000;
+  column.ref_base = Reference().BaseAt(1'000);
+  const uint8_t ref_code = compress::BaseToCode(column.ref_base);
+  const uint8_t alt_code = ref_code == 0 ? 2 : 0;
+  for (int i = 0; i < 30; ++i) {
+    column.observations.push_back({i % 2 == 0 ? ref_code : alt_code, 35, i % 2 == 0});
+  }
+  column.spanning_reads = 30;
+  variant::GenotypeCaller caller(&Reference(), variant::CallerOptions{});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(caller.CallSite(column));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GenotypeCallSite);
+
+void BM_RefCompEncode(benchmark::State& state) {
+  const AlignedCorpus& corpus = Corpus();
+  Buffer out;
+  std::vector<uint32_t> lengths;
+  int64_t total_bases = 0;
+  for (const std::string& b : corpus.bases) {
+    total_bases += static_cast<int64_t>(b.size());
+  }
+  for (auto _ : state) {
+    out.Clear();
+    lengths.clear();
+    benchmark::DoNotOptimize(
+        format::RefEncodeChunk(Reference(), corpus.bases, corpus.results, &out, &lengths));
+  }
+  state.SetBytesProcessed(state.iterations() * total_bases);
+}
+BENCHMARK(BM_RefCompEncode);
+
+void BM_RefCompDecode(benchmark::State& state) {
+  const AlignedCorpus& corpus = Corpus();
+  Buffer encoded;
+  std::vector<uint32_t> lengths;
+  format::RefEncodeChunk(Reference(), corpus.bases, corpus.results, &encoded, &lengths);
+  int64_t total_bases = 0;
+  for (const std::string& b : corpus.bases) {
+    total_bases += static_cast<int64_t>(b.size());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        format::RefDecodeChunk(Reference(), encoded.span(), lengths, corpus.results));
+  }
+  state.SetBytesProcessed(state.iterations() * total_bases);
+}
+BENCHMARK(BM_RefCompDecode);
+
+void BM_VcfAppendRecord(benchmark::State& state) {
+  format::VariantRecord record;
+  record.contig_index = 0;
+  record.position = 12'345;
+  record.ref_allele = "A";
+  record.alt_allele = "G";
+  record.qual = 57.3;
+  record.depth = 31;
+  record.alt_fraction = 0.48;
+  record.genotype = "0/1";
+  std::string out;
+  for (auto _ : state) {
+    out.clear();
+    benchmark::DoNotOptimize(format::AppendVcfRecord(Reference(), record, &out));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_VcfAppendRecord);
+
+void BM_RecordLocator(benchmark::State& state) {
+  format::Manifest manifest;
+  for (int i = 0; i < 1'000; ++i) {
+    manifest.chunks.push_back({"c", i * 100'000, 100'000});
+  }
+  auto locator = format::RecordLocator::Create(&manifest);
+  Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        locator->Locate(static_cast<int64_t>(rng.Uniform(100'000'000))));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RecordLocator);
+
+void BM_WorkStealingSubmitDrain(benchmark::State& state) {
+  const int tasks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    dataflow::WorkStealingPool pool(4);
+    for (int i = 0; i < tasks; ++i) {
+      pool.Submit([] { benchmark::DoNotOptimize(0); });
+    }
+    pool.Drain();
+  }
+  state.SetItemsProcessed(state.iterations() * tasks);
+}
+BENCHMARK(BM_WorkStealingSubmitDrain)->Arg(1'000);
+
+}  // namespace
+}  // namespace persona
+
+BENCHMARK_MAIN();

@@ -1,0 +1,189 @@
+// Extension bench: reference-based compression of the AGD bases column (paper §6.1).
+//
+// The paper's TCO analysis finds long-term storage, not compute, dominates the cost of
+// population-scale sequencing, and points at reference-based compression as the needed
+// remedy. This bench quantifies that remedy on the AGD bases column: bytes per base and
+// encode/decode throughput for
+//     packed      3-bit base packing (AGD's baseline representation, §3)
+//     packed+zlib packed then block-compressed (AGD's on-disk default)
+//     refcomp     diffs against the reference (this repo's §6.1 implementation)
+//     refcomp+zlib                             ... then block-compressed
+// swept across sequencer error rates, which control how many diffs must be stored.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/compress/base_compaction.h"
+#include "src/compress/codec.h"
+#include "src/format/refcomp.h"
+#include "src/util/stopwatch.h"
+
+namespace persona::bench {
+namespace {
+
+constexpr int kReadLength = 101;
+constexpr size_t kNumReads = 4'000;
+
+struct Corpus {
+  std::vector<std::string> bases;
+  std::vector<align::AlignmentResult> results;
+  int64_t total_bases = 0;
+};
+
+Corpus MakeCorpus(const genome::ReferenceGenome& reference, double error_rate) {
+  genome::ReadSimSpec rspec;
+  rspec.read_length = kReadLength;
+  rspec.substitution_rate = error_rate;
+  rspec.indel_rate = 0;  // keep truth CIGARs exact ("<len>M")
+  rspec.seed = 77;
+  genome::ReadSimulator simulator(&reference, rspec);
+
+  Corpus corpus;
+  for (genome::Read& read : simulator.Simulate(kNumReads)) {
+    auto truth = genome::ParseReadTruth(reference, read.metadata);
+    PERSONA_CHECK_OK(truth.status());
+    auto location = reference.LocalToGlobal(truth->contig_index, truth->position);
+    PERSONA_CHECK_OK(location.status());
+    align::AlignmentResult result;
+    result.location = *location;
+    result.cigar = std::to_string(kReadLength) + "M";
+    result.flags = truth->reverse ? align::kFlagReverse : 0;
+    result.mapq = 60;
+    corpus.total_bases += static_cast<int64_t>(read.bases.size());
+    corpus.bases.push_back(std::move(read.bases));
+    corpus.results.push_back(std::move(result));
+  }
+  return corpus;
+}
+
+struct Row {
+  const char* scheme;
+  size_t bytes = 0;
+  double encode_mbps = 0;  // Mbases/s
+  double decode_mbps = 0;
+};
+
+void PrintRow(const Row& row, int64_t total_bases) {
+  std::printf("  %-14s %10zu bytes   %6.3f bits/base   enc %8.1f Mbase/s   dec %8.1f "
+              "Mbase/s\n",
+              row.scheme, row.bytes,
+              8.0 * static_cast<double>(row.bytes) / static_cast<double>(total_bases),
+              row.encode_mbps, row.decode_mbps);
+}
+
+// Packs all reads 3-bit and optionally zlib-compresses the block.
+Row RunPacked(const Corpus& corpus, bool with_zlib) {
+  Row row;
+  row.scheme = with_zlib ? "packed+zlib" : "packed";
+  Buffer packed;
+  Stopwatch encode_timer;
+  for (const std::string& bases : corpus.bases) {
+    compress::PackBases(bases, &packed);
+  }
+  Buffer compressed;
+  if (with_zlib) {
+    PERSONA_CHECK_OK(
+        compress::GetCodec(compress::CodecId::kZlib).Compress(packed.span(), &compressed));
+  }
+  const double encode_seconds = encode_timer.ElapsedSeconds();
+  row.bytes = with_zlib ? compressed.size() : packed.size();
+  row.encode_mbps =
+      static_cast<double>(corpus.total_bases) / encode_seconds / 1e6;
+
+  Stopwatch decode_timer;
+  Buffer decompressed;
+  std::span<const uint8_t> packed_span = packed.span();
+  if (with_zlib) {
+    PERSONA_CHECK_OK(compress::GetCodec(compress::CodecId::kZlib)
+                         .Decompress(compressed.span(), packed.size(), &decompressed));
+    packed_span = decompressed.span();
+  }
+  size_t offset = 0;
+  std::string bases;
+  for (const std::string& original : corpus.bases) {
+    bases.clear();
+    const size_t packed_size = compress::PackedBasesSize(original.size());
+    PERSONA_CHECK_OK(compress::UnpackBases(packed_span.subspan(offset, packed_size),
+                                           original.size(), &bases));
+    offset += packed_size;
+  }
+  row.decode_mbps =
+      static_cast<double>(corpus.total_bases) / decode_timer.ElapsedSeconds() / 1e6;
+  return row;
+}
+
+Row RunRefComp(const genome::ReferenceGenome& reference, const Corpus& corpus,
+               bool with_zlib, format::RefCompStats* stats_out) {
+  Row row;
+  row.scheme = with_zlib ? "refcomp+zlib" : "refcomp";
+  Buffer data;
+  std::vector<uint32_t> lengths;
+  Stopwatch encode_timer;
+  format::RefCompStats stats =
+      format::RefEncodeChunk(reference, corpus.bases, corpus.results, &data, &lengths);
+  Buffer compressed;
+  if (with_zlib) {
+    PERSONA_CHECK_OK(
+        compress::GetCodec(compress::CodecId::kZlib).Compress(data.span(), &compressed));
+  }
+  row.encode_mbps =
+      static_cast<double>(corpus.total_bases) / encode_timer.ElapsedSeconds() / 1e6;
+  row.bytes = with_zlib ? compressed.size() : data.size();
+
+  Stopwatch decode_timer;
+  Buffer decompressed;
+  std::span<const uint8_t> data_span = data.span();
+  if (with_zlib) {
+    PERSONA_CHECK_OK(compress::GetCodec(compress::CodecId::kZlib)
+                         .Decompress(compressed.span(), data.size(), &decompressed));
+    data_span = decompressed.span();
+  }
+  auto decoded = format::RefDecodeChunk(reference, data_span, lengths, corpus.results);
+  PERSONA_CHECK_OK(decoded.status());
+  row.decode_mbps =
+      static_cast<double>(corpus.total_bases) / decode_timer.ElapsedSeconds() / 1e6;
+
+  if (stats_out != nullptr) {
+    *stats_out = stats;
+  }
+  return row;
+}
+
+int Main() {
+  PrintHeader("Extension: reference-based compression of the bases column (paper §6.1)");
+
+  genome::GenomeSpec gspec;
+  gspec.num_contigs = 2;
+  gspec.contig_length = 150'000;
+  genome::ReferenceGenome reference = genome::GenerateGenome(gspec);
+  std::printf("%zu reads x %d bp per corpus; alignment info lives in the results column "
+              "and is not double-counted\n",
+              kNumReads, kReadLength);
+
+  for (double error_rate : {0.001, 0.005, 0.02}) {
+    Corpus corpus = MakeCorpus(reference, error_rate);
+    std::printf("\n-- substitution error rate %.1f%% --\n", error_rate * 100);
+    PrintRow(RunPacked(corpus, /*with_zlib=*/false), corpus.total_bases);
+    PrintRow(RunPacked(corpus, /*with_zlib=*/true), corpus.total_bases);
+    format::RefCompStats stats;
+    PrintRow(RunRefComp(reference, corpus, /*with_zlib=*/false, &stats), corpus.total_bases);
+    PrintRow(RunRefComp(reference, corpus, /*with_zlib=*/true, nullptr), corpus.total_bases);
+    std::printf("  (refcomp: %lld substitutions across %lld records, %lld raw fallbacks)\n",
+                static_cast<long long>(stats.substitutions),
+                static_cast<long long>(stats.records),
+                static_cast<long long>(stats.raw_fallback));
+  }
+
+  std::printf("\nShape targets: refcomp beats 3-bit packing by an order of magnitude at "
+              "low error\nrates and degrades gracefully as errors (stored diffs) grow. "
+              "zlib on top of refcomp\nstill roughly halves it (per-record tag/count "
+              "bytes compress well) while the\nsubstitution payload itself is "
+              "high-entropy. Decode stays fast at low error rates\nbecause "
+              "reconstruction is a reference copy plus a few patches.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace persona::bench
+
+int main() { return persona::bench::Main(); }

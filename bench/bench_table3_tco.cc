@@ -1,0 +1,45 @@
+// Table 3 reproduction: cluster TCO and alignment costs (paper §6.1).
+//
+// This is an analytical model with published inputs, so the numbers should match the
+// paper directly: $613K capex, $943K 5-year TCO, ~6 cents/alignment, ~$8.83 storage per
+// genome, $6.72 for 5 years of Glacier.
+
+#include <cstdio>
+
+#include "src/tco/tco_model.h"
+
+int main() {
+  std::printf("================================================================\n");
+  std::printf("Table 3: Cluster TCO and alignment costs\n");
+  std::printf("================================================================\n\n");
+
+  persona::tco::TcoParams params;
+  persona::tco::TcoReport report = persona::tco::ComputeTco(params);
+  std::printf("%s\n", persona::tco::FormatTcoTable(params, report).c_str());
+
+  std::printf("Paper values: $613K capex, $943K TCO(5yr), 6.07c/alignment,\n");
+  std::printf("              $8.83 storage/genome (21GB genomes), $6.72 Glacier 5yr.\n\n");
+
+  // Sensitivity: the paper's "not to exceed" 60:7 compute-to-storage ratio.
+  std::printf("Sensitivity: compute-tier scaling at fixed storage (60:7 rule)\n");
+  std::printf("%16s %18s %22s\n", "compute servers", "alignments/day", "cost/alignment");
+  for (int servers : {16, 32, 60, 120}) {
+    persona::tco::TcoParams p;
+    p.compute_servers = servers;
+    // Fabric ports track the server count (1 port/server + storage + uplinks).
+    p.fabric_ports = servers + 7;
+    persona::tco::TcoReport r = persona::tco::ComputeTco(p);
+    std::printf("%16d %18.0f %20.2fc\n", servers, r.alignments_per_day,
+                r.cost_per_alignment_cents);
+  }
+
+  // Long-term storage vs compute (paper: storage dominates by two orders of magnitude).
+  persona::tco::TcoParams full;
+  full.genome_size_gb = 21;
+  persona::tco::TcoReport full_report = persona::tco::ComputeTco(full);
+  std::printf("\nPer-genome economics: alignment %.2fc vs storage $%.2f (%.0fx)\n",
+              report.cost_per_alignment_cents, full_report.storage_cost_per_genome,
+              full_report.storage_cost_per_genome /
+                  (report.cost_per_alignment_cents / 100));
+  return 0;
+}

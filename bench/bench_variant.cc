@@ -1,0 +1,152 @@
+// Extension bench: variant-calling throughput and accuracy vs coverage.
+//
+// The paper integrates alignment, sorting, and duplicate marking and names variant
+// calling as the next step (§8); this bench characterizes that step on the same
+// substrate. For each coverage level it reports pileup+genotyping throughput (reads/s
+// and columns/s — the units a capacity plan needs next to the aligner's bases/s) and
+// the accuracy against the injected donor truth, showing the recall cliff at low
+// coverage that motivates the 30-50x datasets the paper describes (§2.1).
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/align/snap_aligner.h"
+#include "src/format/agd_chunk.h"
+#include "src/genome/mutate.h"
+#include "src/pipeline/agd_store_util.h"
+#include "src/pipeline/dedup.h"
+#include "src/pipeline/sort.h"
+#include "src/storage/memory_store.h"
+#include "src/variant/accuracy.h"
+#include "src/variant/call_pipeline.h"
+
+namespace persona::bench {
+namespace {
+
+constexpr int kReadLength = 101;
+constexpr int64_t kGenomeLength = 120'000;
+
+struct CoverageRun {
+  double coverage = 0;
+  double call_seconds = 0;
+  uint64_t reads_used = 0;
+  uint64_t columns = 0;
+  variant::VariantAccuracy accuracy;
+};
+
+CoverageRun RunAtCoverage(const genome::ReferenceGenome& reference,
+                          const genome::DonorGenome& donor,
+                          const align::SnapAligner& aligner, double coverage) {
+  // Reads from both haplotypes.
+  const size_t per_haplotype = static_cast<size_t>(
+      coverage * static_cast<double>(reference.total_length()) / kReadLength / 2);
+  std::vector<genome::Read> reads;
+  for (int hap = 0; hap < 2; ++hap) {
+    genome::ReadSimSpec rspec;
+    rspec.read_length = kReadLength;
+    rspec.substitution_rate = 0.003;
+    rspec.duplicate_fraction = 0.03;
+    rspec.seed = 900 + static_cast<uint64_t>(hap);
+    genome::ReadSimulator simulator(&donor.haplotypes[static_cast<size_t>(hap)], rspec);
+    std::vector<genome::Read> hap_reads = simulator.Simulate(per_haplotype);
+    reads.insert(reads.end(), hap_reads.begin(), hap_reads.end());
+  }
+
+  storage::MemoryStore store;
+  auto manifest = pipeline::WriteAgdToStore(&store, "ds", reads, 4'000);
+  PERSONA_CHECK_OK(manifest.status());
+  format::Manifest aligned = *manifest;
+  aligned.columns.push_back(format::ResultsColumn());
+  aligned.SetReference(reference);
+
+  Buffer file;
+  size_t read_index = 0;
+  for (size_t ci = 0; ci < manifest->chunks.size(); ++ci) {
+    format::ChunkBuilder builder(format::RecordType::kResults, compress::CodecId::kZlib);
+    for (int64_t i = 0; i < manifest->chunks[ci].num_records; ++i, ++read_index) {
+      builder.AddResult(aligner.Align(reads[read_index], nullptr));
+    }
+    PERSONA_CHECK_OK(builder.Finalize(&file));
+    PERSONA_CHECK_OK(store.Put(manifest->chunks[ci].path_base + ".results", file));
+  }
+
+  format::Manifest sorted;
+  PERSONA_CHECK_OK(
+      pipeline::SortAgdDataset(&store, aligned, "sorted", {}, &sorted).status());
+  PERSONA_CHECK_OK(pipeline::DedupAgdResults(&store, sorted).status());
+
+  variant::CallPipelineOptions options;
+  options.filter.min_qual = 20;
+  options.filter.min_depth = 6;
+  options.store_vcf = false;
+  auto report = variant::CallVariantsAgd(&store, sorted, reference, options);
+  PERSONA_CHECK_OK(report.status());
+
+  CoverageRun run;
+  run.coverage = coverage;
+  run.call_seconds = report->seconds;
+  run.reads_used = report->reads_used;
+  run.columns = report->columns_piled;
+  run.accuracy =
+      variant::ScoreVariants(donor.variants, report->records, /*passing_only=*/true,
+                             &reference);
+  return run;
+}
+
+int Main() {
+  PrintHeader("Extension: variant calling throughput & accuracy vs coverage (paper §8)");
+
+  genome::GenomeSpec gspec;
+  gspec.num_contigs = 2;
+  gspec.contig_length = kGenomeLength / 2;
+  genome::ReferenceGenome reference = genome::GenerateGenome(gspec);
+
+  genome::MutationSpec mspec;
+  mspec.snv_rate = 1e-3;
+  mspec.insertion_rate = 1.2e-4;
+  mspec.deletion_rate = 1.2e-4;
+  mspec.min_spacing = 150;
+  genome::DonorGenome donor = genome::MutateGenome(reference, mspec);
+
+  align::SeedIndexOptions seed_options;
+  seed_options.seed_length = 20;
+  auto seed_index = align::SeedIndex::Build(reference, seed_options);
+  PERSONA_CHECK_OK(seed_index.status());
+  align::SnapAligner aligner(&reference, &*seed_index);
+
+  std::printf("reference %lld bases; donor truth: %zu variants\n",
+              static_cast<long long>(reference.total_length()), donor.variants.size());
+  std::printf("\n%8s %10s %12s %12s %8s %8s %8s %8s\n", "coverage", "call(s)",
+              "reads/s", "columns/s", "SNV P", "SNV R", "indel R", "GT conc");
+
+  for (double coverage : {5.0, 10.0, 20.0, 30.0, 45.0}) {
+    CoverageRun run = RunAtCoverage(reference, donor, aligner, coverage);
+    const double reads_per_sec =
+        run.call_seconds > 0 ? static_cast<double>(run.reads_used) / run.call_seconds : 0;
+    const double cols_per_sec =
+        run.call_seconds > 0 ? static_cast<double>(run.columns) / run.call_seconds : 0;
+    const double indel_recall =
+        (run.accuracy.insertion.truth + run.accuracy.deletion.truth) == 0
+            ? 0
+            : static_cast<double>(run.accuracy.insertion.true_positives +
+                                  run.accuracy.deletion.true_positives) /
+                  static_cast<double>(run.accuracy.insertion.truth +
+                                      run.accuracy.deletion.truth);
+    std::printf("%8.0f %10.3f %12.0f %12.0f %8.3f %8.3f %8.3f %8.3f\n", run.coverage,
+                run.call_seconds, reads_per_sec, cols_per_sec,
+                run.accuracy.snv.Precision(), run.accuracy.snv.Recall(), indel_recall,
+                run.accuracy.GenotypeConcordance());
+  }
+
+  std::printf("\nShape targets: SNV recall climbs steeply to ~0.9+ by 20-30x and "
+              "saturates;\nprecision stays high at all depths; genotype concordance "
+              "follows recall\n(het sites need both haplotypes sampled). Throughput in "
+              "reads/s is the\ncapacity-planning unit comparable to the aligner's "
+              "bases/s.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace persona::bench
+
+int main() { return persona::bench::Main(); }

@@ -1,0 +1,184 @@
+// agd_tool: a small CLI for AGD datasets on the local filesystem — create a demo
+// dataset, inspect a manifest, verify chunk integrity, and dump records. This is the
+// analogue of the `persona` command-line utility that ships with the original system.
+//
+// Usage:
+//   agd_tool create   <dir> [num_reads]   generate a demo dataset into <dir>
+//   agd_tool info     <dir>               print manifest summary
+//   agd_tool verify   <dir>               parse every chunk, check counts/CRCs
+//   agd_tool rowcheck <dir>               validate the row-grouping invariant (§3)
+//   agd_tool dump     <dir> <chunk> [n]   print the first n records of a chunk
+//   agd_tool get      <dir> <record-id>   random access: fetch one record by id
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/format/agd_dataset.h"
+#include "src/format/agd_index.h"
+#include "src/genome/generator.h"
+#include "src/genome/read_simulator.h"
+#include "src/util/string_util.h"
+
+namespace {
+
+using namespace persona;
+
+int Create(const std::string& dir, size_t num_reads) {
+  genome::GenomeSpec genome_spec;
+  genome_spec.num_contigs = 2;
+  genome_spec.contig_length = 50'000;
+  genome::ReferenceGenome reference = genome::GenerateGenome(genome_spec);
+  genome::ReadSimSpec read_spec;
+  genome::ReadSimulator simulator(&reference, read_spec);
+
+  format::AgdWriter::Options options;
+  options.chunk_size = 1'000;
+  auto writer = format::AgdWriter::Create(dir, "demo", options);
+  PERSONA_CHECK_OK(writer.status());
+  for (size_t i = 0; i < num_reads; ++i) {
+    PERSONA_CHECK_OK(writer->Append(simulator.NextRead()));
+  }
+  PERSONA_CHECK_OK(writer->Finalize());
+  std::printf("created dataset 'demo' in %s: %zu reads, %zu chunks\n", dir.c_str(),
+              num_reads, writer->manifest().chunks.size());
+  return 0;
+}
+
+int Info(const std::string& dir) {
+  auto dataset = format::AgdDataset::Open(dir);
+  PERSONA_CHECK_OK(dataset.status());
+  const format::Manifest& manifest = dataset->manifest();
+  std::printf("dataset: %s\n", manifest.name.c_str());
+  std::printf("records: %lld (chunk size %lld)\n",
+              static_cast<long long>(manifest.total_records()),
+              static_cast<long long>(manifest.chunk_size));
+  std::printf("columns:");
+  for (const auto& column : manifest.columns) {
+    std::printf(" %s(%s,%s)", column.name.c_str(),
+                std::string(format::RecordTypeName(column.type)).c_str(),
+                std::string(compress::CodecName(column.codec)).c_str());
+  }
+  std::printf("\nchunks:\n");
+  for (size_t i = 0; i < manifest.chunks.size(); ++i) {
+    const auto& chunk = manifest.chunks[i];
+    std::printf("  [%zu] %s: records %lld..%lld\n", i, chunk.path_base.c_str(),
+                static_cast<long long>(chunk.first_record),
+                static_cast<long long>(chunk.first_record + chunk.num_records - 1));
+  }
+  if (!manifest.reference_contigs.empty()) {
+    std::printf("reference:");
+    for (const auto& contig : manifest.reference_contigs) {
+      std::printf(" %s:%lld", contig.name.c_str(), static_cast<long long>(contig.length));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int Verify(const std::string& dir) {
+  auto dataset = format::AgdDataset::Open(dir);
+  PERSONA_CHECK_OK(dataset.status());
+  auto verified = dataset->Verify();
+  if (!verified.ok()) {
+    std::printf("FAILED: %s\n", verified.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("OK: %lld records verified across %zu chunks x %zu columns\n",
+              static_cast<long long>(*verified), dataset->num_chunks(),
+              dataset->manifest().columns.size());
+  return 0;
+}
+
+int Dump(const std::string& dir, size_t chunk_index, size_t limit) {
+  auto dataset = format::AgdDataset::Open(dir);
+  PERSONA_CHECK_OK(dataset.status());
+  auto bases = dataset->ReadChunk(chunk_index, "bases");
+  auto qual = dataset->ReadChunk(chunk_index, "qual");
+  auto metadata = dataset->ReadChunk(chunk_index, "metadata");
+  PERSONA_CHECK_OK(bases.status());
+  PERSONA_CHECK_OK(qual.status());
+  PERSONA_CHECK_OK(metadata.status());
+  size_t n = std::min(limit, bases->record_count());
+  for (size_t i = 0; i < n; ++i) {
+    std::printf("@%s\n%s\n+\n%s\n", std::string(*metadata->GetString(i)).c_str(),
+                bases->GetBases(i)->c_str(), std::string(*qual->GetString(i)).c_str());
+  }
+  return 0;
+}
+
+int RowCheck(const std::string& dir) {
+  auto dataset = format::AgdDataset::Open(dir);
+  PERSONA_CHECK_OK(dataset.status());
+  Status status = format::ValidateRowGrouping(*dataset);
+  if (!status.ok()) {
+    std::printf("ROW-GROUP VIOLATION: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("OK: record indices align across all %zu columns of %zu chunks\n",
+              dataset->manifest().columns.size(), dataset->num_chunks());
+  return 0;
+}
+
+int Get(const std::string& dir, int64_t record_id) {
+  auto reader = format::RandomAccessReader::Open(dir);
+  PERSONA_CHECK_OK(reader.status());
+  auto read = reader->GetRead(record_id);
+  if (!read.ok()) {
+    std::fprintf(stderr, "error: %s\n", read.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("record %lld of %lld\n@%s\n%s\n+\n%s\n",
+              static_cast<long long>(record_id),
+              static_cast<long long>(reader->total_records()), read->metadata.c_str(),
+              read->bases.c_str(), read->qual.c_str());
+  if (reader->manifest().HasColumn("results")) {
+    auto result = reader->GetResult(record_id);
+    PERSONA_CHECK_OK(result.status());
+    std::printf("result: loc=%lld mapq=%d flags=0x%x cigar=%s\n",
+                static_cast<long long>(result->location), result->mapq, result->flags,
+                result->cigar.empty() ? "*" : result->cigar.c_str());
+  }
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: agd_tool create   <dir> [num_reads]\n"
+               "       agd_tool info     <dir>\n"
+               "       agd_tool verify   <dir>\n"
+               "       agd_tool rowcheck <dir>\n"
+               "       agd_tool dump     <dir> <chunk> [n]\n"
+               "       agd_tool get      <dir> <record-id>\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    return Usage();
+  }
+  std::string command = argv[1];
+  std::string dir = argv[2];
+  if (command == "create") {
+    return Create(dir, argc > 3 ? static_cast<size_t>(std::atoll(argv[3])) : 5'000);
+  }
+  if (command == "info") {
+    return Info(dir);
+  }
+  if (command == "verify") {
+    return Verify(dir);
+  }
+  if (command == "rowcheck") {
+    return RowCheck(dir);
+  }
+  if (command == "dump" && argc >= 4) {
+    return Dump(dir, static_cast<size_t>(std::atoll(argv[3])),
+                argc > 4 ? static_cast<size_t>(std::atoll(argv[4])) : 4);
+  }
+  if (command == "get" && argc >= 4) {
+    return Get(dir, std::atoll(argv[3]));
+  }
+  return Usage();
+}

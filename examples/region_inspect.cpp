@@ -1,0 +1,210 @@
+// Region inspection: a minimal samtools-tview analogue over AGD.
+//
+// Builds a small aligned+sorted dataset, then for one samtools-style region string
+// ("chr1:2000-2120" etc.):
+//   1. filters the dataset down to reads overlapping the region (flag/region predicate,
+//      selective column I/O — paper §8 "comprehensive data filtering"),
+//   2. piles the region up and prints a text view: reference row, per-position depth,
+//      consensus row, and mismatch markers,
+//   3. reports coverage statistics and any variants called inside the region.
+//
+// Usage: region_inspect [region]   (default chr1:2000-2080)
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/align/snap_aligner.h"
+#include "src/compress/base_compaction.h"
+#include "src/format/agd_chunk.h"
+#include "src/genome/generator.h"
+#include "src/genome/mutate.h"
+#include "src/genome/read_simulator.h"
+#include "src/pipeline/agd_store_util.h"
+#include "src/pipeline/dedup.h"
+#include "src/pipeline/filter.h"
+#include "src/pipeline/sort.h"
+#include "src/storage/memory_store.h"
+#include "src/util/string_util.h"
+#include "src/variant/caller.h"
+#include "src/variant/coverage.h"
+#include "src/variant/pileup.h"
+
+namespace {
+
+using namespace persona;  // example code; the library itself never does this
+
+constexpr int kReadLength = 101;
+
+// Builds reference + donor + aligned-sorted-deduped dataset in `store`; returns the
+// sorted manifest.
+format::Manifest BuildDemoDataset(storage::MemoryStore* store,
+                                  genome::ReferenceGenome* reference) {
+  genome::GenomeSpec genome_spec;
+  genome_spec.num_contigs = 2;
+  genome_spec.contig_length = 30'000;
+  *reference = genome::GenerateGenome(genome_spec);
+
+  genome::MutationSpec mutation_spec;
+  mutation_spec.snv_rate = 1.5e-3;
+  mutation_spec.min_spacing = 60;
+  genome::DonorGenome donor = genome::MutateGenome(*reference, mutation_spec);
+
+  std::vector<genome::Read> reads;
+  const size_t per_haplotype = static_cast<size_t>(
+      30.0 * static_cast<double>(reference->total_length()) / kReadLength / 2);
+  for (int hap = 0; hap < 2; ++hap) {
+    genome::ReadSimSpec read_spec;
+    read_spec.read_length = kReadLength;
+    read_spec.seed = 42 + static_cast<uint64_t>(hap);
+    genome::ReadSimulator simulator(&donor.haplotypes[static_cast<size_t>(hap)],
+                                    read_spec);
+    std::vector<genome::Read> hap_reads = simulator.Simulate(per_haplotype);
+    reads.insert(reads.end(), hap_reads.begin(), hap_reads.end());
+  }
+
+  auto manifest = pipeline::WriteAgdToStore(store, "demo", reads, 4'000);
+  PERSONA_CHECK_OK(manifest.status());
+
+  align::SeedIndexOptions seed_options;
+  seed_options.seed_length = 20;
+  auto seed_index = align::SeedIndex::Build(*reference, seed_options);
+  PERSONA_CHECK_OK(seed_index.status());
+  align::SnapAligner aligner(reference, &*seed_index);
+
+  format::Manifest aligned = *manifest;
+  aligned.columns.push_back(format::ResultsColumn());
+  aligned.SetReference(*reference);
+  Buffer file;
+  size_t read_index = 0;
+  for (size_t ci = 0; ci < manifest->chunks.size(); ++ci) {
+    format::ChunkBuilder builder(format::RecordType::kResults, compress::CodecId::kZlib);
+    for (int64_t i = 0; i < manifest->chunks[ci].num_records; ++i, ++read_index) {
+      builder.AddResult(aligner.Align(reads[read_index], nullptr));
+    }
+    PERSONA_CHECK_OK(builder.Finalize(&file));
+    PERSONA_CHECK_OK(store->Put(manifest->chunks[ci].path_base + ".results", file));
+  }
+
+  format::Manifest sorted;
+  PERSONA_CHECK_OK(
+      pipeline::SortAgdDataset(store, aligned, "sorted", {}, &sorted).status());
+  PERSONA_CHECK_OK(pipeline::DedupAgdResults(store, sorted).status());
+  return sorted;
+}
+
+int Inspect(const std::string& region_text) {
+  storage::MemoryStore store;
+  genome::ReferenceGenome reference;
+  format::Manifest sorted = BuildDemoDataset(&store, &reference);
+  std::printf("dataset: %lld reads, sorted + duplicate-marked\n\n",
+              static_cast<long long>(sorted.total_records()));
+
+  auto region = pipeline::ParseRegion(reference, region_text);
+  if (!region.ok()) {
+    std::fprintf(stderr, "bad region '%s': %s\n", region_text.c_str(),
+                 region.status().ToString().c_str());
+    return 1;
+  }
+
+  // 1. Filter to reads overlapping the region. A read starting up to a read length
+  //    before the region can still overlap it.
+  pipeline::ReadFilterSpec spec;
+  spec.excluded_flags = align::kFlagUnmapped | align::kFlagDuplicate;
+  spec.region_begin = std::max<genome::GenomeLocation>(0, region->begin - kReadLength);
+  spec.region_end = region->end;
+  format::Manifest window;
+  auto filter_report = pipeline::FilterAgdDataset(&store, sorted, "window", spec, {}, &window);
+  PERSONA_CHECK_OK(filter_report.status());
+  std::printf("region %s -> global [%lld, %lld): %llu candidate reads (%s transferred)\n\n",
+              region_text.c_str(), static_cast<long long>(region->begin),
+              static_cast<long long>(region->end),
+              static_cast<unsigned long long>(filter_report->records_out),
+              HumanBytes(filter_report->store_stats.bytes_read).c_str());
+
+  // 2. Pile up the filtered window.
+  variant::PileupEngine engine(&reference, {});
+  Buffer bases_file;
+  Buffer qual_file;
+  Buffer results_file;
+  for (size_t ci = 0; ci < window.chunks.size(); ++ci) {
+    PERSONA_CHECK_OK(store.Get(window.ChunkFileName(ci, "bases"), &bases_file));
+    PERSONA_CHECK_OK(store.Get(window.ChunkFileName(ci, "qual"), &qual_file));
+    PERSONA_CHECK_OK(store.Get(window.ChunkFileName(ci, "results"), &results_file));
+    auto bases = format::ParsedChunk::Parse(bases_file.span());
+    auto quals = format::ParsedChunk::Parse(qual_file.span());
+    auto results = format::ParsedChunk::Parse(results_file.span());
+    PERSONA_CHECK_OK(bases.status());
+    PERSONA_CHECK_OK(quals.status());
+    PERSONA_CHECK_OK(results.status());
+    for (size_t i = 0; i < results->record_count(); ++i) {
+      PERSONA_CHECK_OK(engine.AddRead(*bases->GetBases(i), *quals->GetString(i),
+                                      *results->GetResult(i)));
+    }
+  }
+  std::vector<variant::PileupColumn> columns;
+  engine.FlushAll(&columns);
+
+  // 3. Text view of the region (first 80 columns), consensus + depth + mismatch marks.
+  std::string ref_row;
+  std::string consensus_row;
+  std::string mark_row;
+  std::string depth_row;
+  variant::GenotypeCaller caller(&reference, {});
+  std::vector<format::VariantRecord> calls;
+  variant::CoverageAccumulator coverage(region->end - region->begin, {});
+  for (const variant::PileupColumn& column : columns) {
+    if (column.location < region->begin || column.location >= region->end) {
+      continue;
+    }
+    coverage.Add(column);
+    std::vector<format::VariantRecord> site = caller.CallSite(column);
+    calls.insert(calls.end(), site.begin(), site.end());
+    if (ref_row.size() >= 80) {
+      continue;
+    }
+    const std::array<int32_t, 5> counts = column.BaseCounts();
+    int best = 0;
+    for (int code = 1; code < 4; ++code) {
+      if (counts[static_cast<size_t>(code)] > counts[static_cast<size_t>(best)]) {
+        best = code;
+      }
+    }
+    const char consensus =
+        column.depth() == 0 ? '.' : compress::CodeToBase(static_cast<uint8_t>(best));
+    ref_row.push_back(column.ref_base);
+    consensus_row.push_back(consensus);
+    mark_row.push_back(consensus != '.' && consensus != column.ref_base ? '^' : ' ');
+    const int32_t depth = column.spanning_reads;
+    depth_row.push_back(depth >= 36 ? '+' : "0123456789abcdefghijklmnopqrstuvwxyz"[depth]);
+  }
+  std::printf("ref       %s\nconsensus %s\n          %s\ndepth     %s\n",
+              ref_row.c_str(), consensus_row.c_str(), mark_row.c_str(),
+              depth_row.c_str());
+  std::printf("(depth row: 0-9/a-z = 0..35 spanning reads, '+' = 36+; '^' marks "
+              "consensus/reference disagreement)\n\n");
+
+  // 4. Coverage + calls.
+  const variant::CoverageReport& cov = coverage.report();
+  std::printf("coverage in region: mean %.1fx, max %d, breadth(>=10x) %.1f%%\n\n",
+              cov.MeanDepth(), cov.max_depth, cov.Breadth(10) * 100);
+  if (calls.empty()) {
+    std::printf("no variants called in region\n");
+  } else {
+    std::printf("variants called in region:\n");
+    for (const format::VariantRecord& call : calls) {
+      std::printf("  %s:%lld %s>%s qual %.0f GT %s (depth %d, AF %.2f)\n",
+                  reference.contig(static_cast<size_t>(call.contig_index)).name.c_str(),
+                  static_cast<long long>(call.position + 1), call.ref_allele.c_str(),
+                  call.alt_allele.c_str(), call.qual, call.genotype.c_str(), call.depth,
+                  call.alt_fraction);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return Inspect(argc > 1 ? argv[1] : "chr1:2000-2080");
+}

@@ -1,0 +1,115 @@
+// WGS pipeline example: a configurable "whole-genome" run comparing both integrated
+// aligners (SNAP-style and BWA-MEM-style) on the same dataset, with pipeline
+// utilization reporting — the §5 evaluation workflow in miniature.
+//
+// Usage: wgs_pipeline [genome_kbp] [num_reads] [threads]   (defaults: 400 12000 2)
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/align/accuracy.h"
+#include "src/align/bwa_aligner.h"
+#include "src/align/snap_aligner.h"
+#include "src/genome/generator.h"
+#include "src/genome/read_simulator.h"
+#include "src/pipeline/agd_store_util.h"
+#include "src/pipeline/persona_pipeline.h"
+#include "src/storage/memory_store.h"
+#include "src/util/string_util.h"
+
+namespace {
+
+using namespace persona;
+
+void ReportRun(const char* name, const pipeline::AlignRunReport& report,
+               const align::AccuracyReport& accuracy) {
+  std::printf("%-14s %8.2fs %10.2f Mb/s %8.1f%% aligned %8.1f%% correct\n", name,
+              report.seconds, static_cast<double>(report.bases) / report.seconds / 1e6,
+              accuracy.aligned_fraction() * 100, accuracy.correct_fraction() * 100);
+  std::printf("               seed/verify kernel split: %.0f%% / %.0f%%   "
+              "(candidates/read: %.1f)\n",
+              100.0 * static_cast<double>(report.profile.seed_ns) /
+                  static_cast<double>(report.profile.seed_ns + report.profile.verify_ns + 1),
+              100.0 * static_cast<double>(report.profile.verify_ns) /
+                  static_cast<double>(report.profile.seed_ns + report.profile.verify_ns + 1),
+              static_cast<double>(report.profile.candidates) /
+                  static_cast<double>(std::max<uint64_t>(report.profile.reads, 1)));
+}
+
+int RunPipeline(int64_t genome_kbp, size_t num_reads, int threads) {
+  std::printf("== WGS pipeline: %lld kbp genome, %zu reads, %d threads ==\n\n",
+              static_cast<long long>(genome_kbp), num_reads, threads);
+
+  genome::GenomeSpec genome_spec;
+  genome_spec.num_contigs = 4;
+  genome_spec.contig_length = genome_kbp * 1000 / 4;
+  genome_spec.repeat_fraction = 0.05;
+  genome::ReferenceGenome reference = genome::GenerateGenome(genome_spec);
+
+  genome::ReadSimSpec read_spec;
+  read_spec.read_length = 101;
+  genome::ReadSimulator simulator(&reference, read_spec);
+  std::vector<genome::Read> reads = simulator.Simulate(num_reads);
+  double coverage = static_cast<double>(num_reads) * 101 /
+                    static_cast<double>(reference.total_length());
+  std::printf("dataset: %zu reads = %.1fx coverage of %s of reference\n\n", reads.size(),
+              coverage, HumanBytes(static_cast<uint64_t>(reference.total_length())).c_str());
+
+  // Build both indexes (the shared read-only resources of Fig. 3).
+  align::SeedIndexOptions seed_options;
+  seed_options.seed_length = 20;
+  auto seed_index = align::SeedIndex::Build(reference, seed_options);
+  PERSONA_CHECK_OK(seed_index.status());
+  auto fm_index = align::FmIndex::Build(reference);
+  PERSONA_CHECK_OK(fm_index.status());
+  std::printf("indexes: SNAP hash %s (%zu seeds), FM-index %s\n\n",
+              HumanBytes(seed_index->MemoryBytes()).c_str(),
+              seed_index->num_distinct_seeds(),
+              HumanBytes(fm_index->MemoryBytes()).c_str());
+
+  storage::MemoryStore store;
+  auto manifest = pipeline::WriteAgdToStore(&store, "wgs", reads, 2'000);
+  PERSONA_CHECK_OK(manifest.status());
+
+  std::printf("%-14s %9s %14s %16s %16s\n", "aligner", "time", "throughput", "aligned",
+              "accuracy");
+  dataflow::Executor executor(static_cast<size_t>(threads));
+
+  for (int which = 0; which < 2; ++which) {
+    // Fresh store copy of results per aligner (results objects are overwritten anyway).
+    pipeline::AlignPipelineOptions options;
+    options.align_nodes = threads;
+    options.subchunk_size = 512;
+    options.collect_results = true;
+
+    std::unique_ptr<align::Aligner> aligner;
+    if (which == 0) {
+      aligner = std::make_unique<align::SnapAligner>(&reference, &seed_index.value());
+    } else {
+      aligner = std::make_unique<align::BwaMemAligner>(&reference, &fm_index.value());
+    }
+    auto report = pipeline::RunPersonaAlignment(&store, *manifest, *aligner, &executor,
+                                                options);
+    PERSONA_CHECK_OK(report.status());
+    std::vector<align::AlignmentResult> flat;
+    for (const auto& chunk : report->results) {
+      flat.insert(flat.end(), chunk.begin(), chunk.end());
+    }
+    align::AccuracyReport accuracy = align::ScoreAlignments(reference, reads, flat);
+    ReportRun(which == 0 ? "snap" : "bwa-mem", *report, accuracy);
+  }
+
+  std::printf("\n(the paper's Fig. 8 contrast appears in the kernel split: the SNAP-style\n"
+              "aligner spends most kernel time in verification arithmetic, the BWA-style\n"
+              "aligner in FM-index walks)\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int64_t genome_kbp = argc > 1 ? std::atoll(argv[1]) : 400;
+  size_t num_reads = argc > 2 ? static_cast<size_t>(std::atoll(argv[2])) : 12'000;
+  int threads = argc > 3 ? std::atoi(argv[3]) : 2;
+  return RunPipeline(genome_kbp, num_reads, threads);
+}

@@ -1,0 +1,35 @@
+#include "src/align/accuracy.h"
+
+#include <cstdlib>
+
+namespace persona::align {
+
+AccuracyReport ScoreAlignments(const genome::ReferenceGenome& reference,
+                               std::span<const genome::Read> reads,
+                               std::span<const AlignmentResult> results, int64_t tolerance) {
+  AccuracyReport report;
+  size_t n = std::min(reads.size(), results.size());
+  for (size_t i = 0; i < n; ++i) {
+    auto truth = genome::ParseReadTruth(reference, reads[i].metadata);
+    if (!truth.ok()) {
+      continue;
+    }
+    ++report.total;
+    const AlignmentResult& r = results[i];
+    if (!r.mapped()) {
+      ++report.unaligned;
+      continue;
+    }
+    ++report.aligned;
+    auto expected = reference.LocalToGlobal(truth->contig_index, truth->position);
+    if (expected.ok() && std::llabs(r.location - *expected) <= tolerance &&
+        r.reverse() == truth->reverse) {
+      ++report.correct;
+    } else {
+      ++report.wrong;
+    }
+  }
+  return report;
+}
+
+}  // namespace persona::align

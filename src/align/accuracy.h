@@ -1,0 +1,43 @@
+// Alignment accuracy scoring against simulator ground truth.
+//
+// The read simulator encodes each read's true origin in its metadata; this evaluator
+// checks whether an aligner placed the read within a tolerance window of that origin.
+// Used by tests (correctness gates) and benches (reported alongside throughput).
+
+#ifndef PERSONA_SRC_ALIGN_ACCURACY_H_
+#define PERSONA_SRC_ALIGN_ACCURACY_H_
+
+#include <span>
+
+#include "src/align/alignment.h"
+#include "src/genome/read.h"
+#include "src/genome/read_simulator.h"
+#include "src/genome/reference.h"
+
+namespace persona::align {
+
+struct AccuracyReport {
+  int64_t total = 0;
+  int64_t aligned = 0;
+  int64_t correct = 0;      // aligned within tolerance of the simulated origin
+  int64_t wrong = 0;        // aligned elsewhere
+  int64_t unaligned = 0;
+
+  double aligned_fraction() const {
+    return total == 0 ? 0 : static_cast<double>(aligned) / static_cast<double>(total);
+  }
+  double correct_fraction() const {
+    return total == 0 ? 0 : static_cast<double>(correct) / static_cast<double>(total);
+  }
+};
+
+// Scores `results[i]` against the truth encoded in `reads[i]`. Reads whose metadata is
+// not simulator-formatted are skipped (not counted).
+AccuracyReport ScoreAlignments(const genome::ReferenceGenome& reference,
+                               std::span<const genome::Read> reads,
+                               std::span<const AlignmentResult> results,
+                               int64_t tolerance = 20);
+
+}  // namespace persona::align
+
+#endif  // PERSONA_SRC_ALIGN_ACCURACY_H_

@@ -1,0 +1,53 @@
+#include "src/align/aligner.h"
+
+#include <cstdlib>
+
+namespace persona::align {
+
+std::pair<AlignmentResult, AlignmentResult> Aligner::AlignPair(const genome::Read& read1,
+                                                               const genome::Read& read2,
+                                                               AlignProfile* profile) const {
+  AlignmentResult r1 = Align(read1, profile);
+  AlignmentResult r2 = Align(read2, profile);
+  FinalizePair(&r1, &r2);
+  return {std::move(r1), std::move(r2)};
+}
+
+void Aligner::FinalizePair(AlignmentResult* r1, AlignmentResult* r2) {
+  r1->flags |= kFlagPaired | kFlagFirstInPair;
+  r2->flags |= kFlagPaired | kFlagSecondInPair;
+
+  if (!r1->mapped()) {
+    r2->flags |= kFlagMateUnmapped;
+  }
+  if (!r2->mapped()) {
+    r1->flags |= kFlagMateUnmapped;
+  }
+  if (r1->mapped() && r2->mapped()) {
+    r1->mate_location = r2->location;
+    r2->mate_location = r1->location;
+    if (r2->reverse()) {
+      r1->flags |= kFlagMateReverse;
+    }
+    if (r1->reverse()) {
+      r2->flags |= kFlagMateReverse;
+    }
+    // Proper pair: opposite strands within a plausible insert distance.
+    int64_t span = std::llabs(r2->location - r1->location);
+    bool opposite = r1->reverse() != r2->reverse();
+    if (opposite && span < 10'000) {
+      r1->flags |= kFlagProperPair;
+      r2->flags |= kFlagProperPair;
+      int64_t tlen = span + 101;  // approximate: span + read length
+      if (r1->location <= r2->location) {
+        r1->template_length = static_cast<int32_t>(tlen);
+        r2->template_length = static_cast<int32_t>(-tlen);
+      } else {
+        r1->template_length = static_cast<int32_t>(-tlen);
+        r2->template_length = static_cast<int32_t>(tlen);
+      }
+    }
+  }
+}
+
+}  // namespace persona::align

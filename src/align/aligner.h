@@ -1,0 +1,63 @@
+// The Aligner interface shared by the SNAP-style and BWA-MEM-style implementations.
+//
+// Aligners are immutable after construction and safe for concurrent use from many
+// threads; per-call instrumentation is written into a caller-owned AlignProfile (each
+// executor thread keeps its own and merges at the end), which is how the Fig. 8 workload
+// analysis harness attributes time to kernels.
+
+#ifndef PERSONA_SRC_ALIGN_ALIGNER_H_
+#define PERSONA_SRC_ALIGN_ALIGNER_H_
+
+#include <cstdint>
+#include <string_view>
+#include <utility>
+
+#include "src/align/alignment.h"
+#include "src/genome/read.h"
+
+namespace persona::align {
+
+// Per-thread profiling accumulator. All counters are plain (non-atomic): one profile per
+// thread, merged after the run.
+struct AlignProfile {
+  uint64_t reads = 0;
+  uint64_t bases = 0;
+  uint64_t seed_ns = 0;        // time in seeding / index lookup (memory-bound side)
+  uint64_t verify_ns = 0;      // time in edit-distance / SW kernels (core-bound side)
+  uint64_t candidates = 0;     // candidate locations evaluated
+  uint64_t index_probes = 0;   // hash/FM-index probes issued
+
+  void Merge(const AlignProfile& other) {
+    reads += other.reads;
+    bases += other.bases;
+    seed_ns += other.seed_ns;
+    verify_ns += other.verify_ns;
+    candidates += other.candidates;
+    index_probes += other.index_probes;
+  }
+};
+
+class Aligner {
+ public:
+  virtual ~Aligner() = default;
+
+  virtual std::string_view name() const = 0;
+
+  // Aligns one single-end read. Never fails: an unalignable read yields an unmapped
+  // result. `profile` may be null.
+  virtual AlignmentResult Align(const genome::Read& read, AlignProfile* profile) const = 0;
+
+  // Aligns a read pair, preferring candidate placements that form a proper pair.
+  // The default implementation aligns both ends independently and then applies
+  // pair flags/mate fields when the two placements are compatible.
+  virtual std::pair<AlignmentResult, AlignmentResult> AlignPair(
+      const genome::Read& read1, const genome::Read& read2, AlignProfile* profile) const;
+
+ protected:
+  // Fills pair-related flags/mate fields on two independently aligned ends.
+  static void FinalizePair(AlignmentResult* r1, AlignmentResult* r2);
+};
+
+}  // namespace persona::align
+
+#endif  // PERSONA_SRC_ALIGN_ALIGNER_H_

@@ -1,0 +1,129 @@
+#include "src/align/alignment.h"
+
+#include "src/util/varint.h"
+
+namespace persona::align {
+
+void EncodeResult(const AlignmentResult& result, Buffer* out) {
+  PutSignedVarint(result.location, out);
+  PutSignedVarint(result.mate_location, out);
+  PutSignedVarint(result.template_length, out);
+  PutVarint(result.flags, out);
+  PutVarint(result.mapq, out);
+  PutSignedVarint(result.edit_distance, out);
+  PutSignedVarint(result.score, out);
+  PutVarint(result.cigar.size(), out);
+  out->Append(result.cigar);
+}
+
+Status DecodeResult(std::span<const uint8_t> bytes, size_t* offset, AlignmentResult* out) {
+  PERSONA_ASSIGN_OR_RETURN(out->location, GetSignedVarint(bytes, offset));
+  PERSONA_ASSIGN_OR_RETURN(out->mate_location, GetSignedVarint(bytes, offset));
+  PERSONA_ASSIGN_OR_RETURN(int64_t tlen, GetSignedVarint(bytes, offset));
+  out->template_length = static_cast<int32_t>(tlen);
+  PERSONA_ASSIGN_OR_RETURN(uint64_t flags, GetVarint(bytes, offset));
+  out->flags = static_cast<uint16_t>(flags);
+  PERSONA_ASSIGN_OR_RETURN(uint64_t mapq, GetVarint(bytes, offset));
+  out->mapq = static_cast<uint8_t>(mapq);
+  PERSONA_ASSIGN_OR_RETURN(int64_t ed, GetSignedVarint(bytes, offset));
+  out->edit_distance = static_cast<int16_t>(ed);
+  PERSONA_ASSIGN_OR_RETURN(int64_t score, GetSignedVarint(bytes, offset));
+  out->score = static_cast<int32_t>(score);
+  PERSONA_ASSIGN_OR_RETURN(uint64_t cigar_len, GetVarint(bytes, offset));
+  if (*offset + cigar_len > bytes.size()) {
+    return DataLossError("result record: truncated cigar");
+  }
+  out->cigar.assign(reinterpret_cast<const char*>(bytes.data()) + *offset, cigar_len);
+  *offset += cigar_len;
+  return OkStatus();
+}
+
+Result<std::vector<CigarOp>> ParseCigar(std::string_view cigar) {
+  std::vector<CigarOp> ops;
+  if (cigar.empty() || cigar == "*") {
+    return ops;
+  }
+  int64_t run = 0;
+  bool have_digits = false;
+  for (char c : cigar) {
+    if (c >= '0' && c <= '9') {
+      run = run * 10 + (c - '0');
+      have_digits = true;
+      continue;
+    }
+    switch (c) {
+      case 'M':
+      case 'I':
+      case 'D':
+      case 'N':
+      case 'S':
+      case 'H':
+      case 'P':
+      case '=':
+      case 'X':
+        break;
+      default:
+        return InvalidArgumentError("CIGAR: unknown op letter");
+    }
+    if (!have_digits || run <= 0) {
+      return InvalidArgumentError("CIGAR: op without a positive length");
+    }
+    ops.push_back({c, run});
+    run = 0;
+    have_digits = false;
+  }
+  if (have_digits) {
+    return InvalidArgumentError("CIGAR: trailing digits without an op");
+  }
+  return ops;
+}
+
+int64_t CigarQuerySpan(const std::string& cigar) {
+  int64_t span = 0;
+  int64_t run = 0;
+  for (char c : cigar) {
+    if (c >= '0' && c <= '9') {
+      run = run * 10 + (c - '0');
+      continue;
+    }
+    switch (c) {
+      case 'M':
+      case 'I':
+      case 'S':
+      case '=':
+      case 'X':
+        span += run;
+        break;
+      default:
+        break;  // D, N, H, P consume no read bases
+    }
+    run = 0;
+  }
+  return span;
+}
+
+int64_t CigarReferenceSpan(const std::string& cigar) {
+  int64_t span = 0;
+  int64_t run = 0;
+  for (char c : cigar) {
+    if (c >= '0' && c <= '9') {
+      run = run * 10 + (c - '0');
+      continue;
+    }
+    switch (c) {
+      case 'M':
+      case 'D':
+      case 'N':
+      case '=':
+      case 'X':
+        span += run;
+        break;
+      default:
+        break;  // I, S, H, P consume no reference
+    }
+    run = 0;
+  }
+  return span;
+}
+
+}  // namespace persona::align

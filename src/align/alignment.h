@@ -1,0 +1,83 @@
+// Alignment result records and their binary (AGD results-column) encoding.
+//
+// Field set follows SAM semantics (flags, MAPQ, CIGAR, mate info) with positions kept in
+// Persona's global coordinate space; conversion to per-contig SAM coordinates happens at
+// export time.
+
+#ifndef PERSONA_SRC_ALIGN_ALIGNMENT_H_
+#define PERSONA_SRC_ALIGN_ALIGNMENT_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/genome/reference.h"
+#include "src/util/buffer.h"
+#include "src/util/result.h"
+
+namespace persona::align {
+
+// SAM bitwise flags.
+inline constexpr uint16_t kFlagPaired = 0x1;
+inline constexpr uint16_t kFlagProperPair = 0x2;
+inline constexpr uint16_t kFlagUnmapped = 0x4;
+inline constexpr uint16_t kFlagMateUnmapped = 0x8;
+inline constexpr uint16_t kFlagReverse = 0x10;
+inline constexpr uint16_t kFlagMateReverse = 0x20;
+inline constexpr uint16_t kFlagFirstInPair = 0x40;
+inline constexpr uint16_t kFlagSecondInPair = 0x80;
+inline constexpr uint16_t kFlagSecondary = 0x100;
+inline constexpr uint16_t kFlagQcFail = 0x200;
+inline constexpr uint16_t kFlagDuplicate = 0x400;
+inline constexpr uint16_t kFlagSupplementary = 0x800;
+
+struct AlignmentResult {
+  genome::GenomeLocation location = genome::kInvalidLocation;  // global; -1 = unmapped
+  genome::GenomeLocation mate_location = genome::kInvalidLocation;
+  int32_t template_length = 0;
+  uint16_t flags = kFlagUnmapped;
+  uint8_t mapq = 0;
+  int16_t edit_distance = -1;
+  int32_t score = 0;
+  std::string cigar;  // SAM CIGAR string, empty when unmapped
+
+  bool mapped() const { return (flags & kFlagUnmapped) == 0; }
+  bool reverse() const { return (flags & kFlagReverse) != 0; }
+  bool duplicate() const { return (flags & kFlagDuplicate) != 0; }
+
+  bool operator==(const AlignmentResult&) const = default;
+};
+
+// Binary record encoding for the AGD results column (varint-packed, self-delimiting).
+void EncodeResult(const AlignmentResult& result, Buffer* out);
+Status DecodeResult(std::span<const uint8_t> bytes, size_t* offset, AlignmentResult* out);
+
+// One parsed CIGAR element, e.g. {"10M"} -> {op='M', length=10}.
+struct CigarOp {
+  char op = 'M';  // one of MIDNSHP=X
+  int64_t length = 0;
+
+  bool consumes_read() const {
+    return op == 'M' || op == 'I' || op == 'S' || op == '=' || op == 'X';
+  }
+  bool consumes_reference() const {
+    return op == 'M' || op == 'D' || op == 'N' || op == '=' || op == 'X';
+  }
+
+  bool operator==(const CigarOp&) const = default;
+};
+
+// Parses a SAM CIGAR string; errors on unknown op letters, zero lengths, or trailing
+// digits. "*" and "" parse to an empty op list (unmapped convention).
+Result<std::vector<CigarOp>> ParseCigar(std::string_view cigar);
+
+// Length in reference bases consumed by a CIGAR (M/D/N/=/X advance the reference).
+int64_t CigarReferenceSpan(const std::string& cigar);
+
+// Length in read bases consumed by a CIGAR (M/I/S/=/X advance the read).
+int64_t CigarQuerySpan(const std::string& cigar);
+
+}  // namespace persona::align
+
+#endif  // PERSONA_SRC_ALIGN_ALIGNMENT_H_

@@ -1,0 +1,293 @@
+#include "src/align/bwa_aligner.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "src/compress/base_compaction.h"
+
+namespace persona::align {
+
+namespace {
+
+inline uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+BwaMemAligner::BwaMemAligner(const genome::ReferenceGenome* reference, const FmIndex* index,
+                             const BwaOptions& options)
+    : reference_(reference), index_(index), options_(options) {}
+
+void BwaMemAligner::CollectSeeds(std::string_view bases, bool reverse, AlignProfile* profile,
+                                 std::vector<Seed>* seeds) const {
+  // Backward-search maximal matches: anchor at `end`, extend leftward until the interval
+  // empties, record if long enough, then restart left of the match.
+  int end = static_cast<int>(bases.size());
+  std::vector<int64_t> hits;
+  while (end >= options_.min_seed_length) {
+    FmIndex::Interval iv = index_->Whole();
+    int start = end;
+    FmIndex::Interval last = iv;
+    while (start > 0) {
+      FmIndex::Interval next = index_->ExtendBackward(last, bases[static_cast<size_t>(start - 1)]);
+      if (profile != nullptr) {
+        ++profile->index_probes;
+      }
+      if (next.empty()) {
+        break;
+      }
+      last = next;
+      --start;
+    }
+    int length = end - start;
+    if (length >= options_.min_seed_length &&
+        last.size() <= static_cast<int64_t>(options_.max_seed_hits)) {
+      hits.clear();
+      index_->Locate(last, static_cast<size_t>(options_.max_seed_hits), &hits);
+      for (int64_t pos : hits) {
+        seeds->push_back(Seed{start, length, pos, reverse});
+      }
+    }
+    // Next anchor: left of this match (or one base left if no progress was made).
+    end = (start < end) ? start : end - 1;
+  }
+}
+
+std::vector<BwaMemAligner::Chain> BwaMemAligner::BuildChains(
+    const std::vector<Seed>& seeds) const {
+  // Group seeds by (strand, diagonal) within a tolerance; chain score = seeded bases.
+  std::vector<Chain> chains;
+  std::vector<Seed> sorted = seeds;
+  std::sort(sorted.begin(), sorted.end(), [](const Seed& a, const Seed& b) {
+    if (a.reverse != b.reverse) {
+      return a.reverse < b.reverse;
+    }
+    return (a.ref_pos - a.query_begin) < (b.ref_pos - b.query_begin);
+  });
+  for (size_t i = 0; i < sorted.size();) {
+    int64_t diag = sorted[i].ref_pos - sorted[i].query_begin;
+    bool reverse = sorted[i].reverse;
+    int score = 0;
+    size_t j = i;
+    while (j < sorted.size() && sorted[j].reverse == reverse &&
+           (sorted[j].ref_pos - sorted[j].query_begin) - diag <=
+               options_.chain_diag_tolerance) {
+      score += sorted[j].length;
+      ++j;
+    }
+    chains.push_back(Chain{diag, score, reverse});
+    i = j;
+  }
+  std::sort(chains.begin(), chains.end(),
+            [](const Chain& a, const Chain& b) { return a.score > b.score; });
+  if (chains.size() > static_cast<size_t>(options_.max_chains)) {
+    chains.resize(static_cast<size_t>(options_.max_chains));
+  }
+  return chains;
+}
+
+AlignmentResult BwaMemAligner::ExtendChain(const Chain& chain, std::string_view fwd_bases,
+                                           std::string_view rev_bases,
+                                           AlignProfile* profile) const {
+  AlignmentResult result;
+  std::string_view bases = chain.reverse ? rev_bases : fwd_bases;
+  const int read_len = static_cast<int>(bases.size());
+
+  int64_t window_start = chain.diag - options_.extension_pad;
+  int64_t window_len = read_len + 2 * options_.extension_pad;
+  // Clip the window to the containing contig.
+  auto pos = reference_->GlobalToLocal(std::max<int64_t>(window_start, 0));
+  if (!pos.ok()) {
+    return result;
+  }
+  const genome::Contig& contig = reference_->contig(static_cast<size_t>(pos->contig_index));
+  int64_t contig_start = reference_->contig_start(static_cast<size_t>(pos->contig_index));
+  int64_t local_start = std::max<int64_t>(window_start - contig_start, 0);
+  int64_t local_end = std::min<int64_t>(local_start + window_len,
+                                        static_cast<int64_t>(contig.sequence.size()));
+  if (local_end <= local_start) {
+    return result;
+  }
+  std::string_view window = std::string_view(contig.sequence)
+                                .substr(static_cast<size_t>(local_start),
+                                        static_cast<size_t>(local_end - local_start));
+
+  if (profile != nullptr) {
+    ++profile->candidates;
+  }
+  SwResult sw = SmithWaterman(window, bases, options_.sw);
+  if (sw.score < options_.min_score) {
+    return result;
+  }
+
+  result.location = contig_start + local_start + sw.ref_begin;
+  result.flags = chain.reverse ? kFlagReverse : 0;
+  result.score = sw.score;
+
+  // Soft-clip the unaligned read ends.
+  std::string cigar;
+  if (sw.query_begin > 0) {
+    cigar += std::to_string(sw.query_begin) + "S";
+  }
+  cigar += sw.cigar;
+  if (sw.query_end < read_len) {
+    cigar += std::to_string(read_len - sw.query_end) + "S";
+  }
+  result.cigar = std::move(cigar);
+
+  // NM (edit distance): walk the alignment counting mismatches and gap bases.
+  int nm = 0;
+  {
+    size_t qi = static_cast<size_t>(sw.query_begin);
+    size_t ri = static_cast<size_t>(sw.ref_begin);
+    int64_t run = 0;
+    for (char c : sw.cigar) {
+      if (c >= '0' && c <= '9') {
+        run = run * 10 + (c - '0');
+        continue;
+      }
+      if (c == 'M') {
+        for (int64_t k = 0; k < run; ++k) {
+          if (bases[qi + static_cast<size_t>(k)] != window[ri + static_cast<size_t>(k)]) {
+            ++nm;
+          }
+        }
+        qi += static_cast<size_t>(run);
+        ri += static_cast<size_t>(run);
+      } else if (c == 'I') {
+        nm += static_cast<int>(run);
+        qi += static_cast<size_t>(run);
+      } else if (c == 'D') {
+        nm += static_cast<int>(run);
+        ri += static_cast<size_t>(run);
+      }
+      run = 0;
+    }
+  }
+  result.edit_distance = static_cast<int16_t>(nm);
+  return result;
+}
+
+AlignmentResult BwaMemAligner::Align(const genome::Read& read, AlignProfile* profile) const {
+  AlignmentResult unmapped;
+  const int read_len = static_cast<int>(read.bases.size());
+  if (read_len < options_.min_seed_length) {
+    return unmapped;
+  }
+  if (profile != nullptr) {
+    ++profile->reads;
+    profile->bases += static_cast<uint64_t>(read_len);
+  }
+
+  const std::string rev = compress::ReverseComplement(read.bases);
+
+  uint64_t seed_start_ns = profile != nullptr ? NowNs() : 0;
+  std::vector<Seed> seeds;
+  CollectSeeds(read.bases, /*reverse=*/false, profile, &seeds);
+  CollectSeeds(rev, /*reverse=*/true, profile, &seeds);
+  std::vector<Chain> chains = BuildChains(seeds);
+  if (profile != nullptr) {
+    profile->seed_ns += NowNs() - seed_start_ns;
+  }
+  if (chains.empty()) {
+    return unmapped;
+  }
+
+  uint64_t verify_start_ns = profile != nullptr ? NowNs() : 0;
+  AlignmentResult best;
+  int best_score = -1;
+  int second_score = -1;
+  for (const Chain& chain : chains) {
+    AlignmentResult candidate = ExtendChain(chain, read.bases, rev, profile);
+    if (!candidate.mapped()) {
+      continue;
+    }
+    if (candidate.score > best_score) {
+      second_score = best_score;
+      best_score = candidate.score;
+      best = std::move(candidate);
+    } else if (candidate.score > second_score && candidate.location != best.location) {
+      second_score = candidate.score;
+    }
+  }
+  if (profile != nullptr) {
+    profile->verify_ns += NowNs() - verify_start_ns;
+  }
+  if (best_score < 0) {
+    return unmapped;
+  }
+
+  // BWA-style MAPQ: proportional to the margin over the runner-up.
+  int mapq;
+  if (second_score < 0) {
+    mapq = 60;
+  } else if (second_score == best_score) {
+    mapq = 0;
+  } else {
+    mapq = static_cast<int>(60.0 * (best_score - second_score) / best_score);
+  }
+  best.mapq = static_cast<uint8_t>(std::clamp(mapq, 0, 60));
+  return best;
+}
+
+InsertSizeStats BwaMemAligner::InferInsertStats(
+    std::span<const std::pair<genome::Read, genome::Read>> pairs, size_t max_samples,
+    AlignProfile* profile) const {
+  // Deliberately sequential (the paper's single-threaded BWA phase): sample pairs,
+  // align both ends, and keep confident opposite-strand placements.
+  InsertSizeStats stats;
+  double sum = 0;
+  double sum_sq = 0;
+  int64_t n = 0;
+  size_t limit = std::min(pairs.size(), max_samples);
+  for (size_t i = 0; i < limit; ++i) {
+    AlignmentResult r1 = Align(pairs[i].first, profile);
+    AlignmentResult r2 = Align(pairs[i].second, profile);
+    if (!r1.mapped() || !r2.mapped() || r1.mapq < 20 || r2.mapq < 20 ||
+        r1.reverse() == r2.reverse()) {
+      continue;
+    }
+    int64_t insert = std::llabs(r2.location - r1.location) +
+                     static_cast<int64_t>(pairs[i].second.bases.size());
+    if (insert > 10'000) {
+      continue;
+    }
+    sum += static_cast<double>(insert);
+    sum_sq += static_cast<double>(insert) * static_cast<double>(insert);
+    ++n;
+  }
+  if (n >= 8) {
+    stats.mean = sum / static_cast<double>(n);
+    double var = sum_sq / static_cast<double>(n) - stats.mean * stats.mean;
+    stats.stddev = std::sqrt(std::max(var, 1.0));
+    stats.samples = n;
+  }
+  return stats;
+}
+
+std::pair<AlignmentResult, AlignmentResult> BwaMemAligner::AlignPairWithStats(
+    const genome::Read& read1, const genome::Read& read2, const InsertSizeStats& stats,
+    AlignProfile* profile) const {
+  AlignmentResult r1 = Align(read1, profile);
+  AlignmentResult r2 = Align(read2, profile);
+  if (r1.mapped() && r2.mapped()) {
+    // Penalize placements far outside the inferred insert window by demoting MAPQ;
+    // a full implementation would re-rank candidate pairs, which our chain cap makes
+    // rarely profitable on synthetic data.
+    int64_t insert = std::llabs(r2.location - r1.location);
+    double z = std::abs(static_cast<double>(insert) - stats.mean) / std::max(stats.stddev, 1.0);
+    if (z > 6.0) {
+      r1.mapq = static_cast<uint8_t>(std::min<int>(r1.mapq, 20));
+      r2.mapq = static_cast<uint8_t>(std::min<int>(r2.mapq, 20));
+    }
+  }
+  FinalizePair(&r1, &r2);
+  return {std::move(r1), std::move(r2)};
+}
+
+}  // namespace persona::align

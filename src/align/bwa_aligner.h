@@ -1,0 +1,95 @@
+// BWA-MEM-style read aligner: FM-index seeding (backward-search maximal exact matches),
+// diagonal chaining, and banded affine-gap Smith-Waterman extension (Li & Durbin,
+// integrated by Persona alongside SNAP).
+//
+// Paired-end alignment mirrors the structure the paper describes (§4.3): a
+// single-threaded inference step over a set of reads estimates the insert-size
+// distribution, then the compute-intense per-pair step uses it for pair scoring. The
+// pipeline's executor resource divides threads between these phases.
+
+#ifndef PERSONA_SRC_ALIGN_BWA_ALIGNER_H_
+#define PERSONA_SRC_ALIGN_BWA_ALIGNER_H_
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "src/align/aligner.h"
+#include "src/align/fm_index.h"
+#include "src/align/smith_waterman.h"
+#include "src/genome/reference.h"
+
+namespace persona::align {
+
+struct BwaOptions {
+  int min_seed_length = 19;   // BWA-MEM's default -k
+  int max_seed_hits = 64;     // skip seeds with more FM-index hits than this
+  int max_chains = 8;         // chains extended with Smith-Waterman
+  int chain_diag_tolerance = 12;
+  int extension_pad = 24;     // reference window slack on each side
+  int min_score = 30;         // below this the read is unmapped (BWA's -T)
+  SwParams sw;
+};
+
+// Insert-size distribution inferred by the single-threaded paired-end phase.
+struct InsertSizeStats {
+  double mean = 350;
+  double stddev = 50;
+  int64_t samples = 0;
+};
+
+class BwaMemAligner final : public Aligner {
+ public:
+  BwaMemAligner(const genome::ReferenceGenome* reference, const FmIndex* index,
+                const BwaOptions& options = {});
+
+  std::string_view name() const override { return "bwa-mem"; }
+  AlignmentResult Align(const genome::Read& read, AlignProfile* profile) const override;
+
+  // Single-threaded phase: estimates the insert-size distribution from a sample of
+  // confidently aligned proper pairs (BWA-MEM's mem_pestat analogue).
+  InsertSizeStats InferInsertStats(
+      std::span<const std::pair<genome::Read, genome::Read>> pairs, size_t max_samples,
+      AlignProfile* profile) const;
+
+  // Pair-aware alignment using an inferred insert distribution: picks the combination of
+  // per-end candidates that best matches `stats`.
+  std::pair<AlignmentResult, AlignmentResult> AlignPairWithStats(
+      const genome::Read& read1, const genome::Read& read2, const InsertSizeStats& stats,
+      AlignProfile* profile) const;
+
+  const BwaOptions& options() const { return options_; }
+
+ private:
+  struct Seed {
+    int query_begin;
+    int length;
+    int64_t ref_pos;   // global position of the match start
+    bool reverse;
+  };
+
+  struct Chain {
+    int64_t diag;      // ref_pos - query_begin
+    int score;         // total seeded bases
+    bool reverse;
+  };
+
+  // Collects backward-search maximal matches on one strand.
+  void CollectSeeds(std::string_view bases, bool reverse, AlignProfile* profile,
+                    std::vector<Seed>* seeds) const;
+
+  // Groups seeds into diagonals and returns the best-scoring chains.
+  std::vector<Chain> BuildChains(const std::vector<Seed>& seeds) const;
+
+  // Extends one chain with Smith-Waterman; returns an unmapped result on failure.
+  AlignmentResult ExtendChain(const Chain& chain, std::string_view fwd_bases,
+                              std::string_view rev_bases, AlignProfile* profile) const;
+
+  const genome::ReferenceGenome* reference_;
+  const FmIndex* index_;
+  BwaOptions options_;
+};
+
+}  // namespace persona::align
+
+#endif  // PERSONA_SRC_ALIGN_BWA_ALIGNER_H_

@@ -1,0 +1,171 @@
+#include "src/align/edit_distance.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace persona::align {
+
+namespace {
+
+// Appends "<run><op>" to a CIGAR being built back-to-front (caller reverses runs).
+void AppendRun(char op, int run, std::string* out) {
+  if (run <= 0) {
+    return;
+  }
+  *out += std::to_string(run);
+  out->push_back(op);
+}
+
+}  // namespace
+
+int LandauVishkin(std::string_view text, std::string_view pattern, int max_k,
+                  std::string* cigar) {
+  const int m = static_cast<int>(pattern.size());
+  const int n = static_cast<int>(text.size());
+  if (max_k < 0) {
+    return -1;
+  }
+  if (m == 0) {
+    if (cigar != nullptr) {
+      cigar->clear();
+    }
+    return 0;
+  }
+
+  // Banded semi-global DP (Ukkonen's band; computes the same answer as SNAP's
+  // Landau-Vishkin kernel): pattern must be fully consumed, the text end is free.
+  // D[i][j] defined for |j - i| <= k. Band width B = 2k+1, column index b = j - i + k.
+  const int k = max_k;
+  const int band = 2 * k + 1;
+  const int inf = max_k + 1;
+
+  // DP and traceback matrices, (m+1) rows by band columns.
+  std::vector<int> dp(static_cast<size_t>(m + 1) * band, inf);
+  std::vector<int8_t> bt(static_cast<size_t>(m + 1) * band, 0);  // 1=diag, 2=up(I), 3=left(D)
+  auto at = [&](int i, int b) -> int& { return dp[static_cast<size_t>(i) * band + b]; };
+  auto trace = [&](int i, int b) -> int8_t& {
+    return bt[static_cast<size_t>(i) * band + b];
+  };
+
+  // Row 0: aligning empty pattern prefix against text prefix of length j costs j (D ops),
+  // but in semi-global alignment leading text is not free, so cost = j.
+  for (int b = 0; b < band; ++b) {
+    int j = b - k;  // i = 0
+    if (j >= 0 && j <= n && j <= k) {
+      at(0, b) = j;
+      trace(0, b) = 3;
+    }
+  }
+
+  for (int i = 1; i <= m; ++i) {
+    for (int b = 0; b < band; ++b) {
+      int j = i + b - k;
+      if (j < 0 || j > n) {
+        continue;
+      }
+      int best = inf;
+      int8_t op = 0;
+      // Diagonal: match/mismatch consuming pattern[i-1], text[j-1].
+      if (j >= 1) {
+        int cost = at(i - 1, b) + (pattern[static_cast<size_t>(i - 1)] ==
+                                           text[static_cast<size_t>(j - 1)]
+                                       ? 0
+                                       : 1);
+        if (cost < best) {
+          best = cost;
+          op = 1;
+        }
+      }
+      // Up: insertion (pattern base consumed, no text). j stays, i-1 -> band col b+1.
+      if (b + 1 < band) {
+        int cost = at(i - 1, b + 1) + 1;
+        if (cost < best) {
+          best = cost;
+          op = 2;
+        }
+      }
+      // Left: deletion (text base consumed, no pattern). i stays, j-1 -> band col b-1.
+      if (b - 1 >= 0 && j >= 1) {
+        int cost = at(i, b - 1) + 1;
+        if (cost < best) {
+          best = cost;
+          op = 3;
+        }
+      }
+      at(i, b) = best;
+      trace(i, b) = op;
+    }
+  }
+
+  // Answer: min over final row (pattern fully consumed, any text end within band).
+  int best = inf;
+  int best_b = -1;
+  for (int b = 0; b < band; ++b) {
+    int j = m + b - k;
+    if (j < 0 || j > n) {
+      continue;
+    }
+    if (at(m, b) < best) {
+      best = at(m, b);
+      best_b = b;
+    }
+  }
+  if (best > max_k) {
+    return -1;
+  }
+
+  if (cigar != nullptr) {
+    // Walk traceback, emitting runs in reverse order.
+    std::vector<std::pair<char, int>> runs;
+    int i = m;
+    int b = best_b;
+    while (i > 0 || (b - k + i) > 0) {
+      int8_t op = trace(i, b);
+      char c;
+      if (op == 1) {
+        c = 'M';
+        --i;  // b unchanged: j and i both decrease
+      } else if (op == 2) {
+        c = 'I';
+        --i;
+        ++b;
+      } else if (op == 3) {
+        c = 'D';
+        --b;
+      } else {
+        break;  // row 0 origin
+      }
+      if (!runs.empty() && runs.back().first == c) {
+        ++runs.back().second;
+      } else {
+        runs.emplace_back(c, 1);
+      }
+    }
+    cigar->clear();
+    for (auto it = runs.rbegin(); it != runs.rend(); ++it) {
+      AppendRun(it->first, it->second, cigar);
+    }
+  }
+  return best;
+}
+
+int FullEditDistance(std::string_view a, std::string_view b) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  std::vector<int> prev(m + 1);
+  std::vector<int> cur(m + 1);
+  for (size_t j = 0; j <= m; ++j) {
+    prev[j] = static_cast<int>(j);
+  }
+  for (size_t i = 1; i <= n; ++i) {
+    cur[0] = static_cast<int>(i);
+    for (size_t j = 1; j <= m; ++j) {
+      int sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[j] = std::min({sub, prev[j] + 1, cur[j - 1] + 1});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[m];
+}
+
+}  // namespace persona::align

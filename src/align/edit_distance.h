@@ -1,0 +1,27 @@
+// Edit-distance kernels.
+//
+// LandauVishkin is SNAP's inner loop: a banded O(k*n) algorithm that answers "is the edit
+// distance <= k, and if so what is it?" — exactly what candidate verification needs. Its
+// short, branchy, data-dependent structure is what makes SNAP core-bound (paper Fig. 8).
+// FullEditDistance is the O(n*m) reference implementation used by tests.
+
+#ifndef PERSONA_SRC_ALIGN_EDIT_DISTANCE_H_
+#define PERSONA_SRC_ALIGN_EDIT_DISTANCE_H_
+
+#include <string>
+#include <string_view>
+
+namespace persona::align {
+
+// Returns edit distance between `text` and `pattern` if <= max_k, else -1.
+// If `cigar` is non-null and the result is >= 0, writes a SAM CIGAR for aligning
+// `pattern` against `text` (M/I/D runs; I = base present in pattern but not text).
+int LandauVishkin(std::string_view text, std::string_view pattern, int max_k,
+                  std::string* cigar = nullptr);
+
+// Reference O(n*m) Levenshtein distance (tests only; no band, no cutoff).
+int FullEditDistance(std::string_view a, std::string_view b);
+
+}  // namespace persona::align
+
+#endif  // PERSONA_SRC_ALIGN_EDIT_DISTANCE_H_

@@ -1,0 +1,276 @@
+#include "src/align/fm_index.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace persona::align {
+
+namespace {
+
+// $=0, A=1, C=2, G=3, T=4; other letters (IUPAC ambiguity) collapse to A.
+inline uint8_t CharToCode(char c) {
+  switch (c) {
+    case 'C':
+    case 'c':
+      return 2;
+    case 'G':
+    case 'g':
+      return 3;
+    case 'T':
+    case 't':
+      return 4;
+    default:
+      return 1;
+  }
+}
+
+}  // namespace
+
+std::vector<int32_t> BuildSuffixArray(std::span<const uint8_t> text) {
+  const int32_t n = static_cast<int32_t>(text.size());
+  std::vector<int32_t> sa(static_cast<size_t>(n));
+  std::vector<int32_t> rank(static_cast<size_t>(n));
+  std::vector<int32_t> next_rank(static_cast<size_t>(n));
+  std::vector<int32_t> order(static_cast<size_t>(n));
+  std::vector<int32_t> count;
+
+  // Initial order: counting sort of all suffixes by first character. The doubling loop
+  // relies on `sa` being sorted by the current rank at entry to each round.
+  {
+    count.assign(257, 0);
+    for (int32_t i = 0; i < n; ++i) {
+      rank[static_cast<size_t>(i)] = text[static_cast<size_t>(i)];
+      ++count[static_cast<size_t>(text[static_cast<size_t>(i)]) + 1];
+    }
+    for (size_t i = 1; i < count.size(); ++i) {
+      count[i] += count[i - 1];
+    }
+    for (int32_t i = 0; i < n; ++i) {
+      sa[static_cast<size_t>(count[text[static_cast<size_t>(i)]]++)] = i;
+    }
+  }
+  if (n == 1) {
+    return sa;
+  }
+
+  for (int32_t k = 1;; k <<= 1) {
+    // Order suffixes by second key (rank at i+k; suffixes running past the end first).
+    int32_t idx = 0;
+    for (int32_t i = std::max<int32_t>(n - k, 0); i < n; ++i) {
+      order[static_cast<size_t>(idx++)] = i;
+    }
+    for (int32_t i = 0; i < n; ++i) {
+      if (sa[static_cast<size_t>(i)] >= k) {
+        order[static_cast<size_t>(idx++)] = sa[static_cast<size_t>(i)] - k;
+      }
+    }
+    // Stable counting sort by first key (current rank).
+    int32_t max_rank = rank[static_cast<size_t>(sa[static_cast<size_t>(n - 1)])];
+    count.assign(static_cast<size_t>(max_rank) + 2, 0);
+    for (int32_t i = 0; i < n; ++i) {
+      ++count[static_cast<size_t>(rank[static_cast<size_t>(i)]) + 1];
+    }
+    for (size_t i = 1; i < count.size(); ++i) {
+      count[i] += count[i - 1];
+    }
+    for (int32_t i = 0; i < n; ++i) {
+      int32_t suffix = order[static_cast<size_t>(i)];
+      sa[static_cast<size_t>(count[static_cast<size_t>(rank[static_cast<size_t>(suffix)])]++)] =
+          suffix;
+    }
+    // Recompute ranks for doubled prefix length.
+    next_rank[static_cast<size_t>(sa[0])] = 0;
+    for (int32_t i = 1; i < n; ++i) {
+      int32_t a = sa[static_cast<size_t>(i - 1)];
+      int32_t b = sa[static_cast<size_t>(i)];
+      bool same = rank[static_cast<size_t>(a)] == rank[static_cast<size_t>(b)];
+      if (same) {
+        int32_t ra = a + k < n ? rank[static_cast<size_t>(a + k)] : -1;
+        int32_t rb = b + k < n ? rank[static_cast<size_t>(b + k)] : -1;
+        same = ra == rb;
+      }
+      next_rank[static_cast<size_t>(b)] = next_rank[static_cast<size_t>(a)] + (same ? 0 : 1);
+    }
+    rank.swap(next_rank);
+    if (rank[static_cast<size_t>(sa[static_cast<size_t>(n - 1)])] == n - 1) {
+      break;
+    }
+  }
+  return sa;
+}
+
+Result<FmIndex> FmIndex::Build(const genome::ReferenceGenome& reference,
+                               const Options& options) {
+  if (options.sa_sample_rate < 1 || options.occ_checkpoint < 1) {
+    return InvalidArgumentError("FM-index sample rates must be >= 1");
+  }
+  if (reference.total_length() <= 0) {
+    return InvalidArgumentError("empty reference");
+  }
+  if (reference.total_length() + 1 > INT32_MAX) {
+    return InvalidArgumentError("reference too large for 32-bit suffix array");
+  }
+
+  // Code-map the concatenated reference and add the sentinel.
+  std::vector<uint8_t> text;
+  text.reserve(static_cast<size_t>(reference.total_length()) + 1);
+  for (const genome::Contig& contig : reference.contigs()) {
+    for (char base : contig.sequence) {
+      text.push_back(CharToCode(base));
+    }
+  }
+  text.push_back(0);  // sentinel
+
+  std::vector<int32_t> sa = BuildSuffixArray(text);
+  const size_t n = text.size();
+
+  FmIndex index;
+  index.occ_checkpoint_ = options.occ_checkpoint;
+  index.sa_sample_rate_ = options.sa_sample_rate;
+
+  // BWT and C array.
+  index.bwt_.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    int32_t p = sa[i];
+    index.bwt_[i] = p == 0 ? text[n - 1] : text[static_cast<size_t>(p - 1)];
+  }
+  std::array<int64_t, 6> totals{};
+  for (uint8_t code : text) {
+    ++totals[code];
+  }
+  int64_t running = 0;
+  for (int code = 0; code < 6; ++code) {
+    index.c_[static_cast<size_t>(code)] = running;
+    running += totals[static_cast<size_t>(code)];
+  }
+
+  // Occ checkpoints.
+  size_t blocks = (n + static_cast<size_t>(index.occ_checkpoint_) - 1) /
+                      static_cast<size_t>(index.occ_checkpoint_) +
+                  1;
+  index.occ_.assign(blocks, {});
+  std::array<uint32_t, 5> acc{};
+  for (size_t i = 0; i < n; ++i) {
+    if (i % static_cast<size_t>(index.occ_checkpoint_) == 0) {
+      index.occ_[i / static_cast<size_t>(index.occ_checkpoint_)] = acc;
+    }
+    if (index.bwt_[i] < 5) {
+      ++acc[index.bwt_[i]];
+    }
+  }
+  index.occ_[blocks - 1] = acc;
+
+  // Sampled SA with mark bitvector + rank directory.
+  size_t words = (n + 63) / 64;
+  index.sampled_mark_.assign(words, 0);
+  index.mark_rank_.assign(words + 1, 0);
+  for (size_t i = 0; i < n; ++i) {
+    if (sa[i] % options.sa_sample_rate == 0) {
+      index.sampled_mark_[i / 64] |= 1ull << (i % 64);
+    }
+  }
+  uint32_t cum = 0;
+  for (size_t w = 0; w < words; ++w) {
+    index.mark_rank_[w] = cum;
+    cum += static_cast<uint32_t>(std::popcount(index.sampled_mark_[w]));
+  }
+  index.mark_rank_[words] = cum;
+  index.sa_samples_.reserve(cum);
+  for (size_t i = 0; i < n; ++i) {
+    if (index.sampled_mark_[i / 64] & (1ull << (i % 64))) {
+      index.sa_samples_.push_back(sa[i]);
+    }
+  }
+  return index;
+}
+
+int64_t FmIndex::Occ(uint8_t code, int64_t pos) const {
+  size_t block = static_cast<size_t>(pos) / static_cast<size_t>(occ_checkpoint_);
+  int64_t count = occ_[block][code];
+  size_t start = block * static_cast<size_t>(occ_checkpoint_);
+  for (size_t i = start; i < static_cast<size_t>(pos); ++i) {
+    if (bwt_[i] == code) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+FmIndex::Interval FmIndex::ExtendBackward(Interval iv, char base) const {
+  uint8_t code;
+  switch (base) {
+    case 'A':
+    case 'a':
+      code = 1;
+      break;
+    case 'C':
+    case 'c':
+      code = 2;
+      break;
+    case 'G':
+    case 'g':
+      code = 3;
+      break;
+    case 'T':
+    case 't':
+      code = 4;
+      break;
+    default:
+      return Interval{0, 0};  // N never matches the index
+  }
+  if (iv.empty()) {
+    return Interval{0, 0};
+  }
+  int64_t lo = c_[code] + Occ(code, iv.lo);
+  int64_t hi = c_[code] + Occ(code, iv.hi);
+  return Interval{lo, hi};
+}
+
+FmIndex::Interval FmIndex::Count(std::string_view pattern) const {
+  Interval iv = Whole();
+  for (auto it = pattern.rbegin(); it != pattern.rend(); ++it) {
+    iv = ExtendBackward(iv, *it);
+    if (iv.empty()) {
+      break;
+    }
+  }
+  return iv;
+}
+
+int64_t FmIndex::LastToFirst(int64_t idx) const {
+  uint8_t code = bwt_[static_cast<size_t>(idx)];
+  return c_[code] + Occ(code, idx);
+}
+
+void FmIndex::Locate(Interval iv, size_t max_hits, std::vector<int64_t>* out) const {
+  const int64_t n = static_cast<int64_t>(bwt_.size());
+  for (int64_t idx = iv.lo; idx < iv.hi && out->size() < max_hits; ++idx) {
+    int64_t j = idx;
+    int64_t steps = 0;
+    while (true) {
+      size_t word = static_cast<size_t>(j) / 64;
+      uint64_t bit = 1ull << (static_cast<size_t>(j) % 64);
+      if (sampled_mark_[word] & bit) {
+        uint32_t rank = mark_rank_[word] +
+                        static_cast<uint32_t>(std::popcount(sampled_mark_[word] & (bit - 1)));
+        int64_t pos = sa_samples_[rank] + steps;
+        if (pos >= n) {
+          pos -= n;
+        }
+        if (pos < n - 1) {  // exclude the sentinel position
+          out->push_back(pos);
+        }
+        break;
+      }
+      j = LastToFirst(j);
+      ++steps;
+    }
+  }
+}
+
+size_t FmIndex::MemoryBytes() const {
+  return bwt_.size() + occ_.size() * sizeof(occ_[0]) + sampled_mark_.size() * 8 +
+         mark_rank_.size() * 4 + sa_samples_.size() * 4;
+}
+
+}  // namespace persona::align

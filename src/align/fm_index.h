@@ -1,0 +1,91 @@
+// FM-index over the reference genome: suffix array, BWT, occurrence checkpoints, and a
+// sampled suffix array for locating. This is the substrate of the BWA-MEM-style aligner.
+//
+// Construction uses prefix-doubling with counting sort (O(n log n)); search uses the
+// classic backward-extension on the BWT. Occ queries scan up to one checkpoint block of
+// the BWT per step — the cache-unfriendly walk that makes BWT aligners memory-bound
+// (paper Fig. 8 / [48]).
+//
+// Alphabet: $ < A < C < G < T (codes 0..4). Non-ACGT reference bases are stored as A
+// (synthetic references here contain no N; documented substitution).
+
+#ifndef PERSONA_SRC_ALIGN_FM_INDEX_H_
+#define PERSONA_SRC_ALIGN_FM_INDEX_H_
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "src/genome/reference.h"
+#include "src/util/result.h"
+
+namespace persona::align {
+
+// Builds a suffix array via prefix doubling; exposed for testing against a naive oracle.
+// `text` must end with a unique smallest character (the sentinel).
+std::vector<int32_t> BuildSuffixArray(std::span<const uint8_t> text);
+
+class FmIndex {
+ public:
+  struct Options {
+    int sa_sample_rate = 32;   // keep SA values at text positions divisible by this
+    int occ_checkpoint = 64;   // BWT positions between occurrence checkpoints
+  };
+
+  // Suffix-array interval [lo, hi) of suffixes prefixed by the current pattern.
+  struct Interval {
+    int64_t lo = 0;
+    int64_t hi = 0;
+    bool empty() const { return hi <= lo; }
+    int64_t size() const { return hi - lo; }
+  };
+
+  static Result<FmIndex> Build(const genome::ReferenceGenome& reference,
+                               const Options& options);
+  static Result<FmIndex> Build(const genome::ReferenceGenome& reference);
+
+  // Interval of the empty pattern (all rotations).
+  Interval Whole() const { return Interval{0, static_cast<int64_t>(bwt_.size())}; }
+
+  // Narrows `iv` by prepending `base` to the pattern. Non-ACGT bases yield empty.
+  Interval ExtendBackward(Interval iv, char base) const;
+
+  // Backward search of the whole pattern; empty interval when absent.
+  Interval Count(std::string_view pattern) const;
+
+  // Resolves up to `max_hits` text positions for the suffixes in `iv`.
+  void Locate(Interval iv, size_t max_hits, std::vector<int64_t>* out) const;
+
+  // Length of the indexed text (reference bases, excluding the sentinel).
+  int64_t text_length() const { return static_cast<int64_t>(bwt_.size()) - 1; }
+
+  size_t MemoryBytes() const;
+
+ private:
+  FmIndex() = default;
+
+  int64_t Occ(uint8_t code, int64_t pos) const;  // occurrences of code in bwt[0, pos)
+  int64_t LastToFirst(int64_t idx) const;        // LF mapping
+
+  std::vector<uint8_t> bwt_;                     // codes 0..4
+  std::array<int64_t, 6> c_{};                   // c_[code] = #chars < code in text
+  int occ_checkpoint_ = 64;
+  std::vector<std::array<uint32_t, 5>> occ_;     // cumulative counts at block starts
+
+  // Sampled SA: sampled_mark_ bit set at SA indices whose value % rate == 0;
+  // samples stored in mark-rank order.
+  int sa_sample_rate_ = 32;
+  std::vector<uint64_t> sampled_mark_;
+  std::vector<uint32_t> mark_rank_;              // set-bit count before each 64-bit word
+  std::vector<int32_t> sa_samples_;
+};
+
+inline Result<FmIndex> FmIndex::Build(const genome::ReferenceGenome& reference) {
+  return Build(reference, Options{});
+}
+
+}  // namespace persona::align
+
+#endif  // PERSONA_SRC_ALIGN_FM_INDEX_H_

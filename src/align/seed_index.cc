@@ -1,0 +1,169 @@
+#include "src/align/seed_index.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace persona::align {
+
+namespace {
+
+// 2-bit base code; returns 4 for non-ACGT.
+inline uint32_t Code2(char c) {
+  switch (c) {
+    case 'A':
+    case 'a':
+      return 0;
+    case 'C':
+    case 'c':
+      return 1;
+    case 'G':
+    case 'g':
+      return 2;
+    case 'T':
+    case 't':
+      return 3;
+    default:
+      return 4;
+  }
+}
+
+inline uint64_t MixHash(uint64_t x) {
+  // splitmix64 finalizer: good dispersion for packed seeds.
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace
+
+bool SeedIndex::PackSeed(std::string_view bases, size_t offset, int seed_length,
+                         uint64_t* seed) {
+  if (offset + static_cast<size_t>(seed_length) > bases.size()) {
+    return false;
+  }
+  uint64_t s = 0;
+  for (int i = 0; i < seed_length; ++i) {
+    uint32_t code = Code2(bases[offset + static_cast<size_t>(i)]);
+    if (code >= 4) {
+      return false;
+    }
+    s = (s << 2) | code;
+  }
+  *seed = s;
+  return true;
+}
+
+size_t SeedIndex::BucketFor(uint64_t seed) const { return MixHash(seed) & mask_; }
+
+Result<SeedIndex> SeedIndex::Build(const genome::ReferenceGenome& reference,
+                                   const SeedIndexOptions& options) {
+  if (options.seed_length < 8 || options.seed_length > 31) {
+    return InvalidArgumentError("seed_length must be in [8, 31]");
+  }
+  if (options.build_stride < 1) {
+    return InvalidArgumentError("build_stride must be >= 1");
+  }
+  if (reference.total_length() > static_cast<int64_t>(UINT32_MAX)) {
+    return InvalidArgumentError("reference too large for 32-bit positions");
+  }
+
+  // Pass 1: collect (seed, global position) pairs.
+  struct SeedPos {
+    uint64_t seed;
+    uint32_t pos;
+  };
+  std::vector<SeedPos> pairs;
+  pairs.reserve(static_cast<size_t>(reference.total_length() / options.build_stride + 1));
+
+  for (size_t ci = 0; ci < reference.num_contigs(); ++ci) {
+    const genome::Contig& contig = reference.contig(ci);
+    const genome::GenomeLocation start = reference.contig_start(ci);
+    std::string_view seq = contig.sequence;
+    if (seq.size() < static_cast<size_t>(options.seed_length)) {
+      continue;
+    }
+    for (size_t off = 0; off + static_cast<size_t>(options.seed_length) <= seq.size();
+         off += static_cast<size_t>(options.build_stride)) {
+      uint64_t seed;
+      if (PackSeed(seq, off, options.seed_length, &seed)) {
+        pairs.push_back(SeedPos{seed, static_cast<uint32_t>(start + static_cast<int64_t>(off))});
+      }
+    }
+  }
+
+  // Pass 2: group by seed.
+  std::sort(pairs.begin(), pairs.end(), [](const SeedPos& a, const SeedPos& b) {
+    return a.seed < b.seed || (a.seed == b.seed && a.pos < b.pos);
+  });
+
+  SeedIndex index;
+  index.options_ = options;
+
+  // Count distinct seeds that survive the repetitiveness cap.
+  size_t distinct = 0;
+  for (size_t i = 0; i < pairs.size();) {
+    size_t j = i;
+    while (j < pairs.size() && pairs[j].seed == pairs[i].seed) {
+      ++j;
+    }
+    if (j - i <= static_cast<size_t>(options.max_positions_per_seed)) {
+      ++distinct;
+    }
+    i = j;
+  }
+
+  size_t table_size = std::bit_ceil(std::max<size_t>(distinct * 2, 16));
+  index.table_.assign(table_size, Entry{});
+  index.mask_ = table_size - 1;
+  index.positions_.reserve(pairs.size());
+
+  for (size_t i = 0; i < pairs.size();) {
+    size_t j = i;
+    while (j < pairs.size() && pairs[j].seed == pairs[i].seed) {
+      ++j;
+    }
+    size_t count = j - i;
+    if (count <= static_cast<size_t>(options.max_positions_per_seed)) {
+      uint32_t offset = static_cast<uint32_t>(index.positions_.size());
+      for (size_t k = i; k < j; ++k) {
+        index.positions_.push_back(pairs[k].pos);
+      }
+      // Linear-probe insert.
+      size_t bucket = index.BucketFor(pairs[i].seed);
+      while (index.table_[bucket].seed != kEmptySeed) {
+        bucket = (bucket + 1) & index.mask_;
+      }
+      index.table_[bucket] =
+          Entry{pairs[i].seed, offset, static_cast<uint32_t>(count)};
+      ++index.num_entries_;
+    }
+    i = j;
+  }
+  return index;
+}
+
+std::span<const uint32_t> SeedIndex::Lookup(uint64_t seed) const {
+  if (table_.empty()) {
+    return {};
+  }
+  size_t bucket = BucketFor(seed);
+  while (true) {
+    const Entry& entry = table_[bucket];
+    if (entry.seed == seed) {
+      return {positions_.data() + entry.offset, entry.count};
+    }
+    if (entry.seed == kEmptySeed) {
+      return {};
+    }
+    bucket = (bucket + 1) & mask_;
+  }
+}
+
+size_t SeedIndex::MemoryBytes() const {
+  return table_.size() * sizeof(Entry) + positions_.size() * sizeof(uint32_t);
+}
+
+}  // namespace persona::align

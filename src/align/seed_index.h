@@ -1,0 +1,70 @@
+// SNAP-style hash-based seed index over the reference genome (paper §2.1, §4.3).
+//
+// Every (strided) position of the reference contributes a fixed-length seed, 2-bit
+// packed into a uint64. Seeds are grouped in a flat open-addressing hash table mapping
+// seed -> a slice of a shared positions array. This is the "multi-gigabyte reference
+// index" Persona shares between aligner kernels via a resource pool.
+
+#ifndef PERSONA_SRC_ALIGN_SEED_INDEX_H_
+#define PERSONA_SRC_ALIGN_SEED_INDEX_H_
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "src/genome/reference.h"
+#include "src/util/result.h"
+
+namespace persona::align {
+
+struct SeedIndexOptions {
+  int seed_length = 20;            // bases per seed (max 31 with 2-bit packing)
+  int build_stride = 1;            // index every k-th reference position
+  int max_positions_per_seed = 128;  // drop hyper-repetitive seeds beyond this count
+};
+
+class SeedIndex {
+ public:
+  // Builds an index over all contigs. Positions containing N are skipped.
+  static Result<SeedIndex> Build(const genome::ReferenceGenome& reference,
+                                 const SeedIndexOptions& options);
+
+  // Packs seed_length bases starting at bases[offset] into a 2-bit seed.
+  // Returns false if the window contains a non-ACGT character or runs out of bases.
+  static bool PackSeed(std::string_view bases, size_t offset, int seed_length, uint64_t* seed);
+
+  // Global reference positions whose seed equals `seed` (empty if unknown/dropped).
+  std::span<const uint32_t> Lookup(uint64_t seed) const;
+
+  int seed_length() const { return options_.seed_length; }
+  const SeedIndexOptions& options() const { return options_; }
+
+  size_t num_distinct_seeds() const { return num_entries_; }
+  size_t num_positions() const { return positions_.size(); }
+
+  // Approximate resident bytes (table + positions), for TCO/footprint reporting.
+  size_t MemoryBytes() const;
+
+ private:
+  struct Entry {
+    uint64_t seed = kEmptySeed;
+    uint32_t offset = 0;  // into positions_
+    uint32_t count = 0;
+  };
+  static constexpr uint64_t kEmptySeed = ~0ull;
+
+  SeedIndex() = default;
+
+  size_t BucketFor(uint64_t seed) const;
+
+  SeedIndexOptions options_;
+  std::vector<Entry> table_;       // open addressing, power-of-two size
+  std::vector<uint32_t> positions_;
+  size_t num_entries_ = 0;
+  size_t mask_ = 0;
+};
+
+}  // namespace persona::align
+
+#endif  // PERSONA_SRC_ALIGN_SEED_INDEX_H_

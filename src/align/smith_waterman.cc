@@ -1,0 +1,122 @@
+#include "src/align/smith_waterman.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace persona::align {
+
+SwResult SmithWaterman(std::string_view ref, std::string_view query, const SwParams& params) {
+  const int n = static_cast<int>(ref.size());
+  const int m = static_cast<int>(query.size());
+  SwResult result;
+  if (n == 0 || m == 0) {
+    return result;
+  }
+
+  constexpr int kNegInf = -(1 << 28);
+  const int cols = n + 1;
+
+  // Gotoh three-matrix DP. H: best score ending at (i,j); E: best ending in a gap that
+  // consumes reference ('D'); F: best ending in a gap that consumes query ('I').
+  std::vector<int> h(static_cast<size_t>(m + 1) * cols, 0);
+  std::vector<int> e(static_cast<size_t>(m + 1) * cols, kNegInf);
+  std::vector<int> f(static_cast<size_t>(m + 1) * cols, kNegInf);
+
+  auto idx = [cols](int i, int j) { return static_cast<size_t>(i) * cols + j; };
+  auto substitution = [&](int i, int j) {
+    return query[static_cast<size_t>(i - 1)] == ref[static_cast<size_t>(j - 1)]
+               ? params.match
+               : params.mismatch;
+  };
+
+  int best = 0;
+  int best_i = 0;
+  int best_j = 0;
+
+  for (int i = 1; i <= m; ++i) {
+    for (int j = 1; j <= n; ++j) {
+      e[idx(i, j)] = std::max(h[idx(i, j - 1)] + params.gap_open + params.gap_extend,
+                              e[idx(i, j - 1)] + params.gap_extend);
+      f[idx(i, j)] = std::max(h[idx(i - 1, j)] + params.gap_open + params.gap_extend,
+                              f[idx(i - 1, j)] + params.gap_extend);
+      int diag = h[idx(i - 1, j - 1)] + substitution(i, j);
+      int score = std::max({0, diag, e[idx(i, j)], f[idx(i, j)]});
+      h[idx(i, j)] = score;
+      if (score > best) {
+        best = score;
+        best_i = i;
+        best_j = j;
+      }
+    }
+  }
+
+  result.score = best;
+  if (best == 0) {
+    return result;
+  }
+
+  // Three-state traceback. A cell's H value says nothing about how a gap *through* the
+  // cell continues, so the state machine must stay in E/F until the gap's opening point
+  // — collapsing it to one op per cell fragments every multi-base gap (and emits CIGARs
+  // whose score is below H's optimum).
+  std::vector<std::pair<char, int>> runs;
+  auto push = [&runs](char op) {
+    if (!runs.empty() && runs.back().first == op) {
+      ++runs.back().second;
+    } else {
+      runs.emplace_back(op, 1);
+    }
+  };
+
+  enum class State { kMain, kRefGap, kQueryGap };
+  State state = State::kMain;
+  int i = best_i;
+  int j = best_j;
+  while (i > 0 && j > 0) {
+    if (state == State::kMain) {
+      const int score = h[idx(i, j)];
+      if (score == 0) {
+        break;
+      }
+      if (score == h[idx(i - 1, j - 1)] + substitution(i, j)) {
+        push('M');
+        --i;
+        --j;
+      } else if (score == e[idx(i, j)]) {
+        state = State::kRefGap;
+      } else {
+        state = State::kQueryGap;
+      }
+    } else if (state == State::kRefGap) {
+      push('D');
+      // Prefer continuing the gap on ties: repeats then yield one long run rather than
+      // several short ones, which is also the canonical (leftmost) placement.
+      if (e[idx(i, j)] == e[idx(i, j - 1)] + params.gap_extend) {
+        --j;
+      } else {
+        --j;
+        state = State::kMain;
+      }
+    } else {
+      push('I');
+      if (f[idx(i, j)] == f[idx(i - 1, j)] + params.gap_extend) {
+        --i;
+      } else {
+        --i;
+        state = State::kMain;
+      }
+    }
+  }
+
+  result.query_begin = i;
+  result.query_end = best_i;
+  result.ref_begin = j;
+  result.ref_end = best_j;
+  for (auto it = runs.rbegin(); it != runs.rend(); ++it) {
+    result.cigar += std::to_string(it->second);
+    result.cigar.push_back(it->first);
+  }
+  return result;
+}
+
+}  // namespace persona::align

@@ -1,0 +1,38 @@
+// Smith-Waterman local alignment with affine gaps (Gotoh), with traceback.
+//
+// This is the extension kernel of the BWA-MEM-style aligner: seeds found by FM-index
+// backward search are extended against a reference window with SW. Tests also use it as
+// a scoring oracle.
+
+#ifndef PERSONA_SRC_ALIGN_SMITH_WATERMAN_H_
+#define PERSONA_SRC_ALIGN_SMITH_WATERMAN_H_
+
+#include <string>
+#include <string_view>
+
+namespace persona::align {
+
+struct SwParams {
+  int match = 2;
+  int mismatch = -3;
+  int gap_open = -5;    // cost of the first base of a gap (applied once)
+  int gap_extend = -1;  // cost of each subsequent gap base
+};
+
+struct SwResult {
+  int score = 0;
+  // Half-open alignment windows in query and reference coordinates.
+  int query_begin = 0;
+  int query_end = 0;
+  int ref_begin = 0;
+  int ref_end = 0;
+  std::string cigar;  // covers [query_begin, query_end); no clips included
+};
+
+// Full O(|ref| * |query|) local alignment. Returns score 0 (empty cigar) when no positive-
+// scoring alignment exists.
+SwResult SmithWaterman(std::string_view ref, std::string_view query, const SwParams& params = {});
+
+}  // namespace persona::align
+
+#endif  // PERSONA_SRC_ALIGN_SMITH_WATERMAN_H_

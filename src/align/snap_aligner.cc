@@ -1,0 +1,203 @@
+#include "src/align/snap_aligner.h"
+
+#include <algorithm>
+#include <chrono>
+#include <vector>
+
+#include "src/align/edit_distance.h"
+#include "src/compress/base_compaction.h"
+
+namespace persona::align {
+
+namespace {
+
+inline uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Small open-addressed vote map: candidate start location -> vote count.
+// Sized for tens of candidates; rebuilt per (read, strand).
+class VoteMap {
+ public:
+  void Clear() {
+    keys_.assign(kSize, -1);
+    votes_.assign(kSize, 0);
+    used_.clear();
+  }
+
+  void Vote(int64_t location) {
+    size_t bucket = Hash(location);
+    while (true) {
+      if (keys_[bucket] == location) {
+        ++votes_[bucket];
+        return;
+      }
+      if (keys_[bucket] < 0) {
+        keys_[bucket] = location;
+        votes_[bucket] = 1;
+        used_.push_back(bucket);
+        return;
+      }
+      bucket = (bucket + 1) & (kSize - 1);
+    }
+  }
+
+  // Candidates sorted by votes descending.
+  std::vector<std::pair<int64_t, int>> Sorted() const {
+    std::vector<std::pair<int64_t, int>> out;
+    out.reserve(used_.size());
+    for (size_t bucket : used_) {
+      out.emplace_back(keys_[bucket], votes_[bucket]);
+    }
+    std::sort(out.begin(), out.end(),
+              [](const auto& a, const auto& b) { return a.second > b.second; });
+    return out;
+  }
+
+ private:
+  static constexpr size_t kSize = 512;  // power of two; reads produce << 512 candidates
+
+  static size_t Hash(int64_t loc) {
+    uint64_t x = static_cast<uint64_t>(loc) * 0x9E3779B97F4A7C15ull;
+    return static_cast<size_t>(x >> 55) & (kSize - 1);
+  }
+
+  std::vector<int64_t> keys_;
+  std::vector<int> votes_;
+  std::vector<size_t> used_;
+};
+
+struct Verified {
+  int64_t location;
+  int distance;
+  bool reverse;
+  std::string cigar;
+};
+
+}  // namespace
+
+SnapAligner::SnapAligner(const genome::ReferenceGenome* reference, const SeedIndex* index,
+                         const SnapOptions& options)
+    : reference_(reference), index_(index), options_(options) {}
+
+AlignmentResult SnapAligner::Align(const genome::Read& read, AlignProfile* profile) const {
+  AlignmentResult result;
+  const int read_len = static_cast<int>(read.bases.size());
+  const int seed_len = index_->seed_length();
+  if (read_len < seed_len) {
+    return result;  // unmapped: too short to seed
+  }
+
+  if (profile != nullptr) {
+    ++profile->reads;
+    profile->bases += static_cast<uint64_t>(read_len);
+  }
+
+  const std::string reverse_bases = compress::ReverseComplement(read.bases);
+
+  // --- Seeding phase: vote for candidate start locations on both strands. ---
+  uint64_t seed_start_ns = profile != nullptr ? NowNs() : 0;
+
+  VoteMap votes[2];
+  votes[0].Clear();
+  votes[1].Clear();
+  for (int strand = 0; strand < 2; ++strand) {
+    std::string_view bases = strand == 0 ? std::string_view(read.bases) : reverse_bases;
+    for (int off = 0; off + seed_len <= read_len; off += options_.seed_stride) {
+      uint64_t seed;
+      if (!SeedIndex::PackSeed(bases, static_cast<size_t>(off), seed_len, &seed)) {
+        continue;  // seed window contains N
+      }
+      if (profile != nullptr) {
+        ++profile->index_probes;
+      }
+      for (uint32_t pos : index_->Lookup(seed)) {
+        int64_t start = static_cast<int64_t>(pos) - off;
+        if (start >= 0) {
+          votes[strand].Vote(start);
+        }
+      }
+    }
+  }
+
+  if (profile != nullptr) {
+    profile->seed_ns += NowNs() - seed_start_ns;
+  }
+
+  // --- Verification phase: banded edit distance, best votes first. ---
+  uint64_t verify_start_ns = profile != nullptr ? NowNs() : 0;
+
+  Verified best{genome::kInvalidLocation, options_.max_edit_distance + 1, false, {}};
+  int second_best_distance = options_.max_edit_distance + 1;
+
+  for (int strand = 0; strand < 2; ++strand) {
+    std::string_view bases = strand == 0 ? std::string_view(read.bases) : reverse_bases;
+    int evaluated = 0;
+    for (const auto& [location, vote_count] : votes[strand].Sorted()) {
+      if (vote_count < options_.min_votes || evaluated >= options_.max_candidates) {
+        break;
+      }
+      ++evaluated;
+      if (profile != nullptr) {
+        ++profile->candidates;
+      }
+      // Reference window: read length plus slack for deletions.
+      size_t window = static_cast<size_t>(read_len + options_.max_edit_distance);
+      auto slice = reference_->Slice(location, window);
+      if (!slice.ok()) {
+        // Window may overrun the contig near its end; retry with the exact read length.
+        slice = reference_->Slice(location, static_cast<size_t>(read_len));
+        if (!slice.ok()) {
+          continue;
+        }
+      }
+      std::string cigar;
+      int dist = LandauVishkin(*slice, bases, options_.max_edit_distance, &cigar);
+      if (dist < 0) {
+        continue;
+      }
+      if (dist < best.distance) {
+        second_best_distance = best.distance;
+        best = Verified{location, dist, strand == 1, std::move(cigar)};
+      } else if (dist < second_best_distance && location != best.location) {
+        second_best_distance = dist;
+      }
+      if (best.distance == 0 && second_best_distance <= options_.max_edit_distance) {
+        break;  // perfect hit and MAPQ evidence both settled
+      }
+    }
+  }
+
+  if (profile != nullptr) {
+    profile->verify_ns += NowNs() - verify_start_ns;
+  }
+
+  if (best.location == genome::kInvalidLocation) {
+    return result;  // unmapped
+  }
+
+  result.location = best.location;
+  result.flags = best.reverse ? kFlagReverse : 0;
+  result.edit_distance = static_cast<int16_t>(best.distance);
+  result.cigar = std::move(best.cigar);
+  result.score = -best.distance;
+
+  // MAPQ: confidence grows with the gap to the second-best verified placement and
+  // shrinks with the absolute distance of the best one (SNAP-style heuristic).
+  int gap = second_best_distance - best.distance;
+  int mapq;
+  if (second_best_distance > options_.max_edit_distance) {
+    mapq = 60 - 2 * best.distance;  // no competitor within the bound
+  } else if (gap == 0) {
+    mapq = 1;  // ambiguous placement
+  } else {
+    mapq = std::min(60, 10 * gap - best.distance);
+  }
+  result.mapq = static_cast<uint8_t>(std::clamp(mapq, 0, 60));
+  return result;
+}
+
+}  // namespace persona::align

@@ -1,0 +1,50 @@
+// SNAP-style read aligner: hash-index seeding + candidate voting + Landau-Vishkin
+// verification (Zaharia et al., integrated by Persona as its highest-throughput aligner).
+//
+// Algorithm per read (both strands):
+//   1. sample seeds across the read and look each up in the SeedIndex;
+//   2. each hit votes for the implied read start location; votes accumulate in a small
+//      open-addressed map;
+//   3. candidates are verified best-votes-first with the banded edit-distance kernel,
+//      keeping best and second-best distances for MAPQ;
+//   4. early exit once a perfect (distance-0) hit is confirmed.
+
+#ifndef PERSONA_SRC_ALIGN_SNAP_ALIGNER_H_
+#define PERSONA_SRC_ALIGN_SNAP_ALIGNER_H_
+
+#include <memory>
+
+#include "src/align/aligner.h"
+#include "src/align/seed_index.h"
+#include "src/genome/reference.h"
+
+namespace persona::align {
+
+struct SnapOptions {
+  int seed_stride = 8;        // distance between sampled seed offsets in the read
+  int max_edit_distance = 12; // candidate verification bound (max_k)
+  int max_candidates = 16;    // verified candidates per strand, best votes first
+  int min_votes = 1;          // candidates below this vote count are ignored
+};
+
+class SnapAligner final : public Aligner {
+ public:
+  // `reference` and `index` must outlive the aligner. The index is the shared read-only
+  // resource of paper Fig. 3 ("Shared Data (e.g. Ref Index)").
+  SnapAligner(const genome::ReferenceGenome* reference, const SeedIndex* index,
+              const SnapOptions& options = {});
+
+  std::string_view name() const override { return "snap"; }
+  AlignmentResult Align(const genome::Read& read, AlignProfile* profile) const override;
+
+  const SnapOptions& options() const { return options_; }
+
+ private:
+  const genome::ReferenceGenome* reference_;
+  const SeedIndex* index_;
+  SnapOptions options_;
+};
+
+}  // namespace persona::align
+
+#endif  // PERSONA_SRC_ALIGN_SNAP_ALIGNER_H_

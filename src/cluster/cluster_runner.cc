@@ -1,0 +1,75 @@
+#include "src/cluster/cluster_runner.h"
+
+#include <algorithm>
+#include <mutex>
+#include <thread>
+
+#include "src/cluster/manifest_server.h"
+#include "src/util/stopwatch.h"
+
+namespace persona::cluster {
+
+double ClusterReport::imbalance() const {
+  if (node_seconds.empty()) {
+    return 0;
+  }
+  double max_s = *std::max_element(node_seconds.begin(), node_seconds.end());
+  double min_s = *std::min_element(node_seconds.begin(), node_seconds.end());
+  return max_s > 0 ? (max_s - min_s) / max_s : 0;
+}
+
+Result<ClusterReport> RunCluster(storage::ObjectStore* store,
+                                 const format::Manifest& manifest,
+                                 const align::Aligner& aligner,
+                                 const ClusterOptions& options) {
+  if (options.num_nodes <= 0) {
+    return InvalidArgumentError("num_nodes must be positive");
+  }
+  ManifestServer server(manifest.chunks.size(), static_cast<size_t>(options.num_nodes));
+
+  ClusterReport report;
+  report.node_seconds.assign(static_cast<size_t>(options.num_nodes), 0);
+  std::mutex report_mu;
+  Status first_error;
+
+  Stopwatch cluster_timer;
+  std::vector<std::thread> nodes;
+  nodes.reserve(static_cast<size_t>(options.num_nodes));
+  for (int node = 0; node < options.num_nodes; ++node) {
+    nodes.emplace_back([&, node] {
+      // Each node owns its executor resource, as each server owns its cores.
+      dataflow::Executor executor(static_cast<size_t>(options.threads_per_node));
+      pipeline::AlignPipelineOptions node_options = options.node_options;
+      node_options.work_source = [&server, node]() {
+        return server.Next(static_cast<size_t>(node));
+      };
+      Stopwatch node_timer;
+      auto result = pipeline::RunPersonaAlignment(store, manifest, aligner, &executor,
+                                                  node_options);
+      double seconds = node_timer.ElapsedSeconds();
+      std::lock_guard<std::mutex> lock(report_mu);
+      report.node_seconds[static_cast<size_t>(node)] = seconds;
+      if (!result.ok()) {
+        if (first_error.ok()) {
+          first_error = result.status();
+        }
+        return;
+      }
+      report.total_reads += result->reads;
+      report.total_bases += result->bases;
+    });
+  }
+  for (std::thread& t : nodes) {
+    t.join();
+  }
+  PERSONA_RETURN_IF_ERROR(first_error);
+
+  report.seconds = cluster_timer.ElapsedSeconds();
+  report.gigabases_per_sec =
+      report.seconds > 0 ? static_cast<double>(report.total_bases) / 1e9 / report.seconds
+                         : 0;
+  report.node_chunks = server.per_node_chunks();
+  return report;
+}
+
+}  // namespace persona::cluster

@@ -1,0 +1,46 @@
+// In-process multi-node cluster runner (the "Actual" line of Fig. 7).
+//
+// Each "node" is a full Persona pipeline instance (reader/parser/aligner/writer graph +
+// its own executor resource) sharing one object store and one manifest server, exactly
+// the paper's §5.2 deployment shape with TensorFlow instances replaced by Graph
+// instances. Nodes run concurrently in one process; per-node completion times expose
+// straggler behaviour.
+
+#ifndef PERSONA_SRC_CLUSTER_CLUSTER_RUNNER_H_
+#define PERSONA_SRC_CLUSTER_CLUSTER_RUNNER_H_
+
+#include <vector>
+
+#include "src/align/aligner.h"
+#include "src/format/agd_manifest.h"
+#include "src/pipeline/persona_pipeline.h"
+#include "src/storage/object_store.h"
+
+namespace persona::cluster {
+
+struct ClusterOptions {
+  int num_nodes = 4;
+  int threads_per_node = 2;            // executor threads per node
+  pipeline::AlignPipelineOptions node_options;  // per-node pipeline shape
+};
+
+struct ClusterReport {
+  double seconds = 0;                  // start of request to last node finished
+  uint64_t total_reads = 0;
+  uint64_t total_bases = 0;
+  double gigabases_per_sec = 0;
+  std::vector<double> node_seconds;    // per-node completion times
+  std::vector<uint64_t> node_chunks;   // chunks each node processed
+  // Completion-time imbalance: (max - min) / max across nodes.
+  double imbalance() const;
+};
+
+// Aligns the dataset across `options.num_nodes` concurrent Persona instances.
+Result<ClusterReport> RunCluster(storage::ObjectStore* store,
+                                 const format::Manifest& manifest,
+                                 const align::Aligner& aligner,
+                                 const ClusterOptions& options);
+
+}  // namespace persona::cluster
+
+#endif  // PERSONA_SRC_CLUSTER_CLUSTER_RUNNER_H_

@@ -1,0 +1,166 @@
+#include "src/cluster/des_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/util/rng.h"
+
+namespace persona::cluster {
+
+namespace {
+
+// Per-node three-stage pipeline state. Each node overlaps one read, one align, and one
+// write (Persona hides I/O behind compute), with 1-deep hand-off slots between stages.
+struct NodeState {
+  // Active work; negative remaining = idle.
+  double read_remaining_mb = -1;
+  double align_remaining_sec = -1;
+  double write_remaining_mb = -1;
+  // Hand-off slots.
+  bool chunk_ready_to_align = false;
+  bool chunk_ready_to_write = false;
+  // Aligner blocked on a full write slot (holds its finished chunk).
+  bool align_output_pending = false;
+};
+
+}  // namespace
+
+DesPoint SimulateCluster(const DesParams& params, int nodes) {
+  Rng rng(params.seed + static_cast<uint64_t>(nodes) * 7919);
+
+  const double align_mean_sec =
+      static_cast<double>(params.reads_per_chunk) * params.read_length /
+      (params.node_megabases_per_sec * 1e6);
+  auto sample_align = [&]() {
+    double t = rng.Normal(align_mean_sec, params.align_time_cv * align_mean_sec);
+    return std::max(t, align_mean_sec * 0.25);
+  };
+
+  const double read_cap_mb = params.read_capacity_gb_per_sec * 1000.0;
+  const double write_cap_mb = params.write_capacity_gb_per_sec * 1000.0;
+
+  std::vector<NodeState> state(static_cast<size_t>(nodes));
+  int64_t dispensed = 0;
+  int64_t completed = 0;
+  double now = 0;
+  double read_mb_done = 0;
+  double write_mb_done = 0;
+
+  while (completed < params.num_chunks) {
+    // 1. Start whatever can start, cascading until a fixpoint so that a freed slot is
+    // reused within the same instant (e.g. aligner consumes -> reader restarts).
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (NodeState& n : state) {
+        if (n.write_remaining_mb < 0 && n.chunk_ready_to_write) {
+          n.chunk_ready_to_write = false;
+          // Replication amplifies the device-side write volume.
+          n.write_remaining_mb = params.chunk_write_mb * params.replication;
+          changed = true;
+        }
+        // Unblock an aligner whose output slot freed up.
+        if (n.align_output_pending && !n.chunk_ready_to_write) {
+          n.align_output_pending = false;
+          n.chunk_ready_to_write = true;
+          changed = true;
+        }
+        if (n.align_remaining_sec < 0 && !n.align_output_pending &&
+            n.chunk_ready_to_align) {
+          n.chunk_ready_to_align = false;
+          n.align_remaining_sec = sample_align();
+          changed = true;
+        }
+        if (n.read_remaining_mb < 0 && !n.chunk_ready_to_align &&
+            dispensed < params.num_chunks) {
+          n.read_remaining_mb = params.chunk_read_mb;
+          ++dispensed;
+          changed = true;
+        }
+      }
+    }
+
+    // 2. Processor-sharing rates.
+    int active_readers = 0;
+    int active_writers = 0;
+    for (const NodeState& n : state) {
+      active_readers += n.read_remaining_mb >= 0 ? 1 : 0;
+      active_writers += n.write_remaining_mb >= 0 ? 1 : 0;
+    }
+    double read_rate = active_readers > 0 ? read_cap_mb / active_readers : 0;
+    double write_rate = active_writers > 0 ? write_cap_mb / active_writers : 0;
+
+    // 3. Time to the next completion.
+    double dt = std::numeric_limits<double>::infinity();
+    for (const NodeState& n : state) {
+      if (n.read_remaining_mb >= 0 && read_rate > 0) {
+        dt = std::min(dt, n.read_remaining_mb / read_rate);
+      }
+      if (n.align_remaining_sec >= 0) {
+        dt = std::min(dt, n.align_remaining_sec);
+      }
+      if (n.write_remaining_mb >= 0 && write_rate > 0) {
+        dt = std::min(dt, n.write_remaining_mb / write_rate);
+      }
+    }
+    if (!std::isfinite(dt)) {
+      break;  // nothing active and nothing startable: deadlock guard
+    }
+    now += dt;
+
+    // 4. Advance and retire completed activities.
+    constexpr double kEps = 1e-9;
+    for (NodeState& n : state) {
+      if (n.read_remaining_mb >= 0) {
+        n.read_remaining_mb -= read_rate * dt;
+        read_mb_done += read_rate * dt;
+        if (n.read_remaining_mb <= kEps) {
+          n.read_remaining_mb = -1;
+          n.chunk_ready_to_align = true;
+        }
+      }
+      if (n.align_remaining_sec >= 0) {
+        n.align_remaining_sec -= dt;
+        if (n.align_remaining_sec <= kEps) {
+          n.align_remaining_sec = -1;
+          if (!n.chunk_ready_to_write) {
+            n.chunk_ready_to_write = true;
+          } else {
+            n.align_output_pending = true;  // write slot full: aligner stalls
+          }
+        }
+      }
+      if (n.write_remaining_mb >= 0) {
+        n.write_remaining_mb -= write_rate * dt;
+        write_mb_done += write_rate * dt;
+        if (n.write_remaining_mb <= kEps) {
+          n.write_remaining_mb = -1;
+          ++completed;
+        }
+      }
+    }
+  }
+
+  DesPoint point;
+  point.nodes = nodes;
+  point.seconds = now;
+  double total_bases =
+      static_cast<double>(params.num_chunks) * params.reads_per_chunk * params.read_length;
+  point.gigabases_per_sec = now > 0 ? total_bases / 1e9 / now : 0;
+  point.read_utilization = now > 0 ? read_mb_done / (read_cap_mb * now) : 0;
+  point.write_utilization = now > 0 ? write_mb_done / (write_cap_mb * now) : 0;
+  return point;
+}
+
+std::vector<DesPoint> SimulateScaling(const DesParams& params,
+                                      const std::vector<int>& node_counts) {
+  std::vector<DesPoint> points;
+  points.reserve(node_counts.size());
+  for (int nodes : node_counts) {
+    points.push_back(SimulateCluster(params, nodes));
+  }
+  return points;
+}
+
+}  // namespace persona::cluster

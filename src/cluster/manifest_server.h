@@ -1,0 +1,52 @@
+// ManifestServer: the cluster-wide work queue (paper §5.2: "the first stage in the
+// graph fetches a chunk name from the manifest server; the latter is implemented as a
+// simple message queue"). Hands each AGD chunk index to exactly one node and records
+// who got it, for completion-balance reporting (§5.5: "no measurable completion-time
+// imbalance").
+
+#ifndef PERSONA_SRC_CLUSTER_MANIFEST_SERVER_H_
+#define PERSONA_SRC_CLUSTER_MANIFEST_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace persona::cluster {
+
+class ManifestServer {
+ public:
+  ManifestServer(size_t num_chunks, size_t num_nodes)
+      : num_chunks_(num_chunks), per_node_chunks_(num_nodes, 0) {}
+
+  // Next chunk for `node`, or nullopt when the dataset is exhausted.
+  std::optional<size_t> Next(size_t node) {
+    size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= num_chunks_) {
+      return std::nullopt;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++per_node_chunks_[node];
+    }
+    return i;
+  }
+
+  size_t num_chunks() const { return num_chunks_; }
+
+  std::vector<uint64_t> per_node_chunks() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return per_node_chunks_;
+  }
+
+ private:
+  const size_t num_chunks_;
+  std::atomic<size_t> next_{0};
+  mutable std::mutex mu_;
+  std::vector<uint64_t> per_node_chunks_;
+};
+
+}  // namespace persona::cluster
+
+#endif  // PERSONA_SRC_CLUSTER_MANIFEST_SERVER_H_

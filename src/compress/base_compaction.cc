@@ -1,0 +1,122 @@
+#include "src/compress/base_compaction.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace persona::compress {
+
+uint8_t BaseToCode(char base) {
+  switch (base) {
+    case 'A':
+    case 'a':
+      return kBaseCodeA;
+    case 'C':
+    case 'c':
+      return kBaseCodeC;
+    case 'G':
+    case 'g':
+      return kBaseCodeG;
+    case 'T':
+    case 't':
+      return kBaseCodeT;
+    default:
+      if ((base >= 'A' && base <= 'Z') || (base >= 'a' && base <= 'z')) {
+        return kBaseCodeN;  // IUPAC ambiguity codes collapse to N
+      }
+      return kBaseCodePad;
+  }
+}
+
+char CodeToBase(uint8_t code) {
+  switch (code) {
+    case kBaseCodeA:
+      return 'A';
+    case kBaseCodeC:
+      return 'C';
+    case kBaseCodeG:
+      return 'G';
+    case kBaseCodeT:
+      return 'T';
+    case kBaseCodeN:
+      return 'N';
+    default:
+      return '?';
+  }
+}
+
+char ComplementBase(char base) {
+  switch (base) {
+    case 'A':
+    case 'a':
+      return 'T';
+    case 'C':
+    case 'c':
+      return 'G';
+    case 'G':
+    case 'g':
+      return 'C';
+    case 'T':
+    case 't':
+      return 'A';
+    default:
+      return 'N';
+  }
+}
+
+std::string ReverseComplement(std::string_view bases) {
+  std::string out;
+  out.resize(bases.size());
+  for (size_t i = 0; i < bases.size(); ++i) {
+    out[i] = ComplementBase(bases[bases.size() - 1 - i]);
+  }
+  return out;
+}
+
+size_t PackedBasesSize(size_t count) {
+  size_t words = (count + kBasesPerWord - 1) / kBasesPerWord;
+  return words * sizeof(uint64_t);
+}
+
+void PackBases(std::string_view bases, Buffer* out) {
+  size_t i = 0;
+  while (i < bases.size()) {
+    uint64_t word = 0;
+    for (int slot = 0; slot < kBasesPerWord; ++slot) {
+      uint8_t code = kBaseCodePad;
+      if (i + static_cast<size_t>(slot) < bases.size()) {
+        code = BaseToCode(bases[i + static_cast<size_t>(slot)]);
+        if (code == kBaseCodePad) {
+          code = kBaseCodeN;  // never store pad for a real position
+        }
+      }
+      word |= static_cast<uint64_t>(code) << (3 * slot);
+    }
+    out->AppendScalar<uint64_t>(word);
+    i += kBasesPerWord;
+  }
+}
+
+Status UnpackBases(std::span<const uint8_t> packed, size_t count, std::string* out) {
+  size_t needed = PackedBasesSize(count);
+  if (packed.size() < needed) {
+    return DataLossError("packed bases block too short");
+  }
+  out->reserve(out->size() + count);
+  size_t remaining = count;
+  for (size_t w = 0; w * sizeof(uint64_t) < needed; ++w) {
+    uint64_t word;
+    std::memcpy(&word, packed.data() + w * sizeof(uint64_t), sizeof(word));
+    int slots = static_cast<int>(std::min<size_t>(kBasesPerWord, remaining));
+    for (int slot = 0; slot < slots; ++slot) {
+      uint8_t code = static_cast<uint8_t>((word >> (3 * slot)) & 0x7);
+      if (code > kBaseCodeN) {
+        return DataLossError("invalid base code in packed block");
+      }
+      out->push_back(CodeToBase(code));
+    }
+    remaining -= static_cast<size_t>(slots);
+  }
+  return OkStatus();
+}
+
+}  // namespace persona::compress

@@ -1,0 +1,49 @@
+// Base compaction: 3 bits per base, 21 bases per 64-bit word (paper §3).
+//
+// The AGD bases column stores reads as packed 3-bit codes (A,C,G,T,N) rather than ASCII,
+// a ~2.6x size reduction before block compression. The top bit of each word is unused;
+// incomplete trailing words are padded with the reserved code 7.
+
+#ifndef PERSONA_SRC_COMPRESS_BASE_COMPACTION_H_
+#define PERSONA_SRC_COMPRESS_BASE_COMPACTION_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "src/util/buffer.h"
+#include "src/util/result.h"
+
+namespace persona::compress {
+
+inline constexpr int kBasesPerWord = 21;
+inline constexpr uint8_t kBaseCodeA = 0;
+inline constexpr uint8_t kBaseCodeC = 1;
+inline constexpr uint8_t kBaseCodeG = 2;
+inline constexpr uint8_t kBaseCodeT = 3;
+inline constexpr uint8_t kBaseCodeN = 4;
+inline constexpr uint8_t kBaseCodePad = 7;
+
+// Returns the 3-bit code for an IUPAC base character (case-insensitive; any ambiguity
+// code other than ACGT maps to N). Returns kBaseCodePad for characters outside [A-Za-z].
+uint8_t BaseToCode(char base);
+char CodeToBase(uint8_t code);
+
+// 'A' <-> 'T', 'C' <-> 'G', 'N' -> 'N'.
+char ComplementBase(char base);
+std::string ReverseComplement(std::string_view bases);
+
+// Packs `bases` (ASCII) into little-endian 64-bit words appended to `out`.
+// Emits ceil(len/21) words; the caller records the base count separately.
+void PackBases(std::string_view bases, Buffer* out);
+
+// Unpacks `count` bases from packed words. Fails if `packed` is too short.
+Status UnpackBases(std::span<const uint8_t> packed, size_t count, std::string* out);
+
+// Size in bytes of the packed representation of `count` bases.
+size_t PackedBasesSize(size_t count);
+
+}  // namespace persona::compress
+
+#endif  // PERSONA_SRC_COMPRESS_BASE_COMPACTION_H_

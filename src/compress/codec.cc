@@ -1,0 +1,72 @@
+#include "src/compress/codec.h"
+
+#include "src/compress/lzss_codec.h"
+#include "src/compress/zlib_codec.h"
+
+namespace persona::compress {
+
+namespace {
+
+// Identity codec: memcpy in both directions.
+class IdentityCodec final : public Codec {
+ public:
+  CodecId id() const override { return CodecId::kIdentity; }
+
+  Status Compress(std::span<const uint8_t> input, Buffer* out) const override {
+    out->Append(input);
+    return OkStatus();
+  }
+
+  Status Decompress(std::span<const uint8_t> input, size_t expected_size,
+                    Buffer* out) const override {
+    if (input.size() != expected_size) {
+      return DataLossError("identity codec: size mismatch");
+    }
+    out->Append(input);
+    return OkStatus();
+  }
+};
+
+}  // namespace
+
+Result<CodecId> CodecIdFromName(std::string_view name) {
+  if (name == "identity" || name == "none") {
+    return CodecId::kIdentity;
+  }
+  if (name == "zlib" || name == "gzip") {
+    return CodecId::kZlib;
+  }
+  if (name == "lzss") {
+    return CodecId::kLzss;
+  }
+  return InvalidArgumentError("unknown codec name: " + std::string(name));
+}
+
+std::string_view CodecName(CodecId id) {
+  switch (id) {
+    case CodecId::kIdentity:
+      return "identity";
+    case CodecId::kZlib:
+      return "zlib";
+    case CodecId::kLzss:
+      return "lzss";
+  }
+  return "unknown";
+}
+
+const Codec& GetCodec(CodecId id) {
+  static const IdentityCodec kIdentity;
+  static const ZlibCodec kZlib;
+  static const LzssCodec kLzss;
+  switch (id) {
+    case CodecId::kZlib:
+      return kZlib;
+    case CodecId::kLzss:
+      return kLzss;
+    case CodecId::kIdentity:
+    default:
+      return kIdentity;
+  }
+}
+
+}  // namespace persona::compress

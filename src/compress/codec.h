@@ -1,0 +1,52 @@
+// Block-compression codec interface for AGD data blocks (paper §3).
+//
+// AGD selects the compression type per column: e.g. gzip for bases, a cheaper codec for a
+// frequently accessed column. This module provides three codecs behind one interface:
+//   kIdentity — no compression (fastest access),
+//   kZlib     — gzip/DEFLATE via the system zlib (the paper's choice),
+//   kLzss     — a from-scratch LZSS with hash-chain matching (dependency-free fallback,
+//               also the subject of the codec ablation bench).
+
+#ifndef PERSONA_SRC_COMPRESS_CODEC_H_
+#define PERSONA_SRC_COMPRESS_CODEC_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string_view>
+
+#include "src/util/buffer.h"
+#include "src/util/result.h"
+
+namespace persona::compress {
+
+enum class CodecId : uint8_t {
+  kIdentity = 0,
+  kZlib = 1,
+  kLzss = 2,
+};
+
+Result<CodecId> CodecIdFromName(std::string_view name);
+std::string_view CodecName(CodecId id);
+
+class Codec {
+ public:
+  virtual ~Codec() = default;
+
+  virtual CodecId id() const = 0;
+
+  // Appends the compressed form of `input` to `out` (does not clear `out`).
+  virtual Status Compress(std::span<const uint8_t> input, Buffer* out) const = 0;
+
+  // Appends the decompressed form to `out`. `expected_size` is the exact uncompressed
+  // size recorded in the chunk header; codecs use it to size buffers and to validate.
+  virtual Status Decompress(std::span<const uint8_t> input, size_t expected_size,
+                            Buffer* out) const = 0;
+};
+
+// Returns the process-wide codec instance for `id` (codecs are stateless and shared).
+const Codec& GetCodec(CodecId id);
+
+}  // namespace persona::compress
+
+#endif  // PERSONA_SRC_COMPRESS_CODEC_H_

@@ -1,0 +1,160 @@
+#include "src/compress/lzss_codec.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+namespace persona::compress {
+
+namespace {
+
+constexpr size_t kHashBits = 16;
+constexpr size_t kHashSize = 1u << kHashBits;
+constexpr uint32_t kNoPos = 0xFFFFFFFFu;
+
+inline uint32_t HashPrefix(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+// Length of the common prefix of a and b, up to max_len.
+inline size_t MatchLength(const uint8_t* a, const uint8_t* b, size_t max_len) {
+  size_t n = 0;
+  while (n < max_len && a[n] == b[n]) {
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+Status LzssCodec::Compress(std::span<const uint8_t> input, Buffer* out) const {
+  const uint8_t* data = input.data();
+  const size_t size = input.size();
+
+  // head[h] = most recent position with hash h; prev[i] = previous position in i's chain.
+  std::vector<uint32_t> head(kHashSize, kNoPos);
+  std::vector<uint32_t> prev(size, kNoPos);
+
+  // Token group staging: up to 8 tokens per flag byte.
+  uint8_t flags = 0;
+  int group_count = 0;
+  Buffer group;
+  group.Reserve(8 * 3);
+
+  auto flush_group = [&] {
+    if (group_count > 0) {
+      out->AppendByte(flags);
+      out->Append(group.span());
+      flags = 0;
+      group_count = 0;
+      group.Clear();
+    }
+  };
+
+  size_t pos = 0;
+  while (pos < size) {
+    size_t best_len = 0;
+    size_t best_dist = 0;
+
+    if (pos + kMinMatch <= size) {
+      uint32_t h = HashPrefix(data + pos);
+      uint32_t candidate = head[h];
+      int depth = 0;
+      size_t window_start = pos > kWindowSize ? pos - kWindowSize : 0;
+      size_t max_len = std::min(kMaxMatch, size - pos);
+      while (candidate != kNoPos && candidate >= window_start && depth < kMaxChainDepth) {
+        size_t len = MatchLength(data + candidate, data + pos, max_len);
+        if (len > best_len) {
+          best_len = len;
+          best_dist = pos - candidate;
+          if (len >= max_len) {
+            break;
+          }
+        }
+        candidate = prev[candidate];
+        ++depth;
+      }
+      // Insert current position into the chain.
+      prev[pos] = head[h];
+      head[h] = static_cast<uint32_t>(pos);
+    }
+
+    if (best_len >= kMinMatch) {
+      flags |= static_cast<uint8_t>(1u << group_count);
+      group.AppendByte(static_cast<uint8_t>(best_dist & 0xFF));
+      group.AppendByte(static_cast<uint8_t>((best_dist >> 8) & 0xFF));
+      group.AppendByte(static_cast<uint8_t>(best_len - kMinMatch));
+      // Index the skipped positions so later matches can reference them.
+      size_t end = std::min(pos + best_len, size >= kMinMatch ? size - kMinMatch + 1 : 0);
+      for (size_t i = pos + 1; i < end; ++i) {
+        uint32_t h = HashPrefix(data + i);
+        prev[i] = head[h];
+        head[h] = static_cast<uint32_t>(i);
+      }
+      pos += best_len;
+    } else {
+      group.AppendByte(data[pos]);
+      ++pos;
+    }
+
+    ++group_count;
+    if (group_count == 8) {
+      flush_group();
+    }
+  }
+  flush_group();
+  return OkStatus();
+}
+
+Status LzssCodec::Decompress(std::span<const uint8_t> input, size_t expected_size,
+                             Buffer* out) const {
+  size_t base = out->size();
+  out->Reserve(base + expected_size);
+
+  size_t in_pos = 0;
+  size_t produced = 0;
+  while (produced < expected_size) {
+    if (in_pos >= input.size()) {
+      return DataLossError("lzss: truncated stream (missing flag byte)");
+    }
+    uint8_t flags = input[in_pos++];
+    for (int bit = 0; bit < 8 && produced < expected_size; ++bit) {
+      if (flags & (1u << bit)) {
+        if (in_pos + 3 > input.size()) {
+          return DataLossError("lzss: truncated match token");
+        }
+        size_t dist = static_cast<size_t>(input[in_pos]) |
+                      (static_cast<size_t>(input[in_pos + 1]) << 8);
+        size_t len = static_cast<size_t>(input[in_pos + 2]) + kMinMatch;
+        in_pos += 3;
+        size_t out_size = out->size() - base;
+        if (dist == 0 || dist > out_size) {
+          return DataLossError("lzss: match distance out of range");
+        }
+        if (produced + len > expected_size) {
+          return DataLossError("lzss: match overruns expected size");
+        }
+        // Byte-by-byte copy: overlapping matches (dist < len) are legal and common.
+        size_t src = out->size() - dist;
+        for (size_t i = 0; i < len; ++i) {
+          out->AppendByte((*out)[src + i]);
+        }
+        produced += len;
+      } else {
+        if (in_pos >= input.size()) {
+          return DataLossError("lzss: truncated literal token");
+        }
+        out->AppendByte(input[in_pos++]);
+        ++produced;
+      }
+    }
+  }
+  if (in_pos != input.size()) {
+    return DataLossError("lzss: trailing bytes after stream end");
+  }
+  return OkStatus();
+}
+
+}  // namespace persona::compress

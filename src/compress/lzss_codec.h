@@ -1,0 +1,33 @@
+// From-scratch LZSS block codec.
+//
+// Dependency-free alternative to zlib demonstrating AGD's per-column codec selection.
+// Encoding: the stream is a sequence of groups, each led by a flag byte whose bits (LSB
+// first) say literal (0) or match (1) for the next 8 tokens.
+//   literal: 1 raw byte
+//   match:   3 bytes = 16-bit little-endian distance (1..65535) + 1 byte length-4 (4..259)
+// Matching uses a hash table over 4-byte prefixes with bounded-depth chains, the classic
+// LZ77 hash-chain construction.
+
+#ifndef PERSONA_SRC_COMPRESS_LZSS_CODEC_H_
+#define PERSONA_SRC_COMPRESS_LZSS_CODEC_H_
+
+#include "src/compress/codec.h"
+
+namespace persona::compress {
+
+class LzssCodec final : public Codec {
+ public:
+  CodecId id() const override { return CodecId::kLzss; }
+  Status Compress(std::span<const uint8_t> input, Buffer* out) const override;
+  Status Decompress(std::span<const uint8_t> input, size_t expected_size,
+                    Buffer* out) const override;
+
+  static constexpr size_t kMinMatch = 4;
+  static constexpr size_t kMaxMatch = 259;       // kMinMatch + 255
+  static constexpr size_t kWindowSize = 65535;   // max representable distance
+  static constexpr int kMaxChainDepth = 32;      // match-search effort bound
+};
+
+}  // namespace persona::compress
+
+#endif  // PERSONA_SRC_COMPRESS_LZSS_CODEC_H_

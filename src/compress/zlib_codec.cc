@@ -1,0 +1,39 @@
+#include "src/compress/zlib_codec.h"
+
+#include <zlib.h>
+
+namespace persona::compress {
+
+Status ZlibCodec::Compress(std::span<const uint8_t> input, Buffer* out) const {
+  uLongf bound = compressBound(static_cast<uLong>(input.size()));
+  size_t base = out->size();
+  out->Resize(base + bound);
+  int rc = compress2(out->data() + base, &bound, input.data(),
+                     static_cast<uLong>(input.size()), level_);
+  if (rc != Z_OK) {
+    out->Resize(base);
+    return InternalError("zlib compress2 failed: rc=" + std::to_string(rc));
+  }
+  out->Resize(base + bound);
+  return OkStatus();
+}
+
+Status ZlibCodec::Decompress(std::span<const uint8_t> input, size_t expected_size,
+                             Buffer* out) const {
+  size_t base = out->size();
+  out->Resize(base + expected_size);
+  uLongf dest_len = static_cast<uLongf>(expected_size);
+  int rc = uncompress(out->data() + base, &dest_len, input.data(),
+                      static_cast<uLong>(input.size()));
+  if (rc != Z_OK) {
+    out->Resize(base);
+    return DataLossError("zlib uncompress failed: rc=" + std::to_string(rc));
+  }
+  if (dest_len != expected_size) {
+    out->Resize(base);
+    return DataLossError("zlib uncompress produced unexpected size");
+  }
+  return OkStatus();
+}
+
+}  // namespace persona::compress

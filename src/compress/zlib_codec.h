@@ -1,0 +1,27 @@
+// DEFLATE compression via the system zlib. This is the codec the paper used ("gzip, as it
+// has a good compression ratio without being too compute-intensive").
+
+#ifndef PERSONA_SRC_COMPRESS_ZLIB_CODEC_H_
+#define PERSONA_SRC_COMPRESS_ZLIB_CODEC_H_
+
+#include "src/compress/codec.h"
+
+namespace persona::compress {
+
+class ZlibCodec final : public Codec {
+ public:
+  // level follows zlib conventions (1 = fastest .. 9 = best); 6 is zlib's default.
+  explicit ZlibCodec(int level = 6) : level_(level) {}
+
+  CodecId id() const override { return CodecId::kZlib; }
+  Status Compress(std::span<const uint8_t> input, Buffer* out) const override;
+  Status Decompress(std::span<const uint8_t> input, size_t expected_size,
+                    Buffer* out) const override;
+
+ private:
+  int level_;
+};
+
+}  // namespace persona::compress
+
+#endif  // PERSONA_SRC_COMPRESS_ZLIB_CODEC_H_

@@ -1,0 +1,93 @@
+// Executor resource: the fine-grain task layer inside compute-intense kernels
+// (paper §4.3, Figure 4).
+//
+// AGD chunks are storage-granular — too coarse for threads, producing stragglers. The
+// executor owns all compute threads and exposes a fine-grain task queue: multiple
+// parallel aligner nodes logically split their chunk into (subchunk, buffer) tasks,
+// submit them, and block on a TaskBatch until their chunk completes. All cores stay busy
+// across chunk boundaries because tasks from different chunks interleave freely.
+
+#ifndef PERSONA_SRC_DATAFLOW_EXECUTOR_H_
+#define PERSONA_SRC_DATAFLOW_EXECUTOR_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+
+#include "src/util/thread_pool.h"
+
+namespace persona::dataflow {
+
+class Executor;
+
+// Tracks completion of one kernel's submitted subtasks.
+class TaskBatch {
+ public:
+  explicit TaskBatch(Executor* executor) : executor_(executor) {}
+
+  TaskBatch(const TaskBatch&) = delete;
+  TaskBatch& operator=(const TaskBatch&) = delete;
+
+  // Submits `fn` to the executor as part of this batch.
+  void Add(std::function<void()> fn);
+
+  // Blocks until every task added so far has finished.
+  void Wait();
+
+ private:
+  Executor* executor_;
+  std::mutex mu_;
+  std::condition_variable done_;
+  int64_t outstanding_ = 0;
+};
+
+class Executor {
+ public:
+  explicit Executor(size_t num_threads) : pool_(num_threads) {}
+
+  size_t num_threads() const { return pool_.num_threads(); }
+
+  // Raw submission (prefer TaskBatch for chunk-scoped waiting).
+  bool Submit(std::function<void()> fn) { return pool_.Submit(std::move(fn)); }
+
+  // Total subtasks executed (for balance diagnostics).
+  uint64_t tasks_executed() const { return tasks_executed_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class TaskBatch;
+
+  ThreadPool pool_;
+  std::atomic<uint64_t> tasks_executed_{0};
+};
+
+inline void TaskBatch::Add(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++outstanding_;
+  }
+  bool submitted = executor_->Submit([this, fn = std::move(fn)] {
+    fn();
+    executor_->tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --outstanding_;
+    }
+    done_.notify_all();
+  });
+  if (!submitted) {
+    // Executor shutting down: undo the reservation so Wait() cannot hang.
+    std::lock_guard<std::mutex> lock(mu_);
+    --outstanding_;
+  }
+}
+
+inline void TaskBatch::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_.wait(lock, [&] { return outstanding_ == 0; });
+}
+
+}  // namespace persona::dataflow
+
+#endif  // PERSONA_SRC_DATAFLOW_EXECUTOR_H_

@@ -1,0 +1,58 @@
+#include "src/dataflow/graph.h"
+
+namespace persona::dataflow {
+
+void Graph::RecordError(const Status& status) {
+  {
+    std::lock_guard<std::mutex> lock(error_mu_);
+    if (first_error_.ok()) {
+      first_error_ = status;
+    }
+  }
+  Cancel();
+}
+
+Status Graph::Run() {
+  {
+    std::lock_guard<std::mutex> lock(error_mu_);
+    if (ran_) {
+      return FailedPreconditionError("Graph::Run called twice");
+    }
+    ran_ = true;
+  }
+
+  // One completion counter per stage: the last worker out runs on_complete, which closes
+  // the stage's output queue and lets downstream stages drain and exit.
+  struct StageRuntime {
+    std::atomic<int> remaining;
+    const Stage* stage;
+  };
+  std::vector<std::unique_ptr<StageRuntime>> runtimes;
+  runtimes.reserve(stages_.size());
+  for (const Stage& stage : stages_) {
+    auto rt = std::make_unique<StageRuntime>();
+    rt->remaining.store(stage.parallelism);
+    rt->stage = &stage;
+    runtimes.push_back(std::move(rt));
+  }
+
+  std::vector<std::thread> workers;
+  for (auto& rt : runtimes) {
+    for (int w = 0; w < rt->stage->parallelism; ++w) {
+      workers.emplace_back([rt = rt.get()] {
+        rt->stage->worker_body();
+        if (rt->remaining.fetch_sub(1) == 1 && rt->stage->on_complete) {
+          rt->stage->on_complete();
+        }
+      });
+    }
+  }
+  for (std::thread& t : workers) {
+    t.join();
+  }
+
+  std::lock_guard<std::mutex> lock(error_mu_);
+  return first_error_;
+}
+
+}  // namespace persona::dataflow

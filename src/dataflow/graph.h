@@ -1,0 +1,171 @@
+// The coarse-grain dataflow graph runtime (paper §4, Figure 3).
+//
+// A Graph is a set of stages connected by bounded MPMC queues. Each stage runs
+// `parallelism` worker threads; a worker pops one item, runs the stage function, and
+// pushes results downstream. When a stage's input queue closes and drains, its workers
+// exit, and the last one out closes the stage's output queue — end-of-stream propagates
+// through the pipeline. The first stage error cancels the graph.
+//
+// Stages record per-worker busy time; a UtilizationSampler (see stats.h) turns that into
+// the CPU-utilization timelines of Fig. 5.
+
+#ifndef PERSONA_SRC_DATAFLOW_GRAPH_H_
+#define PERSONA_SRC_DATAFLOW_GRAPH_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/util/mpmc_queue.h"
+#include "src/util/result.h"
+#include "src/util/stopwatch.h"
+
+namespace persona::dataflow {
+
+// Runtime counters for one stage. busy_ns only counts stage-function time, so
+// utilization = d(busy_ns)/dt / parallelism.
+struct StageStats {
+  std::string name;
+  int parallelism = 0;
+  std::atomic<uint64_t> items{0};
+  std::atomic<uint64_t> busy_ns{0};
+
+  StageStats(std::string n, int p) : name(std::move(n)), parallelism(p) {}
+};
+
+class Graph {
+ public:
+  Graph() = default;
+  Graph(const Graph&) = delete;
+  Graph& operator=(const Graph&) = delete;
+
+  template <typename T>
+  using QueuePtr = std::shared_ptr<MpmcQueue<T>>;
+
+  template <typename T>
+  static QueuePtr<T> MakeQueue(size_t capacity) {
+    return std::make_shared<MpmcQueue<T>>(capacity);
+  }
+
+  // Source stage: one worker repeatedly calls `next` and pushes until nullopt.
+  template <typename Out>
+  void AddSource(const std::string& name, QueuePtr<Out> out,
+                 std::function<std::optional<Out>()> next) {
+    auto* stats = NewStats(name, 1);
+    cancel_hooks_.push_back([out] { out->Close(); });
+    stages_.push_back(Stage{name, 1, [this, out, next = std::move(next), stats] {
+      while (!cancelled_.load(std::memory_order_relaxed)) {
+        Stopwatch timer;
+        std::optional<Out> item = next();
+        stats->busy_ns.fetch_add(static_cast<uint64_t>(timer.ElapsedNanos()),
+                                 std::memory_order_relaxed);
+        if (!item.has_value()) {
+          break;
+        }
+        stats->items.fetch_add(1, std::memory_order_relaxed);
+        if (!out->Push(std::move(*item))) {
+          break;  // downstream closed (cancellation)
+        }
+      }
+    }, [out] { out->Close(); }});
+  }
+
+  // Transform stage: `parallelism` workers map In -> zero or more Out (the function
+  // pushes directly so it can fan out or filter).
+  template <typename In, typename Out>
+  void AddStage(const std::string& name, int parallelism, QueuePtr<In> in, QueuePtr<Out> out,
+                std::function<Status(In&&, MpmcQueue<Out>&)> fn) {
+    auto* stats = NewStats(name, parallelism);
+    cancel_hooks_.push_back([in, out] {
+      in->Close();
+      out->Close();
+    });
+    stages_.push_back(Stage{name, parallelism, [this, in, out, fn = std::move(fn), stats] {
+      while (auto item = in->Pop()) {
+        Stopwatch timer;
+        Status status = fn(std::move(*item), *out);
+        stats->busy_ns.fetch_add(static_cast<uint64_t>(timer.ElapsedNanos()),
+                                 std::memory_order_relaxed);
+        stats->items.fetch_add(1, std::memory_order_relaxed);
+        if (!status.ok()) {
+          RecordError(status);
+          break;
+        }
+        if (cancelled_.load(std::memory_order_relaxed)) {
+          break;
+        }
+      }
+    }, [out] { out->Close(); }});
+  }
+
+  // Sink stage: consumes items.
+  template <typename In>
+  void AddSink(const std::string& name, int parallelism, QueuePtr<In> in,
+               std::function<Status(In&&)> fn) {
+    auto* stats = NewStats(name, parallelism);
+    cancel_hooks_.push_back([in] { in->Close(); });
+    stages_.push_back(Stage{name, parallelism, [this, in, fn = std::move(fn), stats] {
+      while (auto item = in->Pop()) {
+        Stopwatch timer;
+        Status status = fn(std::move(*item));
+        stats->busy_ns.fetch_add(static_cast<uint64_t>(timer.ElapsedNanos()),
+                                 std::memory_order_relaxed);
+        stats->items.fetch_add(1, std::memory_order_relaxed);
+        if (!status.ok()) {
+          RecordError(status);
+          break;
+        }
+        if (cancelled_.load(std::memory_order_relaxed)) {
+          break;
+        }
+      }
+    }, nullptr});
+  }
+
+  // Runs the graph to completion; returns the first stage error (if any).
+  // May be called once per Graph.
+  Status Run();
+
+  // Stage statistics (valid during and after Run). Pointers stable for the Graph's life.
+  const std::vector<std::unique_ptr<StageStats>>& stats() const { return stats_; }
+
+  // Requests cancellation: stages stop after their current item and all queues close so
+  // no worker stays blocked on a full or empty queue.
+  void Cancel() {
+    cancelled_.store(true, std::memory_order_relaxed);
+    for (const auto& hook : cancel_hooks_) {
+      hook();
+    }
+  }
+
+ private:
+  struct Stage {
+    std::string name;
+    int parallelism;
+    std::function<void()> worker_body;
+    std::function<void()> on_complete;  // closes the output queue; may be null
+  };
+
+  StageStats* NewStats(const std::string& name, int parallelism) {
+    stats_.push_back(std::make_unique<StageStats>(name, parallelism));
+    return stats_.back().get();
+  }
+
+  void RecordError(const Status& status);
+
+  std::vector<Stage> stages_;
+  std::vector<std::function<void()>> cancel_hooks_;
+  std::vector<std::unique_ptr<StageStats>> stats_;
+  std::atomic<bool> cancelled_{false};
+  std::mutex error_mu_;
+  Status first_error_;
+  bool ran_ = false;
+};
+
+}  // namespace persona::dataflow
+
+#endif  // PERSONA_SRC_DATAFLOW_GRAPH_H_

@@ -1,0 +1,124 @@
+// ObjectPool: bounded pools of recyclable objects (paper §4.5).
+//
+// Persona avoids freeing/reallocating/copying payload memory by passing handles to
+// pooled objects between dataflow nodes. A pool hands out RAII Refs; destroying a Ref
+// returns the object to the pool (after calling the recycler, e.g. Buffer::Clear).
+// Acquire() blocks when the pool is exhausted — together with bounded queues this is
+// what caps Persona's memory footprint ("memory use is stable after the input queues
+// are filled").
+
+#ifndef PERSONA_SRC_DATAFLOW_OBJECT_POOL_H_
+#define PERSONA_SRC_DATAFLOW_OBJECT_POOL_H_
+
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace persona::dataflow {
+
+template <typename T>
+class ObjectPool : public std::enable_shared_from_this<ObjectPool<T>> {
+ public:
+  // RAII handle. Movable; returns the object on destruction.
+  class Ref {
+   public:
+    Ref() = default;
+    Ref(T* object, std::shared_ptr<ObjectPool> pool)
+        : object_(object), pool_(std::move(pool)) {}
+    Ref(Ref&& other) noexcept { *this = std::move(other); }
+    Ref& operator=(Ref&& other) noexcept {
+      Release();
+      object_ = other.object_;
+      pool_ = std::move(other.pool_);
+      other.object_ = nullptr;
+      return *this;
+    }
+    Ref(const Ref&) = delete;
+    Ref& operator=(const Ref&) = delete;
+    ~Ref() { Release(); }
+
+    T* get() const { return object_; }
+    T* operator->() const { return object_; }
+    T& operator*() const { return *object_; }
+    explicit operator bool() const { return object_ != nullptr; }
+
+   private:
+    void Release() {
+      if (object_ != nullptr && pool_ != nullptr) {
+        pool_->Return(object_);
+      }
+      object_ = nullptr;
+      pool_.reset();
+    }
+
+    T* object_ = nullptr;
+    std::shared_ptr<ObjectPool> pool_;
+  };
+
+  // All `capacity` objects are constructed eagerly by `factory`; `recycler` runs when an
+  // object returns to the pool (defaults to no-op).
+  static std::shared_ptr<ObjectPool> Create(
+      size_t capacity, std::function<std::unique_ptr<T>()> factory,
+      std::function<void(T*)> recycler = nullptr) {
+    auto pool = std::shared_ptr<ObjectPool>(new ObjectPool(std::move(recycler)));
+    pool->objects_.reserve(capacity);
+    for (size_t i = 0; i < capacity; ++i) {
+      pool->objects_.push_back(factory());
+      pool->free_.push_back(pool->objects_.back().get());
+    }
+    return pool;
+  }
+
+  // Blocks until an object is free.
+  Ref Acquire() {
+    std::unique_lock<std::mutex> lock(mu_);
+    available_.wait(lock, [&] { return !free_.empty(); });
+    T* object = free_.back();
+    free_.pop_back();
+    return Ref(object, this->shared_from_this());
+  }
+
+  // Non-blocking; empty Ref when exhausted.
+  Ref TryAcquire() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (free_.empty()) {
+      return Ref();
+    }
+    T* object = free_.back();
+    free_.pop_back();
+    return Ref(object, this->shared_from_this());
+  }
+
+  size_t capacity() const { return objects_.size(); }
+
+  size_t available() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return free_.size();
+  }
+
+ private:
+  explicit ObjectPool(std::function<void(T*)> recycler) : recycler_(std::move(recycler)) {}
+
+  void Return(T* object) {
+    if (recycler_) {
+      recycler_(object);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      free_.push_back(object);
+    }
+    available_.notify_one();
+  }
+
+  std::function<void(T*)> recycler_;
+  mutable std::mutex mu_;
+  std::condition_variable available_;
+  std::vector<std::unique_ptr<T>> objects_;
+  std::vector<T*> free_;
+};
+
+}  // namespace persona::dataflow
+
+#endif  // PERSONA_SRC_DATAFLOW_OBJECT_POOL_H_

@@ -1,0 +1,68 @@
+// ResourceManager: named shared resources for a dataflow session (paper §4.5).
+//
+// Persona stores pools, chunk objects, and shared read-only data (e.g. the reference
+// index) as session resources and passes *handles* through the graph instead of
+// payloads. Here resources are registered under a name and fetched type-safely.
+
+#ifndef PERSONA_SRC_DATAFLOW_RESOURCE_MANAGER_H_
+#define PERSONA_SRC_DATAFLOW_RESOURCE_MANAGER_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <typeindex>
+#include <unordered_map>
+
+#include "src/util/result.h"
+
+namespace persona::dataflow {
+
+class ResourceManager {
+ public:
+  template <typename T>
+  Status Register(const std::string& name, std::shared_ptr<T> resource) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto [it, inserted] = resources_.try_emplace(
+        name, Entry{std::type_index(typeid(T)), std::move(resource)});
+    if (!inserted) {
+      return AlreadyExistsError("resource already registered: " + name);
+    }
+    return OkStatus();
+  }
+
+  template <typename T>
+  Result<std::shared_ptr<T>> Get(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = resources_.find(name);
+    if (it == resources_.end()) {
+      return NotFoundError("no such resource: " + name);
+    }
+    if (it->second.type != std::type_index(typeid(T))) {
+      return FailedPreconditionError("resource type mismatch for: " + name);
+    }
+    return std::static_pointer_cast<T>(it->second.value);
+  }
+
+  bool Has(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return resources_.contains(name);
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return resources_.size();
+  }
+
+ private:
+  struct Entry {
+    std::type_index type;
+    std::shared_ptr<void> value;
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Entry> resources_;
+};
+
+}  // namespace persona::dataflow
+
+#endif  // PERSONA_SRC_DATAFLOW_RESOURCE_MANAGER_H_

@@ -1,0 +1,72 @@
+#include "src/dataflow/stats.h"
+
+#include <algorithm>
+
+#include "src/util/stopwatch.h"
+
+namespace persona::dataflow {
+
+UtilizationSampler::UtilizationSampler(const Graph* graph, double interval_sec,
+                                       int total_workers)
+    : graph_(graph), interval_sec_(interval_sec), total_workers_(total_workers) {}
+
+UtilizationSampler::~UtilizationSampler() { Stop(); }
+
+void UtilizationSampler::Start() {
+  if (running_.exchange(true)) {
+    return;
+  }
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void UtilizationSampler::Stop() {
+  if (!running_.exchange(false)) {
+    return;
+  }
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+}
+
+void UtilizationSampler::Loop() {
+  Stopwatch clock;
+  const auto& stages = graph_->stats();
+  last_busy_ns_.assign(stages.size(), 0);
+
+  int budget = total_workers_;
+  if (budget <= 0) {
+    for (const auto& stage : stages) {
+      budget += stage->parallelism;
+    }
+    budget = std::max(budget, 1);
+  }
+
+  double last_time = 0;
+  while (running_.load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(interval_sec_));
+    double now = clock.ElapsedSeconds();
+    double dt = now - last_time;
+    last_time = now;
+    if (dt <= 0) {
+      continue;
+    }
+
+    UtilizationSample sample;
+    sample.time_sec = now;
+    sample.per_stage.reserve(stages.size());
+    double total_busy = 0;
+    for (size_t i = 0; i < stages.size(); ++i) {
+      uint64_t busy = stages[i]->busy_ns.load(std::memory_order_relaxed);
+      double delta_sec = static_cast<double>(busy - last_busy_ns_[i]) * 1e-9;
+      last_busy_ns_[i] = busy;
+      total_busy += delta_sec;
+      double stage_util =
+          delta_sec / (dt * std::max(1, stages[i]->parallelism));
+      sample.per_stage.push_back(std::min(stage_util, 1.0));
+    }
+    sample.total_utilization = std::min(total_busy / (dt * budget), 1.0);
+    samples_.push_back(std::move(sample));
+  }
+}
+
+}  // namespace persona::dataflow

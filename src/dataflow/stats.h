@@ -1,0 +1,52 @@
+// UtilizationSampler: periodic CPU-utilization timelines from stage busy counters.
+//
+// Reproduces the instrumentation behind the paper's Fig. 5: sample every stage's
+// cumulative busy time at a fixed interval; the per-interval delta divided by
+// (interval * provisioned workers) is that stage's utilization, and the sum across
+// stages (capped at the worker budget) approximates whole-machine CPU utilization.
+
+#ifndef PERSONA_SRC_DATAFLOW_STATS_H_
+#define PERSONA_SRC_DATAFLOW_STATS_H_
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "src/dataflow/graph.h"
+
+namespace persona::dataflow {
+
+struct UtilizationSample {
+  double time_sec = 0;            // since sampler start
+  double total_utilization = 0;   // 0..1 across all sampled stages
+  std::vector<double> per_stage;  // 0..1 each, same order as Graph::stats()
+};
+
+class UtilizationSampler {
+ public:
+  // Samples `graph.stats()` every `interval_sec`. `total_workers` is the machine's
+  // provisioned thread budget (for the whole-machine number); if 0, the sum of stage
+  // parallelisms is used.
+  UtilizationSampler(const Graph* graph, double interval_sec, int total_workers = 0);
+  ~UtilizationSampler();
+
+  void Start();
+  void Stop();
+
+  const std::vector<UtilizationSample>& samples() const { return samples_; }
+
+ private:
+  void Loop();
+
+  const Graph* graph_;
+  double interval_sec_;
+  int total_workers_;
+  std::vector<UtilizationSample> samples_;
+  std::vector<uint64_t> last_busy_ns_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+};
+
+}  // namespace persona::dataflow
+
+#endif  // PERSONA_SRC_DATAFLOW_STATS_H_

@@ -1,0 +1,123 @@
+#include "src/dataflow/work_stealing.h"
+
+namespace persona::dataflow {
+
+WorkStealingPool::WorkStealingPool(size_t num_threads) {
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(static_cast<int>(i)); });
+  }
+}
+
+WorkStealingPool::~WorkStealingPool() {
+  Drain();
+  shutdown_.store(true, std::memory_order_release);
+  work_ready_.notify_all();
+  for (std::thread& t : threads_) {
+    t.join();
+  }
+}
+
+bool WorkStealingPool::Submit(std::function<void()> task, int home) {
+  if (shutdown_.load(std::memory_order_acquire)) {
+    return false;
+  }
+  const size_t target =
+      home >= 0 ? static_cast<size_t>(home) % workers_.size()
+                : next_home_.fetch_add(1, std::memory_order_relaxed) % workers_.size();
+  outstanding_.fetch_add(1, std::memory_order_acq_rel);
+  queued_.fetch_add(1, std::memory_order_acq_rel);
+  {
+    std::lock_guard<std::mutex> lock(workers_[target]->mu);
+    workers_[target]->deque.push_back({std::move(task), static_cast<int>(target)});
+  }
+  {
+    // Synchronize with a worker that is between its predicate check and sleeping;
+    // without this the notify below could be lost (classic missed-wakeup race).
+    std::lock_guard<std::mutex> lock(idle_mu_);
+  }
+  work_ready_.notify_one();
+  return true;
+}
+
+void WorkStealingPool::Drain() {
+  std::unique_lock<std::mutex> lock(idle_mu_);
+  drained_.wait(lock, [&] { return outstanding_.load(std::memory_order_acquire) == 0; });
+}
+
+std::vector<uint64_t> WorkStealingPool::ExecutedPerWorker() const {
+  std::vector<uint64_t> counts;
+  counts.reserve(workers_.size());
+  for (const auto& worker : workers_) {
+    counts.push_back(worker->executed.load(std::memory_order_relaxed));
+  }
+  return counts;
+}
+
+bool WorkStealingPool::NextTask(int self, Task* out) {
+  // Own deque first: LIFO keeps the owner's working set warm.
+  {
+    Worker& me = *workers_[static_cast<size_t>(self)];
+    std::lock_guard<std::mutex> lock(me.mu);
+    if (!me.deque.empty()) {
+      *out = std::move(me.deque.back());
+      me.deque.pop_back();
+      queued_.fetch_sub(1, std::memory_order_acq_rel);
+      return true;
+    }
+  }
+  // Steal scan: FIFO from a victim's front (the oldest task, most likely to be large in
+  // recursive decompositions; here it simply minimizes contention with the owner).
+  const size_t n = workers_.size();
+  for (size_t k = 1; k < n; ++k) {
+    Worker& victim = *workers_[(static_cast<size_t>(self) + k) % n];
+    std::lock_guard<std::mutex> lock(victim.mu);
+    if (!victim.deque.empty()) {
+      *out = std::move(victim.deque.front());
+      victim.deque.pop_front();
+      queued_.fetch_sub(1, std::memory_order_acq_rel);
+      return true;
+    }
+  }
+  return false;
+}
+
+void WorkStealingPool::WorkerLoop(int self) {
+  Worker& me = *workers_[static_cast<size_t>(self)];
+  while (true) {
+    Task task;
+    if (NextTask(self, &task)) {
+      task.fn();
+      me.executed.fetch_add(1, std::memory_order_relaxed);
+      if (task.home == self) {
+        local_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        steals_.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        // Last task out: wake Drain() callers.
+        std::lock_guard<std::mutex> lock(idle_mu_);
+        drained_.notify_all();
+      }
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(idle_mu_);
+    if (shutdown_.load(std::memory_order_acquire)) {
+      return;
+    }
+    if (queued_.load(std::memory_order_acquire) > 0) {
+      // A task was enqueued between our failed scan and taking the lock; rescan.
+      continue;
+    }
+    work_ready_.wait(lock, [&] {
+      return shutdown_.load(std::memory_order_acquire) ||
+             queued_.load(std::memory_order_acquire) > 0;
+    });
+  }
+}
+
+}  // namespace persona::dataflow

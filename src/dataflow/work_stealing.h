@@ -1,0 +1,93 @@
+// Work-stealing task pool: the straggler-avoidance alternative Persona rejected.
+//
+// Paper §4.5: "Work stealing [5] is an alternative to avoid stragglers, but the approach
+// of bounding the queues is simpler and incurs less communication in a distributed
+// system." This module implements that alternative so the trade-off can be measured
+// instead of asserted: per-worker deques, owner pops LIFO from the back, idle workers
+// steal FIFO from a victim's front. Steal events are counted — they are the
+// "communication" cost the paper refers to.
+//
+// bench_ablation_scheduler compares three strategies on skewed task costs:
+//   1. static partitioning      (no balancing: the straggler baseline)
+//   2. shared central queue     (Persona's executor resource, §4.3)
+//   3. work stealing            (this pool)
+
+#ifndef PERSONA_SRC_DATAFLOW_WORK_STEALING_H_
+#define PERSONA_SRC_DATAFLOW_WORK_STEALING_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace persona::dataflow {
+
+class WorkStealingPool {
+ public:
+  explicit WorkStealingPool(size_t num_threads);
+
+  // Joins all workers. Pending tasks still run to completion first (drain-on-destroy),
+  // so submitted work is never silently dropped.
+  ~WorkStealingPool();
+
+  WorkStealingPool(const WorkStealingPool&) = delete;
+  WorkStealingPool& operator=(const WorkStealingPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  // Enqueues `task` on worker `home`'s deque (round-robin when home is negative).
+  // Tasks submitted after shutdown began are rejected (returns false).
+  bool Submit(std::function<void()> task, int home = -1);
+
+  // Blocks until every task submitted so far has finished executing.
+  void Drain();
+
+  // Tasks executed by a worker other than the one they were submitted to.
+  uint64_t steals() const { return steals_.load(std::memory_order_relaxed); }
+  // Tasks executed by their home worker.
+  uint64_t local_executions() const { return local_.load(std::memory_order_relaxed); }
+
+  // Per-worker executed-task counts (completion-balance diagnostics).
+  std::vector<uint64_t> ExecutedPerWorker() const;
+
+ private:
+  struct Task {
+    std::function<void()> fn;
+    int home;
+  };
+
+  struct Worker {
+    std::mutex mu;
+    std::deque<Task> deque;
+    std::atomic<uint64_t> executed{0};
+  };
+
+  void WorkerLoop(int self);
+
+  // Pops from `self`'s own deque (back / LIFO); falls back to stealing the front of
+  // another worker's deque. Returns false when every deque is empty.
+  bool NextTask(int self, Task* out);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+
+  std::mutex idle_mu_;
+  std::condition_variable work_ready_;
+  std::condition_variable drained_;
+
+  std::atomic<uint64_t> next_home_{0};
+  std::atomic<int64_t> outstanding_{0};  // submitted but not yet finished
+  std::atomic<int64_t> queued_{0};       // sitting in a deque (not yet started)
+  std::atomic<bool> shutdown_{false};
+  std::atomic<uint64_t> steals_{0};
+  std::atomic<uint64_t> local_{0};
+};
+
+}  // namespace persona::dataflow
+
+#endif  // PERSONA_SRC_DATAFLOW_WORK_STEALING_H_

@@ -1,0 +1,238 @@
+#include "src/format/agd_chunk.h"
+
+#include <cstring>
+
+#include "src/compress/base_compaction.h"
+#include "src/util/crc32.h"
+#include "src/util/varint.h"
+
+namespace persona::format {
+
+Result<RecordType> RecordTypeFromName(std::string_view name) {
+  if (name == "bases") {
+    return RecordType::kBases;
+  }
+  if (name == "qual") {
+    return RecordType::kQual;
+  }
+  if (name == "metadata") {
+    return RecordType::kMetadata;
+  }
+  if (name == "results") {
+    return RecordType::kResults;
+  }
+  if (name == "ref_bases") {
+    return RecordType::kRefBases;
+  }
+  return InvalidArgumentError("unknown record type: " + std::string(name));
+}
+
+std::string_view RecordTypeName(RecordType type) {
+  switch (type) {
+    case RecordType::kBases:
+      return "bases";
+    case RecordType::kQual:
+      return "qual";
+    case RecordType::kMetadata:
+      return "metadata";
+    case RecordType::kResults:
+      return "results";
+    case RecordType::kRefBases:
+      return "ref_bases";
+  }
+  return "unknown";
+}
+
+ChunkBuilder::ChunkBuilder(RecordType type, compress::CodecId codec)
+    : type_(type), codec_(codec) {}
+
+void ChunkBuilder::AddRecord(std::string_view bytes) {
+  lengths_.push_back(static_cast<uint32_t>(bytes.size()));
+  data_.Append(bytes);
+}
+
+void ChunkBuilder::AddBases(std::string_view bases) {
+  lengths_.push_back(static_cast<uint32_t>(bases.size()));
+  compress::PackBases(bases, &data_);
+}
+
+void ChunkBuilder::AddResult(const align::AlignmentResult& result) {
+  Buffer encoded;
+  align::EncodeResult(result, &encoded);
+  lengths_.push_back(static_cast<uint32_t>(encoded.size()));
+  data_.Append(encoded.span());
+}
+
+void ChunkBuilder::Reset() {
+  lengths_.clear();
+  data_.Clear();
+}
+
+Status ChunkBuilder::Finalize(Buffer* out) const {
+  out->Clear();
+
+  // Relative index.
+  Buffer index;
+  for (uint32_t len : lengths_) {
+    PutVarint(len, &index);
+  }
+
+  // Compressed data block.
+  Buffer compressed;
+  const compress::Codec& codec = compress::GetCodec(codec_);
+  PERSONA_RETURN_IF_ERROR(codec.Compress(data_.span(), &compressed));
+
+  out->Append(kAgdMagic, sizeof(kAgdMagic));
+  out->AppendScalar<uint8_t>(kAgdVersion);
+  out->AppendScalar<uint8_t>(static_cast<uint8_t>(type_));
+  out->AppendScalar<uint8_t>(static_cast<uint8_t>(codec_));
+  out->AppendScalar<uint8_t>(0);  // reserved
+  out->AppendScalar<uint32_t>(static_cast<uint32_t>(lengths_.size()));
+  out->AppendScalar<uint32_t>(static_cast<uint32_t>(index.size()));
+  out->AppendScalar<uint32_t>(static_cast<uint32_t>(data_.size()));
+  out->AppendScalar<uint32_t>(static_cast<uint32_t>(compressed.size()));
+  out->AppendScalar<uint32_t>(Crc32(compressed.span()));
+  out->Append(index.span());
+  out->Append(compressed.span());
+  return OkStatus();
+}
+
+Result<ParsedChunk> ParsedChunk::Parse(std::span<const uint8_t> file_bytes) {
+  constexpr size_t kHeaderSize = 4 + 4 + 4 * 5;
+  if (file_bytes.size() < kHeaderSize) {
+    return DataLossError("AGD chunk too small for header");
+  }
+  if (std::memcmp(file_bytes.data(), kAgdMagic, sizeof(kAgdMagic)) != 0) {
+    return DataLossError("AGD chunk: bad magic");
+  }
+  uint8_t version = file_bytes[4];
+  if (version != kAgdVersion) {
+    return UnimplementedError("AGD chunk: unsupported version " + std::to_string(version));
+  }
+  uint8_t type_byte = file_bytes[5];
+  if (type_byte > static_cast<uint8_t>(RecordType::kRefBases)) {
+    return DataLossError("AGD chunk: unknown record type");
+  }
+  uint8_t codec_byte = file_bytes[6];
+  if (codec_byte > static_cast<uint8_t>(compress::CodecId::kLzss)) {
+    return DataLossError("AGD chunk: unknown codec");
+  }
+
+  auto read_u32 = [&](size_t offset) {
+    uint32_t v;
+    std::memcpy(&v, file_bytes.data() + offset, sizeof(v));
+    return v;
+  };
+  uint32_t record_count = read_u32(8);
+  uint32_t index_bytes = read_u32(12);
+  uint32_t data_uncompressed = read_u32(16);
+  uint32_t data_compressed = read_u32(20);
+  uint32_t crc = read_u32(24);
+
+  if (file_bytes.size() != kHeaderSize + index_bytes + data_compressed) {
+    return DataLossError("AGD chunk: size mismatch");
+  }
+  // Bound allocations before trusting the header: every index entry is at least one
+  // varint byte, and our codecs cannot exceed ~1032:1 expansion (DEFLATE's bound) — a
+  // header violating either is corrupt, and honoring it would attempt a huge allocation.
+  if (record_count > index_bytes) {
+    return DataLossError("AGD chunk: record count exceeds index capacity");
+  }
+  if (data_uncompressed > 64 + static_cast<uint64_t>(data_compressed) * 1100) {
+    return DataLossError("AGD chunk: implausible decompressed size");
+  }
+
+  ParsedChunk chunk;
+  chunk.type_ = static_cast<RecordType>(type_byte);
+  chunk.codec_ = static_cast<compress::CodecId>(codec_byte);
+
+  // Relative index -> lengths.
+  std::span<const uint8_t> index_span = file_bytes.subspan(kHeaderSize, index_bytes);
+  size_t pos = 0;
+  chunk.lengths_.reserve(record_count);
+  for (uint32_t i = 0; i < record_count; ++i) {
+    PERSONA_ASSIGN_OR_RETURN(uint64_t len, GetVarint(index_span, &pos));
+    if (len > UINT32_MAX) {
+      return DataLossError("AGD chunk: index entry overflow");
+    }
+    chunk.lengths_.push_back(static_cast<uint32_t>(len));
+  }
+  if (pos != index_span.size()) {
+    return DataLossError("AGD chunk: trailing index bytes");
+  }
+
+  // Verify and decompress the data block.
+  std::span<const uint8_t> data_span =
+      file_bytes.subspan(kHeaderSize + index_bytes, data_compressed);
+  if (Crc32(data_span) != crc) {
+    return DataLossError("AGD chunk: CRC mismatch");
+  }
+  const compress::Codec& codec = compress::GetCodec(chunk.codec_);
+  PERSONA_RETURN_IF_ERROR(codec.Decompress(data_span, data_uncompressed, &chunk.data_));
+
+  // Absolute index, generated on the fly from the relative one (paper §3).
+  chunk.offsets_.reserve(record_count);
+  uint64_t offset = 0;
+  for (uint32_t len : chunk.lengths_) {
+    chunk.offsets_.push_back(offset);
+    if (chunk.type_ == RecordType::kBases) {
+      offset += compress::PackedBasesSize(len);
+    } else {
+      offset += len;
+    }
+  }
+  if (offset != chunk.data_.size()) {
+    return DataLossError("AGD chunk: index does not cover data block");
+  }
+  return chunk;
+}
+
+std::string_view ParsedChunk::RecordBytes(size_t i) const {
+  uint64_t offset = offsets_[i];
+  uint64_t size = type_ == RecordType::kBases ? compress::PackedBasesSize(lengths_[i])
+                                              : lengths_[i];
+  return std::string_view(reinterpret_cast<const char*>(data_.data()) + offset, size);
+}
+
+Result<std::string> ParsedChunk::GetBases(size_t i) const {
+  if (type_ != RecordType::kBases) {
+    return FailedPreconditionError("GetBases on non-bases chunk");
+  }
+  if (i >= lengths_.size()) {
+    return OutOfRangeError("record index out of range");
+  }
+  std::string out;
+  std::string_view bytes = RecordBytes(i);
+  PERSONA_RETURN_IF_ERROR(compress::UnpackBases(
+      std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(bytes.data()), bytes.size()),
+      lengths_[i], &out));
+  return out;
+}
+
+Result<std::string_view> ParsedChunk::GetString(size_t i) const {
+  if (type_ != RecordType::kQual && type_ != RecordType::kMetadata) {
+    return FailedPreconditionError("GetString on non-string chunk");
+  }
+  if (i >= lengths_.size()) {
+    return OutOfRangeError("record index out of range");
+  }
+  return RecordBytes(i);
+}
+
+Result<align::AlignmentResult> ParsedChunk::GetResult(size_t i) const {
+  if (type_ != RecordType::kResults) {
+    return FailedPreconditionError("GetResult on non-results chunk");
+  }
+  if (i >= lengths_.size()) {
+    return OutOfRangeError("record index out of range");
+  }
+  std::string_view bytes = RecordBytes(i);
+  align::AlignmentResult result;
+  size_t offset = 0;
+  PERSONA_RETURN_IF_ERROR(DecodeResult(
+      std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(bytes.data()), bytes.size()),
+      &offset, &result));
+  return result;
+}
+
+}  // namespace persona::format

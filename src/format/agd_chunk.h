@@ -1,0 +1,112 @@
+// AGD chunk files (paper §3, Figure 2): header + relative index + compressed data block.
+//
+// A chunk holds `record_count` records of one column. The header records the record type
+// (so applications know how to parse), the codec, sizes, and a CRC of the data block. The
+// index is *relative* — one varint length per record — and an absolute offset table is
+// generated on the fly when a chunk is parsed, exactly as the paper describes.
+//
+// On-disk layout (little-endian):
+//   magic "AGDC" | version u8 | record_type u8 | codec u8 | reserved u8
+//   record_count u32 | index_bytes u32 | data_uncompressed u32 | data_compressed u32
+//   crc32(data_compressed) u32
+//   [relative index: record_count varints]
+//   [data block: codec-compressed]
+
+#ifndef PERSONA_SRC_FORMAT_AGD_CHUNK_H_
+#define PERSONA_SRC_FORMAT_AGD_CHUNK_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/align/alignment.h"
+#include "src/compress/codec.h"
+#include "src/util/buffer.h"
+#include "src/util/result.h"
+
+namespace persona::format {
+
+enum class RecordType : uint8_t {
+  kBases = 0,     // 3-bit packed bases; index entry = base count
+  kQual = 1,      // raw Phred+33 bytes; index entry = byte count
+  kMetadata = 2,  // raw bytes; index entry = byte count
+  kResults = 3,   // encoded AlignmentResult; index entry = encoded byte count
+  // Reference-compressed bases (refcomp.h): diffs against the reference, decodable only
+  // together with the results column. Added exactly the way §3 describes extending AGD —
+  // a new record-type tag plus its parsing functions.
+  kRefBases = 4,  // index entry = encoded byte count
+};
+
+Result<RecordType> RecordTypeFromName(std::string_view name);
+std::string_view RecordTypeName(RecordType type);
+
+inline constexpr uint8_t kAgdVersion = 1;
+inline constexpr char kAgdMagic[4] = {'A', 'G', 'D', 'C'};
+
+// Accumulates records for one column of one chunk and serializes to the on-disk format.
+class ChunkBuilder {
+ public:
+  ChunkBuilder(RecordType type, compress::CodecId codec);
+
+  // Raw-byte records (qual, metadata, results).
+  void AddRecord(std::string_view bytes);
+  // Bases records: packs 3-bit codes; the index entry stores the base count.
+  void AddBases(std::string_view bases);
+  // Results records: encodes and appends.
+  void AddResult(const align::AlignmentResult& result);
+
+  size_t record_count() const { return lengths_.size(); }
+  size_t data_size() const { return data_.size(); }
+
+  // Serializes header + index + compressed data into `out` (overwrites). The builder can
+  // be reused after Reset().
+  Status Finalize(Buffer* out) const;
+
+  void Reset();
+
+ private:
+  RecordType type_;
+  compress::CodecId codec_;
+  std::vector<uint32_t> lengths_;  // relative index entries
+  Buffer data_;                    // uncompressed data block
+};
+
+// Parsed, decompressed view of a chunk with the absolute index materialized.
+class ParsedChunk {
+ public:
+  // Empty chunk (0 records); assign from Parse() to populate.
+  ParsedChunk() = default;
+
+  // Parses and validates (magic, version, CRC, sizes, index arithmetic).
+  static Result<ParsedChunk> Parse(std::span<const uint8_t> file_bytes);
+
+  RecordType type() const { return type_; }
+  compress::CodecId codec() const { return codec_; }
+  size_t record_count() const { return lengths_.size(); }
+
+  // Raw record bytes (packed for kBases). Valid while the ParsedChunk lives.
+  std::string_view RecordBytes(size_t i) const;
+  // Index entry for record i (base count for kBases, byte count otherwise).
+  uint32_t RecordLength(size_t i) const { return lengths_[i]; }
+
+  // Unpacks record i of a kBases chunk into ASCII bases.
+  Result<std::string> GetBases(size_t i) const;
+  // Record i of a kQual/kMetadata chunk as a string view.
+  Result<std::string_view> GetString(size_t i) const;
+  // Decodes record i of a kResults chunk.
+  Result<align::AlignmentResult> GetResult(size_t i) const;
+
+  size_t decompressed_size() const { return data_.size(); }
+
+ private:
+  RecordType type_ = RecordType::kBases;
+  compress::CodecId codec_ = compress::CodecId::kIdentity;
+  std::vector<uint32_t> lengths_;
+  std::vector<uint64_t> offsets_;  // absolute, derived from the relative index
+  Buffer data_;                    // decompressed data block
+};
+
+}  // namespace persona::format
+
+#endif  // PERSONA_SRC_FORMAT_AGD_CHUNK_H_

@@ -1,0 +1,166 @@
+#include "src/format/agd_dataset.h"
+
+#include "src/util/file_util.h"
+
+namespace persona::format {
+
+AgdWriter::AgdWriter(std::string dir, Options options)
+    : dir_(std::move(dir)),
+      options_(options),
+      bases_(RecordType::kBases, options.codec),
+      qual_(RecordType::kQual, options.codec),
+      metadata_(RecordType::kMetadata, options.codec) {}
+
+Result<AgdWriter> AgdWriter::Create(const std::string& dir, const std::string& name,
+                                    const Options& options) {
+  if (options.chunk_size <= 0) {
+    return InvalidArgumentError("chunk_size must be positive");
+  }
+  PERSONA_RETURN_IF_ERROR(MakeDirectories(dir));
+  AgdWriter writer(dir, options);
+  writer.manifest_.name = name;
+  writer.manifest_.chunk_size = options.chunk_size;
+  writer.manifest_.columns = StandardReadColumns(options.codec);
+  return writer;
+}
+
+Status AgdWriter::Append(const genome::Read& read) {
+  if (finalized_) {
+    return FailedPreconditionError("Append after Finalize");
+  }
+  bases_.AddBases(read.bases);
+  qual_.AddRecord(read.qual);
+  metadata_.AddRecord(read.metadata);
+  if (++records_in_chunk_ >= options_.chunk_size) {
+    PERSONA_RETURN_IF_ERROR(FlushChunk());
+  }
+  return OkStatus();
+}
+
+Status AgdWriter::FlushChunk() {
+  if (records_in_chunk_ == 0) {
+    return OkStatus();
+  }
+  ManifestChunk chunk;
+  chunk.path_base = manifest_.name + "-" + std::to_string(manifest_.chunks.size());
+  chunk.first_record = next_first_record_;
+  chunk.num_records = records_in_chunk_;
+
+  Buffer file;
+  PERSONA_RETURN_IF_ERROR(bases_.Finalize(&file));
+  PERSONA_RETURN_IF_ERROR(WriteBufferToFile(dir_ + "/" + chunk.path_base + ".bases", file));
+  PERSONA_RETURN_IF_ERROR(qual_.Finalize(&file));
+  PERSONA_RETURN_IF_ERROR(WriteBufferToFile(dir_ + "/" + chunk.path_base + ".qual", file));
+  PERSONA_RETURN_IF_ERROR(metadata_.Finalize(&file));
+  PERSONA_RETURN_IF_ERROR(
+      WriteBufferToFile(dir_ + "/" + chunk.path_base + ".metadata", file));
+
+  manifest_.chunks.push_back(std::move(chunk));
+  next_first_record_ += records_in_chunk_;
+  records_in_chunk_ = 0;
+  bases_.Reset();
+  qual_.Reset();
+  metadata_.Reset();
+  return OkStatus();
+}
+
+Status AgdWriter::Finalize() {
+  if (finalized_) {
+    return FailedPreconditionError("Finalize called twice");
+  }
+  PERSONA_RETURN_IF_ERROR(FlushChunk());
+  finalized_ = true;
+  return WriteStringToFile(dir_ + "/manifest.json", manifest_.ToJson());
+}
+
+Result<AgdDataset> AgdDataset::Open(const std::string& dir) {
+  PERSONA_ASSIGN_OR_RETURN(std::string text, ReadFileToString(dir + "/manifest.json"));
+  PERSONA_ASSIGN_OR_RETURN(Manifest manifest, Manifest::FromJson(text));
+  return AgdDataset(dir, std::move(manifest));
+}
+
+Result<ParsedChunk> AgdDataset::ReadChunk(size_t chunk_index,
+                                          std::string_view column_name) const {
+  if (chunk_index >= manifest_.chunks.size()) {
+    return OutOfRangeError("chunk index out of range");
+  }
+  PERSONA_RETURN_IF_ERROR(manifest_.FindColumn(column_name).status());
+  Buffer file;
+  PERSONA_RETURN_IF_ERROR(
+      ReadFileToBuffer(dir_ + "/" + manifest_.ChunkFileName(chunk_index, column_name), &file));
+  return ParsedChunk::Parse(file.span());
+}
+
+Result<std::vector<genome::Read>> AgdDataset::ReadAllReads() const {
+  std::vector<genome::Read> reads;
+  reads.reserve(static_cast<size_t>(manifest_.total_records()));
+  for (size_t ci = 0; ci < manifest_.chunks.size(); ++ci) {
+    PERSONA_ASSIGN_OR_RETURN(ParsedChunk bases, ReadChunk(ci, "bases"));
+    PERSONA_ASSIGN_OR_RETURN(ParsedChunk qual, ReadChunk(ci, "qual"));
+    PERSONA_ASSIGN_OR_RETURN(ParsedChunk metadata, ReadChunk(ci, "metadata"));
+    if (bases.record_count() != qual.record_count() ||
+        bases.record_count() != metadata.record_count()) {
+      return DataLossError("column record counts disagree in chunk " + std::to_string(ci));
+    }
+    for (size_t i = 0; i < bases.record_count(); ++i) {
+      genome::Read read;
+      PERSONA_ASSIGN_OR_RETURN(read.bases, bases.GetBases(i));
+      PERSONA_ASSIGN_OR_RETURN(std::string_view q, qual.GetString(i));
+      read.qual = std::string(q);
+      PERSONA_ASSIGN_OR_RETURN(std::string_view m, metadata.GetString(i));
+      read.metadata = std::string(m);
+      reads.push_back(std::move(read));
+    }
+  }
+  return reads;
+}
+
+Status AgdDataset::AddResultsColumn(
+    const genome::ReferenceGenome& reference,
+    const std::vector<std::vector<align::AlignmentResult>>& results,
+    compress::CodecId codec) {
+  if (results.size() != manifest_.chunks.size()) {
+    return InvalidArgumentError("results chunk count does not match dataset");
+  }
+  if (manifest_.HasColumn("results")) {
+    return AlreadyExistsError("dataset already has a results column");
+  }
+  for (size_t ci = 0; ci < results.size(); ++ci) {
+    if (static_cast<int64_t>(results[ci].size()) != manifest_.chunks[ci].num_records) {
+      return InvalidArgumentError("results record count mismatch in chunk " +
+                                  std::to_string(ci));
+    }
+    ChunkBuilder builder(RecordType::kResults, codec);
+    for (const align::AlignmentResult& r : results[ci]) {
+      builder.AddResult(r);
+    }
+    Buffer file;
+    PERSONA_RETURN_IF_ERROR(builder.Finalize(&file));
+    PERSONA_RETURN_IF_ERROR(WriteBufferToFile(
+        dir_ + "/" + manifest_.chunks[ci].path_base + ".results", file));
+  }
+  manifest_.columns.push_back(ResultsColumn(codec));
+  manifest_.SetReference(reference);
+  return WriteStringToFile(dir_ + "/manifest.json", manifest_.ToJson());
+}
+
+Result<int64_t> AgdDataset::Verify() const {
+  int64_t verified = 0;
+  for (size_t ci = 0; ci < manifest_.chunks.size(); ++ci) {
+    for (const ManifestColumn& column : manifest_.columns) {
+      PERSONA_ASSIGN_OR_RETURN(ParsedChunk chunk, ReadChunk(ci, column.name));
+      if (static_cast<int64_t>(chunk.record_count()) != manifest_.chunks[ci].num_records) {
+        return DataLossError("chunk " + std::to_string(ci) + " column " + column.name +
+                             " record count mismatch");
+      }
+      if (chunk.type() != column.type) {
+        return DataLossError("chunk " + std::to_string(ci) + " column " + column.name +
+                             " type mismatch");
+      }
+    }
+    verified += manifest_.chunks[ci].num_records;
+  }
+  return verified;
+}
+
+}  // namespace persona::format

@@ -1,0 +1,95 @@
+// File-backed AGD dataset reader/writer.
+//
+// The writer accumulates reads into chunk-sized column groups and flushes each group as
+// one file per column (Figure 2: test-0.bases, test-0.qual, ...), then writes
+// manifest.json. The reader opens a manifest and reads/parses individual column chunks —
+// the selective-column access that row-oriented FASTQ/SAM cannot offer.
+//
+// These classes perform plain filesystem I/O; the pipeline layer composes the same
+// serialization with the storage substrates (throttled disks, object store) for the
+// benchmarked configurations.
+
+#ifndef PERSONA_SRC_FORMAT_AGD_DATASET_H_
+#define PERSONA_SRC_FORMAT_AGD_DATASET_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/format/agd_chunk.h"
+#include "src/format/agd_manifest.h"
+#include "src/genome/read.h"
+
+namespace persona::format {
+
+class AgdWriter {
+ public:
+  struct Options {
+    int64_t chunk_size = 100'000;
+    compress::CodecId codec = compress::CodecId::kZlib;
+  };
+
+  // Creates a dataset named `name` in directory `dir` (created if needed).
+  static Result<AgdWriter> Create(const std::string& dir, const std::string& name,
+                                  const Options& options);
+
+  // Appends one read; flushes a chunk automatically when chunk_size is reached.
+  Status Append(const genome::Read& read);
+
+  // Flushes any partial chunk and writes manifest.json. Must be called exactly once.
+  Status Finalize();
+
+  const Manifest& manifest() const { return manifest_; }
+
+ private:
+  AgdWriter(std::string dir, Options options);
+
+  Status FlushChunk();
+
+  std::string dir_;
+  Options options_;
+  Manifest manifest_;
+  ChunkBuilder bases_;
+  ChunkBuilder qual_;
+  ChunkBuilder metadata_;
+  int64_t records_in_chunk_ = 0;
+  int64_t next_first_record_ = 0;
+  bool finalized_ = false;
+};
+
+class AgdDataset {
+ public:
+  // Opens a dataset directory containing manifest.json.
+  static Result<AgdDataset> Open(const std::string& dir);
+
+  const Manifest& manifest() const { return manifest_; }
+  const std::string& dir() const { return dir_; }
+  size_t num_chunks() const { return manifest_.chunks.size(); }
+
+  // Reads and parses one column chunk.
+  Result<ParsedChunk> ReadChunk(size_t chunk_index, std::string_view column_name) const;
+
+  // Convenience: load every read of the dataset (tests / small data only).
+  Result<std::vector<genome::Read>> ReadAllReads() const;
+
+  // Appends a results column: one file per chunk plus a manifest update.
+  // `results_for_chunk(i)` must return the serialized chunk for chunk i.
+  Status AddResultsColumn(const genome::ReferenceGenome& reference,
+                          const std::vector<std::vector<align::AlignmentResult>>& results,
+                          compress::CodecId codec);
+
+  // Structural integrity check: every chunk of every column parses, record counts match
+  // the manifest. Returns the number of records verified.
+  Result<int64_t> Verify() const;
+
+ private:
+  AgdDataset(std::string dir, Manifest manifest)
+      : dir_(std::move(dir)), manifest_(std::move(manifest)) {}
+
+  std::string dir_;
+  Manifest manifest_;
+};
+
+}  // namespace persona::format
+
+#endif  // PERSONA_SRC_FORMAT_AGD_DATASET_H_

@@ -1,0 +1,129 @@
+#include "src/format/agd_index.h"
+
+#include <algorithm>
+
+#include "src/util/string_util.h"
+
+namespace persona::format {
+
+Result<RecordLocator> RecordLocator::Create(const Manifest* manifest) {
+  RecordLocator locator;
+  locator.chunk_ends_.reserve(manifest->chunks.size());
+  int64_t expected_first = 0;
+  for (size_t i = 0; i < manifest->chunks.size(); ++i) {
+    const ManifestChunk& chunk = manifest->chunks[i];
+    if (chunk.first_record != expected_first) {
+      return FailedPreconditionError(
+          StrFormat("manifest chunk %zu starts at record %lld, expected %lld "
+                    "(chunks must be contiguous for random access)",
+                    i, static_cast<long long>(chunk.first_record),
+                    static_cast<long long>(expected_first)));
+    }
+    if (chunk.num_records < 0) {
+      return FailedPreconditionError(
+          StrFormat("manifest chunk %zu has negative record count", i));
+    }
+    expected_first += chunk.num_records;
+    locator.chunk_ends_.push_back(expected_first);
+  }
+  locator.total_records_ = expected_first;
+  return locator;
+}
+
+Result<RecordLocation> RecordLocator::Locate(int64_t record_id) const {
+  if (record_id < 0 || record_id >= total_records_) {
+    return OutOfRangeError(StrFormat("record id %lld outside [0, %lld)",
+                                     static_cast<long long>(record_id),
+                                     static_cast<long long>(total_records_)));
+  }
+  // First chunk whose end is past record_id; contiguity guarantees a hit.
+  auto it = std::upper_bound(chunk_ends_.begin(), chunk_ends_.end(), record_id);
+  RecordLocation loc;
+  loc.chunk_index = static_cast<size_t>(it - chunk_ends_.begin());
+  const int64_t chunk_first = loc.chunk_index == 0 ? 0 : chunk_ends_[loc.chunk_index - 1];
+  loc.record_in_chunk = static_cast<size_t>(record_id - chunk_first);
+  return loc;
+}
+
+Result<RandomAccessReader> RandomAccessReader::Open(const std::string& dir,
+                                                    size_t cache_capacity) {
+  if (cache_capacity == 0) {
+    return InvalidArgumentError("RandomAccessReader cache capacity must be >= 1");
+  }
+  PERSONA_ASSIGN_OR_RETURN(AgdDataset dataset, AgdDataset::Open(dir));
+  PERSONA_ASSIGN_OR_RETURN(RecordLocator locator, RecordLocator::Create(&dataset.manifest()));
+  return RandomAccessReader(std::move(dataset), std::move(locator), cache_capacity);
+}
+
+Result<const ParsedChunk*> RandomAccessReader::GetChunk(size_t chunk_index,
+                                                        std::string_view column_name) {
+  for (auto it = cache_.begin(); it != cache_.end(); ++it) {
+    if (it->chunk_index == chunk_index && it->column == column_name) {
+      ++cache_hits_;
+      cache_.splice(cache_.begin(), cache_, it);  // move to front
+      return &cache_.front().chunk;
+    }
+  }
+  ++cache_misses_;
+  PERSONA_ASSIGN_OR_RETURN(ParsedChunk parsed, dataset_.ReadChunk(chunk_index, column_name));
+  cache_.push_front({chunk_index, std::string(column_name), std::move(parsed)});
+  if (cache_.size() > cache_capacity_) {
+    cache_.pop_back();
+  }
+  return &cache_.front().chunk;
+}
+
+Result<genome::Read> RandomAccessReader::GetRead(int64_t record_id) {
+  PERSONA_ASSIGN_OR_RETURN(RecordLocation loc, locator_.Locate(record_id));
+  genome::Read read;
+  PERSONA_ASSIGN_OR_RETURN(const ParsedChunk* bases, GetChunk(loc.chunk_index, "bases"));
+  PERSONA_ASSIGN_OR_RETURN(read.bases, bases->GetBases(loc.record_in_chunk));
+  PERSONA_ASSIGN_OR_RETURN(const ParsedChunk* qual, GetChunk(loc.chunk_index, "qual"));
+  PERSONA_ASSIGN_OR_RETURN(std::string_view q, qual->GetString(loc.record_in_chunk));
+  read.qual = std::string(q);
+  PERSONA_ASSIGN_OR_RETURN(const ParsedChunk* meta, GetChunk(loc.chunk_index, "metadata"));
+  PERSONA_ASSIGN_OR_RETURN(std::string_view m, meta->GetString(loc.record_in_chunk));
+  read.metadata = std::string(m);
+  return read;
+}
+
+Result<align::AlignmentResult> RandomAccessReader::GetResult(int64_t record_id) {
+  PERSONA_ASSIGN_OR_RETURN(RecordLocation loc, locator_.Locate(record_id));
+  PERSONA_ASSIGN_OR_RETURN(const ParsedChunk* results, GetChunk(loc.chunk_index, "results"));
+  return results->GetResult(loc.record_in_chunk);
+}
+
+Result<std::string> RandomAccessReader::GetField(int64_t record_id,
+                                                 std::string_view column_name) {
+  PERSONA_ASSIGN_OR_RETURN(RecordLocation loc, locator_.Locate(record_id));
+  PERSONA_ASSIGN_OR_RETURN(const ParsedChunk* chunk, GetChunk(loc.chunk_index, column_name));
+  if (chunk->type() == RecordType::kBases) {
+    return chunk->GetBases(loc.record_in_chunk);
+  }
+  PERSONA_ASSIGN_OR_RETURN(std::string_view bytes, chunk->GetString(loc.record_in_chunk));
+  return std::string(bytes);
+}
+
+Status ValidateRowGrouping(const AgdDataset& dataset) {
+  const Manifest& manifest = dataset.manifest();
+  // Contiguity of the chunk ranges (Create performs the check).
+  PERSONA_ASSIGN_OR_RETURN([[maybe_unused]] RecordLocator locator,
+                           RecordLocator::Create(&manifest));
+  // Column agreement per chunk.
+  for (size_t ci = 0; ci < manifest.chunks.size(); ++ci) {
+    const ManifestChunk& chunk = manifest.chunks[ci];
+    for (const ManifestColumn& column : manifest.columns) {
+      PERSONA_ASSIGN_OR_RETURN(ParsedChunk parsed, dataset.ReadChunk(ci, column.name));
+      if (static_cast<int64_t>(parsed.record_count()) != chunk.num_records) {
+        return DataLossError(StrFormat(
+            "row-group violation: chunk %zu column '%s' holds %zu records, manifest says "
+            "%lld",
+            ci, column.name.c_str(), parsed.record_count(),
+            static_cast<long long>(chunk.num_records)));
+      }
+    }
+  }
+  return OkStatus();
+}
+
+}  // namespace persona::format

@@ -1,0 +1,111 @@
+// Record-level random access over an AGD dataset (paper §2.1: "some downstream steps are
+// more efficient with random access to the dataset"; §3: "For more efficient random
+// access, an absolute index can be generated on the fly").
+//
+// Within a chunk, ParsedChunk already materializes the absolute offset table, making
+// record access O(1). This module adds the cross-chunk half: a RecordLocator that maps a
+// dataset-global record id to (chunk, record-in-chunk) by binary search over the
+// manifest, and a RandomAccessReader that caches recently parsed chunks (LRU) so that
+// clustered access patterns pay decompression once per chunk, not once per record.
+//
+// Also here: row-group validation (§3: "Columns can also be row-grouped, indicating that
+// record indices align in those columns") — the structural invariant every multi-column
+// operation in Persona relies on.
+
+#ifndef PERSONA_SRC_FORMAT_AGD_INDEX_H_
+#define PERSONA_SRC_FORMAT_AGD_INDEX_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "src/format/agd_dataset.h"
+
+namespace persona::format {
+
+// Position of one record inside a dataset.
+struct RecordLocation {
+  size_t chunk_index = 0;
+  size_t record_in_chunk = 0;
+
+  bool operator==(const RecordLocation&) const = default;
+};
+
+// Maps dataset-global record ids to chunk-local positions. Requires the manifest's
+// chunks to be contiguous (first_record monotone, no gaps), which Create() checks and
+// which AgdWriter guarantees by construction. The locator copies the chunk boundary
+// table (one int64 per chunk), so it stays valid independent of the manifest's lifetime.
+class RecordLocator {
+ public:
+  // Empty locator (0 records); assign from Create() to populate.
+  RecordLocator() = default;
+
+  static Result<RecordLocator> Create(const Manifest* manifest);
+
+  int64_t total_records() const { return total_records_; }
+
+  Result<RecordLocation> Locate(int64_t record_id) const;
+
+ private:
+  std::vector<int64_t> chunk_ends_;  // chunk_ends_[i] = first_record + num_records of i
+  int64_t total_records_ = 0;
+};
+
+// Random access into a file-backed dataset with an LRU cache of parsed chunks.
+// Not thread-safe; use one reader per thread (parsed chunks are immutable, but the
+// cache bookkeeping is not synchronized).
+class RandomAccessReader {
+ public:
+  // `cache_capacity` counts (chunk, column) entries, not bytes.
+  static Result<RandomAccessReader> Open(const std::string& dir, size_t cache_capacity = 8);
+
+  int64_t total_records() const { return locator_.total_records(); }
+  const Manifest& manifest() const { return dataset_.manifest(); }
+
+  // Reassembles the full read record (bases + qual + metadata columns).
+  Result<genome::Read> GetRead(int64_t record_id);
+
+  // Decodes one alignment result; requires a results column.
+  Result<align::AlignmentResult> GetResult(int64_t record_id);
+
+  // One field of one record as a string (bases are unpacked; qual/metadata verbatim).
+  Result<std::string> GetField(int64_t record_id, std::string_view column_name);
+
+  // Cache effectiveness counters (benchmarks / tests).
+  uint64_t cache_hits() const { return cache_hits_; }
+  uint64_t cache_misses() const { return cache_misses_; }
+
+ private:
+  RandomAccessReader(AgdDataset dataset, RecordLocator locator, size_t cache_capacity)
+      : dataset_(std::move(dataset)),
+        locator_(std::move(locator)),
+        cache_capacity_(cache_capacity) {}
+
+  // Returns the parsed chunk for (chunk, column), loading and caching it if absent.
+  Result<const ParsedChunk*> GetChunk(size_t chunk_index, std::string_view column_name);
+
+  AgdDataset dataset_;
+  RecordLocator locator_;
+  size_t cache_capacity_;
+  // LRU: most-recent at front. Entries are few (cache_capacity_), so linear scans of
+  // the list are cheaper than maintaining a secondary map.
+  struct CacheEntry {
+    size_t chunk_index;
+    std::string column;
+    ParsedChunk chunk;
+  };
+  std::list<CacheEntry> cache_;
+  uint64_t cache_hits_ = 0;
+  uint64_t cache_misses_ = 0;
+};
+
+// Checks the row-grouping invariant across all columns of `dataset`: every chunk has the
+// same record count in every column and matches the manifest, and chunk ranges tile
+// [0, total_records) without gaps or overlap.
+Status ValidateRowGrouping(const AgdDataset& dataset);
+
+}  // namespace persona::format
+
+#endif  // PERSONA_SRC_FORMAT_AGD_INDEX_H_

@@ -1,0 +1,134 @@
+#include "src/format/agd_manifest.h"
+
+#include "src/util/json.h"
+
+namespace persona::format {
+
+int64_t Manifest::total_records() const {
+  int64_t total = 0;
+  for (const ManifestChunk& chunk : chunks) {
+    total += chunk.num_records;
+  }
+  return total;
+}
+
+Result<const ManifestColumn*> Manifest::FindColumn(std::string_view column_name) const {
+  for (const ManifestColumn& column : columns) {
+    if (column.name == column_name) {
+      return &column;
+    }
+  }
+  return NotFoundError("manifest has no column '" + std::string(column_name) + "'");
+}
+
+bool Manifest::HasColumn(std::string_view column_name) const {
+  return FindColumn(column_name).ok();
+}
+
+std::string Manifest::ChunkFileName(size_t chunk_index, std::string_view column_name) const {
+  return chunks[chunk_index].path_base + "." + std::string(column_name);
+}
+
+std::string Manifest::ToJson() const {
+  json::Object root;
+  root["name"] = json::Value(name);
+  root["version"] = json::Value(static_cast<int64_t>(kAgdVersion));
+  root["chunk_size"] = json::Value(chunk_size);
+
+  json::Array cols;
+  for (const ManifestColumn& column : columns) {
+    json::Object col;
+    col["name"] = json::Value(column.name);
+    col["type"] = json::Value(RecordTypeName(column.type));
+    col["codec"] = json::Value(compress::CodecName(column.codec));
+    cols.push_back(json::Value(std::move(col)));
+  }
+  root["columns"] = json::Value(std::move(cols));
+
+  json::Array records;
+  for (const ManifestChunk& chunk : chunks) {
+    json::Object rec;
+    rec["path"] = json::Value(chunk.path_base);
+    rec["first"] = json::Value(chunk.first_record);
+    rec["count"] = json::Value(chunk.num_records);
+    records.push_back(json::Value(std::move(rec)));
+  }
+  root["records"] = json::Value(std::move(records));
+
+  if (!reference_contigs.empty()) {
+    json::Array contigs;
+    for (const ManifestContig& contig : reference_contigs) {
+      json::Object c;
+      c["name"] = json::Value(contig.name);
+      c["length"] = json::Value(contig.length);
+      contigs.push_back(json::Value(std::move(c)));
+    }
+    root["reference"] = json::Value(std::move(contigs));
+  }
+  return json::Value(std::move(root)).Dump(2);
+}
+
+Result<Manifest> Manifest::FromJson(std::string_view text) {
+  PERSONA_ASSIGN_OR_RETURN(json::Value root, json::Parse(text));
+  Manifest manifest;
+  PERSONA_ASSIGN_OR_RETURN(manifest.name, root.GetString("name"));
+  PERSONA_ASSIGN_OR_RETURN(manifest.chunk_size, root.GetInt("chunk_size"));
+
+  PERSONA_ASSIGN_OR_RETURN(const json::Array* cols, root.GetArray("columns"));
+  for (const json::Value& col : *cols) {
+    ManifestColumn column;
+    PERSONA_ASSIGN_OR_RETURN(column.name, col.GetString("name"));
+    PERSONA_ASSIGN_OR_RETURN(std::string type_name, col.GetString("type"));
+    PERSONA_ASSIGN_OR_RETURN(column.type, RecordTypeFromName(type_name));
+    PERSONA_ASSIGN_OR_RETURN(std::string codec_name, col.GetString("codec"));
+    PERSONA_ASSIGN_OR_RETURN(column.codec, compress::CodecIdFromName(codec_name));
+    manifest.columns.push_back(std::move(column));
+  }
+
+  PERSONA_ASSIGN_OR_RETURN(const json::Array* records, root.GetArray("records"));
+  int64_t expected_first = 0;
+  for (const json::Value& rec : *records) {
+    ManifestChunk chunk;
+    PERSONA_ASSIGN_OR_RETURN(chunk.path_base, rec.GetString("path"));
+    PERSONA_ASSIGN_OR_RETURN(chunk.first_record, rec.GetInt("first"));
+    PERSONA_ASSIGN_OR_RETURN(chunk.num_records, rec.GetInt("count"));
+    if (chunk.first_record != expected_first) {
+      return DataLossError("manifest chunks are not contiguous");
+    }
+    expected_first += chunk.num_records;
+    manifest.chunks.push_back(std::move(chunk));
+  }
+
+  if (root.Get("reference").ok()) {
+    PERSONA_ASSIGN_OR_RETURN(const json::Array* contigs, root.GetArray("reference"));
+    for (const json::Value& c : *contigs) {
+      ManifestContig contig;
+      PERSONA_ASSIGN_OR_RETURN(contig.name, c.GetString("name"));
+      PERSONA_ASSIGN_OR_RETURN(contig.length, c.GetInt("length"));
+      manifest.reference_contigs.push_back(std::move(contig));
+    }
+  }
+  return manifest;
+}
+
+void Manifest::SetReference(const genome::ReferenceGenome& reference) {
+  reference_contigs.clear();
+  for (const genome::Contig& contig : reference.contigs()) {
+    reference_contigs.push_back(
+        ManifestContig{contig.name, static_cast<int64_t>(contig.sequence.size())});
+  }
+}
+
+std::vector<ManifestColumn> StandardReadColumns(compress::CodecId codec) {
+  return {
+      ManifestColumn{"bases", RecordType::kBases, codec},
+      ManifestColumn{"qual", RecordType::kQual, codec},
+      ManifestColumn{"metadata", RecordType::kMetadata, codec},
+  };
+}
+
+ManifestColumn ResultsColumn(compress::CodecId codec) {
+  return ManifestColumn{"results", RecordType::kResults, codec};
+}
+
+}  // namespace persona::format

@@ -1,0 +1,63 @@
+// The AGD manifest: a JSON metadata file describing the columns, chunks, and records of
+// a dataset (paper §3, Figure 2), plus the reference sequences results were aligned to.
+
+#ifndef PERSONA_SRC_FORMAT_AGD_MANIFEST_H_
+#define PERSONA_SRC_FORMAT_AGD_MANIFEST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/compress/codec.h"
+#include "src/format/agd_chunk.h"
+#include "src/genome/reference.h"
+#include "src/util/result.h"
+
+namespace persona::format {
+
+struct ManifestColumn {
+  std::string name;            // also the file extension, e.g. "bases" -> test-0.bases
+  RecordType type = RecordType::kBases;
+  compress::CodecId codec = compress::CodecId::kZlib;
+};
+
+struct ManifestChunk {
+  std::string path_base;   // e.g. "test-0"; column files are "<path_base>.<column>"
+  int64_t first_record = 0;
+  int64_t num_records = 0;
+};
+
+struct ManifestContig {
+  std::string name;
+  int64_t length = 0;
+};
+
+struct Manifest {
+  std::string name;
+  int64_t chunk_size = 100'000;  // records per chunk (the paper's default)
+  std::vector<ManifestColumn> columns;
+  std::vector<ManifestChunk> chunks;
+  std::vector<ManifestContig> reference_contigs;  // empty until aligned
+
+  int64_t total_records() const;
+  Result<const ManifestColumn*> FindColumn(std::string_view column_name) const;
+  bool HasColumn(std::string_view column_name) const;
+
+  // Object/file name of one chunk's column file.
+  std::string ChunkFileName(size_t chunk_index, std::string_view column_name) const;
+
+  std::string ToJson() const;
+  static Result<Manifest> FromJson(std::string_view text);
+
+  // Records the contig table of `reference` (called when a results column is added).
+  void SetReference(const genome::ReferenceGenome& reference);
+};
+
+// The paper's four standard columns: bases, qual, metadata (+results added post-align).
+std::vector<ManifestColumn> StandardReadColumns(
+    compress::CodecId codec = compress::CodecId::kZlib);
+ManifestColumn ResultsColumn(compress::CodecId codec = compress::CodecId::kZlib);
+
+}  // namespace persona::format
+
+#endif  // PERSONA_SRC_FORMAT_AGD_MANIFEST_H_

@@ -1,0 +1,100 @@
+#include "src/format/fastq.h"
+
+namespace persona::format {
+
+Status FastqParser::ConsumeLine(std::string_view line, std::vector<genome::Read>* out) {
+  switch (line_in_record_) {
+    case 0:
+      if (line.empty()) {
+        return OkStatus();  // tolerate blank lines between records
+      }
+      if (line[0] != '@') {
+        return DataLossError("FASTQ: header line must start with '@'");
+      }
+      current_.metadata = std::string(line.substr(1));
+      line_in_record_ = 1;
+      return OkStatus();
+    case 1:
+      if (line.empty()) {
+        return DataLossError("FASTQ: empty sequence line");
+      }
+      current_.bases = std::string(line);
+      line_in_record_ = 2;
+      return OkStatus();
+    case 2:
+      if (line.empty() || line[0] != '+') {
+        return DataLossError("FASTQ: separator line must start with '+'");
+      }
+      line_in_record_ = 3;
+      return OkStatus();
+    default:
+      // Quality line. Note: it may legitimately start with '@'.
+      if (line.size() != current_.bases.size()) {
+        return DataLossError("FASTQ: quality length does not match sequence length");
+      }
+      current_.qual = std::string(line);
+      out->push_back(std::move(current_));
+      current_ = genome::Read{};
+      line_in_record_ = 0;
+      return OkStatus();
+  }
+}
+
+Status FastqParser::Feed(std::string_view bytes, std::vector<genome::Read>* out) {
+  size_t start = 0;
+  while (start < bytes.size()) {
+    size_t newline = bytes.find('\n', start);
+    if (newline == std::string_view::npos) {
+      pending_.append(bytes.substr(start));
+      break;
+    }
+    std::string_view line = bytes.substr(start, newline - start);
+    if (!pending_.empty()) {
+      pending_.append(line);
+      std::string whole;
+      whole.swap(pending_);
+      if (!whole.empty() && whole.back() == '\r') {
+        whole.pop_back();
+      }
+      PERSONA_RETURN_IF_ERROR(ConsumeLine(whole, out));
+    } else {
+      if (!line.empty() && line.back() == '\r') {
+        line.remove_suffix(1);
+      }
+      PERSONA_RETURN_IF_ERROR(ConsumeLine(line, out));
+    }
+    start = newline + 1;
+  }
+  return OkStatus();
+}
+
+Status FastqParser::Finish() const {
+  if (line_in_record_ != 0 || !pending_.empty()) {
+    return DataLossError("FASTQ: truncated record at end of input");
+  }
+  return OkStatus();
+}
+
+Status ParseFastq(std::string_view text, std::vector<genome::Read>* out) {
+  FastqParser parser;
+  PERSONA_RETURN_IF_ERROR(parser.Feed(text, out));
+  // Allow a missing trailing newline by feeding one.
+  if (!text.empty() && text.back() != '\n') {
+    PERSONA_RETURN_IF_ERROR(parser.Feed("\n", out));
+  }
+  return parser.Finish();
+}
+
+void WriteFastq(std::span<const genome::Read> reads, std::string* out) {
+  for (const genome::Read& read : reads) {
+    out->push_back('@');
+    out->append(read.metadata);
+    out->push_back('\n');
+    out->append(read.bases);
+    out->append("\n+\n");
+    out->append(read.qual);
+    out->push_back('\n');
+  }
+}
+
+}  // namespace persona::format

@@ -1,0 +1,47 @@
+// FASTQ parsing and writing (paper §2.2).
+//
+// FASTQ is the row-oriented text format sequencers emit: four lines per read
+// (@metadata / bases / + / qualities). Parsing is structural (line-counted), which
+// sidesteps the classic "@ is also a quality character" ambiguity the paper notes.
+
+#ifndef PERSONA_SRC_FORMAT_FASTQ_H_
+#define PERSONA_SRC_FORMAT_FASTQ_H_
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/genome/read.h"
+#include "src/util/result.h"
+
+namespace persona::format {
+
+// Parses a complete FASTQ document (strict: every record must have 4 well-formed lines,
+// bases and quality lengths must agree). Appends to `out`.
+Status ParseFastq(std::string_view text, std::vector<genome::Read>* out);
+
+// Incremental parser for streamed import: feed arbitrary byte windows, reads are emitted
+// as soon as their 4th line is complete.
+class FastqParser {
+ public:
+  // Consumes `bytes`; appends completed reads to `out`.
+  Status Feed(std::string_view bytes, std::vector<genome::Read>* out);
+
+  // Must be called after the last Feed; errors if a record is mid-flight.
+  Status Finish() const;
+
+ private:
+  Status ConsumeLine(std::string_view line, std::vector<genome::Read>* out);
+
+  std::string pending_;   // partial line carried across Feed calls
+  int line_in_record_ = 0;
+  genome::Read current_;
+};
+
+// Serializes reads to FASTQ text, appending to `out`.
+void WriteFastq(std::span<const genome::Read> reads, std::string* out);
+
+}  // namespace persona::format
+
+#endif  // PERSONA_SRC_FORMAT_FASTQ_H_

@@ -1,0 +1,271 @@
+#include "src/format/refcomp.h"
+
+#include "src/compress/base_compaction.h"
+#include "src/util/string_util.h"
+#include "src/util/varint.h"
+
+namespace persona::format {
+namespace {
+
+constexpr uint64_t kTagRaw = 0;
+constexpr uint64_t kTagRefBased = 1;
+
+// One substitution relative to the reference projection.
+struct Substitution {
+  int64_t read_offset;  // forward-reference read coordinates
+  char base;
+};
+
+void EncodeRaw(std::string_view bases, Buffer* out, RefCompStats* stats) {
+  const size_t before = out->size();
+  PutVarint(kTagRaw, out);
+  PutVarint(bases.size(), out);
+  compress::PackBases(bases, out);
+  ++stats->raw_fallback;
+  stats->encoded_bytes += static_cast<int64_t>(out->size() - before);
+}
+
+// Projects the read against the reference. Returns false when the read cannot be
+// reconstructed from (reference, result) — the caller then falls back to raw.
+bool CollectDiffs(const genome::ReferenceGenome& reference, std::string_view fwd,
+                  const align::AlignmentResult& result,
+                  const std::vector<align::CigarOp>& ops, std::vector<Substitution>* subs,
+                  std::string* extra) {
+  genome::GenomeLocation ref_pos = result.location;
+  int64_t read_off = 0;
+  const int64_t read_len = static_cast<int64_t>(fwd.size());
+  for (const align::CigarOp& op : ops) {
+    switch (op.op) {
+      case 'M':
+      case '=':
+      case 'X': {
+        if (read_off + op.length > read_len) {
+          return false;
+        }
+        auto slice = reference.Slice(ref_pos, static_cast<size_t>(op.length));
+        if (!slice.ok()) {
+          return false;
+        }
+        std::string_view ref_seg = *slice;
+        for (int64_t i = 0; i < op.length; ++i) {
+          char b = fwd[static_cast<size_t>(read_off + i)];
+          if (b != ref_seg[static_cast<size_t>(i)]) {
+            subs->push_back({read_off + i, b});
+          }
+        }
+        ref_pos += op.length;
+        read_off += op.length;
+        break;
+      }
+      case 'I':
+      case 'S': {
+        if (read_off + op.length > read_len) {
+          return false;
+        }
+        extra->append(fwd.substr(static_cast<size_t>(read_off),
+                                 static_cast<size_t>(op.length)));
+        read_off += op.length;
+        break;
+      }
+      case 'D':
+      case 'N':
+        ref_pos += op.length;
+        break;
+      default:
+        break;  // H, P: no bases on either side
+    }
+  }
+  return read_off == read_len;
+}
+
+}  // namespace
+
+void RefCompStats::Add(const RefCompStats& other) {
+  records += other.records;
+  ref_encoded += other.ref_encoded;
+  raw_fallback += other.raw_fallback;
+  substitutions += other.substitutions;
+  extra_bases += other.extra_bases;
+  input_bases += other.input_bases;
+  encoded_bytes += other.encoded_bytes;
+}
+
+void RefEncodeRead(const genome::ReferenceGenome& reference, std::string_view bases,
+                   const align::AlignmentResult& result, Buffer* out, RefCompStats* stats) {
+  ++stats->records;
+  stats->input_bases += static_cast<int64_t>(bases.size());
+
+  if (!result.mapped() || result.cigar.empty()) {
+    EncodeRaw(bases, out, stats);
+    return;
+  }
+  auto ops_or = align::ParseCigar(result.cigar);
+  if (!ops_or.ok() ||
+      align::CigarQuerySpan(result.cigar) != static_cast<int64_t>(bases.size())) {
+    EncodeRaw(bases, out, stats);
+    return;
+  }
+
+  // The CIGAR describes the forward reference strand; project reverse reads through
+  // their reverse complement (SAM convention).
+  std::string fwd_storage;
+  std::string_view fwd = bases;
+  if (result.reverse()) {
+    fwd_storage = compress::ReverseComplement(bases);
+    fwd = fwd_storage;
+  }
+
+  std::vector<Substitution> subs;
+  std::string extra;
+  if (!CollectDiffs(reference, fwd, result, *ops_or, &subs, &extra)) {
+    EncodeRaw(bases, out, stats);
+    return;
+  }
+
+  const size_t before = out->size();
+  PutVarint(kTagRefBased, out);
+  PutVarint(subs.size(), out);
+  int64_t prev_offset = 0;
+  for (const Substitution& sub : subs) {
+    const uint64_t delta = static_cast<uint64_t>(sub.read_offset - prev_offset);
+    PutVarint((delta << 3) | compress::BaseToCode(sub.base), out);
+    prev_offset = sub.read_offset;
+  }
+  compress::PackBases(extra, out);
+
+  ++stats->ref_encoded;
+  stats->substitutions += static_cast<int64_t>(subs.size());
+  stats->extra_bases += static_cast<int64_t>(extra.size());
+  stats->encoded_bytes += static_cast<int64_t>(out->size() - before);
+}
+
+Result<std::string> RefDecodeRead(const genome::ReferenceGenome& reference,
+                                  std::span<const uint8_t> bytes,
+                                  const align::AlignmentResult& result) {
+  size_t offset = 0;
+  PERSONA_ASSIGN_OR_RETURN(uint64_t tag, GetVarint(bytes, &offset));
+
+  if (tag == kTagRaw) {
+    PERSONA_ASSIGN_OR_RETURN(uint64_t count, GetVarint(bytes, &offset));
+    std::string bases;
+    Status status = compress::UnpackBases(bytes.subspan(offset), count, &bases);
+    if (!status.ok()) {
+      return status;
+    }
+    return bases;
+  }
+  if (tag != kTagRefBased) {
+    return DataLossError(StrFormat("refcomp record: unknown tag %llu",
+                                   static_cast<unsigned long long>(tag)));
+  }
+  if (!result.mapped() || result.cigar.empty()) {
+    return DataLossError("refcomp record: ref-based encoding but result is unmapped");
+  }
+  PERSONA_ASSIGN_OR_RETURN(std::vector<align::CigarOp> ops, align::ParseCigar(result.cigar));
+
+  // Substitution stream.
+  PERSONA_ASSIGN_OR_RETURN(uint64_t sub_count, GetVarint(bytes, &offset));
+  std::vector<Substitution> subs;
+  subs.reserve(sub_count);
+  int64_t prev_offset = 0;
+  for (uint64_t i = 0; i < sub_count; ++i) {
+    PERSONA_ASSIGN_OR_RETURN(uint64_t packed, GetVarint(bytes, &offset));
+    const uint8_t code = static_cast<uint8_t>(packed & 0x7);
+    if (code > compress::kBaseCodeN) {
+      return DataLossError("refcomp record: invalid substitution base code");
+    }
+    prev_offset += static_cast<int64_t>(packed >> 3);
+    subs.push_back({prev_offset, compress::CodeToBase(code)});
+  }
+
+  // Extra (insertion + soft-clip) bases; the count comes from the CIGAR.
+  int64_t extra_count = 0;
+  for (const align::CigarOp& op : ops) {
+    if (op.op == 'I' || op.op == 'S') {
+      extra_count += op.length;
+    }
+  }
+  std::string extra;
+  Status status =
+      compress::UnpackBases(bytes.subspan(offset), static_cast<size_t>(extra_count), &extra);
+  if (!status.ok()) {
+    return status;
+  }
+
+  // Rebuild the forward projection by walking the CIGAR over the reference.
+  std::string fwd;
+  fwd.reserve(static_cast<size_t>(align::CigarQuerySpan(result.cigar)));
+  genome::GenomeLocation ref_pos = result.location;
+  size_t extra_off = 0;
+  for (const align::CigarOp& op : ops) {
+    switch (op.op) {
+      case 'M':
+      case '=':
+      case 'X': {
+        PERSONA_ASSIGN_OR_RETURN(std::string_view seg,
+                                 reference.Slice(ref_pos, static_cast<size_t>(op.length)));
+        fwd.append(seg);
+        ref_pos += op.length;
+        break;
+      }
+      case 'I':
+      case 'S':
+        fwd.append(extra, extra_off, static_cast<size_t>(op.length));
+        extra_off += static_cast<size_t>(op.length);
+        break;
+      case 'D':
+      case 'N':
+        ref_pos += op.length;
+        break;
+      default:
+        break;
+    }
+  }
+
+  for (const Substitution& sub : subs) {
+    if (sub.read_offset < 0 || sub.read_offset >= static_cast<int64_t>(fwd.size())) {
+      return DataLossError("refcomp record: substitution offset out of read range");
+    }
+    fwd[static_cast<size_t>(sub.read_offset)] = sub.base;
+  }
+
+  return result.reverse() ? compress::ReverseComplement(fwd) : fwd;
+}
+
+RefCompStats RefEncodeChunk(const genome::ReferenceGenome& reference,
+                            std::span<const std::string> bases,
+                            std::span<const align::AlignmentResult> results, Buffer* out,
+                            std::vector<uint32_t>* record_lengths) {
+  RefCompStats stats;
+  for (size_t i = 0; i < bases.size(); ++i) {
+    const size_t before = out->size();
+    RefEncodeRead(reference, bases[i], results[i], out, &stats);
+    record_lengths->push_back(static_cast<uint32_t>(out->size() - before));
+  }
+  return stats;
+}
+
+Result<std::vector<std::string>> RefDecodeChunk(
+    const genome::ReferenceGenome& reference, std::span<const uint8_t> data,
+    std::span<const uint32_t> record_lengths,
+    std::span<const align::AlignmentResult> results) {
+  if (record_lengths.size() != results.size()) {
+    return InvalidArgumentError("refcomp chunk: index and results size mismatch");
+  }
+  std::vector<std::string> out;
+  out.reserve(record_lengths.size());
+  size_t offset = 0;
+  for (size_t i = 0; i < record_lengths.size(); ++i) {
+    if (offset + record_lengths[i] > data.size()) {
+      return DataLossError("refcomp chunk: record extends past data block");
+    }
+    PERSONA_ASSIGN_OR_RETURN(
+        std::string bases,
+        RefDecodeRead(reference, data.subspan(offset, record_lengths[i]), results[i]));
+    out.push_back(std::move(bases));
+    offset += record_lengths[i];
+  }
+  return out;
+}
+
+}  // namespace persona::format

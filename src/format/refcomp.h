@@ -1,0 +1,83 @@
+// Reference-based compression of the AGD bases column (paper §6.1: "Novel compression
+// for genomic data, such as reference-based compression [15], will likely be required").
+//
+// A mapped read matches the reference at almost every base, and the alignment position
+// and CIGAR are already stored in the AGD results column. The bases record of a mapped
+// read therefore only needs the *differences*: substituted bases, plus the bases the
+// reference cannot supply (insertions and soft clips). Decoding walks the CIGAR over the
+// reference to regenerate everything else. Reads that cannot be projected onto the
+// reference (unmapped, CIGAR/length inconsistencies, off-contig alignments) fall back to
+// the plain 3-bit packed encoding, so round-tripping is always exact.
+//
+// Record layout (self-delimiting, one record per AGD index entry):
+//   tag varint: 0 = raw, 1 = ref-based
+//   raw:        varint base_count | 3-bit packed words
+//   ref-based:  varint substitution_count
+//               per substitution: varint ((offset_delta << 3) | base_code)
+//                 (offset_delta = gap from the previous substitution's read offset,
+//                  in forward-reference read coordinates; first delta is absolute)
+//               3-bit packed "extra" bases (insertions + soft clips, in CIGAR order;
+//                 count is derived from the CIGAR, so it is not stored)
+//
+// Reverse-strand reads are projected through their reverse complement (the CIGAR always
+// refers to the forward reference), matching the SAM convention.
+
+#ifndef PERSONA_SRC_FORMAT_REFCOMP_H_
+#define PERSONA_SRC_FORMAT_REFCOMP_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/align/alignment.h"
+#include "src/genome/reference.h"
+#include "src/util/buffer.h"
+#include "src/util/result.h"
+
+namespace persona::format {
+
+struct RefCompStats {
+  int64_t records = 0;
+  int64_t ref_encoded = 0;   // records stored as diffs
+  int64_t raw_fallback = 0;  // records stored packed (unmapped or unprojectable)
+  int64_t substitutions = 0;
+  int64_t extra_bases = 0;   // insertion + soft-clip bases stored verbatim
+  int64_t input_bases = 0;
+  int64_t encoded_bytes = 0;
+
+  double BitsPerBase() const {
+    return input_bases == 0 ? 0 : 8.0 * static_cast<double>(encoded_bytes) /
+                                       static_cast<double>(input_bases);
+  }
+  void Add(const RefCompStats& other);
+};
+
+// Appends the encoding of one read's bases to `out`. `result` must be the read's entry
+// from the results column. Never fails: unprojectable reads use the raw fallback.
+void RefEncodeRead(const genome::ReferenceGenome& reference, std::string_view bases,
+                   const align::AlignmentResult& result, Buffer* out, RefCompStats* stats);
+
+// Decodes one record produced by RefEncodeRead. `bytes` must be exactly one record (an
+// AGD chunk index entry); `result` must be the same results-column entry used to encode.
+Result<std::string> RefDecodeRead(const genome::ReferenceGenome& reference,
+                                  std::span<const uint8_t> bytes,
+                                  const align::AlignmentResult& result);
+
+// Convenience: encodes a whole chunk of reads; records are concatenated into `out` and
+// per-record byte lengths appended to `record_lengths` (the AGD relative index).
+RefCompStats RefEncodeChunk(const genome::ReferenceGenome& reference,
+                            std::span<const std::string> bases,
+                            std::span<const align::AlignmentResult> results, Buffer* out,
+                            std::vector<uint32_t>* record_lengths);
+
+// Decodes a whole chunk back into per-read base strings.
+Result<std::vector<std::string>> RefDecodeChunk(
+    const genome::ReferenceGenome& reference, std::span<const uint8_t> data,
+    std::span<const uint32_t> record_lengths,
+    std::span<const align::AlignmentResult> results);
+
+}  // namespace persona::format
+
+#endif  // PERSONA_SRC_FORMAT_REFCOMP_H_

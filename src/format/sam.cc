@@ -1,0 +1,270 @@
+#include "src/format/sam.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/compress/base_compaction.h"
+#include "src/compress/codec.h"
+#include "src/util/string_util.h"
+#include "src/util/varint.h"
+
+namespace persona::format {
+
+std::string SamHeader(const genome::ReferenceGenome& reference) {
+  std::string out = "@HD\tVN:1.6\tSO:unknown\n";
+  for (const genome::Contig& contig : reference.contigs()) {
+    out += "@SQ\tSN:" + contig.name + "\tLN:" + std::to_string(contig.sequence.size()) + "\n";
+  }
+  out += "@PG\tID:persona\tPN:persona\n";
+  return out;
+}
+
+Status AppendSamRecord(const genome::ReferenceGenome& reference, const genome::Read& read,
+                       const align::AlignmentResult& result, std::string* out) {
+  // QNAME FLAG RNAME POS MAPQ CIGAR RNEXT PNEXT TLEN SEQ QUAL
+  out->append(read.metadata.empty() ? "*" : read.metadata);
+  out->push_back('\t');
+  out->append(std::to_string(result.flags));
+  out->push_back('\t');
+
+  if (result.mapped()) {
+    PERSONA_ASSIGN_OR_RETURN(genome::ContigPosition pos,
+                             reference.GlobalToLocal(result.location));
+    out->append(reference.contig(static_cast<size_t>(pos.contig_index)).name);
+    out->push_back('\t');
+    out->append(std::to_string(pos.offset + 1));  // SAM is 1-based
+  } else {
+    out->append("*\t0");
+  }
+  out->push_back('\t');
+  out->append(std::to_string(result.mapq));
+  out->push_back('\t');
+  out->append(result.mapped() && !result.cigar.empty() ? result.cigar : "*");
+  out->push_back('\t');
+
+  if (result.mate_location >= 0) {
+    PERSONA_ASSIGN_OR_RETURN(genome::ContigPosition mate_pos,
+                             reference.GlobalToLocal(result.mate_location));
+    genome::ContigPosition own_pos{};
+    if (result.mapped()) {
+      PERSONA_ASSIGN_OR_RETURN(own_pos, reference.GlobalToLocal(result.location));
+    }
+    if (result.mapped() && mate_pos.contig_index == own_pos.contig_index) {
+      out->push_back('=');
+    } else {
+      out->append(reference.contig(static_cast<size_t>(mate_pos.contig_index)).name);
+    }
+    out->push_back('\t');
+    out->append(std::to_string(mate_pos.offset + 1));
+  } else {
+    out->append("*\t0");
+  }
+  out->push_back('\t');
+  out->append(std::to_string(result.template_length));
+  out->push_back('\t');
+
+  // SEQ/QUAL are stored reverse-complemented for reverse-strand alignments.
+  if (result.reverse()) {
+    out->append(compress::ReverseComplement(read.bases));
+    out->push_back('\t');
+    std::string rq(read.qual.rbegin(), read.qual.rend());
+    out->append(rq);
+  } else {
+    out->append(read.bases);
+    out->push_back('\t');
+    out->append(read.qual);
+  }
+  if (result.edit_distance >= 0) {
+    out->append("\tNM:i:");
+    out->append(std::to_string(result.edit_distance));
+  }
+  out->push_back('\n');
+  return OkStatus();
+}
+
+Status ParseSamRecord(const genome::ReferenceGenome& reference, std::string_view line,
+                      genome::Read* read, align::AlignmentResult* result) {
+  std::vector<std::string_view> fields = SplitString(line, '\t');
+  if (fields.size() < 11) {
+    return DataLossError("SAM record has fewer than 11 fields");
+  }
+  read->metadata = std::string(fields[0]);
+  int64_t flags = ParseInt64(fields[1]);
+  if (flags < 0) {
+    return DataLossError("SAM: bad FLAG");
+  }
+  result->flags = static_cast<uint16_t>(flags);
+
+  if (fields[2] == "*") {
+    result->location = genome::kInvalidLocation;
+    result->flags |= align::kFlagUnmapped;
+  } else {
+    PERSONA_ASSIGN_OR_RETURN(int32_t contig, reference.FindContig(fields[2]));
+    int64_t pos = ParseInt64(fields[3]);
+    if (pos <= 0) {
+      return DataLossError("SAM: bad POS");
+    }
+    PERSONA_ASSIGN_OR_RETURN(result->location, reference.LocalToGlobal(contig, pos - 1));
+  }
+
+  int64_t mapq = ParseInt64(fields[4]);
+  if (mapq < 0 || mapq > 255) {
+    return DataLossError("SAM: bad MAPQ");
+  }
+  result->mapq = static_cast<uint8_t>(mapq);
+  result->cigar = fields[5] == "*" ? "" : std::string(fields[5]);
+
+  if (fields[6] == "*") {
+    result->mate_location = genome::kInvalidLocation;
+  } else {
+    int32_t mate_contig;
+    if (fields[6] == "=") {
+      auto pos = reference.GlobalToLocal(result->location);
+      if (!pos.ok()) {
+        return DataLossError("SAM: '=' RNEXT with unmapped read");
+      }
+      mate_contig = pos->contig_index;
+    } else {
+      PERSONA_ASSIGN_OR_RETURN(mate_contig, reference.FindContig(fields[6]));
+    }
+    int64_t mate_pos = ParseInt64(fields[7]);
+    if (mate_pos <= 0) {
+      return DataLossError("SAM: bad PNEXT");
+    }
+    PERSONA_ASSIGN_OR_RETURN(result->mate_location,
+                             reference.LocalToGlobal(mate_contig, mate_pos - 1));
+  }
+
+  // TLEN may be negative; ParseInt64 is unsigned-only, handle the sign here.
+  std::string_view tlen = fields[8];
+  bool negative = !tlen.empty() && tlen[0] == '-';
+  int64_t tlen_value = ParseInt64(negative ? tlen.substr(1) : tlen);
+  if (tlen_value < 0) {
+    return DataLossError("SAM: bad TLEN");
+  }
+  result->template_length = static_cast<int32_t>(negative ? -tlen_value : tlen_value);
+
+  // Restore original read orientation.
+  if (result->reverse()) {
+    read->bases = compress::ReverseComplement(fields[9]);
+    read->qual = std::string(fields[10].rbegin(), fields[10].rend());
+  } else {
+    read->bases = std::string(fields[9]);
+    read->qual = std::string(fields[10]);
+  }
+
+  result->edit_distance = -1;
+  for (size_t i = 11; i < fields.size(); ++i) {
+    if (StartsWith(fields[i], "NM:i:")) {
+      int64_t nm = ParseInt64(fields[i].substr(5));
+      if (nm >= 0) {
+        result->edit_distance = static_cast<int16_t>(nm);
+      }
+    }
+  }
+  result->score = 0;
+  return OkStatus();
+}
+
+// --- BSAM ---
+
+namespace {
+
+constexpr char kBsamMagic[4] = {'B', 'S', 'A', 'M'};
+
+void EncodeBsamRecord(const genome::Read& read, const align::AlignmentResult& result,
+                      Buffer* out) {
+  PutVarint(read.metadata.size(), out);
+  out->Append(read.metadata);
+  PutVarint(read.bases.size(), out);
+  out->Append(read.bases);
+  out->Append(read.qual);  // same length as bases
+  align::EncodeResult(result, out);
+}
+
+Status DecodeBsamRecord(std::span<const uint8_t> bytes, size_t* offset, genome::Read* read,
+                        align::AlignmentResult* result) {
+  PERSONA_ASSIGN_OR_RETURN(uint64_t meta_len, GetVarint(bytes, offset));
+  if (*offset + meta_len > bytes.size()) {
+    return DataLossError("BSAM: truncated metadata");
+  }
+  read->metadata.assign(reinterpret_cast<const char*>(bytes.data()) + *offset, meta_len);
+  *offset += meta_len;
+  PERSONA_ASSIGN_OR_RETURN(uint64_t base_len, GetVarint(bytes, offset));
+  if (*offset + 2 * base_len > bytes.size()) {
+    return DataLossError("BSAM: truncated sequence");
+  }
+  read->bases.assign(reinterpret_cast<const char*>(bytes.data()) + *offset, base_len);
+  *offset += base_len;
+  read->qual.assign(reinterpret_cast<const char*>(bytes.data()) + *offset, base_len);
+  *offset += base_len;
+  return DecodeResult(bytes, offset, result);
+}
+
+}  // namespace
+
+void BsamWriter::Add(const genome::Read& read, const align::AlignmentResult& result) {
+  EncodeBsamRecord(read, result, &current_);
+  if (current_.size() >= block_size_) {
+    // Errors are surfaced at Finish(); zlib failures here are not recoverable mid-stream.
+    (void)FlushBlock();
+  }
+}
+
+Status BsamWriter::FlushBlock() {
+  if (current_.empty()) {
+    return OkStatus();
+  }
+  Buffer compressed;
+  const compress::Codec& codec = compress::GetCodec(compress::CodecId::kZlib);
+  PERSONA_RETURN_IF_ERROR(codec.Compress(current_.span(), &compressed));
+  file_.Append(kBsamMagic, sizeof(kBsamMagic));
+  file_.AppendScalar<uint32_t>(static_cast<uint32_t>(current_.size()));
+  file_.AppendScalar<uint32_t>(static_cast<uint32_t>(compressed.size()));
+  file_.Append(compressed.span());
+  current_.Clear();
+  return OkStatus();
+}
+
+Result<Buffer> BsamWriter::Finish() {
+  PERSONA_RETURN_IF_ERROR(FlushBlock());
+  return std::move(file_);
+}
+
+Result<BsamReader> BsamReader::Open(std::span<const uint8_t> file_bytes) {
+  BsamReader reader;
+  size_t pos = 0;
+  const compress::Codec& codec = compress::GetCodec(compress::CodecId::kZlib);
+  while (pos < file_bytes.size()) {
+    if (pos + 12 > file_bytes.size()) {
+      return DataLossError("BSAM: truncated block header");
+    }
+    if (std::memcmp(file_bytes.data() + pos, kBsamMagic, sizeof(kBsamMagic)) != 0) {
+      return DataLossError("BSAM: bad block magic");
+    }
+    uint32_t raw_size;
+    uint32_t compressed_size;
+    std::memcpy(&raw_size, file_bytes.data() + pos + 4, 4);
+    std::memcpy(&compressed_size, file_bytes.data() + pos + 8, 4);
+    pos += 12;
+    if (pos + compressed_size > file_bytes.size()) {
+      return DataLossError("BSAM: truncated block body");
+    }
+    Buffer block;
+    PERSONA_RETURN_IF_ERROR(
+        codec.Decompress(file_bytes.subspan(pos, compressed_size), raw_size, &block));
+    pos += compressed_size;
+
+    size_t offset = 0;
+    while (offset < block.size()) {
+      genome::Read read;
+      align::AlignmentResult result;
+      PERSONA_RETURN_IF_ERROR(DecodeBsamRecord(block.span(), &offset, &read, &result));
+      reader.reads_.push_back(std::move(read));
+      reader.results_.push_back(std::move(result));
+    }
+  }
+  return reader;
+}
+
+}  // namespace persona::format

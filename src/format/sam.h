@@ -1,0 +1,72 @@
+// SAM text format and BSAM (block-compressed binary SAM records).
+//
+// SAM is the de-facto row-oriented standard for aligned reads (paper §2.2). Persona
+// exports SAM/BAM for compatibility with non-integrated tools (§4.4, §5.7). Here:
+//   - SAM: spec-conforming 11-column text records plus @HD/@SQ headers;
+//   - BSAM: our BAM equivalent — binary records framed in zlib-compressed blocks
+//     (BGZF-style), exercising the same conversion + compression path as BAM export.
+
+#ifndef PERSONA_SRC_FORMAT_SAM_H_
+#define PERSONA_SRC_FORMAT_SAM_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/align/alignment.h"
+#include "src/genome/read.h"
+#include "src/genome/reference.h"
+#include "src/util/buffer.h"
+#include "src/util/result.h"
+
+namespace persona::format {
+
+// "@HD...\n@SQ SN:chr1 LN:...\n..." for all contigs.
+std::string SamHeader(const genome::ReferenceGenome& reference);
+
+// Appends one SAM record line. Positions convert from global to 1-based contig-relative.
+// Reverse-strand reads emit reverse-complemented bases and reversed qualities, per spec.
+Status AppendSamRecord(const genome::ReferenceGenome& reference, const genome::Read& read,
+                       const align::AlignmentResult& result, std::string* out);
+
+// Parses one SAM record line (tabs, 11+ columns) back into read + result form.
+Status ParseSamRecord(const genome::ReferenceGenome& reference, std::string_view line,
+                      genome::Read* read, align::AlignmentResult* result);
+
+// --- BSAM ---
+
+// Writes binary records into zlib-framed blocks of ~block_size bytes.
+class BsamWriter {
+ public:
+  explicit BsamWriter(size_t block_size = 64 * 1024) : block_size_(block_size) {}
+
+  void Add(const genome::Read& read, const align::AlignmentResult& result);
+
+  // Flushes any partial block and returns the complete file image.
+  Result<Buffer> Finish();
+
+ private:
+  Status FlushBlock();
+
+  size_t block_size_;
+  Buffer current_;  // uncompressed records being accumulated
+  Buffer file_;
+};
+
+// Reads back a BSAM file image.
+class BsamReader {
+ public:
+  static Result<BsamReader> Open(std::span<const uint8_t> file_bytes);
+
+  size_t size() const { return reads_.size(); }
+  const genome::Read& read(size_t i) const { return reads_[i]; }
+  const align::AlignmentResult& result(size_t i) const { return results_[i]; }
+
+ private:
+  std::vector<genome::Read> reads_;
+  std::vector<align::AlignmentResult> results_;
+};
+
+}  // namespace persona::format
+
+#endif  // PERSONA_SRC_FORMAT_SAM_H_

@@ -1,0 +1,198 @@
+#include "src/format/vcf.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "src/util/string_util.h"
+
+namespace persona::format {
+namespace {
+
+bool ValidAllele(std::string_view allele) {
+  if (allele.empty()) {
+    return false;
+  }
+  for (char c : allele) {
+    if (c != 'A' && c != 'C' && c != 'G' && c != 'T' && c != 'N') {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string_view VariantTypeTag(const VariantRecord& record) {
+  if (record.snv()) {
+    return "SNV";
+  }
+  return record.insertion() ? "INS" : "DEL";
+}
+
+// Parses a floating-point field; VCF uses '.' for missing.
+Result<double> ParseVcfDouble(std::string_view field) {
+  if (field == ".") {
+    return 0.0;
+  }
+  std::string tmp(field);
+  char* end = nullptr;
+  double v = std::strtod(tmp.c_str(), &end);
+  if (end != tmp.c_str() + tmp.size()) {
+    return InvalidArgumentError(StrFormat("malformed numeric VCF field '%s'", tmp.c_str()));
+  }
+  return v;
+}
+
+}  // namespace
+
+std::string VcfHeader(const genome::ReferenceGenome& reference, std::string_view sample_name) {
+  std::string out;
+  out += "##fileformat=VCFv4.2\n";
+  out += "##source=persona\n";
+  for (const auto& contig : reference.contigs()) {
+    out += StrFormat("##contig=<ID=%s,length=%zu>\n", contig.name.c_str(),
+                     contig.sequence.size());
+  }
+  out += "##INFO=<ID=DP,Number=1,Type=Integer,Description=\"Pileup depth\">\n";
+  out += "##INFO=<ID=AF,Number=1,Type=Float,Description=\"Alt observation fraction\">\n";
+  out += "##INFO=<ID=SB,Number=1,Type=Float,Description=\"Strand bias\">\n";
+  out += "##INFO=<ID=TYPE,Number=1,Type=String,Description=\"SNV, INS or DEL\">\n";
+  out += "##FORMAT=<ID=GT,Number=1,Type=String,Description=\"Genotype\">\n";
+  out += "#CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\tINFO\tFORMAT\t";
+  out += sample_name;
+  out += '\n';
+  return out;
+}
+
+Status AppendVcfRecord(const genome::ReferenceGenome& reference, const VariantRecord& record,
+                       std::string* out) {
+  if (record.contig_index < 0 ||
+      record.contig_index >= static_cast<int32_t>(reference.num_contigs())) {
+    return InvalidArgumentError("VCF record contig index out of range");
+  }
+  if (!ValidAllele(record.ref_allele) || !ValidAllele(record.alt_allele)) {
+    return InvalidArgumentError("VCF record has an empty or non-ACGTN allele");
+  }
+  const auto& contig = reference.contig(static_cast<size_t>(record.contig_index));
+  if (record.position < 0 ||
+      record.position + static_cast<int64_t>(record.ref_allele.size()) >
+          static_cast<int64_t>(contig.sequence.size())) {
+    return InvalidArgumentError("VCF record position out of contig range");
+  }
+  out->append(
+      StrFormat("%s\t%lld\t%s\t%s\t%s\t%.2f\t%s\tDP=%d;AF=%.4f;SB=%.4f;TYPE=%s\tGT\t%s\n",
+                contig.name.c_str(), static_cast<long long>(record.position + 1),
+                record.id.c_str(), record.ref_allele.c_str(), record.alt_allele.c_str(),
+                record.qual, record.filter.c_str(), record.depth, record.alt_fraction,
+                record.strand_bias, std::string(VariantTypeTag(record)).c_str(),
+                record.genotype.c_str()));
+  return OkStatus();
+}
+
+Status ParseVcfRecord(const genome::ReferenceGenome& reference, std::string_view line,
+                      VariantRecord* out) {
+  std::vector<std::string_view> fields = SplitString(line, '\t');
+  if (fields.size() < 8) {
+    return InvalidArgumentError(
+        StrFormat("VCF record has %zu fields, expected >= 8", fields.size()));
+  }
+  VariantRecord record;
+
+  PERSONA_ASSIGN_OR_RETURN(int32_t contig_index, reference.FindContig(fields[0]));
+  record.contig_index = contig_index;
+
+  int64_t pos1 = ParseInt64(fields[1]);
+  if (pos1 < 1) {
+    return InvalidArgumentError(StrFormat("malformed VCF POS '%.*s'",
+                                          static_cast<int>(fields[1].size()),
+                                          fields[1].data()));
+  }
+  record.position = pos1 - 1;
+
+  record.id = std::string(fields[2]);
+  record.ref_allele = std::string(fields[3]);
+  record.alt_allele = std::string(fields[4]);
+  if (!ValidAllele(record.ref_allele)) {
+    return InvalidArgumentError("malformed VCF REF allele");
+  }
+  if (record.alt_allele.find(',') != std::string::npos) {
+    return UnimplementedError("multi-allelic VCF records are not supported");
+  }
+  if (!ValidAllele(record.alt_allele)) {
+    return InvalidArgumentError("malformed VCF ALT allele");
+  }
+
+  PERSONA_ASSIGN_OR_RETURN(record.qual, ParseVcfDouble(fields[5]));
+  record.filter = std::string(fields[6]);
+
+  for (std::string_view kv : SplitString(fields[7], ';')) {
+    size_t eq = kv.find('=');
+    if (eq == std::string_view::npos) {
+      continue;  // flag-style INFO key; none are meaningful to us
+    }
+    std::string_view key = kv.substr(0, eq);
+    std::string_view value = kv.substr(eq + 1);
+    if (key == "DP") {
+      int64_t dp = ParseInt64(value);
+      if (dp < 0) {
+        return InvalidArgumentError("malformed VCF INFO DP");
+      }
+      record.depth = static_cast<int32_t>(dp);
+    } else if (key == "AF") {
+      PERSONA_ASSIGN_OR_RETURN(record.alt_fraction, ParseVcfDouble(value));
+    } else if (key == "SB") {
+      PERSONA_ASSIGN_OR_RETURN(record.strand_bias, ParseVcfDouble(value));
+    }
+    // Unknown keys (including TYPE, which is derivable from the alleles) are skipped.
+  }
+
+  if (fields.size() >= 10) {
+    // FORMAT declares the sample-column layout; we only consume a leading GT.
+    std::vector<std::string_view> format_keys = SplitString(fields[8], ':');
+    std::vector<std::string_view> sample_values = SplitString(fields[9], ':');
+    if (!format_keys.empty() && format_keys[0] == "GT" && !sample_values.empty()) {
+      record.genotype = std::string(sample_values[0]);
+    }
+  }
+
+  *out = std::move(record);
+  return OkStatus();
+}
+
+std::string WriteVcf(const genome::ReferenceGenome& reference, std::string_view sample_name,
+                     std::span<const VariantRecord> records) {
+  std::string out = VcfHeader(reference, sample_name);
+  for (const VariantRecord& record : records) {
+    // Records produced by the caller are always valid; a failed append indicates a
+    // programming error upstream, surfaced in the output for visibility.
+    Status status = AppendVcfRecord(reference, record, &out);
+    if (!status.ok()) {
+      out += "#ERROR ";
+      out += status.message();
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+Result<std::vector<VariantRecord>> ParseVcf(const genome::ReferenceGenome& reference,
+                                            std::string_view text) {
+  std::vector<VariantRecord> records;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    std::string_view line =
+        eol == std::string_view::npos ? text.substr(pos) : text.substr(pos, eol - pos);
+    pos = eol == std::string_view::npos ? text.size() : eol + 1;
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    VariantRecord record;
+    Status status = ParseVcfRecord(reference, line, &record);
+    if (!status.ok()) {
+      return status;
+    }
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+}  // namespace persona::format

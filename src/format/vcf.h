@@ -1,0 +1,66 @@
+// VCF (Variant Call Format) text reader/writer (paper §2.2: "Variant calling results use
+// the standard VCF format").
+//
+// Persona's variant caller emits VCF so downstream tools can consume results without AGD
+// support, mirroring how the SAM exporter provides compatibility for alignments. We emit
+// the standard 8 fixed columns plus FORMAT/sample with a GT genotype, and the INFO keys
+// the caller produces (DP, AF, TYPE). Positions are 0-based in memory and 1-based in the
+// text form, as the spec requires.
+
+#ifndef PERSONA_SRC_FORMAT_VCF_H_
+#define PERSONA_SRC_FORMAT_VCF_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/genome/reference.h"
+#include "src/util/result.h"
+
+namespace persona::format {
+
+struct VariantRecord {
+  int32_t contig_index = -1;
+  int64_t position = -1;  // 0-based
+  std::string id = ".";
+  std::string ref_allele;
+  std::string alt_allele;
+  double qual = 0;             // Phred-scaled confidence that the site is variant
+  std::string filter = "PASS";
+  int32_t depth = 0;           // INFO DP: pileup depth used for the call
+  double alt_fraction = 0;     // INFO AF: alternate allele observation fraction
+  double strand_bias = 0;      // INFO SB: |alt fraction fwd - alt fraction rev|, [0,1]
+  std::string genotype = "./.";  // sample GT, e.g. "0/1"
+
+  bool snv() const { return ref_allele.size() == 1 && alt_allele.size() == 1; }
+  bool insertion() const { return alt_allele.size() > ref_allele.size(); }
+  bool deletion() const { return ref_allele.size() > alt_allele.size(); }
+
+  bool operator==(const VariantRecord&) const = default;
+};
+
+// "##fileformat=VCFv4.2" + contig lines + INFO/FORMAT declarations + the #CHROM header.
+std::string VcfHeader(const genome::ReferenceGenome& reference, std::string_view sample_name);
+
+// Appends one record line (no trailing validation against the reference sequence).
+Status AppendVcfRecord(const genome::ReferenceGenome& reference, const VariantRecord& record,
+                       std::string* out);
+
+// Parses one non-header line. Multi-allelic ALT lists are rejected (the caller never
+// emits them); unknown INFO keys are ignored.
+Status ParseVcfRecord(const genome::ReferenceGenome& reference, std::string_view line,
+                      VariantRecord* out);
+
+// Serializes a full file: header + one line per record.
+std::string WriteVcf(const genome::ReferenceGenome& reference, std::string_view sample_name,
+                     std::span<const VariantRecord> records);
+
+// Parses a full file, skipping ## and # header lines.
+Result<std::vector<VariantRecord>> ParseVcf(const genome::ReferenceGenome& reference,
+                                            std::string_view text);
+
+}  // namespace persona::format
+
+#endif  // PERSONA_SRC_FORMAT_VCF_H_

@@ -1,0 +1,73 @@
+#include "src/genome/generator.h"
+
+#include <algorithm>
+
+#include "src/util/rng.h"
+
+namespace persona::genome {
+
+namespace {
+
+char RandomBase(Rng& rng, double gc_content) {
+  // P(G or C) = gc_content, split evenly; same for A/T.
+  double u = rng.UniformDouble();
+  if (u < gc_content / 2) {
+    return 'G';
+  }
+  if (u < gc_content) {
+    return 'C';
+  }
+  if (u < gc_content + (1.0 - gc_content) / 2) {
+    return 'A';
+  }
+  return 'T';
+}
+
+void MutateCopy(Rng& rng, double rate, std::string* segment) {
+  static const char kBases[] = {'A', 'C', 'G', 'T'};
+  for (char& c : *segment) {
+    if (rng.Bernoulli(rate)) {
+      c = kBases[rng.Uniform(4)];
+    }
+  }
+}
+
+}  // namespace
+
+ReferenceGenome GenerateGenome(const GenomeSpec& spec) {
+  Rng rng(spec.seed);
+  std::vector<Contig> contigs;
+  contigs.reserve(static_cast<size_t>(spec.num_contigs));
+
+  for (int ci = 0; ci < spec.num_contigs; ++ci) {
+    std::string seq;
+    seq.reserve(static_cast<size_t>(spec.contig_length));
+    for (int64_t i = 0; i < spec.contig_length; ++i) {
+      seq.push_back(RandomBase(rng, spec.gc_content));
+    }
+
+    // Inject repeats: overwrite windows with mutated copies of earlier material.
+    if (spec.repeat_fraction > 0 && spec.contig_length > 4 * spec.repeat_unit_length) {
+      int64_t repeat_bases =
+          static_cast<int64_t>(spec.repeat_fraction * static_cast<double>(spec.contig_length));
+      int64_t placed = 0;
+      while (placed + spec.repeat_unit_length <= repeat_bases) {
+        int64_t src = rng.UniformInt(0, spec.contig_length - spec.repeat_unit_length - 1);
+        int64_t dst = rng.UniformInt(0, spec.contig_length - spec.repeat_unit_length - 1);
+        if (std::abs(src - dst) < spec.repeat_unit_length) {
+          continue;  // avoid self-overlapping copies
+        }
+        std::string copy = seq.substr(static_cast<size_t>(src),
+                                      static_cast<size_t>(spec.repeat_unit_length));
+        MutateCopy(rng, spec.repeat_mutation_rate, &copy);
+        seq.replace(static_cast<size_t>(dst), copy.size(), copy);
+        placed += spec.repeat_unit_length;
+      }
+    }
+
+    contigs.push_back(Contig{"chr" + std::to_string(ci + 1), std::move(seq)});
+  }
+  return ReferenceGenome(std::move(contigs));
+}
+
+}  // namespace persona::genome

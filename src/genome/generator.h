@@ -1,0 +1,32 @@
+// Synthetic reference genome generator.
+//
+// Stands in for hg19 (DESIGN.md §1): produces a multi-contig genome with configurable GC
+// content and injected repeats. Repeats matter because they create ambiguous seed hits,
+// which is what makes real aligners need candidate voting and MAPQ.
+
+#ifndef PERSONA_SRC_GENOME_GENERATOR_H_
+#define PERSONA_SRC_GENOME_GENERATOR_H_
+
+#include <cstdint>
+
+#include "src/genome/reference.h"
+
+namespace persona::genome {
+
+struct GenomeSpec {
+  int num_contigs = 2;
+  int64_t contig_length = 100'000;
+  double gc_content = 0.41;        // hg19-like
+  double repeat_fraction = 0.05;   // fraction of each contig rewritten as repeat copies
+  int64_t repeat_unit_length = 300;
+  double repeat_mutation_rate = 0.01;  // divergence between repeat copies
+  uint64_t seed = 42;
+};
+
+// Generates a deterministic synthetic reference for the given spec. Contigs are named
+// "chr1".."chrN" to keep SAM headers familiar.
+ReferenceGenome GenerateGenome(const GenomeSpec& spec);
+
+}  // namespace persona::genome
+
+#endif  // PERSONA_SRC_GENOME_GENERATOR_H_

@@ -1,0 +1,182 @@
+#include "src/genome/mutate.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/util/rng.h"
+
+namespace persona::genome {
+namespace {
+
+constexpr char kAlphabet[4] = {'A', 'C', 'G', 'T'};
+
+// A base different from `ref`, uniform over the remaining three.
+char SubstituteBase(Rng& rng, char ref) {
+  while (true) {
+    char b = kAlphabet[rng.Uniform(4)];
+    if (b != ref) {
+      return b;
+    }
+  }
+}
+
+std::string RandomBases(Rng& rng, int len) {
+  std::string s;
+  s.reserve(static_cast<size_t>(len));
+  for (int i = 0; i < len; ++i) {
+    s.push_back(kAlphabet[rng.Uniform(4)]);
+  }
+  return s;
+}
+
+// True when positions [pos, pos+len) are all plain bases (mutating an 'N' region would
+// create alleles the caller cannot evaluate against the reference).
+bool RegionIsPlain(const std::string& seq, int64_t pos, int64_t len) {
+  for (int64_t i = pos; i < pos + len; ++i) {
+    char c = seq[static_cast<size_t>(i)];
+    if (c != 'A' && c != 'C' && c != 'G' && c != 'T') {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string_view VariantTypeName(VariantType type) {
+  switch (type) {
+    case VariantType::kSnv:
+      return "SNV";
+    case VariantType::kInsertion:
+      return "INS";
+    case VariantType::kDeletion:
+      return "DEL";
+  }
+  return "?";
+}
+
+int64_t DonorGenome::CountType(VariantType type) const {
+  return std::count_if(variants.begin(), variants.end(),
+                       [type](const TrueVariant& v) { return v.type == type; });
+}
+
+DonorGenome MutateGenome(const ReferenceGenome& reference, const MutationSpec& spec) {
+  assert(spec.max_indel_length >= 1);
+  Rng rng(spec.seed);
+  DonorGenome donor;
+  std::vector<Contig> hap_a_contigs;
+  std::vector<Contig> hap_b_contigs;
+  hap_a_contigs.reserve(reference.num_contigs());
+  hap_b_contigs.reserve(reference.num_contigs());
+
+  const double any_rate = spec.snv_rate + spec.insertion_rate + spec.deletion_rate;
+
+  for (size_t ci = 0; ci < reference.num_contigs(); ++ci) {
+    const Contig& contig = reference.contig(ci);
+    const std::string& ref = contig.sequence;
+    const int64_t len = static_cast<int64_t>(ref.size());
+    std::string hap_a;
+    std::string hap_b;
+    hap_a.reserve(ref.size() + ref.size() / 64);
+    hap_b.reserve(ref.size() + ref.size() / 64);
+
+    int64_t next_allowed = 1;  // position 0 is reserved: indels need a left anchor
+    for (int64_t p = 0; p < len;) {
+      const char ref_base = ref[static_cast<size_t>(p)];
+      bool mutate = p >= next_allowed && ref_base != 'N' && rng.Bernoulli(any_rate);
+      if (!mutate) {
+        hap_a.push_back(ref_base);
+        hap_b.push_back(ref_base);
+        ++p;
+        continue;
+      }
+
+      // Which type? Conditional split of the combined rate.
+      double u = rng.UniformDouble() * any_rate;
+      VariantType type = u < spec.snv_rate ? VariantType::kSnv
+                         : u < spec.snv_rate + spec.insertion_rate ? VariantType::kInsertion
+                                                                   : VariantType::kDeletion;
+
+      TrueVariant v;
+      v.contig_index = static_cast<int32_t>(ci);
+      v.position = p;
+      v.type = type;
+      v.heterozygous = rng.Bernoulli(spec.heterozygous_fraction);
+      v.haplotype_mask = v.heterozygous ? (rng.Bernoulli(0.5) ? 0x1 : 0x2) : 0x3;
+      const bool on_a = (v.haplotype_mask & 0x1) != 0;
+      const bool on_b = (v.haplotype_mask & 0x2) != 0;
+
+      switch (type) {
+        case VariantType::kSnv: {
+          char alt = SubstituteBase(rng, ref_base);
+          v.ref_allele.assign(1, ref_base);
+          v.alt_allele.assign(1, alt);
+          hap_a.push_back(on_a ? alt : ref_base);
+          hap_b.push_back(on_b ? alt : ref_base);
+          ++p;
+          break;
+        }
+        case VariantType::kInsertion: {
+          int ins_len = static_cast<int>(rng.UniformInt(1, spec.max_indel_length));
+          std::string inserted = RandomBases(rng, ins_len);
+          v.ref_allele.assign(1, ref_base);
+          v.alt_allele = v.ref_allele + inserted;
+          hap_a.push_back(ref_base);
+          hap_b.push_back(ref_base);
+          if (on_a) {
+            hap_a.append(inserted);
+          }
+          if (on_b) {
+            hap_b.append(inserted);
+          }
+          ++p;
+          break;
+        }
+        case VariantType::kDeletion: {
+          int64_t max_del = std::min<int64_t>(spec.max_indel_length, len - p - 1);
+          if (max_del < 1 || !RegionIsPlain(ref, p, max_del + 1)) {
+            // No room (or 'N' in the window): fall back to emitting the reference base.
+            hap_a.push_back(ref_base);
+            hap_b.push_back(ref_base);
+            ++p;
+            continue;
+          }
+          int64_t del_len = rng.UniformInt(1, max_del);
+          v.ref_allele = ref.substr(static_cast<size_t>(p), static_cast<size_t>(del_len) + 1);
+          v.alt_allele.assign(1, ref_base);
+          hap_a.push_back(ref_base);
+          hap_b.push_back(ref_base);
+          for (int64_t q = p + 1; q <= p + del_len; ++q) {
+            const char kept = ref[static_cast<size_t>(q)];
+            if (!on_a) {
+              hap_a.push_back(kept);
+            }
+            if (!on_b) {
+              hap_b.push_back(kept);
+            }
+          }
+          p += del_len + 1;
+          break;
+        }
+      }
+
+      donor.variants.push_back(std::move(v));
+      next_allowed = p + spec.min_spacing;
+    }
+
+    hap_a_contigs.push_back({contig.name, std::move(hap_a)});
+    hap_b_contigs.push_back({contig.name, std::move(hap_b)});
+  }
+
+  donor.haplotypes[0] = ReferenceGenome(std::move(hap_a_contigs));
+  donor.haplotypes[1] = ReferenceGenome(std::move(hap_b_contigs));
+  // Variants were generated in (contig, position) order already; assert in debug builds.
+  assert(std::is_sorted(donor.variants.begin(), donor.variants.end(),
+                        [](const TrueVariant& x, const TrueVariant& y) {
+                          return std::tie(x.contig_index, x.position) <
+                                 std::tie(y.contig_index, y.position);
+                        }));
+  return donor;
+}
+
+}  // namespace persona::genome

@@ -1,0 +1,78 @@
+// Diploid donor genome generator: injects known germline variants into a reference.
+//
+// Variant calling (the paper's stated next integration step, §8) needs reads that carry
+// real mutations relative to the reference they are aligned to. This module produces a
+// two-haplotype "donor" from a reference plus the exact truth set of injected variants,
+// so the end-to-end pipeline (simulate reads from donor -> align to reference -> sort ->
+// dedup -> pileup -> call) can be scored for precision/recall against ground truth.
+//
+// Truth variants are recorded in normalized VCF conventions: SNVs are single-base
+// substitutions; insertions/deletions carry one anchor reference base, with `position`
+// the 0-based reference coordinate of that anchor.
+
+#ifndef PERSONA_SRC_GENOME_MUTATE_H_
+#define PERSONA_SRC_GENOME_MUTATE_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/genome/reference.h"
+
+namespace persona::genome {
+
+enum class VariantType : uint8_t {
+  kSnv = 0,
+  kInsertion = 1,
+  kDeletion = 2,
+};
+
+std::string_view VariantTypeName(VariantType type);
+
+// One injected germline variant, in reference coordinates.
+struct TrueVariant {
+  int32_t contig_index = -1;
+  int64_t position = -1;    // 0-based; anchor base for indels
+  VariantType type = VariantType::kSnv;
+  std::string ref_allele;   // reference bases ("A" for SNV, anchor+deleted for DEL)
+  std::string alt_allele;   // donor bases ("G" for SNV, anchor+inserted for INS)
+  bool heterozygous = false;
+  uint8_t haplotype_mask = 0x3;  // bit 0 = haplotype A carries it, bit 1 = haplotype B
+
+  // Diploid genotype in VCF notation: "1/1" for homozygous-alt, "0/1" for heterozygous.
+  std::string GenotypeString() const { return heterozygous ? "0/1" : "1/1"; }
+
+  bool operator==(const TrueVariant&) const = default;
+};
+
+struct MutationSpec {
+  double snv_rate = 0.001;        // per reference base (human-like: ~1 SNV / kb)
+  double insertion_rate = 1e-4;
+  double deletion_rate = 1e-4;
+  int max_indel_length = 8;       // uniform in [1, max]
+  double heterozygous_fraction = 0.6;
+  // Minimum reference distance between injected variants. Spacing keeps the truth set
+  // unambiguous (no overlapping alleles), which callers and the scorer rely on.
+  int min_spacing = 12;
+  uint64_t seed = 1789;
+};
+
+// A diploid donor: two haplotype genomes plus the variants that distinguish them from
+// the reference. Haplotype contigs keep the reference contig names so read-simulation
+// metadata stays parseable.
+struct DonorGenome {
+  std::array<ReferenceGenome, 2> haplotypes;
+  std::vector<TrueVariant> variants;  // sorted by (contig_index, position)
+
+  // Count of variants of one type (diagnostics / tests).
+  int64_t CountType(VariantType type) const;
+};
+
+// Generates a deterministic donor for the given spec. Bases 'N' never mutate and indels
+// are never placed so close to a contig end that the anchor+allele would run off.
+DonorGenome MutateGenome(const ReferenceGenome& reference, const MutationSpec& spec);
+
+}  // namespace persona::genome
+
+#endif  // PERSONA_SRC_GENOME_MUTATE_H_

@@ -1,0 +1,21 @@
+// The core read record: the three fields a sequencing machine produces (paper §2.1):
+// bases, per-base quality scores, and uniquely identifying metadata.
+
+#ifndef PERSONA_SRC_GENOME_READ_H_
+#define PERSONA_SRC_GENOME_READ_H_
+
+#include <string>
+
+namespace persona::genome {
+
+struct Read {
+  std::string bases;     // A/C/G/T/N
+  std::string qual;      // Phred+33 ASCII, same length as bases
+  std::string metadata;  // read name / identifier
+
+  bool operator==(const Read&) const = default;
+};
+
+}  // namespace persona::genome
+
+#endif  // PERSONA_SRC_GENOME_READ_H_

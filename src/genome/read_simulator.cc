@@ -1,0 +1,197 @@
+#include "src/genome/read_simulator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/compress/base_compaction.h"
+#include "src/util/string_util.h"
+
+namespace persona::genome {
+
+namespace {
+
+// Phred+33 quality character for error probability p.
+char PhredChar(double p) {
+  int q = static_cast<int>(-10.0 * std::log10(std::max(p, 1e-5)));
+  q = std::clamp(q, 2, 41);
+  return static_cast<char>('!' + q);
+}
+
+double PhredProb(char qc) {
+  int q = qc - '!';
+  return std::pow(10.0, -q / 10.0);
+}
+
+}  // namespace
+
+Result<ReadTruth> ParseReadTruth(const ReferenceGenome& reference, std::string_view metadata) {
+  // Pair mates carry a FASTQ-style "/1" or "/2" suffix (NextPair); the truth fields are
+  // identical for both ends, so the suffix is simply stripped.
+  if (metadata.size() >= 2 && metadata[metadata.size() - 2] == '/' &&
+      (metadata.back() == '1' || metadata.back() == '2')) {
+    metadata.remove_suffix(2);
+  }
+  auto fields = SplitString(metadata, ':');
+  if (fields.size() < 5 || fields[0] != "sim") {
+    return InvalidArgumentError("metadata is not simulator-formatted: " +
+                                std::string(metadata));
+  }
+  ReadTruth truth;
+  PERSONA_ASSIGN_OR_RETURN(truth.contig_index, reference.FindContig(fields[1]));
+  truth.position = ParseInt64(fields[2]);
+  if (truth.position < 0) {
+    return InvalidArgumentError("bad position in metadata");
+  }
+  if (fields[3] == "R") {
+    truth.reverse = true;
+  } else if (fields[3] != "F") {
+    return InvalidArgumentError("bad strand in metadata");
+  }
+  int64_t serial = ParseInt64(fields[4]);
+  if (serial < 0) {
+    return InvalidArgumentError("bad serial in metadata");
+  }
+  truth.serial = static_cast<uint64_t>(serial);
+  truth.duplicate = fields.size() > 5 && fields[5] == "d";
+  return truth;
+}
+
+ReadSimulator::ReadSimulator(const ReferenceGenome* reference, const ReadSimSpec& spec)
+    : reference_(reference), spec_(spec), rng_(spec.seed) {}
+
+ReadSimulator::Fragment ReadSimulator::SampleFragment(int length) {
+  while (true) {
+    // Pick a contig proportional to its length, then a start that fits.
+    int64_t g = static_cast<int64_t>(rng_.Uniform(
+        static_cast<uint64_t>(std::max<int64_t>(reference_->total_length(), 1))));
+    auto pos = reference_->GlobalToLocal(g);
+    if (!pos.ok()) {
+      continue;
+    }
+    const Contig& contig = reference_->contig(static_cast<size_t>(pos->contig_index));
+    if (pos->offset + length > static_cast<int64_t>(contig.sequence.size())) {
+      continue;  // does not fit; resample
+    }
+    bool reverse = rng_.Bernoulli(spec_.reverse_fraction);
+    return Fragment{pos->contig_index, pos->offset, reverse};
+  }
+}
+
+std::string ReadSimulator::MakeQuality(int length) {
+  std::string qual;
+  qual.reserve(static_cast<size_t>(length));
+  for (int i = 0; i < length; ++i) {
+    // Illumina-like profile: high quality early, degrading toward the 3' end.
+    double frac = static_cast<double>(i) / std::max(1, length - 1);
+    double p = 0.001 + 0.009 * frac * frac;
+    // Add jitter so qualities are not constant.
+    p *= (0.5 + rng_.UniformDouble());
+    qual.push_back(PhredChar(p));
+  }
+  return qual;
+}
+
+std::string ReadSimulator::ApplyErrors(std::string_view tmpl, const std::string& qual) {
+  static const char kBases[] = {'A', 'C', 'G', 'T'};
+  std::string out;
+  out.reserve(tmpl.size());
+  for (size_t i = 0; i < tmpl.size(); ++i) {
+    // Indels first (rare).
+    if (rng_.Bernoulli(spec_.indel_rate)) {
+      if (rng_.Bernoulli(0.5)) {
+        continue;  // deletion: skip this template base
+      }
+      out.push_back(kBases[rng_.Uniform(4)]);  // insertion before the base
+    }
+    char base = tmpl[i];
+    double err = spec_.substitution_rate + PhredProb(qual[std::min(i, qual.size() - 1)]);
+    if (rng_.Bernoulli(err)) {
+      char sub = base;
+      while (sub == base) {
+        sub = kBases[rng_.Uniform(4)];
+      }
+      base = sub;
+    }
+    out.push_back(base);
+    if (out.size() >= tmpl.size()) {
+      break;  // keep read length fixed even after insertions
+    }
+  }
+  // Insertions may overshoot by one; deletions may undershoot. Normalize the length so
+  // bases and qualities always agree.
+  if (out.size() > tmpl.size()) {
+    out.resize(tmpl.size());
+  }
+  while (out.size() < tmpl.size()) {
+    out.push_back(kBases[rng_.Uniform(4)]);
+  }
+  return out;
+}
+
+Read ReadSimulator::MakeRead(const Fragment& frag, int length, bool duplicate) {
+  const Contig& contig = reference_->contig(static_cast<size_t>(frag.contig_index));
+  std::string_view tmpl =
+      std::string_view(contig.sequence).substr(static_cast<size_t>(frag.position),
+                                               static_cast<size_t>(length));
+  std::string oriented(tmpl);
+  if (frag.reverse) {
+    oriented = compress::ReverseComplement(oriented);
+  }
+  Read read;
+  read.qual = MakeQuality(length);
+  read.bases = ApplyErrors(oriented, read.qual);
+  read.metadata = StrFormat("sim:%s:%lld:%c:%llu%s", contig.name.c_str(),
+                            static_cast<long long>(frag.position), frag.reverse ? 'R' : 'F',
+                            static_cast<unsigned long long>(serial_++),
+                            duplicate ? ":d" : "");
+  return read;
+}
+
+Read ReadSimulator::NextRead() {
+  bool duplicate = !recent_fragments_.empty() && rng_.Bernoulli(spec_.duplicate_fraction);
+  Fragment frag;
+  if (duplicate) {
+    frag = recent_fragments_[rng_.Uniform(recent_fragments_.size())];
+  } else {
+    frag = SampleFragment(spec_.read_length);
+    // Bound the duplicate pool so memory stays constant over long simulations.
+    if (recent_fragments_.size() < 4096) {
+      recent_fragments_.push_back(frag);
+    } else {
+      recent_fragments_[rng_.Uniform(recent_fragments_.size())] = frag;
+    }
+  }
+  return MakeRead(frag, spec_.read_length, duplicate);
+}
+
+std::pair<Read, Read> ReadSimulator::NextPair() {
+  int insert = std::max(
+      2 * spec_.read_length,
+      static_cast<int>(std::lround(rng_.Normal(spec_.insert_mean, spec_.insert_stddev))));
+  // Sample a fragment long enough for the whole insert.
+  Fragment frag;
+  while (true) {
+    frag = SampleFragment(insert);
+    break;
+  }
+  // First mate: forward at the left end. Second mate: reverse at the right end.
+  Fragment left{frag.contig_index, frag.position, false};
+  Fragment right{frag.contig_index, frag.position + insert - spec_.read_length, true};
+  Read r1 = MakeRead(left, spec_.read_length, /*duplicate=*/false);
+  Read r2 = MakeRead(right, spec_.read_length, /*duplicate=*/false);
+  // Pair mates share a name stem: suffix /1 and /2, FASTQ-style.
+  r1.metadata += "/1";
+  r2.metadata += "/2";
+  return {std::move(r1), std::move(r2)};
+}
+
+std::vector<Read> ReadSimulator::Simulate(size_t n) {
+  std::vector<Read> reads;
+  reads.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    reads.push_back(NextRead());
+  }
+  return reads;
+}
+
+}  // namespace persona::genome

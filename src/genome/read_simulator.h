@@ -1,0 +1,81 @@
+// wgsim-style read simulator (substitute for the ERR174324 Illumina dataset).
+//
+// Samples reads uniformly from a reference, applies a position-dependent quality profile,
+// introduces substitution and indel errors, optionally emits PCR-style duplicates, and
+// encodes ground truth in the read metadata so tests can score aligner accuracy:
+//   sim:<contig>:<0-based pos>:<F|R>:<serial>[:d]      (":d" marks an intended duplicate)
+
+#ifndef PERSONA_SRC_GENOME_READ_SIMULATOR_H_
+#define PERSONA_SRC_GENOME_READ_SIMULATOR_H_
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "src/genome/read.h"
+#include "src/genome/reference.h"
+#include "src/util/result.h"
+#include "src/util/rng.h"
+
+namespace persona::genome {
+
+struct ReadSimSpec {
+  int read_length = 101;           // the paper's dataset uses 101-bp reads
+  double substitution_rate = 0.005;
+  double indel_rate = 0.0002;
+  double reverse_fraction = 0.5;   // probability of sampling the reverse strand
+  double duplicate_fraction = 0.0; // probability a read is a duplicate of a previous one
+  bool paired = false;
+  int insert_mean = 350;
+  int insert_stddev = 30;
+  uint64_t seed = 7;
+};
+
+// Ground truth parsed back out of a simulated read's metadata.
+struct ReadTruth {
+  int32_t contig_index = -1;
+  int64_t position = -1;
+  bool reverse = false;
+  uint64_t serial = 0;
+  bool duplicate = false;
+};
+
+// Parses "sim:..." metadata; error if the read was not produced by this simulator.
+Result<ReadTruth> ParseReadTruth(const ReferenceGenome& reference, std::string_view metadata);
+
+class ReadSimulator {
+ public:
+  ReadSimulator(const ReferenceGenome* reference, const ReadSimSpec& spec);
+
+  // Generates the next single-end read.
+  Read NextRead();
+
+  // Generates a read pair (forward/reverse of one fragment). Requires spec.paired.
+  std::pair<Read, Read> NextPair();
+
+  // Convenience: n single-end reads.
+  std::vector<Read> Simulate(size_t n);
+
+ private:
+  struct Fragment {
+    int32_t contig_index;
+    int64_t position;  // leftmost position of the sampled segment
+    bool reverse;
+  };
+
+  Fragment SampleFragment(int length);
+  Read MakeRead(const Fragment& frag, int length, bool duplicate);
+  std::string ApplyErrors(std::string_view tmpl, const std::string& qual);
+  std::string MakeQuality(int length);
+
+  const ReferenceGenome* reference_;
+  ReadSimSpec spec_;
+  Rng rng_;
+  uint64_t serial_ = 0;
+  std::vector<Fragment> recent_fragments_;  // duplicate source pool
+};
+
+}  // namespace persona::genome
+
+#endif  // PERSONA_SRC_GENOME_READ_SIMULATOR_H_

@@ -1,0 +1,64 @@
+#include "src/genome/reference.h"
+
+#include <algorithm>
+
+namespace persona::genome {
+
+ReferenceGenome::ReferenceGenome(std::vector<Contig> contigs) : contigs_(std::move(contigs)) {
+  starts_.reserve(contigs_.size());
+  for (const Contig& c : contigs_) {
+    starts_.push_back(total_length_);
+    total_length_ += static_cast<int64_t>(c.sequence.size());
+  }
+}
+
+Result<int32_t> ReferenceGenome::FindContig(std::string_view name) const {
+  for (size_t i = 0; i < contigs_.size(); ++i) {
+    if (contigs_[i].name == name) {
+      return static_cast<int32_t>(i);
+    }
+  }
+  return NotFoundError("no such contig: " + std::string(name));
+}
+
+Result<ContigPosition> ReferenceGenome::GlobalToLocal(GenomeLocation loc) const {
+  if (loc < 0 || loc >= total_length_) {
+    return OutOfRangeError("global location out of range: " + std::to_string(loc));
+  }
+  // Binary search over contig start offsets.
+  auto it = std::upper_bound(starts_.begin(), starts_.end(), loc);
+  size_t idx = static_cast<size_t>(it - starts_.begin()) - 1;
+  return ContigPosition{static_cast<int32_t>(idx), loc - starts_[idx]};
+}
+
+Result<GenomeLocation> ReferenceGenome::LocalToGlobal(int32_t contig_index,
+                                                      int64_t offset) const {
+  if (contig_index < 0 || static_cast<size_t>(contig_index) >= contigs_.size()) {
+    return OutOfRangeError("contig index out of range");
+  }
+  const Contig& c = contigs_[static_cast<size_t>(contig_index)];
+  if (offset < 0 || offset >= static_cast<int64_t>(c.sequence.size())) {
+    return OutOfRangeError("offset out of range for contig " + c.name);
+  }
+  return starts_[static_cast<size_t>(contig_index)] + offset;
+}
+
+Result<std::string_view> ReferenceGenome::Slice(GenomeLocation loc, size_t len) const {
+  PERSONA_ASSIGN_OR_RETURN(ContigPosition pos, GlobalToLocal(loc));
+  const Contig& c = contigs_[static_cast<size_t>(pos.contig_index)];
+  if (pos.offset + static_cast<int64_t>(len) > static_cast<int64_t>(c.sequence.size())) {
+    return OutOfRangeError("slice spans contig boundary");
+  }
+  return std::string_view(c.sequence).substr(static_cast<size_t>(pos.offset), len);
+}
+
+char ReferenceGenome::BaseAt(GenomeLocation loc) const {
+  auto pos = GlobalToLocal(loc);
+  if (!pos.ok()) {
+    return 'N';
+  }
+  return contigs_[static_cast<size_t>(pos->contig_index)]
+      .sequence[static_cast<size_t>(pos->offset)];
+}
+
+}  // namespace persona::genome

@@ -1,0 +1,73 @@
+// Reference genome model: a set of named contigs with global-coordinate mapping.
+//
+// Aligners work in a single global coordinate space (the concatenation of all contigs);
+// SAM/AGD results are reported per-contig. This mirrors how SNAP and BWA treat hg19.
+
+#ifndef PERSONA_SRC_GENOME_REFERENCE_H_
+#define PERSONA_SRC_GENOME_REFERENCE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/result.h"
+
+namespace persona::genome {
+
+// Global offset into the concatenated reference, or kInvalidLocation for unmapped.
+using GenomeLocation = int64_t;
+inline constexpr GenomeLocation kInvalidLocation = -1;
+
+struct Contig {
+  std::string name;
+  std::string sequence;  // uppercase A/C/G/T/N
+};
+
+// Position expressed relative to one contig.
+struct ContigPosition {
+  int32_t contig_index = -1;
+  int64_t offset = -1;  // 0-based within the contig
+
+  bool valid() const { return contig_index >= 0; }
+  bool operator==(const ContigPosition&) const = default;
+};
+
+class ReferenceGenome {
+ public:
+  ReferenceGenome() = default;
+  explicit ReferenceGenome(std::vector<Contig> contigs);
+
+  const std::vector<Contig>& contigs() const { return contigs_; }
+  size_t num_contigs() const { return contigs_.size(); }
+  const Contig& contig(size_t i) const { return contigs_[i]; }
+
+  // Total bases across all contigs.
+  int64_t total_length() const { return total_length_; }
+
+  Result<int32_t> FindContig(std::string_view name) const;
+
+  // Maps a global location to (contig, offset). Fails if out of range.
+  Result<ContigPosition> GlobalToLocal(GenomeLocation loc) const;
+  // Maps (contig index, offset) to a global location. Fails if out of range.
+  Result<GenomeLocation> LocalToGlobal(int32_t contig_index, int64_t offset) const;
+
+  // Start of contig i in global coordinates.
+  GenomeLocation contig_start(size_t i) const { return starts_[i]; }
+
+  // Reads `len` bases starting at global location `loc`; clipped at contig boundaries is
+  // an error (reads never span contigs).
+  Result<std::string_view> Slice(GenomeLocation loc, size_t len) const;
+
+  // Direct access to the base at a global location (no bounds check).
+  char BaseAt(GenomeLocation loc) const;
+
+ private:
+  std::vector<Contig> contigs_;
+  std::vector<GenomeLocation> starts_;  // starts_[i] = global start of contig i
+  int64_t total_length_ = 0;
+};
+
+}  // namespace persona::genome
+
+#endif  // PERSONA_SRC_GENOME_REFERENCE_H_

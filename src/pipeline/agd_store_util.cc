@@ -1,0 +1,90 @@
+#include "src/pipeline/agd_store_util.h"
+
+#include "src/format/fastq.h"
+
+namespace persona::pipeline {
+
+Result<format::Manifest> WriteAgdToStore(storage::ObjectStore* store, const std::string& name,
+                                         std::span<const genome::Read> reads,
+                                         int64_t chunk_size, compress::CodecId codec) {
+  if (chunk_size <= 0) {
+    return InvalidArgumentError("chunk_size must be positive");
+  }
+  format::Manifest manifest;
+  manifest.name = name;
+  manifest.chunk_size = chunk_size;
+  manifest.columns = format::StandardReadColumns(codec);
+
+  size_t offset = 0;
+  Buffer file;
+  while (offset < reads.size()) {
+    size_t count = std::min(static_cast<size_t>(chunk_size), reads.size() - offset);
+    format::ManifestChunk chunk;
+    chunk.path_base = name + "-" + std::to_string(manifest.chunks.size());
+    chunk.first_record = static_cast<int64_t>(offset);
+    chunk.num_records = static_cast<int64_t>(count);
+
+    format::ChunkBuilder bases(format::RecordType::kBases, codec);
+    format::ChunkBuilder qual(format::RecordType::kQual, codec);
+    format::ChunkBuilder metadata(format::RecordType::kMetadata, codec);
+    for (size_t i = offset; i < offset + count; ++i) {
+      bases.AddBases(reads[i].bases);
+      qual.AddRecord(reads[i].qual);
+      metadata.AddRecord(reads[i].metadata);
+    }
+    PERSONA_RETURN_IF_ERROR(bases.Finalize(&file));
+    PERSONA_RETURN_IF_ERROR(store->Put(chunk.path_base + ".bases", file));
+    PERSONA_RETURN_IF_ERROR(qual.Finalize(&file));
+    PERSONA_RETURN_IF_ERROR(store->Put(chunk.path_base + ".qual", file));
+    PERSONA_RETURN_IF_ERROR(metadata.Finalize(&file));
+    PERSONA_RETURN_IF_ERROR(store->Put(chunk.path_base + ".metadata", file));
+
+    manifest.chunks.push_back(std::move(chunk));
+    offset += count;
+  }
+  PERSONA_RETURN_IF_ERROR(store->Put("manifest.json", manifest.ToJson()));
+  return manifest;
+}
+
+Result<format::Manifest> ReadManifestFromStore(storage::ObjectStore* store) {
+  Buffer buffer;
+  PERSONA_RETURN_IF_ERROR(store->Get("manifest.json", &buffer));
+  return format::Manifest::FromJson(buffer.view());
+}
+
+Result<uint64_t> WriteGzippedFastqToStore(storage::ObjectStore* store,
+                                          const std::string& name,
+                                          std::span<const genome::Read> reads) {
+  std::string fastq;
+  format::WriteFastq(reads, &fastq);
+  Buffer compressed;
+  const compress::Codec& codec = compress::GetCodec(compress::CodecId::kZlib);
+  PERSONA_RETURN_IF_ERROR(codec.Compress(
+      std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(fastq.data()), fastq.size()),
+      &compressed));
+  // Store the uncompressed size alongside for decompression.
+  Buffer object;
+  object.AppendScalar<uint64_t>(fastq.size());
+  object.Append(compressed.span());
+  PERSONA_RETURN_IF_ERROR(store->Put(name + ".fastq.gz", object));
+  return static_cast<uint64_t>(object.size());
+}
+
+Result<std::vector<genome::Read>> ReadGzippedFastqFromStore(storage::ObjectStore* store,
+                                                            const std::string& name) {
+  Buffer object;
+  PERSONA_RETURN_IF_ERROR(store->Get(name + ".fastq.gz", &object));
+  if (object.size() < sizeof(uint64_t)) {
+    return DataLossError("gzipped FASTQ object too small");
+  }
+  uint64_t raw_size = object.ReadScalar<uint64_t>(0);
+  Buffer fastq;
+  const compress::Codec& codec = compress::GetCodec(compress::CodecId::kZlib);
+  PERSONA_RETURN_IF_ERROR(codec.Decompress(object.span().subspan(sizeof(uint64_t)),
+                                           static_cast<size_t>(raw_size), &fastq));
+  std::vector<genome::Read> reads;
+  PERSONA_RETURN_IF_ERROR(format::ParseFastq(fastq.view(), &reads));
+  return reads;
+}
+
+}  // namespace persona::pipeline

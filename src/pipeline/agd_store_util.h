@@ -1,0 +1,41 @@
+// Helpers for AGD datasets living in an ObjectStore (rather than a plain directory):
+// dataset creation from reads, manifest storage, and gzipped-FASTQ staging for the
+// row-oriented baseline pipelines.
+
+#ifndef PERSONA_SRC_PIPELINE_AGD_STORE_UTIL_H_
+#define PERSONA_SRC_PIPELINE_AGD_STORE_UTIL_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/format/agd_manifest.h"
+#include "src/genome/read.h"
+#include "src/storage/object_store.h"
+
+namespace persona::pipeline {
+
+// Writes `reads` as an AGD dataset (bases/qual/metadata columns) into `store` under
+// keys "<name>-<i>.<column>", plus "manifest.json". Returns the manifest.
+Result<format::Manifest> WriteAgdToStore(storage::ObjectStore* store,
+                                         const std::string& name,
+                                         std::span<const genome::Read> reads,
+                                         int64_t chunk_size,
+                                         compress::CodecId codec = compress::CodecId::kZlib);
+
+// Loads a manifest previously written by WriteAgdToStore.
+Result<format::Manifest> ReadManifestFromStore(storage::ObjectStore* store);
+
+// Writes `reads` as one gzip-compressed FASTQ object (key "<name>.fastq.gz" by blocks)
+// — the input format of the standalone baseline. Returns total compressed bytes.
+Result<uint64_t> WriteGzippedFastqToStore(storage::ObjectStore* store,
+                                          const std::string& name,
+                                          std::span<const genome::Read> reads);
+
+// Reads back a gzipped FASTQ object written by WriteGzippedFastqToStore.
+Result<std::vector<genome::Read>> ReadGzippedFastqFromStore(storage::ObjectStore* store,
+                                                            const std::string& name);
+
+}  // namespace persona::pipeline
+
+#endif  // PERSONA_SRC_PIPELINE_AGD_STORE_UTIL_H_

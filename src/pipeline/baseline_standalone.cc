@@ -1,0 +1,156 @@
+#include "src/pipeline/baseline_standalone.h"
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+#include "src/format/sam.h"
+#include "src/pipeline/agd_store_util.h"
+#include "src/util/stopwatch.h"
+
+namespace persona::pipeline {
+
+Result<StandaloneReport> RunStandaloneAlignment(storage::ObjectStore* store,
+                                                const std::string& name,
+                                                const genome::ReferenceGenome& reference,
+                                                const align::Aligner& aligner,
+                                                const StandaloneOptions& options) {
+  const storage::StoreStats store_before = store->stats();
+  Stopwatch timer;
+
+  // Phase 0: the monolithic input must be fetched and decompressed before worker
+  // threads have anything to do (no chunked overlap as in Persona).
+  PERSONA_ASSIGN_OR_RETURN(std::vector<genome::Read> reads,
+                           ReadGzippedFastqFromStore(store, name));
+
+  StandaloneReport report;
+  report.reads = reads.size();
+
+  // Shared output buffer with writeback bursts.
+  std::mutex out_mu;
+  std::string sam_buffer;
+  sam_buffer.reserve(options.writeback_threshold + (64 << 10));
+  std::atomic<int> sam_part{0};
+  auto flush_locked = [&]() -> Status {
+    if (sam_buffer.empty()) {
+      return OkStatus();
+    }
+    std::string part = name + ".sam." + std::to_string(sam_part.fetch_add(1));
+    // The burst write happens while holding the output lock — workers needing to
+    // append stall behind it, as they do behind writeback on a real single disk.
+    Status status = store->Put(part, sam_buffer);
+    sam_buffer.clear();
+    return status;
+  };
+
+  {
+    std::lock_guard<std::mutex> lock(out_mu);
+    sam_buffer += format::SamHeader(reference);
+  }
+
+  // Ad-hoc worker threads over read batches.
+  std::atomic<size_t> next_read{0};
+  std::atomic<uint64_t> total_bases{0};
+  std::atomic<bool> failed{false};
+  std::mutex error_mu;
+  Status first_error;
+
+  // Utilization sampling: accumulate per-worker busy time and sample the delta each
+  // interval (instantaneous busy-thread counts are scheduler-biased on small machines).
+  std::atomic<uint64_t> busy_ns{0};
+  std::atomic<bool> sampling{options.utilization_sample_sec > 0};
+  std::thread sampler;
+  if (options.utilization_sample_sec > 0) {
+    report.utilization_interval_sec = options.utilization_sample_sec;
+    sampler = std::thread([&] {
+      uint64_t last_busy = 0;
+      Stopwatch clock;
+      double last_time = 0;
+      while (sampling.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(options.utilization_sample_sec));
+        double now = clock.ElapsedSeconds();
+        uint64_t busy = busy_ns.load(std::memory_order_relaxed);
+        double util = static_cast<double>(busy - last_busy) * 1e-9 /
+                      ((now - last_time) * std::max(1, options.threads));
+        report.utilization.push_back(std::min(util, 1.0));
+        last_busy = busy;
+        last_time = now;
+      }
+    });
+  }
+
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(options.threads));
+  for (int w = 0; w < options.threads; ++w) {
+    workers.emplace_back([&] {
+      std::string local_sam;
+      while (!failed.load(std::memory_order_relaxed)) {
+        size_t begin = next_read.fetch_add(options.batch_reads);
+        if (begin >= reads.size()) {
+          break;
+        }
+        size_t end = std::min(reads.size(), begin + options.batch_reads);
+        Stopwatch busy_timer;
+        local_sam.clear();
+        uint64_t batch_bases = 0;
+        for (size_t i = begin; i < end; ++i) {
+          align::AlignmentResult result = aligner.Align(reads[i], nullptr);
+          batch_bases += reads[i].bases.size();
+          Status status = format::AppendSamRecord(reference, reads[i], result, &local_sam);
+          if (!status.ok()) {
+            std::lock_guard<std::mutex> lock(error_mu);
+            if (first_error.ok()) {
+              first_error = status;
+            }
+            failed.store(true, std::memory_order_relaxed);
+            break;
+          }
+        }
+        total_bases.fetch_add(batch_bases, std::memory_order_relaxed);
+        busy_ns.fetch_add(static_cast<uint64_t>(busy_timer.ElapsedNanos()),
+                          std::memory_order_relaxed);
+
+        // Append to the shared buffer; trigger writeback past the threshold.
+        std::lock_guard<std::mutex> lock(out_mu);
+        sam_buffer += local_sam;
+        if (sam_buffer.size() >= options.writeback_threshold) {
+          Status status = flush_locked();
+          if (!status.ok()) {
+            std::lock_guard<std::mutex> elock(error_mu);
+            if (first_error.ok()) {
+              first_error = status;
+            }
+            failed.store(true, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : workers) {
+    t.join();
+  }
+  {
+    std::lock_guard<std::mutex> lock(out_mu);
+    Status status = flush_locked();
+    if (!status.ok() && first_error.ok()) {
+      first_error = status;
+    }
+  }
+  sampling.store(false);
+  if (sampler.joinable()) {
+    sampler.join();
+  }
+  PERSONA_RETURN_IF_ERROR(first_error);
+
+  report.seconds = timer.ElapsedSeconds();
+  report.bases = total_bases.load();
+  storage::StoreStats after = store->stats();
+  report.store_stats.bytes_read = after.bytes_read - store_before.bytes_read;
+  report.store_stats.bytes_written = after.bytes_written - store_before.bytes_written;
+  report.store_stats.read_ops = after.read_ops - store_before.read_ops;
+  report.store_stats.write_ops = after.write_ops - store_before.write_ops;
+  return report;
+}
+
+}  // namespace persona::pipeline

@@ -1,0 +1,49 @@
+// Standalone aligner baseline: the "SNAP standalone" configuration of Table 1 / Fig. 5.
+//
+// Models how the standalone tool processes a dataset, in contrast to Persona+AGD:
+//   - input is one monolithic gzipped FASTQ object (row-oriented: bases+qual+metadata
+//     are all read even though alignment needs no metadata);
+//   - output is row-oriented SAM text (~4x the input volume: the 16.75x write
+//     amplification of Table 1 comes from here);
+//   - output is buffered and flushed in large bursts, modelling the OS buffer-cache
+//     writeback that competes with reads on a single disk (the Fig. 5a cycles);
+//   - compute uses an ad-hoc thread pool rather than a dataflow graph.
+
+#ifndef PERSONA_SRC_PIPELINE_BASELINE_STANDALONE_H_
+#define PERSONA_SRC_PIPELINE_BASELINE_STANDALONE_H_
+
+#include <string>
+
+#include "src/align/aligner.h"
+#include "src/genome/reference.h"
+#include "src/storage/object_store.h"
+
+namespace persona::pipeline {
+
+struct StandaloneOptions {
+  int threads = 4;
+  size_t batch_reads = 4'096;           // reads handed to a worker at a time
+  size_t writeback_threshold = 8 << 20; // SAM bytes buffered before a burst write
+  double utilization_sample_sec = 0;    // 0 disables sampling
+};
+
+struct StandaloneReport {
+  double seconds = 0;
+  uint64_t reads = 0;
+  uint64_t bases = 0;
+  storage::StoreStats store_stats;
+  // Utilization timeline: fraction of provisioned threads busy per sample interval.
+  std::vector<double> utilization;
+  double utilization_interval_sec = 0;
+};
+
+// Aligns `<name>.fastq.gz` from `store`, writing `<name>.sam` parts back to `store`.
+Result<StandaloneReport> RunStandaloneAlignment(storage::ObjectStore* store,
+                                                const std::string& name,
+                                                const genome::ReferenceGenome& reference,
+                                                const align::Aligner& aligner,
+                                                const StandaloneOptions& options);
+
+}  // namespace persona::pipeline
+
+#endif  // PERSONA_SRC_PIPELINE_BASELINE_STANDALONE_H_

@@ -1,0 +1,203 @@
+#include "src/pipeline/convert.h"
+
+#include "src/format/agd_chunk.h"
+#include "src/format/fastq.h"
+#include "src/format/sam.h"
+#include "src/util/stopwatch.h"
+
+namespace persona::pipeline {
+
+namespace {
+
+double Throughput(uint64_t bytes, double seconds) {
+  return seconds > 0 ? static_cast<double>(bytes) / 1e6 / seconds : 0;
+}
+
+// Loads all four (or three) columns of chunk `ci` as (read, result) rows.
+Status LoadAlignedChunk(storage::ObjectStore* store, const format::Manifest& manifest,
+                        size_t ci, std::vector<genome::Read>* reads,
+                        std::vector<align::AlignmentResult>* results) {
+  Buffer file;
+  auto parse = [&](const char* column, format::ParsedChunk* out) -> Status {
+    PERSONA_RETURN_IF_ERROR(store->Get(manifest.ChunkFileName(ci, column), &file));
+    PERSONA_ASSIGN_OR_RETURN(*out, format::ParsedChunk::Parse(file.span()));
+    return OkStatus();
+  };
+  format::ParsedChunk bases;
+  format::ParsedChunk qual;
+  format::ParsedChunk metadata;
+  format::ParsedChunk result_chunk;
+  PERSONA_RETURN_IF_ERROR(parse("bases", &bases));
+  PERSONA_RETURN_IF_ERROR(parse("qual", &qual));
+  PERSONA_RETURN_IF_ERROR(parse("metadata", &metadata));
+  PERSONA_RETURN_IF_ERROR(parse("results", &result_chunk));
+  for (size_t i = 0; i < bases.record_count(); ++i) {
+    genome::Read read;
+    PERSONA_ASSIGN_OR_RETURN(read.bases, bases.GetBases(i));
+    PERSONA_ASSIGN_OR_RETURN(std::string_view q, qual.GetString(i));
+    read.qual = std::string(q);
+    PERSONA_ASSIGN_OR_RETURN(std::string_view m, metadata.GetString(i));
+    read.metadata = std::string(m);
+    reads->push_back(std::move(read));
+    PERSONA_ASSIGN_OR_RETURN(align::AlignmentResult r, result_chunk.GetResult(i));
+    results->push_back(std::move(r));
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+Result<ConvertReport> ImportFastqToAgd(storage::ObjectStore* store, const std::string& name,
+                                       int64_t chunk_size, compress::CodecId codec,
+                                       format::Manifest* out_manifest) {
+  Stopwatch timer;
+  const storage::StoreStats before = store->stats();
+
+  Buffer object;
+  PERSONA_RETURN_IF_ERROR(store->Get(name + ".fastq.gz", &object));
+  if (object.size() < sizeof(uint64_t)) {
+    return DataLossError("gzipped FASTQ object too small");
+  }
+  uint64_t raw_size = object.ReadScalar<uint64_t>(0);
+  Buffer fastq;
+  PERSONA_RETURN_IF_ERROR(compress::GetCodec(compress::CodecId::kZlib)
+                              .Decompress(object.span().subspan(sizeof(uint64_t)),
+                                          static_cast<size_t>(raw_size), &fastq));
+
+  format::Manifest manifest;
+  manifest.name = name;
+  manifest.chunk_size = chunk_size;
+  manifest.columns = format::StandardReadColumns(codec);
+
+  format::ChunkBuilder bases(format::RecordType::kBases, codec);
+  format::ChunkBuilder qual(format::RecordType::kQual, codec);
+  format::ChunkBuilder metadata(format::RecordType::kMetadata, codec);
+  Buffer file;
+  int64_t in_chunk = 0;
+  int64_t total = 0;
+
+  auto flush = [&]() -> Status {
+    if (in_chunk == 0) {
+      return OkStatus();
+    }
+    format::ManifestChunk chunk;
+    chunk.path_base = name + "-" + std::to_string(manifest.chunks.size());
+    chunk.first_record = total - in_chunk;
+    chunk.num_records = in_chunk;
+    PERSONA_RETURN_IF_ERROR(bases.Finalize(&file));
+    PERSONA_RETURN_IF_ERROR(store->Put(chunk.path_base + ".bases", file));
+    PERSONA_RETURN_IF_ERROR(qual.Finalize(&file));
+    PERSONA_RETURN_IF_ERROR(store->Put(chunk.path_base + ".qual", file));
+    PERSONA_RETURN_IF_ERROR(metadata.Finalize(&file));
+    PERSONA_RETURN_IF_ERROR(store->Put(chunk.path_base + ".metadata", file));
+    manifest.chunks.push_back(std::move(chunk));
+    bases.Reset();
+    qual.Reset();
+    metadata.Reset();
+    in_chunk = 0;
+    return OkStatus();
+  };
+
+  // Streamed parse: feed the decompressed text in windows, flushing chunks as they fill.
+  format::FastqParser parser;
+  std::vector<genome::Read> parsed;
+  constexpr size_t kWindow = 1 << 20;
+  for (size_t offset = 0; offset < fastq.size(); offset += kWindow) {
+    size_t len = std::min(kWindow, fastq.size() - offset);
+    PERSONA_RETURN_IF_ERROR(
+        parser.Feed(std::string_view(fastq.view().data() + offset, len), &parsed));
+    for (genome::Read& read : parsed) {
+      bases.AddBases(read.bases);
+      qual.AddRecord(read.qual);
+      metadata.AddRecord(read.metadata);
+      ++in_chunk;
+      ++total;
+      if (in_chunk >= chunk_size) {
+        PERSONA_RETURN_IF_ERROR(flush());
+      }
+    }
+    parsed.clear();
+  }
+  PERSONA_RETURN_IF_ERROR(parser.Finish());
+  PERSONA_RETURN_IF_ERROR(flush());
+  PERSONA_RETURN_IF_ERROR(store->Put("manifest.json", manifest.ToJson()));
+
+  ConvertReport report;
+  report.seconds = timer.ElapsedSeconds();
+  report.records = static_cast<uint64_t>(total);
+  report.bytes_in = fastq.size();
+  report.bytes_out = store->stats().bytes_written - before.bytes_written;
+  report.throughput_mb_per_sec = Throughput(report.bytes_in, report.seconds);
+  if (out_manifest != nullptr) {
+    *out_manifest = std::move(manifest);
+  }
+  return report;
+}
+
+Result<ConvertReport> ExportAgdToSam(storage::ObjectStore* store,
+                                     const format::Manifest& manifest,
+                                     const genome::ReferenceGenome& reference,
+                                     const std::string& out_key) {
+  if (!manifest.HasColumn("results")) {
+    return FailedPreconditionError("SAM export requires a results column");
+  }
+  Stopwatch timer;
+  const storage::StoreStats before = store->stats();
+
+  ConvertReport report;
+  std::string sam = format::SamHeader(reference);
+  int part = 0;
+  for (size_t ci = 0; ci < manifest.chunks.size(); ++ci) {
+    std::vector<genome::Read> reads;
+    std::vector<align::AlignmentResult> results;
+    PERSONA_RETURN_IF_ERROR(LoadAlignedChunk(store, manifest, ci, &reads, &results));
+    for (size_t i = 0; i < reads.size(); ++i) {
+      PERSONA_RETURN_IF_ERROR(
+          format::AppendSamRecord(reference, reads[i], results[i], &sam));
+      ++report.records;
+    }
+    if (sam.size() > (8u << 20)) {
+      PERSONA_RETURN_IF_ERROR(store->Put(out_key + "." + std::to_string(part++), sam));
+      report.bytes_in += sam.size();
+      sam.clear();
+    }
+  }
+  if (!sam.empty()) {
+    PERSONA_RETURN_IF_ERROR(store->Put(out_key + "." + std::to_string(part), sam));
+    report.bytes_in += sam.size();
+  }
+  report.seconds = timer.ElapsedSeconds();
+  report.bytes_out = store->stats().bytes_written - before.bytes_written;
+  report.throughput_mb_per_sec = Throughput(report.bytes_out, report.seconds);
+  return report;
+}
+
+Result<ConvertReport> ExportAgdToBsam(storage::ObjectStore* store,
+                                      const format::Manifest& manifest,
+                                      const std::string& out_key) {
+  if (!manifest.HasColumn("results")) {
+    return FailedPreconditionError("BSAM export requires a results column");
+  }
+  Stopwatch timer;
+  ConvertReport report;
+  format::BsamWriter writer;
+  for (size_t ci = 0; ci < manifest.chunks.size(); ++ci) {
+    std::vector<genome::Read> reads;
+    std::vector<align::AlignmentResult> results;
+    PERSONA_RETURN_IF_ERROR(LoadAlignedChunk(store, manifest, ci, &reads, &results));
+    for (size_t i = 0; i < reads.size(); ++i) {
+      writer.Add(reads[i], results[i]);
+      ++report.records;
+      report.bytes_in += reads[i].bases.size() + reads[i].qual.size() +
+                         reads[i].metadata.size();
+    }
+  }
+  PERSONA_ASSIGN_OR_RETURN(Buffer file, writer.Finish());
+  report.bytes_out = file.size();
+  PERSONA_RETURN_IF_ERROR(store->Put(out_key, file));
+  report.seconds = timer.ElapsedSeconds();
+  report.throughput_mb_per_sec = Throughput(report.bytes_out, report.seconds);
+  return report;
+}
+
+}  // namespace persona::pipeline

@@ -1,0 +1,43 @@
+// Format conversion utilities (paper §4.4 output subgraph, §5.7 conversion rates):
+// FASTQ -> AGD import, AGD -> SAM and AGD -> BSAM export.
+
+#ifndef PERSONA_SRC_PIPELINE_CONVERT_H_
+#define PERSONA_SRC_PIPELINE_CONVERT_H_
+
+#include <string>
+
+#include "src/format/agd_manifest.h"
+#include "src/genome/reference.h"
+#include "src/storage/object_store.h"
+
+namespace persona::pipeline {
+
+struct ConvertReport {
+  double seconds = 0;
+  uint64_t records = 0;
+  uint64_t bytes_in = 0;    // uncompressed input volume
+  uint64_t bytes_out = 0;   // bytes written to the store
+  double throughput_mb_per_sec = 0;  // bytes_in / seconds
+};
+
+// Imports "<name>.fastq.gz" from the store into an AGD dataset named `name`.
+// Parsing is streamed (FastqParser), chunks are flushed as they fill.
+Result<ConvertReport> ImportFastqToAgd(storage::ObjectStore* store, const std::string& name,
+                                       int64_t chunk_size,
+                                       compress::CodecId codec,
+                                       format::Manifest* out_manifest);
+
+// Exports an aligned AGD dataset to SAM text parts ("<out_key>.<i>").
+Result<ConvertReport> ExportAgdToSam(storage::ObjectStore* store,
+                                     const format::Manifest& manifest,
+                                     const genome::ReferenceGenome& reference,
+                                     const std::string& out_key);
+
+// Exports an aligned AGD dataset to one BSAM object (`out_key`).
+Result<ConvertReport> ExportAgdToBsam(storage::ObjectStore* store,
+                                      const format::Manifest& manifest,
+                                      const std::string& out_key);
+
+}  // namespace persona::pipeline
+
+#endif  // PERSONA_SRC_PIPELINE_CONVERT_H_

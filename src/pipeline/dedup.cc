@@ -1,0 +1,179 @@
+#include "src/pipeline/dedup.h"
+
+#include <bit>
+#include <unordered_set>
+#include <vector>
+
+#include "src/format/agd_chunk.h"
+#include "src/util/stopwatch.h"
+
+namespace persona::pipeline {
+
+namespace {
+
+// Signature: position + orientation (+ mate position when paired), mixed into 64 bits.
+// Matches Samblaster's key: reads mapping to the exact same location/orientation.
+inline uint64_t Signature(const align::AlignmentResult& r) {
+  uint64_t sig = static_cast<uint64_t>(r.location) << 2;
+  sig |= r.reverse() ? 1u : 0u;
+  if (r.mate_location >= 0) {
+    sig |= 2u;
+    uint64_t mate = static_cast<uint64_t>(r.mate_location);
+    // splitmix-style mix of the mate position into the high bits.
+    mate *= 0xBF58476D1CE4E5B9ull;
+    mate ^= mate >> 27;
+    sig ^= mate << 20;
+  }
+  return sig;
+}
+
+// Minimal open-addressing set tuned like a dense hashtable: power-of-two capacity,
+// linear probing, flat storage, no per-entry allocation.
+class DenseSignatureSet {
+ public:
+  explicit DenseSignatureSet(size_t expected) {
+    size_t capacity = std::bit_ceil(std::max<size_t>(expected * 2, 16));
+    slots_.assign(capacity, kEmpty);
+    mask_ = capacity - 1;
+  }
+
+  // Returns true if `sig` was newly inserted (first occurrence).
+  bool Insert(uint64_t sig) {
+    if (sig == kEmpty) {
+      sig = 0x1234567890ABCDEFull;  // remap the reserved value
+    }
+    size_t bucket = Mix(sig) & mask_;
+    while (true) {
+      uint64_t current = slots_[bucket];
+      if (current == sig) {
+        return false;
+      }
+      if (current == kEmpty) {
+        slots_[bucket] = sig;
+        ++size_;
+        if (size_ * 2 > slots_.size()) {
+          Grow();
+        }
+        return true;
+      }
+      bucket = (bucket + 1) & mask_;
+    }
+  }
+
+ private:
+  static constexpr uint64_t kEmpty = ~0ull;
+
+  static uint64_t Mix(uint64_t x) {
+    x ^= x >> 33;
+    x *= 0xFF51AFD7ED558CCDull;
+    x ^= x >> 33;
+    return x;
+  }
+
+  void Grow() {
+    std::vector<uint64_t> old;
+    old.swap(slots_);
+    slots_.assign(old.size() * 2, kEmpty);
+    mask_ = slots_.size() - 1;
+    size_ = 0;
+    for (uint64_t sig : old) {
+      if (sig != kEmpty) {
+        Insert(sig);
+      }
+    }
+  }
+
+  std::vector<uint64_t> slots_;
+  size_t mask_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace
+
+DedupReport MarkDuplicatesDense(std::span<align::AlignmentResult> results) {
+  Stopwatch timer;
+  DedupReport report;
+  DenseSignatureSet seen(results.size());
+  for (align::AlignmentResult& r : results) {
+    ++report.total;
+    if (!r.mapped()) {
+      continue;
+    }
+    if (!seen.Insert(Signature(r))) {
+      r.flags |= align::kFlagDuplicate;
+      ++report.duplicates;
+    }
+  }
+  report.seconds = timer.ElapsedSeconds();
+  report.reads_per_sec =
+      report.seconds > 0 ? static_cast<double>(report.total) / report.seconds : 0;
+  return report;
+}
+
+DedupReport MarkDuplicatesChained(std::span<align::AlignmentResult> results) {
+  Stopwatch timer;
+  DedupReport report;
+  // Node-based chained hashing with a conservative load factor: every insert allocates,
+  // every lookup chases pointers — the baseline's cost model.
+  std::unordered_set<uint64_t> seen;
+  seen.max_load_factor(0.7f);
+  for (align::AlignmentResult& r : results) {
+    ++report.total;
+    if (!r.mapped()) {
+      continue;
+    }
+    if (!seen.insert(Signature(r)).second) {
+      r.flags |= align::kFlagDuplicate;
+      ++report.duplicates;
+    }
+  }
+  report.seconds = timer.ElapsedSeconds();
+  report.reads_per_sec =
+      report.seconds > 0 ? static_cast<double>(report.total) / report.seconds : 0;
+  return report;
+}
+
+Result<DedupReport> DedupAgdResults(storage::ObjectStore* store,
+                                    const format::Manifest& manifest,
+                                    compress::CodecId codec) {
+  if (!manifest.HasColumn("results")) {
+    return FailedPreconditionError("dedup requires a results column");
+  }
+  Stopwatch timer;
+
+  // Load only the results column.
+  std::vector<align::AlignmentResult> all;
+  std::vector<size_t> chunk_sizes;
+  Buffer file;
+  for (size_t ci = 0; ci < manifest.chunks.size(); ++ci) {
+    PERSONA_RETURN_IF_ERROR(store->Get(manifest.ChunkFileName(ci, "results"), &file));
+    PERSONA_ASSIGN_OR_RETURN(format::ParsedChunk chunk,
+                             format::ParsedChunk::Parse(file.span()));
+    chunk_sizes.push_back(chunk.record_count());
+    for (size_t i = 0; i < chunk.record_count(); ++i) {
+      PERSONA_ASSIGN_OR_RETURN(align::AlignmentResult r, chunk.GetResult(i));
+      all.push_back(std::move(r));
+    }
+  }
+
+  DedupReport report = MarkDuplicatesDense(all);
+
+  // Write the flagged results back, chunk by chunk.
+  size_t offset = 0;
+  for (size_t ci = 0; ci < manifest.chunks.size(); ++ci) {
+    format::ChunkBuilder builder(format::RecordType::kResults, codec);
+    for (size_t i = 0; i < chunk_sizes[ci]; ++i) {
+      builder.AddResult(all[offset + i]);
+    }
+    offset += chunk_sizes[ci];
+    PERSONA_RETURN_IF_ERROR(builder.Finalize(&file));
+    PERSONA_RETURN_IF_ERROR(
+        store->Put(manifest.chunks[ci].path_base + ".results", file));
+  }
+  report.seconds = timer.ElapsedSeconds();
+  report.reads_per_sec =
+      report.seconds > 0 ? static_cast<double>(report.total) / report.seconds : 0;
+  return report;
+}
+
+}  // namespace persona::pipeline

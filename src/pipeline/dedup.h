@@ -1,0 +1,45 @@
+// Duplicate marking (paper §4.3, §5.6), Samblaster's algorithm: a read is a duplicate
+// when a previous read mapped to the exact same signature — (unclipped position,
+// orientation), extended with the mate's position for paired reads. The first occurrence
+// stays unmarked; later ones get the SAM duplicate flag.
+//
+// Two implementations with identical semantics:
+//   MarkDuplicatesDense   — open-addressing dense hash set (Persona's choice: Google's
+//                           dense hashtable; no per-entry allocation, linear probing)
+//   MarkDuplicatesChained — node-based chained hashing (the baseline's structure; one
+//                           heap allocation per entry, pointer-chasing on lookup)
+//
+// Persona additionally needs only the results column from an AGD dataset — see
+// DedupAgdResults — which is the I/O advantage §5.6 notes.
+
+#ifndef PERSONA_SRC_PIPELINE_DEDUP_H_
+#define PERSONA_SRC_PIPELINE_DEDUP_H_
+
+#include <span>
+
+#include "src/align/alignment.h"
+#include "src/format/agd_manifest.h"
+#include "src/storage/object_store.h"
+
+namespace persona::pipeline {
+
+struct DedupReport {
+  uint64_t total = 0;
+  uint64_t duplicates = 0;
+  double seconds = 0;
+  double reads_per_sec = 0;
+};
+
+// Marks duplicates in place (sets align::kFlagDuplicate).
+DedupReport MarkDuplicatesDense(std::span<align::AlignmentResult> results);
+DedupReport MarkDuplicatesChained(std::span<align::AlignmentResult> results);
+
+// Whole-dataset dedup touching only the results column: read every "<chunk>.results"
+// object, mark, write back. Other columns are never transferred.
+Result<DedupReport> DedupAgdResults(storage::ObjectStore* store,
+                                    const format::Manifest& manifest,
+                                    compress::CodecId codec = compress::CodecId::kZlib);
+
+}  // namespace persona::pipeline
+
+#endif  // PERSONA_SRC_PIPELINE_DEDUP_H_

@@ -1,0 +1,211 @@
+#include "src/pipeline/filter.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/format/agd_chunk.h"
+#include "src/util/stopwatch.h"
+#include "src/util/string_util.h"
+
+namespace persona::pipeline {
+namespace {
+
+// Writes one output chunk (all columns) and appends its manifest entry.
+Status FlushOutputChunk(storage::ObjectStore* store, const std::string& out_name,
+                        std::vector<format::ChunkBuilder>& builders,
+                        const std::vector<format::ManifestColumn>& columns,
+                        format::Manifest* out, FilterReport* report) {
+  if (builders.front().record_count() == 0) {
+    return OkStatus();
+  }
+  format::ManifestChunk chunk;
+  chunk.path_base = out_name + "-" + std::to_string(out->chunks.size());
+  chunk.first_record = out->total_records();
+  chunk.num_records = static_cast<int64_t>(builders.front().record_count());
+
+  Buffer file;
+  for (size_t c = 0; c < columns.size(); ++c) {
+    PERSONA_RETURN_IF_ERROR(builders[c].Finalize(&file));
+    PERSONA_RETURN_IF_ERROR(store->Put(chunk.path_base + "." + columns[c].name, file));
+    builders[c].Reset();
+  }
+  out->chunks.push_back(std::move(chunk));
+  ++report->chunks_out;
+  return OkStatus();
+}
+
+}  // namespace
+
+bool ReadFilterSpec::Keep(const align::AlignmentResult& result) const {
+  if ((result.flags & required_flags) != required_flags) {
+    return false;
+  }
+  if ((result.flags & excluded_flags) != 0) {
+    return false;
+  }
+  if (min_mapq > 0 && (!result.mapped() || result.mapq < min_mapq)) {
+    return false;
+  }
+  if (region_active()) {
+    if (!result.mapped()) {
+      return false;
+    }
+    if (result.location < region_begin || result.location >= region_end) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Result<GlobalRegion> ParseRegion(const genome::ReferenceGenome& reference,
+                                 std::string_view text) {
+  std::string_view contig_name = text;
+  std::string_view range;
+  const size_t colon = text.rfind(':');
+  if (colon != std::string_view::npos) {
+    contig_name = text.substr(0, colon);
+    range = text.substr(colon + 1);
+  }
+  PERSONA_ASSIGN_OR_RETURN(int32_t contig_index, reference.FindContig(contig_name));
+  const int64_t contig_length =
+      static_cast<int64_t>(reference.contig(static_cast<size_t>(contig_index)).sequence.size());
+
+  int64_t start1 = 1;              // 1-based inclusive
+  int64_t end1 = contig_length;    // 1-based inclusive
+  if (!range.empty()) {
+    const size_t dash = range.find('-');
+    std::string_view start_text = dash == std::string_view::npos ? range : range.substr(0, dash);
+    start1 = ParseInt64(start_text);
+    if (start1 < 1) {
+      return InvalidArgumentError(StrFormat("malformed region start in '%.*s'",
+                                            static_cast<int>(text.size()), text.data()));
+    }
+    if (dash != std::string_view::npos) {
+      end1 = ParseInt64(range.substr(dash + 1));
+      if (end1 < start1) {
+        return InvalidArgumentError(StrFormat("empty or inverted region '%.*s'",
+                                              static_cast<int>(text.size()), text.data()));
+      }
+    }
+  }
+  if (start1 > contig_length) {
+    return OutOfRangeError(StrFormat("region start past contig end in '%.*s'",
+                                     static_cast<int>(text.size()), text.data()));
+  }
+  end1 = std::min(end1, contig_length);
+
+  GlobalRegion region;
+  PERSONA_ASSIGN_OR_RETURN(region.begin,
+                           reference.LocalToGlobal(contig_index, start1 - 1));
+  // end1 is the last included base; the half-open end is one past it.
+  PERSONA_ASSIGN_OR_RETURN(region.end, reference.LocalToGlobal(contig_index, end1 - 1));
+  region.end += 1;
+  return region;
+}
+
+Result<FilterReport> FilterAgdDataset(storage::ObjectStore* store,
+                                      const format::Manifest& manifest,
+                                      const std::string& out_name,
+                                      const ReadFilterSpec& spec,
+                                      const FilterOptions& options,
+                                      format::Manifest* out_manifest) {
+  if (!manifest.HasColumn("results")) {
+    return FailedPreconditionError("filtering requires a results column");
+  }
+  Stopwatch timer;
+  const storage::StoreStats stats_before = store->stats();
+
+  format::Manifest out;
+  out.name = out_name;
+  out.chunk_size = options.chunk_size > 0 ? options.chunk_size : manifest.chunk_size;
+  out.reference_contigs = manifest.reference_contigs;
+  for (const format::ManifestColumn& column : manifest.columns) {
+    out.columns.push_back({column.name, column.type, options.codec});
+  }
+
+  std::vector<format::ChunkBuilder> builders;
+  builders.reserve(out.columns.size());
+  for (const format::ManifestColumn& column : out.columns) {
+    builders.emplace_back(column.type, column.codec);
+  }
+
+  FilterReport report;
+  Buffer file;
+  std::vector<format::ParsedChunk> parsed(manifest.columns.size());
+  size_t results_index = manifest.columns.size();
+  for (size_t c = 0; c < manifest.columns.size(); ++c) {
+    if (manifest.columns[c].name == "results") {
+      results_index = c;
+    }
+  }
+  for (size_t ci = 0; ci < manifest.chunks.size(); ++ci) {
+    ++report.chunks_in;
+    // The keep decision needs only the results column; fetch it first so fully-dropped
+    // chunks skip the other columns entirely (selective-column I/O).
+    PERSONA_RETURN_IF_ERROR(store->Get(manifest.ChunkFileName(ci, "results"), &file));
+    PERSONA_ASSIGN_OR_RETURN(parsed[results_index],
+                             format::ParsedChunk::Parse(file.span()));
+    const format::ParsedChunk& results = parsed[results_index];
+
+    std::vector<bool> keep(results.record_count());
+    size_t kept = 0;
+    for (size_t i = 0; i < results.record_count(); ++i) {
+      PERSONA_ASSIGN_OR_RETURN(align::AlignmentResult result, results.GetResult(i));
+      keep[i] = spec.Keep(result);
+      kept += keep[i] ? 1 : 0;
+    }
+    report.records_in += results.record_count();
+    if (kept == 0) {
+      continue;
+    }
+
+    for (size_t c = 0; c < manifest.columns.size(); ++c) {
+      if (c == results_index) {
+        continue;
+      }
+      PERSONA_RETURN_IF_ERROR(
+          store->Get(manifest.ChunkFileName(ci, manifest.columns[c].name), &file));
+      PERSONA_ASSIGN_OR_RETURN(parsed[c], format::ParsedChunk::Parse(file.span()));
+      if (parsed[c].record_count() != results.record_count()) {
+        return DataLossError(
+            StrFormat("chunk %zu: column '%s' record count disagrees with results", ci,
+                      manifest.columns[c].name.c_str()));
+      }
+    }
+
+    for (size_t i = 0; i < results.record_count(); ++i) {
+      if (!keep[i]) {
+        continue;
+      }
+      for (size_t c = 0; c < out.columns.size(); ++c) {
+        if (out.columns[c].type == format::RecordType::kBases) {
+          PERSONA_ASSIGN_OR_RETURN(std::string bases, parsed[c].GetBases(i));
+          builders[c].AddBases(bases);
+        } else {
+          // Raw byte passthrough works for qual, metadata, and encoded results alike.
+          builders[c].AddRecord(parsed[c].RecordBytes(i));
+        }
+      }
+      ++report.records_out;
+      if (static_cast<int64_t>(builders.front().record_count()) >= out.chunk_size) {
+        PERSONA_RETURN_IF_ERROR(
+            FlushOutputChunk(store, out_name, builders, out.columns, &out, &report));
+      }
+    }
+  }
+  PERSONA_RETURN_IF_ERROR(
+      FlushOutputChunk(store, out_name, builders, out.columns, &out, &report));
+
+  PERSONA_RETURN_IF_ERROR(store->Put(out_name + ".manifest.json", out.ToJson()));
+  *out_manifest = std::move(out);
+
+  report.seconds = timer.ElapsedSeconds();
+  const storage::StoreStats stats_after = store->stats();
+  report.store_stats.bytes_read = stats_after.bytes_read - stats_before.bytes_read;
+  report.store_stats.bytes_written = stats_after.bytes_written - stats_before.bytes_written;
+  report.store_stats.read_ops = stats_after.read_ops - stats_before.read_ops;
+  report.store_stats.write_ops = stats_after.write_ops - stats_before.write_ops;
+  return report;
+}
+
+}  // namespace persona::pipeline

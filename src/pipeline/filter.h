@@ -1,0 +1,77 @@
+// Dataset filtering (paper §1: Persona's goal includes "filtering"; §8: "work ongoing to
+// integrate comprehensive data filtering").
+//
+// Produces a new AGD dataset containing only the records that pass a predicate over the
+// results column — the samtools-view operations (required/excluded flag masks, minimum
+// MAPQ, genomic region), expressed against AGD instead of SAM. The decision needs only
+// the results column; the other columns are then copied selectively for surviving
+// records and re-chunked, so the paper's columnar I/O advantage applies here too: a
+// filter that drops most records writes a small fraction of the input volume.
+
+#ifndef PERSONA_SRC_PIPELINE_FILTER_H_
+#define PERSONA_SRC_PIPELINE_FILTER_H_
+
+#include <string>
+
+#include "src/align/alignment.h"
+#include "src/format/agd_manifest.h"
+#include "src/storage/object_store.h"
+
+namespace persona::pipeline {
+
+struct ReadFilterSpec {
+  uint16_t required_flags = 0;  // record must have all of these (samtools view -f)
+  uint16_t excluded_flags = 0;  // record must have none of these (samtools view -F)
+  int min_mapq = 0;             // mapped records below this are dropped
+  // Half-open global-coordinate interval; active when region_end > region_begin.
+  // Unmapped records never pass an active region (they have no position).
+  genome::GenomeLocation region_begin = 0;
+  genome::GenomeLocation region_end = 0;
+
+  bool region_active() const { return region_end > region_begin; }
+
+  // The predicate itself (exposed so tests and other ops can reuse it).
+  bool Keep(const align::AlignmentResult& result) const;
+};
+
+struct FilterReport {
+  double seconds = 0;
+  uint64_t records_in = 0;
+  uint64_t records_out = 0;
+  uint64_t chunks_in = 0;
+  uint64_t chunks_out = 0;
+  storage::StoreStats store_stats;  // deltas for this run
+};
+
+struct FilterOptions {
+  // Records per output chunk; 0 = keep the input manifest's chunk size.
+  int64_t chunk_size = 0;
+  compress::CodecId codec = compress::CodecId::kZlib;
+};
+
+// Filters the dataset described by `manifest` (which must include a results column)
+// into a new dataset named `out_name` in the same store. On success `out_manifest`
+// describes the filtered dataset (also stored as "<out_name>.manifest.json").
+Result<FilterReport> FilterAgdDataset(storage::ObjectStore* store,
+                                      const format::Manifest& manifest,
+                                      const std::string& out_name,
+                                      const ReadFilterSpec& spec,
+                                      const FilterOptions& options,
+                                      format::Manifest* out_manifest);
+
+// Parses a samtools-style region string against a reference: "chr1" (whole contig),
+// "chr1:100" (from 1-based position 100 to contig end), or "chr1:100-500" (1-based,
+// inclusive on both ends, per samtools convention). Returns the global-coordinate
+// half-open interval ready for ReadFilterSpec::{region_begin, region_end}.
+struct GlobalRegion {
+  genome::GenomeLocation begin = 0;
+  genome::GenomeLocation end = 0;
+
+  bool operator==(const GlobalRegion&) const = default;
+};
+Result<GlobalRegion> ParseRegion(const genome::ReferenceGenome& reference,
+                                 std::string_view text);
+
+}  // namespace persona::pipeline
+
+#endif  // PERSONA_SRC_PIPELINE_FILTER_H_

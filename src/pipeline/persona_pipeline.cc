@@ -1,0 +1,301 @@
+#include "src/pipeline/persona_pipeline.h"
+
+#include <atomic>
+#include <mutex>
+
+#include "src/dataflow/object_pool.h"
+#include "src/format/agd_chunk.h"
+#include "src/util/stopwatch.h"
+
+namespace persona::pipeline {
+
+namespace {
+
+using BufferPool = dataflow::ObjectPool<Buffer>;
+
+// Compressed column files of one chunk, in pooled buffers (zero-copy hand-off).
+struct RawChunk {
+  size_t chunk_index = 0;
+  BufferPool::Ref bases_file;
+  BufferPool::Ref qual_file;
+};
+
+// Parsed, decompressed chunk object.
+struct ChunkObject {
+  size_t chunk_index = 0;
+  std::shared_ptr<format::ParsedChunk> bases;
+  std::shared_ptr<format::ParsedChunk> qual;
+};
+
+// Serialized results column for one chunk.
+struct ResultChunk {
+  size_t chunk_index = 0;
+  BufferPool::Ref file;
+  uint64_t reads = 0;
+  uint64_t bases = 0;
+};
+
+}  // namespace
+
+Result<AlignRunReport> RunPersonaAlignment(storage::ObjectStore* store,
+                                           const format::Manifest& manifest,
+                                           const align::Aligner& aligner,
+                                           dataflow::Executor* executor,
+                                           const AlignPipelineOptions& options) {
+  if (manifest.chunks.empty()) {
+    return InvalidArgumentError("dataset has no chunks");
+  }
+  PERSONA_RETURN_IF_ERROR(manifest.FindColumn("bases").status());
+  PERSONA_RETURN_IF_ERROR(manifest.FindColumn("qual").status());
+
+  const storage::StoreStats store_before = store->stats();
+
+  // Queue capacities: the explicit depth, or "the number of parallel downstream nodes
+  // they feed" (paper §4.5 default).
+  const size_t work_cap = options.queue_depth > 0
+                              ? options.queue_depth
+                              : static_cast<size_t>(options.read_parallelism);
+  const size_t raw_cap = options.queue_depth > 0
+                             ? options.queue_depth
+                             : static_cast<size_t>(options.parse_parallelism);
+  const size_t chunk_cap = options.queue_depth > 0
+                               ? options.queue_depth
+                               : static_cast<size_t>(options.align_nodes);
+  const size_t result_cap = options.queue_depth > 0
+                                ? options.queue_depth
+                                : static_cast<size_t>(options.write_parallelism);
+
+  // Bounded pool, sized by the paper's §4.5 rule: "the total quantity of objects is the
+  // sum of the queue lengths and the number of dataflow nodes that use an object". Each
+  // RawChunk parks 2 buffers (bases + qual) in raw_queue and while a reader/parser holds
+  // it; each ResultChunk parks 1 in result_queue and while an aligner/writer holds it.
+  // Undersizing deadlocks: with every buffer parked on the input side, aligners block in
+  // Acquire() and nothing downstream can ever release one.
+  const size_t pool_size = raw_cap * 2 + result_cap +
+                           static_cast<size_t>(options.read_parallelism) * 2 +
+                           static_cast<size_t>(options.parse_parallelism) * 2 +
+                           static_cast<size_t>(options.align_nodes) +
+                           static_cast<size_t>(options.write_parallelism) + 4;
+  auto buffer_pool =
+      BufferPool::Create(pool_size, [] { return std::make_unique<Buffer>(); },
+                         [](Buffer* b) { b->Clear(); });
+
+  dataflow::Graph graph;
+  auto work_queue = dataflow::Graph::MakeQueue<size_t>(work_cap);
+  auto raw_queue = dataflow::Graph::MakeQueue<RawChunk>(raw_cap);
+  auto chunk_queue = dataflow::Graph::MakeQueue<ChunkObject>(chunk_cap);
+  auto result_queue = dataflow::Graph::MakeQueue<ResultChunk>(result_cap);
+
+  // --- Source: the manifest server hands out chunk indices. In cluster mode the
+  // source is shared across nodes (options.work_source); locally it iterates chunks. ---
+  const size_t num_chunks = manifest.chunks.size();
+  if (options.work_source) {
+    graph.AddSource<size_t>("manifest-server", work_queue, options.work_source);
+  } else {
+    auto next_chunk = std::make_shared<std::atomic<size_t>>(0);
+    graph.AddSource<size_t>("manifest-server", work_queue,
+                            [next_chunk, num_chunks]() -> std::optional<size_t> {
+                              size_t i = next_chunk->fetch_add(1);
+                              if (i >= num_chunks) {
+                                return std::nullopt;
+                              }
+                              return i;
+                            });
+  }
+
+  // --- Reader: fetch the two needed columns into pooled buffers. ---
+  graph.AddStage<size_t, RawChunk>(
+      "reader", options.read_parallelism, work_queue, raw_queue,
+      [store, &manifest, buffer_pool](size_t&& index, MpmcQueue<RawChunk>& out) -> Status {
+        RawChunk raw;
+        raw.chunk_index = index;
+        raw.bases_file = buffer_pool->Acquire();
+        raw.qual_file = buffer_pool->Acquire();
+        PERSONA_RETURN_IF_ERROR(
+            store->Get(manifest.ChunkFileName(index, "bases"), raw.bases_file.get()));
+        PERSONA_RETURN_IF_ERROR(
+            store->Get(manifest.ChunkFileName(index, "qual"), raw.qual_file.get()));
+        out.Push(std::move(raw));
+        return OkStatus();
+      });
+
+  // --- Parser: decompress + parse into chunk objects; recycle the raw buffers. ---
+  graph.AddStage<RawChunk, ChunkObject>(
+      "agd-parser", options.parse_parallelism, raw_queue, chunk_queue,
+      [](RawChunk&& raw, MpmcQueue<ChunkObject>& out) -> Status {
+        ChunkObject chunk;
+        chunk.chunk_index = raw.chunk_index;
+        PERSONA_ASSIGN_OR_RETURN(format::ParsedChunk bases,
+                                 format::ParsedChunk::Parse(raw.bases_file->span()));
+        PERSONA_ASSIGN_OR_RETURN(format::ParsedChunk qual,
+                                 format::ParsedChunk::Parse(raw.qual_file->span()));
+        if (bases.record_count() != qual.record_count()) {
+          return DataLossError("bases/qual record counts disagree");
+        }
+        chunk.bases = std::make_shared<format::ParsedChunk>(std::move(bases));
+        chunk.qual = std::make_shared<format::ParsedChunk>(std::move(qual));
+        out.Push(std::move(chunk));
+        return OkStatus();
+      });
+
+  // --- Aligner nodes: subchunk via the executor resource (paper Fig. 4). ---
+  auto profile_mu = std::make_shared<std::mutex>();
+  auto merged_profile = std::make_shared<align::AlignProfile>();
+  auto collected = std::make_shared<std::vector<std::vector<align::AlignmentResult>>>();
+  if (options.collect_results) {
+    collected->resize(num_chunks);
+  }
+  const bool collect = options.collect_results;
+  const bool paired = options.paired;
+  // Paired mode must never split a mate pair across executor tasks.
+  const int subchunk_size =
+      options.paired ? std::max(options.subchunk_size + (options.subchunk_size % 2), 2)
+                     : std::max(options.subchunk_size, 1);
+  const compress::CodecId results_codec = options.results_codec;
+
+  graph.AddStage<ChunkObject, ResultChunk>(
+      "aligner", options.align_nodes, chunk_queue, result_queue,
+      [&aligner, executor, buffer_pool, profile_mu, merged_profile, collected, collect,
+       paired, subchunk_size, results_codec](ChunkObject&& chunk,
+                                             MpmcQueue<ResultChunk>& out) -> Status {
+        const size_t n = chunk.bases->record_count();
+        if (paired && n % 2 != 0) {
+          return FailedPreconditionError(
+              "paired alignment requires an even record count per chunk");
+        }
+        std::vector<align::AlignmentResult> results(n);
+        std::vector<align::AlignProfile> profiles;
+        const size_t num_tasks = (n + static_cast<size_t>(subchunk_size) - 1) /
+                                 std::max<size_t>(static_cast<size_t>(subchunk_size), 1);
+        profiles.resize(std::max<size_t>(num_tasks, 1));
+
+        // Logical subchunks: (subchunk, output range) pairs on the fine-grain queue.
+        dataflow::TaskBatch batch(executor);
+        std::atomic<bool> failed{false};
+        for (size_t task = 0; task < num_tasks; ++task) {
+          size_t begin = task * static_cast<size_t>(subchunk_size);
+          size_t end = std::min(n, begin + static_cast<size_t>(subchunk_size));
+          batch.Add([&, begin, end, task] {
+            auto load = [&](size_t i, genome::Read* read) {
+              auto bases = chunk.bases->GetBases(i);
+              auto qual = chunk.qual->GetString(i);
+              if (!bases.ok() || !qual.ok()) {
+                return false;
+              }
+              read->bases = std::move(bases).value();
+              read->qual = std::string(*qual);
+              return true;
+            };
+            if (paired) {
+              // Even n and even subchunk_size make every [begin, end) pair-aligned.
+              for (size_t i = begin;
+                   i + 1 < end && !failed.load(std::memory_order_relaxed); i += 2) {
+                genome::Read read1;
+                genome::Read read2;
+                if (!load(i, &read1) || !load(i + 1, &read2)) {
+                  failed.store(true, std::memory_order_relaxed);
+                  return;
+                }
+                std::tie(results[i], results[i + 1]) =
+                    aligner.AlignPair(read1, read2, &profiles[task]);
+              }
+              return;
+            }
+            for (size_t i = begin; i < end && !failed.load(std::memory_order_relaxed);
+                 ++i) {
+              genome::Read read;
+              if (!load(i, &read)) {
+                failed.store(true, std::memory_order_relaxed);
+                return;
+              }
+              results[i] = aligner.Align(read, &profiles[task]);
+            }
+          });
+        }
+        batch.Wait();
+        if (failed.load()) {
+          return DataLossError("chunk record parse failed during alignment");
+        }
+
+        // Merge per-task profiles.
+        {
+          std::lock_guard<std::mutex> lock(*profile_mu);
+          for (const align::AlignProfile& p : profiles) {
+            merged_profile->Merge(p);
+          }
+        }
+
+        // Serialize the results column for this chunk.
+        format::ChunkBuilder builder(format::RecordType::kResults, results_codec);
+        uint64_t base_count = 0;
+        for (size_t i = 0; i < n; ++i) {
+          builder.AddResult(results[i]);
+          base_count += chunk.bases->RecordLength(i);
+        }
+        ResultChunk result;
+        result.chunk_index = chunk.chunk_index;
+        result.reads = n;
+        result.bases = base_count;
+        result.file = buffer_pool->Acquire();
+        PERSONA_RETURN_IF_ERROR(builder.Finalize(result.file.get()));
+        if (collect) {
+          (*collected)[chunk.chunk_index] = std::move(results);
+        }
+        out.Push(std::move(result));
+        return OkStatus();
+      });
+
+  // --- Writer: store the results column. ---
+  auto total_reads = std::make_shared<std::atomic<uint64_t>>(0);
+  auto total_bases = std::make_shared<std::atomic<uint64_t>>(0);
+  graph.AddSink<ResultChunk>(
+      "writer", options.write_parallelism, result_queue,
+      [store, &manifest, total_reads, total_bases](ResultChunk&& result) -> Status {
+        PERSONA_RETURN_IF_ERROR(store->Put(
+            manifest.chunks[result.chunk_index].path_base + ".results", *result.file));
+        total_reads->fetch_add(result.reads, std::memory_order_relaxed);
+        total_bases->fetch_add(result.bases, std::memory_order_relaxed);
+        return OkStatus();
+      });
+
+  // --- Run, optionally sampling utilization. ---
+  dataflow::UtilizationSampler sampler(&graph, options.utilization_sample_sec > 0
+                                                   ? options.utilization_sample_sec
+                                                   : 1.0,
+                                       static_cast<int>(executor->num_threads()));
+  if (options.utilization_sample_sec > 0) {
+    sampler.Start();
+  }
+  Stopwatch timer;
+  Status run_status = graph.Run();
+  double seconds = timer.ElapsedSeconds();
+  sampler.Stop();
+  PERSONA_RETURN_IF_ERROR(run_status);
+
+  // Persist the dataset's new shape: the results column now exists (paper §3:
+  // "Persona appends alignment results to a new AGD column").
+  if (!manifest.HasColumn("results")) {
+    format::Manifest updated = manifest;
+    updated.columns.push_back(format::ResultsColumn(options.results_codec));
+    PERSONA_RETURN_IF_ERROR(store->Put("manifest.json", updated.ToJson()));
+  }
+
+  AlignRunReport report;
+  report.seconds = seconds;
+  report.reads = total_reads->load();
+  report.bases = total_bases->load();
+  report.chunks = num_chunks;
+  report.profile = *merged_profile;
+  report.utilization = sampler.samples();
+  storage::StoreStats after = store->stats();
+  report.store_stats.bytes_read = after.bytes_read - store_before.bytes_read;
+  report.store_stats.bytes_written = after.bytes_written - store_before.bytes_written;
+  report.store_stats.read_ops = after.read_ops - store_before.read_ops;
+  report.store_stats.write_ops = after.write_ops - store_before.write_ops;
+  if (options.collect_results) {
+    report.results = std::move(*collected);
+  }
+  return report;
+}
+
+}  // namespace persona::pipeline

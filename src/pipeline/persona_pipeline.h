@@ -1,0 +1,72 @@
+// The Persona alignment pipeline: reader -> parser -> aligner(executor) -> writer
+// (paper Figure 3), assembled on the dataflow engine. This module is the C++ analogue of
+// Persona's "thin Python library that stitches nodes together into optimized subgraphs".
+//
+// Reader nodes fetch AGD chunk files (bases + qual columns only — selective column
+// access) from an ObjectStore into pooled buffers; parser nodes decompress/parse them;
+// aligner nodes split chunks into subchunks on the shared executor resource; writer
+// nodes serialize the results column back to the store.
+
+#ifndef PERSONA_SRC_PIPELINE_PERSONA_PIPELINE_H_
+#define PERSONA_SRC_PIPELINE_PERSONA_PIPELINE_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/align/aligner.h"
+#include "src/dataflow/executor.h"
+#include "src/dataflow/graph.h"
+#include "src/dataflow/stats.h"
+#include "src/format/agd_manifest.h"
+#include "src/storage/object_store.h"
+
+namespace persona::pipeline {
+
+struct AlignPipelineOptions {
+  int read_parallelism = 2;
+  int parse_parallelism = 2;
+  int align_nodes = 4;        // parallel aligner kernels feeding the executor
+  int write_parallelism = 2;
+  int subchunk_size = 2'048;  // reads per fine-grain executor task
+  // Paired-end mode (paper §1, §4.3): records are interleaved mate pairs — read 1 of a
+  // pair at even record indices, read 2 at the following odd index. Every chunk must
+  // then hold an even record count; subchunk boundaries are kept pair-aligned and ends
+  // are aligned together via Aligner::AlignPair.
+  bool paired = false;
+  // Queue depth; 0 = default to the consumer-stage parallelism (paper §4.5: "default
+  // queue lengths are set to the number of parallel downstream nodes they feed").
+  size_t queue_depth = 0;
+  compress::CodecId results_codec = compress::CodecId::kZlib;
+  double utilization_sample_sec = 0;  // 0 disables the sampler
+  bool collect_results = false;       // also return decoded results (tests/benches)
+  // Cluster mode: when set, chunk indices come from this shared source (the cluster's
+  // manifest server) instead of iterating the local manifest. Must be thread-safe.
+  std::function<std::optional<size_t>()> work_source;
+};
+
+struct AlignRunReport {
+  double seconds = 0;
+  uint64_t reads = 0;
+  uint64_t bases = 0;
+  uint64_t chunks = 0;
+  storage::StoreStats store_stats;  // deltas for this run
+  align::AlignProfile profile;      // merged across executor threads
+  std::vector<dataflow::UtilizationSample> utilization;
+  // Decoded per-chunk results when options.collect_results is set.
+  std::vector<std::vector<align::AlignmentResult>> results;
+};
+
+// Runs whole-dataset alignment. Results are written back to `store` as a "results"
+// column ("<path_base>.results"). `executor` is the shared thread resource; it should
+// own the machine's compute threads.
+Result<AlignRunReport> RunPersonaAlignment(storage::ObjectStore* store,
+                                           const format::Manifest& manifest,
+                                           const align::Aligner& aligner,
+                                           dataflow::Executor* executor,
+                                           const AlignPipelineOptions& options);
+
+}  // namespace persona::pipeline
+
+#endif  // PERSONA_SRC_PIPELINE_PERSONA_PIPELINE_H_

@@ -1,0 +1,167 @@
+#include "src/pipeline/recompress.h"
+
+#include <vector>
+
+#include "src/format/agd_chunk.h"
+#include "src/util/stopwatch.h"
+#include "src/util/string_util.h"
+
+namespace persona::pipeline {
+namespace {
+
+// Replaces `from` with `to` in the manifest's column table.
+Status SwapColumn(format::Manifest* manifest, std::string_view from,
+                  const format::ManifestColumn& to) {
+  for (format::ManifestColumn& column : manifest->columns) {
+    if (column.name == from) {
+      column = to;
+      return OkStatus();
+    }
+  }
+  return NotFoundError(StrFormat("column '%.*s' not found",
+                                 static_cast<int>(from.size()), from.data()));
+}
+
+void FillStoreDelta(const storage::StoreStats& before, const storage::StoreStats& after,
+                    RecompressReport* report) {
+  report->store_stats.bytes_read = after.bytes_read - before.bytes_read;
+  report->store_stats.bytes_written = after.bytes_written - before.bytes_written;
+  report->store_stats.read_ops = after.read_ops - before.read_ops;
+  report->store_stats.write_ops = after.write_ops - before.write_ops;
+}
+
+}  // namespace
+
+Result<RecompressReport> RefCompressBasesColumn(storage::ObjectStore* store,
+                                                const format::Manifest& manifest,
+                                                const genome::ReferenceGenome& reference,
+                                                const RecompressOptions& options,
+                                                format::Manifest* out_manifest) {
+  if (!manifest.HasColumn("bases") || !manifest.HasColumn("results")) {
+    return FailedPreconditionError(
+        "reference recompression requires bases and results columns");
+  }
+  Stopwatch timer;
+  const storage::StoreStats stats_before = store->stats();
+  RecompressReport report;
+
+  Buffer bases_file;
+  Buffer results_file;
+  Buffer out_file;
+  for (size_t ci = 0; ci < manifest.chunks.size(); ++ci) {
+    PERSONA_RETURN_IF_ERROR(store->Get(manifest.ChunkFileName(ci, "bases"), &bases_file));
+    PERSONA_RETURN_IF_ERROR(
+        store->Get(manifest.ChunkFileName(ci, "results"), &results_file));
+    PERSONA_ASSIGN_OR_RETURN(format::ParsedChunk bases,
+                             format::ParsedChunk::Parse(bases_file.span()));
+    PERSONA_ASSIGN_OR_RETURN(format::ParsedChunk results,
+                             format::ParsedChunk::Parse(results_file.span()));
+    if (bases.record_count() != results.record_count()) {
+      return DataLossError(StrFormat("chunk %zu: bases/results record counts disagree", ci));
+    }
+    report.bases_bytes += bases_file.size();
+
+    format::ChunkBuilder builder(format::RecordType::kRefBases, options.codec);
+    Buffer record;
+    for (size_t i = 0; i < bases.record_count(); ++i) {
+      PERSONA_ASSIGN_OR_RETURN(std::string read_bases, bases.GetBases(i));
+      PERSONA_ASSIGN_OR_RETURN(align::AlignmentResult result, results.GetResult(i));
+      record.Clear();
+      format::RefEncodeRead(reference, read_bases, result, &record, &report.stats);
+      builder.AddRecord(record.view());
+      ++report.records;
+    }
+    PERSONA_RETURN_IF_ERROR(builder.Finalize(&out_file));
+    PERSONA_RETURN_IF_ERROR(
+        store->Put(manifest.ChunkFileName(ci, "ref_bases"), out_file));
+    report.ref_bases_bytes += out_file.size();
+  }
+
+  format::Manifest out = manifest;
+  PERSONA_RETURN_IF_ERROR(SwapColumn(
+      &out, "bases", {"ref_bases", format::RecordType::kRefBases, options.codec}));
+  PERSONA_RETURN_IF_ERROR(store->Put("manifest.json", out.ToJson()));
+  if (options.delete_source_column) {
+    for (size_t ci = 0; ci < manifest.chunks.size(); ++ci) {
+      PERSONA_RETURN_IF_ERROR(store->Delete(manifest.ChunkFileName(ci, "bases")));
+    }
+  }
+  *out_manifest = std::move(out);
+
+  report.seconds = timer.ElapsedSeconds();
+  FillStoreDelta(stats_before, store->stats(), &report);
+  return report;
+}
+
+Result<RecompressReport> ReconstructBasesColumn(storage::ObjectStore* store,
+                                                const format::Manifest& manifest,
+                                                const genome::ReferenceGenome& reference,
+                                                const RecompressOptions& options,
+                                                format::Manifest* out_manifest) {
+  if (!manifest.HasColumn("ref_bases") || !manifest.HasColumn("results")) {
+    return FailedPreconditionError(
+        "bases reconstruction requires ref_bases and results columns");
+  }
+  Stopwatch timer;
+  const storage::StoreStats stats_before = store->stats();
+  RecompressReport report;
+
+  Buffer ref_file;
+  Buffer results_file;
+  Buffer out_file;
+  for (size_t ci = 0; ci < manifest.chunks.size(); ++ci) {
+    PERSONA_RETURN_IF_ERROR(
+        store->Get(manifest.ChunkFileName(ci, "ref_bases"), &ref_file));
+    PERSONA_RETURN_IF_ERROR(
+        store->Get(manifest.ChunkFileName(ci, "results"), &results_file));
+    PERSONA_ASSIGN_OR_RETURN(format::ParsedChunk encoded,
+                             format::ParsedChunk::Parse(ref_file.span()));
+    PERSONA_ASSIGN_OR_RETURN(format::ParsedChunk results,
+                             format::ParsedChunk::Parse(results_file.span()));
+    if (encoded.record_count() != results.record_count()) {
+      return DataLossError(
+          StrFormat("chunk %zu: ref_bases/results record counts disagree", ci));
+    }
+    if (encoded.type() != format::RecordType::kRefBases) {
+      return FailedPreconditionError(
+          StrFormat("chunk %zu: ref_bases column has wrong record type", ci));
+    }
+    report.ref_bases_bytes += ref_file.size();
+
+    format::ChunkBuilder builder(format::RecordType::kBases, options.codec);
+    for (size_t i = 0; i < encoded.record_count(); ++i) {
+      PERSONA_ASSIGN_OR_RETURN(align::AlignmentResult result, results.GetResult(i));
+      std::string_view record_bytes = encoded.RecordBytes(i);
+      PERSONA_ASSIGN_OR_RETURN(
+          std::string read_bases,
+          format::RefDecodeRead(
+              reference,
+              std::span<const uint8_t>(
+                  reinterpret_cast<const uint8_t*>(record_bytes.data()),
+                  record_bytes.size()),
+              result));
+      builder.AddBases(read_bases);
+      ++report.records;
+    }
+    PERSONA_RETURN_IF_ERROR(builder.Finalize(&out_file));
+    PERSONA_RETURN_IF_ERROR(store->Put(manifest.ChunkFileName(ci, "bases"), out_file));
+    report.bases_bytes += out_file.size();
+  }
+
+  format::Manifest out = manifest;
+  PERSONA_RETURN_IF_ERROR(SwapColumn(
+      &out, "ref_bases", {"bases", format::RecordType::kBases, options.codec}));
+  PERSONA_RETURN_IF_ERROR(store->Put("manifest.json", out.ToJson()));
+  if (options.delete_source_column) {
+    for (size_t ci = 0; ci < manifest.chunks.size(); ++ci) {
+      PERSONA_RETURN_IF_ERROR(store->Delete(manifest.ChunkFileName(ci, "ref_bases")));
+    }
+  }
+  *out_manifest = std::move(out);
+
+  report.seconds = timer.ElapsedSeconds();
+  FillStoreDelta(stats_before, store->stats(), &report);
+  return report;
+}
+
+}  // namespace persona::pipeline

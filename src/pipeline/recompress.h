@@ -1,0 +1,65 @@
+// Dataset-level reference-based recompression (paper §6.1).
+//
+// The TCO analysis (§6.1) finds long-term storage dominates the cost of
+// population-scale sequencing and points at reference-based compression as the remedy.
+// This op applies it to a whole AGD dataset: every chunk's bases column is transcoded
+// into a "ref_bases" column (RecordType::kRefBases — diffs against the reference, see
+// format/refcomp.h), after which the original bases objects can be deleted. Positions
+// and CIGARs come from the results column at decode time, so nothing is stored twice.
+// The inverse op regenerates a bit-identical bases column for compute clusters that
+// want the hot-path representation back.
+//
+// This is the cold-storage workflow: align once, recompress, archive; rehydrate on
+// demand.
+
+#ifndef PERSONA_SRC_PIPELINE_RECOMPRESS_H_
+#define PERSONA_SRC_PIPELINE_RECOMPRESS_H_
+
+#include <string>
+
+#include "src/format/agd_manifest.h"
+#include "src/format/refcomp.h"
+#include "src/genome/reference.h"
+#include "src/storage/object_store.h"
+
+namespace persona::pipeline {
+
+struct RecompressReport {
+  double seconds = 0;
+  uint64_t records = 0;
+  uint64_t bases_bytes = 0;      // size of the column being replaced
+  uint64_t ref_bases_bytes = 0;  // size of the column written
+  format::RefCompStats stats;    // aggregate diff statistics (compress direction only)
+  storage::StoreStats store_stats;
+
+  double CompressionRatio() const {
+    return ref_bases_bytes == 0 ? 0
+                                : static_cast<double>(bases_bytes) /
+                                      static_cast<double>(ref_bases_bytes);
+  }
+};
+
+struct RecompressOptions {
+  compress::CodecId codec = compress::CodecId::kZlib;  // block codec for the new column
+  bool delete_source_column = false;  // remove the replaced column's objects afterwards
+};
+
+// bases -> ref_bases. Requires bases and results columns. On success `out_manifest`
+// describes the dataset with the bases column replaced by ref_bases (also stored as
+// "manifest.json", overwriting).
+Result<RecompressReport> RefCompressBasesColumn(storage::ObjectStore* store,
+                                                const format::Manifest& manifest,
+                                                const genome::ReferenceGenome& reference,
+                                                const RecompressOptions& options,
+                                                format::Manifest* out_manifest);
+
+// ref_bases -> bases (exact inverse). Requires ref_bases and results columns.
+Result<RecompressReport> ReconstructBasesColumn(storage::ObjectStore* store,
+                                                const format::Manifest& manifest,
+                                                const genome::ReferenceGenome& reference,
+                                                const RecompressOptions& options,
+                                                format::Manifest* out_manifest);
+
+}  // namespace persona::pipeline
+
+#endif  // PERSONA_SRC_PIPELINE_RECOMPRESS_H_

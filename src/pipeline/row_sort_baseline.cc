@@ -1,0 +1,283 @@
+#include "src/pipeline/row_sort_baseline.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+#include "src/format/sam.h"
+#include "src/util/stopwatch.h"
+#include "src/util/string_util.h"
+
+namespace persona::pipeline {
+
+namespace {
+
+int64_t SortLocation(const align::AlignmentResult& r) {
+  return r.mapped() ? r.location : INT64_MAX;
+}
+
+// Reads SAM text parts "<key>.<i>" until one is missing; returns record lines.
+Result<std::vector<std::string>> LoadSamParts(storage::ObjectStore* store,
+                                              const genome::ReferenceGenome& reference,
+                                              const std::string& key) {
+  std::vector<std::string> lines;
+  Buffer buffer;
+  for (int part = 0;; ++part) {
+    std::string part_key = key + "." + std::to_string(part);
+    if (!store->Exists(part_key)) {
+      break;
+    }
+    PERSONA_RETURN_IF_ERROR(store->Get(part_key, &buffer));
+    for (std::string_view line : SplitString(buffer.view(), '\n')) {
+      if (line.empty() || line[0] == '@') {
+        continue;  // headers
+      }
+      lines.emplace_back(line);
+    }
+  }
+  if (lines.empty()) {
+    return NotFoundError("no SAM parts under key: " + key);
+  }
+  return lines;
+}
+
+}  // namespace
+
+Result<RowSortReport> SamtoolsLikeSort(storage::ObjectStore* store,
+                                       const genome::ReferenceGenome& reference,
+                                       const std::string& in_key, const std::string& out_key,
+                                       const RowSortOptions& options, bool convert_from_sam) {
+  Stopwatch timer;
+  RowSortReport report;
+
+  // Load input rows (optionally converting SAM text to binary rows first, like
+  // `samtools view -b` before `samtools sort`).
+  std::vector<genome::Read> reads;
+  std::vector<align::AlignmentResult> results;
+  if (convert_from_sam) {
+    PERSONA_ASSIGN_OR_RETURN(std::vector<std::string> lines,
+                             LoadSamParts(store, reference, in_key));
+    reads.resize(lines.size());
+    results.resize(lines.size());
+    for (size_t i = 0; i < lines.size(); ++i) {
+      PERSONA_RETURN_IF_ERROR(
+          format::ParseSamRecord(reference, lines[i], &reads[i], &results[i]));
+    }
+    report.convert_seconds = timer.ElapsedSeconds();
+    // The conversion writes a BAM-equivalent intermediate, as samtools must. Block
+    // compression is the parallelizable part of `samtools view -b -@N`.
+    format::BsamWriter conv;
+    for (size_t i = 0; i < reads.size(); ++i) {
+      conv.Add(reads[i], results[i]);
+    }
+    PERSONA_ASSIGN_OR_RETURN(Buffer converted, conv.Finish());
+    PERSONA_RETURN_IF_ERROR(store->Put(in_key + ".bsam", converted));
+    report.convert_encode_seconds =
+        timer.ElapsedSeconds() - report.convert_seconds;
+  } else {
+    Buffer file;
+    PERSONA_RETURN_IF_ERROR(store->Get(in_key, &file));
+    PERSONA_ASSIGN_OR_RETURN(format::BsamReader reader, format::BsamReader::Open(file.span()));
+    reads.reserve(reader.size());
+    results.reserve(reader.size());
+    for (size_t i = 0; i < reader.size(); ++i) {
+      reads.push_back(reader.read(i));
+      results.push_back(reader.result(i));
+    }
+  }
+  report.records = reads.size();
+
+  // Phase 1: sorted superchunks (parallel), spilled as BSAM objects.
+  const size_t per_super = static_cast<size_t>(std::max(options.records_per_superchunk, 1));
+  const size_t num_supers = (reads.size() + per_super - 1) / per_super;
+  report.superchunks = num_supers;
+
+  std::atomic<size_t> next_super{0};
+  std::mutex error_mu;
+  Status first_error;
+  auto worker = [&] {
+    while (true) {
+      size_t s = next_super.fetch_add(1);
+      if (s >= num_supers) {
+        return;
+      }
+      size_t begin = s * per_super;
+      size_t end = std::min(reads.size(), begin + per_super);
+      std::vector<size_t> order(end - begin);
+      for (size_t i = 0; i < order.size(); ++i) {
+        order[i] = begin + i;
+      }
+      std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        int64_t la = SortLocation(results[a]);
+        int64_t lb = SortLocation(results[b]);
+        return la != lb ? la < lb : reads[a].metadata < reads[b].metadata;
+      });
+      format::BsamWriter writer;
+      for (size_t idx : order) {
+        writer.Add(reads[idx], results[idx]);
+      }
+      auto file = writer.Finish();
+      Status status = file.ok()
+                          ? store->Put(out_key + ".super-" + std::to_string(s), *file)
+                          : file.status();
+      if (!status.ok()) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (first_error.ok()) {
+          first_error = status;
+        }
+        return;
+      }
+    }
+  };
+  {
+    std::vector<std::thread> threads;
+    for (int t = 0; t < std::max(1, options.threads); ++t) {
+      threads.emplace_back(worker);
+    }
+    for (std::thread& t : threads) {
+      t.join();
+    }
+  }
+  PERSONA_RETURN_IF_ERROR(first_error);
+  report.phase1_seconds =
+      timer.ElapsedSeconds() - report.convert_seconds - report.convert_encode_seconds;
+
+  // Phase 2: single-threaded k-way merge of the row superchunks (samtools merges on one
+  // thread), re-encoding each record into the output BSAM.
+  struct Cursor {
+    format::BsamReader reader;
+    size_t pos = 0;
+  };
+  std::vector<Cursor> cursors;
+  Buffer file;
+  for (size_t s = 0; s < num_supers; ++s) {
+    PERSONA_RETURN_IF_ERROR(store->Get(out_key + ".super-" + std::to_string(s), &file));
+    PERSONA_ASSIGN_OR_RETURN(format::BsamReader reader, format::BsamReader::Open(file.span()));
+    cursors.push_back(Cursor{std::move(reader), 0});
+  }
+  format::BsamWriter out;
+  while (true) {
+    int best = -1;
+    for (size_t i = 0; i < cursors.size(); ++i) {
+      if (cursors[i].pos >= cursors[i].reader.size()) {
+        continue;
+      }
+      if (best < 0 ||
+          SortLocation(cursors[i].reader.result(cursors[i].pos)) <
+              SortLocation(cursors[static_cast<size_t>(best)].reader.result(
+                  cursors[static_cast<size_t>(best)].pos))) {
+        best = static_cast<int>(i);
+      }
+    }
+    if (best < 0) {
+      break;
+    }
+    Cursor& c = cursors[static_cast<size_t>(best)];
+    out.Add(c.reader.read(c.pos), c.reader.result(c.pos));
+    ++c.pos;
+  }
+  PERSONA_ASSIGN_OR_RETURN(Buffer sorted, out.Finish());
+  PERSONA_RETURN_IF_ERROR(store->Put(out_key, sorted));
+  for (size_t s = 0; s < num_supers; ++s) {
+    (void)store->Delete(out_key + ".super-" + std::to_string(s));
+  }
+
+  report.seconds = timer.ElapsedSeconds();
+  report.merge_seconds = report.seconds - report.phase1_seconds - report.convert_seconds -
+                         report.convert_encode_seconds;
+  return report;
+}
+
+Result<RowSortReport> PicardLikeSort(storage::ObjectStore* store,
+                                     const genome::ReferenceGenome& reference,
+                                     const std::string& in_key, const std::string& out_key) {
+  // Picard sorts BAM single-threaded with an object-per-record collection: decode every
+  // record into an object, spill sorted runs, merge runs, re-encode — all on one thread.
+  Stopwatch timer;
+  RowSortReport report;
+
+  Buffer file;
+  PERSONA_RETURN_IF_ERROR(store->Get(in_key, &file));
+  PERSONA_ASSIGN_OR_RETURN(format::BsamReader reader, format::BsamReader::Open(file.span()));
+  report.records = reader.size();
+
+  // Object collection: full records (not indices) move during the sort, as Picard's
+  // SortingCollection does.
+  struct Record {
+    genome::Read read;
+    align::AlignmentResult result;
+  };
+  std::vector<Record> records;
+  records.reserve(reader.size());
+  for (size_t i = 0; i < reader.size(); ++i) {
+    records.push_back(Record{reader.read(i), reader.result(i)});
+  }
+
+  // Sorted spill runs of bounded size, then a single-threaded merge.
+  constexpr size_t kRunSize = 20'000;
+  size_t num_runs = (records.size() + kRunSize - 1) / kRunSize;
+  report.superchunks = num_runs;
+  for (size_t r = 0; r < num_runs; ++r) {
+    auto begin = records.begin() + static_cast<int64_t>(r * kRunSize);
+    auto end = records.begin() +
+               static_cast<int64_t>(std::min(records.size(), (r + 1) * kRunSize));
+    std::stable_sort(begin, end, [](const Record& a, const Record& b) {
+      int64_t la = SortLocation(a.result);
+      int64_t lb = SortLocation(b.result);
+      return la != lb ? la < lb : a.read.metadata < b.read.metadata;
+    });
+    format::BsamWriter run_writer;
+    for (auto it = begin; it != end; ++it) {
+      run_writer.Add(it->read, it->result);
+    }
+    PERSONA_ASSIGN_OR_RETURN(Buffer run, run_writer.Finish());
+    PERSONA_RETURN_IF_ERROR(store->Put(out_key + ".run-" + std::to_string(r), run));
+  }
+  report.phase1_seconds = timer.ElapsedSeconds();
+
+  // Merge the runs (decode again, as Picard re-reads its spill files).
+  struct Cursor {
+    format::BsamReader reader;
+    size_t pos = 0;
+  };
+  std::vector<Cursor> cursors;
+  for (size_t r = 0; r < num_runs; ++r) {
+    PERSONA_RETURN_IF_ERROR(store->Get(out_key + ".run-" + std::to_string(r), &file));
+    PERSONA_ASSIGN_OR_RETURN(format::BsamReader run_reader,
+                             format::BsamReader::Open(file.span()));
+    cursors.push_back(Cursor{std::move(run_reader), 0});
+  }
+  format::BsamWriter out;
+  while (true) {
+    int best = -1;
+    for (size_t i = 0; i < cursors.size(); ++i) {
+      if (cursors[i].pos >= cursors[i].reader.size()) {
+        continue;
+      }
+      if (best < 0 ||
+          SortLocation(cursors[i].reader.result(cursors[i].pos)) <
+              SortLocation(cursors[static_cast<size_t>(best)].reader.result(
+                  cursors[static_cast<size_t>(best)].pos))) {
+        best = static_cast<int>(i);
+      }
+    }
+    if (best < 0) {
+      break;
+    }
+    Cursor& c = cursors[static_cast<size_t>(best)];
+    out.Add(c.reader.read(c.pos), c.reader.result(c.pos));
+    ++c.pos;
+  }
+  PERSONA_ASSIGN_OR_RETURN(Buffer sorted, out.Finish());
+  PERSONA_RETURN_IF_ERROR(store->Put(out_key, sorted));
+  for (size_t r = 0; r < num_runs; ++r) {
+    (void)store->Delete(out_key + ".run-" + std::to_string(r));
+  }
+
+  report.seconds = timer.ElapsedSeconds();
+  report.merge_seconds = report.seconds - report.phase1_seconds;
+  return report;
+}
+
+}  // namespace persona::pipeline

@@ -1,0 +1,306 @@
+#include "src/pipeline/sort.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <queue>
+#include <thread>
+
+#include "src/format/agd_chunk.h"
+#include "src/util/stopwatch.h"
+#include "src/util/varint.h"
+
+namespace persona::pipeline {
+
+namespace {
+
+struct Row {
+  genome::Read read;
+  align::AlignmentResult result;
+};
+
+// Sort keys: mapped location (unmapped last, ties by metadata for determinism) or read ID.
+bool RowLess(SortKey key, const Row& a, const Row& b) {
+  if (key == SortKey::kMetadata) {
+    return a.read.metadata < b.read.metadata;
+  }
+  int64_t la = a.result.mapped() ? a.result.location : INT64_MAX;
+  int64_t lb = b.result.mapped() ? b.result.location : INT64_MAX;
+  if (la != lb) {
+    return la < lb;
+  }
+  return a.read.metadata < b.read.metadata;
+}
+
+// Superchunk row coding (temporary spill format).
+void EncodeRow(const Row& row, Buffer* out) {
+  PutVarint(row.read.metadata.size(), out);
+  out->Append(row.read.metadata);
+  PutVarint(row.read.bases.size(), out);
+  out->Append(row.read.bases);
+  out->Append(row.read.qual);
+  align::EncodeResult(row.result, out);
+}
+
+Status DecodeRow(std::span<const uint8_t> bytes, size_t* offset, Row* row) {
+  PERSONA_ASSIGN_OR_RETURN(uint64_t meta_len, GetVarint(bytes, offset));
+  if (*offset + meta_len > bytes.size()) {
+    return DataLossError("superchunk: truncated metadata");
+  }
+  row->read.metadata.assign(reinterpret_cast<const char*>(bytes.data()) + *offset, meta_len);
+  *offset += meta_len;
+  PERSONA_ASSIGN_OR_RETURN(uint64_t base_len, GetVarint(bytes, offset));
+  if (*offset + 2 * base_len > bytes.size()) {
+    return DataLossError("superchunk: truncated read");
+  }
+  row->read.bases.assign(reinterpret_cast<const char*>(bytes.data()) + *offset, base_len);
+  *offset += base_len;
+  row->read.qual.assign(reinterpret_cast<const char*>(bytes.data()) + *offset, base_len);
+  *offset += base_len;
+  return DecodeResult(bytes, offset, &row->result);
+}
+
+// Loads every record of one chunk (all four columns).
+Status LoadChunkRows(storage::ObjectStore* store, const format::Manifest& manifest,
+                     size_t chunk_index, std::vector<Row>* rows) {
+  Buffer file;
+  auto parse_column = [&](const char* column,
+                          format::ParsedChunk* out) -> Status {
+    PERSONA_RETURN_IF_ERROR(
+        store->Get(manifest.ChunkFileName(chunk_index, column), &file));
+    PERSONA_ASSIGN_OR_RETURN(*out, format::ParsedChunk::Parse(file.span()));
+    return OkStatus();
+  };
+  format::ParsedChunk bases;
+  format::ParsedChunk qual;
+  format::ParsedChunk metadata;
+  format::ParsedChunk results;
+  PERSONA_RETURN_IF_ERROR(parse_column("bases", &bases));
+  PERSONA_RETURN_IF_ERROR(parse_column("qual", &qual));
+  PERSONA_RETURN_IF_ERROR(parse_column("metadata", &metadata));
+  PERSONA_RETURN_IF_ERROR(parse_column("results", &results));
+  if (bases.record_count() != results.record_count()) {
+    return DataLossError("results column out of sync with bases");
+  }
+  for (size_t i = 0; i < bases.record_count(); ++i) {
+    Row row;
+    PERSONA_ASSIGN_OR_RETURN(row.read.bases, bases.GetBases(i));
+    PERSONA_ASSIGN_OR_RETURN(std::string_view q, qual.GetString(i));
+    row.read.qual = std::string(q);
+    PERSONA_ASSIGN_OR_RETURN(std::string_view m, metadata.GetString(i));
+    row.read.metadata = std::string(m);
+    PERSONA_ASSIGN_OR_RETURN(row.result, results.GetResult(i));
+    rows->push_back(std::move(row));
+  }
+  return OkStatus();
+}
+
+// Streaming cursor over one decompressed superchunk.
+class SuperchunkCursor {
+ public:
+  SuperchunkCursor(Buffer data, SortKey key) : data_(std::move(data)), key_(key) {
+    Advance();
+  }
+
+  bool valid() const { return valid_; }
+  const Row& row() const { return row_; }
+  SortKey key() const { return key_; }
+
+  void Advance() {
+    if (offset_ >= data_.size()) {
+      valid_ = false;
+      return;
+    }
+    Status status = DecodeRow(data_.span(), &offset_, &row_);
+    valid_ = status.ok();
+  }
+
+ private:
+  Buffer data_;
+  SortKey key_;
+  size_t offset_ = 0;
+  Row row_;
+  bool valid_ = true;
+};
+
+}  // namespace
+
+Result<SortReport> SortAgdDataset(storage::ObjectStore* store,
+                                  const format::Manifest& manifest,
+                                  const std::string& out_name, const SortOptions& options,
+                                  format::Manifest* out_manifest) {
+  if (!manifest.HasColumn("results")) {
+    return FailedPreconditionError("sort requires a results column (align first)");
+  }
+  if (options.chunks_per_superchunk <= 0) {
+    return InvalidArgumentError("chunks_per_superchunk must be positive");
+  }
+  const storage::StoreStats store_before = store->stats();
+  Stopwatch timer;
+
+  // --- Phase 1: sorted superchunks (parallel across superchunk groups). ---
+  const size_t num_chunks = manifest.chunks.size();
+  const size_t group = static_cast<size_t>(options.chunks_per_superchunk);
+  const size_t num_supers = (num_chunks + group - 1) / group;
+  const compress::Codec& temp_codec = compress::GetCodec(options.temp_codec);
+
+  std::atomic<size_t> next_super{0};
+  std::mutex error_mu;
+  Status first_error;
+  auto worker = [&] {
+    while (true) {
+      size_t s = next_super.fetch_add(1);
+      if (s >= num_supers) {
+        return;
+      }
+      std::vector<Row> rows;
+      Status status;
+      for (size_t c = s * group; c < std::min(num_chunks, (s + 1) * group); ++c) {
+        status = LoadChunkRows(store, manifest, c, &rows);
+        if (!status.ok()) {
+          break;
+        }
+      }
+      if (status.ok()) {
+        std::sort(rows.begin(), rows.end(),
+                  [&](const Row& a, const Row& b) { return RowLess(options.key, a, b); });
+        Buffer raw;
+        for (const Row& row : rows) {
+          EncodeRow(row, &raw);
+        }
+        Buffer object;
+        object.AppendScalar<uint64_t>(raw.size());
+        status = temp_codec.Compress(raw.span(), &object);
+        if (status.ok()) {
+          status = store->Put(out_name + ".super-" + std::to_string(s), object);
+        }
+      }
+      if (!status.ok()) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (first_error.ok()) {
+          first_error = status;
+        }
+        return;
+      }
+    }
+  };
+  {
+    std::vector<std::thread> threads;
+    for (int t = 0; t < std::max(1, options.sort_threads); ++t) {
+      threads.emplace_back(worker);
+    }
+    for (std::thread& t : threads) {
+      t.join();
+    }
+  }
+  PERSONA_RETURN_IF_ERROR(first_error);
+  const double phase1_seconds = timer.ElapsedSeconds();
+
+  // --- Phase 2: k-way merge into the output dataset. ---
+  std::vector<std::unique_ptr<SuperchunkCursor>> cursors;
+  for (size_t s = 0; s < num_supers; ++s) {
+    Buffer object;
+    PERSONA_RETURN_IF_ERROR(store->Get(out_name + ".super-" + std::to_string(s), &object));
+    if (object.size() < sizeof(uint64_t)) {
+      return DataLossError("superchunk too small");
+    }
+    uint64_t raw_size = object.ReadScalar<uint64_t>(0);
+    Buffer raw;
+    PERSONA_RETURN_IF_ERROR(temp_codec.Decompress(object.span().subspan(sizeof(uint64_t)),
+                                                  static_cast<size_t>(raw_size), &raw));
+    cursors.push_back(std::make_unique<SuperchunkCursor>(std::move(raw), options.key));
+  }
+
+  auto cursor_greater = [&](size_t a, size_t b) {
+    // Min-heap by row key.
+    return RowLess(options.key, cursors[b]->row(), cursors[a]->row());
+  };
+  std::priority_queue<size_t, std::vector<size_t>, decltype(cursor_greater)> heap(
+      cursor_greater);
+  for (size_t i = 0; i < cursors.size(); ++i) {
+    if (cursors[i]->valid()) {
+      heap.push(i);
+    }
+  }
+
+  format::Manifest out;
+  out.name = out_name;
+  out.chunk_size = manifest.chunk_size;
+  out.columns = manifest.columns;
+  out.reference_contigs = manifest.reference_contigs;
+
+  format::ChunkBuilder bases(format::RecordType::kBases, options.codec);
+  format::ChunkBuilder qual(format::RecordType::kQual, options.codec);
+  format::ChunkBuilder metadata(format::RecordType::kMetadata, options.codec);
+  format::ChunkBuilder results(format::RecordType::kResults, options.codec);
+  int64_t emitted_in_chunk = 0;
+  int64_t total_emitted = 0;
+  Buffer file;
+
+  auto flush_chunk = [&]() -> Status {
+    if (emitted_in_chunk == 0) {
+      return OkStatus();
+    }
+    format::ManifestChunk chunk;
+    chunk.path_base = out_name + "-" + std::to_string(out.chunks.size());
+    chunk.first_record = total_emitted - emitted_in_chunk;
+    chunk.num_records = emitted_in_chunk;
+    PERSONA_RETURN_IF_ERROR(bases.Finalize(&file));
+    PERSONA_RETURN_IF_ERROR(store->Put(chunk.path_base + ".bases", file));
+    PERSONA_RETURN_IF_ERROR(qual.Finalize(&file));
+    PERSONA_RETURN_IF_ERROR(store->Put(chunk.path_base + ".qual", file));
+    PERSONA_RETURN_IF_ERROR(metadata.Finalize(&file));
+    PERSONA_RETURN_IF_ERROR(store->Put(chunk.path_base + ".metadata", file));
+    PERSONA_RETURN_IF_ERROR(results.Finalize(&file));
+    PERSONA_RETURN_IF_ERROR(store->Put(chunk.path_base + ".results", file));
+    out.chunks.push_back(std::move(chunk));
+    bases.Reset();
+    qual.Reset();
+    metadata.Reset();
+    results.Reset();
+    emitted_in_chunk = 0;
+    return OkStatus();
+  };
+
+  while (!heap.empty()) {
+    size_t i = heap.top();
+    heap.pop();
+    const Row& row = cursors[i]->row();
+    bases.AddBases(row.read.bases);
+    qual.AddRecord(row.read.qual);
+    metadata.AddRecord(row.read.metadata);
+    results.AddResult(row.result);
+    ++emitted_in_chunk;
+    ++total_emitted;
+    if (emitted_in_chunk >= out.chunk_size) {
+      PERSONA_RETURN_IF_ERROR(flush_chunk());
+    }
+    cursors[i]->Advance();
+    if (cursors[i]->valid()) {
+      heap.push(i);
+    }
+  }
+  PERSONA_RETURN_IF_ERROR(flush_chunk());
+  PERSONA_RETURN_IF_ERROR(store->Put(out_name + ".manifest.json", out.ToJson()));
+
+  // Clean up superchunk temporaries.
+  for (size_t s = 0; s < num_supers; ++s) {
+    (void)store->Delete(out_name + ".super-" + std::to_string(s));
+  }
+
+  SortReport report;
+  report.seconds = timer.ElapsedSeconds();
+  report.phase1_seconds = phase1_seconds;
+  report.merge_seconds = report.seconds - phase1_seconds;
+  report.records = static_cast<uint64_t>(total_emitted);
+  report.superchunks = num_supers;
+  storage::StoreStats after = store->stats();
+  report.store_stats.bytes_read = after.bytes_read - store_before.bytes_read;
+  report.store_stats.bytes_written = after.bytes_written - store_before.bytes_written;
+  if (out_manifest != nullptr) {
+    *out_manifest = std::move(out);
+  }
+  return report;
+}
+
+}  // namespace persona::pipeline

@@ -1,0 +1,53 @@
+// Persona dataset sorting (paper §4.3): a simple external merge sort.
+//
+// Phase 1 reads groups of AGD chunks, sorts their records by the requested key, and
+// writes temporary "superchunks". Phase 2 k-way merges the superchunks into the final
+// sorted dataset. Sorting is by mapped location or by read ID (metadata), matching the
+// paper's "sorting by various parameters".
+
+#ifndef PERSONA_SRC_PIPELINE_SORT_H_
+#define PERSONA_SRC_PIPELINE_SORT_H_
+
+#include <string>
+
+#include "src/format/agd_manifest.h"
+#include "src/genome/read.h"
+#include "src/storage/object_store.h"
+
+namespace persona::pipeline {
+
+enum class SortKey {
+  kLocation,  // global mapped location; unmapped reads sort last
+  kMetadata,  // read ID
+};
+
+struct SortReport {
+  double seconds = 0;
+  double phase1_seconds = 0;  // parallel superchunk sort
+  double merge_seconds = 0;   // k-way merge + output encode
+  uint64_t records = 0;
+  uint64_t superchunks = 0;
+  storage::StoreStats store_stats;
+};
+
+struct SortOptions {
+  SortKey key = SortKey::kLocation;
+  int chunks_per_superchunk = 4;
+  compress::CodecId codec = compress::CodecId::kZlib;  // output chunks
+  // Superchunk temporaries are spilled uncompressed by default: they are written and
+  // read exactly once, so codec time is pure overhead unless storage is very slow.
+  compress::CodecId temp_codec = compress::CodecId::kIdentity;
+  int sort_threads = 2;  // phase-1 parallelism across superchunks
+};
+
+// Sorts the dataset described by `manifest` (which must include a results column) into a
+// new dataset named `out_name` in the same store. On success `out_manifest` describes
+// the sorted dataset (also stored as "<out_name>.manifest.json").
+Result<SortReport> SortAgdDataset(storage::ObjectStore* store,
+                                  const format::Manifest& manifest,
+                                  const std::string& out_name, const SortOptions& options,
+                                  format::Manifest* out_manifest);
+
+}  // namespace persona::pipeline
+
+#endif  // PERSONA_SRC_PIPELINE_SORT_H_

@@ -1,0 +1,77 @@
+#include "src/storage/local_store.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <mutex>
+
+#include "src/util/file_util.h"
+#include "src/util/string_util.h"
+
+namespace persona::storage {
+
+namespace fs = std::filesystem;
+
+Result<std::unique_ptr<LocalStore>> LocalStore::Create(
+    const std::string& root, std::shared_ptr<ThrottledDevice> device) {
+  PERSONA_RETURN_IF_ERROR(MakeDirectories(root));
+  return std::unique_ptr<LocalStore>(new LocalStore(root, std::move(device)));
+}
+
+Status LocalStore::Put(const std::string& key, std::span<const uint8_t> data) {
+  if (device_ != nullptr) {
+    device_->Write(data.size());
+  }
+  Status status = WriteStringToFile(
+      PathFor(key),
+      std::string_view(reinterpret_cast<const char*>(data.data()), data.size()));
+  if (status.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.bytes_written += data.size();
+    ++stats_.write_ops;
+  }
+  return status;
+}
+
+Status LocalStore::Get(const std::string& key, Buffer* out) {
+  out->Clear();
+  PERSONA_RETURN_IF_ERROR(ReadFileToBuffer(PathFor(key), out));
+  if (device_ != nullptr) {
+    device_->Read(out->size());
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.bytes_read += out->size();
+  ++stats_.read_ops;
+  return OkStatus();
+}
+
+Result<uint64_t> LocalStore::Size(const std::string& key) { return FileSize(PathFor(key)); }
+
+Status LocalStore::Delete(const std::string& key) { return RemoveFile(PathFor(key)); }
+
+bool LocalStore::Exists(const std::string& key) { return FileExists(PathFor(key)); }
+
+Result<std::vector<std::string>> LocalStore::List(std::string_view prefix) {
+  std::vector<std::string> keys;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(root_, ec)) {
+    if (!entry.is_regular_file()) {
+      continue;
+    }
+    std::string name = entry.path().filename().string();
+    if (StartsWith(name, prefix)) {
+      keys.push_back(std::move(name));
+    }
+  }
+  if (ec) {
+    return UnavailableError("directory iteration failed: " + ec.message());
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+StoreStats LocalStore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace persona::storage

@@ -1,0 +1,51 @@
+// LocalStore: directory-backed ObjectStore routed through a ThrottledDevice.
+//
+// Models the paper's local-disk configurations: the same files land on the real
+// filesystem (so AGD tooling can inspect them), but every transfer pays the simulated
+// device's bandwidth/latency, reproducing single-disk vs RAID0 behaviour.
+
+#ifndef PERSONA_SRC_STORAGE_LOCAL_STORE_H_
+#define PERSONA_SRC_STORAGE_LOCAL_STORE_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "src/storage/object_store.h"
+#include "src/storage/throttled_device.h"
+
+namespace persona::storage {
+
+class LocalStore final : public ObjectStore {
+ public:
+  // `root` is created if missing. `device` may be null for unthrottled access.
+  static Result<std::unique_ptr<LocalStore>> Create(const std::string& root,
+                                                    std::shared_ptr<ThrottledDevice> device);
+
+  using ObjectStore::Put;
+  Status Put(const std::string& key, std::span<const uint8_t> data) override;
+  Status Get(const std::string& key, Buffer* out) override;
+  Result<uint64_t> Size(const std::string& key) override;
+  Status Delete(const std::string& key) override;
+  bool Exists(const std::string& key) override;
+  Result<std::vector<std::string>> List(std::string_view prefix) override;
+
+  StoreStats stats() const override;
+
+  const std::string& root() const { return root_; }
+
+ private:
+  LocalStore(std::string root, std::shared_ptr<ThrottledDevice> device)
+      : root_(std::move(root)), device_(std::move(device)) {}
+
+  std::string PathFor(const std::string& key) const { return root_ + "/" + key; }
+
+  std::string root_;
+  std::shared_ptr<ThrottledDevice> device_;
+  mutable std::mutex mu_;
+  StoreStats stats_;
+};
+
+}  // namespace persona::storage
+
+#endif  // PERSONA_SRC_STORAGE_LOCAL_STORE_H_

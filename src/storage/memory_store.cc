@@ -1,0 +1,83 @@
+#include "src/storage/memory_store.h"
+
+#include "src/util/string_util.h"
+
+namespace persona::storage {
+
+Status MemoryStore::Put(const std::string& key, std::span<const uint8_t> data) {
+  if (device_ != nullptr) {
+    device_->Write(data.size());
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  objects_[key].assign(data.begin(), data.end());
+  stats_.bytes_written += data.size();
+  ++stats_.write_ops;
+  return OkStatus();
+}
+
+Status MemoryStore::Get(const std::string& key, Buffer* out) {
+  size_t size = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = objects_.find(key);
+    if (it == objects_.end()) {
+      return NotFoundError("no such object: " + key);
+    }
+    size = it->second.size();
+  }
+  // Throttle outside the lock so slow transfers do not serialize the store.
+  if (device_ != nullptr) {
+    device_->Read(size);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = objects_.find(key);
+  if (it == objects_.end()) {
+    return NotFoundError("object deleted during read: " + key);
+  }
+  out->Clear();
+  out->Append(it->second.data(), it->second.size());
+  stats_.bytes_read += it->second.size();
+  ++stats_.read_ops;
+  return OkStatus();
+}
+
+Result<uint64_t> MemoryStore::Size(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = objects_.find(key);
+  if (it == objects_.end()) {
+    return NotFoundError("no such object: " + key);
+  }
+  return static_cast<uint64_t>(it->second.size());
+}
+
+Status MemoryStore::Delete(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (objects_.erase(key) == 0) {
+    return NotFoundError("no such object: " + key);
+  }
+  return OkStatus();
+}
+
+bool MemoryStore::Exists(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return objects_.contains(key);
+}
+
+Result<std::vector<std::string>> MemoryStore::List(std::string_view prefix) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> keys;
+  for (auto it = objects_.lower_bound(std::string(prefix)); it != objects_.end(); ++it) {
+    if (!StartsWith(it->first, prefix)) {
+      break;
+    }
+    keys.push_back(it->first);
+  }
+  return keys;
+}
+
+StoreStats MemoryStore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace persona::storage

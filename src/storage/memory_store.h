@@ -1,0 +1,44 @@
+// MemoryStore: a thread-safe in-memory ObjectStore, optionally throttled.
+//
+// Used directly by tests and as the backing plane of the simulated distributed store.
+// With a ThrottledDevice attached it behaves like a bandwidth-limited medium while
+// avoiding real filesystem effects.
+
+#ifndef PERSONA_SRC_STORAGE_MEMORY_STORE_H_
+#define PERSONA_SRC_STORAGE_MEMORY_STORE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "src/storage/object_store.h"
+#include "src/storage/throttled_device.h"
+
+namespace persona::storage {
+
+class MemoryStore final : public ObjectStore {
+ public:
+  // `device` may be null (no throttling); if set it is shared with the caller.
+  explicit MemoryStore(std::shared_ptr<ThrottledDevice> device = nullptr)
+      : device_(std::move(device)) {}
+
+  using ObjectStore::Put;
+  Status Put(const std::string& key, std::span<const uint8_t> data) override;
+  Status Get(const std::string& key, Buffer* out) override;
+  Result<uint64_t> Size(const std::string& key) override;
+  Status Delete(const std::string& key) override;
+  bool Exists(const std::string& key) override;
+  Result<std::vector<std::string>> List(std::string_view prefix) override;
+
+  StoreStats stats() const override;
+
+ private:
+  std::shared_ptr<ThrottledDevice> device_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::vector<uint8_t>> objects_;
+  StoreStats stats_;
+};
+
+}  // namespace persona::storage
+
+#endif  // PERSONA_SRC_STORAGE_MEMORY_STORE_H_

@@ -1,0 +1,53 @@
+// Storage abstraction for Persona reader/writer nodes (paper §4.2, §4.4).
+//
+// Persona supports local disk and the Ceph object store behind one interface; "other
+// storage systems can be supported simply by writing the interface into a new Reader
+// node". This module provides that interface plus three implementations:
+//   MemoryStore   — plain in-memory map (tests, cluster simulation backing)
+//   LocalStore    — directory-backed files routed through a ThrottledDevice
+//   CephSimStore  — simulated distributed object store (see ceph_sim.h)
+
+#ifndef PERSONA_SRC_STORAGE_OBJECT_STORE_H_
+#define PERSONA_SRC_STORAGE_OBJECT_STORE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/util/buffer.h"
+#include "src/util/result.h"
+
+namespace persona::storage {
+
+struct StoreStats {
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
+  uint64_t read_ops = 0;
+  uint64_t write_ops = 0;
+};
+
+class ObjectStore {
+ public:
+  virtual ~ObjectStore() = default;
+
+  virtual Status Put(const std::string& key, std::span<const uint8_t> data) = 0;
+  virtual Status Get(const std::string& key, Buffer* out) = 0;
+  virtual Result<uint64_t> Size(const std::string& key) = 0;
+  virtual Status Delete(const std::string& key) = 0;
+  virtual bool Exists(const std::string& key) = 0;
+  virtual Result<std::vector<std::string>> List(std::string_view prefix) = 0;
+
+  virtual StoreStats stats() const = 0;
+
+  // Convenience overloads.
+  Status Put(const std::string& key, const Buffer& data) { return Put(key, data.span()); }
+  Status Put(const std::string& key, std::string_view data) {
+    return Put(key, std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(data.data()),
+                                             data.size()));
+  }
+};
+
+}  // namespace persona::storage
+
+#endif  // PERSONA_SRC_STORAGE_OBJECT_STORE_H_

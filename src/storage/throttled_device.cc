@@ -1,0 +1,46 @@
+#include "src/storage/throttled_device.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace persona::storage {
+
+DeviceProfile DeviceProfile::SingleDisk(double scale) {
+  return DeviceProfile{static_cast<uint64_t>(160e6 * scale), 0.004, "single-disk"};
+}
+
+DeviceProfile DeviceProfile::Raid0(double scale) {
+  return DeviceProfile{static_cast<uint64_t>(960e6 * scale), 0.004, "raid0"};
+}
+
+DeviceProfile DeviceProfile::TenGbeNic(double scale) {
+  return DeviceProfile{static_cast<uint64_t>(1.25e9 * scale), 0.0005, "10gbe"};
+}
+
+DeviceProfile DeviceProfile::Unlimited() { return DeviceProfile{0, 0, "unlimited"}; }
+
+ThrottledDevice::ThrottledDevice(const DeviceProfile& profile)
+    : profile_(profile),
+      // Burst of ~64 ms of bandwidth keeps small transfers cheap while holding the
+      // sustained rate at the configured value (floor keeps tiny devices functional).
+      bucket_(profile.bandwidth_bytes_per_sec,
+              std::max<uint64_t>(profile.bandwidth_bytes_per_sec / 16, 64 << 10)) {}
+
+void ThrottledDevice::Transfer(uint64_t bytes) {
+  if (profile_.op_latency_sec > 0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(profile_.op_latency_sec));
+  }
+  bucket_.Acquire(bytes);
+}
+
+void ThrottledDevice::Read(uint64_t bytes) {
+  Transfer(bytes);
+  bytes_read_.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+void ThrottledDevice::Write(uint64_t bytes) {
+  Transfer(bytes);
+  bytes_written_.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+}  // namespace persona::storage

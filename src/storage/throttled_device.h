@@ -1,0 +1,56 @@
+// ThrottledDevice: models one storage device's bandwidth and per-op latency.
+//
+// Stands in for the paper's physical disks and RAID arrays (DESIGN.md §1): callers
+// "transfer" bytes through a token bucket shared by reads and writes (a spinning disk's
+// head is one resource), so heavy writeback traffic starves concurrent reads — the
+// mechanism behind the cyclic stalls of Fig. 5a.
+
+#ifndef PERSONA_SRC_STORAGE_THROTTLED_DEVICE_H_
+#define PERSONA_SRC_STORAGE_THROTTLED_DEVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/util/token_bucket.h"
+
+namespace persona::storage {
+
+struct DeviceProfile {
+  uint64_t bandwidth_bytes_per_sec = 0;  // 0 = unlimited
+  double op_latency_sec = 0;             // fixed per-operation latency (seek / RPC)
+  std::string name = "device";
+
+  // The paper's storage configurations (§5.1), scaled by `scale` so that scaled-down
+  // benchmark datasets hit the same compute-to-I/O ratios as the full-size originals.
+  static DeviceProfile SingleDisk(double scale = 1.0);   // 1 SATA disk: ~160 MB/s
+  static DeviceProfile Raid0(double scale = 1.0);        // 6-disk RAID0: ~960 MB/s
+  static DeviceProfile TenGbeNic(double scale = 1.0);    // 10 GbE: ~1.25 GB/s
+  static DeviceProfile Unlimited();
+};
+
+class ThrottledDevice {
+ public:
+  explicit ThrottledDevice(const DeviceProfile& profile);
+
+  // Blocks for the simulated transfer time of `bytes` (latency + bandwidth).
+  void Read(uint64_t bytes);
+  void Write(uint64_t bytes);
+
+  const DeviceProfile& profile() const { return profile_; }
+  uint64_t bytes_read() const { return bytes_read_.load(std::memory_order_relaxed); }
+  uint64_t bytes_written() const { return bytes_written_.load(std::memory_order_relaxed); }
+
+ private:
+  void Transfer(uint64_t bytes);
+
+  DeviceProfile profile_;
+  TokenBucket bucket_;
+  std::atomic<uint64_t> bytes_read_{0};
+  std::atomic<uint64_t> bytes_written_{0};
+};
+
+}  // namespace persona::storage
+
+#endif  // PERSONA_SRC_STORAGE_THROTTLED_DEVICE_H_

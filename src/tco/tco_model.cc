@@ -1,0 +1,64 @@
+#include "src/tco/tco_model.h"
+
+#include "src/util/string_util.h"
+
+namespace persona::tco {
+
+TcoReport ComputeTco(const TcoParams& params) {
+  TcoReport report;
+  report.compute_capex = params.compute_server_cost * params.compute_servers;
+  report.storage_capex = params.storage_server_cost * params.storage_servers;
+  report.fabric_capex = params.fabric_port_cost * params.fabric_ports;
+  report.total_capex = report.compute_capex + report.storage_capex + report.fabric_capex;
+  report.tco_5yr = report.total_capex * params.tco_uplift;
+
+  const double seconds_per_day = 86'400;
+  const double days = 365 * params.years;
+  report.alignments_per_day = params.compute_servers * seconds_per_day /
+                              params.seconds_per_alignment_per_server;
+  double lifetime_alignments = report.alignments_per_day * days;
+  report.cost_per_alignment_cents =
+      lifetime_alignments > 0 ? report.tco_5yr / lifetime_alignments * 100 : 0;
+
+  report.genomes_stored = params.usable_capacity_tb * 1000 / params.genome_size_gb;
+  report.storage_cost_per_genome =
+      report.genomes_stored > 0 ? report.storage_capex / report.genomes_stored : 0;
+  report.glacier_cost_per_genome_5yr =
+      params.genome_size_gb * params.glacier_per_gb_month * 12 * params.years;
+
+  report.single_server_tco = params.compute_server_cost * params.tco_uplift;
+  report.single_server_alignments_per_day =
+      seconds_per_day / params.seconds_per_alignment_per_server;
+  double single_lifetime = report.single_server_alignments_per_day * days;
+  report.single_server_cost_per_alignment_cents =
+      single_lifetime > 0 ? report.single_server_tco / single_lifetime * 100 : 0;
+  return report;
+}
+
+std::string FormatTcoTable(const TcoParams& params, const TcoReport& report) {
+  std::string out;
+  out += "Item              Unit cost   Units   Total\n";
+  out += StrFormat("Compute Server    $%-9.0f %-7d $%.0fK\n", params.compute_server_cost,
+                   params.compute_servers, report.compute_capex / 1000);
+  out += StrFormat("Storage server    $%-9.0f %-7d $%.0fK\n", params.storage_server_cost,
+                   params.storage_servers, report.storage_capex / 1000);
+  out += StrFormat("Fabric ports      $%-9.0f %-7d $%.0fK\n", params.fabric_port_cost,
+                   params.fabric_ports, report.fabric_capex / 1000);
+  out += StrFormat("Total                                 $%.0fK\n",
+                   report.total_capex / 1000);
+  out += StrFormat("TCO(5yr)                              $%.0fK\n", report.tco_5yr / 1000);
+  out += StrFormat("Cost/Alignment (100%% Utilization)     %.2f cents\n",
+                   report.cost_per_alignment_cents);
+  out += "\n";
+  out += StrFormat("Cluster alignments/day: %.0f  (single server: %.0f)\n",
+                   report.alignments_per_day, report.single_server_alignments_per_day);
+  out += StrFormat("Single-server cost/alignment: %.2f cents\n",
+                   report.single_server_cost_per_alignment_cents);
+  out += StrFormat("Genomes stored at %.0f TB usable: %.0f\n", params.usable_capacity_tb,
+                   report.genomes_stored);
+  out += StrFormat("Storage cost/genome: $%.2f  (Glacier 5yr: $%.2f)\n",
+                   report.storage_cost_per_genome, report.glacier_cost_per_genome_5yr);
+  return out;
+}
+
+}  // namespace persona::tco

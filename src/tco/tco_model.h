@@ -1,0 +1,65 @@
+// Total-cost-of-ownership model for Persona cluster architectures (paper §6.1, Table 3).
+//
+// Reproduces the paper's cost arithmetic: cluster capex (compute + storage + fabric
+// ports), the 5-year datacenter TCO uplift (Hamilton's model [21]), cost per alignment
+// at full occupancy, storage cost per genome on the cluster, and the Amazon Glacier
+// comparison. All inputs default to the paper's published unit costs.
+
+#ifndef PERSONA_SRC_TCO_TCO_MODEL_H_
+#define PERSONA_SRC_TCO_TCO_MODEL_H_
+
+#include <string>
+
+namespace persona::tco {
+
+struct TcoParams {
+  // Table 3 unit costs and counts.
+  double compute_server_cost = 8'450;
+  int compute_servers = 60;
+  double storage_server_cost = 7'575;
+  int storage_servers = 7;
+  double fabric_port_cost = 792;
+  int fabric_ports = 67;
+
+  // 5-year datacenter TCO uplift over capex: the paper's $613K -> $943K.
+  double tco_uplift = 943.0 / 613.0;
+  double years = 5;
+
+  // Throughput assumptions: a single server aligns one genome in ~600 s ("a single
+  // server can align ~144 full sequences per day").
+  double seconds_per_alignment_per_server = 600;
+
+  // Storage economics.
+  double usable_capacity_tb = 126;       // paper: ~6000 genomes
+  double genome_size_gb = 16;            // AGD half-dataset (paper §5.1); 21 for full
+  double glacier_per_gb_month = 0.007;   // Amazon Glacier, 2016 pricing
+};
+
+struct TcoReport {
+  double compute_capex = 0;
+  double storage_capex = 0;
+  double fabric_capex = 0;
+  double total_capex = 0;
+  double tco_5yr = 0;
+
+  double alignments_per_day = 0;         // whole cluster at full occupancy
+  double cost_per_alignment_cents = 0;
+
+  double genomes_stored = 0;             // usable capacity / genome size
+  double storage_cost_per_genome = 0;    // storage capex amortized per genome
+  double glacier_cost_per_genome_5yr = 0;
+
+  // Single-server scenario (§6.1 case 1).
+  double single_server_tco = 0;
+  double single_server_alignments_per_day = 0;
+  double single_server_cost_per_alignment_cents = 0;
+};
+
+TcoReport ComputeTco(const TcoParams& params);
+
+// Formats the report as the Table 3 layout plus the discussion figures.
+std::string FormatTcoTable(const TcoParams& params, const TcoReport& report);
+
+}  // namespace persona::tco
+
+#endif  // PERSONA_SRC_TCO_TCO_MODEL_H_

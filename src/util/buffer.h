@@ -1,0 +1,80 @@
+// Buffer: a growable, reusable byte buffer.
+//
+// Persona's zero-copy architecture (§4.5 of the paper) passes pooled Buffer objects
+// between dataflow nodes instead of copying payloads. Buffers keep their capacity across
+// Clear() so that pool recycling amortizes allocation.
+
+#ifndef PERSONA_SRC_UTIL_BUFFER_H_
+#define PERSONA_SRC_UTIL_BUFFER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace persona {
+
+class Buffer {
+ public:
+  Buffer() = default;
+  explicit Buffer(size_t initial_capacity) { data_.reserve(initial_capacity); }
+
+  // Movable, not copyable: accidental payload copies defeat the pooling design.
+  Buffer(const Buffer&) = delete;
+  Buffer& operator=(const Buffer&) = delete;
+  Buffer(Buffer&&) = default;
+  Buffer& operator=(Buffer&&) = default;
+
+  const uint8_t* data() const { return data_.data(); }
+  uint8_t* data() { return data_.data(); }
+  size_t size() const { return data_.size(); }
+  size_t capacity() const { return data_.capacity(); }
+  bool empty() const { return data_.empty(); }
+
+  std::span<const uint8_t> span() const { return {data_.data(), data_.size()}; }
+  std::span<uint8_t> mutable_span() { return {data_.data(), data_.size()}; }
+  std::string_view view() const {
+    return {reinterpret_cast<const char*>(data_.data()), data_.size()};
+  }
+
+  // Drops contents but keeps capacity (pool-recycling friendly).
+  void Clear() { data_.clear(); }
+
+  void Reserve(size_t capacity) { data_.reserve(capacity); }
+  void Resize(size_t size) { data_.resize(size); }
+
+  void Append(const void* src, size_t n) {
+    const auto* p = static_cast<const uint8_t*>(src);
+    data_.insert(data_.end(), p, p + n);
+  }
+  void Append(std::span<const uint8_t> bytes) { Append(bytes.data(), bytes.size()); }
+  void Append(std::string_view s) { Append(s.data(), s.size()); }
+  void AppendByte(uint8_t b) { data_.push_back(b); }
+
+  // Fixed-width little-endian scalar append/read, used by chunk headers and records.
+  template <typename T>
+  void AppendScalar(T v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Append(&v, sizeof(v));
+  }
+
+  template <typename T>
+  T ReadScalar(size_t offset) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T v{};
+    std::memcpy(&v, data_.data() + offset, sizeof(v));
+    return v;
+  }
+
+  uint8_t& operator[](size_t i) { return data_[i]; }
+  uint8_t operator[](size_t i) const { return data_[i]; }
+
+ private:
+  std::vector<uint8_t> data_;
+};
+
+}  // namespace persona
+
+#endif  // PERSONA_SRC_UTIL_BUFFER_H_

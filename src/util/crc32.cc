@@ -1,0 +1,45 @@
+#include "src/util/crc32.h"
+
+#include <array>
+
+namespace persona {
+
+namespace {
+
+// Table generated at static-init time from the reflected polynomial 0xEDB88320.
+std::array<uint32_t, 256> MakeTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& Table() {
+  static const std::array<uint32_t, 256> kTable = MakeTable();
+  return kTable;
+}
+
+}  // namespace
+
+uint32_t Crc32Update(uint32_t crc, std::span<const uint8_t> bytes) {
+  const auto& table = Table();
+  crc = ~crc;
+  for (uint8_t b : bytes) {
+    crc = table[(crc ^ b) & 0xFF] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+uint32_t Crc32(std::span<const uint8_t> bytes) { return Crc32Update(0, bytes); }
+
+uint32_t Crc32(std::string_view bytes) {
+  return Crc32(std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(bytes.data()),
+                                        bytes.size()));
+}
+
+}  // namespace persona

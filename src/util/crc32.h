@@ -1,0 +1,21 @@
+// CRC-32 (IEEE 802.3 polynomial), used to checksum AGD chunk data blocks.
+
+#ifndef PERSONA_SRC_UTIL_CRC32_H_
+#define PERSONA_SRC_UTIL_CRC32_H_
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace persona {
+
+// One-shot CRC of a byte span.
+uint32_t Crc32(std::span<const uint8_t> bytes);
+uint32_t Crc32(std::string_view bytes);
+
+// Incremental form: seed with 0, feed successive spans.
+uint32_t Crc32Update(uint32_t crc, std::span<const uint8_t> bytes);
+
+}  // namespace persona
+
+#endif  // PERSONA_SRC_UTIL_CRC32_H_

@@ -1,0 +1,129 @@
+#include "src/util/file_util.h"
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+
+namespace persona {
+
+namespace fs = std::filesystem;
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return NotFoundError("cannot open file: " + path);
+  }
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::string out;
+  if (size > 0) {
+    out.resize(static_cast<size_t>(size));
+    size_t read = std::fread(out.data(), 1, out.size(), f);
+    if (read != out.size()) {
+      std::fclose(f);
+      return DataLossError("short read from file: " + path);
+    }
+  }
+  std::fclose(f);
+  return out;
+}
+
+Status ReadFileToBuffer(const std::string& path, Buffer* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return NotFoundError("cannot open file: " + path);
+  }
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  out->Clear();
+  if (size > 0) {
+    out->Resize(static_cast<size_t>(size));
+    size_t read = std::fread(out->data(), 1, out->size(), f);
+    if (read != out->size()) {
+      std::fclose(f);
+      return DataLossError("short read from file: " + path);
+    }
+  }
+  std::fclose(f);
+  return OkStatus();
+}
+
+namespace {
+Status WriteBytes(const std::string& path, const void* data, size_t size) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return UnavailableError("cannot create file: " + path);
+  }
+  if (size > 0 && std::fwrite(data, 1, size, f) != size) {
+    std::fclose(f);
+    return DataLossError("short write to file: " + path);
+  }
+  if (std::fclose(f) != 0) {
+    return DataLossError("close failed for file: " + path);
+  }
+  return OkStatus();
+}
+}  // namespace
+
+Status WriteStringToFile(const std::string& path, std::string_view contents) {
+  return WriteBytes(path, contents.data(), contents.size());
+}
+
+Status WriteBufferToFile(const std::string& path, const Buffer& buffer) {
+  return WriteBytes(path, buffer.data(), buffer.size());
+}
+
+bool FileExists(const std::string& path) {
+  std::error_code ec;
+  return fs::exists(path, ec);
+}
+
+Result<uint64_t> FileSize(const std::string& path) {
+  std::error_code ec;
+  uint64_t size = fs::file_size(path, ec);
+  if (ec) {
+    return NotFoundError("file_size failed: " + path + ": " + ec.message());
+  }
+  return size;
+}
+
+Status MakeDirectories(const std::string& path) {
+  std::error_code ec;
+  fs::create_directories(path, ec);
+  if (ec) {
+    return UnavailableError("create_directories failed: " + path + ": " + ec.message());
+  }
+  return OkStatus();
+}
+
+Status RemoveFile(const std::string& path) {
+  std::error_code ec;
+  if (!fs::remove(path, ec) || ec) {
+    return NotFoundError("remove failed: " + path);
+  }
+  return OkStatus();
+}
+
+ScopedTempDir::ScopedTempDir(std::string_view tag) {
+  static std::atomic<uint64_t> counter{0};
+  uint64_t id = counter.fetch_add(1);
+  std::error_code ec;
+  fs::path base = fs::temp_directory_path(ec);
+  if (ec) {
+    base = "/tmp";
+  }
+  path_ = (base / (std::string(tag) + "-" + std::to_string(::getpid()) + "-" +
+                   std::to_string(id)))
+              .string();
+  fs::create_directories(path_, ec);
+}
+
+ScopedTempDir::~ScopedTempDir() {
+  std::error_code ec;
+  fs::remove_all(path_, ec);
+}
+
+}  // namespace persona

@@ -1,0 +1,45 @@
+// Filesystem helpers: whole-file I/O, directories, and a scoped temp directory.
+
+#ifndef PERSONA_SRC_UTIL_FILE_UTIL_H_
+#define PERSONA_SRC_UTIL_FILE_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/util/buffer.h"
+#include "src/util/result.h"
+
+namespace persona {
+
+Result<std::string> ReadFileToString(const std::string& path);
+Status ReadFileToBuffer(const std::string& path, Buffer* out);
+Status WriteStringToFile(const std::string& path, std::string_view contents);
+Status WriteBufferToFile(const std::string& path, const Buffer& buffer);
+
+bool FileExists(const std::string& path);
+Result<uint64_t> FileSize(const std::string& path);
+Status MakeDirectories(const std::string& path);
+Status RemoveFile(const std::string& path);
+
+// Creates a unique directory under the system temp dir and removes it (recursively) on
+// destruction. Used pervasively by tests and benchmarks.
+class ScopedTempDir {
+ public:
+  // `tag` becomes part of the directory name for debuggability.
+  explicit ScopedTempDir(std::string_view tag = "persona");
+  ~ScopedTempDir();
+
+  ScopedTempDir(const ScopedTempDir&) = delete;
+  ScopedTempDir& operator=(const ScopedTempDir&) = delete;
+
+  const std::string& path() const { return path_; }
+  std::string FilePath(std::string_view name) const { return path_ + "/" + std::string(name); }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace persona
+
+#endif  // PERSONA_SRC_UTIL_FILE_UTIL_H_

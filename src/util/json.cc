@@ -1,0 +1,492 @@
+#include "src/util/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace persona::json {
+
+namespace {
+
+// Recursive-descent parser over a string_view with a position cursor.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<Value> ParseDocument() {
+    SkipWhitespace();
+    PERSONA_ASSIGN_OR_RETURN(Value v, ParseValue());
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON document");
+    }
+    return v;
+  }
+
+ private:
+  Status Error(std::string_view what) const {
+    return InvalidArgumentError("JSON parse error at offset " + std::to_string(pos_) + ": " +
+                                std::string(what));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+
+  bool Consume(char c) {
+    if (!AtEnd() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) == lit) {
+      pos_ += lit.size();
+      return true;
+    }
+    return false;
+  }
+
+  Result<Value> ParseValue() {
+    if (depth_ > kMaxDepth) {
+      return Error("nesting too deep");
+    }
+    if (AtEnd()) {
+      return Error("unexpected end of input");
+    }
+    char c = Peek();
+    switch (c) {
+      case '{':
+        return ParseObject();
+      case '[':
+        return ParseArray();
+      case '"': {
+        PERSONA_ASSIGN_OR_RETURN(std::string s, ParseString());
+        return Value(std::move(s));
+      }
+      case 't':
+        if (ConsumeLiteral("true")) {
+          return Value(true);
+        }
+        return Error("invalid literal");
+      case 'f':
+        if (ConsumeLiteral("false")) {
+          return Value(false);
+        }
+        return Error("invalid literal");
+      case 'n':
+        if (ConsumeLiteral("null")) {
+          return Value(nullptr);
+        }
+        return Error("invalid literal");
+      default:
+        return ParseNumber();
+    }
+  }
+
+  Result<Value> ParseObject() {
+    ++depth_;
+    Consume('{');
+    Object obj;
+    SkipWhitespace();
+    if (Consume('}')) {
+      --depth_;
+      return Value(std::move(obj));
+    }
+    while (true) {
+      SkipWhitespace();
+      if (AtEnd() || Peek() != '"') {
+        return Error("expected object key");
+      }
+      PERSONA_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipWhitespace();
+      if (!Consume(':')) {
+        return Error("expected ':' after object key");
+      }
+      SkipWhitespace();
+      PERSONA_ASSIGN_OR_RETURN(Value v, ParseValue());
+      obj.emplace(std::move(key), std::move(v));
+      SkipWhitespace();
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume('}')) {
+        break;
+      }
+      return Error("expected ',' or '}' in object");
+    }
+    --depth_;
+    return Value(std::move(obj));
+  }
+
+  Result<Value> ParseArray() {
+    ++depth_;
+    Consume('[');
+    Array arr;
+    SkipWhitespace();
+    if (Consume(']')) {
+      --depth_;
+      return Value(std::move(arr));
+    }
+    while (true) {
+      SkipWhitespace();
+      PERSONA_ASSIGN_OR_RETURN(Value v, ParseValue());
+      arr.push_back(std::move(v));
+      SkipWhitespace();
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume(']')) {
+        break;
+      }
+      return Error("expected ',' or ']' in array");
+    }
+    --depth_;
+    return Value(std::move(arr));
+  }
+
+  Result<std::string> ParseString() {
+    Consume('"');
+    std::string out;
+    while (true) {
+      if (AtEnd()) {
+        return Error("unterminated string");
+      }
+      char c = text_[pos_++];
+      if (c == '"') {
+        break;
+      }
+      if (c == '\\') {
+        if (AtEnd()) {
+          return Error("unterminated escape");
+        }
+        char e = text_[pos_++];
+        switch (e) {
+          case '"':
+            out += '"';
+            break;
+          case '\\':
+            out += '\\';
+            break;
+          case '/':
+            out += '/';
+            break;
+          case 'b':
+            out += '\b';
+            break;
+          case 'f':
+            out += '\f';
+            break;
+          case 'n':
+            out += '\n';
+            break;
+          case 'r':
+            out += '\r';
+            break;
+          case 't':
+            out += '\t';
+            break;
+          case 'u': {
+            PERSONA_ASSIGN_OR_RETURN(uint32_t cp, ParseHex4());
+            // Surrogate pair handling for completeness.
+            if (cp >= 0xD800 && cp <= 0xDBFF) {
+              if (!ConsumeLiteral("\\u")) {
+                return Error("unpaired surrogate");
+              }
+              PERSONA_ASSIGN_OR_RETURN(uint32_t lo, ParseHex4());
+              if (lo < 0xDC00 || lo > 0xDFFF) {
+                return Error("invalid low surrogate");
+              }
+              cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+            }
+            AppendUtf8(cp, &out);
+            break;
+          }
+          default:
+            return Error("invalid escape character");
+        }
+      } else {
+        out += c;
+      }
+    }
+    return out;
+  }
+
+  Result<uint32_t> ParseHex4() {
+    if (pos_ + 4 > text_.size()) {
+      return Error("truncated \\u escape");
+    }
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      char c = text_[pos_++];
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v |= static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v |= static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v |= static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        return Error("invalid hex digit in \\u escape");
+      }
+    }
+    return v;
+  }
+
+  static void AppendUtf8(uint32_t cp, std::string* out) {
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  Result<Value> ParseNumber() {
+    size_t start = pos_;
+    if (Consume('-')) {
+    }
+    while (!AtEnd() && (std::isdigit(static_cast<unsigned char>(Peek())) || Peek() == '.' ||
+                        Peek() == 'e' || Peek() == 'E' || Peek() == '+' || Peek() == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Error("invalid number");
+    }
+    std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    double v = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) {
+      return Error("invalid number '" + token + "'");
+    }
+    return Value(v);
+  }
+
+  static constexpr int kMaxDepth = 200;
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+Result<const Value*> Value::Get(std::string_view key) const {
+  if (!is_object()) {
+    return InvalidArgumentError("JSON value is not an object");
+  }
+  auto it = obj_.find(std::string(key));
+  if (it == obj_.end()) {
+    return NotFoundError("missing JSON key '" + std::string(key) + "'");
+  }
+  return &it->second;
+}
+
+Result<std::string> Value::GetString(std::string_view key) const {
+  PERSONA_ASSIGN_OR_RETURN(const Value* v, Get(key));
+  if (!v->is_string()) {
+    return InvalidArgumentError("JSON key '" + std::string(key) + "' is not a string");
+  }
+  return v->as_string();
+}
+
+Result<int64_t> Value::GetInt(std::string_view key) const {
+  PERSONA_ASSIGN_OR_RETURN(const Value* v, Get(key));
+  if (!v->is_number()) {
+    return InvalidArgumentError("JSON key '" + std::string(key) + "' is not a number");
+  }
+  return v->as_int();
+}
+
+Result<const Array*> Value::GetArray(std::string_view key) const {
+  PERSONA_ASSIGN_OR_RETURN(const Value* v, Get(key));
+  if (!v->is_array()) {
+    return InvalidArgumentError("JSON key '" + std::string(key) + "' is not an array");
+  }
+  return &v->as_array();
+}
+
+Result<const Object*> Value::GetObject(std::string_view key) const {
+  PERSONA_ASSIGN_OR_RETURN(const Value* v, Get(key));
+  if (!v->is_object()) {
+    return InvalidArgumentError("JSON key '" + std::string(key) + "' is not an object");
+  }
+  return &v->as_object();
+}
+
+bool Value::operator==(const Value& other) const {
+  if (type_ != other.type_) {
+    return false;
+  }
+  switch (type_) {
+    case Type::kNull:
+      return true;
+    case Type::kBool:
+      return bool_ == other.bool_;
+    case Type::kNumber:
+      return num_ == other.num_;
+    case Type::kString:
+      return str_ == other.str_;
+    case Type::kArray:
+      return arr_ == other.arr_;
+    case Type::kObject:
+      return obj_ == other.obj_;
+  }
+  return false;
+}
+
+std::string EscapeString(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void AppendNumber(double num, std::string* out) {
+  // Integers (the common case in manifests) print without a decimal point.
+  if (std::floor(num) == num && std::fabs(num) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(num));
+    *out += buf;
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", num);
+    *out += buf;
+  }
+}
+
+void Indent(std::string* out, int indent, int depth) {
+  out->push_back('\n');
+  out->append(static_cast<size_t>(indent) * depth, ' ');
+}
+
+}  // namespace
+
+void Value::DumpTo(std::string* out, int indent, int depth) const {
+  switch (type_) {
+    case Type::kNull:
+      *out += "null";
+      break;
+    case Type::kBool:
+      *out += bool_ ? "true" : "false";
+      break;
+    case Type::kNumber:
+      AppendNumber(num_, out);
+      break;
+    case Type::kString:
+      *out += '"';
+      *out += EscapeString(str_);
+      *out += '"';
+      break;
+    case Type::kArray: {
+      *out += '[';
+      bool first = true;
+      for (const Value& v : arr_) {
+        if (!first) {
+          *out += ',';
+        }
+        first = false;
+        if (indent > 0) {
+          Indent(out, indent, depth + 1);
+        }
+        v.DumpTo(out, indent, depth + 1);
+      }
+      if (indent > 0 && !arr_.empty()) {
+        Indent(out, indent, depth);
+      }
+      *out += ']';
+      break;
+    }
+    case Type::kObject: {
+      *out += '{';
+      bool first = true;
+      for (const auto& [key, v] : obj_) {
+        if (!first) {
+          *out += ',';
+        }
+        first = false;
+        if (indent > 0) {
+          Indent(out, indent, depth + 1);
+        }
+        *out += '"';
+        *out += EscapeString(key);
+        *out += "\":";
+        if (indent > 0) {
+          *out += ' ';
+        }
+        v.DumpTo(out, indent, depth + 1);
+      }
+      if (indent > 0 && !obj_.empty()) {
+        Indent(out, indent, depth);
+      }
+      *out += '}';
+      break;
+    }
+  }
+}
+
+std::string Value::Dump(int indent) const {
+  std::string out;
+  DumpTo(&out, indent, 0);
+  return out;
+}
+
+Result<Value> Parse(std::string_view text) { return Parser(text).ParseDocument(); }
+
+}  // namespace persona::json

@@ -1,0 +1,96 @@
+// A small self-contained JSON value model, parser, and serializer.
+//
+// AGD manifests (§3 of the paper) are "simple JSON files"; this module provides exactly
+// the JSON subset they need: null, bool, number (stored as double, with faithful integer
+// round-trip up to 2^53), string, array, object. Parsing is strict (no comments, no
+// trailing commas); serialization supports compact and pretty-printed output.
+
+#ifndef PERSONA_SRC_UTIL_JSON_H_
+#define PERSONA_SRC_UTIL_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/result.h"
+#include "src/util/status.h"
+
+namespace persona::json {
+
+class Value;
+
+using Array = std::vector<Value>;
+// std::map keeps key order deterministic, which keeps manifests diff-friendly.
+using Object = std::map<std::string, Value>;
+
+enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+// A dynamically typed JSON value.
+class Value {
+ public:
+  Value() : type_(Type::kNull) {}
+  Value(std::nullptr_t) : type_(Type::kNull) {}
+  Value(bool b) : type_(Type::kBool), bool_(b) {}
+  Value(double d) : type_(Type::kNumber), num_(d) {}
+  Value(int i) : type_(Type::kNumber), num_(i) {}
+  Value(int64_t i) : type_(Type::kNumber), num_(static_cast<double>(i)) {}
+  Value(uint64_t u) : type_(Type::kNumber), num_(static_cast<double>(u)) {}
+  Value(const char* s) : type_(Type::kString), str_(s) {}
+  Value(std::string s) : type_(Type::kString), str_(std::move(s)) {}
+  Value(std::string_view s) : type_(Type::kString), str_(s) {}
+  Value(Array a) : type_(Type::kArray), arr_(std::move(a)) {}
+  Value(Object o) : type_(Type::kObject), obj_(std::move(o)) {}
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  // Unchecked accessors; call only after checking the type.
+  bool as_bool() const { return bool_; }
+  double as_number() const { return num_; }
+  int64_t as_int() const { return static_cast<int64_t>(num_); }
+  const std::string& as_string() const { return str_; }
+  const Array& as_array() const { return arr_; }
+  Array& as_array() { return arr_; }
+  const Object& as_object() const { return obj_; }
+  Object& as_object() { return obj_; }
+
+  // Object field lookup; error if not an object or key missing.
+  Result<const Value*> Get(std::string_view key) const;
+  // Typed field lookups used by manifest parsing.
+  Result<std::string> GetString(std::string_view key) const;
+  Result<int64_t> GetInt(std::string_view key) const;
+  Result<const Array*> GetArray(std::string_view key) const;
+  Result<const Object*> GetObject(std::string_view key) const;
+
+  // Serializes; `indent` > 0 pretty-prints with that many spaces per level.
+  std::string Dump(int indent = 0) const;
+
+  bool operator==(const Value& other) const;
+
+ private:
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double num_ = 0;
+  std::string str_;
+  Array arr_;
+  Object obj_;
+};
+
+// Parses a complete JSON document. Trailing non-whitespace is an error.
+Result<Value> Parse(std::string_view text);
+
+// Escapes a string for embedding in JSON output (without surrounding quotes).
+std::string EscapeString(std::string_view s);
+
+}  // namespace persona::json
+
+#endif  // PERSONA_SRC_UTIL_JSON_H_

@@ -1,0 +1,71 @@
+#include "src/util/logging.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace persona {
+
+namespace {
+
+std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+std::once_flag g_env_once;
+
+void InitFromEnv() {
+  if (const char* env = std::getenv("PERSONA_LOG_LEVEL"); env != nullptr) {
+    int v = std::atoi(env);
+    if (v >= 0 && v <= 3) {
+      g_min_level.store(v, std::memory_order_relaxed);
+    }
+  }
+}
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarn:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetMinLogLevel(LogLevel level) {
+  g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel MinLogLevel() {
+  std::call_once(g_env_once, InitFromEnv);
+  return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
+}
+
+namespace internal_log {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(level) {
+  // Strip the directory part for readability.
+  std::string_view path(file);
+  if (auto pos = path.rfind('/'); pos != std::string_view::npos) {
+    path.remove_prefix(pos + 1);
+  }
+  stream_ << "[" << LevelTag(level) << " " << path << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  auto now = std::chrono::system_clock::now().time_since_epoch();
+  auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(now).count();
+  // A single fprintf keeps concurrent log lines from interleaving.
+  std::fprintf(stderr, "%lld.%03lld %s\n", static_cast<long long>(ms / 1000),
+               static_cast<long long>(ms % 1000), stream_.str().c_str());
+}
+
+}  // namespace internal_log
+
+}  // namespace persona

@@ -1,0 +1,68 @@
+// Minimal leveled logging. Thread-safe; writes to stderr.
+//
+// Usage:  PLOG(INFO) << "aligned " << n << " reads";
+// Levels: DEBUG < INFO < WARN < ERROR. Default minimum level is INFO; override with
+// SetMinLogLevel or the PERSONA_LOG_LEVEL environment variable (0=DEBUG..3=ERROR).
+
+#ifndef PERSONA_SRC_UTIL_LOGGING_H_
+#define PERSONA_SRC_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string_view>
+
+namespace persona {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+void SetMinLogLevel(LogLevel level);
+LogLevel MinLogLevel();
+
+namespace internal_log {
+
+// Accumulates one log line and emits it (with a timestamp and level tag) on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+// Swallows the streamed expression when the level is below the minimum.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal_log
+
+#define PLOG(severity) PLOG_##severity
+
+#define PLOG_DEBUG                                                  \
+  if (::persona::MinLogLevel() > ::persona::LogLevel::kDebug) {     \
+  } else                                                            \
+    ::persona::internal_log::LogMessage(::persona::LogLevel::kDebug, __FILE__, __LINE__).stream()
+#define PLOG_INFO                                                   \
+  if (::persona::MinLogLevel() > ::persona::LogLevel::kInfo) {      \
+  } else                                                            \
+    ::persona::internal_log::LogMessage(::persona::LogLevel::kInfo, __FILE__, __LINE__).stream()
+#define PLOG_WARN                                                   \
+  if (::persona::MinLogLevel() > ::persona::LogLevel::kWarn) {      \
+  } else                                                            \
+    ::persona::internal_log::LogMessage(::persona::LogLevel::kWarn, __FILE__, __LINE__).stream()
+#define PLOG_ERROR \
+  ::persona::internal_log::LogMessage(::persona::LogLevel::kError, __FILE__, __LINE__).stream()
+
+}  // namespace persona
+
+#endif  // PERSONA_SRC_UTIL_LOGGING_H_

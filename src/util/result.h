@@ -1,0 +1,77 @@
+// Result<T>: a value-or-Status return type (absl::StatusOr shape).
+
+#ifndef PERSONA_SRC_UTIL_RESULT_H_
+#define PERSONA_SRC_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "src/util/status.h"
+
+namespace persona {
+
+// Holds either a T or a non-OK Status. Accessing the value of an errored Result is a
+// programming error (asserted in debug builds).
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit, so `return MakeFoo();` and `return SomeError();` both work.
+  Result(const T& value) : value_(value) {}
+  Result(T&& value) : value_(std::move(value)) {}
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without a value");
+    if (status_.ok()) {
+      status_ = InternalError("Result constructed from OK status without a value");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  // Returns the value or `fallback` when errored.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK when value_ holds a value.
+};
+
+// Evaluates `rexpr` (a Result<T>); on error returns the Status, otherwise assigns the
+// value to `lhs`. `lhs` may be a declaration, e.g.
+//   PERSONA_ASSIGN_OR_RETURN(auto chunk, ReadChunk(path));
+#define PERSONA_ASSIGN_OR_RETURN(lhs, rexpr) \
+  PERSONA_ASSIGN_OR_RETURN_IMPL_(PERSONA_CONCAT_(persona_result_, __LINE__), lhs, rexpr)
+
+#define PERSONA_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                   \
+  if (!tmp.ok()) {                                      \
+    return tmp.status();                                \
+  }                                                     \
+  lhs = std::move(tmp).value()
+
+#define PERSONA_CONCAT_(a, b) PERSONA_CONCAT_IMPL_(a, b)
+#define PERSONA_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace persona
+
+#endif  // PERSONA_SRC_UTIL_RESULT_H_

@@ -1,0 +1,96 @@
+// Deterministic fast RNG (xoshiro256**) plus the small set of distributions the genome
+// simulator needs. All Persona randomness is seeded so experiments reproduce exactly.
+
+#ifndef PERSONA_SRC_UTIL_RNG_H_
+#define PERSONA_SRC_UTIL_RNG_H_
+
+#include <cstdint>
+#include <cmath>
+
+namespace persona {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    // SplitMix64 expansion of the seed into four non-zero state words.
+    for (auto& word : state_) {
+      seed += 0x9E3779B97F4A7C15ull;
+      uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). Unbiased via rejection; bound must be > 0.
+  uint64_t Uniform(uint64_t bound) {
+    uint64_t threshold = (~bound + 1) % bound;  // == 2^64 mod bound
+    while (true) {
+      uint64_t r = Next();
+      if (r >= threshold) {
+        return r % bound;
+      }
+    }
+  }
+
+  // Uniform in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  // Uniform in [0, 1).
+  double UniformDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  // Standard normal via Box-Muller (cheap enough for simulation volumes here).
+  double Normal(double mean = 0.0, double stddev = 1.0) {
+    if (have_spare_) {
+      have_spare_ = false;
+      return mean + stddev * spare_;
+    }
+    double u1 = 0;
+    do {
+      u1 = UniformDouble();
+    } while (u1 <= 1e-300);
+    double u2 = UniformDouble();
+    double mag = std::sqrt(-2.0 * std::log(u1));
+    spare_ = mag * std::sin(6.283185307179586 * u2);
+    have_spare_ = true;
+    return mean + stddev * mag * std::cos(6.283185307179586 * u2);
+  }
+
+  // Exponential with the given rate (events/unit-time); used by the cluster DES.
+  double Exponential(double rate) {
+    double u = 0;
+    do {
+      u = UniformDouble();
+    } while (u <= 1e-300);
+    return -std::log(u) / rate;
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+  bool have_spare_ = false;
+  double spare_ = 0;
+};
+
+}  // namespace persona
+
+#endif  // PERSONA_SRC_UTIL_RNG_H_

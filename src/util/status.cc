@@ -1,0 +1,80 @@
+#include "src/util/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace persona {
+
+std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "Ok";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kFailedPrecondition:
+      return "FailedPrecondition";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kUnimplemented:
+      return "Unimplemented";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kDataLoss:
+      return "DataLoss";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+  }
+  return "UnknownCode";
+}
+
+std::string Status::ToString() const {
+  if (ok()) {
+    return "Ok";
+  }
+  std::string out(StatusCodeName(code()));
+  if (!message().empty()) {
+    out += ": ";
+    out += message();
+  }
+  return out;
+}
+
+namespace {
+Status Make(StatusCode code, std::string_view message) {
+  return Status(code, std::string(message));
+}
+}  // namespace
+
+Status CancelledError(std::string_view m) { return Make(StatusCode::kCancelled, m); }
+Status InvalidArgumentError(std::string_view m) { return Make(StatusCode::kInvalidArgument, m); }
+Status NotFoundError(std::string_view m) { return Make(StatusCode::kNotFound, m); }
+Status AlreadyExistsError(std::string_view m) { return Make(StatusCode::kAlreadyExists, m); }
+Status FailedPreconditionError(std::string_view m) {
+  return Make(StatusCode::kFailedPrecondition, m);
+}
+Status OutOfRangeError(std::string_view m) { return Make(StatusCode::kOutOfRange, m); }
+Status UnimplementedError(std::string_view m) { return Make(StatusCode::kUnimplemented, m); }
+Status InternalError(std::string_view m) { return Make(StatusCode::kInternal, m); }
+Status UnavailableError(std::string_view m) { return Make(StatusCode::kUnavailable, m); }
+Status DataLossError(std::string_view m) { return Make(StatusCode::kDataLoss, m); }
+Status ResourceExhaustedError(std::string_view m) {
+  return Make(StatusCode::kResourceExhausted, m);
+}
+
+namespace internal_status {
+void CheckOkFailed(const Status& status, const char* file, int line, const char* expr) {
+  std::fprintf(stderr, "PERSONA_CHECK_OK failed at %s:%d: (%s) = %s\n", file, line, expr,
+               status.ToString().c_str());
+  std::abort();
+}
+}  // namespace internal_status
+
+}  // namespace persona

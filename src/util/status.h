@@ -1,0 +1,114 @@
+// Status: lightweight error propagation for Persona.
+//
+// Library code in this repository does not throw exceptions; fallible functions return
+// Status (or Result<T>, see result.h). The design follows the widely used absl::Status
+// shape so that downstream users find familiar idioms.
+
+#ifndef PERSONA_SRC_UTIL_STATUS_H_
+#define PERSONA_SRC_UTIL_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace persona {
+
+// Canonical error space, mirroring the common RPC code set.
+enum class StatusCode : int {
+  kOk = 0,
+  kCancelled = 1,
+  kInvalidArgument = 2,
+  kNotFound = 3,
+  kAlreadyExists = 4,
+  kFailedPrecondition = 5,
+  kOutOfRange = 6,
+  kUnimplemented = 7,
+  kInternal = 8,
+  kUnavailable = 9,
+  kDataLoss = 10,
+  kResourceExhausted = 11,
+};
+
+// Human-readable name of a status code, e.g. "InvalidArgument".
+std::string_view StatusCodeName(StatusCode code);
+
+// Value type carrying a code plus an optional message. OK statuses allocate nothing.
+class Status {
+ public:
+  Status() = default;  // OK
+  Status(StatusCode code, std::string message) {
+    if (code != StatusCode::kOk) {
+      rep_ = std::make_shared<Rep>(Rep{code, std::move(message)});
+    }
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return rep_ ? rep_->message : kEmpty;
+  }
+
+  // "Ok" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  // shared_ptr keeps Status cheaply copyable; error paths are cold.
+  std::shared_ptr<const Rep> rep_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) { return os << s.ToString(); }
+
+inline Status OkStatus() { return Status(); }
+
+// Constructor helpers for each canonical code.
+Status CancelledError(std::string_view message);
+Status InvalidArgumentError(std::string_view message);
+Status NotFoundError(std::string_view message);
+Status AlreadyExistsError(std::string_view message);
+Status FailedPreconditionError(std::string_view message);
+Status OutOfRangeError(std::string_view message);
+Status UnimplementedError(std::string_view message);
+Status InternalError(std::string_view message);
+Status UnavailableError(std::string_view message);
+Status DataLossError(std::string_view message);
+Status ResourceExhaustedError(std::string_view message);
+
+// Propagates a non-OK Status to the caller.
+#define PERSONA_RETURN_IF_ERROR(expr)                   \
+  do {                                                  \
+    ::persona::Status persona_status_tmp_ = (expr);     \
+    if (!persona_status_tmp_.ok()) {                    \
+      return persona_status_tmp_;                       \
+    }                                                   \
+  } while (0)
+
+// Aborts the process if `expr` is a non-OK Status. For use in tests, examples, and
+// benchmark drivers where failure is unrecoverable.
+#define PERSONA_CHECK_OK(expr)                                        \
+  do {                                                                \
+    ::persona::Status persona_status_tmp_ = (expr);                   \
+    if (!persona_status_tmp_.ok()) {                                  \
+      ::persona::internal_status::CheckOkFailed(                      \
+          persona_status_tmp_, __FILE__, __LINE__, #expr);            \
+    }                                                                 \
+  } while (0)
+
+namespace internal_status {
+[[noreturn]] void CheckOkFailed(const Status& status, const char* file, int line,
+                                const char* expr);
+}  // namespace internal_status
+
+}  // namespace persona
+
+#endif  // PERSONA_SRC_UTIL_STATUS_H_

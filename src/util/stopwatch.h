@@ -1,0 +1,36 @@
+// Wall-clock stopwatch used by benchmarks and pipeline statistics.
+
+#ifndef PERSONA_SRC_UTIL_STOPWATCH_H_
+#define PERSONA_SRC_UTIL_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace persona {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - start_).count();
+  }
+
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace persona
+
+#endif  // PERSONA_SRC_UTIL_STOPWATCH_H_

@@ -1,0 +1,32 @@
+// Small string helpers shared across modules (splitting, joining, formatting).
+
+#ifndef PERSONA_SRC_UTIL_STRING_UTIL_H_
+#define PERSONA_SRC_UTIL_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace persona {
+
+// Splits on a single character; keeps empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string_view> SplitString(std::string_view text, char sep);
+
+std::string JoinStrings(const std::vector<std::string>& parts, std::string_view sep);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+// Human-readable byte count, e.g. "3.5 MB".
+std::string HumanBytes(uint64_t bytes);
+
+// Parses a non-negative integer; returns -1 on malformed input.
+int64_t ParseInt64(std::string_view text);
+
+}  // namespace persona
+
+#endif  // PERSONA_SRC_UTIL_STRING_UTIL_H_

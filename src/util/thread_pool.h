@@ -1,0 +1,52 @@
+// Fixed-size thread pool with a blocking task queue.
+//
+// Used by the dataflow engine for node worker loops and by the fine-grain executor
+// resource (paper §4.3). Tasks are type-erased std::function<void()>.
+
+#ifndef PERSONA_SRC_UTIL_THREAD_POOL_H_
+#define PERSONA_SRC_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace persona {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues a task; returns false if the pool is shutting down.
+  bool Submit(std::function<void()> task);
+
+  // Blocks until every submitted task has finished executing.
+  void Wait();
+
+  // Stops accepting tasks, drains the queue, joins all threads. Idempotent.
+  void Shutdown();
+
+  size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  std::queue<std::function<void()>> tasks_;
+  size_t in_flight_ = 0;  // queued + executing
+  bool shutdown_ = false;
+};
+
+}  // namespace persona
+
+#endif  // PERSONA_SRC_UTIL_THREAD_POOL_H_

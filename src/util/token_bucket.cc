@@ -1,0 +1,67 @@
+#include "src/util/token_bucket.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace persona {
+
+TokenBucket::TokenBucket(uint64_t rate_bytes_per_sec, uint64_t burst_bytes)
+    : rate_(rate_bytes_per_sec),
+      burst_(static_cast<double>(burst_bytes == 0 ? 1 : burst_bytes)),
+      tokens_(burst_),
+      last_refill_(Clock::now()) {}
+
+void TokenBucket::RefillLocked() {
+  auto now = Clock::now();
+  double elapsed = std::chrono::duration<double>(now - last_refill_).count();
+  last_refill_ = now;
+  tokens_ = std::min(burst_, tokens_ + elapsed * static_cast<double>(rate_));
+}
+
+void TokenBucket::Acquire(uint64_t bytes) {
+  if (rate_ == 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    total_acquired_ += bytes;
+    return;
+  }
+  // Debt model: debit the full request immediately (the balance may go negative), then
+  // sleep until the balance would be non-negative again. Concurrent acquirers stack
+  // debt, so aggregate throughput converges to the configured rate even for requests
+  // larger than the burst.
+  double wait_sec = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    RefillLocked();
+    tokens_ -= static_cast<double>(bytes);
+    total_acquired_ += bytes;
+    if (tokens_ < 0) {
+      wait_sec = -tokens_ / static_cast<double>(rate_);
+    }
+  }
+  if (wait_sec > 0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(wait_sec));
+  }
+}
+
+bool TokenBucket::TryAcquire(uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (rate_ == 0) {
+    total_acquired_ += bytes;
+    return true;
+  }
+  RefillLocked();
+  double need = static_cast<double>(bytes);
+  if (tokens_ >= need) {
+    tokens_ -= need;
+    total_acquired_ += bytes;
+    return true;
+  }
+  return false;
+}
+
+uint64_t TokenBucket::total_acquired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_acquired_;
+}
+
+}  // namespace persona

@@ -1,0 +1,49 @@
+// Token-bucket rate limiter used to model storage device bandwidth (DESIGN.md §1).
+//
+// The storage substitution layer throttles reads/writes to a configured bytes-per-second
+// rate so that single-disk / RAID0 / network-store experiments reproduce the paper's
+// bandwidth ratios on one machine. Acquire() blocks the calling thread for the simulated
+// transfer time; TryAcquire() supports non-blocking callers.
+
+#ifndef PERSONA_SRC_UTIL_TOKEN_BUCKET_H_
+#define PERSONA_SRC_UTIL_TOKEN_BUCKET_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+
+namespace persona {
+
+class TokenBucket {
+ public:
+  // rate_bytes_per_sec == 0 means unlimited. burst_bytes caps accumulated credit.
+  TokenBucket(uint64_t rate_bytes_per_sec, uint64_t burst_bytes);
+
+  // Blocks until `bytes` of bandwidth credit is available, consuming it.
+  void Acquire(uint64_t bytes);
+
+  // Consumes credit if instantly available; otherwise returns false.
+  bool TryAcquire(uint64_t bytes);
+
+  uint64_t rate() const { return rate_; }
+
+  // Total bytes ever acquired (for utilization accounting).
+  uint64_t total_acquired() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  // Refills tokens based on elapsed time. Caller holds mu_.
+  void RefillLocked();
+
+  const uint64_t rate_;
+  const double burst_;
+  mutable std::mutex mu_;
+  double tokens_;  // may go negative: outstanding debt being slept off
+  Clock::time_point last_refill_;
+  uint64_t total_acquired_ = 0;
+};
+
+}  // namespace persona
+
+#endif  // PERSONA_SRC_UTIL_TOKEN_BUCKET_H_

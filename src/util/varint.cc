@@ -1,0 +1,55 @@
+#include "src/util/varint.h"
+
+namespace persona {
+
+void PutVarint(uint64_t value, Buffer* out) {
+  while (value >= 0x80) {
+    out->AppendByte(static_cast<uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out->AppendByte(static_cast<uint8_t>(value));
+}
+
+Result<uint64_t> GetVarint(std::span<const uint8_t> bytes, size_t* offset) {
+  uint64_t value = 0;
+  int shift = 0;
+  size_t pos = *offset;
+  while (true) {
+    if (pos >= bytes.size()) {
+      return DataLossError("truncated varint");
+    }
+    uint8_t b = bytes[pos++];
+    if (shift >= 63 && (b & 0x7E) != 0) {
+      return DataLossError("varint overflows 64 bits");
+    }
+    value |= static_cast<uint64_t>(b & 0x7F) << shift;
+    if ((b & 0x80) == 0) {
+      break;
+    }
+    shift += 7;
+  }
+  *offset = pos;
+  return value;
+}
+
+void PutSignedVarint(int64_t value, Buffer* out) {
+  // Zig-zag: maps small magnitudes (either sign) to small encodings.
+  uint64_t zz = (static_cast<uint64_t>(value) << 1) ^ static_cast<uint64_t>(value >> 63);
+  PutVarint(zz, out);
+}
+
+Result<int64_t> GetSignedVarint(std::span<const uint8_t> bytes, size_t* offset) {
+  PERSONA_ASSIGN_OR_RETURN(uint64_t zz, GetVarint(bytes, offset));
+  return static_cast<int64_t>((zz >> 1) ^ (~(zz & 1) + 1));
+}
+
+size_t VarintLength(uint64_t value) {
+  size_t n = 1;
+  while (value >= 0x80) {
+    value >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace persona

@@ -1,0 +1,29 @@
+// LEB128 variable-length integer coding, used by the AGD relative index (§3).
+
+#ifndef PERSONA_SRC_UTIL_VARINT_H_
+#define PERSONA_SRC_UTIL_VARINT_H_
+
+#include <cstdint>
+#include <span>
+
+#include "src/util/buffer.h"
+#include "src/util/result.h"
+
+namespace persona {
+
+// Appends an unsigned LEB128 encoding of `value` to `out`.
+void PutVarint(uint64_t value, Buffer* out);
+
+// Decodes one varint starting at `*offset`, advancing it past the encoding.
+Result<uint64_t> GetVarint(std::span<const uint8_t> bytes, size_t* offset);
+
+// Zig-zag signed wrappers (used for relative genome-location deltas in results columns).
+void PutSignedVarint(int64_t value, Buffer* out);
+Result<int64_t> GetSignedVarint(std::span<const uint8_t> bytes, size_t* offset);
+
+// Number of bytes PutVarint would emit.
+size_t VarintLength(uint64_t value);
+
+}  // namespace persona
+
+#endif  // PERSONA_SRC_UTIL_VARINT_H_

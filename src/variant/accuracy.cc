@@ -1,0 +1,95 @@
+#include "src/variant/accuracy.h"
+
+#include <map>
+#include <tuple>
+
+#include "src/variant/normalize.h"
+
+namespace persona::variant {
+namespace {
+
+using SiteKey = std::tuple<int32_t, int64_t, std::string, std::string>;
+
+// Site key after optional left-align normalization. Unnormalizable records (REF
+// mismatch etc.) keep their literal key — they then simply fail to match.
+SiteKey KeyFor(const genome::ReferenceGenome* reference, int32_t contig_index,
+               int64_t position, const std::string& ref_allele,
+               const std::string& alt_allele) {
+  if (reference != nullptr) {
+    format::VariantRecord record;
+    record.contig_index = contig_index;
+    record.position = position;
+    record.ref_allele = ref_allele;
+    record.alt_allele = alt_allele;
+    if (NormalizeVariant(*reference, &record).ok()) {
+      return {record.contig_index, record.position, record.ref_allele,
+              record.alt_allele};
+    }
+  }
+  return {contig_index, position, ref_allele, alt_allele};
+}
+
+genome::VariantType TypeOf(const format::VariantRecord& record) {
+  if (record.snv()) {
+    return genome::VariantType::kSnv;
+  }
+  return record.insertion() ? genome::VariantType::kInsertion
+                            : genome::VariantType::kDeletion;
+}
+
+TypeAccuracy& ByType(VariantAccuracy& accuracy, genome::VariantType type) {
+  switch (type) {
+    case genome::VariantType::kSnv:
+      return accuracy.snv;
+    case genome::VariantType::kInsertion:
+      return accuracy.insertion;
+    case genome::VariantType::kDeletion:
+      return accuracy.deletion;
+  }
+  return accuracy.snv;  // unreachable
+}
+
+}  // namespace
+
+VariantAccuracy ScoreVariants(std::span<const genome::TrueVariant> truth,
+                              std::span<const format::VariantRecord> calls,
+                              bool passing_only,
+                              const genome::ReferenceGenome* reference) {
+  VariantAccuracy accuracy;
+
+  struct TruthEntry {
+    const genome::TrueVariant* variant;
+    bool matched = false;
+  };
+  std::map<SiteKey, TruthEntry> truth_by_site;
+  for (const genome::TrueVariant& variant : truth) {
+    ++accuracy.overall.truth;
+    ++ByType(accuracy, variant.type).truth;
+    truth_by_site.emplace(KeyFor(reference, variant.contig_index, variant.position,
+                                 variant.ref_allele, variant.alt_allele),
+                          TruthEntry{&variant});
+  }
+
+  for (const format::VariantRecord& call : calls) {
+    if (passing_only && call.filter != "PASS") {
+      continue;
+    }
+    ++accuracy.overall.called;
+    ++ByType(accuracy, TypeOf(call)).called;
+
+    auto it = truth_by_site.find(KeyFor(reference, call.contig_index, call.position,
+                                        call.ref_allele, call.alt_allele));
+    if (it == truth_by_site.end() || it->second.matched) {
+      continue;  // false positive (or a duplicate call of an already-matched site)
+    }
+    it->second.matched = true;
+    ++accuracy.overall.true_positives;
+    ++ByType(accuracy, it->second.variant->type).true_positives;
+    if (call.genotype == it->second.variant->GenotypeString()) {
+      ++accuracy.genotype_matches;
+    }
+  }
+  return accuracy;
+}
+
+}  // namespace persona::variant

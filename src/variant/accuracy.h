@@ -1,0 +1,67 @@
+// Variant-call accuracy scoring against the mutation model's truth set.
+//
+// The donor generator (src/genome/mutate.h) records every injected variant; this module
+// matches caller output against that list by exact (contig, position, ref, alt) identity
+// — possible because the generator emits normalized, non-overlapping alleles — and
+// reports precision/recall/F1, per-type breakdowns, and genotype concordance among the
+// true positives.
+
+#ifndef PERSONA_SRC_VARIANT_ACCURACY_H_
+#define PERSONA_SRC_VARIANT_ACCURACY_H_
+
+#include <cstdint>
+#include <span>
+
+#include "src/format/vcf.h"
+#include "src/genome/mutate.h"
+
+namespace persona::variant {
+
+struct TypeAccuracy {
+  int64_t truth = 0;
+  int64_t called = 0;
+  int64_t true_positives = 0;
+
+  double Precision() const {
+    return called == 0 ? 0 : static_cast<double>(true_positives) / static_cast<double>(called);
+  }
+  double Recall() const {
+    return truth == 0 ? 0 : static_cast<double>(true_positives) / static_cast<double>(truth);
+  }
+  double F1() const {
+    const double p = Precision();
+    const double r = Recall();
+    return p + r == 0 ? 0 : 2 * p * r / (p + r);
+  }
+};
+
+struct VariantAccuracy {
+  TypeAccuracy overall;
+  TypeAccuracy snv;
+  TypeAccuracy insertion;
+  TypeAccuracy deletion;
+  int64_t genotype_matches = 0;  // true positives whose GT matches the truth zygosity
+
+  double GenotypeConcordance() const {
+    return overall.true_positives == 0
+               ? 0
+               : static_cast<double>(genotype_matches) /
+                     static_cast<double>(overall.true_positives);
+  }
+};
+
+// Scores `calls` against `truth`. Both may be in any order; duplicate calls at the same
+// site count once as a TP and the rest as FPs. Records failing FILTER are skipped when
+// `passing_only` is set.
+//
+// When `reference` is non-null, both sides are left-align normalized before matching
+// (see normalize.h) — required for fair indel comparison, since equivalent indels in
+// repeats admit multiple placements and truth/caller need not agree on one.
+VariantAccuracy ScoreVariants(std::span<const genome::TrueVariant> truth,
+                              std::span<const format::VariantRecord> calls,
+                              bool passing_only = false,
+                              const genome::ReferenceGenome* reference = nullptr);
+
+}  // namespace persona::variant
+
+#endif  // PERSONA_SRC_VARIANT_ACCURACY_H_

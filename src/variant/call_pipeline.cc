@@ -1,0 +1,108 @@
+#include "src/variant/call_pipeline.h"
+
+#include <algorithm>
+
+#include "src/format/agd_chunk.h"
+#include "src/util/stopwatch.h"
+#include "src/util/string_util.h"
+#include "src/variant/normalize.h"
+
+namespace persona::variant {
+
+Result<CallPipelineReport> CallVariantsAgd(storage::ObjectStore* store,
+                                           const format::Manifest& manifest,
+                                           const genome::ReferenceGenome& reference,
+                                           const CallPipelineOptions& options) {
+  for (const char* column : {"bases", "qual", "results"}) {
+    if (!manifest.HasColumn(column)) {
+      return FailedPreconditionError(
+          StrFormat("variant calling requires the '%s' column", column));
+    }
+  }
+
+  Stopwatch timer;
+  const storage::StoreStats stats_before = store->stats();
+
+  PileupEngine engine(&reference, options.pileup);
+  GenotypeCaller caller(&reference, options.caller);
+  CoverageAccumulator coverage(reference.total_length(), {});
+  CallPipelineReport report;
+  std::vector<PileupColumn> flushed;
+
+  auto call_flushed = [&] {
+    for (const PileupColumn& column : flushed) {
+      ++report.columns_piled;
+      coverage.Add(column);
+      std::vector<format::VariantRecord> records = caller.CallSite(column);
+      report.records.insert(report.records.end(),
+                            std::make_move_iterator(records.begin()),
+                            std::make_move_iterator(records.end()));
+    }
+    flushed.clear();
+  };
+
+  Buffer bases_file;
+  Buffer qual_file;
+  Buffer results_file;
+  for (size_t ci = 0; ci < manifest.chunks.size(); ++ci) {
+    PERSONA_RETURN_IF_ERROR(store->Get(manifest.ChunkFileName(ci, "bases"), &bases_file));
+    PERSONA_RETURN_IF_ERROR(store->Get(manifest.ChunkFileName(ci, "qual"), &qual_file));
+    PERSONA_RETURN_IF_ERROR(
+        store->Get(manifest.ChunkFileName(ci, "results"), &results_file));
+    PERSONA_ASSIGN_OR_RETURN(format::ParsedChunk bases,
+                             format::ParsedChunk::Parse(bases_file.span()));
+    PERSONA_ASSIGN_OR_RETURN(format::ParsedChunk quals,
+                             format::ParsedChunk::Parse(qual_file.span()));
+    PERSONA_ASSIGN_OR_RETURN(format::ParsedChunk results,
+                             format::ParsedChunk::Parse(results_file.span()));
+    if (bases.record_count() != results.record_count() ||
+        quals.record_count() != results.record_count()) {
+      return DataLossError(StrFormat("chunk %zu: column record counts disagree", ci));
+    }
+
+    for (size_t i = 0; i < results.record_count(); ++i) {
+      PERSONA_ASSIGN_OR_RETURN(align::AlignmentResult result, results.GetResult(i));
+      PERSONA_ASSIGN_OR_RETURN(std::string read_bases, bases.GetBases(i));
+      PERSONA_ASSIGN_OR_RETURN(std::string_view read_qual, quals.GetString(i));
+      PERSONA_RETURN_IF_ERROR(engine.AddRead(read_bases, read_qual, result));
+    }
+    // Columns behind the frontier are final: call them now and release the memory.
+    engine.FlushBefore(engine.flush_frontier(), &flushed);
+    call_flushed();
+  }
+  engine.FlushAll(&flushed);
+  call_flushed();
+
+  report.reads_used = engine.reads_used();
+  report.reads_skipped = engine.reads_skipped();
+  report.records_called = report.records.size();
+  report.coverage = coverage.report();
+
+  // Canonicalize indel placement (normalize.h) and restore genome order — left shifts
+  // can reorder records that started at the same pileup column region.
+  NormalizeVariants(reference, report.records);
+  std::stable_sort(report.records.begin(), report.records.end(),
+                   [](const format::VariantRecord& a, const format::VariantRecord& b) {
+                     return std::tie(a.contig_index, a.position) <
+                            std::tie(b.contig_index, b.position);
+                   });
+
+  VariantFilterSummary filter_summary =
+      ApplyVariantFilters(report.records, options.filter);
+  report.records_passing = static_cast<uint64_t>(filter_summary.passed);
+
+  report.vcf_text = format::WriteVcf(reference, options.sample_name, report.records);
+  if (options.store_vcf) {
+    PERSONA_RETURN_IF_ERROR(store->Put(manifest.name + ".vcf", report.vcf_text));
+  }
+
+  report.seconds = timer.ElapsedSeconds();
+  const storage::StoreStats stats_after = store->stats();
+  report.store_stats.bytes_read = stats_after.bytes_read - stats_before.bytes_read;
+  report.store_stats.bytes_written = stats_after.bytes_written - stats_before.bytes_written;
+  report.store_stats.read_ops = stats_after.read_ops - stats_before.read_ops;
+  report.store_stats.write_ops = stats_after.write_ops - stats_before.write_ops;
+  return report;
+}
+
+}  // namespace persona::variant

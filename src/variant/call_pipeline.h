@@ -1,0 +1,61 @@
+// Whole-dataset variant calling over a sorted AGD dataset in an ObjectStore.
+//
+// This is the integration the paper names as Persona's next step (§8). It follows the
+// same selective-column discipline as sort and dedup: only the bases, qual, and results
+// columns are transferred, chunk by chunk, in order. Chunks stream through the pileup
+// engine; columns behind the engine's flush frontier are called and appended to the VCF
+// incrementally, so memory stays bounded by the active pileup window regardless of
+// dataset size.
+//
+// The input dataset must be location-sorted (run pipeline::SortAgdDataset first) and
+// should be duplicate-marked (run pipeline::DedupAgdResults) since the pileup skips
+// duplicate reads by default.
+
+#ifndef PERSONA_SRC_VARIANT_CALL_PIPELINE_H_
+#define PERSONA_SRC_VARIANT_CALL_PIPELINE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/format/agd_manifest.h"
+#include "src/format/vcf.h"
+#include "src/storage/object_store.h"
+#include "src/variant/caller.h"
+#include "src/variant/coverage.h"
+#include "src/variant/filter.h"
+#include "src/variant/pileup.h"
+
+namespace persona::variant {
+
+struct CallPipelineOptions {
+  PileupOptions pileup;
+  CallerOptions caller;
+  VariantFilterSpec filter;
+  std::string sample_name = "sample";
+  // When set, the VCF text is also written back to the store as "<name>.vcf".
+  bool store_vcf = true;
+};
+
+struct CallPipelineReport {
+  double seconds = 0;
+  uint64_t reads_used = 0;
+  uint64_t reads_skipped = 0;
+  uint64_t columns_piled = 0;
+  uint64_t records_called = 0;    // before filtering
+  uint64_t records_passing = 0;   // FILTER == PASS
+  CoverageReport coverage;          // depth statistics over the piled columns
+  storage::StoreStats store_stats;  // deltas for this run
+  std::vector<format::VariantRecord> records;  // filtered-annotated, genome order
+  std::string vcf_text;
+};
+
+// Runs pileup + genotyping + filtering over the dataset described by `manifest`.
+// `reference` must be the genome the results column was aligned against.
+Result<CallPipelineReport> CallVariantsAgd(storage::ObjectStore* store,
+                                           const format::Manifest& manifest,
+                                           const genome::ReferenceGenome& reference,
+                                           const CallPipelineOptions& options);
+
+}  // namespace persona::variant
+
+#endif  // PERSONA_SRC_VARIANT_CALL_PIPELINE_H_

@@ -1,0 +1,249 @@
+#include "src/variant/caller.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/compress/base_compaction.h"
+
+namespace persona::variant {
+namespace {
+
+// Error probability from a Phred score, clamped away from 0 and from "worse than
+// random" (a 2-bit quality still carries a little information).
+double PhredToError(uint8_t qual) {
+  double e = std::pow(10.0, -static_cast<double>(qual) / 10.0);
+  return std::clamp(e, 1e-6, 0.75);
+}
+
+// Normalizes three log-likelihood + log-prior sums into posteriors.
+GenotypePosteriors Normalize(double log_rr, double log_ra, double log_aa) {
+  const double max_log = std::max({log_rr, log_ra, log_aa});
+  const double w_rr = std::exp(log_rr - max_log);
+  const double w_ra = std::exp(log_ra - max_log);
+  const double w_aa = std::exp(log_aa - max_log);
+  const double total = w_rr + w_ra + w_aa;
+  return {w_rr / total, w_ra / total, w_aa / total};
+}
+
+// Phred-scaled probability that the site is homozygous reference.
+double QualFromHomRefPosterior(double hom_ref_posterior) {
+  return -10.0 * std::log10(std::max(hom_ref_posterior, 1e-30));
+}
+
+}  // namespace
+
+GenotypeCaller::GenotypeCaller(const genome::ReferenceGenome* reference,
+                               const CallerOptions& options)
+    : reference_(reference), options_(options) {}
+
+std::optional<genome::ContigPosition> GenotypeCaller::Locate(
+    genome::GenomeLocation location) const {
+  auto position = reference_->GlobalToLocal(location);
+  if (!position.ok()) {
+    return std::nullopt;
+  }
+  return *position;
+}
+
+std::optional<GenotypePosteriors> GenotypeCaller::SnvPosteriors(const PileupColumn& column,
+                                                                uint8_t alt_code) const {
+  const uint8_t ref_code = compress::BaseToCode(column.ref_base);
+  if (ref_code > compress::kBaseCodeT || alt_code > compress::kBaseCodeT) {
+    return std::nullopt;  // N reference or N alt: no defined genotype model
+  }
+  double log_rr = 0;
+  double log_ra = 0;
+  double log_aa = 0;
+  for (const BaseObservation& obs : column.observations) {
+    if (obs.base_code > compress::kBaseCodeT) {
+      continue;  // 'N' observations are uninformative
+    }
+    const double e = PhredToError(obs.qual);
+    const double p_ref = obs.base_code == ref_code ? 1.0 - e : e / 3.0;
+    const double p_alt = obs.base_code == alt_code ? 1.0 - e : e / 3.0;
+    log_rr += std::log(p_ref);
+    log_ra += std::log(0.5 * (p_ref + p_alt));
+    log_aa += std::log(p_alt);
+  }
+  const double theta = options_.heterozygosity;
+  log_rr += std::log(1.0 - 1.5 * theta);
+  log_ra += std::log(theta);
+  log_aa += std::log(theta / 2.0);
+  return Normalize(log_rr, log_ra, log_aa);
+}
+
+std::optional<format::VariantRecord> GenotypeCaller::CallSnv(
+    const PileupColumn& column) const {
+  const uint8_t ref_code = compress::BaseToCode(column.ref_base);
+  if (ref_code > compress::kBaseCodeT) {
+    return std::nullopt;
+  }
+  const std::array<int32_t, 5> counts = column.BaseCounts();
+  int32_t depth = 0;
+  for (uint8_t code = 0; code <= compress::kBaseCodeT; ++code) {
+    depth += counts[code];
+  }
+  if (depth < options_.min_depth) {
+    return std::nullopt;
+  }
+
+  uint8_t alt_code = ref_code;
+  int32_t alt_count = 0;
+  for (uint8_t code = 0; code <= compress::kBaseCodeT; ++code) {
+    if (code != ref_code && counts[code] > alt_count) {
+      alt_code = code;
+      alt_count = counts[code];
+    }
+  }
+  if (alt_count == 0) {
+    return std::nullopt;
+  }
+  const double alt_fraction = static_cast<double>(alt_count) / depth;
+  if (alt_fraction < options_.min_alt_fraction) {
+    return std::nullopt;
+  }
+
+  auto posteriors = SnvPosteriors(column, alt_code);
+  if (!posteriors) {
+    return std::nullopt;
+  }
+  if (posteriors->hom_ref >= posteriors->het && posteriors->hom_ref >= posteriors->hom_alt) {
+    return std::nullopt;
+  }
+  const double qual = QualFromHomRefPosterior(posteriors->hom_ref);
+  if (qual < options_.min_qual) {
+    return std::nullopt;
+  }
+  auto position = Locate(column.location);
+  if (!position) {
+    return std::nullopt;
+  }
+
+  format::VariantRecord record;
+  record.contig_index = position->contig_index;
+  record.position = position->offset;
+  record.ref_allele.assign(1, column.ref_base);
+  record.alt_allele.assign(1, compress::CodeToBase(alt_code));
+  record.qual = qual;
+  record.depth = depth;
+  record.alt_fraction = alt_fraction;
+  record.genotype = posteriors->het >= posteriors->hom_alt ? "0/1" : "1/1";
+
+  // Strand bias: difference between the alt fraction seen on each strand.
+  int32_t fwd_total = 0;
+  int32_t rev_total = 0;
+  for (const BaseObservation& obs : column.observations) {
+    ++(obs.reverse ? rev_total : fwd_total);
+  }
+  const std::array<int32_t, 2> alt_by_strand = column.StrandCounts(alt_code);
+  if (fwd_total > 0 && rev_total > 0) {
+    record.strand_bias =
+        std::abs(static_cast<double>(alt_by_strand[0]) / fwd_total -
+                 static_cast<double>(alt_by_strand[1]) / rev_total);
+  }
+  return record;
+}
+
+std::optional<format::VariantRecord> GenotypeCaller::CallIndel(
+    const PileupColumn& column) const {
+  const int32_t spanning = column.spanning_reads;
+  if (spanning < options_.min_depth) {
+    return std::nullopt;
+  }
+
+  // Strongest indel signal at this anchor: most-observed insertion sequence vs
+  // most-observed deletion length.
+  const std::string* best_insertion = nullptr;
+  int32_t insertion_count = 0;
+  for (const auto& [sequence, count] : column.insertions) {
+    if (count > insertion_count) {
+      best_insertion = &sequence;
+      insertion_count = count;
+    }
+  }
+  int64_t best_deletion = 0;
+  int32_t deletion_count = 0;
+  for (const auto& [length, count] : column.deletions) {
+    if (count > deletion_count) {
+      best_deletion = length;
+      deletion_count = count;
+    }
+  }
+  const bool is_insertion = insertion_count >= deletion_count;
+  const int32_t support = is_insertion ? insertion_count : deletion_count;
+  if (support < options_.min_indel_observations) {
+    return std::nullopt;
+  }
+  const double fraction = static_cast<double>(support) / spanning;
+  if (fraction < options_.min_alt_fraction) {
+    return std::nullopt;
+  }
+
+  // Binary-allele posterior: k of n spanning reads show the indel.
+  const double e = options_.indel_error_rate;
+  const double k = support;
+  const double n_minus_k = std::max(0, spanning - support);
+  const double log_rr = k * std::log(e) + n_minus_k * std::log(1.0 - e);
+  const double log_ra = (k + n_minus_k) * std::log(0.5);
+  const double log_aa = k * std::log(1.0 - e) + n_minus_k * std::log(e);
+  const double theta = options_.indel_heterozygosity;
+  GenotypePosteriors posteriors =
+      Normalize(log_rr + std::log(1.0 - 1.5 * theta), log_ra + std::log(theta),
+                log_aa + std::log(theta / 2.0));
+  if (posteriors.hom_ref >= posteriors.het && posteriors.hom_ref >= posteriors.hom_alt) {
+    return std::nullopt;
+  }
+  const double qual = QualFromHomRefPosterior(posteriors.hom_ref);
+  if (qual < options_.min_qual) {
+    return std::nullopt;
+  }
+  auto position = Locate(column.location);
+  if (!position) {
+    return std::nullopt;
+  }
+
+  format::VariantRecord record;
+  record.contig_index = position->contig_index;
+  record.position = position->offset;
+  if (is_insertion) {
+    record.ref_allele.assign(1, column.ref_base);
+    record.alt_allele = record.ref_allele + *best_insertion;
+  } else {
+    auto deleted = reference_->Slice(column.location, static_cast<size_t>(best_deletion) + 1);
+    if (!deleted.ok()) {
+      return std::nullopt;  // deletion runs off the contig: evidence is inconsistent
+    }
+    record.ref_allele = std::string(*deleted);
+    record.alt_allele.assign(1, column.ref_base);
+  }
+  record.qual = qual;
+  record.depth = spanning;
+  record.alt_fraction = fraction;
+  record.genotype = posteriors.het >= posteriors.hom_alt ? "0/1" : "1/1";
+  return record;
+}
+
+std::vector<format::VariantRecord> GenotypeCaller::CallSite(
+    const PileupColumn& column) const {
+  std::vector<format::VariantRecord> records;
+  if (auto snv = CallSnv(column)) {
+    records.push_back(std::move(*snv));
+  }
+  if (auto indel = CallIndel(column)) {
+    records.push_back(std::move(*indel));
+  }
+  return records;
+}
+
+std::vector<format::VariantRecord> GenotypeCaller::CallAll(
+    std::span<const PileupColumn> columns) const {
+  std::vector<format::VariantRecord> records;
+  for (const PileupColumn& column : columns) {
+    std::vector<format::VariantRecord> site = CallSite(column);
+    records.insert(records.end(), std::make_move_iterator(site.begin()),
+                   std::make_move_iterator(site.end()));
+  }
+  return records;
+}
+
+}  // namespace persona::variant

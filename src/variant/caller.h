@@ -1,0 +1,76 @@
+// Diploid Bayesian genotype caller over pileup columns.
+//
+// The model is the classical one used by samtools/GATK-era germline SNV callers:
+// at each site, candidate alleles are the reference base and the most-observed
+// alternate. For each diploid genotype g in {ref/ref, ref/alt, alt/alt}, the
+// likelihood of the observed bases is
+//     P(obs | g) = prod_i  (P(b_i | a1) + P(b_i | a2)) / 2
+// with per-observation error from the base's Phred quality: P(b | a) = 1 - e when
+// b == a, e/3 otherwise. A heterozygosity prior (theta) weights the genotypes, and the
+// call's QUAL is the Phred-scaled posterior probability that the site is *not* variant.
+//
+// Indels use the same posterior machinery on binary support counts (reads showing the
+// indel vs spanning reads that do not), with a fixed indel error rate — a simplification
+// of haplotype-based callers that matches how the pileup summarizes indel evidence.
+
+#ifndef PERSONA_SRC_VARIANT_CALLER_H_
+#define PERSONA_SRC_VARIANT_CALLER_H_
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "src/format/vcf.h"
+#include "src/genome/reference.h"
+#include "src/variant/pileup.h"
+
+namespace persona::variant {
+
+struct CallerOptions {
+  double heterozygosity = 1e-3;        // prior P(het site), the population theta
+  double indel_heterozygosity = 1.25e-4;
+  double indel_error_rate = 0.01;      // per-read probability of a spurious indel
+  int min_depth = 4;                   // columns shallower than this are not called
+  double min_qual = 10.0;              // Phred; calls below are suppressed
+  double min_alt_fraction = 0.15;      // candidate gate before likelihood evaluation
+  int min_indel_observations = 3;
+};
+
+// Genotype posterior summary for one site (diagnostics / tests).
+struct GenotypePosteriors {
+  double hom_ref = 0;
+  double het = 0;
+  double hom_alt = 0;
+};
+
+class GenotypeCaller {
+ public:
+  // `reference` must outlive the caller.
+  GenotypeCaller(const genome::ReferenceGenome* reference, const CallerOptions& options);
+
+  // Calls one column. Returns nullopt when the site is confidently homozygous-reference
+  // or fails the depth/quality gates. At most one SNV and one indel can be emitted per
+  // column; both are returned in order (SNV first).
+  std::vector<format::VariantRecord> CallSite(const PileupColumn& column) const;
+
+  // Calls every column, concatenating records in genome order.
+  std::vector<format::VariantRecord> CallAll(std::span<const PileupColumn> columns) const;
+
+  // The SNV genotype posteriors at a column (exposed for tests of the math).
+  std::optional<GenotypePosteriors> SnvPosteriors(const PileupColumn& column,
+                                                  uint8_t alt_code) const;
+
+ private:
+  std::optional<format::VariantRecord> CallSnv(const PileupColumn& column) const;
+  std::optional<format::VariantRecord> CallIndel(const PileupColumn& column) const;
+
+  // Converts a genome-global column location to (contig, offset); nullopt if invalid.
+  std::optional<genome::ContigPosition> Locate(genome::GenomeLocation location) const;
+
+  const genome::ReferenceGenome* reference_;
+  CallerOptions options_;
+};
+
+}  // namespace persona::variant
+
+#endif  // PERSONA_SRC_VARIANT_CALLER_H_

@@ -1,0 +1,60 @@
+#include "src/variant/coverage.h"
+
+#include <algorithm>
+
+namespace persona::variant {
+
+double CoverageReport::Breadth(int32_t threshold) const {
+  if (genome_length == 0) {
+    return 0;
+  }
+  if (threshold <= 0) {
+    return 1.0;
+  }
+  int64_t at_least = 0;
+  for (size_t d = static_cast<size_t>(
+           std::min<int64_t>(threshold, static_cast<int64_t>(histogram.size()) - 1));
+       d < histogram.size(); ++d) {
+    at_least += histogram[d];
+  }
+  // The histogram's last bucket absorbs depths above the cap, so thresholds beyond the
+  // cap cannot be distinguished; clamping to the cap keeps the answer conservative.
+  return static_cast<double>(at_least) / static_cast<double>(genome_length);
+}
+
+CoverageAccumulator::CoverageAccumulator(int64_t genome_length,
+                                         const CoverageOptions& options)
+    : options_(options) {
+  report_.genome_length = genome_length;
+  report_.histogram.assign(static_cast<size_t>(options.histogram_cap) + 1, 0);
+  report_.histogram[0] = genome_length;  // start all-uncovered; Add() moves positions up
+}
+
+void CoverageAccumulator::Add(const PileupColumn& column) {
+  const int32_t depth = column.spanning_reads;
+  if (depth <= 0) {
+    return;
+  }
+  ++report_.covered_positions;
+  report_.total_depth += depth;
+  report_.max_depth = std::max(report_.max_depth, depth);
+  const size_t bucket = static_cast<size_t>(std::min(depth, options_.histogram_cap));
+  --report_.histogram[0];
+  ++report_.histogram[bucket];
+}
+
+void CoverageAccumulator::AddAll(std::span<const PileupColumn> columns) {
+  for (const PileupColumn& column : columns) {
+    Add(column);
+  }
+}
+
+CoverageReport ComputeCoverage(const genome::ReferenceGenome& reference,
+                               std::span<const PileupColumn> columns,
+                               const CoverageOptions& options) {
+  CoverageAccumulator accumulator(reference.total_length(), options);
+  accumulator.AddAll(columns);
+  return accumulator.report();
+}
+
+}  // namespace persona::variant

@@ -1,0 +1,64 @@
+// Coverage statistics over pileup columns (the samtools-depth / mosdepth analogue).
+//
+// Coverage is the quantity the paper's dataset descriptions are phrased in ("typically
+// 30 to 50x", §2.1) and the knob the variant-calling bench sweeps; this module turns a
+// pileup into the summary a sequencing lab reports: mean/max depth, breadth of coverage
+// at thresholds, and a depth histogram. Works from the same PileupColumns the caller
+// consumes, so it costs no extra pass over the reads.
+
+#ifndef PERSONA_SRC_VARIANT_COVERAGE_H_
+#define PERSONA_SRC_VARIANT_COVERAGE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/genome/reference.h"
+#include "src/variant/pileup.h"
+
+namespace persona::variant {
+
+struct CoverageReport {
+  int64_t genome_length = 0;      // denominator for breadth (reference bases)
+  int64_t covered_positions = 0;  // columns with depth >= 1
+  int64_t total_depth = 0;        // sum of spanning reads over covered columns
+  int32_t max_depth = 0;
+  std::vector<int64_t> histogram;  // histogram[d] = positions with depth d (capped)
+
+  // Mean depth over the whole genome (uncovered positions count as zero).
+  double MeanDepth() const {
+    return genome_length == 0
+               ? 0
+               : static_cast<double>(total_depth) / static_cast<double>(genome_length);
+  }
+  // Fraction of the genome covered by at least `threshold` reads.
+  double Breadth(int32_t threshold = 1) const;
+};
+
+struct CoverageOptions {
+  int32_t histogram_cap = 255;  // depths above this land in the last bucket
+};
+
+// Accumulates columns incrementally (usable inside the streaming call pipeline).
+class CoverageAccumulator {
+ public:
+  CoverageAccumulator(int64_t genome_length, const CoverageOptions& options);
+
+  void Add(const PileupColumn& column);
+  void AddAll(std::span<const PileupColumn> columns);
+
+  const CoverageReport& report() const { return report_; }
+
+ private:
+  CoverageOptions options_;
+  CoverageReport report_;
+};
+
+// Convenience: one-shot report for a finished pileup.
+CoverageReport ComputeCoverage(const genome::ReferenceGenome& reference,
+                               std::span<const PileupColumn> columns,
+                               const CoverageOptions& options = {});
+
+}  // namespace persona::variant
+
+#endif  // PERSONA_SRC_VARIANT_COVERAGE_H_

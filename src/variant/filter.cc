@@ -1,0 +1,55 @@
+#include "src/variant/filter.h"
+
+namespace persona::variant {
+
+VariantFilterSummary ApplyVariantFilters(std::span<format::VariantRecord> records,
+                                         const VariantFilterSpec& spec) {
+  VariantFilterSummary summary;
+  summary.total = static_cast<int64_t>(records.size());
+  for (format::VariantRecord& record : records) {
+    std::string reasons;
+    auto fail = [&reasons](const char* reason) {
+      if (!reasons.empty()) {
+        reasons += ';';
+      }
+      reasons += reason;
+    };
+    if (spec.min_qual > 0 && record.qual < spec.min_qual) {
+      fail("LowQual");
+      ++summary.failed_qual;
+    }
+    if ((spec.min_depth > 0 && record.depth < spec.min_depth) ||
+        (spec.max_depth > 0 && record.depth > spec.max_depth)) {
+      fail("BadDepth");
+      ++summary.failed_depth;
+    }
+    if (spec.min_alt_fraction > 0 && record.alt_fraction < spec.min_alt_fraction) {
+      fail("LowAltFraction");
+      ++summary.failed_alt_fraction;
+    }
+    if (spec.max_strand_bias < 1.0 && record.strand_bias > spec.max_strand_bias) {
+      fail("StrandBias");
+      ++summary.failed_strand_bias;
+    }
+    if (reasons.empty()) {
+      record.filter = "PASS";
+      ++summary.passed;
+    } else {
+      record.filter = std::move(reasons);
+    }
+  }
+  return summary;
+}
+
+std::vector<format::VariantRecord> PassingOnly(
+    std::span<const format::VariantRecord> records) {
+  std::vector<format::VariantRecord> passing;
+  for (const format::VariantRecord& record : records) {
+    if (record.filter == "PASS") {
+      passing.push_back(record);
+    }
+  }
+  return passing;
+}
+
+}  // namespace persona::variant

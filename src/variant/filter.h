@@ -1,0 +1,46 @@
+// Hard filters over called variants (GATK-style "hard filtering").
+//
+// The caller emits every site whose posterior clears min_qual; this pass annotates the
+// FILTER column with the reasons a record is untrustworthy (low depth, extreme depth,
+// strand bias, low allele fraction) so downstream consumers can keep or drop them.
+// Records that pass keep FILTER=PASS, mirroring VCF convention.
+
+#ifndef PERSONA_SRC_VARIANT_FILTER_H_
+#define PERSONA_SRC_VARIANT_FILTER_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/format/vcf.h"
+
+namespace persona::variant {
+
+struct VariantFilterSpec {
+  double min_qual = 0;          // 0 disables
+  int32_t min_depth = 0;        // 0 disables
+  int32_t max_depth = 0;        // 0 disables (catches collapsed-repeat pileups)
+  double min_alt_fraction = 0;  // 0 disables
+  double max_strand_bias = 1.0; // 1 disables
+};
+
+struct VariantFilterSummary {
+  int64_t total = 0;
+  int64_t passed = 0;
+  int64_t failed_qual = 0;
+  int64_t failed_depth = 0;
+  int64_t failed_alt_fraction = 0;
+  int64_t failed_strand_bias = 0;
+};
+
+// Annotates each record's FILTER field in place ("PASS" or a ';'-joined reason list).
+VariantFilterSummary ApplyVariantFilters(std::span<format::VariantRecord> records,
+                                         const VariantFilterSpec& spec);
+
+// Returns only the records whose FILTER field is "PASS".
+std::vector<format::VariantRecord> PassingOnly(std::span<const format::VariantRecord> records);
+
+}  // namespace persona::variant
+
+#endif  // PERSONA_SRC_VARIANT_FILTER_H_

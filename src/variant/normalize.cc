@@ -1,0 +1,77 @@
+#include "src/variant/normalize.h"
+
+namespace persona::variant {
+
+Status NormalizeVariant(const genome::ReferenceGenome& reference,
+                        format::VariantRecord* record) {
+  if (record->contig_index < 0 ||
+      record->contig_index >= static_cast<int32_t>(reference.num_contigs())) {
+    return InvalidArgumentError("normalize: contig index out of range");
+  }
+  if (record->ref_allele.empty() || record->alt_allele.empty()) {
+    return InvalidArgumentError("normalize: empty allele");
+  }
+  const std::string& contig =
+      reference.contig(static_cast<size_t>(record->contig_index)).sequence;
+  if (record->position < 0 ||
+      record->position + static_cast<int64_t>(record->ref_allele.size()) >
+          static_cast<int64_t>(contig.size())) {
+    return InvalidArgumentError("normalize: position out of contig range");
+  }
+  if (contig.compare(static_cast<size_t>(record->position), record->ref_allele.size(),
+                     record->ref_allele) != 0) {
+    return FailedPreconditionError(
+        "normalize: REF allele does not match the reference sequence");
+  }
+
+  std::string ref = record->ref_allele;
+  std::string alt = record->alt_allele;
+  int64_t pos = record->position;
+
+  // vt-style loop: trim shared suffixes; when the variant is a pure indel that still
+  // ends with a shared base, shift one base left and re-trim. Terminates because each
+  // shift strictly decreases `pos`.
+  while (true) {
+    while (ref.size() > 1 && alt.size() > 1 && ref.back() == alt.back()) {
+      ref.pop_back();
+      alt.pop_back();
+    }
+    if ((ref.size() == 1 || alt.size() == 1) && ref.back() == alt.back() && pos > 0) {
+      const char previous = contig[static_cast<size_t>(pos - 1)];
+      ref.insert(ref.begin(), previous);
+      alt.insert(alt.begin(), previous);
+      ref.pop_back();
+      alt.pop_back();
+      --pos;
+      continue;
+    }
+    break;
+  }
+  // Trim shared prefixes, keeping one anchor base on each side.
+  while (ref.size() > 1 && alt.size() > 1 && ref.front() == alt.front()) {
+    ref.erase(ref.begin());
+    alt.erase(alt.begin());
+    ++pos;
+  }
+
+  record->ref_allele = std::move(ref);
+  record->alt_allele = std::move(alt);
+  record->position = pos;
+  return OkStatus();
+}
+
+int64_t NormalizeVariants(const genome::ReferenceGenome& reference,
+                          std::span<format::VariantRecord> records) {
+  int64_t changed = 0;
+  for (format::VariantRecord& record : records) {
+    format::VariantRecord before = record;
+    if (NormalizeVariant(reference, &record).ok() &&
+        (record.position != before.position || record.ref_allele != before.ref_allele ||
+         record.alt_allele != before.alt_allele)) {
+      ++changed;
+    }
+  }
+  return changed;
+}
+
+}  // namespace persona::variant

@@ -1,0 +1,36 @@
+// Variant normalization: left-alignment and allele trimming (bcftools/vt "norm"
+// semantics).
+//
+// An indel inside or next to a repeat has many equivalent representations — deleting
+// either copy of a tandem "AT" yields the same haplotype. Callers, truth sets, and
+// aligner gap placement each pick a representation, so exact-site comparison (and any
+// dedup keyed on position+alleles) is only meaningful after normalizing both sides to
+// the canonical form: alleles trimmed of shared affixes and the variant shifted as far
+// left as the reference allows, keeping the single VCF anchor base.
+//
+// The accuracy scorer normalizes both truth and calls before matching; the call
+// pipeline normalizes records as they are emitted.
+
+#ifndef PERSONA_SRC_VARIANT_NORMALIZE_H_
+#define PERSONA_SRC_VARIANT_NORMALIZE_H_
+
+#include "src/format/vcf.h"
+#include "src/genome/reference.h"
+
+namespace persona::variant {
+
+// Normalizes `record` in place. Requirements: contig/position in range, alleles
+// non-empty, record biallelic. SNVs (and any same-length allele pair) pass through with
+// affix trimming only. Fails if the record's REF allele does not match the reference
+// sequence at its position (the record is then left untouched).
+Status NormalizeVariant(const genome::ReferenceGenome& reference,
+                        format::VariantRecord* record);
+
+// Convenience: normalizes every record, skipping (not failing on) records that do not
+// match the reference. Returns how many records changed.
+int64_t NormalizeVariants(const genome::ReferenceGenome& reference,
+                          std::span<format::VariantRecord> records);
+
+}  // namespace persona::variant
+
+#endif  // PERSONA_SRC_VARIANT_NORMALIZE_H_

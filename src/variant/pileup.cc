@@ -1,0 +1,245 @@
+#include "src/variant/pileup.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/align/smith_waterman.h"
+#include "src/compress/base_compaction.h"
+#include "src/util/string_util.h"
+
+namespace persona::variant {
+
+std::array<int32_t, 5> PileupColumn::BaseCounts() const {
+  std::array<int32_t, 5> counts{};
+  for (const BaseObservation& obs : observations) {
+    if (obs.base_code < counts.size()) {
+      ++counts[obs.base_code];
+    }
+  }
+  return counts;
+}
+
+std::array<int32_t, 2> PileupColumn::StrandCounts(uint8_t base_code) const {
+  std::array<int32_t, 2> counts{};
+  for (const BaseObservation& obs : observations) {
+    if (obs.base_code == base_code) {
+      ++counts[obs.reverse ? 1 : 0];
+    }
+  }
+  return counts;
+}
+
+PileupEngine::PileupEngine(const genome::ReferenceGenome* reference,
+                           const PileupOptions& options)
+    : reference_(reference), options_(options) {}
+
+void PileupEngine::RealignGappedRead(std::string_view fwd,
+                                     genome::GenomeLocation* location,
+                                     std::vector<align::CigarOp>* ops) const {
+  // Window: the original alignment span, padded on both sides, clipped to the contig.
+  auto position = reference_->GlobalToLocal(*location);
+  if (!position.ok()) {
+    return;
+  }
+  const auto& contig = reference_->contig(static_cast<size_t>(position->contig_index));
+  const genome::GenomeLocation contig_start =
+      reference_->contig_start(static_cast<size_t>(position->contig_index));
+  int64_t ref_span = 0;
+  for (const align::CigarOp& op : *ops) {
+    if (op.consumes_reference()) {
+      ref_span += op.length;
+    }
+  }
+  const genome::GenomeLocation window_begin =
+      std::max(contig_start, *location - options_.realign_padding);
+  const genome::GenomeLocation window_end =
+      std::min(contig_start + static_cast<int64_t>(contig.sequence.size()),
+               *location + ref_span + options_.realign_padding);
+  auto window = reference_->Slice(window_begin,
+                                  static_cast<size_t>(window_end - window_begin));
+  if (!window.ok()) {
+    return;
+  }
+
+  align::SwResult sw = align::SmithWaterman(*window, fwd);
+  if (sw.cigar.empty() ||
+      (sw.query_end - sw.query_begin) * 2 < static_cast<int>(fwd.size())) {
+    return;  // no alignment, or it covers too little of the read to trust
+  }
+  auto sw_ops = align::ParseCigar(sw.cigar);
+  if (!sw_ops.ok()) {
+    return;
+  }
+
+  std::vector<align::CigarOp> realigned;
+  realigned.reserve(sw_ops->size() + 2);
+  if (sw.query_begin > 0) {
+    realigned.push_back({'S', sw.query_begin});
+  }
+  realigned.insert(realigned.end(), sw_ops->begin(), sw_ops->end());
+  if (sw.query_end < static_cast<int>(fwd.size())) {
+    realigned.push_back({'S', static_cast<int64_t>(fwd.size()) - sw.query_end});
+  }
+  *location = window_begin + sw.ref_begin;
+  *ops = std::move(realigned);
+}
+
+PileupColumn& PileupEngine::ColumnAt(genome::GenomeLocation location) {
+  auto [it, inserted] = columns_.try_emplace(location);
+  if (inserted) {
+    it->second.location = location;
+    it->second.ref_base = reference_->BaseAt(location);
+  }
+  return it->second;
+}
+
+Status PileupEngine::AddRead(std::string_view bases, std::string_view qual,
+                             const align::AlignmentResult& result) {
+  if (!result.mapped() || result.mapq < options_.min_mapq ||
+      (options_.skip_duplicates && result.duplicate()) ||
+      (options_.skip_secondary && (result.flags & align::kFlagSecondary) != 0)) {
+    ++reads_skipped_;
+    return OkStatus();
+  }
+  if (result.location < frontier_) {
+    return FailedPreconditionError(
+        StrFormat("pileup input not sorted: read at %lld after frontier %lld",
+                  static_cast<long long>(result.location),
+                  static_cast<long long>(frontier_)));
+  }
+  auto ops_or = align::ParseCigar(result.cigar);
+  if (!ops_or.ok() ||
+      align::CigarQuerySpan(result.cigar) != static_cast<int64_t>(bases.size()) ||
+      qual.size() != bases.size()) {
+    ++reads_skipped_;  // malformed alignment record; evidence is untrustworthy
+    return OkStatus();
+  }
+  // The whole reference span must be inside one contig, or the walk would read bases
+  // across a contig boundary.
+  const int64_t ref_span = align::CigarReferenceSpan(result.cigar);
+  if (ref_span <= 0 ||
+      !reference_->Slice(result.location, static_cast<size_t>(ref_span)).ok()) {
+    ++reads_skipped_;
+    return OkStatus();
+  }
+
+  frontier_ = std::max(frontier_, result.location);
+
+  // Project onto the forward reference strand (SAM convention: CIGAR and location always
+  // refer to the forward strand; reverse reads flip bases and qualities).
+  std::string fwd_storage;
+  std::string qual_storage;
+  std::string_view fwd = bases;
+  std::string_view fwd_qual = qual;
+  if (result.reverse()) {
+    fwd_storage = compress::ReverseComplement(bases);
+    qual_storage.assign(qual.rbegin(), qual.rend());
+    fwd = fwd_storage;
+    fwd_qual = qual_storage;
+  }
+
+  genome::GenomeLocation read_start = result.location;
+  std::vector<align::CigarOp> ops = *std::move(ops_or);
+  if (options_.realign_indels) {
+    const bool has_gap = std::any_of(ops.begin(), ops.end(), [](const align::CigarOp& op) {
+      return op.op == 'I' || op.op == 'D';
+    });
+    if (has_gap) {
+      RealignGappedRead(fwd, &read_start, &ops);
+    }
+  }
+
+  genome::GenomeLocation ref_pos = read_start;
+  int64_t read_off = 0;
+  for (const align::CigarOp& op : ops) {
+    switch (op.op) {
+      case 'M':
+      case '=':
+      case 'X':
+        for (int64_t i = 0; i < op.length; ++i) {
+          PileupColumn& column = ColumnAt(ref_pos + i);
+          ++column.spanning_reads;
+          const uint8_t q = static_cast<uint8_t>(fwd_qual[static_cast<size_t>(read_off + i)] - 33);
+          if (q >= options_.min_base_qual) {
+            column.observations.push_back(
+                {compress::BaseToCode(fwd[static_cast<size_t>(read_off + i)]), q,
+                 result.reverse()});
+          }
+        }
+        ref_pos += op.length;
+        read_off += op.length;
+        break;
+      case 'I':
+        if (ref_pos > read_start) {  // leading insertions have no anchor
+          PileupColumn& column = ColumnAt(ref_pos - 1);
+          ++column.insertions[std::string(
+              fwd.substr(static_cast<size_t>(read_off), static_cast<size_t>(op.length)))];
+        }
+        read_off += op.length;
+        break;
+      case 'D':
+        if (ref_pos > read_start) {
+          ++ColumnAt(ref_pos - 1).deletions[op.length];
+        }
+        for (int64_t i = 0; i < op.length; ++i) {
+          ++ColumnAt(ref_pos + i).spanning_reads;  // spanned with a gap
+        }
+        ref_pos += op.length;
+        break;
+      case 'N':
+        ref_pos += op.length;  // spliced skip: not spanned
+        break;
+      case 'S':
+        read_off += op.length;
+        break;
+      default:
+        break;  // H, P
+    }
+  }
+  ++reads_used_;
+  return OkStatus();
+}
+
+void PileupEngine::FlushBefore(genome::GenomeLocation before,
+                               std::vector<PileupColumn>* out) {
+  auto end = columns_.lower_bound(before);
+  for (auto it = columns_.begin(); it != end; ++it) {
+    out->push_back(std::move(it->second));
+  }
+  columns_.erase(columns_.begin(), end);
+}
+
+void PileupEngine::FlushAll(std::vector<PileupColumn>* out) {
+  for (auto& [location, column] : columns_) {
+    out->push_back(std::move(column));
+  }
+  columns_.clear();
+}
+
+Result<std::vector<PileupColumn>> BuildPileup(
+    const genome::ReferenceGenome& reference, std::span<const std::string> bases,
+    std::span<const std::string> quals, std::span<const align::AlignmentResult> results,
+    const PileupOptions& options) {
+  if (bases.size() != quals.size() || bases.size() != results.size()) {
+    return InvalidArgumentError("pileup inputs must have equal lengths");
+  }
+  // Process in location order so the streaming engine accepts unsorted input here.
+  std::vector<size_t> order(bases.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return results[a].location < results[b].location;
+  });
+
+  PileupEngine engine(&reference, options);
+  for (size_t i : order) {
+    Status status = engine.AddRead(bases[i], quals[i], results[i]);
+    if (!status.ok()) {
+      return status;
+    }
+  }
+  std::vector<PileupColumn> columns;
+  engine.FlushAll(&columns);
+  return columns;
+}
+
+}  // namespace persona::variant

@@ -1,0 +1,130 @@
+// Pileup engine: per-reference-position summaries of aligned read evidence.
+//
+// Variant calling is the paper's stated next integration step (§8: "work ongoing to
+// integrate comprehensive data filtering and variant calling"). The pileup is its
+// substrate: for every reference position covered by reads, collect the observed bases
+// with their qualities and strands (for SNVs) and the insertion/deletion events anchored
+// there (for indels), after the usual hygiene filters (MAPQ, base quality, duplicates —
+// which is why dedup runs first).
+//
+// The engine is streaming: reads must arrive in non-decreasing alignment-location order
+// (i.e., from a location-sorted AGD dataset), and completed columns are flushed as soon
+// as no active read can still touch them. Memory is bounded by read length × coverage,
+// not by genome size.
+//
+// Indels follow the VCF anchoring convention: an insertion between p and p+1, or a
+// deletion of bases p+1..p+L, are both recorded at anchor position p.
+
+#ifndef PERSONA_SRC_VARIANT_PILEUP_H_
+#define PERSONA_SRC_VARIANT_PILEUP_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/align/alignment.h"
+#include "src/genome/reference.h"
+#include "src/util/result.h"
+
+namespace persona::variant {
+
+struct PileupOptions {
+  int min_mapq = 10;        // reads below this never enter the pileup
+  int min_base_qual = 13;   // per-base observations below this are dropped
+  bool skip_duplicates = true;
+  bool skip_secondary = true;
+  // Local indel realignment: reads whose CIGAR contains a gap are re-aligned against a
+  // padded reference window with affine-gap Smith-Waterman before piling. Unit-cost
+  // edit-distance aligners fragment long gaps ambiguously (each read splits the same
+  // 8-bp insertion differently), scattering indel evidence across anchors; affine
+  // scoring strongly prefers one contiguous gap, so evidence consolidates. This is the
+  // pileup-level analogue of GATK's indel realignment step.
+  bool realign_indels = true;
+  int realign_padding = 16;  // reference window slack on each side of the alignment
+};
+
+// One base observation at one column.
+struct BaseObservation {
+  uint8_t base_code = 0;  // compress::BaseToCode code (A=0 C=1 G=2 T=3 N=4)
+  uint8_t qual = 0;       // Phred
+  bool reverse = false;   // strand of the carrying read
+};
+
+// Summed evidence at one reference position.
+struct PileupColumn {
+  genome::GenomeLocation location = genome::kInvalidLocation;
+  char ref_base = 'N';
+  std::vector<BaseObservation> observations;  // after quality filtering
+  // Indel events anchored at this position. Insertions keyed by inserted sequence,
+  // deletions keyed by deleted length; values are observation counts.
+  std::map<std::string, int32_t> insertions;
+  std::map<int64_t, int32_t> deletions;
+  int32_t spanning_reads = 0;  // reads whose alignment covers this position (indel
+                               // denominators; includes reads whose base was filtered)
+
+  int32_t depth() const { return static_cast<int32_t>(observations.size()); }
+  // Observation count per base code (A,C,G,T,N).
+  std::array<int32_t, 5> BaseCounts() const;
+  // Strand-resolved count for one base code: {forward, reverse}.
+  std::array<int32_t, 2> StrandCounts(uint8_t base_code) const;
+};
+
+class PileupEngine {
+ public:
+  // `reference` must outlive the engine.
+  PileupEngine(const genome::ReferenceGenome* reference, const PileupOptions& options);
+
+  // Adds one aligned read. Unmapped and filtered reads are counted and skipped.
+  // Fails if `result.location` is behind an already-flushed column (input not sorted).
+  Status AddRead(std::string_view bases, std::string_view qual,
+                 const align::AlignmentResult& result);
+
+  // Moves every column with location < `before` into `out` (sorted by location).
+  void FlushBefore(genome::GenomeLocation before, std::vector<PileupColumn>* out);
+
+  // Flushes all remaining columns. The engine is reusable afterwards.
+  void FlushAll(std::vector<PileupColumn>* out);
+
+  // Largest location L such that no future (sorted) read can contribute to columns
+  // before L. Realignment can shift a read's start left by up to realign_padding, so
+  // the frontier is pulled back accordingly.
+  genome::GenomeLocation flush_frontier() const {
+    const genome::GenomeLocation slack =
+        options_.realign_indels ? options_.realign_padding : 0;
+    return frontier_ > slack ? frontier_ - slack : 0;
+  }
+
+  uint64_t reads_used() const { return reads_used_; }
+  uint64_t reads_skipped() const { return reads_skipped_; }
+
+ private:
+  PileupColumn& ColumnAt(genome::GenomeLocation location);
+
+  // Re-aligns a gap-containing read against a padded reference window (affine SW).
+  // On success updates `*location` and `*ops` (soft clips included); on any failure the
+  // originals are left untouched and the original alignment is used.
+  void RealignGappedRead(std::string_view fwd, genome::GenomeLocation* location,
+                         std::vector<align::CigarOp>* ops) const;
+
+  const genome::ReferenceGenome* reference_;
+  PileupOptions options_;
+  std::map<genome::GenomeLocation, PileupColumn> columns_;  // active window
+  genome::GenomeLocation frontier_ = 0;  // no future read may start before this
+  uint64_t reads_used_ = 0;
+  uint64_t reads_skipped_ = 0;
+};
+
+// Convenience for tests and small datasets: piles up everything at once. Reads need not
+// be sorted (they are indexed and processed in location order internally).
+Result<std::vector<PileupColumn>> BuildPileup(
+    const genome::ReferenceGenome& reference, std::span<const std::string> bases,
+    std::span<const std::string> quals, std::span<const align::AlignmentResult> results,
+    const PileupOptions& options);
+
+}  // namespace persona::variant
+
+#endif  // PERSONA_SRC_VARIANT_PILEUP_H_

@@ -1,0 +1,244 @@
+// End-to-end aligner tests: SNAP-style and BWA-MEM-style aligners on simulated reads
+// with ground truth, single-end and paired-end, plus profiling counters.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/align/accuracy.h"
+#include "src/align/bwa_aligner.h"
+#include "src/align/snap_aligner.h"
+#include "src/genome/generator.h"
+#include "src/genome/read_simulator.h"
+
+namespace persona::align {
+namespace {
+
+class AlignerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    genome::GenomeSpec spec;
+    spec.num_contigs = 2;
+    spec.contig_length = 50'000;
+    spec.repeat_fraction = 0.03;
+    reference_ = new genome::ReferenceGenome(genome::GenerateGenome(spec));
+
+    SeedIndexOptions seed_options;
+    seed_options.seed_length = 20;
+    seed_index_ = new SeedIndex(SeedIndex::Build(*reference_, seed_options).value());
+
+    fm_index_ = new FmIndex(FmIndex::Build(*reference_).value());
+  }
+
+  static void TearDownTestSuite() {
+    delete fm_index_;
+    delete seed_index_;
+    delete reference_;
+    fm_index_ = nullptr;
+    seed_index_ = nullptr;
+    reference_ = nullptr;
+  }
+
+  static std::vector<genome::Read> SimulateReads(size_t n, double error_rate,
+                                                 uint64_t seed = 7) {
+    genome::ReadSimSpec spec;
+    spec.read_length = 101;
+    spec.substitution_rate = error_rate;
+    spec.seed = seed;
+    genome::ReadSimulator sim(reference_, spec);
+    return sim.Simulate(n);
+  }
+
+  static genome::ReferenceGenome* reference_;
+  static SeedIndex* seed_index_;
+  static FmIndex* fm_index_;
+};
+
+genome::ReferenceGenome* AlignerTest::reference_ = nullptr;
+SeedIndex* AlignerTest::seed_index_ = nullptr;
+FmIndex* AlignerTest::fm_index_ = nullptr;
+
+TEST_F(AlignerTest, SnapAlignsCleanReadsAccurately) {
+  SnapAligner aligner(reference_, seed_index_);
+  auto reads = SimulateReads(300, 0.001);
+  std::vector<AlignmentResult> results;
+  for (const auto& read : reads) {
+    results.push_back(aligner.Align(read, nullptr));
+  }
+  AccuracyReport report = ScoreAlignments(*reference_, reads, results);
+  EXPECT_EQ(report.total, 300);
+  EXPECT_GT(report.aligned_fraction(), 0.98);
+  EXPECT_GT(report.correct_fraction(), 0.95);
+}
+
+TEST_F(AlignerTest, SnapAlignsNoisyReads) {
+  SnapAligner aligner(reference_, seed_index_);
+  auto reads = SimulateReads(200, 0.02, 11);
+  std::vector<AlignmentResult> results;
+  for (const auto& read : reads) {
+    results.push_back(aligner.Align(read, nullptr));
+  }
+  AccuracyReport report = ScoreAlignments(*reference_, reads, results);
+  EXPECT_GT(report.aligned_fraction(), 0.90);
+  EXPECT_GT(report.correct_fraction(), 0.85);
+}
+
+TEST_F(AlignerTest, SnapProducesValidCigars) {
+  SnapAligner aligner(reference_, seed_index_);
+  auto reads = SimulateReads(100, 0.01, 13);
+  for (const auto& read : reads) {
+    AlignmentResult r = aligner.Align(read, nullptr);
+    if (!r.mapped()) {
+      continue;
+    }
+    EXPECT_FALSE(r.cigar.empty());
+    // Reference span of the CIGAR must stay within the genome.
+    int64_t span = CigarReferenceSpan(r.cigar);
+    EXPECT_GT(span, 0);
+    EXPECT_TRUE(reference_->Slice(r.location, static_cast<size_t>(span)).ok())
+        << "location " << r.location << " cigar " << r.cigar;
+    EXPECT_LE(r.edit_distance, 12);
+    EXPECT_LE(r.mapq, 60);
+  }
+}
+
+TEST_F(AlignerTest, SnapGarbageReadIsUnmapped) {
+  SnapAligner aligner(reference_, seed_index_);
+  genome::Read garbage;
+  garbage.bases = std::string(101, 'A');  // poly-A absent from random genome
+  garbage.qual = std::string(101, 'I');
+  garbage.metadata = "garbage";
+  AlignmentResult r = aligner.Align(garbage, nullptr);
+  EXPECT_FALSE(r.mapped());
+}
+
+TEST_F(AlignerTest, SnapShortReadIsUnmapped) {
+  SnapAligner aligner(reference_, seed_index_);
+  genome::Read tiny{"ACGT", "IIII", "tiny"};
+  EXPECT_FALSE(aligner.Align(tiny, nullptr).mapped());
+}
+
+TEST_F(AlignerTest, SnapProfileCountersAccumulate) {
+  SnapAligner aligner(reference_, seed_index_);
+  auto reads = SimulateReads(50, 0.005, 17);
+  AlignProfile profile;
+  for (const auto& read : reads) {
+    aligner.Align(read, &profile);
+  }
+  EXPECT_EQ(profile.reads, 50u);
+  EXPECT_EQ(profile.bases, 50u * 101u);
+  EXPECT_GT(profile.index_probes, 0u);
+  EXPECT_GT(profile.candidates, 0u);
+  EXPECT_GT(profile.seed_ns + profile.verify_ns, 0u);
+}
+
+TEST_F(AlignerTest, BwaAlignsCleanReadsAccurately) {
+  BwaMemAligner aligner(reference_, fm_index_);
+  auto reads = SimulateReads(200, 0.001, 19);
+  std::vector<AlignmentResult> results;
+  for (const auto& read : reads) {
+    results.push_back(aligner.Align(read, nullptr));
+  }
+  AccuracyReport report = ScoreAlignments(*reference_, reads, results);
+  EXPECT_GT(report.aligned_fraction(), 0.98);
+  EXPECT_GT(report.correct_fraction(), 0.95);
+}
+
+TEST_F(AlignerTest, BwaSoftClipsNoisyEnds) {
+  BwaMemAligner aligner(reference_, fm_index_);
+  // Construct a read with 15 junk bases at the front of a true genome segment.
+  auto slice = reference_->Slice(5000, 86);
+  ASSERT_TRUE(slice.ok());
+  genome::Read read;
+  read.bases = std::string(15, 'A') + std::string(*slice);
+  read.qual = std::string(101, 'I');
+  read.metadata = "clipped";
+  AlignmentResult r = aligner.Align(read, nullptr);
+  ASSERT_TRUE(r.mapped());
+  EXPECT_NE(r.cigar.find('S'), std::string::npos) << r.cigar;
+}
+
+TEST_F(AlignerTest, BwaGarbageReadIsUnmapped) {
+  BwaMemAligner aligner(reference_, fm_index_);
+  genome::Read garbage;
+  garbage.bases = std::string(101, 'A');
+  garbage.qual = std::string(101, 'I');
+  garbage.metadata = "garbage";
+  EXPECT_FALSE(aligner.Align(garbage, nullptr).mapped());
+}
+
+TEST_F(AlignerTest, PairedAlignmentSetsPairFlags) {
+  SnapAligner aligner(reference_, seed_index_);
+  genome::ReadSimSpec spec;
+  spec.paired = true;
+  spec.seed = 23;
+  genome::ReadSimulator sim(reference_, spec);
+  int proper = 0;
+  for (int i = 0; i < 30; ++i) {
+    auto [read1, read2] = sim.NextPair();
+    auto [r1, r2] = aligner.AlignPair(read1, read2, nullptr);
+    EXPECT_TRUE(r1.flags & kFlagPaired);
+    EXPECT_TRUE(r2.flags & kFlagPaired);
+    EXPECT_TRUE(r1.flags & kFlagFirstInPair);
+    EXPECT_TRUE(r2.flags & kFlagSecondInPair);
+    if (r1.mapped() && r2.mapped()) {
+      EXPECT_EQ(r1.mate_location, r2.location);
+      EXPECT_EQ(r2.mate_location, r1.location);
+      if (r1.flags & kFlagProperPair) {
+        ++proper;
+        EXPECT_EQ(r1.template_length, -r2.template_length);
+        EXPECT_NE(r1.template_length, 0);
+      }
+    }
+  }
+  EXPECT_GT(proper, 20);  // most simulated pairs should be proper
+}
+
+TEST_F(AlignerTest, BwaInsertSizeInference) {
+  BwaMemAligner aligner(reference_, fm_index_);
+  genome::ReadSimSpec spec;
+  spec.paired = true;
+  spec.insert_mean = 350;
+  spec.insert_stddev = 30;
+  spec.seed = 29;
+  genome::ReadSimulator sim(reference_, spec);
+  std::vector<std::pair<genome::Read, genome::Read>> pairs;
+  for (int i = 0; i < 60; ++i) {
+    pairs.push_back(sim.NextPair());
+  }
+  InsertSizeStats stats = aligner.InferInsertStats(pairs, 60, nullptr);
+  EXPECT_GT(stats.samples, 30);
+  EXPECT_NEAR(stats.mean, 350, 40);
+  EXPECT_LT(stats.stddev, 80);
+
+  auto [r1, r2] = aligner.AlignPairWithStats(pairs[0].first, pairs[0].second, stats, nullptr);
+  EXPECT_TRUE(r1.flags & kFlagPaired);
+  EXPECT_TRUE(r2.flags & kFlagPaired);
+}
+
+TEST_F(AlignerTest, MapqReflectsRepeatAmbiguity) {
+  // A read taken from a repeat copy should get low MAPQ; unique reads high MAPQ.
+  SnapAligner aligner(reference_, seed_index_);
+  auto reads = SimulateReads(300, 0.001, 31);
+  std::vector<AlignmentResult> results;
+  int high_mapq = 0;
+  for (const auto& read : reads) {
+    AlignmentResult r = aligner.Align(read, nullptr);
+    if (r.mapped() && r.mapq >= 30) {
+      ++high_mapq;
+    }
+    results.push_back(std::move(r));
+  }
+  // Most of the genome is unique, so most reads must be confidently placed.
+  EXPECT_GT(high_mapq, 240);
+}
+
+TEST_F(AlignerTest, AlignerNamesAreStable) {
+  SnapAligner snap(reference_, seed_index_);
+  BwaMemAligner bwa(reference_, fm_index_);
+  EXPECT_EQ(snap.name(), "snap");
+  EXPECT_EQ(bwa.name(), "bwa-mem");
+}
+
+}  // namespace
+}  // namespace persona::align

@@ -1,0 +1,285 @@
+// Tests for the SNAP seed index and the FM-index (suffix array, BWT search, locate),
+// cross-checked against naive oracles.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "src/align/fm_index.h"
+#include "src/align/seed_index.h"
+#include "src/genome/generator.h"
+#include "src/util/rng.h"
+
+namespace persona::align {
+namespace {
+
+genome::ReferenceGenome TestReference(int64_t length, uint64_t seed = 42) {
+  genome::GenomeSpec spec;
+  spec.num_contigs = 2;
+  spec.contig_length = length / 2;
+  spec.seed = seed;
+  return genome::GenerateGenome(spec);
+}
+
+// --- Seed index ---
+
+TEST(SeedIndexTest, PackSeedRejectsNAndShortWindows) {
+  uint64_t seed;
+  EXPECT_TRUE(SeedIndex::PackSeed("ACGTACGTACGT", 0, 12, &seed));
+  EXPECT_FALSE(SeedIndex::PackSeed("ACGTACGTACGT", 1, 12, &seed));  // runs off the end
+  EXPECT_FALSE(SeedIndex::PackSeed("ACGNACGTACGT", 0, 12, &seed));  // contains N
+}
+
+TEST(SeedIndexTest, PackSeedIsPositional) {
+  uint64_t a;
+  uint64_t b;
+  ASSERT_TRUE(SeedIndex::PackSeed("ACGTACGTA", 0, 8, &a));
+  ASSERT_TRUE(SeedIndex::PackSeed("ACGTACGTA", 1, 8, &b));
+  EXPECT_NE(a, b);
+}
+
+TEST(SeedIndexTest, BuildValidatesOptions) {
+  genome::ReferenceGenome ref = TestReference(2000);
+  SeedIndexOptions options;
+  options.seed_length = 4;
+  EXPECT_FALSE(SeedIndex::Build(ref, options).ok());
+  options.seed_length = 33;
+  EXPECT_FALSE(SeedIndex::Build(ref, options).ok());
+  options.seed_length = 16;
+  options.build_stride = 0;
+  EXPECT_FALSE(SeedIndex::Build(ref, options).ok());
+}
+
+TEST(SeedIndexTest, LookupFindsEveryIndexedPosition) {
+  genome::ReferenceGenome ref = TestReference(20'000);
+  SeedIndexOptions options;
+  options.seed_length = 16;
+  auto index = SeedIndex::Build(ref, options);
+  ASSERT_TRUE(index.ok());
+
+  Rng rng(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    size_t ci = rng.Uniform(ref.num_contigs());
+    const std::string& seq = ref.contig(ci).sequence;
+    size_t off = rng.Uniform(seq.size() - 16);
+    uint64_t seed;
+    ASSERT_TRUE(SeedIndex::PackSeed(seq, off, 16, &seed));
+    auto hits = index->Lookup(seed);
+    int64_t expected = ref.contig_start(ci) + static_cast<int64_t>(off);
+    EXPECT_TRUE(std::find(hits.begin(), hits.end(), static_cast<uint32_t>(expected)) !=
+                hits.end())
+        << "position " << expected << " missing from seed hits";
+  }
+}
+
+TEST(SeedIndexTest, LookupReturnsOnlyTruePositions) {
+  genome::ReferenceGenome ref = TestReference(10'000);
+  SeedIndexOptions options;
+  options.seed_length = 20;
+  auto index = SeedIndex::Build(ref, options);
+  ASSERT_TRUE(index.ok());
+
+  Rng rng(6);
+  for (int trial = 0; trial < 100; ++trial) {
+    size_t ci = rng.Uniform(ref.num_contigs());
+    const std::string& seq = ref.contig(ci).sequence;
+    size_t off = rng.Uniform(seq.size() - 20);
+    uint64_t seed;
+    ASSERT_TRUE(SeedIndex::PackSeed(seq, off, 20, &seed));
+    for (uint32_t pos : index->Lookup(seed)) {
+      auto slice = ref.Slice(static_cast<int64_t>(pos), 20);
+      ASSERT_TRUE(slice.ok());
+      EXPECT_EQ(*slice, seq.substr(off, 20));
+    }
+  }
+}
+
+TEST(SeedIndexTest, UnknownSeedReturnsEmpty) {
+  genome::ReferenceGenome ref = TestReference(5'000);
+  SeedIndexOptions options;
+  options.seed_length = 20;
+  auto index = SeedIndex::Build(ref, options);
+  ASSERT_TRUE(index.ok());
+  // A poly-A seed is vanishingly unlikely in a 5kb random genome.
+  uint64_t seed;
+  ASSERT_TRUE(SeedIndex::PackSeed(std::string(20, 'A'), 0, 20, &seed));
+  EXPECT_TRUE(index->Lookup(seed).empty());
+}
+
+TEST(SeedIndexTest, StrideReducesPositions) {
+  genome::ReferenceGenome ref = TestReference(20'000);
+  SeedIndexOptions dense;
+  dense.seed_length = 16;
+  SeedIndexOptions sparse = dense;
+  sparse.build_stride = 4;
+  auto a = SeedIndex::Build(ref, dense);
+  auto b = SeedIndex::Build(ref, sparse);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_GT(a->num_positions(), b->num_positions() * 3);
+  EXPECT_GT(a->MemoryBytes(), b->MemoryBytes());
+}
+
+// --- Suffix array ---
+
+std::vector<int32_t> NaiveSuffixArray(std::span<const uint8_t> text) {
+  std::vector<int32_t> sa(text.size());
+  for (size_t i = 0; i < text.size(); ++i) {
+    sa[i] = static_cast<int32_t>(i);
+  }
+  std::sort(sa.begin(), sa.end(), [&](int32_t a, int32_t b) {
+    return std::lexicographical_compare(text.begin() + a, text.end(), text.begin() + b,
+                                        text.end());
+  });
+  return sa;
+}
+
+TEST(SuffixArrayTest, MatchesNaiveOnRandomTexts) {
+  Rng rng(17);
+  for (int trial = 0; trial < 30; ++trial) {
+    size_t len = 2 + rng.Uniform(300);
+    std::vector<uint8_t> text(len);
+    for (size_t i = 0; i < len - 1; ++i) {
+      text[i] = static_cast<uint8_t>(1 + rng.Uniform(4));
+    }
+    text[len - 1] = 0;  // sentinel
+    EXPECT_EQ(BuildSuffixArray(text), NaiveSuffixArray(text)) << "trial " << trial;
+  }
+}
+
+TEST(SuffixArrayTest, HandlesHighlyRepetitiveText) {
+  std::vector<uint8_t> text;
+  for (int i = 0; i < 500; ++i) {
+    text.push_back(1 + (i % 2));  // ABAB...
+  }
+  text.push_back(0);
+  EXPECT_EQ(BuildSuffixArray(text), NaiveSuffixArray(text));
+}
+
+// --- FM-index ---
+
+class FmIndexTest : public ::testing::Test {
+ protected:
+  FmIndexTest() : reference_(TestReference(6'000)) {
+    // Concatenated text for the naive oracle.
+    for (const auto& contig : reference_.contigs()) {
+      text_ += contig.sequence;
+    }
+    auto built = FmIndex::Build(reference_);
+    index_ = std::make_unique<FmIndex>(std::move(built).value());
+  }
+
+  // All occurrences of `pattern` in the concatenated text (naive scan).
+  std::set<int64_t> NaiveFind(std::string_view pattern) const {
+    std::set<int64_t> hits;
+    size_t pos = text_.find(pattern, 0);
+    while (pos != std::string::npos) {
+      hits.insert(static_cast<int64_t>(pos));
+      pos = text_.find(pattern, pos + 1);
+    }
+    return hits;
+  }
+
+  genome::ReferenceGenome reference_;
+  std::string text_;
+  std::unique_ptr<FmIndex> index_;
+};
+
+TEST_F(FmIndexTest, CountMatchesNaiveScan) {
+  Rng rng(23);
+  for (int trial = 0; trial < 100; ++trial) {
+    size_t len = 4 + rng.Uniform(24);
+    size_t start = rng.Uniform(text_.size() - len);
+    std::string pattern = text_.substr(start, len);
+    auto iv = index_->Count(pattern);
+    EXPECT_EQ(static_cast<size_t>(iv.size()), NaiveFind(pattern).size()) << pattern;
+  }
+}
+
+TEST_F(FmIndexTest, AbsentPatternHasEmptyInterval) {
+  // Patterns with N can never match.
+  EXPECT_TRUE(index_->Count("ACGTNACGT").empty());
+  // A 40-char random pattern is essentially never present in 6kb.
+  Rng rng(29);
+  std::string pattern;
+  static const char kBases[] = {'A', 'C', 'G', 'T'};
+  for (int i = 0; i < 40; ++i) {
+    pattern.push_back(kBases[rng.Uniform(4)]);
+  }
+  if (NaiveFind(pattern).empty()) {
+    EXPECT_TRUE(index_->Count(pattern).empty());
+  }
+}
+
+TEST_F(FmIndexTest, LocateRecoversAllPositions) {
+  Rng rng(31);
+  for (int trial = 0; trial < 60; ++trial) {
+    size_t len = 8 + rng.Uniform(16);
+    size_t start = rng.Uniform(text_.size() - len);
+    std::string pattern = text_.substr(start, len);
+    auto iv = index_->Count(pattern);
+    std::vector<int64_t> located;
+    index_->Locate(iv, 10'000, &located);
+    std::set<int64_t> got(located.begin(), located.end());
+    EXPECT_EQ(got, NaiveFind(pattern)) << pattern;
+  }
+}
+
+TEST_F(FmIndexTest, LocateHonorsMaxHits) {
+  // Short patterns are frequent; cap should bound output.
+  auto iv = index_->Count("AC");
+  ASSERT_GT(iv.size(), 4);
+  std::vector<int64_t> located;
+  index_->Locate(iv, 4, &located);
+  EXPECT_EQ(located.size(), 4u);
+}
+
+TEST_F(FmIndexTest, ExtendBackwardAgreesWithCount) {
+  std::string pattern = text_.substr(100, 12);
+  FmIndex::Interval iv = index_->Whole();
+  for (auto it = pattern.rbegin(); it != pattern.rend(); ++it) {
+    iv = index_->ExtendBackward(iv, *it);
+  }
+  auto direct = index_->Count(pattern);
+  EXPECT_EQ(iv.lo, direct.lo);
+  EXPECT_EQ(iv.hi, direct.hi);
+}
+
+TEST_F(FmIndexTest, TextLengthMatchesReference) {
+  EXPECT_EQ(index_->text_length(), reference_.total_length());
+  EXPECT_GT(index_->MemoryBytes(), 0u);
+}
+
+TEST(FmIndexBuildTest, SampleRateSweepStillLocates) {
+  genome::ReferenceGenome ref = TestReference(3'000, 77);
+  std::string text;
+  for (const auto& contig : ref.contigs()) {
+    text += contig.sequence;
+  }
+  for (int rate : {1, 4, 16, 64}) {
+    FmIndex::Options options;
+    options.sa_sample_rate = rate;
+    auto index = FmIndex::Build(ref, options);
+    ASSERT_TRUE(index.ok()) << rate;
+    std::string pattern = text.substr(500, 15);
+    auto iv = index->Count(pattern);
+    ASSERT_FALSE(iv.empty());
+    std::vector<int64_t> located;
+    index->Locate(iv, 100, &located);
+    ASSERT_FALSE(located.empty());
+    for (int64_t pos : located) {
+      EXPECT_EQ(text.substr(static_cast<size_t>(pos), pattern.size()), pattern);
+    }
+  }
+}
+
+TEST(FmIndexBuildTest, RejectsBadOptions) {
+  genome::ReferenceGenome ref = TestReference(1'000);
+  FmIndex::Options options;
+  options.sa_sample_rate = 0;
+  EXPECT_FALSE(FmIndex::Build(ref, options).ok());
+}
+
+}  // namespace
+}  // namespace persona::align

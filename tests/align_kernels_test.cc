@@ -1,0 +1,353 @@
+// Tests for alignment kernels: banded edit distance (vs full-DP oracle), Smith-Waterman,
+// and alignment record encoding.
+
+#include <gtest/gtest.h>
+
+#include "src/align/alignment.h"
+#include "src/align/edit_distance.h"
+#include "src/align/smith_waterman.h"
+#include "src/util/rng.h"
+
+namespace persona::align {
+namespace {
+
+TEST(LandauVishkinTest, ExactMatch) {
+  std::string cigar;
+  EXPECT_EQ(LandauVishkin("ACGTACGT", "ACGTACGT", 3, &cigar), 0);
+  EXPECT_EQ(cigar, "8M");
+}
+
+TEST(LandauVishkinTest, SingleSubstitution) {
+  std::string cigar;
+  EXPECT_EQ(LandauVishkin("ACGTACGT", "ACGAACGT", 3, &cigar), 1);
+  EXPECT_EQ(cigar, "8M");  // substitutions stay inside M runs
+}
+
+TEST(LandauVishkinTest, SingleInsertion) {
+  // Pattern has an extra base relative to text.
+  EXPECT_EQ(LandauVishkin("ACGTACGT", "ACGTTACGT", 3), 1);
+}
+
+TEST(LandauVishkinTest, SingleDeletion) {
+  EXPECT_EQ(LandauVishkin("ACGTACGT", "ACGACGT", 3), 1);
+}
+
+TEST(LandauVishkinTest, ExceedsBound) {
+  EXPECT_EQ(LandauVishkin("AAAAAAAA", "TTTTTTTT", 3), -1);
+}
+
+TEST(LandauVishkinTest, EmptyPattern) {
+  std::string cigar = "junk";
+  EXPECT_EQ(LandauVishkin("ACGT", "", 2, &cigar), 0);
+  EXPECT_EQ(cigar, "");
+}
+
+TEST(LandauVishkinTest, TrailingTextIsFree) {
+  // Semi-global: extra text after the pattern costs nothing.
+  EXPECT_EQ(LandauVishkin("ACGTACGTAAAAAAAA", "ACGTACGT", 3), 0);
+}
+
+TEST(LandauVishkinTest, MatchesFullDpOracleOnRandomInputs) {
+  Rng rng(99);
+  static const char kBases[] = {'A', 'C', 'G', 'T'};
+  for (int trial = 0; trial < 300; ++trial) {
+    int len = 20 + static_cast<int>(rng.Uniform(60));
+    std::string text;
+    for (int i = 0; i < len; ++i) {
+      text.push_back(kBases[rng.Uniform(4)]);
+    }
+    // Derive the pattern by mutating the text a bounded number of times.
+    std::string pattern = text;
+    int edits = static_cast<int>(rng.Uniform(5));
+    for (int e = 0; e < edits && !pattern.empty(); ++e) {
+      size_t pos = rng.Uniform(pattern.size());
+      switch (rng.Uniform(3)) {
+        case 0:
+          pattern[pos] = kBases[rng.Uniform(4)];
+          break;
+        case 1:
+          pattern.insert(pattern.begin() + static_cast<int64_t>(pos), kBases[rng.Uniform(4)]);
+          break;
+        default:
+          pattern.erase(pattern.begin() + static_cast<int64_t>(pos));
+          break;
+      }
+    }
+    // Oracle: semi-global distance = min over text prefixes of full edit distance.
+    int oracle = INT32_MAX;
+    for (size_t cut = 0; cut <= text.size(); ++cut) {
+      oracle = std::min(oracle, FullEditDistance(std::string_view(text).substr(0, cut),
+                                                 pattern));
+    }
+    constexpr int kMaxK = 8;
+    int got = LandauVishkin(text, pattern, kMaxK);
+    if (oracle <= kMaxK) {
+      EXPECT_EQ(got, oracle) << "text=" << text << " pattern=" << pattern;
+    } else {
+      EXPECT_EQ(got, -1) << "text=" << text << " pattern=" << pattern;
+    }
+  }
+}
+
+TEST(LandauVishkinTest, CigarConsumesWholePattern) {
+  Rng rng(7);
+  static const char kBases[] = {'A', 'C', 'G', 'T'};
+  for (int trial = 0; trial < 100; ++trial) {
+    std::string text;
+    for (int i = 0; i < 60; ++i) {
+      text.push_back(kBases[rng.Uniform(4)]);
+    }
+    std::string pattern = text.substr(5, 40);
+    pattern[10] = pattern[10] == 'A' ? 'C' : 'A';
+    std::string cigar;
+    int dist = LandauVishkin(std::string_view(text).substr(5), pattern, 4, &cigar);
+    ASSERT_GE(dist, 0);
+    // Sum of M+I runs must equal the pattern length.
+    int64_t consumed = 0;
+    int64_t run = 0;
+    for (char c : cigar) {
+      if (c >= '0' && c <= '9') {
+        run = run * 10 + (c - '0');
+      } else {
+        if (c == 'M' || c == 'I') {
+          consumed += run;
+        }
+        run = 0;
+      }
+    }
+    EXPECT_EQ(consumed, static_cast<int64_t>(pattern.size())) << cigar;
+  }
+}
+
+TEST(FullEditDistanceTest, KnownValues) {
+  EXPECT_EQ(FullEditDistance("", ""), 0);
+  EXPECT_EQ(FullEditDistance("abc", ""), 3);
+  EXPECT_EQ(FullEditDistance("", "abc"), 3);
+  EXPECT_EQ(FullEditDistance("kitten", "sitting"), 3);
+  EXPECT_EQ(FullEditDistance("ACGT", "ACGT"), 0);
+}
+
+TEST(SmithWatermanTest, ExactSubstring) {
+  SwResult r = SmithWaterman("TTTTACGTACGTTTTT", "ACGTACGT");
+  EXPECT_EQ(r.score, 16);  // 8 matches * 2
+  EXPECT_EQ(r.ref_begin, 4);
+  EXPECT_EQ(r.ref_end, 12);
+  EXPECT_EQ(r.query_begin, 0);
+  EXPECT_EQ(r.query_end, 8);
+  EXPECT_EQ(r.cigar, "8M");
+}
+
+TEST(SmithWatermanTest, MismatchInMiddle) {
+  SwResult r = SmithWaterman("AAAACGTACGTAAA", "ACGTCCGT");
+  EXPECT_GT(r.score, 0);
+  EXPECT_LE(r.score, 16);
+}
+
+TEST(SmithWatermanTest, GapIsScoredAffine) {
+  // Query = reference with a 2-base deletion; one gap open + extend beats two opens.
+  std::string ref = "ACGTACGTACGTACGTACGT";
+  std::string query = ref;
+  query.erase(8, 2);
+  SwResult r = SmithWaterman(ref, query);
+  EXPECT_NE(r.cigar.find('D'), std::string::npos);
+  // 18 matches, one 2-base gap: 18*2 + (-5 -1 -1) = 29
+  EXPECT_EQ(r.score, 29);
+}
+
+TEST(SmithWatermanTest, InsertionInQuery) {
+  std::string ref = "ACGTACGTACGTACGTACGT";
+  std::string query = ref;
+  query.insert(10, "CC");
+  SwResult r = SmithWaterman(ref, query);
+  EXPECT_NE(r.cigar.find('I'), std::string::npos);
+}
+
+TEST(SmithWatermanTest, NoAlignmentOnDisjointAlphabets) {
+  SwResult r = SmithWaterman("AAAAAAA", "TTTTTTT");
+  EXPECT_EQ(r.score, 0);
+  EXPECT_TRUE(r.cigar.empty());
+}
+
+TEST(SmithWatermanTest, EmptyInputs) {
+  EXPECT_EQ(SmithWaterman("", "ACGT").score, 0);
+  EXPECT_EQ(SmithWaterman("ACGT", "").score, 0);
+}
+
+TEST(SmithWatermanTest, LocalAlignmentClipsNoise) {
+  // Query: 10 junk + perfect 20-mer + 10 junk. Local alignment should pick the core.
+  std::string core = "ACGTTGCAACGTTGCAACGT";
+  std::string ref = "GGGG" + core + "GGGG";
+  std::string query = "TTTTTTTTTT" + core + "CCCCCCCCCC";
+  SwResult r = SmithWaterman(ref, query);
+  EXPECT_EQ(r.query_begin, 10);
+  EXPECT_EQ(r.query_end, 30);
+  EXPECT_EQ(r.score, 40);
+}
+
+// Re-scores a SW result by walking its CIGAR over the aligned windows. Any divergence
+// from result.score means the traceback took a path the DP did not (the bug class where
+// gaps fragment because per-cell backtrack ops cannot represent staying inside a gap).
+int RescoreFromCigar(std::string_view ref, std::string_view query, const SwResult& r,
+                     const SwParams& params = {}) {
+  auto ops = ParseCigar(r.cigar);
+  EXPECT_TRUE(ops.ok());
+  int score = 0;
+  int qi = r.query_begin;
+  int rj = r.ref_begin;
+  for (const CigarOp& op : *ops) {
+    switch (op.op) {
+      case 'M':
+        for (int64_t k = 0; k < op.length; ++k, ++qi, ++rj) {
+          score += query[static_cast<size_t>(qi)] == ref[static_cast<size_t>(rj)]
+                       ? params.match
+                       : params.mismatch;
+        }
+        break;
+      case 'D':
+        score += params.gap_open + static_cast<int>(op.length) * params.gap_extend;
+        rj += static_cast<int>(op.length);
+        break;
+      case 'I':
+        score += params.gap_open + static_cast<int>(op.length) * params.gap_extend;
+        qi += static_cast<int>(op.length);
+        break;
+      default:
+        ADD_FAILURE() << "unexpected op " << op.op;
+    }
+  }
+  EXPECT_EQ(qi, r.query_end);
+  EXPECT_EQ(rj, r.ref_end);
+  return score;
+}
+
+TEST(SmithWatermanTest, MultiBaseDeletionStaysContiguous) {
+  // Regression: the traceback must keep a 6-base deletion as one run ("...6D...") and
+  // not fragment it into short gaps whose total cost exceeds the reported score.
+  std::string ref = "ACCTGATCGATTAGCAGTAGGGTTCAGGACTTACGGATC";
+  std::string query = "ACCTGATCGATTAGCATTCAGGACTTACGGATC";  // "GTAGGG" deleted
+  SwResult r = SmithWaterman(ref, query);
+  EXPECT_EQ(r.cigar, "16M6D17M");
+  EXPECT_EQ(RescoreFromCigar(ref, query, r), r.score);
+}
+
+TEST(SmithWatermanTest, MultiBaseInsertionStaysContiguous) {
+  std::string ref = "ACCTGATCGATTAGCATTCAGGACTTACGGATC";
+  std::string query = "ACCTGATCGATTAGCATATCCAGTTCAGGACTTACGGATC";
+  SwResult r = SmithWaterman(ref, query);
+  auto ops = ParseCigar(r.cigar);
+  ASSERT_TRUE(ops.ok());
+  int insertion_runs = 0;
+  for (const CigarOp& op : *ops) {
+    insertion_runs += op.op == 'I' ? 1 : 0;
+  }
+  EXPECT_EQ(insertion_runs, 1) << r.cigar;
+  EXPECT_EQ(RescoreFromCigar(ref, query, r), r.score);
+}
+
+TEST(SmithWatermanTest, CigarScoreMatchesDpScoreOnRandomInputs) {
+  // Property sweep: mutate a reference slice with substitutions and one indel, align,
+  // and check the emitted CIGAR actually achieves the DP score.
+  Rng rng(2024);
+  const char* alphabet = "ACGT";
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string ref;
+    for (int i = 0; i < 120; ++i) {
+      ref.push_back(alphabet[rng.Uniform(4)]);
+    }
+    std::string query = ref.substr(10, 80);
+    for (int s = 0; s < 3; ++s) {
+      query[rng.Uniform(query.size())] = alphabet[rng.Uniform(4)];
+    }
+    const size_t cut = 10 + rng.Uniform(40);
+    const size_t indel_len = 1 + rng.Uniform(6);
+    if (rng.Bernoulli(0.5)) {
+      query.erase(cut, indel_len);  // deletion vs reference
+    } else {
+      std::string inserted;
+      for (size_t k = 0; k < indel_len; ++k) {
+        inserted.push_back(alphabet[rng.Uniform(4)]);
+      }
+      query.insert(cut, inserted);
+    }
+    SwResult r = SmithWaterman(ref, query);
+    if (r.score > 0) {
+      EXPECT_EQ(RescoreFromCigar(ref, query, r), r.score) << "trial " << trial;
+    }
+  }
+}
+
+TEST(AlignmentRecordTest, EncodeDecodeRoundTrip) {
+  AlignmentResult original;
+  original.location = 123456789;
+  original.mate_location = 123457089;
+  original.template_length = -401;
+  original.flags = kFlagPaired | kFlagReverse | kFlagFirstInPair;
+  original.mapq = 60;
+  original.edit_distance = 3;
+  original.score = -3;
+  original.cigar = "50M1I50M";
+
+  Buffer buf;
+  EncodeResult(original, &buf);
+  AlignmentResult decoded;
+  size_t offset = 0;
+  ASSERT_TRUE(DecodeResult(buf.span(), &offset, &decoded).ok());
+  EXPECT_EQ(offset, buf.size());
+  EXPECT_EQ(decoded, original);
+}
+
+TEST(AlignmentRecordTest, UnmappedRoundTrip) {
+  AlignmentResult unmapped;
+  Buffer buf;
+  EncodeResult(unmapped, &buf);
+  AlignmentResult decoded;
+  size_t offset = 0;
+  ASSERT_TRUE(DecodeResult(buf.span(), &offset, &decoded).ok());
+  EXPECT_EQ(decoded, unmapped);
+  EXPECT_FALSE(decoded.mapped());
+}
+
+TEST(AlignmentRecordTest, SequentialRecordsDecode) {
+  Buffer buf;
+  std::vector<AlignmentResult> originals;
+  for (int i = 0; i < 10; ++i) {
+    AlignmentResult r;
+    r.location = i * 1000;
+    r.flags = i % 2 == 0 ? 0 : kFlagReverse;
+    r.mapq = static_cast<uint8_t>(i * 6);
+    r.cigar = std::to_string(100 + i) + "M";
+    originals.push_back(r);
+    EncodeResult(r, &buf);
+  }
+  size_t offset = 0;
+  for (const AlignmentResult& expected : originals) {
+    AlignmentResult got;
+    ASSERT_TRUE(DecodeResult(buf.span(), &offset, &got).ok());
+    EXPECT_EQ(got, expected);
+  }
+  EXPECT_EQ(offset, buf.size());
+}
+
+TEST(AlignmentRecordTest, TruncatedDecodeFails) {
+  AlignmentResult r;
+  r.location = 42;
+  r.cigar = "101M";
+  Buffer buf;
+  EncodeResult(r, &buf);
+  Buffer truncated;
+  truncated.Append(buf.data(), buf.size() - 2);
+  AlignmentResult decoded;
+  size_t offset = 0;
+  EXPECT_FALSE(DecodeResult(truncated.span(), &offset, &decoded).ok());
+}
+
+TEST(CigarTest, ReferenceSpan) {
+  EXPECT_EQ(CigarReferenceSpan("101M"), 101);
+  EXPECT_EQ(CigarReferenceSpan("50M2I49M"), 99);
+  EXPECT_EQ(CigarReferenceSpan("50M2D49M"), 101);
+  EXPECT_EQ(CigarReferenceSpan("10S91M"), 91);
+  EXPECT_EQ(CigarReferenceSpan(""), 0);
+}
+
+}  // namespace
+}  // namespace persona::align

@@ -1,0 +1,175 @@
+// Tests for the cluster layer: manifest server, multi-node runner, and the DES
+// scaling simulator (linear region, saturation knee, balance).
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "src/align/snap_aligner.h"
+#include "src/cluster/cluster_runner.h"
+#include "src/cluster/des_sim.h"
+#include "src/cluster/manifest_server.h"
+#include "src/genome/generator.h"
+#include "src/genome/read_simulator.h"
+#include "src/pipeline/agd_store_util.h"
+#include "src/storage/memory_store.h"
+
+namespace persona::cluster {
+namespace {
+
+TEST(ManifestServerTest, EachChunkHandedOutOnce) {
+  ManifestServer server(100, 4);
+  std::set<size_t> seen;
+  std::mutex mu;
+  std::vector<std::thread> nodes;
+  for (size_t node = 0; node < 4; ++node) {
+    nodes.emplace_back([&, node] {
+      while (auto chunk = server.Next(node)) {
+        std::lock_guard<std::mutex> lock(mu);
+        EXPECT_TRUE(seen.insert(*chunk).second) << "chunk dispensed twice";
+      }
+    });
+  }
+  for (auto& t : nodes) {
+    t.join();
+  }
+  EXPECT_EQ(seen.size(), 100u);
+  uint64_t total = 0;
+  for (uint64_t count : server.per_node_chunks()) {
+    total += count;
+  }
+  EXPECT_EQ(total, 100u);
+}
+
+class ClusterRunnerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    genome::GenomeSpec gspec;
+    gspec.num_contigs = 1;
+    gspec.contig_length = 30'000;
+    reference_ = new genome::ReferenceGenome(genome::GenerateGenome(gspec));
+    align::SeedIndexOptions options;
+    options.seed_length = 20;
+    index_ = new align::SeedIndex(align::SeedIndex::Build(*reference_, options).value());
+    aligner_ = new align::SnapAligner(reference_, index_);
+  }
+  static void TearDownTestSuite() {
+    delete aligner_;
+    delete index_;
+    delete reference_;
+  }
+
+  static genome::ReferenceGenome* reference_;
+  static align::SeedIndex* index_;
+  static align::SnapAligner* aligner_;
+};
+
+genome::ReferenceGenome* ClusterRunnerTest::reference_ = nullptr;
+align::SeedIndex* ClusterRunnerTest::index_ = nullptr;
+align::SnapAligner* ClusterRunnerTest::aligner_ = nullptr;
+
+TEST_F(ClusterRunnerTest, MultiNodeAlignsWholeDataset) {
+  genome::ReadSimSpec rspec;
+  genome::ReadSimulator sim(reference_, rspec);
+  auto reads = sim.Simulate(600);
+
+  storage::MemoryStore store;
+  auto manifest = pipeline::WriteAgdToStore(&store, "cl", reads, 100);  // 6 chunks
+  ASSERT_TRUE(manifest.ok());
+
+  ClusterOptions options;
+  options.num_nodes = 3;
+  options.threads_per_node = 1;
+  options.node_options.read_parallelism = 1;
+  options.node_options.parse_parallelism = 1;
+  options.node_options.align_nodes = 1;
+  options.node_options.write_parallelism = 1;
+  auto report = RunCluster(&store, *manifest, *aligner_, options);
+  ASSERT_TRUE(report.ok());
+
+  EXPECT_EQ(report->total_reads, 600u);
+  EXPECT_GT(report->gigabases_per_sec, 0);
+  ASSERT_EQ(report->node_seconds.size(), 3u);
+  ASSERT_EQ(report->node_chunks.size(), 3u);
+  uint64_t chunk_total = 0;
+  for (uint64_t c : report->node_chunks) {
+    chunk_total += c;
+  }
+  EXPECT_EQ(chunk_total, 6u);
+  // Every chunk's results object must exist.
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_TRUE(store.Exists("cl-" + std::to_string(i) + ".results"));
+  }
+  EXPECT_GE(report->imbalance(), 0);
+  EXPECT_LE(report->imbalance(), 1);
+}
+
+TEST(DesSimTest, ScalesLinearlyBeforeSaturation) {
+  DesParams params;
+  params.num_chunks = 400;  // smaller dataset: faster simulation, same shape
+  auto points = SimulateScaling(params, {1, 2, 4, 8, 16, 32});
+  ASSERT_EQ(points.size(), 6u);
+  // Linear region: each doubling of nodes roughly doubles throughput.
+  for (size_t i = 1; i < points.size(); ++i) {
+    double ratio = points[i].gigabases_per_sec / points[i - 1].gigabases_per_sec;
+    EXPECT_GT(ratio, 1.8) << "nodes " << points[i].nodes;
+    EXPECT_LT(ratio, 2.2) << "nodes " << points[i].nodes;
+  }
+  // Absolute anchor: 32 nodes ~ 32 * 45.45 Mbases/s ~ 1.45 Gbases/s (paper: 1.353
+  // including the write tail on the full dataset).
+  EXPECT_GT(points.back().gigabases_per_sec, 1.2);
+  EXPECT_LT(points.back().gigabases_per_sec, 1.6);
+}
+
+TEST(DesSimTest, SaturatesNearSixtyNodes) {
+  DesParams params;
+  params.num_chunks = 800;
+  auto points = SimulateScaling(params, {40, 50, 60, 70, 80, 100});
+  // Below the knee: still scaling. Past the knee: flat.
+  double at40 = points[0].gigabases_per_sec;
+  double at60 = points[2].gigabases_per_sec;
+  double at80 = points[4].gigabases_per_sec;
+  double at100 = points[5].gigabases_per_sec;
+  EXPECT_GT(at60 / at40, 1.3);             // 40 -> 60 still mostly linear
+  EXPECT_LT(at100 / at80, 1.05);           // 80 -> 100 flat (saturated)
+  EXPECT_LT(at100 / at60, 1.15);           // the knee is near 60
+  // At saturation the write channel is the limiting resource.
+  EXPECT_GT(points[5].write_utilization, 0.9);
+  EXPECT_LT(points[5].read_utilization, 0.6);
+}
+
+TEST(DesSimTest, SixteenPointSevenSecondsAt32Nodes) {
+  // The paper's headline: full dataset (2231 chunks), 32 nodes, ~16.7 s.
+  DesParams params;
+  DesPoint point = SimulateCluster(params, 32);
+  EXPECT_GT(point.seconds, 14.0);
+  EXPECT_LT(point.seconds, 20.0);
+  EXPECT_GT(point.gigabases_per_sec, 1.1);
+  EXPECT_LT(point.gigabases_per_sec, 1.6);
+}
+
+TEST(DesSimTest, DeterministicForSeed) {
+  DesParams params;
+  params.num_chunks = 200;
+  DesPoint a = SimulateCluster(params, 8);
+  DesPoint b = SimulateCluster(params, 8);
+  EXPECT_EQ(a.seconds, b.seconds);
+}
+
+TEST(DesSimTest, WriteVolumeDrivesSaturation) {
+  // Shrinking the results column (smaller chunk_write_mb) pushes the knee out: at 100
+  // nodes the heavy configuration is write-saturated while the light one is not.
+  DesParams heavy;
+  heavy.num_chunks = 2'000;  // enough chunks that pipeline ramp effects are small
+  DesParams light = heavy;
+  light.chunk_write_mb = 0.5;
+  DesPoint heavy_at_100 = SimulateCluster(heavy, 100);
+  DesPoint light_at_100 = SimulateCluster(light, 100);
+  EXPECT_GT(light_at_100.gigabases_per_sec, heavy_at_100.gigabases_per_sec * 1.3);
+  EXPECT_GT(heavy_at_100.write_utilization, 0.9);
+  EXPECT_LT(light_at_100.write_utilization, 0.5);
+}
+
+}  // namespace
+}  // namespace persona::cluster

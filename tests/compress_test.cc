@@ -1,0 +1,193 @@
+// Tests for block codecs (identity/zlib/lzss) and 3-bit base compaction.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "src/compress/base_compaction.h"
+#include "src/compress/codec.h"
+#include "src/util/rng.h"
+
+namespace persona::compress {
+namespace {
+
+std::string MakePayload(std::string_view kind, size_t size) {
+  Rng rng(static_cast<uint64_t>(size) * 1337 + kind.size());
+  std::string data;
+  data.reserve(size);
+  if (kind == "zeros") {
+    data.assign(size, '\0');
+  } else if (kind == "random") {
+    for (size_t i = 0; i < size; ++i) {
+      data.push_back(static_cast<char>(rng.Uniform(256)));
+    }
+  } else if (kind == "dna") {
+    static const char kBases[] = {'A', 'C', 'G', 'T'};
+    for (size_t i = 0; i < size; ++i) {
+      data.push_back(kBases[rng.Uniform(4)]);
+    }
+  } else {  // "text": repetitive english-ish content
+    static const char* kWords[] = {"read", "align", "genome", "chunk", "persona", " "};
+    while (data.size() < size) {
+      data += kWords[rng.Uniform(6)];
+    }
+    data.resize(size);
+  }
+  return data;
+}
+
+using RoundTripParam = std::tuple<CodecId, const char*, size_t>;
+
+class CodecRoundTripTest : public ::testing::TestWithParam<RoundTripParam> {};
+
+TEST_P(CodecRoundTripTest, RoundTrips) {
+  auto [id, kind, size] = GetParam();
+  const Codec& codec = GetCodec(id);
+  std::string payload = MakePayload(kind, size);
+  std::span<const uint8_t> input(reinterpret_cast<const uint8_t*>(payload.data()),
+                                 payload.size());
+
+  Buffer compressed;
+  ASSERT_TRUE(codec.Compress(input, &compressed).ok());
+
+  Buffer decompressed;
+  ASSERT_TRUE(codec.Decompress(compressed.span(), payload.size(), &decompressed).ok());
+  ASSERT_EQ(decompressed.size(), payload.size());
+  EXPECT_EQ(decompressed.view(), payload);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCodecs, CodecRoundTripTest,
+    ::testing::Combine(
+        ::testing::Values(CodecId::kIdentity, CodecId::kZlib, CodecId::kLzss),
+        ::testing::Values("zeros", "random", "dna", "text"),
+        ::testing::Values(size_t{0}, size_t{1}, size_t{7}, size_t{256}, size_t{65536},
+                          size_t{262144})),
+    [](const ::testing::TestParamInfo<RoundTripParam>& info) {
+      return std::string(CodecName(std::get<0>(info.param))) + "_" +
+             std::get<1>(info.param) + "_" + std::to_string(std::get<2>(info.param));
+    });
+
+TEST(CodecTest, CompressibleDataShrinks) {
+  std::string payload = MakePayload("text", 65536);
+  std::span<const uint8_t> input(reinterpret_cast<const uint8_t*>(payload.data()),
+                                 payload.size());
+  for (CodecId id : {CodecId::kZlib, CodecId::kLzss}) {
+    Buffer compressed;
+    ASSERT_TRUE(GetCodec(id).Compress(input, &compressed).ok());
+    EXPECT_LT(compressed.size(), payload.size() / 2)
+        << CodecName(id) << " should at least halve repetitive text";
+  }
+}
+
+TEST(CodecTest, NamesRoundTrip) {
+  for (CodecId id : {CodecId::kIdentity, CodecId::kZlib, CodecId::kLzss}) {
+    auto back = CodecIdFromName(CodecName(id));
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, id);
+  }
+  EXPECT_EQ(*CodecIdFromName("gzip"), CodecId::kZlib);
+  EXPECT_FALSE(CodecIdFromName("brotli").ok());
+}
+
+TEST(CodecTest, LzssRejectsCorruptStreams) {
+  const Codec& lzss = GetCodec(CodecId::kLzss);
+  std::string payload = MakePayload("text", 4096);
+  Buffer compressed;
+  ASSERT_TRUE(lzss.Compress({reinterpret_cast<const uint8_t*>(payload.data()), payload.size()},
+                            &compressed)
+                  .ok());
+
+  // Truncation must be detected.
+  Buffer truncated;
+  truncated.Append(compressed.data(), compressed.size() / 2);
+  Buffer out;
+  EXPECT_FALSE(lzss.Decompress(truncated.span(), payload.size(), &out).ok());
+
+  // A match distance pointing before the start of output must be detected.
+  Buffer bogus;
+  bogus.AppendByte(0x01);  // first token is a match
+  bogus.AppendByte(0xFF);  // distance 0xFFFF
+  bogus.AppendByte(0xFF);
+  bogus.AppendByte(0x10);  // length
+  out.Clear();
+  EXPECT_FALSE(lzss.Decompress(bogus.span(), 64, &out).ok());
+}
+
+TEST(CodecTest, IdentityRejectsSizeMismatch) {
+  const Codec& identity = GetCodec(CodecId::kIdentity);
+  Buffer out;
+  uint8_t data[4] = {1, 2, 3, 4};
+  EXPECT_FALSE(identity.Decompress({data, 4}, 5, &out).ok());
+}
+
+TEST(BaseCompactionTest, CodeMapping) {
+  EXPECT_EQ(BaseToCode('A'), kBaseCodeA);
+  EXPECT_EQ(BaseToCode('c'), kBaseCodeC);
+  EXPECT_EQ(BaseToCode('G'), kBaseCodeG);
+  EXPECT_EQ(BaseToCode('t'), kBaseCodeT);
+  EXPECT_EQ(BaseToCode('N'), kBaseCodeN);
+  EXPECT_EQ(BaseToCode('R'), kBaseCodeN);  // IUPAC ambiguity -> N
+  EXPECT_EQ(BaseToCode('*'), kBaseCodePad);
+  for (uint8_t code = 0; code <= kBaseCodeN; ++code) {
+    EXPECT_EQ(BaseToCode(CodeToBase(code)), code);
+  }
+}
+
+TEST(BaseCompactionTest, PackedSizeIs21PerWord) {
+  EXPECT_EQ(PackedBasesSize(0), 0u);
+  EXPECT_EQ(PackedBasesSize(1), 8u);
+  EXPECT_EQ(PackedBasesSize(21), 8u);
+  EXPECT_EQ(PackedBasesSize(22), 16u);
+  EXPECT_EQ(PackedBasesSize(101), 40u);  // ceil(101/21) = 5 words
+}
+
+class BasePackRoundTripTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(BasePackRoundTripTest, RoundTrips) {
+  size_t length = GetParam();
+  Rng rng(length + 5);
+  static const char kAlphabet[] = {'A', 'C', 'G', 'T', 'N'};
+  std::string bases;
+  for (size_t i = 0; i < length; ++i) {
+    bases.push_back(kAlphabet[rng.Uniform(5)]);
+  }
+  Buffer packed;
+  PackBases(bases, &packed);
+  EXPECT_EQ(packed.size(), PackedBasesSize(length));
+
+  std::string unpacked;
+  ASSERT_TRUE(UnpackBases(packed.span(), length, &unpacked).ok());
+  EXPECT_EQ(unpacked, bases);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, BasePackRoundTripTest,
+                         ::testing::Values(0, 1, 20, 21, 22, 42, 100, 101, 1000));
+
+TEST(BaseCompactionTest, UnpackDetectsShortInput) {
+  Buffer packed;
+  PackBases("ACGT", &packed);
+  std::string out;
+  EXPECT_FALSE(UnpackBases(packed.span().subspan(0, 4), 4, &out).ok());
+}
+
+TEST(BaseCompactionTest, ReverseComplement) {
+  EXPECT_EQ(ReverseComplement("ACGT"), "ACGT");  // palindrome
+  EXPECT_EQ(ReverseComplement("AACC"), "GGTT");
+  EXPECT_EQ(ReverseComplement("ANT"), "ANT");
+  EXPECT_EQ(ReverseComplement(""), "");
+  // Involution property on random strings.
+  Rng rng(3);
+  static const char kAlphabet[] = {'A', 'C', 'G', 'T', 'N'};
+  for (int trial = 0; trial < 20; ++trial) {
+    std::string s;
+    for (int i = 0; i < 50; ++i) {
+      s.push_back(kAlphabet[rng.Uniform(5)]);
+    }
+    EXPECT_EQ(ReverseComplement(ReverseComplement(s)), s);
+  }
+}
+
+}  // namespace
+}  // namespace persona::compress

@@ -1,0 +1,304 @@
+// Tests for the dataflow engine: object pools, resource manager, executor, and graphs.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "src/dataflow/executor.h"
+#include "src/dataflow/graph.h"
+#include "src/dataflow/object_pool.h"
+#include "src/dataflow/resource_manager.h"
+#include "src/dataflow/stats.h"
+#include "src/util/buffer.h"
+
+namespace persona::dataflow {
+namespace {
+
+TEST(ObjectPoolTest, AcquireReleaseCycle) {
+  auto pool = ObjectPool<Buffer>::Create(2, [] { return std::make_unique<Buffer>(); },
+                                         [](Buffer* b) { b->Clear(); });
+  EXPECT_EQ(pool->capacity(), 2u);
+  EXPECT_EQ(pool->available(), 2u);
+  {
+    auto ref1 = pool->Acquire();
+    auto ref2 = pool->Acquire();
+    EXPECT_EQ(pool->available(), 0u);
+    ref1->Append(std::string_view("data"));
+    EXPECT_FALSE(pool->TryAcquire());
+  }
+  EXPECT_EQ(pool->available(), 2u);
+}
+
+TEST(ObjectPoolTest, RecyclerRunsOnReturn) {
+  auto pool = ObjectPool<Buffer>::Create(1, [] { return std::make_unique<Buffer>(); },
+                                         [](Buffer* b) { b->Clear(); });
+  {
+    auto ref = pool->Acquire();
+    ref->Append(std::string_view("dirty"));
+  }
+  auto ref = pool->Acquire();
+  EXPECT_EQ(ref->size(), 0u) << "recycler must clear returned buffers";
+}
+
+TEST(ObjectPoolTest, ObjectsAreReusedNotReallocated) {
+  auto pool = ObjectPool<Buffer>::Create(1, [] { return std::make_unique<Buffer>(); });
+  Buffer* first;
+  {
+    auto ref = pool->Acquire();
+    first = ref.get();
+  }
+  auto ref = pool->Acquire();
+  EXPECT_EQ(ref.get(), first);
+}
+
+TEST(ObjectPoolTest, BlockedAcquireWakesOnReturn) {
+  auto pool = ObjectPool<Buffer>::Create(1, [] { return std::make_unique<Buffer>(); });
+  auto held = std::make_shared<ObjectPool<Buffer>::Ref>(pool->Acquire());
+  std::atomic<bool> acquired{false};
+  std::thread waiter([&] {
+    auto ref = pool->Acquire();  // blocks until `held` returns
+    acquired.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(acquired.load());
+  held.reset();
+  waiter.join();
+  EXPECT_TRUE(acquired.load());
+}
+
+TEST(ObjectPoolTest, MoveSemantics) {
+  auto pool = ObjectPool<Buffer>::Create(1, [] { return std::make_unique<Buffer>(); });
+  auto ref = pool->Acquire();
+  auto moved = std::move(ref);
+  EXPECT_FALSE(ref);  // NOLINT(bugprone-use-after-move): testing moved-from state
+  EXPECT_TRUE(moved);
+  moved = ObjectPool<Buffer>::Ref();  // releasing via assignment
+  EXPECT_EQ(pool->available(), 1u);
+}
+
+TEST(ResourceManagerTest, TypedRegistryContract) {
+  ResourceManager manager;
+  auto buffer = std::make_shared<Buffer>();
+  buffer->Append(std::string_view("ref-index"));
+  ASSERT_TRUE(manager.Register<Buffer>("genome-index", buffer).ok());
+  EXPECT_TRUE(manager.Has("genome-index"));
+  EXPECT_EQ(manager.size(), 1u);
+
+  auto fetched = manager.Get<Buffer>("genome-index");
+  ASSERT_TRUE(fetched.ok());
+  EXPECT_EQ((*fetched)->view(), "ref-index");
+  EXPECT_EQ(fetched->get(), buffer.get());  // shared, not copied
+
+  // Duplicate registration fails; wrong type fails; missing fails.
+  EXPECT_EQ(manager.Register<Buffer>("genome-index", buffer).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(manager.Get<int>("genome-index").status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(manager.Get<Buffer>("nope").status().code(), StatusCode::kNotFound);
+}
+
+TEST(ExecutorTest, TaskBatchWaitsForAllTasks) {
+  Executor executor(4);
+  TaskBatch batch(&executor);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 64; ++i) {
+    batch.Add([&done] {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+      ++done;
+    });
+  }
+  batch.Wait();
+  EXPECT_EQ(done.load(), 64);
+  EXPECT_EQ(executor.tasks_executed(), 64u);
+}
+
+TEST(ExecutorTest, MultipleBatchesInterleave) {
+  // The Fig. 4 property: several kernels feed one executor; each batch completes
+  // independently while sharing the same threads.
+  Executor executor(3);
+  std::atomic<int> a_done{0};
+  std::atomic<int> b_done{0};
+  std::thread kernel_a([&] {
+    TaskBatch batch(&executor);
+    for (int i = 0; i < 30; ++i) {
+      batch.Add([&a_done] { ++a_done; });
+    }
+    batch.Wait();
+    EXPECT_EQ(a_done.load(), 30);
+  });
+  std::thread kernel_b([&] {
+    TaskBatch batch(&executor);
+    for (int i = 0; i < 40; ++i) {
+      batch.Add([&b_done] { ++b_done; });
+    }
+    batch.Wait();
+    EXPECT_EQ(b_done.load(), 40);
+  });
+  kernel_a.join();
+  kernel_b.join();
+  EXPECT_EQ(executor.tasks_executed(), 70u);
+}
+
+TEST(GraphTest, LinearPipelineProcessesEverything) {
+  Graph graph;
+  auto q1 = Graph::MakeQueue<int>(4);
+  auto q2 = Graph::MakeQueue<int>(4);
+
+  std::atomic<int> next{0};
+  graph.AddSource<int>("source", q1, [&]() -> std::optional<int> {
+    int v = next.fetch_add(1);
+    return v < 100 ? std::optional<int>(v) : std::nullopt;
+  });
+  graph.AddStage<int, int>("double", 3, q1, q2,
+                           [](int&& v, MpmcQueue<int>& out) -> Status {
+                             out.Push(v * 2);
+                             return OkStatus();
+                           });
+  std::atomic<int64_t> sum{0};
+  std::atomic<int> count{0};
+  graph.AddSink<int>("sink", 2, q2, [&](int&& v) -> Status {
+    sum += v;
+    ++count;
+    return OkStatus();
+  });
+
+  ASSERT_TRUE(graph.Run().ok());
+  EXPECT_EQ(count.load(), 100);
+  EXPECT_EQ(sum.load(), 2 * 99 * 100 / 2);
+}
+
+TEST(GraphTest, StatsCountItems) {
+  Graph graph;
+  auto q1 = Graph::MakeQueue<int>(2);
+  std::atomic<int> next{0};
+  graph.AddSource<int>("source", q1, [&]() -> std::optional<int> {
+    int v = next.fetch_add(1);
+    return v < 10 ? std::optional<int>(v) : std::nullopt;
+  });
+  graph.AddSink<int>("sink", 1, q1, [](int&&) -> Status { return OkStatus(); });
+  ASSERT_TRUE(graph.Run().ok());
+
+  ASSERT_EQ(graph.stats().size(), 2u);
+  EXPECT_EQ(graph.stats()[0]->name, "source");
+  EXPECT_EQ(graph.stats()[0]->items.load(), 10u);
+  EXPECT_EQ(graph.stats()[1]->items.load(), 10u);
+}
+
+TEST(GraphTest, StageErrorCancelsAndPropagates) {
+  Graph graph;
+  auto q1 = Graph::MakeQueue<int>(1);
+  auto q2 = Graph::MakeQueue<int>(1);
+  std::atomic<int> next{0};
+  graph.AddSource<int>("source", q1, [&]() -> std::optional<int> {
+    int v = next.fetch_add(1);
+    return v < 1'000'000 ? std::optional<int>(v) : std::nullopt;
+  });
+  graph.AddStage<int, int>("failing", 1, q1, q2,
+                           [](int&& v, MpmcQueue<int>& out) -> Status {
+                             if (v == 5) {
+                               return DataLossError("bad chunk");
+                             }
+                             out.Push(v);
+                             return OkStatus();
+                           });
+  graph.AddSink<int>("sink", 1, q2, [](int&&) -> Status { return OkStatus(); });
+
+  Status status = graph.Run();  // must terminate (not deadlock) and report the error
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kDataLoss);
+  EXPECT_LT(next.load(), 1'000'000);  // source stopped early
+}
+
+TEST(GraphTest, FanOutStage) {
+  Graph graph;
+  auto q1 = Graph::MakeQueue<int>(2);
+  auto q2 = Graph::MakeQueue<int>(4);
+  std::atomic<int> next{0};
+  graph.AddSource<int>("source", q1, [&]() -> std::optional<int> {
+    int v = next.fetch_add(1);
+    return v < 20 ? std::optional<int>(v) : std::nullopt;
+  });
+  // Each input yields two outputs.
+  graph.AddStage<int, int>("fanout", 2, q1, q2,
+                           [](int&& v, MpmcQueue<int>& out) -> Status {
+                             out.Push(v);
+                             out.Push(v);
+                             return OkStatus();
+                           });
+  std::atomic<int> count{0};
+  graph.AddSink<int>("sink", 1, q2, [&](int&&) -> Status {
+    ++count;
+    return OkStatus();
+  });
+  ASSERT_TRUE(graph.Run().ok());
+  EXPECT_EQ(count.load(), 40);
+}
+
+TEST(GraphTest, RunTwiceFails) {
+  Graph graph;
+  auto q = Graph::MakeQueue<int>(1);
+  graph.AddSource<int>("source", q, []() -> std::optional<int> { return std::nullopt; });
+  graph.AddSink<int>("sink", 1, q, [](int&&) -> Status { return OkStatus(); });
+  ASSERT_TRUE(graph.Run().ok());
+  EXPECT_FALSE(graph.Run().ok());
+}
+
+TEST(GraphTest, MoveOnlyPayloads) {
+  // Pooled buffers (move-only) must flow through queues without copying.
+  auto pool = ObjectPool<Buffer>::Create(4, [] { return std::make_unique<Buffer>(); },
+                                         [](Buffer* b) { b->Clear(); });
+  Graph graph;
+  auto q1 = Graph::MakeQueue<ObjectPool<Buffer>::Ref>(2);
+  std::atomic<int> next{0};
+  graph.AddSource<ObjectPool<Buffer>::Ref>(
+      "source", q1, [&]() -> std::optional<ObjectPool<Buffer>::Ref> {
+        if (next.fetch_add(1) >= 16) {
+          return std::nullopt;
+        }
+        auto ref = pool->Acquire();
+        ref->Append(std::string_view("payload"));
+        return ref;
+      });
+  std::atomic<int> seen{0};
+  graph.AddSink<ObjectPool<Buffer>::Ref>("sink", 2, q1,
+                                         [&](ObjectPool<Buffer>::Ref&& ref) -> Status {
+                                           EXPECT_EQ(ref->view(), "payload");
+                                           ++seen;
+                                           return OkStatus();
+                                         });
+  ASSERT_TRUE(graph.Run().ok());
+  EXPECT_EQ(seen.load(), 16);
+  EXPECT_EQ(pool->available(), 4u);  // every buffer returned to the pool
+}
+
+TEST(UtilizationSamplerTest, CapturesBusyStages) {
+  Graph graph;
+  auto q = Graph::MakeQueue<int>(2);
+  std::atomic<int> next{0};
+  graph.AddSource<int>("source", q, [&]() -> std::optional<int> {
+    int v = next.fetch_add(1);
+    return v < 30 ? std::optional<int>(v) : std::nullopt;
+  });
+  graph.AddSink<int>("busy-sink", 1, q, [](int&&) -> Status {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    return OkStatus();
+  });
+
+  UtilizationSampler sampler(&graph, 0.02, 2);
+  sampler.Start();
+  ASSERT_TRUE(graph.Run().ok());
+  sampler.Stop();
+
+  ASSERT_FALSE(sampler.samples().empty());
+  double peak = 0;
+  for (const auto& sample : sampler.samples()) {
+    ASSERT_EQ(sample.per_stage.size(), 2u);
+    peak = std::max(peak, sample.per_stage[1]);
+    EXPECT_LE(sample.total_utilization, 1.0);
+  }
+  EXPECT_GT(peak, 0.5) << "sink sleeps 10ms/item: should appear busy";
+}
+
+}  // namespace
+}  // namespace persona::dataflow

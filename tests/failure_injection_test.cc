@@ -1,0 +1,232 @@
+// Failure-injection tests: corrupted, truncated, and missing data at every layer that
+// touches persisted bytes. The invariant under test is uniform — operations fail with a
+// clean Status (never crash, never return garbage silently).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/format/agd_chunk.h"
+#include "src/format/agd_dataset.h"
+#include "src/format/agd_index.h"
+#include "src/pipeline/agd_store_util.h"
+#include "src/pipeline/dedup.h"
+#include "src/pipeline/sort.h"
+#include "src/storage/memory_store.h"
+#include "src/util/file_util.h"
+#include "src/util/string_util.h"
+#include "src/variant/call_pipeline.h"
+
+namespace persona::format {
+namespace {
+
+// One serialized bases+qual-style chunk with enough records to have a real index.
+Buffer MakeChunkFile(int records, compress::CodecId codec = compress::CodecId::kZlib) {
+  ChunkBuilder builder(RecordType::kMetadata, codec);
+  for (int i = 0; i < records; ++i) {
+    builder.AddRecord(StrFormat("metadata-record-%03d-with-some-payload", i));
+  }
+  Buffer file;
+  EXPECT_TRUE(builder.Finalize(&file).ok());
+  return file;
+}
+
+// --- Truncation sweep: every prefix of a chunk file must fail to parse cleanly. ---
+
+class TruncationSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TruncationSweep, TruncatedChunkParsesToError) {
+  Buffer file = MakeChunkFile(40);
+  const size_t keep = file.size() * static_cast<size_t>(GetParam()) / 100;
+  ASSERT_LT(keep, file.size());
+  auto result = ParsedChunk::Parse(file.span().subspan(0, keep));
+  EXPECT_FALSE(result.ok()) << "parsed a " << keep << "-byte prefix of " << file.size();
+}
+
+INSTANTIATE_TEST_SUITE_P(Prefixes, TruncationSweep,
+                         ::testing::Values(0, 3, 10, 25, 40, 55, 70, 85, 95, 99));
+
+// --- Bit-flip sweep: a flip anywhere either fails parsing or leaves records intact
+//     (flips in ignored header padding may legitimately survive). ---
+
+class BitFlipSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BitFlipSweep, FlippedByteNeverYieldsGarbage) {
+  Buffer original = MakeChunkFile(25);
+  auto baseline = ParsedChunk::Parse(original.span());
+  ASSERT_TRUE(baseline.ok());
+
+  const size_t stride = 7;
+  size_t flips = 0;
+  size_t failures = 0;
+  for (size_t pos = static_cast<size_t>(GetParam()); pos < original.size();
+       pos += stride, ++flips) {
+    Buffer corrupt;
+    corrupt.Append(original.span());
+    corrupt.data()[pos] ^= 0xFF;
+    auto result = ParsedChunk::Parse(corrupt.span());
+    if (!result.ok()) {
+      ++failures;
+      continue;
+    }
+    // Survived: every record must still match the baseline bytes.
+    ASSERT_EQ(result->record_count(), baseline->record_count()) << "flip at " << pos;
+    for (size_t i = 0; i < result->record_count(); ++i) {
+      EXPECT_EQ(result->RecordBytes(i), baseline->RecordBytes(i)) << "flip at " << pos;
+    }
+  }
+  ASSERT_GT(flips, 0u);
+  // The format is dense: almost every byte matters.
+  EXPECT_GT(failures * 10, flips * 9) << "too many corruptions went undetected";
+}
+
+INSTANTIATE_TEST_SUITE_P(Offsets, BitFlipSweep, ::testing::Values(0, 1, 2, 3, 4, 5, 6));
+
+// --- Identity-codec chunks detect data-block corruption through the CRC. ---
+
+TEST(FailureInjection, IdentityCodecStillCrcProtected) {
+  Buffer file = MakeChunkFile(10, compress::CodecId::kIdentity);
+  Buffer corrupt;
+  corrupt.Append(file.span());
+  corrupt.data()[corrupt.size() - 3] ^= 0x01;  // inside the data block
+  EXPECT_FALSE(ParsedChunk::Parse(corrupt.span()).ok());
+}
+
+TEST(FailureInjection, EmptyFileAndTinyFilesFailCleanly) {
+  EXPECT_FALSE(ParsedChunk::Parse(std::span<const uint8_t>()).ok());
+  for (int n = 1; n < 24; ++n) {
+    std::vector<uint8_t> bytes(static_cast<size_t>(n), 0xAB);
+    EXPECT_FALSE(ParsedChunk::Parse(bytes).ok()) << n;
+  }
+}
+
+// --- Dataset-level: missing files, lying manifests. ---
+
+std::vector<genome::Read> SmallReads(int n) {
+  std::vector<genome::Read> reads;
+  for (int i = 0; i < n; ++i) {
+    reads.push_back({std::string(30, "ACGT"[i % 4]), std::string(30, 'I'),
+                     StrFormat("r%02d", i)});
+  }
+  return reads;
+}
+
+void WriteSmallDataset(const std::string& dir, int n, int64_t chunk_size) {
+  AgdWriter::Options options;
+  options.chunk_size = chunk_size;
+  auto writer = AgdWriter::Create(dir, "ds", options);
+  ASSERT_TRUE(writer.ok());
+  for (const genome::Read& read : SmallReads(n)) {
+    ASSERT_TRUE(writer->Append(read).ok());
+  }
+  ASSERT_TRUE(writer->Finalize().ok());
+}
+
+TEST(FailureInjection, MissingColumnFileFailsReadAndVerify) {
+  ScopedTempDir dir("failinj");
+  WriteSmallDataset(dir.path(), 30, 10);
+  ASSERT_EQ(::remove(dir.FilePath("ds-1.qual").c_str()), 0);
+
+  auto dataset = AgdDataset::Open(dir.path());
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_TRUE(dataset->ReadChunk(0, "qual").ok());   // other chunks unaffected
+  EXPECT_FALSE(dataset->ReadChunk(1, "qual").ok());  // the deleted one
+  EXPECT_FALSE(dataset->Verify().ok());
+  EXPECT_FALSE(ValidateRowGrouping(*dataset).ok());
+}
+
+TEST(FailureInjection, ManifestReferencingMissingChunksFailsLazily) {
+  ScopedTempDir dir("failinj");
+  WriteSmallDataset(dir.path(), 20, 10);
+
+  auto manifest_text = ReadFileToString(dir.FilePath("manifest.json"));
+  ASSERT_TRUE(manifest_text.ok());
+  auto manifest = Manifest::FromJson(*manifest_text);
+  ASSERT_TRUE(manifest.ok());
+  manifest->chunks.push_back({"ds-9", 20, 10});  // phantom chunk
+  ASSERT_TRUE(WriteStringToFile(dir.FilePath("manifest.json"), manifest->ToJson()).ok());
+
+  auto dataset = AgdDataset::Open(dir.path());
+  ASSERT_TRUE(dataset.ok());  // open is metadata-only
+  EXPECT_FALSE(dataset->ReadChunk(2, "bases").ok());
+  EXPECT_FALSE(dataset->Verify().ok());
+}
+
+TEST(FailureInjection, GarbageManifestJsonIsRejected) {
+  EXPECT_FALSE(Manifest::FromJson("").ok());
+  EXPECT_FALSE(Manifest::FromJson("{\"name\": \"x\"").ok());     // unterminated
+  EXPECT_FALSE(Manifest::FromJson("[1, 2, 3]").ok());            // wrong shape
+  EXPECT_FALSE(Manifest::FromJson("not json at all {{{{").ok());
+}
+
+TEST(FailureInjection, RandomAccessReaderSurfacesCorruptChunks) {
+  ScopedTempDir dir("failinj");
+  WriteSmallDataset(dir.path(), 30, 10);
+
+  // Corrupt one column file of chunk 1.
+  std::string path = dir.FilePath("ds-1.bases");
+  auto bytes = ReadFileToString(path);
+  ASSERT_TRUE(bytes.ok());
+  std::string corrupted = *bytes;
+  corrupted[corrupted.size() / 2] ^= 0x40;
+  ASSERT_TRUE(WriteStringToFile(path, corrupted).ok());
+
+  auto reader = RandomAccessReader::Open(dir.path());
+  ASSERT_TRUE(reader.ok());
+  EXPECT_TRUE(reader->GetRead(5).ok());    // chunk 0 intact
+  EXPECT_FALSE(reader->GetRead(15).ok());  // chunk 1 corrupt
+  EXPECT_TRUE(reader->GetRead(25).ok());   // chunk 2 intact
+}
+
+// --- Store-backed operations propagate missing/corrupt objects. ---
+
+TEST(FailureInjection, DedupFailsOnMissingResultsObject) {
+  storage::MemoryStore store;
+  auto manifest = pipeline::WriteAgdToStore(&store, "ds", SmallReads(20), 10);
+  ASSERT_TRUE(manifest.ok());
+  format::Manifest with_results = *manifest;
+  with_results.columns.push_back(ResultsColumn());
+  // Results objects were never written.
+  EXPECT_FALSE(pipeline::DedupAgdResults(&store, with_results).ok());
+}
+
+TEST(FailureInjection, SortFailsOnCorruptColumnObject) {
+  storage::MemoryStore store;
+  auto manifest = pipeline::WriteAgdToStore(&store, "ds", SmallReads(20), 10);
+  ASSERT_TRUE(manifest.ok());
+  format::Manifest with_results = *manifest;
+  with_results.columns.push_back(ResultsColumn());
+  Buffer file;
+  for (size_t ci = 0; ci < manifest->chunks.size(); ++ci) {
+    ChunkBuilder builder(RecordType::kResults, compress::CodecId::kZlib);
+    for (int64_t i = 0; i < manifest->chunks[ci].num_records; ++i) {
+      align::AlignmentResult result;
+      result.location = i * 10;
+      result.cigar = "30M";
+      result.flags = 0;
+      builder.AddResult(result);
+    }
+    ASSERT_TRUE(builder.Finalize(&file).ok());
+    ASSERT_TRUE(store.Put(manifest->chunks[ci].path_base + ".results", file).ok());
+  }
+
+  // Overwrite one bases object with garbage.
+  ASSERT_TRUE(store.Put("ds-1.bases", std::string_view("not a chunk file")).ok());
+  format::Manifest sorted;
+  EXPECT_FALSE(pipeline::SortAgdDataset(&store, with_results, "out", {}, &sorted).ok());
+}
+
+TEST(FailureInjection, VariantCallingFailsOnTruncatedResultsObject) {
+  storage::MemoryStore store;
+  auto manifest = pipeline::WriteAgdToStore(&store, "ds", SmallReads(20), 20);
+  ASSERT_TRUE(manifest.ok());
+  format::Manifest with_results = *manifest;
+  with_results.columns.push_back(ResultsColumn());
+  ASSERT_TRUE(store.Put("ds-0.results", std::string_view("\x00\x01\x02")).ok());
+
+  genome::ReferenceGenome reference({{"c1", std::string(1000, 'A')}});
+  EXPECT_FALSE(variant::CallVariantsAgd(&store, with_results, reference, {}).ok());
+}
+
+}  // namespace
+}  // namespace persona::format

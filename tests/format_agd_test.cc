@@ -1,0 +1,317 @@
+// Tests for the AGD format: chunk serialization, manifest JSON, dataset round trips,
+// corruption detection, and selective column access.
+
+#include <gtest/gtest.h>
+
+#include "src/format/agd_chunk.h"
+#include "src/format/agd_dataset.h"
+#include "src/format/agd_manifest.h"
+#include "src/genome/generator.h"
+#include "src/genome/read_simulator.h"
+#include "src/util/file_util.h"
+
+namespace persona::format {
+namespace {
+
+std::vector<genome::Read> MakeReads(size_t n, uint64_t seed = 3) {
+  genome::GenomeSpec gspec;
+  gspec.num_contigs = 1;
+  gspec.contig_length = 10'000;
+  static genome::ReferenceGenome reference = genome::GenerateGenome(gspec);
+  genome::ReadSimSpec spec;
+  spec.read_length = 101;
+  spec.seed = seed;
+  genome::ReadSimulator sim(&reference, spec);
+  return sim.Simulate(n);
+}
+
+class ChunkCodecTest : public ::testing::TestWithParam<compress::CodecId> {};
+
+TEST_P(ChunkCodecTest, BasesChunkRoundTrip) {
+  auto reads = MakeReads(50);
+  ChunkBuilder builder(RecordType::kBases, GetParam());
+  for (const auto& read : reads) {
+    builder.AddBases(read.bases);
+  }
+  Buffer file;
+  ASSERT_TRUE(builder.Finalize(&file).ok());
+
+  auto chunk = ParsedChunk::Parse(file.span());
+  ASSERT_TRUE(chunk.ok());
+  EXPECT_EQ(chunk->type(), RecordType::kBases);
+  EXPECT_EQ(chunk->codec(), GetParam());
+  ASSERT_EQ(chunk->record_count(), reads.size());
+  for (size_t i = 0; i < reads.size(); ++i) {
+    auto bases = chunk->GetBases(i);
+    ASSERT_TRUE(bases.ok());
+    EXPECT_EQ(*bases, reads[i].bases);
+  }
+}
+
+TEST_P(ChunkCodecTest, StringChunkRoundTrip) {
+  auto reads = MakeReads(50);
+  ChunkBuilder builder(RecordType::kMetadata, GetParam());
+  for (const auto& read : reads) {
+    builder.AddRecord(read.metadata);
+  }
+  Buffer file;
+  ASSERT_TRUE(builder.Finalize(&file).ok());
+  auto chunk = ParsedChunk::Parse(file.span());
+  ASSERT_TRUE(chunk.ok());
+  for (size_t i = 0; i < reads.size(); ++i) {
+    EXPECT_EQ(*chunk->GetString(i), reads[i].metadata);
+  }
+}
+
+TEST_P(ChunkCodecTest, ResultsChunkRoundTrip) {
+  ChunkBuilder builder(RecordType::kResults, GetParam());
+  std::vector<align::AlignmentResult> originals;
+  for (int i = 0; i < 30; ++i) {
+    align::AlignmentResult r;
+    r.location = i * 997;
+    r.flags = i % 3 == 0 ? align::kFlagReverse : 0;
+    r.mapq = static_cast<uint8_t>(i * 2);
+    r.edit_distance = static_cast<int16_t>(i % 5);
+    r.cigar = "101M";
+    originals.push_back(r);
+    builder.AddResult(r);
+  }
+  Buffer file;
+  ASSERT_TRUE(builder.Finalize(&file).ok());
+  auto chunk = ParsedChunk::Parse(file.span());
+  ASSERT_TRUE(chunk.ok());
+  for (size_t i = 0; i < originals.size(); ++i) {
+    EXPECT_EQ(*chunk->GetResult(i), originals[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Codecs, ChunkCodecTest,
+                         ::testing::Values(compress::CodecId::kIdentity,
+                                           compress::CodecId::kZlib,
+                                           compress::CodecId::kLzss),
+                         [](const auto& info) {
+                           return std::string(compress::CodecName(info.param));
+                         });
+
+TEST(ChunkTest, EmptyChunk) {
+  ChunkBuilder builder(RecordType::kQual, compress::CodecId::kZlib);
+  Buffer file;
+  ASSERT_TRUE(builder.Finalize(&file).ok());
+  auto chunk = ParsedChunk::Parse(file.span());
+  ASSERT_TRUE(chunk.ok());
+  EXPECT_EQ(chunk->record_count(), 0u);
+}
+
+TEST(ChunkTest, CompressionShrinksBasesChunk) {
+  auto reads = MakeReads(200);
+  ChunkBuilder packed(RecordType::kBases, compress::CodecId::kZlib);
+  uint64_t ascii_bytes = 0;
+  for (const auto& read : reads) {
+    packed.AddBases(read.bases);
+    ascii_bytes += read.bases.size();
+  }
+  Buffer file;
+  ASSERT_TRUE(packed.Finalize(&file).ok());
+  // 3-bit packing alone gives ~2.6x; zlib on top should keep it well under half.
+  EXPECT_LT(file.size(), ascii_bytes / 2);
+}
+
+TEST(ChunkTest, CorruptionIsDetected) {
+  auto reads = MakeReads(20);
+  ChunkBuilder builder(RecordType::kBases, compress::CodecId::kZlib);
+  for (const auto& read : reads) {
+    builder.AddBases(read.bases);
+  }
+  Buffer file;
+  ASSERT_TRUE(builder.Finalize(&file).ok());
+
+  // Flip a byte in the data block: CRC must catch it.
+  Buffer corrupt;
+  corrupt.Append(file.span());
+  corrupt[corrupt.size() - 1] ^= 0xFF;
+  EXPECT_FALSE(ParsedChunk::Parse(corrupt.span()).ok());
+
+  // Truncation must be caught.
+  EXPECT_FALSE(ParsedChunk::Parse(file.span().subspan(0, file.size() - 3)).ok());
+
+  // Bad magic must be caught.
+  Buffer bad_magic;
+  bad_magic.Append(file.span());
+  bad_magic[0] = 'X';
+  EXPECT_FALSE(ParsedChunk::Parse(bad_magic.span()).ok());
+
+  // Empty file.
+  EXPECT_FALSE(ParsedChunk::Parse({}).ok());
+}
+
+TEST(ChunkTest, TypeMismatchAccessorsFail) {
+  ChunkBuilder builder(RecordType::kQual, compress::CodecId::kIdentity);
+  builder.AddRecord("IIII");
+  Buffer file;
+  ASSERT_TRUE(builder.Finalize(&file).ok());
+  auto chunk = ParsedChunk::Parse(file.span());
+  ASSERT_TRUE(chunk.ok());
+  EXPECT_FALSE(chunk->GetBases(0).ok());
+  EXPECT_FALSE(chunk->GetResult(0).ok());
+  EXPECT_TRUE(chunk->GetString(0).ok());
+  EXPECT_FALSE(chunk->GetString(1).ok());  // out of range
+}
+
+TEST(ManifestTest, JsonRoundTrip) {
+  Manifest manifest;
+  manifest.name = "test";
+  manifest.chunk_size = 100'000;
+  manifest.columns = StandardReadColumns();
+  manifest.columns.push_back(ResultsColumn());
+  manifest.chunks.push_back(ManifestChunk{"test-0", 0, 100'000});
+  manifest.chunks.push_back(ManifestChunk{"test-1", 100'000, 50'000});
+  manifest.reference_contigs.push_back(ManifestContig{"chr1", 248'956'422});
+
+  auto parsed = Manifest::FromJson(manifest.ToJson());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->name, "test");
+  EXPECT_EQ(parsed->chunk_size, 100'000);
+  EXPECT_EQ(parsed->total_records(), 150'000);
+  ASSERT_EQ(parsed->columns.size(), 4u);
+  EXPECT_EQ(parsed->columns[0].name, "bases");
+  EXPECT_EQ(parsed->columns[3].type, RecordType::kResults);
+  ASSERT_EQ(parsed->chunks.size(), 2u);
+  EXPECT_EQ(parsed->chunks[1].first_record, 100'000);
+  ASSERT_EQ(parsed->reference_contigs.size(), 1u);
+  EXPECT_EQ(parsed->reference_contigs[0].length, 248'956'422);
+}
+
+TEST(ManifestTest, RejectsNonContiguousChunks) {
+  Manifest manifest;
+  manifest.name = "bad";
+  manifest.columns = StandardReadColumns();
+  manifest.chunks.push_back(ManifestChunk{"bad-0", 0, 10});
+  manifest.chunks.push_back(ManifestChunk{"bad-1", 99, 10});  // gap
+  EXPECT_FALSE(Manifest::FromJson(manifest.ToJson()).ok());
+}
+
+TEST(ManifestTest, ColumnLookupAndFileNames) {
+  Manifest manifest;
+  manifest.name = "ds";
+  manifest.columns = StandardReadColumns();
+  manifest.chunks.push_back(ManifestChunk{"ds-0", 0, 10});
+  EXPECT_TRUE(manifest.HasColumn("qual"));
+  EXPECT_FALSE(manifest.HasColumn("results"));
+  EXPECT_EQ(manifest.ChunkFileName(0, "bases"), "ds-0.bases");
+}
+
+TEST(DatasetTest, WriteOpenReadVerify) {
+  ScopedTempDir dir("agdtest");
+  auto reads = MakeReads(120);
+
+  AgdWriter::Options options;
+  options.chunk_size = 50;  // forces 3 chunks (50+50+20)
+  auto writer = AgdWriter::Create(dir.path(), "ds", options);
+  ASSERT_TRUE(writer.ok());
+  for (const auto& read : reads) {
+    ASSERT_TRUE(writer->Append(read).ok());
+  }
+  ASSERT_TRUE(writer->Finalize().ok());
+
+  auto dataset = AgdDataset::Open(dir.path());
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_EQ(dataset->num_chunks(), 3u);
+  EXPECT_EQ(dataset->manifest().total_records(), 120);
+
+  auto verified = dataset->Verify();
+  ASSERT_TRUE(verified.ok());
+  EXPECT_EQ(*verified, 120);
+
+  auto loaded = dataset->ReadAllReads();
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), reads.size());
+  for (size_t i = 0; i < reads.size(); ++i) {
+    EXPECT_EQ((*loaded)[i], reads[i]) << i;
+  }
+}
+
+TEST(DatasetTest, SelectiveColumnAccess) {
+  ScopedTempDir dir("agdtest");
+  auto reads = MakeReads(30);
+  AgdWriter::Options options;
+  options.chunk_size = 30;
+  auto writer = AgdWriter::Create(dir.path(), "ds", options);
+  ASSERT_TRUE(writer.ok());
+  for (const auto& read : reads) {
+    ASSERT_TRUE(writer->Append(read).ok());
+  }
+  ASSERT_TRUE(writer->Finalize().ok());
+
+  auto dataset = AgdDataset::Open(dir.path());
+  ASSERT_TRUE(dataset.ok());
+  // Reading just the qual column must not require the others.
+  auto qual = dataset->ReadChunk(0, "qual");
+  ASSERT_TRUE(qual.ok());
+  EXPECT_EQ(qual->record_count(), 30u);
+  EXPECT_EQ(*qual->GetString(7), reads[7].qual);
+  // Unknown column is an error.
+  EXPECT_FALSE(dataset->ReadChunk(0, "variants").ok());
+  EXPECT_FALSE(dataset->ReadChunk(9, "qual").ok());
+}
+
+TEST(DatasetTest, AddResultsColumn) {
+  ScopedTempDir dir("agdtest");
+  auto reads = MakeReads(60);
+  AgdWriter::Options options;
+  options.chunk_size = 25;
+  auto writer = AgdWriter::Create(dir.path(), "ds", options);
+  ASSERT_TRUE(writer.ok());
+  for (const auto& read : reads) {
+    ASSERT_TRUE(writer->Append(read).ok());
+  }
+  ASSERT_TRUE(writer->Finalize().ok());
+
+  genome::GenomeSpec gspec;
+  gspec.num_contigs = 1;
+  gspec.contig_length = 10'000;
+  genome::ReferenceGenome reference = genome::GenerateGenome(gspec);
+
+  auto dataset = AgdDataset::Open(dir.path());
+  ASSERT_TRUE(dataset.ok());
+  std::vector<std::vector<align::AlignmentResult>> results(3);
+  size_t sizes[3] = {25, 25, 10};
+  for (size_t ci = 0; ci < 3; ++ci) {
+    for (size_t i = 0; i < sizes[ci]; ++i) {
+      align::AlignmentResult r;
+      r.location = static_cast<int64_t>(ci * 1000 + i);
+      r.cigar = "101M";
+      results[ci].push_back(r);
+    }
+  }
+  ASSERT_TRUE(dataset->AddResultsColumn(reference, results, compress::CodecId::kZlib).ok());
+
+  // Reopen: results column present, reference recorded, verification passes.
+  auto reopened = AgdDataset::Open(dir.path());
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_TRUE(reopened->manifest().HasColumn("results"));
+  ASSERT_EQ(reopened->manifest().reference_contigs.size(), 1u);
+  auto chunk = reopened->ReadChunk(1, "results");
+  ASSERT_TRUE(chunk.ok());
+  EXPECT_EQ(chunk->GetResult(3)->location, 1003);
+  EXPECT_TRUE(reopened->Verify().ok());
+
+  // Adding again must fail.
+  EXPECT_FALSE(reopened->AddResultsColumn(reference, results, compress::CodecId::kZlib).ok());
+}
+
+TEST(DatasetTest, OpenMissingDirectoryFails) {
+  EXPECT_FALSE(AgdDataset::Open("/nonexistent/persona/dataset").ok());
+}
+
+TEST(RecordTypeTest, NamesRoundTrip) {
+  for (RecordType type : {RecordType::kBases, RecordType::kQual, RecordType::kMetadata,
+                          RecordType::kResults}) {
+    auto back = RecordTypeFromName(RecordTypeName(type));
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, type);
+  }
+  EXPECT_FALSE(RecordTypeFromName("variants").ok());
+}
+
+}  // namespace
+}  // namespace persona::format

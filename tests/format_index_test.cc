@@ -1,0 +1,172 @@
+// Tests for record-level random access: the cross-chunk RecordLocator, the LRU-cached
+// RandomAccessReader, and row-group validation (paper §3 random access / row grouping).
+
+#include <gtest/gtest.h>
+
+#include "src/format/agd_index.h"
+#include "src/genome/generator.h"
+#include "src/util/file_util.h"
+#include "src/util/string_util.h"
+
+namespace persona::format {
+namespace {
+
+std::vector<genome::Read> MakeReads(int n) {
+  std::vector<genome::Read> reads;
+  reads.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    genome::Read read;
+    read.bases = std::string(static_cast<size_t>(20 + i % 7), "ACGT"[i % 4]);
+    read.qual = std::string(read.bases.size(), static_cast<char>('!' + i % 40));
+    read.metadata = StrFormat("read-%04d", i);
+    reads.push_back(std::move(read));
+  }
+  return reads;
+}
+
+// Writes a dataset of `n` reads with `chunk_size` records per chunk into `dir`.
+void WriteDataset(const std::string& dir, int n, int64_t chunk_size) {
+  AgdWriter::Options options;
+  options.chunk_size = chunk_size;
+  auto writer = AgdWriter::Create(dir, "ds", options);
+  ASSERT_TRUE(writer.ok());
+  for (const genome::Read& read : MakeReads(n)) {
+    ASSERT_TRUE(writer->Append(read).ok());
+  }
+  ASSERT_TRUE(writer->Finalize().ok());
+}
+
+TEST(RecordLocator, MapsBoundariesExactly) {
+  Manifest manifest;
+  manifest.chunks.push_back({"ds-0", 0, 10});
+  manifest.chunks.push_back({"ds-1", 10, 5});
+  manifest.chunks.push_back({"ds-2", 15, 20});
+  auto locator = RecordLocator::Create(&manifest);
+  ASSERT_TRUE(locator.ok());
+  EXPECT_EQ(locator->total_records(), 35);
+
+  EXPECT_EQ(*locator->Locate(0), (RecordLocation{0, 0}));
+  EXPECT_EQ(*locator->Locate(9), (RecordLocation{0, 9}));
+  EXPECT_EQ(*locator->Locate(10), (RecordLocation{1, 0}));
+  EXPECT_EQ(*locator->Locate(14), (RecordLocation{1, 4}));
+  EXPECT_EQ(*locator->Locate(15), (RecordLocation{2, 0}));
+  EXPECT_EQ(*locator->Locate(34), (RecordLocation{2, 19}));
+
+  EXPECT_FALSE(locator->Locate(-1).ok());
+  EXPECT_FALSE(locator->Locate(35).ok());
+}
+
+TEST(RecordLocator, RejectsNonContiguousChunks) {
+  Manifest gap;
+  gap.chunks.push_back({"ds-0", 0, 10});
+  gap.chunks.push_back({"ds-1", 12, 5});  // two-record hole
+  EXPECT_FALSE(RecordLocator::Create(&gap).ok());
+
+  Manifest overlap;
+  overlap.chunks.push_back({"ds-0", 0, 10});
+  overlap.chunks.push_back({"ds-1", 8, 5});
+  EXPECT_FALSE(RecordLocator::Create(&overlap).ok());
+}
+
+TEST(RecordLocator, EmptyManifestHasNoRecords) {
+  Manifest manifest;
+  auto locator = RecordLocator::Create(&manifest);
+  ASSERT_TRUE(locator.ok());
+  EXPECT_EQ(locator->total_records(), 0);
+  EXPECT_FALSE(locator->Locate(0).ok());
+}
+
+TEST(RandomAccessReader, ReadsMatchSequentialContent) {
+  ScopedTempDir dir("agdindex");
+  WriteDataset(dir.path(), 120, 25);
+  std::vector<genome::Read> expected = MakeReads(120);
+
+  auto reader = RandomAccessReader::Open(dir.path());
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader->total_records(), 120);
+
+  // Scattered accesses, including chunk boundaries and both dataset ends.
+  for (int64_t id : {0LL, 24LL, 25LL, 57LL, 99LL, 100LL, 119LL, 3LL}) {
+    auto read = reader->GetRead(id);
+    ASSERT_TRUE(read.ok()) << id;
+    EXPECT_EQ(*read, expected[static_cast<size_t>(id)]) << id;
+  }
+  EXPECT_FALSE(reader->GetRead(120).ok());
+  EXPECT_FALSE(reader->GetRead(-5).ok());
+}
+
+TEST(RandomAccessReader, GetFieldSelectsOneColumn) {
+  ScopedTempDir dir("agdindex");
+  WriteDataset(dir.path(), 40, 16);
+  std::vector<genome::Read> expected = MakeReads(40);
+
+  auto reader = RandomAccessReader::Open(dir.path());
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(*reader->GetField(17, "bases"), expected[17].bases);
+  EXPECT_EQ(*reader->GetField(17, "qual"), expected[17].qual);
+  EXPECT_EQ(*reader->GetField(17, "metadata"), expected[17].metadata);
+  EXPECT_FALSE(reader->GetField(17, "results").ok());  // column absent
+}
+
+TEST(RandomAccessReader, LruCacheServesClusteredAccesses) {
+  ScopedTempDir dir("agdindex");
+  WriteDataset(dir.path(), 100, 10);  // 10 chunks
+
+  auto reader = RandomAccessReader::Open(dir.path(), /*cache_capacity=*/6);
+  ASSERT_TRUE(reader.ok());
+
+  // First access to a chunk: 3 misses (bases/qual/metadata); repeats hit.
+  ASSERT_TRUE(reader->GetRead(5).ok());
+  EXPECT_EQ(reader->cache_misses(), 3u);
+  EXPECT_EQ(reader->cache_hits(), 0u);
+  ASSERT_TRUE(reader->GetRead(6).ok());
+  EXPECT_EQ(reader->cache_misses(), 3u);
+  EXPECT_EQ(reader->cache_hits(), 3u);
+
+  // A different chunk evicts nothing yet (capacity 6 = two chunks' columns).
+  ASSERT_TRUE(reader->GetRead(15).ok());
+  EXPECT_EQ(reader->cache_misses(), 6u);
+  ASSERT_TRUE(reader->GetRead(5).ok());
+  EXPECT_EQ(reader->cache_misses(), 6u);  // still cached
+
+  // Touching a third chunk evicts the LRU one (chunk of record 15).
+  ASSERT_TRUE(reader->GetRead(25).ok());
+  EXPECT_EQ(reader->cache_misses(), 9u);
+  ASSERT_TRUE(reader->GetRead(15).ok());
+  EXPECT_EQ(reader->cache_misses(), 12u);  // had been evicted
+}
+
+TEST(RandomAccessReader, RejectsZeroCapacity) {
+  ScopedTempDir dir("agdindex");
+  WriteDataset(dir.path(), 10, 10);
+  EXPECT_FALSE(RandomAccessReader::Open(dir.path(), 0).ok());
+}
+
+TEST(ValidateRowGrouping, AcceptsConsistentDataset) {
+  ScopedTempDir dir("agdindex");
+  WriteDataset(dir.path(), 75, 20);
+  auto dataset = AgdDataset::Open(dir.path());
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_TRUE(ValidateRowGrouping(*dataset).ok());
+}
+
+TEST(ValidateRowGrouping, DetectsManifestChunkMiscount) {
+  ScopedTempDir dir("agdindex");
+  WriteDataset(dir.path(), 30, 10);
+
+  // Corrupt the manifest: claim chunk 1 holds 9 records (real chunks hold 10).
+  auto manifest_text = ReadFileToString(dir.FilePath("manifest.json"));
+  ASSERT_TRUE(manifest_text.ok());
+  auto manifest = Manifest::FromJson(*manifest_text);
+  ASSERT_TRUE(manifest.ok());
+  manifest->chunks[1].num_records = 9;
+  manifest->chunks[2].first_record = 19;
+  ASSERT_TRUE(WriteStringToFile(dir.FilePath("manifest.json"), manifest->ToJson()).ok());
+
+  auto dataset = AgdDataset::Open(dir.path());
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_FALSE(ValidateRowGrouping(*dataset).ok());
+}
+
+}  // namespace
+}  // namespace persona::format

@@ -1,0 +1,238 @@
+// Tests for FASTQ and SAM/BSAM interop formats.
+
+#include <gtest/gtest.h>
+
+#include "src/compress/base_compaction.h"
+#include "src/format/fastq.h"
+#include "src/format/sam.h"
+#include "src/genome/generator.h"
+#include "src/genome/read_simulator.h"
+
+namespace persona::format {
+namespace {
+
+genome::ReferenceGenome TestReference() {
+  genome::GenomeSpec spec;
+  spec.num_contigs = 2;
+  spec.contig_length = 5'000;
+  return genome::GenerateGenome(spec);
+}
+
+std::vector<genome::Read> MakeReads(const genome::ReferenceGenome& reference, size_t n) {
+  genome::ReadSimSpec spec;
+  spec.read_length = 80;
+  genome::ReadSimulator sim(&reference, spec);
+  return sim.Simulate(n);
+}
+
+TEST(FastqTest, RoundTrip) {
+  auto reference = TestReference();
+  auto reads = MakeReads(reference, 40);
+  std::string text;
+  WriteFastq(reads, &text);
+
+  std::vector<genome::Read> parsed;
+  ASSERT_TRUE(ParseFastq(text, &parsed).ok());
+  ASSERT_EQ(parsed.size(), reads.size());
+  for (size_t i = 0; i < reads.size(); ++i) {
+    EXPECT_EQ(parsed[i], reads[i]);
+  }
+}
+
+TEST(FastqTest, QualityLineStartingWithAtParses) {
+  // The classic FASTQ ambiguity: '@' (quality 31) leading the quality line.
+  std::string text = "@read1\nACGT\n+\n@@@@\n";
+  std::vector<genome::Read> parsed;
+  ASSERT_TRUE(ParseFastq(text, &parsed).ok());
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].qual, "@@@@");
+}
+
+TEST(FastqTest, StreamedFeedAcrossRecordBoundaries) {
+  auto reference = TestReference();
+  auto reads = MakeReads(reference, 25);
+  std::string text;
+  WriteFastq(reads, &text);
+
+  // Feed in awkward 7-byte windows.
+  FastqParser parser;
+  std::vector<genome::Read> parsed;
+  for (size_t offset = 0; offset < text.size(); offset += 7) {
+    ASSERT_TRUE(
+        parser.Feed(std::string_view(text).substr(offset, 7), &parsed).ok());
+  }
+  ASSERT_TRUE(parser.Finish().ok());
+  ASSERT_EQ(parsed.size(), reads.size());
+  EXPECT_EQ(parsed[24], reads[24]);
+}
+
+TEST(FastqTest, CrlfLineEndings) {
+  std::string text = "@r1\r\nACGT\r\n+\r\nIIII\r\n";
+  std::vector<genome::Read> parsed;
+  ASSERT_TRUE(ParseFastq(text, &parsed).ok());
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].bases, "ACGT");
+}
+
+TEST(FastqTest, MissingTrailingNewline) {
+  std::string text = "@r1\nACGT\n+\nIIII";
+  std::vector<genome::Read> parsed;
+  ASSERT_TRUE(ParseFastq(text, &parsed).ok());
+  EXPECT_EQ(parsed.size(), 1u);
+}
+
+TEST(FastqTest, MalformedInputs) {
+  std::vector<genome::Read> parsed;
+  EXPECT_FALSE(ParseFastq("ACGT\n+\nIIII\n", &parsed).ok());          // no header
+  EXPECT_FALSE(ParseFastq("@r\nACGT\nIIII\n@r2\n", &parsed).ok());    // no separator
+  EXPECT_FALSE(ParseFastq("@r\nACGT\n+\nII\n", &parsed).ok());        // length mismatch
+  EXPECT_FALSE(ParseFastq("@r\nACGT\n+\n", &parsed).ok());            // truncated
+}
+
+class SamRecordTest : public ::testing::Test {
+ protected:
+  SamRecordTest() : reference_(TestReference()) {}
+  genome::ReferenceGenome reference_;
+};
+
+TEST_F(SamRecordTest, HeaderListsContigs) {
+  std::string header = SamHeader(reference_);
+  EXPECT_NE(header.find("@SQ\tSN:chr1\tLN:5000"), std::string::npos);
+  EXPECT_NE(header.find("@SQ\tSN:chr2\tLN:5000"), std::string::npos);
+}
+
+TEST_F(SamRecordTest, ForwardRecordRoundTrip) {
+  genome::Read read{"ACGTACGTAC", "IIIIIIIIII", "read-7"};
+  align::AlignmentResult result;
+  result.location = 5123;  // chr2, offset 123
+  result.flags = 0;
+  result.mapq = 55;
+  result.edit_distance = 2;
+  result.cigar = "10M";
+
+  std::string sam;
+  ASSERT_TRUE(AppendSamRecord(reference_, read, result, &sam).ok());
+  EXPECT_NE(sam.find("chr2\t124\t"), std::string::npos);  // 1-based position
+  EXPECT_NE(sam.find("NM:i:2"), std::string::npos);
+
+  genome::Read back_read;
+  align::AlignmentResult back_result;
+  ASSERT_TRUE(ParseSamRecord(reference_, std::string_view(sam).substr(0, sam.size() - 1),
+                             &back_read, &back_result)
+                  .ok());
+  EXPECT_EQ(back_read, read);
+  EXPECT_EQ(back_result.location, result.location);
+  EXPECT_EQ(back_result.mapq, result.mapq);
+  EXPECT_EQ(back_result.cigar, result.cigar);
+  EXPECT_EQ(back_result.edit_distance, result.edit_distance);
+}
+
+TEST_F(SamRecordTest, ReverseRecordRestoresOriginalOrientation) {
+  genome::Read read{"AACCGGTTAA", "ABCDEFGHIJ", "rev-read"};
+  align::AlignmentResult result;
+  result.location = 100;
+  result.flags = align::kFlagReverse;
+  result.cigar = "10M";
+
+  std::string sam;
+  ASSERT_TRUE(AppendSamRecord(reference_, read, result, &sam).ok());
+  // SEQ column must hold the reverse complement.
+  EXPECT_NE(sam.find(compress::ReverseComplement(read.bases)), std::string::npos);
+
+  genome::Read back_read;
+  align::AlignmentResult back_result;
+  ASSERT_TRUE(ParseSamRecord(reference_, std::string_view(sam).substr(0, sam.size() - 1),
+                             &back_read, &back_result)
+                  .ok());
+  EXPECT_EQ(back_read.bases, read.bases);
+  EXPECT_EQ(back_read.qual, read.qual);
+  EXPECT_TRUE(back_result.reverse());
+}
+
+TEST_F(SamRecordTest, UnmappedRecord) {
+  genome::Read read{"ACGT", "IIII", "unmapped"};
+  align::AlignmentResult result;  // default: unmapped
+  std::string sam;
+  ASSERT_TRUE(AppendSamRecord(reference_, read, result, &sam).ok());
+  EXPECT_NE(sam.find("\t*\t0\t"), std::string::npos);
+
+  genome::Read back_read;
+  align::AlignmentResult back_result;
+  ASSERT_TRUE(ParseSamRecord(reference_, std::string_view(sam).substr(0, sam.size() - 1),
+                             &back_read, &back_result)
+                  .ok());
+  EXPECT_FALSE(back_result.mapped());
+}
+
+TEST_F(SamRecordTest, MateFieldsRoundTrip) {
+  genome::Read read{"ACGTACGTAC", "IIIIIIIIII", "paired"};
+  align::AlignmentResult result;
+  result.location = 200;
+  result.mate_location = 520;
+  result.flags = align::kFlagPaired | align::kFlagProperPair;
+  result.template_length = -330;
+  result.cigar = "10M";
+
+  std::string sam;
+  ASSERT_TRUE(AppendSamRecord(reference_, read, result, &sam).ok());
+  EXPECT_NE(sam.find("=\t521\t-330"), std::string::npos);
+
+  genome::Read back_read;
+  align::AlignmentResult back_result;
+  ASSERT_TRUE(ParseSamRecord(reference_, std::string_view(sam).substr(0, sam.size() - 1),
+                             &back_read, &back_result)
+                  .ok());
+  EXPECT_EQ(back_result.mate_location, 520);
+  EXPECT_EQ(back_result.template_length, -330);
+}
+
+TEST_F(SamRecordTest, MalformedRecordsRejected) {
+  genome::Read read;
+  align::AlignmentResult result;
+  EXPECT_FALSE(ParseSamRecord(reference_, "too\tfew\tfields", &read, &result).ok());
+  EXPECT_FALSE(ParseSamRecord(reference_,
+                              "q\tXX\tchr1\t1\t60\t4M\t*\t0\t0\tACGT\tIIII", &read, &result)
+                   .ok());  // bad flag
+  EXPECT_FALSE(ParseSamRecord(reference_,
+                              "q\t0\tchr9\t1\t60\t4M\t*\t0\t0\tACGT\tIIII", &read, &result)
+                   .ok());  // unknown contig
+}
+
+TEST_F(SamRecordTest, BsamRoundTrip) {
+  auto reads = MakeReads(reference_, 500);
+  BsamWriter writer(16 * 1024);  // small blocks to exercise framing
+  std::vector<align::AlignmentResult> results;
+  for (size_t i = 0; i < reads.size(); ++i) {
+    align::AlignmentResult r;
+    r.location = static_cast<int64_t>(i * 13 % 5000);
+    r.mapq = static_cast<uint8_t>(i % 61);
+    r.cigar = "80M";
+    r.flags = i % 2 ? align::kFlagReverse : 0;
+    results.push_back(r);
+    writer.Add(reads[i], r);
+  }
+  auto file = writer.Finish();
+  ASSERT_TRUE(file.ok());
+
+  auto reader = BsamReader::Open(file->span());
+  ASSERT_TRUE(reader.ok());
+  ASSERT_EQ(reader->size(), reads.size());
+  for (size_t i = 0; i < reads.size(); i += 37) {
+    EXPECT_EQ(reader->read(i), reads[i]);
+    EXPECT_EQ(reader->result(i), results[i]);
+  }
+}
+
+TEST_F(SamRecordTest, BsamCorruptionDetected) {
+  BsamWriter writer;
+  writer.Add({"ACGT", "IIII", "r"}, {});
+  auto file = writer.Finish();
+  ASSERT_TRUE(file.ok());
+  EXPECT_FALSE(BsamReader::Open(file->span().subspan(0, file->size() - 2)).ok());
+  Buffer garbage;
+  garbage.Append(std::string_view("NOTBSAMDATA!"));
+  EXPECT_FALSE(BsamReader::Open(garbage.span()).ok());
+}
+
+}  // namespace
+}  // namespace persona::format

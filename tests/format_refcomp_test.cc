@@ -1,0 +1,382 @@
+// Tests for reference-based compression: exact round-trips across CIGAR shapes and
+// strands, raw fallbacks, corruption handling, and the compression-ratio property that
+// motivates the scheme (paper §6.1).
+
+#include <gtest/gtest.h>
+
+#include "src/compress/base_compaction.h"
+#include "src/format/refcomp.h"
+#include "src/genome/generator.h"
+#include "src/genome/read_simulator.h"
+
+namespace persona::format {
+namespace {
+
+using align::AlignmentResult;
+using align::kFlagReverse;
+using align::kFlagUnmapped;
+
+// A fixed reference whose bases are easy to reason about in CIGAR walks.
+genome::ReferenceGenome FixedReference() {
+  //                        0         1         2         3
+  //                        0123456789012345678901234567890123456789
+  std::string sequence = "ACGTACGTTAGCCATGGCATTACGGATCCAGTTCAGACGT";
+  return genome::ReferenceGenome({{"c1", sequence}});
+}
+
+AlignmentResult MappedAt(int64_t location, const std::string& cigar, bool reverse = false) {
+  AlignmentResult result;
+  result.location = location;
+  result.cigar = cigar;
+  result.flags = reverse ? kFlagReverse : 0;
+  result.mapq = 60;
+  return result;
+}
+
+AlignmentResult Unmapped() { return AlignmentResult{}; }
+
+std::string RoundTrip(const genome::ReferenceGenome& reference, const std::string& bases,
+                      const AlignmentResult& result, RefCompStats* stats) {
+  Buffer encoded;
+  RefEncodeRead(reference, bases, result, &encoded, stats);
+  auto decoded = RefDecodeRead(reference, encoded.span(), result);
+  EXPECT_TRUE(decoded.ok()) << decoded.status().message();
+  return decoded.ok() ? *decoded : std::string();
+}
+
+TEST(RefComp, PerfectMatchStoresNoDiffs) {
+  genome::ReferenceGenome reference = FixedReference();
+  const std::string bases = std::string(reference.contig(0).sequence.substr(4, 12));
+  RefCompStats stats;
+  EXPECT_EQ(RoundTrip(reference, bases, MappedAt(4, "12M"), &stats), bases);
+  EXPECT_EQ(stats.ref_encoded, 1);
+  EXPECT_EQ(stats.raw_fallback, 0);
+  EXPECT_EQ(stats.substitutions, 0);
+  EXPECT_EQ(stats.extra_bases, 0);
+  // tag + zero-sub count = 2 bytes; no packed words.
+  EXPECT_EQ(stats.encoded_bytes, 2);
+}
+
+TEST(RefComp, SubstitutionsRoundTripAndAreCounted) {
+  genome::ReferenceGenome reference = FixedReference();
+  std::string bases = std::string(reference.contig(0).sequence.substr(10, 10));
+  bases[2] = bases[2] == 'A' ? 'C' : 'A';
+  bases[7] = bases[7] == 'G' ? 'T' : 'G';
+  RefCompStats stats;
+  EXPECT_EQ(RoundTrip(reference, bases, MappedAt(10, "10M"), &stats), bases);
+  EXPECT_EQ(stats.substitutions, 2);
+  EXPECT_EQ(stats.ref_encoded, 1);
+}
+
+TEST(RefComp, ReverseStrandProjectsThroughReverseComplement) {
+  genome::ReferenceGenome reference = FixedReference();
+  // A reverse-strand read stores as-sequenced bases: revcomp of the reference slice.
+  std::string fwd = std::string(reference.contig(0).sequence.substr(6, 14));
+  std::string as_sequenced = compress::ReverseComplement(fwd);
+  RefCompStats stats;
+  EXPECT_EQ(RoundTrip(reference, as_sequenced, MappedAt(6, "14M", /*reverse=*/true), &stats),
+            as_sequenced);
+  EXPECT_EQ(stats.substitutions, 0);
+  EXPECT_EQ(stats.ref_encoded, 1);
+}
+
+TEST(RefComp, InsertionBasesStoredVerbatim) {
+  genome::ReferenceGenome reference = FixedReference();
+  std::string_view ref = reference.contig(0).sequence;
+  // 5M 3I 5M at location 8: read = ref[8..13) + "TTT" + ref[13..18).
+  std::string bases =
+      std::string(ref.substr(8, 5)) + "TTT" + std::string(ref.substr(13, 5));
+  RefCompStats stats;
+  EXPECT_EQ(RoundTrip(reference, bases, MappedAt(8, "5M3I5M"), &stats), bases);
+  EXPECT_EQ(stats.extra_bases, 3);
+  EXPECT_EQ(stats.substitutions, 0);
+}
+
+TEST(RefComp, DeletionConsumesReferenceOnly) {
+  genome::ReferenceGenome reference = FixedReference();
+  std::string_view ref = reference.contig(0).sequence;
+  // 6M 2D 6M at location 2: read skips ref[8..10).
+  std::string bases = std::string(ref.substr(2, 6)) + std::string(ref.substr(10, 6));
+  RefCompStats stats;
+  EXPECT_EQ(RoundTrip(reference, bases, MappedAt(2, "6M2D6M"), &stats), bases);
+  EXPECT_EQ(stats.extra_bases, 0);
+  EXPECT_EQ(stats.substitutions, 0);
+}
+
+TEST(RefComp, SoftClipsStoredVerbatim) {
+  genome::ReferenceGenome reference = FixedReference();
+  std::string_view ref = reference.contig(0).sequence;
+  std::string bases = "GG" + std::string(ref.substr(20, 8)) + "C";
+  RefCompStats stats;
+  EXPECT_EQ(RoundTrip(reference, bases, MappedAt(20, "2S8M1S"), &stats), bases);
+  EXPECT_EQ(stats.extra_bases, 3);
+}
+
+TEST(RefComp, MixedCigarWithSubstitutions) {
+  genome::ReferenceGenome reference = FixedReference();
+  std::string_view ref = reference.contig(0).sequence;
+  // 1S 4M 2I 3M 2D 4M: bases = S + ref[5..9) + II + ref[9..12) + ref[14..18).
+  std::string bases = "T" + std::string(ref.substr(5, 4)) + "CA" +
+                      std::string(ref.substr(9, 3)) + std::string(ref.substr(14, 4));
+  bases[3] = bases[3] == 'C' ? 'G' : 'C';  // one substitution inside the first M block
+  RefCompStats stats;
+  EXPECT_EQ(RoundTrip(reference, bases, MappedAt(5, "1S4M2I3M2D4M"), &stats), bases);
+  EXPECT_EQ(stats.substitutions, 1);
+  EXPECT_EQ(stats.extra_bases, 3);  // 1 soft clip + 2 inserted
+}
+
+TEST(RefComp, UnmappedFallsBackToRaw) {
+  genome::ReferenceGenome reference = FixedReference();
+  RefCompStats stats;
+  EXPECT_EQ(RoundTrip(reference, "ACGTNACGT", Unmapped(), &stats), "ACGTNACGT");
+  EXPECT_EQ(stats.raw_fallback, 1);
+  EXPECT_EQ(stats.ref_encoded, 0);
+}
+
+TEST(RefComp, InconsistentCigarFallsBackToRaw) {
+  genome::ReferenceGenome reference = FixedReference();
+  RefCompStats stats;
+  // CIGAR consumes 12 read bases but the read has 8.
+  EXPECT_EQ(RoundTrip(reference, "ACGTACGT", MappedAt(0, "12M"), &stats), "ACGTACGT");
+  EXPECT_EQ(stats.raw_fallback, 1);
+}
+
+TEST(RefComp, OffContigAlignmentFallsBackToRaw) {
+  genome::ReferenceGenome reference = FixedReference();
+  RefCompStats stats;
+  // Alignment runs past the 40-base contig.
+  EXPECT_EQ(RoundTrip(reference, "ACGTACGTAC", MappedAt(35, "10M"), &stats), "ACGTACGTAC");
+  EXPECT_EQ(stats.raw_fallback, 1);
+}
+
+TEST(RefComp, NBasesRoundTrip) {
+  genome::ReferenceGenome reference = FixedReference();
+  std::string bases = std::string(reference.contig(0).sequence.substr(0, 8));
+  bases[3] = 'N';  // N substituting a real reference base
+  RefCompStats stats;
+  EXPECT_EQ(RoundTrip(reference, bases, MappedAt(0, "8M"), &stats), bases);
+  EXPECT_EQ(stats.substitutions, 1);
+}
+
+TEST(RefComp, DecodeRejectsCorruptRecords) {
+  genome::ReferenceGenome reference = FixedReference();
+  AlignmentResult result = MappedAt(4, "12M");
+  Buffer encoded;
+  RefCompStats stats;
+  RefEncodeRead(reference, std::string(reference.contig(0).sequence.substr(4, 12)), result,
+                &encoded, &stats);
+
+  // Unknown tag.
+  Buffer bad_tag;
+  bad_tag.AppendByte(0x7F);
+  EXPECT_FALSE(RefDecodeRead(reference, bad_tag.span(), result).ok());
+
+  // Ref-based record paired with an unmapped result.
+  EXPECT_FALSE(RefDecodeRead(reference, encoded.span(), Unmapped()).ok());
+
+  // Empty record.
+  EXPECT_FALSE(RefDecodeRead(reference, std::span<const uint8_t>(), result).ok());
+}
+
+TEST(RefComp, DecodeRejectsTruncatedRawRecord) {
+  genome::ReferenceGenome reference = FixedReference();
+  Buffer encoded;
+  RefCompStats stats;
+  RefEncodeRead(reference, "ACGTACGTACGTACGTACGTACGTACGT", Unmapped(), &encoded, &stats);
+  auto truncated = encoded.span().subspan(0, encoded.size() - 1);
+  EXPECT_FALSE(RefDecodeRead(reference, truncated, Unmapped()).ok());
+}
+
+TEST(RefComp, ChunkRoundTripMixedRecords) {
+  genome::ReferenceGenome reference = FixedReference();
+  std::string_view ref = reference.contig(0).sequence;
+  std::vector<std::string> bases = {
+      std::string(ref.substr(0, 10)),                     // perfect
+      "NNNNNNN",                                          // unmapped
+      compress::ReverseComplement(ref.substr(12, 9)),     // reverse perfect
+  };
+  std::vector<AlignmentResult> results = {MappedAt(0, "10M"), Unmapped(),
+                                          MappedAt(12, "9M", /*reverse=*/true)};
+
+  Buffer data;
+  std::vector<uint32_t> lengths;
+  RefCompStats stats = RefEncodeChunk(reference, bases, results, &data, &lengths);
+  EXPECT_EQ(stats.records, 3);
+  EXPECT_EQ(stats.ref_encoded, 2);
+  EXPECT_EQ(stats.raw_fallback, 1);
+  ASSERT_EQ(lengths.size(), 3u);
+
+  auto decoded = RefDecodeChunk(reference, data.span(), lengths, results);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().message();
+  EXPECT_EQ(*decoded, bases);
+}
+
+TEST(RefComp, ChunkDecodeValidatesShape) {
+  genome::ReferenceGenome reference = FixedReference();
+  std::vector<AlignmentResult> results = {Unmapped()};
+  std::vector<uint32_t> lengths = {5, 5};  // two entries, one result
+  EXPECT_FALSE(RefDecodeChunk(reference, std::span<const uint8_t>(), lengths, results).ok());
+
+  // Record length extends past the data block.
+  std::vector<uint32_t> oversized = {100};
+  Buffer tiny;
+  tiny.AppendByte(0);
+  EXPECT_FALSE(
+      RefDecodeChunk(reference, tiny.span(), oversized, std::span(results.data(), 1)).ok());
+}
+
+// Builds an internally consistent (read, CIGAR) pair by walking randomly generated ops
+// over the reference, injecting substitutions in M segments and random bases for I/S.
+struct FuzzRead {
+  std::string bases;         // as-sequenced (reverse-complemented when reverse)
+  AlignmentResult result;
+};
+
+FuzzRead MakeFuzzRead(const genome::ReferenceGenome& reference, Rng& rng) {
+  const std::string& contig = reference.contig(0).sequence;
+  const int64_t location = static_cast<int64_t>(rng.Uniform(contig.size() - 400));
+  std::string fwd;
+  std::string cigar;
+  int64_t ref_pos = location;
+  const int segments = 2 + static_cast<int>(rng.Uniform(4));
+
+  auto append_op = [&cigar](int64_t len, char op) {
+    cigar += std::to_string(len);
+    cigar.push_back(op);
+  };
+
+  if (rng.Bernoulli(0.3)) {  // leading soft clip
+    const int64_t len = 1 + static_cast<int64_t>(rng.Uniform(8));
+    for (int64_t i = 0; i < len; ++i) {
+      fwd.push_back("ACGT"[rng.Uniform(4)]);
+    }
+    append_op(len, 'S');
+  }
+  for (int s = 0; s < segments; ++s) {
+    // M segment with occasional substitutions.
+    const int64_t mlen = 10 + static_cast<int64_t>(rng.Uniform(40));
+    for (int64_t i = 0; i < mlen; ++i) {
+      char base = contig[static_cast<size_t>(ref_pos + i)];
+      if (rng.Bernoulli(0.02)) {
+        base = "ACGT"[rng.Uniform(4)];  // may coincide with the reference; still valid
+      }
+      fwd.push_back(base);
+    }
+    append_op(mlen, 'M');
+    ref_pos += mlen;
+    if (s + 1 == segments) {
+      break;
+    }
+    // Connect segments with an indel.
+    const int64_t indel = 1 + static_cast<int64_t>(rng.Uniform(6));
+    if (rng.Bernoulli(0.5)) {
+      for (int64_t i = 0; i < indel; ++i) {
+        fwd.push_back("ACGT"[rng.Uniform(4)]);
+      }
+      append_op(indel, 'I');
+    } else {
+      append_op(indel, 'D');
+      ref_pos += indel;
+    }
+  }
+  if (rng.Bernoulli(0.3)) {  // trailing soft clip
+    const int64_t len = 1 + static_cast<int64_t>(rng.Uniform(8));
+    for (int64_t i = 0; i < len; ++i) {
+      fwd.push_back("ACGT"[rng.Uniform(4)]);
+    }
+    append_op(len, 'S');
+  }
+
+  FuzzRead fuzz;
+  fuzz.result.location = location;
+  fuzz.result.cigar = cigar;
+  fuzz.result.mapq = 60;
+  if (rng.Bernoulli(0.5)) {
+    fuzz.result.flags = kFlagReverse;
+    fuzz.bases = compress::ReverseComplement(fwd);
+  } else {
+    fuzz.result.flags = 0;
+    fuzz.bases = std::move(fwd);
+  }
+  return fuzz;
+}
+
+class RefCompFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RefCompFuzz, RandomCigarShapesRoundTripExactly) {
+  genome::GenomeSpec gspec;
+  gspec.num_contigs = 1;
+  gspec.contig_length = 20'000;
+  gspec.seed = GetParam();
+  genome::ReferenceGenome reference = genome::GenerateGenome(gspec);
+
+  Rng rng(GetParam() * 7919 + 13);
+  std::vector<std::string> bases;
+  std::vector<AlignmentResult> results;
+  for (int i = 0; i < 150; ++i) {
+    FuzzRead fuzz = MakeFuzzRead(reference, rng);
+    bases.push_back(std::move(fuzz.bases));
+    results.push_back(std::move(fuzz.result));
+  }
+
+  Buffer data;
+  std::vector<uint32_t> lengths;
+  RefCompStats stats = RefEncodeChunk(reference, bases, results, &data, &lengths);
+  EXPECT_EQ(stats.records, 150);
+  EXPECT_EQ(stats.raw_fallback, 0) << "all fuzz reads are projectable by construction";
+
+  auto decoded = RefDecodeChunk(reference, data.span(), lengths, results);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().message();
+  ASSERT_EQ(decoded->size(), bases.size());
+  for (size_t i = 0; i < bases.size(); ++i) {
+    EXPECT_EQ((*decoded)[i], bases[i]) << "read " << i << " cigar " << results[i].cigar;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RefCompFuzz, ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(RefComp, BeatsPackedEncodingOnRealisticErrorRates) {
+  genome::GenomeSpec genome_spec;
+  genome_spec.num_contigs = 1;
+  genome_spec.contig_length = 40'000;
+  genome::ReferenceGenome reference = genome::GenerateGenome(genome_spec);
+
+  genome::ReadSimSpec sim_spec;
+  sim_spec.read_length = 101;
+  sim_spec.substitution_rate = 0.005;  // Illumina-like
+  sim_spec.indel_rate = 0;             // keep truth CIGARs exact
+  genome::ReadSimulator simulator(&reference, sim_spec);
+
+  Buffer data;
+  std::vector<uint32_t> lengths;
+  std::vector<std::string> all_bases;
+  std::vector<AlignmentResult> all_results;
+  RefCompStats stats;
+  for (int i = 0; i < 400; ++i) {
+    genome::Read read = simulator.NextRead();
+    auto truth = genome::ParseReadTruth(reference, read.metadata);
+    ASSERT_TRUE(truth.ok());
+    auto location = reference.LocalToGlobal(truth->contig_index, truth->position);
+    ASSERT_TRUE(location.ok());
+    AlignmentResult result = MappedAt(*location, "101M", truth->reverse);
+    all_bases.push_back(read.bases);
+    all_results.push_back(result);
+  }
+  stats = RefEncodeChunk(reference, all_bases, all_results, &data, &lengths);
+
+  // Every record should project cleanly (no indel errors were simulated).
+  EXPECT_EQ(stats.raw_fallback, 0);
+  // ~0.5 subs expected per 101-bp read; far below packed-3-bit cost (38 bytes/read).
+  const int64_t packed_bytes =
+      static_cast<int64_t>(all_bases.size()) *
+      static_cast<int64_t>(compress::PackedBasesSize(sim_spec.read_length));
+  EXPECT_LT(stats.encoded_bytes * 5, packed_bytes)
+      << "reference-based encoding should be >5x smaller than 3-bit packing";
+
+  auto decoded = RefDecodeChunk(reference, data.span(), lengths, all_results);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, all_bases);
+}
+
+}  // namespace
+}  // namespace persona::format

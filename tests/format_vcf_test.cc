@@ -1,0 +1,191 @@
+// Tests for the VCF writer/parser: header structure, record round-trips, coordinate
+// conventions, INFO handling, and malformed-input rejection.
+
+#include <gtest/gtest.h>
+
+#include "src/format/vcf.h"
+#include "src/genome/generator.h"
+
+namespace persona::format {
+namespace {
+
+genome::ReferenceGenome TestReference() {
+  genome::GenomeSpec spec;
+  spec.num_contigs = 2;
+  spec.contig_length = 5'000;
+  return genome::GenerateGenome(spec);
+}
+
+VariantRecord TestSnv() {
+  VariantRecord record;
+  record.contig_index = 0;
+  record.position = 122;  // 0-based
+  record.ref_allele = "A";
+  record.alt_allele = "G";
+  record.qual = 57.31;
+  record.depth = 31;
+  record.alt_fraction = 0.516;
+  record.strand_bias = 0.04;
+  record.genotype = "0/1";
+  return record;
+}
+
+TEST(VcfHeader, DeclaresContigsAndFields) {
+  genome::ReferenceGenome reference = TestReference();
+  std::string header = VcfHeader(reference, "patient7");
+  EXPECT_NE(header.find("##fileformat=VCFv4.2"), std::string::npos);
+  EXPECT_NE(header.find("##contig=<ID=chr1,length=5000>"), std::string::npos);
+  EXPECT_NE(header.find("##contig=<ID=chr2,length=5000>"), std::string::npos);
+  EXPECT_NE(header.find("##INFO=<ID=DP"), std::string::npos);
+  EXPECT_NE(header.find("##FORMAT=<ID=GT"), std::string::npos);
+  EXPECT_NE(header.find("#CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\tINFO\tFORMAT\tpatient7\n"),
+            std::string::npos);
+}
+
+TEST(VcfRecord, WritesOneBasedPosition) {
+  genome::ReferenceGenome reference = TestReference();
+  std::string line;
+  ASSERT_TRUE(AppendVcfRecord(reference, TestSnv(), &line).ok());
+  EXPECT_NE(line.find("chr1\t123\t"), std::string::npos) << line;
+  EXPECT_NE(line.find("TYPE=SNV"), std::string::npos);
+  EXPECT_NE(line.find("GT\t0/1"), std::string::npos);
+}
+
+TEST(VcfRecord, RoundTripsThroughText) {
+  genome::ReferenceGenome reference = TestReference();
+  VariantRecord original = TestSnv();
+  std::string line;
+  ASSERT_TRUE(AppendVcfRecord(reference, original, &line).ok());
+  ASSERT_FALSE(line.empty());
+  line.pop_back();  // strip '\n'
+
+  VariantRecord parsed;
+  ASSERT_TRUE(ParseVcfRecord(reference, line, &parsed).ok());
+  EXPECT_EQ(parsed.contig_index, original.contig_index);
+  EXPECT_EQ(parsed.position, original.position);
+  EXPECT_EQ(parsed.ref_allele, original.ref_allele);
+  EXPECT_EQ(parsed.alt_allele, original.alt_allele);
+  EXPECT_NEAR(parsed.qual, original.qual, 0.01);
+  EXPECT_EQ(parsed.depth, original.depth);
+  EXPECT_NEAR(parsed.alt_fraction, original.alt_fraction, 1e-4);
+  EXPECT_NEAR(parsed.strand_bias, original.strand_bias, 1e-4);
+  EXPECT_EQ(parsed.genotype, original.genotype);
+  EXPECT_EQ(parsed.filter, "PASS");
+}
+
+TEST(VcfRecord, IndelTypeTagsAndShapePredicates) {
+  genome::ReferenceGenome reference = TestReference();
+  VariantRecord ins = TestSnv();
+  ins.ref_allele = "A";
+  ins.alt_allele = "ACCG";
+  EXPECT_TRUE(ins.insertion());
+  EXPECT_FALSE(ins.snv());
+  std::string line;
+  ASSERT_TRUE(AppendVcfRecord(reference, ins, &line).ok());
+  EXPECT_NE(line.find("TYPE=INS"), std::string::npos);
+
+  VariantRecord del = TestSnv();
+  del.ref_allele = "ATT";
+  del.alt_allele = "A";
+  EXPECT_TRUE(del.deletion());
+  line.clear();
+  ASSERT_TRUE(AppendVcfRecord(reference, del, &line).ok());
+  EXPECT_NE(line.find("TYPE=DEL"), std::string::npos);
+}
+
+TEST(VcfRecord, RejectsInvalidRecords) {
+  genome::ReferenceGenome reference = TestReference();
+  std::string line;
+
+  VariantRecord bad_contig = TestSnv();
+  bad_contig.contig_index = 99;
+  EXPECT_FALSE(AppendVcfRecord(reference, bad_contig, &line).ok());
+
+  VariantRecord bad_allele = TestSnv();
+  bad_allele.alt_allele = "AZ";
+  EXPECT_FALSE(AppendVcfRecord(reference, bad_allele, &line).ok());
+
+  VariantRecord empty_allele = TestSnv();
+  empty_allele.ref_allele.clear();
+  EXPECT_FALSE(AppendVcfRecord(reference, empty_allele, &line).ok());
+
+  VariantRecord off_end = TestSnv();
+  off_end.position = 4'999;
+  off_end.ref_allele = "AAA";  // runs past the 5000-base contig
+  EXPECT_FALSE(AppendVcfRecord(reference, off_end, &line).ok());
+}
+
+TEST(VcfParse, RejectsMalformedLines) {
+  genome::ReferenceGenome reference = TestReference();
+  VariantRecord record;
+  // Too few fields.
+  EXPECT_FALSE(ParseVcfRecord(reference, "chr1\t5\t.\tA\tG", &record).ok());
+  // Unknown contig.
+  EXPECT_FALSE(
+      ParseVcfRecord(reference, "chrX\t5\t.\tA\tG\t40\tPASS\tDP=9", &record).ok());
+  // Zero / non-numeric position.
+  EXPECT_FALSE(
+      ParseVcfRecord(reference, "chr1\t0\t.\tA\tG\t40\tPASS\tDP=9", &record).ok());
+  EXPECT_FALSE(
+      ParseVcfRecord(reference, "chr1\tabc\t.\tA\tG\t40\tPASS\tDP=9", &record).ok());
+  // Multi-allelic ALT.
+  EXPECT_FALSE(
+      ParseVcfRecord(reference, "chr1\t5\t.\tA\tG,T\t40\tPASS\tDP=9", &record).ok());
+  // Bad allele characters.
+  EXPECT_FALSE(
+      ParseVcfRecord(reference, "chr1\t5\t.\tA\tg\t40\tPASS\tDP=9", &record).ok());
+}
+
+TEST(VcfParse, ToleratesMissingOptionalFields) {
+  genome::ReferenceGenome reference = TestReference();
+  VariantRecord record;
+  // No FORMAT/sample, '.' QUAL, unknown INFO keys.
+  ASSERT_TRUE(ParseVcfRecord(reference, "chr2\t10\trs1\tT\tC\t.\tq10\tFOO=1;BAR;DP=5",
+                             &record)
+                  .ok());
+  EXPECT_EQ(record.contig_index, 1);
+  EXPECT_EQ(record.position, 9);
+  EXPECT_EQ(record.id, "rs1");
+  EXPECT_EQ(record.qual, 0);
+  EXPECT_EQ(record.filter, "q10");
+  EXPECT_EQ(record.depth, 5);
+  EXPECT_EQ(record.genotype, "./.");
+}
+
+TEST(VcfFile, WriteParseRoundTrip) {
+  genome::ReferenceGenome reference = TestReference();
+  std::vector<VariantRecord> records;
+  records.push_back(TestSnv());
+  VariantRecord second = TestSnv();
+  second.contig_index = 1;
+  second.position = 777;
+  second.ref_allele = "C";
+  second.alt_allele = "CTA";
+  second.genotype = "1/1";
+  records.push_back(second);
+
+  std::string text = WriteVcf(reference, "s1", records);
+  auto parsed = ParseVcf(reference, text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  ASSERT_EQ(parsed->size(), 2u);
+  EXPECT_EQ((*parsed)[0].position, records[0].position);
+  EXPECT_EQ((*parsed)[1].alt_allele, "CTA");
+  EXPECT_EQ((*parsed)[1].genotype, "1/1");
+}
+
+TEST(VcfFile, ParseSkipsHeadersAndBlankLines) {
+  genome::ReferenceGenome reference = TestReference();
+  std::string text = "##fileformat=VCFv4.2\n\n#CHROM\tstuff\nchr1\t3\t.\tG\tT\t22\tPASS\tDP=7\n";
+  auto parsed = ParseVcf(reference, text);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), 1u);
+  EXPECT_EQ((*parsed)[0].position, 2);
+}
+
+TEST(VcfFile, ParsePropagatesRecordErrors) {
+  genome::ReferenceGenome reference = TestReference();
+  EXPECT_FALSE(ParseVcf(reference, "chrNOPE\t3\t.\tG\tT\t22\tPASS\tDP=7\n").ok());
+}
+
+}  // namespace
+}  // namespace persona::format

@@ -1,0 +1,190 @@
+// Tests for the diploid donor mutation model: allele correctness against the reference,
+// zygosity semantics, haplotype reconstruction, spacing, and determinism.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/genome/generator.h"
+#include "src/genome/mutate.h"
+
+namespace persona::genome {
+namespace {
+
+GenomeSpec SmallGenomeSpec() {
+  GenomeSpec spec;
+  spec.num_contigs = 2;
+  spec.contig_length = 30'000;
+  spec.seed = 11;
+  return spec;
+}
+
+TEST(MutateGenome, ProducesVariantsOfAllTypesAtExpectedScale) {
+  ReferenceGenome reference = GenerateGenome(SmallGenomeSpec());
+  MutationSpec spec;
+  spec.snv_rate = 0.002;
+  spec.insertion_rate = 5e-4;
+  spec.deletion_rate = 5e-4;
+  DonorGenome donor = MutateGenome(reference, spec);
+
+  const double bases = static_cast<double>(reference.total_length());
+  const int64_t snvs = donor.CountType(VariantType::kSnv);
+  const int64_t ins = donor.CountType(VariantType::kInsertion);
+  const int64_t del = donor.CountType(VariantType::kDeletion);
+  EXPECT_GT(snvs, 0);
+  EXPECT_GT(ins, 0);
+  EXPECT_GT(del, 0);
+  // Within a loose factor of the requested rates (spacing suppresses some density).
+  EXPECT_LT(static_cast<double>(snvs), bases * spec.snv_rate * 2.0);
+  EXPECT_GT(static_cast<double>(snvs), bases * spec.snv_rate * 0.3);
+}
+
+TEST(MutateGenome, SnvAllelesMatchReferenceAndDiffer) {
+  ReferenceGenome reference = GenerateGenome(SmallGenomeSpec());
+  DonorGenome donor = MutateGenome(reference, MutationSpec{});
+  for (const TrueVariant& v : donor.variants) {
+    const std::string& ref_seq = reference.contig(static_cast<size_t>(v.contig_index)).sequence;
+    ASSERT_LE(v.position + static_cast<int64_t>(v.ref_allele.size()),
+              static_cast<int64_t>(ref_seq.size()));
+    EXPECT_EQ(v.ref_allele,
+              ref_seq.substr(static_cast<size_t>(v.position), v.ref_allele.size()))
+        << "ref allele must equal the reference sequence at its position";
+    EXPECT_NE(v.ref_allele, v.alt_allele);
+    switch (v.type) {
+      case VariantType::kSnv:
+        EXPECT_EQ(v.ref_allele.size(), 1u);
+        EXPECT_EQ(v.alt_allele.size(), 1u);
+        break;
+      case VariantType::kInsertion:
+        EXPECT_EQ(v.ref_allele.size(), 1u);
+        EXPECT_GT(v.alt_allele.size(), 1u);
+        EXPECT_EQ(v.alt_allele[0], v.ref_allele[0]) << "insertion keeps its anchor base";
+        break;
+      case VariantType::kDeletion:
+        EXPECT_GT(v.ref_allele.size(), 1u);
+        EXPECT_EQ(v.alt_allele.size(), 1u);
+        EXPECT_EQ(v.alt_allele[0], v.ref_allele[0]) << "deletion keeps its anchor base";
+        break;
+    }
+  }
+}
+
+TEST(MutateGenome, ZygosityControlsHaplotypeMasks) {
+  ReferenceGenome reference = GenerateGenome(SmallGenomeSpec());
+  MutationSpec spec;
+  spec.heterozygous_fraction = 0.5;
+  DonorGenome donor = MutateGenome(reference, spec);
+  int64_t het = 0;
+  int64_t hom = 0;
+  for (const TrueVariant& v : donor.variants) {
+    if (v.heterozygous) {
+      ++het;
+      EXPECT_TRUE(v.haplotype_mask == 0x1 || v.haplotype_mask == 0x2);
+      EXPECT_EQ(v.GenotypeString(), "0/1");
+    } else {
+      ++hom;
+      EXPECT_EQ(v.haplotype_mask, 0x3);
+      EXPECT_EQ(v.GenotypeString(), "1/1");
+    }
+  }
+  EXPECT_GT(het, 0);
+  EXPECT_GT(hom, 0);
+}
+
+TEST(MutateGenome, HaplotypeLengthsReflectIndels) {
+  ReferenceGenome reference = GenerateGenome(SmallGenomeSpec());
+  MutationSpec spec;
+  spec.snv_rate = 0;  // isolate indels
+  spec.insertion_rate = 1e-3;
+  spec.deletion_rate = 1e-3;
+  DonorGenome donor = MutateGenome(reference, spec);
+
+  for (int hap = 0; hap < 2; ++hap) {
+    int64_t expected_delta = 0;
+    for (const TrueVariant& v : donor.variants) {
+      if ((v.haplotype_mask & (1 << hap)) == 0) {
+        continue;
+      }
+      expected_delta += static_cast<int64_t>(v.alt_allele.size()) -
+                        static_cast<int64_t>(v.ref_allele.size());
+    }
+    EXPECT_EQ(donor.haplotypes[static_cast<size_t>(hap)].total_length(),
+              reference.total_length() + expected_delta)
+        << "haplotype " << hap;
+  }
+}
+
+TEST(MutateGenome, SnvAppearsInCarryingHaplotypeSequence) {
+  ReferenceGenome reference = GenerateGenome(SmallGenomeSpec());
+  MutationSpec spec;
+  spec.insertion_rate = 0;
+  spec.deletion_rate = 0;  // SNV-only: reference and haplotype coordinates stay aligned
+  DonorGenome donor = MutateGenome(reference, spec);
+  ASSERT_FALSE(donor.variants.empty());
+  for (const TrueVariant& v : donor.variants) {
+    for (int hap = 0; hap < 2; ++hap) {
+      const std::string& seq =
+          donor.haplotypes[static_cast<size_t>(hap)].contig(static_cast<size_t>(v.contig_index)).sequence;
+      const char base = seq[static_cast<size_t>(v.position)];
+      if (v.haplotype_mask & (1 << hap)) {
+        EXPECT_EQ(base, v.alt_allele[0]);
+      } else {
+        EXPECT_EQ(base, v.ref_allele[0]);
+      }
+    }
+  }
+}
+
+TEST(MutateGenome, RespectsMinimumSpacing) {
+  ReferenceGenome reference = GenerateGenome(SmallGenomeSpec());
+  MutationSpec spec;
+  spec.snv_rate = 0.05;  // dense enough that spacing is the binding constraint
+  spec.min_spacing = 25;
+  DonorGenome donor = MutateGenome(reference, spec);
+  for (size_t i = 1; i < donor.variants.size(); ++i) {
+    const TrueVariant& prev = donor.variants[i - 1];
+    const TrueVariant& cur = donor.variants[i];
+    if (prev.contig_index == cur.contig_index) {
+      EXPECT_GE(cur.position - prev.position, spec.min_spacing);
+    }
+  }
+}
+
+TEST(MutateGenome, DeterministicForSeed) {
+  ReferenceGenome reference = GenerateGenome(SmallGenomeSpec());
+  DonorGenome a = MutateGenome(reference, MutationSpec{});
+  DonorGenome b = MutateGenome(reference, MutationSpec{});
+  ASSERT_EQ(a.variants.size(), b.variants.size());
+  EXPECT_TRUE(std::equal(a.variants.begin(), a.variants.end(), b.variants.begin()));
+  MutationSpec other;
+  other.seed = 2222;
+  DonorGenome c = MutateGenome(reference, other);
+  EXPECT_NE(a.variants.size(), c.variants.size());
+}
+
+TEST(MutateGenome, ContigNamesPreserved) {
+  ReferenceGenome reference = GenerateGenome(SmallGenomeSpec());
+  DonorGenome donor = MutateGenome(reference, MutationSpec{});
+  ASSERT_EQ(donor.haplotypes[0].num_contigs(), reference.num_contigs());
+  for (size_t i = 0; i < reference.num_contigs(); ++i) {
+    EXPECT_EQ(donor.haplotypes[0].contig(i).name, reference.contig(i).name);
+    EXPECT_EQ(donor.haplotypes[1].contig(i).name, reference.contig(i).name);
+  }
+}
+
+TEST(MutateGenome, ZeroRatesProduceIdenticalHaplotypes) {
+  ReferenceGenome reference = GenerateGenome(SmallGenomeSpec());
+  MutationSpec spec;
+  spec.snv_rate = 0;
+  spec.insertion_rate = 0;
+  spec.deletion_rate = 0;
+  DonorGenome donor = MutateGenome(reference, spec);
+  EXPECT_TRUE(donor.variants.empty());
+  for (size_t i = 0; i < reference.num_contigs(); ++i) {
+    EXPECT_EQ(donor.haplotypes[0].contig(i).sequence, reference.contig(i).sequence);
+    EXPECT_EQ(donor.haplotypes[1].contig(i).sequence, reference.contig(i).sequence);
+  }
+}
+
+}  // namespace
+}  // namespace persona::genome

@@ -1,0 +1,275 @@
+// Tests for the reference model, synthetic genome generator, and read simulator.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/compress/base_compaction.h"
+#include "src/genome/generator.h"
+#include "src/genome/read_simulator.h"
+#include "src/genome/reference.h"
+
+namespace persona::genome {
+namespace {
+
+ReferenceGenome SmallReference() {
+  return ReferenceGenome({{"chr1", "ACGTACGTAC"}, {"chr2", "GGGGG"}, {"chr3", "TTTT"}});
+}
+
+TEST(ReferenceTest, TotalLengthAndStarts) {
+  ReferenceGenome ref = SmallReference();
+  EXPECT_EQ(ref.total_length(), 19);
+  EXPECT_EQ(ref.contig_start(0), 0);
+  EXPECT_EQ(ref.contig_start(1), 10);
+  EXPECT_EQ(ref.contig_start(2), 15);
+}
+
+TEST(ReferenceTest, GlobalToLocalBoundaries) {
+  ReferenceGenome ref = SmallReference();
+  auto p0 = ref.GlobalToLocal(0);
+  ASSERT_TRUE(p0.ok());
+  EXPECT_EQ(p0->contig_index, 0);
+  EXPECT_EQ(p0->offset, 0);
+
+  auto p9 = ref.GlobalToLocal(9);
+  ASSERT_TRUE(p9.ok());
+  EXPECT_EQ(p9->contig_index, 0);
+  EXPECT_EQ(p9->offset, 9);
+
+  auto p10 = ref.GlobalToLocal(10);
+  ASSERT_TRUE(p10.ok());
+  EXPECT_EQ(p10->contig_index, 1);
+  EXPECT_EQ(p10->offset, 0);
+
+  auto p18 = ref.GlobalToLocal(18);
+  ASSERT_TRUE(p18.ok());
+  EXPECT_EQ(p18->contig_index, 2);
+  EXPECT_EQ(p18->offset, 3);
+
+  EXPECT_FALSE(ref.GlobalToLocal(-1).ok());
+  EXPECT_FALSE(ref.GlobalToLocal(19).ok());
+}
+
+TEST(ReferenceTest, LocalToGlobalRoundTrip) {
+  ReferenceGenome ref = SmallReference();
+  for (int64_t g = 0; g < ref.total_length(); ++g) {
+    auto local = ref.GlobalToLocal(g);
+    ASSERT_TRUE(local.ok());
+    auto back = ref.LocalToGlobal(local->contig_index, local->offset);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, g);
+  }
+  EXPECT_FALSE(ref.LocalToGlobal(0, 10).ok());
+  EXPECT_FALSE(ref.LocalToGlobal(5, 0).ok());
+}
+
+TEST(ReferenceTest, SliceWithinContig) {
+  ReferenceGenome ref = SmallReference();
+  auto s = ref.Slice(2, 4);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(*s, "GTAC");
+  EXPECT_FALSE(ref.Slice(8, 4).ok());  // would span chr1/chr2
+}
+
+TEST(ReferenceTest, FindContig) {
+  ReferenceGenome ref = SmallReference();
+  EXPECT_EQ(*ref.FindContig("chr2"), 1);
+  EXPECT_FALSE(ref.FindContig("chrX").ok());
+}
+
+TEST(ReferenceTest, BaseAt) {
+  ReferenceGenome ref = SmallReference();
+  EXPECT_EQ(ref.BaseAt(0), 'A');
+  EXPECT_EQ(ref.BaseAt(10), 'G');
+  EXPECT_EQ(ref.BaseAt(15), 'T');
+  EXPECT_EQ(ref.BaseAt(100), 'N');  // out of range
+}
+
+TEST(GeneratorTest, DeterministicForSeed) {
+  GenomeSpec spec;
+  spec.num_contigs = 2;
+  spec.contig_length = 5000;
+  ReferenceGenome a = GenerateGenome(spec);
+  ReferenceGenome b = GenerateGenome(spec);
+  ASSERT_EQ(a.num_contigs(), 2u);
+  EXPECT_EQ(a.contig(0).sequence, b.contig(0).sequence);
+  EXPECT_EQ(a.contig(1).sequence, b.contig(1).sequence);
+
+  spec.seed = 43;
+  ReferenceGenome c = GenerateGenome(spec);
+  EXPECT_NE(a.contig(0).sequence, c.contig(0).sequence);
+}
+
+TEST(GeneratorTest, RespectsShape) {
+  GenomeSpec spec;
+  spec.num_contigs = 3;
+  spec.contig_length = 2000;
+  ReferenceGenome ref = GenerateGenome(spec);
+  ASSERT_EQ(ref.num_contigs(), 3u);
+  EXPECT_EQ(ref.contig(0).name, "chr1");
+  EXPECT_EQ(ref.contig(2).name, "chr3");
+  EXPECT_EQ(ref.total_length(), 6000);
+}
+
+TEST(GeneratorTest, GcContentIsRespected) {
+  GenomeSpec spec;
+  spec.num_contigs = 1;
+  spec.contig_length = 200'000;
+  spec.gc_content = 0.41;
+  spec.repeat_fraction = 0;
+  ReferenceGenome ref = GenerateGenome(spec);
+  int64_t gc = 0;
+  for (char c : ref.contig(0).sequence) {
+    if (c == 'G' || c == 'C') {
+      ++gc;
+    }
+  }
+  double fraction = static_cast<double>(gc) / static_cast<double>(spec.contig_length);
+  EXPECT_NEAR(fraction, 0.41, 0.01);
+}
+
+TEST(GeneratorTest, OnlyValidBases) {
+  GenomeSpec spec;
+  spec.contig_length = 10'000;
+  ReferenceGenome ref = GenerateGenome(spec);
+  for (size_t ci = 0; ci < ref.num_contigs(); ++ci) {
+    for (char c : ref.contig(ci).sequence) {
+      EXPECT_TRUE(c == 'A' || c == 'C' || c == 'G' || c == 'T') << c;
+    }
+  }
+}
+
+class ReadSimulatorTest : public ::testing::Test {
+ protected:
+  ReadSimulatorTest() {
+    GenomeSpec spec;
+    spec.num_contigs = 2;
+    spec.contig_length = 20'000;
+    reference_ = GenerateGenome(spec);
+  }
+  ReferenceGenome reference_;
+};
+
+TEST_F(ReadSimulatorTest, ProducesWellFormedReads) {
+  ReadSimSpec spec;
+  spec.read_length = 101;
+  ReadSimulator sim(&reference_, spec);
+  for (int i = 0; i < 200; ++i) {
+    Read read = sim.NextRead();
+    EXPECT_EQ(read.bases.size(), 101u);
+    EXPECT_EQ(read.qual.size(), 101u);
+    for (char c : read.bases) {
+      EXPECT_TRUE(c == 'A' || c == 'C' || c == 'G' || c == 'T' || c == 'N');
+    }
+    for (char q : read.qual) {
+      EXPECT_GE(q, '!');
+      EXPECT_LE(q, '!' + 41);
+    }
+  }
+}
+
+TEST_F(ReadSimulatorTest, TruthMetadataParsesBack) {
+  ReadSimSpec spec;
+  ReadSimulator sim(&reference_, spec);
+  for (int i = 0; i < 100; ++i) {
+    Read read = sim.NextRead();
+    auto truth = ParseReadTruth(reference_, read.metadata);
+    ASSERT_TRUE(truth.ok()) << read.metadata;
+    EXPECT_GE(truth->contig_index, 0);
+    EXPECT_LT(truth->contig_index, 2);
+    EXPECT_GE(truth->position, 0);
+    // Read must fit inside its contig.
+    const Contig& contig = reference_.contig(static_cast<size_t>(truth->contig_index));
+    EXPECT_LE(truth->position + spec.read_length,
+              static_cast<int64_t>(contig.sequence.size()));
+  }
+}
+
+TEST_F(ReadSimulatorTest, LowErrorReadsMatchReference) {
+  ReadSimSpec spec;
+  spec.substitution_rate = 0.0;
+  spec.indel_rate = 0.0;
+  ReadSimulator sim(&reference_, spec);
+  int mismatches_total = 0;
+  for (int i = 0; i < 50; ++i) {
+    Read read = sim.NextRead();
+    auto truth = ParseReadTruth(reference_, read.metadata);
+    ASSERT_TRUE(truth.ok());
+    const Contig& contig = reference_.contig(static_cast<size_t>(truth->contig_index));
+    std::string expected = contig.sequence.substr(static_cast<size_t>(truth->position),
+                                                  static_cast<size_t>(spec.read_length));
+    std::string oriented = read.bases;
+    if (truth->reverse) {
+      oriented = compress::ReverseComplement(oriented);
+    }
+    // Only quality-model errors remain; expect few mismatches.
+    int mismatches = 0;
+    for (size_t k = 0; k < expected.size(); ++k) {
+      if (expected[k] != oriented[k]) {
+        ++mismatches;
+      }
+    }
+    mismatches_total += mismatches;
+    EXPECT_LT(mismatches, 10);
+  }
+  // Across 50 reads of 101bp with ~0.5% error, expect a small, nonzero total.
+  EXPECT_LT(mismatches_total, 150);
+}
+
+TEST_F(ReadSimulatorTest, DeterministicForSeed) {
+  ReadSimSpec spec;
+  ReadSimulator a(&reference_, spec);
+  ReadSimulator b(&reference_, spec);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(a.NextRead(), b.NextRead());
+  }
+}
+
+TEST_F(ReadSimulatorTest, DuplicatesAreMarkedInTruth) {
+  ReadSimSpec spec;
+  spec.duplicate_fraction = 0.5;
+  ReadSimulator sim(&reference_, spec);
+  int duplicates = 0;
+  const int kReads = 400;
+  for (int i = 0; i < kReads; ++i) {
+    Read read = sim.NextRead();
+    auto truth = ParseReadTruth(reference_, read.metadata);
+    ASSERT_TRUE(truth.ok());
+    if (truth->duplicate) {
+      ++duplicates;
+    }
+  }
+  EXPECT_GT(duplicates, kReads / 4);
+  EXPECT_LT(duplicates, 3 * kReads / 4);
+}
+
+TEST_F(ReadSimulatorTest, PairedReadsHaveSaneGeometry) {
+  ReadSimSpec spec;
+  spec.paired = true;
+  spec.insert_mean = 300;
+  spec.insert_stddev = 20;
+  ReadSimulator sim(&reference_, spec);
+  for (int i = 0; i < 50; ++i) {
+    auto [r1, r2] = sim.NextPair();
+    auto t1 = ParseReadTruth(reference_, r1.metadata.substr(0, r1.metadata.size() - 2));
+    auto t2 = ParseReadTruth(reference_, r2.metadata.substr(0, r2.metadata.size() - 2));
+    ASSERT_TRUE(t1.ok());
+    ASSERT_TRUE(t2.ok());
+    EXPECT_EQ(t1->contig_index, t2->contig_index);
+    EXPECT_FALSE(t1->reverse);
+    EXPECT_TRUE(t2->reverse);
+    int64_t insert = t2->position + spec.read_length - t1->position;
+    EXPECT_GT(insert, 150);
+    EXPECT_LT(insert, 500);
+  }
+}
+
+TEST_F(ReadSimulatorTest, TruthParserRejectsForeignMetadata) {
+  EXPECT_FALSE(ParseReadTruth(reference_, "ERR174324.1").ok());
+  EXPECT_FALSE(ParseReadTruth(reference_, "sim:chr9:5:F:1").ok());    // no such contig
+  EXPECT_FALSE(ParseReadTruth(reference_, "sim:chr1:x:F:1").ok());    // bad position
+  EXPECT_FALSE(ParseReadTruth(reference_, "sim:chr1:5:Q:1").ok());    // bad strand
+}
+
+}  // namespace
+}  // namespace persona::genome

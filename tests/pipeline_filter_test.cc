@@ -1,0 +1,330 @@
+// Tests for AGD dataset filtering: the keep-predicate semantics, re-chunking of
+// surviving records, selective column I/O, and end-to-end dataset integrity.
+
+#include <gtest/gtest.h>
+
+#include "src/format/agd_chunk.h"
+#include "src/genome/generator.h"
+#include "src/pipeline/agd_store_util.h"
+#include "src/pipeline/filter.h"
+#include "src/storage/memory_store.h"
+#include "src/util/string_util.h"
+
+namespace persona::pipeline {
+namespace {
+
+using align::AlignmentResult;
+using align::kFlagDuplicate;
+using align::kFlagReverse;
+using align::kFlagUnmapped;
+
+// Builds a dataset of `n` reads in `store` whose results are crafted per-index:
+//   every 5th record unmapped; every 3rd a duplicate; mapq cycles 0..59;
+//   locations spread 100 apart.
+format::Manifest BuildDataset(storage::ObjectStore* store, int n, int64_t chunk_size) {
+  std::vector<genome::Read> reads;
+  for (int i = 0; i < n; ++i) {
+    genome::Read read;
+    read.bases = std::string(24, "ACGT"[i % 4]);
+    read.qual = std::string(24, 'I');
+    read.metadata = StrFormat("r%03d", i);
+    reads.push_back(std::move(read));
+  }
+  auto manifest = WriteAgdToStore(store, "ds", reads, chunk_size);
+  EXPECT_TRUE(manifest.ok());
+
+  // Append a results column chunk by chunk.
+  format::Manifest with_results = *manifest;
+  with_results.columns.push_back(format::ResultsColumn());
+  Buffer file;
+  for (size_t ci = 0; ci < manifest->chunks.size(); ++ci) {
+    const format::ManifestChunk& chunk = manifest->chunks[ci];
+    format::ChunkBuilder builder(format::RecordType::kResults, compress::CodecId::kZlib);
+    for (int64_t i = chunk.first_record; i < chunk.first_record + chunk.num_records; ++i) {
+      AlignmentResult result;
+      if (i % 5 == 0) {
+        result.flags = kFlagUnmapped;
+      } else {
+        result.flags = 0;
+        result.location = i * 100;
+        result.mapq = static_cast<uint8_t>(i % 60);
+        result.cigar = "24M";
+        if (i % 3 == 0) {
+          result.flags |= kFlagDuplicate;
+        }
+        if (i % 2 == 0) {
+          result.flags |= kFlagReverse;
+        }
+      }
+      builder.AddResult(result);
+    }
+    EXPECT_TRUE(builder.Finalize(&file).ok());
+    EXPECT_TRUE(store->Put(chunk.path_base + ".results", file).ok());
+  }
+  return with_results;
+}
+
+// Decodes every result of `manifest` from `store`.
+std::vector<AlignmentResult> LoadResults(storage::ObjectStore* store,
+                                         const format::Manifest& manifest) {
+  std::vector<AlignmentResult> all;
+  Buffer file;
+  for (size_t ci = 0; ci < manifest.chunks.size(); ++ci) {
+    EXPECT_TRUE(store->Get(manifest.ChunkFileName(ci, "results"), &file).ok());
+    auto chunk = format::ParsedChunk::Parse(file.span());
+    EXPECT_TRUE(chunk.ok());
+    for (size_t i = 0; i < chunk->record_count(); ++i) {
+      all.push_back(*chunk->GetResult(i));
+    }
+  }
+  return all;
+}
+
+TEST(ReadFilterSpec, PredicateSemantics) {
+  AlignmentResult mapped;
+  mapped.flags = 0;
+  mapped.location = 500;
+  mapped.mapq = 30;
+
+  AlignmentResult unmapped;
+  unmapped.flags = kFlagUnmapped;
+
+  ReadFilterSpec pass_all;
+  EXPECT_TRUE(pass_all.Keep(mapped));
+  EXPECT_TRUE(pass_all.Keep(unmapped));
+
+  ReadFilterSpec drop_unmapped;
+  drop_unmapped.excluded_flags = kFlagUnmapped;
+  EXPECT_TRUE(drop_unmapped.Keep(mapped));
+  EXPECT_FALSE(drop_unmapped.Keep(unmapped));
+
+  ReadFilterSpec require_reverse;
+  require_reverse.required_flags = kFlagReverse;
+  EXPECT_FALSE(require_reverse.Keep(mapped));
+  AlignmentResult reverse = mapped;
+  reverse.flags |= kFlagReverse;
+  EXPECT_TRUE(require_reverse.Keep(reverse));
+
+  ReadFilterSpec mapq40;
+  mapq40.min_mapq = 40;
+  EXPECT_FALSE(mapq40.Keep(mapped));   // mapq 30
+  EXPECT_FALSE(mapq40.Keep(unmapped)); // unmapped never passes a MAPQ gate
+  AlignmentResult good = mapped;
+  good.mapq = 40;
+  EXPECT_TRUE(mapq40.Keep(good));
+
+  ReadFilterSpec region;
+  region.region_begin = 400;
+  region.region_end = 600;
+  EXPECT_TRUE(region.Keep(mapped));    // 500 in [400, 600)
+  EXPECT_FALSE(region.Keep(unmapped));
+  AlignmentResult outside = mapped;
+  outside.location = 600;  // half-open: end is excluded
+  EXPECT_FALSE(region.Keep(outside));
+  outside.location = 400;
+  EXPECT_TRUE(region.Keep(outside));
+}
+
+TEST(FilterAgdDataset, DropsUnmappedAndRechunks) {
+  storage::MemoryStore store;
+  format::Manifest manifest = BuildDataset(&store, 50, 10);
+
+  ReadFilterSpec spec;
+  spec.excluded_flags = kFlagUnmapped;
+  FilterOptions options;
+  options.chunk_size = 8;
+  format::Manifest out;
+  auto report = FilterAgdDataset(&store, manifest, "flt", spec, options, &out);
+  ASSERT_TRUE(report.ok()) << report.status().message();
+
+  EXPECT_EQ(report->records_in, 50u);
+  EXPECT_EQ(report->records_out, 40u);  // 10 unmapped (every 5th) dropped
+  EXPECT_EQ(out.total_records(), 40);
+  EXPECT_EQ(out.chunk_size, 8);
+  EXPECT_EQ(out.chunks.size(), 5u);  // ceil(40 / 8)
+
+  // All surviving records are mapped, and the other columns stayed row-grouped.
+  std::vector<AlignmentResult> results = LoadResults(&store, out);
+  ASSERT_EQ(results.size(), 40u);
+  for (const AlignmentResult& r : results) {
+    EXPECT_TRUE(r.mapped());
+  }
+  Buffer file;
+  ASSERT_TRUE(store.Get(out.ChunkFileName(0, "metadata"), &file).ok());
+  auto metadata = format::ParsedChunk::Parse(file.span());
+  ASSERT_TRUE(metadata.ok());
+  EXPECT_EQ(metadata->record_count(), 8u);
+  // Record 0 of the input was unmapped, so the first survivor is input record 1.
+  EXPECT_EQ(*metadata->GetString(0), "r001");
+
+  // Stored manifest round-trips.
+  ASSERT_TRUE(store.Get("flt.manifest.json", &file).ok());
+  auto stored = format::Manifest::FromJson(file.view());
+  ASSERT_TRUE(stored.ok());
+  EXPECT_EQ(stored->total_records(), 40);
+}
+
+TEST(FilterAgdDataset, MapqAndDuplicateFilterCompose) {
+  storage::MemoryStore store;
+  format::Manifest manifest = BuildDataset(&store, 60, 20);
+
+  ReadFilterSpec spec;
+  spec.excluded_flags = kFlagUnmapped | kFlagDuplicate;
+  spec.min_mapq = 20;
+  format::Manifest out;
+  auto report = FilterAgdDataset(&store, manifest, "flt", spec, {}, &out);
+  ASSERT_TRUE(report.ok());
+
+  // Cross-check against the predicate applied to the synthetic schedule.
+  uint64_t expected = 0;
+  for (int i = 0; i < 60; ++i) {
+    if (i % 5 == 0) continue;              // unmapped
+    if (i % 3 == 0) continue;              // duplicate
+    if (i % 60 < 20) continue;             // mapq
+    ++expected;
+  }
+  EXPECT_EQ(report->records_out, expected);
+
+  std::vector<AlignmentResult> results = LoadResults(&store, out);
+  for (const AlignmentResult& r : results) {
+    EXPECT_TRUE(r.mapped());
+    EXPECT_FALSE(r.duplicate());
+    EXPECT_GE(r.mapq, 20);
+  }
+}
+
+TEST(FilterAgdDataset, RegionFilterSkipsColumnFetchesForEmptyChunks) {
+  storage::MemoryStore store;
+  format::Manifest manifest = BuildDataset(&store, 100, 10);
+
+  // Locations are i*100; restrict to records 20..39 → exactly chunks 2 and 3.
+  ReadFilterSpec spec;
+  spec.region_begin = 2'000;
+  spec.region_end = 4'000;
+  format::Manifest out;
+  const storage::StoreStats before = store.stats();
+  auto report = FilterAgdDataset(&store, manifest, "flt", spec, {}, &out);
+  ASSERT_TRUE(report.ok());
+  const storage::StoreStats after = store.stats();
+
+  // 20 candidate records minus the unmapped ones (i % 5 == 0: 4 of them).
+  EXPECT_EQ(report->records_out, 16u);
+
+  // Chunks with no survivors must only fetch the results column: 10 results reads plus
+  // 3 extra columns for only the 2 surviving chunks.
+  EXPECT_EQ(after.read_ops - before.read_ops, 10u + 2u * 3u);
+}
+
+TEST(FilterAgdDataset, EmptyResultFilterProducesEmptyDataset) {
+  storage::MemoryStore store;
+  format::Manifest manifest = BuildDataset(&store, 30, 10);
+
+  ReadFilterSpec spec;
+  spec.min_mapq = 255;  // nothing passes
+  format::Manifest out;
+  auto report = FilterAgdDataset(&store, manifest, "flt", spec, {}, &out);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->records_out, 0u);
+  EXPECT_TRUE(out.chunks.empty());
+  EXPECT_EQ(out.total_records(), 0);
+}
+
+TEST(FilterAgdDataset, FilteringIsIdempotent) {
+  storage::MemoryStore store;
+  format::Manifest manifest = BuildDataset(&store, 60, 10);
+
+  ReadFilterSpec spec;
+  spec.excluded_flags = kFlagUnmapped | kFlagDuplicate;
+  spec.min_mapq = 15;
+  format::Manifest once;
+  auto first = FilterAgdDataset(&store, manifest, "f1", spec, {}, &once);
+  ASSERT_TRUE(first.ok());
+
+  // Re-applying the same predicate to its own output must keep every record.
+  format::Manifest twice;
+  auto second = FilterAgdDataset(&store, once, "f2", spec, {}, &twice);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->records_in, first->records_out);
+  EXPECT_EQ(second->records_out, first->records_out);
+  EXPECT_EQ(LoadResults(&store, once), LoadResults(&store, twice));
+}
+
+TEST(ParseRegion, SamtoolsConventions) {
+  genome::GenomeSpec gspec;
+  gspec.num_contigs = 2;
+  gspec.contig_length = 1'000;
+  genome::ReferenceGenome reference = genome::GenerateGenome(gspec);
+  const genome::GenomeLocation chr2_start = reference.contig_start(1);
+
+  // Whole contig.
+  auto whole = ParseRegion(reference, "chr2");
+  ASSERT_TRUE(whole.ok());
+  EXPECT_EQ(whole->begin, chr2_start);
+  EXPECT_EQ(whole->end, chr2_start + 1'000);
+
+  // From a 1-based start to the contig end.
+  auto tail = ParseRegion(reference, "chr1:901");
+  ASSERT_TRUE(tail.ok());
+  EXPECT_EQ(tail->begin, 900);
+  EXPECT_EQ(tail->end, 1'000);
+
+  // Inclusive 1-based range: chr1:100-200 covers 0-based [99, 200).
+  auto range = ParseRegion(reference, "chr1:100-200");
+  ASSERT_TRUE(range.ok());
+  EXPECT_EQ(range->begin, 99);
+  EXPECT_EQ(range->end, 200);
+
+  // Single-base region.
+  auto base = ParseRegion(reference, "chr1:5-5");
+  ASSERT_TRUE(base.ok());
+  EXPECT_EQ(base->end - base->begin, 1);
+
+  // End clamped to the contig.
+  auto clamped = ParseRegion(reference, "chr2:990-2000");
+  ASSERT_TRUE(clamped.ok());
+  EXPECT_EQ(clamped->end, chr2_start + 1'000);
+}
+
+TEST(ParseRegion, RejectsMalformedInput) {
+  genome::GenomeSpec gspec;
+  gspec.num_contigs = 1;
+  gspec.contig_length = 1'000;
+  genome::ReferenceGenome reference = genome::GenerateGenome(gspec);
+
+  EXPECT_FALSE(ParseRegion(reference, "chrX").ok());            // unknown contig
+  EXPECT_FALSE(ParseRegion(reference, "chr1:abc").ok());        // non-numeric
+  EXPECT_FALSE(ParseRegion(reference, "chr1:0").ok());          // 1-based start
+  EXPECT_FALSE(ParseRegion(reference, "chr1:200-100").ok());    // inverted
+  EXPECT_FALSE(ParseRegion(reference, "chr1:2000").ok());       // start past end
+}
+
+TEST(ParseRegion, ComposesWithFilter) {
+  storage::MemoryStore store;
+  format::Manifest manifest = BuildDataset(&store, 100, 10);
+  // BuildDataset has no reference contigs, so craft a reference matching the
+  // synthetic location schedule (locations are i*100 < 10'000).
+  std::vector<genome::Contig> contigs = {{"c0", std::string(10'000, 'A')}};
+  genome::ReferenceGenome reference{std::move(contigs)};
+
+  auto region = ParseRegion(reference, "c0:2001-4000");
+  ASSERT_TRUE(region.ok());
+  ReadFilterSpec spec;
+  spec.region_begin = region->begin;
+  spec.region_end = region->end;
+  format::Manifest out;
+  auto report = FilterAgdDataset(&store, manifest, "flt", spec, {}, &out);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->records_out, 16u);  // same slice as the global-coordinate test
+}
+
+TEST(FilterAgdDataset, RequiresResultsColumn) {
+  storage::MemoryStore store;
+  std::vector<genome::Read> reads(5, genome::Read{"ACGT", "IIII", "r"});
+  auto manifest = WriteAgdToStore(&store, "ds", reads, 5);
+  ASSERT_TRUE(manifest.ok());
+  format::Manifest out;
+  EXPECT_FALSE(FilterAgdDataset(&store, *manifest, "flt", {}, {}, &out).ok());
+}
+
+}  // namespace
+}  // namespace persona::pipeline

@@ -1,0 +1,505 @@
+// Integration tests for the Persona pipeline layer: end-to-end alignment through the
+// dataflow graph, the standalone baseline, sorting, dedup, and conversion.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "src/align/accuracy.h"
+#include "src/align/snap_aligner.h"
+#include "src/genome/generator.h"
+#include "src/genome/read_simulator.h"
+#include "src/pipeline/agd_store_util.h"
+#include "src/pipeline/baseline_standalone.h"
+#include "src/pipeline/convert.h"
+#include "src/pipeline/dedup.h"
+#include "src/pipeline/persona_pipeline.h"
+#include "src/format/sam.h"
+#include "src/pipeline/row_sort_baseline.h"
+#include "src/pipeline/sort.h"
+#include "src/storage/memory_store.h"
+
+namespace persona::pipeline {
+namespace {
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    genome::GenomeSpec gspec;
+    gspec.num_contigs = 2;
+    gspec.contig_length = 40'000;
+    reference_ = new genome::ReferenceGenome(genome::GenerateGenome(gspec));
+
+    align::SeedIndexOptions seed_options;
+    seed_options.seed_length = 20;
+    index_ = new align::SeedIndex(align::SeedIndex::Build(*reference_, seed_options).value());
+    aligner_ = new align::SnapAligner(reference_, index_);
+
+    genome::ReadSimSpec rspec;
+    rspec.read_length = 101;
+    rspec.duplicate_fraction = 0.10;
+    genome::ReadSimulator sim(reference_, rspec);
+    reads_ = new std::vector<genome::Read>(sim.Simulate(1'200));
+  }
+
+  static void TearDownTestSuite() {
+    delete reads_;
+    delete aligner_;
+    delete index_;
+    delete reference_;
+  }
+
+  // Stages the shared dataset into a fresh store (400-read chunks -> 3 chunks).
+  format::Manifest StageDataset(storage::ObjectStore* store) {
+    auto manifest = WriteAgdToStore(store, "ds", *reads_, 400);
+    EXPECT_TRUE(manifest.ok());
+    return std::move(manifest).value();
+  }
+
+  static genome::ReferenceGenome* reference_;
+  static align::SeedIndex* index_;
+  static align::SnapAligner* aligner_;
+  static std::vector<genome::Read>* reads_;
+};
+
+genome::ReferenceGenome* PipelineTest::reference_ = nullptr;
+align::SeedIndex* PipelineTest::index_ = nullptr;
+align::SnapAligner* PipelineTest::aligner_ = nullptr;
+std::vector<genome::Read>* PipelineTest::reads_ = nullptr;
+
+TEST_F(PipelineTest, AgdStoreRoundTrip) {
+  storage::MemoryStore store;
+  format::Manifest manifest = StageDataset(&store);
+  EXPECT_EQ(manifest.chunks.size(), 3u);
+  EXPECT_EQ(manifest.total_records(), 1'200);
+  EXPECT_TRUE(store.Exists("ds-0.bases"));
+  EXPECT_TRUE(store.Exists("ds-2.metadata"));
+  EXPECT_TRUE(store.Exists("manifest.json"));
+
+  auto reopened = ReadManifestFromStore(&store);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(reopened->total_records(), manifest.total_records());
+}
+
+TEST_F(PipelineTest, EndToEndAlignmentThroughDataflow) {
+  storage::MemoryStore store;
+  format::Manifest manifest = StageDataset(&store);
+
+  dataflow::Executor executor(3);
+  AlignPipelineOptions options;
+  options.align_nodes = 2;
+  options.subchunk_size = 64;
+  options.collect_results = true;
+  auto report = RunPersonaAlignment(&store, manifest, *aligner_, &executor, options);
+  ASSERT_TRUE(report.ok());
+
+  EXPECT_EQ(report->reads, 1'200u);
+  EXPECT_EQ(report->bases, 1'200u * 101u);
+  EXPECT_EQ(report->chunks, 3u);
+  EXPECT_EQ(report->profile.reads, 1'200u);
+  // Results written back to the store, one column file per chunk.
+  EXPECT_TRUE(store.Exists("ds-0.results"));
+  EXPECT_TRUE(store.Exists("ds-2.results"));
+  // Only bases+qual were read (selective column access): metadata untouched.
+  EXPECT_EQ(report->store_stats.read_ops, 6u);
+
+  // Accuracy against simulator ground truth (order preserved per chunk).
+  std::vector<align::AlignmentResult> flat;
+  for (const auto& chunk : report->results) {
+    flat.insert(flat.end(), chunk.begin(), chunk.end());
+  }
+  align::AccuracyReport accuracy = align::ScoreAlignments(*reference_, *reads_, flat);
+  EXPECT_GT(accuracy.correct_fraction(), 0.9);
+}
+
+TEST_F(PipelineTest, DeepQueuesDoNotExhaustTheBufferPool) {
+  // Regression: the buffer pool must follow the paper's §4.5 sizing rule ("sum of the
+  // queue lengths and the number of dataflow nodes that use an object"). A pool sized
+  // only from stage parallelism deadlocks once queue_depth lets the input side park
+  // every buffer in raw-chunk queues: aligners block in Acquire() with nothing
+  // downstream able to release. A throttled store provides the backpressure timing
+  // that made the original hang reproducible.
+  auto device = std::make_shared<storage::ThrottledDevice>(
+      storage::DeviceProfile::Raid0(0.05));
+  storage::MemoryStore store(device);
+  format::Manifest manifest;
+  {
+    auto written = WriteAgdToStore(&store, "deep", *reads_, 100);  // 12 chunks
+    ASSERT_TRUE(written.ok());
+    manifest = *written;
+  }
+  dataflow::Executor executor(2);
+  AlignPipelineOptions options;
+  options.align_nodes = 2;
+  options.queue_depth = 16;  // far beyond stage parallelism
+  options.subchunk_size = 128;
+  auto report = RunPersonaAlignment(&store, manifest, *aligner_, &executor, options);
+  ASSERT_TRUE(report.ok()) << report.status().message();
+  EXPECT_EQ(report->reads, reads_->size());
+}
+
+TEST_F(PipelineTest, PairedEndAlignmentThroughDataflow) {
+  // Interleaved mate pairs (r1 at even indices), aligned with AlignPair through the
+  // executor; proper pairs get mate fields and pair flags.
+  genome::ReadSimSpec rspec;
+  rspec.read_length = 101;
+  rspec.paired = true;
+  rspec.seed = 77;
+  genome::ReadSimulator sim(reference_, rspec);
+  std::vector<genome::Read> reads;
+  for (int i = 0; i < 300; ++i) {
+    auto [r1, r2] = sim.NextPair();
+    reads.push_back(std::move(r1));
+    reads.push_back(std::move(r2));
+  }
+
+  storage::MemoryStore store;
+  auto manifest = WriteAgdToStore(&store, "pe", reads, 200);  // even chunk size
+  ASSERT_TRUE(manifest.ok());
+
+  dataflow::Executor executor(3);
+  AlignPipelineOptions options;
+  options.paired = true;
+  options.align_nodes = 2;
+  options.subchunk_size = 33;  // odd on purpose: must be rounded up to pair-aligned
+  options.collect_results = true;
+  auto report = RunPersonaAlignment(&store, *manifest, *aligner_, &executor, options);
+  ASSERT_TRUE(report.ok()) << report.status().message();
+  EXPECT_EQ(report->reads, 600u);
+
+  std::vector<align::AlignmentResult> flat;
+  for (const auto& chunk : report->results) {
+    flat.insert(flat.end(), chunk.begin(), chunk.end());
+  }
+  ASSERT_EQ(flat.size(), reads.size());
+
+  // Pair bookkeeping: flags mark first/second-in-pair; proper pairs cross-reference
+  // each other's locations and carry opposite-sign template lengths.
+  size_t proper = 0;
+  for (size_t i = 0; i + 1 < flat.size(); i += 2) {
+    const align::AlignmentResult& r1 = flat[i];
+    const align::AlignmentResult& r2 = flat[i + 1];
+    if (r1.mapped()) {
+      EXPECT_TRUE(r1.flags & align::kFlagPaired) << i;
+      EXPECT_TRUE(r1.flags & align::kFlagFirstInPair) << i;
+    }
+    if (r2.mapped()) {
+      EXPECT_TRUE(r2.flags & align::kFlagSecondInPair) << i;
+    }
+    if ((r1.flags & align::kFlagProperPair) && (r2.flags & align::kFlagProperPair)) {
+      ++proper;
+      EXPECT_EQ(r1.mate_location, r2.location) << i;
+      EXPECT_EQ(r2.mate_location, r1.location) << i;
+      EXPECT_EQ(r1.template_length, -r2.template_length) << i;
+    }
+  }
+  EXPECT_GT(proper, 250u) << "most simulated pairs should align as proper pairs";
+
+  // Placement accuracy holds for both ends.
+  align::AccuracyReport accuracy = align::ScoreAlignments(*reference_, reads, flat);
+  EXPECT_GT(accuracy.correct_fraction(), 0.9);
+}
+
+TEST_F(PipelineTest, PairedModeRejectsOddChunks) {
+  std::vector<genome::Read> reads(11, genome::Read{"ACGTACGTAC", "IIIIIIIIII", "r"});
+  storage::MemoryStore store;
+  auto manifest = WriteAgdToStore(&store, "odd", reads, 11);
+  ASSERT_TRUE(manifest.ok());
+  dataflow::Executor executor(2);
+  AlignPipelineOptions options;
+  options.paired = true;
+  auto report = RunPersonaAlignment(&store, *manifest, *aligner_, &executor, options);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST_F(PipelineTest, ClusterWorkSourceIsHonored) {
+  storage::MemoryStore store;
+  format::Manifest manifest = StageDataset(&store);
+
+  // Hand out only chunk #1 via an external source.
+  std::atomic<bool> given{false};
+  dataflow::Executor executor(2);
+  AlignPipelineOptions options;
+  options.work_source = [&given]() -> std::optional<size_t> {
+    if (given.exchange(true)) {
+      return std::nullopt;
+    }
+    return size_t{1};
+  };
+  auto report = RunPersonaAlignment(&store, manifest, *aligner_, &executor, options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->reads, 400u);
+  EXPECT_TRUE(store.Exists("ds-1.results"));
+  EXPECT_FALSE(store.Exists("ds-0.results"));
+}
+
+TEST_F(PipelineTest, AlignmentFailsCleanlyOnMissingColumn) {
+  storage::MemoryStore store;
+  format::Manifest manifest = StageDataset(&store);
+  ASSERT_TRUE(store.Delete("ds-1.qual").ok());
+
+  dataflow::Executor executor(2);
+  AlignPipelineOptions options;
+  auto report = RunPersonaAlignment(&store, manifest, *aligner_, &executor, options);
+  EXPECT_FALSE(report.ok());  // and, critically, it terminates
+}
+
+TEST_F(PipelineTest, StandaloneBaselineProducesSam) {
+  storage::MemoryStore store;
+  auto bytes = WriteGzippedFastqToStore(&store, "base", *reads_);
+  ASSERT_TRUE(bytes.ok());
+
+  StandaloneOptions options;
+  options.threads = 2;
+  options.writeback_threshold = 1 << 20;
+  auto report = RunStandaloneAlignment(&store, "base", *reference_, *aligner_, options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->reads, 1'200u);
+  EXPECT_TRUE(store.Exists("base.sam.0"));
+  // Row-oriented SAM output is much larger than the gzipped input.
+  EXPECT_GT(report->store_stats.bytes_written, *bytes);
+}
+
+TEST_F(PipelineTest, SortByLocationOrdersDataset) {
+  storage::MemoryStore store;
+  format::Manifest manifest = StageDataset(&store);
+  dataflow::Executor executor(2);
+  AlignPipelineOptions align_options;
+  ASSERT_TRUE(RunPersonaAlignment(&store, manifest, *aligner_, &executor, align_options).ok());
+
+  manifest.columns.push_back(format::ResultsColumn());
+
+  SortOptions sort_options;
+  sort_options.chunks_per_superchunk = 2;
+  format::Manifest sorted;
+  auto report = SortAgdDataset(&store, manifest, "sorted", sort_options, &sorted);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->records, 1'200u);
+  EXPECT_EQ(report->superchunks, 2u);
+  EXPECT_EQ(sorted.total_records(), 1'200);
+
+  // Verify global ordering across chunk boundaries.
+  int64_t last = -1;
+  uint64_t seen = 0;
+  Buffer file;
+  for (size_t ci = 0; ci < sorted.chunks.size(); ++ci) {
+    ASSERT_TRUE(store.Get(sorted.ChunkFileName(ci, "results"), &file).ok());
+    auto chunk = format::ParsedChunk::Parse(file.span());
+    ASSERT_TRUE(chunk.ok());
+    for (size_t i = 0; i < chunk->record_count(); ++i) {
+      auto result = chunk->GetResult(i);
+      ASSERT_TRUE(result.ok());
+      int64_t loc = result->mapped() ? result->location : INT64_MAX;
+      EXPECT_GE(loc, last);
+      last = loc;
+      ++seen;
+    }
+  }
+  EXPECT_EQ(seen, 1'200u);
+
+  // Superchunk temporaries must be cleaned up.
+  auto leftovers = store.List("sorted.super-");
+  ASSERT_TRUE(leftovers.ok());
+  EXPECT_TRUE(leftovers->empty());
+}
+
+TEST_F(PipelineTest, SortByMetadataOrdersById) {
+  storage::MemoryStore store;
+  format::Manifest manifest = StageDataset(&store);
+  dataflow::Executor executor(2);
+  AlignPipelineOptions align_options;
+  ASSERT_TRUE(RunPersonaAlignment(&store, manifest, *aligner_, &executor, align_options).ok());
+
+  manifest.columns.push_back(format::ResultsColumn());
+
+  SortOptions sort_options;
+  sort_options.key = SortKey::kMetadata;
+  format::Manifest sorted;
+  ASSERT_TRUE(SortAgdDataset(&store, manifest, "sorted2", sort_options, &sorted).ok());
+
+  std::string last;
+  Buffer file;
+  for (size_t ci = 0; ci < sorted.chunks.size(); ++ci) {
+    ASSERT_TRUE(store.Get(sorted.ChunkFileName(ci, "metadata"), &file).ok());
+    auto chunk = format::ParsedChunk::Parse(file.span());
+    ASSERT_TRUE(chunk.ok());
+    for (size_t i = 0; i < chunk->record_count(); ++i) {
+      std::string meta(chunk->GetString(i).value());
+      EXPECT_GE(meta, last);
+      last = std::move(meta);
+    }
+  }
+}
+
+TEST_F(PipelineTest, SortRequiresResultsColumn) {
+  storage::MemoryStore store;
+  format::Manifest manifest = StageDataset(&store);
+  SortOptions options;
+  EXPECT_FALSE(SortAgdDataset(&store, manifest, "s", options, nullptr).ok());
+}
+
+TEST_F(PipelineTest, DedupImplementationsAgree) {
+  // Build results with planted duplicates.
+  std::vector<align::AlignmentResult> a;
+  for (int i = 0; i < 500; ++i) {
+    align::AlignmentResult r;
+    r.location = (i * 37) % 200;  // plenty of collisions
+    r.flags = i % 2 ? align::kFlagReverse : 0;
+    r.cigar = "101M";
+    a.push_back(r);
+  }
+  std::vector<align::AlignmentResult> b = a;
+
+  DedupReport dense = MarkDuplicatesDense(a);
+  DedupReport chained = MarkDuplicatesChained(b);
+  EXPECT_EQ(dense.total, 500u);
+  EXPECT_EQ(dense.duplicates, chained.duplicates);
+  EXPECT_GT(dense.duplicates, 0u);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].duplicate(), b[i].duplicate()) << i;
+  }
+  // First occurrence of each signature is never marked.
+  std::set<std::tuple<int64_t, bool>> seen;
+  for (const auto& r : a) {
+    auto key = std::make_tuple(r.location, r.reverse());
+    if (!seen.contains(key)) {
+      EXPECT_FALSE(r.duplicate());
+      seen.insert(key);
+    } else {
+      EXPECT_TRUE(r.duplicate());
+    }
+  }
+}
+
+TEST_F(PipelineTest, DedupOnStoreTouchesOnlyResults) {
+  storage::MemoryStore store;
+  format::Manifest manifest = StageDataset(&store);
+  dataflow::Executor executor(2);
+  AlignPipelineOptions align_options;
+  ASSERT_TRUE(RunPersonaAlignment(&store, manifest, *aligner_, &executor, align_options).ok());
+  manifest.columns.push_back(format::ResultsColumn());
+
+  storage::StoreStats before = store.stats();
+  auto report = DedupAgdResults(&store, manifest);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->total, 1'200u);
+  // The simulator planted ~10% duplicates; the aligner maps them to identical
+  // signatures. Expect a meaningful number of marks.
+  EXPECT_GT(report->duplicates, 40u);
+  storage::StoreStats after = store.stats();
+  EXPECT_EQ(after.read_ops - before.read_ops, 3u);   // results column only
+  EXPECT_EQ(after.write_ops - before.write_ops, 3u);
+
+  // Marks persisted: re-reading shows duplicate flags.
+  Buffer file;
+  uint64_t marked = 0;
+  for (size_t ci = 0; ci < manifest.chunks.size(); ++ci) {
+    ASSERT_TRUE(store.Get(manifest.ChunkFileName(ci, "results"), &file).ok());
+    auto chunk = format::ParsedChunk::Parse(file.span());
+    ASSERT_TRUE(chunk.ok());
+    for (size_t i = 0; i < chunk->record_count(); ++i) {
+      marked += chunk->GetResult(i)->duplicate() ? 1 : 0;
+    }
+  }
+  EXPECT_EQ(marked, report->duplicates);
+}
+
+TEST_F(PipelineTest, ImportFastqMatchesOriginalReads) {
+  storage::MemoryStore store;
+  ASSERT_TRUE(WriteGzippedFastqToStore(&store, "imp", *reads_).ok());
+
+  format::Manifest manifest;
+  auto report = ImportFastqToAgd(&store, "imp", 500, compress::CodecId::kZlib, &manifest);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->records, 1'200u);
+  EXPECT_EQ(manifest.chunks.size(), 3u);  // 500+500+200
+  EXPECT_GT(report->throughput_mb_per_sec, 0);
+
+  // Spot-check a record straight from the store.
+  Buffer file;
+  ASSERT_TRUE(store.Get("imp-0.bases", &file).ok());
+  auto chunk = format::ParsedChunk::Parse(file.span());
+  ASSERT_TRUE(chunk.ok());
+  EXPECT_EQ(*chunk->GetBases(5), (*reads_)[5].bases);
+}
+
+TEST_F(PipelineTest, ExportSamAndBsam) {
+  storage::MemoryStore store;
+  format::Manifest manifest = StageDataset(&store);
+  dataflow::Executor executor(2);
+  AlignPipelineOptions align_options;
+  ASSERT_TRUE(RunPersonaAlignment(&store, manifest, *aligner_, &executor, align_options).ok());
+  manifest.columns.push_back(format::ResultsColumn());
+
+  auto sam_report = ExportAgdToSam(&store, manifest, *reference_, "out.sam");
+  ASSERT_TRUE(sam_report.ok());
+  EXPECT_EQ(sam_report->records, 1'200u);
+  EXPECT_TRUE(store.Exists("out.sam.0"));
+
+  auto bsam_report = ExportAgdToBsam(&store, manifest, "out.bsam");
+  ASSERT_TRUE(bsam_report.ok());
+  EXPECT_EQ(bsam_report->records, 1'200u);
+
+  Buffer file;
+  ASSERT_TRUE(store.Get("out.bsam", &file).ok());
+  auto reader = format::BsamReader::Open(file.span());
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader->size(), 1'200u);
+}
+
+TEST_F(PipelineTest, RowSortBaselinesProduceSortedOutput) {
+  storage::MemoryStore store;
+  format::Manifest manifest = StageDataset(&store);
+  dataflow::Executor executor(2);
+  AlignPipelineOptions align_options;
+  ASSERT_TRUE(RunPersonaAlignment(&store, manifest, *aligner_, &executor, align_options).ok());
+  manifest.columns.push_back(format::ResultsColumn());
+  ASSERT_TRUE(ExportAgdToSam(&store, manifest, *reference_, "rows.sam").ok());
+  ASSERT_TRUE(ExportAgdToBsam(&store, manifest, "rows.bsam").ok());
+
+  // samtools-like over BSAM.
+  RowSortOptions options;
+  options.records_per_superchunk = 300;
+  auto samtools = SamtoolsLikeSort(&store, *reference_, "rows.bsam", "sorted.bsam", options,
+                                   /*convert_from_sam=*/false);
+  ASSERT_TRUE(samtools.ok());
+  EXPECT_EQ(samtools->records, 1'200u);
+
+  Buffer file;
+  ASSERT_TRUE(store.Get("sorted.bsam", &file).ok());
+  auto reader = format::BsamReader::Open(file.span());
+  ASSERT_TRUE(reader.ok());
+  ASSERT_EQ(reader->size(), 1'200u);
+  int64_t last = -1;
+  for (size_t i = 0; i < reader->size(); ++i) {
+    int64_t loc = reader->result(i).mapped() ? reader->result(i).location : INT64_MAX;
+    EXPECT_GE(loc, last);
+    last = loc;
+  }
+
+  // samtools-like with SAM conversion.
+  auto with_conv = SamtoolsLikeSort(&store, *reference_, "rows.sam", "sorted2.bsam", options,
+                                    /*convert_from_sam=*/true);
+  ASSERT_TRUE(with_conv.ok());
+  EXPECT_EQ(with_conv->records, 1'200u);
+
+  // picard-like over BSAM (Picard sorts BAM, single-threaded).
+  auto picard = PicardLikeSort(&store, *reference_, "rows.bsam", "picard.bsam");
+  ASSERT_TRUE(picard.ok());
+  EXPECT_EQ(picard->records, 1'200u);
+  ASSERT_TRUE(store.Get("picard.bsam", &file).ok());
+  auto picard_reader = format::BsamReader::Open(file.span());
+  ASSERT_TRUE(picard_reader.ok());
+  ASSERT_EQ(picard_reader->size(), 1'200u);
+  last = -1;
+  for (size_t i = 0; i < picard_reader->size(); ++i) {
+    int64_t loc = picard_reader->result(i).mapped() ? picard_reader->result(i).location
+                                                    : INT64_MAX;
+    EXPECT_GE(loc, last);
+    last = loc;
+  }
+}
+
+}  // namespace
+}  // namespace persona::pipeline

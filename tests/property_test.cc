@@ -1,0 +1,300 @@
+// Cross-module property tests: invariants that must hold for arbitrary inputs —
+// AGD chunk round-trips over a parameter grid, sort-permutation preservation,
+// dedup counting invariants, and end-to-end FASTQ -> AGD -> FASTQ identity.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <tuple>
+
+#include "src/align/snap_aligner.h"
+#include "src/format/agd_chunk.h"
+#include "src/format/fastq.h"
+#include "src/genome/generator.h"
+#include "src/genome/read_simulator.h"
+#include "src/pipeline/agd_store_util.h"
+#include "src/pipeline/convert.h"
+#include "src/pipeline/dedup.h"
+#include "src/pipeline/filter.h"
+#include "src/pipeline/persona_pipeline.h"
+#include "src/pipeline/sort.h"
+#include "src/storage/memory_store.h"
+#include "src/util/rng.h"
+#include "src/variant/call_pipeline.h"
+
+namespace persona {
+namespace {
+
+// --- AGD chunk round-trip over (record count, record length, codec) grid. ---
+
+using ChunkGridParam = std::tuple<size_t, size_t, compress::CodecId>;
+
+class ChunkGridTest : public ::testing::TestWithParam<ChunkGridParam> {};
+
+TEST_P(ChunkGridTest, QualColumnRoundTripsExactly) {
+  auto [count, length, codec] = GetParam();
+  Rng rng(count * 31 + length);
+  std::vector<std::string> records;
+  format::ChunkBuilder builder(format::RecordType::kQual, codec);
+  for (size_t i = 0; i < count; ++i) {
+    std::string q;
+    // Vary lengths around the nominal to exercise the relative index.
+    size_t len = length == 0 ? 0 : length - 1 + rng.Uniform(3);
+    for (size_t k = 0; k < len; ++k) {
+      q.push_back(static_cast<char>('!' + rng.Uniform(42)));
+    }
+    builder.AddRecord(q);
+    records.push_back(std::move(q));
+  }
+  Buffer file;
+  ASSERT_TRUE(builder.Finalize(&file).ok());
+  auto chunk = format::ParsedChunk::Parse(file.span());
+  ASSERT_TRUE(chunk.ok());
+  ASSERT_EQ(chunk->record_count(), count);
+  for (size_t i = 0; i < count; ++i) {
+    EXPECT_EQ(*chunk->GetString(i), records[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ChunkGridTest,
+    ::testing::Combine(::testing::Values(size_t{1}, size_t{13}, size_t{257}),
+                       ::testing::Values(size_t{1}, size_t{101}, size_t{1000}),
+                       ::testing::Values(compress::CodecId::kIdentity,
+                                         compress::CodecId::kZlib,
+                                         compress::CodecId::kLzss)),
+    [](const auto& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "_len" +
+             std::to_string(std::get<1>(info.param)) + "_" +
+             std::string(compress::CodecName(std::get<2>(info.param)));
+    });
+
+// --- Shared aligned-dataset fixture for pipeline-level properties. ---
+
+class PipelinePropertyTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    genome::GenomeSpec gspec;
+    gspec.num_contigs = 2;
+    gspec.contig_length = 30'000;
+    reference_ = new genome::ReferenceGenome(genome::GenerateGenome(gspec));
+    align::SeedIndexOptions options;
+    options.seed_length = 20;
+    index_ = new align::SeedIndex(align::SeedIndex::Build(*reference_, options).value());
+
+    genome::ReadSimSpec rspec;
+    rspec.duplicate_fraction = 0.2;
+    genome::ReadSimulator sim(reference_, rspec);
+    auto reads = sim.Simulate(900);
+
+    store_ = new storage::MemoryStore();
+    auto manifest = pipeline::WriteAgdToStore(store_, "prop", reads, 300);
+    align::SnapAligner aligner(reference_, index_);
+    dataflow::Executor executor(2);
+    pipeline::AlignPipelineOptions align_options;
+    PERSONA_CHECK_OK(pipeline::RunPersonaAlignment(store_, *manifest, aligner, &executor,
+                                                   align_options)
+                         .status());
+    manifest->columns.push_back(format::ResultsColumn());
+    manifest_ = new format::Manifest(*manifest);
+  }
+
+  static void TearDownTestSuite() {
+    delete manifest_;
+    delete store_;
+    delete index_;
+    delete reference_;
+  }
+
+  // Multiset of read metadata across a dataset (identity fingerprint).
+  static std::map<std::string, int> MetadataMultiset(const format::Manifest& manifest) {
+    std::map<std::string, int> out;
+    Buffer file;
+    for (size_t ci = 0; ci < manifest.chunks.size(); ++ci) {
+      PERSONA_CHECK_OK(store_->Get(manifest.ChunkFileName(ci, "metadata"), &file));
+      auto chunk = format::ParsedChunk::Parse(file.span());
+      PERSONA_CHECK_OK(chunk.status());
+      for (size_t i = 0; i < chunk->record_count(); ++i) {
+        ++out[std::string(*chunk->GetString(i))];
+      }
+    }
+    return out;
+  }
+
+  static genome::ReferenceGenome* reference_;
+  static align::SeedIndex* index_;
+  static storage::MemoryStore* store_;
+  static format::Manifest* manifest_;
+};
+
+genome::ReferenceGenome* PipelinePropertyTest::reference_ = nullptr;
+align::SeedIndex* PipelinePropertyTest::index_ = nullptr;
+storage::MemoryStore* PipelinePropertyTest::store_ = nullptr;
+format::Manifest* PipelinePropertyTest::manifest_ = nullptr;
+
+TEST_F(PipelinePropertyTest, SortIsAPermutation) {
+  // Sorting must neither drop nor duplicate records, for either key and any grouping.
+  auto before = MetadataMultiset(*manifest_);
+  for (int group : {1, 2, 3}) {
+    for (pipeline::SortKey key : {pipeline::SortKey::kLocation, pipeline::SortKey::kMetadata}) {
+      pipeline::SortOptions options;
+      options.key = key;
+      options.chunks_per_superchunk = group;
+      std::string name = "perm-" + std::to_string(group) +
+                         (key == pipeline::SortKey::kLocation ? "-loc" : "-meta");
+      format::Manifest sorted;
+      auto report = pipeline::SortAgdDataset(store_, *manifest_, name, options, &sorted);
+      ASSERT_TRUE(report.ok());
+      EXPECT_EQ(MetadataMultiset(sorted), before) << name;
+    }
+  }
+}
+
+TEST_F(PipelinePropertyTest, SortedDatasetSortsToItself) {
+  // Idempotence: sorting a sorted dataset yields the same record order.
+  pipeline::SortOptions options;
+  format::Manifest once;
+  ASSERT_TRUE(pipeline::SortAgdDataset(store_, *manifest_, "idem1", options, &once).ok());
+  format::Manifest twice;
+  ASSERT_TRUE(pipeline::SortAgdDataset(store_, once, "idem2", options, &twice).ok());
+
+  Buffer a;
+  Buffer b;
+  for (size_t ci = 0; ci < once.chunks.size(); ++ci) {
+    ASSERT_TRUE(store_->Get(once.ChunkFileName(ci, "metadata"), &a).ok());
+    ASSERT_TRUE(store_->Get(twice.ChunkFileName(ci, "metadata"), &b).ok());
+    auto chunk_a = format::ParsedChunk::Parse(a.span());
+    auto chunk_b = format::ParsedChunk::Parse(b.span());
+    ASSERT_TRUE(chunk_a.ok());
+    ASSERT_TRUE(chunk_b.ok());
+    ASSERT_EQ(chunk_a->record_count(), chunk_b->record_count());
+    for (size_t i = 0; i < chunk_a->record_count(); ++i) {
+      EXPECT_EQ(*chunk_a->GetString(i), *chunk_b->GetString(i));
+    }
+  }
+}
+
+TEST_F(PipelinePropertyTest, DedupCountsMatchDistinctSignatures) {
+  // non-duplicates == distinct (location, orientation, mate) signatures among mapped.
+  std::vector<align::AlignmentResult> results;
+  Buffer file;
+  for (size_t ci = 0; ci < manifest_->chunks.size(); ++ci) {
+    PERSONA_CHECK_OK(store_->Get(manifest_->ChunkFileName(ci, "results"), &file));
+    auto chunk = format::ParsedChunk::Parse(file.span());
+    PERSONA_CHECK_OK(chunk.status());
+    for (size_t i = 0; i < chunk->record_count(); ++i) {
+      results.push_back(*chunk->GetResult(i));
+    }
+  }
+  std::map<std::tuple<int64_t, bool, int64_t>, int> signatures;
+  size_t mapped = 0;
+  for (const auto& r : results) {
+    if (r.mapped()) {
+      ++mapped;
+      ++signatures[{r.location, r.reverse(), r.mate_location}];
+    }
+  }
+  auto copy = results;
+  pipeline::DedupReport report = pipeline::MarkDuplicatesDense(copy);
+  EXPECT_EQ(report.duplicates, mapped - signatures.size());
+}
+
+TEST_F(PipelinePropertyTest, FastqAgdFastqIdentity) {
+  // FASTQ -> AGD -> reads must be the identity on well-formed reads.
+  genome::ReadSimSpec rspec;
+  rspec.seed = 99;
+  genome::ReadSimulator sim(reference_, rspec);
+  auto reads = sim.Simulate(333);
+
+  storage::MemoryStore store;
+  PERSONA_CHECK_OK(pipeline::WriteGzippedFastqToStore(&store, "rt", reads).status());
+  format::Manifest manifest;
+  PERSONA_CHECK_OK(
+      pipeline::ImportFastqToAgd(&store, "rt", 100, compress::CodecId::kLzss, &manifest)
+          .status());
+  ASSERT_EQ(manifest.total_records(), 333);
+
+  size_t index = 0;
+  Buffer file;
+  for (size_t ci = 0; ci < manifest.chunks.size(); ++ci) {
+    format::ParsedChunk bases;
+    format::ParsedChunk qual;
+    format::ParsedChunk metadata;
+    PERSONA_CHECK_OK(store.Get(manifest.ChunkFileName(ci, "bases"), &file));
+    bases = format::ParsedChunk::Parse(file.span()).value();
+    PERSONA_CHECK_OK(store.Get(manifest.ChunkFileName(ci, "qual"), &file));
+    qual = format::ParsedChunk::Parse(file.span()).value();
+    PERSONA_CHECK_OK(store.Get(manifest.ChunkFileName(ci, "metadata"), &file));
+    metadata = format::ParsedChunk::Parse(file.span()).value();
+    for (size_t i = 0; i < bases.record_count(); ++i, ++index) {
+      EXPECT_EQ(*bases.GetBases(i), reads[index].bases);
+      EXPECT_EQ(*qual.GetString(i), reads[index].qual);
+      EXPECT_EQ(*metadata.GetString(i), reads[index].metadata);
+    }
+  }
+  EXPECT_EQ(index, reads.size());
+}
+
+TEST_F(PipelinePropertyTest, AlignerIsDeterministic) {
+  // Same read, same index -> identical result, regardless of call order.
+  align::SnapAligner aligner(reference_, index_);
+  genome::ReadSimSpec rspec;
+  rspec.seed = 7;
+  genome::ReadSimulator sim(reference_, rspec);
+  auto reads = sim.Simulate(60);
+  std::vector<align::AlignmentResult> forward;
+  for (const auto& read : reads) {
+    forward.push_back(aligner.Align(read, nullptr));
+  }
+  for (size_t i = reads.size(); i-- > 0;) {
+    EXPECT_EQ(aligner.Align(reads[i], nullptr), forward[i]) << i;
+  }
+}
+
+TEST_F(PipelinePropertyTest, FilterCompositionEqualsConjunction) {
+  // Filtering by A then by B must select exactly the records the combined predicate
+  // A ∧ B selects in one pass.
+  pipeline::ReadFilterSpec drop_unmapped;
+  drop_unmapped.excluded_flags = align::kFlagUnmapped;
+  pipeline::ReadFilterSpec min_mapq;
+  min_mapq.min_mapq = 30;
+  pipeline::ReadFilterSpec both;
+  both.excluded_flags = align::kFlagUnmapped;
+  both.min_mapq = 30;
+
+  format::Manifest stage_one;
+  format::Manifest staged;
+  PERSONA_CHECK_OK(pipeline::FilterAgdDataset(store_, *manifest_, "fa", drop_unmapped, {},
+                                              &stage_one)
+                       .status());
+  PERSONA_CHECK_OK(
+      pipeline::FilterAgdDataset(store_, stage_one, "fb", min_mapq, {}, &staged).status());
+
+  format::Manifest combined;
+  PERSONA_CHECK_OK(
+      pipeline::FilterAgdDataset(store_, *manifest_, "fc", both, {}, &combined).status());
+
+  EXPECT_EQ(staged.total_records(), combined.total_records());
+  EXPECT_EQ(MetadataMultiset(staged), MetadataMultiset(combined));
+}
+
+TEST_F(PipelinePropertyTest, VariantCallingIsDeterministic) {
+  // Same sorted dataset -> byte-identical VCF, run to run.
+  pipeline::SortOptions sort_options;
+  format::Manifest sorted;
+  PERSONA_CHECK_OK(
+      pipeline::SortAgdDataset(store_, *manifest_, "vdet", sort_options, &sorted)
+          .status());
+  variant::CallPipelineOptions options;
+  options.store_vcf = false;
+  auto first = variant::CallVariantsAgd(store_, sorted, *reference_, options);
+  auto second = variant::CallVariantsAgd(store_, sorted, *reference_, options);
+  PERSONA_CHECK_OK(first.status());
+  PERSONA_CHECK_OK(second.status());
+  EXPECT_EQ(first->vcf_text, second->vcf_text);
+  EXPECT_EQ(first->records_called, second->records_called);
+  EXPECT_EQ(first->coverage.total_depth, second->coverage.total_depth);
+}
+
+}  // namespace
+}  // namespace persona

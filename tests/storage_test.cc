@@ -1,0 +1,203 @@
+// Tests for the storage substrates: memory store, local store, throttled devices, and
+// the simulated distributed object store.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "src/storage/ceph_sim.h"
+#include "src/storage/local_store.h"
+#include "src/storage/memory_store.h"
+#include "src/util/file_util.h"
+#include "src/util/stopwatch.h"
+
+namespace persona::storage {
+namespace {
+
+void ExerciseStoreContract(ObjectStore* store) {
+  Buffer out;
+  EXPECT_FALSE(store->Exists("a"));
+  EXPECT_EQ(store->Get("a", &out).code(), StatusCode::kNotFound);
+  EXPECT_FALSE(store->Size("a").ok());
+  EXPECT_FALSE(store->Delete("a").ok());
+
+  ASSERT_TRUE(store->Put("a", std::string_view("hello")).ok());
+  ASSERT_TRUE(store->Put("ab", std::string_view("world!")).ok());
+  ASSERT_TRUE(store->Put("b", std::string_view("x")).ok());
+  EXPECT_TRUE(store->Exists("a"));
+  EXPECT_EQ(*store->Size("ab"), 6u);
+
+  ASSERT_TRUE(store->Get("ab", &out).ok());
+  EXPECT_EQ(out.view(), "world!");
+
+  // Overwrite.
+  ASSERT_TRUE(store->Put("a", std::string_view("HELLO")).ok());
+  ASSERT_TRUE(store->Get("a", &out).ok());
+  EXPECT_EQ(out.view(), "HELLO");
+
+  auto list = store->List("a");
+  ASSERT_TRUE(list.ok());
+  EXPECT_EQ(list->size(), 2u);
+
+  ASSERT_TRUE(store->Delete("a").ok());
+  EXPECT_FALSE(store->Exists("a"));
+
+  StoreStats stats = store->stats();
+  EXPECT_GT(stats.bytes_written, 0u);
+  EXPECT_GT(stats.bytes_read, 0u);
+  EXPECT_GE(stats.write_ops, 4u);
+}
+
+TEST(MemoryStoreTest, Contract) {
+  MemoryStore store;
+  ExerciseStoreContract(&store);
+}
+
+TEST(LocalStoreTest, Contract) {
+  ScopedTempDir dir("storetest");
+  auto store = LocalStore::Create(dir.path() + "/objs", nullptr);
+  ASSERT_TRUE(store.ok());
+  ExerciseStoreContract(store->get());
+}
+
+TEST(CephSimStoreTest, Contract) {
+  CephSimConfig config;
+  config.per_node_bandwidth = 0;  // unthrottled for the contract test
+  CephSimStore store(config);
+  ExerciseStoreContract(&store);
+}
+
+TEST(LocalStoreTest, FilesLandOnDisk) {
+  ScopedTempDir dir("storetest");
+  auto store = LocalStore::Create(dir.path() + "/objs", nullptr);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Put("chunk-0.bases", std::string_view("data")).ok());
+  EXPECT_TRUE(FileExists(dir.path() + "/objs/chunk-0.bases"));
+}
+
+TEST(ThrottledDeviceTest, ProfilesHaveExpectedRatios) {
+  DeviceProfile single = DeviceProfile::SingleDisk();
+  DeviceProfile raid = DeviceProfile::Raid0();
+  DeviceProfile nic = DeviceProfile::TenGbeNic();
+  EXPECT_EQ(raid.bandwidth_bytes_per_sec, 6 * single.bandwidth_bytes_per_sec);
+  EXPECT_GT(nic.bandwidth_bytes_per_sec, raid.bandwidth_bytes_per_sec);
+  EXPECT_EQ(DeviceProfile::Unlimited().bandwidth_bytes_per_sec, 0u);
+
+  // Scaled profiles preserve the ratio.
+  DeviceProfile scaled = DeviceProfile::SingleDisk(0.01);
+  EXPECT_NEAR(static_cast<double>(scaled.bandwidth_bytes_per_sec),
+              0.01 * static_cast<double>(single.bandwidth_bytes_per_sec),
+              static_cast<double>(single.bandwidth_bytes_per_sec) * 0.001);
+}
+
+TEST(ThrottledDeviceTest, ThrottlesTransfers) {
+  DeviceProfile profile;
+  profile.bandwidth_bytes_per_sec = 10'000'000;  // 10 MB/s
+  profile.op_latency_sec = 0;
+  ThrottledDevice device(profile);
+  device.Read(1 << 20);  // warm up the burst allowance
+  Stopwatch timer;
+  device.Read(2 << 20);  // 2 MB at 10 MB/s ~ 0.2 s
+  double elapsed = timer.ElapsedSeconds();
+  EXPECT_GT(elapsed, 0.08);
+  EXPECT_LT(elapsed, 1.0);
+  EXPECT_EQ(device.bytes_read(), (1u << 20) + (2u << 20));
+}
+
+TEST(ThrottledDeviceTest, SharedBandwidthStarvesConcurrentReaders) {
+  // Two threads transferring through one device take about twice as long each.
+  DeviceProfile profile;
+  profile.bandwidth_bytes_per_sec = 20'000'000;
+  ThrottledDevice device(profile);
+  device.Write(4 << 20);  // drain burst
+  Stopwatch timer;
+  std::thread other([&] { device.Write(4 << 20); });
+  device.Read(4 << 20);
+  other.join();
+  // 8 MB total at 20 MB/s ~ 0.4 s (minus residual burst credit).
+  EXPECT_GT(timer.ElapsedSeconds(), 0.15);
+}
+
+TEST(MemoryStoreTest, ThrottledStoreIsSlower) {
+  auto slow_device = std::make_shared<ThrottledDevice>(
+      DeviceProfile{5'000'000, 0, "slow"});
+  MemoryStore throttled(slow_device);
+  MemoryStore fast;
+
+  std::string payload(4 << 20, 'x');
+  ASSERT_TRUE(fast.Put("k", payload).ok());
+  ASSERT_TRUE(throttled.Put("k", payload).ok());  // consumes the burst
+
+  Buffer out;
+  Stopwatch fast_timer;
+  ASSERT_TRUE(fast.Get("k", &out).ok());
+  double fast_sec = fast_timer.ElapsedSeconds();
+
+  Stopwatch slow_timer;
+  ASSERT_TRUE(throttled.Get("k", &out).ok());
+  double slow_sec = slow_timer.ElapsedSeconds();
+  EXPECT_GT(slow_sec, fast_sec * 5);
+}
+
+TEST(CephSimStoreTest, ReplicationConsumesReplicaBandwidth) {
+  CephSimConfig config;
+  config.num_osd_nodes = 4;
+  config.replication = 3;
+  config.per_node_bandwidth = 0;  // unthrottled: just count bytes
+  config.op_latency_sec = 0;
+  CephSimStore store(config);
+
+  std::string payload(1 << 20, 'y');
+  ASSERT_TRUE(store.Put("obj", payload).ok());
+  auto per_node = store.PerNodeBytes();
+  uint64_t total = 0;
+  int touched = 0;
+  for (uint64_t bytes : per_node) {
+    total += bytes;
+    touched += bytes > 0 ? 1 : 0;
+  }
+  EXPECT_EQ(total, 3u << 20);  // 3 replicas
+  EXPECT_EQ(touched, 3);
+
+  Buffer out;
+  ASSERT_TRUE(store.Get("obj", &out).ok());
+  EXPECT_EQ(out.size(), 1u << 20);
+  uint64_t total_after = 0;
+  for (uint64_t bytes : store.PerNodeBytes()) {
+    total_after += bytes;
+  }
+  EXPECT_EQ(total_after, 4u << 20);  // read pays only the primary
+}
+
+TEST(CephSimStoreTest, PlacementIsStable) {
+  CephSimConfig config;
+  config.per_node_bandwidth = 0;
+  config.op_latency_sec = 0;
+  CephSimStore a(config);
+  CephSimStore b(config);
+  std::string payload(1024, 'z');
+  ASSERT_TRUE(a.Put("chunk-17.bases", payload).ok());
+  ASSERT_TRUE(b.Put("chunk-17.bases", payload).ok());
+  EXPECT_EQ(a.PerNodeBytes(), b.PerNodeBytes());
+}
+
+TEST(CephSimStoreTest, ManyObjectsSpreadAcrossNodes) {
+  CephSimConfig config;
+  config.num_osd_nodes = 7;
+  config.replication = 1;
+  config.per_node_bandwidth = 0;
+  config.op_latency_sec = 0;
+  CephSimStore store(config);
+  std::string payload(1000, 'w');
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(store.Put("obj-" + std::to_string(i), payload).ok());
+  }
+  int nodes_used = 0;
+  for (uint64_t bytes : store.PerNodeBytes()) {
+    nodes_used += bytes > 0 ? 1 : 0;
+  }
+  EXPECT_EQ(nodes_used, 7);  // hash placement should touch every node
+}
+
+}  // namespace
+}  // namespace persona::storage

@@ -1,0 +1,167 @@
+// Tests for the concurrency primitives: MPMC queue, thread pool, token bucket.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "src/util/mpmc_queue.h"
+#include "src/util/stopwatch.h"
+#include "src/util/thread_pool.h"
+#include "src/util/token_bucket.h"
+
+namespace persona {
+namespace {
+
+TEST(MpmcQueueTest, FifoSingleThread) {
+  MpmcQueue<int> q(4);
+  EXPECT_TRUE(q.Push(1));
+  EXPECT_TRUE(q.Push(2));
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(*q.Pop(), 1);
+  EXPECT_EQ(*q.Pop(), 2);
+}
+
+TEST(MpmcQueueTest, TryPushRespectsCapacity) {
+  MpmcQueue<int> q(2);
+  EXPECT_TRUE(q.TryPush(1));
+  EXPECT_TRUE(q.TryPush(2));
+  EXPECT_FALSE(q.TryPush(3));
+  EXPECT_EQ(*q.TryPop(), 1);
+  EXPECT_TRUE(q.TryPush(3));
+}
+
+TEST(MpmcQueueTest, CloseDrainsThenSignalsEnd) {
+  MpmcQueue<int> q(4);
+  q.Push(10);
+  q.Push(11);
+  q.Close();
+  EXPECT_FALSE(q.Push(12));
+  EXPECT_EQ(*q.Pop(), 10);
+  EXPECT_EQ(*q.Pop(), 11);
+  EXPECT_FALSE(q.Pop().has_value());
+}
+
+TEST(MpmcQueueTest, BlockedPopWakesOnClose) {
+  MpmcQueue<int> q(1);
+  std::thread popper([&] {
+    auto v = q.Pop();
+    EXPECT_FALSE(v.has_value());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.Close();
+  popper.join();
+}
+
+TEST(MpmcQueueTest, ManyProducersManyConsumers) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 2000;
+  MpmcQueue<int> q(64);
+  std::atomic<int64_t> sum{0};
+  std::atomic<int> count{0};
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(q.Push(p * kPerProducer + i));
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      while (auto v = q.Pop()) {
+        sum += *v;
+        ++count;
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) {
+    threads[static_cast<size_t>(p)].join();
+  }
+  q.Close();
+  for (size_t t = kProducers; t < threads.size(); ++t) {
+    threads[t].join();
+  }
+
+  int total = kProducers * kPerProducer;
+  EXPECT_EQ(count.load(), total);
+  EXPECT_EQ(sum.load(), static_cast<int64_t>(total) * (total - 1) / 2);
+  EXPECT_EQ(q.total_pushed(), static_cast<uint64_t>(total));
+}
+
+TEST(ThreadPoolTest, ExecutesAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(pool.Submit([&counter] { ++counter; }));
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitBlocksUntilDone) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([&done] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      ++done;
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(done.load(), 8);
+}
+
+TEST(ThreadPoolTest, ShutdownRejectsNewTasks) {
+  ThreadPool pool(2);
+  pool.Shutdown();
+  EXPECT_FALSE(pool.Submit([] {}));
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsQueuedTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&counter] { ++counter; });
+    }
+  }  // destructor shuts down; queued tasks must still run
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(TokenBucketTest, UnlimitedNeverBlocks) {
+  TokenBucket bucket(0, 0);
+  Stopwatch timer;
+  bucket.Acquire(100'000'000);
+  EXPECT_LT(timer.ElapsedSeconds(), 0.05);
+  EXPECT_EQ(bucket.total_acquired(), 100'000'000u);
+}
+
+TEST(TokenBucketTest, ThrottlesToConfiguredRate) {
+  // 10 MB/s with a small burst: acquiring 1 MB beyond the burst should take ~0.1s.
+  TokenBucket bucket(10'000'000, 16'384);
+  Stopwatch timer;
+  bucket.Acquire(1'000'000);
+  double elapsed = timer.ElapsedSeconds();
+  EXPECT_GT(elapsed, 0.05);
+  EXPECT_LT(elapsed, 0.6);
+}
+
+TEST(TokenBucketTest, TryAcquireFailsWhenEmpty) {
+  TokenBucket bucket(1'000, 1'000);
+  EXPECT_TRUE(bucket.TryAcquire(1'000));
+  EXPECT_FALSE(bucket.TryAcquire(100'000));
+}
+
+TEST(TokenBucketTest, BurstAllowsInstantInitialAcquire) {
+  TokenBucket bucket(1'000, 1'000'000);
+  Stopwatch timer;
+  bucket.Acquire(1'000'000);
+  EXPECT_LT(timer.ElapsedSeconds(), 0.05);
+}
+
+}  // namespace
+}  // namespace persona

@@ -1,0 +1,111 @@
+// Tests for the JSON parser/serializer used by AGD manifests.
+
+#include <gtest/gtest.h>
+
+#include "src/util/json.h"
+
+namespace persona::json {
+namespace {
+
+TEST(JsonParseTest, Scalars) {
+  EXPECT_TRUE(Parse("null")->is_null());
+  EXPECT_EQ(Parse("true")->as_bool(), true);
+  EXPECT_EQ(Parse("false")->as_bool(), false);
+  EXPECT_DOUBLE_EQ(Parse("3.25")->as_number(), 3.25);
+  EXPECT_EQ(Parse("-17")->as_int(), -17);
+  EXPECT_EQ(Parse("\"persona\"")->as_string(), "persona");
+}
+
+TEST(JsonParseTest, NestedDocument) {
+  auto v = Parse(R"({
+    "name": "test",
+    "records": [{"path": "test-0", "first": 0, "last": 9}],
+    "columns": ["bases", "qual"]
+  })");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v->GetString("name"), "test");
+  auto records = v->GetArray("records");
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ((*records)->size(), 1u);
+  EXPECT_EQ((*records)->at(0).GetInt("last").value(), 9);
+  auto columns = v->GetArray("columns");
+  ASSERT_TRUE(columns.ok());
+  EXPECT_EQ((*columns)->at(1).as_string(), "qual");
+}
+
+TEST(JsonParseTest, StringEscapes) {
+  auto v = Parse(R"("a\"b\\c\nd\teA")");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->as_string(), "a\"b\\c\nd\teA");
+}
+
+TEST(JsonParseTest, UnicodeSurrogatePair) {
+  auto v = Parse(R"("😀")");  // U+1F600
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->as_string(), "\xF0\x9F\x98\x80");
+}
+
+TEST(JsonParseTest, Errors) {
+  EXPECT_FALSE(Parse("").ok());
+  EXPECT_FALSE(Parse("{").ok());
+  EXPECT_FALSE(Parse("[1,]").ok());
+  EXPECT_FALSE(Parse("{\"a\" 1}").ok());
+  EXPECT_FALSE(Parse("tru").ok());
+  EXPECT_FALSE(Parse("\"unterminated").ok());
+  EXPECT_FALSE(Parse("42 extra").ok());
+  EXPECT_FALSE(Parse("\"bad\\escape\"").ok());
+}
+
+TEST(JsonParseTest, DeepNestingIsRejected) {
+  std::string deep(500, '[');
+  deep += std::string(500, ']');
+  EXPECT_FALSE(Parse(deep).ok());
+}
+
+TEST(JsonDumpTest, CompactRoundTrip) {
+  Object obj;
+  obj["name"] = Value("ds");
+  obj["count"] = Value(int64_t{100000});
+  obj["ratio"] = Value(0.5);
+  obj["cols"] = Value(Array{Value("bases"), Value("qual")});
+  Value original{std::move(obj)};
+
+  std::string text = original.Dump();
+  auto reparsed = Parse(text);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(*reparsed, original);
+}
+
+TEST(JsonDumpTest, IntegersPrintWithoutDecimal) {
+  EXPECT_EQ(Value(int64_t{100000}).Dump(), "100000");
+  EXPECT_EQ(Value(3.5).Dump(), "3.5");
+}
+
+TEST(JsonDumpTest, PrettyPrintParses) {
+  Object obj;
+  obj["a"] = Value(Array{Value(1), Value(2)});
+  obj["b"] = Value(Object{{"c", Value("d")}});
+  Value v{std::move(obj)};
+  std::string pretty = v.Dump(2);
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  auto reparsed = Parse(pretty);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(*reparsed, v);
+}
+
+TEST(JsonDumpTest, EscapesControlCharacters) {
+  EXPECT_EQ(Value("a\nb").Dump(), "\"a\\nb\"");
+  EXPECT_EQ(Value(std::string(1, '\x01')).Dump(), "\"\\u0001\"");
+}
+
+TEST(JsonValueTest, TypedGettersRejectWrongTypes) {
+  auto v = Parse(R"({"n": 1, "s": "x"})");
+  ASSERT_TRUE(v.ok());
+  EXPECT_FALSE(v->GetString("n").ok());
+  EXPECT_FALSE(v->GetInt("s").ok());
+  EXPECT_FALSE(v->GetArray("s").ok());
+  EXPECT_EQ(v->Get("missing").status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace persona::json

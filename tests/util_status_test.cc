@@ -1,0 +1,289 @@
+// Tests for Status/Result, varint, CRC32, string utilities, RNG, and file helpers.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/util/crc32.h"
+#include "src/util/file_util.h"
+#include "src/util/result.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+#include "src/util/string_util.h"
+#include "src/util/varint.h"
+
+namespace persona {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "Ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = InvalidArgumentError("bad chunk size");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad chunk size");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad chunk size");
+}
+
+TEST(StatusTest, AllConstructorsProduceMatchingCodes) {
+  EXPECT_EQ(CancelledError("x").code(), StatusCode::kCancelled);
+  EXPECT_EQ(NotFoundError("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(AlreadyExistsError("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(FailedPreconditionError("x").code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(OutOfRangeError("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(UnimplementedError("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(InternalError("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(UnavailableError("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(DataLossError("x").code(), StatusCode::kDataLoss);
+  EXPECT_EQ(ResourceExhaustedError("x").code(), StatusCode::kResourceExhausted);
+}
+
+Status FailsWhenNegative(int x) {
+  if (x < 0) {
+    return InvalidArgumentError("negative");
+  }
+  return OkStatus();
+}
+
+Status UsesReturnIfError(int x) {
+  PERSONA_RETURN_IF_ERROR(FailsWhenNegative(x));
+  return OkStatus();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(UsesReturnIfError(1).ok());
+  EXPECT_EQ(UsesReturnIfError(-1).code(), StatusCode::kInvalidArgument);
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) {
+    return OutOfRangeError("not positive");
+  }
+  return x;
+}
+
+Result<int> DoublePositive(int x) {
+  PERSONA_ASSIGN_OR_RETURN(int v, ParsePositive(x));
+  return v * 2;
+}
+
+TEST(ResultTest, ValueAndErrorPaths) {
+  Result<int> ok = ParsePositive(21);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 21);
+
+  Result<int> err = ParsePositive(-3);
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(err.value_or(7), 7);
+}
+
+TEST(ResultTest, AssignOrReturnChains) {
+  EXPECT_EQ(*DoublePositive(5), 10);
+  EXPECT_FALSE(DoublePositive(0).ok());
+}
+
+TEST(ResultTest, MoveOnlyTypes) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(9));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> owned = std::move(r).value();
+  EXPECT_EQ(*owned, 9);
+}
+
+TEST(VarintTest, RoundTripBoundaryValues) {
+  const uint64_t values[] = {0,    1,    127,        128,         16383, 16384,
+                             1u << 21, (1ull << 35) - 1, 1ull << 62, ~0ull};
+  Buffer buf;
+  for (uint64_t v : values) {
+    PutVarint(v, &buf);
+  }
+  size_t offset = 0;
+  for (uint64_t v : values) {
+    auto got = GetVarint(buf.span(), &offset);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, v);
+  }
+  EXPECT_EQ(offset, buf.size());
+}
+
+TEST(VarintTest, SignedZigZagRoundTrip) {
+  const int64_t values[] = {0, -1, 1, -64, 64, INT64_MIN, INT64_MAX, -123456789};
+  Buffer buf;
+  for (int64_t v : values) {
+    PutSignedVarint(v, &buf);
+  }
+  size_t offset = 0;
+  for (int64_t v : values) {
+    auto got = GetSignedVarint(buf.span(), &offset);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, v);
+  }
+}
+
+TEST(VarintTest, TruncatedInputIsError) {
+  Buffer buf;
+  PutVarint(1ull << 40, &buf);
+  Buffer truncated;
+  truncated.Append(buf.data(), buf.size() - 1);
+  size_t offset = 0;
+  EXPECT_FALSE(GetVarint(truncated.span(), &offset).ok());
+}
+
+TEST(VarintTest, LengthMatchesEncoding) {
+  Buffer buf;
+  for (uint64_t v : {0ull, 127ull, 128ull, 300ull, ~0ull}) {
+    buf.Clear();
+    PutVarint(v, &buf);
+    EXPECT_EQ(VarintLength(v), buf.size()) << v;
+  }
+}
+
+TEST(Crc32Test, KnownVectors) {
+  // Standard test vector: CRC32("123456789") = 0xCBF43926.
+  EXPECT_EQ(Crc32(std::string_view("123456789")), 0xCBF43926u);
+  EXPECT_EQ(Crc32(std::string_view("")), 0u);
+}
+
+TEST(Crc32Test, IncrementalMatchesOneShot) {
+  std::string data = "the quick brown fox jumps over the lazy dog";
+  uint32_t one_shot = Crc32(std::string_view(data));
+  uint32_t crc = 0;
+  for (size_t i = 0; i < data.size(); i += 7) {
+    std::string_view piece = std::string_view(data).substr(i, 7);
+    crc = Crc32Update(crc, std::span<const uint8_t>(
+                               reinterpret_cast<const uint8_t*>(piece.data()), piece.size()));
+  }
+  EXPECT_EQ(crc, one_shot);
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  auto parts = SplitString("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringUtilTest, JoinAndAffixes) {
+  EXPECT_EQ(JoinStrings({"a", "b", "c"}, "/"), "a/b/c");
+  EXPECT_TRUE(StartsWith("chunk-0.bases", "chunk-"));
+  EXPECT_TRUE(EndsWith("chunk-0.bases", ".bases"));
+  EXPECT_FALSE(EndsWith("x", ".bases"));
+}
+
+TEST(StringUtilTest, FormatAndHumanBytes) {
+  EXPECT_EQ(StrFormat("%d/%s", 3, "four"), "3/four");
+  EXPECT_EQ(HumanBytes(512), "512 B");
+  EXPECT_EQ(HumanBytes(3670016), "3.50 MB");
+}
+
+TEST(StringUtilTest, ParseInt64) {
+  EXPECT_EQ(ParseInt64("0"), 0);
+  EXPECT_EQ(ParseInt64("123456"), 123456);
+  EXPECT_EQ(ParseInt64(""), -1);
+  EXPECT_EQ(ParseInt64("12x"), -1);
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, UniformRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRange) {
+  Rng rng(9);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.UniformInt(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, NormalHasRoughMoments) {
+  Rng rng(11);
+  double sum = 0;
+  double sum_sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.Normal(10.0, 2.0);
+    sum += v;
+    sum_sq += v * v;
+  }
+  double mean = sum / n;
+  double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(FileUtilTest, RoundTripAndMetadata) {
+  ScopedTempDir dir("futest");
+  std::string path = dir.FilePath("data.bin");
+  EXPECT_FALSE(FileExists(path));
+  ASSERT_TRUE(WriteStringToFile(path, "hello persona").ok());
+  EXPECT_TRUE(FileExists(path));
+  auto size = FileSize(path);
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 13u);
+  auto contents = ReadFileToString(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(*contents, "hello persona");
+  ASSERT_TRUE(RemoveFile(path).ok());
+  EXPECT_FALSE(FileExists(path));
+}
+
+TEST(FileUtilTest, BufferRoundTrip) {
+  ScopedTempDir dir("futest");
+  std::string path = dir.FilePath("buf.bin");
+  Buffer out;
+  for (int i = 0; i < 1000; ++i) {
+    out.AppendByte(static_cast<uint8_t>(i * 31));
+  }
+  ASSERT_TRUE(WriteBufferToFile(path, out).ok());
+  Buffer in;
+  ASSERT_TRUE(ReadFileToBuffer(path, &in).ok());
+  ASSERT_EQ(in.size(), out.size());
+  EXPECT_EQ(0, memcmp(in.data(), out.data(), in.size()));
+}
+
+TEST(FileUtilTest, MissingFileIsNotFound) {
+  EXPECT_EQ(ReadFileToString("/nonexistent/persona/file").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(BufferTest, ScalarRoundTrip) {
+  Buffer buf;
+  buf.AppendScalar<uint32_t>(0xDEADBEEF);
+  buf.AppendScalar<uint64_t>(0x0123456789ABCDEFull);
+  EXPECT_EQ(buf.ReadScalar<uint32_t>(0), 0xDEADBEEFu);
+  EXPECT_EQ(buf.ReadScalar<uint64_t>(4), 0x0123456789ABCDEFull);
+}
+
+TEST(BufferTest, ClearKeepsCapacity) {
+  Buffer buf;
+  buf.Resize(4096);
+  size_t cap = buf.capacity();
+  buf.Clear();
+  EXPECT_EQ(buf.size(), 0u);
+  EXPECT_GE(buf.capacity(), cap);
+}
+
+}  // namespace
+}  // namespace persona

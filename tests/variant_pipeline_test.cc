@@ -1,0 +1,222 @@
+// End-to-end variant calling: reference -> diploid donor -> simulated reads from both
+// haplotypes -> SNAP alignment -> AGD results -> location sort -> duplicate marking ->
+// streaming pileup + genotyping -> VCF, scored against the injected truth set.
+//
+// This exercises the full integration the paper names as Persona's next step (§8), on
+// top of the same substrate modules the alignment benchmarks use.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/align/snap_aligner.h"
+#include "src/format/agd_chunk.h"
+#include "src/genome/generator.h"
+#include "src/genome/mutate.h"
+#include "src/genome/read_simulator.h"
+#include "src/pipeline/agd_store_util.h"
+#include "src/pipeline/dedup.h"
+#include "src/pipeline/sort.h"
+#include "src/storage/memory_store.h"
+#include "src/variant/accuracy.h"
+#include "src/variant/call_pipeline.h"
+
+namespace persona::variant {
+namespace {
+
+class VariantPipelineTest : public ::testing::Test {
+ protected:
+  static constexpr int kReadLength = 101;
+  static constexpr double kCoverage = 30.0;
+
+  static void SetUpTestSuite() {
+    genome::GenomeSpec gspec;
+    gspec.num_contigs = 1;
+    gspec.contig_length = 25'000;
+    gspec.repeat_fraction = 0.02;  // keep some MAPQ ambiguity in play
+    gspec.seed = 31;
+    reference_ = new genome::ReferenceGenome(genome::GenerateGenome(gspec));
+
+    genome::MutationSpec mspec;
+    mspec.snv_rate = 1.2e-3;
+    mspec.insertion_rate = 1.5e-4;
+    mspec.deletion_rate = 1.5e-4;
+    mspec.max_indel_length = 5;
+    mspec.min_spacing = 150;  // <= one variant per read span simplifies attribution
+    donor_ = new genome::DonorGenome(genome::MutateGenome(*reference_, mspec));
+
+    align::SeedIndexOptions seed_options;
+    seed_options.seed_length = 20;
+    index_ = new align::SeedIndex(
+        align::SeedIndex::Build(*reference_, seed_options).value());
+    aligner_ = new align::SnapAligner(reference_, index_);
+
+    // Half the coverage from each haplotype: hets appear at ~50% allele fraction.
+    const size_t reads_per_haplotype = static_cast<size_t>(
+        kCoverage * static_cast<double>(reference_->total_length()) / kReadLength / 2);
+    genome::ReadSimSpec rspec;
+    rspec.read_length = kReadLength;
+    rspec.substitution_rate = 0.003;
+    rspec.indel_rate = 0;  // sequencer indel errors off; donor indels still present
+    reads_ = new std::vector<genome::Read>();
+    for (int hap = 0; hap < 2; ++hap) {
+      rspec.seed = 1000 + static_cast<uint64_t>(hap);
+      genome::ReadSimulator simulator(&donor_->haplotypes[static_cast<size_t>(hap)], rspec);
+      std::vector<genome::Read> reads = simulator.Simulate(reads_per_haplotype);
+      reads_->insert(reads_->end(), reads.begin(), reads.end());
+    }
+  }
+
+  static void TearDownTestSuite() {
+    delete reads_;
+    delete aligner_;
+    delete index_;
+    delete donor_;
+    delete reference_;
+  }
+
+  // Stages reads into `store` and appends a results column aligned with SNAP.
+  format::Manifest StageAlignedDataset(storage::ObjectStore* store) {
+    auto manifest = pipeline::WriteAgdToStore(store, "ds", *reads_, 2'000);
+    EXPECT_TRUE(manifest.ok());
+    format::Manifest with_results = *manifest;
+    with_results.columns.push_back(format::ResultsColumn());
+    with_results.SetReference(*reference_);
+
+    Buffer file;
+    size_t read_index = 0;
+    for (size_t ci = 0; ci < manifest->chunks.size(); ++ci) {
+      format::ChunkBuilder builder(format::RecordType::kResults, compress::CodecId::kZlib);
+      for (int64_t i = 0; i < manifest->chunks[ci].num_records; ++i, ++read_index) {
+        builder.AddResult(aligner_->Align((*reads_)[read_index], nullptr));
+      }
+      EXPECT_TRUE(builder.Finalize(&file).ok());
+      EXPECT_TRUE(store->Put(manifest->chunks[ci].path_base + ".results", file).ok());
+    }
+    return with_results;
+  }
+
+  static genome::ReferenceGenome* reference_;
+  static genome::DonorGenome* donor_;
+  static align::SeedIndex* index_;
+  static align::SnapAligner* aligner_;
+  static std::vector<genome::Read>* reads_;
+};
+
+genome::ReferenceGenome* VariantPipelineTest::reference_ = nullptr;
+genome::DonorGenome* VariantPipelineTest::donor_ = nullptr;
+align::SeedIndex* VariantPipelineTest::index_ = nullptr;
+align::SnapAligner* VariantPipelineTest::aligner_ = nullptr;
+std::vector<genome::Read>* VariantPipelineTest::reads_ = nullptr;
+
+TEST_F(VariantPipelineTest, CallsInjectedVariantsWithHighAccuracy) {
+  storage::MemoryStore store;
+  format::Manifest aligned = StageAlignedDataset(&store);
+
+  // Sort by location (required by the streaming pileup), then mark duplicates.
+  pipeline::SortOptions sort_options;
+  sort_options.key = pipeline::SortKey::kLocation;
+  format::Manifest sorted;
+  auto sort_report =
+      pipeline::SortAgdDataset(&store, aligned, "sorted", sort_options, &sorted);
+  ASSERT_TRUE(sort_report.ok()) << sort_report.status().message();
+  auto dedup_report = pipeline::DedupAgdResults(&store, sorted);
+  ASSERT_TRUE(dedup_report.ok());
+
+  CallPipelineOptions options;
+  options.sample_name = "donor";
+  auto report = CallVariantsAgd(&store, sorted, *reference_, options);
+  ASSERT_TRUE(report.ok()) << report.status().message();
+
+  EXPECT_GT(report->reads_used, 0u);
+  EXPECT_GT(report->columns_piled, 10'000u);  // most of the 25 kb genome is covered
+  EXPECT_GT(report->records_called, 0u);
+
+  // Score against the injected truth. SNVs should be called with high fidelity at 30x;
+  // indel calling (pileup-based, no local reassembly) is held to a looser bar.
+  VariantAccuracy accuracy =
+      ScoreVariants(donor_->variants, report->records, false, reference_);
+  EXPECT_GT(accuracy.snv.Recall(), 0.85) << "snv truth=" << accuracy.snv.truth;
+  EXPECT_GT(accuracy.snv.Precision(), 0.85) << "snv called=" << accuracy.snv.called;
+  EXPECT_GT(accuracy.overall.Recall(), 0.7);
+  EXPECT_GT(accuracy.GenotypeConcordance(), 0.8);
+
+  // The VCF round-trips through the parser with every record intact.
+  auto parsed = format::ParseVcf(*reference_, report->vcf_text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->size(), report->records.size());
+
+  // And it was stored next to the dataset.
+  EXPECT_TRUE(store.Exists("sorted.vcf"));
+}
+
+TEST_F(VariantPipelineTest, SelectiveColumnAccessSkipsMetadata) {
+  storage::MemoryStore store;
+  format::Manifest aligned = StageAlignedDataset(&store);
+  format::Manifest sorted;
+  ASSERT_TRUE(
+      pipeline::SortAgdDataset(&store, aligned, "sorted", {}, &sorted).ok());
+
+  auto report = CallVariantsAgd(&store, sorted, *reference_, {});
+  ASSERT_TRUE(report.ok());
+  // Three columns per chunk (bases, qual, results) — metadata is never fetched.
+  EXPECT_EQ(report->store_stats.read_ops, sorted.chunks.size() * 3);
+}
+
+TEST_F(VariantPipelineTest, FilteringTightensPrecision) {
+  storage::MemoryStore store;
+  format::Manifest aligned = StageAlignedDataset(&store);
+  format::Manifest sorted;
+  ASSERT_TRUE(
+      pipeline::SortAgdDataset(&store, aligned, "sorted", {}, &sorted).ok());
+  ASSERT_TRUE(pipeline::DedupAgdResults(&store, sorted).ok());
+
+  CallPipelineOptions options;
+  options.caller.min_qual = 3;        // deliberately permissive caller...
+  options.filter.min_qual = 30;       // ...tightened by the hard filters
+  options.filter.min_depth = 8;
+  options.filter.max_strand_bias = 0.15;  // strict enough to trim some real het calls
+  auto report = CallVariantsAgd(&store, sorted, *reference_, options);
+  ASSERT_TRUE(report.ok());
+  ASSERT_GT(report->records_called, report->records_passing) << "filters must bind";
+
+  // Annotation accounting must be consistent: the passing-only score sees exactly the
+  // records the filter admitted, non-passing records carry a reason, and filtering can
+  // only remove calls (recall of the passing set never exceeds the unfiltered set).
+  VariantAccuracy all = ScoreVariants(donor_->variants, report->records, false, reference_);
+  VariantAccuracy passing =
+      ScoreVariants(donor_->variants, report->records, true, reference_);
+  EXPECT_EQ(passing.overall.called, static_cast<int64_t>(report->records_passing));
+  EXPECT_LE(passing.overall.Recall(), all.overall.Recall());
+  for (const format::VariantRecord& record : report->records) {
+    EXPECT_FALSE(record.filter.empty());
+    if (record.filter != "PASS") {
+      EXPECT_TRUE(record.filter.find("LowQual") != std::string::npos ||
+                  record.filter.find("BadDepth") != std::string::npos ||
+                  record.filter.find("LowAltFraction") != std::string::npos ||
+                  record.filter.find("StrandBias") != std::string::npos)
+          << record.filter;
+    }
+  }
+}
+
+TEST_F(VariantPipelineTest, RequiresMandatoryColumns) {
+  storage::MemoryStore store;
+  std::vector<genome::Read> reads(10, genome::Read{"ACGTACGT", "IIIIIIII", "r"});
+  auto manifest = pipeline::WriteAgdToStore(&store, "ds", reads, 10);
+  ASSERT_TRUE(manifest.ok());
+  // No results column.
+  EXPECT_FALSE(CallVariantsAgd(&store, *manifest, *reference_, {}).ok());
+}
+
+TEST_F(VariantPipelineTest, UnsortedDatasetIsRejected) {
+  storage::MemoryStore store;
+  format::Manifest aligned = StageAlignedDataset(&store);
+  // Reads were generated in random genome order, so the unsorted dataset violates the
+  // streaming engine's ordering precondition almost surely.
+  auto report = CallVariantsAgd(&store, aligned, *reference_, {});
+  EXPECT_FALSE(report.ok());
+}
+
+}  // namespace
+}  // namespace persona::variant

@@ -1,0 +1,769 @@
+// Unit tests for the variant-calling substrate: pileup construction across CIGAR shapes,
+// genotype-caller math, hard filters, and the accuracy scorer.
+
+#include <gtest/gtest.h>
+
+#include "src/compress/base_compaction.h"
+#include "src/variant/accuracy.h"
+#include "src/variant/caller.h"
+#include "src/variant/coverage.h"
+#include "src/variant/filter.h"
+#include "src/variant/normalize.h"
+#include "src/variant/pileup.h"
+
+namespace persona::variant {
+namespace {
+
+using align::AlignmentResult;
+using align::kFlagDuplicate;
+using align::kFlagReverse;
+
+//                                 0         1         2         3
+//                                 0123456789012345678901234567890123456789
+const char kRefSequence[] = "ACGTACGTTAGCCATGGCATTACGGATCCAGTTCAGACGT";
+
+genome::ReferenceGenome FixedReference() {
+  std::vector<genome::Contig> contigs = {{"c1", kRefSequence}};
+  return genome::ReferenceGenome(std::move(contigs));
+}
+
+AlignmentResult MappedAt(int64_t location, const std::string& cigar, bool reverse = false,
+                         uint8_t mapq = 60) {
+  AlignmentResult result;
+  result.location = location;
+  result.cigar = cigar;
+  result.flags = reverse ? kFlagReverse : 0;
+  result.mapq = mapq;
+  return result;
+}
+
+// Quality string of Phred `q` for `n` bases.
+std::string Qual(int n, int q = 35) { return std::string(static_cast<size_t>(n), static_cast<char>(33 + q)); }
+
+const PileupColumn* FindColumn(const std::vector<PileupColumn>& columns,
+                               genome::GenomeLocation location) {
+  for (const PileupColumn& column : columns) {
+    if (column.location == location) {
+      return &column;
+    }
+  }
+  return nullptr;
+}
+
+// --- Pileup ---
+
+TEST(Pileup, PerfectReadCoversItsSpan) {
+  genome::ReferenceGenome reference = FixedReference();
+  PileupEngine engine(&reference, PileupOptions{});
+  std::string bases(kRefSequence + 4, 10);
+  ASSERT_TRUE(engine.AddRead(bases, Qual(10), MappedAt(4, "10M")).ok());
+
+  std::vector<PileupColumn> columns;
+  engine.FlushAll(&columns);
+  ASSERT_EQ(columns.size(), 10u);
+  for (size_t i = 0; i < columns.size(); ++i) {
+    EXPECT_EQ(columns[i].location, static_cast<int64_t>(4 + i));
+    EXPECT_EQ(columns[i].ref_base, kRefSequence[4 + i]);
+    EXPECT_EQ(columns[i].depth(), 1);
+    EXPECT_EQ(columns[i].spanning_reads, 1);
+    EXPECT_EQ(columns[i].observations[0].base_code,
+              compress::BaseToCode(kRefSequence[4 + i]));
+    EXPECT_FALSE(columns[i].observations[0].reverse);
+  }
+  EXPECT_EQ(engine.reads_used(), 1u);
+}
+
+TEST(Pileup, OverlappingReadsStackDepth) {
+  genome::ReferenceGenome reference = FixedReference();
+  PileupEngine engine(&reference, PileupOptions{});
+  ASSERT_TRUE(engine.AddRead(std::string(kRefSequence + 4, 10), Qual(10), MappedAt(4, "10M")).ok());
+  ASSERT_TRUE(engine.AddRead(std::string(kRefSequence + 8, 10), Qual(10), MappedAt(8, "10M")).ok());
+
+  std::vector<PileupColumn> columns;
+  engine.FlushAll(&columns);
+  const PileupColumn* overlap = FindColumn(columns, 9);
+  ASSERT_NE(overlap, nullptr);
+  EXPECT_EQ(overlap->depth(), 2);
+  const PileupColumn* solo = FindColumn(columns, 5);
+  ASSERT_NE(solo, nullptr);
+  EXPECT_EQ(solo->depth(), 1);
+}
+
+TEST(Pileup, ReverseReadProjectsComplement) {
+  genome::ReferenceGenome reference = FixedReference();
+  PileupEngine engine(&reference, PileupOptions{});
+  // As-sequenced bases of a reverse-strand read are the reverse complement.
+  std::string as_sequenced = compress::ReverseComplement(std::string_view(kRefSequence + 6, 12));
+  ASSERT_TRUE(
+      engine.AddRead(as_sequenced, Qual(12), MappedAt(6, "12M", /*reverse=*/true)).ok());
+
+  std::vector<PileupColumn> columns;
+  engine.FlushAll(&columns);
+  const PileupColumn* column = FindColumn(columns, 10);
+  ASSERT_NE(column, nullptr);
+  ASSERT_EQ(column->depth(), 1);
+  // The projected observation must equal the reference (forward) base.
+  EXPECT_EQ(column->observations[0].base_code, compress::BaseToCode(kRefSequence[10]));
+  EXPECT_TRUE(column->observations[0].reverse);
+}
+
+TEST(Pileup, InsertionAnchorsAtPrecedingBase) {
+  genome::ReferenceGenome reference = FixedReference();
+  PileupEngine engine(&reference, PileupOptions{});
+  // 5M 3I 5M at 8: insertion "TTT" between reference positions 12 and 13, anchor 12.
+  std::string bases =
+      std::string(kRefSequence + 8, 5) + "TTT" + std::string(kRefSequence + 13, 5);
+  ASSERT_TRUE(engine.AddRead(bases, Qual(13), MappedAt(8, "5M3I5M")).ok());
+
+  std::vector<PileupColumn> columns;
+  engine.FlushAll(&columns);
+  const PileupColumn* anchor = FindColumn(columns, 12);
+  ASSERT_NE(anchor, nullptr);
+  ASSERT_EQ(anchor->insertions.size(), 1u);
+  EXPECT_EQ(anchor->insertions.begin()->first, "TTT");
+  EXPECT_EQ(anchor->insertions.begin()->second, 1);
+  EXPECT_TRUE(anchor->deletions.empty());
+}
+
+TEST(Pileup, DeletionAnchorsAndSpansGap) {
+  genome::ReferenceGenome reference = FixedReference();
+  PileupEngine engine(&reference, PileupOptions{});
+  // 6M 2D 6M at 2: positions 8 and 9 deleted, anchor 7.
+  std::string bases = std::string(kRefSequence + 2, 6) + std::string(kRefSequence + 10, 6);
+  ASSERT_TRUE(engine.AddRead(bases, Qual(12), MappedAt(2, "6M2D6M")).ok());
+
+  std::vector<PileupColumn> columns;
+  engine.FlushAll(&columns);
+  const PileupColumn* anchor = FindColumn(columns, 7);
+  ASSERT_NE(anchor, nullptr);
+  ASSERT_EQ(anchor->deletions.size(), 1u);
+  EXPECT_EQ(anchor->deletions.begin()->first, 2);
+
+  // Deleted columns: spanned but without base observations.
+  const PileupColumn* deleted = FindColumn(columns, 8);
+  ASSERT_NE(deleted, nullptr);
+  EXPECT_EQ(deleted->spanning_reads, 1);
+  EXPECT_EQ(deleted->depth(), 0);
+}
+
+TEST(Pileup, SoftClipsContributeNothing) {
+  genome::ReferenceGenome reference = FixedReference();
+  PileupEngine engine(&reference, PileupOptions{});
+  std::string bases = "GG" + std::string(kRefSequence + 20, 8);
+  ASSERT_TRUE(engine.AddRead(bases, Qual(10), MappedAt(20, "2S8M")).ok());
+
+  std::vector<PileupColumn> columns;
+  engine.FlushAll(&columns);
+  EXPECT_EQ(columns.size(), 8u);  // only the M span
+  EXPECT_EQ(columns.front().location, 20);
+}
+
+TEST(Pileup, LowQualityBasesAreDroppedButStillSpan) {
+  genome::ReferenceGenome reference = FixedReference();
+  PileupOptions options;
+  options.min_base_qual = 20;
+  PileupEngine engine(&reference, options);
+  std::string qual = Qual(10, 30);
+  qual[4] = static_cast<char>(33 + 5);  // one bad base
+  ASSERT_TRUE(engine.AddRead(std::string(kRefSequence + 4, 10), qual, MappedAt(4, "10M")).ok());
+
+  std::vector<PileupColumn> columns;
+  engine.FlushAll(&columns);
+  const PileupColumn* filtered = FindColumn(columns, 8);  // read offset 4
+  ASSERT_NE(filtered, nullptr);
+  EXPECT_EQ(filtered->depth(), 0);
+  EXPECT_EQ(filtered->spanning_reads, 1);
+}
+
+TEST(Pileup, ReadLevelFiltersSkipWholeReads) {
+  genome::ReferenceGenome reference = FixedReference();
+  PileupOptions options;
+  options.min_mapq = 30;
+  options.skip_duplicates = true;
+  PileupEngine engine(&reference, options);
+
+  // Low MAPQ.
+  ASSERT_TRUE(engine
+                  .AddRead(std::string(kRefSequence + 4, 8), Qual(8),
+                           MappedAt(4, "8M", false, /*mapq=*/10))
+                  .ok());
+  // Duplicate.
+  AlignmentResult duplicate = MappedAt(4, "8M");
+  duplicate.flags |= kFlagDuplicate;
+  ASSERT_TRUE(engine.AddRead(std::string(kRefSequence + 4, 8), Qual(8), duplicate).ok());
+  // Unmapped.
+  ASSERT_TRUE(engine.AddRead("ACGT", Qual(4), AlignmentResult{}).ok());
+
+  std::vector<PileupColumn> columns;
+  engine.FlushAll(&columns);
+  EXPECT_TRUE(columns.empty());
+  EXPECT_EQ(engine.reads_skipped(), 3u);
+  EXPECT_EQ(engine.reads_used(), 0u);
+
+  // With the duplicate filter off, the duplicate read contributes.
+  options.skip_duplicates = false;
+  options.min_mapq = 0;
+  PileupEngine permissive(&reference, options);
+  ASSERT_TRUE(permissive.AddRead(std::string(kRefSequence + 4, 8), Qual(8), duplicate).ok());
+  columns.clear();
+  permissive.FlushAll(&columns);
+  EXPECT_EQ(columns.size(), 8u);
+}
+
+TEST(Pileup, RejectsOutOfOrderInput) {
+  genome::ReferenceGenome reference = FixedReference();
+  PileupEngine engine(&reference, PileupOptions{});
+  ASSERT_TRUE(engine.AddRead(std::string(kRefSequence + 20, 8), Qual(8), MappedAt(20, "8M")).ok());
+  EXPECT_FALSE(engine.AddRead(std::string(kRefSequence + 4, 8), Qual(8), MappedAt(4, "8M")).ok());
+}
+
+TEST(Pileup, FlushBeforeReleasesOnlyFinishedColumns) {
+  genome::ReferenceGenome reference = FixedReference();
+  PileupOptions options;
+  options.realign_indels = false;  // no realignment slack: frontier == last read start
+  PileupEngine engine(&reference, options);
+  ASSERT_TRUE(engine.AddRead(std::string(kRefSequence + 2, 8), Qual(8), MappedAt(2, "8M")).ok());
+  ASSERT_TRUE(engine.AddRead(std::string(kRefSequence + 20, 8), Qual(8), MappedAt(20, "8M")).ok());
+
+  EXPECT_EQ(engine.flush_frontier(), 20);
+  std::vector<PileupColumn> columns;
+  engine.FlushBefore(engine.flush_frontier(), &columns);
+  EXPECT_EQ(columns.size(), 8u);  // the first read's columns only
+  EXPECT_LT(columns.back().location, 20);
+
+  columns.clear();
+  engine.FlushAll(&columns);
+  EXPECT_EQ(columns.size(), 8u);  // the second read's columns
+}
+
+TEST(Pileup, FlushFrontierReservesRealignmentSlack) {
+  genome::ReferenceGenome reference = FixedReference();
+  PileupOptions options;
+  options.realign_indels = true;
+  options.realign_padding = 16;
+  PileupEngine engine(&reference, options);
+  ASSERT_TRUE(engine.AddRead(std::string(kRefSequence + 20, 8), Qual(8), MappedAt(20, "8M")).ok());
+  // Realignment may shift a future read's start left by up to the padding, so columns
+  // within that slack must stay resident.
+  EXPECT_EQ(engine.flush_frontier(), 4);
+}
+
+TEST(Pileup, RealignmentConsolidatesFragmentedGap) {
+  // A read carrying one contiguous 3-base deletion, but presented with a CIGAR that
+  // fragments it ("2D1M1D" instead of "3D...") — the unit-cost edit-distance failure
+  // mode. With realignment on, the pileup must re-derive the contiguous gap.
+  genome::ReferenceGenome reference = FixedReference();
+  std::string_view ref = kRefSequence;
+  // True story: 8M 3D 8M at location 12: read = ref[12..20) + ref[23..31).
+  std::string bases = std::string(ref.substr(12, 8)) + std::string(ref.substr(23, 8));
+  // Fragmented presentation of the same read: 8M 2D 1M' 1D 7M — the M' base mismatches,
+  // but the read bytes are identical; only the CIGAR decomposition differs.
+  PileupOptions options;
+  options.realign_indels = true;
+  PileupEngine engine(&reference, options);
+  ASSERT_TRUE(engine.AddRead(bases, Qual(16), MappedAt(12, "8M2D1M1D7M")).ok());
+
+  std::vector<PileupColumn> columns;
+  engine.FlushAll(&columns);
+  const PileupColumn* anchor = FindColumn(columns, 19);
+  ASSERT_NE(anchor, nullptr);
+  ASSERT_EQ(anchor->deletions.size(), 1u) << "gap must consolidate at one anchor";
+  EXPECT_EQ(anchor->deletions.begin()->first, 3);
+
+  // With realignment off, the fragmented CIGAR is taken at face value.
+  options.realign_indels = false;
+  PileupEngine verbatim(&reference, options);
+  ASSERT_TRUE(verbatim.AddRead(bases, Qual(16), MappedAt(12, "8M2D1M1D7M")).ok());
+  columns.clear();
+  verbatim.FlushAll(&columns);
+  const PileupColumn* split_anchor = FindColumn(columns, 19);
+  ASSERT_NE(split_anchor, nullptr);
+  EXPECT_EQ(split_anchor->deletions.begin()->first, 2);
+}
+
+TEST(Pileup, MalformedCigarSkipsRead) {
+  genome::ReferenceGenome reference = FixedReference();
+  PileupEngine engine(&reference, PileupOptions{});
+  // CIGAR consumes more reference than the contig holds.
+  ASSERT_TRUE(engine.AddRead(std::string(10, 'A'), Qual(10), MappedAt(35, "10M")).ok());
+  // Query span mismatch.
+  ASSERT_TRUE(engine.AddRead(std::string(10, 'A'), Qual(10), MappedAt(4, "5M")).ok());
+  EXPECT_EQ(engine.reads_skipped(), 2u);
+}
+
+TEST(Pileup, BuildPileupHandlesUnsortedInput) {
+  genome::ReferenceGenome reference = FixedReference();
+  std::vector<std::string> bases = {std::string(kRefSequence + 20, 8),
+                                    std::string(kRefSequence + 4, 8)};
+  std::vector<std::string> quals = {Qual(8), Qual(8)};
+  std::vector<AlignmentResult> results = {MappedAt(20, "8M"), MappedAt(4, "8M")};
+  auto columns = BuildPileup(reference, bases, quals, results, PileupOptions{});
+  ASSERT_TRUE(columns.ok());
+  EXPECT_EQ(columns->size(), 16u);
+  EXPECT_EQ(columns->front().location, 4);
+  EXPECT_EQ(columns->back().location, 27);
+}
+
+// --- Caller ---
+
+// A column with `ref_count` reference observations and `alt_count` alt observations.
+PileupColumn MakeSnvColumn(const genome::ReferenceGenome& reference,
+                           genome::GenomeLocation location, char alt, int ref_count,
+                           int alt_count, int qual = 35) {
+  PileupColumn column;
+  column.location = location;
+  column.ref_base = reference.BaseAt(location);
+  for (int i = 0; i < ref_count; ++i) {
+    column.observations.push_back({compress::BaseToCode(column.ref_base),
+                                   static_cast<uint8_t>(qual), i % 2 == 1});
+  }
+  for (int i = 0; i < alt_count; ++i) {
+    column.observations.push_back(
+        {compress::BaseToCode(alt), static_cast<uint8_t>(qual), i % 2 == 0});
+  }
+  column.spanning_reads = ref_count + alt_count;
+  return column;
+}
+
+char AltFor(char ref) { return ref == 'A' ? 'G' : 'A'; }
+
+TEST(Caller, HomozygousAltSite) {
+  genome::ReferenceGenome reference = FixedReference();
+  GenotypeCaller caller(&reference, CallerOptions{});
+  const char alt = AltFor(reference.BaseAt(10));
+  PileupColumn column = MakeSnvColumn(reference, 10, alt, 0, 20);
+  std::vector<format::VariantRecord> records = caller.CallSite(column);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].ref_allele[0], reference.BaseAt(10));
+  EXPECT_EQ(records[0].alt_allele[0], alt);
+  EXPECT_EQ(records[0].genotype, "1/1");
+  EXPECT_GT(records[0].qual, 50);
+  EXPECT_EQ(records[0].depth, 20);
+  EXPECT_NEAR(records[0].alt_fraction, 1.0, 1e-9);
+}
+
+TEST(Caller, HeterozygousSite) {
+  genome::ReferenceGenome reference = FixedReference();
+  GenotypeCaller caller(&reference, CallerOptions{});
+  const char alt = AltFor(reference.BaseAt(15));
+  PileupColumn column = MakeSnvColumn(reference, 15, alt, 12, 11);
+  std::vector<format::VariantRecord> records = caller.CallSite(column);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].genotype, "0/1");
+  EXPECT_NEAR(records[0].alt_fraction, 11.0 / 23.0, 1e-9);
+}
+
+TEST(Caller, HomozygousReferenceStaysSilent) {
+  genome::ReferenceGenome reference = FixedReference();
+  GenotypeCaller caller(&reference, CallerOptions{});
+  PileupColumn column = MakeSnvColumn(reference, 10, 'G', 25, 0);
+  EXPECT_TRUE(caller.CallSite(column).empty());
+}
+
+TEST(Caller, SequencingNoiseBelowFractionGateIsIgnored) {
+  genome::ReferenceGenome reference = FixedReference();
+  GenotypeCaller caller(&reference, CallerOptions{});
+  const char alt = AltFor(reference.BaseAt(10));
+  // 1 alt in 30: plausible sequencing error, below the 15% candidate gate.
+  PileupColumn column = MakeSnvColumn(reference, 10, alt, 29, 1);
+  EXPECT_TRUE(caller.CallSite(column).empty());
+}
+
+TEST(Caller, DepthGateSuppressesShallowSites) {
+  genome::ReferenceGenome reference = FixedReference();
+  CallerOptions options;
+  options.min_depth = 8;
+  GenotypeCaller caller(&reference, options);
+  const char alt = AltFor(reference.BaseAt(10));
+  PileupColumn column = MakeSnvColumn(reference, 10, alt, 0, 7);
+  EXPECT_TRUE(caller.CallSite(column).empty());
+}
+
+TEST(Caller, PosteriorsFormDistribution) {
+  genome::ReferenceGenome reference = FixedReference();
+  GenotypeCaller caller(&reference, CallerOptions{});
+  const char alt = AltFor(reference.BaseAt(10));
+  PileupColumn column = MakeSnvColumn(reference, 10, alt, 10, 10);
+  auto posteriors = caller.SnvPosteriors(column, compress::BaseToCode(alt));
+  ASSERT_TRUE(posteriors.has_value());
+  EXPECT_NEAR(posteriors->hom_ref + posteriors->het + posteriors->hom_alt, 1.0, 1e-9);
+  EXPECT_GT(posteriors->het, posteriors->hom_ref);
+  EXPECT_GT(posteriors->het, posteriors->hom_alt);
+}
+
+TEST(Caller, LowQualityEvidenceLowersConfidence) {
+  genome::ReferenceGenome reference = FixedReference();
+  GenotypeCaller caller(&reference, CallerOptions{});
+  const char alt = AltFor(reference.BaseAt(10));
+  std::vector<format::VariantRecord> high =
+      caller.CallSite(MakeSnvColumn(reference, 10, alt, 0, 10, /*qual=*/38));
+  std::vector<format::VariantRecord> low =
+      caller.CallSite(MakeSnvColumn(reference, 10, alt, 0, 10, /*qual=*/8));
+  ASSERT_EQ(high.size(), 1u);
+  if (!low.empty()) {
+    EXPECT_LT(low[0].qual, high[0].qual);
+  }
+}
+
+TEST(Caller, InsertionCall) {
+  genome::ReferenceGenome reference = FixedReference();
+  GenotypeCaller caller(&reference, CallerOptions{});
+  PileupColumn column;
+  column.location = 12;
+  column.ref_base = reference.BaseAt(12);
+  column.spanning_reads = 20;
+  column.insertions["AC"] = 18;
+  std::vector<format::VariantRecord> records = caller.CallSite(column);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_TRUE(records[0].insertion());
+  EXPECT_EQ(records[0].ref_allele, std::string(1, reference.BaseAt(12)));
+  EXPECT_EQ(records[0].alt_allele, std::string(1, reference.BaseAt(12)) + "AC");
+  EXPECT_EQ(records[0].genotype, "1/1");
+}
+
+TEST(Caller, HeterozygousDeletionCall) {
+  genome::ReferenceGenome reference = FixedReference();
+  GenotypeCaller caller(&reference, CallerOptions{});
+  PileupColumn column;
+  column.location = 12;
+  column.ref_base = reference.BaseAt(12);
+  column.spanning_reads = 24;
+  column.deletions[3] = 11;  // ~46%: heterozygous
+  std::vector<format::VariantRecord> records = caller.CallSite(column);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_TRUE(records[0].deletion());
+  EXPECT_EQ(records[0].ref_allele.size(), 4u);  // anchor + 3 deleted
+  EXPECT_EQ(records[0].genotype, "0/1");
+}
+
+TEST(Caller, WeakIndelEvidenceSuppressed) {
+  genome::ReferenceGenome reference = FixedReference();
+  GenotypeCaller caller(&reference, CallerOptions{});
+  PileupColumn column;
+  column.location = 12;
+  column.ref_base = reference.BaseAt(12);
+  column.spanning_reads = 40;
+  column.insertions["A"] = 2;  // below min_indel_observations and fraction gate
+  EXPECT_TRUE(caller.CallSite(column).empty());
+}
+
+TEST(Caller, StrandBiasReportedWhenAltIsOneSided) {
+  genome::ReferenceGenome reference = FixedReference();
+  GenotypeCaller caller(&reference, CallerOptions{});
+  const char alt = AltFor(reference.BaseAt(10));
+  PileupColumn column;
+  column.location = 10;
+  column.ref_base = reference.BaseAt(10);
+  // Ref observations split across strands; alt only on forward.
+  for (int i = 0; i < 10; ++i) {
+    column.observations.push_back({compress::BaseToCode(column.ref_base), 35, i % 2 == 0});
+  }
+  for (int i = 0; i < 10; ++i) {
+    column.observations.push_back({compress::BaseToCode(alt), 35, false});
+  }
+  column.spanning_reads = 20;
+  std::vector<format::VariantRecord> records = caller.CallSite(column);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_GT(records[0].strand_bias, 0.5);
+}
+
+// --- Filters ---
+
+TEST(VariantFilters, AnnotateAndSummarize) {
+  std::vector<format::VariantRecord> records(4);
+  records[0].qual = 50;
+  records[0].depth = 30;
+  records[0].alt_fraction = 0.5;
+  records[0].strand_bias = 0.1;
+  records[1].qual = 5;  // LowQual
+  records[1].depth = 30;
+  records[1].alt_fraction = 0.5;
+  records[2].qual = 50;
+  records[2].depth = 2;  // BadDepth
+  records[2].alt_fraction = 0.5;
+  records[3].qual = 4;   // LowQual + StrandBias
+  records[3].depth = 30;
+  records[3].alt_fraction = 0.5;
+  records[3].strand_bias = 0.95;
+
+  VariantFilterSpec spec;
+  spec.min_qual = 20;
+  spec.min_depth = 5;
+  spec.max_strand_bias = 0.8;
+  VariantFilterSummary summary = ApplyVariantFilters(records, spec);
+  EXPECT_EQ(summary.total, 4);
+  EXPECT_EQ(summary.passed, 1);
+  EXPECT_EQ(summary.failed_qual, 2);
+  EXPECT_EQ(summary.failed_depth, 1);
+  EXPECT_EQ(summary.failed_strand_bias, 1);
+
+  EXPECT_EQ(records[0].filter, "PASS");
+  EXPECT_EQ(records[1].filter, "LowQual");
+  EXPECT_EQ(records[2].filter, "BadDepth");
+  EXPECT_EQ(records[3].filter, "LowQual;StrandBias");
+
+  std::vector<format::VariantRecord> passing = PassingOnly(records);
+  ASSERT_EQ(passing.size(), 1u);
+  EXPECT_EQ(passing[0].qual, 50);
+}
+
+TEST(VariantFilters, MaxDepthCatchesPileupArtifacts) {
+  std::vector<format::VariantRecord> records(1);
+  records[0].qual = 80;
+  records[0].depth = 900;
+  VariantFilterSpec spec;
+  spec.max_depth = 400;
+  ApplyVariantFilters(records, spec);
+  EXPECT_EQ(records[0].filter, "BadDepth");
+}
+
+// --- Accuracy scorer ---
+
+genome::TrueVariant Truth(int32_t contig, int64_t pos, const std::string& ref,
+                          const std::string& alt, genome::VariantType type,
+                          bool het = false) {
+  genome::TrueVariant v;
+  v.contig_index = contig;
+  v.position = pos;
+  v.ref_allele = ref;
+  v.alt_allele = alt;
+  v.type = type;
+  v.heterozygous = het;
+  return v;
+}
+
+format::VariantRecord Call(int32_t contig, int64_t pos, const std::string& ref,
+                           const std::string& alt, const std::string& genotype = "1/1") {
+  format::VariantRecord r;
+  r.contig_index = contig;
+  r.position = pos;
+  r.ref_allele = ref;
+  r.alt_allele = alt;
+  r.genotype = genotype;
+  return r;
+}
+
+TEST(ScoreVariants, CountsTypeSplitsAndGenotypes) {
+  std::vector<genome::TrueVariant> truth = {
+      Truth(0, 10, "A", "G", genome::VariantType::kSnv),
+      Truth(0, 50, "C", "CTT", genome::VariantType::kInsertion, /*het=*/true),
+      Truth(1, 5, "GAA", "G", genome::VariantType::kDeletion),
+  };
+  std::vector<format::VariantRecord> calls = {
+      Call(0, 10, "A", "G", "1/1"),      // TP, genotype match
+      Call(0, 50, "C", "CTT", "1/1"),    // TP, genotype mismatch (truth is het)
+      Call(0, 99, "T", "A"),             // FP
+  };
+  VariantAccuracy accuracy = ScoreVariants(truth, calls);
+  EXPECT_EQ(accuracy.overall.truth, 3);
+  EXPECT_EQ(accuracy.overall.called, 3);
+  EXPECT_EQ(accuracy.overall.true_positives, 2);
+  EXPECT_NEAR(accuracy.overall.Precision(), 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(accuracy.overall.Recall(), 2.0 / 3.0, 1e-9);
+  EXPECT_EQ(accuracy.snv.true_positives, 1);
+  EXPECT_EQ(accuracy.insertion.true_positives, 1);
+  EXPECT_EQ(accuracy.deletion.true_positives, 0);
+  EXPECT_EQ(accuracy.genotype_matches, 1);
+  EXPECT_NEAR(accuracy.GenotypeConcordance(), 0.5, 1e-9);
+}
+
+TEST(ScoreVariants, AlleleMismatchIsFalsePositive) {
+  std::vector<genome::TrueVariant> truth = {Truth(0, 10, "A", "G", genome::VariantType::kSnv)};
+  std::vector<format::VariantRecord> calls = {Call(0, 10, "A", "T")};  // wrong alt
+  VariantAccuracy accuracy = ScoreVariants(truth, calls);
+  EXPECT_EQ(accuracy.overall.true_positives, 0);
+}
+
+TEST(ScoreVariants, DuplicateCallsCountOnceAsTruePositive) {
+  std::vector<genome::TrueVariant> truth = {Truth(0, 10, "A", "G", genome::VariantType::kSnv)};
+  std::vector<format::VariantRecord> calls = {Call(0, 10, "A", "G"), Call(0, 10, "A", "G")};
+  VariantAccuracy accuracy = ScoreVariants(truth, calls);
+  EXPECT_EQ(accuracy.overall.true_positives, 1);
+  EXPECT_EQ(accuracy.overall.called, 2);
+}
+
+TEST(ScoreVariants, PassingOnlyIgnoresFilteredCalls) {
+  std::vector<genome::TrueVariant> truth = {Truth(0, 10, "A", "G", genome::VariantType::kSnv)};
+  std::vector<format::VariantRecord> calls = {Call(0, 10, "A", "G")};
+  calls[0].filter = "LowQual";
+  VariantAccuracy strict = ScoreVariants(truth, calls, /*passing_only=*/true);
+  EXPECT_EQ(strict.overall.called, 0);
+  EXPECT_EQ(strict.overall.true_positives, 0);
+  VariantAccuracy lax = ScoreVariants(truth, calls, /*passing_only=*/false);
+  EXPECT_EQ(lax.overall.true_positives, 1);
+}
+
+// --- Coverage ---
+
+PileupColumn DepthColumn(genome::GenomeLocation location, int32_t depth) {
+  PileupColumn column;
+  column.location = location;
+  column.spanning_reads = depth;
+  return column;
+}
+
+TEST(Coverage, AggregatesDepthStatistics) {
+  genome::ReferenceGenome reference = FixedReference();  // 40 bases
+  std::vector<PileupColumn> columns = {
+      DepthColumn(0, 3), DepthColumn(1, 3), DepthColumn(2, 1), DepthColumn(3, 7)};
+  CoverageReport report = ComputeCoverage(reference, columns);
+
+  EXPECT_EQ(report.genome_length, 40);
+  EXPECT_EQ(report.covered_positions, 4);
+  EXPECT_EQ(report.total_depth, 14);
+  EXPECT_EQ(report.max_depth, 7);
+  EXPECT_NEAR(report.MeanDepth(), 14.0 / 40.0, 1e-9);
+  EXPECT_NEAR(report.Breadth(1), 4.0 / 40.0, 1e-9);
+  EXPECT_NEAR(report.Breadth(3), 3.0 / 40.0, 1e-9);
+  EXPECT_NEAR(report.Breadth(4), 1.0 / 40.0, 1e-9);
+  EXPECT_NEAR(report.Breadth(8), 0.0, 1e-9);
+  EXPECT_EQ(report.histogram[3], 2);
+  EXPECT_EQ(report.histogram[0], 36);  // uncovered positions
+}
+
+TEST(Coverage, HistogramCapAbsorbsExtremeDepths) {
+  genome::ReferenceGenome reference = FixedReference();
+  CoverageOptions options;
+  options.histogram_cap = 10;
+  std::vector<PileupColumn> columns = {DepthColumn(0, 250), DepthColumn(1, 11)};
+  CoverageReport report = ComputeCoverage(reference, columns, options);
+  EXPECT_EQ(report.histogram.size(), 11u);
+  EXPECT_EQ(report.histogram[10], 2);  // both above the cap
+  EXPECT_EQ(report.max_depth, 250);    // max is tracked exactly
+  // Thresholds beyond the cap clamp to the cap (conservative).
+  EXPECT_NEAR(report.Breadth(200), 2.0 / 40.0, 1e-9);
+}
+
+TEST(Coverage, ZeroDepthColumnsAndEmptyInputsAreNeutral) {
+  genome::ReferenceGenome reference = FixedReference();
+  std::vector<PileupColumn> none;
+  CoverageReport empty = ComputeCoverage(reference, none);
+  EXPECT_EQ(empty.covered_positions, 0);
+  EXPECT_EQ(empty.MeanDepth(), 0);
+  EXPECT_NEAR(empty.Breadth(0), 1.0, 1e-9);  // every position has depth >= 0
+
+  std::vector<PileupColumn> zero = {DepthColumn(5, 0)};
+  CoverageReport with_zero = ComputeCoverage(reference, zero);
+  EXPECT_EQ(with_zero.covered_positions, 0);
+  EXPECT_EQ(with_zero.histogram[0], 40);
+}
+
+// --- Normalization ---
+
+format::VariantRecord RawRecord(const genome::ReferenceGenome& reference, int64_t pos,
+                                std::string ref, std::string alt) {
+  format::VariantRecord r;
+  r.contig_index = 0;
+  r.position = pos;
+  r.ref_allele = std::move(ref);
+  r.alt_allele = std::move(alt);
+  return r;
+}
+
+TEST(Normalize, SnvIsUnchanged) {
+  genome::ReferenceGenome reference = FixedReference();
+  // kRefSequence[10] == 'G'.
+  format::VariantRecord r = RawRecord(reference, 10, "G", "T");
+  ASSERT_TRUE(NormalizeVariant(reference, &r).ok());
+  EXPECT_EQ(r.position, 10);
+  EXPECT_EQ(r.ref_allele, "G");
+  EXPECT_EQ(r.alt_allele, "T");
+}
+
+TEST(Normalize, TrimsSharedSuffix) {
+  genome::ReferenceGenome reference = FixedReference();
+  // ref[5..8) = "CGT"; deleting "G" can be written as CGT->CT (shared suffix T).
+  format::VariantRecord r = RawRecord(reference, 5, "CGT", "CT");
+  ASSERT_TRUE(NormalizeVariant(reference, &r).ok());
+  EXPECT_EQ(r.position, 5);
+  EXPECT_EQ(r.ref_allele, "CG");
+  EXPECT_EQ(r.alt_allele, "C");
+}
+
+TEST(Normalize, LeftAlignsInsertionInHomopolymer) {
+  // Reference with a TT run: inserting a T "after the run" is equivalent to inserting
+  // it at the run's left edge; normalization must settle on the left edge.
+  std::vector<genome::Contig> contigs = {{"c1", "ACGTTTTACG"}};
+  genome::ReferenceGenome reference(std::move(contigs));
+  //          0123456789  positions 3..6 are the T run.
+  format::VariantRecord r = RawRecord(reference, 6, "T", "TT");
+  ASSERT_TRUE(NormalizeVariant(reference, &r).ok());
+  EXPECT_EQ(r.position, 2);  // anchored at the G before the run
+  EXPECT_EQ(r.ref_allele, "G");
+  EXPECT_EQ(r.alt_allele, "GT");
+}
+
+TEST(Normalize, LeftAlignsDeletionInRepeat) {
+  std::vector<genome::Contig> contigs = {{"c1", "ACGATATATCG"}};
+  genome::ReferenceGenome reference(std::move(contigs));
+  //          01234567890  AT repeat at 3..8.
+  // Deleting the last "AT" copy (positions 7-8) == deleting the first copy (3-4).
+  format::VariantRecord r = RawRecord(reference, 6, "TAT", "T");
+  ASSERT_TRUE(NormalizeVariant(reference, &r).ok());
+  EXPECT_EQ(r.position, 2);
+  EXPECT_EQ(r.ref_allele, "GAT");
+  EXPECT_EQ(r.alt_allele, "G");
+}
+
+TEST(Normalize, TrimsSharedPrefixKeepingAnchor) {
+  genome::ReferenceGenome reference = FixedReference();
+  // ref[8..12) = "TAGC": "TAGC" -> "TAGG" is really the SNV C->G at position 11.
+  format::VariantRecord r = RawRecord(reference, 8, "TAGC", "TAGG");
+  ASSERT_TRUE(NormalizeVariant(reference, &r).ok());
+  EXPECT_EQ(r.position, 11);
+  EXPECT_EQ(r.ref_allele, "C");
+  EXPECT_EQ(r.alt_allele, "G");
+}
+
+TEST(Normalize, RejectsRefMismatchAndBadShapes) {
+  genome::ReferenceGenome reference = FixedReference();
+  format::VariantRecord wrong_ref = RawRecord(reference, 10, "T", "C");  // ref is 'G'
+  EXPECT_FALSE(NormalizeVariant(reference, &wrong_ref).ok());
+  EXPECT_EQ(wrong_ref.ref_allele, "T") << "failed normalization must not mutate";
+
+  format::VariantRecord empty = RawRecord(reference, 10, "", "C");
+  EXPECT_FALSE(NormalizeVariant(reference, &empty).ok());
+
+  format::VariantRecord off_end = RawRecord(reference, 38, "GTACG", "G");
+  EXPECT_FALSE(NormalizeVariant(reference, &off_end).ok());
+}
+
+TEST(Normalize, ScorerMatchesEquivalentIndelPlacements) {
+  std::vector<genome::Contig> contigs = {{"c1", "ACGTTTTACG"}};
+  genome::ReferenceGenome reference(std::move(contigs));
+  // Truth at the right edge of the T run, call at a middle placement.
+  std::vector<genome::TrueVariant> truth = {
+      Truth(0, 6, "T", "TT", genome::VariantType::kInsertion)};
+  std::vector<format::VariantRecord> calls = {Call(0, 4, "T", "TT")};
+
+  VariantAccuracy raw = ScoreVariants(truth, calls, false, nullptr);
+  EXPECT_EQ(raw.overall.true_positives, 0) << "literal comparison cannot match";
+  VariantAccuracy normalized = ScoreVariants(truth, calls, false, &reference);
+  EXPECT_EQ(normalized.overall.true_positives, 1)
+      << "normalized comparison must unify equivalent placements";
+}
+
+TEST(Normalize, BatchCountsChangedRecords) {
+  std::vector<genome::Contig> contigs = {{"c1", "ACGTTTTACG"}};
+  genome::ReferenceGenome reference(std::move(contigs));
+  std::vector<format::VariantRecord> records = {
+      RawRecord(reference, 6, "T", "TT"),   // shifts
+      RawRecord(reference, 1, "C", "A"),    // SNV, unchanged
+      RawRecord(reference, 9, "X", "Y"),    // unnormalizable, skipped
+  };
+  EXPECT_EQ(NormalizeVariants(reference, records), 1);
+  EXPECT_EQ(records[0].position, 2);
+  EXPECT_EQ(records[1].position, 1);
+  EXPECT_EQ(records[2].ref_allele, "X");
+}
+
+TEST(ScoreVariants, EmptyInputsAreWellDefined) {
+  VariantAccuracy accuracy = ScoreVariants({}, {});
+  EXPECT_EQ(accuracy.overall.Precision(), 0);
+  EXPECT_EQ(accuracy.overall.Recall(), 0);
+  EXPECT_EQ(accuracy.overall.F1(), 0);
+  EXPECT_EQ(accuracy.GenotypeConcordance(), 0);
+}
+
+}  // namespace
+}  // namespace persona::variant
