@@ -41,7 +41,7 @@ constexpr uint64_t kExpensiveUnits = 1'200;  // 30x cost skew
 void Spin(uint64_t units) {
   volatile uint64_t x = 0;
   for (uint64_t i = 0; i < units * 1'000; ++i) {
-    x += i;
+    x = x + i;
   }
 }
 

@@ -19,7 +19,7 @@ int64_t SortLocation(const align::AlignmentResult& r) {
 
 // Reads SAM text parts "<key>.<i>" until one is missing; returns record lines.
 Result<std::vector<std::string>> LoadSamParts(storage::ObjectStore* store,
-                                              const genome::ReferenceGenome& reference,
+                                              const genome::ReferenceGenome& /*reference*/,
                                               const std::string& key) {
   std::vector<std::string> lines;
   Buffer buffer;
@@ -190,7 +190,7 @@ Result<RowSortReport> SamtoolsLikeSort(storage::ObjectStore* store,
 }
 
 Result<RowSortReport> PicardLikeSort(storage::ObjectStore* store,
-                                     const genome::ReferenceGenome& reference,
+                                     const genome::ReferenceGenome& /*reference*/,
                                      const std::string& in_key, const std::string& out_key) {
   // Picard sorts BAM single-threaded with an object-per-record collection: decode every
   // record into an object, spill sorted runs, merge runs, re-encode — all on one thread.

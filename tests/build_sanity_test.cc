@@ -1,0 +1,79 @@
+// Cheap library-wide invariants that catch a broken `persona` link before the
+// heavier suites run: Status defaults, a known CRC-32 vector, and a varint
+// round-trip across the value range.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "src/util/buffer.h"
+#include "src/util/crc32.h"
+#include "src/util/result.h"
+#include "src/util/status.h"
+#include "src/util/varint.h"
+
+namespace persona {
+namespace {
+
+TEST(BuildSanityTest, StatusDefaultConstructsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_TRUE(status.message().empty());
+
+  Status error(StatusCode::kNotFound, "missing");
+  EXPECT_FALSE(error.ok());
+  EXPECT_EQ(error.code(), StatusCode::kNotFound);
+  EXPECT_EQ(error.message(), "missing");
+}
+
+TEST(BuildSanityTest, Crc32KnownVector) {
+  // The canonical CRC-32 check value: crc32("123456789") == 0xCBF43926.
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32(""), 0u);
+}
+
+TEST(BuildSanityTest, VarintRoundTrip) {
+  const std::vector<uint64_t> values = {
+      0, 1, 127, 128, 300, 16383, 16384,
+      std::numeric_limits<uint32_t>::max(),
+      std::numeric_limits<uint64_t>::max()};
+
+  Buffer encoded;
+  for (uint64_t value : values) {
+    PutVarint(value, &encoded);
+  }
+
+  size_t offset = 0;
+  for (uint64_t expected : values) {
+    Result<uint64_t> decoded = GetVarint(encoded.span(), &offset);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(*decoded, expected);
+  }
+  EXPECT_EQ(offset, encoded.size());
+}
+
+TEST(BuildSanityTest, SignedVarintRoundTrip) {
+  const std::vector<int64_t> values = {
+      0, -1, 1, -64, 63, -65, 64,
+      std::numeric_limits<int64_t>::min(),
+      std::numeric_limits<int64_t>::max()};
+
+  Buffer encoded;
+  for (int64_t value : values) {
+    PutSignedVarint(value, &encoded);
+  }
+
+  size_t offset = 0;
+  for (int64_t expected : values) {
+    Result<int64_t> decoded = GetSignedVarint(encoded.span(), &offset);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(*decoded, expected);
+  }
+  EXPECT_EQ(offset, encoded.size());
+}
+
+}  // namespace
+}  // namespace persona

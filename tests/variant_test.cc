@@ -650,7 +650,7 @@ TEST(Coverage, ZeroDepthColumnsAndEmptyInputsAreNeutral) {
 
 // --- Normalization ---
 
-format::VariantRecord RawRecord(const genome::ReferenceGenome& reference, int64_t pos,
+format::VariantRecord RawRecord(const genome::ReferenceGenome& /*reference*/, int64_t pos,
                                 std::string ref, std::string alt) {
   format::VariantRecord r;
   r.contig_index = 0;
