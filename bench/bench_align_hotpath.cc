@@ -1,0 +1,105 @@
+// Micro-benchmark for the SNAP seeding+verification hot path (the framework's single
+// hottest loop; every pipeline workload inherits its throughput).
+//
+// Runs the batched, allocation-free AlignBatch entry point over a fixed-seed synthetic
+// scenario and reports wall throughput plus per-kernel-phase attribution from the
+// AlignProfile clocks (read once per batch phase). A second section runs the per-read
+// Align() wrapper for comparison; its remaining gap over the batch path is the
+// per-call overhead batching removes.
+//
+// Usage: bench_align_hotpath [num_reads]   (default 6000; CI smoke uses a small count)
+
+#include <cstdlib>
+
+#include "bench/bench_common.h"
+
+namespace persona::bench {
+namespace {
+
+struct HotpathResult {
+  double seconds = 0;
+  uint64_t bases = 0;
+  align::AlignProfile profile;
+};
+
+HotpathResult RunBatched(const align::SnapAligner& aligner,
+                         std::span<const genome::Read> reads, size_t batch_size) {
+  HotpathResult out;
+  auto scratch = aligner.MakeScratch();
+  std::vector<align::AlignmentResult> results(reads.size());
+  Stopwatch timer;
+  for (size_t begin = 0; begin < reads.size(); begin += batch_size) {
+    const size_t count = std::min(batch_size, reads.size() - begin);
+    aligner.AlignBatch(reads.subspan(begin, count), {results.data() + begin, count},
+                       scratch.get(), &out.profile);
+  }
+  out.seconds = timer.ElapsedSeconds();
+  for (const auto& read : reads) {
+    out.bases += read.bases.size();
+  }
+  return out;
+}
+
+HotpathResult RunPerRead(const align::SnapAligner& aligner,
+                         std::span<const genome::Read> reads) {
+  HotpathResult out;
+  Stopwatch timer;
+  for (const auto& read : reads) {
+    (void)aligner.Align(read, &out.profile);
+  }
+  out.seconds = timer.ElapsedSeconds();
+  for (const auto& read : reads) {
+    out.bases += read.bases.size();
+  }
+  return out;
+}
+
+void Report(const char* label, const HotpathResult& r) {
+  const double reads = static_cast<double>(r.profile.reads);
+  const double kernel_ns = static_cast<double>(r.profile.seed_ns + r.profile.verify_ns);
+  std::printf("%-10s reads/s=%10.0f  Mbases/s=%7.2f  kernel_Mbases/s=%7.2f\n", label,
+              reads / r.seconds, static_cast<double>(r.bases) / r.seconds / 1e6,
+              static_cast<double>(r.bases) / kernel_ns * 1e3);
+  std::printf("%-10s seed_ns/read=%8.0f  verify_ns/read=%8.0f  candidates/read=%.2f\n",
+              label, static_cast<double>(r.profile.seed_ns) / reads,
+              static_cast<double>(r.profile.verify_ns) / reads,
+              static_cast<double>(r.profile.candidates) / reads);
+}
+
+void Run(size_t num_reads) {
+  PrintHeader("Aligner hot path: batched seeding+verification throughput");
+  ScenarioSpec spec;
+  spec.num_reads = num_reads;
+  Scenario scenario = BuildScenario(spec);
+  PrintCalibration(scenario);
+
+  align::SnapAligner aligner(&scenario.reference, scenario.seed_index.get());
+
+  std::printf("\nreads=%zu read_length=%d genome=%lld\n", scenario.reads.size(),
+              spec.read_length, static_cast<long long>(spec.genome_length));
+  // Warm-up pass: fault in the index and read pages so the first timed run is not
+  // charged for cold caches.
+  (void)RunBatched(aligner, scenario.reads, 512);
+  HotpathResult single = RunPerRead(aligner, scenario.reads);
+  Report("per-read", single);
+  for (size_t batch_size : {64u, 256u, 512u}) {
+    HotpathResult batched = RunBatched(aligner, scenario.reads, batch_size);
+    std::string label = "batch-" + std::to_string(batch_size);
+    Report(label.c_str(), batched);
+  }
+}
+
+}  // namespace
+}  // namespace persona::bench
+
+int main(int argc, char** argv) {
+  size_t num_reads = 6'000;
+  if (argc > 1) {
+    num_reads = static_cast<size_t>(std::strtoull(argv[1], nullptr, 10));
+    if (num_reads == 0) {
+      num_reads = 6'000;
+    }
+  }
+  persona::bench::Run(num_reads);
+  return 0;
+}

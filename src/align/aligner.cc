@@ -4,6 +4,15 @@
 
 namespace persona::align {
 
+void Aligner::AlignBatch(std::span<const genome::Read> reads,
+                         std::span<AlignmentResult> results, AlignerScratch* scratch,
+                         AlignProfile* profile) const {
+  (void)scratch;
+  for (size_t i = 0; i < reads.size(); ++i) {
+    results[i] = Align(reads[i], profile);
+  }
+}
+
 std::pair<AlignmentResult, AlignmentResult> Aligner::AlignPair(const genome::Read& read1,
                                                                const genome::Read& read2,
                                                                AlignProfile* profile) const {

@@ -9,6 +9,8 @@
 #define PERSONA_SRC_ALIGN_ALIGNER_H_
 
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <string_view>
 #include <utility>
 
@@ -37,6 +39,16 @@ struct AlignProfile {
   }
 };
 
+// Opaque per-thread working memory handed to AlignBatch. Concrete aligners derive
+// their own scratch type (vote maps, DP matrices, reusable string buffers) so the
+// batch hot path runs allocation-free; callers obtain one via Aligner::MakeScratch
+// and reuse it for the lifetime of a worker thread. A scratch must never be shared
+// between threads concurrently.
+class AlignerScratch {
+ public:
+  virtual ~AlignerScratch() = default;
+};
+
 class Aligner {
  public:
   virtual ~Aligner() = default;
@@ -46,6 +58,19 @@ class Aligner {
   // Aligns one single-end read. Never fails: an unalignable read yields an unmapped
   // result. `profile` may be null.
   virtual AlignmentResult Align(const genome::Read& read, AlignProfile* profile) const = 0;
+
+  // Creates reusable working memory for AlignBatch; may return null when the aligner
+  // has no batch-specific state (the default).
+  virtual std::unique_ptr<AlignerScratch> MakeScratch() const { return nullptr; }
+
+  // Aligns a batch of single-end reads into results[0 .. reads.size()). `results`
+  // must be at least as large as `reads`; `scratch` (from MakeScratch, possibly null)
+  // and `profile` may be null. Implementations with a batched hot path hoist per-read
+  // overhead (buffer setup, profiling clocks) to per-batch; the default loops Align.
+  // Output is identical to calling Align on each read.
+  virtual void AlignBatch(std::span<const genome::Read> reads,
+                          std::span<AlignmentResult> results, AlignerScratch* scratch,
+                          AlignProfile* profile) const;
 
   // Aligns a read pair, preferring candidate placements that form a proper pair.
   // The default implementation aligns both ends independently and then applies

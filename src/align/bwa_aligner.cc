@@ -120,7 +120,8 @@ AlignmentResult BwaMemAligner::ExtendChain(const Chain& chain, std::string_view 
   if (profile != nullptr) {
     ++profile->candidates;
   }
-  SwResult sw = SmithWaterman(window, bases, options_.sw);
+  thread_local SwScratch sw_scratch;  // reused across extensions on this thread
+  SwResult sw = SmithWaterman(window, bases, options_.sw, &sw_scratch);
   if (sw.score < options_.min_score) {
     return result;
   }

@@ -1,63 +1,65 @@
 #include "src/align/edit_distance.h"
 
 #include <algorithm>
+#include <charconv>
+#include <cstring>
 #include <vector>
 
 namespace persona::align {
 
 namespace {
 
-// Appends "<run><op>" to a CIGAR being built back-to-front (caller reverses runs).
+// Appends "<run><op>" to a CIGAR.
 void AppendRun(char op, int run, std::string* out) {
   if (run <= 0) {
     return;
   }
-  *out += std::to_string(run);
+  char digits[16];
+  auto [end, ec] = std::to_chars(digits, digits + sizeof(digits), run);
+  (void)ec;
+  out->append(digits, end);
   out->push_back(op);
 }
 
-}  // namespace
-
-int LandauVishkin(std::string_view text, std::string_view pattern, int max_k,
-                  std::string* cigar) {
+// One banded DP pass with bound k. Returns the distance if <= k, else -1.
+//
+// Banded semi-global DP (Ukkonen's band; computes the same answer as SNAP's
+// Landau-Vishkin kernel): pattern must be fully consumed, the text end is free.
+// D[i][j] defined for |j - i| <= k. Band width B = 2k+1, column index b = j - i + k.
+//
+// Only row 0 is initialized: every in-band cell with 0 <= j <= n is written by the fill
+// before any later cell reads it, and out-of-range cells are never read, so the
+// (m+1) x band matrices need no clearing between calls (they are resized, not filled —
+// the workspace makes repeated calls allocation- and memset-free).
+int LvCore(std::string_view text, std::string_view pattern, int k, std::string* cigar,
+           LvWorkspace* ws) {
   const int m = static_cast<int>(pattern.size());
   const int n = static_cast<int>(text.size());
-  if (max_k < 0) {
-    return -1;
-  }
-  if (m == 0) {
-    if (cigar != nullptr) {
-      cigar->clear();
-    }
-    return 0;
-  }
-
-  // Banded semi-global DP (Ukkonen's band; computes the same answer as SNAP's
-  // Landau-Vishkin kernel): pattern must be fully consumed, the text end is free.
-  // D[i][j] defined for |j - i| <= k. Band width B = 2k+1, column index b = j - i + k.
-  const int k = max_k;
   const int band = 2 * k + 1;
-  const int inf = max_k + 1;
+  const int inf = k + 1;
 
-  // DP and traceback matrices, (m+1) rows by band columns.
-  std::vector<int> dp(static_cast<size_t>(m + 1) * band, inf);
-  std::vector<int8_t> bt(static_cast<size_t>(m + 1) * band, 0);  // 1=diag, 2=up(I), 3=left(D)
-  auto at = [&](int i, int b) -> int& { return dp[static_cast<size_t>(i) * band + b]; };
+  ws->dp.resize(static_cast<size_t>(m + 1) * band);
+  ws->bt.resize(static_cast<size_t>(m + 1) * band);  // 1=diag, 2=up(I), 3=left(D)
+  auto at = [&](int i, int b) -> int& { return ws->dp[static_cast<size_t>(i) * band + b]; };
   auto trace = [&](int i, int b) -> int8_t& {
-    return bt[static_cast<size_t>(i) * band + b];
+    return ws->bt[static_cast<size_t>(i) * band + b];
   };
 
   // Row 0: aligning empty pattern prefix against text prefix of length j costs j (D ops),
   // but in semi-global alignment leading text is not free, so cost = j.
   for (int b = 0; b < band; ++b) {
     int j = b - k;  // i = 0
-    if (j >= 0 && j <= n && j <= k) {
+    if (j >= 0 && j <= n) {
       at(0, b) = j;
       trace(0, b) = 3;
+    } else {
+      at(0, b) = inf;
+      trace(0, b) = 0;
     }
   }
 
   for (int i = 1; i <= m; ++i) {
+    int row_min = inf;
     for (int b = 0; b < band; ++b) {
       int j = i + b - k;
       if (j < 0 || j > n) {
@@ -94,6 +96,10 @@ int LandauVishkin(std::string_view text, std::string_view pattern, int max_k,
       }
       at(i, b) = best;
       trace(i, b) = op;
+      row_min = std::min(row_min, best);
+    }
+    if (row_min >= inf) {
+      return -1;  // no cell within the bound; later rows only grow
     }
   }
 
@@ -110,13 +116,13 @@ int LandauVishkin(std::string_view text, std::string_view pattern, int max_k,
       best_b = b;
     }
   }
-  if (best > max_k) {
+  if (best > k) {
     return -1;
   }
 
   if (cigar != nullptr) {
     // Walk traceback, emitting runs in reverse order.
-    std::vector<std::pair<char, int>> runs;
+    ws->runs.clear();
     int i = m;
     int b = best_b;
     while (i > 0 || (b - k + i) > 0) {
@@ -135,18 +141,62 @@ int LandauVishkin(std::string_view text, std::string_view pattern, int max_k,
       } else {
         break;  // row 0 origin
       }
-      if (!runs.empty() && runs.back().first == c) {
-        ++runs.back().second;
+      if (!ws->runs.empty() && ws->runs.back().first == c) {
+        ++ws->runs.back().second;
       } else {
-        runs.emplace_back(c, 1);
+        ws->runs.emplace_back(c, 1);
       }
     }
     cigar->clear();
-    for (auto it = runs.rbegin(); it != runs.rend(); ++it) {
+    for (auto it = ws->runs.rbegin(); it != ws->runs.rend(); ++it) {
       AppendRun(it->first, it->second, cigar);
     }
   }
   return best;
+}
+
+}  // namespace
+
+int LandauVishkin(std::string_view text, std::string_view pattern, int max_k,
+                  std::string* cigar, LvWorkspace* workspace) {
+  const int m = static_cast<int>(pattern.size());
+  const int n = static_cast<int>(text.size());
+  if (max_k < 0) {
+    return -1;
+  }
+  if (m == 0) {
+    if (cigar != nullptr) {
+      cigar->clear();
+    }
+    return 0;
+  }
+
+  // Fast path: the overwhelmingly common candidate is an exact placement, answered by
+  // a prefix compare instead of the DP (distance 0 <=> pattern == text[0, m)).
+  if (n >= m && std::memcmp(text.data(), pattern.data(), static_cast<size_t>(m)) == 0) {
+    if (cigar != nullptr) {
+      cigar->clear();
+      AppendRun('M', m, cigar);
+    }
+    return 0;
+  }
+
+  LvWorkspace local;
+  LvWorkspace* ws = workspace != nullptr ? workspace : &local;
+
+  // Adaptive band doubling (Ukkonen): a read at distance d costs O(m * d) instead of
+  // O(m * max_k). A distance found within bound k is the true distance, so early
+  // successes are exact; only the final failed pass pays the full band.
+  for (int k = std::min(1, max_k);;) {
+    int dist = LvCore(text, pattern, k, cigar, ws);
+    if (dist >= 0) {
+      return dist;
+    }
+    if (k >= max_k) {
+      return -1;
+    }
+    k = std::min(2 * k, max_k);
+  }
 }
 
 int FullEditDistance(std::string_view a, std::string_view b) {

@@ -8,16 +8,30 @@
 #ifndef PERSONA_SRC_ALIGN_EDIT_DISTANCE_H_
 #define PERSONA_SRC_ALIGN_EDIT_DISTANCE_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 namespace persona::align {
+
+// Reusable DP/traceback buffers for LandauVishkin. A single workspace serves any
+// number of sequential calls; reusing one across a batch of candidate verifications
+// removes the two matrix allocations (~10 KB at typical read length and max_k) that
+// otherwise dominate each call's setup.
+struct LvWorkspace {
+  std::vector<int> dp;
+  std::vector<int8_t> bt;
+  std::vector<std::pair<char, int>> runs;
+};
 
 // Returns edit distance between `text` and `pattern` if <= max_k, else -1.
 // If `cigar` is non-null and the result is >= 0, writes a SAM CIGAR for aligning
 // `pattern` against `text` (M/I/D runs; I = base present in pattern but not text).
+// `workspace` may be null (a call-local workspace is used).
 int LandauVishkin(std::string_view text, std::string_view pattern, int max_k,
-                  std::string* cigar = nullptr);
+                  std::string* cigar = nullptr, LvWorkspace* workspace = nullptr);
 
 // Reference O(n*m) Levenshtein distance (tests only; no band, no cutoff).
 int FullEditDistance(std::string_view a, std::string_view b);

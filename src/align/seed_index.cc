@@ -39,6 +39,16 @@ inline uint64_t MixHash(uint64_t x) {
 
 }  // namespace
 
+void RollingSeedPacker::Consume() {
+  uint32_t code = Code2(bases_[next_]);
+  if (code >= 4) {
+    last_invalid_ = static_cast<ptrdiff_t>(next_);
+    code = 0;  // placeholder bits; windows covering this index are rejected anyway
+  }
+  rolling_ = (rolling_ << 2) | code;
+  ++next_;
+}
+
 bool SeedIndex::PackSeed(std::string_view bases, size_t offset, int seed_length,
                          uint64_t* seed) {
   if (offset + static_cast<size_t>(seed_length) > bases.size()) {
@@ -85,10 +95,11 @@ Result<SeedIndex> SeedIndex::Build(const genome::ReferenceGenome& reference,
     if (seq.size() < static_cast<size_t>(options.seed_length)) {
       continue;
     }
+    RollingSeedPacker packer(seq, options.seed_length);
     for (size_t off = 0; off + static_cast<size_t>(options.seed_length) <= seq.size();
          off += static_cast<size_t>(options.build_stride)) {
       uint64_t seed;
-      if (PackSeed(seq, off, options.seed_length, &seed)) {
+      if (packer.Seed(off, &seed)) {
         pairs.push_back(SeedPos{seed, static_cast<uint32_t>(start + static_cast<int64_t>(off))});
       }
     }

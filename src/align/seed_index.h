@@ -18,6 +18,45 @@
 
 namespace persona::align {
 
+// Incremental 2-bit seed encoder: emits the packed seed at successive offsets of one
+// sequence in O(1) amortized per consumed base, vs PackSeed's O(seed_length) re-pack
+// per offset. Offsets must be queried in strictly increasing order. Windows containing
+// a non-ACGT base are rejected exactly as PackSeed rejects them.
+class RollingSeedPacker {
+ public:
+  RollingSeedPacker(std::string_view bases, int seed_length)
+      : bases_(bases),
+        seed_length_(seed_length),
+        mask_(seed_length >= 32 ? ~0ull : (1ull << (2 * seed_length)) - 1) {}
+
+  // Packs the window [offset, offset + seed_length) into *seed. Returns false if the
+  // window overruns the sequence or contains a non-ACGT base.
+  bool Seed(size_t offset, uint64_t* seed) {
+    const size_t end = offset + static_cast<size_t>(seed_length_);
+    if (end > bases_.size()) {
+      return false;
+    }
+    while (next_ < end) {
+      Consume();
+    }
+    if (last_invalid_ >= static_cast<ptrdiff_t>(offset)) {
+      return false;  // an N (or other non-ACGT base) lies inside the window
+    }
+    *seed = rolling_ & mask_;
+    return true;
+  }
+
+ private:
+  void Consume();
+
+  std::string_view bases_;
+  int seed_length_;
+  uint64_t mask_;
+  uint64_t rolling_ = 0;
+  size_t next_ = 0;              // next base index to fold into rolling_
+  ptrdiff_t last_invalid_ = -1;  // most recent non-ACGT index consumed
+};
+
 struct SeedIndexOptions {
   int seed_length = 20;            // bases per seed (max 31 with 2-bit packing)
   int build_stride = 1;            // index every k-th reference position
@@ -32,6 +71,8 @@ class SeedIndex {
 
   // Packs seed_length bases starting at bases[offset] into a 2-bit seed.
   // Returns false if the window contains a non-ACGT character or runs out of bases.
+  // Reference implementation (O(seed_length) per call); hot paths use
+  // RollingSeedPacker, which is parity-tested against this.
   static bool PackSeed(std::string_view bases, size_t offset, int seed_length, uint64_t* seed);
 
   // Global reference positions whose seed equals `seed` (empty if unknown/dropped).

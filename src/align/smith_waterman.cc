@@ -1,11 +1,25 @@
 #include "src/align/smith_waterman.h"
 
 #include <algorithm>
-#include <vector>
+#include <tuple>
 
 namespace persona::align {
 
-SwResult SmithWaterman(std::string_view ref, std::string_view query, const SwParams& params) {
+namespace {
+
+constexpr int kNegInf = -(1 << 28);
+
+void EmitCigar(const std::vector<std::pair<char, int>>& runs, std::string* out) {
+  for (auto it = runs.rbegin(); it != runs.rend(); ++it) {
+    *out += std::to_string(it->second);
+    out->push_back(it->first);
+  }
+}
+
+}  // namespace
+
+SwResult SmithWaterman(std::string_view ref, std::string_view query, const SwParams& params,
+                       SwScratch* scratch) {
   const int n = static_cast<int>(ref.size());
   const int m = static_cast<int>(query.size());
   SwResult result;
@@ -13,7 +27,250 @@ SwResult SmithWaterman(std::string_view ref, std::string_view query, const SwPar
     return result;
   }
 
-  constexpr int kNegInf = -(1 << 28);
+  // Band over diagonals d = j - i: the corner-to-corner sweep [min(n-m,0), max(n-m,0)]
+  // widened by the radius on both sides. Cell (i, j) is stored at offset j - i - lo of
+  // its row; moving up a row shifts the offset by +1 (up), 0 (diagonal), -1 (left).
+  const int radius = params.band_radius > 0 ? params.band_radius : kDefaultBandRadius;
+  const int lo = std::min(n - m, 0) - radius;
+  const int hi = std::max(n - m, 0) + radius;
+  const int width = hi - lo + 1;
+
+  SwScratch local;
+  SwScratch& ws = scratch != nullptr ? *scratch : local;
+  const size_t w = static_cast<size_t>(width);
+  ws.h.resize(static_cast<size_t>(m) * w);
+  ws.f_prev.resize(w);
+  ws.f_cur.resize(w);
+
+  const int go_ge = params.gap_open + params.gap_extend;
+  const int gap_extend = params.gap_extend;
+  const int match = params.match;
+  const int mismatch = params.mismatch;
+  int best = 0;
+  int best_i = 0;
+  int best_j = 0;
+
+  // Computes one cell from its three incoming states; stores only H (the traceback
+  // re-derives gap decisions from the recurrences, so the fill carries no per-cell
+  // choice flags — recording them costs more across every cell than the occasional
+  // O(band)/O(|query|) recompute at traceback time). Returns {h, e} so callers chain
+  // a cell's outputs into its right neighbor's inputs through registers.
+  auto cell = [&](int i, int j, int p, int left_h, int left_e, int up_h, int up_f,
+                  int diag_h, int32_t* __restrict hrow, int* __restrict fc) {
+    const int e = std::max(left_h + go_ge, left_e + gap_extend);
+    const int f = std::max(up_h + go_ge, up_f + gap_extend);
+    const int sub =
+        query[static_cast<size_t>(i - 1)] == ref[static_cast<size_t>(j - 1)] ? match
+                                                                             : mismatch;
+    const int h = std::max({0, diag_h + sub, e, f});
+    hrow[p] = h;
+    fc[p] = f;
+    if (h > best) {
+      best = h;
+      best_i = i;
+      best_j = j;
+    }
+    return std::pair<int, int>{h, e};
+  };
+
+  // No row is cleared between iterations: a cell only ever reads neighbors that were
+  // computed (the previous row's computed range covers every in-band read, boundary
+  // cells are peeled out of the loops), and the traceback only revisits computed
+  // cells, so stale slots are never observed.
+  //
+  // Row 1: the diagonal and upper predecessors are the all-zero row-0 boundary.
+  int ph_prev;  // highest offset computed in the previous row
+  {
+    const int jhi = std::min(n, 1 + hi);
+    int32_t* __restrict hrow = ws.h.data();
+    int* __restrict fc = ws.f_cur.data();
+    auto [left_h, left_e] =
+        cell(1, 1, -lo, /*left_h=*/0, /*left_e=*/kNegInf, /*up_h=*/0, /*up_f=*/kNegInf,
+             /*diag_h=*/0, hrow, fc);
+    for (int j = 2; j <= jhi; ++j) {
+      const int p = j - 1 - lo;
+      std::tie(left_h, left_e) = cell(1, j, p, left_h, left_e, 0, kNegInf, 0, hrow, fc);
+    }
+    ws.f_prev.swap(ws.f_cur);
+    ph_prev = jhi - 1 - lo;
+  }
+
+  for (int i = 2; i <= m; ++i) {
+    const int jlo = std::max(1, i + lo);
+    const int jhi = std::min(n, i + hi);
+    if (jlo > jhi) {
+      break;  // the band has run off the reference; later rows are empty too
+    }
+    int32_t* __restrict hrow = ws.h.data() + static_cast<size_t>(i - 1) * w;
+    const int32_t* __restrict hp = ws.h.data() + static_cast<size_t>(i - 2) * w;
+    int* __restrict fc = ws.f_cur.data();
+    const int* __restrict fp = ws.f_prev.data();
+    const int p_lo = jlo - i - lo;
+    const int p_hi = jhi - i - lo;
+
+    // Left-edge cell: no in-band left neighbor; column 0 scores 0, out-of-band -inf.
+    const int edge_up_h = p_lo + 1 <= ph_prev ? hp[p_lo + 1] : kNegInf;
+    auto [left_h, left_e] =
+        cell(i, jlo, p_lo, /*left_h=*/jlo == 1 ? 0 : kNegInf, /*left_e=*/kNegInf,
+             edge_up_h, p_lo + 1 <= ph_prev ? fp[p_lo + 1] : kNegInf,
+             /*diag_h=*/jlo == 1 ? 0 : hp[p_lo], hrow, fc);
+    // Main body: every predecessor is a computed cell — no boundary tests, and the
+    // left/diagonal inputs chain through registers (diag(p) == up(p-1)).
+    const int p_mid = std::min(p_hi, ph_prev - 1);
+    int diag_h = edge_up_h;
+    for (int p = p_lo + 1; p <= p_mid; ++p) {
+      const int up_h = hp[p + 1];
+      std::tie(left_h, left_e) =
+          cell(i, i + lo + p, p, left_h, left_e, up_h, fp[p + 1], diag_h, hrow, fc);
+      diag_h = up_h;
+    }
+    // Top-edge tail (at most one cell): the upper neighbor is beyond the band.
+    for (int p = std::max(p_mid, p_lo) + 1; p <= p_hi; ++p) {
+      std::tie(left_h, left_e) =
+          cell(i, i + lo + p, p, left_h, left_e, kNegInf, kNegInf, hp[p], hrow, fc);
+    }
+    ws.f_prev.swap(ws.f_cur);
+    ph_prev = p_hi;
+  }
+
+  result.score = best;
+  if (best == 0) {
+    return result;
+  }
+
+  // --- Traceback over the stored banded H matrix. ---
+  // Gap-state decisions re-derive E and F from the same recurrences and boundary
+  // conventions as the fill (values are bit-identical), caching one recomputed E row
+  // and one F column: a Main-state diagonal step needs neither, so perfect or
+  // substitution-only alignments never pay for them.
+  const int32_t* hmat = ws.h.data();
+  auto h_at = [&](int r, int c) -> int {
+    if (r == 0 || c == 0) {
+      return 0;  // local-alignment boundary
+    }
+    const int p = c - r - lo;
+    if (p < 0 || p >= width) {
+      return kNegInf;  // out of band
+    }
+    return hmat[static_cast<size_t>(r - 1) * w + static_cast<size_t>(p)];
+  };
+  ws.e_row.resize(w);
+  ws.f_col.resize(static_cast<size_t>(m) + 1);
+  int e_row_r = -1;  // row currently held in ws.e_row
+  auto e_at = [&](int r, int c) -> int {
+    if (c == 0) {
+      return kNegInf;
+    }
+    const int p = c - r - lo;
+    if (p < 0 || p >= width) {
+      return kNegInf;
+    }
+    if (e_row_r != r) {
+      e_row_r = r;
+      const int rjlo = std::max(1, r + lo);
+      const int rjhi = std::min(n, r + hi);
+      int e = kNegInf;
+      int left_h = rjlo == 1 ? 0 : kNegInf;
+      for (int c2 = rjlo; c2 <= rjhi; ++c2) {
+        const int p2 = c2 - r - lo;
+        e = std::max(left_h + go_ge, e + gap_extend);
+        ws.e_row[p2] = e;
+        left_h = hmat[static_cast<size_t>(r - 1) * w + static_cast<size_t>(p2)];
+      }
+    }
+    return ws.e_row[p];
+  };
+  int f_col_c = -1;  // column currently held in ws.f_col
+  int f_col_rlo = 0;
+  int f_col_rhi = -1;
+  auto f_at = [&](int r, int c) -> int {
+    if (f_col_c != c) {
+      f_col_c = c;
+      f_col_rlo = std::max(1, c - hi);
+      f_col_rhi = std::min(m, c - lo);
+      int f = kNegInf;
+      int up_h = f_col_rlo == 1 ? 0 : kNegInf;
+      for (int r2 = f_col_rlo; r2 <= f_col_rhi; ++r2) {
+        f = std::max(up_h + go_ge, f + gap_extend);
+        ws.f_col[r2] = f;
+        up_h = h_at(r2, c);
+      }
+    }
+    if (r < f_col_rlo || r > f_col_rhi) {
+      return kNegInf;
+    }
+    return ws.f_col[r];
+  };
+
+  ws.runs.clear();
+  auto push = [&ws](char op) {
+    if (!ws.runs.empty() && ws.runs.back().first == op) {
+      ++ws.runs.back().second;
+    } else {
+      ws.runs.emplace_back(op, 1);
+    }
+  };
+
+  // Same three-state machine (and tie preferences) as the full-matrix kernel: stop,
+  // then diagonal, then E, then F; gaps prefer extending on ties.
+  enum class State { kMain, kRefGap, kQueryGap };
+  State state = State::kMain;
+  int i = best_i;
+  int j = best_j;
+  while (i > 0 && j > 0) {
+    if (state == State::kMain) {
+      const int score = h_at(i, j);
+      if (score == 0) {
+        break;  // local start
+      }
+      const int sub = query[static_cast<size_t>(i - 1)] == ref[static_cast<size_t>(j - 1)]
+                          ? match
+                          : mismatch;
+      if (score == h_at(i - 1, j - 1) + sub) {
+        push('M');
+        --i;
+        --j;
+      } else if (score == e_at(i, j)) {
+        state = State::kRefGap;
+      } else {
+        state = State::kQueryGap;
+      }
+    } else if (state == State::kRefGap) {
+      push('D');
+      if (e_at(i, j) == e_at(i, j - 1) + gap_extend) {
+        --j;
+      } else {
+        --j;
+        state = State::kMain;
+      }
+    } else {
+      push('I');
+      if (f_at(i, j) == f_at(i - 1, j) + gap_extend) {
+        --i;
+      } else {
+        --i;
+        state = State::kMain;
+      }
+    }
+  }
+
+  result.query_begin = i;
+  result.query_end = best_i;
+  result.ref_begin = j;
+  result.ref_end = best_j;
+  EmitCigar(ws.runs, &result.cigar);
+  return result;
+}
+
+SwResult SmithWatermanFull(std::string_view ref, std::string_view query,
+                           const SwParams& params) {
+  const int n = static_cast<int>(ref.size());
+  const int m = static_cast<int>(query.size());
+  SwResult result;
+  if (n == 0 || m == 0) {
+    return result;
+  }
+
   const int cols = n + 1;
 
   // Gotoh three-matrix DP. H: best score ending at (i,j); E: best ending in a gap that
@@ -112,10 +369,7 @@ SwResult SmithWaterman(std::string_view ref, std::string_view query, const SwPar
   result.query_end = best_i;
   result.ref_begin = j;
   result.ref_end = best_j;
-  for (auto it = runs.rbegin(); it != runs.rend(); ++it) {
-    result.cigar += std::to_string(it->second);
-    result.cigar.push_back(it->first);
-  }
+  EmitCigar(runs, &result.cigar);
   return result;
 }
 

@@ -1,14 +1,26 @@
 // Smith-Waterman local alignment with affine gaps (Gotoh), with traceback.
 //
 // This is the extension kernel of the BWA-MEM-style aligner: seeds found by FM-index
-// backward search are extended against a reference window with SW. Tests also use it as
-// a scoring oracle.
+// backward search are extended against a reference window with SW.
+//
+// Two implementations share the SwResult API:
+//   * SmithWaterman — the production kernel: band-limited around the main diagonal
+//     sweep, two rolling score rows (O(band) score memory) plus a byte-per-cell
+//     traceback (O(|query| * band)), instead of the full version's three
+//     (m+1) x (n+1) int matrices. With the default band the kernel covers every
+//     diagonal reachable by |n - m| shift plus kDefaultBandRadius of indel drift,
+//     which is exhaustive for seed-anchored extension windows.
+//   * SmithWatermanFull — the original full-matrix kernel, kept as the test oracle;
+//     the banded kernel is parity-tested against it.
 
 #ifndef PERSONA_SRC_ALIGN_SMITH_WATERMAN_H_
 #define PERSONA_SRC_ALIGN_SMITH_WATERMAN_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 namespace persona::align {
 
@@ -17,7 +29,13 @@ struct SwParams {
   int mismatch = -3;
   int gap_open = -5;    // cost of the first base of a gap (applied once)
   int gap_extend = -1;  // cost of each subsequent gap base
+  // Half-width of the diagonal band explored beyond the |ref|-|query| length
+  // difference. <= 0 selects kDefaultBandRadius. A radius >= max(|ref|, |query|)
+  // makes the banded kernel exactly equivalent to the full-matrix one.
+  int band_radius = 0;
 };
+
+inline constexpr int kDefaultBandRadius = 32;
 
 struct SwResult {
   int score = 0;
@@ -29,9 +47,28 @@ struct SwResult {
   std::string cigar;  // covers [query_begin, query_end); no clips included
 };
 
-// Full O(|ref| * |query|) local alignment. Returns score 0 (empty cigar) when no positive-
-// scoring alignment exists.
-SwResult SmithWaterman(std::string_view ref, std::string_view query, const SwParams& params = {});
+// Reusable row/traceback buffers for the banded kernel; one scratch serves any number
+// of sequential SmithWaterman calls (batched extension reuses it per thread).
+// The fill stores only the banded H matrix; traceback decisions are re-derived from
+// the recurrences (E rows / F columns recomputed on demand), which keeps the fill's
+// inner loop to two stores and no flag computation.
+struct SwScratch {
+  std::vector<int32_t> h;          // banded H matrix: |query| rows x band width
+  std::vector<int> f_prev, f_cur;  // rolling F rows for the fill
+  std::vector<int> e_row;          // traceback: E values of one recomputed row
+  std::vector<int> f_col;          // traceback: F values of one recomputed column
+  std::vector<std::pair<char, int>> runs;
+};
+
+// Band-limited two-row local alignment (see header comment). Returns score 0 (empty
+// cigar) when no positive-scoring alignment exists inside the band. `scratch` may be
+// null (a call-local scratch is used).
+SwResult SmithWaterman(std::string_view ref, std::string_view query, const SwParams& params = {},
+                       SwScratch* scratch = nullptr);
+
+// Full O(|ref| * |query|) local alignment (test oracle).
+SwResult SmithWatermanFull(std::string_view ref, std::string_view query,
+                           const SwParams& params = {});
 
 }  // namespace persona::align
 

@@ -2,9 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
-#include <vector>
 
-#include "src/align/edit_distance.h"
 #include "src/compress/base_compaction.h"
 
 namespace persona::align {
@@ -18,63 +16,10 @@ inline uint64_t NowNs() {
           .count());
 }
 
-// Small open-addressed vote map: candidate start location -> vote count.
-// Sized for tens of candidates; rebuilt per (read, strand).
-class VoteMap {
- public:
-  void Clear() {
-    keys_.assign(kSize, -1);
-    votes_.assign(kSize, 0);
-    used_.clear();
-  }
-
-  void Vote(int64_t location) {
-    size_t bucket = Hash(location);
-    while (true) {
-      if (keys_[bucket] == location) {
-        ++votes_[bucket];
-        return;
-      }
-      if (keys_[bucket] < 0) {
-        keys_[bucket] = location;
-        votes_[bucket] = 1;
-        used_.push_back(bucket);
-        return;
-      }
-      bucket = (bucket + 1) & (kSize - 1);
-    }
-  }
-
-  // Candidates sorted by votes descending.
-  std::vector<std::pair<int64_t, int>> Sorted() const {
-    std::vector<std::pair<int64_t, int>> out;
-    out.reserve(used_.size());
-    for (size_t bucket : used_) {
-      out.emplace_back(keys_[bucket], votes_[bucket]);
-    }
-    std::sort(out.begin(), out.end(),
-              [](const auto& a, const auto& b) { return a.second > b.second; });
-    return out;
-  }
-
- private:
-  static constexpr size_t kSize = 512;  // power of two; reads produce << 512 candidates
-
-  static size_t Hash(int64_t loc) {
-    uint64_t x = static_cast<uint64_t>(loc) * 0x9E3779B97F4A7C15ull;
-    return static_cast<size_t>(x >> 55) & (kSize - 1);
-  }
-
-  std::vector<int64_t> keys_;
-  std::vector<int> votes_;
-  std::vector<size_t> used_;
-};
-
 struct Verified {
   int64_t location;
   int distance;
   bool reverse;
-  std::string cigar;
 };
 
 }  // namespace
@@ -83,12 +28,12 @@ SnapAligner::SnapAligner(const genome::ReferenceGenome* reference, const SeedInd
                          const SnapOptions& options)
     : reference_(reference), index_(index), options_(options) {}
 
-AlignmentResult SnapAligner::Align(const genome::Read& read, AlignProfile* profile) const {
-  AlignmentResult result;
+void SnapAligner::SeedOne(const genome::Read& read, size_t r, SnapAlignerScratch* scratch,
+                          AlignProfile* profile) const {
   const int read_len = static_cast<int>(read.bases.size());
   const int seed_len = index_->seed_length();
   if (read_len < seed_len) {
-    return result;  // unmapped: too short to seed
+    return;  // unmapped: too short to seed; ranges stay empty
   }
 
   if (profile != nullptr) {
@@ -96,19 +41,18 @@ AlignmentResult SnapAligner::Align(const genome::Read& read, AlignProfile* profi
     profile->bases += static_cast<uint64_t>(read_len);
   }
 
-  const std::string reverse_bases = compress::ReverseComplement(read.bases);
+  std::string& reverse_bases = scratch->reverse_bases_[r];
+  compress::ReverseComplementInto(read.bases, &reverse_bases);
 
-  // --- Seeding phase: vote for candidate start locations on both strands. ---
-  uint64_t seed_start_ns = profile != nullptr ? NowNs() : 0;
-
-  VoteMap votes[2];
-  votes[0].Clear();
-  votes[1].Clear();
   for (int strand = 0; strand < 2; ++strand) {
-    std::string_view bases = strand == 0 ? std::string_view(read.bases) : reverse_bases;
+    std::string_view bases =
+        strand == 0 ? std::string_view(read.bases) : std::string_view(reverse_bases);
+    VoteMap& votes = scratch->votes_[strand];
+    votes.Reset();
+    RollingSeedPacker packer(bases, seed_len);
     for (int off = 0; off + seed_len <= read_len; off += options_.seed_stride) {
       uint64_t seed;
-      if (!SeedIndex::PackSeed(bases, static_cast<size_t>(off), seed_len, &seed)) {
+      if (!packer.Seed(static_cast<size_t>(off), &seed)) {
         continue;  // seed window contains N
       }
       if (profile != nullptr) {
@@ -117,26 +61,46 @@ AlignmentResult SnapAligner::Align(const genome::Read& read, AlignProfile* profi
       for (uint32_t pos : index_->Lookup(seed)) {
         int64_t start = static_cast<int64_t>(pos) - off;
         if (start >= 0) {
-          votes[strand].Vote(start);
+          votes.Vote(start);
         }
       }
     }
+    // Stage this (read, strand)'s candidates, best votes first, in the flat array.
+    const uint32_t begin = static_cast<uint32_t>(scratch->candidates_.size());
+    votes.AppendCandidates(&scratch->candidates_);
+    const uint32_t end = static_cast<uint32_t>(scratch->candidates_.size());
+    std::sort(scratch->candidates_.begin() + begin, scratch->candidates_.begin() + end,
+              VoteMap::CandidateBefore);
+    scratch->ranges_[2 * r + static_cast<size_t>(strand)] = {begin, end};
   }
+}
 
-  if (profile != nullptr) {
-    profile->seed_ns += NowNs() - seed_start_ns;
-  }
+void SnapAligner::VerifyOne(const genome::Read& read, size_t r, SnapAlignerScratch* scratch,
+                            AlignProfile* profile, AlignmentResult* result) const {
+  *result = AlignmentResult{};
+  const int read_len = static_cast<int>(read.bases.size());
 
-  // --- Verification phase: banded edit distance, best votes first. ---
-  uint64_t verify_start_ns = profile != nullptr ? NowNs() : 0;
-
-  Verified best{genome::kInvalidLocation, options_.max_edit_distance + 1, false, {}};
+  Verified best{genome::kInvalidLocation, options_.max_edit_distance + 1, false};
   int second_best_distance = options_.max_edit_distance + 1;
 
+  // Reference window: read length plus slack for deletions; near a contig end fall
+  // back to the exact read length.
+  auto window_slice = [&](int64_t location) {
+    auto slice =
+        reference_->Slice(location, static_cast<size_t>(read_len + options_.max_edit_distance));
+    if (!slice.ok()) {
+      slice = reference_->Slice(location, static_cast<size_t>(read_len));
+    }
+    return slice;
+  };
+
   for (int strand = 0; strand < 2; ++strand) {
-    std::string_view bases = strand == 0 ? std::string_view(read.bases) : reverse_bases;
+    std::string_view bases = strand == 0 ? std::string_view(read.bases)
+                                         : std::string_view(scratch->reverse_bases_[r]);
+    const auto range = scratch->ranges_[2 * r + static_cast<size_t>(strand)];
     int evaluated = 0;
-    for (const auto& [location, vote_count] : votes[strand].Sorted()) {
+    for (uint32_t c = range.begin; c < range.end; ++c) {
+      const auto& [location, vote_count] = scratch->candidates_[c];
       if (vote_count < options_.min_votes || evaluated >= options_.max_candidates) {
         break;
       }
@@ -144,24 +108,20 @@ AlignmentResult SnapAligner::Align(const genome::Read& read, AlignProfile* profi
       if (profile != nullptr) {
         ++profile->candidates;
       }
-      // Reference window: read length plus slack for deletions.
-      size_t window = static_cast<size_t>(read_len + options_.max_edit_distance);
-      auto slice = reference_->Slice(location, window);
+      auto slice = window_slice(location);
       if (!slice.ok()) {
-        // Window may overrun the contig near its end; retry with the exact read length.
-        slice = reference_->Slice(location, static_cast<size_t>(read_len));
-        if (!slice.ok()) {
-          continue;
-        }
+        continue;
       }
-      std::string cigar;
-      int dist = LandauVishkin(*slice, bases, options_.max_edit_distance, &cigar);
+      // Distance only; the winner's CIGAR is recomputed once after the scan instead of
+      // building a CIGAR string for every candidate.
+      int dist =
+          LandauVishkin(*slice, bases, options_.max_edit_distance, nullptr, &scratch->lv_);
       if (dist < 0) {
         continue;
       }
       if (dist < best.distance) {
         second_best_distance = best.distance;
-        best = Verified{location, dist, strand == 1, std::move(cigar)};
+        best = Verified{location, dist, strand == 1};
       } else if (dist < second_best_distance && location != best.location) {
         second_best_distance = dist;
       }
@@ -171,19 +131,20 @@ AlignmentResult SnapAligner::Align(const genome::Read& read, AlignProfile* profi
     }
   }
 
-  if (profile != nullptr) {
-    profile->verify_ns += NowNs() - verify_start_ns;
-  }
-
   if (best.location == genome::kInvalidLocation) {
-    return result;  // unmapped
+    return;  // unmapped
   }
 
-  result.location = best.location;
-  result.flags = best.reverse ? kFlagReverse : 0;
-  result.edit_distance = static_cast<int16_t>(best.distance);
-  result.cigar = std::move(best.cigar);
-  result.score = -best.distance;
+  result->location = best.location;
+  result->flags = best.reverse ? kFlagReverse : 0;
+  result->edit_distance = static_cast<int16_t>(best.distance);
+  result->score = -best.distance;
+
+  std::string_view bases = best.reverse ? std::string_view(scratch->reverse_bases_[r])
+                                        : std::string_view(read.bases);
+  auto slice = window_slice(best.location);
+  (void)LandauVishkin(*slice, bases, options_.max_edit_distance, &result->cigar,
+                      &scratch->lv_);
 
   // MAPQ: confidence grows with the gap to the second-best verified placement and
   // shrinks with the absolute distance of the best one (SNAP-style heuristic).
@@ -196,7 +157,49 @@ AlignmentResult SnapAligner::Align(const genome::Read& read, AlignProfile* profi
   } else {
     mapq = std::min(60, 10 * gap - best.distance);
   }
-  result.mapq = static_cast<uint8_t>(std::clamp(mapq, 0, 60));
+  result->mapq = static_cast<uint8_t>(std::clamp(mapq, 0, 60));
+}
+
+void SnapAligner::AlignBatch(std::span<const genome::Read> reads,
+                             std::span<AlignmentResult> results, AlignerScratch* scratch,
+                             AlignProfile* profile) const {
+  SnapAlignerScratch* s = dynamic_cast<SnapAlignerScratch*>(scratch);
+  if (s == nullptr) {
+    // Null or foreign scratch (e.g. a pool shared across aligner types): fall back to
+    // per-thread working memory so the call stays allocation-free after warm-up.
+    thread_local SnapAlignerScratch fallback;
+    s = &fallback;
+  }
+
+  const size_t n = reads.size();
+  s->candidates_.clear();
+  s->ranges_.assign(2 * n, SnapAlignerScratch::CandidateRange{});
+  if (s->reverse_bases_.size() < n) {
+    s->reverse_bases_.resize(n);  // never shrunk: the per-read strings keep capacity
+  }
+
+  // --- Seeding phase: vote for candidate start locations on both strands. ---
+  const uint64_t seed_start_ns = profile != nullptr ? NowNs() : 0;
+  for (size_t r = 0; r < n; ++r) {
+    SeedOne(reads[r], r, s, profile);
+  }
+  if (profile != nullptr) {
+    profile->seed_ns += NowNs() - seed_start_ns;
+  }
+
+  // --- Verification phase: banded edit distance, best votes first. ---
+  const uint64_t verify_start_ns = profile != nullptr ? NowNs() : 0;
+  for (size_t r = 0; r < n; ++r) {
+    VerifyOne(reads[r], r, s, profile, &results[r]);
+  }
+  if (profile != nullptr) {
+    profile->verify_ns += NowNs() - verify_start_ns;
+  }
+}
+
+AlignmentResult SnapAligner::Align(const genome::Read& read, AlignProfile* profile) const {
+  AlignmentResult result;
+  AlignBatch({&read, 1}, {&result, 1}, nullptr, profile);
   return result;
 }
 

@@ -1,0 +1,110 @@
+// Open-addressed vote map used by the SNAP-style seeding phase: candidate start
+// location -> vote count.
+//
+// Two properties matter on the hot path:
+//   * Clearing is epoch-stamped: Reset() bumps a generation counter instead of
+//     rewriting the 512-slot arrays, so a reused map costs O(1) per read instead of
+//     a ~12 KB memset (the per-read overhead this replaces dominated seeding time).
+//   * Occupancy is capped below the table size. A pathological read (hyper-repetitive
+//     bases hitting many indexed positions) can yield more distinct candidate
+//     locations than the table has slots; the old grow-less linear probe then spun
+//     forever. Once kMaxOccupancy distinct locations are present, further *new*
+//     locations are dropped (they are singleton votes, the weakest evidence), while
+//     votes for already-present locations still accumulate.
+
+#ifndef PERSONA_SRC_ALIGN_VOTE_MAP_H_
+#define PERSONA_SRC_ALIGN_VOTE_MAP_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace persona::align {
+
+struct VoteCandidate {
+  int64_t location = 0;
+  int votes = 0;
+};
+
+class VoteMap {
+ public:
+  VoteMap()
+      : keys_(kSize, 0), votes_(kSize, 0), epochs_(kSize, 0) {
+    used_.reserve(kSize);
+  }
+
+  // O(1) logical clear: slots stamped with an older epoch read as empty.
+  void Reset() {
+    used_.clear();
+    if (++epoch_ == 0) {  // epoch wrapped: old stamps would alias as live
+      std::fill(epochs_.begin(), epochs_.end(), 0u);
+      epoch_ = 1;
+    }
+  }
+
+  // Returns false when the vote was dropped because the table is saturated.
+  bool Vote(int64_t location) {
+    size_t bucket = Hash(location);
+    while (true) {
+      if (epochs_[bucket] != epoch_) {  // empty this generation
+        if (used_.size() >= kMaxOccupancy) {
+          return false;  // saturated: drop the new (lowest-vote) candidate
+        }
+        epochs_[bucket] = epoch_;
+        keys_[bucket] = location;
+        votes_[bucket] = 1;
+        used_.push_back(static_cast<uint32_t>(bucket));
+        return true;
+      }
+      if (keys_[bucket] == location) {
+        ++votes_[bucket];
+        return true;
+      }
+      bucket = (bucket + 1) & (kSize - 1);
+    }
+  }
+
+  size_t occupancy() const { return used_.size(); }
+  static constexpr size_t capacity() { return kMaxOccupancy; }
+
+  // Canonical candidate order: votes descending, location ascending on ties.
+  static bool CandidateBefore(const VoteCandidate& a, const VoteCandidate& b) {
+    return a.votes != b.votes ? a.votes > b.votes : a.location < b.location;
+  }
+
+  // Appends the live candidates to `out` in unspecified order.
+  void AppendCandidates(std::vector<VoteCandidate>* out) const {
+    for (uint32_t bucket : used_) {
+      out->push_back(VoteCandidate{keys_[bucket], votes_[bucket]});
+    }
+  }
+
+  // Fills `out` with the candidates in canonical order. Reuses `out`'s capacity.
+  void ExtractSorted(std::vector<VoteCandidate>* out) const {
+    out->clear();
+    out->reserve(used_.size());
+    AppendCandidates(out);
+    std::sort(out->begin(), out->end(), CandidateBefore);
+  }
+
+ private:
+  static constexpr size_t kSize = 512;  // power of two
+  // Leaving 1/4 of the table empty keeps probe chains short and guarantees every
+  // probe terminates at an empty slot even when the cap is hit.
+  static constexpr size_t kMaxOccupancy = kSize - kSize / 4;
+
+  static size_t Hash(int64_t loc) {
+    uint64_t x = static_cast<uint64_t>(loc) * 0x9E3779B97F4A7C15ull;
+    return static_cast<size_t>(x >> 55) & (kSize - 1);
+  }
+
+  std::vector<int64_t> keys_;
+  std::vector<int> votes_;
+  std::vector<uint32_t> epochs_;
+  std::vector<uint32_t> used_;
+  uint32_t epoch_ = 1;
+};
+
+}  // namespace persona::align
+
+#endif  // PERSONA_SRC_ALIGN_VOTE_MAP_H_

@@ -65,11 +65,15 @@ char ComplementBase(char base) {
 
 std::string ReverseComplement(std::string_view bases) {
   std::string out;
-  out.resize(bases.size());
-  for (size_t i = 0; i < bases.size(); ++i) {
-    out[i] = ComplementBase(bases[bases.size() - 1 - i]);
-  }
+  ReverseComplementInto(bases, &out);
   return out;
+}
+
+void ReverseComplementInto(std::string_view bases, std::string* out) {
+  out->resize(bases.size());
+  for (size_t i = 0; i < bases.size(); ++i) {
+    (*out)[i] = ComplementBase(bases[bases.size() - 1 - i]);
+  }
 }
 
 size_t PackedBasesSize(size_t count) {

@@ -33,6 +33,9 @@ char CodeToBase(uint8_t code);
 // 'A' <-> 'T', 'C' <-> 'G', 'N' -> 'N'.
 char ComplementBase(char base);
 std::string ReverseComplement(std::string_view bases);
+// Allocation-reusing variant for hot paths: writes into *out (capacity kept across
+// calls). `out` must not alias `bases`.
+void ReverseComplementInto(std::string_view bases, std::string* out);
 
 // Packs `bases` (ASCII) into little-endian 64-bit words appended to `out`.
 // Emits ceil(len/21) words; the caller records the base count separately.

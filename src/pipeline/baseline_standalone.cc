@@ -1,8 +1,10 @@
 #include "src/pipeline/baseline_standalone.h"
 
 #include <atomic>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <vector>
 
 #include "src/format/sam.h"
 #include "src/pipeline/agd_store_util.h"
@@ -85,6 +87,10 @@ Result<StandaloneReport> RunStandaloneAlignment(storage::ObjectStore* store,
   for (int w = 0; w < options.threads; ++w) {
     workers.emplace_back([&] {
       std::string local_sam;
+      // Worker-lifetime aligner scratch + result staging: the alignment hot loop runs
+      // through the batched entry point, allocation-free after the first batch.
+      std::unique_ptr<align::AlignerScratch> scratch = aligner.MakeScratch();
+      std::vector<align::AlignmentResult> batch_results;
       while (!failed.load(std::memory_order_relaxed)) {
         size_t begin = next_read.fetch_add(options.batch_reads);
         if (begin >= reads.size()) {
@@ -94,10 +100,14 @@ Result<StandaloneReport> RunStandaloneAlignment(storage::ObjectStore* store,
         Stopwatch busy_timer;
         local_sam.clear();
         uint64_t batch_bases = 0;
+        const size_t count = end - begin;
+        batch_results.resize(count);
+        aligner.AlignBatch({reads.data() + begin, count}, {batch_results.data(), count},
+                           scratch.get(), nullptr);
         for (size_t i = begin; i < end; ++i) {
-          align::AlignmentResult result = aligner.Align(reads[i], nullptr);
           batch_bases += reads[i].bases.size();
-          Status status = format::AppendSamRecord(reference, reads[i], result, &local_sam);
+          Status status = format::AppendSamRecord(reference, reads[i],
+                                                  batch_results[i - begin], &local_sam);
           if (!status.ok()) {
             std::lock_guard<std::mutex> lock(error_mu);
             if (first_error.ok()) {

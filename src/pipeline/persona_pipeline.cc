@@ -201,15 +201,30 @@ Result<AlignRunReport> RunPersonaAlignment(storage::ObjectStore* store,
               }
               return;
             }
-            for (size_t i = begin; i < end && !failed.load(std::memory_order_relaxed);
-                 ++i) {
-              genome::Read read;
-              if (!load(i, &read)) {
+            // Batched single-end path: stage the subchunk's reads, then hand the whole
+            // span to the aligner's allocation-free batch entry point. The staging
+            // vector and aligner scratch are thread-local so executor threads reuse
+            // them across subchunks and chunks.
+            if (failed.load(std::memory_order_relaxed)) {
+              return;
+            }
+            thread_local std::vector<genome::Read> batch_reads;
+            thread_local const align::Aligner* scratch_owner = nullptr;
+            thread_local std::unique_ptr<align::AlignerScratch> scratch;
+            if (scratch_owner != &aligner) {
+              scratch = aligner.MakeScratch();
+              scratch_owner = &aligner;
+            }
+            const size_t count = end - begin;
+            batch_reads.resize(count);
+            for (size_t i = begin; i < end; ++i) {
+              if (!load(i, &batch_reads[i - begin])) {
                 failed.store(true, std::memory_order_relaxed);
                 return;
               }
-              results[i] = aligner.Align(read, &profiles[task]);
             }
+            aligner.AlignBatch({batch_reads.data(), count}, {results.data() + begin, count},
+                               scratch.get(), &profiles[task]);
           });
         }
         batch.Wait();

@@ -46,8 +46,12 @@ class Buffer {
   void Resize(size_t size) { data_.resize(size); }
 
   void Append(const void* src, size_t n) {
-    const auto* p = static_cast<const uint8_t*>(src);
-    data_.insert(data_.end(), p, p + n);
+    if (n == 0) {
+      return;
+    }
+    const size_t old_size = data_.size();
+    data_.resize(old_size + n);
+    std::memcpy(data_.data() + old_size, src, n);
   }
   void Append(std::span<const uint8_t> bytes) { Append(bytes.data(), bytes.size()); }
   void Append(std::string_view s) { Append(s.data(), s.size()); }

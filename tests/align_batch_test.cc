@@ -1,0 +1,412 @@
+// Parity and regression tests for the batched, allocation-free aligner hot path:
+//   * AlignBatch == per-read Align, bit-identical (location/flags/CIGAR/MAPQ);
+//   * RollingSeedPacker == SeedIndex::PackSeed across N-containing windows;
+//   * banded two-row SmithWaterman == full-matrix oracle;
+//   * VoteMap saturation: a read yielding more distinct candidate locations than the
+//     table holds terminates (regression for the unbounded linear-probe spin).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/align/smith_waterman.h"
+#include "src/align/snap_aligner.h"
+#include "src/align/vote_map.h"
+#include "src/compress/base_compaction.h"
+#include "src/genome/generator.h"
+#include "src/genome/read_simulator.h"
+#include "src/util/rng.h"
+
+namespace persona::align {
+namespace {
+
+constexpr char kBases[] = {'A', 'C', 'G', 'T'};
+
+std::string RandomBases(Rng* rng, size_t len) {
+  std::string out;
+  out.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    out.push_back(kBases[rng->Uniform(4)]);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Rolling seed packing vs the naive per-offset re-pack.
+
+TEST(RollingSeedPackerTest, MatchesPackSeedOnCleanSequence) {
+  Rng rng(31);
+  const std::string seq = RandomBases(&rng, 300);
+  for (int seed_len : {8, 20, 31}) {
+    RollingSeedPacker packer(seq, seed_len);
+    for (size_t off = 0; off + static_cast<size_t>(seed_len) <= seq.size(); ++off) {
+      uint64_t rolled = 0;
+      uint64_t packed = 0;
+      ASSERT_TRUE(packer.Seed(off, &rolled));
+      ASSERT_TRUE(SeedIndex::PackSeed(seq, off, seed_len, &packed));
+      EXPECT_EQ(rolled, packed) << "seed_len=" << seed_len << " off=" << off;
+    }
+  }
+}
+
+TEST(RollingSeedPackerTest, MatchesPackSeedAcrossNWindows) {
+  Rng rng(32);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::string seq = RandomBases(&rng, 200);
+    // Sprinkle N's (and one lowercase/invalid char) to exercise window rejection.
+    for (int k = 0; k < 8; ++k) {
+      seq[rng.Uniform(seq.size())] = 'N';
+    }
+    seq[rng.Uniform(seq.size())] = 'x';
+    const int seed_len = 16;
+    RollingSeedPacker packer(seq, seed_len);
+    for (size_t off = 0; off + static_cast<size_t>(seed_len) <= seq.size(); ++off) {
+      uint64_t rolled = 0;
+      uint64_t packed = 0;
+      const bool rolled_ok = packer.Seed(off, &rolled);
+      const bool packed_ok = SeedIndex::PackSeed(seq, off, seed_len, &packed);
+      ASSERT_EQ(rolled_ok, packed_ok) << "trial=" << trial << " off=" << off;
+      if (packed_ok) {
+        EXPECT_EQ(rolled, packed) << "trial=" << trial << " off=" << off;
+      }
+    }
+  }
+}
+
+TEST(RollingSeedPackerTest, StridedQueriesAndEndOfSequence) {
+  Rng rng(33);
+  const std::string seq = RandomBases(&rng, 101);
+  const int seed_len = 20;
+  RollingSeedPacker packer(seq, seed_len);
+  for (size_t off = 0; off + static_cast<size_t>(seed_len) <= seq.size(); off += 8) {
+    uint64_t rolled = 0;
+    uint64_t packed = 0;
+    ASSERT_TRUE(packer.Seed(off, &rolled));
+    ASSERT_TRUE(SeedIndex::PackSeed(seq, off, seed_len, &packed));
+    EXPECT_EQ(rolled, packed);
+  }
+  uint64_t seed = 0;
+  EXPECT_FALSE(packer.Seed(seq.size() - seed_len + 1, &seed));  // overruns
+}
+
+// ---------------------------------------------------------------------------
+// Banded Smith-Waterman vs the full-matrix oracle.
+
+void ExpectSwEqual(const SwResult& banded, const SwResult& full, const char* context) {
+  EXPECT_EQ(banded.score, full.score) << context;
+  EXPECT_EQ(banded.query_begin, full.query_begin) << context;
+  EXPECT_EQ(banded.query_end, full.query_end) << context;
+  EXPECT_EQ(banded.ref_begin, full.ref_begin) << context;
+  EXPECT_EQ(banded.ref_end, full.ref_end) << context;
+  EXPECT_EQ(banded.cigar, full.cigar) << context;
+}
+
+TEST(BandedSmithWatermanTest, MatchesFullOracleOnMutatedSubstrings) {
+  Rng rng(2025);
+  SwScratch scratch;  // reused across all calls: exercises the reuse path
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string ref = RandomBases(&rng, 120);
+    std::string query = ref.substr(10, 80);
+    for (int s = 0; s < 3; ++s) {
+      query[rng.Uniform(query.size())] = kBases[rng.Uniform(4)];
+    }
+    const size_t cut = 10 + rng.Uniform(40);
+    const size_t indel_len = 1 + rng.Uniform(6);
+    if (rng.Bernoulli(0.5)) {
+      query.erase(cut, indel_len);
+    } else {
+      query.insert(cut, RandomBases(&rng, indel_len));
+    }
+    SwResult banded = SmithWaterman(ref, query, {}, &scratch);
+    SwResult full = SmithWatermanFull(ref, query);
+    ExpectSwEqual(banded, full, ("trial " + std::to_string(trial)).c_str());
+  }
+}
+
+TEST(BandedSmithWatermanTest, WideBandIsExactlyTheFullKernel) {
+  // With a band radius >= max(|ref|, |query|) every cell is in band, so the banded
+  // kernel must reproduce the full kernel exactly, whatever the inputs.
+  Rng rng(77);
+  SwParams wide;
+  wide.band_radius = 200;
+  SwScratch scratch;
+  for (int trial = 0; trial < 100; ++trial) {
+    std::string ref = RandomBases(&rng, 20 + rng.Uniform(80));
+    std::string query = RandomBases(&rng, 10 + rng.Uniform(60));
+    SwResult banded = SmithWaterman(ref, query, wide, &scratch);
+    SwResult full = SmithWatermanFull(ref, query, wide);
+    ExpectSwEqual(banded, full, ("trial " + std::to_string(trial)).c_str());
+  }
+}
+
+TEST(BandedSmithWatermanTest, EmptyAndDisjointInputs) {
+  EXPECT_EQ(SmithWaterman("", "ACGT").score, 0);
+  EXPECT_EQ(SmithWaterman("ACGT", "").score, 0);
+  SwResult r = SmithWaterman("AAAAAAA", "TTTTTTT");
+  EXPECT_EQ(r.score, 0);
+  EXPECT_TRUE(r.cigar.empty());
+}
+
+// ---------------------------------------------------------------------------
+// VoteMap saturation (regression: unbounded probe loop on pathological reads).
+
+TEST(VoteMapTest, SaturationCapsOccupancyAndTerminates) {
+  VoteMap votes;
+  votes.Reset();
+  // Insert far more distinct locations than the table can hold. The old map would
+  // spin forever once all slots filled; the capped map drops the overflow.
+  size_t accepted = 0;
+  for (int64_t loc = 0; loc < 4'000; ++loc) {
+    accepted += votes.Vote(loc * 997 + 13) ? 1 : 0;
+  }
+  EXPECT_EQ(accepted, VoteMap::capacity());
+  EXPECT_EQ(votes.occupancy(), VoteMap::capacity());
+  // Votes for locations already present still accumulate after saturation.
+  EXPECT_TRUE(votes.Vote(13));  // loc 0 inserted first, certainly present
+}
+
+TEST(VoteMapTest, EpochResetIsLogicalClear) {
+  VoteMap votes;
+  votes.Reset();
+  for (int64_t loc = 0; loc < 100; ++loc) {
+    ASSERT_TRUE(votes.Vote(loc));
+  }
+  EXPECT_EQ(votes.occupancy(), 100u);
+  votes.Reset();
+  EXPECT_EQ(votes.occupancy(), 0u);
+  ASSERT_TRUE(votes.Vote(7));
+  std::vector<VoteCandidate> out;
+  votes.ExtractSorted(&out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].location, 7);
+  EXPECT_EQ(out[0].votes, 1);
+}
+
+TEST(VoteMapTest, SortedOrderIsCanonical) {
+  VoteMap votes;
+  votes.Reset();
+  for (int rep = 0; rep < 3; ++rep) {
+    votes.Vote(50);
+  }
+  votes.Vote(10);
+  votes.Vote(90);
+  std::vector<VoteCandidate> out;
+  votes.ExtractSorted(&out);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].location, 50);  // most votes first
+  EXPECT_EQ(out[1].location, 10);  // then by location on vote ties
+  EXPECT_EQ(out[2].location, 90);
+}
+
+// A hyper-repetitive read against a reference engineered so the seeds hit hundreds of
+// scattered positions: yields > 512 distinct candidate start locations on the forward
+// strand, which made the old uncapped vote map probe forever. The assertion is simply
+// that Align returns.
+TEST(VoteMapTest, PathologicalRepetitiveReadTerminates) {
+  Rng rng(404);
+  constexpr int kKmerLen = 20;
+  constexpr int kNumKmers = 13;
+  constexpr int kCopies = 110;  // below the index's 128 positions-per-seed cap
+  std::vector<std::string> kmers;
+  for (int k = 0; k < kNumKmers; ++k) {
+    kmers.push_back(RandomBases(&rng, kKmerLen));
+  }
+  // Reference: the k-mers tiled in pseudorandom order, so each appears ~kCopies times
+  // at scattered (non-periodic) positions.
+  std::string sequence;
+  sequence.reserve(static_cast<size_t>(kNumKmers) * kCopies * kKmerLen);
+  for (int block = 0; block < kNumKmers * kCopies; ++block) {
+    sequence += kmers[rng.Uniform(kNumKmers)];
+  }
+  genome::ReferenceGenome reference(
+      {genome::Contig{"pathological", std::move(sequence)}});
+
+  SeedIndexOptions options;
+  options.seed_length = kKmerLen;
+  auto index = SeedIndex::Build(reference, options);
+  ASSERT_TRUE(index.ok());
+
+  // Read: one copy of every k-mer back to back. In-register seeds each hit ~kCopies
+  // scattered positions, so distinct (position - offset) counts blow past the table.
+  std::string read_bases;
+  for (const std::string& kmer : kmers) {
+    read_bases += kmer;
+  }
+  genome::Read read;
+  read.bases = read_bases;
+  read.qual = std::string(read_bases.size(), 'I');
+  read.metadata = "pathological";
+
+  SnapAligner aligner(&reference, &*index);
+  AlignProfile profile;
+  AlignmentResult result = aligner.Align(read, &profile);  // must terminate
+  EXPECT_EQ(profile.reads, 1u);
+  // The read is genuinely ambiguous; mapped or not, any answer is acceptable as long
+  // as a mapped placement is internally consistent.
+  if (result.mapped()) {
+    EXPECT_LE(result.mapq, 60);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// AlignBatch vs per-read Align parity.
+
+class AlignBatchTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    genome::GenomeSpec spec;
+    spec.num_contigs = 2;
+    spec.contig_length = 40'000;
+    spec.repeat_fraction = 0.05;
+    spec.seed = 99;
+    reference_ = new genome::ReferenceGenome(genome::GenerateGenome(spec));
+    SeedIndexOptions seed_options;
+    seed_options.seed_length = 20;
+    seed_index_ = new SeedIndex(SeedIndex::Build(*reference_, seed_options).value());
+  }
+
+  static void TearDownTestSuite() {
+    delete seed_index_;
+    delete reference_;
+    seed_index_ = nullptr;
+    reference_ = nullptr;
+  }
+
+  static std::vector<genome::Read> SimulateReads(size_t n, double error_rate,
+                                                 uint64_t seed) {
+    genome::ReadSimSpec spec;
+    spec.read_length = 101;
+    spec.substitution_rate = error_rate;
+    spec.seed = seed;
+    genome::ReadSimulator sim(reference_, spec);
+    return sim.Simulate(n);
+  }
+
+  static genome::ReferenceGenome* reference_;
+  static SeedIndex* seed_index_;
+};
+
+genome::ReferenceGenome* AlignBatchTest::reference_ = nullptr;
+SeedIndex* AlignBatchTest::seed_index_ = nullptr;
+
+TEST_F(AlignBatchTest, BatchMatchesPerReadExactly) {
+  SnapAligner aligner(reference_, seed_index_);
+  auto reads = SimulateReads(400, 0.01, 5);
+  // Mix in degenerate reads: too short to seed, and N-rich.
+  genome::Read tiny;
+  tiny.bases = "ACGT";
+  tiny.qual = "IIII";
+  reads[17] = tiny;
+  reads[101].bases.replace(10, 30, std::string(30, 'N'));
+
+  std::vector<AlignmentResult> expected;
+  expected.reserve(reads.size());
+  for (const auto& read : reads) {
+    expected.push_back(aligner.Align(read, nullptr));
+  }
+
+  // One scratch reused across several batch sizes; results must be bit-identical
+  // (location, flags, CIGAR, MAPQ, score — AlignmentResult equality covers all).
+  auto scratch = aligner.MakeScratch();
+  for (size_t batch_size : {1u, 7u, 64u, 400u}) {
+    std::vector<AlignmentResult> got(reads.size());
+    for (size_t begin = 0; begin < reads.size(); begin += batch_size) {
+      const size_t count = std::min(batch_size, reads.size() - begin);
+      aligner.AlignBatch({reads.data() + begin, count}, {got.data() + begin, count},
+                         scratch.get(), nullptr);
+    }
+    for (size_t i = 0; i < reads.size(); ++i) {
+      EXPECT_EQ(got[i], expected[i]) << "batch_size=" << batch_size << " read " << i;
+    }
+  }
+}
+
+TEST_F(AlignBatchTest, NullAndForeignScratchFallBack) {
+  SnapAligner aligner(reference_, seed_index_);
+  auto reads = SimulateReads(50, 0.01, 6);
+  std::vector<AlignmentResult> expected(reads.size());
+  for (size_t i = 0; i < reads.size(); ++i) {
+    expected[i] = aligner.Align(reads[i], nullptr);
+  }
+
+  std::vector<AlignmentResult> with_null(reads.size());
+  aligner.AlignBatch({reads.data(), reads.size()}, {with_null.data(), with_null.size()},
+                     nullptr, nullptr);
+
+  class ForeignScratch final : public AlignerScratch {};
+  ForeignScratch foreign;
+  std::vector<AlignmentResult> with_foreign(reads.size());
+  aligner.AlignBatch({reads.data(), reads.size()},
+                     {with_foreign.data(), with_foreign.size()}, &foreign, nullptr);
+
+  for (size_t i = 0; i < reads.size(); ++i) {
+    EXPECT_EQ(with_null[i], expected[i]) << i;
+    EXPECT_EQ(with_foreign[i], expected[i]) << i;
+  }
+}
+
+TEST_F(AlignBatchTest, ProfileCountersMatchPerReadAndClocksAreBatched) {
+  SnapAligner aligner(reference_, seed_index_);
+  auto reads = SimulateReads(120, 0.01, 8);
+
+  AlignProfile per_read;
+  for (const auto& read : reads) {
+    (void)aligner.Align(read, &per_read);
+  }
+  AlignProfile batched;
+  auto scratch = aligner.MakeScratch();
+  std::vector<AlignmentResult> got(reads.size());
+  aligner.AlignBatch({reads.data(), reads.size()}, {got.data(), got.size()},
+                     scratch.get(), &batched);
+
+  EXPECT_EQ(batched.reads, per_read.reads);
+  EXPECT_EQ(batched.bases, per_read.bases);
+  EXPECT_EQ(batched.index_probes, per_read.index_probes);
+  EXPECT_EQ(batched.candidates, per_read.candidates);
+  EXPECT_GT(batched.seed_ns, 0u);
+  EXPECT_GT(batched.verify_ns, 0u);
+}
+
+TEST_F(AlignBatchTest, DefaultAlignBatchLoopsAlign) {
+  // The base-class fallback (used by aligners without a batched path) must also be
+  // output-identical to Align.
+  class LoopAligner final : public Aligner {
+   public:
+    std::string_view name() const override { return "loop"; }
+    AlignmentResult Align(const genome::Read& read, AlignProfile* profile) const override {
+      if (profile != nullptr) {
+        ++profile->reads;
+      }
+      AlignmentResult r;
+      r.location = static_cast<int64_t>(read.bases.size());
+      r.flags = 0;
+      return r;
+    }
+  };
+  LoopAligner aligner;
+  auto reads = SimulateReads(10, 0.0, 9);
+  std::vector<AlignmentResult> got(reads.size());
+  AlignProfile profile;
+  aligner.AlignBatch({reads.data(), reads.size()}, {got.data(), got.size()},
+                     aligner.MakeScratch().get(), &profile);
+  EXPECT_EQ(profile.reads, reads.size());
+  for (size_t i = 0; i < reads.size(); ++i) {
+    EXPECT_EQ(got[i].location, static_cast<int64_t>(reads[i].bases.size()));
+  }
+}
+
+TEST(ReverseComplementIntoTest, MatchesAllocatingVariant) {
+  Rng rng(12);
+  std::string buffer;
+  for (int trial = 0; trial < 20; ++trial) {
+    std::string bases = RandomBases(&rng, 1 + rng.Uniform(150));
+    compress::ReverseComplementInto(bases, &buffer);
+    EXPECT_EQ(buffer, compress::ReverseComplement(bases));
+  }
+}
+
+}  // namespace
+}  // namespace persona::align
