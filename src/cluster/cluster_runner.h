@@ -31,6 +31,10 @@ struct ClusterReport {
   double gigabases_per_sec = 0;
   std::vector<double> node_seconds;    // per-node completion times
   std::vector<uint64_t> node_chunks;   // chunks each node processed
+  // Shared-store I/O for the whole run (all nodes' batched column fetches + result
+  // writes): shows whether aggregate store bandwidth kept up with compute (Fig. 7).
+  storage::StoreStats store_stats;
+  double store_read_mb_per_sec = 0;
   // Completion-time imbalance: (max - min) / max across nodes.
   double imbalance() const;
 };

@@ -1,5 +1,7 @@
 #include "src/pipeline/agd_store_util.h"
 
+#include <array>
+
 #include "src/format/fastq.h"
 
 namespace persona::pipeline {
@@ -16,7 +18,9 @@ Result<format::Manifest> WriteAgdToStore(storage::ObjectStore* store, const std:
   manifest.columns = format::StandardReadColumns(codec);
 
   size_t offset = 0;
-  Buffer file;
+  Buffer bases_file;
+  Buffer qual_file;
+  Buffer metadata_file;
   while (offset < reads.size()) {
     size_t count = std::min(static_cast<size_t>(chunk_size), reads.size() - offset);
     format::ManifestChunk chunk;
@@ -32,12 +36,17 @@ Result<format::Manifest> WriteAgdToStore(storage::ObjectStore* store, const std:
       qual.AddRecord(reads[i].qual);
       metadata.AddRecord(reads[i].metadata);
     }
-    PERSONA_RETURN_IF_ERROR(bases.Finalize(&file));
-    PERSONA_RETURN_IF_ERROR(store->Put(chunk.path_base + ".bases", file));
-    PERSONA_RETURN_IF_ERROR(qual.Finalize(&file));
-    PERSONA_RETURN_IF_ERROR(store->Put(chunk.path_base + ".qual", file));
-    PERSONA_RETURN_IF_ERROR(metadata.Finalize(&file));
-    PERSONA_RETURN_IF_ERROR(store->Put(chunk.path_base + ".metadata", file));
+    PERSONA_RETURN_IF_ERROR(bases.Finalize(&bases_file));
+    PERSONA_RETURN_IF_ERROR(qual.Finalize(&qual_file));
+    PERSONA_RETURN_IF_ERROR(metadata.Finalize(&metadata_file));
+    // One batched Put per chunk: the three column objects land in parallel on stores
+    // with per-shard queues.
+    std::array<storage::PutOp, 3> puts = {
+        storage::PutOp{chunk.path_base + ".bases", bases_file.span(), {}},
+        storage::PutOp{chunk.path_base + ".qual", qual_file.span(), {}},
+        storage::PutOp{chunk.path_base + ".metadata", metadata_file.span(), {}},
+    };
+    PERSONA_RETURN_IF_ERROR(store->PutBatch(puts));
 
     manifest.chunks.push_back(std::move(chunk));
     offset += count;
@@ -50,6 +59,55 @@ Result<format::Manifest> ReadManifestFromStore(storage::ObjectStore* store) {
   Buffer buffer;
   PERSONA_RETURN_IF_ERROR(store->Get("manifest.json", &buffer));
   return format::Manifest::FromJson(buffer.view());
+}
+
+Status GetChunkColumns(storage::ObjectStore* store, const format::Manifest& manifest,
+                       size_t chunk_index, std::span<const char* const> columns,
+                       std::span<Buffer> outs) {
+  if (outs.size() < columns.size()) {
+    return InvalidArgumentError("GetChunkColumns: outs smaller than columns");
+  }
+  std::vector<storage::GetOp> gets;
+  gets.reserve(columns.size());
+  for (size_t c = 0; c < columns.size(); ++c) {
+    gets.push_back({manifest.ChunkFileName(chunk_index, columns[c]), &outs[c], {}});
+  }
+  return store->GetBatch(gets);
+}
+
+Status LoadAlignedChunk(storage::ObjectStore* store, const format::Manifest& manifest,
+                        size_t chunk_index, std::vector<genome::Read>* reads,
+                        std::vector<align::AlignmentResult>* results) {
+  static constexpr std::array<const char*, 4> kColumns = {"bases", "qual", "metadata",
+                                                          "results"};
+  std::array<Buffer, 4> files;
+  PERSONA_RETURN_IF_ERROR(
+      GetChunkColumns(store, manifest, chunk_index, kColumns, files));
+  PERSONA_ASSIGN_OR_RETURN(format::ParsedChunk bases,
+                           format::ParsedChunk::Parse(files[0].span()));
+  PERSONA_ASSIGN_OR_RETURN(format::ParsedChunk qual,
+                           format::ParsedChunk::Parse(files[1].span()));
+  PERSONA_ASSIGN_OR_RETURN(format::ParsedChunk metadata,
+                           format::ParsedChunk::Parse(files[2].span()));
+  PERSONA_ASSIGN_OR_RETURN(format::ParsedChunk result_chunk,
+                           format::ParsedChunk::Parse(files[3].span()));
+  if (bases.record_count() != qual.record_count() ||
+      bases.record_count() != metadata.record_count() ||
+      bases.record_count() != result_chunk.record_count()) {
+    return DataLossError("chunk column record counts disagree");
+  }
+  for (size_t i = 0; i < bases.record_count(); ++i) {
+    genome::Read read;
+    PERSONA_ASSIGN_OR_RETURN(read.bases, bases.GetBases(i));
+    PERSONA_ASSIGN_OR_RETURN(std::string_view q, qual.GetString(i));
+    read.qual = std::string(q);
+    PERSONA_ASSIGN_OR_RETURN(std::string_view m, metadata.GetString(i));
+    read.metadata = std::string(m);
+    reads->push_back(std::move(read));
+    PERSONA_ASSIGN_OR_RETURN(align::AlignmentResult r, result_chunk.GetResult(i));
+    results->push_back(std::move(r));
+  }
+  return OkStatus();
 }
 
 Result<uint64_t> WriteGzippedFastqToStore(storage::ObjectStore* store,

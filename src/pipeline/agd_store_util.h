@@ -1,6 +1,6 @@
 // Helpers for AGD datasets living in an ObjectStore (rather than a plain directory):
-// dataset creation from reads, manifest storage, and gzipped-FASTQ staging for the
-// row-oriented baseline pipelines.
+// dataset creation from reads, manifest storage, batched whole-chunk column I/O, and
+// gzipped-FASTQ staging for the row-oriented baseline pipelines.
 
 #ifndef PERSONA_SRC_PIPELINE_AGD_STORE_UTIL_H_
 #define PERSONA_SRC_PIPELINE_AGD_STORE_UTIL_H_
@@ -9,6 +9,8 @@
 #include <string>
 #include <vector>
 
+#include "src/align/alignment.h"
+#include "src/format/agd_chunk.h"
 #include "src/format/agd_manifest.h"
 #include "src/genome/read.h"
 #include "src/storage/object_store.h"
@@ -16,7 +18,8 @@
 namespace persona::pipeline {
 
 // Writes `reads` as an AGD dataset (bases/qual/metadata columns) into `store` under
-// keys "<name>-<i>.<column>", plus "manifest.json". Returns the manifest.
+// keys "<name>-<i>.<column>", plus "manifest.json". Each chunk's columns are stored
+// with one batched Put. Returns the manifest.
 Result<format::Manifest> WriteAgdToStore(storage::ObjectStore* store,
                                          const std::string& name,
                                          std::span<const genome::Read> reads,
@@ -25,6 +28,19 @@ Result<format::Manifest> WriteAgdToStore(storage::ObjectStore* store,
 
 // Loads a manifest previously written by WriteAgdToStore.
 Result<format::Manifest> ReadManifestFromStore(storage::ObjectStore* store);
+
+// Fetches the named columns of chunk `chunk_index` with one batched Get — on a sharded
+// or simulated-distributed store the column objects transfer in parallel. `outs` must
+// be as large as `columns`; outs[i] receives the file of columns[i].
+Status GetChunkColumns(storage::ObjectStore* store, const format::Manifest& manifest,
+                       size_t chunk_index, std::span<const char* const> columns,
+                       std::span<Buffer> outs);
+
+// Batched fetch + parse of the four read columns (bases/qual/metadata/results) of
+// chunk `chunk_index`, appended to `reads`/`results` as aligned rows.
+Status LoadAlignedChunk(storage::ObjectStore* store, const format::Manifest& manifest,
+                        size_t chunk_index, std::vector<genome::Read>* reads,
+                        std::vector<align::AlignmentResult>* results);
 
 // Writes `reads` as one gzip-compressed FASTQ object (key "<name>.fastq.gz" by blocks)
 // — the input format of the standalone baseline. Returns total compressed bytes.

@@ -40,7 +40,14 @@ Result<StandaloneReport> RunStandaloneAlignment(storage::ObjectStore* store,
     std::string part = name + ".sam." + std::to_string(sam_part.fetch_add(1));
     // The burst write happens while holding the output lock — workers needing to
     // append stall behind it, as they do behind writeback on a real single disk.
-    Status status = store->Put(part, sam_buffer);
+    // The write goes through the batched entry point but is deliberately awaited
+    // in place: the baseline being modeled has no asynchronous writeback to hide it.
+    storage::PutOp put{part,
+                       std::span<const uint8_t>(
+                           reinterpret_cast<const uint8_t*>(sam_buffer.data()),
+                           sam_buffer.size()),
+                       {}};
+    Status status = store->PutBatch({&put, 1});
     sam_buffer.clear();
     return status;
   };

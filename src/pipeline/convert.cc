@@ -1,8 +1,11 @@
 #include "src/pipeline/convert.h"
 
+#include <array>
+
 #include "src/format/agd_chunk.h"
 #include "src/format/fastq.h"
 #include "src/format/sam.h"
+#include "src/pipeline/agd_store_util.h"
 #include "src/util/stopwatch.h"
 
 namespace persona::pipeline {
@@ -11,38 +14,6 @@ namespace {
 
 double Throughput(uint64_t bytes, double seconds) {
   return seconds > 0 ? static_cast<double>(bytes) / 1e6 / seconds : 0;
-}
-
-// Loads all four (or three) columns of chunk `ci` as (read, result) rows.
-Status LoadAlignedChunk(storage::ObjectStore* store, const format::Manifest& manifest,
-                        size_t ci, std::vector<genome::Read>* reads,
-                        std::vector<align::AlignmentResult>* results) {
-  Buffer file;
-  auto parse = [&](const char* column, format::ParsedChunk* out) -> Status {
-    PERSONA_RETURN_IF_ERROR(store->Get(manifest.ChunkFileName(ci, column), &file));
-    PERSONA_ASSIGN_OR_RETURN(*out, format::ParsedChunk::Parse(file.span()));
-    return OkStatus();
-  };
-  format::ParsedChunk bases;
-  format::ParsedChunk qual;
-  format::ParsedChunk metadata;
-  format::ParsedChunk result_chunk;
-  PERSONA_RETURN_IF_ERROR(parse("bases", &bases));
-  PERSONA_RETURN_IF_ERROR(parse("qual", &qual));
-  PERSONA_RETURN_IF_ERROR(parse("metadata", &metadata));
-  PERSONA_RETURN_IF_ERROR(parse("results", &result_chunk));
-  for (size_t i = 0; i < bases.record_count(); ++i) {
-    genome::Read read;
-    PERSONA_ASSIGN_OR_RETURN(read.bases, bases.GetBases(i));
-    PERSONA_ASSIGN_OR_RETURN(std::string_view q, qual.GetString(i));
-    read.qual = std::string(q);
-    PERSONA_ASSIGN_OR_RETURN(std::string_view m, metadata.GetString(i));
-    read.metadata = std::string(m);
-    reads->push_back(std::move(read));
-    PERSONA_ASSIGN_OR_RETURN(align::AlignmentResult r, result_chunk.GetResult(i));
-    results->push_back(std::move(r));
-  }
-  return OkStatus();
 }
 
 }  // namespace
@@ -72,7 +43,9 @@ Result<ConvertReport> ImportFastqToAgd(storage::ObjectStore* store, const std::s
   format::ChunkBuilder bases(format::RecordType::kBases, codec);
   format::ChunkBuilder qual(format::RecordType::kQual, codec);
   format::ChunkBuilder metadata(format::RecordType::kMetadata, codec);
-  Buffer file;
+  Buffer bases_file;
+  Buffer qual_file;
+  Buffer metadata_file;
   int64_t in_chunk = 0;
   int64_t total = 0;
 
@@ -84,12 +57,15 @@ Result<ConvertReport> ImportFastqToAgd(storage::ObjectStore* store, const std::s
     chunk.path_base = name + "-" + std::to_string(manifest.chunks.size());
     chunk.first_record = total - in_chunk;
     chunk.num_records = in_chunk;
-    PERSONA_RETURN_IF_ERROR(bases.Finalize(&file));
-    PERSONA_RETURN_IF_ERROR(store->Put(chunk.path_base + ".bases", file));
-    PERSONA_RETURN_IF_ERROR(qual.Finalize(&file));
-    PERSONA_RETURN_IF_ERROR(store->Put(chunk.path_base + ".qual", file));
-    PERSONA_RETURN_IF_ERROR(metadata.Finalize(&file));
-    PERSONA_RETURN_IF_ERROR(store->Put(chunk.path_base + ".metadata", file));
+    PERSONA_RETURN_IF_ERROR(bases.Finalize(&bases_file));
+    PERSONA_RETURN_IF_ERROR(qual.Finalize(&qual_file));
+    PERSONA_RETURN_IF_ERROR(metadata.Finalize(&metadata_file));
+    std::array<storage::PutOp, 3> puts = {
+        storage::PutOp{chunk.path_base + ".bases", bases_file.span(), {}},
+        storage::PutOp{chunk.path_base + ".qual", qual_file.span(), {}},
+        storage::PutOp{chunk.path_base + ".metadata", metadata_file.span(), {}},
+    };
+    PERSONA_RETURN_IF_ERROR(store->PutBatch(puts));
     manifest.chunks.push_back(std::move(chunk));
     bases.Reset();
     qual.Reset();

@@ -141,14 +141,22 @@ Result<DedupReport> DedupAgdResults(storage::ObjectStore* store,
   }
   Stopwatch timer;
 
-  // Load only the results column.
+  // Load only the results column — every chunk's column object in one batched Get.
+  const size_t num_chunks = manifest.chunks.size();
+  std::vector<Buffer> files(num_chunks);
+  {
+    std::vector<storage::GetOp> gets;
+    gets.reserve(num_chunks);
+    for (size_t ci = 0; ci < num_chunks; ++ci) {
+      gets.push_back({manifest.ChunkFileName(ci, "results"), &files[ci], {}});
+    }
+    PERSONA_RETURN_IF_ERROR(store->GetBatch(gets));
+  }
   std::vector<align::AlignmentResult> all;
   std::vector<size_t> chunk_sizes;
-  Buffer file;
-  for (size_t ci = 0; ci < manifest.chunks.size(); ++ci) {
-    PERSONA_RETURN_IF_ERROR(store->Get(manifest.ChunkFileName(ci, "results"), &file));
+  for (size_t ci = 0; ci < num_chunks; ++ci) {
     PERSONA_ASSIGN_OR_RETURN(format::ParsedChunk chunk,
-                             format::ParsedChunk::Parse(file.span()));
+                             format::ParsedChunk::Parse(files[ci].span()));
     chunk_sizes.push_back(chunk.record_count());
     for (size_t i = 0; i < chunk.record_count(); ++i) {
       PERSONA_ASSIGN_OR_RETURN(align::AlignmentResult r, chunk.GetResult(i));
@@ -158,18 +166,22 @@ Result<DedupReport> DedupAgdResults(storage::ObjectStore* store,
 
   DedupReport report = MarkDuplicatesDense(all);
 
-  // Write the flagged results back, chunk by chunk.
+  // Write the flagged results back: rebuild every chunk's column, then store them all
+  // with one batched Put (the builders' output buffers stay alive for the batch).
   size_t offset = 0;
-  for (size_t ci = 0; ci < manifest.chunks.size(); ++ci) {
+  std::vector<storage::PutOp> puts;
+  puts.reserve(num_chunks);
+  for (size_t ci = 0; ci < num_chunks; ++ci) {
     format::ChunkBuilder builder(format::RecordType::kResults, codec);
     for (size_t i = 0; i < chunk_sizes[ci]; ++i) {
       builder.AddResult(all[offset + i]);
     }
     offset += chunk_sizes[ci];
-    PERSONA_RETURN_IF_ERROR(builder.Finalize(&file));
-    PERSONA_RETURN_IF_ERROR(
-        store->Put(manifest.chunks[ci].path_base + ".results", file));
+    files[ci].Clear();
+    PERSONA_RETURN_IF_ERROR(builder.Finalize(&files[ci]));
+    puts.push_back({manifest.chunks[ci].path_base + ".results", files[ci].span(), {}});
   }
+  PERSONA_RETURN_IF_ERROR(store->PutBatch(puts));
   report.seconds = timer.ElapsedSeconds();
   report.reads_per_sec =
       report.seconds > 0 ? static_cast<double>(report.total) / report.seconds : 0;

@@ -10,7 +10,7 @@
 namespace persona::pipeline {
 namespace {
 
-// Writes one output chunk (all columns) and appends its manifest entry.
+// Writes one output chunk (all columns, one batched Put) and appends its manifest entry.
 Status FlushOutputChunk(storage::ObjectStore* store, const std::string& out_name,
                         std::vector<format::ChunkBuilder>& builders,
                         const std::vector<format::ManifestColumn>& columns,
@@ -23,12 +23,15 @@ Status FlushOutputChunk(storage::ObjectStore* store, const std::string& out_name
   chunk.first_record = out->total_records();
   chunk.num_records = static_cast<int64_t>(builders.front().record_count());
 
-  Buffer file;
+  std::vector<Buffer> files(columns.size());
+  std::vector<storage::PutOp> puts;
+  puts.reserve(columns.size());
   for (size_t c = 0; c < columns.size(); ++c) {
-    PERSONA_RETURN_IF_ERROR(builders[c].Finalize(&file));
-    PERSONA_RETURN_IF_ERROR(store->Put(chunk.path_base + "." + columns[c].name, file));
+    PERSONA_RETURN_IF_ERROR(builders[c].Finalize(&files[c]));
+    puts.push_back({chunk.path_base + "." + columns[c].name, files[c].span(), {}});
     builders[c].Reset();
   }
+  PERSONA_RETURN_IF_ERROR(store->PutBatch(puts));
   out->chunks.push_back(std::move(chunk));
   ++report->chunks_out;
   return OkStatus();
@@ -131,6 +134,7 @@ Result<FilterReport> FilterAgdDataset(storage::ObjectStore* store,
 
   FilterReport report;
   Buffer file;
+  std::vector<Buffer> column_files(manifest.columns.size());
   std::vector<format::ParsedChunk> parsed(manifest.columns.size());
   size_t results_index = manifest.columns.size();
   for (size_t c = 0; c < manifest.columns.size(); ++c) {
@@ -159,13 +163,25 @@ Result<FilterReport> FilterAgdDataset(storage::ObjectStore* store,
       continue;
     }
 
+    // Surviving chunk: fetch the remaining columns with one batched Get.
+    {
+      std::vector<storage::GetOp> gets;
+      gets.reserve(manifest.columns.size() - 1);
+      for (size_t c = 0; c < manifest.columns.size(); ++c) {
+        if (c == results_index) {
+          continue;
+        }
+        gets.push_back(
+            {manifest.ChunkFileName(ci, manifest.columns[c].name), &column_files[c], {}});
+      }
+      PERSONA_RETURN_IF_ERROR(store->GetBatch(gets));
+    }
     for (size_t c = 0; c < manifest.columns.size(); ++c) {
       if (c == results_index) {
         continue;
       }
-      PERSONA_RETURN_IF_ERROR(
-          store->Get(manifest.ChunkFileName(ci, manifest.columns[c].name), &file));
-      PERSONA_ASSIGN_OR_RETURN(parsed[c], format::ParsedChunk::Parse(file.span()));
+      PERSONA_ASSIGN_OR_RETURN(parsed[c],
+                               format::ParsedChunk::Parse(column_files[c].span()));
       if (parsed[c].record_count() != results.record_count()) {
         return DataLossError(
             StrFormat("chunk %zu: column '%s' record count disagrees with results", ci,

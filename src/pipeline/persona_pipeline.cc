@@ -1,5 +1,6 @@
 #include "src/pipeline/persona_pipeline.h"
 
+#include <array>
 #include <atomic>
 #include <mutex>
 
@@ -103,7 +104,8 @@ Result<AlignRunReport> RunPersonaAlignment(storage::ObjectStore* store,
                             });
   }
 
-  // --- Reader: fetch the two needed columns into pooled buffers. ---
+  // --- Reader: fetch the two needed columns into pooled buffers with one batched Get,
+  // so both column objects stream from their OSD nodes/shards in parallel. ---
   graph.AddStage<size_t, RawChunk>(
       "reader", options.read_parallelism, work_queue, raw_queue,
       [store, &manifest, buffer_pool](size_t&& index, MpmcQueue<RawChunk>& out) -> Status {
@@ -111,10 +113,13 @@ Result<AlignRunReport> RunPersonaAlignment(storage::ObjectStore* store,
         raw.chunk_index = index;
         raw.bases_file = buffer_pool->Acquire();
         raw.qual_file = buffer_pool->Acquire();
-        PERSONA_RETURN_IF_ERROR(
-            store->Get(manifest.ChunkFileName(index, "bases"), raw.bases_file.get()));
-        PERSONA_RETURN_IF_ERROR(
-            store->Get(manifest.ChunkFileName(index, "qual"), raw.qual_file.get()));
+        std::array<storage::GetOp, 2> gets = {
+            storage::GetOp{manifest.ChunkFileName(index, "bases"), raw.bases_file.get(),
+                           {}},
+            storage::GetOp{manifest.ChunkFileName(index, "qual"), raw.qual_file.get(),
+                           {}},
+        };
+        PERSONA_RETURN_IF_ERROR(store->GetBatch(gets));
         out.Push(std::move(raw));
         return OkStatus();
       });

@@ -1,5 +1,6 @@
 #include "src/pipeline/recompress.h"
 
+#include <array>
 #include <vector>
 
 #include "src/format/agd_chunk.h"
@@ -8,6 +9,17 @@
 
 namespace persona::pipeline {
 namespace {
+
+// Batched fetch of one chunk's source column + results column.
+Status GetColumnPair(storage::ObjectStore* store, const format::Manifest& manifest,
+                     size_t chunk_index, const char* column, Buffer* column_file,
+                     Buffer* results_file) {
+  std::array<storage::GetOp, 2> gets = {
+      storage::GetOp{manifest.ChunkFileName(chunk_index, column), column_file, {}},
+      storage::GetOp{manifest.ChunkFileName(chunk_index, "results"), results_file, {}},
+  };
+  return store->GetBatch(gets);
+}
 
 // Replaces `from` with `to` in the manifest's column table.
 Status SwapColumn(format::Manifest* manifest, std::string_view from,
@@ -49,9 +61,8 @@ Result<RecompressReport> RefCompressBasesColumn(storage::ObjectStore* store,
   Buffer results_file;
   Buffer out_file;
   for (size_t ci = 0; ci < manifest.chunks.size(); ++ci) {
-    PERSONA_RETURN_IF_ERROR(store->Get(manifest.ChunkFileName(ci, "bases"), &bases_file));
     PERSONA_RETURN_IF_ERROR(
-        store->Get(manifest.ChunkFileName(ci, "results"), &results_file));
+        GetColumnPair(store, manifest, ci, "bases", &bases_file, &results_file));
     PERSONA_ASSIGN_OR_RETURN(format::ParsedChunk bases,
                              format::ParsedChunk::Parse(bases_file.span()));
     PERSONA_ASSIGN_OR_RETURN(format::ParsedChunk results,
@@ -111,9 +122,7 @@ Result<RecompressReport> ReconstructBasesColumn(storage::ObjectStore* store,
   Buffer out_file;
   for (size_t ci = 0; ci < manifest.chunks.size(); ++ci) {
     PERSONA_RETURN_IF_ERROR(
-        store->Get(manifest.ChunkFileName(ci, "ref_bases"), &ref_file));
-    PERSONA_RETURN_IF_ERROR(
-        store->Get(manifest.ChunkFileName(ci, "results"), &results_file));
+        GetColumnPair(store, manifest, ci, "ref_bases", &ref_file, &results_file));
     PERSONA_ASSIGN_OR_RETURN(format::ParsedChunk encoded,
                              format::ParsedChunk::Parse(ref_file.span()));
     PERSONA_ASSIGN_OR_RETURN(format::ParsedChunk results,

@@ -1,7 +1,9 @@
 #include "src/pipeline/sort.h"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
@@ -60,37 +62,46 @@ Status DecodeRow(std::span<const uint8_t> bytes, size_t* offset, Row* row) {
   return DecodeResult(bytes, offset, &row->result);
 }
 
-// Loads every record of one chunk (all four columns).
-Status LoadChunkRows(storage::ObjectStore* store, const format::Manifest& manifest,
-                     size_t chunk_index, std::vector<Row>* rows) {
-  Buffer file;
-  auto parse_column = [&](const char* column,
-                          format::ParsedChunk* out) -> Status {
-    PERSONA_RETURN_IF_ERROR(
-        store->Get(manifest.ChunkFileName(chunk_index, column), &file));
-    PERSONA_ASSIGN_OR_RETURN(*out, format::ParsedChunk::Parse(file.span()));
-    return OkStatus();
-  };
-  format::ParsedChunk bases;
-  format::ParsedChunk qual;
-  format::ParsedChunk metadata;
-  format::ParsedChunk results;
-  PERSONA_RETURN_IF_ERROR(parse_column("bases", &bases));
-  PERSONA_RETURN_IF_ERROR(parse_column("qual", &qual));
-  PERSONA_RETURN_IF_ERROR(parse_column("metadata", &metadata));
-  PERSONA_RETURN_IF_ERROR(parse_column("results", &results));
-  if (bases.record_count() != results.record_count()) {
-    return DataLossError("results column out of sync with bases");
+// Loads every record of chunks [chunk_begin, chunk_end) — all four columns of every
+// chunk fetched with one batched Get, so the column objects stream from the store's
+// shards/OSD nodes in parallel instead of one round-trip at a time.
+Status LoadSuperchunkRows(storage::ObjectStore* store, const format::Manifest& manifest,
+                          size_t chunk_begin, size_t chunk_end, std::vector<Row>* rows) {
+  static constexpr const char* kColumns[] = {"bases", "qual", "metadata", "results"};
+  const size_t num_chunks = chunk_end - chunk_begin;
+  std::vector<Buffer> files(num_chunks * 4);
+  std::vector<storage::GetOp> gets;
+  gets.reserve(files.size());
+  for (size_t c = 0; c < num_chunks; ++c) {
+    for (size_t k = 0; k < 4; ++k) {
+      gets.push_back({manifest.ChunkFileName(chunk_begin + c, kColumns[k]),
+                      &files[c * 4 + k], {}});
+    }
   }
-  for (size_t i = 0; i < bases.record_count(); ++i) {
-    Row row;
-    PERSONA_ASSIGN_OR_RETURN(row.read.bases, bases.GetBases(i));
-    PERSONA_ASSIGN_OR_RETURN(std::string_view q, qual.GetString(i));
-    row.read.qual = std::string(q);
-    PERSONA_ASSIGN_OR_RETURN(std::string_view m, metadata.GetString(i));
-    row.read.metadata = std::string(m);
-    PERSONA_ASSIGN_OR_RETURN(row.result, results.GetResult(i));
-    rows->push_back(std::move(row));
+  PERSONA_RETURN_IF_ERROR(store->GetBatch(gets));
+
+  for (size_t c = 0; c < num_chunks; ++c) {
+    PERSONA_ASSIGN_OR_RETURN(format::ParsedChunk bases,
+                             format::ParsedChunk::Parse(files[c * 4 + 0].span()));
+    PERSONA_ASSIGN_OR_RETURN(format::ParsedChunk qual,
+                             format::ParsedChunk::Parse(files[c * 4 + 1].span()));
+    PERSONA_ASSIGN_OR_RETURN(format::ParsedChunk metadata,
+                             format::ParsedChunk::Parse(files[c * 4 + 2].span()));
+    PERSONA_ASSIGN_OR_RETURN(format::ParsedChunk results,
+                             format::ParsedChunk::Parse(files[c * 4 + 3].span()));
+    if (bases.record_count() != results.record_count()) {
+      return DataLossError("results column out of sync with bases");
+    }
+    for (size_t i = 0; i < bases.record_count(); ++i) {
+      Row row;
+      PERSONA_ASSIGN_OR_RETURN(row.read.bases, bases.GetBases(i));
+      PERSONA_ASSIGN_OR_RETURN(std::string_view q, qual.GetString(i));
+      row.read.qual = std::string(q);
+      PERSONA_ASSIGN_OR_RETURN(std::string_view m, metadata.GetString(i));
+      row.read.metadata = std::string(m);
+      PERSONA_ASSIGN_OR_RETURN(row.result, results.GetResult(i));
+      rows->push_back(std::move(row));
+    }
   }
   return OkStatus();
 }
@@ -147,20 +158,33 @@ Result<SortReport> SortAgdDataset(storage::ObjectStore* store,
   std::atomic<size_t> next_super{0};
   std::mutex error_mu;
   Status first_error;
+  // One spill write kept in flight per worker: the Put of superchunk s overlaps the
+  // fetch+sort+encode of superchunk s+1 (op/buffer owned until the ticket completes).
+  struct PendingSpill {
+    Buffer object;
+    storage::PutOp op;
+    storage::IoTicket ticket;
+  };
   auto worker = [&] {
-    while (true) {
+    std::unique_ptr<PendingSpill> pending;
+    auto drain_pending = [&]() -> Status {
+      if (pending == nullptr) {
+        return OkStatus();
+      }
+      Status status = pending->ticket.Await();
+      pending.reset();
+      return status;
+    };
+    Status status;
+    while (status.ok()) {
       size_t s = next_super.fetch_add(1);
       if (s >= num_supers) {
-        return;
+        status = drain_pending();
+        break;
       }
       std::vector<Row> rows;
-      Status status;
-      for (size_t c = s * group; c < std::min(num_chunks, (s + 1) * group); ++c) {
-        status = LoadChunkRows(store, manifest, c, &rows);
-        if (!status.ok()) {
-          break;
-        }
-      }
+      status = LoadSuperchunkRows(store, manifest, s * group,
+                                  std::min(num_chunks, (s + 1) * group), &rows);
       if (status.ok()) {
         std::sort(rows.begin(), rows.end(),
                   [&](const Row& a, const Row& b) { return RowLess(options.key, a, b); });
@@ -172,15 +196,22 @@ Result<SortReport> SortAgdDataset(storage::ObjectStore* store,
         object.AppendScalar<uint64_t>(raw.size());
         status = temp_codec.Compress(raw.span(), &object);
         if (status.ok()) {
-          status = store->Put(out_name + ".super-" + std::to_string(s), object);
+          Status spill_status = drain_pending();
+          pending = std::make_unique<PendingSpill>();
+          pending->object = std::move(object);
+          pending->op = {out_name + ".super-" + std::to_string(s),
+                         pending->object.span(), {}};
+          pending->ticket = store->SubmitAsync({&pending->op, 1}, {});
+          status = spill_status;
         }
       }
-      if (!status.ok()) {
-        std::lock_guard<std::mutex> lock(error_mu);
-        if (first_error.ok()) {
-          first_error = status;
-        }
-        return;
+    }
+    // Error path: the in-flight spill owns live op memory — always wait it out.
+    (void)drain_pending();
+    if (!status.ok()) {
+      std::lock_guard<std::mutex> lock(error_mu);
+      if (first_error.ok()) {
+        first_error = status;
       }
     }
   };
@@ -196,11 +227,20 @@ Result<SortReport> SortAgdDataset(storage::ObjectStore* store,
   PERSONA_RETURN_IF_ERROR(first_error);
   const double phase1_seconds = timer.ElapsedSeconds();
 
-  // --- Phase 2: k-way merge into the output dataset. ---
+  // --- Phase 2: k-way merge into the output dataset. All superchunk temporaries are
+  // fetched with one batched Get (they live on distinct shards/OSD nodes). ---
+  std::vector<Buffer> super_objects(num_supers);
+  {
+    std::vector<storage::GetOp> gets;
+    gets.reserve(num_supers);
+    for (size_t s = 0; s < num_supers; ++s) {
+      gets.push_back({out_name + ".super-" + std::to_string(s), &super_objects[s], {}});
+    }
+    PERSONA_RETURN_IF_ERROR(store->GetBatch(gets));
+  }
   std::vector<std::unique_ptr<SuperchunkCursor>> cursors;
   for (size_t s = 0; s < num_supers; ++s) {
-    Buffer object;
-    PERSONA_RETURN_IF_ERROR(store->Get(out_name + ".super-" + std::to_string(s), &object));
+    Buffer& object = super_objects[s];
     if (object.size() < sizeof(uint64_t)) {
       return DataLossError("superchunk too small");
     }
@@ -209,7 +249,9 @@ Result<SortReport> SortAgdDataset(storage::ObjectStore* store,
     PERSONA_RETURN_IF_ERROR(temp_codec.Decompress(object.span().subspan(sizeof(uint64_t)),
                                                   static_cast<size_t>(raw_size), &raw));
     cursors.push_back(std::make_unique<SuperchunkCursor>(std::move(raw), options.key));
+    object.Clear();  // compressed temporary no longer needed
   }
+  super_objects.clear();
 
   auto cursor_greater = [&](size_t a, size_t b) {
     // Min-heap by row key.
@@ -235,7 +277,10 @@ Result<SortReport> SortAgdDataset(storage::ObjectStore* store,
   format::ChunkBuilder results(format::RecordType::kResults, options.codec);
   int64_t emitted_in_chunk = 0;
   int64_t total_emitted = 0;
-  Buffer file;
+  Buffer bases_file;
+  Buffer qual_file;
+  Buffer metadata_file;
+  Buffer results_file;
 
   auto flush_chunk = [&]() -> Status {
     if (emitted_in_chunk == 0) {
@@ -245,14 +290,17 @@ Result<SortReport> SortAgdDataset(storage::ObjectStore* store,
     chunk.path_base = out_name + "-" + std::to_string(out.chunks.size());
     chunk.first_record = total_emitted - emitted_in_chunk;
     chunk.num_records = emitted_in_chunk;
-    PERSONA_RETURN_IF_ERROR(bases.Finalize(&file));
-    PERSONA_RETURN_IF_ERROR(store->Put(chunk.path_base + ".bases", file));
-    PERSONA_RETURN_IF_ERROR(qual.Finalize(&file));
-    PERSONA_RETURN_IF_ERROR(store->Put(chunk.path_base + ".qual", file));
-    PERSONA_RETURN_IF_ERROR(metadata.Finalize(&file));
-    PERSONA_RETURN_IF_ERROR(store->Put(chunk.path_base + ".metadata", file));
-    PERSONA_RETURN_IF_ERROR(results.Finalize(&file));
-    PERSONA_RETURN_IF_ERROR(store->Put(chunk.path_base + ".results", file));
+    PERSONA_RETURN_IF_ERROR(bases.Finalize(&bases_file));
+    PERSONA_RETURN_IF_ERROR(qual.Finalize(&qual_file));
+    PERSONA_RETURN_IF_ERROR(metadata.Finalize(&metadata_file));
+    PERSONA_RETURN_IF_ERROR(results.Finalize(&results_file));
+    std::array<storage::PutOp, 4> puts = {
+        storage::PutOp{chunk.path_base + ".bases", bases_file.span(), {}},
+        storage::PutOp{chunk.path_base + ".qual", qual_file.span(), {}},
+        storage::PutOp{chunk.path_base + ".metadata", metadata_file.span(), {}},
+        storage::PutOp{chunk.path_base + ".results", results_file.span(), {}},
+    };
+    PERSONA_RETURN_IF_ERROR(store->PutBatch(puts));
     out.chunks.push_back(std::move(chunk));
     bases.Reset();
     qual.Reset();

@@ -1,5 +1,7 @@
 #include "src/storage/ceph_sim.h"
 
+#include <algorithm>
+
 namespace persona::storage {
 
 CephSimConfig CephSimConfig::Scaled(double scale) {
@@ -17,16 +19,21 @@ CephSimStore::CephSimStore(const CephSimConfig& config) : config_(config) {
     profile.name = "osd-" + std::to_string(i);
     nodes_.push_back(std::make_unique<ThrottledDevice>(profile));
   }
+  // One submission queue + worker per OSD node, all executing this store's scalar ops:
+  // each node drains its queue serially (a device services one transfer at a time)
+  // while distinct nodes transfer in parallel.
+  IoSchedulerOptions scheduler_options;
+  scheduler_options.workers_per_shard = 1;
+  scheduler_options.queue_depth = config.queue_depth;
+  std::vector<ObjectStore*> targets(nodes_.size(), this);
+  scheduler_ = std::make_unique<IoScheduler>(
+      std::move(targets), scheduler_options,
+      [this](std::string_view key) { return PrimaryNode(key); });
 }
 
-size_t CephSimStore::PrimaryNode(const std::string& key) const {
+size_t CephSimStore::PrimaryNode(std::string_view key) const {
   // FNV-1a over the key: stable placement across runs.
-  uint64_t h = 1469598103934665603ull;
-  for (char c : key) {
-    h ^= static_cast<uint8_t>(c);
-    h *= 1099511628211ull;
-  }
-  return static_cast<size_t>(h % nodes_.size());
+  return static_cast<size_t>(ShardHash(key) % nodes_.size());
 }
 
 Status CephSimStore::Put(const std::string& key, std::span<const uint8_t> data) {
@@ -37,35 +44,52 @@ Status CephSimStore::Put(const std::string& key, std::span<const uint8_t> data) 
     nodes_[(primary + static_cast<size_t>(r)) % nodes_.size()]->Write(data.size());
   }
   PERSONA_RETURN_IF_ERROR(backing_.Put(key, data));
-  std::lock_guard<std::mutex> lock(mu_);
-  stats_.bytes_written += data.size();
-  ++stats_.write_ops;
+  stats_.RecordWrite(data.size());
   return OkStatus();
 }
 
 Status CephSimStore::Get(const std::string& key, Buffer* out) {
   PERSONA_RETURN_IF_ERROR(backing_.Get(key, out));
   nodes_[PrimaryNode(key)]->Read(out->size());
-  std::lock_guard<std::mutex> lock(mu_);
-  stats_.bytes_read += out->size();
-  ++stats_.read_ops;
+  stats_.RecordRead(out->size());
   return OkStatus();
 }
 
-Result<uint64_t> CephSimStore::Size(const std::string& key) { return backing_.Size(key); }
+Result<uint64_t> CephSimStore::Size(const std::string& key) {
+  nodes_[PrimaryNode(key)]->Read(0);  // metadata round-trip: latency only
+  stats_.RecordMetadataRead();
+  return backing_.Size(key);
+}
 
-Status CephSimStore::Delete(const std::string& key) { return backing_.Delete(key); }
+Status CephSimStore::Delete(const std::string& key) {
+  nodes_[PrimaryNode(key)]->Write(0);
+  stats_.RecordMetadataWrite();
+  return backing_.Delete(key);
+}
 
-bool CephSimStore::Exists(const std::string& key) { return backing_.Exists(key); }
+bool CephSimStore::Exists(const std::string& key) {
+  nodes_[PrimaryNode(key)]->Read(0);
+  stats_.RecordMetadataRead();
+  return backing_.Exists(key);
+}
 
 Result<std::vector<std::string>> CephSimStore::List(std::string_view prefix) {
   return backing_.List(prefix);
 }
 
-StoreStats CephSimStore::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+Status CephSimStore::PutBatch(std::span<PutOp> ops) {
+  return scheduler_->RunBatch(ops, {});
 }
+
+Status CephSimStore::GetBatch(std::span<GetOp> ops) {
+  return scheduler_->RunBatch({}, ops);
+}
+
+IoTicket CephSimStore::SubmitAsync(std::span<PutOp> puts, std::span<GetOp> gets) {
+  return scheduler_->Submit(puts, gets);
+}
+
+StoreStats CephSimStore::stats() const { return stats_.Snapshot(); }
 
 std::vector<uint64_t> CephSimStore::PerNodeBytes() const {
   std::vector<uint64_t> out;

@@ -1,0 +1,163 @@
+#include "src/storage/io_scheduler.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/storage/object_store.h"
+
+namespace persona::storage {
+
+uint64_t ShardHash(std::string_view key) {
+  uint64_t h = 1469598103934665603ull;
+  for (char c : key) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+void IoTicket::Wait() const {
+  if (state_ == nullptr) {
+    return;
+  }
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->cv.wait(lock, [&] { return state_->pending == 0; });
+}
+
+Status IoTicket::Await() const {
+  Wait();
+  if (state_ == nullptr) {
+    return OkStatus();
+  }
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->first_error;
+}
+
+bool IoTicket::done() const {
+  if (state_ == nullptr) {
+    return true;
+  }
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->pending == 0;
+}
+
+Status WaitAll(std::span<IoTicket> tickets) {
+  Status first_error;
+  for (IoTicket& ticket : tickets) {
+    Status status = ticket.Await();
+    if (!status.ok() && first_error.ok()) {
+      first_error = status;
+    }
+  }
+  return first_error;
+}
+
+IoScheduler::IoScheduler(std::vector<ObjectStore*> targets, const IoSchedulerOptions& options,
+                         ShardFn shard_of)
+    : targets_(std::move(targets)), shard_of_(std::move(shard_of)) {
+  if (targets_.empty()) {
+    // Construction-time contract violation; failing loudly here beats a null-deref on
+    // a worker thread far from the misuse.
+    std::fprintf(stderr, "IoScheduler requires at least one target shard\n");
+    std::abort();
+  }
+  const size_t num_shards = targets_.size();
+  queues_.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    queues_.push_back(std::make_unique<MpmcQueue<Task>>(options.queue_depth));
+  }
+  const int workers = std::max(1, options.workers_per_shard);
+  workers_.reserve(num_shards * static_cast<size_t>(workers));
+  for (size_t s = 0; s < num_shards; ++s) {
+    for (int w = 0; w < workers; ++w) {
+      workers_.emplace_back([this, s] { WorkerLoop(s); });
+    }
+  }
+}
+
+IoScheduler::~IoScheduler() {
+  for (auto& queue : queues_) {
+    queue->Close();
+  }
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+size_t IoScheduler::ShardOf(std::string_view key) const {
+  if (shard_of_) {
+    return shard_of_(key) % queues_.size();
+  }
+  return static_cast<size_t>(ShardHash(key) % queues_.size());
+}
+
+void IoScheduler::WorkerLoop(size_t shard) {
+  ObjectStore* store = targets_[shard];
+  while (true) {
+    std::optional<Task> task = queues_[shard]->Pop();
+    if (!task.has_value()) {
+      return;  // closed and drained
+    }
+    Status status;
+    if (task->put != nullptr) {
+      status = store->Put(task->put->key, task->put->data);
+      task->put->status = status;
+    } else if (task->get != nullptr) {
+      status = store->Get(task->get->key, task->get->out);
+      task->get->status = status;
+    }
+    CompleteOne(task->completion, status);
+  }
+}
+
+void IoScheduler::CompleteOne(const std::shared_ptr<IoTicket::State>& state,
+                              const Status& status) {
+  bool last = false;
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    if (!status.ok() && state->first_error.ok()) {
+      state->first_error = status;
+    }
+    last = --state->pending == 0;
+  }
+  if (last) {
+    state->cv.notify_all();
+  }
+}
+
+IoTicket IoScheduler::Submit(std::span<PutOp> puts, std::span<GetOp> gets) {
+  IoTicket ticket;
+  ticket.state_ = std::make_shared<IoTicket::State>();
+  ticket.state_->pending = puts.size() + gets.size();
+  if (ticket.state_->pending == 0) {
+    return ticket;
+  }
+  // Push only fails after Close(), i.e. when submitting races the scheduler's
+  // destruction; complete the dropped op with an error so the ticket still resolves
+  // instead of hanging its waiters.
+  for (PutOp& op : puts) {
+    Task task;
+    task.put = &op;
+    task.completion = ticket.state_;
+    if (!queues_[ShardOf(op.key)]->Push(std::move(task))) {
+      op.status = UnavailableError("io scheduler shut down during submit: " + op.key);
+      CompleteOne(ticket.state_, op.status);
+    }
+  }
+  for (GetOp& op : gets) {
+    Task task;
+    task.get = &op;
+    task.completion = ticket.state_;
+    if (!queues_[ShardOf(op.key)]->Push(std::move(task))) {
+      op.status = UnavailableError("io scheduler shut down during submit: " + op.key);
+      CompleteOne(ticket.state_, op.status);
+    }
+  }
+  return ticket;
+}
+
+Status IoScheduler::RunBatch(std::span<PutOp> puts, std::span<GetOp> gets) {
+  return Submit(puts, gets).Await();
+}
+
+}  // namespace persona::storage

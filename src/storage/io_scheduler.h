@@ -1,0 +1,145 @@
+// Asynchronous, sharded object I/O (paper §4.2, §4.4).
+//
+// The paper saturates storage by keeping many whole-object transfers in flight at once:
+// compute nodes pull AGD chunks from independent OSDs concurrently instead of paying one
+// round-trip at a time. This module provides that machinery for every ObjectStore:
+//
+//   PutOp / GetOp    — one whole-object operation, with a per-op completion Status
+//   IoTicket         — completion handle for a submitted batch (Wait / Await / WaitAll)
+//   IoScheduler      — per-shard submission queues (MpmcQueue) drained by a worker
+//                      pool; each shard targets one backend store, so transfers on
+//                      different shards overlap even from a single-threaded caller
+//
+// Stores with internal parallelism (CephSimStore's OSD nodes, ShardedStore's backends)
+// own an IoScheduler and override ObjectStore::{PutBatch,GetBatch,SubmitAsync} with it;
+// everything else inherits sequential base-class loops with identical semantics.
+
+#ifndef PERSONA_SRC_STORAGE_IO_SCHEDULER_H_
+#define PERSONA_SRC_STORAGE_IO_SCHEDULER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "src/util/buffer.h"
+#include "src/util/mpmc_queue.h"
+#include "src/util/status.h"
+
+namespace persona::storage {
+
+class ObjectStore;
+
+// One whole-object write. `data` is caller-owned and must stay alive (and unmodified)
+// until the batch call returns or the submission's ticket completes.
+struct PutOp {
+  std::string key;
+  std::span<const uint8_t> data;
+  Status status;  // per-op outcome, written on completion
+};
+
+// One whole-object read into the caller-owned `out` buffer, which must stay alive until
+// the batch call returns or the submission's ticket completes.
+struct GetOp {
+  std::string key;
+  Buffer* out = nullptr;
+  Status status;  // per-op outcome, written on completion
+};
+
+// FNV-1a over a key: the stable placement hash shared by CephSimStore's CRUSH stand-in
+// and ShardedStore's namespace partitioning.
+uint64_t ShardHash(std::string_view key);
+
+// Completion handle for one asynchronous submission. Copyable (shared state); a
+// default-constructed ticket is already complete with OK status.
+class IoTicket {
+ public:
+  IoTicket() = default;
+
+  // Blocks until every op in the submission has executed.
+  void Wait() const;
+
+  // Wait(), then return the first per-op error (OK if all ops succeeded).
+  Status Await() const;
+
+  bool done() const;
+
+ private:
+  friend class IoScheduler;
+  friend class ObjectStore;
+
+  struct State {
+    mutable std::mutex mu;
+    mutable std::condition_variable cv;
+    size_t pending = 0;
+    Status first_error;
+  };
+
+  std::shared_ptr<State> state_;
+};
+
+// Waits for every ticket; returns the first error across them (submission order).
+Status WaitAll(std::span<IoTicket> tickets);
+
+struct IoSchedulerOptions {
+  // Worker threads draining each shard's submission queue. 1 preserves per-shard FIFO
+  // execution order (a simulated OSD services its queue serially); raise it for real
+  // backends that overlap well (e.g. filesystem shards).
+  int workers_per_shard = 1;
+  // Capacity of each shard's submission queue; Submit blocks (backpressure) when full.
+  size_t queue_depth = 128;
+};
+
+// A multi-queue I/O engine: one bounded submission queue + worker pool per shard.
+// `targets[i]` is the store that executes shard i's ops (the same store may back several
+// shards); `shard_of` maps keys to shards (default: ShardHash(key) % num_shards).
+// Submission never reorders ops of the same shard relative to each other.
+class IoScheduler {
+ public:
+  using ShardFn = std::function<size_t(std::string_view key)>;
+
+  explicit IoScheduler(std::vector<ObjectStore*> targets,
+                       const IoSchedulerOptions& options = {}, ShardFn shard_of = nullptr);
+  ~IoScheduler();
+
+  IoScheduler(const IoScheduler&) = delete;
+  IoScheduler& operator=(const IoScheduler&) = delete;
+
+  // Enqueues every op onto its shard's queue and returns the batch's completion ticket.
+  // The spans' underlying ops must stay alive until the ticket completes.
+  IoTicket Submit(std::span<PutOp> puts, std::span<GetOp> gets);
+
+  // Submit + Await: the synchronous batched entry point.
+  Status RunBatch(std::span<PutOp> puts, std::span<GetOp> gets);
+
+  size_t num_shards() const { return queues_.size(); }
+
+ private:
+  // A queued op: exactly one of put/get is set. Op memory is caller-owned.
+  struct Task {
+    PutOp* put = nullptr;
+    GetOp* get = nullptr;
+    std::shared_ptr<IoTicket::State> completion;
+  };
+
+  void WorkerLoop(size_t shard);
+  size_t ShardOf(std::string_view key) const;
+  // Marks one op of `state` finished with `status`, notifying waiters on the last one.
+  static void CompleteOne(const std::shared_ptr<IoTicket::State>& state,
+                          const Status& status);
+
+  std::vector<ObjectStore*> targets_;
+  ShardFn shard_of_;
+  std::vector<std::unique_ptr<MpmcQueue<Task>>> queues_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace persona::storage
+
+#endif  // PERSONA_SRC_STORAGE_IO_SCHEDULER_H_

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <filesystem>
-#include <mutex>
 
 #include "src/util/file_util.h"
 #include "src/util/string_util.h"
@@ -17,17 +16,35 @@ Result<std::unique_ptr<LocalStore>> LocalStore::Create(
   return std::unique_ptr<LocalStore>(new LocalStore(root, std::move(device)));
 }
 
+void LocalStore::ChargeMetadataRead() {
+  if (device_ != nullptr) {
+    device_->Read(0);
+  }
+  stats_.RecordMetadataRead();
+}
+
+void LocalStore::ChargeMetadataWrite() {
+  if (device_ != nullptr) {
+    device_->Write(0);
+  }
+  stats_.RecordMetadataWrite();
+}
+
 Status LocalStore::Put(const std::string& key, std::span<const uint8_t> data) {
   if (device_ != nullptr) {
     device_->Write(data.size());
+  }
+  // Keys may address nested namespaces ("dataset/chunk-0.bases"): materialize the
+  // parent directories before the write instead of failing on the open.
+  if (key.find('/') != std::string::npos) {
+    PERSONA_RETURN_IF_ERROR(
+        MakeDirectories(fs::path(PathFor(key)).parent_path().string()));
   }
   Status status = WriteStringToFile(
       PathFor(key),
       std::string_view(reinterpret_cast<const char*>(data.data()), data.size()));
   if (status.ok()) {
-    std::lock_guard<std::mutex> lock(mu_);
-    stats_.bytes_written += data.size();
-    ++stats_.write_ops;
+    stats_.RecordWrite(data.size());
   }
   return status;
 }
@@ -38,28 +55,41 @@ Status LocalStore::Get(const std::string& key, Buffer* out) {
   if (device_ != nullptr) {
     device_->Read(out->size());
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  stats_.bytes_read += out->size();
-  ++stats_.read_ops;
+  stats_.RecordRead(out->size());
   return OkStatus();
 }
 
-Result<uint64_t> LocalStore::Size(const std::string& key) { return FileSize(PathFor(key)); }
+Result<uint64_t> LocalStore::Size(const std::string& key) {
+  ChargeMetadataRead();
+  return FileSize(PathFor(key));
+}
 
-Status LocalStore::Delete(const std::string& key) { return RemoveFile(PathFor(key)); }
+Status LocalStore::Delete(const std::string& key) {
+  ChargeMetadataWrite();
+  return RemoveFile(PathFor(key));
+}
 
-bool LocalStore::Exists(const std::string& key) { return FileExists(PathFor(key)); }
+bool LocalStore::Exists(const std::string& key) {
+  ChargeMetadataRead();
+  return FileExists(PathFor(key));
+}
 
 Result<std::vector<std::string>> LocalStore::List(std::string_view prefix) {
   std::vector<std::string> keys;
   std::error_code ec;
-  for (const auto& entry : fs::directory_iterator(root_, ec)) {
-    if (!entry.is_regular_file()) {
+  // Recursive walk: nested keys ("a/b/c.bases") list as their '/'-separated relative
+  // path, matching what Put accepted.
+  for (auto it = fs::recursive_directory_iterator(root_, ec);
+       !ec && it != fs::recursive_directory_iterator(); it.increment(ec)) {
+    if (!it->is_regular_file()) {
       continue;
     }
-    std::string name = entry.path().filename().string();
-    if (StartsWith(name, prefix)) {
-      keys.push_back(std::move(name));
+    std::string key = fs::relative(it->path(), root_, ec).generic_string();
+    if (ec) {
+      break;
+    }
+    if (StartsWith(key, prefix)) {
+      keys.push_back(std::move(key));
     }
   }
   if (ec) {
@@ -69,9 +99,6 @@ Result<std::vector<std::string>> LocalStore::List(std::string_view prefix) {
   return keys;
 }
 
-StoreStats LocalStore::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
-}
+StoreStats LocalStore::stats() const { return stats_.Snapshot(); }
 
 }  // namespace persona::storage

@@ -2,13 +2,16 @@
 //
 // Models the paper's local-disk configurations: the same files land on the real
 // filesystem (so AGD tooling can inspect them), but every transfer pays the simulated
-// device's bandwidth/latency, reproducing single-disk vs RAID0 behaviour.
+// device's bandwidth/latency, reproducing single-disk vs RAID0 behaviour. Keys may
+// contain '/' — they map to nested directories (created on write) and List walks the
+// tree recursively, returning the '/'-separated relative path as the key. Metadata ops
+// (Size, Delete, Exists) pay the device's per-op latency and are counted in stats, so
+// metadata-heavy workloads are not free.
 
 #ifndef PERSONA_SRC_STORAGE_LOCAL_STORE_H_
 #define PERSONA_SRC_STORAGE_LOCAL_STORE_H_
 
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "src/storage/object_store.h"
@@ -39,11 +42,13 @@ class LocalStore final : public ObjectStore {
       : root_(std::move(root)), device_(std::move(device)) {}
 
   std::string PathFor(const std::string& key) const { return root_ + "/" + key; }
+  // Pays the device's per-op latency for a zero-byte metadata round-trip.
+  void ChargeMetadataRead();
+  void ChargeMetadataWrite();
 
   std::string root_;
   std::shared_ptr<ThrottledDevice> device_;
-  mutable std::mutex mu_;
-  StoreStats stats_;
+  AtomicStoreStats stats_;
 };
 
 }  // namespace persona::storage

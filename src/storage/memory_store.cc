@@ -8,10 +8,11 @@ Status MemoryStore::Put(const std::string& key, std::span<const uint8_t> data) {
   if (device_ != nullptr) {
     device_->Write(data.size());
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  objects_[key].assign(data.begin(), data.end());
-  stats_.bytes_written += data.size();
-  ++stats_.write_ops;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    objects_[key].assign(data.begin(), data.end());
+  }
+  stats_.RecordWrite(data.size());
   return OkStatus();
 }
 
@@ -29,19 +30,25 @@ Status MemoryStore::Get(const std::string& key, Buffer* out) {
   if (device_ != nullptr) {
     device_->Read(size);
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = objects_.find(key);
-  if (it == objects_.end()) {
-    return NotFoundError("object deleted during read: " + key);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = objects_.find(key);
+    if (it == objects_.end()) {
+      return NotFoundError("object deleted during read: " + key);
+    }
+    out->Clear();
+    out->Append(it->second.data(), it->second.size());
+    size = it->second.size();
   }
-  out->Clear();
-  out->Append(it->second.data(), it->second.size());
-  stats_.bytes_read += it->second.size();
-  ++stats_.read_ops;
+  stats_.RecordRead(size);
   return OkStatus();
 }
 
 Result<uint64_t> MemoryStore::Size(const std::string& key) {
+  if (device_ != nullptr) {
+    device_->Read(0);  // metadata round-trip: latency only
+  }
+  stats_.RecordMetadataRead();
   std::lock_guard<std::mutex> lock(mu_);
   auto it = objects_.find(key);
   if (it == objects_.end()) {
@@ -51,6 +58,10 @@ Result<uint64_t> MemoryStore::Size(const std::string& key) {
 }
 
 Status MemoryStore::Delete(const std::string& key) {
+  if (device_ != nullptr) {
+    device_->Write(0);
+  }
+  stats_.RecordMetadataWrite();
   std::lock_guard<std::mutex> lock(mu_);
   if (objects_.erase(key) == 0) {
     return NotFoundError("no such object: " + key);
@@ -59,6 +70,10 @@ Status MemoryStore::Delete(const std::string& key) {
 }
 
 bool MemoryStore::Exists(const std::string& key) {
+  if (device_ != nullptr) {
+    device_->Read(0);
+  }
+  stats_.RecordMetadataRead();
   std::lock_guard<std::mutex> lock(mu_);
   return objects_.contains(key);
 }
@@ -75,9 +90,6 @@ Result<std::vector<std::string>> MemoryStore::List(std::string_view prefix) {
   return keys;
 }
 
-StoreStats MemoryStore::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
-}
+StoreStats MemoryStore::stats() const { return stats_.Snapshot(); }
 
 }  // namespace persona::storage

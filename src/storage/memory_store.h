@@ -2,7 +2,9 @@
 //
 // Used directly by tests and as the backing plane of the simulated distributed store.
 // With a ThrottledDevice attached it behaves like a bandwidth-limited medium while
-// avoiding real filesystem effects.
+// avoiding real filesystem effects. The mutex guards only the object map; throttling
+// and stats are lock-free, so concurrent transfers overlap (per-shard batch workers
+// must not serialize here).
 
 #ifndef PERSONA_SRC_STORAGE_MEMORY_STORE_H_
 #define PERSONA_SRC_STORAGE_MEMORY_STORE_H_
@@ -36,7 +38,7 @@ class MemoryStore final : public ObjectStore {
   std::shared_ptr<ThrottledDevice> device_;
   mutable std::mutex mu_;
   std::map<std::string, std::vector<uint8_t>> objects_;
-  StoreStats stats_;
+  AtomicStoreStats stats_;
 };
 
 }  // namespace persona::storage

@@ -1,0 +1,43 @@
+#include "src/storage/object_store.h"
+
+namespace persona::storage {
+
+Status ObjectStore::PutBatch(std::span<PutOp> ops) {
+  Status first_error;
+  for (PutOp& op : ops) {
+    op.status = Put(op.key, op.data);
+    if (!op.status.ok() && first_error.ok()) {
+      first_error = op.status;
+    }
+  }
+  return first_error;
+}
+
+Status ObjectStore::GetBatch(std::span<GetOp> ops) {
+  Status first_error;
+  for (GetOp& op : ops) {
+    op.status = Get(op.key, op.out);
+    if (!op.status.ok() && first_error.ok()) {
+      first_error = op.status;
+    }
+  }
+  return first_error;
+}
+
+IoTicket ObjectStore::SubmitAsync(std::span<PutOp> puts, std::span<GetOp> gets) {
+  Status put_status = PutBatch(puts);
+  Status get_status = GetBatch(gets);
+  return CompletedTicket(!put_status.ok() ? put_status : get_status);
+}
+
+IoTicket ObjectStore::CompletedTicket(Status status) {
+  IoTicket ticket;
+  if (!status.ok()) {
+    ticket.state_ = std::make_shared<IoTicket::State>();
+    ticket.state_->pending = 0;
+    ticket.state_->first_error = std::move(status);
+  }
+  return ticket;
+}
+
+}  // namespace persona::storage

@@ -2,19 +2,29 @@
 //
 // Persona supports local disk and the Ceph object store behind one interface; "other
 // storage systems can be supported simply by writing the interface into a new Reader
-// node". This module provides that interface plus three implementations:
+// node". This module provides that interface plus four implementations:
 //   MemoryStore   — plain in-memory map (tests, cluster simulation backing)
 //   LocalStore    — directory-backed files routed through a ThrottledDevice
 //   CephSimStore  — simulated distributed object store (see ceph_sim.h)
+//   ShardedStore  — hash-partitions the namespace over N backend stores
+//
+// Besides the scalar one-op-at-a-time calls, every store speaks a batched/asynchronous
+// protocol (PutBatch / GetBatch / SubmitAsync, see io_scheduler.h): pipelines submit all
+// of a chunk's column objects at once and the store overlaps the transfers across its
+// internal parallelism (OSD nodes, namespace shards). The base class provides sequential
+// defaults that loop the scalar ops — mirroring Aligner::AlignBatch — so batch semantics
+// are identical everywhere and backends opt into real concurrency.
 
 #ifndef PERSONA_SRC_STORAGE_OBJECT_STORE_H_
 #define PERSONA_SRC_STORAGE_OBJECT_STORE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "src/storage/io_scheduler.h"
 #include "src/util/buffer.h"
 #include "src/util/result.h"
 
@@ -23,8 +33,40 @@ namespace persona::storage {
 struct StoreStats {
   uint64_t bytes_read = 0;
   uint64_t bytes_written = 0;
-  uint64_t read_ops = 0;
-  uint64_t write_ops = 0;
+  uint64_t read_ops = 0;   // Get + metadata reads (Size, Exists)
+  uint64_t write_ops = 0;  // Put + Delete
+};
+
+// Lock-free StoreStats accumulator for stores whose ops execute concurrently on many
+// worker threads (per-shard queues must not serialize on a stats mutex).
+class AtomicStoreStats {
+ public:
+  void RecordRead(uint64_t bytes) {
+    bytes_read_.fetch_add(bytes, std::memory_order_relaxed);
+    read_ops_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void RecordWrite(uint64_t bytes) {
+    bytes_written_.fetch_add(bytes, std::memory_order_relaxed);
+    write_ops_.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Zero-byte namespace/metadata operations still cost a round-trip.
+  void RecordMetadataRead() { read_ops_.fetch_add(1, std::memory_order_relaxed); }
+  void RecordMetadataWrite() { write_ops_.fetch_add(1, std::memory_order_relaxed); }
+
+  StoreStats Snapshot() const {
+    StoreStats stats;
+    stats.bytes_read = bytes_read_.load(std::memory_order_relaxed);
+    stats.bytes_written = bytes_written_.load(std::memory_order_relaxed);
+    stats.read_ops = read_ops_.load(std::memory_order_relaxed);
+    stats.write_ops = write_ops_.load(std::memory_order_relaxed);
+    return stats;
+  }
+
+ private:
+  std::atomic<uint64_t> bytes_read_{0};
+  std::atomic<uint64_t> bytes_written_{0};
+  std::atomic<uint64_t> read_ops_{0};
+  std::atomic<uint64_t> write_ops_{0};
 };
 
 class ObjectStore {
@@ -40,12 +82,31 @@ class ObjectStore {
 
   virtual StoreStats stats() const = 0;
 
+  // --- Batched / asynchronous protocol (see io_scheduler.h). ---
+  //
+  // Every op executes (a failed op never aborts the rest of the batch); each op's
+  // outcome lands in its `status` field and the call returns the first error.
+  // Defaults loop the scalar ops sequentially; stores with internal parallelism
+  // (CephSimStore, ShardedStore) override to overlap transfers across shards.
+  virtual Status PutBatch(std::span<PutOp> ops);
+  virtual Status GetBatch(std::span<GetOp> ops);
+
+  // Asynchronous submission: returns a ticket that completes when every op has
+  // executed. Op memory (keys, data spans, output buffers) is caller-owned and must
+  // outlive the ticket. The default executes inline and returns a completed ticket.
+  virtual IoTicket SubmitAsync(std::span<PutOp> puts, std::span<GetOp> gets);
+
   // Convenience overloads.
   Status Put(const std::string& key, const Buffer& data) { return Put(key, data.span()); }
   Status Put(const std::string& key, std::string_view data) {
     return Put(key, std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(data.data()),
                                              data.size()));
   }
+
+ protected:
+  // An already-complete ticket carrying `status` as the batch outcome, for synchronous
+  // SubmitAsync implementations.
+  static IoTicket CompletedTicket(Status status);
 };
 
 }  // namespace persona::storage

@@ -1,0 +1,100 @@
+#include "src/storage/sharded_store.h"
+
+#include <algorithm>
+
+namespace persona::storage {
+
+namespace {
+
+std::vector<ObjectStore*> RawPointers(
+    const std::vector<std::unique_ptr<ObjectStore>>& shards) {
+  std::vector<ObjectStore*> raw;
+  raw.reserve(shards.size());
+  for (const auto& shard : shards) {
+    raw.push_back(shard.get());
+  }
+  return raw;
+}
+
+IoSchedulerOptions SchedulerOptions(const ShardedStore::Options& options) {
+  IoSchedulerOptions scheduler_options;
+  scheduler_options.workers_per_shard = options.workers_per_shard;
+  scheduler_options.queue_depth = options.queue_depth;
+  return scheduler_options;
+}
+
+}  // namespace
+
+ShardedStore::ShardedStore(std::vector<std::unique_ptr<ObjectStore>> shards,
+                           const Options& options)
+    : shards_(std::move(shards)),
+      scheduler_(RawPointers(shards_), SchedulerOptions(options)) {}
+
+std::unique_ptr<ShardedStore> ShardedStore::Create(
+    size_t num_shards, const std::function<std::unique_ptr<ObjectStore>(size_t)>& factory,
+    const Options& options) {
+  std::vector<std::unique_ptr<ObjectStore>> shards;
+  shards.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    shards.push_back(factory(i));
+  }
+  return std::make_unique<ShardedStore>(std::move(shards), options);
+}
+
+Status ShardedStore::Put(const std::string& key, std::span<const uint8_t> data) {
+  return shards_[ShardOf(key)]->Put(key, data);
+}
+
+Status ShardedStore::Get(const std::string& key, Buffer* out) {
+  return shards_[ShardOf(key)]->Get(key, out);
+}
+
+Result<uint64_t> ShardedStore::Size(const std::string& key) {
+  return shards_[ShardOf(key)]->Size(key);
+}
+
+Status ShardedStore::Delete(const std::string& key) {
+  return shards_[ShardOf(key)]->Delete(key);
+}
+
+bool ShardedStore::Exists(const std::string& key) {
+  return shards_[ShardOf(key)]->Exists(key);
+}
+
+Result<std::vector<std::string>> ShardedStore::List(std::string_view prefix) {
+  // Keys are unique across shards (one home shard per key): merge and sort.
+  std::vector<std::string> merged;
+  for (const auto& shard : shards_) {
+    PERSONA_ASSIGN_OR_RETURN(std::vector<std::string> keys, shard->List(prefix));
+    merged.insert(merged.end(), std::make_move_iterator(keys.begin()),
+                  std::make_move_iterator(keys.end()));
+  }
+  std::sort(merged.begin(), merged.end());
+  return merged;
+}
+
+Status ShardedStore::PutBatch(std::span<PutOp> ops) {
+  return scheduler_.RunBatch(ops, {});
+}
+
+Status ShardedStore::GetBatch(std::span<GetOp> ops) {
+  return scheduler_.RunBatch({}, ops);
+}
+
+IoTicket ShardedStore::SubmitAsync(std::span<PutOp> puts, std::span<GetOp> gets) {
+  return scheduler_.Submit(puts, gets);
+}
+
+StoreStats ShardedStore::stats() const {
+  StoreStats total;
+  for (const auto& shard : shards_) {
+    StoreStats s = shard->stats();
+    total.bytes_read += s.bytes_read;
+    total.bytes_written += s.bytes_written;
+    total.read_ops += s.read_ops;
+    total.write_ops += s.write_ops;
+  }
+  return total;
+}
+
+}  // namespace persona::storage

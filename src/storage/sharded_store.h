@@ -1,0 +1,68 @@
+// ShardedStore: hash-partitions the object namespace over N backend stores.
+//
+// Each key lives on exactly one backend (ShardHash(key) % N, stable across runs), so
+// shards never contend on one another's locks or devices, and the batched/async entry
+// points overlap transfers across shards through per-shard submission queues — the
+// object-store analogue of the paper's parallel reader nodes. Backends are arbitrary
+// ObjectStores: ShardedStore over MemoryStores models a striped RAM store, over
+// LocalStores a multi-volume spill directory.
+
+#ifndef PERSONA_SRC_STORAGE_SHARDED_STORE_H_
+#define PERSONA_SRC_STORAGE_SHARDED_STORE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/storage/io_scheduler.h"
+#include "src/storage/object_store.h"
+
+namespace persona::storage {
+
+struct ShardedStoreOptions {
+  int workers_per_shard = 1;
+  size_t queue_depth = 128;
+};
+
+class ShardedStore final : public ObjectStore {
+ public:
+  using Options = ShardedStoreOptions;
+
+  // Takes ownership of the backends; `shards` must be non-empty.
+  explicit ShardedStore(std::vector<std::unique_ptr<ObjectStore>> shards,
+                        const Options& options = Options());
+
+  // Builds `num_shards` backends with `factory(shard_index)`.
+  static std::unique_ptr<ShardedStore> Create(
+      size_t num_shards, const std::function<std::unique_ptr<ObjectStore>(size_t)>& factory,
+      const Options& options = Options());
+
+  using ObjectStore::Put;
+  Status Put(const std::string& key, std::span<const uint8_t> data) override;
+  Status Get(const std::string& key, Buffer* out) override;
+  Result<uint64_t> Size(const std::string& key) override;
+  Status Delete(const std::string& key) override;
+  bool Exists(const std::string& key) override;
+  Result<std::vector<std::string>> List(std::string_view prefix) override;
+
+  Status PutBatch(std::span<PutOp> ops) override;
+  Status GetBatch(std::span<GetOp> ops) override;
+  IoTicket SubmitAsync(std::span<PutOp> puts, std::span<GetOp> gets) override;
+
+  // Aggregated over all shards.
+  StoreStats stats() const override;
+
+  size_t num_shards() const { return shards_.size(); }
+  size_t ShardOf(std::string_view key) const {
+    return static_cast<size_t>(ShardHash(key) % shards_.size());
+  }
+  ObjectStore* shard(size_t i) { return shards_[i].get(); }
+
+ private:
+  std::vector<std::unique_ptr<ObjectStore>> shards_;
+  IoScheduler scheduler_;  // declared after shards_: joins its workers first
+};
+
+}  // namespace persona::storage
+
+#endif  // PERSONA_SRC_STORAGE_SHARDED_STORE_H_

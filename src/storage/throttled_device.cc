@@ -30,7 +30,26 @@ void ThrottledDevice::Transfer(uint64_t bytes) {
   if (profile_.op_latency_sec > 0) {
     std::this_thread::sleep_for(std::chrono::duration<double>(profile_.op_latency_sec));
   }
+  if (profile_.bandwidth_bytes_per_sec == 0) {
+    bucket_.Acquire(bytes);  // unlimited: count only
+    return;
+  }
+  // Two constraints on a synchronous transfer:
+  //   1. Contention: concurrent streams share the device rate (token-bucket debt).
+  //   2. Single-stream floor: one caller's transfer occupies it for bytes/rate of wall
+  //      time — a sequential caller cannot bank an idle device's refill credit and
+  //      must not finish faster than the wire. Without this floor a one-op-at-a-time
+  //      loop over several devices (e.g. OSD nodes) would observe their aggregate
+  //      bandwidth, hiding exactly the serialization that batched I/O removes.
+  const auto start = std::chrono::steady_clock::now();
   bucket_.Acquire(bytes);
+  const double min_sec = static_cast<double>(bytes) /
+                         static_cast<double>(profile_.bandwidth_bytes_per_sec);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  if (elapsed < min_sec) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(min_sec - elapsed));
+  }
 }
 
 void ThrottledDevice::Read(uint64_t bytes) {

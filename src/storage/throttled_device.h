@@ -34,7 +34,9 @@ class ThrottledDevice {
  public:
   explicit ThrottledDevice(const DeviceProfile& profile);
 
-  // Blocks for the simulated transfer time of `bytes` (latency + bandwidth).
+  // Blocks for the simulated transfer time of `bytes`: per-op latency, plus at least
+  // bytes/bandwidth of wall time (single-stream floor), plus any token-bucket debt
+  // from concurrent streams sharing the device.
   void Read(uint64_t bytes);
   void Write(uint64_t bytes);
 

@@ -19,6 +19,7 @@
 #include "src/pipeline/row_sort_baseline.h"
 #include "src/pipeline/sort.h"
 #include "src/storage/memory_store.h"
+#include "src/storage/sharded_store.h"
 
 namespace persona::pipeline {
 namespace {
@@ -499,6 +500,92 @@ TEST_F(PipelineTest, RowSortBaselinesProduceSortedOutput) {
     EXPECT_GE(loc, last);
     last = loc;
   }
+}
+
+// --- Batched-vs-scalar parity: the batched store entry points must leave pipelines
+// bit-identical. MemoryStore inherits the sequential base-class batch loops (the
+// scalar path); ShardedStore executes the same ops through per-shard async queues. ---
+
+// Copies every object of `src` into `dst`.
+void CloneStore(storage::ObjectStore* src, storage::ObjectStore* dst) {
+  auto keys = src->List("");
+  ASSERT_TRUE(keys.ok());
+  Buffer object;
+  for (const std::string& key : *keys) {
+    ASSERT_TRUE(src->Get(key, &object).ok());
+    ASSERT_TRUE(dst->Put(key, object).ok());
+  }
+}
+
+// Expects both stores to hold exactly the same keys with exactly the same bytes under
+// `prefix`.
+void ExpectObjectsIdentical(storage::ObjectStore* a, storage::ObjectStore* b,
+                            std::string_view prefix) {
+  auto keys_a = a->List(prefix);
+  auto keys_b = b->List(prefix);
+  ASSERT_TRUE(keys_a.ok());
+  ASSERT_TRUE(keys_b.ok());
+  ASSERT_EQ(*keys_a, *keys_b);
+  ASSERT_FALSE(keys_a->empty()) << "no objects under prefix '" << prefix << "'";
+  Buffer object_a;
+  Buffer object_b;
+  for (const std::string& key : *keys_a) {
+    ASSERT_TRUE(a->Get(key, &object_a).ok());
+    ASSERT_TRUE(b->Get(key, &object_b).ok());
+    EXPECT_EQ(object_a.view(), object_b.view()) << "object '" << key << "' differs";
+  }
+}
+
+std::unique_ptr<storage::ShardedStore> MakeShardedMemoryStore(size_t shards) {
+  return storage::ShardedStore::Create(
+      shards, [](size_t) { return std::make_unique<storage::MemoryStore>(); });
+}
+
+TEST_F(PipelineTest, BatchedSortBitIdenticalToScalarPath) {
+  storage::MemoryStore scalar_store;
+  format::Manifest manifest = StageDataset(&scalar_store);
+  dataflow::Executor executor(2);
+  AlignPipelineOptions align_options;
+  ASSERT_TRUE(
+      RunPersonaAlignment(&scalar_store, manifest, *aligner_, &executor, align_options)
+          .ok());
+  manifest.columns.push_back(format::ResultsColumn());
+
+  auto batched_store = MakeShardedMemoryStore(4);
+  CloneStore(&scalar_store, batched_store.get());
+
+  SortOptions sort_options;
+  sort_options.chunks_per_superchunk = 2;
+  format::Manifest sorted_scalar;
+  format::Manifest sorted_batched;
+  ASSERT_TRUE(
+      SortAgdDataset(&scalar_store, manifest, "sorted", sort_options, &sorted_scalar).ok());
+  ASSERT_TRUE(
+      SortAgdDataset(batched_store.get(), manifest, "sorted", sort_options, &sorted_batched)
+          .ok());
+
+  EXPECT_EQ(sorted_scalar.ToJson(), sorted_batched.ToJson());
+  ExpectObjectsIdentical(&scalar_store, batched_store.get(), "sorted-");
+  ExpectObjectsIdentical(&scalar_store, batched_store.get(), "sorted.manifest.json");
+}
+
+TEST_F(PipelineTest, BatchedConvertBitIdenticalToScalarPath) {
+  storage::MemoryStore scalar_store;
+  auto batched_store = MakeShardedMemoryStore(4);
+  ASSERT_TRUE(WriteGzippedFastqToStore(&scalar_store, "imp", *reads_).ok());
+  CloneStore(&scalar_store, batched_store.get());
+
+  format::Manifest manifest_scalar;
+  format::Manifest manifest_batched;
+  auto scalar_report = ImportFastqToAgd(&scalar_store, "imp", 256,
+                                        compress::CodecId::kZlib, &manifest_scalar);
+  auto batched_report = ImportFastqToAgd(batched_store.get(), "imp", 256,
+                                         compress::CodecId::kZlib, &manifest_batched);
+  ASSERT_TRUE(scalar_report.ok());
+  ASSERT_TRUE(batched_report.ok());
+  EXPECT_EQ(scalar_report->records, batched_report->records);
+  EXPECT_EQ(manifest_scalar.ToJson(), manifest_batched.ToJson());
+  ExpectObjectsIdentical(&scalar_store, batched_store.get(), "imp-");
 }
 
 }  // namespace
