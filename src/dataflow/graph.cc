@@ -41,8 +41,15 @@ Status Graph::Run() {
     for (int w = 0; w < rt->stage->parallelism; ++w) {
       workers.emplace_back([rt = rt.get()] {
         rt->stage->worker_body();
-        if (rt->remaining.fetch_sub(1) == 1 && rt->stage->on_complete) {
-          rt->stage->on_complete();
+        if (rt->remaining.fetch_sub(1) == 1) {
+          // Last worker out: end-of-stream epilogue first (it may still emit), then
+          // close the output queue so downstream drains and exits.
+          if (rt->stage->on_drain) {
+            rt->stage->on_drain();
+          }
+          if (rt->stage->on_complete) {
+            rt->stage->on_complete();
+          }
         }
       });
     }

@@ -3,11 +3,18 @@
 // A Graph is a set of stages connected by bounded MPMC queues. Each stage runs
 // `parallelism` worker threads; a worker pops one item, runs the stage function, and
 // pushes results downstream. When a stage's input queue closes and drains, its workers
-// exit, and the last one out closes the stage's output queue — end-of-stream propagates
-// through the pipeline. The first stage error cancels the graph.
+// exit, and the last one out runs the stage's optional on_drain epilogue (end-of-stream
+// flush for stages carrying cross-item state) and then closes the stage's output queue —
+// end-of-stream propagates through the pipeline. The first stage error cancels the graph.
 //
-// Stages record per-worker busy time; a UtilizationSampler (see stats.h) turns that into
-// the CPU-utilization timelines of Fig. 5.
+// Stage functions emit through a StageOutput handle rather than the raw queue: Push
+// returns a Status so a closed downstream queue (cancellation) surfaces as a clean
+// kCancelled stop instead of a silently dropped item, and the handle separates
+// time-blocked-on-a-full-queue from stage compute time.
+//
+// Stages record per-worker busy and queue-wait time; a UtilizationSampler (see stats.h)
+// turns busy time into the CPU-utilization timelines of Fig. 5 and samples the fill
+// level of every queue registered with ObserveQueue.
 
 #ifndef PERSONA_SRC_DATAFLOW_GRAPH_H_
 #define PERSONA_SRC_DATAFLOW_GRAPH_H_
@@ -18,6 +25,7 @@
 #include <optional>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "src/util/mpmc_queue.h"
@@ -26,15 +34,50 @@
 
 namespace persona::dataflow {
 
-// Runtime counters for one stage. busy_ns only counts stage-function time, so
-// utilization = d(busy_ns)/dt / parallelism.
+// Runtime counters for one stage. busy_ns only counts stage-function compute time
+// (time blocked pushing downstream is split out into output_wait_ns), so
+// utilization = d(busy_ns)/dt / parallelism. input_wait_ns is time blocked popping the
+// input queue — a starved stage shows high input wait, a backpressured one high output
+// wait.
 struct StageStats {
   std::string name;
   int parallelism = 0;
   std::atomic<uint64_t> items{0};
   std::atomic<uint64_t> busy_ns{0};
+  std::atomic<uint64_t> input_wait_ns{0};
+  std::atomic<uint64_t> output_wait_ns{0};
 
   StageStats(std::string n, int p) : name(std::move(n)), parallelism(p) {}
+};
+
+// Emission handle passed to stage functions. Push returns kCancelled when the
+// downstream queue has closed (the graph is unwinding) so stages stop cleanly; the
+// accumulated wait time is drained by the worker loop after each item.
+template <typename T>
+class StageOutput {
+ public:
+  explicit StageOutput(MpmcQueue<T>* queue) : queue_(queue) {}
+
+  Status Push(T item) {
+    Stopwatch timer;
+    const bool accepted = queue_->Push(std::move(item));
+    wait_ns_ += static_cast<uint64_t>(timer.ElapsedNanos());
+    if (!accepted) {
+      return CancelledError("downstream queue closed");
+    }
+    return OkStatus();
+  }
+
+  // Accumulated Push time since the last call (blocked-on-full plus transfer).
+  uint64_t TakeWaitNanos() { return std::exchange(wait_ns_, 0); }
+
+  // Folds externally measured queue-wait time (e.g. a side-channel push to another
+  // queue) into this stage's accounting.
+  void AddWaitNanos(uint64_t ns) { wait_ns_ += ns; }
+
+ private:
+  MpmcQueue<T>* queue_;
+  uint64_t wait_ns_ = 0;
 };
 
 class Graph {
@@ -51,79 +94,152 @@ class Graph {
     return std::make_shared<MpmcQueue<T>>(capacity);
   }
 
-  // Source stage: one worker repeatedly calls `next` and pushes until nullopt.
+  // Registers a queue for occupancy sampling (UtilizationSampler::queue_fill).
+  template <typename T>
+  void ObserveQueue(std::string name, const QueuePtr<T>& queue) {
+    queue_probes_.push_back(
+        {std::move(name), queue->capacity(), [queue] { return queue->size(); }});
+  }
+
+  // Lets a source function classify time it spent blocked (e.g. on an external
+  // pacing gate) so that wait lands in output_wait_ns instead of inflating busy_ns.
+  struct SourceWait {
+    uint64_t wait_ns = 0;
+  };
+
+  // Source stage: one worker repeatedly calls `next` and pushes until nullopt. The
+  // SourceWait overload passes a recorder the function fills with any time it spent
+  // blocked rather than producing.
   template <typename Out>
   void AddSource(const std::string& name, QueuePtr<Out> out,
                  std::function<std::optional<Out>()> next) {
+    AddSource<Out>(name, std::move(out),
+                   [next = std::move(next)](SourceWait&) { return next(); });
+  }
+
+  template <typename Out>
+  void AddSource(const std::string& name, QueuePtr<Out> out,
+                 std::function<std::optional<Out>(SourceWait&)> next) {
     auto* stats = NewStats(name, 1);
     cancel_hooks_.push_back([out] { out->Close(); });
     stages_.push_back(Stage{name, 1, [this, out, next = std::move(next), stats] {
       while (!cancelled_.load(std::memory_order_relaxed)) {
+        SourceWait wait;
         Stopwatch timer;
-        std::optional<Out> item = next();
-        stats->busy_ns.fetch_add(static_cast<uint64_t>(timer.ElapsedNanos()),
+        std::optional<Out> item = next(wait);
+        const auto elapsed = static_cast<uint64_t>(timer.ElapsedNanos());
+        stats->busy_ns.fetch_add(elapsed > wait.wait_ns ? elapsed - wait.wait_ns : 0,
                                  std::memory_order_relaxed);
+        stats->output_wait_ns.fetch_add(wait.wait_ns, std::memory_order_relaxed);
         if (!item.has_value()) {
           break;
         }
         stats->items.fetch_add(1, std::memory_order_relaxed);
-        if (!out->Push(std::move(*item))) {
+        Stopwatch push_timer;
+        const bool accepted = out->Push(std::move(*item));
+        stats->output_wait_ns.fetch_add(static_cast<uint64_t>(push_timer.ElapsedNanos()),
+                                        std::memory_order_relaxed);
+        if (!accepted) {
           break;  // downstream closed (cancellation)
         }
       }
-    }, [out] { out->Close(); }});
+    }, [out] { out->Close(); }, nullptr});
   }
 
   // Transform stage: `parallelism` workers map In -> zero or more Out (the function
-  // pushes directly so it can fan out or filter).
+  // pushes through the StageOutput so it can fan out or filter). The optional
+  // `on_drain` epilogue runs once, in the last worker, after the input queue has
+  // drained and before the output queue closes — for stages that carry cross-item
+  // state and must flush at end-of-stream. It is skipped when the graph is cancelled.
   template <typename In, typename Out>
   void AddStage(const std::string& name, int parallelism, QueuePtr<In> in, QueuePtr<Out> out,
-                std::function<Status(In&&, MpmcQueue<Out>&)> fn) {
+                std::function<Status(In&&, StageOutput<Out>&)> fn,
+                std::function<Status(StageOutput<Out>&)> on_drain = nullptr) {
     auto* stats = NewStats(name, parallelism);
     cancel_hooks_.push_back([in, out] {
       in->Close();
       out->Close();
     });
-    stages_.push_back(Stage{name, parallelism, [this, in, out, fn = std::move(fn), stats] {
-      while (auto item = in->Pop()) {
+    std::function<void()> drain_hook;
+    if (on_drain) {
+      drain_hook = [this, out, on_drain = std::move(on_drain), stats] {
+        if (cancelled_.load(std::memory_order_relaxed)) {
+          return;
+        }
+        StageOutput<Out> output(out.get());
         Stopwatch timer;
-        Status status = fn(std::move(*item), *out);
-        stats->busy_ns.fetch_add(static_cast<uint64_t>(timer.ElapsedNanos()),
-                                 std::memory_order_relaxed);
-        stats->items.fetch_add(1, std::memory_order_relaxed);
+        Status status = on_drain(output);
+        RecordWork(stats, static_cast<uint64_t>(timer.ElapsedNanos()),
+                   output.TakeWaitNanos());
+        HandleStatus(status);
+      };
+    }
+    stages_.push_back(Stage{name, parallelism, [this, in, out, fn = std::move(fn), stats] {
+      StageOutput<Out> output(out.get());
+      while (true) {
+        Stopwatch pop_timer;
+        std::optional<In> item = in->Pop();
+        stats->input_wait_ns.fetch_add(static_cast<uint64_t>(pop_timer.ElapsedNanos()),
+                                       std::memory_order_relaxed);
+        if (!item.has_value()) {
+          break;
+        }
+        Stopwatch timer;
+        Status status = fn(std::move(*item), output);
+        RecordItem(stats, static_cast<uint64_t>(timer.ElapsedNanos()),
+                   output.TakeWaitNanos());
         if (!status.ok()) {
-          RecordError(status);
+          HandleStatus(status);
           break;
         }
         if (cancelled_.load(std::memory_order_relaxed)) {
           break;
         }
       }
-    }, [out] { out->Close(); }});
+    }, [out] { out->Close(); }, std::move(drain_hook)});
   }
 
-  // Sink stage: consumes items.
+  // Sink stage: consumes items. The optional `on_drain` epilogue runs once, in the
+  // last worker, after the input queue has drained (skipped on cancellation).
   template <typename In>
   void AddSink(const std::string& name, int parallelism, QueuePtr<In> in,
-               std::function<Status(In&&)> fn) {
+               std::function<Status(In&&)> fn,
+               std::function<Status()> on_drain = nullptr) {
     auto* stats = NewStats(name, parallelism);
     cancel_hooks_.push_back([in] { in->Close(); });
+    std::function<void()> drain_hook;
+    if (on_drain) {
+      drain_hook = [this, on_drain = std::move(on_drain), stats] {
+        if (cancelled_.load(std::memory_order_relaxed)) {
+          return;
+        }
+        Stopwatch timer;
+        Status status = on_drain();
+        RecordWork(stats, static_cast<uint64_t>(timer.ElapsedNanos()), 0);
+        HandleStatus(status);
+      };
+    }
     stages_.push_back(Stage{name, parallelism, [this, in, fn = std::move(fn), stats] {
-      while (auto item = in->Pop()) {
+      while (true) {
+        Stopwatch pop_timer;
+        std::optional<In> item = in->Pop();
+        stats->input_wait_ns.fetch_add(static_cast<uint64_t>(pop_timer.ElapsedNanos()),
+                                       std::memory_order_relaxed);
+        if (!item.has_value()) {
+          break;
+        }
         Stopwatch timer;
         Status status = fn(std::move(*item));
-        stats->busy_ns.fetch_add(static_cast<uint64_t>(timer.ElapsedNanos()),
-                                 std::memory_order_relaxed);
-        stats->items.fetch_add(1, std::memory_order_relaxed);
+        RecordItem(stats, static_cast<uint64_t>(timer.ElapsedNanos()), 0);
         if (!status.ok()) {
-          RecordError(status);
+          HandleStatus(status);
           break;
         }
         if (cancelled_.load(std::memory_order_relaxed)) {
           break;
         }
       }
-    }, nullptr});
+    }, nullptr, std::move(drain_hook)});
   }
 
   // Runs the graph to completion; returns the first stage error (if any).
@@ -132,6 +248,20 @@ class Graph {
 
   // Stage statistics (valid during and after Run). Pointers stable for the Graph's life.
   const std::vector<std::unique_ptr<StageStats>>& stats() const { return stats_; }
+
+  // Queue occupancy probe for one registered queue.
+  struct QueueProbe {
+    std::string name;
+    size_t capacity = 0;
+    std::function<size_t()> size;
+  };
+  const std::vector<QueueProbe>& queue_probes() const { return queue_probes_; }
+
+  // Registers an extra hook to run on Cancel() — for waits outside the graph's own
+  // queues (e.g. an ordering gate) that must wake when the graph unwinds.
+  void AddCancelHook(std::function<void()> hook) {
+    cancel_hooks_.push_back(std::move(hook));
+  }
 
   // Requests cancellation: stages stop after their current item and all queues close so
   // no worker stays blocked on a full or empty queue.
@@ -148,6 +278,7 @@ class Graph {
     int parallelism;
     std::function<void()> worker_body;
     std::function<void()> on_complete;  // closes the output queue; may be null
+    std::function<void()> on_drain;     // end-of-stream epilogue; may be null
   };
 
   StageStats* NewStats(const std::string& name, int parallelism) {
@@ -155,11 +286,39 @@ class Graph {
     return stats_.back().get();
   }
 
+  // Folds one unit of stage work into the counters; drain epilogues record time but
+  // are not items.
+  static void RecordWork(StageStats* stats, uint64_t elapsed_ns, uint64_t push_wait_ns) {
+    const uint64_t busy = elapsed_ns > push_wait_ns ? elapsed_ns - push_wait_ns : 0;
+    stats->busy_ns.fetch_add(busy, std::memory_order_relaxed);
+    stats->output_wait_ns.fetch_add(push_wait_ns, std::memory_order_relaxed);
+  }
+
+  static void RecordItem(StageStats* stats, uint64_t elapsed_ns, uint64_t push_wait_ns) {
+    RecordWork(stats, elapsed_ns, push_wait_ns);
+    stats->items.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // kCancelled means the downstream closed under us — the graph is already unwinding
+  // (or the stage asked for a clean stop); make sure everything else unwinds too but
+  // do not record it as the run's error.
+  void HandleStatus(const Status& status) {
+    if (status.ok()) {
+      return;
+    }
+    if (status.code() == StatusCode::kCancelled) {
+      Cancel();
+      return;
+    }
+    RecordError(status);
+  }
+
   void RecordError(const Status& status);
 
   std::vector<Stage> stages_;
   std::vector<std::function<void()>> cancel_hooks_;
   std::vector<std::unique_ptr<StageStats>> stats_;
+  std::vector<QueueProbe> queue_probes_;
   std::atomic<bool> cancelled_{false};
   std::mutex error_mu_;
   Status first_error_;

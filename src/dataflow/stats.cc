@@ -65,6 +65,14 @@ void UtilizationSampler::Loop() {
       sample.per_stage.push_back(std::min(stage_util, 1.0));
     }
     sample.total_utilization = std::min(total_busy / (dt * budget), 1.0);
+    const auto& probes = graph_->queue_probes();
+    sample.queue_fill.reserve(probes.size());
+    for (const auto& probe : probes) {
+      sample.queue_fill.push_back(
+          probe.capacity > 0
+              ? static_cast<double>(probe.size()) / static_cast<double>(probe.capacity)
+              : 0);
+    }
     samples_.push_back(std::move(sample));
   }
 }

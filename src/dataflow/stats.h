@@ -17,9 +17,10 @@
 namespace persona::dataflow {
 
 struct UtilizationSample {
-  double time_sec = 0;            // since sampler start
-  double total_utilization = 0;   // 0..1 across all sampled stages
-  std::vector<double> per_stage;  // 0..1 each, same order as Graph::stats()
+  double time_sec = 0;             // since sampler start
+  double total_utilization = 0;    // 0..1 across all sampled stages
+  std::vector<double> per_stage;   // 0..1 each, same order as Graph::stats()
+  std::vector<double> queue_fill;  // 0..1 fill level, same order as Graph::queue_probes()
 };
 
 class UtilizationSampler {

@@ -75,38 +75,17 @@ Status GetChunkColumns(storage::ObjectStore* store, const format::Manifest& mani
   return store->GetBatch(gets);
 }
 
-Status LoadAlignedChunk(storage::ObjectStore* store, const format::Manifest& manifest,
-                        size_t chunk_index, std::vector<genome::Read>* reads,
-                        std::vector<align::AlignmentResult>* results) {
-  static constexpr std::array<const char*, 4> kColumns = {"bases", "qual", "metadata",
-                                                          "results"};
-  std::array<Buffer, 4> files;
-  PERSONA_RETURN_IF_ERROR(
-      GetChunkColumns(store, manifest, chunk_index, kColumns, files));
-  PERSONA_ASSIGN_OR_RETURN(format::ParsedChunk bases,
-                           format::ParsedChunk::Parse(files[0].span()));
-  PERSONA_ASSIGN_OR_RETURN(format::ParsedChunk qual,
-                           format::ParsedChunk::Parse(files[1].span()));
-  PERSONA_ASSIGN_OR_RETURN(format::ParsedChunk metadata,
-                           format::ParsedChunk::Parse(files[2].span()));
-  PERSONA_ASSIGN_OR_RETURN(format::ParsedChunk result_chunk,
-                           format::ParsedChunk::Parse(files[3].span()));
-  if (bases.record_count() != qual.record_count() ||
-      bases.record_count() != metadata.record_count() ||
-      bases.record_count() != result_chunk.record_count()) {
-    return DataLossError("chunk column record counts disagree");
-  }
-  for (size_t i = 0; i < bases.record_count(); ++i) {
-    genome::Read read;
-    PERSONA_ASSIGN_OR_RETURN(read.bases, bases.GetBases(i));
-    PERSONA_ASSIGN_OR_RETURN(std::string_view q, qual.GetString(i));
-    read.qual = std::string(q);
-    PERSONA_ASSIGN_OR_RETURN(std::string_view m, metadata.GetString(i));
-    read.metadata = std::string(m);
-    reads->push_back(std::move(read));
-    PERSONA_ASSIGN_OR_RETURN(align::AlignmentResult r, result_chunk.GetResult(i));
-    results->push_back(std::move(r));
-  }
+Status DecodeAlignedRecord(const format::ParsedChunk& bases,
+                           const format::ParsedChunk& qual,
+                           const format::ParsedChunk& metadata,
+                           const format::ParsedChunk& results, size_t i,
+                           genome::Read* read, align::AlignmentResult* result) {
+  PERSONA_ASSIGN_OR_RETURN(read->bases, bases.GetBases(i));
+  PERSONA_ASSIGN_OR_RETURN(std::string_view q, qual.GetString(i));
+  read->qual = std::string(q);
+  PERSONA_ASSIGN_OR_RETURN(std::string_view m, metadata.GetString(i));
+  read->metadata = std::string(m);
+  PERSONA_ASSIGN_OR_RETURN(*result, results.GetResult(i));
   return OkStatus();
 }
 

@@ -36,11 +36,13 @@ Status GetChunkColumns(storage::ObjectStore* store, const format::Manifest& mani
                        size_t chunk_index, std::span<const char* const> columns,
                        std::span<Buffer> outs);
 
-// Batched fetch + parse of the four read columns (bases/qual/metadata/results) of
-// chunk `chunk_index`, appended to `reads`/`results` as aligned rows.
-Status LoadAlignedChunk(storage::ObjectStore* store, const format::Manifest& manifest,
-                        size_t chunk_index, std::vector<genome::Read>* reads,
-                        std::vector<align::AlignmentResult>* results);
+// Reconstructs record `i` of an aligned chunk from its four parsed read columns —
+// the one shared decode used by SAM/BSAM export and sort's row loader.
+Status DecodeAlignedRecord(const format::ParsedChunk& bases,
+                           const format::ParsedChunk& qual,
+                           const format::ParsedChunk& metadata,
+                           const format::ParsedChunk& results, size_t i,
+                           genome::Read* read, align::AlignmentResult* result);
 
 // Writes `reads` as one gzip-compressed FASTQ object (key "<name>.fastq.gz" by blocks)
 // — the input format of the standalone baseline. Returns total compressed bytes.

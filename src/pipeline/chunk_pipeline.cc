@@ -1,0 +1,538 @@
+#include "src/pipeline/chunk_pipeline.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <utility>
+
+#include "src/util/stopwatch.h"
+#include "src/util/string_util.h"
+
+namespace persona::pipeline {
+
+namespace {
+
+// Manifest-mode work item: one group of consecutive chunks.
+struct Work {
+  size_t index = 0;
+  size_t chunk_begin = 0;
+  size_t chunk_end = 0;
+};
+
+// Fetched-but-unparsed column files of one work item, chunk-major in pooled buffers.
+struct RawItem {
+  size_t index = 0;
+  size_t chunk_begin = 0;
+  size_t chunk_end = 0;
+  std::vector<ChunkPipeline::BufferRef> files;
+};
+
+// Read-ahead gate for ordered transforms. The resequencer must park whatever arrives
+// out of order, and parked Inputs hold decompressed data that no queue or pool bounds
+// — so the source stops handing out work more than `window` items ahead of the
+// transform's completion watermark. One slow fetch then strands at most a
+// pipeline-depth of parked items instead of the whole dataset.
+struct OrderGate {
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t completed = 0;
+  bool cancelled = false;
+
+  void WaitForSlot(size_t index, size_t window) {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return cancelled || index < completed + window; });
+  }
+
+  void Advance(size_t completed_count) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      completed = completed_count;
+    }
+    cv.notify_all();
+  }
+
+  void CancelWaits() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      cancelled = true;
+    }
+    cv.notify_all();
+  }
+};
+
+// Bounded window of in-flight asynchronous write submissions. Submitting past the
+// window's depth awaits the oldest ticket first, so the writer keeps `depth` batches
+// in flight while op/buffer memory stays owned until each ticket completes.
+class WriteWindow {
+ public:
+  WriteWindow(storage::ObjectStore* store, size_t depth)
+      : store_(store), depth_(depth == 0 ? 1 : depth) {}
+
+  Status Submit(ChunkPipeline::WriteRequest&& request) {
+    auto pending = std::make_unique<Pending>();
+    pending->objects = std::move(request.objects);
+    pending->ops.reserve(request.keys.size());
+    for (size_t i = 0; i < request.keys.size(); ++i) {
+      pending->ops.push_back(
+          {std::move(request.keys[i]), pending->objects[i]->span(), {}});
+    }
+    pending->ticket = store_->SubmitAsync(pending->ops, {});
+
+    std::unique_ptr<Pending> evicted;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      window_.push_back(std::move(pending));
+      if (window_.size() > depth_) {
+        evicted = std::move(window_.front());
+        window_.pop_front();
+      }
+    }
+    if (evicted != nullptr) {
+      return evicted->ticket.Await();
+    }
+    return OkStatus();
+  }
+
+  // Awaits every in-flight submission; returns the first error. Must run before the
+  // pooled buffers feeding the ops can be considered returned — including on
+  // cancellation, because the store's scheduler may still be touching op memory.
+  Status Drain() {
+    std::deque<std::unique_ptr<Pending>> all;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      all.swap(window_);
+    }
+    Status first_error;
+    for (const auto& pending : all) {
+      Status status = pending->ticket.Await();
+      if (!status.ok() && first_error.ok()) {
+        first_error = status;
+      }
+    }
+    return first_error;
+  }
+
+ private:
+  struct Pending {
+    std::vector<ChunkPipeline::BufferRef> objects;
+    std::vector<storage::PutOp> ops;
+    storage::IoTicket ticket;
+  };
+
+  storage::ObjectStore* store_;
+  const size_t depth_;
+  std::mutex mu_;
+  std::deque<std::unique_ptr<Pending>> window_;
+};
+
+}  // namespace
+
+Status ChunkPipeline::Emitter::Emit(SerializeRequest request) {
+  return serialize_out_->Push(std::move(request));
+}
+
+Status ChunkPipeline::Emitter::Write(std::string key, BufferRef object) {
+  WriteRequest request;
+  request.keys.push_back(std::move(key));
+  request.objects.push_back(std::move(object));
+  return Write(std::move(request));
+}
+
+Status ChunkPipeline::Emitter::Write(WriteRequest request) {
+  Stopwatch timer;
+  const bool accepted = write_queue_->Push(std::move(request));
+  // Attribute the (possibly blocked) push to the transform's output wait, same as the
+  // serialize path.
+  serialize_out_->AddWaitNanos(static_cast<uint64_t>(timer.ElapsedNanos()));
+  if (!accepted) {
+    return CancelledError("write queue closed");
+  }
+  return OkStatus();
+}
+
+void ChunkPipeline::SetManifestSource(storage::ObjectStore* store,
+                                      const format::Manifest* manifest,
+                                      std::vector<std::string> columns, size_t group_size,
+                                      WorkSourceFn work_source) {
+  source_store_ = store;
+  manifest_ = manifest;
+  columns_ = std::move(columns);
+  group_size_ = group_size == 0 ? 1 : group_size;
+  work_source_ = std::move(work_source);
+  record_source_ = nullptr;
+}
+
+void ChunkPipeline::SetRecordSource(RecordSourceFn next) {
+  record_source_ = std::move(next);
+  source_store_ = nullptr;
+  manifest_ = nullptr;
+}
+
+void ChunkPipeline::SetTransform(std::string name, TransformFn fn, bool ordered,
+                                 DrainFn drain) {
+  transform_name_ = std::move(name);
+  transform_ = std::move(fn);
+  ordered_ = ordered;
+  drain_ = std::move(drain);
+}
+
+void ChunkPipeline::SetWriter(storage::ObjectStore* store, size_t max_objects_per_request) {
+  write_store_ = store;
+  max_objects_per_request_ = max_objects_per_request == 0 ? 1 : max_objects_per_request;
+}
+
+Result<ChunkPipelineReport> ChunkPipeline::Run() {
+  if (ran_) {
+    return FailedPreconditionError("ChunkPipeline::Run called twice");
+  }
+  ran_ = true;
+  if (!transform_) {
+    return FailedPreconditionError("ChunkPipeline: no transform set");
+  }
+  if (write_store_ == nullptr) {
+    return FailedPreconditionError("ChunkPipeline: no writer set");
+  }
+  const bool manifest_mode = manifest_ != nullptr;
+  if (!manifest_mode && !record_source_) {
+    return FailedPreconditionError("ChunkPipeline: no source set");
+  }
+  if (manifest_mode && columns_.empty()) {
+    return InvalidArgumentError("ChunkPipeline: manifest source needs at least one column");
+  }
+  if (ordered_ && work_source_) {
+    // A cluster work source hands out groups in server order; resequencing on that
+    // order would silently change an ordered tool's dataset-order semantics.
+    return InvalidArgumentError(
+        "ChunkPipeline: ordered transforms require local (dataset-order) chunk handout");
+  }
+
+  storage::ObjectStore* stats_store =
+      source_store_ != nullptr ? source_store_ : write_store_;
+  const storage::StoreStats store_before = stats_store->stats();
+
+  const int read_par = std::max(1, options_.read_parallelism);
+  const int parse_par = std::max(1, options_.parse_parallelism);
+  const int transform_par = ordered_ ? 1 : std::max(1, options_.transform_parallelism);
+  const int serialize_par = std::max(1, options_.serialize_parallelism);
+  const int write_par = std::max(1, options_.write_parallelism);
+  const size_t window_depth = options_.write_window > 0
+                                  ? options_.write_window
+                                  : static_cast<size_t>(write_par);
+
+  auto cap = [&](int consumer_parallelism) {
+    return options_.queue_depth > 0 ? options_.queue_depth
+                                    : static_cast<size_t>(consumer_parallelism);
+  };
+  const size_t work_cap = cap(read_par);
+  const size_t raw_cap = cap(parse_par);
+  // Ordered transforms still get read-ahead depth: out-of-order items park in the
+  // resequencer, so the input queue sizes to the configured parallelism either way.
+  const size_t input_cap = cap(std::max(1, options_.transform_parallelism));
+  const size_t serialize_cap = cap(serialize_par);
+  const size_t write_cap = cap(write_par);
+
+  // Pool sizing (paper §4.5): "the total quantity of objects is the sum of the queue
+  // lengths and the number of dataflow nodes that use an object". Raw column files park
+  // in the raw queue and in reader/parser hands; output objects park in the write
+  // queue, the async window, and serializer/writer/transform hands. Undersizing
+  // deadlocks, so every holder is counted.
+  const size_t per_item_raw = manifest_mode ? group_size_ * columns_.size() : 0;
+  const size_t raw_buffers =
+      per_item_raw * (raw_cap + static_cast<size_t>(read_par) +
+                      static_cast<size_t>(parse_par));
+  const size_t out_buffers =
+      max_objects_per_request_ *
+      (write_cap + window_depth + static_cast<size_t>(transform_par) +
+       static_cast<size_t>(serialize_par) + static_cast<size_t>(write_par));
+  auto pool = BufferPool::Create(raw_buffers + out_buffers + 4,
+                                 [] { return std::make_unique<Buffer>(); },
+                                 [](Buffer* b) { b->Clear(); });
+  pool_capacity_ = pool->capacity();
+
+  auto window = std::make_shared<WriteWindow>(write_store_, window_depth);
+  Status source_error;
+
+  ChunkPipelineReport report;
+  Status run_status;
+  std::vector<dataflow::UtilizationSample> utilization;
+  {
+    dataflow::Graph graph;
+    auto input_queue = dataflow::Graph::MakeQueue<Input>(input_cap);
+    auto serialize_queue = dataflow::Graph::MakeQueue<SerializeRequest>(serialize_cap);
+    auto write_queue = dataflow::Graph::MakeQueue<WriteRequest>(write_cap);
+    graph.ObserveQueue("input", input_queue);
+    graph.ObserveQueue("serialize", serialize_queue);
+    graph.ObserveQueue("write", write_queue);
+
+    // Ordered manifest-mode pipelines bound their read-ahead (see OrderGate); the
+    // window matches the pipeline's natural in-flight depth so steady-state overlap
+    // is never throttled. Record mode needs no gate: its serial source feeds the
+    // single ordered worker FIFO, so nothing ever parks.
+    std::shared_ptr<OrderGate> gate;
+    size_t order_window = 0;
+    if (ordered_ && manifest_mode) {
+      gate = std::make_shared<OrderGate>();
+      order_window = work_cap + raw_cap + input_cap + static_cast<size_t>(read_par) +
+                     static_cast<size_t>(parse_par) + 2;
+      graph.AddCancelHook([gate] { gate->CancelWaits(); });
+    }
+
+    if (manifest_mode) {
+      auto work_queue = dataflow::Graph::MakeQueue<Work>(work_cap);
+      auto raw_queue = dataflow::Graph::MakeQueue<RawItem>(raw_cap);
+      graph.ObserveQueue("work", work_queue);
+      graph.ObserveQueue("raw", raw_queue);
+
+      // --- Source: dense group indices, locally or from the cluster's server. ---
+      const size_t num_chunks = manifest_->chunks.size();
+      const size_t group = group_size_;
+      const size_t num_groups = (num_chunks + group - 1) / group;
+      if (work_source_) {
+        // Never combined with an OrderGate (ordered + work_source is rejected above).
+        auto dense = std::make_shared<std::atomic<size_t>>(0);
+        graph.AddSource<Work>(
+            "chunk-source", work_queue,
+            [source = work_source_, dense, group, num_chunks]() -> std::optional<Work> {
+              while (true) {
+                std::optional<size_t> g = source();
+                if (!g.has_value()) {
+                  return std::nullopt;
+                }
+                const size_t begin = *g * group;
+                if (begin >= num_chunks) {
+                  continue;  // out-of-range handout: nothing to do for it
+                }
+                Work work;
+                work.index = dense->fetch_add(1);
+                work.chunk_begin = begin;
+                work.chunk_end = std::min(num_chunks, begin + group);
+                return work;
+              }
+            });
+      } else {
+        auto next_group = std::make_shared<std::atomic<size_t>>(0);
+        graph.AddSource<Work>(
+            "chunk-source", work_queue,
+            [next_group, group, num_groups, num_chunks, gate, order_window](
+                dataflow::Graph::SourceWait& wait) -> std::optional<Work> {
+              const size_t g = next_group->fetch_add(1);
+              if (g >= num_groups) {
+                return std::nullopt;
+              }
+              Work work;
+              work.index = g;
+              work.chunk_begin = g * group;
+              work.chunk_end = std::min(num_chunks, work.chunk_begin + group);
+              if (gate != nullptr) {
+                // Gate waits are backpressure, not production time.
+                Stopwatch wait_timer;
+                gate->WaitForSlot(work.index, order_window);
+                wait.wait_ns += static_cast<uint64_t>(wait_timer.ElapsedNanos());
+              }
+              return work;
+            });
+      }
+
+      // --- Reader: all columns of every chunk in the group, one batched Get into
+      // pooled buffers. ---
+      graph.AddStage<Work, RawItem>(
+          "reader", read_par, work_queue, raw_queue,
+          [store = source_store_, manifest = manifest_, columns = &columns_, pool](
+              Work&& work, dataflow::StageOutput<RawItem>& out) -> Status {
+            RawItem raw;
+            raw.index = work.index;
+            raw.chunk_begin = work.chunk_begin;
+            raw.chunk_end = work.chunk_end;
+            const size_t n = (work.chunk_end - work.chunk_begin) * columns->size();
+            raw.files.reserve(n);
+            std::vector<storage::GetOp> gets;
+            gets.reserve(n);
+            for (size_t c = work.chunk_begin; c < work.chunk_end; ++c) {
+              for (const std::string& column : *columns) {
+                raw.files.push_back(pool->Acquire());
+                gets.push_back(
+                    {manifest->ChunkFileName(c, column), raw.files.back().get(), {}});
+              }
+            }
+            PERSONA_RETURN_IF_ERROR(store->GetBatch(gets));
+            return out.Push(std::move(raw));
+          });
+
+      // --- Parser: decompress + decode every column; recycle the raw buffers. ---
+      const size_t num_columns = columns_.size();
+      graph.AddStage<RawItem, Input>(
+          "parser", parse_par, raw_queue, input_queue,
+          [num_columns](RawItem&& raw, dataflow::StageOutput<Input>& out) -> Status {
+            Input input;
+            input.index = raw.index;
+            input.chunk_begin = raw.chunk_begin;
+            input.chunk_end = raw.chunk_end;
+            input.num_columns = num_columns;
+            input.columns.reserve(raw.files.size());
+            input.file_sizes.reserve(raw.files.size());
+            for (const BufferRef& file : raw.files) {
+              input.file_sizes.push_back(file->size());
+              PERSONA_ASSIGN_OR_RETURN(format::ParsedChunk parsed,
+                                       format::ParsedChunk::Parse(file->span()));
+              input.columns.push_back(std::move(parsed));
+            }
+            raw.files.clear();  // raw buffers back to the pool before handing off
+            for (size_t k = 0; k + num_columns <= input.columns.size();
+                 k += num_columns) {
+              const size_t records = input.columns[k].record_count();
+              for (size_t c = 1; c < num_columns; ++c) {
+                if (input.columns[k + c].record_count() != records) {
+                  return DataLossError(StrFormat(
+                      "chunk %zu: column record counts disagree",
+                      input.chunk_begin + k / num_columns));
+                }
+              }
+            }
+            return out.Push(std::move(input));
+          });
+    } else {
+      // --- Record-mode source: the generator runs serially; indices are stamped
+      // densely so ordered transforms can resequence. ---
+      auto stamp = std::make_shared<size_t>(0);
+      graph.AddSource<Input>(
+          "record-source", input_queue,
+          [next = record_source_, stamp, &source_error]() -> std::optional<Input> {
+            std::optional<Input> input;
+            Status status = next(&input);
+            if (!status.ok()) {
+              source_error = status;
+              return std::nullopt;
+            }
+            if (input.has_value()) {
+              input->index = (*stamp)++;
+            }
+            return input;
+          });
+    }
+
+    // --- Transform: the tool stage. Ordered tools run one worker behind a
+    // resequencer that releases Inputs in work-item order. ---
+    auto make_emitter = [pool_ptr = pool.get(), write_queue](
+                            dataflow::StageOutput<SerializeRequest>& out) {
+      return Emitter(pool_ptr, &out, write_queue.get());
+    };
+    std::function<Status(Input&&, dataflow::StageOutput<SerializeRequest>&)> stage_fn;
+    if (ordered_) {
+      auto pending = std::make_shared<std::map<size_t, Input>>();
+      auto next_index = std::make_shared<size_t>(0);
+      stage_fn = [fn = transform_, pending, next_index, make_emitter, gate](
+                     Input&& input,
+                     dataflow::StageOutput<SerializeRequest>& out) -> Status {
+        Emitter emitter = make_emitter(out);
+        if (input.index != *next_index) {
+          pending->emplace(input.index, std::move(input));
+          return OkStatus();
+        }
+        PERSONA_RETURN_IF_ERROR(fn(std::move(input), emitter));
+        ++*next_index;
+        while (!pending->empty() && pending->begin()->first == *next_index) {
+          Input next = std::move(pending->begin()->second);
+          pending->erase(pending->begin());
+          PERSONA_RETURN_IF_ERROR(fn(std::move(next), emitter));
+          ++*next_index;
+        }
+        if (gate != nullptr) {
+          gate->Advance(*next_index);
+        }
+        return OkStatus();
+      };
+    } else {
+      stage_fn = [fn = transform_, make_emitter](
+                     Input&& input,
+                     dataflow::StageOutput<SerializeRequest>& out) -> Status {
+        Emitter emitter = make_emitter(out);
+        return fn(std::move(input), emitter);
+      };
+    }
+    std::function<Status(dataflow::StageOutput<SerializeRequest>&)> drain_fn;
+    if (drain_) {
+      drain_fn = [drain = drain_, make_emitter](
+                     dataflow::StageOutput<SerializeRequest>& out) -> Status {
+        Emitter emitter = make_emitter(out);
+        return drain(emitter);
+      };
+    }
+    graph.AddStage<Input, SerializeRequest>(transform_name_, transform_par, input_queue,
+                                            serialize_queue, std::move(stage_fn),
+                                            std::move(drain_fn));
+
+    // --- Serializer: Finalize emitted builders (codec compression) into pooled
+    // buffers. ---
+    graph.AddStage<SerializeRequest, WriteRequest>(
+        "serializer", serialize_par, serialize_queue, write_queue,
+        [pool](SerializeRequest&& request,
+               dataflow::StageOutput<WriteRequest>& out) -> Status {
+          WriteRequest write;
+          write.keys = std::move(request.keys);
+          write.objects.reserve(request.builders.size());
+          for (const format::ChunkBuilder& builder : request.builders) {
+            BufferRef object = pool->Acquire();
+            PERSONA_RETURN_IF_ERROR(builder.Finalize(object.get()));
+            write.objects.push_back(std::move(object));
+          }
+          return out.Push(std::move(write));
+        });
+
+    // --- Writer: asynchronous batched puts through the bounded window. ---
+    graph.AddSink<WriteRequest>(
+        "writer", write_par, write_queue,
+        [window](WriteRequest&& request) -> Status {
+          return window->Submit(std::move(request));
+        },
+        [window]() -> Status { return window->Drain(); });
+
+    dataflow::UtilizationSampler sampler(
+        &graph,
+        options_.utilization_sample_sec > 0 ? options_.utilization_sample_sec : 1.0,
+        options_.sampler_total_workers);
+    if (options_.utilization_sample_sec > 0) {
+      sampler.Start();
+    }
+    Stopwatch timer;
+    run_status = graph.Run();
+    report.seconds = timer.ElapsedSeconds();
+    sampler.Stop();
+    utilization = sampler.samples();
+
+    for (const auto& stage : graph.stats()) {
+      ChunkPipelineReport::Stage s;
+      s.name = stage->name;
+      s.parallelism = stage->parallelism;
+      s.items = stage->items.load(std::memory_order_relaxed);
+      s.busy_ns = stage->busy_ns.load(std::memory_order_relaxed);
+      s.input_wait_ns = stage->input_wait_ns.load(std::memory_order_relaxed);
+      s.output_wait_ns = stage->output_wait_ns.load(std::memory_order_relaxed);
+      if (s.name == transform_name_) {
+        report.items = s.items;
+      }
+      report.stages.push_back(std::move(s));
+    }
+  }
+  // The window must drain even on failure: in-flight tickets reference op memory and
+  // pooled buffers that cannot be released (or counted as returned) until the store's
+  // scheduler is done with them.
+  Status drain_status = window->Drain();
+  pool_available_ = pool->available();
+
+  PERSONA_RETURN_IF_ERROR(run_status);
+  PERSONA_RETURN_IF_ERROR(source_error);
+  PERSONA_RETURN_IF_ERROR(drain_status);
+
+  const storage::StoreStats store_after = stats_store->stats();
+  report.store_stats.bytes_read = store_after.bytes_read - store_before.bytes_read;
+  report.store_stats.bytes_written =
+      store_after.bytes_written - store_before.bytes_written;
+  report.store_stats.read_ops = store_after.read_ops - store_before.read_ops;
+  report.store_stats.write_ops = store_after.write_ops - store_before.write_ops;
+  report.utilization = std::move(utilization);
+  return report;
+}
+
+}  // namespace persona::pipeline

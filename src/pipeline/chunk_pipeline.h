@@ -1,0 +1,215 @@
+// ChunkPipeline: the reusable dataflow topology shared by every batch tool (paper §4,
+// Figs. 3/5).
+//
+// Every Persona operation is the same coarse-grain graph: a manifest source hands out
+// chunk (or chunk-group) work items; reader nodes fetch the tool's declared columns
+// with one batched Get into pooled buffers; parser nodes decompress and decode them;
+// a tool-supplied transform stage does the actual work (with the shared Executor
+// available for subchunking); serialize nodes Finalize/compress emitted column
+// builders; and a writer node lands the objects with asynchronous batched Puts, keeping
+// a bounded window of IoTickets in flight. Instead of re-implementing that loop in
+// every tool — and losing the overlap to phase barriers — tools declare their columns
+// and transform here and inherit the whole overlapped topology.
+//
+// Two source modes:
+//   - Manifest mode: work items are groups of `group_size` consecutive manifest chunks
+//     (sort uses a group per superchunk; everything else group_size 1). An optional
+//     work_source delegates group-index handout to a cluster manifest server.
+//   - Record mode: a serial generator produces Inputs directly (FASTQ import, whose
+//     input is not an AGD dataset); the reader/parser stages are skipped.
+//
+// Transforms are parallel by default. Tools that carry cross-chunk state (dedup's
+// signature set, filter's partial output chunk) request `ordered = true`: the stage
+// runs one worker behind a resequencer that delivers Inputs in work-item order, while
+// reads ahead of it and serialization/writes behind it still overlap. The `drain`
+// callback runs once at end-of-stream (the Graph's on_drain epilogue) to flush
+// carried state.
+
+#ifndef PERSONA_SRC_PIPELINE_CHUNK_PIPELINE_H_
+#define PERSONA_SRC_PIPELINE_CHUNK_PIPELINE_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/dataflow/graph.h"
+#include "src/dataflow/object_pool.h"
+#include "src/dataflow/stats.h"
+#include "src/format/agd_chunk.h"
+#include "src/format/agd_manifest.h"
+#include "src/genome/read.h"
+#include "src/storage/object_store.h"
+#include "src/util/buffer.h"
+
+namespace persona::pipeline {
+
+// Per-stage and whole-run statistics of one ChunkPipeline execution.
+struct ChunkPipelineReport {
+  double seconds = 0;
+  uint64_t items = 0;  // work items through the transform stage
+
+  struct Stage {
+    std::string name;
+    int parallelism = 0;
+    uint64_t items = 0;
+    uint64_t busy_ns = 0;
+    uint64_t input_wait_ns = 0;   // blocked popping the input queue (starved)
+    uint64_t output_wait_ns = 0;  // blocked pushing downstream (backpressured)
+  };
+  std::vector<Stage> stages;
+
+  storage::StoreStats store_stats;  // deltas over the run
+  std::vector<dataflow::UtilizationSample> utilization;
+};
+
+class ChunkPipeline {
+ public:
+  using BufferPool = dataflow::ObjectPool<Buffer>;
+  using BufferRef = BufferPool::Ref;
+
+  struct Options {
+    int read_parallelism = 2;
+    int parse_parallelism = 2;
+    int transform_parallelism = 4;  // ignored (forced to 1) for ordered transforms
+    int serialize_parallelism = 2;
+    int write_parallelism = 2;
+    // Queue depth; 0 = the consumer stage's parallelism (paper §4.5: "default queue
+    // lengths are set to the number of parallel downstream nodes they feed").
+    size_t queue_depth = 0;
+    // Async write submissions kept in flight beyond the writer workers themselves;
+    // 0 = write_parallelism.
+    size_t write_window = 0;
+    double utilization_sample_sec = 0;  // 0 disables the sampler
+    int sampler_total_workers = 0;      // machine thread budget for the Fig. 5 number
+  };
+
+  // One work item, ready for the transform. In manifest mode `columns` holds the
+  // parsed column chunks, chunk-major: column c of manifest chunk (chunk_begin + k) is
+  // columns[k * num_columns + c] (see column()). In record mode only `reads` is set.
+  struct Input {
+    size_t index = 0;        // dense work-item index (resequencing key)
+    size_t chunk_begin = 0;  // manifest chunks [chunk_begin, chunk_end)
+    size_t chunk_end = 0;
+    size_t num_columns = 0;
+    std::vector<format::ParsedChunk> columns;
+    std::vector<size_t> file_sizes;  // stored (compressed) size of each column file
+    std::vector<genome::Read> reads;  // record mode only
+
+    const format::ParsedChunk& column(size_t chunk_offset, size_t column_index) const {
+      return columns[chunk_offset * num_columns + column_index];
+    }
+    size_t file_size(size_t chunk_offset, size_t column_index) const {
+      return file_sizes[chunk_offset * num_columns + column_index];
+    }
+  };
+
+  // Pre-serialized objects bound for the writer (keys[i] receives objects[i]).
+  struct WriteRequest {
+    std::vector<std::string> keys;
+    std::vector<BufferRef> objects;
+  };
+
+  // Column builders bound for the serialize stage (Finalize + codec compression run
+  // there, off the transform's thread).
+  struct SerializeRequest {
+    std::vector<std::string> keys;
+    std::vector<format::ChunkBuilder> builders;
+  };
+
+  // Emission handle passed to the transform (and its drain). All sends surface a
+  // closed downstream queue as kCancelled so cancellation stops tools cleanly.
+  class Emitter {
+   public:
+    // Acquires a pooled buffer (blocks while the pool is exhausted — the §4.5 memory
+    // cap). Use for the Write path; the Emit path acquires its own in the serializer.
+    BufferRef AcquireBuffer() { return pool_->Acquire(); }
+
+    // Sends column builders through the serialize stage to the writer.
+    Status Emit(SerializeRequest request);
+
+    // Sends an already-serialized object (or several) straight to the writer.
+    Status Write(std::string key, BufferRef object);
+    Status Write(WriteRequest request);
+
+   private:
+    friend class ChunkPipeline;
+    Emitter(BufferPool* pool, dataflow::StageOutput<SerializeRequest>* serialize_out,
+            MpmcQueue<WriteRequest>* write_queue)
+        : pool_(pool), serialize_out_(serialize_out), write_queue_(write_queue) {}
+
+    BufferPool* pool_;
+    dataflow::StageOutput<SerializeRequest>* serialize_out_;
+    MpmcQueue<WriteRequest>* write_queue_;
+  };
+
+  using TransformFn = std::function<Status(Input&&, Emitter&)>;
+  using DrainFn = std::function<Status(Emitter&)>;
+  // Record-mode generator: sets *out (or leaves it empty at end-of-stream); a non-OK
+  // status stops the source and fails the run.
+  using RecordSourceFn = std::function<Status(std::optional<Input>*)>;
+  // Manifest-mode group-index handout (cluster manifest server); nullopt ends the run.
+  using WorkSourceFn = std::function<std::optional<size_t>()>;
+
+  explicit ChunkPipeline(const Options& options) : options_(options) {}
+
+  // Manifest mode: fetch `columns` of every chunk in each `group_size`-chunk group with
+  // one batched Get, parse, and hand the group to the transform. `manifest` must
+  // outlive Run(). `work_source`, when set, supplies group indices instead of local
+  // iteration.
+  void SetManifestSource(storage::ObjectStore* store, const format::Manifest* manifest,
+                         std::vector<std::string> columns, size_t group_size = 1,
+                         WorkSourceFn work_source = nullptr);
+
+  // Record mode: `next` runs on one source thread and produces Inputs directly (their
+  // `index` is stamped densely by the pipeline).
+  void SetRecordSource(RecordSourceFn next);
+
+  // The tool stage. Ordered transforms run one worker and see Inputs in index order
+  // (dataset order; incompatible with a cluster work_source, whose handout order is
+  // not the dataset's — Run() rejects the combination). The source paces itself
+  // against the ordered stage's completion watermark so out-of-order items parked in
+  // the resequencer stay bounded by the pipeline depth.
+  void SetTransform(std::string name, TransformFn fn, bool ordered = false,
+                    DrainFn drain = nullptr);
+
+  // Destination store for emitted objects. `max_objects_per_request` is the most
+  // keys any single Emit/Write carries (it sizes the buffer pool; e.g. one output
+  // chunk's column count).
+  void SetWriter(storage::ObjectStore* store, size_t max_objects_per_request = 4);
+
+  // Assembles the graph and runs it to completion. May be called once.
+  Result<ChunkPipelineReport> Run();
+
+  // Buffer-pool bookkeeping after Run() — every pooled buffer must be back (available
+  // == capacity) even when a mid-pipeline stage failed.
+  size_t pool_capacity() const { return pool_capacity_; }
+  size_t pool_available() const { return pool_available_; }
+
+ private:
+  Options options_;
+
+  storage::ObjectStore* source_store_ = nullptr;
+  const format::Manifest* manifest_ = nullptr;
+  std::vector<std::string> columns_;
+  size_t group_size_ = 1;
+  WorkSourceFn work_source_;
+  RecordSourceFn record_source_;
+
+  std::string transform_name_ = "transform";
+  TransformFn transform_;
+  bool ordered_ = false;
+  DrainFn drain_;
+
+  storage::ObjectStore* write_store_ = nullptr;
+  size_t max_objects_per_request_ = 4;
+
+  bool ran_ = false;
+  size_t pool_capacity_ = 0;
+  size_t pool_available_ = 0;
+};
+
+}  // namespace persona::pipeline
+
+#endif  // PERSONA_SRC_PIPELINE_CHUNK_PIPELINE_H_

@@ -1,11 +1,14 @@
 #include "src/pipeline/convert.h"
 
-#include <array>
+#include <map>
+#include <memory>
+#include <mutex>
 
 #include "src/format/agd_chunk.h"
 #include "src/format/fastq.h"
 #include "src/format/sam.h"
 #include "src/pipeline/agd_store_util.h"
+#include "src/pipeline/chunk_pipeline.h"
 #include "src/util/stopwatch.h"
 
 namespace persona::pipeline {
@@ -16,92 +19,128 @@ double Throughput(uint64_t bytes, double seconds) {
   return seconds > 0 ? static_cast<double>(bytes) / 1e6 / seconds : 0;
 }
 
+// Reconstructs record `i` of an exported work item whose columns are
+// bases/qual/metadata/results (the export tools' declared column order).
+Status DecodeInputRecord(const ChunkPipeline::Input& input, size_t i,
+                         genome::Read* read, align::AlignmentResult* result) {
+  return DecodeAlignedRecord(input.column(0, 0), input.column(0, 1),
+                             input.column(0, 2), input.column(0, 3), i, read, result);
+}
+
 }  // namespace
 
 Result<ConvertReport> ImportFastqToAgd(storage::ObjectStore* store, const std::string& name,
                                        int64_t chunk_size, compress::CodecId codec,
-                                       format::Manifest* out_manifest) {
+                                       format::Manifest* out_manifest,
+                                       const ChunkPipeline::Options& pipeline_options,
+                                       storage::ObjectStore* input_store) {
   Stopwatch timer;
   const storage::StoreStats before = store->stats();
+  const size_t records_per_chunk = chunk_size > 0 ? static_cast<size_t>(chunk_size) : 1;
 
   Buffer object;
-  PERSONA_RETURN_IF_ERROR(store->Get(name + ".fastq.gz", &object));
+  PERSONA_RETURN_IF_ERROR(
+      (input_store != nullptr ? input_store : store)->Get(name + ".fastq.gz", &object));
   if (object.size() < sizeof(uint64_t)) {
     return DataLossError("gzipped FASTQ object too small");
   }
   uint64_t raw_size = object.ReadScalar<uint64_t>(0);
-  Buffer fastq;
+
+  // FASTQ parsing is inherently serial (records are variable-length), so it is the
+  // pipeline's record source: it feeds the text in windows and hands out one
+  // chunk-sized batch of reads per work item. Column building/compression and the
+  // batched chunk writes run behind it in parallel.
+  struct ImportState {
+    Buffer fastq;
+    size_t offset = 0;
+    format::FastqParser parser;
+    std::vector<genome::Read> ready;
+    bool done = false;
+  };
+  auto state = std::make_shared<ImportState>();
   PERSONA_RETURN_IF_ERROR(compress::GetCodec(compress::CodecId::kZlib)
                               .Decompress(object.span().subspan(sizeof(uint64_t)),
-                                          static_cast<size_t>(raw_size), &fastq));
+                                          static_cast<size_t>(raw_size), &state->fastq));
+
+  ChunkPipeline pipeline(pipeline_options);
+  pipeline.SetRecordSource([state, records_per_chunk](
+                               std::optional<ChunkPipeline::Input>* out) -> Status {
+    constexpr size_t kWindow = 1 << 20;
+    while (state->ready.size() < records_per_chunk && !state->done) {
+      if (state->offset >= state->fastq.size()) {
+        PERSONA_RETURN_IF_ERROR(state->parser.Finish());
+        state->done = true;
+        break;
+      }
+      const size_t len = std::min(kWindow, state->fastq.size() - state->offset);
+      PERSONA_RETURN_IF_ERROR(state->parser.Feed(
+          std::string_view(state->fastq.view().data() + state->offset, len),
+          &state->ready));
+      state->offset += len;
+    }
+    if (state->ready.empty()) {
+      return OkStatus();  // end of stream
+    }
+    const size_t take = std::min(records_per_chunk, state->ready.size());
+    ChunkPipeline::Input input;
+    input.reads.assign(std::make_move_iterator(state->ready.begin()),
+                       std::make_move_iterator(state->ready.begin() +
+                                               static_cast<ptrdiff_t>(take)));
+    state->ready.erase(state->ready.begin(),
+                       state->ready.begin() + static_cast<ptrdiff_t>(take));
+    *out = std::move(input);
+    return OkStatus();
+  });
+  pipeline.SetWriter(store, 3);
+
+  auto entries_mu = std::make_shared<std::mutex>();
+  auto entries = std::make_shared<std::map<size_t, format::ManifestChunk>>();
+  pipeline.SetTransform(
+      "agd-build",
+      [&name, codec, records_per_chunk, entries_mu, entries](
+          ChunkPipeline::Input&& input, ChunkPipeline::Emitter& emit) -> Status {
+        format::ChunkBuilder bases(format::RecordType::kBases, codec);
+        format::ChunkBuilder qual(format::RecordType::kQual, codec);
+        format::ChunkBuilder metadata(format::RecordType::kMetadata, codec);
+        for (const genome::Read& read : input.reads) {
+          bases.AddBases(read.bases);
+          qual.AddRecord(read.qual);
+          metadata.AddRecord(read.metadata);
+        }
+        const std::string path_base = name + "-" + std::to_string(input.index);
+        format::ManifestChunk chunk;
+        chunk.path_base = path_base;
+        chunk.first_record = static_cast<int64_t>(input.index * records_per_chunk);
+        chunk.num_records = static_cast<int64_t>(input.reads.size());
+        {
+          std::lock_guard<std::mutex> lock(*entries_mu);
+          entries->emplace(input.index, std::move(chunk));
+        }
+        ChunkPipeline::SerializeRequest request;
+        request.keys = {path_base + ".bases", path_base + ".qual",
+                        path_base + ".metadata"};
+        request.builders.push_back(std::move(bases));
+        request.builders.push_back(std::move(qual));
+        request.builders.push_back(std::move(metadata));
+        return emit.Emit(std::move(request));
+      });
+  PERSONA_RETURN_IF_ERROR(pipeline.Run().status());
 
   format::Manifest manifest;
   manifest.name = name;
   manifest.chunk_size = chunk_size;
   manifest.columns = format::StandardReadColumns(codec);
-
-  format::ChunkBuilder bases(format::RecordType::kBases, codec);
-  format::ChunkBuilder qual(format::RecordType::kQual, codec);
-  format::ChunkBuilder metadata(format::RecordType::kMetadata, codec);
-  Buffer bases_file;
-  Buffer qual_file;
-  Buffer metadata_file;
-  int64_t in_chunk = 0;
   int64_t total = 0;
-
-  auto flush = [&]() -> Status {
-    if (in_chunk == 0) {
-      return OkStatus();
-    }
-    format::ManifestChunk chunk;
-    chunk.path_base = name + "-" + std::to_string(manifest.chunks.size());
-    chunk.first_record = total - in_chunk;
-    chunk.num_records = in_chunk;
-    PERSONA_RETURN_IF_ERROR(bases.Finalize(&bases_file));
-    PERSONA_RETURN_IF_ERROR(qual.Finalize(&qual_file));
-    PERSONA_RETURN_IF_ERROR(metadata.Finalize(&metadata_file));
-    std::array<storage::PutOp, 3> puts = {
-        storage::PutOp{chunk.path_base + ".bases", bases_file.span(), {}},
-        storage::PutOp{chunk.path_base + ".qual", qual_file.span(), {}},
-        storage::PutOp{chunk.path_base + ".metadata", metadata_file.span(), {}},
-    };
-    PERSONA_RETURN_IF_ERROR(store->PutBatch(puts));
+  for (auto& [index, chunk] : *entries) {
+    total += chunk.num_records;
     manifest.chunks.push_back(std::move(chunk));
-    bases.Reset();
-    qual.Reset();
-    metadata.Reset();
-    in_chunk = 0;
-    return OkStatus();
-  };
-
-  // Streamed parse: feed the decompressed text in windows, flushing chunks as they fill.
-  format::FastqParser parser;
-  std::vector<genome::Read> parsed;
-  constexpr size_t kWindow = 1 << 20;
-  for (size_t offset = 0; offset < fastq.size(); offset += kWindow) {
-    size_t len = std::min(kWindow, fastq.size() - offset);
-    PERSONA_RETURN_IF_ERROR(
-        parser.Feed(std::string_view(fastq.view().data() + offset, len), &parsed));
-    for (genome::Read& read : parsed) {
-      bases.AddBases(read.bases);
-      qual.AddRecord(read.qual);
-      metadata.AddRecord(read.metadata);
-      ++in_chunk;
-      ++total;
-      if (in_chunk >= chunk_size) {
-        PERSONA_RETURN_IF_ERROR(flush());
-      }
-    }
-    parsed.clear();
   }
-  PERSONA_RETURN_IF_ERROR(parser.Finish());
-  PERSONA_RETURN_IF_ERROR(flush());
   PERSONA_RETURN_IF_ERROR(store->Put("manifest.json", manifest.ToJson()));
 
   ConvertReport report;
   report.seconds = timer.ElapsedSeconds();
   report.records = static_cast<uint64_t>(total);
-  report.bytes_in = fastq.size();
+  report.bytes_in = state->fastq.size();
   report.bytes_out = store->stats().bytes_written - before.bytes_written;
   report.throughput_mb_per_sec = Throughput(report.bytes_in, report.seconds);
   if (out_manifest != nullptr) {
@@ -113,35 +152,63 @@ Result<ConvertReport> ImportFastqToAgd(storage::ObjectStore* store, const std::s
 Result<ConvertReport> ExportAgdToSam(storage::ObjectStore* store,
                                      const format::Manifest& manifest,
                                      const genome::ReferenceGenome& reference,
-                                     const std::string& out_key) {
+                                     const std::string& out_key,
+                                     const ChunkPipeline::Options& pipeline_options) {
   if (!manifest.HasColumn("results")) {
     return FailedPreconditionError("SAM export requires a results column");
   }
   Stopwatch timer;
   const storage::StoreStats before = store->stats();
 
-  ConvertReport report;
-  std::string sam = format::SamHeader(reference);
-  int part = 0;
-  for (size_t ci = 0; ci < manifest.chunks.size(); ++ci) {
-    std::vector<genome::Read> reads;
-    std::vector<align::AlignmentResult> results;
-    PERSONA_RETURN_IF_ERROR(LoadAlignedChunk(store, manifest, ci, &reads, &results));
-    for (size_t i = 0; i < reads.size(); ++i) {
-      PERSONA_RETURN_IF_ERROR(
-          format::AppendSamRecord(reference, reads[i], results[i], &sam));
-      ++report.records;
-    }
-    if (sam.size() > (8u << 20)) {
-      PERSONA_RETURN_IF_ERROR(store->Put(out_key + "." + std::to_string(part++), sam));
+  // SAM output is one sequential text stream, so the append stage is ordered; chunk
+  // fetching/parsing ahead of it and part writes behind it overlap. The drain flushes
+  // the final partial part.
+  struct SamState {
+    ConvertReport report;
+    std::string sam;
+    int part = 0;
+
+    Status FlushPart(ChunkPipeline::Emitter& emit, const std::string& out_key) {
+      ChunkPipeline::BufferRef object = emit.AcquireBuffer();
+      object->Append(std::string_view(sam));
       report.bytes_in += sam.size();
       sam.clear();
+      return emit.Write(out_key + "." + std::to_string(part++), std::move(object));
     }
-  }
-  if (!sam.empty()) {
-    PERSONA_RETURN_IF_ERROR(store->Put(out_key + "." + std::to_string(part), sam));
-    report.bytes_in += sam.size();
-  }
+  };
+  auto state = std::make_shared<SamState>();
+  state->sam = format::SamHeader(reference);
+
+  ChunkPipeline pipeline(pipeline_options);
+  pipeline.SetManifestSource(store, &manifest, {"bases", "qual", "metadata", "results"});
+  pipeline.SetWriter(store, 1);
+  pipeline.SetTransform(
+      "sam-append",
+      [state, &reference, &out_key](ChunkPipeline::Input&& input,
+                                    ChunkPipeline::Emitter& emit) -> Status {
+        genome::Read read;
+        align::AlignmentResult result;
+        for (size_t i = 0; i < input.column(0, 0).record_count(); ++i) {
+          PERSONA_RETURN_IF_ERROR(DecodeInputRecord(input, i, &read, &result));
+          PERSONA_RETURN_IF_ERROR(
+              format::AppendSamRecord(reference, read, result, &state->sam));
+          ++state->report.records;
+        }
+        if (state->sam.size() > (8u << 20)) {
+          return state->FlushPart(emit, out_key);
+        }
+        return OkStatus();
+      },
+      /*ordered=*/true,
+      [state, &out_key](ChunkPipeline::Emitter& emit) -> Status {
+        if (state->sam.empty()) {
+          return OkStatus();
+        }
+        return state->FlushPart(emit, out_key);
+      });
+  PERSONA_RETURN_IF_ERROR(pipeline.Run().status());
+
+  ConvertReport report = state->report;
   report.seconds = timer.ElapsedSeconds();
   report.bytes_out = store->stats().bytes_written - before.bytes_written;
   report.throughput_mb_per_sec = Throughput(report.bytes_out, report.seconds);
@@ -150,27 +217,49 @@ Result<ConvertReport> ExportAgdToSam(storage::ObjectStore* store,
 
 Result<ConvertReport> ExportAgdToBsam(storage::ObjectStore* store,
                                       const format::Manifest& manifest,
-                                      const std::string& out_key) {
+                                      const std::string& out_key,
+                                      const ChunkPipeline::Options& pipeline_options) {
   if (!manifest.HasColumn("results")) {
     return FailedPreconditionError("BSAM export requires a results column");
   }
   Stopwatch timer;
-  ConvertReport report;
-  format::BsamWriter writer;
-  for (size_t ci = 0; ci < manifest.chunks.size(); ++ci) {
-    std::vector<genome::Read> reads;
-    std::vector<align::AlignmentResult> results;
-    PERSONA_RETURN_IF_ERROR(LoadAlignedChunk(store, manifest, ci, &reads, &results));
-    for (size_t i = 0; i < reads.size(); ++i) {
-      writer.Add(reads[i], results[i]);
-      ++report.records;
-      report.bytes_in += reads[i].bases.size() + reads[i].qual.size() +
-                         reads[i].metadata.size();
-    }
-  }
-  PERSONA_ASSIGN_OR_RETURN(Buffer file, writer.Finish());
-  report.bytes_out = file.size();
-  PERSONA_RETURN_IF_ERROR(store->Put(out_key, file));
+
+  // One BSAM object accumulates across every chunk: ordered append stage, single
+  // end-of-stream emission from the drain.
+  struct BsamState {
+    ConvertReport report;
+    format::BsamWriter writer;
+  };
+  auto state = std::make_shared<BsamState>();
+
+  ChunkPipeline pipeline(pipeline_options);
+  pipeline.SetManifestSource(store, &manifest, {"bases", "qual", "metadata", "results"});
+  pipeline.SetWriter(store, 1);
+  pipeline.SetTransform(
+      "bsam-append",
+      [state](ChunkPipeline::Input&& input, ChunkPipeline::Emitter&) -> Status {
+        genome::Read read;
+        align::AlignmentResult result;
+        for (size_t i = 0; i < input.column(0, 0).record_count(); ++i) {
+          PERSONA_RETURN_IF_ERROR(DecodeInputRecord(input, i, &read, &result));
+          state->writer.Add(read, result);
+          ++state->report.records;
+          state->report.bytes_in +=
+              read.bases.size() + read.qual.size() + read.metadata.size();
+        }
+        return OkStatus();
+      },
+      /*ordered=*/true,
+      [state, &out_key](ChunkPipeline::Emitter& emit) -> Status {
+        PERSONA_ASSIGN_OR_RETURN(Buffer file, state->writer.Finish());
+        state->report.bytes_out = file.size();
+        ChunkPipeline::BufferRef object = emit.AcquireBuffer();
+        *object = std::move(file);
+        return emit.Write(out_key, std::move(object));
+      });
+  PERSONA_RETURN_IF_ERROR(pipeline.Run().status());
+
+  ConvertReport report = state->report;
   report.seconds = timer.ElapsedSeconds();
   report.throughput_mb_per_sec = Throughput(report.bytes_out, report.seconds);
   return report;

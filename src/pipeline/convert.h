@@ -8,6 +8,7 @@
 
 #include "src/format/agd_manifest.h"
 #include "src/genome/reference.h"
+#include "src/pipeline/chunk_pipeline.h"
 #include "src/storage/object_store.h"
 
 namespace persona::pipeline {
@@ -21,22 +22,28 @@ struct ConvertReport {
 };
 
 // Imports "<name>.fastq.gz" from the store into an AGD dataset named `name`.
-// Parsing is streamed (FastqParser), chunks are flushed as they fill.
-Result<ConvertReport> ImportFastqToAgd(storage::ObjectStore* store, const std::string& name,
-                                       int64_t chunk_size,
-                                       compress::CodecId codec,
-                                       format::Manifest* out_manifest);
+// Parsing streams serially as the ChunkPipeline's record source; column building,
+// compression, and batched chunk writes run behind it in parallel. `input_store`,
+// when set, is where the gzipped FASTQ is read from (the paper's §5 shape: sequencer
+// output staged on local disk, AGD written to the cluster store); by default the
+// input lives in `store` itself.
+Result<ConvertReport> ImportFastqToAgd(
+    storage::ObjectStore* store, const std::string& name, int64_t chunk_size,
+    compress::CodecId codec, format::Manifest* out_manifest,
+    const ChunkPipeline::Options& pipeline_options = {},
+    storage::ObjectStore* input_store = nullptr);
 
-// Exports an aligned AGD dataset to SAM text parts ("<out_key>.<i>").
-Result<ConvertReport> ExportAgdToSam(storage::ObjectStore* store,
-                                     const format::Manifest& manifest,
-                                     const genome::ReferenceGenome& reference,
-                                     const std::string& out_key);
+// Exports an aligned AGD dataset to SAM text parts ("<out_key>.<i>"). Chunk fetching
+// and parsing overlap the (ordered) SAM append stage.
+Result<ConvertReport> ExportAgdToSam(
+    storage::ObjectStore* store, const format::Manifest& manifest,
+    const genome::ReferenceGenome& reference, const std::string& out_key,
+    const ChunkPipeline::Options& pipeline_options = {});
 
 // Exports an aligned AGD dataset to one BSAM object (`out_key`).
-Result<ConvertReport> ExportAgdToBsam(storage::ObjectStore* store,
-                                      const format::Manifest& manifest,
-                                      const std::string& out_key);
+Result<ConvertReport> ExportAgdToBsam(
+    storage::ObjectStore* store, const format::Manifest& manifest,
+    const std::string& out_key, const ChunkPipeline::Options& pipeline_options = {});
 
 }  // namespace persona::pipeline
 

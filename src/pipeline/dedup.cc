@@ -1,10 +1,12 @@
 #include "src/pipeline/dedup.h"
 
 #include <bit>
+#include <memory>
 #include <unordered_set>
 #include <vector>
 
 #include "src/format/agd_chunk.h"
+#include "src/pipeline/chunk_pipeline.h"
 #include "src/util/stopwatch.h"
 
 namespace persona::pipeline {
@@ -135,53 +137,46 @@ DedupReport MarkDuplicatesChained(std::span<align::AlignmentResult> results) {
 
 Result<DedupReport> DedupAgdResults(storage::ObjectStore* store,
                                     const format::Manifest& manifest,
-                                    compress::CodecId codec) {
+                                    compress::CodecId codec,
+                                    const ChunkPipeline::Options& pipeline_options) {
   if (!manifest.HasColumn("results")) {
     return FailedPreconditionError("dedup requires a results column");
   }
   Stopwatch timer;
 
-  // Load only the results column — every chunk's column object in one batched Get.
-  const size_t num_chunks = manifest.chunks.size();
-  std::vector<Buffer> files(num_chunks);
-  {
-    std::vector<storage::GetOp> gets;
-    gets.reserve(num_chunks);
-    for (size_t ci = 0; ci < num_chunks; ++ci) {
-      gets.push_back({manifest.ChunkFileName(ci, "results"), &files[ci], {}});
-    }
-    PERSONA_RETURN_IF_ERROR(store->GetBatch(gets));
-  }
-  std::vector<align::AlignmentResult> all;
-  std::vector<size_t> chunk_sizes;
-  for (size_t ci = 0; ci < num_chunks; ++ci) {
-    PERSONA_ASSIGN_OR_RETURN(format::ParsedChunk chunk,
-                             format::ParsedChunk::Parse(files[ci].span()));
-    chunk_sizes.push_back(chunk.record_count());
-    for (size_t i = 0; i < chunk.record_count(); ++i) {
-      PERSONA_ASSIGN_OR_RETURN(align::AlignmentResult r, chunk.GetResult(i));
-      all.push_back(std::move(r));
-    }
-  }
+  // Duplicate marking is a running scan over one global signature set, so the mark
+  // stage is ordered (chunks in dataset order); the results-column reads ahead of it
+  // and the rebuild/compress/write-back behind it overlap across chunks.
+  ChunkPipeline pipeline(pipeline_options);
+  pipeline.SetManifestSource(store, &manifest, {"results"});
+  pipeline.SetWriter(store, 1);
 
-  DedupReport report = MarkDuplicatesDense(all);
+  DedupReport report;
+  auto seen = std::make_shared<DenseSignatureSet>(
+      static_cast<size_t>(manifest.total_records()));
+  pipeline.SetTransform(
+      "dedup-mark",
+      [&report, &manifest, seen, codec](ChunkPipeline::Input&& input,
+                                        ChunkPipeline::Emitter& emit) -> Status {
+        const format::ParsedChunk& results = input.column(0, 0);
+        format::ChunkBuilder builder(format::RecordType::kResults, codec);
+        for (size_t i = 0; i < results.record_count(); ++i) {
+          PERSONA_ASSIGN_OR_RETURN(align::AlignmentResult r, results.GetResult(i));
+          ++report.total;
+          if (r.mapped() && !seen->Insert(Signature(r))) {
+            r.flags |= align::kFlagDuplicate;
+            ++report.duplicates;
+          }
+          builder.AddResult(r);
+        }
+        ChunkPipeline::SerializeRequest request;
+        request.keys.push_back(manifest.chunks[input.chunk_begin].path_base + ".results");
+        request.builders.push_back(std::move(builder));
+        return emit.Emit(std::move(request));
+      },
+      /*ordered=*/true);
+  PERSONA_RETURN_IF_ERROR(pipeline.Run().status());
 
-  // Write the flagged results back: rebuild every chunk's column, then store them all
-  // with one batched Put (the builders' output buffers stay alive for the batch).
-  size_t offset = 0;
-  std::vector<storage::PutOp> puts;
-  puts.reserve(num_chunks);
-  for (size_t ci = 0; ci < num_chunks; ++ci) {
-    format::ChunkBuilder builder(format::RecordType::kResults, codec);
-    for (size_t i = 0; i < chunk_sizes[ci]; ++i) {
-      builder.AddResult(all[offset + i]);
-    }
-    offset += chunk_sizes[ci];
-    files[ci].Clear();
-    PERSONA_RETURN_IF_ERROR(builder.Finalize(&files[ci]));
-    puts.push_back({manifest.chunks[ci].path_base + ".results", files[ci].span(), {}});
-  }
-  PERSONA_RETURN_IF_ERROR(store->PutBatch(puts));
   report.seconds = timer.ElapsedSeconds();
   report.reads_per_sec =
       report.seconds > 0 ? static_cast<double>(report.total) / report.seconds : 0;

@@ -19,6 +19,7 @@
 
 #include "src/align/alignment.h"
 #include "src/format/agd_manifest.h"
+#include "src/pipeline/chunk_pipeline.h"
 #include "src/storage/object_store.h"
 
 namespace persona::pipeline {
@@ -35,10 +36,12 @@ DedupReport MarkDuplicatesDense(std::span<align::AlignmentResult> results);
 DedupReport MarkDuplicatesChained(std::span<align::AlignmentResult> results);
 
 // Whole-dataset dedup touching only the results column: read every "<chunk>.results"
-// object, mark, write back. Other columns are never transferred.
-Result<DedupReport> DedupAgdResults(storage::ObjectStore* store,
-                                    const format::Manifest& manifest,
-                                    compress::CodecId codec = compress::CodecId::kZlib);
+// object, mark, write back. Other columns are never transferred. Runs on the shared
+// ChunkPipeline: reads and write-backs overlap the (ordered) mark stage.
+Result<DedupReport> DedupAgdResults(
+    storage::ObjectStore* store, const format::Manifest& manifest,
+    compress::CodecId codec = compress::CodecId::kZlib,
+    const ChunkPipeline::Options& pipeline_options = {});
 
 }  // namespace persona::pipeline
 

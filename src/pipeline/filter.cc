@@ -1,41 +1,52 @@
 #include "src/pipeline/filter.h"
 
 #include <algorithm>
+#include <memory>
 #include <vector>
 
 #include "src/format/agd_chunk.h"
+#include "src/pipeline/chunk_pipeline.h"
 #include "src/util/stopwatch.h"
 #include "src/util/string_util.h"
 
 namespace persona::pipeline {
 namespace {
 
-// Writes one output chunk (all columns, one batched Put) and appends its manifest entry.
-Status FlushOutputChunk(storage::ObjectStore* store, const std::string& out_name,
-                        std::vector<format::ChunkBuilder>& builders,
-                        const std::vector<format::ManifestColumn>& columns,
-                        format::Manifest* out, FilterReport* report) {
-  if (builders.front().record_count() == 0) {
-    return OkStatus();
-  }
-  format::ManifestChunk chunk;
-  chunk.path_base = out_name + "-" + std::to_string(out->chunks.size());
-  chunk.first_record = out->total_records();
-  chunk.num_records = static_cast<int64_t>(builders.front().record_count());
+// Cross-chunk state of the (ordered) filter stage: the output manifest under
+// construction and the partially filled output-chunk builders.
+struct FilterState {
+  format::Manifest out;
+  std::vector<format::ChunkBuilder> builders;
+  FilterReport report;
+  // Scratch reused across input chunks (the stage runs one worker).
+  std::vector<Buffer> column_files;
+  std::vector<format::ParsedChunk> parsed;
+  size_t results_index = 0;
 
-  std::vector<Buffer> files(columns.size());
-  std::vector<storage::PutOp> puts;
-  puts.reserve(columns.size());
-  for (size_t c = 0; c < columns.size(); ++c) {
-    PERSONA_RETURN_IF_ERROR(builders[c].Finalize(&files[c]));
-    puts.push_back({chunk.path_base + "." + columns[c].name, files[c].span(), {}});
-    builders[c].Reset();
+  // Hands the filled output chunk to the serialize stage and appends its manifest
+  // entry; builders are replaced fresh (they travel with the request).
+  Status Flush(ChunkPipeline::Emitter& emit) {
+    if (builders.front().record_count() == 0) {
+      return OkStatus();
+    }
+    format::ManifestChunk chunk;
+    chunk.path_base = out.name + "-" + std::to_string(out.chunks.size());
+    chunk.first_record = out.total_records();
+    chunk.num_records = static_cast<int64_t>(builders.front().record_count());
+
+    ChunkPipeline::SerializeRequest request;
+    request.keys.reserve(out.columns.size());
+    request.builders.reserve(out.columns.size());
+    for (size_t c = 0; c < out.columns.size(); ++c) {
+      request.keys.push_back(chunk.path_base + "." + out.columns[c].name);
+      request.builders.push_back(std::move(builders[c]));
+      builders[c] = format::ChunkBuilder(out.columns[c].type, out.columns[c].codec);
+    }
+    out.chunks.push_back(std::move(chunk));
+    ++report.chunks_out;
+    return emit.Emit(std::move(request));
   }
-  PERSONA_RETURN_IF_ERROR(store->PutBatch(puts));
-  out->chunks.push_back(std::move(chunk));
-  ++report->chunks_out;
-  return OkStatus();
-}
+};
 
 }  // namespace
 
@@ -111,109 +122,117 @@ Result<FilterReport> FilterAgdDataset(storage::ObjectStore* store,
                                       const std::string& out_name,
                                       const ReadFilterSpec& spec,
                                       const FilterOptions& options,
-                                      format::Manifest* out_manifest) {
+                                      format::Manifest* out_manifest,
+                                      const ChunkPipeline::Options& pipeline_options) {
   if (!manifest.HasColumn("results")) {
     return FailedPreconditionError("filtering requires a results column");
   }
   Stopwatch timer;
   const storage::StoreStats stats_before = store->stats();
 
-  format::Manifest out;
-  out.name = out_name;
-  out.chunk_size = options.chunk_size > 0 ? options.chunk_size : manifest.chunk_size;
-  out.reference_contigs = manifest.reference_contigs;
+  auto state = std::make_shared<FilterState>();
+  state->out.name = out_name;
+  state->out.chunk_size =
+      options.chunk_size > 0 ? options.chunk_size : manifest.chunk_size;
+  state->out.reference_contigs = manifest.reference_contigs;
   for (const format::ManifestColumn& column : manifest.columns) {
-    out.columns.push_back({column.name, column.type, options.codec});
+    state->out.columns.push_back({column.name, column.type, options.codec});
   }
-
-  std::vector<format::ChunkBuilder> builders;
-  builders.reserve(out.columns.size());
-  for (const format::ManifestColumn& column : out.columns) {
-    builders.emplace_back(column.type, column.codec);
+  state->builders.reserve(state->out.columns.size());
+  for (const format::ManifestColumn& column : state->out.columns) {
+    state->builders.emplace_back(column.type, column.codec);
   }
-
-  FilterReport report;
-  Buffer file;
-  std::vector<Buffer> column_files(manifest.columns.size());
-  std::vector<format::ParsedChunk> parsed(manifest.columns.size());
-  size_t results_index = manifest.columns.size();
+  state->column_files.resize(manifest.columns.size());
+  state->parsed.resize(manifest.columns.size());
+  state->results_index = manifest.columns.size();
   for (size_t c = 0; c < manifest.columns.size(); ++c) {
     if (manifest.columns[c].name == "results") {
-      results_index = c;
+      state->results_index = c;
     }
   }
-  for (size_t ci = 0; ci < manifest.chunks.size(); ++ci) {
-    ++report.chunks_in;
-    // The keep decision needs only the results column; fetch it first so fully-dropped
-    // chunks skip the other columns entirely (selective-column I/O).
-    PERSONA_RETURN_IF_ERROR(store->Get(manifest.ChunkFileName(ci, "results"), &file));
-    PERSONA_ASSIGN_OR_RETURN(parsed[results_index],
-                             format::ParsedChunk::Parse(file.span()));
-    const format::ParsedChunk& results = parsed[results_index];
 
-    std::vector<bool> keep(results.record_count());
-    size_t kept = 0;
-    for (size_t i = 0; i < results.record_count(); ++i) {
-      PERSONA_ASSIGN_OR_RETURN(align::AlignmentResult result, results.GetResult(i));
-      keep[i] = spec.Keep(result);
-      kept += keep[i] ? 1 : 0;
-    }
-    report.records_in += results.record_count();
-    if (kept == 0) {
-      continue;
-    }
+  // The keep decision needs only the results column, so the pipeline's readers fetch
+  // just that; the (ordered — output chunks span input chunks) filter stage fetches
+  // the other columns itself, only for chunks with survivors, keeping the
+  // selective-column I/O advantage. The drain flushes the final partial chunk.
+  ChunkPipeline pipeline(pipeline_options);
+  pipeline.SetManifestSource(store, &manifest, {"results"});
+  pipeline.SetWriter(store, manifest.columns.size());
+  pipeline.SetTransform(
+      "filter",
+      [state, store, &manifest, &spec](ChunkPipeline::Input&& input,
+                                       ChunkPipeline::Emitter& emit) -> Status {
+        const size_t ci = input.chunk_begin;
+        ++state->report.chunks_in;
+        state->parsed[state->results_index] = std::move(input.columns[0]);
+        const format::ParsedChunk& results = state->parsed[state->results_index];
 
-    // Surviving chunk: fetch the remaining columns with one batched Get.
-    {
-      std::vector<storage::GetOp> gets;
-      gets.reserve(manifest.columns.size() - 1);
-      for (size_t c = 0; c < manifest.columns.size(); ++c) {
-        if (c == results_index) {
-          continue;
+        std::vector<bool> keep(results.record_count());
+        size_t kept = 0;
+        for (size_t i = 0; i < results.record_count(); ++i) {
+          PERSONA_ASSIGN_OR_RETURN(align::AlignmentResult result, results.GetResult(i));
+          keep[i] = spec.Keep(result);
+          kept += keep[i] ? 1 : 0;
         }
-        gets.push_back(
-            {manifest.ChunkFileName(ci, manifest.columns[c].name), &column_files[c], {}});
-      }
-      PERSONA_RETURN_IF_ERROR(store->GetBatch(gets));
-    }
-    for (size_t c = 0; c < manifest.columns.size(); ++c) {
-      if (c == results_index) {
-        continue;
-      }
-      PERSONA_ASSIGN_OR_RETURN(parsed[c],
-                               format::ParsedChunk::Parse(column_files[c].span()));
-      if (parsed[c].record_count() != results.record_count()) {
-        return DataLossError(
-            StrFormat("chunk %zu: column '%s' record count disagrees with results", ci,
-                      manifest.columns[c].name.c_str()));
-      }
-    }
-
-    for (size_t i = 0; i < results.record_count(); ++i) {
-      if (!keep[i]) {
-        continue;
-      }
-      for (size_t c = 0; c < out.columns.size(); ++c) {
-        if (out.columns[c].type == format::RecordType::kBases) {
-          PERSONA_ASSIGN_OR_RETURN(std::string bases, parsed[c].GetBases(i));
-          builders[c].AddBases(bases);
-        } else {
-          // Raw byte passthrough works for qual, metadata, and encoded results alike.
-          builders[c].AddRecord(parsed[c].RecordBytes(i));
+        state->report.records_in += results.record_count();
+        if (kept == 0) {
+          return OkStatus();
         }
-      }
-      ++report.records_out;
-      if (static_cast<int64_t>(builders.front().record_count()) >= out.chunk_size) {
-        PERSONA_RETURN_IF_ERROR(
-            FlushOutputChunk(store, out_name, builders, out.columns, &out, &report));
-      }
-    }
-  }
-  PERSONA_RETURN_IF_ERROR(
-      FlushOutputChunk(store, out_name, builders, out.columns, &out, &report));
 
-  PERSONA_RETURN_IF_ERROR(store->Put(out_name + ".manifest.json", out.ToJson()));
-  *out_manifest = std::move(out);
+        // Surviving chunk: fetch the remaining columns with one batched Get.
+        {
+          std::vector<storage::GetOp> gets;
+          gets.reserve(manifest.columns.size() - 1);
+          for (size_t c = 0; c < manifest.columns.size(); ++c) {
+            if (c == state->results_index) {
+              continue;
+            }
+            gets.push_back({manifest.ChunkFileName(ci, manifest.columns[c].name),
+                            &state->column_files[c], {}});
+          }
+          PERSONA_RETURN_IF_ERROR(store->GetBatch(gets));
+        }
+        for (size_t c = 0; c < manifest.columns.size(); ++c) {
+          if (c == state->results_index) {
+            continue;
+          }
+          PERSONA_ASSIGN_OR_RETURN(state->parsed[c],
+                                   format::ParsedChunk::Parse(state->column_files[c].span()));
+          if (state->parsed[c].record_count() != results.record_count()) {
+            return DataLossError(
+                StrFormat("chunk %zu: column '%s' record count disagrees with results",
+                          ci, manifest.columns[c].name.c_str()));
+          }
+        }
+
+        for (size_t i = 0; i < results.record_count(); ++i) {
+          if (!keep[i]) {
+            continue;
+          }
+          for (size_t c = 0; c < state->out.columns.size(); ++c) {
+            if (state->out.columns[c].type == format::RecordType::kBases) {
+              PERSONA_ASSIGN_OR_RETURN(std::string bases, state->parsed[c].GetBases(i));
+              state->builders[c].AddBases(bases);
+            } else {
+              // Raw byte passthrough works for qual, metadata, and encoded results alike.
+              state->builders[c].AddRecord(state->parsed[c].RecordBytes(i));
+            }
+          }
+          ++state->report.records_out;
+          if (static_cast<int64_t>(state->builders.front().record_count()) >=
+              state->out.chunk_size) {
+            PERSONA_RETURN_IF_ERROR(state->Flush(emit));
+          }
+        }
+        return OkStatus();
+      },
+      /*ordered=*/true,
+      [state](ChunkPipeline::Emitter& emit) -> Status { return state->Flush(emit); });
+  PERSONA_RETURN_IF_ERROR(pipeline.Run().status());
+
+  PERSONA_RETURN_IF_ERROR(store->Put(out_name + ".manifest.json", state->out.ToJson()));
+  FilterReport report = state->report;
+  *out_manifest = std::move(state->out);
 
   report.seconds = timer.ElapsedSeconds();
   const storage::StoreStats stats_after = store->stats();

@@ -15,6 +15,7 @@
 
 #include "src/align/alignment.h"
 #include "src/format/agd_manifest.h"
+#include "src/pipeline/chunk_pipeline.h"
 #include "src/storage/object_store.h"
 
 namespace persona::pipeline {
@@ -51,13 +52,14 @@ struct FilterOptions {
 
 // Filters the dataset described by `manifest` (which must include a results column)
 // into a new dataset named `out_name` in the same store. On success `out_manifest`
-// describes the filtered dataset (also stored as "<out_name>.manifest.json").
-Result<FilterReport> FilterAgdDataset(storage::ObjectStore* store,
-                                      const format::Manifest& manifest,
-                                      const std::string& out_name,
-                                      const ReadFilterSpec& spec,
-                                      const FilterOptions& options,
-                                      format::Manifest* out_manifest);
+// describes the filtered dataset (also stored as "<out_name>.manifest.json"). Runs on
+// the shared ChunkPipeline: results-column reads run ahead of the ordered filter
+// stage, and output-chunk compression/writes run behind it.
+Result<FilterReport> FilterAgdDataset(
+    storage::ObjectStore* store, const format::Manifest& manifest,
+    const std::string& out_name, const ReadFilterSpec& spec,
+    const FilterOptions& options, format::Manifest* out_manifest,
+    const ChunkPipeline::Options& pipeline_options = {});
 
 // Parses a samtools-style region string against a reference: "chr1" (whole contig),
 // "chr1:100" (from 1-based position 100 to contig end), or "chr1:100-500" (1-based,

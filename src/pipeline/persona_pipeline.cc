@@ -1,42 +1,14 @@
 #include "src/pipeline/persona_pipeline.h"
 
-#include <array>
 #include <atomic>
+#include <memory>
 #include <mutex>
+#include <vector>
 
-#include "src/dataflow/object_pool.h"
 #include "src/format/agd_chunk.h"
-#include "src/util/stopwatch.h"
+#include "src/pipeline/chunk_pipeline.h"
 
 namespace persona::pipeline {
-
-namespace {
-
-using BufferPool = dataflow::ObjectPool<Buffer>;
-
-// Compressed column files of one chunk, in pooled buffers (zero-copy hand-off).
-struct RawChunk {
-  size_t chunk_index = 0;
-  BufferPool::Ref bases_file;
-  BufferPool::Ref qual_file;
-};
-
-// Parsed, decompressed chunk object.
-struct ChunkObject {
-  size_t chunk_index = 0;
-  std::shared_ptr<format::ParsedChunk> bases;
-  std::shared_ptr<format::ParsedChunk> qual;
-};
-
-// Serialized results column for one chunk.
-struct ResultChunk {
-  size_t chunk_index = 0;
-  BufferPool::Ref file;
-  uint64_t reads = 0;
-  uint64_t bases = 0;
-};
-
-}  // namespace
 
 Result<AlignRunReport> RunPersonaAlignment(storage::ObjectStore* store,
                                            const format::Manifest& manifest,
@@ -50,100 +22,26 @@ Result<AlignRunReport> RunPersonaAlignment(storage::ObjectStore* store,
   PERSONA_RETURN_IF_ERROR(manifest.FindColumn("qual").status());
 
   const storage::StoreStats store_before = store->stats();
-
-  // Queue capacities: the explicit depth, or "the number of parallel downstream nodes
-  // they feed" (paper §4.5 default).
-  const size_t work_cap = options.queue_depth > 0
-                              ? options.queue_depth
-                              : static_cast<size_t>(options.read_parallelism);
-  const size_t raw_cap = options.queue_depth > 0
-                             ? options.queue_depth
-                             : static_cast<size_t>(options.parse_parallelism);
-  const size_t chunk_cap = options.queue_depth > 0
-                               ? options.queue_depth
-                               : static_cast<size_t>(options.align_nodes);
-  const size_t result_cap = options.queue_depth > 0
-                                ? options.queue_depth
-                                : static_cast<size_t>(options.write_parallelism);
-
-  // Bounded pool, sized by the paper's §4.5 rule: "the total quantity of objects is the
-  // sum of the queue lengths and the number of dataflow nodes that use an object". Each
-  // RawChunk parks 2 buffers (bases + qual) in raw_queue and while a reader/parser holds
-  // it; each ResultChunk parks 1 in result_queue and while an aligner/writer holds it.
-  // Undersizing deadlocks: with every buffer parked on the input side, aligners block in
-  // Acquire() and nothing downstream can ever release one.
-  const size_t pool_size = raw_cap * 2 + result_cap +
-                           static_cast<size_t>(options.read_parallelism) * 2 +
-                           static_cast<size_t>(options.parse_parallelism) * 2 +
-                           static_cast<size_t>(options.align_nodes) +
-                           static_cast<size_t>(options.write_parallelism) + 4;
-  auto buffer_pool =
-      BufferPool::Create(pool_size, [] { return std::make_unique<Buffer>(); },
-                         [](Buffer* b) { b->Clear(); });
-
-  dataflow::Graph graph;
-  auto work_queue = dataflow::Graph::MakeQueue<size_t>(work_cap);
-  auto raw_queue = dataflow::Graph::MakeQueue<RawChunk>(raw_cap);
-  auto chunk_queue = dataflow::Graph::MakeQueue<ChunkObject>(chunk_cap);
-  auto result_queue = dataflow::Graph::MakeQueue<ResultChunk>(result_cap);
-
-  // --- Source: the manifest server hands out chunk indices. In cluster mode the
-  // source is shared across nodes (options.work_source); locally it iterates chunks. ---
   const size_t num_chunks = manifest.chunks.size();
-  if (options.work_source) {
-    graph.AddSource<size_t>("manifest-server", work_queue, options.work_source);
-  } else {
-    auto next_chunk = std::make_shared<std::atomic<size_t>>(0);
-    graph.AddSource<size_t>("manifest-server", work_queue,
-                            [next_chunk, num_chunks]() -> std::optional<size_t> {
-                              size_t i = next_chunk->fetch_add(1);
-                              if (i >= num_chunks) {
-                                return std::nullopt;
-                              }
-                              return i;
-                            });
-  }
 
-  // --- Reader: fetch the two needed columns into pooled buffers with one batched Get,
-  // so both column objects stream from their OSD nodes/shards in parallel. ---
-  graph.AddStage<size_t, RawChunk>(
-      "reader", options.read_parallelism, work_queue, raw_queue,
-      [store, &manifest, buffer_pool](size_t&& index, MpmcQueue<RawChunk>& out) -> Status {
-        RawChunk raw;
-        raw.chunk_index = index;
-        raw.bases_file = buffer_pool->Acquire();
-        raw.qual_file = buffer_pool->Acquire();
-        std::array<storage::GetOp, 2> gets = {
-            storage::GetOp{manifest.ChunkFileName(index, "bases"), raw.bases_file.get(),
-                           {}},
-            storage::GetOp{manifest.ChunkFileName(index, "qual"), raw.qual_file.get(),
-                           {}},
-        };
-        PERSONA_RETURN_IF_ERROR(store->GetBatch(gets));
-        out.Push(std::move(raw));
-        return OkStatus();
-      });
+  ChunkPipeline::Options pipeline_options;
+  pipeline_options.read_parallelism = options.read_parallelism;
+  pipeline_options.parse_parallelism = options.parse_parallelism;
+  pipeline_options.transform_parallelism = options.align_nodes;
+  // Results-column Finalize/compression used to run inside the aligner stage; keep it
+  // align-wide so the serialize stage cannot cap thread-scaling runs.
+  pipeline_options.serialize_parallelism = options.align_nodes;
+  pipeline_options.write_parallelism = options.write_parallelism;
+  pipeline_options.queue_depth = options.queue_depth;
+  pipeline_options.utilization_sample_sec = options.utilization_sample_sec;
+  pipeline_options.sampler_total_workers = static_cast<int>(executor->num_threads());
 
-  // --- Parser: decompress + parse into chunk objects; recycle the raw buffers. ---
-  graph.AddStage<RawChunk, ChunkObject>(
-      "agd-parser", options.parse_parallelism, raw_queue, chunk_queue,
-      [](RawChunk&& raw, MpmcQueue<ChunkObject>& out) -> Status {
-        ChunkObject chunk;
-        chunk.chunk_index = raw.chunk_index;
-        PERSONA_ASSIGN_OR_RETURN(format::ParsedChunk bases,
-                                 format::ParsedChunk::Parse(raw.bases_file->span()));
-        PERSONA_ASSIGN_OR_RETURN(format::ParsedChunk qual,
-                                 format::ParsedChunk::Parse(raw.qual_file->span()));
-        if (bases.record_count() != qual.record_count()) {
-          return DataLossError("bases/qual record counts disagree");
-        }
-        chunk.bases = std::make_shared<format::ParsedChunk>(std::move(bases));
-        chunk.qual = std::make_shared<format::ParsedChunk>(std::move(qual));
-        out.Push(std::move(chunk));
-        return OkStatus();
-      });
+  ChunkPipeline pipeline(pipeline_options);
+  // Selective column access (paper §3): alignment reads only bases + qual.
+  pipeline.SetManifestSource(store, &manifest, {"bases", "qual"}, 1,
+                             options.work_source);
+  pipeline.SetWriter(store, 1);
 
-  // --- Aligner nodes: subchunk via the executor resource (paper Fig. 4). ---
   auto profile_mu = std::make_shared<std::mutex>();
   auto merged_profile = std::make_shared<align::AlignProfile>();
   auto collected = std::make_shared<std::vector<std::vector<align::AlignmentResult>>>();
@@ -157,13 +55,18 @@ Result<AlignRunReport> RunPersonaAlignment(storage::ObjectStore* store,
       options.paired ? std::max(options.subchunk_size + (options.subchunk_size % 2), 2)
                      : std::max(options.subchunk_size, 1);
   const compress::CodecId results_codec = options.results_codec;
+  auto total_reads = std::make_shared<std::atomic<uint64_t>>(0);
+  auto total_bases = std::make_shared<std::atomic<uint64_t>>(0);
 
-  graph.AddStage<ChunkObject, ResultChunk>(
-      "aligner", options.align_nodes, chunk_queue, result_queue,
-      [&aligner, executor, buffer_pool, profile_mu, merged_profile, collected, collect,
-       paired, subchunk_size, results_codec](ChunkObject&& chunk,
-                                             MpmcQueue<ResultChunk>& out) -> Status {
-        const size_t n = chunk.bases->record_count();
+  // --- Aligner nodes: subchunk via the executor resource (paper Fig. 4). ---
+  pipeline.SetTransform(
+      "aligner",
+      [&aligner, executor, profile_mu, merged_profile, collected, collect, paired,
+       subchunk_size, results_codec, total_reads, total_bases, &manifest](
+          ChunkPipeline::Input&& chunk, ChunkPipeline::Emitter& emit) -> Status {
+        const format::ParsedChunk& bases = chunk.column(0, 0);
+        const format::ParsedChunk& qual = chunk.column(0, 1);
+        const size_t n = bases.record_count();
         if (paired && n % 2 != 0) {
           return FailedPreconditionError(
               "paired alignment requires an even record count per chunk");
@@ -182,13 +85,13 @@ Result<AlignRunReport> RunPersonaAlignment(storage::ObjectStore* store,
           size_t end = std::min(n, begin + static_cast<size_t>(subchunk_size));
           batch.Add([&, begin, end, task] {
             auto load = [&](size_t i, genome::Read* read) {
-              auto bases = chunk.bases->GetBases(i);
-              auto qual = chunk.qual->GetString(i);
-              if (!bases.ok() || !qual.ok()) {
+              auto read_bases = bases.GetBases(i);
+              auto read_qual = qual.GetString(i);
+              if (!read_bases.ok() || !read_qual.ok()) {
                 return false;
               }
-              read->bases = std::move(bases).value();
-              read->qual = std::string(*qual);
+              read->bases = std::move(read_bases).value();
+              read->qual = std::string(*read_qual);
               return true;
             };
             if (paired) {
@@ -245,52 +148,26 @@ Result<AlignRunReport> RunPersonaAlignment(storage::ObjectStore* store,
           }
         }
 
-        // Serialize the results column for this chunk.
+        // Hand the results column to the serialize stage; the writer lands it as
+        // "<path_base>.results" (paper §3: results are a new AGD column).
         format::ChunkBuilder builder(format::RecordType::kResults, results_codec);
         uint64_t base_count = 0;
         for (size_t i = 0; i < n; ++i) {
           builder.AddResult(results[i]);
-          base_count += chunk.bases->RecordLength(i);
+          base_count += bases.RecordLength(i);
         }
-        ResultChunk result;
-        result.chunk_index = chunk.chunk_index;
-        result.reads = n;
-        result.bases = base_count;
-        result.file = buffer_pool->Acquire();
-        PERSONA_RETURN_IF_ERROR(builder.Finalize(result.file.get()));
+        total_reads->fetch_add(n, std::memory_order_relaxed);
+        total_bases->fetch_add(base_count, std::memory_order_relaxed);
         if (collect) {
-          (*collected)[chunk.chunk_index] = std::move(results);
+          (*collected)[chunk.chunk_begin] = std::move(results);
         }
-        out.Push(std::move(result));
-        return OkStatus();
+        ChunkPipeline::SerializeRequest request;
+        request.keys.push_back(manifest.chunks[chunk.chunk_begin].path_base + ".results");
+        request.builders.push_back(std::move(builder));
+        return emit.Emit(std::move(request));
       });
 
-  // --- Writer: store the results column. ---
-  auto total_reads = std::make_shared<std::atomic<uint64_t>>(0);
-  auto total_bases = std::make_shared<std::atomic<uint64_t>>(0);
-  graph.AddSink<ResultChunk>(
-      "writer", options.write_parallelism, result_queue,
-      [store, &manifest, total_reads, total_bases](ResultChunk&& result) -> Status {
-        PERSONA_RETURN_IF_ERROR(store->Put(
-            manifest.chunks[result.chunk_index].path_base + ".results", *result.file));
-        total_reads->fetch_add(result.reads, std::memory_order_relaxed);
-        total_bases->fetch_add(result.bases, std::memory_order_relaxed);
-        return OkStatus();
-      });
-
-  // --- Run, optionally sampling utilization. ---
-  dataflow::UtilizationSampler sampler(&graph, options.utilization_sample_sec > 0
-                                                   ? options.utilization_sample_sec
-                                                   : 1.0,
-                                       static_cast<int>(executor->num_threads()));
-  if (options.utilization_sample_sec > 0) {
-    sampler.Start();
-  }
-  Stopwatch timer;
-  Status run_status = graph.Run();
-  double seconds = timer.ElapsedSeconds();
-  sampler.Stop();
-  PERSONA_RETURN_IF_ERROR(run_status);
+  PERSONA_ASSIGN_OR_RETURN(ChunkPipelineReport pipeline_report, pipeline.Run());
 
   // Persist the dataset's new shape: the results column now exists (paper §3:
   // "Persona appends alignment results to a new AGD column").
@@ -301,12 +178,12 @@ Result<AlignRunReport> RunPersonaAlignment(storage::ObjectStore* store,
   }
 
   AlignRunReport report;
-  report.seconds = seconds;
+  report.seconds = pipeline_report.seconds;
   report.reads = total_reads->load();
   report.bases = total_bases->load();
   report.chunks = num_chunks;
   report.profile = *merged_profile;
-  report.utilization = sampler.samples();
+  report.utilization = std::move(pipeline_report.utilization);
   storage::StoreStats after = store->stats();
   report.store_stats.bytes_read = after.bytes_read - store_before.bytes_read;
   report.store_stats.bytes_written = after.bytes_written - store_before.bytes_written;

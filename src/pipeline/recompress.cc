@@ -1,25 +1,16 @@
 #include "src/pipeline/recompress.h"
 
-#include <array>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "src/format/agd_chunk.h"
+#include "src/pipeline/chunk_pipeline.h"
 #include "src/util/stopwatch.h"
 #include "src/util/string_util.h"
 
 namespace persona::pipeline {
 namespace {
-
-// Batched fetch of one chunk's source column + results column.
-Status GetColumnPair(storage::ObjectStore* store, const format::Manifest& manifest,
-                     size_t chunk_index, const char* column, Buffer* column_file,
-                     Buffer* results_file) {
-  std::array<storage::GetOp, 2> gets = {
-      storage::GetOp{manifest.ChunkFileName(chunk_index, column), column_file, {}},
-      storage::GetOp{manifest.ChunkFileName(chunk_index, "results"), results_file, {}},
-  };
-  return store->GetBatch(gets);
-}
 
 // Replaces `from` with `to` in the manifest's column table.
 Status SwapColumn(format::Manifest* manifest, std::string_view from,
@@ -42,6 +33,27 @@ void FillStoreDelta(const storage::StoreStats& before, const storage::StoreStats
   report->store_stats.write_ops = after.write_ops - before.write_ops;
 }
 
+// Report counters shared by the parallel transcode workers.
+struct SharedCounters {
+  std::mutex mu;
+  uint64_t records = 0;
+  uint64_t bases_bytes = 0;
+  uint64_t ref_bases_bytes = 0;
+  format::RefCompStats stats;
+};
+
+// Deletes every chunk's `column` object with one batched call (overlaps the per-op
+// metadata round-trips across the store's shards).
+Status DeleteColumnObjects(storage::ObjectStore* store, const format::Manifest& manifest,
+                           const char* column) {
+  std::vector<storage::DeleteOp> deletes;
+  deletes.reserve(manifest.chunks.size());
+  for (size_t ci = 0; ci < manifest.chunks.size(); ++ci) {
+    deletes.push_back({manifest.ChunkFileName(ci, column), {}});
+  }
+  return store->DeleteBatch(deletes);
+}
+
 }  // namespace
 
 Result<RecompressReport> RefCompressBasesColumn(storage::ObjectStore* store,
@@ -57,45 +69,54 @@ Result<RecompressReport> RefCompressBasesColumn(storage::ObjectStore* store,
   const storage::StoreStats stats_before = store->stats();
   RecompressReport report;
 
-  Buffer bases_file;
-  Buffer results_file;
-  Buffer out_file;
-  for (size_t ci = 0; ci < manifest.chunks.size(); ++ci) {
-    PERSONA_RETURN_IF_ERROR(
-        GetColumnPair(store, manifest, ci, "bases", &bases_file, &results_file));
-    PERSONA_ASSIGN_OR_RETURN(format::ParsedChunk bases,
-                             format::ParsedChunk::Parse(bases_file.span()));
-    PERSONA_ASSIGN_OR_RETURN(format::ParsedChunk results,
-                             format::ParsedChunk::Parse(results_file.span()));
-    if (bases.record_count() != results.record_count()) {
-      return DataLossError(StrFormat("chunk %zu: bases/results record counts disagree", ci));
-    }
-    report.bases_bytes += bases_file.size();
+  // Chunks transcode independently, so the transform runs fully parallel; reads ahead
+  // and writes behind it overlap. Finalize runs in the transform (not the serialize
+  // stage) because the report needs each output object's stored size.
+  auto counters = std::make_shared<SharedCounters>();
+  ChunkPipeline pipeline(options.pipeline);
+  pipeline.SetManifestSource(store, &manifest, {"bases", "results"});
+  pipeline.SetWriter(store, 1);
+  pipeline.SetTransform(
+      "ref-encode",
+      [&manifest, &reference, &options, counters](
+          ChunkPipeline::Input&& input, ChunkPipeline::Emitter& emit) -> Status {
+        const format::ParsedChunk& bases = input.column(0, 0);
+        const format::ParsedChunk& results = input.column(0, 1);
 
-    format::ChunkBuilder builder(format::RecordType::kRefBases, options.codec);
-    Buffer record;
-    for (size_t i = 0; i < bases.record_count(); ++i) {
-      PERSONA_ASSIGN_OR_RETURN(std::string read_bases, bases.GetBases(i));
-      PERSONA_ASSIGN_OR_RETURN(align::AlignmentResult result, results.GetResult(i));
-      record.Clear();
-      format::RefEncodeRead(reference, read_bases, result, &record, &report.stats);
-      builder.AddRecord(record.view());
-      ++report.records;
-    }
-    PERSONA_RETURN_IF_ERROR(builder.Finalize(&out_file));
-    PERSONA_RETURN_IF_ERROR(
-        store->Put(manifest.ChunkFileName(ci, "ref_bases"), out_file));
-    report.ref_bases_bytes += out_file.size();
-  }
+        format::ChunkBuilder builder(format::RecordType::kRefBases, options.codec);
+        format::RefCompStats local_stats;
+        Buffer record;
+        for (size_t i = 0; i < bases.record_count(); ++i) {
+          PERSONA_ASSIGN_OR_RETURN(std::string read_bases, bases.GetBases(i));
+          PERSONA_ASSIGN_OR_RETURN(align::AlignmentResult result, results.GetResult(i));
+          record.Clear();
+          format::RefEncodeRead(reference, read_bases, result, &record, &local_stats);
+          builder.AddRecord(record.view());
+        }
+        ChunkPipeline::BufferRef object = emit.AcquireBuffer();
+        PERSONA_RETURN_IF_ERROR(builder.Finalize(object.get()));
+        {
+          std::lock_guard<std::mutex> lock(counters->mu);
+          counters->records += bases.record_count();
+          counters->bases_bytes += input.file_size(0, 0);
+          counters->ref_bases_bytes += object->size();
+          counters->stats.Add(local_stats);
+        }
+        return emit.Write(manifest.ChunkFileName(input.chunk_begin, "ref_bases"),
+                          std::move(object));
+      });
+  PERSONA_RETURN_IF_ERROR(pipeline.Run().status());
+  report.records = counters->records;
+  report.bases_bytes = counters->bases_bytes;
+  report.ref_bases_bytes = counters->ref_bases_bytes;
+  report.stats = counters->stats;
 
   format::Manifest out = manifest;
   PERSONA_RETURN_IF_ERROR(SwapColumn(
       &out, "bases", {"ref_bases", format::RecordType::kRefBases, options.codec}));
   PERSONA_RETURN_IF_ERROR(store->Put("manifest.json", out.ToJson()));
   if (options.delete_source_column) {
-    for (size_t ci = 0; ci < manifest.chunks.size(); ++ci) {
-      PERSONA_RETURN_IF_ERROR(store->Delete(manifest.ChunkFileName(ci, "bases")));
-    }
+    PERSONA_RETURN_IF_ERROR(DeleteColumnObjects(store, manifest, "bases"));
   }
   *out_manifest = std::move(out);
 
@@ -117,54 +138,58 @@ Result<RecompressReport> ReconstructBasesColumn(storage::ObjectStore* store,
   const storage::StoreStats stats_before = store->stats();
   RecompressReport report;
 
-  Buffer ref_file;
-  Buffer results_file;
-  Buffer out_file;
-  for (size_t ci = 0; ci < manifest.chunks.size(); ++ci) {
-    PERSONA_RETURN_IF_ERROR(
-        GetColumnPair(store, manifest, ci, "ref_bases", &ref_file, &results_file));
-    PERSONA_ASSIGN_OR_RETURN(format::ParsedChunk encoded,
-                             format::ParsedChunk::Parse(ref_file.span()));
-    PERSONA_ASSIGN_OR_RETURN(format::ParsedChunk results,
-                             format::ParsedChunk::Parse(results_file.span()));
-    if (encoded.record_count() != results.record_count()) {
-      return DataLossError(
-          StrFormat("chunk %zu: ref_bases/results record counts disagree", ci));
-    }
-    if (encoded.type() != format::RecordType::kRefBases) {
-      return FailedPreconditionError(
-          StrFormat("chunk %zu: ref_bases column has wrong record type", ci));
-    }
-    report.ref_bases_bytes += ref_file.size();
+  auto counters = std::make_shared<SharedCounters>();
+  ChunkPipeline pipeline(options.pipeline);
+  pipeline.SetManifestSource(store, &manifest, {"ref_bases", "results"});
+  pipeline.SetWriter(store, 1);
+  pipeline.SetTransform(
+      "ref-decode",
+      [&manifest, &reference, &options, counters](
+          ChunkPipeline::Input&& input, ChunkPipeline::Emitter& emit) -> Status {
+        const format::ParsedChunk& encoded = input.column(0, 0);
+        const format::ParsedChunk& results = input.column(0, 1);
+        if (encoded.type() != format::RecordType::kRefBases) {
+          return FailedPreconditionError(
+              StrFormat("chunk %zu: ref_bases column has wrong record type",
+                        input.chunk_begin));
+        }
 
-    format::ChunkBuilder builder(format::RecordType::kBases, options.codec);
-    for (size_t i = 0; i < encoded.record_count(); ++i) {
-      PERSONA_ASSIGN_OR_RETURN(align::AlignmentResult result, results.GetResult(i));
-      std::string_view record_bytes = encoded.RecordBytes(i);
-      PERSONA_ASSIGN_OR_RETURN(
-          std::string read_bases,
-          format::RefDecodeRead(
-              reference,
-              std::span<const uint8_t>(
-                  reinterpret_cast<const uint8_t*>(record_bytes.data()),
-                  record_bytes.size()),
-              result));
-      builder.AddBases(read_bases);
-      ++report.records;
-    }
-    PERSONA_RETURN_IF_ERROR(builder.Finalize(&out_file));
-    PERSONA_RETURN_IF_ERROR(store->Put(manifest.ChunkFileName(ci, "bases"), out_file));
-    report.bases_bytes += out_file.size();
-  }
+        format::ChunkBuilder builder(format::RecordType::kBases, options.codec);
+        for (size_t i = 0; i < encoded.record_count(); ++i) {
+          PERSONA_ASSIGN_OR_RETURN(align::AlignmentResult result, results.GetResult(i));
+          std::string_view record_bytes = encoded.RecordBytes(i);
+          PERSONA_ASSIGN_OR_RETURN(
+              std::string read_bases,
+              format::RefDecodeRead(
+                  reference,
+                  std::span<const uint8_t>(
+                      reinterpret_cast<const uint8_t*>(record_bytes.data()),
+                      record_bytes.size()),
+                  result));
+          builder.AddBases(read_bases);
+        }
+        ChunkPipeline::BufferRef object = emit.AcquireBuffer();
+        PERSONA_RETURN_IF_ERROR(builder.Finalize(object.get()));
+        {
+          std::lock_guard<std::mutex> lock(counters->mu);
+          counters->records += encoded.record_count();
+          counters->ref_bases_bytes += input.file_size(0, 0);
+          counters->bases_bytes += object->size();
+        }
+        return emit.Write(manifest.ChunkFileName(input.chunk_begin, "bases"),
+                          std::move(object));
+      });
+  PERSONA_RETURN_IF_ERROR(pipeline.Run().status());
+  report.records = counters->records;
+  report.bases_bytes = counters->bases_bytes;
+  report.ref_bases_bytes = counters->ref_bases_bytes;
 
   format::Manifest out = manifest;
   PERSONA_RETURN_IF_ERROR(SwapColumn(
       &out, "ref_bases", {"bases", format::RecordType::kBases, options.codec}));
   PERSONA_RETURN_IF_ERROR(store->Put("manifest.json", out.ToJson()));
   if (options.delete_source_column) {
-    for (size_t ci = 0; ci < manifest.chunks.size(); ++ci) {
-      PERSONA_RETURN_IF_ERROR(store->Delete(manifest.ChunkFileName(ci, "ref_bases")));
-    }
+    PERSONA_RETURN_IF_ERROR(DeleteColumnObjects(store, manifest, "ref_bases"));
   }
   *out_manifest = std::move(out);
 

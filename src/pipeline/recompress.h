@@ -20,6 +20,7 @@
 #include "src/format/agd_manifest.h"
 #include "src/format/refcomp.h"
 #include "src/genome/reference.h"
+#include "src/pipeline/chunk_pipeline.h"
 #include "src/storage/object_store.h"
 
 namespace persona::pipeline {
@@ -42,6 +43,9 @@ struct RecompressReport {
 struct RecompressOptions {
   compress::CodecId codec = compress::CodecId::kZlib;  // block codec for the new column
   bool delete_source_column = false;  // remove the replaced column's objects afterwards
+  // Chunks transcode independently, so the transform stage runs fully parallel; the
+  // replaced column's objects are removed with one batched DeleteBatch.
+  ChunkPipeline::Options pipeline;
 };
 
 // bases -> ref_bases. Requires bases and results columns. On success `out_manifest`

@@ -2,13 +2,12 @@
 
 #include <algorithm>
 #include <array>
-#include <atomic>
 #include <memory>
-#include <mutex>
 #include <queue>
-#include <thread>
 
 #include "src/format/agd_chunk.h"
+#include "src/pipeline/agd_store_util.h"
+#include "src/pipeline/chunk_pipeline.h"
 #include "src/util/stopwatch.h"
 #include "src/util/varint.h"
 
@@ -62,44 +61,15 @@ Status DecodeRow(std::span<const uint8_t> bytes, size_t* offset, Row* row) {
   return DecodeResult(bytes, offset, &row->result);
 }
 
-// Loads every record of chunks [chunk_begin, chunk_end) — all four columns of every
-// chunk fetched with one batched Get, so the column objects stream from the store's
-// shards/OSD nodes in parallel instead of one round-trip at a time.
-Status LoadSuperchunkRows(storage::ObjectStore* store, const format::Manifest& manifest,
-                          size_t chunk_begin, size_t chunk_end, std::vector<Row>* rows) {
-  static constexpr const char* kColumns[] = {"bases", "qual", "metadata", "results"};
-  const size_t num_chunks = chunk_end - chunk_begin;
-  std::vector<Buffer> files(num_chunks * 4);
-  std::vector<storage::GetOp> gets;
-  gets.reserve(files.size());
-  for (size_t c = 0; c < num_chunks; ++c) {
-    for (size_t k = 0; k < 4; ++k) {
-      gets.push_back({manifest.ChunkFileName(chunk_begin + c, kColumns[k]),
-                      &files[c * 4 + k], {}});
-    }
-  }
-  PERSONA_RETURN_IF_ERROR(store->GetBatch(gets));
-
-  for (size_t c = 0; c < num_chunks; ++c) {
-    PERSONA_ASSIGN_OR_RETURN(format::ParsedChunk bases,
-                             format::ParsedChunk::Parse(files[c * 4 + 0].span()));
-    PERSONA_ASSIGN_OR_RETURN(format::ParsedChunk qual,
-                             format::ParsedChunk::Parse(files[c * 4 + 1].span()));
-    PERSONA_ASSIGN_OR_RETURN(format::ParsedChunk metadata,
-                             format::ParsedChunk::Parse(files[c * 4 + 2].span()));
-    PERSONA_ASSIGN_OR_RETURN(format::ParsedChunk results,
-                             format::ParsedChunk::Parse(files[c * 4 + 3].span()));
-    if (bases.record_count() != results.record_count()) {
-      return DataLossError("results column out of sync with bases");
-    }
-    for (size_t i = 0; i < bases.record_count(); ++i) {
+// Decodes every record of one fetched+parsed superchunk group into rows. Column order
+// matches the pipeline's declared columns: bases, qual, metadata, results.
+Status DecodeSuperchunkRows(const ChunkPipeline::Input& input, std::vector<Row>* rows) {
+  for (size_t c = 0; c < input.chunk_end - input.chunk_begin; ++c) {
+    for (size_t i = 0; i < input.column(c, 0).record_count(); ++i) {
       Row row;
-      PERSONA_ASSIGN_OR_RETURN(row.read.bases, bases.GetBases(i));
-      PERSONA_ASSIGN_OR_RETURN(std::string_view q, qual.GetString(i));
-      row.read.qual = std::string(q);
-      PERSONA_ASSIGN_OR_RETURN(std::string_view m, metadata.GetString(i));
-      row.read.metadata = std::string(m);
-      PERSONA_ASSIGN_OR_RETURN(row.result, results.GetResult(i));
+      PERSONA_RETURN_IF_ERROR(DecodeAlignedRecord(input.column(c, 0), input.column(c, 1),
+                                                  input.column(c, 2), input.column(c, 3),
+                                                  i, &row.read, &row.result));
       rows->push_back(std::move(row));
     }
   }
@@ -149,82 +119,40 @@ Result<SortReport> SortAgdDataset(storage::ObjectStore* store,
   const storage::StoreStats store_before = store->stats();
   Stopwatch timer;
 
-  // --- Phase 1: sorted superchunks (parallel across superchunk groups). ---
+  // --- Phase 1: sorted superchunks on the shared ChunkPipeline. Each work item is one
+  // superchunk group (all four columns of every chunk, one batched Get); the sort
+  // transform runs `sort_threads` wide, and spill writes overlap the next group's
+  // fetch+sort through the writer's asynchronous ticket window. ---
   const size_t num_chunks = manifest.chunks.size();
   const size_t group = static_cast<size_t>(options.chunks_per_superchunk);
   const size_t num_supers = (num_chunks + group - 1) / group;
   const compress::Codec& temp_codec = compress::GetCodec(options.temp_codec);
 
-  std::atomic<size_t> next_super{0};
-  std::mutex error_mu;
-  Status first_error;
-  // One spill write kept in flight per worker: the Put of superchunk s overlaps the
-  // fetch+sort+encode of superchunk s+1 (op/buffer owned until the ticket completes).
-  struct PendingSpill {
-    Buffer object;
-    storage::PutOp op;
-    storage::IoTicket ticket;
-  };
-  auto worker = [&] {
-    std::unique_ptr<PendingSpill> pending;
-    auto drain_pending = [&]() -> Status {
-      if (pending == nullptr) {
-        return OkStatus();
-      }
-      Status status = pending->ticket.Await();
-      pending.reset();
-      return status;
-    };
-    Status status;
-    while (status.ok()) {
-      size_t s = next_super.fetch_add(1);
-      if (s >= num_supers) {
-        status = drain_pending();
-        break;
-      }
-      std::vector<Row> rows;
-      status = LoadSuperchunkRows(store, manifest, s * group,
-                                  std::min(num_chunks, (s + 1) * group), &rows);
-      if (status.ok()) {
+  ChunkPipeline::Options phase1_options = options.pipeline;
+  phase1_options.transform_parallelism = std::max(1, options.sort_threads);
+  ChunkPipeline phase1(phase1_options);
+  phase1.SetManifestSource(store, &manifest, {"bases", "qual", "metadata", "results"},
+                           group);
+  phase1.SetWriter(store, 1);
+  phase1.SetTransform(
+      "superchunk-sort",
+      [&options, &temp_codec, &out_name](ChunkPipeline::Input&& input,
+                                         ChunkPipeline::Emitter& emit) -> Status {
+        std::vector<Row> rows;
+        PERSONA_RETURN_IF_ERROR(DecodeSuperchunkRows(input, &rows));
         std::sort(rows.begin(), rows.end(),
                   [&](const Row& a, const Row& b) { return RowLess(options.key, a, b); });
         Buffer raw;
         for (const Row& row : rows) {
           EncodeRow(row, &raw);
         }
-        Buffer object;
-        object.AppendScalar<uint64_t>(raw.size());
-        status = temp_codec.Compress(raw.span(), &object);
-        if (status.ok()) {
-          Status spill_status = drain_pending();
-          pending = std::make_unique<PendingSpill>();
-          pending->object = std::move(object);
-          pending->op = {out_name + ".super-" + std::to_string(s),
-                         pending->object.span(), {}};
-          pending->ticket = store->SubmitAsync({&pending->op, 1}, {});
-          status = spill_status;
-        }
-      }
-    }
-    // Error path: the in-flight spill owns live op memory — always wait it out.
-    (void)drain_pending();
-    if (!status.ok()) {
-      std::lock_guard<std::mutex> lock(error_mu);
-      if (first_error.ok()) {
-        first_error = status;
-      }
-    }
-  };
-  {
-    std::vector<std::thread> threads;
-    for (int t = 0; t < std::max(1, options.sort_threads); ++t) {
-      threads.emplace_back(worker);
-    }
-    for (std::thread& t : threads) {
-      t.join();
-    }
-  }
-  PERSONA_RETURN_IF_ERROR(first_error);
+        ChunkPipeline::BufferRef object = emit.AcquireBuffer();
+        object->AppendScalar<uint64_t>(raw.size());
+        PERSONA_RETURN_IF_ERROR(temp_codec.Compress(raw.span(), object.get()));
+        return emit.Write(out_name + ".super-" + std::to_string(input.index),
+                          std::move(object));
+      });
+  PERSONA_RETURN_IF_ERROR(phase1.Run().status());
   const double phase1_seconds = timer.ElapsedSeconds();
 
   // --- Phase 2: k-way merge into the output dataset. All superchunk temporaries are
@@ -331,9 +259,15 @@ Result<SortReport> SortAgdDataset(storage::ObjectStore* store,
   PERSONA_RETURN_IF_ERROR(flush_chunk());
   PERSONA_RETURN_IF_ERROR(store->Put(out_name + ".manifest.json", out.ToJson()));
 
-  // Clean up superchunk temporaries.
-  for (size_t s = 0; s < num_supers; ++s) {
-    (void)store->Delete(out_name + ".super-" + std::to_string(s));
+  // Clean up superchunk temporaries with one batched delete: the per-object metadata
+  // round-trips overlap across the store's shards/OSD nodes. Best-effort, as before.
+  {
+    std::vector<storage::DeleteOp> deletes;
+    deletes.reserve(num_supers);
+    for (size_t s = 0; s < num_supers; ++s) {
+      deletes.push_back({out_name + ".super-" + std::to_string(s), {}});
+    }
+    (void)store->DeleteBatch(deletes);
   }
 
   SortReport report;

@@ -12,6 +12,7 @@
 
 #include "src/format/agd_manifest.h"
 #include "src/genome/read.h"
+#include "src/pipeline/chunk_pipeline.h"
 #include "src/storage/object_store.h"
 
 namespace persona::pipeline {
@@ -37,7 +38,10 @@ struct SortOptions {
   // Superchunk temporaries are spilled uncompressed by default: they are written and
   // read exactly once, so codec time is pure overhead unless storage is very slow.
   compress::CodecId temp_codec = compress::CodecId::kIdentity;
-  int sort_threads = 2;  // phase-1 parallelism across superchunks
+  int sort_threads = 2;  // phase-1 sort-stage parallelism across superchunks
+  // Phase 1 runs on the shared ChunkPipeline (fetch/sort/spill overlap);
+  // transform_parallelism is overridden by sort_threads.
+  ChunkPipeline::Options pipeline;
 };
 
 // Sorts the dataset described by `manifest` (which must include a results column) into a

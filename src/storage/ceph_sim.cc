@@ -85,6 +85,10 @@ Status CephSimStore::GetBatch(std::span<GetOp> ops) {
   return scheduler_->RunBatch({}, ops);
 }
 
+Status CephSimStore::DeleteBatch(std::span<DeleteOp> ops) {
+  return scheduler_->RunBatch({}, {}, ops);
+}
+
 IoTicket CephSimStore::SubmitAsync(std::span<PutOp> puts, std::span<GetOp> gets) {
   return scheduler_->Submit(puts, gets);
 }

@@ -53,6 +53,7 @@ class CephSimStore final : public ObjectStore {
   // Batched/async ops fan out over the per-OSD-node submission queues.
   Status PutBatch(std::span<PutOp> ops) override;
   Status GetBatch(std::span<GetOp> ops) override;
+  Status DeleteBatch(std::span<DeleteOp> ops) override;
   IoTicket SubmitAsync(std::span<PutOp> puts, std::span<GetOp> gets) override;
 
   StoreStats stats() const override;

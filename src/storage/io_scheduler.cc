@@ -105,6 +105,9 @@ void IoScheduler::WorkerLoop(size_t shard) {
     } else if (task->get != nullptr) {
       status = store->Get(task->get->key, task->get->out);
       task->get->status = status;
+    } else if (task->del != nullptr) {
+      status = store->Delete(task->del->key);
+      task->del->status = status;
     }
     CompleteOne(task->completion, status);
   }
@@ -125,10 +128,11 @@ void IoScheduler::CompleteOne(const std::shared_ptr<IoTicket::State>& state,
   }
 }
 
-IoTicket IoScheduler::Submit(std::span<PutOp> puts, std::span<GetOp> gets) {
+IoTicket IoScheduler::Submit(std::span<PutOp> puts, std::span<GetOp> gets,
+                             std::span<DeleteOp> deletes) {
   IoTicket ticket;
   ticket.state_ = std::make_shared<IoTicket::State>();
-  ticket.state_->pending = puts.size() + gets.size();
+  ticket.state_->pending = puts.size() + gets.size() + deletes.size();
   if (ticket.state_->pending == 0) {
     return ticket;
   }
@@ -153,11 +157,21 @@ IoTicket IoScheduler::Submit(std::span<PutOp> puts, std::span<GetOp> gets) {
       CompleteOne(ticket.state_, op.status);
     }
   }
+  for (DeleteOp& op : deletes) {
+    Task task;
+    task.del = &op;
+    task.completion = ticket.state_;
+    if (!queues_[ShardOf(op.key)]->Push(std::move(task))) {
+      op.status = UnavailableError("io scheduler shut down during submit: " + op.key);
+      CompleteOne(ticket.state_, op.status);
+    }
+  }
   return ticket;
 }
 
-Status IoScheduler::RunBatch(std::span<PutOp> puts, std::span<GetOp> gets) {
-  return Submit(puts, gets).Await();
+Status IoScheduler::RunBatch(std::span<PutOp> puts, std::span<GetOp> gets,
+                             std::span<DeleteOp> deletes) {
+  return Submit(puts, gets, deletes).Await();
 }
 
 }  // namespace persona::storage

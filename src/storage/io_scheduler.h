@@ -52,6 +52,14 @@ struct GetOp {
   Status status;  // per-op outcome, written on completion
 };
 
+// One whole-object delete (namespace metadata op). Used for bulk temporary cleanup —
+// e.g. the sort pipeline's superchunk spill files — where paying one metadata
+// round-trip at a time serializes on op latency.
+struct DeleteOp {
+  std::string key;
+  Status status;  // per-op outcome, written on completion
+};
+
 // FNV-1a over a key: the stable placement hash shared by CephSimStore's CRUSH stand-in
 // and ShardedStore's namespace partitioning.
 uint64_t ShardHash(std::string_view key);
@@ -113,18 +121,21 @@ class IoScheduler {
 
   // Enqueues every op onto its shard's queue and returns the batch's completion ticket.
   // The spans' underlying ops must stay alive until the ticket completes.
-  IoTicket Submit(std::span<PutOp> puts, std::span<GetOp> gets);
+  IoTicket Submit(std::span<PutOp> puts, std::span<GetOp> gets,
+                  std::span<DeleteOp> deletes = {});
 
   // Submit + Await: the synchronous batched entry point.
-  Status RunBatch(std::span<PutOp> puts, std::span<GetOp> gets);
+  Status RunBatch(std::span<PutOp> puts, std::span<GetOp> gets,
+                  std::span<DeleteOp> deletes = {});
 
   size_t num_shards() const { return queues_.size(); }
 
  private:
-  // A queued op: exactly one of put/get is set. Op memory is caller-owned.
+  // A queued op: exactly one of put/get/del is set. Op memory is caller-owned.
   struct Task {
     PutOp* put = nullptr;
     GetOp* get = nullptr;
+    DeleteOp* del = nullptr;
     std::shared_ptr<IoTicket::State> completion;
   };
 

@@ -24,6 +24,17 @@ Status ObjectStore::GetBatch(std::span<GetOp> ops) {
   return first_error;
 }
 
+Status ObjectStore::DeleteBatch(std::span<DeleteOp> ops) {
+  Status first_error;
+  for (DeleteOp& op : ops) {
+    op.status = Delete(op.key);
+    if (!op.status.ok() && first_error.ok()) {
+      first_error = op.status;
+    }
+  }
+  return first_error;
+}
+
 IoTicket ObjectStore::SubmitAsync(std::span<PutOp> puts, std::span<GetOp> gets) {
   Status put_status = PutBatch(puts);
   Status get_status = GetBatch(gets);

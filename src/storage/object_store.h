@@ -90,6 +90,9 @@ class ObjectStore {
   // (CephSimStore, ShardedStore) override to overlap transfers across shards.
   virtual Status PutBatch(std::span<PutOp> ops);
   virtual Status GetBatch(std::span<GetOp> ops);
+  // Bulk delete (e.g. temporary-object cleanup): per-op latency overlaps across the
+  // store's shards instead of paying one metadata round-trip at a time.
+  virtual Status DeleteBatch(std::span<DeleteOp> ops);
 
   // Asynchronous submission: returns a ticket that completes when every op has
   // executed. Op memory (keys, data spans, output buffers) is caller-owned and must

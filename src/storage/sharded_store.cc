@@ -81,6 +81,10 @@ Status ShardedStore::GetBatch(std::span<GetOp> ops) {
   return scheduler_.RunBatch({}, ops);
 }
 
+Status ShardedStore::DeleteBatch(std::span<DeleteOp> ops) {
+  return scheduler_.RunBatch({}, {}, ops);
+}
+
 IoTicket ShardedStore::SubmitAsync(std::span<PutOp> puts, std::span<GetOp> gets) {
   return scheduler_.Submit(puts, gets);
 }

@@ -47,6 +47,7 @@ class ShardedStore final : public ObjectStore {
 
   Status PutBatch(std::span<PutOp> ops) override;
   Status GetBatch(std::span<GetOp> ops) override;
+  Status DeleteBatch(std::span<DeleteOp> ops) override;
   IoTicket SubmitAsync(std::span<PutOp> puts, std::span<GetOp> gets) override;
 
   // Aggregated over all shards.

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <mutex>
 #include <set>
+#include <vector>
 
 #include "src/dataflow/executor.h"
 #include "src/dataflow/graph.h"
@@ -151,9 +153,8 @@ TEST(GraphTest, LinearPipelineProcessesEverything) {
     return v < 100 ? std::optional<int>(v) : std::nullopt;
   });
   graph.AddStage<int, int>("double", 3, q1, q2,
-                           [](int&& v, MpmcQueue<int>& out) -> Status {
-                             out.Push(v * 2);
-                             return OkStatus();
+                           [](int&& v, StageOutput<int>& out) -> Status {
+                             return out.Push(v * 2);
                            });
   std::atomic<int64_t> sum{0};
   std::atomic<int> count{0};
@@ -195,12 +196,11 @@ TEST(GraphTest, StageErrorCancelsAndPropagates) {
     return v < 1'000'000 ? std::optional<int>(v) : std::nullopt;
   });
   graph.AddStage<int, int>("failing", 1, q1, q2,
-                           [](int&& v, MpmcQueue<int>& out) -> Status {
+                           [](int&& v, StageOutput<int>& out) -> Status {
                              if (v == 5) {
                                return DataLossError("bad chunk");
                              }
-                             out.Push(v);
-                             return OkStatus();
+                             return out.Push(v);
                            });
   graph.AddSink<int>("sink", 1, q2, [](int&&) -> Status { return OkStatus(); });
 
@@ -221,10 +221,9 @@ TEST(GraphTest, FanOutStage) {
   });
   // Each input yields two outputs.
   graph.AddStage<int, int>("fanout", 2, q1, q2,
-                           [](int&& v, MpmcQueue<int>& out) -> Status {
-                             out.Push(v);
-                             out.Push(v);
-                             return OkStatus();
+                           [](int&& v, StageOutput<int>& out) -> Status {
+                             PERSONA_RETURN_IF_ERROR(out.Push(v));
+                             return out.Push(v);
                            });
   std::atomic<int> count{0};
   graph.AddSink<int>("sink", 1, q2, [&](int&&) -> Status {
@@ -270,6 +269,172 @@ TEST(GraphTest, MoveOnlyPayloads) {
   ASSERT_TRUE(graph.Run().ok());
   EXPECT_EQ(seen.load(), 16);
   EXPECT_EQ(pool->available(), 4u);  // every buffer returned to the pool
+}
+
+TEST(GraphTest, OnDrainRunsOnceAtEndOfStreamAndMayEmit) {
+  Graph graph;
+  auto q1 = Graph::MakeQueue<int>(2);
+  auto q2 = Graph::MakeQueue<int>(4);
+  std::atomic<int> next{0};
+  graph.AddSource<int>("source", q1, [&]() -> std::optional<int> {
+    int v = next.fetch_add(1);
+    return v < 10 ? std::optional<int>(v) : std::nullopt;
+  });
+  // The stage accumulates and only flushes its running sum at end-of-stream — the
+  // cross-item-state pattern (dedup's signature set, filter's partial chunk).
+  auto sum = std::make_shared<std::atomic<int>>(0);
+  std::atomic<int> drains{0};
+  graph.AddStage<int, int>(
+      "accumulate", 3, q1, q2,
+      [sum](int&& v, StageOutput<int>&) -> Status {
+        sum->fetch_add(v);
+        return OkStatus();
+      },
+      [sum, &drains](StageOutput<int>& out) -> Status {
+        ++drains;
+        return out.Push(sum->load());
+      });
+  std::vector<int> seen;
+  std::mutex seen_mu;
+  graph.AddSink<int>("sink", 1, q2, [&](int&& v) -> Status {
+    std::lock_guard<std::mutex> lock(seen_mu);
+    seen.push_back(v);
+    return OkStatus();
+  });
+  ASSERT_TRUE(graph.Run().ok());
+  EXPECT_EQ(drains.load(), 1) << "only the last worker runs the epilogue";
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], 45);
+}
+
+TEST(GraphTest, OnDrainSkippedOnCancellationAndErrorStillPropagates) {
+  Graph graph;
+  auto q1 = Graph::MakeQueue<int>(1);
+  auto q2 = Graph::MakeQueue<int>(1);
+  std::atomic<int> next{0};
+  graph.AddSource<int>("source", q1, [&]() -> std::optional<int> {
+    int v = next.fetch_add(1);
+    return v < 100 ? std::optional<int>(v) : std::nullopt;
+  });
+  std::atomic<int> drains{0};
+  graph.AddStage<int, int>(
+      "failing", 1, q1, q2,
+      [](int&& v, StageOutput<int>& out) -> Status {
+        if (v == 3) {
+          return DataLossError("bad item");
+        }
+        return out.Push(v);
+      },
+      [&drains](StageOutput<int>&) -> Status {
+        ++drains;
+        return OkStatus();
+      });
+  graph.AddSink<int>("sink", 1, q2, [](int&&) -> Status { return OkStatus(); });
+  Status status = graph.Run();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(drains.load(), 0) << "a cancelled run must not flush end-of-stream state";
+}
+
+TEST(GraphTest, PushOntoClosedQueueIsACleanStopNotAnError) {
+  // A sink error cancels the graph; an upstream stage mid-Push must then observe the
+  // closed queue as kCancelled (clean stop) — the run reports the sink's error, not a
+  // spurious one from the stage, and nothing deadlocks.
+  Graph graph;
+  auto q1 = Graph::MakeQueue<int>(1);
+  auto q2 = Graph::MakeQueue<int>(1);
+  std::atomic<int> next{0};
+  graph.AddSource<int>("source", q1, [&]() -> std::optional<int> {
+    int v = next.fetch_add(1);
+    return v < 1'000'000 ? std::optional<int>(v) : std::nullopt;
+  });
+  std::atomic<int> push_cancelled{0};
+  graph.AddStage<int, int>("forward", 1, q1, q2,
+                           [&](int&& v, StageOutput<int>& out) -> Status {
+                             Status status = out.Push(v);
+                             if (status.code() == StatusCode::kCancelled) {
+                               ++push_cancelled;
+                             }
+                             return status;
+                           });
+  graph.AddSink<int>("sink", 1, q2, [](int&& v) -> Status {
+    if (v >= 5) {
+      return ResourceExhaustedError("sink full");
+    }
+    return OkStatus();
+  });
+  Status status = graph.Run();  // must terminate
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted)
+      << "the sink's error wins; the stage's cancelled push is not recorded";
+  EXPECT_LT(next.load(), 1'000'000);
+}
+
+TEST(GraphTest, StageReturningCancelledUnwindsTheWholeGraphCleanly) {
+  Graph graph;
+  auto q1 = Graph::MakeQueue<int>(1);
+  std::atomic<int> next{0};
+  graph.AddSource<int>("source", q1, [&]() -> std::optional<int> {
+    int v = next.fetch_add(1);
+    return v < 1'000'000 ? std::optional<int>(v) : std::nullopt;
+  });
+  graph.AddSink<int>("sink", 1, q1, [](int&& v) -> Status {
+    if (v >= 3) {
+      return CancelledError("stop requested");
+    }
+    return OkStatus();
+  });
+  Status status = graph.Run();  // must terminate without deadlock
+  EXPECT_TRUE(status.ok()) << "a requested stop is not an error";
+  EXPECT_LT(next.load(), 1'000'000) << "the source must stop producing";
+}
+
+TEST(GraphTest, QueueWaitCountersSeparateStarvationFromBackpressure) {
+  Graph graph;
+  auto q = Graph::MakeQueue<int>(1);
+  std::atomic<int> next{0};
+  graph.AddSource<int>("source", q, [&]() -> std::optional<int> {
+    int v = next.fetch_add(1);
+    return v < 20 ? std::optional<int>(v) : std::nullopt;
+  });
+  graph.AddSink<int>("slow-sink", 1, q, [](int&&) -> Status {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    return OkStatus();
+  });
+  ASSERT_TRUE(graph.Run().ok());
+  // The fast source blocks pushing into the slow sink's full queue.
+  EXPECT_GT(graph.stats()[0]->output_wait_ns.load(), 10'000'000u);
+  // busy_ns excludes that wait: 20 trivial next() calls are far under 10ms.
+  EXPECT_LT(graph.stats()[0]->busy_ns.load(), 10'000'000u);
+  // The sink is never starved for long (items are always waiting).
+  EXPECT_GT(graph.stats()[1]->busy_ns.load(), 50'000'000u);
+}
+
+TEST(UtilizationSamplerTest, SamplesQueueOccupancy) {
+  Graph graph;
+  auto q = Graph::MakeQueue<int>(2);
+  graph.ObserveQueue("work", q);
+  std::atomic<int> next{0};
+  graph.AddSource<int>("source", q, [&]() -> std::optional<int> {
+    int v = next.fetch_add(1);
+    return v < 40 ? std::optional<int>(v) : std::nullopt;
+  });
+  graph.AddSink<int>("slow-sink", 1, q, [](int&&) -> Status {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    return OkStatus();
+  });
+  UtilizationSampler sampler(&graph, 0.02, 2);
+  sampler.Start();
+  ASSERT_TRUE(graph.Run().ok());
+  sampler.Stop();
+
+  ASSERT_FALSE(sampler.samples().empty());
+  double peak_fill = 0;
+  for (const auto& sample : sampler.samples()) {
+    ASSERT_EQ(sample.queue_fill.size(), 1u);
+    peak_fill = std::max(peak_fill, sample.queue_fill[0]);
+  }
+  EXPECT_GT(peak_fill, 0.49) << "a fast source behind a slow sink keeps the queue full";
 }
 
 TEST(UtilizationSamplerTest, CapturesBusyStages) {

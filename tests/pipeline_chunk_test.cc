@@ -1,0 +1,488 @@
+// Tests for the shared ChunkPipeline layer: bit-identical parity of the ported tools
+// (convert/dedup/filter/recompress/sort) between a serial configuration on a plain
+// MemoryStore and a wide overlapped configuration on a sharded store, the on_drain
+// end-of-stream flush, ordered delivery behind parallel readers, and clean
+// cancellation with no pooled-buffer leak.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "src/align/snap_aligner.h"
+#include "src/genome/generator.h"
+#include "src/genome/read_simulator.h"
+#include "src/pipeline/agd_store_util.h"
+#include "src/pipeline/chunk_pipeline.h"
+#include "src/pipeline/convert.h"
+#include "src/pipeline/dedup.h"
+#include "src/pipeline/filter.h"
+#include "src/pipeline/persona_pipeline.h"
+#include "src/pipeline/recompress.h"
+#include "src/pipeline/sort.h"
+#include "src/storage/memory_store.h"
+#include "src/storage/sharded_store.h"
+
+namespace persona::pipeline {
+namespace {
+
+// Serial configuration: one worker everywhere, depth-1 queues, no async window — the
+// closest the dataflow graph comes to the old for-each-chunk loops.
+ChunkPipeline::Options SerialOptions() {
+  ChunkPipeline::Options options;
+  options.read_parallelism = 1;
+  options.parse_parallelism = 1;
+  options.transform_parallelism = 1;
+  options.serialize_parallelism = 1;
+  options.write_parallelism = 1;
+  options.queue_depth = 1;
+  options.write_window = 1;
+  return options;
+}
+
+// Wide overlapped configuration.
+ChunkPipeline::Options ParallelOptions() {
+  ChunkPipeline::Options options;
+  options.read_parallelism = 4;
+  options.parse_parallelism = 3;
+  options.transform_parallelism = 4;
+  options.serialize_parallelism = 3;
+  options.write_parallelism = 2;
+  options.write_window = 4;
+  return options;
+}
+
+void CloneStore(storage::ObjectStore* src, storage::ObjectStore* dst) {
+  auto keys = src->List("");
+  ASSERT_TRUE(keys.ok());
+  Buffer object;
+  for (const std::string& key : *keys) {
+    ASSERT_TRUE(src->Get(key, &object).ok());
+    ASSERT_TRUE(dst->Put(key, object).ok());
+  }
+}
+
+void ExpectObjectsIdentical(storage::ObjectStore* a, storage::ObjectStore* b,
+                            std::string_view prefix) {
+  auto keys_a = a->List(prefix);
+  auto keys_b = b->List(prefix);
+  ASSERT_TRUE(keys_a.ok());
+  ASSERT_TRUE(keys_b.ok());
+  ASSERT_EQ(*keys_a, *keys_b);
+  ASSERT_FALSE(keys_a->empty()) << "no objects under prefix '" << prefix << "'";
+  Buffer object_a;
+  Buffer object_b;
+  for (const std::string& key : *keys_a) {
+    ASSERT_TRUE(a->Get(key, &object_a).ok());
+    ASSERT_TRUE(b->Get(key, &object_b).ok());
+    EXPECT_EQ(object_a.view(), object_b.view()) << "object '" << key << "' differs";
+  }
+}
+
+std::unique_ptr<storage::ShardedStore> MakeShardedMemoryStore(size_t shards) {
+  return storage::ShardedStore::Create(
+      shards, [](size_t) { return std::make_unique<storage::MemoryStore>(); });
+}
+
+class ChunkPipelineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    genome::GenomeSpec gspec;
+    gspec.num_contigs = 2;
+    gspec.contig_length = 40'000;
+    reference_ = new genome::ReferenceGenome(genome::GenerateGenome(gspec));
+
+    align::SeedIndexOptions seed_options;
+    seed_options.seed_length = 20;
+    index_ = new align::SeedIndex(align::SeedIndex::Build(*reference_, seed_options).value());
+    aligner_ = new align::SnapAligner(reference_, index_);
+
+    genome::ReadSimSpec rspec;
+    rspec.read_length = 101;
+    rspec.duplicate_fraction = 0.10;
+    genome::ReadSimulator sim(reference_, rspec);
+    reads_ = new std::vector<genome::Read>(sim.Simulate(1'200));
+
+    // One aligned dataset (6 chunks of 200), shared read-only by every parity test.
+    aligned_base_ = new storage::MemoryStore();
+    auto manifest = WriteAgdToStore(aligned_base_, "ds", *reads_, 200);
+    ASSERT_TRUE(manifest.ok());
+    dataflow::Executor executor(3);
+    AlignPipelineOptions align_options;
+    ASSERT_TRUE(
+        RunPersonaAlignment(aligned_base_, *manifest, *aligner_, &executor, align_options)
+            .ok());
+    aligned_manifest_ = new format::Manifest(std::move(*manifest));
+    aligned_manifest_->columns.push_back(format::ResultsColumn());
+  }
+
+  static void TearDownTestSuite() {
+    delete aligned_manifest_;
+    delete aligned_base_;
+    delete reads_;
+    delete aligner_;
+    delete index_;
+    delete reference_;
+  }
+
+  static genome::ReferenceGenome* reference_;
+  static align::SeedIndex* index_;
+  static align::SnapAligner* aligner_;
+  static std::vector<genome::Read>* reads_;
+  static storage::MemoryStore* aligned_base_;
+  static format::Manifest* aligned_manifest_;
+};
+
+genome::ReferenceGenome* ChunkPipelineTest::reference_ = nullptr;
+align::SeedIndex* ChunkPipelineTest::index_ = nullptr;
+align::SnapAligner* ChunkPipelineTest::aligner_ = nullptr;
+std::vector<genome::Read>* ChunkPipelineTest::reads_ = nullptr;
+storage::MemoryStore* ChunkPipelineTest::aligned_base_ = nullptr;
+format::Manifest* ChunkPipelineTest::aligned_manifest_ = nullptr;
+
+// --- Bit-identical parity: serial configuration on MemoryStore vs overlapped
+// configuration on a sharded store, for every ported tool. ---
+
+TEST_F(ChunkPipelineTest, ConvertImportParitySerialVsOverlapped) {
+  storage::MemoryStore serial_store;
+  auto parallel_store = MakeShardedMemoryStore(4);
+  ASSERT_TRUE(WriteGzippedFastqToStore(&serial_store, "imp", *reads_).ok());
+  CloneStore(&serial_store, parallel_store.get());
+
+  format::Manifest serial_manifest;
+  format::Manifest parallel_manifest;
+  auto serial = ImportFastqToAgd(&serial_store, "imp", 256, compress::CodecId::kZlib,
+                                 &serial_manifest, SerialOptions());
+  auto parallel = ImportFastqToAgd(parallel_store.get(), "imp", 256,
+                                   compress::CodecId::kZlib, &parallel_manifest,
+                                   ParallelOptions());
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(parallel.ok());
+  EXPECT_EQ(serial->records, 1'200u);
+  EXPECT_EQ(serial->records, parallel->records);
+  EXPECT_EQ(serial_manifest.ToJson(), parallel_manifest.ToJson());
+  ExpectObjectsIdentical(&serial_store, parallel_store.get(), "imp-");
+}
+
+TEST_F(ChunkPipelineTest, DedupParitySerialVsOverlappedAndVsInMemoryOracle) {
+  storage::MemoryStore serial_store;
+  auto parallel_store = MakeShardedMemoryStore(4);
+  CloneStore(aligned_base_, &serial_store);
+  CloneStore(aligned_base_, parallel_store.get());
+
+  // In-memory oracle: decode all results in dataset order and mark with the core
+  // algorithm — the streaming pipeline must mark the exact same records.
+  std::vector<align::AlignmentResult> oracle;
+  {
+    Buffer file;
+    for (size_t ci = 0; ci < aligned_manifest_->chunks.size(); ++ci) {
+      ASSERT_TRUE(
+          aligned_base_->Get(aligned_manifest_->ChunkFileName(ci, "results"), &file).ok());
+      auto chunk = format::ParsedChunk::Parse(file.span());
+      ASSERT_TRUE(chunk.ok());
+      for (size_t i = 0; i < chunk->record_count(); ++i) {
+        oracle.push_back(*chunk->GetResult(i));
+      }
+    }
+  }
+  DedupReport oracle_report = MarkDuplicatesDense(oracle);
+  ASSERT_GT(oracle_report.duplicates, 0u);
+
+  auto serial = DedupAgdResults(&serial_store, *aligned_manifest_,
+                                compress::CodecId::kZlib, SerialOptions());
+  auto parallel = DedupAgdResults(parallel_store.get(), *aligned_manifest_,
+                                  compress::CodecId::kZlib, ParallelOptions());
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(parallel.ok());
+  EXPECT_EQ(serial->total, 1'200u);
+  EXPECT_EQ(serial->duplicates, oracle_report.duplicates);
+  EXPECT_EQ(parallel->duplicates, oracle_report.duplicates);
+  ExpectObjectsIdentical(&serial_store, parallel_store.get(), "ds-");
+
+  // Flags persisted by the pipeline match the oracle record-for-record.
+  Buffer file;
+  size_t flat = 0;
+  for (size_t ci = 0; ci < aligned_manifest_->chunks.size(); ++ci) {
+    ASSERT_TRUE(
+        serial_store.Get(aligned_manifest_->ChunkFileName(ci, "results"), &file).ok());
+    auto chunk = format::ParsedChunk::Parse(file.span());
+    ASSERT_TRUE(chunk.ok());
+    for (size_t i = 0; i < chunk->record_count(); ++i, ++flat) {
+      EXPECT_EQ(chunk->GetResult(i)->duplicate(), oracle[flat].duplicate()) << flat;
+    }
+  }
+}
+
+TEST_F(ChunkPipelineTest, FilterParitySerialVsOverlapped) {
+  storage::MemoryStore serial_store;
+  auto parallel_store = MakeShardedMemoryStore(4);
+  CloneStore(aligned_base_, &serial_store);
+  CloneStore(aligned_base_, parallel_store.get());
+
+  ReadFilterSpec spec;
+  spec.min_mapq = 20;  // drops a nontrivial fraction, leaves partial final chunk
+  FilterOptions options;
+  options.chunk_size = 150;  // output chunks span input chunks (cross-chunk builders)
+
+  format::Manifest serial_out;
+  format::Manifest parallel_out;
+  auto serial = FilterAgdDataset(&serial_store, *aligned_manifest_, "flt", spec, options,
+                                 &serial_out, SerialOptions());
+  auto parallel = FilterAgdDataset(parallel_store.get(), *aligned_manifest_, "flt", spec,
+                                   options, &parallel_out, ParallelOptions());
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(parallel.ok());
+  EXPECT_EQ(serial->records_in, 1'200u);
+  EXPECT_GT(serial->records_out, 0u);
+  EXPECT_LT(serial->records_out, serial->records_in);
+  EXPECT_EQ(serial->records_out, parallel->records_out);
+  EXPECT_EQ(serial->chunks_out, parallel->chunks_out);
+  EXPECT_EQ(serial_out.ToJson(), parallel_out.ToJson());
+  ExpectObjectsIdentical(&serial_store, parallel_store.get(), "flt-");
+  ExpectObjectsIdentical(&serial_store, parallel_store.get(), "flt.manifest.json");
+  // The final partial output chunk only exists if the drain flushed it.
+  EXPECT_NE(serial_out.total_records() % options.chunk_size, 0)
+      << "test should exercise the end-of-stream partial-chunk flush";
+}
+
+TEST_F(ChunkPipelineTest, RecompressParitySerialVsOverlappedAndRoundTrips) {
+  storage::MemoryStore serial_store;
+  auto parallel_store = MakeShardedMemoryStore(4);
+  CloneStore(aligned_base_, &serial_store);
+  CloneStore(aligned_base_, parallel_store.get());
+
+  RecompressOptions serial_options;
+  serial_options.delete_source_column = true;
+  serial_options.pipeline = SerialOptions();
+  RecompressOptions parallel_options = serial_options;
+  parallel_options.pipeline = ParallelOptions();
+
+  format::Manifest serial_out;
+  format::Manifest parallel_out;
+  auto serial = RefCompressBasesColumn(&serial_store, *aligned_manifest_, *reference_,
+                                       serial_options, &serial_out);
+  auto parallel = RefCompressBasesColumn(parallel_store.get(), *aligned_manifest_,
+                                         *reference_, parallel_options, &parallel_out);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(parallel.ok());
+  EXPECT_EQ(serial->records, 1'200u);
+  EXPECT_EQ(serial->records, parallel->records);
+  EXPECT_EQ(serial->ref_bases_bytes, parallel->ref_bases_bytes);
+  EXPECT_EQ(serial_out.ToJson(), parallel_out.ToJson());
+  ExpectObjectsIdentical(&serial_store, parallel_store.get(), "ds-");
+  // DeleteBatch removed every source-column object on both stores.
+  for (size_t ci = 0; ci < aligned_manifest_->chunks.size(); ++ci) {
+    EXPECT_FALSE(serial_store.Exists(aligned_manifest_->ChunkFileName(ci, "bases")));
+    EXPECT_FALSE(parallel_store->Exists(aligned_manifest_->ChunkFileName(ci, "bases")));
+  }
+
+  // Reconstruction (also on the pipeline) regenerates bit-identical bases columns.
+  format::Manifest restored;
+  RecompressOptions restore_options;
+  restore_options.pipeline = ParallelOptions();
+  auto rt = ReconstructBasesColumn(parallel_store.get(), parallel_out, *reference_,
+                                   restore_options, &restored);
+  ASSERT_TRUE(rt.ok());
+  Buffer original;
+  Buffer rebuilt;
+  for (size_t ci = 0; ci < aligned_manifest_->chunks.size(); ++ci) {
+    const std::string key = aligned_manifest_->ChunkFileName(ci, "bases");
+    ASSERT_TRUE(aligned_base_->Get(key, &original).ok());
+    ASSERT_TRUE(parallel_store->Get(key, &rebuilt).ok());
+    EXPECT_EQ(original.view(), rebuilt.view()) << key;
+  }
+}
+
+TEST_F(ChunkPipelineTest, SortParitySerialVsOverlapped) {
+  storage::MemoryStore serial_store;
+  auto parallel_store = MakeShardedMemoryStore(4);
+  CloneStore(aligned_base_, &serial_store);
+  CloneStore(aligned_base_, parallel_store.get());
+
+  SortOptions serial_options;
+  serial_options.chunks_per_superchunk = 2;
+  serial_options.sort_threads = 1;
+  serial_options.pipeline = SerialOptions();
+  SortOptions parallel_options = serial_options;
+  parallel_options.sort_threads = 4;
+  parallel_options.pipeline = ParallelOptions();
+
+  format::Manifest serial_out;
+  format::Manifest parallel_out;
+  auto serial = SortAgdDataset(&serial_store, *aligned_manifest_, "sorted", serial_options,
+                               &serial_out);
+  auto parallel = SortAgdDataset(parallel_store.get(), *aligned_manifest_, "sorted",
+                                 parallel_options, &parallel_out);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(parallel.ok());
+  EXPECT_EQ(serial->records, 1'200u);
+  EXPECT_EQ(serial->superchunks, 3u);
+  EXPECT_EQ(serial_out.ToJson(), parallel_out.ToJson());
+  ExpectObjectsIdentical(&serial_store, parallel_store.get(), "sorted-");
+  ExpectObjectsIdentical(&serial_store, parallel_store.get(), "sorted.manifest.json");
+
+  // Superchunk temporaries cleaned up (batched delete) on both stores.
+  auto serial_leftovers = serial_store.List("sorted.super-");
+  auto parallel_leftovers = parallel_store->List("sorted.super-");
+  ASSERT_TRUE(serial_leftovers.ok());
+  ASSERT_TRUE(parallel_leftovers.ok());
+  EXPECT_TRUE(serial_leftovers->empty());
+  EXPECT_TRUE(parallel_leftovers->empty());
+}
+
+// --- Pipeline-level behaviours. ---
+
+TEST_F(ChunkPipelineTest, OrderedTransformSeesWorkItemsInOrderBehindParallelReaders) {
+  storage::MemoryStore store;
+  CloneStore(aligned_base_, &store);
+  std::vector<size_t> order;
+  ChunkPipeline pipeline(ParallelOptions());
+  pipeline.SetManifestSource(&store, aligned_manifest_, {"results"});
+  pipeline.SetWriter(&store, 1);
+  pipeline.SetTransform(
+      "observe",
+      [&order](ChunkPipeline::Input&& input, ChunkPipeline::Emitter&) -> Status {
+        order.push_back(input.chunk_begin);
+        return OkStatus();
+      },
+      /*ordered=*/true);
+  auto report = pipeline.Run();
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(order.size(), aligned_manifest_->chunks.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+  EXPECT_EQ(report->items, order.size());
+}
+
+TEST_F(ChunkPipelineTest, OrderedTransformRejectsClusterWorkSource) {
+  // A cluster work source hands out groups in server order; resequencing on that
+  // order would change an ordered tool's dataset-order semantics, so the combination
+  // is rejected up front.
+  storage::MemoryStore store;
+  ChunkPipeline pipeline(SerialOptions());
+  pipeline.SetManifestSource(&store, aligned_manifest_, {"results"}, 1,
+                             []() -> std::optional<size_t> { return std::nullopt; });
+  pipeline.SetWriter(&store, 1);
+  pipeline.SetTransform(
+      "noop",
+      [](ChunkPipeline::Input&&, ChunkPipeline::Emitter&) -> Status {
+        return OkStatus();
+      },
+      /*ordered=*/true);
+  auto report = pipeline.Run();
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ChunkPipelineTest, OnDrainFlushesEndOfStreamState) {
+  storage::MemoryStore store;
+  // A record source of 5 items; the ordered transform accumulates a running count and
+  // only the drain emits it — the object must exist afterwards with the final value.
+  auto produced = std::make_shared<size_t>(0);
+  ChunkPipeline pipeline(SerialOptions());
+  pipeline.SetRecordSource(
+      [produced](std::optional<ChunkPipeline::Input>* out) -> Status {
+        if (*produced >= 5) {
+          return OkStatus();
+        }
+        ++*produced;
+        ChunkPipeline::Input input;
+        input.reads.resize(1);
+        *out = std::move(input);
+        return OkStatus();
+      });
+  pipeline.SetWriter(&store, 1);
+  auto count = std::make_shared<size_t>(0);
+  pipeline.SetTransform(
+      "count",
+      [count](ChunkPipeline::Input&& input, ChunkPipeline::Emitter&) -> Status {
+        *count += input.reads.size();
+        return OkStatus();
+      },
+      /*ordered=*/true,
+      [count](ChunkPipeline::Emitter& emit) -> Status {
+        ChunkPipeline::BufferRef object = emit.AcquireBuffer();
+        object->AppendScalar<uint64_t>(*count);
+        return emit.Write("drain-summary", std::move(object));
+      });
+  auto report = pipeline.Run();
+  ASSERT_TRUE(report.ok());
+  Buffer summary;
+  ASSERT_TRUE(store.Get("drain-summary", &summary).ok());
+  EXPECT_EQ(summary.ReadScalar<uint64_t>(0), 5u);
+  EXPECT_EQ(pipeline.pool_available(), pipeline.pool_capacity());
+}
+
+TEST_F(ChunkPipelineTest, MidPipelineErrorCancelsWithoutLeakOrHang) {
+  auto store = MakeShardedMemoryStore(4);
+  CloneStore(aligned_base_, store.get());
+
+  ChunkPipeline pipeline(ParallelOptions());
+  pipeline.SetManifestSource(store.get(), aligned_manifest_,
+                             {"bases", "qual", "metadata", "results"});
+  pipeline.SetWriter(store.get(), 1);
+  std::atomic<size_t> seen{0};
+  pipeline.SetTransform(
+      "fail-later",
+      [&seen](ChunkPipeline::Input&& input, ChunkPipeline::Emitter& emit) -> Status {
+        seen.fetch_add(1);
+        if (input.index == 1) {
+          return DataLossError("injected mid-pipeline failure");
+        }
+        // Non-failing items still emit, so pooled output buffers and async writes are
+        // in flight when the cancellation lands.
+        ChunkPipeline::BufferRef object = emit.AcquireBuffer();
+        object->Append(std::string_view("payload"));
+        return emit.Write("out-" + std::to_string(input.index), std::move(object));
+      });
+  auto report = pipeline.Run();  // must terminate (no hang)
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kDataLoss);
+  EXPECT_LT(seen.load(), aligned_manifest_->chunks.size() + 1);
+  // Every pooled buffer is back: nothing leaked through queues, the resequencer, or
+  // the in-flight write window.
+  EXPECT_EQ(pipeline.pool_available(), pipeline.pool_capacity());
+}
+
+TEST_F(ChunkPipelineTest, ReportCarriesStageAndQueueInstrumentation) {
+  storage::MemoryStore store;
+  CloneStore(aligned_base_, &store);
+  ChunkPipeline::Options options = ParallelOptions();
+  options.utilization_sample_sec = 0.005;
+  ChunkPipeline pipeline(options);
+  pipeline.SetManifestSource(&store, aligned_manifest_, {"results"});
+  pipeline.SetWriter(&store, 1);
+  pipeline.SetTransform(
+      "rebuild",
+      [](ChunkPipeline::Input&& input, ChunkPipeline::Emitter& emit) -> Status {
+        const format::ParsedChunk& results = input.column(0, 0);
+        format::ChunkBuilder builder(format::RecordType::kResults,
+                                     compress::CodecId::kZlib);
+        for (size_t i = 0; i < results.record_count(); ++i) {
+          builder.AddRecord(results.RecordBytes(i));
+        }
+        ChunkPipeline::SerializeRequest request;
+        request.keys.push_back("rebuilt-" + std::to_string(input.index));
+        request.builders.push_back(std::move(builder));
+        return emit.Emit(std::move(request));
+      });
+  auto report = pipeline.Run();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->items, aligned_manifest_->chunks.size());
+  // Stage roster: source, reader, parser, transform, serializer, writer.
+  ASSERT_EQ(report->stages.size(), 6u);
+  EXPECT_EQ(report->stages[0].name, "chunk-source");
+  EXPECT_EQ(report->stages[3].name, "rebuild");
+  EXPECT_EQ(report->stages[5].name, "writer");
+  for (const auto& stage : report->stages) {
+    EXPECT_EQ(stage.items, aligned_manifest_->chunks.size()) << stage.name;
+  }
+  // Store accounting: one results read per chunk, one rebuilt write per chunk.
+  EXPECT_EQ(report->store_stats.read_ops, aligned_manifest_->chunks.size());
+  EXPECT_EQ(report->store_stats.write_ops, aligned_manifest_->chunks.size());
+}
+
+}  // namespace
+}  // namespace persona::pipeline

@@ -264,10 +264,72 @@ TEST(BatchIoTest, DefaultBatchLoopsScalarOpsAndReportsPerOpStatus) {
   EXPECT_EQ(out2.view(), "beta");
 }
 
+TEST(BatchIoTest, DeleteBatchDefaultLoopsScalarDeletes) {
+  MemoryStore store;  // inherits the sequential base-class default
+  ASSERT_TRUE(store.Put("del-1", std::string_view("a")).ok());
+  ASSERT_TRUE(store.Put("del-2", std::string_view("b")).ok());
+
+  std::vector<DeleteOp> deletes;
+  deletes.push_back({"del-1", {}});
+  deletes.push_back({"missing", {}});
+  deletes.push_back({"del-2", {}});
+  Status status = store.DeleteBatch(deletes);
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);  // first error surfaces
+  EXPECT_TRUE(deletes[0].status.ok());
+  EXPECT_EQ(deletes[1].status.code(), StatusCode::kNotFound);
+  EXPECT_TRUE(deletes[2].status.ok());  // the batch keeps going past a failed op
+  EXPECT_FALSE(store.Exists("del-1"));
+  EXPECT_FALSE(store.Exists("del-2"));
+}
+
+TEST(BatchIoTest, DeleteBatchFansOutOverShardsAndCephNodes) {
+  // ShardedStore: every key must land on (and be removed from) its home shard.
+  auto sharded = MakeShardedMemory(4);
+  std::vector<DeleteOp> deletes;
+  for (int i = 0; i < 32; ++i) {
+    std::string key = "bulk-" + std::to_string(i);
+    ASSERT_TRUE(sharded->Put(key, std::string_view("x")).ok());
+    deletes.push_back({std::move(key), {}});
+  }
+  ASSERT_TRUE(sharded->DeleteBatch(deletes).ok());
+  auto left = sharded->List("bulk-");
+  ASSERT_TRUE(left.ok());
+  EXPECT_TRUE(left->empty());
+
+  // CephSim: the batched path overlaps the per-op metadata latency across OSD nodes,
+  // so bulk cleanup beats the one-round-trip-at-a-time loop.
+  CephSimConfig config;
+  config.op_latency_sec = 0.002;
+  CephSimStore seq_store(config);
+  CephSimStore batch_store(config);
+  constexpr int kObjects = 28;
+  std::vector<DeleteOp> batch_deletes;
+  for (int i = 0; i < kObjects; ++i) {
+    std::string key = "temp-" + std::to_string(i);
+    ASSERT_TRUE(seq_store.Put(key, std::string_view("x")).ok());
+    ASSERT_TRUE(batch_store.Put(key, std::string_view("x")).ok());
+    batch_deletes.push_back({std::move(key), {}});
+  }
+  Stopwatch seq_timer;
+  for (int i = 0; i < kObjects; ++i) {
+    ASSERT_TRUE(seq_store.Delete("temp-" + std::to_string(i)).ok());
+  }
+  const double seq_seconds = seq_timer.ElapsedSeconds();
+  Stopwatch batch_timer;
+  ASSERT_TRUE(batch_store.DeleteBatch(batch_deletes).ok());
+  const double batch_seconds = batch_timer.ElapsedSeconds();
+  for (const DeleteOp& op : batch_deletes) {
+    EXPECT_TRUE(op.status.ok());
+    EXPECT_FALSE(batch_store.Exists(op.key));
+  }
+  EXPECT_LT(batch_seconds, seq_seconds) << "batched delete should overlap node latency";
+}
+
 TEST(BatchIoTest, EmptyBatchesAndDefaultTicketsAreOk) {
   MemoryStore store;
   EXPECT_TRUE(store.PutBatch({}).ok());
   EXPECT_TRUE(store.GetBatch({}).ok());
+  EXPECT_TRUE(store.DeleteBatch({}).ok());
   IoTicket ticket;  // default-constructed: complete + OK
   EXPECT_TRUE(ticket.done());
   EXPECT_TRUE(ticket.Await().ok());
