@@ -1,0 +1,247 @@
+// Stream-ingest throughput: N concurrent socket-fed ingest sessions vs the offline
+// ImportFastqToAgd importer on the same FASTQ input (ROADMAP stream-ingest workload).
+//
+// Three measurements:
+//   1. offline   — ImportFastqToAgd on an in-memory store (the batch baseline),
+//   2. streamed  — N concurrent clients over real loopback sockets into one
+//                  IngestService; parity-checked chunk-for-chunk against (1),
+//   3. throttled — 2 clients against a slow simulated device, sampling each
+//                  session's live records_in_flight to show backpressure bounds
+//                  in-flight memory by the pipeline depth, not the stream length.
+//
+// The offline importer is serial at its FASTQ parser; concurrent sessions parse in
+// parallel, so aggregate streamed throughput should beat 1x offline with >=2 clients.
+//
+// Usage: bench_ingest [reads_per_client] [num_clients]   (default 20000 4)
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/format/fastq.h"
+#include "src/genome/generator.h"
+#include "src/genome/read_simulator.h"
+#include "src/ingest/service.h"
+#include "src/ingest/wire.h"
+#include "src/pipeline/agd_store_util.h"
+#include "src/pipeline/convert.h"
+#include "src/storage/memory_store.h"
+#include "src/storage/throttled_device.h"
+#include "src/util/stopwatch.h"
+#include "src/util/string_util.h"
+
+namespace {
+
+using namespace persona;
+
+constexpr int64_t kChunkSize = 2'000;
+
+pipeline::ChunkPipeline::Options PipelineOptions() {
+  pipeline::ChunkPipeline::Options options;
+  options.transform_parallelism = 2;
+  options.serialize_parallelism = 2;
+  options.write_parallelism = 2;
+  options.write_window = 2;
+  return options;
+}
+
+// Streams `fastq` into the service and blocks until Done; returns false on error.
+bool RunClient(uint16_t port, const std::string& dataset, const std::string& fastq) {
+  auto conn = ingest::ConnectLoopback(port);
+  if (!conn.ok()) {
+    return false;
+  }
+  if (!WriteFrame(*conn, ingest::FrameType::kStart, dataset).ok()) {
+    return false;
+  }
+  ingest::Frame frame;
+  if (!ReadFrame(*conn, &frame).ok() || frame.type != ingest::FrameType::kStarted) {
+    return false;
+  }
+  constexpr size_t kWindow = 128 * 1024;
+  for (size_t offset = 0; offset < fastq.size(); offset += kWindow) {
+    const size_t len = std::min(kWindow, fastq.size() - offset);
+    if (!WriteFrame(*conn, ingest::FrameType::kData,
+                    std::string_view(fastq).substr(offset, len))
+             .ok()) {
+      return false;
+    }
+  }
+  if (!WriteFrame(*conn, ingest::FrameType::kEnd, "").ok()) {
+    return false;
+  }
+  while (ReadFrame(*conn, &frame).ok()) {
+    if (frame.type == ingest::FrameType::kDone) {
+      return true;
+    }
+    if (frame.type == ingest::FrameType::kError) {
+      std::fprintf(stderr, "client %s failed: %s\n", dataset.c_str(),
+                   frame.payload.c_str());
+      return false;
+    }
+  }
+  return false;
+}
+
+bool ParityCheck(storage::ObjectStore* offline, storage::ObjectStore* streamed,
+                 const std::string& offline_name, const std::string& streamed_name,
+                 size_t chunks) {
+  static const char* kColumns[] = {"bases", "qual", "metadata"};
+  Buffer a;
+  Buffer b;
+  for (size_t i = 0; i < chunks; ++i) {
+    for (const char* column : kColumns) {
+      const std::string ka = offline_name + "-" + std::to_string(i) + "." + column;
+      const std::string kb = streamed_name + "-" + std::to_string(i) + "." + column;
+      if (!offline->Get(ka, &a).ok() || !streamed->Get(kb, &b).ok() ||
+          a.view() != b.view()) {
+        std::fprintf(stderr, "PARITY MISMATCH: %s vs %s\n", ka.c_str(), kb.c_str());
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const size_t reads_per_client =
+      argc > 1 ? static_cast<size_t>(std::atoll(argv[1])) : 20'000;
+  const int num_clients = argc > 2 ? std::atoi(argv[2]) : 4;
+
+  // Simulated sequencer output, shared by every client.
+  genome::GenomeSpec gspec;
+  gspec.num_contigs = 2;
+  gspec.contig_length = 150'000;
+  gspec.seed = 99;
+  genome::ReferenceGenome reference = genome::GenerateGenome(gspec);
+  genome::ReadSimSpec rspec;
+  rspec.read_length = 101;
+  rspec.seed = 100;
+  genome::ReadSimulator sim(&reference, rspec);
+  const std::vector<genome::Read> reads = sim.Simulate(reads_per_client);
+  std::string fastq;
+  format::WriteFastq(reads, &fastq);
+  const double mb = static_cast<double>(fastq.size()) / 1e6;
+  std::printf("bench_ingest: %zu reads/client (%.1f MB FASTQ), %d clients, chunk %lld\n\n",
+              reads_per_client, mb, num_clients,
+              static_cast<long long>(kChunkSize));
+
+  // --- 1. Offline baseline. ---
+  storage::MemoryStore offline;
+  PERSONA_CHECK_OK(pipeline::WriteGzippedFastqToStore(&offline, "ds", reads).status());
+  format::Manifest offline_manifest;
+  Stopwatch offline_timer;
+  auto offline_report =
+      pipeline::ImportFastqToAgd(&offline, "ds", kChunkSize, compress::CodecId::kZlib,
+                                 &offline_manifest, PipelineOptions());
+  PERSONA_CHECK_OK(offline_report.status());
+  const double offline_sec = offline_timer.ElapsedSeconds();
+  const double offline_mbps = mb / offline_sec;
+  std::printf("offline import:      %8.2f MB/s (%.2fs, %zu chunks)\n", offline_mbps,
+              offline_sec, offline_manifest.chunks.size());
+
+  // --- 2. Streamed, N concurrent clients. ---
+  storage::MemoryStore streamed;
+  ingest::IngestOptions options;
+  options.chunk_size = kChunkSize;
+  options.pipeline = PipelineOptions();
+  auto service = ingest::IngestService::Start(&streamed, options);
+  PERSONA_CHECK_OK(service.status());
+
+  std::vector<std::thread> clients;
+  // vector<char>, not vector<bool>: the clients write their slots concurrently and
+  // vector<bool>'s packed bits would race on the shared word.
+  std::vector<char> ok(static_cast<size_t>(num_clients), 0);
+  Stopwatch streamed_timer;
+  for (int i = 0; i < num_clients; ++i) {
+    clients.emplace_back([&, i] {
+      ok[static_cast<size_t>(i)] =
+          RunClient((*service)->port(), "cl" + std::to_string(i), fastq);
+    });
+  }
+  for (auto& thread : clients) {
+    thread.join();
+  }
+  const double streamed_sec = streamed_timer.ElapsedSeconds();
+  (*service)->Shutdown();
+  for (int i = 0; i < num_clients; ++i) {
+    if (!ok[static_cast<size_t>(i)]) {
+      std::fprintf(stderr, "client %d failed\n", i);
+      return 1;
+    }
+  }
+  const double streamed_mbps = mb * num_clients / streamed_sec;
+  std::printf("streamed x%d:         %8.2f MB/s aggregate (%.2fs, %.2fx offline)\n",
+              num_clients, streamed_mbps, streamed_sec, streamed_mbps / offline_mbps);
+
+  if (!ParityCheck(&offline, &streamed, "ds", "cl0", offline_manifest.chunks.size())) {
+    return 1;
+  }
+  std::printf("parity:              streamed chunks bit-identical to offline import\n");
+
+  // --- 3. Throttled store: backpressure bounds in-flight records. ---
+  storage::DeviceProfile slow;
+  slow.bandwidth_bytes_per_sec = 24 * 1000 * 1000;
+  slow.op_latency_sec = 0.001;
+  slow.name = "slow-disk";
+  storage::MemoryStore throttled(std::make_shared<storage::ThrottledDevice>(slow));
+  ingest::IngestOptions toptions;
+  toptions.chunk_size = kChunkSize;
+  toptions.pipeline = PipelineOptions();
+  auto tservice = ingest::IngestService::Start(&throttled, toptions);
+  PERSONA_CHECK_OK(tservice.status());
+
+  const int throttled_clients = std::min(2, num_clients);
+  std::vector<std::thread> tclients;
+  std::vector<char> tok(static_cast<size_t>(throttled_clients), 0);
+  std::atomic<int> tfinished{0};
+  for (int i = 0; i < throttled_clients; ++i) {
+    tclients.emplace_back([&, i] {
+      tok[static_cast<size_t>(i)] =
+          RunClient((*tservice)->port(), "tcl" + std::to_string(i), fastq);
+      tfinished.fetch_add(1);
+    });
+  }
+  uint64_t peak_in_flight = 0;
+  // Also stop when every client thread has returned: a client that failed before
+  // its server session existed would otherwise leave this sampling loop spinning
+  // forever (completed_sessions never reaches the target).
+  while ((*tservice)->completed_sessions() < static_cast<size_t>(throttled_clients) &&
+         tfinished.load() < throttled_clients) {
+    for (const auto& session : (*tservice)->Sessions()) {
+      peak_in_flight = std::max(peak_in_flight, session.records_in_flight);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  for (auto& thread : tclients) {
+    thread.join();
+  }
+  (*tservice)->Shutdown();
+  for (int i = 0; i < throttled_clients; ++i) {
+    if (!tok[static_cast<size_t>(i)]) {
+      std::fprintf(stderr, "throttled client %d failed\n", i);
+      return 1;
+    }
+  }
+  // Depth bound per session: batcher refill (~1 chunk + a frame) + input queue +
+  // transform workers + source hand — all sized by PipelineOptions, not stream
+  // length. 16 chunks of headroom mirrors the unit test's bound.
+  const uint64_t bound = static_cast<uint64_t>(kChunkSize) * 16;
+  std::printf("throttled x%d:        peak in-flight %llu records (bound %llu, %s)\n",
+              throttled_clients, static_cast<unsigned long long>(peak_in_flight),
+              static_cast<unsigned long long>(bound),
+              peak_in_flight <= bound ? "bounded" : "UNBOUNDED");
+  if (peak_in_flight > bound) {
+    return 1;
+  }
+  const bool sustained = streamed_mbps >= offline_mbps;
+  std::printf("\nresult: streamed aggregate %s offline import (%.2fx)\n",
+              sustained ? "sustains >=1x" : "BELOW", streamed_mbps / offline_mbps);
+  return sustained ? 0 : 1;
+}

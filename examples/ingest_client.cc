@@ -1,0 +1,111 @@
+// Stream-ingest client: streams a FASTQ file to a running ingest_service over the
+// length-prefixed wire protocol and waits for the final Done summary. Optionally
+// polls the session's live stats mid-stream (--stats); because control replies share
+// the data path's ordering, a backpressured service answers them late — watching the
+// reply latency is watching the backpressure.
+//
+// Usage: ingest_client <port> <dataset> <fastq-file> [--window-bytes N] [--stats]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/ingest/socket.h"
+#include "src/ingest/wire.h"
+#include "src/util/file_util.h"
+#include "src/util/stopwatch.h"
+#include "src/util/string_util.h"
+
+namespace {
+
+using namespace persona;  // example code; the library itself never does this
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: ingest_client <port> <dataset> <fastq-file> "
+               "[--window-bytes N] [--stats]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 4) {
+    return Usage();
+  }
+  const auto port = static_cast<uint16_t>(std::atoi(argv[1]));
+  const std::string dataset = argv[2];
+  const std::string path = argv[3];
+  size_t window = 256 * 1024;
+  bool want_stats = false;
+  for (int i = 4; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--window-bytes") == 0 && i + 1 < argc) {
+      window = static_cast<size_t>(std::atoll(argv[++i]));
+      if (window == 0) {
+        return Usage();  // 0 (or unparseable) would loop forever sending nothing
+      }
+    } else if (std::strcmp(argv[i], "--stats") == 0) {
+      want_stats = true;
+    } else {
+      return Usage();
+    }
+  }
+
+  auto fastq = ReadFileToString(path);
+  PERSONA_CHECK_OK(fastq.status());
+  auto conn = ingest::ConnectLoopback(port);
+  PERSONA_CHECK_OK(conn.status());
+
+  Stopwatch timer;
+  PERSONA_CHECK_OK(WriteFrame(*conn, ingest::FrameType::kStart, dataset));
+  ingest::Frame frame;
+  PERSONA_CHECK_OK(ReadFrame(*conn, &frame));
+  if (frame.type != ingest::FrameType::kStarted) {
+    std::fprintf(stderr, "server refused session: %s\n", frame.payload.c_str());
+    return 1;
+  }
+
+  const std::string& text = *fastq;
+  size_t sent_windows = 0;
+  for (size_t offset = 0; offset < text.size(); offset += window) {
+    const size_t len = std::min(window, text.size() - offset);
+    PERSONA_CHECK_OK(WriteFrame(*conn, ingest::FrameType::kData,
+                                std::string_view(text).substr(offset, len)));
+    // Every ~64 windows, ask for live stats and wait for the answer before sending
+    // more data. Blocking here is deliberate twice over: the reply's latency is the
+    // server's backpressure made visible, and a fire-and-forget client that never
+    // reads replies while streaming would eventually deadlock both sides on full
+    // socket buffers.
+    if (want_stats && ++sent_windows % 64 == 0) {
+      PERSONA_CHECK_OK(WriteFrame(*conn, ingest::FrameType::kStatsRequest, ""));
+      ingest::Frame reply;
+      PERSONA_CHECK_OK(ReadFrame(*conn, &reply));
+      if (reply.type != ingest::FrameType::kStatsReply) {
+        std::fprintf(stderr, "ingest failed: %s\n", reply.payload.c_str());
+        return 1;
+      }
+      std::printf("stats: %s\n", reply.payload.c_str());
+    }
+  }
+  PERSONA_CHECK_OK(WriteFrame(*conn, ingest::FrameType::kEnd, ""));
+
+  while (true) {
+    PERSONA_CHECK_OK(ReadFrame(*conn, &frame));
+    if (frame.type == ingest::FrameType::kStatsReply) {
+      std::printf("stats: %s\n", frame.payload.c_str());
+      continue;
+    }
+    break;
+  }
+  const double seconds = timer.ElapsedSeconds();
+  if (frame.type != ingest::FrameType::kDone) {
+    std::fprintf(stderr, "ingest failed: %s\n", frame.payload.c_str());
+    return 1;
+  }
+  std::printf("done in %.2fs (%s of FASTQ, %.1f MB/s): %s\n", seconds,
+              HumanBytes(text.size()).c_str(),
+              static_cast<double>(text.size()) / 1e6 / (seconds > 0 ? seconds : 1),
+              frame.payload.c_str());
+  return 0;
+}

@@ -1,0 +1,160 @@
+// Stream-ingest service: a resident process that accepts FASTQ over a loopback TCP
+// socket (length-prefixed frames, see src/ingest/wire.h) and writes AGD chunk
+// datasets into a store directory. Pair it with examples/ingest_client:
+//
+//   ./ingest_service /tmp/agd-store --port 7421          # terminal 1
+//   ./ingest_client 7421 run1 sample.fastq               # terminal 2 (any number)
+//
+// Each connected client is one ingest session on its own ChunkPipeline; when the
+// store falls behind, the bounded queues stall the socket reader and TCP flow
+// control pushes back on the client — the service never buffers an unbounded stream.
+//
+// Usage:
+//   ingest_service <store-dir> [--port N] [--chunk-size N] [--max-sessions N]
+//   ingest_service --smoke            # self-contained smoke test (CTest runs this)
+//
+// With --max-sessions N the service exits after N sessions complete (useful for
+// scripted runs); otherwise it runs until SIGINT/SIGTERM.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "src/format/fastq.h"
+#include "src/ingest/service.h"
+#include "src/ingest/wire.h"
+#include "src/storage/local_store.h"
+#include "src/storage/memory_store.h"
+#include "src/util/file_util.h"
+#include "src/util/string_util.h"
+
+namespace {
+
+using namespace persona;  // example code; the library itself never does this
+
+volatile std::sig_atomic_t g_stop = 0;
+void HandleSignal(int) { g_stop = 1; }
+
+void PrintSessions(const ingest::IngestService& service) {
+  for (const auto& s : service.Sessions()) {
+    std::printf("  session %llu dataset=%s records=%llu chunks=%llu bytes=%s %s\n",
+                static_cast<unsigned long long>(s.session_id), s.dataset.c_str(),
+                static_cast<unsigned long long>(s.records_built),
+                static_cast<unsigned long long>(s.chunks_built),
+                HumanBytes(s.bytes_received).c_str(),
+                s.done ? s.status.ToString().c_str() : "(running)");
+  }
+}
+
+// --smoke: spin the service on an in-memory store, stream a synthetic FASTQ from an
+// in-process client, and verify the dataset landed. Exercises the same wire path as
+// the two-process setup, but exits 0 on its own — the examples smoke test.
+int RunSmoke() {
+  std::vector<genome::Read> reads;
+  for (int i = 0; i < 2'000; ++i) {
+    genome::Read read;
+    read.metadata = "smoke-" + std::to_string(i);
+    read.bases = "ACGTACGTACGTACGTACGTACGTACGTACGT";
+    read.qual = std::string(read.bases.size(), 'I');
+    reads.push_back(std::move(read));
+  }
+  std::string fastq;
+  format::WriteFastq(reads, &fastq);
+
+  storage::MemoryStore store;
+  ingest::IngestOptions options;
+  options.chunk_size = 500;
+  auto service = ingest::IngestService::Start(&store, options);
+  PERSONA_CHECK_OK(service.status());
+  std::printf("smoke: service on port %u\n", (*service)->port());
+
+  auto conn = ingest::ConnectLoopback((*service)->port());
+  PERSONA_CHECK_OK(conn.status());
+  PERSONA_CHECK_OK(WriteFrame(*conn, ingest::FrameType::kStart, "smoke"));
+  ingest::Frame frame;
+  PERSONA_CHECK_OK(ReadFrame(*conn, &frame));
+  for (size_t offset = 0; offset < fastq.size(); offset += 16'384) {
+    const size_t len = std::min<size_t>(16'384, fastq.size() - offset);
+    PERSONA_CHECK_OK(WriteFrame(*conn, ingest::FrameType::kData,
+                                std::string_view(fastq).substr(offset, len)));
+  }
+  PERSONA_CHECK_OK(WriteFrame(*conn, ingest::FrameType::kEnd, ""));
+  PERSONA_CHECK_OK(ReadFrame(*conn, &frame));
+  if (frame.type != ingest::FrameType::kDone) {
+    std::fprintf(stderr, "smoke: expected Done, got %s: %s\n",
+                 std::string(FrameTypeName(frame.type)).c_str(), frame.payload.c_str());
+    return 1;
+  }
+  (*service)->Shutdown();
+  if (!store.Exists("smoke.manifest.json") || !store.Exists("smoke-3.bases")) {
+    std::fprintf(stderr, "smoke: dataset objects missing from store\n");
+    return 1;
+  }
+  std::printf("smoke: ok — %s\n", frame.payload.c_str());
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: ingest_service <store-dir> [--port N] [--chunk-size N] "
+               "[--max-sessions N]\n"
+               "       ingest_service --smoke\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "--smoke") == 0) {
+    return RunSmoke();
+  }
+  if (argc < 2) {
+    return Usage();
+  }
+  std::string store_dir = argv[1];
+  ingest::IngestOptions options;
+  options.chunk_size = 10'000;
+  long max_sessions = 0;
+  for (int i = 2; i < argc; i += 2) {
+    if (i + 1 >= argc) {
+      return Usage();  // flag without its value
+    }
+    if (std::strcmp(argv[i], "--port") == 0) {
+      options.port = static_cast<uint16_t>(std::atoi(argv[i + 1]));
+    } else if (std::strcmp(argv[i], "--chunk-size") == 0) {
+      options.chunk_size = std::atoll(argv[i + 1]);
+    } else if (std::strcmp(argv[i], "--max-sessions") == 0) {
+      max_sessions = std::atol(argv[i + 1]);
+    } else {
+      return Usage();
+    }
+  }
+
+  auto store = storage::LocalStore::Create(store_dir, /*device=*/nullptr);
+  PERSONA_CHECK_OK(store.status());
+  auto service = ingest::IngestService::Start(store->get(), options);
+  PERSONA_CHECK_OK(service.status());
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  std::printf("ingest service listening on 127.0.0.1:%u, writing AGD to %s\n",
+              (*service)->port(), store_dir.c_str());
+  std::printf("stop with Ctrl-C%s\n",
+              max_sessions > 0 ? StrFormat(" (or after %ld sessions)", max_sessions).c_str()
+                               : "");
+  std::fflush(stdout);
+
+  while (g_stop == 0 &&
+         (max_sessions == 0 ||
+          (*service)->completed_sessions() < static_cast<size_t>(max_sessions))) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::printf("shutting down (%zu sessions served)...\n",
+              (*service)->completed_sessions());
+  (*service)->Shutdown();
+  PrintSessions(**service);
+  return 0;
+}

@@ -70,10 +70,11 @@ inline void TaskBatch::Add(std::function<void()> fn) {
   bool submitted = executor_->Submit([this, fn = std::move(fn)] {
     fn();
     executor_->tasks_executed_.fetch_add(1, std::memory_order_relaxed);
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      --outstanding_;
-    }
+    // Notify while holding the lock: the moment Wait() can observe outstanding_ == 0
+    // the caller may destroy this TaskBatch, so the condition variable must not be
+    // touched after the unlock (TSan-caught use-after-return otherwise).
+    std::lock_guard<std::mutex> lock(mu_);
+    --outstanding_;
     done_.notify_all();
   });
   if (!submitted) {

@@ -1,5 +1,8 @@
 #include "src/format/fastq.h"
 
+#include <algorithm>
+#include <iterator>
+
 namespace persona::format {
 
 Status FastqParser::ConsumeLine(std::string_view line, std::vector<genome::Read>* out) {
@@ -83,6 +86,42 @@ Status ParseFastq(std::string_view text, std::vector<genome::Read>* out) {
     PERSONA_RETURN_IF_ERROR(parser.Feed("\n", out));
   }
   return parser.Finish();
+}
+
+Status FastqRecordBatcher::Feed(std::string_view bytes) {
+  if (finished_) {
+    return FailedPreconditionError("FastqRecordBatcher: Feed after Finish");
+  }
+  if (!bytes.empty()) {
+    at_line_start_ = bytes.back() == '\n';
+  }
+  const size_t before = ready_.size();
+  PERSONA_RETURN_IF_ERROR(parser_.Feed(bytes, &ready_));
+  total_records_ += ready_.size() - before;
+  return OkStatus();
+}
+
+Status FastqRecordBatcher::Finish() {
+  if (!at_line_start_) {
+    // Tolerate a missing final newline, as ParseFastq does: the last quality line
+    // is complete input even if the file/stream doesn't terminate it.
+    PERSONA_RETURN_IF_ERROR(Feed("\n"));
+  }
+  PERSONA_RETURN_IF_ERROR(parser_.Finish());
+  finished_ = true;
+  return OkStatus();
+}
+
+std::optional<std::vector<genome::Read>> FastqRecordBatcher::TakeBatch() {
+  if (!HasBatch()) {
+    return std::nullopt;
+  }
+  const size_t take = std::min(batch_size_, ready_.size());
+  std::vector<genome::Read> batch;
+  batch.assign(std::make_move_iterator(ready_.begin()),
+               std::make_move_iterator(ready_.begin() + static_cast<ptrdiff_t>(take)));
+  ready_.erase(ready_.begin(), ready_.begin() + static_cast<ptrdiff_t>(take));
+  return batch;
 }
 
 void WriteFastq(std::span<const genome::Read> reads, std::string* out) {

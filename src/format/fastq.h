@@ -7,6 +7,7 @@
 #ifndef PERSONA_SRC_FORMAT_FASTQ_H_
 #define PERSONA_SRC_FORMAT_FASTQ_H_
 
+#include <optional>
 #include <span>
 #include <string>
 #include <string_view>
@@ -37,6 +38,46 @@ class FastqParser {
   std::string pending_;   // partial line carried across Feed calls
   int line_in_record_ = 0;
   genome::Read current_;
+};
+
+// Batches an incremental FASTQ stream into fixed-size record groups: the unit of work
+// both the offline importer and the stream-ingest service hand to the AGD chunk
+// builders. Feed arbitrary byte windows (a decompressed file slice, a socket frame);
+// TakeBatch returns exactly `batch_size` reads while more are buffered, and the
+// partial tail batch once Finish() has sealed the stream. Keeping the batching here —
+// not in each tool — is what makes socket ingest bit-identical to offline import.
+class FastqRecordBatcher {
+ public:
+  explicit FastqRecordBatcher(size_t batch_size)
+      : batch_size_(batch_size == 0 ? 1 : batch_size) {}
+
+  // Consumes `bytes` (may end mid-line or mid-record).
+  Status Feed(std::string_view bytes);
+
+  // Seals the stream after the last Feed; errors if a record is mid-flight. A
+  // missing final newline is tolerated (matching ParseFastq).
+  Status Finish();
+
+  // True when TakeBatch would return a batch.
+  bool HasBatch() const {
+    return ready_.size() >= batch_size_ || (finished_ && !ready_.empty());
+  }
+  bool finished() const { return finished_; }
+  size_t buffered() const { return ready_.size(); }
+  // Records parsed so far (taken or still buffered).
+  uint64_t total_records() const { return total_records_; }
+
+  // Removes and returns the next batch, or nullopt when none is available (more input
+  // needed, or the stream is finished and drained).
+  std::optional<std::vector<genome::Read>> TakeBatch();
+
+ private:
+  const size_t batch_size_;
+  FastqParser parser_;
+  std::vector<genome::Read> ready_;
+  uint64_t total_records_ = 0;
+  bool at_line_start_ = true;  // last fed byte was '\n' (or nothing fed yet)
+  bool finished_ = false;
 };
 
 // Serializes reads to FASTQ text, appending to `out`.

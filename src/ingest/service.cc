@@ -1,0 +1,397 @@
+#include "src/ingest/service.h"
+
+#include <cctype>
+#include <system_error>
+#include <utility>
+
+#include "src/format/fastq.h"
+#include "src/ingest/wire.h"
+#include "src/pipeline/convert.h"
+#include "src/util/json.h"
+#include "src/util/stopwatch.h"
+#include "src/util/string_util.h"
+
+namespace persona::ingest {
+
+namespace {
+
+bool ValidDatasetName(std::string_view name) {
+  if (name.empty() || name.size() > 128) {
+    return false;
+  }
+  for (const char c : name) {
+    if (std::isalnum(static_cast<unsigned char>(c)) == 0 && c != '.' && c != '_' &&
+        c != '-') {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string StatsJson(const IngestSessionStats& stats) {
+  json::Object o;
+  o["session_id"] = json::Value(stats.session_id);
+  o["dataset"] = json::Value(stats.dataset);
+  o["bytes_received"] = json::Value(stats.bytes_received);
+  o["records_parsed"] = json::Value(stats.records_parsed);
+  o["chunks_built"] = json::Value(stats.chunks_built);
+  o["records_built"] = json::Value(stats.records_built);
+  o["records_in_flight"] = json::Value(stats.records_in_flight);
+  o["done"] = json::Value(stats.done);
+  o["status"] = json::Value(stats.status.ToString());
+  return json::Value(std::move(o)).Dump();
+}
+
+std::string SummaryJson(const IngestSessionStats& stats, std::string_view manifest_key) {
+  json::Object o;
+  o["dataset"] = json::Value(stats.dataset);
+  o["records"] = json::Value(stats.records_built);
+  o["chunks"] = json::Value(stats.chunks_built);
+  o["bytes_received"] = json::Value(stats.bytes_received);
+  o["seconds"] = json::Value(stats.seconds);
+  o["manifest_key"] = json::Value(manifest_key);
+  return json::Value(std::move(o)).Dump();
+}
+
+}  // namespace
+
+struct IngestService::SessionState {
+  uint64_t id = 0;
+
+  std::atomic<uint64_t> bytes_received{0};
+  std::atomic<uint64_t> records_parsed{0};
+  std::atomic<bool> done{false};
+  // Set as RunSession's very last action: the thread has nothing left to block on,
+  // so a reaper's join completes immediately.
+  std::atomic<bool> reapable{false};
+
+  mutable std::mutex mu;  // guards everything below
+  std::string dataset;
+  std::shared_ptr<pipeline::FastqToAgdCore> core;  // set after the handshake
+  Status status;
+  double seconds = 0;
+  size_t pool_capacity = 0;
+  size_t pool_available = 0;
+  pipeline::ChunkPipelineReport report;
+
+  IngestSessionStats Snapshot() const {
+    IngestSessionStats stats;
+    stats.session_id = id;
+    stats.bytes_received = bytes_received.load(std::memory_order_relaxed);
+    stats.records_parsed = records_parsed.load(std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(mu);
+    stats.dataset = dataset;
+    if (core != nullptr) {
+      stats.chunks_built = core->chunks();
+      stats.records_built = core->records();
+    }
+    // The two counters are read at slightly different instants; clamp instead of
+    // underflowing when the transform advanced between the loads.
+    stats.records_in_flight = stats.records_parsed > stats.records_built
+                                  ? stats.records_parsed - stats.records_built
+                                  : 0;
+    stats.done = done.load(std::memory_order_acquire);
+    if (stats.done) {
+      stats.status = status;
+      stats.seconds = seconds;
+      stats.pool_capacity = pool_capacity;
+      stats.pool_available = pool_available;
+      stats.report = report;
+    }
+    return stats;
+  }
+};
+
+Result<std::unique_ptr<IngestService>> IngestService::Start(storage::ObjectStore* store,
+                                                            const IngestOptions& options) {
+  if (store == nullptr) {
+    return InvalidArgumentError("IngestService: null store");
+  }
+  PERSONA_ASSIGN_OR_RETURN(std::unique_ptr<SocketServer> server,
+                           SocketServer::Listen(options.port));
+  auto service = std::unique_ptr<IngestService>(
+      new IngestService(store, options, std::move(server)));
+  service->accept_thread_ = std::thread([svc = service.get()] { svc->AcceptLoop(); });
+  return service;
+}
+
+IngestService::~IngestService() { Shutdown(); }
+
+void IngestService::Shutdown() {
+  // Serializes concurrent Shutdown calls (including the destructor's): joins must
+  // not race. The accept loop never takes this mutex, so it cannot deadlock.
+  std::lock_guard<std::mutex> shutdown_lock(shutdown_mu_);
+  server_->Shutdown();
+  if (accept_thread_.joinable()) {
+    accept_thread_.join();
+  }
+  std::vector<SessionThread> threads;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    threads.swap(session_threads_);
+  }
+  for (SessionThread& entry : threads) {
+    entry.thread.join();
+  }
+}
+
+void IngestService::ReapFinishedLocked() {
+  std::erase_if(session_threads_, [](SessionThread& entry) {
+    if (!entry.session->reapable.load(std::memory_order_acquire)) {
+      return false;
+    }
+    entry.thread.join();
+    return true;
+  });
+  // Session history is bounded too: a resident service over millions of
+  // connections must not retain every past SessionState (each holds a full
+  // per-stage report). Oldest completed entries are dropped first; live sessions
+  // are always kept.
+  for (auto it = sessions_.begin();
+       sessions_.size() > options_.max_session_history && it != sessions_.end();) {
+    if ((*it)->done.load(std::memory_order_acquire)) {
+      it = sessions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool IngestService::ClaimDataset(const std::string& dataset) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_datasets_.insert(dataset).second;
+}
+
+void IngestService::ReleaseDataset(const std::string& dataset) {
+  std::lock_guard<std::mutex> lock(mu_);
+  active_datasets_.erase(dataset);
+}
+
+std::vector<IngestSessionStats> IngestService::Sessions() const {
+  std::vector<IngestSessionStats> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  out.reserve(sessions_.size());
+  for (const auto& session : sessions_) {
+    out.push_back(session->Snapshot());
+  }
+  return out;
+}
+
+void IngestService::AcceptLoop() {
+  while (true) {
+    Result<Connection> conn = server_->Accept();
+    if (!conn.ok()) {
+      // kCancelled is the normal Shutdown path; anything else means the resident
+      // service stopped accepting — record it so operators can see the death
+      // instead of a silently zombie process.
+      if (conn.status().code() != StatusCode::kCancelled) {
+        std::lock_guard<std::mutex> lock(mu_);
+        accept_status_ = conn.status();
+      }
+      break;
+    }
+    auto moved = std::make_shared<Connection>(std::move(*conn));
+    // The accept thread claims the session slot itself — checking a counter the
+    // session threads increment later would let a connection burst pass the cap
+    // before any of them got scheduled.
+    const size_t now_active = active_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (options_.max_concurrent_sessions > 0 &&
+        now_active > options_.max_concurrent_sessions) {
+      active_.fetch_sub(1, std::memory_order_relaxed);
+      (void)WriteFrame(*moved, FrameType::kError, "too many concurrent sessions");
+      continue;  // destructor closes the connection
+    }
+    auto session = std::make_shared<SessionState>();
+    session->id = next_session_id_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(mu_);
+    ReapFinishedLocked();
+    SessionThread entry;
+    entry.session = session;
+    try {
+      entry.thread = std::thread(
+          [this, session, moved] { RunSession(std::move(*moved), session); });
+    } catch (const std::system_error&) {
+      // Thread/resource exhaustion must refuse one client, not std::terminate the
+      // resident service from an uncaught accept-thread exception.
+      active_.fetch_sub(1, std::memory_order_relaxed);
+      (void)WriteFrame(*moved, FrameType::kError, "server cannot start a session thread");
+      continue;
+    }
+    sessions_.push_back(session);
+    session_threads_.push_back(std::move(entry));
+  }
+}
+
+void IngestService::RunSession(Connection conn_in,
+                               const std::shared_ptr<SessionState>& session) {
+  // active_ was claimed by the accept thread (admission control); released here.
+  auto conn = std::make_shared<Connection>(std::move(conn_in));
+
+  // --- Handshake: one Start frame within the deadline, then streaming. ---
+  Status status = conn->SetRecvTimeout(options_.handshake_timeout_sec);
+  std::string manifest_key;
+  std::string claimed_dataset;
+  if (status.ok()) {
+    Frame frame;
+    status = ReadFrame(*conn, &frame);
+    if (status.ok() && frame.type != FrameType::kStart) {
+      status = InvalidArgumentError(
+          StrFormat("expected Start frame, got %s",
+                    std::string(FrameTypeName(frame.type)).c_str()));
+    }
+    if (status.ok() && !ValidDatasetName(frame.payload)) {
+      status = InvalidArgumentError("invalid dataset name");
+    }
+    if (status.ok()) {
+      if (ClaimDataset(frame.payload)) {
+        claimed_dataset = frame.payload;
+      } else {
+        // Two live sessions on one name would interleave writes to the same chunk
+        // keys and leave a manifest that matches neither stream.
+        status = AlreadyExistsError("dataset '" + frame.payload +
+                                    "' is already being ingested");
+      }
+    }
+    if (status.ok()) {
+      manifest_key = frame.payload + ".manifest.json";
+      std::lock_guard<std::mutex> lock(session->mu);
+      session->dataset = frame.payload;
+      session->core = std::make_shared<pipeline::FastqToAgdCore>(
+          frame.payload, options_.chunk_size, options_.codec);
+    }
+    if (status.ok()) {
+      status = conn->SetRecvTimeout(0);  // backpressure stalls are legitimate
+    }
+    if (status.ok()) {
+      status = WriteFrame(*conn, FrameType::kStarted, "");
+    }
+  }
+
+  if (status.ok()) {
+    status = StreamDataset(conn, session);
+  }
+  if (!claimed_dataset.empty()) {
+    ReleaseDataset(claimed_dataset);
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(session->mu);
+    session->status = status;
+  }
+  session->done.store(true, std::memory_order_release);
+
+  // Best-effort terminal frame; the client may already be gone.
+  if (status.ok()) {
+    (void)WriteFrame(*conn, FrameType::kDone,
+                     SummaryJson(session->Snapshot(), manifest_key));
+  } else {
+    (void)WriteFrame(*conn, FrameType::kError, status.ToString());
+  }
+  conn->Close();
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  active_.fetch_sub(1, std::memory_order_relaxed);
+  session->reapable.store(true, std::memory_order_release);
+}
+
+Status IngestService::StreamDataset(const std::shared_ptr<Connection>& conn,
+                                    const std::shared_ptr<SessionState>& session) {
+  std::shared_ptr<pipeline::FastqToAgdCore> core;
+  std::string dataset;
+  {
+    std::lock_guard<std::mutex> lock(session->mu);
+    core = session->core;
+    dataset = session->dataset;
+  }
+  const size_t records_per_chunk =
+      options_.chunk_size > 0 ? static_cast<size_t>(options_.chunk_size) : 1;
+  auto batcher = std::make_shared<format::FastqRecordBatcher>(records_per_chunk);
+
+  pipeline::ChunkPipeline pipeline(options_.pipeline);
+  pipeline.SetWriter(store_, 3);
+
+  // The record source is the session's only socket reader. It refills the batcher one
+  // frame at a time and, crucially, runs on the pipeline's source thread: when the
+  // bounded input queue is full this function simply is not called, no bytes leave
+  // the kernel receive buffer, and TCP flow control stalls the client. Control frames
+  // are answered inline, which means a backpressured session also answers its control
+  // plane late — stats cannot lie about a stall.
+  pipeline.SetRecordSource(
+      [this, conn, batcher, session,
+       core](std::optional<pipeline::ChunkPipeline::Input>* out) -> Status {
+        while (!batcher->HasBatch() && !batcher->finished()) {
+          Frame frame;
+          Status status = ReadFrame(*conn, &frame);
+          if (!status.ok()) {
+            if (status.code() == StatusCode::kOutOfRange) {
+              return UnavailableError("client disconnected before End");
+            }
+            return status;  // mid-frame truncation or transport error
+          }
+          switch (frame.type) {
+            case FrameType::kData:
+              session->bytes_received.fetch_add(frame.payload.size(),
+                                                std::memory_order_relaxed);
+              PERSONA_RETURN_IF_ERROR(batcher->Feed(frame.payload));
+              session->records_parsed.store(batcher->total_records(),
+                                            std::memory_order_relaxed);
+              break;
+            case FrameType::kEnd:
+              PERSONA_RETURN_IF_ERROR(batcher->Finish());
+              break;
+            case FrameType::kStatsRequest:
+              PERSONA_RETURN_IF_ERROR(WriteFrame(*conn, FrameType::kStatsReply,
+                                                 StatsJson(session->Snapshot())));
+              break;
+            case FrameType::kManifestRequest:
+              PERSONA_RETURN_IF_ERROR(
+                  WriteFrame(*conn, FrameType::kManifestReply,
+                             core->ManifestSnapshot().ToJson()));
+              break;
+            default:
+              return DataLossError(
+                  StrFormat("unexpected %s frame mid-stream",
+                            std::string(FrameTypeName(frame.type)).c_str()));
+          }
+        }
+        std::optional<std::vector<genome::Read>> batch = batcher->TakeBatch();
+        if (batch.has_value()) {
+          pipeline::ChunkPipeline::Input input;
+          input.reads = std::move(*batch);
+          *out = std::move(input);
+        }
+        return OkStatus();
+      });
+
+  const std::string manifest_key = dataset + ".manifest.json";
+  pipeline.SetTransform(
+      "agd-build",
+      [core](pipeline::ChunkPipeline::Input&& input,
+             pipeline::ChunkPipeline::Emitter& emit) -> Status {
+        return core->BuildChunk(std::move(input), emit);
+      },
+      /*ordered=*/false,
+      // End-of-stream epilogue: the manifest rides the same writer stage as the
+      // chunks. Skipped on cancellation, so a truncated stream never leaves a
+      // manifest behind (its orphan chunk objects are unreachable without one).
+      [core, manifest_key](pipeline::ChunkPipeline::Emitter& emit) -> Status {
+        pipeline::ChunkPipeline::BufferRef object = emit.AcquireBuffer();
+        object->Append(std::string_view(core->ManifestSnapshot().ToJson()));
+        return emit.Write(manifest_key, std::move(object));
+      });
+
+  Stopwatch timer;
+  Result<pipeline::ChunkPipelineReport> report = pipeline.Run();
+  const Status status = report.status();
+  {
+    std::lock_guard<std::mutex> lock(session->mu);
+    session->seconds = timer.ElapsedSeconds();
+    session->pool_capacity = pipeline.pool_capacity();
+    session->pool_available = pipeline.pool_available();
+    if (report.ok()) {
+      session->report = std::move(*report);
+    }
+  }
+  return status;
+}
+
+}  // namespace persona::ingest

@@ -1,0 +1,162 @@
+// IngestService: the long-running stream-ingest workload (ROADMAP's last open
+// workload; paper §4's "tools are resident dataflow services" premise, the streaming
+// multi-stage composition argued by arXiv:1208.4436, with the operational stats
+// surface BioWorkbench-style monitoring needs).
+//
+// A resident process accepts FASTQ records over loopback TCP (wire.h framing) and
+// emits AGD chunks into an ObjectStore. Each client connection is one session: a
+// ChunkPipeline in record mode whose source thread reads frames off the socket, cuts
+// chunk-sized read batches (FastqRecordBatcher), and hands them to the same
+// FastqToAgdCore column builders the offline importer uses — so a streamed dataset is
+// bit-identical to `ImportFastqToAgd` on the same input.
+//
+// Backpressure is real, not buffered away: the source thread is the only reader of
+// the socket, and it pushes into the pipeline's bounded MPMC input queue. When the
+// store or any stage falls behind, that push blocks, the source stops reading, the
+// kernel receive buffer fills, and TCP flow control pushes back on the client. Peak
+// in-flight memory is therefore bounded by the pipeline's queue depths and buffer
+// pool, never by the length of the input stream.
+//
+// Session end:
+//   - clean (client sends End): the pipeline drains — the partial tail chunk is
+//     flushed, the transform's on_drain writes "<dataset>.manifest.json" through the
+//     writer stage — and the server replies Done with a summary.
+//   - disconnect mid-stream: the record source fails, the session's pipeline cancels
+//     (drain epilogues skipped — no manifest for a truncated stream), and every
+//     pooled buffer is verifiably returned (pool_capacity == pool_available).
+
+#ifndef PERSONA_SRC_INGEST_SERVICE_H_
+#define PERSONA_SRC_INGEST_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/compress/codec.h"
+#include "src/ingest/socket.h"
+#include "src/pipeline/chunk_pipeline.h"
+#include "src/storage/object_store.h"
+#include "src/util/result.h"
+
+namespace persona::ingest {
+
+struct IngestOptions {
+  uint16_t port = 0;              // 0 = kernel-assigned (read back via port())
+  int64_t chunk_size = 100'000;   // records per AGD chunk (paper §4.5 default)
+  compress::CodecId codec = compress::CodecId::kZlib;
+  pipeline::ChunkPipeline::Options pipeline;  // per-session stage widths / depths
+  double handshake_timeout_sec = 10;  // Start frame deadline for a new connection
+  // Connections beyond this many live sessions are refused with an Error frame
+  // (each session owns a pipeline's threads and pools; unbounded admission would
+  // let a connection burst exhaust the process). 0 = unlimited.
+  size_t max_concurrent_sessions = 64;
+  // Completed sessions retained for Sessions() history; oldest evicted first so a
+  // resident service's memory does not grow with its connection count.
+  size_t max_session_history = 256;
+};
+
+// Point-in-time view of one session; also the payload of a StatsReply control frame.
+// Safe to snapshot while the session is streaming.
+struct IngestSessionStats {
+  uint64_t session_id = 0;
+  std::string dataset;
+  uint64_t bytes_received = 0;   // FASTQ payload bytes read off the socket
+  uint64_t records_parsed = 0;   // records out of the FASTQ parser
+  uint64_t chunks_built = 0;     // chunk work items through the transform
+  uint64_t records_built = 0;    // records in those chunks
+  // records_parsed - records_built: bounded by the pipeline depth when
+  // backpressure is working (the stream-ingest invariant the tests pin down).
+  uint64_t records_in_flight = 0;
+  bool done = false;
+  // Valid once done:
+  Status status;
+  double seconds = 0;
+  size_t pool_capacity = 0;   // buffer-pool bookkeeping (leak check)
+  size_t pool_available = 0;
+  pipeline::ChunkPipelineReport report;  // populated when status.ok()
+};
+
+class IngestService {
+ public:
+  ~IngestService();  // Shutdown() + join
+
+  IngestService(const IngestService&) = delete;
+  IngestService& operator=(const IngestService&) = delete;
+
+  // Binds, starts the accept loop, and returns a running service writing AGD to
+  // `store` (which must outlive the service).
+  static Result<std::unique_ptr<IngestService>> Start(storage::ObjectStore* store,
+                                                      const IngestOptions& options);
+
+  uint16_t port() const { return server_->port(); }
+
+  // Stops accepting new clients and waits for in-flight sessions to drain (their
+  // sockets keep being served until the client finishes or disconnects). Idempotent.
+  // Note: a connected client that stalls forever mid-stream pins Shutdown with it —
+  // a force/deadline variant that aborts live sockets is ROADMAP headroom.
+  void Shutdown();
+
+  // Snapshots of every session, in accept order (running and completed).
+  std::vector<IngestSessionStats> Sessions() const;
+
+  size_t active_sessions() const { return active_.load(std::memory_order_relaxed); }
+  size_t completed_sessions() const {
+    return completed_.load(std::memory_order_relaxed);
+  }
+
+  // OK while the accept loop is (or cleanly stopped) accepting; the fatal error if
+  // it died and the service will take no more clients.
+  Status accept_status() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return accept_status_;
+  }
+
+ private:
+  struct SessionState;
+
+  IngestService(storage::ObjectStore* store, const IngestOptions& options,
+                std::unique_ptr<SocketServer> server)
+      : store_(store), options_(options), server_(std::move(server)) {}
+
+  void AcceptLoop();
+  void RunSession(Connection conn, const std::shared_ptr<SessionState>& session);
+  // The streaming body: handshake already done; returns the pipeline outcome.
+  Status StreamDataset(const std::shared_ptr<Connection>& conn,
+                       const std::shared_ptr<SessionState>& session);
+  // Joins threads whose sessions have fully finished (called on each accept, so a
+  // resident service does not accumulate one dead thread per past connection).
+  void ReapFinishedLocked();
+  // Registers `dataset` as actively ingesting; false if another live session owns
+  // it (two sessions writing the same chunk keys would corrupt the dataset).
+  bool ClaimDataset(const std::string& dataset);
+  void ReleaseDataset(const std::string& dataset);
+
+  storage::ObjectStore* const store_;
+  const IngestOptions options_;
+  std::unique_ptr<SocketServer> server_;
+  std::thread accept_thread_;
+
+  struct SessionThread {
+    std::thread thread;
+    std::shared_ptr<SessionState> session;
+  };
+
+  mutable std::mutex mu_;  // guards sessions_ / session_threads_ / active_datasets_
+  std::mutex shutdown_mu_;  // serializes Shutdown (thread joins)
+  std::vector<std::shared_ptr<SessionState>> sessions_;
+  std::vector<SessionThread> session_threads_;
+  std::set<std::string> active_datasets_;
+  Status accept_status_;
+  std::atomic<size_t> active_{0};
+  std::atomic<size_t> completed_{0};
+  std::atomic<uint64_t> next_session_id_{0};
+};
+
+}  // namespace persona::ingest
+
+#endif  // PERSONA_SRC_INGEST_SERVICE_H_

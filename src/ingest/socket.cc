@@ -1,0 +1,193 @@
+#include "src/ingest/socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include "src/util/string_util.h"
+
+namespace persona::ingest {
+
+namespace {
+
+Status ErrnoStatus(std::string_view what, int err) {
+  return UnavailableError(StrFormat("%.*s: %s", static_cast<int>(what.size()),
+                                    what.data(), std::strerror(err)));
+}
+
+}  // namespace
+
+Status Connection::SendAll(const void* data, size_t n) {
+  if (fd_ < 0) {
+    return FailedPreconditionError("send on closed connection");
+  }
+  const char* p = static_cast<const char*>(data);
+  size_t sent = 0;
+  while (sent < n) {
+    // MSG_NOSIGNAL: a peer that disappeared must surface as a Status (EPIPE), not a
+    // process-killing SIGPIPE; short sends are normal under TCP flow control, so
+    // loop until the whole message is accepted.
+    const ssize_t rc = ::send(fd_, p + sent, n - sent, MSG_NOSIGNAL);
+    if (rc < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return ErrnoStatus("send", errno);
+    }
+    sent += static_cast<size_t>(rc);
+  }
+  return OkStatus();
+}
+
+Status Connection::RecvAll(void* data, size_t n) {
+  if (fd_ < 0) {
+    return FailedPreconditionError("recv on closed connection");
+  }
+  char* p = static_cast<char*>(data);
+  size_t got = 0;
+  while (got < n) {
+    const ssize_t rc = ::recv(fd_, p + got, n - got, 0);
+    if (rc < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return UnavailableError("recv: timed out");
+      }
+      return ErrnoStatus("recv", errno);
+    }
+    if (rc == 0) {
+      if (got == 0) {
+        return OutOfRangeError("connection closed");  // clean close at a boundary
+      }
+      return DataLossError("connection closed mid-message");
+    }
+    got += static_cast<size_t>(rc);
+  }
+  return OkStatus();
+}
+
+Status Connection::SetRecvTimeout(double seconds) {
+  if (fd_ < 0) {
+    return FailedPreconditionError("timeout on closed connection");
+  }
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec = static_cast<suseconds_t>((seconds - static_cast<double>(tv.tv_sec)) * 1e6);
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
+    return ErrnoStatus("setsockopt(SO_RCVTIMEO)", errno);
+  }
+  return OkStatus();
+}
+
+Status Connection::ShutdownWrite() {
+  if (fd_ >= 0 && ::shutdown(fd_, SHUT_WR) != 0 && errno != ENOTCONN) {
+    return ErrnoStatus("shutdown(WR)", errno);
+  }
+  return OkStatus();
+}
+
+void Connection::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+SocketServer::~SocketServer() {
+  Shutdown();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+Result<std::unique_ptr<SocketServer>> SocketServer::Listen(uint16_t port, int backlog) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return ErrnoStatus("socket", errno);
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return ErrnoStatus("bind", err);
+  }
+  if (::listen(fd, backlog) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return ErrnoStatus("listen", err);
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return ErrnoStatus("getsockname", err);
+  }
+  return std::unique_ptr<SocketServer>(new SocketServer(fd, ntohs(addr.sin_port)));
+}
+
+Result<Connection> SocketServer::Accept() {
+  // Poll with a short timeout instead of blocking in accept(): Shutdown() only has to
+  // flip a flag, with no reliance on close()-wakes-accept semantics.
+  while (!shutdown_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, /*timeout_ms=*/50);
+    if (rc < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return ErrnoStatus("poll", errno);
+    }
+    if (rc == 0) {
+      continue;
+    }
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) {
+      // Transient conditions must not kill a resident service's accept loop: the
+      // poll above rate-limits the retry, and fd pressure (EMFILE/ENFILE) clears
+      // when sessions finish. Only genuinely unrecoverable errors surface.
+      if (errno == EINTR || errno == ECONNABORTED || errno == EAGAIN ||
+          errno == EWOULDBLOCK || errno == EMFILE || errno == ENFILE ||
+          errno == ENOBUFS || errno == ENOMEM) {
+        continue;
+      }
+      return ErrnoStatus("accept", errno);
+    }
+    return Connection(client);
+  }
+  return CancelledError("server shut down");
+}
+
+void SocketServer::Shutdown() { shutdown_.store(true, std::memory_order_release); }
+
+Result<Connection> ConnectLoopback(uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return ErrnoStatus("socket", errno);
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return ErrnoStatus("connect", err);
+  }
+  return Connection(fd);
+}
+
+}  // namespace persona::ingest

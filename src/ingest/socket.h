@@ -1,0 +1,102 @@
+// Thin POSIX TCP wrappers for the stream-ingest service (ROADMAP: stream-ingest
+// workload; the resident-service shape of arXiv:1208.4436's multi-stage streaming
+// composition).
+//
+// Connection owns one connected socket and exposes whole-message semantics: SendAll
+// loops over short/interrupted sends with MSG_NOSIGNAL (a vanished peer surfaces as a
+// kUnavailable Status, never a SIGPIPE), RecvAll loops over short reads and
+// distinguishes a clean close at a message boundary from a mid-message truncation.
+// SocketServer accepts connections with a poll loop so Shutdown() can stop a blocked
+// accept promptly without platform-specific close/shutdown races.
+
+#ifndef PERSONA_SRC_INGEST_SOCKET_H_
+#define PERSONA_SRC_INGEST_SOCKET_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string_view>
+
+#include "src/util/result.h"
+
+namespace persona::ingest {
+
+class Connection {
+ public:
+  Connection() = default;
+  explicit Connection(int fd) : fd_(fd) {}
+  ~Connection() { Close(); }
+
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+  Connection(Connection&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Connection& operator=(Connection&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  // Writes all `n` bytes, looping on partial and EINTR-interrupted sends. Sends with
+  // MSG_NOSIGNAL: a peer that closed mid-write returns kUnavailable (EPIPE /
+  // ECONNRESET) instead of killing the process.
+  Status SendAll(const void* data, size_t n);
+  Status SendAll(std::string_view data) { return SendAll(data.data(), data.size()); }
+
+  // Reads exactly `n` bytes, looping on partial reads. A clean peer close before the
+  // first byte returns kOutOfRange ("end of stream" — a frame boundary); a close
+  // mid-message returns kDataLoss; transport errors return kUnavailable.
+  Status RecvAll(void* data, size_t n);
+
+  // Half-close: no more reads will be served to the peer's writes (used by tests).
+  Status ShutdownWrite();
+
+  // Receive timeout for subsequent RecvAll calls (0 = block forever). Used for the
+  // session handshake so a silent client cannot pin a server thread; cleared once
+  // streaming starts, because a backpressure stall is a legitimate long silence.
+  Status SetRecvTimeout(double seconds);
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+class SocketServer {
+ public:
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+  ~SocketServer();
+
+  // Binds and listens on 127.0.0.1:`port` (0 = kernel-assigned; read back via
+  // port()). Loopback only: the service speaks an unauthenticated frame protocol.
+  static Result<std::unique_ptr<SocketServer>> Listen(uint16_t port, int backlog = 16);
+
+  uint16_t port() const { return port_; }
+
+  // Blocks until a client connects. Returns kCancelled once Shutdown() is called and
+  // kUnavailable on unrecoverable accept errors.
+  Result<Connection> Accept();
+
+  // Stops Accept (current and future calls). Idempotent; safe from any thread.
+  void Shutdown();
+
+ private:
+  SocketServer(int fd, uint16_t port) : listen_fd_(fd), port_(port) {}
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> shutdown_{false};
+};
+
+// Connects to 127.0.0.1:`port` (the test/bench/client side of SocketServer).
+Result<Connection> ConnectLoopback(uint16_t port);
+
+}  // namespace persona::ingest
+
+#endif  // PERSONA_SRC_INGEST_SOCKET_H_

@@ -1,0 +1,107 @@
+#include "src/ingest/wire.h"
+
+#include "src/util/string_util.h"
+
+namespace persona::ingest {
+
+namespace {
+
+constexpr size_t kHeaderBytes = 1 + sizeof(uint32_t);
+
+bool KnownFrameType(uint8_t raw) {
+  switch (static_cast<FrameType>(raw)) {
+    case FrameType::kStart:
+    case FrameType::kData:
+    case FrameType::kEnd:
+    case FrameType::kStatsRequest:
+    case FrameType::kManifestRequest:
+    case FrameType::kStarted:
+    case FrameType::kStatsReply:
+    case FrameType::kManifestReply:
+    case FrameType::kDone:
+    case FrameType::kError:
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string_view FrameTypeName(FrameType type) {
+  switch (type) {
+    case FrameType::kStart:
+      return "Start";
+    case FrameType::kData:
+      return "Data";
+    case FrameType::kEnd:
+      return "End";
+    case FrameType::kStatsRequest:
+      return "StatsRequest";
+    case FrameType::kManifestRequest:
+      return "ManifestRequest";
+    case FrameType::kStarted:
+      return "Started";
+    case FrameType::kStatsReply:
+      return "StatsReply";
+    case FrameType::kManifestReply:
+      return "ManifestReply";
+    case FrameType::kDone:
+      return "Done";
+    case FrameType::kError:
+      return "Error";
+  }
+  return "Unknown";
+}
+
+Status WriteFrame(Connection& conn, FrameType type, std::string_view payload) {
+  if (payload.size() > kMaxFramePayload) {
+    return InvalidArgumentError(StrFormat("frame payload too large: %zu bytes",
+                                          payload.size()));
+  }
+  // The length is encoded explicitly little-endian (the documented wire format),
+  // not by memcpy of host order — clients in other languages or on big-endian hosts
+  // must interoperate. Header and payload go out as two sends so the payload is
+  // never copied; length-prefixed framing doesn't care about write boundaries.
+  char header[kHeaderBytes];
+  header[0] = static_cast<char>(type);
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) {
+    header[1 + i] = static_cast<char>((len >> (8 * i)) & 0xff);
+  }
+  PERSONA_RETURN_IF_ERROR(conn.SendAll(header, sizeof(header)));
+  if (!payload.empty()) {
+    return conn.SendAll(payload);
+  }
+  return OkStatus();
+}
+
+Status ReadFrame(Connection& conn, Frame* out) {
+  char header[kHeaderBytes];
+  PERSONA_RETURN_IF_ERROR(conn.RecvAll(header, sizeof(header)));
+  const uint8_t raw_type = static_cast<uint8_t>(header[0]);
+  if (!KnownFrameType(raw_type)) {
+    return DataLossError(StrFormat("unknown frame type %u", raw_type));
+  }
+  uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<uint32_t>(static_cast<uint8_t>(header[1 + i])) << (8 * i);
+  }
+  if (len > kMaxFramePayload) {
+    return DataLossError(StrFormat("frame payload length %u exceeds limit", len));
+  }
+  out->type = static_cast<FrameType>(raw_type);
+  out->payload.resize(len);
+  if (len > 0) {
+    Status status = conn.RecvAll(out->payload.data(), len);
+    if (!status.ok()) {
+      // EOF between header and payload is truncation even if it hit a read boundary.
+      if (status.code() == StatusCode::kOutOfRange) {
+        return DataLossError("connection closed mid-frame");
+      }
+      return status;
+    }
+  }
+  return OkStatus();
+}
+
+}  // namespace persona::ingest

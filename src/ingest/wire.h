@@ -1,0 +1,66 @@
+// Wire format of the stream-ingest service: length-prefixed frames over TCP.
+//
+// Frame layout (little-endian):   type u8 | payload_length u32 | payload bytes
+//
+// A session is: client sends kStart (payload = dataset name), then any number of
+// kData frames carrying raw FASTQ text (frames may split the text anywhere, even
+// mid-line), then kEnd. The server replies kStarted after a valid kStart and kDone
+// (payload = summary JSON) once the session's pipeline has drained and the manifest
+// is written. At any point between data frames the client may send kStatsRequest /
+// kManifestRequest; the server replies kStatsReply / kManifestReply in order. A
+// mid-stream kManifestReply is a monitoring snapshot: it lists chunks accepted by
+// the build stage, whose objects may still be in flight to the store — only the
+// manifest object written at kDone is authoritative.
+// Control replies share the ingest path's ordering — when the pipeline is
+// backpressured the server is deliberately not reading the socket, so replies are
+// delayed exactly like data: that is the observable backpressure signal.
+// kError (payload = message) is terminal in either direction.
+
+#ifndef PERSONA_SRC_INGEST_WIRE_H_
+#define PERSONA_SRC_INGEST_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/ingest/socket.h"
+#include "src/util/result.h"
+
+namespace persona::ingest {
+
+enum class FrameType : uint8_t {
+  // Client → server.
+  kStart = 1,            // payload: dataset name
+  kData = 2,             // payload: raw FASTQ bytes
+  kEnd = 3,              // payload: empty
+  kStatsRequest = 4,     // payload: empty
+  kManifestRequest = 5,  // payload: empty
+  // Server → client.
+  kStarted = 16,        // payload: empty
+  kStatsReply = 17,     // payload: session stats JSON
+  kManifestReply = 18,  // payload: manifest JSON of chunks emitted so far
+  kDone = 19,           // payload: final summary JSON
+  kError = 20,          // payload: error message
+};
+
+std::string_view FrameTypeName(FrameType type);
+
+// Refuse absurd lengths before allocating: a corrupt or misaligned stream must fail
+// with a parse error, not an OOM.
+inline constexpr uint32_t kMaxFramePayload = 64u << 20;
+
+struct Frame {
+  FrameType type = FrameType::kError;
+  std::string payload;
+};
+
+// Sends one frame (header + payload in one buffered send).
+Status WriteFrame(Connection& conn, FrameType type, std::string_view payload);
+
+// Receives one frame. A clean peer close at a frame boundary returns kOutOfRange
+// ("connection closed"); a close inside a frame returns kDataLoss.
+Status ReadFrame(Connection& conn, Frame* out);
+
+}  // namespace persona::ingest
+
+#endif  // PERSONA_SRC_INGEST_WIRE_H_

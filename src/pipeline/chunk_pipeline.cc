@@ -398,11 +398,17 @@ Result<ChunkPipelineReport> ChunkPipeline::Run() {
       auto stamp = std::make_shared<size_t>(0);
       graph.AddSource<Input>(
           "record-source", input_queue,
-          [next = record_source_, stamp, &source_error]() -> std::optional<Input> {
+          [next = record_source_, stamp, &source_error,
+           &graph]() -> std::optional<Input> {
             std::optional<Input> input;
             Status status = next(&input);
             if (!status.ok()) {
               source_error = status;
+              // A failing source is a run failure, not end-of-stream: cancel so
+              // downstream stages stop instead of draining, and end-of-stream
+              // epilogues are skipped rather than flushing a half-ingested stream
+              // (e.g. a client that disconnected mid-record) as if it completed.
+              graph.Cancel();
               return std::nullopt;
             }
             if (input.has_value()) {

@@ -147,7 +147,8 @@ class ChunkPipeline {
   using TransformFn = std::function<Status(Input&&, Emitter&)>;
   using DrainFn = std::function<Status(Emitter&)>;
   // Record-mode generator: sets *out (or leaves it empty at end-of-stream); a non-OK
-  // status stops the source and fails the run.
+  // status cancels the run (in-flight items stop, drain epilogues are skipped) and
+  // Run() returns that status.
   using RecordSourceFn = std::function<Status(std::optional<Input>*)>;
   // Manifest-mode group-index handout (cluster manifest server); nullopt ends the run.
   using WorkSourceFn = std::function<std::optional<size_t>()>;

@@ -1,5 +1,6 @@
 #include "src/pipeline/convert.h"
 
+#include <algorithm>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -29,6 +30,54 @@ Status DecodeInputRecord(const ChunkPipeline::Input& input, size_t i,
 
 }  // namespace
 
+FastqToAgdCore::FastqToAgdCore(std::string name, int64_t chunk_size,
+                               compress::CodecId codec)
+    : name_(std::move(name)),
+      chunk_size_(chunk_size > 0 ? chunk_size : 1),
+      codec_(codec) {}
+
+Status FastqToAgdCore::BuildChunk(ChunkPipeline::Input&& input,
+                                  ChunkPipeline::Emitter& emit) {
+  format::ChunkBuilder bases(format::RecordType::kBases, codec_);
+  format::ChunkBuilder qual(format::RecordType::kQual, codec_);
+  format::ChunkBuilder metadata(format::RecordType::kMetadata, codec_);
+  for (const genome::Read& read : input.reads) {
+    bases.AddBases(read.bases);
+    qual.AddRecord(read.qual);
+    metadata.AddRecord(read.metadata);
+  }
+  const std::string path_base = name_ + "-" + std::to_string(input.index);
+  format::ManifestChunk chunk;
+  chunk.path_base = path_base;
+  chunk.first_record = static_cast<int64_t>(input.index) * chunk_size_;
+  chunk.num_records = static_cast<int64_t>(input.reads.size());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.emplace(input.index, std::move(chunk));
+  }
+  records_.fetch_add(input.reads.size(), std::memory_order_relaxed);
+  chunks_.fetch_add(1, std::memory_order_relaxed);
+  ChunkPipeline::SerializeRequest request;
+  request.keys = {path_base + ".bases", path_base + ".qual", path_base + ".metadata"};
+  request.builders.push_back(std::move(bases));
+  request.builders.push_back(std::move(qual));
+  request.builders.push_back(std::move(metadata));
+  return emit.Emit(std::move(request));
+}
+
+format::Manifest FastqToAgdCore::ManifestSnapshot() const {
+  format::Manifest manifest;
+  manifest.name = name_;
+  manifest.chunk_size = chunk_size_;
+  manifest.columns = format::StandardReadColumns(codec_);
+  std::lock_guard<std::mutex> lock(mu_);
+  manifest.chunks.reserve(entries_.size());
+  for (const auto& [index, chunk] : entries_) {
+    manifest.chunks.push_back(chunk);
+  }
+  return manifest;
+}
+
 Result<ConvertReport> ImportFastqToAgd(storage::ObjectStore* store, const std::string& name,
                                        int64_t chunk_size, compress::CodecId codec,
                                        format::Manifest* out_manifest,
@@ -51,95 +100,54 @@ Result<ConvertReport> ImportFastqToAgd(storage::ObjectStore* store, const std::s
   // chunk-sized batch of reads per work item. Column building/compression and the
   // batched chunk writes run behind it in parallel.
   struct ImportState {
+    explicit ImportState(size_t batch) : batcher(batch) {}
     Buffer fastq;
     size_t offset = 0;
-    format::FastqParser parser;
-    std::vector<genome::Read> ready;
-    bool done = false;
+    format::FastqRecordBatcher batcher;
   };
-  auto state = std::make_shared<ImportState>();
+  auto state = std::make_shared<ImportState>(records_per_chunk);
   PERSONA_RETURN_IF_ERROR(compress::GetCodec(compress::CodecId::kZlib)
                               .Decompress(object.span().subspan(sizeof(uint64_t)),
                                           static_cast<size_t>(raw_size), &state->fastq));
 
   ChunkPipeline pipeline(pipeline_options);
-  pipeline.SetRecordSource([state, records_per_chunk](
-                               std::optional<ChunkPipeline::Input>* out) -> Status {
+  pipeline.SetRecordSource([state](std::optional<ChunkPipeline::Input>* out) -> Status {
     constexpr size_t kWindow = 1 << 20;
-    while (state->ready.size() < records_per_chunk && !state->done) {
+    while (!state->batcher.HasBatch() && !state->batcher.finished()) {
       if (state->offset >= state->fastq.size()) {
-        PERSONA_RETURN_IF_ERROR(state->parser.Finish());
-        state->done = true;
+        PERSONA_RETURN_IF_ERROR(state->batcher.Finish());
         break;
       }
       const size_t len = std::min(kWindow, state->fastq.size() - state->offset);
-      PERSONA_RETURN_IF_ERROR(state->parser.Feed(
-          std::string_view(state->fastq.view().data() + state->offset, len),
-          &state->ready));
+      PERSONA_RETURN_IF_ERROR(state->batcher.Feed(
+          std::string_view(state->fastq.view().data() + state->offset, len)));
       state->offset += len;
     }
-    if (state->ready.empty()) {
+    std::optional<std::vector<genome::Read>> batch = state->batcher.TakeBatch();
+    if (!batch.has_value()) {
       return OkStatus();  // end of stream
     }
-    const size_t take = std::min(records_per_chunk, state->ready.size());
     ChunkPipeline::Input input;
-    input.reads.assign(std::make_move_iterator(state->ready.begin()),
-                       std::make_move_iterator(state->ready.begin() +
-                                               static_cast<ptrdiff_t>(take)));
-    state->ready.erase(state->ready.begin(),
-                       state->ready.begin() + static_cast<ptrdiff_t>(take));
+    input.reads = std::move(*batch);
     *out = std::move(input);
     return OkStatus();
   });
   pipeline.SetWriter(store, 3);
 
-  auto entries_mu = std::make_shared<std::mutex>();
-  auto entries = std::make_shared<std::map<size_t, format::ManifestChunk>>();
+  auto core = std::make_shared<FastqToAgdCore>(name, chunk_size, codec);
   pipeline.SetTransform(
       "agd-build",
-      [&name, codec, records_per_chunk, entries_mu, entries](
-          ChunkPipeline::Input&& input, ChunkPipeline::Emitter& emit) -> Status {
-        format::ChunkBuilder bases(format::RecordType::kBases, codec);
-        format::ChunkBuilder qual(format::RecordType::kQual, codec);
-        format::ChunkBuilder metadata(format::RecordType::kMetadata, codec);
-        for (const genome::Read& read : input.reads) {
-          bases.AddBases(read.bases);
-          qual.AddRecord(read.qual);
-          metadata.AddRecord(read.metadata);
-        }
-        const std::string path_base = name + "-" + std::to_string(input.index);
-        format::ManifestChunk chunk;
-        chunk.path_base = path_base;
-        chunk.first_record = static_cast<int64_t>(input.index * records_per_chunk);
-        chunk.num_records = static_cast<int64_t>(input.reads.size());
-        {
-          std::lock_guard<std::mutex> lock(*entries_mu);
-          entries->emplace(input.index, std::move(chunk));
-        }
-        ChunkPipeline::SerializeRequest request;
-        request.keys = {path_base + ".bases", path_base + ".qual",
-                        path_base + ".metadata"};
-        request.builders.push_back(std::move(bases));
-        request.builders.push_back(std::move(qual));
-        request.builders.push_back(std::move(metadata));
-        return emit.Emit(std::move(request));
+      [core](ChunkPipeline::Input&& input, ChunkPipeline::Emitter& emit) -> Status {
+        return core->BuildChunk(std::move(input), emit);
       });
   PERSONA_RETURN_IF_ERROR(pipeline.Run().status());
 
-  format::Manifest manifest;
-  manifest.name = name;
-  manifest.chunk_size = chunk_size;
-  manifest.columns = format::StandardReadColumns(codec);
-  int64_t total = 0;
-  for (auto& [index, chunk] : *entries) {
-    total += chunk.num_records;
-    manifest.chunks.push_back(std::move(chunk));
-  }
+  format::Manifest manifest = core->ManifestSnapshot();
   PERSONA_RETURN_IF_ERROR(store->Put("manifest.json", manifest.ToJson()));
 
   ConvertReport report;
   report.seconds = timer.ElapsedSeconds();
-  report.records = static_cast<uint64_t>(total);
+  report.records = core->records();
   report.bytes_in = state->fastq.size();
   report.bytes_out = store->stats().bytes_written - before.bytes_written;
   report.throughput_mb_per_sec = Throughput(report.bytes_in, report.seconds);

@@ -4,6 +4,10 @@
 #ifndef PERSONA_SRC_PIPELINE_CONVERT_H_
 #define PERSONA_SRC_PIPELINE_CONVERT_H_
 
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
 #include <string>
 
 #include "src/format/agd_manifest.h"
@@ -12,6 +16,41 @@
 #include "src/storage/object_store.h"
 
 namespace persona::pipeline {
+
+// The record→column-chunk core shared by the offline FASTQ importer and the
+// stream-ingest service: turns one ChunkPipeline record-mode Input (a chunk-sized
+// batch of reads) into the three standard column builders (bases/qual/metadata),
+// registers the chunk's manifest entry, and emits the column objects through the
+// pipeline's serialize/write stages. Thread-safe: parallel transform workers may call
+// BuildChunk concurrently; ManifestSnapshot/records/chunks may be read live from
+// other threads (the ingest service's control requests do).
+class FastqToAgdCore {
+ public:
+  // Chunks are named "<name>-<index>.<column>"; `chunk_size` is records per chunk
+  // (used for first_record bookkeeping — inputs are expected to carry at most that
+  // many reads).
+  FastqToAgdCore(std::string name, int64_t chunk_size, compress::CodecId codec);
+
+  // ChunkPipeline transform body (record mode).
+  Status BuildChunk(ChunkPipeline::Input&& input, ChunkPipeline::Emitter& emit);
+
+  // Manifest of the chunks emitted so far, in dataset order. Complete once the
+  // pipeline has drained.
+  format::Manifest ManifestSnapshot() const;
+
+  uint64_t records() const { return records_.load(std::memory_order_relaxed); }
+  uint64_t chunks() const { return chunks_.load(std::memory_order_relaxed); }
+
+ private:
+  const std::string name_;
+  const int64_t chunk_size_;
+  const compress::CodecId codec_;
+
+  mutable std::mutex mu_;
+  std::map<size_t, format::ManifestChunk> entries_;
+  std::atomic<uint64_t> records_{0};
+  std::atomic<uint64_t> chunks_{0};
+};
 
 struct ConvertReport {
   double seconds = 0;

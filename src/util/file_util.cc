@@ -1,6 +1,7 @@
 #include "src/util/file_util.h"
 
 #include <atomic>
+#include <cerrno>
 #include <cstdio>
 #include <filesystem>
 #include <system_error>
@@ -8,6 +9,48 @@
 namespace persona {
 
 namespace fs = std::filesystem;
+
+namespace {
+
+// stdio transfers may legitimately return short counts (EINTR on a signal-interrupted
+// syscall under the hood, pipes/special files): retry the remainder and only treat a
+// short count with a sticky error — or zero progress — as failure. Same discipline as
+// Connection::SendAll/RecvAll on sockets.
+Status ReadExactly(std::FILE* f, void* data, size_t size, const std::string& path) {
+  char* p = static_cast<char*>(data);
+  size_t got = 0;
+  while (got < size) {
+    const size_t rc = std::fread(p + got, 1, size - got, f);
+    if (rc == 0) {
+      if (std::ferror(f) != 0 && errno == EINTR) {
+        std::clearerr(f);
+        continue;
+      }
+      return DataLossError("short read from file: " + path);
+    }
+    got += rc;
+  }
+  return OkStatus();
+}
+
+Status WriteExactly(std::FILE* f, const void* data, size_t size, const std::string& path) {
+  const char* p = static_cast<const char*>(data);
+  size_t written = 0;
+  while (written < size) {
+    const size_t rc = std::fwrite(p + written, 1, size - written, f);
+    if (rc == 0) {
+      if (std::ferror(f) != 0 && errno == EINTR) {
+        std::clearerr(f);
+        continue;
+      }
+      return DataLossError("short write to file: " + path);
+    }
+    written += rc;
+  }
+  return OkStatus();
+}
+
+}  // namespace
 
 Result<std::string> ReadFileToString(const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
@@ -20,10 +63,10 @@ Result<std::string> ReadFileToString(const std::string& path) {
   std::string out;
   if (size > 0) {
     out.resize(static_cast<size_t>(size));
-    size_t read = std::fread(out.data(), 1, out.size(), f);
-    if (read != out.size()) {
+    Status status = ReadExactly(f, out.data(), out.size(), path);
+    if (!status.ok()) {
       std::fclose(f);
-      return DataLossError("short read from file: " + path);
+      return status;
     }
   }
   std::fclose(f);
@@ -41,10 +84,10 @@ Status ReadFileToBuffer(const std::string& path, Buffer* out) {
   out->Clear();
   if (size > 0) {
     out->Resize(static_cast<size_t>(size));
-    size_t read = std::fread(out->data(), 1, out->size(), f);
-    if (read != out->size()) {
+    Status status = ReadExactly(f, out->data(), out->size(), path);
+    if (!status.ok()) {
       std::fclose(f);
-      return DataLossError("short read from file: " + path);
+      return status;
     }
   }
   std::fclose(f);
@@ -57,10 +100,15 @@ Status WriteBytes(const std::string& path, const void* data, size_t size) {
   if (f == nullptr) {
     return UnavailableError("cannot create file: " + path);
   }
-  if (size > 0 && std::fwrite(data, 1, size, f) != size) {
-    std::fclose(f);
-    return DataLossError("short write to file: " + path);
+  if (size > 0) {
+    Status status = WriteExactly(f, data, size, path);
+    if (!status.ok()) {
+      std::fclose(f);
+      return status;
+    }
   }
+  // fclose flushes the stdio buffer; a full disk surfaces here, so the result must
+  // be checked for the write to be durable.
   if (std::fclose(f) != 0) {
     return DataLossError("close failed for file: " + path);
   }
