@@ -17,6 +17,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <mutex>
 #include <thread>
@@ -153,12 +154,16 @@ StrategyResult RunWorkStealing(const std::vector<uint64_t>& costs) {
     dataflow::WorkStealingPool pool(kWorkers);
     for (size_t i = 0; i < costs.size(); ++i) {
       const uint64_t cost = costs[i];
-      pool.Submit(
+      const bool submitted = pool.Submit(
           [cost, &ledger] {
             Spin(cost);
             ledger.Charge(cost);
           },
           /*home=*/StaticHome(i));  // same initial placement the static split uses
+      if (!submitted) {
+        std::fprintf(stderr, "work-stealing pool rejected a task\n");
+        std::abort();
+      }
     }
     pool.Drain();
     steals = pool.steals();

@@ -325,7 +325,7 @@ void BM_WorkStealingSubmitDrain(benchmark::State& state) {
   for (auto _ : state) {
     dataflow::WorkStealingPool pool(4);
     for (int i = 0; i < tasks; ++i) {
-      pool.Submit([] { benchmark::DoNotOptimize(0); });
+      benchmark::DoNotOptimize(pool.Submit([] { benchmark::DoNotOptimize(0); }));
     }
     pool.Drain();
   }

@@ -1,10 +1,11 @@
 #include "src/cluster/cluster_runner.h"
 
 #include <algorithm>
-#include <mutex>
 #include <thread>
 
 #include "src/cluster/manifest_server.h"
+#include "src/util/first_error.h"
+#include "src/util/mutex.h"
 #include "src/util/stopwatch.h"
 
 namespace persona::cluster {
@@ -29,8 +30,8 @@ Result<ClusterReport> RunCluster(storage::ObjectStore* store,
 
   ClusterReport report;
   report.node_seconds.assign(static_cast<size_t>(options.num_nodes), 0);
-  std::mutex report_mu;
-  Status first_error;
+  Mutex report_mu;
+  FirstErrorCollector errors;
 
   const storage::StoreStats store_before = store->stats();
   Stopwatch cluster_timer;
@@ -48,12 +49,10 @@ Result<ClusterReport> RunCluster(storage::ObjectStore* store,
       auto result = pipeline::RunPersonaAlignment(store, manifest, aligner, &executor,
                                                   node_options);
       double seconds = node_timer.ElapsedSeconds();
-      std::lock_guard<std::mutex> lock(report_mu);
+      MutexLock lock(report_mu);
       report.node_seconds[static_cast<size_t>(node)] = seconds;
       if (!result.ok()) {
-        if (first_error.ok()) {
-          first_error = result.status();
-        }
+        errors.Record(result.status());
         return;
       }
       report.total_reads += result->reads;
@@ -63,7 +62,7 @@ Result<ClusterReport> RunCluster(storage::ObjectStore* store,
   for (std::thread& t : nodes) {
     t.join();
   }
-  PERSONA_RETURN_IF_ERROR(first_error);
+  PERSONA_RETURN_IF_ERROR(errors.first());
 
   report.seconds = cluster_timer.ElapsedSeconds();
   report.gigabases_per_sec =

@@ -9,11 +9,15 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <vector>
 
+#include "src/util/mutex.h"
+
 namespace persona::cluster {
+
+using persona::Mutex;
+using persona::MutexLock;
 
 class ManifestServer {
  public:
@@ -27,7 +31,7 @@ class ManifestServer {
       return std::nullopt;
     }
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       ++per_node_chunks_[node];
     }
     return i;
@@ -36,15 +40,15 @@ class ManifestServer {
   size_t num_chunks() const { return num_chunks_; }
 
   std::vector<uint64_t> per_node_chunks() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return per_node_chunks_;
   }
 
  private:
   const size_t num_chunks_;
   std::atomic<size_t> next_{0};
-  mutable std::mutex mu_;
-  std::vector<uint64_t> per_node_chunks_;
+  mutable Mutex mu_;
+  std::vector<uint64_t> per_node_chunks_ GUARDED_BY(mu_);
 };
 
 }  // namespace persona::cluster

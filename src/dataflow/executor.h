@@ -11,11 +11,10 @@
 #define PERSONA_SRC_DATAFLOW_EXECUTOR_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <functional>
 #include <memory>
-#include <mutex>
 
+#include "src/util/mutex.h"
 #include "src/util/thread_pool.h"
 
 namespace persona::dataflow {
@@ -31,16 +30,16 @@ class TaskBatch {
   TaskBatch& operator=(const TaskBatch&) = delete;
 
   // Submits `fn` to the executor as part of this batch.
-  void Add(std::function<void()> fn);
+  void Add(std::function<void()> fn) EXCLUDES(mu_);
 
   // Blocks until every task added so far has finished.
-  void Wait();
+  void Wait() EXCLUDES(mu_);
 
  private:
   Executor* executor_;
-  std::mutex mu_;
-  std::condition_variable done_;
-  int64_t outstanding_ = 0;
+  Mutex mu_;
+  CondVar done_;
+  int64_t outstanding_ GUARDED_BY(mu_) = 0;
 };
 
 class Executor {
@@ -50,7 +49,7 @@ class Executor {
   size_t num_threads() const { return pool_.num_threads(); }
 
   // Raw submission (prefer TaskBatch for chunk-scoped waiting).
-  bool Submit(std::function<void()> fn) { return pool_.Submit(std::move(fn)); }
+  [[nodiscard]] bool Submit(std::function<void()> fn) { return pool_.Submit(std::move(fn)); }
 
   // Total subtasks executed (for balance diagnostics).
   uint64_t tasks_executed() const { return tasks_executed_.load(std::memory_order_relaxed); }
@@ -64,7 +63,7 @@ class Executor {
 
 inline void TaskBatch::Add(std::function<void()> fn) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++outstanding_;
   }
   bool submitted = executor_->Submit([this, fn = std::move(fn)] {
@@ -73,20 +72,22 @@ inline void TaskBatch::Add(std::function<void()> fn) {
     // Notify while holding the lock: the moment Wait() can observe outstanding_ == 0
     // the caller may destroy this TaskBatch, so the condition variable must not be
     // touched after the unlock (TSan-caught use-after-return otherwise).
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     --outstanding_;
-    done_.notify_all();
+    done_.NotifyAll();
   });
   if (!submitted) {
     // Executor shutting down: undo the reservation so Wait() cannot hang.
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     --outstanding_;
   }
 }
 
 inline void TaskBatch::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  done_.wait(lock, [&] { return outstanding_ == 0; });
+  MutexLock lock(mu_);
+  while (outstanding_ != 0) {
+    done_.Wait(mu_);
+  }
 }
 
 }  // namespace persona::dataflow

@@ -4,7 +4,7 @@ namespace persona::dataflow {
 
 void Graph::RecordError(const Status& status) {
   {
-    std::lock_guard<std::mutex> lock(error_mu_);
+    MutexLock lock(error_mu_);
     if (first_error_.ok()) {
       first_error_ = status;
     }
@@ -14,7 +14,7 @@ void Graph::RecordError(const Status& status) {
 
 Status Graph::Run() {
   {
-    std::lock_guard<std::mutex> lock(error_mu_);
+    MutexLock lock(error_mu_);
     if (ran_) {
       return FailedPreconditionError("Graph::Run called twice");
     }
@@ -58,7 +58,7 @@ Status Graph::Run() {
     t.join();
   }
 
-  std::lock_guard<std::mutex> lock(error_mu_);
+  MutexLock lock(error_mu_);
   return first_error_;
 }
 

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "src/util/mpmc_queue.h"
+#include "src/util/mutex.h"
 #include "src/util/result.h"
 #include "src/util/stopwatch.h"
 
@@ -58,7 +59,7 @@ class StageOutput {
  public:
   explicit StageOutput(MpmcQueue<T>* queue) : queue_(queue) {}
 
-  Status Push(T item) {
+  [[nodiscard]] Status Push(T item) {
     Stopwatch timer;
     const bool accepted = queue_->Push(std::move(item));
     wait_ns_ += static_cast<uint64_t>(timer.ElapsedNanos());
@@ -244,7 +245,7 @@ class Graph {
 
   // Runs the graph to completion; returns the first stage error (if any).
   // May be called once per Graph.
-  Status Run();
+  [[nodiscard]] Status Run();
 
   // Stage statistics (valid during and after Run). Pointers stable for the Graph's life.
   const std::vector<std::unique_ptr<StageStats>>& stats() const { return stats_; }
@@ -313,16 +314,16 @@ class Graph {
     RecordError(status);
   }
 
-  void RecordError(const Status& status);
+  void RecordError(const Status& status) EXCLUDES(error_mu_);
 
   std::vector<Stage> stages_;
   std::vector<std::function<void()>> cancel_hooks_;
   std::vector<std::unique_ptr<StageStats>> stats_;
   std::vector<QueueProbe> queue_probes_;
   std::atomic<bool> cancelled_{false};
-  std::mutex error_mu_;
-  Status first_error_;
-  bool ran_ = false;
+  Mutex error_mu_;
+  Status first_error_ GUARDED_BY(error_mu_);
+  bool ran_ GUARDED_BY(error_mu_) = false;
 };
 
 }  // namespace persona::dataflow

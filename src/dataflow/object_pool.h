@@ -10,13 +10,17 @@
 #ifndef PERSONA_SRC_DATAFLOW_OBJECT_POOL_H_
 #define PERSONA_SRC_DATAFLOW_OBJECT_POOL_H_
 
-#include <condition_variable>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "src/util/mutex.h"
+
 namespace persona::dataflow {
+
+using persona::CondVar;
+using persona::Mutex;
+using persona::MutexLock;
 
 template <typename T>
 class ObjectPool : public std::enable_shared_from_this<ObjectPool<T>> {
@@ -64,6 +68,8 @@ class ObjectPool : public std::enable_shared_from_this<ObjectPool<T>> {
       std::function<void(T*)> recycler = nullptr) {
     auto pool = std::shared_ptr<ObjectPool>(new ObjectPool(std::move(recycler)));
     pool->objects_.reserve(capacity);
+    // No other thread can see the pool yet; the lock just states the invariant.
+    MutexLock lock(pool->mu_);
     for (size_t i = 0; i < capacity; ++i) {
       pool->objects_.push_back(factory());
       pool->free_.push_back(pool->objects_.back().get());
@@ -72,17 +78,19 @@ class ObjectPool : public std::enable_shared_from_this<ObjectPool<T>> {
   }
 
   // Blocks until an object is free.
-  Ref Acquire() {
-    std::unique_lock<std::mutex> lock(mu_);
-    available_.wait(lock, [&] { return !free_.empty(); });
+  Ref Acquire() EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    while (free_.empty()) {
+      available_.Wait(mu_);
+    }
     T* object = free_.back();
     free_.pop_back();
     return Ref(object, this->shared_from_this());
   }
 
   // Non-blocking; empty Ref when exhausted.
-  Ref TryAcquire() {
-    std::lock_guard<std::mutex> lock(mu_);
+  Ref TryAcquire() EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     if (free_.empty()) {
       return Ref();
     }
@@ -93,30 +101,32 @@ class ObjectPool : public std::enable_shared_from_this<ObjectPool<T>> {
 
   size_t capacity() const { return objects_.size(); }
 
-  size_t available() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t available() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return free_.size();
   }
 
  private:
   explicit ObjectPool(std::function<void(T*)> recycler) : recycler_(std::move(recycler)) {}
 
-  void Return(T* object) {
+  void Return(T* object) EXCLUDES(mu_) {
     if (recycler_) {
       recycler_(object);
     }
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       free_.push_back(object);
     }
-    available_.notify_one();
+    // Safe to notify unlocked: the calling Ref keeps a shared_ptr to the pool alive for
+    // the duration of this call, so the CondVar cannot be destroyed underneath us.
+    available_.NotifyOne();
   }
 
   std::function<void(T*)> recycler_;
-  mutable std::mutex mu_;
-  std::condition_variable available_;
+  mutable Mutex mu_;
+  CondVar available_;
   std::vector<std::unique_ptr<T>> objects_;
-  std::vector<T*> free_;
+  std::vector<T*> free_ GUARDED_BY(mu_);
 };
 
 }  // namespace persona::dataflow

@@ -8,11 +8,11 @@
 #define PERSONA_SRC_DATAFLOW_RESOURCE_MANAGER_H_
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <typeindex>
 #include <unordered_map>
 
+#include "src/util/mutex.h"
 #include "src/util/result.h"
 
 namespace persona::dataflow {
@@ -20,8 +20,8 @@ namespace persona::dataflow {
 class ResourceManager {
  public:
   template <typename T>
-  Status Register(const std::string& name, std::shared_ptr<T> resource) {
-    std::lock_guard<std::mutex> lock(mu_);
+  [[nodiscard]] Status Register(const std::string& name, std::shared_ptr<T> resource) {
+    MutexLock lock(mu_);
     auto [it, inserted] = resources_.try_emplace(
         name, Entry{std::type_index(typeid(T)), std::move(resource)});
     if (!inserted) {
@@ -32,7 +32,7 @@ class ResourceManager {
 
   template <typename T>
   Result<std::shared_ptr<T>> Get(const std::string& name) const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = resources_.find(name);
     if (it == resources_.end()) {
       return NotFoundError("no such resource: " + name);
@@ -44,12 +44,12 @@ class ResourceManager {
   }
 
   bool Has(const std::string& name) const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return resources_.contains(name);
   }
 
   size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return resources_.size();
   }
 
@@ -59,8 +59,8 @@ class ResourceManager {
     std::shared_ptr<void> value;
   };
 
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, Entry> resources_;
+  mutable Mutex mu_;
+  std::unordered_map<std::string, Entry> resources_ GUARDED_BY(mu_);
 };
 
 }  // namespace persona::dataflow

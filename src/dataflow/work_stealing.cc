@@ -16,7 +16,7 @@ WorkStealingPool::WorkStealingPool(size_t num_threads) {
 WorkStealingPool::~WorkStealingPool() {
   Drain();
   shutdown_.store(true, std::memory_order_release);
-  work_ready_.notify_all();
+  work_ready_.NotifyAll();
   for (std::thread& t : threads_) {
     t.join();
   }
@@ -32,21 +32,24 @@ bool WorkStealingPool::Submit(std::function<void()> task, int home) {
   outstanding_.fetch_add(1, std::memory_order_acq_rel);
   queued_.fetch_add(1, std::memory_order_acq_rel);
   {
-    std::lock_guard<std::mutex> lock(workers_[target]->mu);
-    workers_[target]->deque.push_back({std::move(task), static_cast<int>(target)});
+    Worker& worker = *workers_[target];
+    MutexLock lock(worker.mu);
+    worker.deque.push_back({std::move(task), static_cast<int>(target)});
   }
   {
     // Synchronize with a worker that is between its predicate check and sleeping;
     // without this the notify below could be lost (classic missed-wakeup race).
-    std::lock_guard<std::mutex> lock(idle_mu_);
+    MutexLock lock(idle_mu_);
   }
-  work_ready_.notify_one();
+  work_ready_.NotifyOne();
   return true;
 }
 
 void WorkStealingPool::Drain() {
-  std::unique_lock<std::mutex> lock(idle_mu_);
-  drained_.wait(lock, [&] { return outstanding_.load(std::memory_order_acquire) == 0; });
+  MutexLock lock(idle_mu_);
+  while (outstanding_.load(std::memory_order_acquire) != 0) {
+    drained_.Wait(idle_mu_);
+  }
 }
 
 std::vector<uint64_t> WorkStealingPool::ExecutedPerWorker() const {
@@ -62,7 +65,7 @@ bool WorkStealingPool::NextTask(int self, Task* out) {
   // Own deque first: LIFO keeps the owner's working set warm.
   {
     Worker& me = *workers_[static_cast<size_t>(self)];
-    std::lock_guard<std::mutex> lock(me.mu);
+    MutexLock lock(me.mu);
     if (!me.deque.empty()) {
       *out = std::move(me.deque.back());
       me.deque.pop_back();
@@ -75,7 +78,7 @@ bool WorkStealingPool::NextTask(int self, Task* out) {
   const size_t n = workers_.size();
   for (size_t k = 1; k < n; ++k) {
     Worker& victim = *workers_[(static_cast<size_t>(self) + k) % n];
-    std::lock_guard<std::mutex> lock(victim.mu);
+    MutexLock lock(victim.mu);
     if (!victim.deque.empty()) {
       *out = std::move(victim.deque.front());
       victim.deque.pop_front();
@@ -100,12 +103,12 @@ void WorkStealingPool::WorkerLoop(int self) {
       }
       if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         // Last task out: wake Drain() callers.
-        std::lock_guard<std::mutex> lock(idle_mu_);
-        drained_.notify_all();
+        MutexLock lock(idle_mu_);
+        drained_.NotifyAll();
       }
       continue;
     }
-    std::unique_lock<std::mutex> lock(idle_mu_);
+    MutexLock lock(idle_mu_);
     if (shutdown_.load(std::memory_order_acquire)) {
       return;
     }
@@ -113,10 +116,10 @@ void WorkStealingPool::WorkerLoop(int self) {
       // A task was enqueued between our failed scan and taking the lock; rescan.
       continue;
     }
-    work_ready_.wait(lock, [&] {
-      return shutdown_.load(std::memory_order_acquire) ||
-             queued_.load(std::memory_order_acquire) > 0;
-    });
+    while (!shutdown_.load(std::memory_order_acquire) &&
+           queued_.load(std::memory_order_acquire) <= 0) {
+      work_ready_.Wait(idle_mu_);
+    }
   }
 }
 

@@ -16,14 +16,14 @@
 #define PERSONA_SRC_DATAFLOW_WORK_STEALING_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "src/util/mutex.h"
 
 namespace persona::dataflow {
 
@@ -42,7 +42,7 @@ class WorkStealingPool {
 
   // Enqueues `task` on worker `home`'s deque (round-robin when home is negative).
   // Tasks submitted after shutdown began are rejected (returns false).
-  bool Submit(std::function<void()> task, int home = -1);
+  [[nodiscard]] bool Submit(std::function<void()> task, int home = -1);
 
   // Blocks until every task submitted so far has finished executing.
   void Drain();
@@ -62,8 +62,8 @@ class WorkStealingPool {
   };
 
   struct Worker {
-    std::mutex mu;
-    std::deque<Task> deque;
+    Mutex mu;
+    std::deque<Task> deque GUARDED_BY(mu);
     std::atomic<uint64_t> executed{0};
   };
 
@@ -76,9 +76,9 @@ class WorkStealingPool {
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> threads_;
 
-  std::mutex idle_mu_;
-  std::condition_variable work_ready_;
-  std::condition_variable drained_;
+  Mutex idle_mu_;
+  CondVar work_ready_;
+  CondVar drained_;
 
   std::atomic<uint64_t> next_home_{0};
   std::atomic<int64_t> outstanding_{0};  // submitted but not yet finished

@@ -65,21 +65,21 @@ struct IngestService::SessionState {
   // so a reaper's join completes immediately.
   std::atomic<bool> reapable{false};
 
-  mutable std::mutex mu;  // guards everything below
-  std::string dataset;
-  std::shared_ptr<pipeline::FastqToAgdCore> core;  // set after the handshake
-  Status status;
-  double seconds = 0;
-  size_t pool_capacity = 0;
-  size_t pool_available = 0;
-  pipeline::ChunkPipelineReport report;
+  mutable Mutex mu;
+  std::string dataset GUARDED_BY(mu);
+  std::shared_ptr<pipeline::FastqToAgdCore> core GUARDED_BY(mu);  // set after the handshake
+  Status status GUARDED_BY(mu);
+  double seconds GUARDED_BY(mu) = 0;
+  size_t pool_capacity GUARDED_BY(mu) = 0;
+  size_t pool_available GUARDED_BY(mu) = 0;
+  pipeline::ChunkPipelineReport report GUARDED_BY(mu);
 
   IngestSessionStats Snapshot() const {
     IngestSessionStats stats;
     stats.session_id = id;
     stats.bytes_received = bytes_received.load(std::memory_order_relaxed);
     stats.records_parsed = records_parsed.load(std::memory_order_relaxed);
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     stats.dataset = dataset;
     if (core != nullptr) {
       stats.chunks_built = core->chunks();
@@ -120,14 +120,14 @@ IngestService::~IngestService() { Shutdown(); }
 void IngestService::Shutdown() {
   // Serializes concurrent Shutdown calls (including the destructor's): joins must
   // not race. The accept loop never takes this mutex, so it cannot deadlock.
-  std::lock_guard<std::mutex> shutdown_lock(shutdown_mu_);
+  MutexLock shutdown_lock(shutdown_mu_);
   server_->Shutdown();
   if (accept_thread_.joinable()) {
     accept_thread_.join();
   }
   std::vector<SessionThread> threads;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     threads.swap(session_threads_);
   }
   for (SessionThread& entry : threads) {
@@ -158,18 +158,18 @@ void IngestService::ReapFinishedLocked() {
 }
 
 bool IngestService::ClaimDataset(const std::string& dataset) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return active_datasets_.insert(dataset).second;
 }
 
 void IngestService::ReleaseDataset(const std::string& dataset) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   active_datasets_.erase(dataset);
 }
 
 std::vector<IngestSessionStats> IngestService::Sessions() const {
   std::vector<IngestSessionStats> out;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   out.reserve(sessions_.size());
   for (const auto& session : sessions_) {
     out.push_back(session->Snapshot());
@@ -185,7 +185,7 @@ void IngestService::AcceptLoop() {
       // service stopped accepting — record it so operators can see the death
       // instead of a silently zombie process.
       if (conn.status().code() != StatusCode::kCancelled) {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         accept_status_ = conn.status();
       }
       break;
@@ -203,7 +203,7 @@ void IngestService::AcceptLoop() {
     }
     auto session = std::make_shared<SessionState>();
     session->id = next_session_id_.fetch_add(1, std::memory_order_relaxed);
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ReapFinishedLocked();
     SessionThread entry;
     entry.session = session;
@@ -254,7 +254,7 @@ void IngestService::RunSession(Connection conn_in,
     }
     if (status.ok()) {
       manifest_key = frame.payload + ".manifest.json";
-      std::lock_guard<std::mutex> lock(session->mu);
+      MutexLock lock(session->mu);
       session->dataset = frame.payload;
       session->core = std::make_shared<pipeline::FastqToAgdCore>(
           frame.payload, options_.chunk_size, options_.codec);
@@ -275,7 +275,7 @@ void IngestService::RunSession(Connection conn_in,
   }
 
   {
-    std::lock_guard<std::mutex> lock(session->mu);
+    MutexLock lock(session->mu);
     session->status = status;
   }
   session->done.store(true, std::memory_order_release);
@@ -298,7 +298,7 @@ Status IngestService::StreamDataset(const std::shared_ptr<Connection>& conn,
   std::shared_ptr<pipeline::FastqToAgdCore> core;
   std::string dataset;
   {
-    std::lock_guard<std::mutex> lock(session->mu);
+    MutexLock lock(session->mu);
     core = session->core;
     dataset = session->dataset;
   }
@@ -383,7 +383,7 @@ Status IngestService::StreamDataset(const std::shared_ptr<Connection>& conn,
   Result<pipeline::ChunkPipelineReport> report = pipeline.Run();
   const Status status = report.status();
   {
-    std::lock_guard<std::mutex> lock(session->mu);
+    MutexLock lock(session->mu);
     session->seconds = timer.ElapsedSeconds();
     session->pool_capacity = pipeline.pool_capacity();
     session->pool_available = pipeline.pool_available();

@@ -31,7 +31,6 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <thread>
@@ -41,6 +40,7 @@
 #include "src/ingest/socket.h"
 #include "src/pipeline/chunk_pipeline.h"
 #include "src/storage/object_store.h"
+#include "src/util/mutex.h"
 #include "src/util/result.h"
 
 namespace persona::ingest {
@@ -99,10 +99,10 @@ class IngestService {
   // sockets keep being served until the client finishes or disconnects). Idempotent.
   // Note: a connected client that stalls forever mid-stream pins Shutdown with it —
   // a force/deadline variant that aborts live sockets is ROADMAP headroom.
-  void Shutdown();
+  void Shutdown() EXCLUDES(shutdown_mu_, mu_);
 
   // Snapshots of every session, in accept order (running and completed).
-  std::vector<IngestSessionStats> Sessions() const;
+  std::vector<IngestSessionStats> Sessions() const EXCLUDES(mu_);
 
   size_t active_sessions() const { return active_.load(std::memory_order_relaxed); }
   size_t completed_sessions() const {
@@ -111,8 +111,8 @@ class IngestService {
 
   // OK while the accept loop is (or cleanly stopped) accepting; the fatal error if
   // it died and the service will take no more clients.
-  Status accept_status() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  [[nodiscard]] Status accept_status() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return accept_status_;
   }
 
@@ -130,11 +130,11 @@ class IngestService {
                        const std::shared_ptr<SessionState>& session);
   // Joins threads whose sessions have fully finished (called on each accept, so a
   // resident service does not accumulate one dead thread per past connection).
-  void ReapFinishedLocked();
+  void ReapFinishedLocked() REQUIRES(mu_);
   // Registers `dataset` as actively ingesting; false if another live session owns
   // it (two sessions writing the same chunk keys would corrupt the dataset).
-  bool ClaimDataset(const std::string& dataset);
-  void ReleaseDataset(const std::string& dataset);
+  bool ClaimDataset(const std::string& dataset) EXCLUDES(mu_);
+  void ReleaseDataset(const std::string& dataset) EXCLUDES(mu_);
 
   storage::ObjectStore* const store_;
   const IngestOptions options_;
@@ -146,12 +146,12 @@ class IngestService {
     std::shared_ptr<SessionState> session;
   };
 
-  mutable std::mutex mu_;  // guards sessions_ / session_threads_ / active_datasets_
-  std::mutex shutdown_mu_;  // serializes Shutdown (thread joins)
-  std::vector<std::shared_ptr<SessionState>> sessions_;
-  std::vector<SessionThread> session_threads_;
-  std::set<std::string> active_datasets_;
-  Status accept_status_;
+  mutable Mutex mu_;
+  Mutex shutdown_mu_;  // serializes Shutdown (thread joins)
+  std::vector<std::shared_ptr<SessionState>> sessions_ GUARDED_BY(mu_);
+  std::vector<SessionThread> session_threads_ GUARDED_BY(mu_);
+  std::set<std::string> active_datasets_ GUARDED_BY(mu_);
+  Status accept_status_ GUARDED_BY(mu_);
   std::atomic<size_t> active_{0};
   std::atomic<size_t> completed_{0};
   std::atomic<uint64_t> next_session_id_{0};

@@ -45,21 +45,23 @@ class Connection {
   // Writes all `n` bytes, looping on partial and EINTR-interrupted sends. Sends with
   // MSG_NOSIGNAL: a peer that closed mid-write returns kUnavailable (EPIPE /
   // ECONNRESET) instead of killing the process.
-  Status SendAll(const void* data, size_t n);
-  Status SendAll(std::string_view data) { return SendAll(data.data(), data.size()); }
+  [[nodiscard]] Status SendAll(const void* data, size_t n);
+  [[nodiscard]] Status SendAll(std::string_view data) {
+    return SendAll(data.data(), data.size());
+  }
 
   // Reads exactly `n` bytes, looping on partial reads. A clean peer close before the
   // first byte returns kOutOfRange ("end of stream" — a frame boundary); a close
   // mid-message returns kDataLoss; transport errors return kUnavailable.
-  Status RecvAll(void* data, size_t n);
+  [[nodiscard]] Status RecvAll(void* data, size_t n);
 
   // Half-close: no more reads will be served to the peer's writes (used by tests).
-  Status ShutdownWrite();
+  [[nodiscard]] Status ShutdownWrite();
 
   // Receive timeout for subsequent RecvAll calls (0 = block forever). Used for the
   // session handshake so a silent client cannot pin a server thread; cleared once
   // streaming starts, because a backpressure stall is a legitimate long silence.
-  Status SetRecvTimeout(double seconds);
+  [[nodiscard]] Status SetRecvTimeout(double seconds);
 
   void Close();
 
@@ -75,13 +77,14 @@ class SocketServer {
 
   // Binds and listens on 127.0.0.1:`port` (0 = kernel-assigned; read back via
   // port()). Loopback only: the service speaks an unauthenticated frame protocol.
-  static Result<std::unique_ptr<SocketServer>> Listen(uint16_t port, int backlog = 16);
+  [[nodiscard]] static Result<std::unique_ptr<SocketServer>> Listen(uint16_t port,
+                                                                    int backlog = 16);
 
   uint16_t port() const { return port_; }
 
   // Blocks until a client connects. Returns kCancelled once Shutdown() is called and
   // kUnavailable on unrecoverable accept errors.
-  Result<Connection> Accept();
+  [[nodiscard]] Result<Connection> Accept();
 
   // Stops Accept (current and future calls). Idempotent; safe from any thread.
   void Shutdown();
@@ -95,7 +98,7 @@ class SocketServer {
 };
 
 // Connects to 127.0.0.1:`port` (the test/bench/client side of SocketServer).
-Result<Connection> ConnectLoopback(uint16_t port);
+[[nodiscard]] Result<Connection> ConnectLoopback(uint16_t port);
 
 }  // namespace persona::ingest
 

@@ -55,11 +55,11 @@ struct Frame {
 };
 
 // Sends one frame (header + payload in one buffered send).
-Status WriteFrame(Connection& conn, FrameType type, std::string_view payload);
+[[nodiscard]] Status WriteFrame(Connection& conn, FrameType type, std::string_view payload);
 
 // Receives one frame. A clean peer close at a frame boundary returns kOutOfRange
 // ("connection closed"); a close inside a frame returns kDataLoss.
-Status ReadFrame(Connection& conn, Frame* out);
+[[nodiscard]] Status ReadFrame(Connection& conn, Frame* out);
 
 }  // namespace persona::ingest
 

@@ -2,12 +2,13 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "src/format/sam.h"
 #include "src/pipeline/agd_store_util.h"
+#include "src/util/first_error.h"
+#include "src/util/mutex.h"
 #include "src/util/stopwatch.h"
 
 namespace persona::pipeline {
@@ -29,7 +30,7 @@ Result<StandaloneReport> RunStandaloneAlignment(storage::ObjectStore* store,
   report.reads = reads.size();
 
   // Shared output buffer with writeback bursts.
-  std::mutex out_mu;
+  Mutex out_mu;
   std::string sam_buffer;
   sam_buffer.reserve(options.writeback_threshold + (64 << 10));
   std::atomic<int> sam_part{0};
@@ -53,7 +54,7 @@ Result<StandaloneReport> RunStandaloneAlignment(storage::ObjectStore* store,
   };
 
   {
-    std::lock_guard<std::mutex> lock(out_mu);
+    MutexLock lock(out_mu);
     sam_buffer += format::SamHeader(reference);
   }
 
@@ -61,8 +62,7 @@ Result<StandaloneReport> RunStandaloneAlignment(storage::ObjectStore* store,
   std::atomic<size_t> next_read{0};
   std::atomic<uint64_t> total_bases{0};
   std::atomic<bool> failed{false};
-  std::mutex error_mu;
-  Status first_error;
+  FirstErrorCollector errors;
 
   // Utilization sampling: accumulate per-worker busy time and sample the delta each
   // interval (instantaneous busy-thread counts are scheduler-biased on small machines).
@@ -116,10 +116,7 @@ Result<StandaloneReport> RunStandaloneAlignment(storage::ObjectStore* store,
           Status status = format::AppendSamRecord(reference, reads[i],
                                                   batch_results[i - begin], &local_sam);
           if (!status.ok()) {
-            std::lock_guard<std::mutex> lock(error_mu);
-            if (first_error.ok()) {
-              first_error = status;
-            }
+            errors.Record(status);
             failed.store(true, std::memory_order_relaxed);
             break;
           }
@@ -129,15 +126,12 @@ Result<StandaloneReport> RunStandaloneAlignment(storage::ObjectStore* store,
                           std::memory_order_relaxed);
 
         // Append to the shared buffer; trigger writeback past the threshold.
-        std::lock_guard<std::mutex> lock(out_mu);
+        MutexLock lock(out_mu);
         sam_buffer += local_sam;
         if (sam_buffer.size() >= options.writeback_threshold) {
           Status status = flush_locked();
           if (!status.ok()) {
-            std::lock_guard<std::mutex> elock(error_mu);
-            if (first_error.ok()) {
-              first_error = status;
-            }
+            errors.Record(status);
             failed.store(true, std::memory_order_relaxed);
           }
         }
@@ -148,17 +142,14 @@ Result<StandaloneReport> RunStandaloneAlignment(storage::ObjectStore* store,
     t.join();
   }
   {
-    std::lock_guard<std::mutex> lock(out_mu);
-    Status status = flush_locked();
-    if (!status.ok() && first_error.ok()) {
-      first_error = status;
-    }
+    MutexLock lock(out_mu);
+    errors.Record(flush_locked());
   }
   sampling.store(false);
   if (sampler.joinable()) {
     sampler.join();
   }
-  PERSONA_RETURN_IF_ERROR(first_error);
+  PERSONA_RETURN_IF_ERROR(errors.first());
 
   report.seconds = timer.ElapsedSeconds();
   report.bases = total_bases.load();

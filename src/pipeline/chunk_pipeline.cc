@@ -1,12 +1,11 @@
 #include "src/pipeline/chunk_pipeline.h"
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <utility>
 
+#include "src/util/mutex.h"
 #include "src/util/stopwatch.h"
 #include "src/util/string_util.h"
 
@@ -35,30 +34,34 @@ struct RawItem {
 // transform's completion watermark. One slow fetch then strands at most a
 // pipeline-depth of parked items instead of the whole dataset.
 struct OrderGate {
-  std::mutex mu;
-  std::condition_variable cv;
-  size_t completed = 0;
-  bool cancelled = false;
+  Mutex mu;
+  CondVar cv;
+  size_t completed GUARDED_BY(mu) = 0;
+  bool cancelled GUARDED_BY(mu) = false;
 
-  void WaitForSlot(size_t index, size_t window) {
-    std::unique_lock<std::mutex> lock(mu);
-    cv.wait(lock, [&] { return cancelled || index < completed + window; });
+  void WaitForSlot(size_t index, size_t window) EXCLUDES(mu) {
+    MutexLock lock(mu);
+    while (!cancelled && index >= completed + window) {
+      cv.Wait(mu);
+    }
   }
 
-  void Advance(size_t completed_count) {
+  void Advance(size_t completed_count) EXCLUDES(mu) {
     {
-      std::lock_guard<std::mutex> lock(mu);
+      MutexLock lock(mu);
       completed = completed_count;
     }
-    cv.notify_all();
+    // Callers reach the gate through a shared_ptr that outlives every stage thread,
+    // so notifying after the unlock cannot race the gate's destruction.
+    cv.NotifyAll();
   }
 
-  void CancelWaits() {
+  void CancelWaits() EXCLUDES(mu) {
     {
-      std::lock_guard<std::mutex> lock(mu);
+      MutexLock lock(mu);
       cancelled = true;
     }
-    cv.notify_all();
+    cv.NotifyAll();
   }
 };
 
@@ -82,7 +85,7 @@ class WriteWindow {
 
     std::unique_ptr<Pending> evicted;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       window_.push_back(std::move(pending));
       if (window_.size() > depth_) {
         evicted = std::move(window_.front());
@@ -101,7 +104,7 @@ class WriteWindow {
   Status Drain() {
     std::deque<std::unique_ptr<Pending>> all;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       all.swap(window_);
     }
     Status first_error;
@@ -123,8 +126,8 @@ class WriteWindow {
 
   storage::ObjectStore* store_;
   const size_t depth_;
-  std::mutex mu_;
-  std::deque<std::unique_ptr<Pending>> window_;
+  Mutex mu_;
+  std::deque<std::unique_ptr<Pending>> window_ GUARDED_BY(mu_);
 };
 
 }  // namespace

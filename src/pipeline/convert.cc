@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <map>
 #include <memory>
-#include <mutex>
 
 #include "src/format/agd_chunk.h"
 #include "src/format/fastq.h"
@@ -52,7 +51,7 @@ Status FastqToAgdCore::BuildChunk(ChunkPipeline::Input&& input,
   chunk.first_record = static_cast<int64_t>(input.index) * chunk_size_;
   chunk.num_records = static_cast<int64_t>(input.reads.size());
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     entries_.emplace(input.index, std::move(chunk));
   }
   records_.fetch_add(input.reads.size(), std::memory_order_relaxed);
@@ -70,7 +69,7 @@ format::Manifest FastqToAgdCore::ManifestSnapshot() const {
   manifest.name = name_;
   manifest.chunk_size = chunk_size_;
   manifest.columns = format::StandardReadColumns(codec_);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   manifest.chunks.reserve(entries_.size());
   for (const auto& [index, chunk] : entries_) {
     manifest.chunks.push_back(chunk);

@@ -7,13 +7,13 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 
 #include "src/format/agd_manifest.h"
 #include "src/genome/reference.h"
 #include "src/pipeline/chunk_pipeline.h"
 #include "src/storage/object_store.h"
+#include "src/util/mutex.h"
 
 namespace persona::pipeline {
 
@@ -46,8 +46,8 @@ class FastqToAgdCore {
   const int64_t chunk_size_;
   const compress::CodecId codec_;
 
-  mutable std::mutex mu_;
-  std::map<size_t, format::ManifestChunk> entries_;
+  mutable Mutex mu_;
+  std::map<size_t, format::ManifestChunk> entries_ GUARDED_BY(mu_);
   std::atomic<uint64_t> records_{0};
   std::atomic<uint64_t> chunks_{0};
 };

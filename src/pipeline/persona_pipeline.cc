@@ -2,7 +2,7 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
+#include "src/util/mutex.h"
 #include <vector>
 
 #include "src/format/agd_chunk.h"
@@ -42,7 +42,7 @@ Result<AlignRunReport> RunPersonaAlignment(storage::ObjectStore* store,
                              options.work_source);
   pipeline.SetWriter(store, 1);
 
-  auto profile_mu = std::make_shared<std::mutex>();
+  auto profile_mu = std::make_shared<Mutex>();
   auto merged_profile = std::make_shared<align::AlignProfile>();
   auto collected = std::make_shared<std::vector<std::vector<align::AlignmentResult>>>();
   if (options.collect_results) {
@@ -142,7 +142,7 @@ Result<AlignRunReport> RunPersonaAlignment(storage::ObjectStore* store,
 
         // Merge per-task profiles.
         {
-          std::lock_guard<std::mutex> lock(*profile_mu);
+          MutexLock lock(*profile_mu);
           for (const align::AlignProfile& p : profiles) {
             merged_profile->Merge(p);
           }

@@ -1,7 +1,7 @@
 #include "src/pipeline/recompress.h"
 
 #include <memory>
-#include <mutex>
+#include "src/util/mutex.h"
 #include <vector>
 
 #include "src/format/agd_chunk.h"
@@ -35,11 +35,11 @@ void FillStoreDelta(const storage::StoreStats& before, const storage::StoreStats
 
 // Report counters shared by the parallel transcode workers.
 struct SharedCounters {
-  std::mutex mu;
-  uint64_t records = 0;
-  uint64_t bases_bytes = 0;
-  uint64_t ref_bases_bytes = 0;
-  format::RefCompStats stats;
+  Mutex mu;
+  uint64_t records GUARDED_BY(mu) = 0;
+  uint64_t bases_bytes GUARDED_BY(mu) = 0;
+  uint64_t ref_bases_bytes GUARDED_BY(mu) = 0;
+  format::RefCompStats stats GUARDED_BY(mu);
 };
 
 // Deletes every chunk's `column` object with one batched call (overlaps the per-op
@@ -96,7 +96,7 @@ Result<RecompressReport> RefCompressBasesColumn(storage::ObjectStore* store,
         ChunkPipeline::BufferRef object = emit.AcquireBuffer();
         PERSONA_RETURN_IF_ERROR(builder.Finalize(object.get()));
         {
-          std::lock_guard<std::mutex> lock(counters->mu);
+          MutexLock lock(counters->mu);
           counters->records += bases.record_count();
           counters->bases_bytes += input.file_size(0, 0);
           counters->ref_bases_bytes += object->size();
@@ -106,10 +106,14 @@ Result<RecompressReport> RefCompressBasesColumn(storage::ObjectStore* store,
                           std::move(object));
       });
   PERSONA_RETURN_IF_ERROR(pipeline.Run().status());
-  report.records = counters->records;
-  report.bases_bytes = counters->bases_bytes;
-  report.ref_bases_bytes = counters->ref_bases_bytes;
-  report.stats = counters->stats;
+  {
+    // Workers have all exited (Run returned); the lock states the invariant.
+    MutexLock lock(counters->mu);
+    report.records = counters->records;
+    report.bases_bytes = counters->bases_bytes;
+    report.ref_bases_bytes = counters->ref_bases_bytes;
+    report.stats = counters->stats;
+  }
 
   format::Manifest out = manifest;
   PERSONA_RETURN_IF_ERROR(SwapColumn(
@@ -171,7 +175,7 @@ Result<RecompressReport> ReconstructBasesColumn(storage::ObjectStore* store,
         ChunkPipeline::BufferRef object = emit.AcquireBuffer();
         PERSONA_RETURN_IF_ERROR(builder.Finalize(object.get()));
         {
-          std::lock_guard<std::mutex> lock(counters->mu);
+          MutexLock lock(counters->mu);
           counters->records += encoded.record_count();
           counters->ref_bases_bytes += input.file_size(0, 0);
           counters->bases_bytes += object->size();
@@ -180,9 +184,12 @@ Result<RecompressReport> ReconstructBasesColumn(storage::ObjectStore* store,
                           std::move(object));
       });
   PERSONA_RETURN_IF_ERROR(pipeline.Run().status());
-  report.records = counters->records;
-  report.bases_bytes = counters->bases_bytes;
-  report.ref_bases_bytes = counters->ref_bases_bytes;
+  {
+    MutexLock lock(counters->mu);
+    report.records = counters->records;
+    report.bases_bytes = counters->bases_bytes;
+    report.ref_bases_bytes = counters->ref_bases_bytes;
+  }
 
   format::Manifest out = manifest;
   PERSONA_RETURN_IF_ERROR(SwapColumn(

@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
-#include <mutex>
 #include <thread>
 
 #include "src/format/sam.h"
+#include "src/util/first_error.h"
 #include "src/util/stopwatch.h"
 #include "src/util/string_util.h"
 
@@ -94,8 +94,7 @@ Result<RowSortReport> SamtoolsLikeSort(storage::ObjectStore* store,
   report.superchunks = num_supers;
 
   std::atomic<size_t> next_super{0};
-  std::mutex error_mu;
-  Status first_error;
+  FirstErrorCollector errors;
   auto worker = [&] {
     while (true) {
       size_t s = next_super.fetch_add(1);
@@ -122,10 +121,7 @@ Result<RowSortReport> SamtoolsLikeSort(storage::ObjectStore* store,
                           ? store->Put(out_key + ".super-" + std::to_string(s), *file)
                           : file.status();
       if (!status.ok()) {
-        std::lock_guard<std::mutex> lock(error_mu);
-        if (first_error.ok()) {
-          first_error = status;
-        }
+        errors.Record(status);
         return;
       }
     }
@@ -139,7 +135,7 @@ Result<RowSortReport> SamtoolsLikeSort(storage::ObjectStore* store,
       t.join();
     }
   }
-  PERSONA_RETURN_IF_ERROR(first_error);
+  PERSONA_RETURN_IF_ERROR(errors.first());
   report.phase1_seconds =
       timer.ElapsedSeconds() - report.convert_seconds - report.convert_encode_seconds;
 

@@ -20,8 +20,11 @@ void IoTicket::Wait() const {
   if (state_ == nullptr) {
     return;
   }
-  std::unique_lock<std::mutex> lock(state_->mu);
-  state_->cv.wait(lock, [&] { return state_->pending == 0; });
+  State& state = *state_;
+  MutexLock lock(state.mu);
+  while (state.pending != 0) {
+    state.cv.Wait(state.mu);
+  }
 }
 
 Status IoTicket::Await() const {
@@ -29,16 +32,18 @@ Status IoTicket::Await() const {
   if (state_ == nullptr) {
     return OkStatus();
   }
-  std::lock_guard<std::mutex> lock(state_->mu);
-  return state_->first_error;
+  State& state = *state_;
+  MutexLock lock(state.mu);
+  return state.first_error;
 }
 
 bool IoTicket::done() const {
   if (state_ == nullptr) {
     return true;
   }
-  std::lock_guard<std::mutex> lock(state_->mu);
-  return state_->pending == 0;
+  State& state = *state_;
+  MutexLock lock(state.mu);
+  return state.pending == 0;
 }
 
 Status WaitAll(std::span<IoTicket> tickets) {
@@ -116,15 +121,18 @@ void IoScheduler::WorkerLoop(size_t shard) {
 void IoScheduler::CompleteOne(const std::shared_ptr<IoTicket::State>& state,
                               const Status& status) {
   bool last = false;
+  IoTicket::State& s = *state;
   {
-    std::lock_guard<std::mutex> lock(state->mu);
-    if (!status.ok() && state->first_error.ok()) {
-      state->first_error = status;
+    MutexLock lock(s.mu);
+    if (!status.ok() && s.first_error.ok()) {
+      s.first_error = status;
     }
-    last = --state->pending == 0;
+    last = --s.pending == 0;
   }
   if (last) {
-    state->cv.notify_all();
+    // The shared_ptr argument keeps the State alive across this call, so notifying
+    // after the unlock cannot race its destruction.
+    s.cv.NotifyAll();
   }
 }
 
@@ -132,9 +140,14 @@ IoTicket IoScheduler::Submit(std::span<PutOp> puts, std::span<GetOp> gets,
                              std::span<DeleteOp> deletes) {
   IoTicket ticket;
   ticket.state_ = std::make_shared<IoTicket::State>();
-  ticket.state_->pending = puts.size() + gets.size() + deletes.size();
-  if (ticket.state_->pending == 0) {
-    return ticket;
+  {
+    // Not yet visible to any worker; the lock just states the invariant.
+    IoTicket::State& state = *ticket.state_;
+    MutexLock lock(state.mu);
+    state.pending = puts.size() + gets.size() + deletes.size();
+    if (state.pending == 0) {
+      return ticket;
+    }
   }
   // Push only fails after Close(), i.e. when submitting races the scheduler's
   // destruction; complete the dropped op with an error so the ticket still resolves

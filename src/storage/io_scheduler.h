@@ -17,11 +17,9 @@
 #ifndef PERSONA_SRC_STORAGE_IO_SCHEDULER_H_
 #define PERSONA_SRC_STORAGE_IO_SCHEDULER_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
@@ -30,6 +28,7 @@
 
 #include "src/util/buffer.h"
 #include "src/util/mpmc_queue.h"
+#include "src/util/mutex.h"
 #include "src/util/status.h"
 
 namespace persona::storage {
@@ -65,8 +64,10 @@ struct DeleteOp {
 uint64_t ShardHash(std::string_view key);
 
 // Completion handle for one asynchronous submission. Copyable (shared state); a
-// default-constructed ticket is already complete with OK status.
-class IoTicket {
+// default-constructed ticket is already complete with OK status. [[nodiscard]]:
+// dropping a ticket on the floor silently decouples the caller from completion *and*
+// from the batch's first error — exactly the swallowed-error shape this repo bans.
+class [[nodiscard]] IoTicket {
  public:
   IoTicket() = default;
 
@@ -74,7 +75,7 @@ class IoTicket {
   void Wait() const;
 
   // Wait(), then return the first per-op error (OK if all ops succeeded).
-  Status Await() const;
+  [[nodiscard]] Status Await() const;
 
   bool done() const;
 
@@ -83,17 +84,17 @@ class IoTicket {
   friend class ObjectStore;
 
   struct State {
-    mutable std::mutex mu;
-    mutable std::condition_variable cv;
-    size_t pending = 0;
-    Status first_error;
+    Mutex mu;
+    CondVar cv;
+    size_t pending GUARDED_BY(mu) = 0;
+    Status first_error GUARDED_BY(mu);
   };
 
   std::shared_ptr<State> state_;
 };
 
 // Waits for every ticket; returns the first error across them (submission order).
-Status WaitAll(std::span<IoTicket> tickets);
+[[nodiscard]] Status WaitAll(std::span<IoTicket> tickets);
 
 struct IoSchedulerOptions {
   // Worker threads draining each shard's submission queue. 1 preserves per-shard FIFO
@@ -121,11 +122,11 @@ class IoScheduler {
 
   // Enqueues every op onto its shard's queue and returns the batch's completion ticket.
   // The spans' underlying ops must stay alive until the ticket completes.
-  IoTicket Submit(std::span<PutOp> puts, std::span<GetOp> gets,
-                  std::span<DeleteOp> deletes = {});
+  [[nodiscard]] IoTicket Submit(std::span<PutOp> puts, std::span<GetOp> gets,
+                                std::span<DeleteOp> deletes = {});
 
   // Submit + Await: the synchronous batched entry point.
-  Status RunBatch(std::span<PutOp> puts, std::span<GetOp> gets,
+  [[nodiscard]] Status RunBatch(std::span<PutOp> puts, std::span<GetOp> gets,
                   std::span<DeleteOp> deletes = {});
 
   size_t num_shards() const { return queues_.size(); }

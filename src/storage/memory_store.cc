@@ -9,7 +9,7 @@ Status MemoryStore::Put(const std::string& key, std::span<const uint8_t> data) {
     device_->Write(data.size());
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     objects_[key].assign(data.begin(), data.end());
   }
   stats_.RecordWrite(data.size());
@@ -19,7 +19,7 @@ Status MemoryStore::Put(const std::string& key, std::span<const uint8_t> data) {
 Status MemoryStore::Get(const std::string& key, Buffer* out) {
   size_t size = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = objects_.find(key);
     if (it == objects_.end()) {
       return NotFoundError("no such object: " + key);
@@ -31,7 +31,7 @@ Status MemoryStore::Get(const std::string& key, Buffer* out) {
     device_->Read(size);
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = objects_.find(key);
     if (it == objects_.end()) {
       return NotFoundError("object deleted during read: " + key);
@@ -49,7 +49,7 @@ Result<uint64_t> MemoryStore::Size(const std::string& key) {
     device_->Read(0);  // metadata round-trip: latency only
   }
   stats_.RecordMetadataRead();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = objects_.find(key);
   if (it == objects_.end()) {
     return NotFoundError("no such object: " + key);
@@ -62,7 +62,7 @@ Status MemoryStore::Delete(const std::string& key) {
     device_->Write(0);
   }
   stats_.RecordMetadataWrite();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (objects_.erase(key) == 0) {
     return NotFoundError("no such object: " + key);
   }
@@ -74,12 +74,12 @@ bool MemoryStore::Exists(const std::string& key) {
     device_->Read(0);
   }
   stats_.RecordMetadataRead();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return objects_.contains(key);
 }
 
 Result<std::vector<std::string>> MemoryStore::List(std::string_view prefix) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> keys;
   for (auto it = objects_.lower_bound(std::string(prefix)); it != objects_.end(); ++it) {
     if (!StartsWith(it->first, prefix)) {

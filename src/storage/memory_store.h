@@ -11,10 +11,10 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 
 #include "src/storage/object_store.h"
 #include "src/storage/throttled_device.h"
+#include "src/util/mutex.h"
 
 namespace persona::storage {
 
@@ -36,8 +36,8 @@ class MemoryStore final : public ObjectStore {
 
  private:
   std::shared_ptr<ThrottledDevice> device_;
-  mutable std::mutex mu_;
-  std::map<std::string, std::vector<uint8_t>> objects_;
+  mutable Mutex mu_;
+  std::map<std::string, std::vector<uint8_t>> objects_ GUARDED_BY(mu_);
   AtomicStoreStats stats_;
 };
 

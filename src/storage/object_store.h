@@ -73,12 +73,13 @@ class ObjectStore {
  public:
   virtual ~ObjectStore() = default;
 
-  virtual Status Put(const std::string& key, std::span<const uint8_t> data) = 0;
-  virtual Status Get(const std::string& key, Buffer* out) = 0;
-  virtual Result<uint64_t> Size(const std::string& key) = 0;
-  virtual Status Delete(const std::string& key) = 0;
+  [[nodiscard]] virtual Status Put(const std::string& key,
+                                   std::span<const uint8_t> data) = 0;
+  [[nodiscard]] virtual Status Get(const std::string& key, Buffer* out) = 0;
+  [[nodiscard]] virtual Result<uint64_t> Size(const std::string& key) = 0;
+  [[nodiscard]] virtual Status Delete(const std::string& key) = 0;
   virtual bool Exists(const std::string& key) = 0;
-  virtual Result<std::vector<std::string>> List(std::string_view prefix) = 0;
+  [[nodiscard]] virtual Result<std::vector<std::string>> List(std::string_view prefix) = 0;
 
   virtual StoreStats stats() const = 0;
 
@@ -88,20 +89,22 @@ class ObjectStore {
   // outcome lands in its `status` field and the call returns the first error.
   // Defaults loop the scalar ops sequentially; stores with internal parallelism
   // (CephSimStore, ShardedStore) override to overlap transfers across shards.
-  virtual Status PutBatch(std::span<PutOp> ops);
-  virtual Status GetBatch(std::span<GetOp> ops);
+  [[nodiscard]] virtual Status PutBatch(std::span<PutOp> ops);
+  [[nodiscard]] virtual Status GetBatch(std::span<GetOp> ops);
   // Bulk delete (e.g. temporary-object cleanup): per-op latency overlaps across the
   // store's shards instead of paying one metadata round-trip at a time.
-  virtual Status DeleteBatch(std::span<DeleteOp> ops);
+  [[nodiscard]] virtual Status DeleteBatch(std::span<DeleteOp> ops);
 
   // Asynchronous submission: returns a ticket that completes when every op has
   // executed. Op memory (keys, data spans, output buffers) is caller-owned and must
   // outlive the ticket. The default executes inline and returns a completed ticket.
-  virtual IoTicket SubmitAsync(std::span<PutOp> puts, std::span<GetOp> gets);
+  [[nodiscard]] virtual IoTicket SubmitAsync(std::span<PutOp> puts, std::span<GetOp> gets);
 
   // Convenience overloads.
-  Status Put(const std::string& key, const Buffer& data) { return Put(key, data.span()); }
-  Status Put(const std::string& key, std::string_view data) {
+  [[nodiscard]] Status Put(const std::string& key, const Buffer& data) {
+    return Put(key, data.span());
+  }
+  [[nodiscard]] Status Put(const std::string& key, std::string_view data) {
     return Put(key, std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(data.data()),
                                              data.size()));
   }

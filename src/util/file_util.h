@@ -12,15 +12,15 @@
 
 namespace persona {
 
-Result<std::string> ReadFileToString(const std::string& path);
-Status ReadFileToBuffer(const std::string& path, Buffer* out);
-Status WriteStringToFile(const std::string& path, std::string_view contents);
-Status WriteBufferToFile(const std::string& path, const Buffer& buffer);
+[[nodiscard]] Result<std::string> ReadFileToString(const std::string& path);
+[[nodiscard]] Status ReadFileToBuffer(const std::string& path, Buffer* out);
+[[nodiscard]] Status WriteStringToFile(const std::string& path, std::string_view contents);
+[[nodiscard]] Status WriteBufferToFile(const std::string& path, const Buffer& buffer);
 
 bool FileExists(const std::string& path);
-Result<uint64_t> FileSize(const std::string& path);
-Status MakeDirectories(const std::string& path);
-Status RemoveFile(const std::string& path);
+[[nodiscard]] Result<uint64_t> FileSize(const std::string& path);
+[[nodiscard]] Status MakeDirectories(const std::string& path);
+[[nodiscard]] Status RemoveFile(const std::string& path);
 
 // Creates a unique directory under the system temp dir and removes it (recursively) on
 // destruction. Used pervasively by tests and benchmarks.

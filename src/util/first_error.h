@@ -1,0 +1,53 @@
+// FirstErrorCollector: thread-safe "keep the first error" accumulator.
+//
+// Ad-hoc worker fan-outs (standalone baselines, cluster node threads) all need the
+// same reduction: many threads may fail, the caller reports the first failure. Before
+// this existed each call site hand-rolled a mutex + Status pair — and one of them
+// read the shared Status under the *wrong* mutex. Centralizing the pattern makes the
+// locking invariant a compiler-checked contract instead of a convention.
+
+#ifndef PERSONA_SRC_UTIL_FIRST_ERROR_H_
+#define PERSONA_SRC_UTIL_FIRST_ERROR_H_
+
+#include "src/util/mutex.h"
+#include "src/util/status.h"
+
+namespace persona {
+
+class FirstErrorCollector {
+ public:
+  FirstErrorCollector() = default;
+  FirstErrorCollector(const FirstErrorCollector&) = delete;
+  FirstErrorCollector& operator=(const FirstErrorCollector&) = delete;
+
+  // Records `status` if it is the first non-OK status seen. OK statuses are ignored,
+  // so callers can funnel every result through unconditionally.
+  void Record(const Status& status) EXCLUDES(mu_) {
+    if (status.ok()) {
+      return;
+    }
+    MutexLock lock(mu_);
+    if (first_.ok()) {
+      first_ = status;
+    }
+  }
+
+  // The first recorded error, or OK if none was.
+  [[nodiscard]] Status first() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return first_;
+  }
+
+  bool ok() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return first_.ok();
+  }
+
+ private:
+  mutable Mutex mu_;
+  Status first_ GUARDED_BY(mu_);
+};
+
+}  // namespace persona
+
+#endif  // PERSONA_SRC_UTIL_FIRST_ERROR_H_

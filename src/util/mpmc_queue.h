@@ -7,12 +7,13 @@
 #ifndef PERSONA_SRC_UTIL_MPMC_QUEUE_H_
 #define PERSONA_SRC_UTIL_MPMC_QUEUE_H_
 
-#include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
+
+#include "src/util/mutex.h"
 
 namespace persona {
 
@@ -25,96 +26,105 @@ class MpmcQueue {
   MpmcQueue& operator=(const MpmcQueue&) = delete;
 
   // Blocks until space is available. Returns false if the queue was closed (item dropped).
-  bool Push(T item) {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_full_.wait(lock, [&] { return items_.size() < capacity_ || closed_; });
-    if (closed_) {
-      return false;
+  [[nodiscard]] bool Push(T item) EXCLUDES(mu_) {
+    {
+      MutexLock lock(mu_);
+      while (items_.size() >= capacity_ && !closed_) {
+        not_full_.Wait(mu_);
+      }
+      if (closed_) {
+        return false;
+      }
+      items_.push_back(std::move(item));
+      total_pushed_++;
     }
-    items_.push_back(std::move(item));
-    total_pushed_++;
-    lock.unlock();
-    not_empty_.notify_one();
+    not_empty_.NotifyOne();
     return true;
   }
 
   // Non-blocking push; fails when full or closed.
-  bool TryPush(T item) {
+  [[nodiscard]] bool TryPush(T item) EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (closed_ || items_.size() >= capacity_) {
         return false;
       }
       items_.push_back(std::move(item));
       total_pushed_++;
     }
-    not_empty_.notify_one();
+    not_empty_.NotifyOne();
     return true;
   }
 
   // Blocks until an item is available or the queue is closed and drained.
-  std::optional<T> Pop() {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
-    if (items_.empty()) {
-      return std::nullopt;  // closed and drained
+  std::optional<T> Pop() EXCLUDES(mu_) {
+    std::optional<T> item;
+    {
+      MutexLock lock(mu_);
+      while (items_.empty() && !closed_) {
+        not_empty_.Wait(mu_);
+      }
+      if (items_.empty()) {
+        return std::nullopt;  // closed and drained
+      }
+      item = std::move(items_.front());
+      items_.pop_front();
     }
-    T item = std::move(items_.front());
-    items_.pop_front();
-    lock.unlock();
-    not_full_.notify_one();
+    not_full_.NotifyOne();
     return item;
   }
 
   // Non-blocking pop.
-  std::optional<T> TryPop() {
-    std::unique_lock<std::mutex> lock(mu_);
-    if (items_.empty()) {
-      return std::nullopt;
+  std::optional<T> TryPop() EXCLUDES(mu_) {
+    std::optional<T> item;
+    {
+      MutexLock lock(mu_);
+      if (items_.empty()) {
+        return std::nullopt;
+      }
+      item = std::move(items_.front());
+      items_.pop_front();
     }
-    T item = std::move(items_.front());
-    items_.pop_front();
-    lock.unlock();
-    not_full_.notify_one();
+    not_full_.NotifyOne();
     return item;
   }
 
   // After Close(): pushes fail, pops drain remaining items then return nullopt.
-  void Close() {
+  void Close() EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       closed_ = true;
     }
-    not_empty_.notify_all();
-    not_full_.notify_all();
+    not_empty_.NotifyAll();
+    not_full_.NotifyAll();
   }
 
-  bool closed() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  bool closed() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return closed_;
   }
 
-  size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t size() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return items_.size();
   }
 
   size_t capacity() const { return capacity_; }
 
   // Total items ever pushed; used by pipeline statistics.
-  uint64_t total_pushed() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total_pushed() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return total_pushed_;
   }
 
  private:
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::deque<T> items_;
-  bool closed_ = false;
-  uint64_t total_pushed_ = 0;
+  mutable Mutex mu_;
+  CondVar not_empty_;
+  CondVar not_full_;
+  std::deque<T> items_ GUARDED_BY(mu_);
+  bool closed_ GUARDED_BY(mu_) = false;
+  uint64_t total_pushed_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace persona

@@ -1,0 +1,161 @@
+// persona::Mutex / CondVar / MutexLock: the only blessed mutual-exclusion primitives.
+//
+// These are zero-cost wrappers over std::mutex / std::condition_variable that carry
+// Clang Thread Safety Analysis annotations, so locking invariants ("field X is guarded
+// by mu_", "calling F requires holding mu_") are checked at compile time under
+// `clang -Wthread-safety -Werror` instead of being tribal knowledge a TSan workload
+// may or may not tickle. Under GCC (which has no thread-safety analysis) every
+// annotation macro expands to nothing and the wrappers inline to the std types.
+//
+// Project rule (enforced by scripts/check_lint.sh): std::mutex and
+// std::condition_variable are not used anywhere in src/ outside this header.
+//
+// How to annotate new code:
+//   - Declare the lock:            Mutex mu_;
+//   - Tie data to it:              std::deque<T> items_ GUARDED_BY(mu_);
+//   - Lock a scope:                MutexLock lock(mu_);
+//   - Private must-hold helpers:   void RefillLocked() REQUIRES(mu_);
+//   - Public self-locking methods: void Push(T item) EXCLUDES(mu_);
+//   - Condition waits are explicit loops (the analysis cannot see through a
+//     wait-predicate lambda):
+//         MutexLock lock(mu_);
+//         while (items_.empty() && !closed_) {
+//           not_empty_.Wait(mu_);
+//         }
+
+#ifndef PERSONA_SRC_UTIL_MUTEX_H_
+#define PERSONA_SRC_UTIL_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+// --- Clang Thread Safety Analysis attribute macros (no-ops on other compilers). ---
+
+#if defined(__clang__) && (!defined(SWIG))
+#define PERSONA_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define PERSONA_THREAD_ANNOTATION_(x)
+#endif
+
+// Marks a class as a lockable capability (appears in diagnostics as 'mutex').
+#define CAPABILITY(x) PERSONA_THREAD_ANNOTATION_(capability(x))
+
+// Marks an RAII class whose lifetime acquires/releases a capability.
+#define SCOPED_CAPABILITY PERSONA_THREAD_ANNOTATION_(scoped_lockable)
+
+// Data member may only be accessed while holding the given capability.
+#define GUARDED_BY(x) PERSONA_THREAD_ANNOTATION_(guarded_by(x))
+
+// Pointer member whose *pointee* may only be accessed while holding the capability.
+#define PT_GUARDED_BY(x) PERSONA_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+// Function requires the capability to be held on entry (and does not release it).
+#define REQUIRES(...) PERSONA_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+// Function acquires the capability (must not already be held).
+#define ACQUIRE(...) PERSONA_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+// Function releases the capability (must be held on entry).
+#define RELEASE(...) PERSONA_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+// Function acquires the capability iff it returns the given value.
+#define TRY_ACQUIRE(...) PERSONA_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+// Function must NOT be called while holding the capability (self-deadlock guard).
+#define EXCLUDES(...) PERSONA_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+// Declares lock-acquisition ordering between capabilities (checked under
+// -Wthread-safety-beta on newer clangs; documentation-grade elsewhere).
+#define ACQUIRED_BEFORE(...) PERSONA_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) PERSONA_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+// Asserts at runtime-trust level that the capability is held (no analysis check).
+#define ASSERT_CAPABILITY(x) PERSONA_THREAD_ANNOTATION_(assert_capability(x))
+
+// Function returns a reference to the given capability.
+#define RETURN_CAPABILITY(x) PERSONA_THREAD_ANNOTATION_(lock_returned(x))
+
+// Escape hatch: disables the analysis for one function. Use only with a comment
+// explaining why the invariant holds anyway.
+#define NO_THREAD_SAFETY_ANALYSIS PERSONA_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace persona {
+
+class CondVar;
+
+// Annotated exclusive mutex. Prefer MutexLock over manual Lock/Unlock pairs.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+// RAII scope lock over a Mutex (the clang-docs MutexLocker shape: releasable early
+// via Unlock, reacquirable via Lock, released on destruction if still held).
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu), held_(true) { mu_.Lock(); }
+  ~MutexLock() RELEASE() {
+    if (held_) {
+      mu_.Unlock();
+    }
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  // Releases before scope end (e.g. to notify a condition variable unlocked; only
+  // safe when no waiter can destroy the CondVar the moment the state is visible).
+  void Unlock() RELEASE() {
+    mu_.Unlock();
+    held_ = false;
+  }
+
+  void Lock() ACQUIRE() {
+    mu_.Lock();
+    held_ = true;
+  }
+
+ private:
+  Mutex& mu_;
+  bool held_;
+};
+
+// Condition variable bound to persona::Mutex. Wait() requires the mutex held and —
+// like std::condition_variable::wait — atomically releases it while sleeping and
+// reacquires it before returning. Waits must be wrapped in an explicit predicate
+// loop (see the header comment); there is deliberately no lambda-predicate overload
+// because the analysis cannot check guarded accesses inside one.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex& mu) REQUIRES(mu) {
+    // Adopt the already-held native mutex so the plain (fast) std::condition_variable
+    // can be used; release the guard afterwards so ownership stays with the caller.
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace persona
+
+#endif  // PERSONA_SRC_UTIL_MUTEX_H_

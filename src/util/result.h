@@ -12,9 +12,10 @@
 namespace persona {
 
 // Holds either a T or a non-OK Status. Accessing the value of an errored Result is a
-// programming error (asserted in debug builds).
+// programming error (asserted in debug builds). [[nodiscard]] for the same reason
+// Status is: dropping a Result drops its error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   // Intentionally implicit, so `return MakeFoo();` and `return SomeError();` both work.
   Result(const T& value) : value_(value) {}

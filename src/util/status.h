@@ -35,7 +35,9 @@ enum class StatusCode : int {
 std::string_view StatusCodeName(StatusCode code);
 
 // Value type carrying a code plus an optional message. OK statuses allocate nothing.
-class Status {
+// [[nodiscard]]: a dropped Status is a swallowed error; every producer must be checked
+// or explicitly routed (e.g. into a FirstErrorCollector or a log line).
+class [[nodiscard]] Status {
  public:
   Status() = default;  // OK
   Status(StatusCode code, std::string message) {

@@ -16,31 +16,33 @@ ThreadPool::~ThreadPool() { Shutdown(); }
 
 bool ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (shutdown_) {
       return false;
     }
     tasks_.push(std::move(task));
     ++in_flight_;
   }
-  task_available_.notify_one();
+  task_available_.NotifyOne();
   return true;
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  all_done_.wait(lock, [&] { return in_flight_ == 0; });
+  MutexLock lock(mu_);
+  while (in_flight_ != 0) {
+    all_done_.Wait(mu_);
+  }
 }
 
 void ThreadPool::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (shutdown_) {
       return;
     }
     shutdown_ = true;
   }
-  task_available_.notify_all();
+  task_available_.NotifyAll();
   for (std::thread& t : threads_) {
     if (t.joinable()) {
       t.join();
@@ -52,8 +54,10 @@ void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      task_available_.wait(lock, [&] { return !tasks_.empty() || shutdown_; });
+      MutexLock lock(mu_);
+      while (tasks_.empty() && !shutdown_) {
+        task_available_.Wait(mu_);
+      }
       if (tasks_.empty()) {
         // Shutdown with an empty queue: exit. (Shutdown drains queued tasks first.)
         return;
@@ -63,10 +67,10 @@ void ThreadPool::WorkerLoop() {
     }
     task();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       --in_flight_;
       if (in_flight_ == 0) {
-        all_done_.notify_all();
+        all_done_.NotifyAll();
       }
     }
   }

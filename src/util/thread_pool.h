@@ -6,13 +6,12 @@
 #ifndef PERSONA_SRC_UTIL_THREAD_POOL_H_
 #define PERSONA_SRC_UTIL_THREAD_POOL_H_
 
-#include <atomic>
-#include <condition_variable>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "src/util/mutex.h"
 
 namespace persona {
 
@@ -25,26 +24,26 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   // Enqueues a task; returns false if the pool is shutting down.
-  bool Submit(std::function<void()> task);
+  [[nodiscard]] bool Submit(std::function<void()> task) EXCLUDES(mu_);
 
   // Blocks until every submitted task has finished executing.
-  void Wait();
+  void Wait() EXCLUDES(mu_);
 
   // Stops accepting tasks, drains the queue, joins all threads. Idempotent.
-  void Shutdown();
+  void Shutdown() EXCLUDES(mu_);
 
   size_t num_threads() const { return threads_.size(); }
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mu_);
 
   std::vector<std::thread> threads_;
-  std::mutex mu_;
-  std::condition_variable task_available_;
-  std::condition_variable all_done_;
-  std::queue<std::function<void()>> tasks_;
-  size_t in_flight_ = 0;  // queued + executing
-  bool shutdown_ = false;
+  Mutex mu_;
+  CondVar task_available_;
+  CondVar all_done_;
+  std::queue<std::function<void()>> tasks_ GUARDED_BY(mu_);
+  size_t in_flight_ GUARDED_BY(mu_) = 0;  // queued + executing
+  bool shutdown_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace persona

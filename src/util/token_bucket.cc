@@ -20,7 +20,7 @@ void TokenBucket::RefillLocked() {
 
 void TokenBucket::Acquire(uint64_t bytes) {
   if (rate_ == 0) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     total_acquired_ += bytes;
     return;
   }
@@ -30,7 +30,7 @@ void TokenBucket::Acquire(uint64_t bytes) {
   // larger than the burst.
   double wait_sec = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     RefillLocked();
     tokens_ -= static_cast<double>(bytes);
     total_acquired_ += bytes;
@@ -44,7 +44,7 @@ void TokenBucket::Acquire(uint64_t bytes) {
 }
 
 bool TokenBucket::TryAcquire(uint64_t bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (rate_ == 0) {
     total_acquired_ += bytes;
     return true;
@@ -60,7 +60,7 @@ bool TokenBucket::TryAcquire(uint64_t bytes) {
 }
 
 uint64_t TokenBucket::total_acquired() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return total_acquired_;
 }
 

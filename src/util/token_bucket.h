@@ -10,7 +10,8 @@
 
 #include <chrono>
 #include <cstdint>
-#include <mutex>
+
+#include "src/util/mutex.h"
 
 namespace persona {
 
@@ -20,28 +21,28 @@ class TokenBucket {
   TokenBucket(uint64_t rate_bytes_per_sec, uint64_t burst_bytes);
 
   // Blocks until `bytes` of bandwidth credit is available, consuming it.
-  void Acquire(uint64_t bytes);
+  void Acquire(uint64_t bytes) EXCLUDES(mu_);
 
   // Consumes credit if instantly available; otherwise returns false.
-  bool TryAcquire(uint64_t bytes);
+  bool TryAcquire(uint64_t bytes) EXCLUDES(mu_);
 
   uint64_t rate() const { return rate_; }
 
   // Total bytes ever acquired (for utilization accounting).
-  uint64_t total_acquired() const;
+  uint64_t total_acquired() const EXCLUDES(mu_);
 
  private:
   using Clock = std::chrono::steady_clock;
 
-  // Refills tokens based on elapsed time. Caller holds mu_.
-  void RefillLocked();
+  // Refills tokens based on elapsed time.
+  void RefillLocked() REQUIRES(mu_);
 
   const uint64_t rate_;
   const double burst_;
-  mutable std::mutex mu_;
-  double tokens_;  // may go negative: outstanding debt being slept off
-  Clock::time_point last_refill_;
-  uint64_t total_acquired_ = 0;
+  mutable Mutex mu_;
+  double tokens_ GUARDED_BY(mu_);  // may go negative: outstanding debt being slept off
+  Clock::time_point last_refill_ GUARDED_BY(mu_);
+  uint64_t total_acquired_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace persona

@@ -139,7 +139,7 @@ TEST(WorkStealingPool, ConcurrentSubmittersAreSafe) {
   for (int t = 0; t < 4; ++t) {
     submitters.emplace_back([&pool, &count, t] {
       for (int i = 0; i < kPerThread; ++i) {
-        pool.Submit([&count] { count.fetch_add(1); }, t);
+        ASSERT_TRUE(pool.Submit([&count] { count.fetch_add(1); }, t));
       }
     });
   }

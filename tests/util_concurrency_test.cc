@@ -34,8 +34,8 @@ TEST(MpmcQueueTest, TryPushRespectsCapacity) {
 
 TEST(MpmcQueueTest, CloseDrainsThenSignalsEnd) {
   MpmcQueue<int> q(4);
-  q.Push(10);
-  q.Push(11);
+  ASSERT_TRUE(q.Push(10));
+  ASSERT_TRUE(q.Push(11));
   q.Close();
   EXPECT_FALSE(q.Push(12));
   EXPECT_EQ(*q.Pop(), 10);
@@ -106,10 +106,10 @@ TEST(ThreadPoolTest, WaitBlocksUntilDone) {
   ThreadPool pool(2);
   std::atomic<int> done{0};
   for (int i = 0; i < 8; ++i) {
-    pool.Submit([&done] {
+    ASSERT_TRUE(pool.Submit([&done] {
       std::this_thread::sleep_for(std::chrono::milliseconds(5));
       ++done;
-    });
+    }));
   }
   pool.Wait();
   EXPECT_EQ(done.load(), 8);
@@ -126,7 +126,7 @@ TEST(ThreadPoolTest, ShutdownDrainsQueuedTasks) {
   {
     ThreadPool pool(1);
     for (int i = 0; i < 50; ++i) {
-      pool.Submit([&counter] { ++counter; });
+      ASSERT_TRUE(pool.Submit([&counter] { ++counter; }));
     }
   }  // destructor shuts down; queued tasks must still run
   EXPECT_EQ(counter.load(), 50);
