@@ -15,7 +15,13 @@ WorkStealingPool::WorkStealingPool(size_t num_threads) {
 
 WorkStealingPool::~WorkStealingPool() {
   Drain();
-  shutdown_.store(true, std::memory_order_release);
+  {
+    // The store must happen under idle_mu_, exactly like Submit's enqueue: a worker
+    // that read shutdown_ == false under the lock but has not reached Wait() yet
+    // would otherwise miss the notify below and sleep forever, hanging the joins.
+    MutexLock lock(idle_mu_);
+    shutdown_.store(true, std::memory_order_release);
+  }
   work_ready_.NotifyAll();
   for (std::thread& t : threads_) {
     t.join();

@@ -131,6 +131,22 @@ TEST(WorkStealingPool, DestructorDrainsOutstandingWork) {
   EXPECT_EQ(count.load(), 300);
 }
 
+TEST(WorkStealingPool, RapidConstructDestroyDoesNotHang) {
+  // Regression: the destructor used to store shutdown_ and notify without holding
+  // idle_mu_. A worker that had just checked the predicate but not yet blocked
+  // missed the wakeup and slept forever, hanging the destructor's join. Tearing
+  // down pools whose workers are going idle at that exact moment exercises the
+  // window; with the bug this test eventually hangs (and times out under ctest).
+  for (int round = 0; round < 200; ++round) {
+    WorkStealingPool pool(4);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 8; ++i) {
+      ASSERT_TRUE(pool.Submit([&count] { count.fetch_add(1); }));
+    }
+    // No Drain: destruction races the workers' transition back to idle.
+  }
+}
+
 TEST(WorkStealingPool, ConcurrentSubmittersAreSafe) {
   WorkStealingPool pool(4);
   constexpr int kPerThread = 500;
