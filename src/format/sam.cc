@@ -204,10 +204,17 @@ Status DecodeBsamRecord(std::span<const uint8_t> bytes, size_t* offset, genome::
 }  // namespace
 
 void BsamWriter::Add(const genome::Read& read, const align::AlignmentResult& result) {
+  if (!status_.ok()) {
+    return;  // stream already broken; Finish() reports the first failure
+  }
   EncodeBsamRecord(read, result, &current_);
   if (current_.size() >= block_size_) {
-    // Errors are surfaced at Finish(); zlib failures here are not recoverable mid-stream.
-    (void)FlushBlock();
+    status_ = FlushBlock();
+    if (!status_.ok()) {
+      // Drop the unflushable block: a broken stream must not keep accumulating
+      // records without bound while the caller streams toward Finish().
+      current_.Clear();
+    }
   }
 }
 
@@ -227,6 +234,7 @@ Status BsamWriter::FlushBlock() {
 }
 
 Result<Buffer> BsamWriter::Finish() {
+  PERSONA_RETURN_IF_ERROR(status_);
   PERSONA_RETURN_IF_ERROR(FlushBlock());
   return std::move(file_);
 }

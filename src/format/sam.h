@@ -51,6 +51,9 @@ class BsamWriter {
   size_t block_size_;
   Buffer current_;  // uncompressed records being accumulated
   Buffer file_;
+  // First mid-stream flush failure. Add() cannot return a Status without breaking
+  // the streaming call shape, so the error sticks here and Finish() reports it.
+  Status status_;
 };
 
 // Reads back a BSAM file image.
