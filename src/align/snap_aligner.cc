@@ -143,8 +143,14 @@ void SnapAligner::VerifyOne(const genome::Read& read, size_t r, SnapAlignerScrat
   std::string_view bases = best.reverse ? std::string_view(scratch->reverse_bases_[r])
                                         : std::string_view(read.bases);
   auto slice = window_slice(best.location);
-  (void)LandauVishkin(*slice, bases, options_.max_edit_distance, &result->cigar,
-                      &scratch->lv_);
+  int cigar_distance = LandauVishkin(*slice, bases, options_.max_edit_distance,
+                                     &result->cigar, &scratch->lv_);
+  if (cigar_distance != best.distance) {
+    // The traceback pass re-runs the exact band the scan already verified, so a
+    // disagreement means the CIGAR does not describe the reported alignment. Emit
+    // the placement without a CIGAR rather than a mismatched one.
+    result->cigar.clear();
+  }
 
   // MAPQ: confidence grows with the gap to the second-best verified placement and
   // shrinks with the absolute distance of the best one (SNAP-style heuristic).

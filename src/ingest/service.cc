@@ -8,6 +8,7 @@
 #include "src/ingest/wire.h"
 #include "src/pipeline/convert.h"
 #include "src/util/json.h"
+#include "src/util/logging.h"
 #include "src/util/stopwatch.h"
 #include "src/util/string_util.h"
 
@@ -51,6 +52,16 @@ std::string SummaryJson(const IngestSessionStats& stats, std::string_view manife
   o["seconds"] = json::Value(stats.seconds);
   o["manifest_key"] = json::Value(manifest_key);
   return json::Value(std::move(o)).Dump();
+}
+
+// Frame write for refusal and terminal paths, where the peer may already have
+// disconnected. A failed write means there is nobody left to tell; the session
+// teardown proceeds regardless, so the failure is only worth a debug line.
+void WriteFrameBestEffort(Connection& conn, FrameType type, std::string_view payload) {
+  Status status = WriteFrame(conn, type, payload);
+  if (!status.ok()) {
+    PLOG(DEBUG) << "terminal frame not delivered (peer gone): " << status.ToString();
+  }
 }
 
 }  // namespace
@@ -198,7 +209,7 @@ void IngestService::AcceptLoop() {
     if (options_.max_concurrent_sessions > 0 &&
         now_active > options_.max_concurrent_sessions) {
       active_.fetch_sub(1, std::memory_order_relaxed);
-      (void)WriteFrame(*moved, FrameType::kError, "too many concurrent sessions");
+      WriteFrameBestEffort(*moved, FrameType::kError, "too many concurrent sessions");
       continue;  // destructor closes the connection
     }
     auto session = std::make_shared<SessionState>();
@@ -214,7 +225,8 @@ void IngestService::AcceptLoop() {
       // Thread/resource exhaustion must refuse one client, not std::terminate the
       // resident service from an uncaught accept-thread exception.
       active_.fetch_sub(1, std::memory_order_relaxed);
-      (void)WriteFrame(*moved, FrameType::kError, "server cannot start a session thread");
+      WriteFrameBestEffort(*moved, FrameType::kError,
+                           "server cannot start a session thread");
       continue;
     }
     sessions_.push_back(session);
@@ -282,10 +294,10 @@ void IngestService::RunSession(Connection conn_in,
 
   // Best-effort terminal frame; the client may already be gone.
   if (status.ok()) {
-    (void)WriteFrame(*conn, FrameType::kDone,
-                     SummaryJson(session->Snapshot(), manifest_key));
+    WriteFrameBestEffort(*conn, FrameType::kDone,
+                         SummaryJson(session->Snapshot(), manifest_key));
   } else {
-    (void)WriteFrame(*conn, FrameType::kError, status.ToString());
+    WriteFrameBestEffort(*conn, FrameType::kError, status.ToString());
   }
   conn->Close();
   completed_.fetch_add(1, std::memory_order_relaxed);

@@ -6,6 +6,7 @@
 
 #include "src/format/sam.h"
 #include "src/util/first_error.h"
+#include "src/util/logging.h"
 #include "src/util/stopwatch.h"
 #include "src/util/string_util.h"
 
@@ -176,7 +177,13 @@ Result<RowSortReport> SamtoolsLikeSort(storage::ObjectStore* store,
   PERSONA_ASSIGN_OR_RETURN(Buffer sorted, out.Finish());
   PERSONA_RETURN_IF_ERROR(store->Put(out_key, sorted));
   for (size_t s = 0; s < num_supers; ++s) {
-    (void)store->Delete(out_key + ".super-" + std::to_string(s));
+    // Best-effort cleanup: a leaked temporary must not fail a completed sort, but
+    // the operator should hear about it.
+    const std::string temp_key = out_key + ".super-" + std::to_string(s);
+    Status cleanup = store->Delete(temp_key);
+    if (!cleanup.ok()) {
+      PLOG(WARN) << "leaked temporary " << temp_key << ": " << cleanup.ToString();
+    }
   }
 
   report.seconds = timer.ElapsedSeconds();
@@ -268,7 +275,12 @@ Result<RowSortReport> PicardLikeSort(storage::ObjectStore* store,
   PERSONA_ASSIGN_OR_RETURN(Buffer sorted, out.Finish());
   PERSONA_RETURN_IF_ERROR(store->Put(out_key, sorted));
   for (size_t r = 0; r < num_runs; ++r) {
-    (void)store->Delete(out_key + ".run-" + std::to_string(r));
+    // Best-effort cleanup, as above: log leaked temporaries instead of failing.
+    const std::string temp_key = out_key + ".run-" + std::to_string(r);
+    Status cleanup = store->Delete(temp_key);
+    if (!cleanup.ok()) {
+      PLOG(WARN) << "leaked temporary " << temp_key << ": " << cleanup.ToString();
+    }
   }
 
   report.seconds = timer.ElapsedSeconds();

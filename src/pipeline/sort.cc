@@ -8,6 +8,7 @@
 #include "src/format/agd_chunk.h"
 #include "src/pipeline/agd_store_util.h"
 #include "src/pipeline/chunk_pipeline.h"
+#include "src/util/logging.h"
 #include "src/util/stopwatch.h"
 #include "src/util/varint.h"
 
@@ -267,7 +268,11 @@ Result<SortReport> SortAgdDataset(storage::ObjectStore* store,
     for (size_t s = 0; s < num_supers; ++s) {
       deletes.push_back({out_name + ".super-" + std::to_string(s), {}});
     }
-    (void)store->DeleteBatch(deletes);
+    Status cleanup = store->DeleteBatch(deletes);
+    if (!cleanup.ok()) {
+      PLOG(WARN) << "leaked superchunk temporaries for " << out_name << ": "
+                 << cleanup.ToString();
+    }
   }
 
   SortReport report;
