@@ -1,0 +1,17 @@
+// MUST NOT compile under -Werror (any supported compiler, not just Clang):
+// silently dropping a Status. `class [[nodiscard]] Status` makes the discard a
+// -Wunused-result diagnostic, which -Werror promotes. This is the second prong of
+// the gate — if this snippet compiles, errors can be ignored invisibly again.
+
+#include "src/util/status.h"
+
+namespace {
+
+persona::Status MightFail() { return persona::InternalError("boom"); }
+
+}  // namespace
+
+int main() {
+  MightFail();  // error: ignoring return value of function declared 'nodiscard'
+  return 0;
+}

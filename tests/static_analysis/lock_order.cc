@@ -1,0 +1,32 @@
+// MUST NOT compile under Clang -Wthread-safety -Werror: calls a method annotated
+// EXCLUDES(mu_) while already holding mu_ — the self-deadlock / lock-ordering
+// violation class. The analysis also flags the underlying double acquisition.
+
+#include "src/util/mutex.h"
+
+namespace {
+
+class Registry {
+ public:
+  void Clear() EXCLUDES(mu_) {
+    persona::MutexLock lock(mu_);
+    size_ = 0;
+  }
+
+  void Reset() EXCLUDES(mu_) {
+    persona::MutexLock lock(mu_);
+    Clear();  // error: cannot call function 'Clear' while mutex 'mu_' is held
+  }
+
+ private:
+  persona::Mutex mu_;
+  int size_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Registry r;
+  r.Reset();
+  return 0;
+}

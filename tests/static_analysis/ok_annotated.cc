@@ -1,0 +1,33 @@
+// Positive control for the negative-compile harness: a correctly annotated class
+// that MUST compile under -Wthread-safety -Werror. If this snippet stops building,
+// the harness is broken (wrong flags, wrong include path) and the negative cases
+// below would "pass" vacuously — so this one failing fails the whole gate.
+
+#include "src/util/mutex.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() EXCLUDES(mu_) {
+    persona::MutexLock lock(mu_);
+    ++value_;
+  }
+
+  int Get() const EXCLUDES(mu_) {
+    persona::MutexLock lock(mu_);
+    return value_;
+  }
+
+ private:
+  mutable persona::Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Increment();
+  return c.Get() == 1 ? 0 : 1;
+}

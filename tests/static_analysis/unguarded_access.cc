@@ -1,0 +1,26 @@
+// MUST NOT compile under Clang -Wthread-safety -Werror: writes a GUARDED_BY field
+// without holding its mutex. This is the core property the tentpole buys — if this
+// snippet ever compiles on the Clang leg, the thread-safety gate is dead.
+
+#include "src/util/mutex.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() EXCLUDES(mu_) {
+    ++value_;  // error: writing variable 'value_' requires holding mutex 'mu_'
+  }
+
+ private:
+  persona::Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Increment();
+  return 0;
+}

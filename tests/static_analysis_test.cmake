@@ -1,0 +1,76 @@
+# Negative-compile harness for the static-analysis gate (included from
+# tests/CMakeLists.txt).
+#
+# Each snippet under tests/static_analysis/ is a single-file program with a
+# documented expectation: the positive control must build, the violation snippets
+# must NOT. Two layers enforce it:
+#
+#   1. Configure time: try_compile() each snippet and FATAL_ERROR if any outcome
+#      flips — a regression in the gate (annotation macros gutted, [[nodiscard]]
+#      dropped, flags lost) breaks the build before a single test runs.
+#   2. Test time: the same snippets are registered with CTest as -fsyntax-only
+#      compiler invocations (WILL_FAIL for the violations), so `ctest` re-verifies
+#      the gate on every run and the suite lists it explicitly.
+#
+# The thread-safety snippets (unguarded_access, lock_order) are Clang-only: GCC
+# compiles the annotation macros to nothing, so only the Clang CI leg can reject
+# them. discarded_status must fail under every supported compiler — [[nodiscard]]
+# is standard C++ and -Werror is unconditional.
+
+set(_sa_src_dir ${CMAKE_CURRENT_SOURCE_DIR}/static_analysis)
+set(_sa_flags -Wall -Wextra -Werror)
+set(_sa_is_clang FALSE)
+if(CMAKE_CXX_COMPILER_ID MATCHES "Clang")
+  set(_sa_is_clang TRUE)
+  list(APPEND _sa_flags -Wthread-safety)
+endif()
+list(JOIN _sa_flags " " _sa_flags_str)
+
+# Re-evaluate on every configure: try_compile caches its result variable, and a
+# stale cached verdict would mask a regression introduced since the last configure.
+function(persona_check_snippet name expect_build)
+  unset(_sa_result CACHE)
+  try_compile(_sa_result
+    ${CMAKE_CURRENT_BINARY_DIR}/static_analysis/${name}
+    SOURCES ${_sa_src_dir}/${name}.cc
+    CMAKE_FLAGS
+      -DINCLUDE_DIRECTORIES=${PROJECT_SOURCE_DIR}
+      -DCMAKE_CXX_FLAGS=${_sa_flags_str}
+    CXX_STANDARD 20
+    CXX_STANDARD_REQUIRED TRUE
+    OUTPUT_VARIABLE _sa_output)
+  if(expect_build AND NOT _sa_result)
+    message(FATAL_ERROR
+      "static-analysis gate: positive control '${name}' failed to compile — the "
+      "harness itself is broken (flags or include path), so the negative cases "
+      "prove nothing.\n${_sa_output}")
+  elseif(NOT expect_build AND _sa_result)
+    message(FATAL_ERROR
+      "static-analysis gate: violation snippet '${name}' COMPILED — the gate no "
+      "longer rejects this class of bug. Check the annotation macros in "
+      "src/util/mutex.h, the [[nodiscard]] markers, and the warning flags.")
+  endif()
+
+  # CTest mirror of the same check. -fsyntax-only keeps it to a fraction of a
+  # second per snippet; WILL_FAIL inverts the verdict for the violation cases.
+  add_test(NAME static_analysis_${name}
+    COMMAND ${CMAKE_CXX_COMPILER} -std=c++20 -fsyntax-only ${_sa_flags}
+            -I${PROJECT_SOURCE_DIR} ${_sa_src_dir}/${name}.cc)
+  if(NOT expect_build)
+    set_tests_properties(static_analysis_${name} PROPERTIES WILL_FAIL TRUE)
+  endif()
+endfunction()
+
+persona_check_snippet(ok_annotated TRUE)
+persona_check_snippet(discarded_status FALSE)
+if(_sa_is_clang)
+  persona_check_snippet(unguarded_access FALSE)
+  persona_check_snippet(lock_order FALSE)
+else()
+  message(STATUS "static-analysis gate: thread-safety snippets skipped "
+                 "(${CMAKE_CXX_COMPILER_ID} has no -Wthread-safety; the Clang CI "
+                 "leg runs them)")
+endif()
+
+# Reconfigure when a snippet changes, not just when this file does.
+file(GLOB _sa_snippets CONFIGURE_DEPENDS ${_sa_src_dir}/*.cc)

@@ -1,0 +1,196 @@
+// Tests for the annotated locking wrappers (src/util/mutex.h) and the
+// FirstErrorCollector built on them. The wrappers are thin by design — what these
+// tests pin down is the behavioral contract the rest of the codebase leans on:
+// scoped release, early Unlock/relock, TryLock semantics, and CondVar wakeups
+// against a persona::Mutex.
+
+#include "src/util/mutex.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/util/first_error.h"
+#include "src/util/status.h"
+
+namespace persona {
+namespace {
+
+TEST(Mutex, ProvidesMutualExclusion) {
+  Mutex mu;
+  int counter = 0;  // deliberately non-atomic: the mutex is the only protection
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&mu, &counter] {
+      for (int i = 0; i < kPerThread; ++i) {
+        MutexLock lock(mu);
+        ++counter;
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  MutexLock lock(mu);
+  EXPECT_EQ(counter, kThreads * kPerThread);
+}
+
+TEST(Mutex, TryLockFailsWhileHeldAndSucceedsAfterRelease) {
+  Mutex mu;
+  mu.Lock();
+  std::atomic<bool> acquired{false};
+  std::thread contender([&mu, &acquired] { acquired.store(mu.TryLock()); });
+  contender.join();
+  EXPECT_FALSE(acquired.load());
+  mu.Unlock();
+  ASSERT_TRUE(mu.TryLock());
+  mu.Unlock();
+}
+
+TEST(MutexLock, EarlyUnlockReleasesAndDestructorDoesNotDoubleRelease) {
+  Mutex mu;
+  {
+    MutexLock lock(mu);
+    lock.Unlock();
+    // Proof the lock is free again: an uncontended TryLock must succeed.
+    ASSERT_TRUE(mu.TryLock());
+    mu.Unlock();
+  }  // destructor must notice held_ == false and not release a lock it lost
+  ASSERT_TRUE(mu.TryLock());
+  mu.Unlock();
+}
+
+TEST(MutexLock, RelockAfterEarlyUnlock) {
+  Mutex mu;
+  int guarded = 0;
+  {
+    MutexLock lock(mu);
+    guarded = 1;
+    lock.Unlock();
+    lock.Lock();
+    guarded = 2;
+  }
+  MutexLock lock(mu);
+  EXPECT_EQ(guarded, 2);
+}
+
+TEST(CondVar, WaitWakesOnNotifyWithStateChange) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;
+  std::thread waiter([&] {
+    MutexLock lock(mu);
+    while (!ready) {
+      cv.Wait(mu);
+    }
+  });
+  {
+    MutexLock lock(mu);
+    ready = true;
+  }
+  cv.NotifyOne();
+  waiter.join();  // hangs (then times out under ctest) if the wakeup is lost
+}
+
+TEST(CondVar, NotifyAllWakesEveryWaiter) {
+  Mutex mu;
+  CondVar cv;
+  bool go = false;
+  std::atomic<int> woke{0};
+  constexpr int kWaiters = 4;
+  std::vector<std::thread> waiters;
+  waiters.reserve(kWaiters);
+  for (int i = 0; i < kWaiters; ++i) {
+    waiters.emplace_back([&] {
+      MutexLock lock(mu);
+      while (!go) {
+        cv.Wait(mu);
+      }
+      woke.fetch_add(1);
+    });
+  }
+  {
+    MutexLock lock(mu);
+    go = true;
+  }
+  cv.NotifyAll();
+  for (std::thread& t : waiters) {
+    t.join();
+  }
+  EXPECT_EQ(woke.load(), kWaiters);
+}
+
+TEST(CondVar, ProducerConsumerHandoff) {
+  // The exact shape every queue in the codebase uses: explicit predicate loop,
+  // mutation under the lock, notify after the scope closes.
+  Mutex mu;
+  CondVar cv;
+  std::vector<int> items;
+  constexpr int kItems = 1000;
+  std::thread producer([&] {
+    for (int i = 0; i < kItems; ++i) {
+      {
+        MutexLock lock(mu);
+        items.push_back(i);
+      }
+      cv.NotifyOne();
+    }
+  });
+  int consumed = 0;
+  int last = -1;
+  while (consumed < kItems) {
+    MutexLock lock(mu);
+    while (items.empty()) {
+      cv.Wait(mu);
+    }
+    for (int v : items) {
+      EXPECT_EQ(v, last + 1);
+      last = v;
+      ++consumed;
+    }
+    items.clear();
+  }
+  producer.join();
+  EXPECT_EQ(last, kItems - 1);
+}
+
+TEST(FirstErrorCollector, StartsOkAndKeepsFirstError) {
+  FirstErrorCollector errors;
+  EXPECT_TRUE(errors.ok());
+  EXPECT_TRUE(errors.first().ok());
+  errors.Record(OkStatus());  // OK statuses are ignored
+  EXPECT_TRUE(errors.ok());
+  errors.Record(InternalError("first"));
+  errors.Record(InternalError("second"));
+  EXPECT_FALSE(errors.ok());
+  EXPECT_EQ(errors.first().message(), "first");
+}
+
+TEST(FirstErrorCollector, ConcurrentRecordsKeepExactlyOneError) {
+  FirstErrorCollector errors;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&errors, t] {
+      for (int i = 0; i < 1000; ++i) {
+        errors.Record(InternalError("thread " + std::to_string(t)));
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  EXPECT_FALSE(errors.ok());
+  // Whichever thread won, the stored error is one of the recorded ones and never
+  // a torn mixture.
+  EXPECT_EQ(errors.first().message().rfind("thread ", 0), 0u);
+}
+
+}  // namespace
+}  // namespace persona
