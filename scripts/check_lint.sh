@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Project-rule linter: grep-enforceable invariants that neither the compiler nor
+# clang-tidy expresses. Run from the repo root; exits non-zero with one line per
+# violation. CI runs this in the lint job; it needs nothing but POSIX tools.
+#
+# Rules:
+#   1. No std:: locking primitives in src/ outside util/mutex.h — all locking goes
+#      through the annotated persona::Mutex/CondVar/MutexLock wrappers so Clang
+#      Thread Safety Analysis sees every acquisition.
+#   2. No naked `new` in src/ — allocations are owned from birth. `new` is allowed
+#      only immediately wrapped in a unique_ptr/shared_ptr constructor (the private-
+#      constructor factory idiom that make_unique cannot reach).
+#   3. No `(void)` casts of a call expression in src/ — discarding a call result
+#      (a [[nodiscard]] Status in particular) must be impossible to write silently;
+#      handle it, return it, or route it through FirstErrorCollector / a log line.
+
+set -u
+cd "$(dirname "$0")/.."
+
+fail=0
+
+report() {
+  # $1 = rule name, $2 = offending lines ("" when clean). Not fed via a pipe: a
+  # pipeline stage runs in a subshell and its fail=1 would be lost.
+  local rule="$1" lines="$2"
+  if [ -n "$lines" ]; then
+    echo "lint: ${rule}:"
+    echo "$lines" | sed 's/^/  /'
+    fail=1
+  fi
+}
+
+src_files=$(git ls-files 'src/*.h' 'src/*.cc' | grep -v '^src/util/mutex\.h$')
+
+# --- Rule 1: std:: locking primitives ------------------------------------------------
+# (std::atomic, std::once_flag etc. are fine; this targets the mutex/cv family.)
+report "std:: locking primitive outside util/mutex.h (use persona::Mutex/CondVar/MutexLock)" \
+  "$(grep -nE 'std::(mutex|timed_mutex|recursive_mutex|shared_mutex|condition_variable|condition_variable_any|lock_guard|unique_lock|scoped_lock|shared_lock)\b' \
+       $src_files /dev/null)"
+
+# --- Rule 2: naked new ---------------------------------------------------------------
+# A `new` expression is allowed only on a line that wraps it into a smart pointer
+# (unique_ptr<...>(new ...) / shared_ptr<...>(new ...)), or as the argument continuing
+# such a wrap begun on the previous line (matched here by reading two-line windows).
+naked_new=$(
+  for f in $src_files; do
+    awk '
+      /(^|[^_[:alnum:]])new[[:space:]]+[[:alnum:]_:]+/ {
+        ok = 0
+        if ($0 ~ /(unique_ptr|shared_ptr)[^(]*\(([^(]*[^_[:alnum:]])?new[[:space:]]/) ok = 1
+        # continuation line: previous line opened a smart-pointer constructor call
+        if (prev ~ /(unique_ptr|shared_ptr)[^(]*\([[:space:]]*$/) ok = 1
+        if ($0 ~ /\/\//) {
+          comment = $0; sub(/\/\/.*/, "", comment)
+          if (comment !~ /(^|[^_[:alnum:]])new[[:space:]]+[[:alnum:]_:]+/) ok = 1
+        }
+        if (!ok) printf "%s:%d:%s\n", FILENAME, FNR, $0
+      }
+      { prev = $0 }
+    ' "$f"
+  done
+)
+report "naked new (wrap in unique_ptr/shared_ptr at the allocation site)" "$naked_new"
+
+# --- Rule 3: (void)-cast call expressions --------------------------------------------
+report "(void)-cast of a call result (handle the Status; do not discard it)" \
+  "$(grep -nE '\(void\)[[:space:]]*[A-Za-z_][A-Za-z0-9_:.>-]*\(' $src_files /dev/null)"
+
+if [ "$fail" -ne 0 ]; then
+  echo "lint: FAILED"
+  exit 1
+fi
+echo "lint: OK"
