@@ -19,7 +19,9 @@
 #include <vector>
 
 #include "src/storage/ceph_sim.h"
+#include "src/storage/fault_injection.h"
 #include "src/storage/memory_store.h"
+#include "src/storage/retry.h"
 #include "src/storage/sharded_store.h"
 #include "src/util/stopwatch.h"
 
@@ -122,6 +124,41 @@ PathTimes RunPaths(ObjectStore* seq_store, ObjectStore* batch_store,
   return times;
 }
 
+// Sequential scalar put+get on one store; fills `outs` with the fetched payloads.
+// The flaky-store phase compares this path on a clean store vs a fault-injecting
+// wrapper, so the delta is pure retry cost (re-attempts + backoff sleeps) with no
+// structural difference in how ops are issued.
+struct ScalarTimes {
+  double put = 0;
+  double get = 0;
+};
+
+ScalarTimes RunScalar(ObjectStore* store, const std::vector<std::string>& payloads,
+                      std::vector<Buffer>* outs) {
+  ScalarTimes times;
+  const int n = static_cast<int>(payloads.size());
+  Stopwatch put_timer;
+  for (int i = 0; i < n; ++i) {
+    if (!store->Put(Key(i), payloads[static_cast<size_t>(i)]).ok()) {
+      std::fprintf(stderr, "flaky-phase put failed\n");
+      std::exit(1);
+    }
+  }
+  times.put = put_timer.ElapsedSeconds();
+
+  outs->clear();
+  outs->resize(static_cast<size_t>(n));
+  Stopwatch get_timer;
+  for (int i = 0; i < n; ++i) {
+    if (!store->Get(Key(i), &(*outs)[static_cast<size_t>(i)]).ok()) {
+      std::fprintf(stderr, "flaky-phase get failed\n");
+      std::exit(1);
+    }
+  }
+  times.get = get_timer.ElapsedSeconds();
+  return times;
+}
+
 void Report(const char* store_name, const IoScenario& scenario, const PathTimes& t) {
   const uint64_t total =
       static_cast<uint64_t>(scenario.num_objects) * scenario.object_bytes;
@@ -181,6 +218,67 @@ int Run(const IoScenario& scenario) {
     auto batch_store = make_sharded();
     PathTimes times = RunPaths(seq_store.get(), batch_store.get(), payloads);
     Report("ShardedStore<MemoryStore> (8 shards, 128 MB/s per shard)", scenario, times);
+  }
+  std::printf("\n");
+
+  // Flaky store: ~5% of gets/puts fail transiently (kUnavailable) and the retry
+  // policy absorbs them — the overhead a long pipeline pays to survive a lossy
+  // cluster instead of dying on the first dropped op. Both sides run the scalar
+  // loop so the delta is retry cost alone (the fault-injecting decorator
+  // serializes batch submissions, which would drown the signal).
+  {
+    CephSimConfig config;
+    config.num_osd_nodes = 7;
+    config.replication = 3;
+    config.per_node_bandwidth = 64'000'000;
+    config.op_latency_sec = 0.0005;
+    CephSimStore clean_store(config);
+    CephSimStore flaky_base(config);
+
+    FaultInjectingStoreOptions fault_options;
+    fault_options.seed = FaultSeedFromEnv(1);
+    fault_options.rules.push_back(
+        FaultRule::TransientWithProbability(0.05, kFaultGet | kFaultPut));
+    FaultInjectingStore flaky_store(&flaky_base, fault_options);
+    RetryPolicy policy = RetryPolicy::Default();
+    policy.max_attempts = 8;
+    policy.initial_backoff_sec = 1e-4;
+    policy.max_backoff_sec = 2e-3;
+    flaky_store.SetRetryPolicy(policy);
+
+    std::vector<Buffer> clean_outs;
+    std::vector<Buffer> flaky_outs;
+    const ScalarTimes clean = RunScalar(&clean_store, payloads, &clean_outs);
+    const ScalarTimes flaky = RunScalar(&flaky_store, payloads, &flaky_outs);
+    for (size_t i = 0; i < clean_outs.size(); ++i) {
+      if (flaky_outs[i].view() != clean_outs[i].view()) {
+        std::fprintf(stderr, "flaky-store parity failure on object %zu\n", i);
+        std::exit(1);
+      }
+    }
+
+    const uint64_t total =
+        static_cast<uint64_t>(scenario.num_objects) * scenario.object_bytes;
+    const StoreStats stats = flaky_store.stats();
+    const FaultInjectionStats injected = flaky_store.injection_stats();
+    std::printf(
+        "FaultInjecting(CephSimStore), 5%% transient faults + retry (seed %llu)\n",
+        static_cast<unsigned long long>(fault_options.seed));
+    std::printf("  put: clean %7.2f MB/s   flaky %7.2f MB/s   overhead %5.1f%%\n",
+                MbPerSec(total, clean.put), MbPerSec(total, flaky.put),
+                clean.put > 0 ? (flaky.put / clean.put - 1) * 100 : 0);
+    std::printf("  get: clean %7.2f MB/s   flaky %7.2f MB/s   overhead %5.1f%%\n",
+                MbPerSec(total, clean.get), MbPerSec(total, flaky.get),
+                clean.get > 0 ? (flaky.get / clean.get - 1) * 100 : 0);
+    std::printf("  injected failures %llu   retries %llu   give-ups %llu\n",
+                static_cast<unsigned long long>(injected.failures),
+                static_cast<unsigned long long>(stats.retries),
+                static_cast<unsigned long long>(stats.give_ups));
+    if (stats.give_ups != 0 || stats.retries != injected.failures) {
+      std::fprintf(stderr, "retry accounting broken: every injected transient must "
+                           "cost exactly one retry and none may give up\n");
+      std::exit(1);
+    }
   }
   return 0;
 }

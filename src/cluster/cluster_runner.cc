@@ -69,11 +69,7 @@ Result<ClusterReport> RunCluster(storage::ObjectStore* store,
       report.seconds > 0 ? static_cast<double>(report.total_bases) / 1e9 / report.seconds
                          : 0;
   report.node_chunks = server.per_node_chunks();
-  const storage::StoreStats store_after = store->stats();
-  report.store_stats.bytes_read = store_after.bytes_read - store_before.bytes_read;
-  report.store_stats.bytes_written = store_after.bytes_written - store_before.bytes_written;
-  report.store_stats.read_ops = store_after.read_ops - store_before.read_ops;
-  report.store_stats.write_ops = store_after.write_ops - store_before.write_ops;
+  report.store_stats = storage::StatsDelta(store_before, store->stats());
   report.store_read_mb_per_sec =
       report.seconds > 0
           ? static_cast<double>(report.store_stats.bytes_read) / 1e6 / report.seconds

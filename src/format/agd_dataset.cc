@@ -70,7 +70,9 @@ Status AgdWriter::Finalize() {
   }
   PERSONA_RETURN_IF_ERROR(FlushChunk());
   finalized_ = true;
-  return WriteStringToFile(dir_ + "/manifest.json", manifest_.ToJson());
+  // The manifest is the dataset's root pointer: a torn write orphans every chunk, so
+  // it lands via atomic replace.
+  return WriteFileAtomic(dir_ + "/manifest.json", manifest_.ToJson());
 }
 
 Result<AgdDataset> AgdDataset::Open(const std::string& dir) {
@@ -141,7 +143,7 @@ Status AgdDataset::AddResultsColumn(
   }
   manifest_.columns.push_back(ResultsColumn(codec));
   manifest_.SetReference(reference);
-  return WriteStringToFile(dir_ + "/manifest.json", manifest_.ToJson());
+  return WriteFileAtomic(dir_ + "/manifest.json", manifest_.ToJson());
 }
 
 Result<int64_t> AgdDataset::Verify() const {

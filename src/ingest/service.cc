@@ -272,7 +272,10 @@ void IngestService::RunSession(Connection conn_in,
           frame.payload, options_.chunk_size, options_.codec);
     }
     if (status.ok()) {
-      status = conn->SetRecvTimeout(0);  // backpressure stalls are legitimate
+      // Backpressure stalls are legitimate (the source blocks before recv, so the
+      // timer never runs against a stalled pipeline); the idle deadline only guards
+      // against a client that is connected but silent.
+      status = conn->SetRecvTimeout(options_.idle_timeout_sec);
     }
     if (status.ok()) {
       status = WriteFrame(*conn, FrameType::kStarted, "");

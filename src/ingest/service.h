@@ -51,6 +51,13 @@ struct IngestOptions {
   compress::CodecId codec = compress::CodecId::kZlib;
   pipeline::ChunkPipeline::Options pipeline;  // per-session stage widths / depths
   double handshake_timeout_sec = 10;  // Start frame deadline for a new connection
+  // Mid-stream receive deadline. A client that connects and then goes silent pins a
+  // session (its pipeline threads, pool, and a Shutdown() waiter) forever; with a
+  // deadline the session fails with DeadlineExceeded and its resources are reclaimed.
+  // Backpressure is unaffected: a stalled pipeline blocks the source *before* recv,
+  // so the timer only runs while the server is genuinely waiting on the client.
+  // 0 = wait forever (previous behaviour).
+  double idle_timeout_sec = 0;
   // Connections beyond this many live sessions are refused with an Error frame
   // (each session owns a pipeline's threads and pools; unbounded admission would
   // let a connection burst exhaust the process). 0 = unlimited.

@@ -58,7 +58,9 @@ Status Connection::RecvAll(void* data, size_t n) {
         continue;
       }
       if (errno == EAGAIN || errno == EWOULDBLOCK) {
-        return UnavailableError("recv: timed out");
+        // A receive deadline (SO_RCVTIMEO) expiring is a deadline, not a transport
+        // fault: callers distinguish "peer is slow/idle" from "peer is gone".
+        return DeadlineExceededError("recv: timed out");
       }
       return ErrnoStatus("recv", errno);
     }

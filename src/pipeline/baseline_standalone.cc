@@ -153,11 +153,7 @@ Result<StandaloneReport> RunStandaloneAlignment(storage::ObjectStore* store,
 
   report.seconds = timer.ElapsedSeconds();
   report.bases = total_bases.load();
-  storage::StoreStats after = store->stats();
-  report.store_stats.bytes_read = after.bytes_read - store_before.bytes_read;
-  report.store_stats.bytes_written = after.bytes_written - store_before.bytes_written;
-  report.store_stats.read_ops = after.read_ops - store_before.read_ops;
-  report.store_stats.write_ops = after.write_ops - store_before.write_ops;
+  report.store_stats = storage::StatsDelta(store_before, store->stats());
   return report;
 }
 

@@ -5,6 +5,7 @@
 #include <map>
 #include <utility>
 
+#include "src/pipeline/job_journal.h"
 #include "src/util/mutex.h"
 #include "src/util/stopwatch.h"
 #include "src/util/string_util.h"
@@ -21,11 +22,29 @@ struct Work {
 };
 
 // Fetched-but-unparsed column files of one work item, chunk-major in pooled buffers.
+// `keys` names the column files (parallel to `files`) so a quarantined item can be
+// reported by key, not just index.
 struct RawItem {
   size_t index = 0;
   size_t chunk_begin = 0;
   size_t chunk_end = 0;
   std::vector<ChunkPipeline::BufferRef> files;
+  std::vector<std::string> keys;
+};
+
+// skip_bad_chunks accounting, shared by the reader and parser stages.
+struct Quarantine {
+  Mutex mu;
+  uint64_t items GUARDED_BY(mu) = 0;
+  std::vector<std::string> keys GUARDED_BY(mu);
+
+  void Add(std::vector<std::string>&& item_keys) EXCLUDES(mu) {
+    MutexLock lock(mu);
+    ++items;
+    for (std::string& key : item_keys) {
+      keys.push_back(std::move(key));
+    }
+  }
 };
 
 // Read-ahead gate for ordered transforms. The resequencer must park whatever arrives
@@ -70,11 +89,15 @@ struct OrderGate {
 // in flight while op/buffer memory stays owned until each ticket completes.
 class WriteWindow {
  public:
-  WriteWindow(storage::ObjectStore* store, size_t depth)
-      : store_(store), depth_(depth == 0 ? 1 : depth) {}
+  // `journal`, when set, records each request's work item as completed once its
+  // ticket lands OK (the resume commit point: outputs durable before the item is
+  // marked done).
+  WriteWindow(storage::ObjectStore* store, size_t depth, JobJournal* journal)
+      : store_(store), depth_(depth == 0 ? 1 : depth), journal_(journal) {}
 
   Status Submit(ChunkPipeline::WriteRequest&& request) {
     auto pending = std::make_unique<Pending>();
+    pending->item = request.item;
     pending->objects = std::move(request.objects);
     pending->ops.reserve(request.keys.size());
     for (size_t i = 0; i < request.keys.size(); ++i) {
@@ -93,7 +116,8 @@ class WriteWindow {
       }
     }
     if (evicted != nullptr) {
-      return evicted->ticket.Await();
+      PERSONA_RETURN_IF_ERROR(evicted->ticket.Await());
+      return CommitIfJournaled(*evicted);
     }
     return OkStatus();
   }
@@ -110,6 +134,9 @@ class WriteWindow {
     Status first_error;
     for (const auto& pending : all) {
       Status status = pending->ticket.Await();
+      if (status.ok()) {
+        status = CommitIfJournaled(*pending);
+      }
       if (!status.ok() && first_error.ok()) {
         first_error = status;
       }
@@ -119,20 +146,49 @@ class WriteWindow {
 
  private:
   struct Pending {
+    size_t item = ChunkPipeline::kNoItem;
     std::vector<ChunkPipeline::BufferRef> objects;
     std::vector<storage::PutOp> ops;
     storage::IoTicket ticket;
   };
 
+  Status CommitIfJournaled(const Pending& pending) {
+    if (journal_ == nullptr || pending.item == ChunkPipeline::kNoItem) {
+      return OkStatus();
+    }
+    std::vector<std::string> keys;
+    keys.reserve(pending.ops.size());
+    for (const storage::PutOp& op : pending.ops) {
+      keys.push_back(op.key);
+    }
+    return journal_->Commit(pending.item, std::move(keys));
+  }
+
   storage::ObjectStore* store_;
   const size_t depth_;
+  JobJournal* const journal_;
   Mutex mu_;
   std::deque<std::unique_ptr<Pending>> window_ GUARDED_BY(mu_);
 };
 
 }  // namespace
 
+Status ChunkPipeline::Emitter::StampAndCheck(size_t* request_item) {
+  *request_item = item_;
+  if (enforce_single_emission_ && item_ != kNoItem) {
+    if (emitted_) {
+      return FailedPreconditionError(
+          "ChunkPipeline resume: transform emitted more than once for work item " +
+          std::to_string(item_) +
+          "; journaled resume requires exactly one emission per item");
+    }
+    emitted_ = true;
+  }
+  return OkStatus();
+}
+
 Status ChunkPipeline::Emitter::Emit(SerializeRequest request) {
+  PERSONA_RETURN_IF_ERROR(StampAndCheck(&request.item));
   return serialize_out_->Push(std::move(request));
 }
 
@@ -144,6 +200,7 @@ Status ChunkPipeline::Emitter::Write(std::string key, BufferRef object) {
 }
 
 Status ChunkPipeline::Emitter::Write(WriteRequest request) {
+  PERSONA_RETURN_IF_ERROR(StampAndCheck(&request.item));
   Stopwatch timer;
   const bool accepted = write_queue_->Push(std::move(request));
   // Attribute the (possibly blocked) push to the transform's output wait, same as the
@@ -186,6 +243,8 @@ void ChunkPipeline::SetWriter(storage::ObjectStore* store, size_t max_objects_pe
   max_objects_per_request_ = max_objects_per_request == 0 ? 1 : max_objects_per_request;
 }
 
+void ChunkPipeline::SetResumeJournal(JobJournal* journal) { journal_ = journal; }
+
 Result<ChunkPipelineReport> ChunkPipeline::Run() {
   if (ran_) {
     return FailedPreconditionError("ChunkPipeline::Run called twice");
@@ -209,6 +268,32 @@ Result<ChunkPipelineReport> ChunkPipeline::Run() {
     // order would silently change an ordered tool's dataset-order semantics.
     return InvalidArgumentError(
         "ChunkPipeline: ordered transforms require local (dataset-order) chunk handout");
+  }
+  if (journal_ != nullptr) {
+    // Per-item resume is only sound when each work item's outputs are self-contained
+    // and locally indexed: ordered tools carry cross-chunk state (dedup's signature
+    // set, filter's partial chunk) that skipping items would corrupt, a cluster work
+    // source's dense indices differ run to run, and record mode has no stable item
+    // identity at all.
+    if (!manifest_mode) {
+      return InvalidArgumentError(
+          "ChunkPipeline: a resume journal requires the manifest source");
+    }
+    if (ordered_) {
+      return InvalidArgumentError(
+          "ChunkPipeline: ordered transforms carry cross-chunk state and cannot "
+          "resume from a journal");
+    }
+    if (work_source_) {
+      return InvalidArgumentError(
+          "ChunkPipeline: a resume journal requires local chunk handout (cluster "
+          "work-source indices are not stable across runs)");
+    }
+  }
+  if (options_.skip_bad_chunks && ordered_) {
+    return InvalidArgumentError(
+        "ChunkPipeline: skip_bad_chunks would stall an ordered transform (its "
+        "resequencer must see every work item)");
   }
 
   storage::ObjectStore* stats_store =
@@ -254,7 +339,9 @@ Result<ChunkPipelineReport> ChunkPipeline::Run() {
                                  [](Buffer* b) { b->Clear(); });
   pool_capacity_ = pool->capacity();
 
-  auto window = std::make_shared<WriteWindow>(write_store_, window_depth);
+  auto window = std::make_shared<WriteWindow>(write_store_, window_depth, journal_);
+  auto quarantine = std::make_shared<Quarantine>();
+  auto resumed = std::make_shared<std::atomic<uint64_t>>(0);
   Status source_error;
 
   ChunkPipelineReport report;
@@ -318,23 +405,32 @@ Result<ChunkPipelineReport> ChunkPipeline::Run() {
         auto next_group = std::make_shared<std::atomic<size_t>>(0);
         graph.AddSource<Work>(
             "chunk-source", work_queue,
-            [next_group, group, num_groups, num_chunks, gate, order_window](
-                dataflow::Graph::SourceWait& wait) -> std::optional<Work> {
-              const size_t g = next_group->fetch_add(1);
-              if (g >= num_groups) {
-                return std::nullopt;
+            [next_group, group, num_groups, num_chunks, gate, order_window,
+             journal = journal_,
+             resumed](dataflow::Graph::SourceWait& wait) -> std::optional<Work> {
+              while (true) {
+                const size_t g = next_group->fetch_add(1);
+                if (g >= num_groups) {
+                  return std::nullopt;
+                }
+                if (journal != nullptr && journal->IsCompleted(g)) {
+                  // Resume: this item's outputs already landed in a previous run —
+                  // skip it without fetching a byte.
+                  resumed->fetch_add(1, std::memory_order_relaxed);
+                  continue;
+                }
+                Work work;
+                work.index = g;
+                work.chunk_begin = g * group;
+                work.chunk_end = std::min(num_chunks, work.chunk_begin + group);
+                if (gate != nullptr) {
+                  // Gate waits are backpressure, not production time.
+                  Stopwatch wait_timer;
+                  gate->WaitForSlot(work.index, order_window);
+                  wait.wait_ns += static_cast<uint64_t>(wait_timer.ElapsedNanos());
+                }
+                return work;
               }
-              Work work;
-              work.index = g;
-              work.chunk_begin = g * group;
-              work.chunk_end = std::min(num_chunks, work.chunk_begin + group);
-              if (gate != nullptr) {
-                // Gate waits are backpressure, not production time.
-                Stopwatch wait_timer;
-                gate->WaitForSlot(work.index, order_window);
-                wait.wait_ns += static_cast<uint64_t>(wait_timer.ElapsedNanos());
-              }
-              return work;
             });
       }
 
@@ -342,56 +438,81 @@ Result<ChunkPipelineReport> ChunkPipeline::Run() {
       // pooled buffers. ---
       graph.AddStage<Work, RawItem>(
           "reader", read_par, work_queue, raw_queue,
-          [store = source_store_, manifest = manifest_, columns = &columns_, pool](
-              Work&& work, dataflow::StageOutput<RawItem>& out) -> Status {
+          [store = source_store_, manifest = manifest_, columns = &columns_, pool,
+           skip = options_.skip_bad_chunks,
+           quarantine](Work&& work, dataflow::StageOutput<RawItem>& out) -> Status {
             RawItem raw;
             raw.index = work.index;
             raw.chunk_begin = work.chunk_begin;
             raw.chunk_end = work.chunk_end;
             const size_t n = (work.chunk_end - work.chunk_begin) * columns->size();
             raw.files.reserve(n);
+            raw.keys.reserve(n);
             std::vector<storage::GetOp> gets;
             gets.reserve(n);
             for (size_t c = work.chunk_begin; c < work.chunk_end; ++c) {
               for (const std::string& column : *columns) {
                 raw.files.push_back(pool->Acquire());
-                gets.push_back(
-                    {manifest->ChunkFileName(c, column), raw.files.back().get(), {}});
+                raw.keys.push_back(manifest->ChunkFileName(c, column));
+                gets.push_back({raw.keys.back(), raw.files.back().get(), {}});
               }
             }
-            PERSONA_RETURN_IF_ERROR(store->GetBatch(gets));
+            Status status = store->GetBatch(gets);
+            if (!status.ok()) {
+              if (!skip) {
+                return status;
+              }
+              // Graceful degradation: the store (and its retry budget) gave up on
+              // this item — quarantine it and keep the run alive. Dropping `raw`
+              // returns the pooled buffers.
+              quarantine->Add(std::move(raw.keys));
+              return OkStatus();
+            }
             return out.Push(std::move(raw));
           });
 
       // --- Parser: decompress + decode every column; recycle the raw buffers. ---
       const size_t num_columns = columns_.size();
+      auto parse_item = [num_columns](RawItem& raw, Input* input) -> Status {
+        input->index = raw.index;
+        input->chunk_begin = raw.chunk_begin;
+        input->chunk_end = raw.chunk_end;
+        input->num_columns = num_columns;
+        input->columns.reserve(raw.files.size());
+        input->file_sizes.reserve(raw.files.size());
+        for (const BufferRef& file : raw.files) {
+          input->file_sizes.push_back(file->size());
+          PERSONA_ASSIGN_OR_RETURN(format::ParsedChunk parsed,
+                                   format::ParsedChunk::Parse(file->span()));
+          input->columns.push_back(std::move(parsed));
+        }
+        raw.files.clear();  // raw buffers back to the pool before handing off
+        for (size_t k = 0; k + num_columns <= input->columns.size(); k += num_columns) {
+          const size_t records = input->columns[k].record_count();
+          for (size_t c = 1; c < num_columns; ++c) {
+            if (input->columns[k + c].record_count() != records) {
+              return DataLossError(StrFormat("chunk %zu: column record counts disagree",
+                                             input->chunk_begin + k / num_columns));
+            }
+          }
+        }
+        return OkStatus();
+      };
       graph.AddStage<RawItem, Input>(
           "parser", parse_par, raw_queue, input_queue,
-          [num_columns](RawItem&& raw, dataflow::StageOutput<Input>& out) -> Status {
+          [parse_item, skip = options_.skip_bad_chunks,
+           quarantine](RawItem&& raw, dataflow::StageOutput<Input>& out) -> Status {
             Input input;
-            input.index = raw.index;
-            input.chunk_begin = raw.chunk_begin;
-            input.chunk_end = raw.chunk_end;
-            input.num_columns = num_columns;
-            input.columns.reserve(raw.files.size());
-            input.file_sizes.reserve(raw.files.size());
-            for (const BufferRef& file : raw.files) {
-              input.file_sizes.push_back(file->size());
-              PERSONA_ASSIGN_OR_RETURN(format::ParsedChunk parsed,
-                                       format::ParsedChunk::Parse(file->span()));
-              input.columns.push_back(std::move(parsed));
-            }
-            raw.files.clear();  // raw buffers back to the pool before handing off
-            for (size_t k = 0; k + num_columns <= input.columns.size();
-                 k += num_columns) {
-              const size_t records = input.columns[k].record_count();
-              for (size_t c = 1; c < num_columns; ++c) {
-                if (input.columns[k + c].record_count() != records) {
-                  return DataLossError(StrFormat(
-                      "chunk %zu: column record counts disagree",
-                      input.chunk_begin + k / num_columns));
-                }
+            Status status = parse_item(raw, &input);
+            if (!status.ok()) {
+              if (!skip) {
+                return status;
               }
+              // A chunk that fetched but won't decode (corruption the codec or
+              // record-count check caught): quarantine instead of cancelling.
+              raw.files.clear();
+              quarantine->Add(std::move(raw.keys));
+              return OkStatus();
             }
             return out.Push(std::move(input));
           });
@@ -453,10 +574,13 @@ Result<ChunkPipelineReport> ChunkPipeline::Run() {
         return OkStatus();
       };
     } else {
-      stage_fn = [fn = transform_, make_emitter](
+      stage_fn = [fn = transform_, make_emitter, journaled = journal_ != nullptr](
                      Input&& input,
                      dataflow::StageOutput<SerializeRequest>& out) -> Status {
         Emitter emitter = make_emitter(out);
+        // Emissions carry the work item so the writer can journal it; with a journal
+        // attached the one-emission-per-item contract is enforced.
+        emitter.BindItem(input.index, journaled);
         return fn(std::move(input), emitter);
       };
     }
@@ -480,6 +604,7 @@ Result<ChunkPipelineReport> ChunkPipeline::Run() {
                dataflow::StageOutput<WriteRequest>& out) -> Status {
           WriteRequest write;
           write.keys = std::move(request.keys);
+          write.item = request.item;
           write.objects.reserve(request.builders.size());
           for (const format::ChunkBuilder& builder : request.builders) {
             BufferRef object = pool->Acquire();
@@ -534,12 +659,13 @@ Result<ChunkPipelineReport> ChunkPipeline::Run() {
   PERSONA_RETURN_IF_ERROR(source_error);
   PERSONA_RETURN_IF_ERROR(drain_status);
 
-  const storage::StoreStats store_after = stats_store->stats();
-  report.store_stats.bytes_read = store_after.bytes_read - store_before.bytes_read;
-  report.store_stats.bytes_written =
-      store_after.bytes_written - store_before.bytes_written;
-  report.store_stats.read_ops = store_after.read_ops - store_before.read_ops;
-  report.store_stats.write_ops = store_after.write_ops - store_before.write_ops;
+  report.resumed_items = resumed->load(std::memory_order_relaxed);
+  {
+    MutexLock lock(quarantine->mu);
+    report.quarantined_items = quarantine->items;
+    report.quarantined_keys = std::move(quarantine->keys);
+  }
+  report.store_stats = storage::StatsDelta(store_before, stats_store->stats());
   report.utilization = std::move(utilization);
   return report;
 }

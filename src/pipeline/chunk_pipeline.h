@@ -45,10 +45,19 @@
 
 namespace persona::pipeline {
 
+class JobJournal;
+
 // Per-stage and whole-run statistics of one ChunkPipeline execution.
 struct ChunkPipelineReport {
   double seconds = 0;
   uint64_t items = 0;  // work items through the transform stage
+
+  // Resume mode: work items skipped because the journal already has them.
+  uint64_t resumed_items = 0;
+  // skip_bad_chunks: work items quarantined instead of cancelling the run, and the
+  // column keys they cover (for operator follow-up).
+  uint64_t quarantined_items = 0;
+  std::vector<std::string> quarantined_keys;
 
   struct Stage {
     std::string name;
@@ -83,7 +92,18 @@ class ChunkPipeline {
     size_t write_window = 0;
     double utilization_sample_sec = 0;  // 0 disables the sampler
     int sampler_total_workers = 0;      // machine thread budget for the Fig. 5 number
+
+    // Graceful degradation: when a work item's columns cannot be fetched or parsed
+    // (after the store's own retry budget is spent), quarantine the item — count it
+    // and its keys in the report — and keep going instead of cancelling the run.
+    // Default off: fail-fast. Incompatible with ordered transforms, whose resequencer
+    // must see every index (Run() rejects the combination).
+    bool skip_bad_chunks = false;
   };
+
+  // Sentinel for WriteRequest/SerializeRequest::item: not tied to a work item (drain
+  // emissions, manifests) — never journaled.
+  static constexpr size_t kNoItem = static_cast<size_t>(-1);
 
   // One work item, ready for the transform. In manifest mode `columns` holds the
   // parsed column chunks, chunk-major: column c of manifest chunk (chunk_begin + k) is
@@ -106,9 +126,12 @@ class ChunkPipeline {
   };
 
   // Pre-serialized objects bound for the writer (keys[i] receives objects[i]).
+  // `item` is the emitting work item's index (stamped by the Emitter); the writer
+  // journals the item once its Put lands when a resume journal is attached.
   struct WriteRequest {
     std::vector<std::string> keys;
     std::vector<BufferRef> objects;
+    size_t item = kNoItem;
   };
 
   // Column builders bound for the serialize stage (Finalize + codec compression run
@@ -116,6 +139,7 @@ class ChunkPipeline {
   struct SerializeRequest {
     std::vector<std::string> keys;
     std::vector<format::ChunkBuilder> builders;
+    size_t item = kNoItem;
   };
 
   // Emission handle passed to the transform (and its drain). All sends surface a
@@ -139,9 +163,23 @@ class ChunkPipeline {
             MpmcQueue<WriteRequest>* write_queue)
         : pool_(pool), serialize_out_(serialize_out), write_queue_(write_queue) {}
 
+    // Resume mode journals a work item as done when its emission lands, so the item ↔
+    // emission mapping must be 1:1: stamps outgoing requests with `item` and, when
+    // `enforce_single_emission`, rejects a second emission for the same item
+    // (FailedPrecondition) — a multi-emission transform cannot be resumed safely.
+    void BindItem(size_t item, bool enforce_single_emission) {
+      item_ = item;
+      enforce_single_emission_ = enforce_single_emission;
+      emitted_ = false;
+    }
+    Status StampAndCheck(size_t* request_item);
+
     BufferPool* pool_;
     dataflow::StageOutput<SerializeRequest>* serialize_out_;
     MpmcQueue<WriteRequest>* write_queue_;
+    size_t item_ = kNoItem;
+    bool enforce_single_emission_ = false;
+    bool emitted_ = false;
   };
 
   using TransformFn = std::function<Status(Input&&, Emitter&)>;
@@ -180,6 +218,14 @@ class ChunkPipeline {
   // chunk's column count).
   void SetWriter(storage::ObjectStore* store, size_t max_objects_per_request = 4);
 
+  // Crash-safe resume: skip work items the journal already holds and commit each
+  // newly landed item to it. The caller owns the journal lifecycle (Load before
+  // Run, Clear after the job's final manifest write). Requires the manifest source
+  // with local handout and a parallel (unordered) transform that emits exactly once
+  // per work item — Run() rejects every other combination, because committing
+  // per-item is only sound when an item's outputs are self-contained.
+  void SetResumeJournal(JobJournal* journal);
+
   // Assembles the graph and runs it to completion. May be called once.
   Result<ChunkPipelineReport> Run();
 
@@ -205,6 +251,7 @@ class ChunkPipeline {
 
   storage::ObjectStore* write_store_ = nullptr;
   size_t max_objects_per_request_ = 4;
+  JobJournal* journal_ = nullptr;
 
   bool ran_ = false;
   size_t pool_capacity_ = 0;

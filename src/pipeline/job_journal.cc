@@ -1,0 +1,113 @@
+#include "src/pipeline/job_journal.h"
+
+#include <utility>
+
+#include "src/util/json.h"
+
+namespace persona::pipeline {
+
+JobJournal::JobJournal(storage::ObjectStore* store, std::string key,
+                       std::string fingerprint)
+    : store_(store), key_(std::move(key)), fingerprint_(std::move(fingerprint)) {}
+
+Status JobJournal::Load() {
+  Buffer raw;
+  if (!store_->Exists(key_)) {
+    return OkStatus();  // fresh job
+  }
+  PERSONA_RETURN_IF_ERROR(store_->Get(key_, &raw));
+  PERSONA_ASSIGN_OR_RETURN(json::Value root, json::Parse(raw.view()));
+  PERSONA_ASSIGN_OR_RETURN(std::string fingerprint, root.GetString("fingerprint"));
+  if (fingerprint != fingerprint_) {
+    return FailedPreconditionError("journal '" + key_ +
+                                   "' belongs to a different job: found fingerprint '" +
+                                   fingerprint + "', expected '" + fingerprint_ + "'");
+  }
+  PERSONA_ASSIGN_OR_RETURN(const json::Array* items, root.GetArray("completed"));
+  MutexLock lock(mu_);
+  completed_.clear();
+  for (const json::Value& entry : *items) {
+    PERSONA_ASSIGN_OR_RETURN(int64_t index, entry.GetInt("index"));
+    PERSONA_ASSIGN_OR_RETURN(const json::Array* keys, entry.GetArray("keys"));
+    std::vector<std::string> item_keys;
+    item_keys.reserve(keys->size());
+    for (const json::Value& k : *keys) {
+      if (!k.is_string()) {
+        return DataLossError("journal '" + key_ + "': non-string key entry");
+      }
+      item_keys.push_back(k.as_string());
+    }
+    completed_.emplace(static_cast<size_t>(index), std::move(item_keys));
+  }
+  return OkStatus();
+}
+
+bool JobJournal::IsCompleted(size_t item) const {
+  MutexLock lock(mu_);
+  return completed_.find(item) != completed_.end();
+}
+
+size_t JobJournal::completed_count() const {
+  MutexLock lock(mu_);
+  return completed_.size();
+}
+
+std::vector<std::string> JobJournal::CompletedKeys() const {
+  MutexLock lock(mu_);
+  std::vector<std::string> keys;
+  for (const auto& [index, item_keys] : completed_) {
+    keys.insert(keys.end(), item_keys.begin(), item_keys.end());
+  }
+  return keys;
+}
+
+Status JobJournal::Commit(size_t item, std::vector<std::string> keys) {
+  MutexLock lock(mu_);
+  if (!completed_.emplace(item, std::move(keys)).second) {
+    return OkStatus();  // already journaled (idempotent)
+  }
+  if (++commits_since_checkpoint_ < checkpoint_interval_) {
+    return OkStatus();
+  }
+  return CheckpointLocked();
+}
+
+Status JobJournal::Checkpoint() {
+  MutexLock lock(mu_);
+  return CheckpointLocked();
+}
+
+Status JobJournal::CheckpointLocked() {
+  commits_since_checkpoint_ = 0;
+  json::Array items;
+  items.reserve(completed_.size());
+  for (const auto& [index, item_keys] : completed_) {
+    json::Object entry;
+    entry.emplace("index", json::Value(static_cast<uint64_t>(index)));
+    json::Array keys;
+    keys.reserve(item_keys.size());
+    for (const std::string& k : item_keys) {
+      keys.emplace_back(k);
+    }
+    entry.emplace("keys", json::Value(std::move(keys)));
+    items.emplace_back(json::Object(std::move(entry)));
+  }
+  json::Object root;
+  root.emplace("fingerprint", json::Value(fingerprint_));
+  root.emplace("completed", json::Value(std::move(items)));
+  // The store Put is an atomic replace (see LocalStore::Put), so an interrupted
+  // checkpoint leaves the previous journal intact.
+  return store_->Put(key_, json::Value(std::move(root)).Dump());
+}
+
+Status JobJournal::Clear() {
+  MutexLock lock(mu_);
+  completed_.clear();
+  commits_since_checkpoint_ = 0;
+  if (!store_->Exists(key_)) {
+    return OkStatus();
+  }
+  return store_->Delete(key_);
+}
+
+}  // namespace persona::pipeline

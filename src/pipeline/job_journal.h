@@ -1,0 +1,83 @@
+// JobJournal: crash-safe resume state for ChunkPipeline jobs.
+//
+// A multi-hour alignment or recompression job dies with the process today; the journal
+// makes it resumable. It checkpoints the completed-work-item set — and the keys each
+// item wrote, the output manifest-so-far — as a JSON object stored *through the
+// ObjectStore* alongside the job's outputs. Store Puts are atomic replaces (LocalStore
+// writes temp + fsync + rename; MemoryStore swaps under its lock), so a crash mid-
+// checkpoint leaves the previous journal, never a torn one. On restart the tool Loads
+// the journal, ChunkPipeline's manifest source skips journaled items, and the writer
+// commits each newly finished item — the run re-reads only unfinished chunks and the
+// final outputs are bit-identical to an uninterrupted run.
+//
+// The fingerprint ties a journal to one job shape (tool, dataset, chunk count):
+// resuming with a different shape would silently skip the wrong items, so Load fails
+// loudly on a mismatch instead.
+
+#ifndef PERSONA_SRC_PIPELINE_JOB_JOURNAL_H_
+#define PERSONA_SRC_PIPELINE_JOB_JOURNAL_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/storage/object_store.h"
+#include "src/util/mutex.h"
+
+namespace persona::pipeline {
+
+class JobJournal {
+ public:
+  // `store` is borrowed; `key` names the journal object (e.g. "<job>.journal.json").
+  // `fingerprint` identifies the job shape; Load rejects a journal written under a
+  // different fingerprint.
+  JobJournal(storage::ObjectStore* store, std::string key, std::string fingerprint);
+
+  // Loads existing journal state. A missing journal is a fresh job (OK, empty state);
+  // a journal with a different fingerprint is a FailedPrecondition.
+  [[nodiscard]] Status Load();
+
+  bool IsCompleted(size_t item) const EXCLUDES(mu_);
+  size_t completed_count() const EXCLUDES(mu_);
+  // Keys written by completed items, in item order: the journaled manifest-so-far.
+  std::vector<std::string> CompletedKeys() const EXCLUDES(mu_);
+
+  // Records that `item` finished and all of `keys` landed in the store, then
+  // checkpoints every `checkpoint_interval` commits (and always on the first).
+  // Thread-safe; called from writer workers.
+  [[nodiscard]] Status Commit(size_t item, std::vector<std::string> keys) EXCLUDES(mu_);
+
+  // Forces a checkpoint of the current state.
+  [[nodiscard]] Status Checkpoint() EXCLUDES(mu_);
+
+  // Deletes the journal object — call after the job (including its final manifest
+  // write) fully succeeds, so a later run starts fresh instead of resuming.
+  [[nodiscard]] Status Clear() EXCLUDES(mu_);
+
+  // Checkpoint cadence: 1 (default) = every commit is durable before the pipeline
+  // window moves on; raise to trade re-done work after a crash for fewer journal
+  // writes on large jobs.
+  void set_checkpoint_interval(size_t interval) {
+    checkpoint_interval_ = interval == 0 ? 1 : interval;
+  }
+
+  const std::string& key() const { return key_; }
+
+ private:
+  [[nodiscard]] Status CheckpointLocked() REQUIRES(mu_);
+
+  storage::ObjectStore* store_;
+  const std::string key_;
+  const std::string fingerprint_;
+  size_t checkpoint_interval_ = 1;
+
+  mutable Mutex mu_;
+  // item index -> keys it wrote (map: deterministic JSON output, ordered resume scans)
+  std::map<size_t, std::vector<std::string>> completed_ GUARDED_BY(mu_);
+  size_t commits_since_checkpoint_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace persona::pipeline
+
+#endif  // PERSONA_SRC_PIPELINE_JOB_JOURNAL_H_

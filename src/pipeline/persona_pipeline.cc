@@ -7,6 +7,7 @@
 
 #include "src/format/agd_chunk.h"
 #include "src/pipeline/chunk_pipeline.h"
+#include "src/pipeline/job_journal.h"
 
 namespace persona::pipeline {
 
@@ -41,6 +42,14 @@ Result<AlignRunReport> RunPersonaAlignment(storage::ObjectStore* store,
   pipeline.SetManifestSource(store, &manifest, {"bases", "qual"}, 1,
                              options.work_source);
   pipeline.SetWriter(store, 1);
+  if (options.resume_journal != nullptr) {
+    if (options.collect_results) {
+      return InvalidArgumentError(
+          "resume_journal + collect_results: chunks skipped on resume would have no "
+          "decoded results");
+    }
+    pipeline.SetResumeJournal(options.resume_journal);
+  }
 
   auto profile_mu = std::make_shared<Mutex>();
   auto merged_profile = std::make_shared<align::AlignProfile>();
@@ -184,11 +193,7 @@ Result<AlignRunReport> RunPersonaAlignment(storage::ObjectStore* store,
   report.chunks = num_chunks;
   report.profile = *merged_profile;
   report.utilization = std::move(pipeline_report.utilization);
-  storage::StoreStats after = store->stats();
-  report.store_stats.bytes_read = after.bytes_read - store_before.bytes_read;
-  report.store_stats.bytes_written = after.bytes_written - store_before.bytes_written;
-  report.store_stats.read_ops = after.read_ops - store_before.read_ops;
-  report.store_stats.write_ops = after.write_ops - store_before.write_ops;
+  report.store_stats = storage::StatsDelta(store_before, store->stats());
   if (options.collect_results) {
     report.results = std::move(*collected);
   }

@@ -24,6 +24,8 @@
 
 namespace persona::pipeline {
 
+class JobJournal;
+
 struct AlignPipelineOptions {
   int read_parallelism = 2;
   int parse_parallelism = 2;
@@ -44,6 +46,11 @@ struct AlignPipelineOptions {
   // Cluster mode: when set, chunk indices come from this shared source (the cluster's
   // manifest server) instead of iterating the local manifest. Must be thread-safe.
   std::function<std::optional<size_t>()> work_source;
+  // Crash-safe resume (borrowed): the caller Loads it before the run and Clears it
+  // after success; the pipeline skips journaled chunks and commits each results
+  // column as it lands. Incompatible with work_source and with collect_results
+  // (skipped chunks would have no decoded results).
+  JobJournal* resume_journal = nullptr;
 };
 
 struct AlignRunReport {

@@ -6,6 +6,7 @@
 
 #include "src/format/agd_chunk.h"
 #include "src/pipeline/chunk_pipeline.h"
+#include "src/pipeline/job_journal.h"
 #include "src/util/stopwatch.h"
 #include "src/util/string_util.h"
 
@@ -27,10 +28,7 @@ Status SwapColumn(format::Manifest* manifest, std::string_view from,
 
 void FillStoreDelta(const storage::StoreStats& before, const storage::StoreStats& after,
                     RecompressReport* report) {
-  report->store_stats.bytes_read = after.bytes_read - before.bytes_read;
-  report->store_stats.bytes_written = after.bytes_written - before.bytes_written;
-  report->store_stats.read_ops = after.read_ops - before.read_ops;
-  report->store_stats.write_ops = after.write_ops - before.write_ops;
+  report->store_stats = storage::StatsDelta(before, after);
 }
 
 // Report counters shared by the parallel transcode workers.
@@ -76,6 +74,9 @@ Result<RecompressReport> RefCompressBasesColumn(storage::ObjectStore* store,
   ChunkPipeline pipeline(options.pipeline);
   pipeline.SetManifestSource(store, &manifest, {"bases", "results"});
   pipeline.SetWriter(store, 1);
+  if (options.resume_journal != nullptr) {
+    pipeline.SetResumeJournal(options.resume_journal);
+  }
   pipeline.SetTransform(
       "ref-encode",
       [&manifest, &reference, &options, counters](
@@ -146,6 +147,9 @@ Result<RecompressReport> ReconstructBasesColumn(storage::ObjectStore* store,
   ChunkPipeline pipeline(options.pipeline);
   pipeline.SetManifestSource(store, &manifest, {"ref_bases", "results"});
   pipeline.SetWriter(store, 1);
+  if (options.resume_journal != nullptr) {
+    pipeline.SetResumeJournal(options.resume_journal);
+  }
   pipeline.SetTransform(
       "ref-decode",
       [&manifest, &reference, &options, counters](

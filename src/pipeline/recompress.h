@@ -25,6 +25,8 @@
 
 namespace persona::pipeline {
 
+class JobJournal;
+
 struct RecompressReport {
   double seconds = 0;
   uint64_t records = 0;
@@ -46,6 +48,11 @@ struct RecompressOptions {
   // Chunks transcode independently, so the transform stage runs fully parallel; the
   // replaced column's objects are removed with one batched DeleteBatch.
   ChunkPipeline::Options pipeline;
+  // Crash-safe resume (borrowed): the caller Loads it before the run and Clears it
+  // after success; the pipeline skips journaled chunks and commits each transcoded
+  // column as it lands. On a resumed run the report's record/byte counters cover only
+  // the chunks actually re-processed.
+  JobJournal* resume_journal = nullptr;
 };
 
 // bases -> ref_bases. Requires bases and results columns. On success `out_manifest`

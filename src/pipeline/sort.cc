@@ -281,9 +281,7 @@ Result<SortReport> SortAgdDataset(storage::ObjectStore* store,
   report.merge_seconds = report.seconds - phase1_seconds;
   report.records = static_cast<uint64_t>(total_emitted);
   report.superchunks = num_supers;
-  storage::StoreStats after = store->stats();
-  report.store_stats.bytes_read = after.bytes_read - store_before.bytes_read;
-  report.store_stats.bytes_written = after.bytes_written - store_before.bytes_written;
+  report.store_stats = storage::StatsDelta(store_before, store->stats());
   if (out_manifest != nullptr) {
     *out_manifest = std::move(out);
   }

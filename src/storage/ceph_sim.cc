@@ -25,6 +25,10 @@ CephSimStore::CephSimStore(const CephSimConfig& config) : config_(config) {
   IoSchedulerOptions scheduler_options;
   scheduler_options.workers_per_shard = 1;
   scheduler_options.queue_depth = config.queue_depth;
+  // Batched/async ops retry transient failures on the node workers (see retry.h);
+  // the policy defaults to disabled until SetRetryPolicy.
+  scheduler_options.retry = &retry_policy_;
+  scheduler_options.retry_counters = &stats_.retry;
   std::vector<ObjectStore*> targets(nodes_.size(), this);
   scheduler_ = std::make_unique<IoScheduler>(
       std::move(targets), scheduler_options,
@@ -93,7 +97,11 @@ IoTicket CephSimStore::SubmitAsync(std::span<PutOp> puts, std::span<GetOp> gets)
   return scheduler_->Submit(puts, gets);
 }
 
-StoreStats CephSimStore::stats() const { return stats_.Snapshot(); }
+StoreStats CephSimStore::stats() const {
+  StoreStats stats = stats_.Snapshot();
+  AddRetryStats(&stats);
+  return stats;
+}
 
 std::vector<uint64_t> CephSimStore::PerNodeBytes() const {
   std::vector<uint64_t> out;

@@ -1,0 +1,210 @@
+#include "src/storage/fault_injection.h"
+
+#include <cstdlib>
+
+#include "src/util/rng.h"
+#include "src/util/string_util.h"
+
+namespace persona::storage {
+
+FaultRule FaultRule::TransientTimes(int times, uint32_t ops, std::string key_substring) {
+  FaultRule rule;
+  rule.ops = ops;
+  rule.key_substring = std::move(key_substring);
+  rule.fail_times = times;
+  return rule;
+}
+
+FaultRule FaultRule::TransientWithProbability(double probability, uint32_t ops,
+                                              std::string key_substring) {
+  FaultRule rule;
+  rule.ops = ops;
+  rule.key_substring = std::move(key_substring);
+  rule.probability = probability;
+  return rule;
+}
+
+FaultRule FaultRule::PermanentOn(std::string key_substring, uint32_t ops,
+                                 StatusCode code) {
+  FaultRule rule;
+  rule.ops = ops;
+  rule.key_substring = std::move(key_substring);
+  rule.fail_times = 1 << 30;  // effectively forever: never heals
+  rule.code = code;
+  return rule;
+}
+
+FaultInjectingStore::FaultInjectingStore(ObjectStore* base,
+                                         FaultInjectingStoreOptions options)
+    : base_(base), options_(std::move(options)) {
+  MutexLock lock(mu_);
+  attempts_.resize(options_.rules.size());
+}
+
+Status FaultInjectingStore::MaybeInject(uint32_t op, const std::string& key,
+                                        bool* corrupt) {
+  ops_seen_.fetch_add(1, std::memory_order_relaxed);
+  for (size_t r = 0; r < options_.rules.size(); ++r) {
+    const FaultRule& rule = options_.rules[r];
+    if ((rule.ops & op) == 0) {
+      continue;
+    }
+    if (!rule.key_substring.empty() &&
+        key.find(rule.key_substring) == std::string::npos) {
+      continue;
+    }
+    uint64_t attempt = 0;
+    {
+      MutexLock lock(mu_);
+      attempt = attempts_[r][key]++;
+    }
+    bool fires = false;
+    if (rule.fail_times > 0) {
+      fires = attempt < static_cast<uint64_t>(rule.fail_times);
+    } else if (rule.probability > 0) {
+      // Pure function of (seed, rule, key, attempt): the same run always injects the
+      // same faults, independent of thread interleaving.
+      Rng rng(options_.seed ^ (0x9E3779B97F4A7C15ull * (r + 1)) ^
+              (ShardHash(key) + attempt));
+      fires = rng.UniformDouble() < rule.probability;
+    }
+    if (!fires) {
+      continue;
+    }
+    switch (rule.outcome) {
+      case FaultRule::Outcome::kFail:
+        failures_.fetch_add(1, std::memory_order_relaxed);
+        return Status(rule.code,
+                      StrFormat("injected %s failure: %s",
+                                std::string(StatusCodeName(rule.code)).c_str(),
+                                key.c_str()));
+      case FaultRule::Outcome::kCorrupt:
+        if (corrupt != nullptr) {
+          *corrupt = true;
+        }
+        break;
+      case FaultRule::Outcome::kLatency:
+        latencies_.fetch_add(1, std::memory_order_relaxed);
+        retry_internal::SleepSec(rule.latency_sec);
+        break;
+    }
+  }
+  return OkStatus();
+}
+
+void FaultInjectingStore::CorruptByte(const std::string& key, Buffer* out) {
+  if (out->size() == 0) {
+    return;
+  }
+  corruptions_.fetch_add(1, std::memory_order_relaxed);
+  const size_t pos = static_cast<size_t>((ShardHash(key) ^ options_.seed) % out->size());
+  out->data()[pos] ^= 0xFF;
+}
+
+// Scalar ops run under the decorator's retry policy too (unlike plain backends,
+// whose scalar calls are single-shot): injection happens at this layer, so this
+// layer's retry is what makes an injected transient fault recoverable no matter
+// which entry point — scalar, batched, or async — the caller used.
+
+Status FaultInjectingStore::Put(const std::string& key, std::span<const uint8_t> data) {
+  return RunOpWithRetry(key, [&]() -> Status {
+    PERSONA_RETURN_IF_ERROR(MaybeInject(kFaultPut, key, nullptr));
+    return base_->Put(key, data);
+  });
+}
+
+Status FaultInjectingStore::Get(const std::string& key, Buffer* out) {
+  return RunOpWithRetry(key, [&]() -> Status {
+    bool corrupt = false;
+    PERSONA_RETURN_IF_ERROR(MaybeInject(kFaultGet, key, &corrupt));
+    out->Clear();  // a retried attempt must not append to a failed one's bytes
+    PERSONA_RETURN_IF_ERROR(base_->Get(key, out));
+    if (corrupt) {
+      CorruptByte(key, out);
+    }
+    return OkStatus();
+  });
+}
+
+Result<uint64_t> FaultInjectingStore::Size(const std::string& key) {
+  uint64_t size = 0;
+  PERSONA_RETURN_IF_ERROR(RunOpWithRetry(key, [&]() -> Status {
+    PERSONA_RETURN_IF_ERROR(MaybeInject(kFaultMetadata, key, nullptr));
+    PERSONA_ASSIGN_OR_RETURN(size, base_->Size(key));
+    return OkStatus();
+  }));
+  return size;
+}
+
+Status FaultInjectingStore::Delete(const std::string& key) {
+  return RunOpWithRetry(key, [&]() -> Status {
+    PERSONA_RETURN_IF_ERROR(MaybeInject(kFaultDelete, key, nullptr));
+    return base_->Delete(key);
+  });
+}
+
+bool FaultInjectingStore::Exists(const std::string& key) { return base_->Exists(key); }
+
+Status FaultInjectingStore::PutBatch(std::span<PutOp> ops) {
+  Status first_error;
+  for (PutOp& op : ops) {
+    op.status = Put(op.key, op.data);
+    if (!op.status.ok() && first_error.ok()) {
+      first_error = op.status;
+    }
+  }
+  return first_error;
+}
+
+Status FaultInjectingStore::GetBatch(std::span<GetOp> ops) {
+  Status first_error;
+  for (GetOp& op : ops) {
+    op.status = Get(op.key, op.out);
+    if (!op.status.ok() && first_error.ok()) {
+      first_error = op.status;
+    }
+  }
+  return first_error;
+}
+
+Status FaultInjectingStore::DeleteBatch(std::span<DeleteOp> ops) {
+  Status first_error;
+  for (DeleteOp& op : ops) {
+    op.status = Delete(op.key);
+    if (!op.status.ok() && first_error.ok()) {
+      first_error = op.status;
+    }
+  }
+  return first_error;
+}
+
+Result<std::vector<std::string>> FaultInjectingStore::List(std::string_view prefix) {
+  return base_->List(prefix);
+}
+
+StoreStats FaultInjectingStore::stats() const {
+  StoreStats stats = base_->stats();
+  AddRetryStats(&stats);
+  return stats;
+}
+
+FaultInjectionStats FaultInjectingStore::injection_stats() const {
+  FaultInjectionStats stats;
+  stats.ops_seen = ops_seen_.load(std::memory_order_relaxed);
+  stats.failures = failures_.load(std::memory_order_relaxed);
+  stats.corruptions = corruptions_.load(std::memory_order_relaxed);
+  stats.latencies = latencies_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+uint64_t FaultSeedFromEnv(uint64_t default_seed) {
+  const char* env = std::getenv("PERSONA_FAULT_SEED");
+  if (env == nullptr || *env == '\0') {
+    return default_seed;
+  }
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(env, &end, 10);
+  return (end != nullptr && *end == '\0') ? static_cast<uint64_t>(parsed) : default_seed;
+}
+
+}  // namespace persona::storage

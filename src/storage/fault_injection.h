@@ -1,0 +1,140 @@
+// FaultInjectingStore: a deterministic chaos decorator for any ObjectStore.
+//
+// Real cluster storage loses nodes, drops connections, corrupts payloads, and stalls;
+// this wrapper makes those failures reproducible so the retry/resume machinery can be
+// tested and benchmarked instead of trusted. It forwards every op to a backend store
+// and, per configured rule, injects transient or permanent failures
+// (fail-N-times-then-succeed per key, or a seeded per-attempt probability), payload
+// corruption on reads, and latency spikes — filtered by op type and key substring.
+//
+// All decisions are pure functions of (seed, rule, key, attempt number), so a run with
+// the same seed injects exactly the same faults regardless of thread interleaving —
+// the property the CI chaos matrix (PERSONA_FAULT_SEED) relies on.
+//
+// Every entry point — scalar, batched, async — funnels through the scalar ops here,
+// which run under this store's retry policy, so injection and recovery apply uniformly
+// no matter which backend is wrapped (MemoryStore, LocalStore, CephSimStore,
+// ShardedStore). Set the retry policy on this decorator — the outermost layer — and
+// the injected transient failures exercise it.
+
+#ifndef PERSONA_SRC_STORAGE_FAULT_INJECTION_H_
+#define PERSONA_SRC_STORAGE_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/storage/object_store.h"
+#include "src/util/mutex.h"
+
+namespace persona::storage {
+
+// Op-type filter bits for FaultRule::ops.
+enum StoreOpMask : uint32_t {
+  kFaultGet = 1u << 0,
+  kFaultPut = 1u << 1,
+  kFaultDelete = 1u << 2,
+  kFaultMetadata = 1u << 3,  // Size (Exists and List are never failed: no Status path)
+  kFaultAnyOp = 0xFFFFFFFFu,
+};
+
+struct FaultRule {
+  enum class Outcome {
+    kFail,     // return `code` instead of executing the op
+    kCorrupt,  // execute the op, then flip one payload byte (reads only)
+    kLatency,  // sleep `latency_sec`, then execute normally
+  };
+
+  uint32_t ops = kFaultAnyOp;
+  // Rule applies only to keys containing this substring; empty matches every key.
+  std::string key_substring;
+  // Trigger: fail_times > 0 — the first `fail_times` matching attempts per key fire,
+  // later attempts pass (the fail-N-times-then-succeed shape retries recover from).
+  // fail_times == 0 — each attempt fires independently with `probability`, decided by
+  // a hash of (seed, rule, key, attempt).
+  int fail_times = 0;
+  double probability = 0;
+
+  Outcome outcome = Outcome::kFail;
+  StatusCode code = StatusCode::kUnavailable;  // kFail only; default is transient
+  double latency_sec = 0;                      // kLatency only
+
+  // Common shapes.
+  static FaultRule TransientTimes(int times, uint32_t ops = kFaultAnyOp,
+                                  std::string key_substring = "");
+  static FaultRule TransientWithProbability(double probability,
+                                            uint32_t ops = kFaultAnyOp,
+                                            std::string key_substring = "");
+  static FaultRule PermanentOn(std::string key_substring, uint32_t ops = kFaultAnyOp,
+                               StatusCode code = StatusCode::kDataLoss);
+};
+
+struct FaultInjectingStoreOptions {
+  uint64_t seed = 1;
+  std::vector<FaultRule> rules;
+};
+
+// Injection accounting (distinct from StoreStats: these are faults *caused*, not ops
+// served).
+struct FaultInjectionStats {
+  uint64_t ops_seen = 0;
+  uint64_t failures = 0;
+  uint64_t corruptions = 0;
+  uint64_t latencies = 0;
+};
+
+class FaultInjectingStore final : public ObjectStore {
+ public:
+  // `base` is borrowed and must outlive this store.
+  FaultInjectingStore(ObjectStore* base, FaultInjectingStoreOptions options);
+
+  using ObjectStore::Put;
+  Status Put(const std::string& key, std::span<const uint8_t> data) override;
+  Status Get(const std::string& key, Buffer* out) override;
+  Result<uint64_t> Size(const std::string& key) override;
+  Status Delete(const std::string& key) override;
+  bool Exists(const std::string& key) override;
+  Result<std::vector<std::string>> List(std::string_view prefix) override;
+
+  // The scalar ops above already run under the retry policy (injection and retry
+  // live in the same layer), so the batch loops here are retry-free — the inherited
+  // ones would nest a second retry budget around each op.
+  Status PutBatch(std::span<PutOp> ops) override;
+  Status GetBatch(std::span<GetOp> ops) override;
+  Status DeleteBatch(std::span<DeleteOp> ops) override;
+
+  // Backend stats plus this decorator's retry counters (batch ops run through the
+  // inherited loops, so retries — driven by the faults injected here — count here).
+  StoreStats stats() const override;
+
+  FaultInjectionStats injection_stats() const;
+
+ private:
+  // Returns the injected failure for this attempt (OK = execute normally), applying
+  // latency/corruption side channels. `corrupt` is set when a kCorrupt rule fired.
+  Status MaybeInject(uint32_t op, const std::string& key, bool* corrupt);
+  void CorruptByte(const std::string& key, Buffer* out);
+
+  ObjectStore* base_;
+  FaultInjectingStoreOptions options_;
+
+  mutable Mutex mu_;
+  // attempts_[rule][key]: matching attempts seen, for fail-N-times and for the
+  // deterministic per-attempt probability hash.
+  std::vector<std::unordered_map<std::string, uint64_t>> attempts_ GUARDED_BY(mu_);
+
+  std::atomic<uint64_t> ops_seen_{0};
+  std::atomic<uint64_t> failures_{0};
+  std::atomic<uint64_t> corruptions_{0};
+  std::atomic<uint64_t> latencies_{0};
+};
+
+// Seed for failure-injection runs: PERSONA_FAULT_SEED from the environment when set
+// (the CI chaos matrix sweeps it), else `default_seed`.
+uint64_t FaultSeedFromEnv(uint64_t default_seed);
+
+}  // namespace persona::storage
+
+#endif  // PERSONA_SRC_STORAGE_FAULT_INJECTION_H_

@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "src/storage/object_store.h"
+#include "src/storage/retry.h"
 
 namespace persona::storage {
 
@@ -59,7 +60,10 @@ Status WaitAll(std::span<IoTicket> tickets) {
 
 IoScheduler::IoScheduler(std::vector<ObjectStore*> targets, const IoSchedulerOptions& options,
                          ShardFn shard_of)
-    : targets_(std::move(targets)), shard_of_(std::move(shard_of)) {
+    : targets_(std::move(targets)),
+      shard_of_(std::move(shard_of)),
+      retry_(options.retry),
+      retry_counters_(options.retry_counters) {
   if (targets_.empty()) {
     // Construction-time contract violation; failing loudly here beats a null-deref on
     // a worker thread far from the misuse.
@@ -98,6 +102,12 @@ size_t IoScheduler::ShardOf(std::string_view key) const {
 
 void IoScheduler::WorkerLoop(size_t shard) {
   ObjectStore* store = targets_[shard];
+  // Transient failures retry here, at the execution site, so every batched/async
+  // entry point of the owning store gets the same behaviour and no layer above
+  // double-retries. The policy is per-op: one flaky key backs off on this worker
+  // while other shards keep transferring.
+  static const RetryPolicy kNoRetry;
+  const RetryPolicy& policy = retry_ != nullptr ? *retry_ : kNoRetry;
   while (true) {
     std::optional<Task> task = queues_[shard]->Pop();
     if (!task.has_value()) {
@@ -105,13 +115,19 @@ void IoScheduler::WorkerLoop(size_t shard) {
     }
     Status status;
     if (task->put != nullptr) {
-      status = store->Put(task->put->key, task->put->data);
+      status = RunWithRetry(policy, retry_counters_, task->put->key, [&] {
+        return store->Put(task->put->key, task->put->data);
+      });
       task->put->status = status;
     } else if (task->get != nullptr) {
-      status = store->Get(task->get->key, task->get->out);
+      status = RunWithRetry(policy, retry_counters_, task->get->key, [&] {
+        return store->Get(task->get->key, task->get->out);
+      });
       task->get->status = status;
     } else if (task->del != nullptr) {
-      status = store->Delete(task->del->key);
+      status = RunWithRetry(policy, retry_counters_, task->del->key, [&] {
+        return store->Delete(task->del->key);
+      });
       task->del->status = status;
     }
     CompleteOne(task->completion, status);

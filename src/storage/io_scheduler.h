@@ -34,6 +34,8 @@
 namespace persona::storage {
 
 class ObjectStore;
+struct RetryPolicy;
+struct RetryCounters;
 
 // One whole-object write. `data` is caller-owned and must stay alive (and unmodified)
 // until the batch call returns or the submission's ticket completes.
@@ -103,6 +105,12 @@ struct IoSchedulerOptions {
   int workers_per_shard = 1;
   // Capacity of each shard's submission queue; Submit blocks (backpressure) when full.
   size_t queue_depth = 128;
+  // When set, each worker runs its ops under this retry policy (see retry.h),
+  // recording into `retry_counters`. Both must outlive the scheduler; the owning store
+  // points them at its own policy/stats members. Read unlocked by workers, so the
+  // policy must not change while ops are in flight.
+  const RetryPolicy* retry = nullptr;
+  RetryCounters* retry_counters = nullptr;
 };
 
 // A multi-queue I/O engine: one bounded submission queue + worker pool per shard.
@@ -148,6 +156,8 @@ class IoScheduler {
 
   std::vector<ObjectStore*> targets_;
   ShardFn shard_of_;
+  const RetryPolicy* retry_ = nullptr;
+  RetryCounters* retry_counters_ = nullptr;
   std::vector<std::unique_ptr<MpmcQueue<Task>>> queues_;
   std::vector<std::thread> workers_;
 };

@@ -40,7 +40,10 @@ Status LocalStore::Put(const std::string& key, std::span<const uint8_t> data) {
     PERSONA_RETURN_IF_ERROR(
         MakeDirectories(fs::path(PathFor(key)).parent_path().string()));
   }
-  Status status = WriteStringToFile(
+  // Atomic replace: a Put observed by a concurrent reader (or interrupted by a crash)
+  // is either absent or complete — never torn. Journals and manifests written through
+  // the store rely on this for their write-then-rename checkpoint semantics.
+  Status status = WriteFileAtomic(
       PathFor(key),
       std::string_view(reinterpret_cast<const char*>(data.data()), data.size()));
   if (status.ok()) {
@@ -99,6 +102,10 @@ Result<std::vector<std::string>> LocalStore::List(std::string_view prefix) {
   return keys;
 }
 
-StoreStats LocalStore::stats() const { return stats_.Snapshot(); }
+StoreStats LocalStore::stats() const {
+  StoreStats stats = stats_.Snapshot();
+  AddRetryStats(&stats);  // retries from the inherited sequential batch loops
+  return stats;
+}
 
 }  // namespace persona::storage

@@ -90,6 +90,10 @@ Result<std::vector<std::string>> MemoryStore::List(std::string_view prefix) {
   return keys;
 }
 
-StoreStats MemoryStore::stats() const { return stats_.Snapshot(); }
+StoreStats MemoryStore::stats() const {
+  StoreStats stats = stats_.Snapshot();
+  AddRetryStats(&stats);  // retries from the inherited sequential batch loops
+  return stats;
+}
 
 }  // namespace persona::storage

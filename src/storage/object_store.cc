@@ -2,10 +2,21 @@
 
 namespace persona::storage {
 
+StoreStats StatsDelta(const StoreStats& before, const StoreStats& after) {
+  StoreStats delta;
+  delta.bytes_read = after.bytes_read - before.bytes_read;
+  delta.bytes_written = after.bytes_written - before.bytes_written;
+  delta.read_ops = after.read_ops - before.read_ops;
+  delta.write_ops = after.write_ops - before.write_ops;
+  delta.retries = after.retries - before.retries;
+  delta.give_ups = after.give_ups - before.give_ups;
+  return delta;
+}
+
 Status ObjectStore::PutBatch(std::span<PutOp> ops) {
   Status first_error;
   for (PutOp& op : ops) {
-    op.status = Put(op.key, op.data);
+    op.status = RunOpWithRetry(op.key, [&] { return Put(op.key, op.data); });
     if (!op.status.ok() && first_error.ok()) {
       first_error = op.status;
     }
@@ -16,7 +27,7 @@ Status ObjectStore::PutBatch(std::span<PutOp> ops) {
 Status ObjectStore::GetBatch(std::span<GetOp> ops) {
   Status first_error;
   for (GetOp& op : ops) {
-    op.status = Get(op.key, op.out);
+    op.status = RunOpWithRetry(op.key, [&] { return Get(op.key, op.out); });
     if (!op.status.ok() && first_error.ok()) {
       first_error = op.status;
     }
@@ -27,7 +38,7 @@ Status ObjectStore::GetBatch(std::span<GetOp> ops) {
 Status ObjectStore::DeleteBatch(std::span<DeleteOp> ops) {
   Status first_error;
   for (DeleteOp& op : ops) {
-    op.status = Delete(op.key);
+    op.status = RunOpWithRetry(op.key, [&] { return Delete(op.key); });
     if (!op.status.ok() && first_error.ok()) {
       first_error = op.status;
     }

@@ -20,11 +20,13 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "src/storage/io_scheduler.h"
+#include "src/storage/retry.h"
 #include "src/util/buffer.h"
 #include "src/util/result.h"
 
@@ -35,7 +37,15 @@ struct StoreStats {
   uint64_t bytes_written = 0;
   uint64_t read_ops = 0;   // Get + metadata reads (Size, Exists)
   uint64_t write_ops = 0;  // Put + Delete
+  // Retry accounting for the batched/async paths (see retry.h): transient-failure
+  // re-attempts performed, and ops abandoned after exhausting the retry budget.
+  uint64_t retries = 0;
+  uint64_t give_ups = 0;
 };
+
+// after - before, field-wise. Every counter is monotonic, so this is the per-run delta
+// used by pipeline reports.
+StoreStats StatsDelta(const StoreStats& before, const StoreStats& after);
 
 // Lock-free StoreStats accumulator for stores whose ops execute concurrently on many
 // worker threads (per-shard queues must not serialize on a stats mutex).
@@ -59,8 +69,14 @@ class AtomicStoreStats {
     stats.bytes_written = bytes_written_.load(std::memory_order_relaxed);
     stats.read_ops = read_ops_.load(std::memory_order_relaxed);
     stats.write_ops = write_ops_.load(std::memory_order_relaxed);
+    stats.retries = retry.retries.load(std::memory_order_relaxed);
+    stats.give_ups = retry.give_ups.load(std::memory_order_relaxed);
     return stats;
   }
+
+  // Retry accounting sink for this store's op executors (an IoScheduler records here
+  // when the store wires it up; see IoSchedulerOptions::retry_counters).
+  RetryCounters retry;
 
  private:
   std::atomic<uint64_t> bytes_read_{0};
@@ -109,10 +125,36 @@ class ObjectStore {
                                              data.size()));
   }
 
+  // --- Transient-failure retry (see retry.h). ---
+  //
+  // Applied per op by the batched/async entry points — base-class loops here, the
+  // IoScheduler worker loop for stores that own one. Scalar calls never retry. Must be
+  // set before the store is used concurrently: op executors read the policy unlocked.
+  void SetRetryPolicy(const RetryPolicy& policy) { retry_policy_ = policy; }
+  const RetryPolicy& retry_policy() const { return retry_policy_; }
+
  protected:
   // An already-complete ticket carrying `status` as the batch outcome, for synchronous
   // SubmitAsync implementations.
   static IoTicket CompletedTicket(Status status);
+
+  // Runs one scalar op under the retry policy, recording into base_retry_counters_.
+  // Used by the sequential batch defaults; stores routing ops through an IoScheduler
+  // pass the policy and a counter sink to the scheduler instead.
+  [[nodiscard]] Status RunOpWithRetry(std::string_view key,
+                                      const std::function<Status()>& op) {
+    return RunWithRetry(retry_policy_, &base_retry_counters_, key, op);
+  }
+
+  // Folds base_retry_counters_ into a stats snapshot; every stats() implementation
+  // calls this so retries performed by the base-class batch loops are never dropped.
+  void AddRetryStats(StoreStats* stats) const {
+    stats->retries += base_retry_counters_.retries.load(std::memory_order_relaxed);
+    stats->give_ups += base_retry_counters_.give_ups.load(std::memory_order_relaxed);
+  }
+
+  RetryPolicy retry_policy_;
+  RetryCounters base_retry_counters_;
 };
 
 }  // namespace persona::storage

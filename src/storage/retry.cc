@@ -1,0 +1,41 @@
+#include "src/storage/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "src/storage/io_scheduler.h"
+#include "src/util/rng.h"
+
+namespace persona::storage::retry_internal {
+
+double BackoffSec(const RetryPolicy& policy, int next_attempt, std::string_view key) {
+  double backoff = policy.initial_backoff_sec;
+  for (int i = 2; i < next_attempt; ++i) {
+    backoff *= policy.backoff_multiplier;
+  }
+  backoff = std::min(backoff, policy.max_backoff_sec);
+  const double jitter = std::clamp(policy.jitter, 0.0, 1.0);
+  if (jitter > 0) {
+    // Seeded by (key, attempt): every run of the same workload sleeps the same
+    // schedule, which keeps failure-injection tests exactly reproducible.
+    Rng rng(ShardHash(key) ^ (0x9E3779B97F4A7C15ull * static_cast<uint64_t>(next_attempt)));
+    backoff *= 1.0 - jitter + 2.0 * jitter * rng.UniformDouble();
+  }
+  return std::max(backoff, 0.0);
+}
+
+void SleepSec(double seconds) {
+  if (seconds <= 0) {
+    return;
+  }
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+double NowSec() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace persona::storage::retry_internal

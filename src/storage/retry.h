@@ -1,0 +1,103 @@
+// Retry with exponential backoff for transient store failures (cluster storage loses
+// nodes and drops connections; a multi-hour pipeline must not die on one kUnavailable).
+//
+// The policy lives on the ObjectStore and is applied at the op-execution sites — the
+// IoScheduler worker loop for stores with internal parallelism, the base-class
+// sequential batch loops for everything else — so a batched GetBatch/PutBatch/
+// SubmitAsync retries each op independently and exactly one layer performs retries.
+// Scalar Put/Get/Delete calls on plain backends never retry: callers using them
+// directly own their own failure handling. The one exception is FaultInjectingStore,
+// whose scalar ops retry internally — injection happens in that layer, so its retry is
+// what makes injected transients recoverable from any entry point (its batch loops are
+// correspondingly retry-free to keep the single-retry-layer rule).
+//
+// Only IsTransient statuses (kUnavailable, kDeadlineExceeded) are retried; permanent
+// errors (kNotFound, kDataLoss, ...) surface immediately. Backoff jitter is
+// deterministic — seeded from the op's key and attempt number — so failure-injection
+// runs reproduce exactly.
+
+#ifndef PERSONA_SRC_STORAGE_RETRY_H_
+#define PERSONA_SRC_STORAGE_RETRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string_view>
+
+#include "src/util/status.h"
+
+namespace persona::storage {
+
+struct RetryPolicy {
+  // Total tries per op, including the first; <= 1 disables retries entirely.
+  int max_attempts = 1;
+  double initial_backoff_sec = 0.0005;
+  double backoff_multiplier = 2.0;
+  double max_backoff_sec = 0.05;
+  // Each sleep is scaled by a deterministic factor in [1 - jitter, 1 + jitter] so
+  // retries of many ops against one recovering node do not arrive in lockstep.
+  double jitter = 0.25;
+  // Wall-clock budget across all attempts of one op; 0 = unlimited. Once spent, the
+  // op gives up with its last transient error.
+  double deadline_sec = 0;
+
+  bool enabled() const { return max_attempts > 1; }
+
+  // A sensible default for tests and services: a handful of quick attempts.
+  static RetryPolicy Default() {
+    RetryPolicy policy;
+    policy.max_attempts = 4;
+    return policy;
+  }
+};
+
+// Retry accounting, shared by concurrent op executors.
+//   retries  — re-attempts actually performed (attempt 2 of an op counts 1)
+//   give_ups — ops abandoned with a transient error after exhausting the budget
+// Permanent failures count as neither; they were never retry candidates.
+struct RetryCounters {
+  std::atomic<uint64_t> retries{0};
+  std::atomic<uint64_t> give_ups{0};
+};
+
+namespace retry_internal {
+// Backoff for the sleep before attempt `next_attempt` (2-based), jittered
+// deterministically by key.
+double BackoffSec(const RetryPolicy& policy, int next_attempt, std::string_view key);
+void SleepSec(double seconds);
+double NowSec();
+}  // namespace retry_internal
+
+// Runs `op` under `policy`: transient failures are retried with jittered exponential
+// backoff until the attempt or deadline budget runs out. `counters` may be null.
+template <typename Fn>
+[[nodiscard]] Status RunWithRetry(const RetryPolicy& policy, RetryCounters* counters,
+                                  std::string_view key, Fn&& op) {
+  Status status = op();
+  if (status.ok() || !IsTransient(status) || !policy.enabled()) {
+    return status;
+  }
+  const double start = retry_internal::NowSec();
+  for (int attempt = 2; attempt <= policy.max_attempts; ++attempt) {
+    const double backoff = retry_internal::BackoffSec(policy, attempt, key);
+    if (policy.deadline_sec > 0 &&
+        retry_internal::NowSec() - start + backoff > policy.deadline_sec) {
+      break;  // sleeping would blow the budget; give up with the last error
+    }
+    retry_internal::SleepSec(backoff);
+    if (counters != nullptr) {
+      counters->retries.fetch_add(1, std::memory_order_relaxed);
+    }
+    status = op();
+    if (status.ok() || !IsTransient(status)) {
+      return status;
+    }
+  }
+  if (counters != nullptr) {
+    counters->give_ups.fetch_add(1, std::memory_order_relaxed);
+  }
+  return status;
+}
+
+}  // namespace persona::storage
+
+#endif  // PERSONA_SRC_STORAGE_RETRY_H_

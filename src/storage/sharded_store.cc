@@ -16,10 +16,14 @@ std::vector<ObjectStore*> RawPointers(
   return raw;
 }
 
-IoSchedulerOptions SchedulerOptions(const ShardedStore::Options& options) {
+IoSchedulerOptions SchedulerOptions(const ShardedStore::Options& options,
+                                    const RetryPolicy* retry,
+                                    RetryCounters* retry_counters) {
   IoSchedulerOptions scheduler_options;
   scheduler_options.workers_per_shard = options.workers_per_shard;
   scheduler_options.queue_depth = options.queue_depth;
+  scheduler_options.retry = retry;
+  scheduler_options.retry_counters = retry_counters;
   return scheduler_options;
 }
 
@@ -28,7 +32,10 @@ IoSchedulerOptions SchedulerOptions(const ShardedStore::Options& options) {
 ShardedStore::ShardedStore(std::vector<std::unique_ptr<ObjectStore>> shards,
                            const Options& options)
     : shards_(std::move(shards)),
-      scheduler_(RawPointers(shards_), SchedulerOptions(options)) {}
+      // Retries run on this store's scheduler workers (one layer of retries for the
+      // whole stack); the base members exist before the scheduler starts.
+      scheduler_(RawPointers(shards_),
+                 SchedulerOptions(options, &retry_policy_, &base_retry_counters_)) {}
 
 std::unique_ptr<ShardedStore> ShardedStore::Create(
     size_t num_shards, const std::function<std::unique_ptr<ObjectStore>(size_t)>& factory,
@@ -97,7 +104,10 @@ StoreStats ShardedStore::stats() const {
     total.bytes_written += s.bytes_written;
     total.read_ops += s.read_ops;
     total.write_ops += s.write_ops;
+    total.retries += s.retries;
+    total.give_ups += s.give_ups;
   }
+  AddRetryStats(&total);  // retries performed by this store's own scheduler
   return total;
 }
 

@@ -1,5 +1,7 @@
 #include "src/util/file_util.h"
 
+#include <unistd.h>
+
 #include <atomic>
 #include <cerrno>
 #include <cstdio>
@@ -118,6 +120,40 @@ Status WriteBytes(const std::string& path, const void* data, size_t size) {
 
 Status WriteStringToFile(const std::string& path, std::string_view contents) {
   return WriteBytes(path, contents.data(), contents.size());
+}
+
+Status WriteFileAtomic(const std::string& path, std::string_view contents) {
+  // Unique per process + call so concurrent writers of the same path never share a
+  // temp file; the rename still races, but each rename installs one complete file.
+  static std::atomic<uint64_t> counter{0};
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
+                          std::to_string(counter.fetch_add(1));
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return UnavailableError("cannot create temp file: " + tmp);
+  }
+  Status status = contents.empty()
+                      ? OkStatus()
+                      : WriteExactly(f, contents.data(), contents.size(), tmp);
+  // fflush pushes the stdio buffer to the kernel so fsync covers every byte; only
+  // after fsync succeeds is the temp file durable enough to rename into place.
+  if (status.ok() && std::fflush(f) != 0) {
+    status = DataLossError("flush failed for temp file: " + tmp);
+  }
+  if (status.ok() && ::fsync(::fileno(f)) != 0) {
+    status = DataLossError("fsync failed for temp file: " + tmp);
+  }
+  if (std::fclose(f) != 0 && status.ok()) {
+    status = DataLossError("close failed for temp file: " + tmp);
+  }
+  if (status.ok() && std::rename(tmp.c_str(), path.c_str()) != 0) {
+    status = UnavailableError("rename failed: " + tmp + " -> " + path);
+  }
+  if (!status.ok()) {
+    std::error_code ec;
+    fs::remove(tmp, ec);  // best effort; the temp file is garbage either way
+  }
+  return status;
 }
 
 Status WriteBufferToFile(const std::string& path, const Buffer& buffer) {

@@ -17,6 +17,12 @@ namespace persona {
 [[nodiscard]] Status WriteStringToFile(const std::string& path, std::string_view contents);
 [[nodiscard]] Status WriteBufferToFile(const std::string& path, const Buffer& buffer);
 
+// Crash-safe whole-file replace: writes a unique temp file next to `path`, fsyncs it,
+// and renames it over `path`. A crash at any point leaves either the old contents or
+// the new contents — never a torn file. Manifests and job journals, whose loss turns a
+// resumable job into a rerun, go through this instead of WriteStringToFile.
+[[nodiscard]] Status WriteFileAtomic(const std::string& path, std::string_view contents);
+
 bool FileExists(const std::string& path);
 [[nodiscard]] Result<uint64_t> FileSize(const std::string& path);
 [[nodiscard]] Status MakeDirectories(const std::string& path);

@@ -31,9 +31,17 @@ std::string_view StatusCodeName(StatusCode code) {
       return "DataLoss";
     case StatusCode::kResourceExhausted:
       return "ResourceExhausted";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "UnknownCode";
 }
+
+bool IsTransient(StatusCode code) {
+  return code == StatusCode::kUnavailable || code == StatusCode::kDeadlineExceeded;
+}
+
+bool IsTransient(const Status& status) { return IsTransient(status.code()); }
 
 std::string Status::ToString() const {
   if (ok()) {
@@ -67,6 +75,9 @@ Status UnavailableError(std::string_view m) { return Make(StatusCode::kUnavailab
 Status DataLossError(std::string_view m) { return Make(StatusCode::kDataLoss, m); }
 Status ResourceExhaustedError(std::string_view m) {
   return Make(StatusCode::kResourceExhausted, m);
+}
+Status DeadlineExceededError(std::string_view m) {
+  return Make(StatusCode::kDeadlineExceeded, m);
 }
 
 namespace internal_status {

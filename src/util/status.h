@@ -29,10 +29,17 @@ enum class StatusCode : int {
   kUnavailable = 9,
   kDataLoss = 10,
   kResourceExhausted = 11,
+  kDeadlineExceeded = 12,
 };
 
 // Human-readable name of a status code, e.g. "InvalidArgument".
 std::string_view StatusCodeName(StatusCode code);
+
+// Whether an error of this code is worth retrying: the operation failed for a reason
+// that can clear on its own (a node rebooting, a deadline lost to a transient stall).
+// Permanent data/usage errors — kNotFound, kDataLoss, kInvalidArgument, ... — must
+// surface immediately; retrying them only hides bugs and burns the retry budget.
+bool IsTransient(StatusCode code);
 
 // Value type carrying a code plus an optional message. OK statuses allocate nothing.
 // [[nodiscard]]: a dropped Status is a swallowed error; every producer must be checked
@@ -85,6 +92,11 @@ Status InternalError(std::string_view message);
 Status UnavailableError(std::string_view message);
 Status DataLossError(std::string_view message);
 Status ResourceExhaustedError(std::string_view message);
+Status DeadlineExceededError(std::string_view message);
+
+// IsTransient over a whole Status; an OK status is not transient (there is nothing to
+// retry).
+bool IsTransient(const Status& status);
 
 // Propagates a non-OK Status to the caller.
 #define PERSONA_RETURN_IF_ERROR(expr)                   \

@@ -97,11 +97,7 @@ Result<CallPipelineReport> CallVariantsAgd(storage::ObjectStore* store,
   }
 
   report.seconds = timer.ElapsedSeconds();
-  const storage::StoreStats stats_after = store->stats();
-  report.store_stats.bytes_read = stats_after.bytes_read - stats_before.bytes_read;
-  report.store_stats.bytes_written = stats_after.bytes_written - stats_before.bytes_written;
-  report.store_stats.read_ops = stats_after.read_ops - stats_before.read_ops;
-  report.store_stats.write_ops = stats_after.write_ops - stats_before.write_ops;
+  report.store_stats = storage::StatsDelta(stats_before, store->stats());
   return report;
 }
 

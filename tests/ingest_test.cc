@@ -547,6 +547,34 @@ TEST(IngestServiceTest, RejectsProtocolViolationsAndBadNames) {
   }
 }
 
+TEST(IngestServiceTest, IdleTimeoutReclaimsSilentMidStreamSessions) {
+  storage::MemoryStore store;
+  IngestOptions options;
+  options.pipeline = SmallPipeline();
+  options.idle_timeout_sec = 0.1;
+  auto service = IngestService::Start(&store, options);
+  ASSERT_TRUE(service.ok());
+
+  // Handshake, send a partial record, then go silent: without the idle deadline
+  // this session (and the Shutdown below) would hang forever.
+  auto conn = ConnectLoopback((*service)->port());
+  ASSERT_TRUE(conn.ok());
+  ASSERT_TRUE(WriteFrame(*conn, FrameType::kStart, "stalled").ok());
+  Frame frame;
+  ASSERT_TRUE(ReadFrame(*conn, &frame).ok());
+  ASSERT_EQ(frame.type, FrameType::kStarted);
+  ASSERT_TRUE(WriteFrame(*conn, FrameType::kData, "@read-0\nACGT\n").ok());
+
+  WaitForSessions(**service, 1);
+  (*service)->Shutdown();
+  const auto sessions = (*service)->Sessions();
+  ASSERT_EQ(sessions.size(), 1u);
+  EXPECT_EQ(sessions[0].status.code(), StatusCode::kDeadlineExceeded);
+  // Cancelled cleanly: no manifest for the truncated stream, no leaked buffers.
+  EXPECT_FALSE(store.Exists("stalled.manifest.json"));
+  EXPECT_EQ(sessions[0].pool_available, sessions[0].pool_capacity);
+}
+
 TEST(IngestServiceTest, HandshakeTimeoutFreesTheSessionThread) {
   storage::MemoryStore store;
   IngestOptions options;

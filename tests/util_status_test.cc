@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <set>
 
+#include "src/storage/retry.h"
 #include "src/util/crc32.h"
 #include "src/util/file_util.h"
 #include "src/util/result.h"
@@ -283,6 +285,139 @@ TEST(BufferTest, ClearKeepsCapacity) {
   buf.Clear();
   EXPECT_EQ(buf.size(), 0u);
   EXPECT_GE(buf.capacity(), cap);
+}
+
+TEST(StatusTest, DeadlineExceededConstructor) {
+  Status s = DeadlineExceededError("recv: timed out");
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(s.ToString(), "DeadlineExceeded: recv: timed out");
+  EXPECT_EQ(StatusCodeName(StatusCode::kDeadlineExceeded), "DeadlineExceeded");
+}
+
+TEST(StatusTest, IsTransientTruthTable) {
+  // Retryable: the op may succeed if simply re-attempted.
+  EXPECT_TRUE(IsTransient(StatusCode::kUnavailable));
+  EXPECT_TRUE(IsTransient(StatusCode::kDeadlineExceeded));
+  // Permanent: retrying cannot help (wrong input, gone data, logic error).
+  EXPECT_FALSE(IsTransient(StatusCode::kOk));
+  EXPECT_FALSE(IsTransient(StatusCode::kNotFound));
+  EXPECT_FALSE(IsTransient(StatusCode::kDataLoss));
+  EXPECT_FALSE(IsTransient(StatusCode::kInvalidArgument));
+  EXPECT_FALSE(IsTransient(StatusCode::kFailedPrecondition));
+  EXPECT_FALSE(IsTransient(StatusCode::kInternal));
+  EXPECT_FALSE(IsTransient(StatusCode::kResourceExhausted));
+
+  EXPECT_TRUE(IsTransient(UnavailableError("node down")));
+  EXPECT_FALSE(IsTransient(OkStatus()));  // nothing to retry
+  EXPECT_FALSE(IsTransient(DataLossError("bad crc")));
+}
+
+TEST(FileUtilTest, WriteFileAtomicCreatesAndReplaces) {
+  ScopedTempDir dir("atomic");
+  const std::string path = dir.FilePath("manifest.json");
+  ASSERT_TRUE(WriteFileAtomic(path, "v1").ok());
+  auto first = ReadFileToString(path);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(*first, "v1");
+
+  // Replace is whole-file: readers see v1 or v2, never a splice.
+  ASSERT_TRUE(WriteFileAtomic(path, "v2 with longer contents").ok());
+  auto second = ReadFileToString(path);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*second, "v2 with longer contents");
+
+  // The temp file was renamed away, not left behind.
+  size_t entries = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir.path())) {
+    ++entries;
+    EXPECT_EQ(entry.path().filename(), "manifest.json");
+  }
+  EXPECT_EQ(entries, 1u);
+}
+
+TEST(FileUtilTest, WriteFileAtomicFailsCleanOnBadDirectory) {
+  EXPECT_FALSE(WriteFileAtomic("/nonexistent/persona/dir/file", "x").ok());
+}
+
+TEST(RetryTest, TransientFailuresRecoverWithCounters) {
+  storage::RetryPolicy policy = storage::RetryPolicy::Default();
+  policy.initial_backoff_sec = 1e-6;
+  policy.max_backoff_sec = 1e-5;
+  storage::RetryCounters counters;
+  int calls = 0;
+  Status status = storage::RunWithRetry(policy, &counters, "key", [&]() -> Status {
+    return ++calls < 3 ? UnavailableError("flaky") : OkStatus();
+  });
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(counters.retries.load(), 2u);
+  EXPECT_EQ(counters.give_ups.load(), 0u);
+}
+
+TEST(RetryTest, PermanentFailuresAreNeverRetried) {
+  storage::RetryPolicy policy = storage::RetryPolicy::Default();
+  storage::RetryCounters counters;
+  int calls = 0;
+  Status status = storage::RunWithRetry(policy, &counters, "key", [&]() -> Status {
+    ++calls;
+    return DataLossError("bad crc");
+  });
+  EXPECT_EQ(status.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(counters.retries.load(), 0u);
+  EXPECT_EQ(counters.give_ups.load(), 0u);  // permanent errors are not give-ups
+}
+
+TEST(RetryTest, ExhaustedBudgetGivesUpWithLastError) {
+  storage::RetryPolicy policy = storage::RetryPolicy::Default();
+  policy.max_attempts = 3;
+  policy.initial_backoff_sec = 1e-6;
+  storage::RetryCounters counters;
+  int calls = 0;
+  Status status = storage::RunWithRetry(policy, &counters, "key", [&]() -> Status {
+    ++calls;
+    return UnavailableError("still down");
+  });
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(counters.retries.load(), 2u);
+  EXPECT_EQ(counters.give_ups.load(), 1u);
+}
+
+TEST(RetryTest, DisabledPolicyIsSingleShot) {
+  storage::RetryPolicy policy;  // max_attempts = 1
+  EXPECT_FALSE(policy.enabled());
+  int calls = 0;
+  Status status = storage::RunWithRetry(policy, nullptr, "key", [&]() -> Status {
+    ++calls;
+    return UnavailableError("down");
+  });
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryTest, BackoffIsDeterministicBoundedAndGrows) {
+  storage::RetryPolicy policy;
+  policy.max_attempts = 8;
+  policy.initial_backoff_sec = 0.001;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_sec = 0.01;
+  policy.jitter = 0.25;
+  double previous = 0;
+  for (int attempt = 2; attempt <= 6; ++attempt) {
+    const double a = storage::retry_internal::BackoffSec(policy, attempt, "chunk-3");
+    const double b = storage::retry_internal::BackoffSec(policy, attempt, "chunk-3");
+    EXPECT_EQ(a, b);  // same (key, attempt) -> same jitter: runs reproduce
+    EXPECT_LE(a, policy.max_backoff_sec * (1 + policy.jitter));
+    EXPECT_GT(a, 0);
+    if (attempt <= 4) {
+      EXPECT_GT(a, previous * 1.2);  // grows roughly exponentially below the cap
+      previous = a;
+    }
+  }
+  // Different keys decorrelate their sleeps.
+  EXPECT_NE(storage::retry_internal::BackoffSec(policy, 2, "chunk-3"),
+            storage::retry_internal::BackoffSec(policy, 2, "chunk-4"));
 }
 
 }  // namespace
