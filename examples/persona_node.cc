@@ -1,0 +1,389 @@
+// persona_node: worker daemon + coordinator for the distributed work service
+// (paper §5.2's manifest server as a real network daemon; src/cluster/work_service.h).
+//
+// A coordinator process serves chunk leases for a dataset in a shared store
+// directory; any number of worker processes — started before or after, on the same
+// machine — connect over loopback, lease chunk groups, and run the job's tool
+// against the store. Kill a worker mid-run and its leases are re-issued; the tools
+// are deterministic, so re-executed chunks land bit-identical objects.
+//
+//   ./persona_node --serve /tmp/agd-store --port 7431        # terminal 1
+//   ./persona_node --connect 7431 /tmp/agd-store             # terminals 2..N
+//
+// Usage:
+//   persona_node --serve <store-dir> [--port N] [--tool align] [--group-size N]
+//   persona_node --connect <port> <store-dir> [--name NAME]
+//   persona_node --abandon-one <port>     # lease one group and exit holding it
+//   persona_node --smoke                  # multi-process self-test (CTest/CI runs this)
+//
+// --smoke forks real worker processes with posix_spawn (exec'd, so it is safe under
+// TSan), including one that abandons a lease, and checks the cluster output is
+// bit-identical to a single-process offline run.
+
+#include <spawn.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/align/snap_aligner.h"
+#include "src/cluster/persona_node.h"
+#include "src/cluster/work_client.h"
+#include "src/cluster/work_service.h"
+#include "src/genome/generator.h"
+#include "src/genome/read_simulator.h"
+#include "src/pipeline/agd_store_util.h"
+#include "src/pipeline/persona_pipeline.h"
+#include "src/storage/local_store.h"
+#include "src/util/file_util.h"
+#include "src/util/string_util.h"
+
+extern char** environ;
+
+namespace {
+
+using namespace persona;  // example code; the library itself never does this
+
+// The smoke test's synthetic scenario; workers rebuild it from these job params.
+constexpr uint64_t kSmokeGenomeSeed = 4242;
+constexpr int kSmokeContigs = 2;
+constexpr int64_t kSmokeContigLength = 60'000;
+constexpr int kSmokeSeedLength = 20;
+
+int Fail(const Status& status, const char* what) {
+  std::fprintf(stderr, "persona_node: %s: %s\n", what, status.ToString().c_str());
+  return 1;
+}
+
+Result<std::unique_ptr<storage::LocalStore>> OpenStore(const std::string& dir) {
+  return storage::LocalStore::Create(dir, nullptr);
+}
+
+int RunServe(int argc, char** argv) {
+  std::string store_dir;
+  uint16_t port = 0;
+  cluster::JobSpec job;
+  job.tool = "align";
+  job.lease_timeout_sec = 30;
+  job.heartbeat_interval_sec = 5;
+  int64_t group_size = 1;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
+      port = static_cast<uint16_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--tool") == 0 && i + 1 < argc) {
+      job.tool = argv[++i];
+    } else if (std::strcmp(argv[i], "--group-size") == 0 && i + 1 < argc) {
+      group_size = std::atoll(argv[++i]);
+    } else if (store_dir.empty()) {
+      store_dir = argv[i];
+    }
+  }
+  if (store_dir.empty()) {
+    std::fprintf(stderr, "usage: persona_node --serve <store-dir> [--port N]\n");
+    return 2;
+  }
+  auto store = OpenStore(store_dir);
+  if (!store.ok()) {
+    return Fail(store.status(), "opening store");
+  }
+  auto manifest = pipeline::ReadManifestFromStore(store->get());
+  if (!manifest.ok()) {
+    return Fail(manifest.status(), "reading manifest.json");
+  }
+  job.group_size = std::max<int64_t>(group_size, 1);
+  job.num_groups = (static_cast<int64_t>(manifest->chunks.size()) + job.group_size - 1) /
+                   job.group_size;
+  job.params = cluster::GenomeJobParams(kSmokeGenomeSeed, kSmokeContigs,
+                                        kSmokeContigLength, kSmokeSeedLength);
+  cluster::WorkServiceOptions options;
+  options.port = port;
+  options.job = job;
+  options.quarantine_manifest_path = store_dir + "/quarantine.json";
+  auto service = cluster::WorkService::Start(options);
+  if (!service.ok()) {
+    return Fail(service.status(), "starting work service");
+  }
+  std::printf("work service: tool=%s groups=%lld port=%u\n", job.tool.c_str(),
+              static_cast<long long>(job.num_groups), (*service)->port());
+  std::printf("connect workers with: persona_node --connect %u %s\n",
+              (*service)->port(), store_dir.c_str());
+  if (Status status = (*service)->AwaitDrained(); !status.ok()) {
+    return Fail(status, "awaiting drain");
+  }
+  std::printf("%s\n", (*service)->Report().ToJson().c_str());
+  (*service)->Shutdown();
+  return 0;
+}
+
+int RunConnect(int argc, char** argv) {
+  if (argc < 4) {
+    std::fprintf(stderr, "usage: persona_node --connect <port> <store-dir> [--name N]\n");
+    return 2;
+  }
+  cluster::PersonaNodeOptions options;
+  options.port = static_cast<uint16_t>(std::atoi(argv[2]));
+  options.node_name = "node-" + std::to_string(::getpid());
+  for (int i = 4; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--name") == 0) {
+      options.node_name = argv[i + 1];
+    }
+  }
+  auto store = OpenStore(argv[3]);
+  if (!store.ok()) {
+    return Fail(store.status(), "opening store");
+  }
+  options.store = store->get();
+  auto report = cluster::RunPersonaNode(options);
+  if (!report.ok()) {
+    return Fail(report.status(), "worker run");
+  }
+  std::printf("worker %s: %llu group(s), %llu record(s), %.2fs\n",
+              options.node_name.c_str(),
+              static_cast<unsigned long long>(report->groups_completed),
+              static_cast<unsigned long long>(report->records), report->seconds);
+  return 0;
+}
+
+// Registers, leases exactly one group, and exits without completing or failing it —
+// the abandoned lease must be re-issued to a surviving worker.
+int RunAbandonOne(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr, "usage: persona_node --abandon-one <port>\n");
+    return 2;
+  }
+  cluster::WorkClientOptions options;
+  options.port = static_cast<uint16_t>(std::atoi(argv[2]));
+  options.node_name = "abandoner";
+  auto client = cluster::WorkClient::Connect(options);
+  if (!client.ok()) {
+    return Fail(client.status(), "connecting");
+  }
+  auto lease = (*client)->NextLease();
+  if (!lease.ok()) {
+    return Fail(lease.status(), "leasing");
+  }
+  if (!lease->has_value()) {
+    std::printf("abandoner: dataset already drained\n");
+    return 0;
+  }
+  std::printf("abandoner: exiting while holding lease %llu (group %llu)\n",
+              static_cast<unsigned long long>((**lease).lease_id),
+              static_cast<unsigned long long>((**lease).group));
+  return 0;  // exit releases the lease via disconnect; the service re-issues it
+}
+
+// ---- --smoke: the multi-process cluster self-test. ----
+
+Result<pid_t> Spawn(const char* self, const std::vector<std::string>& args) {
+  std::vector<std::string> owned = args;
+  std::vector<char*> argv;
+  argv.push_back(const_cast<char*>(self));
+  for (std::string& arg : owned) {
+    argv.push_back(arg.data());
+  }
+  argv.push_back(nullptr);
+  pid_t pid = 0;
+  const int rc = ::posix_spawn(&pid, self, nullptr, nullptr, argv.data(), environ);
+  if (rc != 0) {
+    return InternalError(StrFormat("posix_spawn: %s", std::strerror(rc)));
+  }
+  return pid;
+}
+
+Result<int> WaitFor(pid_t pid) {
+  int wstatus = 0;
+  if (::waitpid(pid, &wstatus, 0) < 0) {
+    return InternalError(StrFormat("waitpid: %s", std::strerror(errno)));
+  }
+  if (!WIFEXITED(wstatus)) {
+    return InternalError("worker did not exit normally");
+  }
+  return WEXITSTATUS(wstatus);
+}
+
+int RunSmoke(const char* self) {
+  ScopedTempDir temp("persona-node-smoke");
+  const std::string cluster_dir = temp.FilePath("cluster");
+  const std::string offline_dir = temp.FilePath("offline");
+
+  // Synthetic scenario (workers rebuild the same genome from job params).
+  genome::GenomeSpec gspec;
+  gspec.num_contigs = kSmokeContigs;
+  gspec.contig_length = kSmokeContigLength;
+  gspec.seed = kSmokeGenomeSeed;
+  genome::ReferenceGenome reference = genome::GenerateGenome(gspec);
+  genome::ReadSimSpec rspec;
+  rspec.read_length = 101;
+  rspec.seed = kSmokeGenomeSeed + 1;
+  genome::ReadSimulator sim(&reference, rspec);
+  std::vector<genome::Read> reads = sim.Simulate(3'000);
+
+  // Stage the same dataset twice: one copy for the cluster, one for the offline
+  // single-process parity run.
+  std::vector<std::string> result_keys;
+  {
+    for (const std::string& dir : {cluster_dir, offline_dir}) {
+      auto store = OpenStore(dir);
+      if (!store.ok()) {
+        return Fail(store.status(), "creating store");
+      }
+      auto manifest = pipeline::WriteAgdToStore(store->get(), "smk", reads, 250);
+      if (!manifest.ok()) {
+        return Fail(manifest.status(), "staging dataset");
+      }
+      if (result_keys.empty()) {
+        for (size_t c = 0; c < manifest->chunks.size(); ++c) {
+          result_keys.push_back(manifest->chunks[c].path_base + ".results");
+        }
+      }
+    }
+  }
+
+  // Coordinator: align job, one chunk per group.
+  cluster::WorkServiceOptions service_options;
+  service_options.job.tool = "align";
+  service_options.job.group_size = 1;
+  service_options.job.num_groups = static_cast<int64_t>(result_keys.size());
+  service_options.job.lease_timeout_sec = 30;
+  service_options.job.heartbeat_interval_sec = 1;
+  service_options.job.params = cluster::GenomeJobParams(
+      kSmokeGenomeSeed, kSmokeContigs, kSmokeContigLength, kSmokeSeedLength);
+  auto service = cluster::WorkService::Start(service_options);
+  if (!service.ok()) {
+    return Fail(service.status(), "starting work service");
+  }
+  const std::string port = std::to_string((*service)->port());
+
+  // One worker leases a group and abandons it by exiting; the service must re-issue.
+  {
+    auto pid = Spawn(self, {"--abandon-one", port});
+    if (!pid.ok()) {
+      return Fail(pid.status(), "spawning abandoner");
+    }
+    auto exit_code = WaitFor(*pid);
+    if (!exit_code.ok() || *exit_code != 0) {
+      std::fprintf(stderr, "smoke: abandoner failed\n");
+      return 1;
+    }
+  }
+
+  // Three real exec'd workers race for the remaining leases.
+  std::vector<pid_t> workers;
+  for (int w = 0; w < 3; ++w) {
+    auto pid = Spawn(self, {"--connect", port, cluster_dir, "--name",
+                            "smoke-worker-" + std::to_string(w)});
+    if (!pid.ok()) {
+      return Fail(pid.status(), "spawning worker");
+    }
+    workers.push_back(*pid);
+  }
+  if (Status status = (*service)->AwaitDrained(120); !status.ok()) {
+    return Fail(status, "awaiting drain");
+  }
+  for (pid_t pid : workers) {
+    auto exit_code = WaitFor(pid);
+    if (!exit_code.ok() || *exit_code != 0) {
+      std::fprintf(stderr, "smoke: a worker exited non-zero\n");
+      return 1;
+    }
+  }
+  const cluster::ClusterWorkReport report = (*service)->Report();
+  (*service)->Shutdown();
+  if (!report.drained || report.completed != result_keys.size() ||
+      report.quarantined != 0) {
+    std::fprintf(stderr, "smoke: bad report: completed=%llu quarantined=%llu\n",
+                 static_cast<unsigned long long>(report.completed),
+                 static_cast<unsigned long long>(report.quarantined));
+    return 1;
+  }
+  if (report.reissues < 1) {
+    std::fprintf(stderr, "smoke: abandoned lease was never re-issued\n");
+    return 1;
+  }
+
+  // Offline single-process run on the second copy; outputs must be bit-identical.
+  {
+    auto store = OpenStore(offline_dir);
+    if (!store.ok()) {
+      return Fail(store.status(), "reopening offline store");
+    }
+    auto manifest = pipeline::ReadManifestFromStore(store->get());
+    if (!manifest.ok()) {
+      return Fail(manifest.status(), "offline manifest");
+    }
+    align::SeedIndexOptions index_options;
+    index_options.seed_length = kSmokeSeedLength;
+    auto index = align::SeedIndex::Build(reference, index_options);
+    if (!index.ok()) {
+      return Fail(index.status(), "building seed index");
+    }
+    align::SnapAligner aligner(&reference, &*index);
+    dataflow::Executor executor(2);
+    pipeline::AlignPipelineOptions align_options;
+    auto offline = pipeline::RunPersonaAlignment(store->get(), *manifest, aligner,
+                                                 &executor, align_options);
+    if (!offline.ok()) {
+      return Fail(offline.status(), "offline alignment");
+    }
+    auto cluster_store = OpenStore(cluster_dir);
+    if (!cluster_store.ok()) {
+      return Fail(cluster_store.status(), "reopening cluster store");
+    }
+    int mismatches = 0;
+    for (const std::string& key : result_keys) {
+      Buffer from_cluster;
+      Buffer from_offline;
+      if (Status status = (*cluster_store)->Get(key, &from_cluster); !status.ok()) {
+        return Fail(status, "reading cluster results");
+      }
+      if (Status status = (*store)->Get(key, &from_offline); !status.ok()) {
+        return Fail(status, "reading offline results");
+      }
+      if (from_cluster.view() != from_offline.view()) {
+        std::fprintf(stderr,
+                     "smoke: %s differs between cluster and offline runs "
+                     "(%zu vs %zu bytes)\n",
+                     key.c_str(), from_cluster.size(), from_offline.size());
+        mismatches++;
+      }
+    }
+    if (mismatches != 0) {
+      std::fprintf(stderr, "smoke: %d/%zu chunks differ\n", mismatches,
+                   result_keys.size());
+      return 1;
+    }
+  }
+
+  std::printf("persona_node smoke: %llu chunk(s) aligned by 3 workers "
+              "(+1 abandoned lease re-issued), outputs bit-identical to offline: OK\n",
+              static_cast<unsigned long long>(report.completed));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "--smoke") == 0) {
+    return RunSmoke(argv[0]);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "--serve") == 0) {
+    return RunServe(argc, argv);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "--connect") == 0) {
+    return RunConnect(argc, argv);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "--abandon-one") == 0) {
+    return RunAbandonOne(argc, argv);
+  }
+  std::fprintf(stderr,
+               "usage:\n"
+               "  persona_node --serve <store-dir> [--port N] [--tool T]\n"
+               "  persona_node --connect <port> <store-dir> [--name N]\n"
+               "  persona_node --abandon-one <port>\n"
+               "  persona_node --smoke\n");
+  return 2;
+}

@@ -42,9 +42,9 @@ Result<ClusterReport> RunCluster(storage::ObjectStore* store,
       // Each node owns its executor resource, as each server owns its cores.
       dataflow::Executor executor(static_cast<size_t>(options.threads_per_node));
       pipeline::AlignPipelineOptions node_options = options.node_options;
-      node_options.work_source = [&server, node]() {
-        return server.Next(static_cast<size_t>(node));
-      };
+      pipeline::FunctionWorkSource node_source(
+          [&server, node]() { return server.Next(static_cast<size_t>(node)); });
+      node_options.work_source = &node_source;
       Stopwatch node_timer;
       auto result = pipeline::RunPersonaAlignment(store, manifest, aligner, &executor,
                                                   node_options);

@@ -1,0 +1,226 @@
+#include "src/cluster/lease_table.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace persona::cluster {
+
+LeaseTable::LeaseTable(size_t num_groups, size_t num_nodes,
+                       const LeaseTableOptions& options)
+    : options_(options), slots_(num_groups), per_node_completed_(num_nodes, 0) {}
+
+void LeaseTable::CountCompletionLocked(size_t node) {
+  if (node >= per_node_completed_.size()) {
+    per_node_completed_.resize(node + 1, 0);
+  }
+  ++per_node_completed_[node];
+}
+
+size_t LeaseTable::ReapExpiredLocked(double now) {
+  if (options_.lease_timeout_sec <= 0) {
+    return 0;
+  }
+  size_t reclaimed = 0;
+  for (size_t g = 0; g < slots_.size(); ++g) {
+    Slot& slot = slots_[g];
+    if (slot.state == State::kLeased && now >= slot.deadline) {
+      slot.state = State::kPending;
+      --outstanding_;
+      ++expired_reclaims_;
+      ++reclaimed;
+      scan_ = std::min(scan_, g);
+      PLOG(WARN) << "lease " << slot.lease_id << " (group " << g << ", node "
+                 << slot.holder << ") expired; re-issuing";
+    }
+  }
+  return reclaimed;
+}
+
+std::optional<LeaseGrant> LeaseTable::Acquire(size_t node, double now) {
+  MutexLock lock(mu_);
+  const size_t reaped = ReapExpiredLocked(now);
+  if (reaped > 0) {
+    PLOG(DEBUG) << "acquire: reclaimed " << reaped << " expired lease(s)";
+  }
+  while (scan_ < slots_.size() && slots_[scan_].state != State::kPending) {
+    ++scan_;
+  }
+  // The cursor may have skipped groups reclaimed behind it before this call; fall
+  // back to a full scan only when the fast path finds nothing.
+  size_t group = scan_;
+  if (group >= slots_.size()) {
+    for (group = 0; group < slots_.size(); ++group) {
+      if (slots_[group].state == State::kPending) {
+        break;
+      }
+    }
+    if (group >= slots_.size()) {
+      return std::nullopt;
+    }
+  }
+  Slot& slot = slots_[group];
+  slot.state = State::kLeased;
+  slot.holder = node;
+  slot.lease_id = next_lease_id_++;
+  slot.deadline = now + options_.lease_timeout_sec;
+  if (slot.attempts > 0) {
+    ++reissues_;
+  }
+  ++slot.attempts;
+  ++outstanding_;
+  return LeaseGrant{slot.lease_id, group};
+}
+
+CompleteOutcome LeaseTable::Complete(size_t node, uint64_t lease_id, size_t group) {
+  MutexLock lock(mu_);
+  if (group >= slots_.size()) {
+    return CompleteOutcome::kUnknown;
+  }
+  Slot& slot = slots_[group];
+  if (slot.state == State::kCompleted) {
+    ++duplicate_completions_;
+    PLOG(INFO) << "duplicate completion of group " << group << " from node " << node
+               << " (lease " << lease_id << "); output identical, deduped";
+    return CompleteOutcome::kDuplicate;
+  }
+  // A completion from an expired-and-not-yet-reissued lease, a superseded lease, or
+  // even a quarantined group still means the output object is durable under the right
+  // key — the work is done no matter whose lease "won".
+  if (slot.state == State::kLeased) {
+    --outstanding_;
+    if (slot.lease_id != lease_id) {
+      PLOG(INFO) << "group " << group << " completed by node " << node << " under lease "
+                 << lease_id << " while lease " << slot.lease_id << " was live";
+    }
+  }
+  if (slot.state == State::kQuarantined) {
+    --quarantined_;
+    PLOG(WARN) << "group " << group << " completed by node " << node
+               << " after quarantine; un-quarantining";
+  }
+  slot.state = State::kCompleted;
+  ++completed_;
+  CountCompletionLocked(node);
+  return CompleteOutcome::kFirst;
+}
+
+bool LeaseTable::Fail(size_t node, uint64_t lease_id, size_t group,
+                      const std::string& error) {
+  MutexLock lock(mu_);
+  if (group >= slots_.size()) {
+    return false;
+  }
+  Slot& slot = slots_[group];
+  if (slot.state == State::kCompleted || slot.state == State::kQuarantined) {
+    return false;  // settled; a stale failure changes nothing
+  }
+  if (slot.state == State::kLeased) {
+    --outstanding_;
+  }
+  slot.last_error = error;
+  PLOG(WARN) << "group " << group << " failed on node " << node << " (lease " << lease_id
+             << ", attempt " << slot.attempts << "): " << error;
+  if (slot.attempts >= options_.max_attempts) {
+    slot.state = State::kQuarantined;
+    ++quarantined_;
+    PLOG(ERROR) << "group " << group << " quarantined after " << slot.attempts
+                << " attempt(s): " << error;
+    return true;
+  }
+  slot.state = State::kPending;
+  scan_ = std::min(scan_, group);
+  return false;
+}
+
+void LeaseTable::Renew(size_t node, double now) {
+  MutexLock lock(mu_);
+  if (options_.lease_timeout_sec <= 0) {
+    return;
+  }
+  for (Slot& slot : slots_) {
+    if (slot.state == State::kLeased && slot.holder == node) {
+      slot.deadline = now + options_.lease_timeout_sec;
+    }
+  }
+}
+
+size_t LeaseTable::ReleaseNode(size_t node) {
+  MutexLock lock(mu_);
+  size_t released = 0;
+  for (size_t g = 0; g < slots_.size(); ++g) {
+    Slot& slot = slots_[g];
+    if (slot.state == State::kLeased && slot.holder == node) {
+      slot.state = State::kPending;
+      --outstanding_;
+      ++released;
+      scan_ = std::min(scan_, g);
+    }
+  }
+  return released;
+}
+
+size_t LeaseTable::ReapExpired(double now) {
+  MutexLock lock(mu_);
+  return ReapExpiredLocked(now);
+}
+
+bool LeaseTable::drained() const {
+  MutexLock lock(mu_);
+  return completed_ + quarantined_ == slots_.size();
+}
+
+LeaseTableStats LeaseTable::stats() const {
+  MutexLock lock(mu_);
+  LeaseTableStats stats;
+  stats.num_groups = slots_.size();
+  stats.completed = completed_;
+  stats.quarantined = quarantined_;
+  stats.outstanding = outstanding_;
+  stats.reissues = reissues_;
+  stats.expired_reclaims = expired_reclaims_;
+  stats.duplicate_completions = duplicate_completions_;
+  stats.per_node_completed = per_node_completed_;
+  return stats;
+}
+
+std::vector<QuarantinedGroup> LeaseTable::quarantined_groups() const {
+  MutexLock lock(mu_);
+  std::vector<QuarantinedGroup> out;
+  for (size_t g = 0; g < slots_.size(); ++g) {
+    const Slot& slot = slots_[g];
+    if (slot.state == State::kQuarantined) {
+      out.push_back({g, slot.attempts, slot.last_error});
+    }
+  }
+  return out;
+}
+
+std::optional<size_t> LeaseTable::AcquireCompleted(size_t node) {
+  MutexLock lock(mu_);
+  while (scan_ < slots_.size() && slots_[scan_].state != State::kPending) {
+    ++scan_;
+  }
+  size_t group = scan_;
+  if (group >= slots_.size()) {
+    for (group = 0; group < slots_.size(); ++group) {
+      if (slots_[group].state == State::kPending) {
+        break;
+      }
+    }
+    if (group >= slots_.size()) {
+      return std::nullopt;
+    }
+  }
+  // Grant and settle in the same critical section: the hand-out and its accounting
+  // are one atomic step (this is the fixed ManifestServer::Next).
+  Slot& slot = slots_[group];
+  slot.lease_id = next_lease_id_++;
+  ++slot.attempts;
+  slot.state = State::kCompleted;
+  ++completed_;
+  CountCompletionLocked(node);
+  return group;
+}
+
+}  // namespace persona::cluster

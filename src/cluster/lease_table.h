@@ -1,0 +1,158 @@
+// LeaseTable: the work service's chunk-handout ledger (paper §5.2's manifest server,
+// grown fault tolerance). Every work group (one or more consecutive AGD chunks) moves
+// through pending -> leased -> completed; a lease that is not completed, failed, or
+// renewed before its expiry is reclaimed and re-issued to another node, and a group
+// that keeps failing is quarantined after `max_attempts` hand-outs.
+//
+// Completion is keyed by group, not by lease: a slow worker whose lease expired may
+// still land its output after the re-issued lease does. Both workers produced the
+// same bytes under the same key (every tool here is deterministic), so the late
+// completion is acknowledged as a duplicate and the counters stay consistent — the
+// store holds one object either way.
+//
+// One mutex covers the whole table: hand-out, accounting, and expiry reclaim are a
+// single atomic step, so a grant can never be observed without its bookkeeping (the
+// old ManifestServer stub bumped its per-node counter in a second critical section).
+//
+// Time is injected (`now` in seconds, any monotonic base) so expiry tests are
+// deterministic and need no sleeps.
+
+#ifndef PERSONA_SRC_CLUSTER_LEASE_TABLE_H_
+#define PERSONA_SRC_CLUSTER_LEASE_TABLE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/util/mutex.h"
+#include "src/util/status.h"
+
+namespace persona::cluster {
+
+using persona::Mutex;
+using persona::MutexLock;
+
+struct LeaseTableOptions {
+  // Seconds a lease may go without completion/failure/renewal before it is reclaimed.
+  // <= 0 disables expiry (leases live until the node completes, fails, or disconnects).
+  double lease_timeout_sec = 30;
+  // Hand-outs a group gets before it is quarantined as poisoned. Counts every grant,
+  // including re-issues after expiry, so a chunk that crashes its worker cannot
+  // ping-pong around the cluster forever.
+  int max_attempts = 3;
+};
+
+// One granted lease: the group to process and the id to report back with.
+struct LeaseGrant {
+  uint64_t lease_id = 0;
+  size_t group = 0;
+};
+
+// What happened to a completion report.
+enum class CompleteOutcome {
+  kFirst,      // first completion of this group; counted
+  kDuplicate,  // group already completed (stale lease or retry); output identical, deduped
+  kUnknown,    // group index out of range — protocol violation
+};
+
+// Snapshot of the table's counters (all monotonic except outstanding).
+struct LeaseTableStats {
+  size_t num_groups = 0;
+  size_t completed = 0;
+  size_t quarantined = 0;
+  size_t outstanding = 0;            // currently leased
+  uint64_t reissues = 0;             // grants beyond a group's first
+  uint64_t expired_reclaims = 0;     // leases reclaimed by the expiry sweep
+  uint64_t duplicate_completions = 0;
+  std::vector<uint64_t> per_node_completed;
+};
+
+// A permanently failed group, for the quarantine manifest.
+struct QuarantinedGroup {
+  size_t group = 0;
+  int attempts = 0;
+  std::string last_error;
+};
+
+class LeaseTable {
+ public:
+  LeaseTable(size_t num_groups, size_t num_nodes, const LeaseTableOptions& options);
+
+  // Grants the next available group to `node` (reclaiming expired leases first), or
+  // nullopt when nothing is pending right now. Distinguish "drained" (all groups
+  // settled — stop asking) from "try again later" (groups leased elsewhere may yet
+  // expire or fail) via drained().
+  std::optional<LeaseGrant> Acquire(size_t node, double now) EXCLUDES(mu_);
+
+  // Records `node` finishing `group`. Accepts completions from expired or superseded
+  // leases (see file comment); `lease_id` is used only for logging mismatches.
+  CompleteOutcome Complete(size_t node, uint64_t lease_id, size_t group) EXCLUDES(mu_);
+
+  // Records `node` failing `group`: back to pending for another node, or quarantined
+  // once the attempt budget is spent. Returns true when this failure quarantined the
+  // group. Failures for already-completed groups are ignored.
+  bool Fail(size_t node, uint64_t lease_id, size_t group, const std::string& error)
+      EXCLUDES(mu_);
+
+  // Extends every live lease held by `node` (heartbeat).
+  void Renew(size_t node, double now) EXCLUDES(mu_);
+
+  // Returns every leased group held by `node` to pending (worker disconnected).
+  // Returns how many leases were released.
+  size_t ReleaseNode(size_t node) EXCLUDES(mu_);
+
+  // Reclaims every lease whose deadline has passed. Returns how many were reclaimed.
+  size_t ReapExpired(double now) EXCLUDES(mu_);
+
+  // All groups settled (completed or quarantined)?
+  bool drained() const EXCLUDES(mu_);
+
+  LeaseTableStats stats() const EXCLUDES(mu_);
+  std::vector<QuarantinedGroup> quarantined_groups() const EXCLUDES(mu_);
+
+  // Acquire + immediate Complete in one critical section, for in-process nodes that
+  // process a group to durability before asking for the next (the ManifestServer
+  // compatibility path). Returns the completed group.
+  std::optional<size_t> AcquireCompleted(size_t node) EXCLUDES(mu_);
+
+  size_t num_groups() const { return slots_.size(); }
+
+ private:
+  enum class State : uint8_t { kPending, kLeased, kCompleted, kQuarantined };
+
+  struct Slot {
+    State state = State::kPending;
+    size_t holder = 0;        // node holding the lease (kLeased only)
+    uint64_t lease_id = 0;    // current/most recent lease
+    double deadline = 0;      // expiry (kLeased only; ignored when timeout disabled)
+    int attempts = 0;         // grants so far
+    std::string last_error;   // most recent failure message
+  };
+
+  // Reclaims expired leases; caller holds mu_. Returns number reclaimed.
+  size_t ReapExpiredLocked(double now) REQUIRES(mu_);
+  // Bumps node's completion counter, growing the vector for nodes registered after
+  // construction (the network service learns its worker count as workers connect).
+  void CountCompletionLocked(size_t node) REQUIRES(mu_);
+
+  const LeaseTableOptions options_;
+
+  mutable Mutex mu_;
+  std::vector<Slot> slots_ GUARDED_BY(mu_);
+  // Pending scan cursor: groups are handed out roughly in order; reclaimed groups
+  // rewind it so they are re-issued promptly.
+  size_t scan_ GUARDED_BY(mu_) = 0;
+  uint64_t next_lease_id_ GUARDED_BY(mu_) = 1;
+  size_t completed_ GUARDED_BY(mu_) = 0;
+  size_t quarantined_ GUARDED_BY(mu_) = 0;
+  size_t outstanding_ GUARDED_BY(mu_) = 0;
+  uint64_t reissues_ GUARDED_BY(mu_) = 0;
+  uint64_t expired_reclaims_ GUARDED_BY(mu_) = 0;
+  uint64_t duplicate_completions_ GUARDED_BY(mu_) = 0;
+  std::vector<uint64_t> per_node_completed_ GUARDED_BY(mu_);
+};
+
+}  // namespace persona::cluster
+
+#endif  // PERSONA_SRC_CLUSTER_LEASE_TABLE_H_

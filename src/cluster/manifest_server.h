@@ -3,52 +3,48 @@
 // simple message queue"). Hands each AGD chunk index to exactly one node and records
 // who got it, for completion-balance reporting (§5.5: "no measurable completion-time
 // imbalance").
+//
+// This is the in-process view of the lease table the network WorkService serves over
+// TCP (see work_service.h). The hand-out and its per-node accounting are one critical
+// section in LeaseTable::AcquireCompleted — an earlier version bumped an atomic
+// cursor and then took a lock to count, so a reader of per_node_chunks() could see a
+// granted chunk that no node's counter owned yet.
 
 #ifndef PERSONA_SRC_CLUSTER_MANIFEST_SERVER_H_
 #define PERSONA_SRC_CLUSTER_MANIFEST_SERVER_H_
 
-#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <vector>
 
-#include "src/util/mutex.h"
+#include "src/cluster/lease_table.h"
 
 namespace persona::cluster {
-
-using persona::Mutex;
-using persona::MutexLock;
 
 class ManifestServer {
  public:
   ManifestServer(size_t num_chunks, size_t num_nodes)
-      : num_chunks_(num_chunks), per_node_chunks_(num_nodes, 0) {}
+      : table_(num_chunks, num_nodes, NoExpiry()) {}
 
-  // Next chunk for `node`, or nullopt when the dataset is exhausted.
-  std::optional<size_t> Next(size_t node) {
-    size_t i = next_.fetch_add(1, std::memory_order_relaxed);
-    if (i >= num_chunks_) {
-      return std::nullopt;
-    }
-    {
-      MutexLock lock(mu_);
-      ++per_node_chunks_[node];
-    }
-    return i;
-  }
+  // Next chunk for `node`, or nullopt when the dataset is exhausted. In-process
+  // nodes never crash independently of the server, so the chunk is granted and
+  // settled in one step — no lease lifecycle, no expiry.
+  std::optional<size_t> Next(size_t node) { return table_.AcquireCompleted(node); }
 
-  size_t num_chunks() const { return num_chunks_; }
+  size_t num_chunks() const { return table_.num_groups(); }
 
   std::vector<uint64_t> per_node_chunks() const {
-    MutexLock lock(mu_);
-    return per_node_chunks_;
+    return table_.stats().per_node_completed;
   }
 
  private:
-  const size_t num_chunks_;
-  std::atomic<size_t> next_{0};
-  mutable Mutex mu_;
-  std::vector<uint64_t> per_node_chunks_ GUARDED_BY(mu_);
+  static LeaseTableOptions NoExpiry() {
+    LeaseTableOptions options;
+    options.lease_timeout_sec = 0;
+    return options;
+  }
+
+  LeaseTable table_;
 };
 
 }  // namespace persona::cluster

@@ -1,0 +1,212 @@
+#include "src/cluster/persona_node.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "src/align/seed_index.h"
+#include "src/align/snap_aligner.h"
+#include "src/cluster/work_client.h"
+#include "src/dataflow/executor.h"
+#include "src/genome/generator.h"
+#include "src/pipeline/recompress.h"
+#include "src/pipeline/sort.h"
+#include "src/util/logging.h"
+#include "src/util/stopwatch.h"
+#include "src/util/string_util.h"
+
+namespace persona::cluster {
+namespace {
+
+// Alignment context a worker rebuilt from job params (empty when the caller
+// supplied one): owns whatever had to be constructed locally. Everything lives on
+// the heap — the aligner stores the reference's and index's addresses, so they must
+// survive this struct being moved.
+struct RebuiltContext {
+  std::unique_ptr<genome::ReferenceGenome> reference;
+  std::unique_ptr<align::SeedIndex> seed_index;
+  std::unique_ptr<align::SnapAligner> aligner;
+};
+
+Result<RebuiltContext> RebuildFromParams(const json::Object& params,
+                                         bool need_aligner) {
+  const json::Value value{params};
+  PERSONA_ASSIGN_OR_RETURN(int64_t genome_seed, value.GetInt("genome_seed"));
+  PERSONA_ASSIGN_OR_RETURN(int64_t num_contigs, value.GetInt("num_contigs"));
+  PERSONA_ASSIGN_OR_RETURN(int64_t contig_length, value.GetInt("contig_length"));
+  RebuiltContext context;
+  genome::GenomeSpec spec;
+  spec.num_contigs = static_cast<int>(num_contigs);
+  spec.contig_length = contig_length;
+  spec.seed = static_cast<uint64_t>(genome_seed);
+  context.reference =
+      std::make_unique<genome::ReferenceGenome>(genome::GenerateGenome(spec));
+  if (need_aligner) {
+    PERSONA_ASSIGN_OR_RETURN(int64_t seed_length, value.GetInt("seed_length"));
+    align::SeedIndexOptions index_options;
+    index_options.seed_length = static_cast<int>(seed_length);
+    PERSONA_ASSIGN_OR_RETURN(align::SeedIndex index,
+                             align::SeedIndex::Build(*context.reference, index_options));
+    context.seed_index = std::make_unique<align::SeedIndex>(std::move(index));
+    context.aligner = std::make_unique<align::SnapAligner>(context.reference.get(),
+                                                           context.seed_index.get());
+  }
+  return context;
+}
+
+Result<compress::CodecId> CodecFromParams(const json::Object& params,
+                                          compress::CodecId fallback) {
+  auto it = params.find("codec");
+  if (it == params.end()) {
+    return fallback;
+  }
+  if (!it->second.is_string()) {
+    return InvalidArgumentError("job params: codec must be a string");
+  }
+  return compress::CodecIdFromName(it->second.as_string());
+}
+
+}  // namespace
+
+json::Object GenomeJobParams(uint64_t genome_seed, int num_contigs,
+                             int64_t contig_length, int seed_length) {
+  json::Object params;
+  params["genome_seed"] = json::Value(genome_seed);
+  params["num_contigs"] = json::Value(num_contigs);
+  params["contig_length"] = json::Value(contig_length);
+  params["seed_length"] = json::Value(seed_length);
+  return params;
+}
+
+Result<PersonaNodeReport> RunPersonaNode(const PersonaNodeOptions& options) {
+  if (options.store == nullptr) {
+    return InvalidArgumentError("persona_node: store is required");
+  }
+  Stopwatch timer;
+  const storage::StoreStats store_before = options.store->stats();
+
+  WorkClientOptions client_options;
+  client_options.port = options.port;
+  client_options.node_name = options.node_name;
+  client_options.poll_interval_sec = options.poll_interval_sec;
+  PERSONA_ASSIGN_OR_RETURN(std::unique_ptr<WorkClient> client,
+                           WorkClient::Connect(client_options));
+  const JobSpec& job = client->job();
+  PLOG(INFO) << "persona_node '" << options.node_name << "': serving " << job.tool
+             << " job (" << job.num_groups << " group(s))";
+
+  Buffer manifest_bytes;
+  PERSONA_RETURN_IF_ERROR(options.store->Get(job.manifest_key, &manifest_bytes));
+  PERSONA_ASSIGN_OR_RETURN(format::Manifest manifest,
+                           format::Manifest::FromJson(manifest_bytes.view()));
+
+  // Context shared by every round of the serve loop.
+  const align::Aligner* aligner = options.aligner;
+  const genome::ReferenceGenome* reference = options.reference;
+  RebuiltContext context;
+  std::unique_ptr<dataflow::Executor> executor;
+  if (job.tool == "align") {
+    if (aligner == nullptr) {
+      PERSONA_ASSIGN_OR_RETURN(context,
+                               RebuildFromParams(job.params, /*need_aligner=*/true));
+      aligner = context.aligner.get();
+    }
+    executor = std::make_unique<dataflow::Executor>(
+        static_cast<size_t>(std::max(options.executor_threads, 1)));
+  } else if (job.tool == "recompress" || job.tool == "reconstruct") {
+    if (reference == nullptr) {
+      PERSONA_ASSIGN_OR_RETURN(context,
+                               RebuildFromParams(job.params, /*need_aligner=*/false));
+      reference = context.reference.get();
+    }
+  } else if (job.tool != "sort1") {
+    return UnimplementedError(
+        StrFormat("persona_node: unknown tool '%s'", job.tool.c_str()));
+  }
+
+  // One pipeline round over a network work source. A round ends when the job
+  // drains — or early, when every remaining group is leased elsewhere while this
+  // node still has completions to flush (the source ends its stream so the write
+  // window can commit them; see NetworkWorkSource::NextGroup).
+  auto run_round = [&](NetworkWorkSource* source) -> Status {
+    if (job.tool == "align") {
+      pipeline::AlignPipelineOptions align = options.align;
+      align.work_source = source;
+      align.update_manifest = false;  // the coordinator owns manifest.json
+      align.resume_journal = nullptr;
+      align.collect_results = false;
+      return pipeline::RunPersonaAlignment(options.store, manifest, *aligner,
+                                           executor.get(), align)
+          .status();
+    }
+    if (job.tool == "recompress" || job.tool == "reconstruct") {
+      pipeline::RecompressOptions recompress;
+      PERSONA_ASSIGN_OR_RETURN(recompress.codec,
+                               CodecFromParams(job.params, recompress.codec));
+      recompress.work_source = source;
+      recompress.update_manifest = false;
+      format::Manifest out_manifest;
+      if (job.tool == "recompress") {
+        return pipeline::RefCompressBasesColumn(options.store, manifest, *reference,
+                                                recompress, &out_manifest)
+            .status();
+      }
+      return pipeline::ReconstructBasesColumn(options.store, manifest, *reference,
+                                              recompress, &out_manifest)
+          .status();
+    }
+    const json::Value params{job.params};
+    PERSONA_ASSIGN_OR_RETURN(std::string out_name, params.GetString("out_name"));
+    pipeline::SortOptions sort;
+    sort.chunks_per_superchunk = static_cast<int>(job.group_size);
+    auto key_it = job.params.find("sort_key");
+    if (key_it != job.params.end() && key_it->second.is_string() &&
+        key_it->second.as_string() == "metadata") {
+      sort.key = pipeline::SortKey::kMetadata;
+    }
+    return pipeline::SortSuperchunks(options.store, manifest, out_name, sort, source)
+        .status();
+  };
+
+  // Serve rounds until the job truly drains. A node whose round ended early must
+  // come back for more: groups released by a dead worker may have returned to
+  // pending after this node's source already ended its stream, and a node that
+  // exits instead of re-asking would strand them (nobody left to re-lease).
+  uint64_t groups_completed = 0;
+  uint64_t records = 0;
+  for (;;) {
+    NetworkWorkSource source(client.get(), &manifest, options.store);
+    PERSONA_RETURN_IF_ERROR(run_round(&source));
+    groups_completed += source.groups_completed();
+    records += source.records_completed();
+    Result<ClusterWorkReport> progress = client->Stats();
+    if (!progress.ok()) {
+      // Transport loss: the service is gone (its report is final) — this node's
+      // contribution stands, anything unfinished is someone else's lease now.
+      PLOG(WARN) << "persona_node '" << options.node_name
+                 << "': service unreachable after round, stopping: "
+                 << progress.status().ToString();
+      break;
+    }
+    if (progress->drained) {
+      break;
+    }
+    if (client->PollWait()) {
+      break;  // client closing
+    }
+  }
+
+  PersonaNodeReport report;
+  report.tool = job.tool;
+  report.groups_completed = groups_completed;
+  report.records = records;
+  report.seconds = timer.ElapsedSeconds();
+  report.store_stats = storage::StatsDelta(store_before, options.store->stats());
+  PLOG(INFO) << "persona_node '" << options.node_name << "': done — "
+             << report.groups_completed << " group(s), " << report.records
+             << " record(s) in " << report.seconds << "s";
+  client->Close();
+  return report;
+}
+
+}  // namespace persona::cluster

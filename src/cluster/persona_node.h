@@ -1,0 +1,72 @@
+// persona_node: the worker daemon of the distributed work service.
+//
+// A node connects to a WorkService, learns the job (tool + parameters) from the
+// registration reply, plugs a NetworkWorkSource into the matching ChunkPipeline tool,
+// and processes leased chunk groups against the shared object store until the
+// service reports the dataset drained. The node is deliberately thin — all policy
+// (grouping, lease timeouts, retry budgets) lives in the service, so workers can be
+// added, killed, and restarted freely mid-run (the whole point of leases).
+//
+// Tools served: "align" (results column), "recompress"/"reconstruct" (ref_bases
+// transcode, paper §6.1), "sort1" (sort phase 1: superchunk spills; the coordinator
+// merges with MergeSuperchunks once drained). Workers never write the dataset
+// manifest — the coordinator owns it (update_manifest = false everywhere here).
+//
+// Align jobs can rebuild their reference genome and seed index deterministically
+// from job params (synthetic-genome generation is seeded), so a forked or exec'd
+// worker needs nothing but the service port and the store root.
+
+#ifndef PERSONA_SRC_CLUSTER_PERSONA_NODE_H_
+#define PERSONA_SRC_CLUSTER_PERSONA_NODE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/align/aligner.h"
+#include "src/genome/reference.h"
+#include "src/util/json.h"
+#include "src/pipeline/persona_pipeline.h"
+#include "src/storage/object_store.h"
+#include "src/util/result.h"
+
+namespace persona::cluster {
+
+struct PersonaNodeOptions {
+  uint16_t port = 0;      // work service on loopback
+  std::string node_name;  // identity in the cluster report
+  storage::ObjectStore* store = nullptr;  // shared store (required, borrowed)
+  // Pre-built alignment context (borrowed). When null, align/recompress jobs
+  // rebuild it from job params: genome_seed, num_contigs, contig_length,
+  // seed_length (see JobParamsForScenario in persona_node.cc).
+  const align::Aligner* aligner = nullptr;
+  const genome::ReferenceGenome* reference = nullptr;
+  int executor_threads = 2;     // align executor width
+  double poll_interval_sec = 0.05;
+  // Stage widths for the align pipeline; work_source / update_manifest /
+  // resume_journal / collect_results are overridden by the node.
+  pipeline::AlignPipelineOptions align;
+};
+
+struct PersonaNodeReport {
+  std::string tool;
+  uint64_t groups_completed = 0;  // leases this node completed
+  uint64_t records = 0;           // records in those groups
+  double seconds = 0;
+  storage::StoreStats store_stats;  // this node's store delta
+};
+
+// Connects, serves leases until the dataset drains (or the service goes away), and
+// returns what this node contributed. A worker that cannot finish a group reports
+// the failure and keeps serving; only transport-level loss of the service ends the
+// run early (successfully — the service re-issues unfinished leases).
+Result<PersonaNodeReport> RunPersonaNode(const PersonaNodeOptions& options);
+
+// JobSpec params for jobs whose workers rebuild the synthetic reference themselves
+// (generation is seeded, so every worker reconstructs bit-identical genome + index).
+// The service side puts this in JobSpec::params; RunPersonaNode consumes it.
+json::Object GenomeJobParams(uint64_t genome_seed, int num_contigs,
+                             int64_t contig_length, int seed_length);
+
+}  // namespace persona::cluster
+
+#endif  // PERSONA_SRC_CLUSTER_PERSONA_NODE_H_

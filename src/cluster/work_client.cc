@@ -1,0 +1,313 @@
+#include "src/cluster/work_client.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <utility>
+
+#include "src/util/logging.h"
+#include "src/util/string_util.h"
+
+namespace persona::cluster {
+
+Result<std::unique_ptr<WorkClient>> WorkClient::Connect(
+    const WorkClientOptions& options) {
+  PERSONA_ASSIGN_OR_RETURN(ingest::Connection conn,
+                           ingest::ConnectLoopback(options.port));
+  RegisterWorker reg;
+  reg.node_name = options.node_name.empty() ? "worker" : options.node_name;
+  reg.pid = static_cast<int64_t>(::getpid());
+  PERSONA_RETURN_IF_ERROR(ingest::WriteRawFrame(
+      conn, static_cast<uint8_t>(WorkFrame::kRegisterWorker), reg.ToJson()));
+  ingest::RawFrame frame;
+  PERSONA_RETURN_IF_ERROR(ingest::ReadRawFrame(conn, &frame));
+  if (frame.type == static_cast<uint8_t>(WorkFrame::kError)) {
+    return UnavailableError(
+        StrFormat("work service rejected registration: %s", frame.payload.c_str()));
+  }
+  if (frame.type != static_cast<uint8_t>(WorkFrame::kRegistered)) {
+    return InvalidArgumentError(StrFormat("expected Registered, got %s",
+                                          WorkFrameName(frame.type)));
+  }
+  PERSONA_ASSIGN_OR_RETURN(JobSpec job, JobSpec::FromJson(frame.payload));
+  std::unique_ptr<WorkClient> client(
+      new WorkClient(options, std::move(conn), std::move(job)));
+  client->heartbeat_ = std::thread([raw = client.get()] { raw->HeartbeatLoop(); });
+  return client;
+}
+
+WorkClient::~WorkClient() { Close(); }
+
+void WorkClient::Close() {
+  {
+    MutexLock lock(stop_mu_);
+    if (stop_) {
+      return;
+    }
+    stop_ = true;
+    stop_cv_.NotifyAll();
+  }
+  if (heartbeat_.joinable()) {
+    heartbeat_.join();
+  }
+  MutexLock lock(conn_mu_);
+  closed_ = true;
+  conn_.Close();
+}
+
+Result<ingest::RawFrame> WorkClient::Transact(WorkFrame type, std::string_view payload) {
+  MutexLock lock(conn_mu_);
+  if (closed_) {
+    return CancelledError("work client closed");
+  }
+  PLOG(DEBUG) << "work client: -> " << WorkFrameName(static_cast<uint8_t>(type));
+  PERSONA_RETURN_IF_ERROR(
+      ingest::WriteRawFrame(conn_, static_cast<uint8_t>(type), payload));
+  ingest::RawFrame reply;
+  PERSONA_RETURN_IF_ERROR(ingest::ReadRawFrame(conn_, &reply));
+  PLOG(DEBUG) << "work client: <- " << WorkFrameName(reply.type);
+  if (reply.type == static_cast<uint8_t>(WorkFrame::kError)) {
+    return UnavailableError(
+        StrFormat("work service error: %s", reply.payload.c_str()));
+  }
+  return reply;
+}
+
+void WorkClient::HeartbeatLoop() {
+  const double interval = options_.heartbeat_interval_sec > 0
+                              ? options_.heartbeat_interval_sec
+                              : job_.heartbeat_interval_sec;
+  if (interval <= 0) {
+    return;  // heartbeats disabled; leases live on the service's timeout alone
+  }
+  for (;;) {
+    {
+      MutexLock lock(stop_mu_);
+      if (stop_) {
+        return;
+      }
+      if (stop_cv_.WaitFor(stop_mu_, interval) && stop_) {
+        return;
+      }
+    }
+    Result<ingest::RawFrame> reply = Transact(WorkFrame::kHeartbeat, "");
+    if (!reply.ok()) {
+      // The next real request will surface the failure with context; heartbeats are
+      // best-effort by design (a dead service reclaims our leases either way).
+      PLOG(DEBUG) << "heartbeat failed: " << reply.status().ToString();
+      return;
+    }
+    if (reply->type != static_cast<uint8_t>(WorkFrame::kHeartbeatAck)) {
+      PLOG(WARN) << "heartbeat got unexpected " << WorkFrameName(reply->type);
+      return;
+    }
+  }
+}
+
+Result<WorkClient::LeaseReply> WorkClient::TryLease() {
+  PERSONA_ASSIGN_OR_RETURN(ingest::RawFrame reply,
+                           Transact(WorkFrame::kLeaseRequest, ""));
+  LeaseReply result;
+  switch (static_cast<WorkFrame>(reply.type)) {
+    case WorkFrame::kLeaseGrant: {
+      PERSONA_ASSIGN_OR_RETURN(result.grant, LeaseGrantMsg::FromJson(reply.payload));
+      result.outcome = LeaseOutcome::kGranted;
+      return result;
+    }
+    case WorkFrame::kDrained:
+      result.outcome = LeaseOutcome::kDrained;
+      return result;
+    case WorkFrame::kNoWork:
+      result.outcome = LeaseOutcome::kNoWork;
+      return result;
+    default:
+      return InvalidArgumentError(
+          StrFormat("lease request got unexpected %s", WorkFrameName(reply.type)));
+  }
+}
+
+bool WorkClient::PollWait() {
+  MutexLock lock(stop_mu_);
+  if (stop_) {
+    return true;
+  }
+  return stop_cv_.WaitFor(stop_mu_, options_.poll_interval_sec) && stop_;
+}
+
+Result<std::optional<LeaseGrantMsg>> WorkClient::NextLease() {
+  for (;;) {
+    PERSONA_ASSIGN_OR_RETURN(LeaseReply reply, TryLease());
+    switch (reply.outcome) {
+      case LeaseOutcome::kGranted:
+        return std::optional<LeaseGrantMsg>(std::move(reply.grant));
+      case LeaseOutcome::kDrained:
+        return std::optional<LeaseGrantMsg>(std::nullopt);
+      case LeaseOutcome::kNoWork:
+        // Another node holds the remaining groups; wait and re-ask (a failure or
+        // expiry may free one). Close() aborts the wait via stop_cv_.
+        if (PollWait()) {
+          return CancelledError("work client closed while polling for work");
+        }
+        break;
+    }
+  }
+}
+
+Result<AckMsg> WorkClient::CompleteLease(const LeaseCompleteMsg& msg) {
+  PERSONA_ASSIGN_OR_RETURN(ingest::RawFrame reply,
+                           Transact(WorkFrame::kLeaseComplete, msg.ToJson()));
+  if (reply.type != static_cast<uint8_t>(WorkFrame::kAck)) {
+    return InvalidArgumentError(
+        StrFormat("lease complete got unexpected %s", WorkFrameName(reply.type)));
+  }
+  return AckMsg::FromJson(reply.payload);
+}
+
+Result<AckMsg> WorkClient::FailLease(const LeaseFailMsg& msg) {
+  PERSONA_ASSIGN_OR_RETURN(ingest::RawFrame reply,
+                           Transact(WorkFrame::kLeaseFail, msg.ToJson()));
+  if (reply.type != static_cast<uint8_t>(WorkFrame::kAck)) {
+    return InvalidArgumentError(
+        StrFormat("lease fail got unexpected %s", WorkFrameName(reply.type)));
+  }
+  return AckMsg::FromJson(reply.payload);
+}
+
+Result<ClusterWorkReport> WorkClient::Stats() {
+  PERSONA_ASSIGN_OR_RETURN(ingest::RawFrame reply,
+                           Transact(WorkFrame::kStatsRequest, ""));
+  if (reply.type != static_cast<uint8_t>(WorkFrame::kStatsReply)) {
+    return InvalidArgumentError(
+        StrFormat("stats request got unexpected %s", WorkFrameName(reply.type)));
+  }
+  return ClusterWorkReport::FromJson(reply.payload);
+}
+
+NetworkWorkSource::NetworkWorkSource(WorkClient* client,
+                                     const format::Manifest* manifest,
+                                     storage::ObjectStore* store)
+    : client_(client), manifest_(manifest), store_(store) {
+  if (store_ != nullptr) {
+    MutexLock lock(mu_);
+    last_reported_ = store_->stats();
+  }
+}
+
+uint64_t NetworkWorkSource::RecordsInGroup(size_t group) const {
+  const size_t group_size = static_cast<size_t>(client_->job().group_size);
+  const size_t begin = group * group_size;
+  const size_t end = std::min(manifest_->chunks.size(), begin + group_size);
+  uint64_t records = 0;
+  for (size_t c = begin; c < end; ++c) {
+    records += static_cast<uint64_t>(manifest_->chunks[c].num_records);
+  }
+  return records;
+}
+
+std::optional<size_t> NetworkWorkSource::NextGroup() {
+  for (;;) {
+    Result<WorkClient::LeaseReply> reply = client_->TryLease();
+    if (!reply.ok()) {
+      // The pipeline treats nullopt as end-of-work and drains what it has; the
+      // service re-issues anything this worker leaves unfinished.
+      PLOG(WARN) << "work source: lease request failed, stopping: "
+                 << reply.status().ToString();
+      return std::nullopt;
+    }
+    switch (reply->outcome) {
+      case WorkClient::LeaseOutcome::kGranted: {
+        const size_t group = static_cast<size_t>(reply->grant.group);
+        MutexLock lock(mu_);
+        lease_by_group_[group] = reply->grant.lease_id;
+        return group;
+      }
+      case WorkClient::LeaseOutcome::kDrained:
+        return std::nullopt;
+      case WorkClient::LeaseOutcome::kNoWork: {
+        // No group is available right now. If THIS worker still holds leases, the
+        // groups behind them are queued in our own pipeline — and their completions
+        // only flush once the pipeline drains, which requires this source to end.
+        // Polling here would deadlock the whole cluster on ourselves (the service
+        // answers kNoWork precisely because our leases are outstanding). End the
+        // stream; queued groups complete during the drain, and re-issued strays go
+        // to workers that are still idle-polling.
+        {
+          MutexLock lock(mu_);
+          if (!lease_by_group_.empty()) {
+            PLOG(DEBUG) << "work source: no new work and " << lease_by_group_.size()
+                        << " lease(s) in flight locally; draining pipeline";
+            return std::nullopt;
+          }
+        }
+        if (client_->PollWait()) {
+          return std::nullopt;  // client closing
+        }
+        break;
+      }
+    }
+  }
+}
+
+Status NetworkWorkSource::CompleteGroup(size_t group,
+                                        const std::vector<std::string>& keys) {
+  LeaseCompleteMsg msg;
+  msg.group = group;
+  msg.keys = keys;
+  msg.records = RecordsInGroup(group);
+  {
+    MutexLock lock(mu_);
+    auto it = lease_by_group_.find(group);
+    if (it == lease_by_group_.end()) {
+      return InternalError(
+          StrFormat("completion for group %zu with no recorded lease", group));
+    }
+    msg.lease_id = it->second;
+    lease_by_group_.erase(it);
+    if (store_ != nullptr) {
+      const storage::StoreStats now = store_->stats();
+      msg.store = storage::StatsDelta(last_reported_, now);
+      last_reported_ = now;
+    }
+    records_completed_ += msg.records;
+    ++groups_completed_;
+  }
+  PERSONA_ASSIGN_OR_RETURN(AckMsg ack, client_->CompleteLease(msg));
+  if (ack.duplicate) {
+    PLOG(INFO) << "group " << group << " was already completed elsewhere "
+               << "(identical output, deduped by the service)";
+  }
+  return OkStatus();
+}
+
+Status NetworkWorkSource::FailGroup(size_t group, const Status& error) {
+  LeaseFailMsg msg;
+  msg.group = group;
+  msg.error = error.ToString();
+  {
+    MutexLock lock(mu_);
+    auto it = lease_by_group_.find(group);
+    if (it == lease_by_group_.end()) {
+      return InternalError(
+          StrFormat("failure report for group %zu with no recorded lease", group));
+    }
+    msg.lease_id = it->second;
+    lease_by_group_.erase(it);
+  }
+  PERSONA_ASSIGN_OR_RETURN(AckMsg ack, client_->FailLease(msg));
+  if (ack.quarantined) {
+    PLOG(WARN) << "group " << group << " quarantined by the service";
+  }
+  return OkStatus();
+}
+
+uint64_t NetworkWorkSource::records_completed() const {
+  MutexLock lock(mu_);
+  return records_completed_;
+}
+
+uint64_t NetworkWorkSource::groups_completed() const {
+  MutexLock lock(mu_);
+  return groups_completed_;
+}
+
+}  // namespace persona::cluster

@@ -1,0 +1,155 @@
+// Worker side of the distributed work service: WorkClient speaks the wire protocol
+// (work_protocol.h) to a WorkService, and NetworkWorkSource adapts it to the
+// pipeline::WorkSource interface so any ChunkPipeline tool — align, recompress, sort
+// phase 1 — becomes cluster-distributable without knowing the network exists.
+//
+// One connection serves the whole worker: the pipeline's source thread leases and
+// completes groups on it while a background heartbeat thread renews them, so all
+// request/reply exchanges are serialized on one mutex (the protocol has no frame
+// correlation ids — ordering IS the correlation).
+
+#ifndef PERSONA_SRC_CLUSTER_WORK_CLIENT_H_
+#define PERSONA_SRC_CLUSTER_WORK_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/cluster/work_protocol.h"
+#include "src/format/agd_manifest.h"
+#include "src/ingest/socket.h"
+#include "src/ingest/wire.h"
+#include "src/pipeline/chunk_pipeline.h"
+#include "src/storage/object_store.h"
+#include "src/util/mutex.h"
+#include "src/util/result.h"
+
+namespace persona::cluster {
+
+struct WorkClientOptions {
+  uint16_t port = 0;      // work service port on loopback
+  std::string node_name;  // operator-facing identity in the cluster report
+  // Wait between kNoWork polls. The service answers kNoWork while other nodes hold
+  // the remaining leases — one of them may yet fail or expire, so the worker polls
+  // until kDrained.
+  double poll_interval_sec = 0.05;
+  // 0 = use the interval the job spec announces.
+  double heartbeat_interval_sec = 0;
+};
+
+// A registered work-service session. Thread-safe; Close() (or destruction) stops the
+// heartbeat thread and disconnects, unblocking a NextLease poll wait.
+class WorkClient {
+ public:
+  ~WorkClient();
+
+  WorkClient(const WorkClient&) = delete;
+  WorkClient& operator=(const WorkClient&) = delete;
+
+  // Connects to 127.0.0.1:port, registers, and starts the heartbeat thread. The
+  // returned client has the job spec the service announced.
+  static Result<std::unique_ptr<WorkClient>> Connect(const WorkClientOptions& options);
+
+  const JobSpec& job() const { return job_; }
+
+  // One lease request. kNoWork means every remaining group is currently leased
+  // elsewhere (one may yet fail or expire — poll again); kDrained means the job is
+  // finished for good.
+  enum class LeaseOutcome { kGranted, kNoWork, kDrained };
+  struct LeaseReply {
+    LeaseOutcome outcome = LeaseOutcome::kNoWork;
+    LeaseGrantMsg grant;  // set when outcome == kGranted
+  };
+  Result<LeaseReply> TryLease() EXCLUDES(conn_mu_);
+
+  // Next lease, polling through kNoWork. nullopt when the service says kDrained.
+  // Fails on transport errors and protocol violations (including service shutdown
+  // mid-poll).
+  Result<std::optional<LeaseGrantMsg>> NextLease() EXCLUDES(conn_mu_, stop_mu_);
+
+  // Sleeps one poll interval (or until Close()). Returns true when the client is
+  // closing and the caller should stop polling.
+  bool PollWait() EXCLUDES(stop_mu_);
+
+  // Reports a finished group; the returned ack says whether the service had already
+  // counted it (duplicate — e.g. this lease expired and another node finished first).
+  Result<AckMsg> CompleteLease(const LeaseCompleteMsg& msg) EXCLUDES(conn_mu_);
+
+  // Reports a failed group; the ack says whether this failure quarantined it.
+  Result<AckMsg> FailLease(const LeaseFailMsg& msg) EXCLUDES(conn_mu_);
+
+  // Cluster-wide report, served from the service's aggregation.
+  Result<ClusterWorkReport> Stats() EXCLUDES(conn_mu_);
+
+  // Stops the heartbeat and disconnects. Idempotent; implied by destruction. Leases
+  // still held become the service's problem (released on disconnect).
+  void Close() EXCLUDES(conn_mu_, stop_mu_);
+
+ private:
+  WorkClient(const WorkClientOptions& options, ingest::Connection conn, JobSpec job)
+      : options_(options), conn_(std::move(conn)), job_(std::move(job)) {}
+
+  // One request/reply exchange. `expect` of kError means "any reply"; otherwise a
+  // kError reply or an unexpected type fails the exchange.
+  Result<ingest::RawFrame> Transact(WorkFrame type, std::string_view payload)
+      EXCLUDES(conn_mu_);
+
+  void HeartbeatLoop() EXCLUDES(conn_mu_, stop_mu_);
+
+  const WorkClientOptions options_;
+  Mutex conn_mu_;  // serializes request/reply pairs across threads
+  ingest::Connection conn_ GUARDED_BY(conn_mu_);
+  bool closed_ GUARDED_BY(conn_mu_) = false;
+  JobSpec job_;
+
+  std::thread heartbeat_;
+  Mutex stop_mu_;
+  CondVar stop_cv_;
+  bool stop_ GUARDED_BY(stop_mu_) = false;
+};
+
+// pipeline::WorkSource over a WorkClient: NextGroup leases, CompleteGroup reports
+// the landed keys plus per-lease record counts (from the manifest) and the worker's
+// StoreStats delta, FailGroup reports the error. Constructed per pipeline run.
+//
+// Store-delta attribution: deltas are cut at completion time from the shared store
+// counter, so with several groups in flight a group's delta may include a neighbor's
+// I/O — per-lease numbers are approximate, the cluster-wide sum is exact.
+class NetworkWorkSource final : public pipeline::WorkSource {
+ public:
+  // All pointers borrowed. `store` may be null (no delta reporting).
+  NetworkWorkSource(WorkClient* client, const format::Manifest* manifest,
+                    storage::ObjectStore* store);
+
+  std::optional<size_t> NextGroup() override EXCLUDES(mu_);
+  [[nodiscard]] Status CompleteGroup(size_t group,
+                                     const std::vector<std::string>& keys) override
+      EXCLUDES(mu_);
+  [[nodiscard]] Status FailGroup(size_t group, const Status& error) override
+      EXCLUDES(mu_);
+
+  // Work this source completed (first-completion or not, as leased here).
+  uint64_t records_completed() const EXCLUDES(mu_);
+  uint64_t groups_completed() const EXCLUDES(mu_);
+
+ private:
+  uint64_t RecordsInGroup(size_t group) const;
+
+  WorkClient* const client_;
+  const format::Manifest* const manifest_;
+  storage::ObjectStore* const store_;
+
+  mutable Mutex mu_;
+  std::unordered_map<size_t, uint64_t> lease_by_group_ GUARDED_BY(mu_);
+  storage::StoreStats last_reported_ GUARDED_BY(mu_);
+  uint64_t records_completed_ GUARDED_BY(mu_) = 0;
+  uint64_t groups_completed_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace persona::cluster
+
+#endif  // PERSONA_SRC_CLUSTER_WORK_CLIENT_H_

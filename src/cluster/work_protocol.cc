@@ -1,0 +1,284 @@
+#include "src/cluster/work_protocol.h"
+
+#include <utility>
+
+namespace persona::cluster {
+
+const char* WorkFrameName(uint8_t type) {
+  switch (static_cast<WorkFrame>(type)) {
+    case WorkFrame::kRegisterWorker:
+      return "RegisterWorker";
+    case WorkFrame::kLeaseRequest:
+      return "LeaseRequest";
+    case WorkFrame::kLeaseComplete:
+      return "LeaseComplete";
+    case WorkFrame::kLeaseFail:
+      return "LeaseFail";
+    case WorkFrame::kHeartbeat:
+      return "Heartbeat";
+    case WorkFrame::kStatsRequest:
+      return "StatsRequest";
+    case WorkFrame::kRegistered:
+      return "Registered";
+    case WorkFrame::kLeaseGrant:
+      return "LeaseGrant";
+    case WorkFrame::kNoWork:
+      return "NoWork";
+    case WorkFrame::kDrained:
+      return "Drained";
+    case WorkFrame::kAck:
+      return "Ack";
+    case WorkFrame::kHeartbeatAck:
+      return "HeartbeatAck";
+    case WorkFrame::kStatsReply:
+      return "StatsReply";
+    case WorkFrame::kError:
+      return "Error";
+  }
+  return "Unknown";
+}
+
+json::Value StoreStatsToJson(const storage::StoreStats& stats) {
+  json::Object object;
+  object["bytes_read"] = json::Value(stats.bytes_read);
+  object["bytes_written"] = json::Value(stats.bytes_written);
+  object["read_ops"] = json::Value(stats.read_ops);
+  object["write_ops"] = json::Value(stats.write_ops);
+  object["retries"] = json::Value(stats.retries);
+  object["give_ups"] = json::Value(stats.give_ups);
+  return json::Value(std::move(object));
+}
+
+Result<storage::StoreStats> StoreStatsFromJson(const json::Value& value) {
+  storage::StoreStats stats;
+  PERSONA_ASSIGN_OR_RETURN(int64_t bytes_read, value.GetInt("bytes_read"));
+  PERSONA_ASSIGN_OR_RETURN(int64_t bytes_written, value.GetInt("bytes_written"));
+  PERSONA_ASSIGN_OR_RETURN(int64_t read_ops, value.GetInt("read_ops"));
+  PERSONA_ASSIGN_OR_RETURN(int64_t write_ops, value.GetInt("write_ops"));
+  PERSONA_ASSIGN_OR_RETURN(int64_t retries, value.GetInt("retries"));
+  PERSONA_ASSIGN_OR_RETURN(int64_t give_ups, value.GetInt("give_ups"));
+  stats.bytes_read = static_cast<uint64_t>(bytes_read);
+  stats.bytes_written = static_cast<uint64_t>(bytes_written);
+  stats.read_ops = static_cast<uint64_t>(read_ops);
+  stats.write_ops = static_cast<uint64_t>(write_ops);
+  stats.retries = static_cast<uint64_t>(retries);
+  stats.give_ups = static_cast<uint64_t>(give_ups);
+  return stats;
+}
+
+std::string RegisterWorker::ToJson() const {
+  json::Object object;
+  object["node_name"] = json::Value(node_name);
+  object["pid"] = json::Value(pid);
+  return json::Value(std::move(object)).Dump();
+}
+
+Result<RegisterWorker> RegisterWorker::FromJson(std::string_view text) {
+  PERSONA_ASSIGN_OR_RETURN(json::Value value, json::Parse(text));
+  RegisterWorker msg;
+  PERSONA_ASSIGN_OR_RETURN(msg.node_name, value.GetString("node_name"));
+  PERSONA_ASSIGN_OR_RETURN(msg.pid, value.GetInt("pid"));
+  return msg;
+}
+
+std::string JobSpec::ToJson() const {
+  json::Object object;
+  object["tool"] = json::Value(tool);
+  object["manifest_key"] = json::Value(manifest_key);
+  object["group_size"] = json::Value(group_size);
+  object["num_groups"] = json::Value(num_groups);
+  object["lease_timeout_sec"] = json::Value(lease_timeout_sec);
+  object["heartbeat_interval_sec"] = json::Value(heartbeat_interval_sec);
+  object["params"] = json::Value(params);
+  return json::Value(std::move(object)).Dump();
+}
+
+Result<JobSpec> JobSpec::FromJson(std::string_view text) {
+  PERSONA_ASSIGN_OR_RETURN(json::Value value, json::Parse(text));
+  JobSpec spec;
+  PERSONA_ASSIGN_OR_RETURN(spec.tool, value.GetString("tool"));
+  PERSONA_ASSIGN_OR_RETURN(spec.manifest_key, value.GetString("manifest_key"));
+  PERSONA_ASSIGN_OR_RETURN(spec.group_size, value.GetInt("group_size"));
+  PERSONA_ASSIGN_OR_RETURN(spec.num_groups, value.GetInt("num_groups"));
+  PERSONA_ASSIGN_OR_RETURN(const json::Value* timeout, value.Get("lease_timeout_sec"));
+  if (!timeout->is_number()) {
+    return InvalidArgumentError("job spec: lease_timeout_sec must be a number");
+  }
+  spec.lease_timeout_sec = timeout->as_number();
+  PERSONA_ASSIGN_OR_RETURN(const json::Value* heartbeat,
+                           value.Get("heartbeat_interval_sec"));
+  if (!heartbeat->is_number()) {
+    return InvalidArgumentError("job spec: heartbeat_interval_sec must be a number");
+  }
+  spec.heartbeat_interval_sec = heartbeat->as_number();
+  PERSONA_ASSIGN_OR_RETURN(const json::Object* params, value.GetObject("params"));
+  spec.params = *params;
+  return spec;
+}
+
+std::string LeaseGrantMsg::ToJson() const {
+  json::Object object;
+  object["lease_id"] = json::Value(lease_id);
+  object["group"] = json::Value(group);
+  return json::Value(std::move(object)).Dump();
+}
+
+Result<LeaseGrantMsg> LeaseGrantMsg::FromJson(std::string_view text) {
+  PERSONA_ASSIGN_OR_RETURN(json::Value value, json::Parse(text));
+  LeaseGrantMsg msg;
+  PERSONA_ASSIGN_OR_RETURN(int64_t lease_id, value.GetInt("lease_id"));
+  PERSONA_ASSIGN_OR_RETURN(int64_t group, value.GetInt("group"));
+  if (lease_id < 0 || group < 0) {
+    return InvalidArgumentError("lease grant: negative lease_id or group");
+  }
+  msg.lease_id = static_cast<uint64_t>(lease_id);
+  msg.group = static_cast<uint64_t>(group);
+  return msg;
+}
+
+std::string LeaseCompleteMsg::ToJson() const {
+  json::Object object;
+  object["lease_id"] = json::Value(lease_id);
+  object["group"] = json::Value(group);
+  json::Array key_array;
+  key_array.reserve(keys.size());
+  for (const std::string& key : keys) {
+    key_array.emplace_back(key);
+  }
+  object["keys"] = json::Value(std::move(key_array));
+  object["records"] = json::Value(records);
+  object["store"] = StoreStatsToJson(store);
+  return json::Value(std::move(object)).Dump();
+}
+
+Result<LeaseCompleteMsg> LeaseCompleteMsg::FromJson(std::string_view text) {
+  PERSONA_ASSIGN_OR_RETURN(json::Value value, json::Parse(text));
+  LeaseCompleteMsg msg;
+  PERSONA_ASSIGN_OR_RETURN(int64_t lease_id, value.GetInt("lease_id"));
+  PERSONA_ASSIGN_OR_RETURN(int64_t group, value.GetInt("group"));
+  if (lease_id < 0 || group < 0) {
+    return InvalidArgumentError("lease complete: negative lease_id or group");
+  }
+  msg.lease_id = static_cast<uint64_t>(lease_id);
+  msg.group = static_cast<uint64_t>(group);
+  PERSONA_ASSIGN_OR_RETURN(const json::Array* keys, value.GetArray("keys"));
+  for (const json::Value& key : *keys) {
+    if (!key.is_string()) {
+      return InvalidArgumentError("lease complete: keys must be strings");
+    }
+    msg.keys.push_back(key.as_string());
+  }
+  PERSONA_ASSIGN_OR_RETURN(int64_t records, value.GetInt("records"));
+  msg.records = static_cast<uint64_t>(records);
+  PERSONA_ASSIGN_OR_RETURN(const json::Value* store, value.Get("store"));
+  PERSONA_ASSIGN_OR_RETURN(msg.store, StoreStatsFromJson(*store));
+  return msg;
+}
+
+std::string LeaseFailMsg::ToJson() const {
+  json::Object object;
+  object["lease_id"] = json::Value(lease_id);
+  object["group"] = json::Value(group);
+  object["error"] = json::Value(error);
+  return json::Value(std::move(object)).Dump();
+}
+
+Result<LeaseFailMsg> LeaseFailMsg::FromJson(std::string_view text) {
+  PERSONA_ASSIGN_OR_RETURN(json::Value value, json::Parse(text));
+  LeaseFailMsg msg;
+  PERSONA_ASSIGN_OR_RETURN(int64_t lease_id, value.GetInt("lease_id"));
+  PERSONA_ASSIGN_OR_RETURN(int64_t group, value.GetInt("group"));
+  if (lease_id < 0 || group < 0) {
+    return InvalidArgumentError("lease fail: negative lease_id or group");
+  }
+  msg.lease_id = static_cast<uint64_t>(lease_id);
+  msg.group = static_cast<uint64_t>(group);
+  PERSONA_ASSIGN_OR_RETURN(msg.error, value.GetString("error"));
+  return msg;
+}
+
+std::string AckMsg::ToJson() const {
+  json::Object object;
+  object["duplicate"] = json::Value(duplicate);
+  object["quarantined"] = json::Value(quarantined);
+  return json::Value(std::move(object)).Dump();
+}
+
+Result<AckMsg> AckMsg::FromJson(std::string_view text) {
+  PERSONA_ASSIGN_OR_RETURN(json::Value value, json::Parse(text));
+  AckMsg msg;
+  PERSONA_ASSIGN_OR_RETURN(const json::Value* duplicate, value.Get("duplicate"));
+  PERSONA_ASSIGN_OR_RETURN(const json::Value* quarantined, value.Get("quarantined"));
+  if (!duplicate->is_bool() || !quarantined->is_bool()) {
+    return InvalidArgumentError("ack: duplicate/quarantined must be booleans");
+  }
+  msg.duplicate = duplicate->as_bool();
+  msg.quarantined = quarantined->as_bool();
+  return msg;
+}
+
+std::string ClusterWorkReport::ToJson() const {
+  json::Object object;
+  object["num_groups"] = json::Value(num_groups);
+  object["completed"] = json::Value(completed);
+  object["quarantined"] = json::Value(quarantined);
+  object["reissues"] = json::Value(reissues);
+  object["expired_reclaims"] = json::Value(expired_reclaims);
+  object["duplicate_completions"] = json::Value(duplicate_completions);
+  object["drained"] = json::Value(drained);
+  object["records"] = json::Value(records);
+  object["store"] = StoreStatsToJson(store);
+  json::Array worker_array;
+  worker_array.reserve(workers.size());
+  for (const WorkerReport& worker : workers) {
+    json::Object entry;
+    entry["node_name"] = json::Value(worker.node_name);
+    entry["completed_groups"] = json::Value(worker.completed_groups);
+    entry["records"] = json::Value(worker.records);
+    entry["store"] = StoreStatsToJson(worker.store);
+    worker_array.emplace_back(std::move(entry));
+  }
+  object["workers"] = json::Value(std::move(worker_array));
+  return json::Value(std::move(object)).Dump(2);
+}
+
+Result<ClusterWorkReport> ClusterWorkReport::FromJson(std::string_view text) {
+  PERSONA_ASSIGN_OR_RETURN(json::Value value, json::Parse(text));
+  ClusterWorkReport report;
+  PERSONA_ASSIGN_OR_RETURN(int64_t num_groups, value.GetInt("num_groups"));
+  PERSONA_ASSIGN_OR_RETURN(int64_t completed, value.GetInt("completed"));
+  PERSONA_ASSIGN_OR_RETURN(int64_t quarantined, value.GetInt("quarantined"));
+  PERSONA_ASSIGN_OR_RETURN(int64_t reissues, value.GetInt("reissues"));
+  PERSONA_ASSIGN_OR_RETURN(int64_t expired, value.GetInt("expired_reclaims"));
+  PERSONA_ASSIGN_OR_RETURN(int64_t duplicates, value.GetInt("duplicate_completions"));
+  PERSONA_ASSIGN_OR_RETURN(int64_t records, value.GetInt("records"));
+  report.num_groups = static_cast<uint64_t>(num_groups);
+  report.completed = static_cast<uint64_t>(completed);
+  report.quarantined = static_cast<uint64_t>(quarantined);
+  report.reissues = static_cast<uint64_t>(reissues);
+  report.expired_reclaims = static_cast<uint64_t>(expired);
+  report.duplicate_completions = static_cast<uint64_t>(duplicates);
+  report.records = static_cast<uint64_t>(records);
+  PERSONA_ASSIGN_OR_RETURN(const json::Value* drained, value.Get("drained"));
+  if (!drained->is_bool()) {
+    return InvalidArgumentError("cluster report: drained must be a boolean");
+  }
+  report.drained = drained->as_bool();
+  PERSONA_ASSIGN_OR_RETURN(const json::Value* store, value.Get("store"));
+  PERSONA_ASSIGN_OR_RETURN(report.store, StoreStatsFromJson(*store));
+  PERSONA_ASSIGN_OR_RETURN(const json::Array* workers, value.GetArray("workers"));
+  for (const json::Value& entry : *workers) {
+    WorkerReport worker;
+    PERSONA_ASSIGN_OR_RETURN(worker.node_name, entry.GetString("node_name"));
+    PERSONA_ASSIGN_OR_RETURN(int64_t worker_completed, entry.GetInt("completed_groups"));
+    PERSONA_ASSIGN_OR_RETURN(int64_t worker_records, entry.GetInt("records"));
+    worker.completed_groups = static_cast<uint64_t>(worker_completed);
+    worker.records = static_cast<uint64_t>(worker_records);
+    PERSONA_ASSIGN_OR_RETURN(const json::Value* worker_store, entry.Get("store"));
+    PERSONA_ASSIGN_OR_RETURN(worker.store, StoreStatsFromJson(*worker_store));
+    report.workers.push_back(std::move(worker));
+  }
+  return report;
+}
+
+}  // namespace persona::cluster

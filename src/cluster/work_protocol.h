@@ -1,0 +1,169 @@
+// Wire protocol for the distributed work service (paper §5.2's manifest server as a
+// real network daemon). Frames ride the same length-prefixed layout as the ingest
+// protocol (src/ingest/wire.h: type u8 | payload u32 LE | payload) via the shared
+// Read/WriteRawFrame core; payloads are JSON, matching AGD's "simple JSON files"
+// manifest culture — the messages are small and on-wire debuggability beats the few
+// bytes a binary encoding would save.
+//
+// Session shape (client = persona_node worker, server = WorkService):
+//
+//   worker                              service
+//     kRegisterWorker {name, pid}  ->
+//                                  <-   kRegistered {job spec JSON}
+//     kLeaseRequest                ->
+//                                  <-   kLeaseGrant {lease_id, group} | kNoWork | kDrained
+//     ... process group ...
+//     kLeaseComplete {result}      ->
+//                                  <-   kAck {duplicate}
+//     kLeaseFail {error}           ->
+//                                  <-   kAck {quarantined}
+//     kHeartbeat                   ->   (renews every lease the worker holds)
+//                                  <-   kHeartbeatAck
+//     kStatsRequest                ->
+//                                  <-   kStatsReply {cluster report JSON}
+//
+// Any malformed frame gets kError {message} and the connection is closed: a worker
+// speaking garbage cannot be trusted with leases.
+
+#ifndef PERSONA_SRC_CLUSTER_WORK_PROTOCOL_H_
+#define PERSONA_SRC_CLUSTER_WORK_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/storage/object_store.h"
+#include "src/util/json.h"
+#include "src/util/result.h"
+#include "src/util/status.h"
+
+namespace persona::cluster {
+
+// Work-service frame types. Disjoint from ingest::FrameType only by convention (the
+// two protocols run on different ports); the 1..15 / 16..31 split mirrors ingest's
+// client/server ranges.
+enum class WorkFrame : uint8_t {
+  // worker -> service
+  kRegisterWorker = 1,
+  kLeaseRequest = 2,
+  kLeaseComplete = 3,
+  kLeaseFail = 4,
+  kHeartbeat = 5,
+  kStatsRequest = 6,
+  // service -> worker
+  kRegistered = 16,
+  kLeaseGrant = 17,
+  kNoWork = 18,   // nothing pending now; leases elsewhere may expire — poll again
+  kDrained = 19,  // every group settled; worker should exit its loop
+  kAck = 20,      // reply to kLeaseComplete / kLeaseFail
+  kHeartbeatAck = 21,
+  kStatsReply = 22,
+  kError = 23,  // protocol violation; connection closes after this frame
+};
+
+const char* WorkFrameName(uint8_t type);
+
+// What a worker announces at connect time.
+struct RegisterWorker {
+  std::string node_name;
+  int64_t pid = 0;
+
+  std::string ToJson() const;
+  static Result<RegisterWorker> FromJson(std::string_view text);
+};
+
+// The job the service is coordinating, sent back in kRegistered. Workers are thin:
+// everything they need to build their local pipeline — which tool, how chunks are
+// grouped, and tool parameters — comes from here, so starting a different job is a
+// service-side change only.
+struct JobSpec {
+  std::string tool;  // "align" | "recompress" | "reconstruct" | "sort1"
+  std::string manifest_key = "manifest.json";  // dataset manifest in the shared store
+  int64_t group_size = 1;                      // chunks per work group
+  int64_t num_groups = 0;
+  double lease_timeout_sec = 30;
+  double heartbeat_interval_sec = 5;
+  // Tool-specific knobs (codec name, sort out_name, synthetic-genome seed, ...).
+  json::Object params;
+
+  std::string ToJson() const;
+  static Result<JobSpec> FromJson(std::string_view text);
+};
+
+// kLeaseGrant payload.
+struct LeaseGrantMsg {
+  uint64_t lease_id = 0;
+  uint64_t group = 0;
+
+  std::string ToJson() const;
+  static Result<LeaseGrantMsg> FromJson(std::string_view text);
+};
+
+// kLeaseComplete payload: proof-of-work metadata for one finished group. `keys` are
+// the store objects the worker made durable before reporting (completion is only sent
+// after the pipeline's write window landed them). `store` is the worker-side
+// StoreStats delta attributed to this lease, for cluster-wide I/O accounting.
+struct LeaseCompleteMsg {
+  uint64_t lease_id = 0;
+  uint64_t group = 0;
+  std::vector<std::string> keys;
+  uint64_t records = 0;
+  storage::StoreStats store;
+
+  std::string ToJson() const;
+  static Result<LeaseCompleteMsg> FromJson(std::string_view text);
+};
+
+// kLeaseFail payload.
+struct LeaseFailMsg {
+  uint64_t lease_id = 0;
+  uint64_t group = 0;
+  std::string error;
+
+  std::string ToJson() const;
+  static Result<LeaseFailMsg> FromJson(std::string_view text);
+};
+
+// kAck payload.
+struct AckMsg {
+  bool duplicate = false;     // completion was for an already-completed group
+  bool quarantined = false;   // this failure exhausted the group's attempt budget
+
+  std::string ToJson() const;
+  static Result<AckMsg> FromJson(std::string_view text);
+};
+
+// Per-worker slice of the cluster report.
+struct WorkerReport {
+  std::string node_name;
+  uint64_t completed_groups = 0;
+  uint64_t records = 0;
+  storage::StoreStats store;
+};
+
+// Cluster-wide aggregate the service maintains from workers' completion reports
+// (kStatsReply payload, and WorkService::Report()).
+struct ClusterWorkReport {
+  uint64_t num_groups = 0;
+  uint64_t completed = 0;
+  uint64_t quarantined = 0;
+  uint64_t reissues = 0;
+  uint64_t expired_reclaims = 0;
+  uint64_t duplicate_completions = 0;
+  bool drained = false;
+  uint64_t records = 0;        // sum of first-completion record counts
+  storage::StoreStats store;   // sum of first-completion store deltas
+  std::vector<WorkerReport> workers;
+
+  std::string ToJson() const;
+  static Result<ClusterWorkReport> FromJson(std::string_view text);
+};
+
+// StoreStats <-> JSON, shared by the messages above.
+json::Value StoreStatsToJson(const storage::StoreStats& stats);
+Result<storage::StoreStats> StoreStatsFromJson(const json::Value& value);
+
+}  // namespace persona::cluster
+
+#endif  // PERSONA_SRC_CLUSTER_WORK_PROTOCOL_H_

@@ -1,0 +1,387 @@
+#include "src/cluster/work_service.h"
+
+#include <chrono>
+#include <utility>
+
+#include "src/ingest/wire.h"
+#include "src/pipeline/quarantine.h"
+#include "src/util/logging.h"
+#include "src/util/string_util.h"
+
+namespace persona::cluster {
+namespace {
+
+using ingest::Connection;
+using ingest::RawFrame;
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Best-effort reply: by the time a reply fails the worker is gone and the session
+// loop will notice on its next read; losing the reply itself is not an error.
+void WriteFrameBestEffort(Connection& conn, WorkFrame type, std::string_view payload) {
+  Status status = ingest::WriteRawFrame(conn, static_cast<uint8_t>(type), payload);
+  if (!status.ok()) {
+    PLOG(DEBUG) << "work service: dropping " << WorkFrameName(static_cast<uint8_t>(type))
+                << " reply: " << status.ToString();
+  }
+}
+
+}  // namespace
+
+Result<std::unique_ptr<WorkService>> WorkService::Start(
+    const WorkServiceOptions& options) {
+  if (options.job.num_groups <= 0) {
+    return InvalidArgumentError("work service: job.num_groups must be positive");
+  }
+  if (options.job.group_size <= 0) {
+    return InvalidArgumentError("work service: job.group_size must be positive");
+  }
+  if (options.job.tool.empty()) {
+    return InvalidArgumentError("work service: job.tool must be set");
+  }
+  PERSONA_ASSIGN_OR_RETURN(std::unique_ptr<ingest::SocketServer> server,
+                           ingest::SocketServer::Listen(options.port));
+  std::unique_ptr<WorkService> service(new WorkService(options, std::move(server)));
+  service->accept_thread_ = std::thread([raw = service.get()] { raw->AcceptLoop(); });
+  service->sweep_thread_ = std::thread([raw = service.get()] { raw->SweepLoop(); });
+  PLOG(INFO) << "work service for '" << options.job.tool << "' listening on port "
+             << service->port() << " (" << options.job.num_groups << " group(s) of "
+             << options.job.group_size << ")";
+  return service;
+}
+
+WorkService::~WorkService() { ForceShutdown(); }
+
+void WorkService::AcceptLoop() {
+  for (;;) {
+    Result<Connection> conn = server_->Accept();
+    if (!conn.ok()) {
+      if (conn.status().code() != StatusCode::kCancelled) {
+        PLOG(ERROR) << "work service: accept failed: " << conn.status().ToString();
+      }
+      return;
+    }
+    auto moved = std::make_shared<Connection>(std::move(*conn));
+    MutexLock lock(mu_);
+    ReapFinishedLocked();
+    SessionThread entry;
+    entry.done = std::make_shared<std::atomic<bool>>(false);
+    try {
+      entry.thread = std::thread([this, done = entry.done, moved] {
+        RunSession(std::move(*moved));
+        done->store(true, std::memory_order_release);
+      });
+    } catch (const std::system_error&) {
+      // Refuse one worker on thread exhaustion instead of killing the service.
+      WriteFrameBestEffort(*moved, WorkFrame::kError,
+                           "server cannot start a session thread");
+      continue;
+    }
+    session_threads_.push_back(std::move(entry));
+  }
+}
+
+void WorkService::ReapFinishedLocked() {
+  for (auto it = session_threads_.begin(); it != session_threads_.end();) {
+    if (it->done->load(std::memory_order_acquire)) {
+      it->thread.join();
+      it = session_threads_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void WorkService::RunSession(Connection conn_in) {
+  auto conn = std::make_shared<Connection>(std::move(conn_in));
+  live_conns_.Add(conn);
+
+  // Handshake: the first frame must be RegisterWorker, within the deadline.
+  size_t node = 0;
+  {
+    Status status = conn->SetRecvTimeout(options_.handshake_timeout_sec);
+    RawFrame frame;
+    if (status.ok()) {
+      status = ingest::ReadRawFrame(*conn, &frame);
+    }
+    if (status.ok() &&
+        frame.type != static_cast<uint8_t>(WorkFrame::kRegisterWorker)) {
+      status = InvalidArgumentError(
+          StrFormat("expected RegisterWorker, got %s (type %u)",
+                    WorkFrameName(frame.type), frame.type));
+    }
+    Result<RegisterWorker> reg = status.ok()
+                                     ? RegisterWorker::FromJson(frame.payload)
+                                     : Result<RegisterWorker>(status);
+    if (!reg.ok()) {
+      PLOG(WARN) << "work service: rejecting connection: " << reg.status().ToString();
+      WriteFrameBestEffort(*conn, WorkFrame::kError, reg.status().ToString());
+      live_conns_.Remove(conn.get());
+      conn->Close();
+      return;
+    }
+    {
+      MutexLock lock(mu_);
+      node = workers_.size();
+      workers_.push_back({reg->node_name, reg->pid, 0, {}});
+    }
+    PLOG(INFO) << "work service: node " << node << " ('" << reg->node_name << "', pid "
+               << reg->pid << ") registered";
+    WriteFrameBestEffort(*conn, WorkFrame::kRegistered, options_.job.ToJson());
+  }
+  // Request loop: workers poll on their own cadence, so no read deadline — a wedged
+  // worker's leases are reclaimed by the sweeper, and disconnect ends the session.
+  if (Status status = conn->SetRecvTimeout(0); !status.ok()) {
+    PLOG(WARN) << "work service: node " << node
+               << ": clearing recv timeout failed: " << status.ToString();
+  }
+  ServeWorker(conn, node);
+
+  const size_t released = table_.ReleaseNode(node);
+  if (released > 0) {
+    PLOG(WARN) << "work service: node " << node << " disconnected holding " << released
+               << " lease(s); returned to pending";
+    NotifyProgress();  // wake pollers blocked on drained-state changes
+  }
+  live_conns_.Remove(conn.get());
+  conn->Close();
+}
+
+void WorkService::ServeWorker(const std::shared_ptr<Connection>& conn, size_t node) {
+  for (;;) {
+    RawFrame frame;
+    if (Status status = ingest::ReadRawFrame(*conn, &frame); !status.ok()) {
+      if (status.code() != StatusCode::kOutOfRange) {
+        PLOG(WARN) << "work service: node " << node
+                   << " session read failed: " << status.ToString();
+      }
+      return;
+    }
+    switch (static_cast<WorkFrame>(frame.type)) {
+      case WorkFrame::kLeaseRequest: {
+        std::optional<LeaseGrant> grant = table_.Acquire(node, NowSeconds());
+        if (grant.has_value()) {
+          LeaseGrantMsg msg;
+          msg.lease_id = grant->lease_id;
+          msg.group = grant->group;
+          WriteFrameBestEffort(*conn, WorkFrame::kLeaseGrant, msg.ToJson());
+        } else if (table_.drained()) {
+          WriteFrameBestEffort(*conn, WorkFrame::kDrained, "");
+        } else {
+          WriteFrameBestEffort(*conn, WorkFrame::kNoWork, "");
+        }
+        break;
+      }
+      case WorkFrame::kLeaseComplete: {
+        Result<LeaseCompleteMsg> msg = LeaseCompleteMsg::FromJson(frame.payload);
+        if (!msg.ok()) {
+          WriteFrameBestEffort(*conn, WorkFrame::kError, msg.status().ToString());
+          return;
+        }
+        const CompleteOutcome outcome = table_.Complete(
+            node, msg->lease_id, static_cast<size_t>(msg->group));
+        if (outcome == CompleteOutcome::kUnknown) {
+          WriteFrameBestEffort(
+              *conn, WorkFrame::kError,
+              StrFormat("completion for out-of-range group %llu",
+                        static_cast<unsigned long long>(msg->group)));
+          return;
+        }
+        if (outcome == CompleteOutcome::kFirst) {
+          MutexLock lock(mu_);
+          total_records_ += msg->records;
+          total_store_.Accumulate(msg->store);
+          if (node < workers_.size()) {
+            workers_[node].records += msg->records;
+            workers_[node].store.Accumulate(msg->store);
+          }
+        }
+        AckMsg ack;
+        ack.duplicate = outcome == CompleteOutcome::kDuplicate;
+        WriteFrameBestEffort(*conn, WorkFrame::kAck, ack.ToJson());
+        NotifyProgress();
+        break;
+      }
+      case WorkFrame::kLeaseFail: {
+        Result<LeaseFailMsg> msg = LeaseFailMsg::FromJson(frame.payload);
+        if (!msg.ok()) {
+          WriteFrameBestEffort(*conn, WorkFrame::kError, msg.status().ToString());
+          return;
+        }
+        AckMsg ack;
+        ack.quarantined = table_.Fail(node, msg->lease_id,
+                                      static_cast<size_t>(msg->group), msg->error);
+        WriteFrameBestEffort(*conn, WorkFrame::kAck, ack.ToJson());
+        NotifyProgress();
+        break;
+      }
+      case WorkFrame::kHeartbeat: {
+        table_.Renew(node, NowSeconds());
+        WriteFrameBestEffort(*conn, WorkFrame::kHeartbeatAck, "");
+        break;
+      }
+      case WorkFrame::kStatsRequest: {
+        WriteFrameBestEffort(*conn, WorkFrame::kStatsReply, Report().ToJson());
+        break;
+      }
+      default: {
+        PLOG(WARN) << "work service: node " << node << " sent unexpected "
+                   << WorkFrameName(frame.type) << " (type "
+                   << static_cast<unsigned>(frame.type) << "); closing";
+        WriteFrameBestEffort(*conn, WorkFrame::kError,
+                             StrFormat("unexpected frame type %u", frame.type));
+        return;
+      }
+    }
+  }
+}
+
+void WorkService::SweepLoop() {
+  for (;;) {
+    {
+      MutexLock lock(sweep_mu_);
+      if (sweep_stop_) {
+        return;
+      }
+      // Result ignored on purpose: a notify means stop (checked above) and a timeout
+      // means sweep — both fall through to the reap.
+      if (sweep_cv_.WaitFor(sweep_mu_, options_.sweep_interval_sec) && sweep_stop_) {
+        return;
+      }
+    }
+    const size_t reclaimed = table_.ReapExpired(NowSeconds());
+    if (reclaimed > 0) {
+      NotifyProgress();  // freed groups may unblock kNoWork pollers' drain checks
+    }
+  }
+}
+
+void WorkService::NotifyProgress() {
+  MutexLock lock(drain_mu_);
+  drain_cv_.NotifyAll();
+}
+
+Status WorkService::AwaitDrained(double timeout_sec) {
+  const double deadline = timeout_sec > 0 ? NowSeconds() + timeout_sec : 0;
+  {
+    MutexLock lock(drain_mu_);
+    while (!table_.drained()) {
+      if (stopping_) {
+        return CancelledError("work service shut down before drain");
+      }
+      const double wait = deadline > 0
+                              ? deadline - NowSeconds()
+                              : options_.sweep_interval_sec + 1;
+      if (deadline > 0 && wait <= 0) {
+        return DeadlineExceededError(
+            StrFormat("dataset not drained after %.1fs", timeout_sec));
+      }
+      // Notified on every completion/failure/reclaim; the timeout re-checks the
+      // deadline (and, with no deadline, guards against a missed notify).
+      if (!drain_cv_.WaitFor(drain_mu_, wait)) {
+        continue;
+      }
+    }
+  }
+  if (!options_.quarantine_manifest_path.empty()) {
+    PERSONA_RETURN_IF_ERROR(WriteQuarantineManifest());
+  }
+  return OkStatus();
+}
+
+Status WorkService::WriteQuarantineManifest() const {
+  const std::vector<QuarantinedGroup> groups = table_.quarantined_groups();
+  if (groups.empty()) {
+    return OkStatus();
+  }
+  pipeline::QuarantineManifest manifest;
+  manifest.dataset = options_.job.manifest_key;
+  for (const QuarantinedGroup& group : groups) {
+    pipeline::QuarantineManifest::Entry entry;
+    entry.group = group.group;
+    entry.error = StrFormat("quarantined after %d attempt(s): %s", group.attempts,
+                            group.last_error.c_str());
+    manifest.entries.push_back(std::move(entry));
+  }
+  return pipeline::SaveQuarantineManifest(options_.quarantine_manifest_path, manifest);
+}
+
+ClusterWorkReport WorkService::Report() const {
+  const LeaseTableStats stats = table_.stats();
+  ClusterWorkReport report;
+  report.num_groups = stats.num_groups;
+  report.completed = stats.completed;
+  report.quarantined = stats.quarantined;
+  report.reissues = stats.reissues;
+  report.expired_reclaims = stats.expired_reclaims;
+  report.duplicate_completions = stats.duplicate_completions;
+  report.drained = stats.completed + stats.quarantined == stats.num_groups;
+  MutexLock lock(mu_);
+  report.records = total_records_;
+  report.store = total_store_;
+  for (size_t node = 0; node < workers_.size(); ++node) {
+    WorkerReport worker;
+    worker.node_name = workers_[node].node_name;
+    worker.completed_groups = node < stats.per_node_completed.size()
+                                  ? stats.per_node_completed[node]
+                                  : 0;
+    worker.records = workers_[node].records;
+    worker.store = workers_[node].store;
+    report.workers.push_back(std::move(worker));
+  }
+  return report;
+}
+
+void WorkService::Shutdown() {
+  {
+    MutexLock lock(drain_mu_);
+    stopping_ = true;
+    drain_cv_.NotifyAll();
+  }
+  {
+    MutexLock lock(sweep_mu_);
+    sweep_stop_ = true;
+    sweep_cv_.NotifyAll();
+  }
+  server_->Shutdown();
+  MutexLock lock(shutdown_mu_);
+  if (shut_down_.exchange(true)) {
+    return;
+  }
+  if (accept_thread_.joinable()) {
+    accept_thread_.join();
+  }
+  if (sweep_thread_.joinable()) {
+    sweep_thread_.join();
+  }
+  // Collect session threads; they end when their worker disconnects.
+  for (;;) {
+    std::vector<SessionThread> threads;
+    {
+      MutexLock sessions(mu_);
+      threads.swap(session_threads_);
+    }
+    if (threads.empty()) {
+      return;
+    }
+    for (SessionThread& entry : threads) {
+      entry.thread.join();
+    }
+  }
+}
+
+void WorkService::ForceShutdown() {
+  server_->Shutdown();
+  const size_t aborted = live_conns_.AbortAll();
+  if (aborted > 0) {
+    PLOG(INFO) << "work service force shutdown: aborted " << aborted
+               << " live worker socket(s)";
+  }
+  Shutdown();
+}
+
+}  // namespace persona::cluster

@@ -1,0 +1,159 @@
+// WorkService: the manifest server as a real network daemon (paper §5.2), upgraded
+// from a message queue to a fault-tolerant lease service.
+//
+// One process runs the service next to the shared object store; N persona_node
+// workers connect over loopback TCP, register, and pull chunk-group leases until the
+// dataset drains. The service owns nothing but coordination state — workers read
+// chunks from and write results to the shared store directly, so the data path
+// scales with the store (paper §5.4) while the control path stays a few hundred
+// bytes per chunk.
+//
+// Fault tolerance (the reason this is a lease service, not a queue):
+//   - A worker that disconnects (crash, SIGKILL) has its leases released immediately
+//     and re-issued to the next requester.
+//   - A worker that goes silent while connected (wedged process) has its leases
+//     reclaimed by the sweeper thread once they expire; heartbeats renew them.
+//   - A completion that arrives after its lease expired is accepted anyway: the
+//     tools are deterministic, so both executions produced bit-identical objects
+//     under the same store key, and the duplicate is acknowledged and deduped.
+//   - A group that fails `max_attempts` times is quarantined, reported in the
+//     cluster report, and optionally persisted to a quarantine manifest so the run
+//     can drain instead of wedging on one poisoned chunk.
+//
+// The service aggregates per-worker completion counts, record counts, and worker-side
+// StoreStats deltas into a cluster-wide ClusterWorkReport (paper §5.5's
+// completion-balance measurement).
+
+#ifndef PERSONA_SRC_CLUSTER_WORK_SERVICE_H_
+#define PERSONA_SRC_CLUSTER_WORK_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/cluster/lease_table.h"
+#include "src/cluster/work_protocol.h"
+#include "src/ingest/socket.h"
+#include "src/util/mutex.h"
+#include "src/util/result.h"
+
+namespace persona::cluster {
+
+struct WorkServiceOptions {
+  uint16_t port = 0;  // 0 = kernel-assigned (read back via port())
+  // The job to coordinate. num_groups must be set (ceil(chunks / group_size));
+  // lease_timeout_sec and heartbeat_interval_sec ride inside it to the workers.
+  JobSpec job;
+  int max_attempts = 3;             // per-group hand-out budget before quarantine
+  double handshake_timeout_sec = 10;  // RegisterWorker deadline for a new connection
+  double sweep_interval_sec = 0.5;    // expired-lease reaper cadence
+  // When set, permanently failed groups are persisted here as a quarantine manifest
+  // (pipeline::QuarantineManifest JSON, written atomically) once the run drains.
+  std::string quarantine_manifest_path;
+};
+
+class WorkService {
+ public:
+  ~WorkService();  // ForceShutdown + join
+
+  WorkService(const WorkService&) = delete;
+  WorkService& operator=(const WorkService&) = delete;
+
+  // Binds, starts the accept loop and lease sweeper, and returns a running service.
+  static Result<std::unique_ptr<WorkService>> Start(const WorkServiceOptions& options);
+
+  uint16_t port() const { return server_->port(); }
+
+  // Blocks until every group is completed or quarantined (or `timeout_sec` elapses;
+  // 0 = wait forever). On drain, writes the quarantine manifest if configured and
+  // any groups were quarantined. Returns DeadlineExceeded on timeout and Cancelled
+  // if the service was shut down first.
+  [[nodiscard]] Status AwaitDrained(double timeout_sec = 0) EXCLUDES(drain_mu_);
+
+  // Cluster-wide aggregate so far. Callable at any time.
+  ClusterWorkReport Report() const EXCLUDES(mu_);
+
+  std::vector<QuarantinedGroup> quarantined_groups() const {
+    return table_.quarantined_groups();
+  }
+
+  // Stops accepting, then waits for connected workers to go away on their own.
+  // Sessions keep being served until their socket closes — use ForceShutdown when
+  // they must not outlive the call. Idempotent.
+  void Shutdown() EXCLUDES(shutdown_mu_, mu_, drain_mu_);
+
+  // Force-abort: aborts every live worker socket (their sessions end with a
+  // transport error and release their leases) and joins. Idempotent.
+  void ForceShutdown() EXCLUDES(shutdown_mu_, mu_, drain_mu_);
+
+ private:
+  WorkService(const WorkServiceOptions& options,
+              std::unique_ptr<ingest::SocketServer> server)
+      : options_(options),
+        table_(static_cast<size_t>(options.job.num_groups > 0 ? options.job.num_groups
+                                                              : 0),
+               0, LeaseOptionsFrom(options)),
+        server_(std::move(server)) {}
+
+  static LeaseTableOptions LeaseOptionsFrom(const WorkServiceOptions& options) {
+    LeaseTableOptions lease;
+    lease.lease_timeout_sec = options.job.lease_timeout_sec;
+    lease.max_attempts = options.max_attempts;
+    return lease;
+  }
+
+  void AcceptLoop();
+  void RunSession(ingest::Connection conn_in);
+  // The registered-worker request loop; returns when the worker disconnects or
+  // violates the protocol.
+  void ServeWorker(const std::shared_ptr<ingest::Connection>& conn, size_t node);
+  void SweepLoop();
+  void NotifyProgress() EXCLUDES(drain_mu_);
+  // Joins session threads that have finished (called on each accept).
+  void ReapFinishedLocked() REQUIRES(mu_);
+  [[nodiscard]] Status WriteQuarantineManifest() const;
+
+  const WorkServiceOptions options_;
+  LeaseTable table_;
+  std::unique_ptr<ingest::SocketServer> server_;
+  std::thread accept_thread_;
+  std::thread sweep_thread_;
+
+  ingest::LiveConnectionSet live_conns_;  // worker sockets, for ForceShutdown
+
+  struct SessionThread {
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+
+  struct WorkerInfo {
+    std::string node_name;
+    int64_t pid = 0;
+    uint64_t records = 0;          // first-completion records reported
+    storage::StoreStats store;     // first-completion store deltas reported
+  };
+
+  mutable Mutex mu_;
+  Mutex shutdown_mu_;  // serializes Shutdown/ForceShutdown (thread joins)
+  std::vector<SessionThread> session_threads_ GUARDED_BY(mu_);
+  std::vector<WorkerInfo> workers_ GUARDED_BY(mu_);  // indexed by node id
+  uint64_t total_records_ GUARDED_BY(mu_) = 0;
+  storage::StoreStats total_store_ GUARDED_BY(mu_);
+
+  mutable Mutex drain_mu_ ACQUIRED_AFTER(mu_);
+  CondVar drain_cv_;
+  bool stopping_ GUARDED_BY(drain_mu_) = false;
+
+  Mutex sweep_mu_;
+  CondVar sweep_cv_;
+  bool sweep_stop_ GUARDED_BY(sweep_mu_) = false;
+
+  std::atomic<bool> shut_down_{false};
+};
+
+}  // namespace persona::cluster
+
+#endif  // PERSONA_SRC_CLUSTER_WORK_SERVICE_H_

@@ -146,6 +146,20 @@ void IngestService::Shutdown() {
   }
 }
 
+void IngestService::ForceShutdown() {
+  // Aborting the sockets first turns every session blocked in recv (handshake,
+  // between frames, mid-frame) into an immediate error, so the graceful path's
+  // joins cannot be pinned by a stalled client. Sessions whose pipeline is busy
+  // on the store still drain their in-flight work — the abort cuts the *input*,
+  // it does not abandon buffers mid-write.
+  server_->Shutdown();
+  const size_t aborted = live_conns_.AbortAll();
+  if (aborted > 0) {
+    PLOG(INFO) << "force shutdown: aborted " << aborted << " live session socket(s)";
+  }
+  Shutdown();
+}
+
 void IngestService::ReapFinishedLocked() {
   std::erase_if(session_threads_, [](SessionThread& entry) {
     if (!entry.session->reapable.load(std::memory_order_acquire)) {
@@ -238,6 +252,9 @@ void IngestService::RunSession(Connection conn_in,
                                const std::shared_ptr<SessionState>& session) {
   // active_ was claimed by the accept thread (admission control); released here.
   auto conn = std::make_shared<Connection>(std::move(conn_in));
+  // Registered for ForceShutdown; Remove-before-Close is the registry contract
+  // that keeps an abort from racing the close (see LiveConnectionSet).
+  live_conns_.Add(conn);
 
   // --- Handshake: one Start frame within the deadline, then streaming. ---
   Status status = conn->SetRecvTimeout(options_.handshake_timeout_sec);
@@ -302,6 +319,7 @@ void IngestService::RunSession(Connection conn_in,
   } else {
     WriteFrameBestEffort(*conn, FrameType::kError, status.ToString());
   }
+  live_conns_.Remove(conn.get());
   conn->Close();
   completed_.fetch_add(1, std::memory_order_relaxed);
   active_.fetch_sub(1, std::memory_order_relaxed);

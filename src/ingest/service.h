@@ -105,8 +105,14 @@ class IngestService {
   // Stops accepting new clients and waits for in-flight sessions to drain (their
   // sockets keep being served until the client finishes or disconnects). Idempotent.
   // Note: a connected client that stalls forever mid-stream pins Shutdown with it —
-  // a force/deadline variant that aborts live sockets is ROADMAP headroom.
+  // use ForceShutdown when the sessions must not outlive the call.
   void Shutdown() EXCLUDES(shutdown_mu_, mu_);
+
+  // Force-abort variant: closes every live session socket (blocked recvs fail
+  // immediately, their sessions end with a transport error) and then runs the
+  // normal Shutdown join path. In-flight store writes still complete — only the
+  // client input is cut. Idempotent, like Shutdown.
+  void ForceShutdown() EXCLUDES(shutdown_mu_, mu_);
 
   // Snapshots of every session, in accept order (running and completed).
   std::vector<IngestSessionStats> Sessions() const EXCLUDES(mu_);
@@ -153,6 +159,7 @@ class IngestService {
     std::shared_ptr<SessionState> session;
   };
 
+  LiveConnectionSet live_conns_;  // session sockets, for ForceShutdown
   mutable Mutex mu_;
   Mutex shutdown_mu_;  // serializes Shutdown (thread joins)
   std::vector<std::shared_ptr<SessionState>> sessions_ GUARDED_BY(mu_);

@@ -10,6 +10,7 @@
 #include <sys/time.h>
 #include <unistd.h>
 
+#include "src/util/logging.h"
 #include "src/util/string_util.h"
 
 namespace persona::ingest {
@@ -95,6 +96,14 @@ Status Connection::ShutdownWrite() {
   return OkStatus();
 }
 
+void Connection::Abort() {
+  if (fd_ >= 0 && ::shutdown(fd_, SHUT_RDWR) != 0 && errno != ENOTCONN) {
+    // Nothing to hand the error to — the blocked reader observes the abort (or its
+    // absence) directly; anything but "peer already gone" is worth a debug line.
+    PLOG(DEBUG) << "abort: shutdown(RDWR): " << std::strerror(errno);
+  }
+}
+
 void Connection::Close() {
   if (fd_ >= 0) {
     ::close(fd_);
@@ -174,6 +183,37 @@ Result<Connection> SocketServer::Accept() {
 }
 
 void SocketServer::Shutdown() { shutdown_.store(true, std::memory_order_release); }
+
+void LiveConnectionSet::Add(const std::shared_ptr<Connection>& conn) {
+  MutexLock lock(mu_);
+  // Prune entries whose sessions ended without an explicit Remove (defensive; the
+  // session contract is Remove-before-Close, but an expired weak_ptr is harmless).
+  std::erase_if(conns_, [](const std::weak_ptr<Connection>& weak) {
+    return weak.expired();
+  });
+  conns_.push_back(conn);
+}
+
+void LiveConnectionSet::Remove(const Connection* conn) {
+  MutexLock lock(mu_);
+  std::erase_if(conns_, [conn](const std::weak_ptr<Connection>& weak) {
+    std::shared_ptr<Connection> live = weak.lock();
+    return live == nullptr || live.get() == conn;
+  });
+}
+
+size_t LiveConnectionSet::AbortAll() {
+  MutexLock lock(mu_);
+  size_t aborted = 0;
+  for (const std::weak_ptr<Connection>& weak : conns_) {
+    if (std::shared_ptr<Connection> live = weak.lock()) {
+      live->Abort();
+      ++aborted;
+    }
+  }
+  conns_.clear();
+  return aborted;
+}
 
 Result<Connection> ConnectLoopback(uint16_t port) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);

@@ -16,7 +16,9 @@
 #include <cstdint>
 #include <memory>
 #include <string_view>
+#include <vector>
 
+#include "src/util/mutex.h"
 #include "src/util/result.h"
 
 namespace persona::ingest {
@@ -57,6 +59,12 @@ class Connection {
 
   // Half-close: no more reads will be served to the peer's writes (used by tests).
   [[nodiscard]] Status ShutdownWrite();
+
+  // Force-abort: shuts down both directions so a thread blocked in RecvAll/SendAll
+  // on this connection returns immediately (recv sees EOF, send sees EPIPE). Unlike
+  // Close() the fd stays allocated, so calling it from another thread cannot race a
+  // concurrent recv against fd reuse. Used by service force-shutdown.
+  void Abort();
 
   // Receive timeout for subsequent RecvAll calls (0 = block forever). Used for the
   // session handshake so a silent client cannot pin a server thread; cleared once
@@ -99,6 +107,24 @@ class SocketServer {
 
 // Connects to 127.0.0.1:`port` (the test/bench/client side of SocketServer).
 [[nodiscard]] Result<Connection> ConnectLoopback(uint16_t port);
+
+// Registry of live session connections for a service's force-abort shutdown path.
+// Sessions register their connection after accept and must Remove() it before
+// Close(): Remove and AbortAll serialize on the same mutex and Abort never closes
+// the fd, so an abort can race a session's reads but never its close (no fd-reuse
+// hazard). Shared by IngestService::ForceShutdown and WorkService::ForceShutdown.
+class LiveConnectionSet {
+ public:
+  void Add(const std::shared_ptr<Connection>& conn) EXCLUDES(mu_);
+  void Remove(const Connection* conn) EXCLUDES(mu_);
+  // Aborts every registered connection (under the lock; shutdown(2) does not
+  // block). Returns how many were aborted.
+  size_t AbortAll() EXCLUDES(mu_);
+
+ private:
+  mutable Mutex mu_;
+  std::vector<std::weak_ptr<Connection>> conns_ GUARDED_BY(mu_);
+};
 
 }  // namespace persona::ingest
 

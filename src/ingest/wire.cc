@@ -53,7 +53,7 @@ std::string_view FrameTypeName(FrameType type) {
   return "Unknown";
 }
 
-Status WriteFrame(Connection& conn, FrameType type, std::string_view payload) {
+Status WriteRawFrame(Connection& conn, uint8_t type, std::string_view payload) {
   if (payload.size() > kMaxFramePayload) {
     return InvalidArgumentError(StrFormat("frame payload too large: %zu bytes",
                                           payload.size()));
@@ -75,13 +75,10 @@ Status WriteFrame(Connection& conn, FrameType type, std::string_view payload) {
   return OkStatus();
 }
 
-Status ReadFrame(Connection& conn, Frame* out) {
+Status ReadRawFrame(Connection& conn, RawFrame* out) {
   char header[kHeaderBytes];
   PERSONA_RETURN_IF_ERROR(conn.RecvAll(header, sizeof(header)));
-  const uint8_t raw_type = static_cast<uint8_t>(header[0]);
-  if (!KnownFrameType(raw_type)) {
-    return DataLossError(StrFormat("unknown frame type %u", raw_type));
-  }
+  out->type = static_cast<uint8_t>(header[0]);
   uint32_t len = 0;
   for (int i = 0; i < 4; ++i) {
     len |= static_cast<uint32_t>(static_cast<uint8_t>(header[1 + i])) << (8 * i);
@@ -89,7 +86,6 @@ Status ReadFrame(Connection& conn, Frame* out) {
   if (len > kMaxFramePayload) {
     return DataLossError(StrFormat("frame payload length %u exceeds limit", len));
   }
-  out->type = static_cast<FrameType>(raw_type);
   out->payload.resize(len);
   if (len > 0) {
     Status status = conn.RecvAll(out->payload.data(), len);
@@ -101,6 +97,21 @@ Status ReadFrame(Connection& conn, Frame* out) {
       return status;
     }
   }
+  return OkStatus();
+}
+
+Status WriteFrame(Connection& conn, FrameType type, std::string_view payload) {
+  return WriteRawFrame(conn, static_cast<uint8_t>(type), payload);
+}
+
+Status ReadFrame(Connection& conn, Frame* out) {
+  RawFrame raw;
+  PERSONA_RETURN_IF_ERROR(ReadRawFrame(conn, &raw));
+  if (!KnownFrameType(raw.type)) {
+    return DataLossError(StrFormat("unknown frame type %u", raw.type));
+  }
+  out->type = static_cast<FrameType>(raw.type);
+  out->payload = std::move(raw.payload);
   return OkStatus();
 }
 

@@ -49,16 +49,34 @@ std::string_view FrameTypeName(FrameType type);
 // with a parse error, not an OOM.
 inline constexpr uint32_t kMaxFramePayload = 64u << 20;
 
+// The protocol-agnostic frame core: `type u8 | payload_length u32 LE | payload`.
+// The ingest session protocol and the cluster work-service protocol are different
+// type vocabularies over this one encoding, so the raw read/write pair lives here
+// and each protocol validates its own type set on top.
+struct RawFrame {
+  uint8_t type = 0;
+  std::string payload;
+};
+
+// Sends one raw frame (explicit little-endian header; header and payload as two
+// sends so the payload is never copied).
+[[nodiscard]] Status WriteRawFrame(Connection& conn, uint8_t type,
+                                   std::string_view payload);
+
+// Receives one raw frame. A clean peer close at a frame boundary returns kOutOfRange
+// ("connection closed"); a close inside a frame (header or payload) returns
+// kDataLoss; an over-limit length returns kDataLoss before allocating.
+[[nodiscard]] Status ReadRawFrame(Connection& conn, RawFrame* out);
+
 struct Frame {
   FrameType type = FrameType::kError;
   std::string payload;
 };
 
-// Sends one frame (header + payload in one buffered send).
+// Sends one ingest-protocol frame.
 [[nodiscard]] Status WriteFrame(Connection& conn, FrameType type, std::string_view payload);
 
-// Receives one frame. A clean peer close at a frame boundary returns kOutOfRange
-// ("connection closed"); a close inside a frame returns kDataLoss.
+// Receives one ingest-protocol frame (raw frame + ingest type validation).
 [[nodiscard]] Status ReadFrame(Connection& conn, Frame* out);
 
 }  // namespace persona::ingest

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "src/pipeline/job_journal.h"
+#include "src/pipeline/quarantine.h"
 #include "src/util/mutex.h"
 #include "src/util/stopwatch.h"
 #include "src/util/string_util.h"
@@ -32,15 +33,24 @@ struct RawItem {
   std::vector<std::string> keys;
 };
 
-// skip_bad_chunks accounting, shared by the reader and parser stages.
+// skip_bad_chunks accounting, shared by the reader and parser stages. Entries keep
+// the work-item index and error alongside the keys so Run() can persist them as a
+// quarantine manifest (and a cluster work source can be told the group failed).
 struct Quarantine {
   Mutex mu;
   uint64_t items GUARDED_BY(mu) = 0;
   std::vector<std::string> keys GUARDED_BY(mu);
+  std::vector<QuarantineManifest::Entry> entries GUARDED_BY(mu);
 
-  void Add(std::vector<std::string>&& item_keys) EXCLUDES(mu) {
+  void Add(size_t index, std::vector<std::string>&& item_keys,
+           const Status& error) EXCLUDES(mu) {
     MutexLock lock(mu);
     ++items;
+    QuarantineManifest::Entry entry;
+    entry.group = index;
+    entry.error = error.ToString();
+    entry.keys = item_keys;
+    entries.push_back(std::move(entry));
     for (std::string& key : item_keys) {
       keys.push_back(std::move(key));
     }
@@ -89,11 +99,14 @@ struct OrderGate {
 // in flight while op/buffer memory stays owned until each ticket completes.
 class WriteWindow {
  public:
-  // `journal`, when set, records each request's work item as completed once its
-  // ticket lands OK (the resume commit point: outputs durable before the item is
-  // marked done).
-  WriteWindow(storage::ObjectStore* store, size_t depth, JobJournal* journal)
-      : store_(store), depth_(depth == 0 ? 1 : depth), journal_(journal) {}
+  // `commit`, when set, is called with each request's work item and landed keys once
+  // its ticket completes OK — the durable-output commit point shared by the resume
+  // journal (mark the item done) and a cluster work source (report the lease
+  // complete). Never called for kNoItem emissions (drain epilogues, manifests).
+  using CommitFn = std::function<Status(size_t item, std::vector<std::string> keys)>;
+
+  WriteWindow(storage::ObjectStore* store, size_t depth, CommitFn commit)
+      : store_(store), depth_(depth == 0 ? 1 : depth), commit_(std::move(commit)) {}
 
   Status Submit(ChunkPipeline::WriteRequest&& request) {
     auto pending = std::make_unique<Pending>();
@@ -117,7 +130,7 @@ class WriteWindow {
     }
     if (evicted != nullptr) {
       PERSONA_RETURN_IF_ERROR(evicted->ticket.Await());
-      return CommitIfJournaled(*evicted);
+      return CommitLanded(*evicted);
     }
     return OkStatus();
   }
@@ -135,7 +148,7 @@ class WriteWindow {
     for (const auto& pending : all) {
       Status status = pending->ticket.Await();
       if (status.ok()) {
-        status = CommitIfJournaled(*pending);
+        status = CommitLanded(*pending);
       }
       if (!status.ok() && first_error.ok()) {
         first_error = status;
@@ -152,8 +165,8 @@ class WriteWindow {
     storage::IoTicket ticket;
   };
 
-  Status CommitIfJournaled(const Pending& pending) {
-    if (journal_ == nullptr || pending.item == ChunkPipeline::kNoItem) {
+  Status CommitLanded(const Pending& pending) {
+    if (!commit_ || pending.item == ChunkPipeline::kNoItem) {
       return OkStatus();
     }
     std::vector<std::string> keys;
@@ -161,12 +174,12 @@ class WriteWindow {
     for (const storage::PutOp& op : pending.ops) {
       keys.push_back(op.key);
     }
-    return journal_->Commit(pending.item, std::move(keys));
+    return commit_(pending.item, std::move(keys));
   }
 
   storage::ObjectStore* store_;
   const size_t depth_;
-  JobJournal* const journal_;
+  const CommitFn commit_;
   Mutex mu_;
   std::deque<std::unique_ptr<Pending>> window_ GUARDED_BY(mu_);
 };
@@ -215,13 +228,24 @@ Status ChunkPipeline::Emitter::Write(WriteRequest request) {
 void ChunkPipeline::SetManifestSource(storage::ObjectStore* store,
                                       const format::Manifest* manifest,
                                       std::vector<std::string> columns, size_t group_size,
-                                      WorkSourceFn work_source) {
+                                      WorkSource* work_source) {
   source_store_ = store;
   manifest_ = manifest;
   columns_ = std::move(columns);
   group_size_ = group_size == 0 ? 1 : group_size;
-  work_source_ = std::move(work_source);
+  work_source_ = work_source;
   record_source_ = nullptr;
+}
+
+void ChunkPipeline::SetManifestSource(storage::ObjectStore* store,
+                                      const format::Manifest* manifest,
+                                      std::vector<std::string> columns, size_t group_size,
+                                      WorkSourceFn work_source) {
+  owned_work_source_ =
+      work_source ? std::make_unique<FunctionWorkSource>(std::move(work_source))
+                  : nullptr;
+  SetManifestSource(store, manifest, std::move(columns), group_size,
+                    owned_work_source_.get());
 }
 
 void ChunkPipeline::SetRecordSource(RecordSourceFn next) {
@@ -339,7 +363,20 @@ Result<ChunkPipelineReport> ChunkPipeline::Run() {
                                  [](Buffer* b) { b->Clear(); });
   pool_capacity_ = pool->capacity();
 
-  auto window = std::make_shared<WriteWindow>(write_store_, window_depth, journal_);
+  // The durable-write commit point: the journal and a cluster work source want the
+  // same notification (item's outputs landed), so they share the window's callback.
+  WriteWindow::CommitFn commit;
+  if (journal_ != nullptr) {
+    commit = [journal = journal_](size_t item, std::vector<std::string> keys) {
+      return journal->Commit(item, std::move(keys));
+    };
+  } else if (work_source_ != nullptr) {
+    commit = [source = work_source_](size_t item, std::vector<std::string> keys) {
+      return source->CompleteGroup(item, keys);
+    };
+  }
+  auto window = std::make_shared<WriteWindow>(write_store_, window_depth,
+                                              std::move(commit));
   auto quarantine = std::make_shared<Quarantine>();
   auto resumed = std::make_shared<std::atomic<uint64_t>>(0);
   Status source_error;
@@ -381,12 +418,14 @@ Result<ChunkPipelineReport> ChunkPipeline::Run() {
       const size_t num_groups = (num_chunks + group - 1) / group;
       if (work_source_) {
         // Never combined with an OrderGate (ordered + work_source is rejected above).
-        auto dense = std::make_shared<std::atomic<size_t>>(0);
+        // The group index *is* the work-item index: completion notifications and
+        // output keys must name the same group on every node, which a per-node
+        // dense counter cannot do.
         graph.AddSource<Work>(
             "chunk-source", work_queue,
-            [source = work_source_, dense, group, num_chunks]() -> std::optional<Work> {
+            [source = work_source_, group, num_chunks]() -> std::optional<Work> {
               while (true) {
-                std::optional<size_t> g = source();
+                std::optional<size_t> g = source->NextGroup();
                 if (!g.has_value()) {
                   return std::nullopt;
                 }
@@ -395,7 +434,7 @@ Result<ChunkPipelineReport> ChunkPipeline::Run() {
                   continue;  // out-of-range handout: nothing to do for it
                 }
                 Work work;
-                work.index = dense->fetch_add(1);
+                work.index = *g;
                 work.chunk_begin = begin;
                 work.chunk_end = std::min(num_chunks, begin + group);
                 return work;
@@ -439,8 +478,9 @@ Result<ChunkPipelineReport> ChunkPipeline::Run() {
       graph.AddStage<Work, RawItem>(
           "reader", read_par, work_queue, raw_queue,
           [store = source_store_, manifest = manifest_, columns = &columns_, pool,
-           skip = options_.skip_bad_chunks,
-           quarantine](Work&& work, dataflow::StageOutput<RawItem>& out) -> Status {
+           skip = options_.skip_bad_chunks, quarantine,
+           source = work_source_](Work&& work,
+                                  dataflow::StageOutput<RawItem>& out) -> Status {
             RawItem raw;
             raw.index = work.index;
             raw.chunk_begin = work.chunk_begin;
@@ -464,8 +504,12 @@ Result<ChunkPipelineReport> ChunkPipeline::Run() {
               }
               // Graceful degradation: the store (and its retry budget) gave up on
               // this item — quarantine it and keep the run alive. Dropping `raw`
-              // returns the pooled buffers.
-              quarantine->Add(std::move(raw.keys));
+              // returns the pooled buffers. A cluster work source is told so the
+              // lease can fail over (or be quarantined server-side).
+              if (source != nullptr) {
+                PERSONA_RETURN_IF_ERROR(source->FailGroup(raw.index, status));
+              }
+              quarantine->Add(raw.index, std::move(raw.keys), status);
               return OkStatus();
             }
             return out.Push(std::move(raw));
@@ -500,8 +544,9 @@ Result<ChunkPipelineReport> ChunkPipeline::Run() {
       };
       graph.AddStage<RawItem, Input>(
           "parser", parse_par, raw_queue, input_queue,
-          [parse_item, skip = options_.skip_bad_chunks,
-           quarantine](RawItem&& raw, dataflow::StageOutput<Input>& out) -> Status {
+          [parse_item, skip = options_.skip_bad_chunks, quarantine,
+           source = work_source_](RawItem&& raw,
+                                  dataflow::StageOutput<Input>& out) -> Status {
             Input input;
             Status status = parse_item(raw, &input);
             if (!status.ok()) {
@@ -511,7 +556,10 @@ Result<ChunkPipelineReport> ChunkPipeline::Run() {
               // A chunk that fetched but won't decode (corruption the codec or
               // record-count check caught): quarantine instead of cancelling.
               raw.files.clear();
-              quarantine->Add(std::move(raw.keys));
+              if (source != nullptr) {
+                PERSONA_RETURN_IF_ERROR(source->FailGroup(raw.index, status));
+              }
+              quarantine->Add(raw.index, std::move(raw.keys), status);
               return OkStatus();
             }
             return out.Push(std::move(input));
@@ -660,10 +708,19 @@ Result<ChunkPipelineReport> ChunkPipeline::Run() {
   PERSONA_RETURN_IF_ERROR(drain_status);
 
   report.resumed_items = resumed->load(std::memory_order_relaxed);
+  std::vector<QuarantineManifest::Entry> quarantine_entries;
   {
     MutexLock lock(quarantine->mu);
     report.quarantined_items = quarantine->items;
     report.quarantined_keys = std::move(quarantine->keys);
+    quarantine_entries = std::move(quarantine->entries);
+  }
+  if (!options_.quarantine_manifest_path.empty() && !quarantine_entries.empty()) {
+    QuarantineManifest qm;
+    qm.dataset = manifest_ != nullptr ? manifest_->name : "";
+    qm.entries = std::move(quarantine_entries);
+    PERSONA_RETURN_IF_ERROR(
+        SaveQuarantineManifest(options_.quarantine_manifest_path, qm));
   }
   report.store_stats = storage::StatsDelta(store_before, stats_store->stats());
   report.utilization = std::move(utilization);

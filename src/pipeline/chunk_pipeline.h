@@ -47,6 +47,40 @@ namespace persona::pipeline {
 
 class JobJournal;
 
+// Cluster work source: supplies group indices to a manifest-mode pipeline and
+// receives the lease lifecycle back. NextGroup runs on the pipeline's single source
+// thread (blocking there — e.g. polling a work service — is fine and is the
+// backpressure point); CompleteGroup is called from writer workers once every
+// object of the group's emission is durable in the store (the same commit point
+// the resume journal uses), and FailGroup when the group is quarantined
+// (skip_bad_chunks) and will produce no output on this node. Complete/Fail must be
+// thread-safe; a non-OK return fails the run (the node cannot report its lease).
+class WorkSource {
+ public:
+  virtual ~WorkSource() = default;
+  virtual std::optional<size_t> NextGroup() = 0;
+  [[nodiscard]] virtual Status CompleteGroup(size_t group,
+                                             const std::vector<std::string>& keys) = 0;
+  [[nodiscard]] virtual Status FailGroup(size_t group, const Status& error) = 0;
+};
+
+// Adapter for plain handout functions (the in-process manifest server, tests):
+// completion and failure notifications are no-ops.
+class FunctionWorkSource final : public WorkSource {
+ public:
+  explicit FunctionWorkSource(std::function<std::optional<size_t>()> next)
+      : next_(std::move(next)) {}
+
+  std::optional<size_t> NextGroup() override { return next_(); }
+  Status CompleteGroup(size_t, const std::vector<std::string>&) override {
+    return OkStatus();
+  }
+  Status FailGroup(size_t, const Status&) override { return OkStatus(); }
+
+ private:
+  std::function<std::optional<size_t>()> next_;
+};
+
 // Per-stage and whole-run statistics of one ChunkPipeline execution.
 struct ChunkPipelineReport {
   double seconds = 0;
@@ -99,6 +133,12 @@ class ChunkPipeline {
     // Default off: fail-fast. Incompatible with ordered transforms, whose resequencer
     // must see every index (Run() rejects the combination).
     bool skip_bad_chunks = false;
+
+    // When set and the run quarantined anything, the quarantined items are persisted
+    // to this path as a quarantine manifest (JSON via WriteFileAtomic; see
+    // pipeline/quarantine.h) so a repair tool or the cluster work service can
+    // consume them instead of scraping the report.
+    std::string quarantine_manifest_path;
   };
 
   // Sentinel for WriteRequest/SerializeRequest::item: not tied to a work item (drain
@@ -109,7 +149,11 @@ class ChunkPipeline {
   // parsed column chunks, chunk-major: column c of manifest chunk (chunk_begin + k) is
   // columns[k * num_columns + c] (see column()). In record mode only `reads` is set.
   struct Input {
-    size_t index = 0;        // dense work-item index (resequencing key)
+    // Dense work-item index (the resequencing key). With a cluster work source this
+    // is the *group index* the source handed out — stable across nodes and runs, so
+    // lease completion and output keys line up cluster-wide. (Ordered transforms are
+    // rejected with a work source, so resequencing never sees the sparse indices.)
+    size_t index = 0;
     size_t chunk_begin = 0;  // manifest chunks [chunk_begin, chunk_end)
     size_t chunk_end = 0;
     size_t num_columns = 0;
@@ -196,10 +240,17 @@ class ChunkPipeline {
   // Manifest mode: fetch `columns` of every chunk in each `group_size`-chunk group with
   // one batched Get, parse, and hand the group to the transform. `manifest` must
   // outlive Run(). `work_source`, when set, supplies group indices instead of local
-  // iteration.
+  // iteration and receives the complete/fail lease lifecycle; it is borrowed and must
+  // outlive Run().
   void SetManifestSource(storage::ObjectStore* store, const format::Manifest* manifest,
                          std::vector<std::string> columns, size_t group_size = 1,
-                         WorkSourceFn work_source = nullptr);
+                         WorkSource* work_source = nullptr);
+
+  // Convenience overload for a plain handout function (wrapped in an owned
+  // FunctionWorkSource; completion/failure notifications are dropped).
+  void SetManifestSource(storage::ObjectStore* store, const format::Manifest* manifest,
+                         std::vector<std::string> columns, size_t group_size,
+                         WorkSourceFn work_source);
 
   // Record mode: `next` runs on one source thread and produces Inputs directly (their
   // `index` is stamped densely by the pipeline).
@@ -241,7 +292,8 @@ class ChunkPipeline {
   const format::Manifest* manifest_ = nullptr;
   std::vector<std::string> columns_;
   size_t group_size_ = 1;
-  WorkSourceFn work_source_;
+  WorkSource* work_source_ = nullptr;           // borrowed
+  std::unique_ptr<WorkSource> owned_work_source_;  // function-adapter overload
   RecordSourceFn record_source_;
 
   std::string transform_name_ = "transform";

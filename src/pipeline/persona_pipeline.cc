@@ -180,7 +180,7 @@ Result<AlignRunReport> RunPersonaAlignment(storage::ObjectStore* store,
 
   // Persist the dataset's new shape: the results column now exists (paper §3:
   // "Persona appends alignment results to a new AGD column").
-  if (!manifest.HasColumn("results")) {
+  if (options.update_manifest && !manifest.HasColumn("results")) {
     format::Manifest updated = manifest;
     updated.columns.push_back(format::ResultsColumn(options.results_codec));
     PERSONA_RETURN_IF_ERROR(store->Put("manifest.json", updated.ToJson()));

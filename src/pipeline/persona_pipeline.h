@@ -20,6 +20,7 @@
 #include "src/dataflow/graph.h"
 #include "src/dataflow/stats.h"
 #include "src/format/agd_manifest.h"
+#include "src/pipeline/chunk_pipeline.h"
 #include "src/storage/object_store.h"
 
 namespace persona::pipeline {
@@ -43,9 +44,15 @@ struct AlignPipelineOptions {
   compress::CodecId results_codec = compress::CodecId::kZlib;
   double utilization_sample_sec = 0;  // 0 disables the sampler
   bool collect_results = false;       // also return decoded results (tests/benches)
-  // Cluster mode: when set, chunk indices come from this shared source (the cluster's
-  // manifest server) instead of iterating the local manifest. Must be thread-safe.
-  std::function<std::optional<size_t>()> work_source;
+  // Cluster mode: when set (borrowed), chunk indices come from this shared source —
+  // the in-process manifest server or a network lease client — instead of iterating
+  // the local manifest, and each chunk's completion is reported back once its
+  // results column is durable. Must be thread-safe.
+  pipeline::WorkSource* work_source = nullptr;
+  // Whether to write the updated "manifest.json" (adding the results column) after
+  // the run. Cluster worker nodes turn this off: N workers racing to Put the same
+  // manifest would be wasted writes at best — the coordinator owns the manifest.
+  bool update_manifest = true;
   // Crash-safe resume (borrowed): the caller Loads it before the run and Clears it
   // after success; the pipeline skips journaled chunks and commits each results
   // column as it lands. Incompatible with work_source and with collect_results

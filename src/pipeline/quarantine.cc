@@ -1,0 +1,65 @@
+#include "src/pipeline/quarantine.h"
+
+#include <utility>
+
+#include "src/util/file_util.h"
+#include "src/util/json.h"
+
+namespace persona::pipeline {
+
+std::string QuarantineManifest::ToJson() const {
+  json::Object root;
+  root["dataset"] = json::Value(dataset);
+  json::Array items;
+  items.reserve(entries.size());
+  for (const Entry& entry : entries) {
+    json::Object o;
+    o["group"] = json::Value(static_cast<uint64_t>(entry.group));
+    json::Array keys;
+    keys.reserve(entry.keys.size());
+    for (const std::string& key : entry.keys) {
+      keys.emplace_back(key);
+    }
+    o["keys"] = json::Value(std::move(keys));
+    o["error"] = json::Value(entry.error);
+    items.emplace_back(std::move(o));
+  }
+  root["entries"] = json::Value(std::move(items));
+  return json::Value(std::move(root)).Dump(2);
+}
+
+Result<QuarantineManifest> QuarantineManifest::FromJson(std::string_view text) {
+  PERSONA_ASSIGN_OR_RETURN(json::Value root, json::Parse(text));
+  QuarantineManifest manifest;
+  PERSONA_ASSIGN_OR_RETURN(manifest.dataset, root.GetString("dataset"));
+  PERSONA_ASSIGN_OR_RETURN(const json::Array* entries, root.GetArray("entries"));
+  manifest.entries.reserve(entries->size());
+  for (const json::Value& item : *entries) {
+    Entry entry;
+    PERSONA_ASSIGN_OR_RETURN(const int64_t group, item.GetInt("group"));
+    entry.group = static_cast<size_t>(group);
+    PERSONA_ASSIGN_OR_RETURN(const json::Array* keys, item.GetArray("keys"));
+    entry.keys.reserve(keys->size());
+    for (const json::Value& key : *keys) {
+      if (!key.is_string()) {
+        return InvalidArgumentError("quarantine manifest: non-string key");
+      }
+      entry.keys.push_back(key.as_string());
+    }
+    PERSONA_ASSIGN_OR_RETURN(entry.error, item.GetString("error"));
+    manifest.entries.push_back(std::move(entry));
+  }
+  return manifest;
+}
+
+Status SaveQuarantineManifest(const std::string& path,
+                              const QuarantineManifest& manifest) {
+  return WriteFileAtomic(path, manifest.ToJson());
+}
+
+Result<QuarantineManifest> LoadQuarantineManifest(const std::string& path) {
+  PERSONA_ASSIGN_OR_RETURN(std::string text, ReadFileToString(path));
+  return QuarantineManifest::FromJson(text);
+}
+
+}  // namespace persona::pipeline

@@ -1,0 +1,46 @@
+// Quarantine manifest: the durable record of work items a run (or the cluster work
+// service) gave up on.
+//
+// skip_bad_chunks quarantines a chunk whose columns cannot be fetched or parsed and
+// keeps the run alive; the cluster WorkService quarantines a group whose lease failed
+// on every attempt. Both used to be report-only — visible to whoever read the return
+// value and gone with the process. Persisting them as a small JSON file (written with
+// WriteFileAtomic, so a crash never leaves a half manifest) gives a repair tool or a
+// re-run something machine-readable to consume: which groups, which object keys, and
+// why.
+
+#ifndef PERSONA_SRC_PIPELINE_QUARANTINE_H_
+#define PERSONA_SRC_PIPELINE_QUARANTINE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/util/result.h"
+
+namespace persona::pipeline {
+
+struct QuarantineManifest {
+  // The dataset the quarantined items belong to (manifest name; may be empty when
+  // the producer had no manifest in hand).
+  std::string dataset;
+
+  struct Entry {
+    size_t group = 0;               // work-item (group) index
+    std::vector<std::string> keys;  // object keys the item covered (may be empty)
+    std::string error;              // why it was quarantined
+  };
+  std::vector<Entry> entries;
+
+  std::string ToJson() const;
+  static Result<QuarantineManifest> FromJson(std::string_view text);
+};
+
+// Writes `manifest` to `path` atomically (WriteFileAtomic: tmp file + rename).
+[[nodiscard]] Status SaveQuarantineManifest(const std::string& path,
+                                            const QuarantineManifest& manifest);
+
+[[nodiscard]] Result<QuarantineManifest> LoadQuarantineManifest(const std::string& path);
+
+}  // namespace persona::pipeline
+
+#endif  // PERSONA_SRC_PIPELINE_QUARANTINE_H_

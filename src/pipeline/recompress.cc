@@ -72,7 +72,8 @@ Result<RecompressReport> RefCompressBasesColumn(storage::ObjectStore* store,
   // stage) because the report needs each output object's stored size.
   auto counters = std::make_shared<SharedCounters>();
   ChunkPipeline pipeline(options.pipeline);
-  pipeline.SetManifestSource(store, &manifest, {"bases", "results"});
+  pipeline.SetManifestSource(store, &manifest, {"bases", "results"}, 1,
+                             options.work_source);
   pipeline.SetWriter(store, 1);
   if (options.resume_journal != nullptr) {
     pipeline.SetResumeJournal(options.resume_journal);
@@ -119,9 +120,11 @@ Result<RecompressReport> RefCompressBasesColumn(storage::ObjectStore* store,
   format::Manifest out = manifest;
   PERSONA_RETURN_IF_ERROR(SwapColumn(
       &out, "bases", {"ref_bases", format::RecordType::kRefBases, options.codec}));
-  PERSONA_RETURN_IF_ERROR(store->Put("manifest.json", out.ToJson()));
-  if (options.delete_source_column) {
-    PERSONA_RETURN_IF_ERROR(DeleteColumnObjects(store, manifest, "bases"));
+  if (options.update_manifest) {
+    PERSONA_RETURN_IF_ERROR(store->Put("manifest.json", out.ToJson()));
+    if (options.delete_source_column) {
+      PERSONA_RETURN_IF_ERROR(DeleteColumnObjects(store, manifest, "bases"));
+    }
   }
   *out_manifest = std::move(out);
 
@@ -145,7 +148,8 @@ Result<RecompressReport> ReconstructBasesColumn(storage::ObjectStore* store,
 
   auto counters = std::make_shared<SharedCounters>();
   ChunkPipeline pipeline(options.pipeline);
-  pipeline.SetManifestSource(store, &manifest, {"ref_bases", "results"});
+  pipeline.SetManifestSource(store, &manifest, {"ref_bases", "results"}, 1,
+                             options.work_source);
   pipeline.SetWriter(store, 1);
   if (options.resume_journal != nullptr) {
     pipeline.SetResumeJournal(options.resume_journal);
@@ -198,9 +202,11 @@ Result<RecompressReport> ReconstructBasesColumn(storage::ObjectStore* store,
   format::Manifest out = manifest;
   PERSONA_RETURN_IF_ERROR(SwapColumn(
       &out, "ref_bases", {"bases", format::RecordType::kBases, options.codec}));
-  PERSONA_RETURN_IF_ERROR(store->Put("manifest.json", out.ToJson()));
-  if (options.delete_source_column) {
-    PERSONA_RETURN_IF_ERROR(DeleteColumnObjects(store, manifest, "ref_bases"));
+  if (options.update_manifest) {
+    PERSONA_RETURN_IF_ERROR(store->Put("manifest.json", out.ToJson()));
+    if (options.delete_source_column) {
+      PERSONA_RETURN_IF_ERROR(DeleteColumnObjects(store, manifest, "ref_bases"));
+    }
   }
   *out_manifest = std::move(out);
 

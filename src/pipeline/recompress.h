@@ -53,6 +53,14 @@ struct RecompressOptions {
   // column as it lands. On a resumed run the report's record/byte counters cover only
   // the chunks actually re-processed.
   JobJournal* resume_journal = nullptr;
+  // Cluster mode (borrowed): chunk handout + lease completion through this source
+  // instead of local iteration (see pipeline::WorkSource). Incompatible with
+  // resume_journal (the chunk pipeline rejects the combination).
+  WorkSource* work_source = nullptr;
+  // Whether to write the swapped-column "manifest.json" (and delete the source
+  // column) after the run. Cluster worker nodes turn this off: the coordinator owns
+  // manifest updates and source-column deletion once the whole cluster drained.
+  bool update_manifest = true;
 };
 
 // bases -> ref_bases. Requires bases and results columns. On success `out_manifest`

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <memory>
 #include <queue>
 
@@ -107,10 +108,11 @@ class SuperchunkCursor {
 
 }  // namespace
 
-Result<SortReport> SortAgdDataset(storage::ObjectStore* store,
-                                  const format::Manifest& manifest,
-                                  const std::string& out_name, const SortOptions& options,
-                                  format::Manifest* out_manifest) {
+Result<SortPhase1Report> SortSuperchunks(storage::ObjectStore* store,
+                                         const format::Manifest& manifest,
+                                         const std::string& out_name,
+                                         const SortOptions& options,
+                                         WorkSource* work_source) {
   if (!manifest.HasColumn("results")) {
     return FailedPreconditionError("sort requires a results column (align first)");
   }
@@ -120,25 +122,26 @@ Result<SortReport> SortAgdDataset(storage::ObjectStore* store,
   const storage::StoreStats store_before = store->stats();
   Stopwatch timer;
 
-  // --- Phase 1: sorted superchunks on the shared ChunkPipeline. Each work item is one
-  // superchunk group (all four columns of every chunk, one batched Get); the sort
-  // transform runs `sort_threads` wide, and spill writes overlap the next group's
-  // fetch+sort through the writer's asynchronous ticket window. ---
-  const size_t num_chunks = manifest.chunks.size();
+  // Sorted superchunks on the shared ChunkPipeline. Each work item is one superchunk
+  // group (all four columns of every chunk, one batched Get); the sort transform runs
+  // `sort_threads` wide, and spill writes overlap the next group's fetch+sort through
+  // the writer's asynchronous ticket window. With a work source, groups come from the
+  // shared lease table instead of local iteration, and each spill's completion is
+  // reported back once it is durable.
   const size_t group = static_cast<size_t>(options.chunks_per_superchunk);
-  const size_t num_supers = (num_chunks + group - 1) / group;
   const compress::Codec& temp_codec = compress::GetCodec(options.temp_codec);
 
   ChunkPipeline::Options phase1_options = options.pipeline;
   phase1_options.transform_parallelism = std::max(1, options.sort_threads);
   ChunkPipeline phase1(phase1_options);
   phase1.SetManifestSource(store, &manifest, {"bases", "qual", "metadata", "results"},
-                           group);
+                           group, work_source);
   phase1.SetWriter(store, 1);
+  auto sorted_groups = std::make_shared<std::atomic<uint64_t>>(0);
   phase1.SetTransform(
       "superchunk-sort",
-      [&options, &temp_codec, &out_name](ChunkPipeline::Input&& input,
-                                         ChunkPipeline::Emitter& emit) -> Status {
+      [&options, &temp_codec, &out_name, sorted_groups](
+          ChunkPipeline::Input&& input, ChunkPipeline::Emitter& emit) -> Status {
         std::vector<Row> rows;
         PERSONA_RETURN_IF_ERROR(DecodeSuperchunkRows(input, &rows));
         std::sort(rows.begin(), rows.end(),
@@ -150,13 +153,35 @@ Result<SortReport> SortAgdDataset(storage::ObjectStore* store,
         ChunkPipeline::BufferRef object = emit.AcquireBuffer();
         object->AppendScalar<uint64_t>(raw.size());
         PERSONA_RETURN_IF_ERROR(temp_codec.Compress(raw.span(), object.get()));
+        sorted_groups->fetch_add(1, std::memory_order_relaxed);
         return emit.Write(out_name + ".super-" + std::to_string(input.index),
                           std::move(object));
       });
   PERSONA_RETURN_IF_ERROR(phase1.Run().status());
-  const double phase1_seconds = timer.ElapsedSeconds();
 
-  // --- Phase 2: k-way merge into the output dataset. All superchunk temporaries are
+  SortPhase1Report report;
+  report.seconds = timer.ElapsedSeconds();
+  report.superchunks = sorted_groups->load();
+  report.store_stats = storage::StatsDelta(store_before, store->stats());
+  return report;
+}
+
+Result<SortReport> MergeSuperchunks(storage::ObjectStore* store,
+                                    const format::Manifest& manifest,
+                                    const std::string& out_name,
+                                    const SortOptions& options,
+                                    format::Manifest* out_manifest) {
+  if (options.chunks_per_superchunk <= 0) {
+    return InvalidArgumentError("chunks_per_superchunk must be positive");
+  }
+  const storage::StoreStats store_before = store->stats();
+  Stopwatch timer;
+  const size_t num_chunks = manifest.chunks.size();
+  const size_t group = static_cast<size_t>(options.chunks_per_superchunk);
+  const size_t num_supers = (num_chunks + group - 1) / group;
+  const compress::Codec& temp_codec = compress::GetCodec(options.temp_codec);
+
+  // K-way merge into the output dataset. All superchunk temporaries are
   // fetched with one batched Get (they live on distinct shards/OSD nodes). ---
   std::vector<Buffer> super_objects(num_supers);
   {
@@ -277,14 +302,27 @@ Result<SortReport> SortAgdDataset(storage::ObjectStore* store,
 
   SortReport report;
   report.seconds = timer.ElapsedSeconds();
-  report.phase1_seconds = phase1_seconds;
-  report.merge_seconds = report.seconds - phase1_seconds;
+  report.merge_seconds = report.seconds;
   report.records = static_cast<uint64_t>(total_emitted);
   report.superchunks = num_supers;
   report.store_stats = storage::StatsDelta(store_before, store->stats());
   if (out_manifest != nullptr) {
     *out_manifest = std::move(out);
   }
+  return report;
+}
+
+Result<SortReport> SortAgdDataset(storage::ObjectStore* store,
+                                  const format::Manifest& manifest,
+                                  const std::string& out_name, const SortOptions& options,
+                                  format::Manifest* out_manifest) {
+  PERSONA_ASSIGN_OR_RETURN(SortPhase1Report phase1,
+                           SortSuperchunks(store, manifest, out_name, options));
+  PERSONA_ASSIGN_OR_RETURN(SortReport report, MergeSuperchunks(store, manifest, out_name,
+                                                               options, out_manifest));
+  report.seconds += phase1.seconds;
+  report.phase1_seconds = phase1.seconds;
+  report.store_stats.Accumulate(phase1.store_stats);
   return report;
 }
 

@@ -44,9 +44,40 @@ struct SortOptions {
   ChunkPipeline::Options pipeline;
 };
 
+// Phase-1-only report (the distributable half; see SortSuperchunks).
+struct SortPhase1Report {
+  double seconds = 0;
+  // Superchunk groups this call processed (with a work source: only this node's
+  // leased groups; the dataset-wide count is ceil(chunks / chunks_per_superchunk)).
+  uint64_t superchunks = 0;
+  storage::StoreStats store_stats;
+};
+
+// Phase 1 alone: sorts each group of `chunks_per_superchunk` consecutive chunks and
+// spills it as "<out_name>.super-<group>". Groups are independent, so this is the
+// cluster-distributable half of the sort — with `work_source` set (borrowed), this
+// node sorts only the groups it leases, and a coordinator runs MergeSuperchunks
+// once every group's spill is durable.
+Result<SortPhase1Report> SortSuperchunks(storage::ObjectStore* store,
+                                         const format::Manifest& manifest,
+                                         const std::string& out_name,
+                                         const SortOptions& options,
+                                         WorkSource* work_source = nullptr);
+
+// Phase 2 alone: k-way merges the dataset's superchunk spills (all
+// ceil(chunks / chunks_per_superchunk) of them — they must all exist) into the
+// final sorted dataset and deletes the temporaries. The returned report covers the
+// merge only (phase1_seconds = 0).
+Result<SortReport> MergeSuperchunks(storage::ObjectStore* store,
+                                    const format::Manifest& manifest,
+                                    const std::string& out_name,
+                                    const SortOptions& options,
+                                    format::Manifest* out_manifest);
+
 // Sorts the dataset described by `manifest` (which must include a results column) into a
-// new dataset named `out_name` in the same store. On success `out_manifest` describes
-// the sorted dataset (also stored as "<out_name>.manifest.json").
+// new dataset named `out_name` in the same store: SortSuperchunks then
+// MergeSuperchunks in one process. On success `out_manifest` describes the sorted
+// dataset (also stored as "<out_name>.manifest.json").
 Result<SortReport> SortAgdDataset(storage::ObjectStore* store,
                                   const format::Manifest& manifest,
                                   const std::string& out_name, const SortOptions& options,

@@ -41,6 +41,18 @@ struct StoreStats {
   // re-attempts performed, and ops abandoned after exhausting the retry budget.
   uint64_t retries = 0;
   uint64_t give_ups = 0;
+
+  // Field-wise sum: merges another delta into this one. Used to combine the deltas of
+  // a multi-phase run, and by the cluster work service to aggregate the per-lease
+  // deltas its workers report into a cluster-wide total.
+  void Accumulate(const StoreStats& other) {
+    bytes_read += other.bytes_read;
+    bytes_written += other.bytes_written;
+    read_ops += other.read_ops;
+    write_ops += other.write_ops;
+    retries += other.retries;
+    give_ups += other.give_ups;
+  }
 };
 
 // after - before, field-wise. Every counter is monotonic, so this is the per-run delta

@@ -26,6 +26,7 @@
 #ifndef PERSONA_SRC_UTIL_MUTEX_H_
 #define PERSONA_SRC_UTIL_MUTEX_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -147,6 +148,17 @@ class CondVar {
     std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
     cv_.wait(lock);
     lock.release();
+  }
+
+  // Timed wait: returns false on timeout, true when notified (spurious wakeups
+  // included — callers loop on their predicate either way). Used by periodic
+  // housekeeping threads (lease sweepers, heartbeats) that must both tick on a
+  // deadline and wake immediately on shutdown.
+  bool WaitFor(Mutex& mu, double seconds) REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    const auto result = cv_.wait_for(lock, std::chrono::duration<double>(seconds));
+    lock.release();
+    return result == std::cv_status::no_timeout;
   }
 
   void NotifyOne() { cv_.notify_one(); }

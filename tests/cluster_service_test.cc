@@ -1,0 +1,672 @@
+// Tests for the distributed work service: the LeaseTable ledger (expiry, re-issue,
+// duplicate dedup, quarantine), the wire protocol (JSON round trips, violation
+// handling against a live WorkService), and worker-vs-offline parity for the
+// persona_node daemon driving real pipelines over a shared store.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/align/seed_index.h"
+#include "src/align/snap_aligner.h"
+#include "src/cluster/lease_table.h"
+#include "src/cluster/persona_node.h"
+#include "src/cluster/work_client.h"
+#include "src/cluster/work_protocol.h"
+#include "src/cluster/work_service.h"
+#include "src/genome/generator.h"
+#include "src/genome/read_simulator.h"
+#include "src/ingest/service.h"
+#include "src/ingest/socket.h"
+#include "src/ingest/wire.h"
+#include "src/pipeline/agd_store_util.h"
+#include "src/pipeline/persona_pipeline.h"
+#include "src/pipeline/quarantine.h"
+#include "src/pipeline/recompress.h"
+#include "src/storage/memory_store.h"
+#include "src/util/file_util.h"
+
+namespace persona::cluster {
+namespace {
+
+// ---------------------------------------------------------------------------
+// LeaseTable: deterministic ledger tests (time injected, no sleeps).
+// ---------------------------------------------------------------------------
+
+TEST(LeaseTableTest, ExpiredLeaseIsReclaimedAndReissued) {
+  LeaseTableOptions options;
+  options.lease_timeout_sec = 10;
+  LeaseTable table(1, 2, options);
+
+  auto first = table.Acquire(/*node=*/0, /*now=*/0.0);
+  ASSERT_TRUE(first.has_value());
+  // Nothing else pending, and the lease is still live at t=5.
+  EXPECT_FALSE(table.Acquire(1, 5.0).has_value());
+  EXPECT_FALSE(table.drained());
+
+  // At t=11 the lease is past its deadline: Acquire reclaims it inline and hands
+  // the group to the asking node under a fresh lease id.
+  auto second = table.Acquire(1, 11.0);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->group, first->group);
+  EXPECT_NE(second->lease_id, first->lease_id);
+
+  const LeaseTableStats stats = table.stats();
+  EXPECT_EQ(stats.expired_reclaims, 1u);
+  EXPECT_EQ(stats.reissues, 1u);
+  EXPECT_EQ(stats.outstanding, 1u);
+}
+
+TEST(LeaseTableTest, HeartbeatRenewalKeepsLeaseAlive) {
+  LeaseTableOptions options;
+  options.lease_timeout_sec = 10;
+  LeaseTable table(1, 2, options);
+  ASSERT_TRUE(table.Acquire(0, 0.0).has_value());
+  table.Renew(0, 8.0);  // deadline moves to 18
+  EXPECT_EQ(table.ReapExpired(15.0), 0u);
+  EXPECT_EQ(table.ReapExpired(19.0), 1u);
+  EXPECT_EQ(table.stats().expired_reclaims, 1u);
+}
+
+TEST(LeaseTableTest, DuplicateCompletionIsDedupedIdempotently) {
+  LeaseTableOptions options;
+  options.lease_timeout_sec = 1;
+  LeaseTable table(1, 2, options);
+
+  auto slow = table.Acquire(0, 0.0);
+  ASSERT_TRUE(slow.has_value());
+  // The slow worker's lease expires; the group is re-issued to node 1, which
+  // completes it first.
+  auto fast = table.Acquire(1, 2.0);
+  ASSERT_TRUE(fast.has_value());
+  EXPECT_EQ(table.Complete(1, fast->lease_id, fast->group), CompleteOutcome::kFirst);
+  EXPECT_TRUE(table.drained());
+
+  // The slow worker lands the same (bit-identical, same key) output afterwards:
+  // acknowledged as a duplicate, counters unchanged.
+  EXPECT_EQ(table.Complete(0, slow->lease_id, slow->group),
+            CompleteOutcome::kDuplicate);
+  const LeaseTableStats stats = table.stats();
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.duplicate_completions, 1u);
+  ASSERT_EQ(stats.per_node_completed.size(), 2u);
+  EXPECT_EQ(stats.per_node_completed[1], 1u);  // only the first completion counts
+  EXPECT_EQ(stats.per_node_completed[0], 0u);
+  EXPECT_EQ(table.Complete(0, 999, /*group=*/5), CompleteOutcome::kUnknown);
+}
+
+TEST(LeaseTableTest, RepeatedFailureQuarantinesAfterAttemptBudget) {
+  LeaseTableOptions options;
+  options.max_attempts = 2;
+  LeaseTable table(1, 1, options);
+
+  auto grant = table.Acquire(0, 0.0);
+  ASSERT_TRUE(grant.has_value());
+  EXPECT_FALSE(table.Fail(0, grant->lease_id, grant->group, "first failure"));
+  EXPECT_FALSE(table.drained());  // back to pending, budget not yet spent
+
+  grant = table.Acquire(0, 1.0);
+  ASSERT_TRUE(grant.has_value());
+  EXPECT_TRUE(table.Fail(0, grant->lease_id, grant->group, "second failure"));
+  EXPECT_TRUE(table.drained());  // quarantined groups settle the run
+
+  const auto quarantined = table.quarantined_groups();
+  ASSERT_EQ(quarantined.size(), 1u);
+  EXPECT_EQ(quarantined[0].group, 0u);
+  EXPECT_EQ(quarantined[0].attempts, 2);
+  EXPECT_EQ(quarantined[0].last_error, "second failure");
+  EXPECT_FALSE(table.Acquire(0, 2.0).has_value());  // never re-issued
+}
+
+TEST(LeaseTableTest, ReleaseNodeReturnsItsLeasesToPending) {
+  LeaseTableOptions options;
+  options.lease_timeout_sec = 0;  // no expiry: disconnect is the only reclaim path
+  LeaseTable table(3, 2, options);
+
+  ASSERT_TRUE(table.Acquire(0, 0.0).has_value());
+  ASSERT_TRUE(table.Acquire(0, 0.0).has_value());
+  ASSERT_TRUE(table.Acquire(1, 0.0).has_value());
+  EXPECT_EQ(table.stats().outstanding, 3u);
+
+  EXPECT_EQ(table.ReleaseNode(0), 2u);  // node 0 disconnected holding two leases
+  EXPECT_EQ(table.stats().outstanding, 1u);
+
+  // The released groups are grantable again and count as re-issues.
+  ASSERT_TRUE(table.Acquire(1, 1.0).has_value());
+  ASSERT_TRUE(table.Acquire(1, 1.0).has_value());
+  EXPECT_EQ(table.stats().reissues, 2u);
+}
+
+TEST(LeaseTableTest, AcquireCompletedHandsOutEachGroupExactlyOnce) {
+  LeaseTable table(200, 4, LeaseTableOptions{});
+  std::vector<std::vector<size_t>> per_node(4);
+  std::vector<std::thread> nodes;
+  for (size_t node = 0; node < 4; ++node) {
+    nodes.emplace_back([&table, &mine = per_node[node], node] {
+      while (auto group = table.AcquireCompleted(node)) {
+        mine.push_back(*group);
+      }
+    });
+  }
+  for (auto& t : nodes) {
+    t.join();
+  }
+  std::vector<bool> seen(200, false);
+  const LeaseTableStats stats = table.stats();
+  for (size_t node = 0; node < 4; ++node) {
+    for (size_t group : per_node[node]) {
+      EXPECT_FALSE(seen[group]) << "group " << group << " dispensed twice";
+      seen[group] = true;
+    }
+    // Hand-out and accounting are one critical section, so the per-node counters
+    // must agree exactly with what each thread observed.
+    EXPECT_EQ(stats.per_node_completed[node], per_node[node].size());
+  }
+  EXPECT_EQ(stats.completed, 200u);
+  EXPECT_TRUE(table.drained());
+}
+
+// ---------------------------------------------------------------------------
+// Wire protocol: JSON round trips.
+// ---------------------------------------------------------------------------
+
+TEST(WorkProtocolTest, JobSpecRoundTripsWithParams) {
+  JobSpec job;
+  job.tool = "align";
+  job.manifest_key = "datasets/m.json";
+  job.group_size = 4;
+  job.num_groups = 25;
+  job.lease_timeout_sec = 12.5;
+  job.heartbeat_interval_sec = 2.5;
+  job.params = GenomeJobParams(/*genome_seed=*/4242, /*num_contigs=*/2,
+                               /*contig_length=*/60'000, /*seed_length=*/20);
+
+  auto back = JobSpec::FromJson(job.ToJson());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->tool, "align");
+  EXPECT_EQ(back->manifest_key, "datasets/m.json");
+  EXPECT_EQ(back->group_size, 4);
+  EXPECT_EQ(back->num_groups, 25);
+  EXPECT_DOUBLE_EQ(back->lease_timeout_sec, 12.5);
+  EXPECT_DOUBLE_EQ(back->heartbeat_interval_sec, 2.5);
+  const json::Value params{back->params};
+  auto seed = params.GetInt("genome_seed");
+  ASSERT_TRUE(seed.ok());
+  EXPECT_EQ(*seed, 4242);
+  auto seed_length = params.GetInt("seed_length");
+  ASSERT_TRUE(seed_length.ok());
+  EXPECT_EQ(*seed_length, 20);
+}
+
+TEST(WorkProtocolTest, LeaseCompleteRoundTripsKeysAndStoreStats) {
+  LeaseCompleteMsg msg;
+  msg.lease_id = 77;
+  msg.group = 12;
+  msg.keys = {"ds-12.results", "ds-12.index"};
+  msg.records = 100'000;
+  msg.store.bytes_read = 123;
+  msg.store.bytes_written = 456;
+  msg.store.read_ops = 7;
+  msg.store.write_ops = 8;
+
+  auto back = LeaseCompleteMsg::FromJson(msg.ToJson());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->lease_id, 77u);
+  EXPECT_EQ(back->group, 12u);
+  EXPECT_EQ(back->keys, msg.keys);
+  EXPECT_EQ(back->records, 100'000u);
+  EXPECT_EQ(back->store.bytes_read, 123u);
+  EXPECT_EQ(back->store.bytes_written, 456u);
+  EXPECT_EQ(back->store.read_ops, 7u);
+  EXPECT_EQ(back->store.write_ops, 8u);
+}
+
+TEST(WorkProtocolTest, ClusterReportRoundTripsWorkerSlices) {
+  ClusterWorkReport report;
+  report.num_groups = 24;
+  report.completed = 20;
+  report.quarantined = 4;
+  report.reissues = 3;
+  report.expired_reclaims = 2;
+  report.duplicate_completions = 1;
+  report.drained = true;
+  report.records = 2'000'000;
+  report.store.bytes_written = 987;
+  WorkerReport worker;
+  worker.node_name = "node-a";
+  worker.completed_groups = 20;
+  worker.records = 2'000'000;
+  report.workers.push_back(worker);
+
+  auto back = ClusterWorkReport::FromJson(report.ToJson());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->num_groups, 24u);
+  EXPECT_EQ(back->completed, 20u);
+  EXPECT_EQ(back->quarantined, 4u);
+  EXPECT_EQ(back->reissues, 3u);
+  EXPECT_EQ(back->expired_reclaims, 2u);
+  EXPECT_EQ(back->duplicate_completions, 1u);
+  EXPECT_TRUE(back->drained);
+  EXPECT_EQ(back->records, 2'000'000u);
+  EXPECT_EQ(back->store.bytes_written, 987u);
+  ASSERT_EQ(back->workers.size(), 1u);
+  EXPECT_EQ(back->workers[0].node_name, "node-a");
+  EXPECT_EQ(back->workers[0].completed_groups, 20u);
+}
+
+// ---------------------------------------------------------------------------
+// WorkService over real sockets: protocol violations and fault handling.
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<WorkService>> StartAlignService(int num_groups,
+                                                       double lease_timeout_sec = 30,
+                                                       int max_attempts = 3) {
+  WorkServiceOptions options;
+  options.job.tool = "align";
+  options.job.num_groups = num_groups;
+  options.job.group_size = 1;
+  options.job.lease_timeout_sec = lease_timeout_sec;
+  options.job.heartbeat_interval_sec = 0.2;
+  options.max_attempts = max_attempts;
+  options.sweep_interval_sec = 0.05;
+  return WorkService::Start(options);
+}
+
+// Registers over a raw socket and returns the connection, for tests that need a
+// worker the WorkClient's own protocol discipline would not allow.
+Result<ingest::Connection> RawRegister(uint16_t port, const std::string& name) {
+  PERSONA_ASSIGN_OR_RETURN(ingest::Connection conn, ingest::ConnectLoopback(port));
+  RegisterWorker reg;
+  reg.node_name = name;
+  reg.pid = 1;
+  PERSONA_RETURN_IF_ERROR(ingest::WriteRawFrame(
+      conn, static_cast<uint8_t>(WorkFrame::kRegisterWorker), reg.ToJson()));
+  ingest::RawFrame frame;
+  PERSONA_RETURN_IF_ERROR(ingest::ReadRawFrame(conn, &frame));
+  if (frame.type != static_cast<uint8_t>(WorkFrame::kRegistered)) {
+    return InternalError("registration not acknowledged");
+  }
+  return conn;
+}
+
+TEST(WorkServiceProtocolTest, FirstFrameMustBeRegisterWorker) {
+  auto service = StartAlignService(1);
+  ASSERT_TRUE(service.ok());
+  auto conn = ingest::ConnectLoopback((*service)->port());
+  ASSERT_TRUE(conn.ok());
+  ASSERT_TRUE(ingest::WriteRawFrame(
+                  *conn, static_cast<uint8_t>(WorkFrame::kLeaseRequest), "")
+                  .ok());
+  ingest::RawFrame reply;
+  ASSERT_TRUE(ingest::ReadRawFrame(*conn, &reply).ok());
+  EXPECT_EQ(reply.type, static_cast<uint8_t>(WorkFrame::kError));
+  // The service closes the connection after kError: no leases for rogue speakers.
+  EXPECT_FALSE(ingest::ReadRawFrame(*conn, &reply).ok());
+  (*service)->Shutdown();
+}
+
+TEST(WorkServiceProtocolTest, MalformedRegistrationJsonIsRejected) {
+  auto service = StartAlignService(1);
+  ASSERT_TRUE(service.ok());
+  auto conn = ingest::ConnectLoopback((*service)->port());
+  ASSERT_TRUE(conn.ok());
+  ASSERT_TRUE(ingest::WriteRawFrame(*conn,
+                                    static_cast<uint8_t>(WorkFrame::kRegisterWorker),
+                                    "{not json")
+                  .ok());
+  ingest::RawFrame reply;
+  ASSERT_TRUE(ingest::ReadRawFrame(*conn, &reply).ok());
+  EXPECT_EQ(reply.type, static_cast<uint8_t>(WorkFrame::kError));
+  (*service)->Shutdown();
+}
+
+TEST(WorkServiceProtocolTest, UnexpectedFrameAfterRegisterClosesSession) {
+  auto service = StartAlignService(1);
+  ASSERT_TRUE(service.ok());
+  auto conn = RawRegister((*service)->port(), "rogue");
+  ASSERT_TRUE(conn.ok());
+  ASSERT_TRUE(ingest::WriteRawFrame(*conn, /*type=*/99, "payload").ok());
+  ingest::RawFrame reply;
+  ASSERT_TRUE(ingest::ReadRawFrame(*conn, &reply).ok());
+  EXPECT_EQ(reply.type, static_cast<uint8_t>(WorkFrame::kError));
+  EXPECT_FALSE(ingest::ReadRawFrame(*conn, &reply).ok());
+  (*service)->Shutdown();
+}
+
+TEST(WorkServiceProtocolTest, TruncatedFrameDoesNotKillTheService) {
+  auto service = StartAlignService(1);
+  ASSERT_TRUE(service.ok());
+  {
+    // Three bytes of a five-byte header, then a hard close mid-frame.
+    auto conn = ingest::ConnectLoopback((*service)->port());
+    ASSERT_TRUE(conn.ok());
+    const char partial[3] = {1, 0, 0};
+    ASSERT_TRUE(conn->SendAll(partial, sizeof(partial)).ok());
+  }
+  // The accept loop must survive the mangled session: a well-behaved worker can
+  // still register, lease the group, and complete it.
+  auto conn = RawRegister((*service)->port(), "survivor");
+  ASSERT_TRUE(conn.ok()) << conn.status().ToString();
+  ASSERT_TRUE(ingest::WriteRawFrame(
+                  *conn, static_cast<uint8_t>(WorkFrame::kLeaseRequest), "")
+                  .ok());
+  ingest::RawFrame reply;
+  ASSERT_TRUE(ingest::ReadRawFrame(*conn, &reply).ok());
+  ASSERT_EQ(reply.type, static_cast<uint8_t>(WorkFrame::kLeaseGrant));
+  auto grant = LeaseGrantMsg::FromJson(reply.payload);
+  ASSERT_TRUE(grant.ok());
+  LeaseCompleteMsg done;
+  done.lease_id = grant->lease_id;
+  done.group = grant->group;
+  ASSERT_TRUE(ingest::WriteRawFrame(
+                  *conn, static_cast<uint8_t>(WorkFrame::kLeaseComplete), done.ToJson())
+                  .ok());
+  ASSERT_TRUE(ingest::ReadRawFrame(*conn, &reply).ok());
+  EXPECT_EQ(reply.type, static_cast<uint8_t>(WorkFrame::kAck));
+  EXPECT_TRUE((*service)->AwaitDrained(10).ok());
+  conn->Close();  // Shutdown waits for connected workers to go away
+  (*service)->Shutdown();
+}
+
+TEST(WorkServiceTest, ForceShutdownAbortsLiveWorkersAndUnblocksAwait) {
+  auto service = StartAlignService(1);
+  ASSERT_TRUE(service.ok());
+  auto conn = RawRegister((*service)->port(), "wedged");
+  ASSERT_TRUE(conn.ok());
+
+  Status await_status;
+  std::thread waiter(
+      [&] { await_status = (*service)->AwaitDrained(/*timeout_sec=*/0); });
+  (*service)->ForceShutdown();
+  waiter.join();
+  EXPECT_EQ(await_status.code(), StatusCode::kCancelled);
+  // The worker's socket was aborted, not left dangling.
+  ingest::RawFrame reply;
+  EXPECT_FALSE(ingest::ReadRawFrame(*conn, &reply).ok());
+}
+
+TEST(WorkServiceTest, QuarantineManifestPersistedOnDrain) {
+  ScopedTempDir temp("quarantine");
+  const std::string manifest_path = temp.FilePath("quarantine.json");
+  WorkServiceOptions options;
+  options.job.tool = "align";
+  options.job.num_groups = 2;
+  options.job.group_size = 1;
+  options.max_attempts = 1;  // first failure quarantines
+  options.quarantine_manifest_path = manifest_path;
+  auto service = WorkService::Start(options);
+  ASSERT_TRUE(service.ok());
+
+  auto conn = RawRegister((*service)->port(), "poisoned");
+  ASSERT_TRUE(conn.ok());
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(ingest::WriteRawFrame(
+                    *conn, static_cast<uint8_t>(WorkFrame::kLeaseRequest), "")
+                    .ok());
+    ingest::RawFrame reply;
+    ASSERT_TRUE(ingest::ReadRawFrame(*conn, &reply).ok());
+    ASSERT_EQ(reply.type, static_cast<uint8_t>(WorkFrame::kLeaseGrant));
+    auto grant = LeaseGrantMsg::FromJson(reply.payload);
+    ASSERT_TRUE(grant.ok());
+    LeaseFailMsg fail;
+    fail.lease_id = grant->lease_id;
+    fail.group = grant->group;
+    fail.error = "synthetic poison";
+    ASSERT_TRUE(ingest::WriteRawFrame(
+                    *conn, static_cast<uint8_t>(WorkFrame::kLeaseFail), fail.ToJson())
+                    .ok());
+    ASSERT_TRUE(ingest::ReadRawFrame(*conn, &reply).ok());
+    ASSERT_EQ(reply.type, static_cast<uint8_t>(WorkFrame::kAck));
+    auto ack = AckMsg::FromJson(reply.payload);
+    ASSERT_TRUE(ack.ok());
+    EXPECT_TRUE(ack->quarantined);
+  }
+
+  ASSERT_TRUE((*service)->AwaitDrained(10).ok());
+  ClusterWorkReport report = (*service)->Report();
+  EXPECT_TRUE(report.drained);
+  EXPECT_EQ(report.quarantined, 2u);
+  EXPECT_EQ(report.completed, 0u);
+
+  auto manifest = pipeline::LoadQuarantineManifest(manifest_path);
+  ASSERT_TRUE(manifest.ok()) << manifest.status().ToString();
+  ASSERT_EQ(manifest->entries.size(), 2u);
+  EXPECT_NE(manifest->entries[0].error.find("synthetic poison"), std::string::npos);
+  conn->Close();  // Shutdown waits for connected workers to go away
+  (*service)->Shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// persona_node workers vs the offline pipelines: same store objects, same bytes.
+// ---------------------------------------------------------------------------
+
+class PersonaNodeParityTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    genome::GenomeSpec gspec;
+    gspec.num_contigs = 1;
+    gspec.contig_length = 30'000;
+    reference_ = new genome::ReferenceGenome(genome::GenerateGenome(gspec));
+    align::SeedIndexOptions options;
+    options.seed_length = 20;
+    index_ =
+        new align::SeedIndex(align::SeedIndex::Build(*reference_, options).value());
+    aligner_ = new align::SnapAligner(reference_, index_);
+  }
+  static void TearDownTestSuite() {
+    delete aligner_;
+    delete index_;
+    delete reference_;
+  }
+
+  // Writes the same deterministic 6-chunk dataset into `store` (generation is
+  // seeded, so every call produces bit-identical objects).
+  static format::Manifest StageDataset(storage::ObjectStore* store) {
+    genome::ReadSimSpec rspec;
+    genome::ReadSimulator sim(reference_, rspec);
+    auto reads = sim.Simulate(600);
+    auto manifest = pipeline::WriteAgdToStore(store, "pr", reads, 100);
+    EXPECT_TRUE(manifest.ok());
+    return *manifest;
+  }
+
+  static PersonaNodeOptions WorkerOptions(uint16_t port, const std::string& name,
+                                          storage::ObjectStore* store) {
+    PersonaNodeOptions node;
+    node.port = port;
+    node.node_name = name;
+    node.store = store;
+    node.aligner = aligner_;
+    node.reference = reference_;
+    node.executor_threads = 1;
+    node.align.read_parallelism = 1;
+    node.align.parse_parallelism = 1;
+    node.align.align_nodes = 1;
+    node.align.write_parallelism = 1;
+    return node;
+  }
+
+  static void ExpectObjectsEqual(storage::ObjectStore* a, storage::ObjectStore* b,
+                                 const std::string& key) {
+    Buffer buf_a;
+    Buffer buf_b;
+    ASSERT_TRUE(a->Get(key, &buf_a).ok()) << key;
+    ASSERT_TRUE(b->Get(key, &buf_b).ok()) << key;
+    EXPECT_EQ(buf_a.view(), buf_b.view()) << key;
+  }
+
+  static genome::ReferenceGenome* reference_;
+  static align::SeedIndex* index_;
+  static align::SnapAligner* aligner_;
+};
+
+genome::ReferenceGenome* PersonaNodeParityTest::reference_ = nullptr;
+align::SeedIndex* PersonaNodeParityTest::index_ = nullptr;
+align::SnapAligner* PersonaNodeParityTest::aligner_ = nullptr;
+
+TEST_F(PersonaNodeParityTest, AlignWorkersMatchOfflinePipeline) {
+  storage::MemoryStore cluster_store;
+  storage::MemoryStore offline_store;
+  format::Manifest manifest = StageDataset(&cluster_store);
+  format::Manifest offline_manifest = StageDataset(&offline_store);
+
+  auto service = StartAlignService(static_cast<int>(manifest.chunks.size()));
+  ASSERT_TRUE(service.ok());
+
+  constexpr size_t kWorkers = 2;
+  std::vector<std::thread> workers;
+  std::vector<Result<PersonaNodeReport>> reports(kWorkers, PersonaNodeReport{});
+  for (size_t w = 0; w < kWorkers; ++w) {
+    workers.emplace_back([&, w] {
+      reports[w] = RunPersonaNode(
+          WorkerOptions((*service)->port(), "worker-" + std::to_string(w),
+                        &cluster_store));
+    });
+  }
+  ASSERT_TRUE((*service)->AwaitDrained(60).ok());
+  for (auto& t : workers) {
+    t.join();
+  }
+  for (const auto& report : reports) {
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+  }
+  ClusterWorkReport report = (*service)->Report();
+  EXPECT_TRUE(report.drained);
+  EXPECT_EQ(report.completed, manifest.chunks.size());
+  EXPECT_EQ(report.quarantined, 0u);
+  EXPECT_EQ(report.records, 600u);
+  (*service)->Shutdown();
+
+  dataflow::Executor executor(2);
+  pipeline::AlignPipelineOptions offline;
+  offline.read_parallelism = 1;
+  offline.parse_parallelism = 1;
+  offline.align_nodes = 1;
+  offline.write_parallelism = 1;
+  auto offline_report = pipeline::RunPersonaAlignment(
+      &offline_store, offline_manifest, *aligner_, &executor, offline);
+  ASSERT_TRUE(offline_report.ok());
+
+  for (size_t c = 0; c < manifest.chunks.size(); ++c) {
+    ExpectObjectsEqual(&cluster_store, &offline_store,
+                       "pr-" + std::to_string(c) + ".results");
+  }
+}
+
+TEST_F(PersonaNodeParityTest, RecompressWorkersMatchOfflinePipeline) {
+  // Both stores start from the same aligned dataset (offline alignment is
+  // deterministic, so the results columns are bit-identical going in).
+  storage::MemoryStore cluster_store;
+  storage::MemoryStore offline_store;
+  StageDataset(&cluster_store);
+  StageDataset(&offline_store);
+  dataflow::Executor executor(2);
+  for (storage::ObjectStore* store :
+       {static_cast<storage::ObjectStore*>(&cluster_store),
+        static_cast<storage::ObjectStore*>(&offline_store)}) {
+    auto manifest = pipeline::ReadManifestFromStore(store);
+    ASSERT_TRUE(manifest.ok());
+    auto aligned = pipeline::RunPersonaAlignment(store, *manifest, *aligner_,
+                                                 &executor, {});
+    ASSERT_TRUE(aligned.ok());
+  }
+  auto aligned_manifest = pipeline::ReadManifestFromStore(&cluster_store);
+  ASSERT_TRUE(aligned_manifest.ok());
+
+  WorkServiceOptions options;
+  options.job.tool = "recompress";
+  options.job.num_groups = static_cast<int64_t>(aligned_manifest->chunks.size());
+  options.job.group_size = 1;
+  options.job.heartbeat_interval_sec = 0.2;
+  auto service = WorkService::Start(options);
+  ASSERT_TRUE(service.ok());
+
+  std::thread worker([&] {
+    auto report = RunPersonaNode(
+        WorkerOptions((*service)->port(), "recompress-worker", &cluster_store));
+    EXPECT_TRUE(report.ok()) << report.status().ToString();
+  });
+  ASSERT_TRUE((*service)->AwaitDrained(60).ok());
+  worker.join();
+  EXPECT_EQ((*service)->Report().completed, aligned_manifest->chunks.size());
+  (*service)->Shutdown();
+
+  auto offline_manifest = pipeline::ReadManifestFromStore(&offline_store);
+  ASSERT_TRUE(offline_manifest.ok());
+  pipeline::RecompressOptions recompress;
+  format::Manifest out_manifest;
+  auto offline_report = pipeline::RefCompressBasesColumn(
+      &offline_store, *offline_manifest, *reference_, recompress, &out_manifest);
+  ASSERT_TRUE(offline_report.ok()) << offline_report.status().ToString();
+
+  for (size_t c = 0; c < aligned_manifest->chunks.size(); ++c) {
+    ExpectObjectsEqual(&cluster_store, &offline_store,
+                       "pr-" + std::to_string(c) + ".ref_bases");
+  }
+}
+
+TEST_F(PersonaNodeParityTest, SilentWorkerLeaseExpiresAndIsReissued) {
+  storage::MemoryStore store;
+  format::Manifest manifest = StageDataset(&store);
+
+  // Short lease so the silent worker's grant is reclaimed within the test budget.
+  auto service = StartAlignService(static_cast<int>(manifest.chunks.size()),
+                                   /*lease_timeout_sec=*/0.3);
+  ASSERT_TRUE(service.ok());
+
+  // A worker that registers, takes one lease, and goes silent — connected but
+  // never completing, never heartbeating (a wedged process, not a dead one).
+  auto silent = RawRegister((*service)->port(), "wedged");
+  ASSERT_TRUE(silent.ok());
+  ASSERT_TRUE(ingest::WriteRawFrame(
+                  *silent, static_cast<uint8_t>(WorkFrame::kLeaseRequest), "")
+                  .ok());
+  ingest::RawFrame reply;
+  ASSERT_TRUE(ingest::ReadRawFrame(*silent, &reply).ok());
+  ASSERT_EQ(reply.type, static_cast<uint8_t>(WorkFrame::kLeaseGrant));
+
+  std::thread worker([&] {
+    auto report =
+        RunPersonaNode(WorkerOptions((*service)->port(), "healthy", &store));
+    EXPECT_TRUE(report.ok()) << report.status().ToString();
+  });
+  ASSERT_TRUE((*service)->AwaitDrained(60).ok());
+  worker.join();
+
+  ClusterWorkReport report = (*service)->Report();
+  EXPECT_TRUE(report.drained);
+  EXPECT_EQ(report.completed, manifest.chunks.size());
+  EXPECT_GE(report.expired_reclaims, 1u);
+  EXPECT_GE(report.reissues, 1u);
+  silent->Close();  // Shutdown waits for connected workers to go away
+  (*service)->Shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// IngestService force-abort (the same LiveConnectionSet mechanism).
+// ---------------------------------------------------------------------------
+
+TEST(IngestForceShutdownTest, AbortsLiveSessionsInsteadOfWaitingForThem) {
+  storage::MemoryStore store;
+  ingest::IngestOptions options;
+  auto service = ingest::IngestService::Start(&store, options);
+  ASSERT_TRUE(service.ok());
+
+  // A client that starts a session and then stalls forever mid-stream.
+  auto conn = ingest::ConnectLoopback((*service)->port());
+  ASSERT_TRUE(conn.ok());
+  ASSERT_TRUE(ingest::WriteFrame(*conn, ingest::FrameType::kStart, "stalled").ok());
+  ingest::Frame frame;
+  ASSERT_TRUE(ingest::ReadFrame(*conn, &frame).ok());
+  ASSERT_EQ(frame.type, ingest::FrameType::kStarted);
+
+  // Plain Shutdown would wait on the stalled session; ForceShutdown must cut its
+  // socket and return. (The test's own TIMEOUT is the hang detector here.)
+  (*service)->ForceShutdown();
+  EXPECT_FALSE(ingest::ReadFrame(*conn, &frame).ok());
+}
+
+}  // namespace
+}  // namespace persona::cluster

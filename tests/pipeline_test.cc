@@ -222,12 +222,13 @@ TEST_F(PipelineTest, ClusterWorkSourceIsHonored) {
   std::atomic<bool> given{false};
   dataflow::Executor executor(2);
   AlignPipelineOptions options;
-  options.work_source = [&given]() -> std::optional<size_t> {
+  FunctionWorkSource source([&given]() -> std::optional<size_t> {
     if (given.exchange(true)) {
       return std::nullopt;
     }
     return size_t{1};
-  };
+  });
+  options.work_source = &source;
   auto report = RunPersonaAlignment(&store, manifest, *aligner_, &executor, options);
   ASSERT_TRUE(report.ok());
   EXPECT_EQ(report->reads, 400u);
