@@ -40,6 +40,27 @@ HotpathResult RunBatched(const align::SnapAligner& aligner,
   return out;
 }
 
+HotpathResult RunBatchedAtLevel(const align::SnapAligner& aligner,
+                                std::span<const genome::Read> reads, size_t batch_size,
+                                SimdLevel level,
+                                std::vector<align::AlignmentResult>* results) {
+  HotpathResult out;
+  auto scratch = aligner.MakeScratch();
+  results->assign(reads.size(), align::AlignmentResult{});
+  Stopwatch timer;
+  for (size_t begin = 0; begin < reads.size(); begin += batch_size) {
+    const size_t count = std::min(batch_size, reads.size() - begin);
+    aligner.AlignBatchAtLevel(reads.subspan(begin, count),
+                              {results->data() + begin, count}, scratch.get(),
+                              &out.profile, level);
+  }
+  out.seconds = timer.ElapsedSeconds();
+  for (const auto& read : reads) {
+    out.bases += read.bases.size();
+  }
+  return out;
+}
+
 HotpathResult RunPerRead(const align::SnapAligner& aligner,
                          std::span<const genome::Read> reads) {
   HotpathResult out;
@@ -86,6 +107,36 @@ void Run(size_t num_reads) {
     HotpathResult batched = RunBatched(aligner, scenario.reads, batch_size);
     std::string label = "batch-" + std::to_string(batch_size);
     Report(label.c_str(), batched);
+  }
+
+  // Dispatch-level phase: identical batch-512 runs pinned to each SIMD level,
+  // parity-checked in-run against the scalar pass (position, score, CIGAR —
+  // the vector kernels are parity oracles, so any mismatch is a bug, not noise).
+  // The scalar row is also what PERSONA_SIMD=off would run.
+  std::printf("\ndispatch levels (batch-512, parity vs scalar in-run):\n");
+  std::vector<align::AlignmentResult> scalar_results;
+  std::vector<align::AlignmentResult> level_results;
+  HotpathResult scalar =
+      RunBatchedAtLevel(aligner, scenario.reads, 512, SimdLevel::kScalar, &scalar_results);
+  std::printf("level-%-6s Mbases/s=%7.2f  verify_ns/read=%8.0f  (baseline)\n", "off",
+              static_cast<double>(scalar.bases) / scalar.seconds / 1e6,
+              static_cast<double>(scalar.profile.verify_ns) /
+                  static_cast<double>(scalar.profile.reads));
+  for (SimdLevel level : {SimdLevel::kSse4, SimdLevel::kAvx2}) {
+    if (!SimdLevelSupported(level)) {
+      std::printf("level-%-6s (not supported on this CPU)\n",
+                  std::string(SimdLevelName(level)).c_str());
+      continue;
+    }
+    HotpathResult leveled =
+        RunBatchedAtLevel(aligner, scenario.reads, 512, level, &level_results);
+    const bool match = level_results == scalar_results;
+    std::printf("level-%-6s Mbases/s=%7.2f  verify_ns/read=%8.0f  (%.2fx, results %s)\n",
+                std::string(SimdLevelName(level)).c_str(),
+                static_cast<double>(leveled.bases) / leveled.seconds / 1e6,
+                static_cast<double>(leveled.profile.verify_ns) /
+                    static_cast<double>(leveled.profile.reads),
+                scalar.seconds / leveled.seconds, match ? "identical" : "MISMATCH");
   }
 }
 

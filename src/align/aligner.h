@@ -28,6 +28,8 @@ struct AlignProfile {
   uint64_t verify_ns = 0;      // time in edit-distance / SW kernels (core-bound side)
   uint64_t candidates = 0;     // candidate locations evaluated
   uint64_t index_probes = 0;   // hash/FM-index probes issued
+  uint64_t lv_batch_runs = 0;  // vector Landau-Vishkin passes issued (0 when scalar)
+  uint64_t lv_batch_jobs = 0;  // DP jobs those passes carried (jobs/runs = lane occupancy)
 
   void Merge(const AlignProfile& other) {
     reads += other.reads;
@@ -36,6 +38,8 @@ struct AlignProfile {
     verify_ns += other.verify_ns;
     candidates += other.candidates;
     index_probes += other.index_probes;
+    lv_batch_runs += other.lv_batch_runs;
+    lv_batch_jobs += other.lv_batch_jobs;
   }
 };
 

@@ -41,6 +41,9 @@ void BwaMemAligner::CollectSeeds(std::string_view bases, bool reverse, AlignProf
       if (next.empty()) {
         break;
       }
+      // Start the next extension's checkpoint/BWT block pair loading now, so
+      // its misses overlap the loop bookkeeping instead of stalling the scan.
+      index_->PrefetchExtend(next);
       last = next;
       --start;
     }

@@ -5,6 +5,8 @@
 #include <cstring>
 #include <vector>
 
+#include "src/align/simd_kernels.h"
+
 namespace persona::align {
 
 namespace {
@@ -25,78 +27,106 @@ void AppendRun(char op, int run, std::string* out) {
 //
 // Banded semi-global DP (Ukkonen's band; computes the same answer as SNAP's
 // Landau-Vishkin kernel): pattern must be fully consumed, the text end is free.
-// D[i][j] defined for |j - i| <= k. Band width B = 2k+1, column index b = j - i + k.
+// D[i][j] defined for |j - i| <= k. Band width B = 2k+1, logical column b = j - i + k,
+// stored at index b + 1 of a (band + 2)-wide row whose first and last slots are `inf`
+// pads. The pads stand in for the b-range guards of the textbook formulation, so the
+// inner loop has no per-cell branches beyond the three-way min itself.
 //
-// Only row 0 is initialized: every in-band cell with 0 <= j <= n is written by the fill
-// before any later cell reads it, and out-of-range cells are never read, so the
-// (m+1) x band matrices need no clearing between calls (they are resized, not filled —
-// the workspace makes repeated calls allocation- and memset-free).
+// Cells whose true banded cost exceeds the bound may store values above `inf` here
+// (the padded recurrence no longer clamps them): such "dead" cells can never win a
+// three-way min against a live (<= k) cell, never change the row_min >= inf cutoff,
+// and are never visited by the traceback (costs along an optimal path are <= k and
+// non-increasing toward the origin), so distances and CIGARs are identical to the
+// clamped formulation.
+//
+// Only row 0 and the per-row pads are initialized: every in-band cell with
+// 0 <= j <= n is written by the fill before any later cell reads it, and cells with
+// out-of-range j are never read, so the matrices need no clearing between calls (they
+// are resized, not filled — the workspace makes repeated calls allocation-free).
 int LvCore(std::string_view text, std::string_view pattern, int k, std::string* cigar,
            LvWorkspace* ws) {
   const int m = static_cast<int>(pattern.size());
   const int n = static_cast<int>(text.size());
   const int band = 2 * k + 1;
   const int inf = k + 1;
+  const int stride = band + 2;
 
-  ws->dp.resize(static_cast<size_t>(m + 1) * band);
-  ws->bt.resize(static_cast<size_t>(m + 1) * band);  // 1=diag, 2=up(I), 3=left(D)
-  auto at = [&](int i, int b) -> int& { return ws->dp[static_cast<size_t>(i) * band + b]; };
-  auto trace = [&](int i, int b) -> int8_t& {
-    return ws->bt[static_cast<size_t>(i) * band + b];
-  };
+  // Grow-only sizing: shrinking and regrowing between calls with different k would
+  // value-initialize the regrown tail every call, and no cell is read before it is
+  // written, so stale contents from any previous call are harmless.
+  const size_t cells = static_cast<size_t>(m + 1) * stride;
+  if (ws->dp.size() < cells) {
+    ws->dp.resize(cells);
+  }
+  if (ws->bt.size() < cells) {
+    ws->bt.resize(cells);  // 1=diag, 2=up(I), 3=left(D)
+  }
+  int* const dp = ws->dp.data();
+  int8_t* const bt = ws->bt.data();
+  const char* const pat = pattern.data();
+  const char* const txt = text.data();
 
   // Row 0: aligning empty pattern prefix against text prefix of length j costs j (D ops),
   // but in semi-global alignment leading text is not free, so cost = j.
+  dp[0] = inf;
+  dp[stride - 1] = inf;
   for (int b = 0; b < band; ++b) {
     int j = b - k;  // i = 0
     if (j >= 0 && j <= n) {
-      at(0, b) = j;
-      trace(0, b) = 3;
+      dp[b + 1] = j;
+      bt[b + 1] = 3;
     } else {
-      at(0, b) = inf;
-      trace(0, b) = 0;
+      dp[b + 1] = inf;
+      bt[b + 1] = 0;
     }
   }
 
   for (int i = 1; i <= m; ++i) {
+    const int* const prev = dp + static_cast<size_t>(i - 1) * stride;
+    int* const cur = dp + static_cast<size_t>(i) * stride;
+    int8_t* const tr = bt + static_cast<size_t>(i) * stride;
+    cur[0] = inf;
+    cur[stride - 1] = inf;
+
+    // Valid logical columns this row: j in [0, n] <=> b in [b_lo, b_hi].
+    int b = k - i > 0 ? k - i : 0;
+    int b_hi = n - i + k;
+    if (b_hi > band - 1) {
+      b_hi = band - 1;
+    }
     int row_min = inf;
-    for (int b = 0; b < band; ++b) {
-      int j = i + b - k;
-      if (j < 0 || j > n) {
-        continue;
+    if (k - i >= 0) {
+      // Leading j == 0 cell: reachable by insertions only (no text consumed).
+      const int up = prev[b + 2] + 1;
+      const int best = up < inf ? up : inf;
+      cur[b + 1] = best;
+      tr[b + 1] = static_cast<int8_t>(up < inf ? 2 : 0);
+      row_min = best;
+      ++b;
+    }
+    const char pat_c = pat[static_cast<size_t>(i - 1)];
+    for (int j = i + b - k; b <= b_hi; ++b, ++j) {
+      // Diagonal consumes pattern[i-1] and text[j-1]; up is an insertion (band col
+      // b+1 of the previous row); left is a deletion (band col b-1 of this row).
+      const int diag =
+          prev[b + 1] + (pat_c == txt[static_cast<size_t>(j - 1)] ? 0 : 1);
+      const int up = prev[b + 2] + 1;
+      const int left = cur[b] + 1;
+      int best = diag;
+      int8_t op = 1;
+      if (up < best) {
+        best = up;
+        op = 2;
       }
-      int best = inf;
-      int8_t op = 0;
-      // Diagonal: match/mismatch consuming pattern[i-1], text[j-1].
-      if (j >= 1) {
-        int cost = at(i - 1, b) + (pattern[static_cast<size_t>(i - 1)] ==
-                                           text[static_cast<size_t>(j - 1)]
-                                       ? 0
-                                       : 1);
-        if (cost < best) {
-          best = cost;
-          op = 1;
-        }
+      if (left < best) {
+        best = left;
+        op = 3;
       }
-      // Up: insertion (pattern base consumed, no text). j stays, i-1 -> band col b+1.
-      if (b + 1 < band) {
-        int cost = at(i - 1, b + 1) + 1;
-        if (cost < best) {
-          best = cost;
-          op = 2;
-        }
+      cur[b + 1] = best;
+      tr[b + 1] = op;
+      if (best < row_min) {
+        row_min = best;
       }
-      // Left: deletion (text base consumed, no pattern). i stays, j-1 -> band col b-1.
-      if (b - 1 >= 0 && j >= 1) {
-        int cost = at(i, b - 1) + 1;
-        if (cost < best) {
-          best = cost;
-          op = 3;
-        }
-      }
-      at(i, b) = best;
-      trace(i, b) = op;
-      row_min = std::min(row_min, best);
     }
     if (row_min >= inf) {
       return -1;  // no cell within the bound; later rows only grow
@@ -104,6 +134,7 @@ int LvCore(std::string_view text, std::string_view pattern, int k, std::string* 
   }
 
   // Answer: min over final row (pattern fully consumed, any text end within band).
+  const int* const last = dp + static_cast<size_t>(m) * stride;
   int best = inf;
   int best_b = -1;
   for (int b = 0; b < band; ++b) {
@@ -111,8 +142,8 @@ int LvCore(std::string_view text, std::string_view pattern, int k, std::string* 
     if (j < 0 || j > n) {
       continue;
     }
-    if (at(m, b) < best) {
-      best = at(m, b);
+    if (last[b + 1] < best) {
+      best = last[b + 1];
       best_b = b;
     }
   }
@@ -126,7 +157,7 @@ int LvCore(std::string_view text, std::string_view pattern, int k, std::string* 
     int i = m;
     int b = best_b;
     while (i > 0 || (b - k + i) > 0) {
-      int8_t op = trace(i, b);
+      int8_t op = bt[static_cast<size_t>(i) * stride + b + 1];
       char c;
       if (op == 1) {
         c = 'M';
@@ -153,6 +184,81 @@ int LvCore(std::string_view text, std::string_view pattern, int k, std::string* 
     }
   }
   return best;
+}
+
+// The band bound the adaptive schedule's first successful pass runs at for a
+// known distance (mirrors the jump in LandauVishkinKnownDistance).
+int ScheduledK(int distance, int max_k) {
+  int k = std::min(1, max_k);
+  while (k < distance && k < max_k) {
+    k = std::min(2 * k, max_k);
+  }
+  return k;
+}
+
+// Rebuilds the CIGAR for lane `l` of a history-mode vector pass at bound k by
+// replaying the scalar fill's op priority (diag, then up, then left, strict <)
+// over the stored band matrix. On every cell a traceback can visit the
+// comparisons resolve exactly as the scalar fill's did: live cells (<= k) are
+// bit-identical between the two fills, and a dead candidate exceeds k in both
+// (the vector fill clamps it to k + 1, the scalar fill stores something >= that),
+// so it loses every strict-< contest either way. The emitted CIGAR bytes
+// therefore match LvCore's.
+void LvCigarFromHistory(const int32_t* hist, int k, int w, int l,
+                        std::string_view text, std::string_view pattern, int best_b,
+                        std::vector<std::pair<char, int>>* runs, std::string* cigar) {
+  const int band = 2 * k + 1;
+  const int stride = band + 2;
+  const char* const pat = pattern.data();
+  const char* const txt = text.data();
+  const auto hs = [&](int row, int slot) {
+    return hist[(static_cast<size_t>(row) * stride + static_cast<size_t>(slot)) * w + l];
+  };
+  runs->clear();
+  int i = static_cast<int>(pattern.size());
+  int b = best_b;
+  while (i > 0 || (b - k + i) > 0) {
+    const int j = i + b - k;
+    char c;
+    if (i == 0) {
+      c = 'D';  // row 0 cells are reached by deletions only
+      --b;
+    } else if (j == 0) {
+      c = 'I';  // j == 0 cells are reached by insertions only
+      --i;
+      ++b;
+    } else {
+      const int diag = hs(i - 1, b + 1) + (pat[i - 1] == txt[j - 1] ? 0 : 1);
+      const int up = hs(i - 1, b + 2) + 1;
+      const int left = hs(i, b) + 1;
+      int best = diag;
+      c = 'M';
+      if (up < best) {
+        best = up;
+        c = 'I';
+      }
+      if (left < best) {
+        c = 'D';
+      }
+      if (c == 'M') {
+        --i;
+      } else if (c == 'I') {
+        --i;
+        ++b;
+      } else {
+        --b;
+      }
+    }
+    if (!runs->empty() && runs->back().first == c) {
+      ++runs->back().second;
+    } else {
+      runs->emplace_back(c, 1);
+    }
+  }
+  cigar->clear();
+  for (auto it = runs->rbegin(); it != runs->rend(); ++it) {
+    AppendRun(it->first, it->second, cigar);
+  }
 }
 
 }  // namespace
@@ -196,6 +302,336 @@ int LandauVishkin(std::string_view text, std::string_view pattern, int max_k,
       return -1;
     }
     k = std::min(2 * k, max_k);
+  }
+}
+
+int LandauVishkinKnownDistance(std::string_view text, std::string_view pattern, int max_k,
+                               int distance, std::string* cigar, LvWorkspace* workspace) {
+  const int m = static_cast<int>(pattern.size());
+  if (max_k < 0) {
+    return -1;
+  }
+  if (m == 0) {
+    if (cigar != nullptr) {
+      cigar->clear();
+    }
+    return 0;
+  }
+  if (distance == 0) {
+    // Distance 0 in this semi-global formulation means pattern == text prefix,
+    // which is exactly the scalar fast path and its all-M CIGAR.
+    if (cigar != nullptr) {
+      cigar->clear();
+      AppendRun('M', m, cigar);
+    }
+    return 0;
+  }
+
+  LvWorkspace local;
+  LvWorkspace* ws = workspace != nullptr ? workspace : &local;
+
+  // A banded pass at bound k succeeds iff k >= true distance (the band only
+  // removes paths, never shortens one), so the adaptive schedule emits its
+  // answer from the first scheduled k >= distance. Jump straight there.
+  int k = std::min(1, max_k);
+  while (k < distance && k < max_k) {
+    k = std::min(2 * k, max_k);
+  }
+  return LvCore(text, pattern, k, cigar, ws);
+}
+
+int LvBatchWidth(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kAvx2:
+      return simd::kLvLanesAvx2;
+    case SimdLevel::kSse4:
+      return simd::kLvLanesSse4;
+    case SimdLevel::kScalar:
+      break;
+  }
+  return 1;
+}
+
+void LvBatch(const LvBatchJob* jobs, int* distances, size_t count, int max_k,
+             SimdLevel level, LvBatchScratch* scratch) {
+  const int width = LvBatchWidth(level);
+  LvBatchScratch local_scratch;
+  LvBatchScratch* sc = scratch != nullptr ? scratch : &local_scratch;
+  if (width == 1) {
+    for (size_t i = 0; i < count; ++i) {
+      distances[i] = LandauVishkin(jobs[i].text, jobs[i].pattern, max_k, nullptr,
+                                   &sc->scalar_ws);
+    }
+    return;
+  }
+
+  const size_t w = static_cast<size_t>(width);
+  alignas(32) int32_t lane_n[simd::kLvLanesAvx2];
+  alignas(32) int32_t lane_m[simd::kLvLanesAvx2];
+  uint8_t want[simd::kLvLanesAvx2];
+  alignas(32) int32_t dist[simd::kLvLanesAvx2];
+
+  for (size_t base = 0; base < count; base += w) {
+    const size_t chunk = std::min(w, count - base);
+
+    // Resolve the scalar fast paths inline; only DP-needing jobs occupy lanes.
+    uint32_t pending = 0;
+    int max_m = 0;
+    for (size_t l = 0; l < w; ++l) {
+      lane_n[l] = 0;
+      lane_m[l] = 0;
+      want[l] = 0;
+      if (l >= chunk) {
+        continue;
+      }
+      const LvBatchJob& job = jobs[base + l];
+      const int m = static_cast<int>(job.pattern.size());
+      const int n = static_cast<int>(job.text.size());
+      if (max_k < 0) {
+        distances[base + l] = -1;
+        continue;
+      }
+      if (m == 0) {
+        distances[base + l] = 0;
+        continue;
+      }
+      if (n >= m &&
+          std::memcmp(job.text.data(), job.pattern.data(), static_cast<size_t>(m)) == 0) {
+        distances[base + l] = 0;
+        continue;
+      }
+      pending |= 1u << l;
+      lane_n[l] = n;
+      lane_m[l] = m;
+      max_m = std::max(max_m, m);
+    }
+    if (pending == 0) {
+      continue;
+    }
+    // A lone survivor is cheaper scalar than staged (7 of 8 lanes would idle).
+    if ((pending & (pending - 1)) == 0) {
+      const size_t l = static_cast<size_t>(__builtin_ctz(pending));
+      distances[base + l] = LandauVishkin(jobs[base + l].text, jobs[base + l].pattern,
+                                          max_k, nullptr, &sc->scalar_ws);
+      continue;
+    }
+
+    // Interleave pattern/text bytes lane-major. Rows are 1-based (row r holds
+    // byte r-1); the text buffer only needs rows the band can ever touch
+    // (j <= m + k <= max_m + max_k), even if a lane's text runs longer.
+    // Grow-only, no clearing: padding bytes (rows past a lane's own length)
+    // only feed cells the kernel blends to inf (j > n) or that belong to an
+    // already-retired lane, so stale bytes never reach a returned value.
+    const int max_j = max_m + max_k;
+    const size_t pat_cells = static_cast<size_t>(max_m + 1) * w;
+    const size_t text_cells = static_cast<size_t>(max_j + 1) * w;
+    if (sc->pat.size() < pat_cells) {
+      sc->pat.resize(pat_cells);
+    }
+    if (sc->text.size() < text_cells) {
+      sc->text.resize(text_cells);
+    }
+    for (size_t l = 0; l < w; ++l) {
+      if ((pending & (1u << l)) == 0) {
+        continue;
+      }
+      const LvBatchJob& job = jobs[base + l];
+      for (int r = 1; r <= lane_m[l]; ++r) {
+        sc->pat[static_cast<size_t>(r) * w + l] =
+            static_cast<uint8_t>(job.pattern[static_cast<size_t>(r - 1)]);
+      }
+      const int text_rows = std::min(lane_n[l], max_j);
+      for (int r = 1; r <= text_rows; ++r) {
+        sc->text[static_cast<size_t>(r) * w + l] =
+            static_cast<uint8_t>(job.text[static_cast<size_t>(r - 1)]);
+      }
+    }
+    const size_t dp_cells = 2 * static_cast<size_t>(2 * max_k + 3) * w;
+    if (sc->dp.size() < dp_cells) {
+      sc->dp.resize(dp_cells);  // grow-only: the kernel never reads unwritten slots
+    }
+
+    // Shared adaptive schedule: every pending lane runs the same k sequence its
+    // scalar call would, retiring at the first k that resolves it.
+    for (int k = std::min(1, max_k);;) {
+      for (size_t l = 0; l < w; ++l) {
+        want[l] = (pending & (1u << l)) != 0 ? 1 : 0;
+      }
+      simd::LvPassArgs args;
+      args.pat = sc->pat.data();
+      args.text = sc->text.data();
+      args.n = lane_n;
+      args.m = lane_m;
+      args.want = want;
+      args.k = k;
+      args.dp = sc->dp.data();
+      args.dist = dist;
+      args.hist = nullptr;
+      if (level == SimdLevel::kAvx2) {
+        simd::LvPassAvx2(args);
+      } else {
+        simd::LvPassSse4(args);
+      }
+      for (size_t l = 0; l < w; ++l) {
+        if ((pending & (1u << l)) != 0 && dist[l] >= 0) {
+          distances[base + l] = dist[l];
+          pending &= ~(1u << l);
+        }
+      }
+      if (pending == 0) {
+        break;
+      }
+      if (k >= max_k) {
+        for (size_t l = 0; l < w; ++l) {
+          if ((pending & (1u << l)) != 0) {
+            distances[base + l] = -1;
+          }
+        }
+        break;
+      }
+      k = std::min(2 * k, max_k);
+    }
+  }
+}
+
+void LvBatchCigar(const LvCigarJob* jobs, int* distances, size_t count, int max_k,
+                  SimdLevel level, LvBatchScratch* scratch) {
+  const int width = LvBatchWidth(level);
+  LvBatchScratch local_scratch;
+  LvBatchScratch* sc = scratch != nullptr ? scratch : &local_scratch;
+  const size_t w = static_cast<size_t>(width);
+
+  // Jobs the vector path cannot cover (empty pattern, distance outside the
+  // contract) run the scalar call directly, as does everything when scalar.
+  sc->group.clear();
+  for (size_t i = 0; i < count; ++i) {
+    const LvCigarJob& job = jobs[i];
+    if (width == 1 || job.pattern.empty() || job.distance <= 0 || job.distance > max_k) {
+      distances[i] = LandauVishkinKnownDistance(job.text, job.pattern, max_k,
+                                                job.distance, job.cigar, &sc->scalar_ws);
+    } else {
+      sc->group.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  if (sc->group.empty()) {
+    return;
+  }
+
+  // Group jobs by the band bound their distance schedules to, so each vector
+  // pass runs all its lanes at one k. Winner distances cluster tightly (most
+  // reads are 1-2 edits), so occupancy stays high despite the grouping.
+  std::stable_sort(sc->group.begin(), sc->group.end(), [&](uint32_t a, uint32_t b) {
+    return ScheduledK(jobs[a].distance, max_k) < ScheduledK(jobs[b].distance, max_k);
+  });
+
+  alignas(32) int32_t lane_n[simd::kLvLanesAvx2];
+  alignas(32) int32_t lane_m[simd::kLvLanesAvx2];
+  uint8_t want[simd::kLvLanesAvx2];
+  alignas(32) int32_t dist[simd::kLvLanesAvx2];
+
+  size_t pos = 0;
+  while (pos < sc->group.size()) {
+    const int k = ScheduledK(jobs[sc->group[pos]].distance, max_k);
+    size_t group_end = pos + 1;
+    while (group_end < sc->group.size() &&
+           ScheduledK(jobs[sc->group[group_end]].distance, max_k) == k) {
+      ++group_end;
+    }
+    const int band = 2 * k + 1;
+    const int stride = band + 2;
+    for (size_t base = pos; base < group_end; base += w) {
+      const size_t chunk = std::min(w, group_end - base);
+      if (chunk == 1) {
+        // A lone job is cheaper scalar than staged (the other lanes would idle).
+        const LvCigarJob& job = jobs[sc->group[base]];
+        distances[sc->group[base]] = LandauVishkinKnownDistance(
+            job.text, job.pattern, max_k, job.distance, job.cigar, &sc->scalar_ws);
+        continue;
+      }
+
+      int max_m = 0;
+      for (size_t l = 0; l < w; ++l) {
+        lane_n[l] = 0;
+        lane_m[l] = 0;
+        want[l] = 0;
+        if (l >= chunk) {
+          continue;
+        }
+        const LvCigarJob& job = jobs[sc->group[base + l]];
+        lane_m[l] = static_cast<int>(job.pattern.size());
+        lane_n[l] = static_cast<int>(job.text.size());
+        want[l] = 1;
+        max_m = std::max(max_m, lane_m[l]);
+      }
+      const int max_j = max_m + k;
+      const size_t pat_cells = static_cast<size_t>(max_m + 1) * w;
+      const size_t text_cells = static_cast<size_t>(max_j + 1) * w;
+      if (sc->pat.size() < pat_cells) {
+        sc->pat.resize(pat_cells);  // grow-only; see LvBatch on why padding may be stale
+      }
+      if (sc->text.size() < text_cells) {
+        sc->text.resize(text_cells);
+      }
+      for (size_t l = 0; l < chunk; ++l) {
+        const LvCigarJob& job = jobs[sc->group[base + l]];
+        for (int r = 1; r <= lane_m[l]; ++r) {
+          sc->pat[static_cast<size_t>(r) * w + l] =
+              static_cast<uint8_t>(job.pattern[static_cast<size_t>(r - 1)]);
+        }
+        const int text_rows = std::min(lane_n[l], max_j);
+        for (int r = 1; r <= text_rows; ++r) {
+          sc->text[static_cast<size_t>(r) * w + l] =
+              static_cast<uint8_t>(job.text[static_cast<size_t>(r - 1)]);
+        }
+      }
+      const size_t hist_cells = static_cast<size_t>(max_m + 1) * stride * w;
+      if (sc->hist.size() < hist_cells) {
+        sc->hist.resize(hist_cells);  // grow-only: tracebacks only read written rows
+      }
+
+      simd::LvPassArgs args;
+      args.pat = sc->pat.data();
+      args.text = sc->text.data();
+      args.n = lane_n;
+      args.m = lane_m;
+      args.want = want;
+      args.k = k;
+      args.dp = nullptr;
+      args.dist = dist;
+      args.hist = sc->hist.data();
+      if (level == SimdLevel::kAvx2) {
+        simd::LvPassAvx2(args);
+      } else {
+        simd::LvPassSse4(args);
+      }
+
+      for (size_t l = 0; l < chunk; ++l) {
+        const uint32_t idx = sc->group[base + l];
+        distances[idx] = dist[l];
+        if (dist[l] < 0) {
+          continue;  // caller's distance was wrong; its mismatch check handles it
+        }
+        // best_b: first strict minimum of the lane's final row, exactly the
+        // scalar extraction (out-of-range slots hold inf and cannot win).
+        const int32_t* last =
+            sc->hist.data() + static_cast<size_t>(lane_m[l]) * stride * w;
+        int best = k + 1;
+        int best_b = -1;
+        for (int b = 0; b < band; ++b) {
+          const int v = last[static_cast<size_t>(b + 1) * w + l];
+          if (v < best) {
+            best = v;
+            best_b = b;
+          }
+        }
+        const LvCigarJob& job = jobs[idx];
+        if (job.cigar != nullptr) {
+          LvCigarFromHistory(sc->hist.data(), k, width, static_cast<int>(l), job.text,
+                             job.pattern, best_b, &sc->scalar_ws.runs, job.cigar);
+        }
+      }
+    }
+    pos = group_end;
   }
 }
 

@@ -14,6 +14,9 @@
 #include <utility>
 #include <vector>
 
+#include "src/util/aligned.h"
+#include "src/util/simd.h"
+
 namespace persona::align {
 
 // Reusable DP/traceback buffers for LandauVishkin. A single workspace serves any
@@ -21,7 +24,7 @@ namespace persona::align {
 // removes the two matrix allocations (~10 KB at typical read length and max_k) that
 // otherwise dominate each call's setup.
 struct LvWorkspace {
-  std::vector<int> dp;
+  AlignedVector<int> dp;
   std::vector<int8_t> bt;
   std::vector<std::pair<char, int>> runs;
 };
@@ -32,6 +35,62 @@ struct LvWorkspace {
 // `workspace` may be null (a call-local workspace is used).
 int LandauVishkin(std::string_view text, std::string_view pattern, int max_k,
                   std::string* cigar = nullptr, LvWorkspace* workspace = nullptr);
+
+// Same contract as LandauVishkin when the caller already knows the distance that
+// call would return (`distance` >= 0 and <= max_k): produces the identical CIGAR
+// while running only the one banded pass the adaptive schedule would have emitted
+// it from, instead of re-walking the failed smaller-k passes. Used to recompute
+// the winner CIGAR after batch verification has already established the distance.
+int LandauVishkinKnownDistance(std::string_view text, std::string_view pattern, int max_k,
+                               int distance, std::string* cigar, LvWorkspace* workspace);
+
+// One distance-only verification job for LvBatch.
+struct LvBatchJob {
+  std::string_view text;
+  std::string_view pattern;
+};
+
+// One winner-CIGAR reconstruction job for LvBatchCigar: `distance` is the known
+// (> 0) LandauVishkin distance of the pair and `cigar` receives the CIGAR.
+struct LvCigarJob {
+  std::string_view text;
+  std::string_view pattern;
+  int distance = 0;
+  std::string* cigar = nullptr;
+};
+
+// Interleaved lane buffers + scratch for LvBatch/LvBatchCigar. Vector kernels
+// load these with aligned 32-byte instructions, hence AlignedVector.
+struct LvBatchScratch {
+  AlignedVector<uint8_t> pat;
+  AlignedVector<uint8_t> text;
+  AlignedVector<int32_t> dp;
+  AlignedVector<int32_t> hist;   // full band history for CIGAR passes
+  std::vector<uint32_t> group;   // job indices sharing one scheduled band bound
+  LvWorkspace scalar_ws;
+};
+
+// Lanes one vector pass covers at `level` (1 when scalar: jobs run sequentially).
+int LvBatchWidth(SimdLevel level);
+
+// Batch entry point: distances[i] = LandauVishkin(jobs[i].text, jobs[i].pattern,
+// max_k) for every job, bit-identical to the scalar calls at every level. At
+// kSse4/kAvx2 the banded passes run 4/8 interleaved jobs per vector instruction,
+// preserving the scalar adaptive band-doubling schedule per lane (a lane retires
+// exactly when its scalar call would have returned). Distance-only; CIGARs for
+// winners come from LandauVishkinKnownDistance.
+void LvBatch(const LvBatchJob* jobs, int* distances, size_t count, int max_k,
+             SimdLevel level, LvBatchScratch* scratch);
+
+// Batch winner-CIGAR reconstruction: for every job, equivalent to
+// distances[i] = LandauVishkinKnownDistance(text, pattern, max_k, distance,
+// job.cigar, ...) — identical distances and CIGAR bytes at every level. At
+// vector levels, jobs are grouped by the band bound the adaptive schedule
+// assigns their distance, filled 4/8 per vector pass with full band history
+// kept, and traced back per lane by replaying the scalar traceback's exact
+// op-priority over that history.
+void LvBatchCigar(const LvCigarJob* jobs, int* distances, size_t count, int max_k,
+                  SimdLevel level, LvBatchScratch* scratch);
 
 // Reference O(n*m) Levenshtein distance (tests only; no band, no cutoff).
 int FullEditDistance(std::string_view a, std::string_view b);

@@ -221,6 +221,9 @@ FmIndex::Interval FmIndex::ExtendBackward(Interval iv, char base) const {
   if (iv.empty()) {
     return Interval{0, 0};
   }
+  // Both ends' blocks miss independently; start hi's load before lo's scan so
+  // the pair overlaps instead of serializing.
+  PrefetchOcc(iv.hi);
   int64_t lo = c_[code] + Occ(code, iv.lo);
   int64_t hi = c_[code] + Occ(code, iv.hi);
   return Interval{lo, hi};
@@ -243,6 +246,71 @@ int64_t FmIndex::LastToFirst(int64_t idx) const {
 }
 
 void FmIndex::Locate(Interval iv, size_t max_hits, std::vector<int64_t>* out) const {
+  if (iv.size() <= 1) {
+    // A single chain has nothing to overlap with; skip the lockstep scaffolding.
+    LocateSerial(iv, max_hits, out);
+    return;
+  }
+  const int64_t n = static_cast<int64_t>(bwt_.size());
+  // Lockstep windows of up to kLanes LF chains. Each chain is a string of
+  // dependent cache misses (mark word, then BWT block + checkpoint); stepping
+  // the window's chains together with all their next blocks prefetched first
+  // keeps kLanes misses in flight where LocateSerial keeps one. Results are
+  // buffered per window and appended in suffix order, so the output (including
+  // the max_hits cutoff point) is byte-identical to LocateSerial's.
+  constexpr int kLanes = 8;
+  int64_t j[kLanes];
+  int64_t steps[kLanes];
+  int64_t pos[kLanes];
+  int64_t idx = iv.lo;
+  while (idx < iv.hi && out->size() < max_hits) {
+    const int lanes = static_cast<int>(std::min<int64_t>(kLanes, iv.hi - idx));
+    uint32_t live = 0;
+    for (int l = 0; l < lanes; ++l) {
+      j[l] = idx + l;
+      steps[l] = 0;
+      pos[l] = 0;
+      live |= 1u << l;
+    }
+    while (live != 0) {
+      for (int l = 0; l < lanes; ++l) {
+        if ((live & (1u << l)) != 0) {
+          __builtin_prefetch(sampled_mark_.data() + static_cast<size_t>(j[l]) / 64, 0, 1);
+          PrefetchOcc(j[l]);
+        }
+      }
+      for (int l = 0; l < lanes; ++l) {
+        if ((live & (1u << l)) == 0) {
+          continue;
+        }
+        const size_t word = static_cast<size_t>(j[l]) / 64;
+        const uint64_t bit = 1ull << (static_cast<size_t>(j[l]) % 64);
+        if ((sampled_mark_[word] & bit) != 0) {
+          const uint32_t rank =
+              mark_rank_[word] +
+              static_cast<uint32_t>(std::popcount(sampled_mark_[word] & (bit - 1)));
+          int64_t p = sa_samples_[rank] + steps[l];
+          if (p >= n) {
+            p -= n;
+          }
+          pos[l] = p;
+          live &= ~(1u << l);
+        } else {
+          j[l] = LastToFirst(j[l]);
+          ++steps[l];
+        }
+      }
+    }
+    for (int l = 0; l < lanes && out->size() < max_hits; ++l) {
+      if (pos[l] < n - 1) {  // exclude the sentinel position
+        out->push_back(pos[l]);
+      }
+    }
+    idx += lanes;
+  }
+}
+
+void FmIndex::LocateSerial(Interval iv, size_t max_hits, std::vector<int64_t>* out) const {
   const int64_t n = static_cast<int64_t>(bwt_.size());
   for (int64_t idx = iv.lo; idx < iv.hi && out->size() < max_hits; ++idx) {
     int64_t j = idx;

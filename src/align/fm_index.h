@@ -56,7 +56,26 @@ class FmIndex {
   Interval Count(std::string_view pattern) const;
 
   // Resolves up to `max_hits` text positions for the suffixes in `iv`.
+  // Batched occurrence walk: the interval's LF chains advance in lockstep,
+  // each chain's next mark word and BWT block pair prefetched before any chain
+  // steps, so the walks' cache misses overlap instead of serializing (this is
+  // the memory-bound loop of paper Fig. 8). Output is byte-identical to
+  // LocateSerial.
   void Locate(Interval iv, size_t max_hits, std::vector<int64_t>* out) const;
+
+  // Reference one-chain-at-a-time Locate (the pre-batching implementation).
+  // Kept as the parity oracle and the bench's before/after baseline; not used
+  // on hot paths.
+  void LocateSerial(Interval iv, size_t max_hits, std::vector<int64_t>* out) const;
+
+  // Prefetches the checkpoint entries and BWT block pair the next
+  // ExtendBackward(iv, .) will scan. Purely a hint: callers that know the next
+  // interval one step early (e.g. the backward-search loop) issue this so the
+  // two dependent block misses overlap with other work.
+  void PrefetchExtend(Interval iv) const {
+    PrefetchOcc(iv.lo);
+    PrefetchOcc(iv.hi);
+  }
 
   // Length of the indexed text (reference bases, excluding the sentinel).
   int64_t text_length() const { return static_cast<int64_t>(bwt_.size()) - 1; }
@@ -68,6 +87,13 @@ class FmIndex {
 
   int64_t Occ(uint8_t code, int64_t pos) const;  // occurrences of code in bwt[0, pos)
   int64_t LastToFirst(int64_t idx) const;        // LF mapping
+
+  // Prefetches the checkpoint entry and BWT block an Occ(., pos) scan reads.
+  void PrefetchOcc(int64_t pos) const {
+    const size_t block = static_cast<size_t>(pos) / static_cast<size_t>(occ_checkpoint_);
+    __builtin_prefetch(occ_.data() + block, 0, 1);
+    __builtin_prefetch(bwt_.data() + block * static_cast<size_t>(occ_checkpoint_), 0, 1);
+  }
 
   std::vector<uint8_t> bwt_;                     // codes 0..4
   std::array<int64_t, 6> c_{};                   // c_[code] = #chars < code in text

@@ -1,0 +1,152 @@
+// Landau-Vishkin banded pass, vectorized across W interleaved lanes.
+//
+// Included by lv_simd_sse4.cc / lv_simd_avx2.cc (each compiled with the matching
+// -m flags) with an Ops policy supplying the vector type and intrinsics wrappers.
+// Do not include anywhere else.
+//
+// Parity with the scalar LvCore pass (edit_distance.cc) is exact, cell by cell:
+//
+//  - The scalar kernel skips cells with j < 0 or j > n and guards each of the
+//    three transitions so such cells are never read. Here every slot is written:
+//    out-of-range cells hold exactly `inf`. Because every scalar guard excludes
+//    a term whose source this kernel stores as `inf`, and every stored value is
+//    min'ed against `inf` first, the excluded terms contribute `inf + {0,1,2}`
+//    and can never change the min — in-range cells get bit-identical values.
+//  - Band rows carry one pad slot on each side holding `inf`, standing in for
+//    the scalar `b - 1 >= 0` / `b + 1 < band` guards.
+//  - The scalar early return when a row minimum reaches `inf` is a per-lane
+//    retirement here: such a lane's cells stay exactly `inf` forever (inf only
+//    ever derives inf under the recurrence), so its answer is -1 either way.
+//
+// The pass is distance-only; winner CIGARs are produced by the scalar traceback.
+
+template <typename Ops, int kStaticBand>
+static void LvPassBody(const persona::align::simd::LvPassArgs& a) {
+  using V = typename Ops::V;
+  constexpr int W = Ops::kWidth;
+
+  const int k = a.k;
+  // kStaticBand > 0 pins the band width at compile time so the per-row column
+  // loop fully unrolls; 0 is the generic runtime-width fallback.
+  const int band = kStaticBand > 0 ? kStaticBand : 2 * k + 1;
+  const int inf = k + 1;
+  const V vinf = Ops::Set1(inf);
+  const V vone = Ops::Set1(1);
+  const V vn = Ops::LoadA(a.n);
+
+  // Band rows have slots -1..band (pads at both ends). Distance-only passes
+  // roll two rows through a.dp; history passes (a.hist != null) lay every row
+  // out consecutively so the caller can traceback a CIGAR afterwards.
+  const int row_stride = (band + 2) * W;
+  const bool keep_history = a.hist != nullptr;
+  int32_t* prev = keep_history ? a.hist : a.dp;
+  int32_t* cur = prev + row_stride;
+  Ops::StoreA(prev, vinf);
+  Ops::StoreA(prev + (band + 1) * W, vinf);
+  Ops::StoreA(cur, vinf);
+  Ops::StoreA(cur + (band + 1) * W, vinf);
+
+  // Row 0: cost j for 0 <= j <= n(lane), else inf.
+  for (int b = 0; b < band; ++b) {
+    const int j = b - k;
+    V v = vinf;
+    if (j >= 0) {
+      const V vj = Ops::Set1(j);
+      v = Ops::Blend(vj, vinf, Ops::CmpGt(vj, vn));
+    }
+    Ops::StoreA(prev + (b + 1) * W, v);
+  }
+
+  uint32_t pending = 0;
+  int max_m = 0;
+  for (int l = 0; l < W; ++l) {
+    if (a.want[l] != 0) {
+      pending |= 1u << l;
+      max_m = a.m[l] > max_m ? a.m[l] : max_m;
+      if (a.m[l] == 0) {
+        // Callers resolve empty patterns before staging; keep the kernel total anyway.
+        a.dist[l] = 0;
+        pending &= ~(1u << l);
+      }
+    }
+  }
+
+  alignas(32) int32_t rm[W];
+  for (int i = 1; i <= max_m && pending != 0; ++i) {
+    const V pat_c = Ops::LoadBytes(a.pat + static_cast<size_t>(i) * W);
+    V row_min = vinf;
+    for (int b = 0; b < band; ++b) {
+      const int j = i + b - k;
+      if (j < 0) {
+        Ops::StoreA(cur + (b + 1) * W, vinf);
+        continue;
+      }
+      const V diag = Ops::LoadA(prev + (b + 1) * W);
+      const V up = Ops::LoadA(prev + (b + 2) * W);
+      const V left = Ops::LoadA(cur + b * W);
+      const V text_c = Ops::LoadBytes(a.text + static_cast<size_t>(j) * W);
+      // cmpeq yields -1 on equal lanes: substitution cost = 1 + (-1 | 0).
+      const V sub = Ops::Add(vone, Ops::CmpEq(pat_c, text_c));
+      V best = Ops::Min(vinf, Ops::Add(diag, sub));
+      best = Ops::Min(best, Ops::Add(up, vone));
+      best = Ops::Min(best, Ops::Add(left, vone));
+      const V vj = Ops::Set1(j);
+      best = Ops::Blend(best, vinf, Ops::CmpGt(vj, vn));
+      Ops::StoreA(cur + (b + 1) * W, best);
+      row_min = Ops::Min(row_min, best);
+    }
+    Ops::StoreA(rm, row_min);
+    for (int l = 0; l < W; ++l) {
+      const uint32_t bit = 1u << l;
+      if ((pending & bit) == 0) {
+        continue;
+      }
+      if (a.m[l] == i) {
+        // Final row for this lane: min over in-range band cells (out-of-range
+        // slots hold inf and cannot win).
+        int best = inf;
+        for (int b = 0; b < band; ++b) {
+          const int v = cur[(b + 1) * W + l];
+          best = v < best ? v : best;
+        }
+        a.dist[l] = best > k ? -1 : best;
+        pending &= ~bit;
+      } else if (rm[l] >= inf) {
+        a.dist[l] = -1;  // scalar early return: later rows only grow
+        pending &= ~bit;
+      }
+    }
+    if (keep_history) {
+      prev = cur;
+      cur += row_stride;
+      if (i < max_m) {
+        Ops::StoreA(cur, vinf);
+        Ops::StoreA(cur + (band + 1) * W, vinf);
+      }
+    } else {
+      int32_t* tmp = prev;
+      prev = cur;
+      cur = tmp;
+    }
+  }
+}
+
+template <typename Ops>
+static void LvPassImpl(const persona::align::simd::LvPassArgs& a) {
+  // The adaptive schedule emits k = 1, 2, 4, ... so the small bands carry almost
+  // all passes (k = 1 alone covers the majority of verification jobs).
+  switch (a.k) {
+    case 1:
+      LvPassBody<Ops, 3>(a);
+      break;
+    case 2:
+      LvPassBody<Ops, 5>(a);
+      break;
+    case 4:
+      LvPassBody<Ops, 9>(a);
+      break;
+    default:
+      LvPassBody<Ops, 0>(a);
+      break;
+  }
+}

@@ -1,0 +1,58 @@
+// Landau-Vishkin SSE4.1 kernel (4 x int32 lanes). This TU is compiled with
+// -msse4.1; LvPassSse4 must only be called after SimdLevelSupported(kSse4).
+
+#include "src/align/simd_kernels.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+#include <cstddef>
+#include <cstring>
+
+namespace {
+
+struct SseOps {
+  using V = __m128i;
+  static constexpr int kWidth = persona::align::simd::kLvLanesSse4;
+
+  static V Set1(int32_t x) { return _mm_set1_epi32(x); }
+  static V LoadA(const int32_t* p) { return _mm_load_si128(reinterpret_cast<const V*>(p)); }
+  static void StoreA(int32_t* p, V v) { _mm_store_si128(reinterpret_cast<V*>(p), v); }
+  static V Min(V x, V y) { return _mm_min_epi32(x, y); }
+  static V Add(V x, V y) { return _mm_add_epi32(x, y); }
+  static V CmpEq(V x, V y) { return _mm_cmpeq_epi32(x, y); }
+  static V CmpGt(V x, V y) { return _mm_cmpgt_epi32(x, y); }
+  // mask lanes (-1/0) pick b over a.
+  static V Blend(V x, V y, V mask) { return _mm_blendv_epi8(x, y, mask); }
+  // 4 bytes -> 4 zero-extended int32 lanes.
+  static V LoadBytes(const uint8_t* p) {
+    int32_t bits;
+    std::memcpy(&bits, p, sizeof(bits));
+    return _mm_cvtepu8_epi32(_mm_cvtsi32_si128(bits));
+  }
+};
+
+}  // namespace
+
+#include "src/align/lv_simd.inc.h"
+
+namespace persona::align::simd {
+
+void LvPassSse4(const LvPassArgs& args) { LvPassImpl<SseOps>(args); }
+
+}  // namespace persona::align::simd
+
+#else  // !x86
+
+#include <cstdlib>
+
+namespace persona::align::simd {
+
+// Never reachable: HighestSupportedSimdLevel() is kScalar off x86, and callers
+// gate on SimdLevelSupported. Defined so the symbol always links.
+void LvPassSse4(const LvPassArgs&) { std::abort(); }
+
+}  // namespace persona::align::simd
+
+#endif

@@ -27,27 +27,7 @@ inline uint32_t Code2(char c) {
   }
 }
 
-inline uint64_t MixHash(uint64_t x) {
-  // splitmix64 finalizer: good dispersion for packed seeds.
-  x ^= x >> 30;
-  x *= 0xBF58476D1CE4E5B9ull;
-  x ^= x >> 27;
-  x *= 0x94D049BB133111EBull;
-  x ^= x >> 31;
-  return x;
-}
-
 }  // namespace
-
-void RollingSeedPacker::Consume() {
-  uint32_t code = Code2(bases_[next_]);
-  if (code >= 4) {
-    last_invalid_ = static_cast<ptrdiff_t>(next_);
-    code = 0;  // placeholder bits; windows covering this index are rejected anyway
-  }
-  rolling_ = (rolling_ << 2) | code;
-  ++next_;
-}
 
 bool SeedIndex::PackSeed(std::string_view bases, size_t offset, int seed_length,
                          uint64_t* seed) {
@@ -65,8 +45,6 @@ bool SeedIndex::PackSeed(std::string_view bases, size_t offset, int seed_length,
   *seed = s;
   return true;
 }
-
-size_t SeedIndex::BucketFor(uint64_t seed) const { return MixHash(seed) & mask_; }
 
 Result<SeedIndex> SeedIndex::Build(const genome::ReferenceGenome& reference,
                                    const SeedIndexOptions& options) {

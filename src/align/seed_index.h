@@ -8,6 +8,7 @@
 #ifndef PERSONA_SRC_ALIGN_SEED_INDEX_H_
 #define PERSONA_SRC_ALIGN_SEED_INDEX_H_
 
+#include <array>
 #include <cstdint>
 #include <span>
 #include <string_view>
@@ -17,6 +18,19 @@
 #include "src/util/result.h"
 
 namespace persona::align {
+
+// 2-bit code per base character, 4 for anything that is not ACGT (either case).
+// A flat table rather than a switch: the seeding loop consumes every base of
+// every read through this, and the table lookup is branch-free.
+inline constexpr std::array<uint8_t, 256> kBaseCode2 = [] {
+  std::array<uint8_t, 256> t{};
+  t.fill(4);
+  t['A'] = t['a'] = 0;
+  t['C'] = t['c'] = 1;
+  t['G'] = t['g'] = 2;
+  t['T'] = t['t'] = 3;
+  return t;
+}();
 
 // Incremental 2-bit seed encoder: emits the packed seed at successive offsets of one
 // sequence in O(1) amortized per consumed base, vs PackSeed's O(seed_length) re-pack
@@ -47,7 +61,19 @@ class RollingSeedPacker {
   }
 
  private:
-  void Consume();
+  // Folds the next base into the rolling code. Inline: the seeding hot loop runs
+  // this once per base of every read, and an out-of-line call per base costs
+  // more than the shift it wraps.
+  void Consume() {
+    const uint32_t code = kBaseCode2[static_cast<unsigned char>(bases_[next_])];
+    if (code >= 4) {
+      last_invalid_ = static_cast<ptrdiff_t>(next_);
+    }
+    // code & 3 turns the invalid marker into placeholder bits; windows covering
+    // that index are rejected via last_invalid_ anyway.
+    rolling_ = (rolling_ << 2) | (code & 3u);
+    ++next_;
+  }
 
   std::string_view bases_;
   int seed_length_;
@@ -78,6 +104,17 @@ class SeedIndex {
   // Global reference positions whose seed equals `seed` (empty if unknown/dropped).
   std::span<const uint32_t> Lookup(uint64_t seed) const;
 
+  // Prefetches the cache line of `seed`'s first hash probe. Hot loops issue this
+  // for a batch of packed seeds before resolving any of them, so the table's
+  // cache misses overlap instead of serializing one Lookup at a time. Purely a
+  // hint: Lookup semantics are unchanged whether or not this was called.
+  // Inline (with BucketFor): it is issued once per staged seed in the hot loop.
+  void PrefetchLookup(uint64_t seed) const {
+    if (!table_.empty()) {
+      __builtin_prefetch(table_.data() + BucketFor(seed), 0, 1);
+    }
+  }
+
   int seed_length() const { return options_.seed_length; }
   const SeedIndexOptions& options() const { return options_; }
 
@@ -97,7 +134,17 @@ class SeedIndex {
 
   SeedIndex() = default;
 
-  size_t BucketFor(uint64_t seed) const;
+  // splitmix64 finalizer: good dispersion for packed seeds.
+  static uint64_t MixHash(uint64_t x) {
+    x ^= x >> 30;
+    x *= 0xBF58476D1CE4E5B9ull;
+    x ^= x >> 27;
+    x *= 0x94D049BB133111EBull;
+    x ^= x >> 31;
+    return x;
+  }
+
+  size_t BucketFor(uint64_t seed) const { return MixHash(seed) & mask_; }
 
   SeedIndexOptions options_;
   std::vector<Entry> table_;       // open addressing, power-of-two size

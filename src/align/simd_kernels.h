@@ -1,0 +1,103 @@
+// Internal ABI between the dispatch-neutral alignment code and the per-ISA
+// kernel translation units (lv_simd_{sse4,avx2}.cc, sw_simd_{sse4,avx2}.cc).
+//
+// Those TUs are compiled with -msse4.1 / -mavx2; everything else in the tree is
+// not. To keep vector instructions from leaking into commonly-included inline
+// code (and then executing on a CPU that lacks them), this header is deliberately
+// plain: POD argument structs and free-function declarations only, no templates,
+// no std containers. Callers must consult persona::SimdLevelSupported before
+// invoking a kernel; the functions themselves do not re-check the CPU.
+
+#ifndef PERSONA_SRC_ALIGN_SIMD_KERNELS_H_
+#define PERSONA_SRC_ALIGN_SIMD_KERNELS_H_
+
+#include <cstdint>
+
+namespace persona::align::simd {
+
+// ---------------------------------------------------------------------------
+// Landau-Vishkin: one banded pass at bound k over W interleaved lanes.
+//
+// Lane-interleaved layout: sequence row r (1-based; row 0 is an unused pad so
+// loads for j-1/i-1 indexing never underflow) stores one byte per lane at
+// pat[r * W + lane] / text[r * W + lane]. The pattern buffer must have rows
+// 0..max(m[lane]) and the text buffer rows 0..max(m[lane]) + k for every lane
+// the kernel may touch; rows beyond a lane's own length are padding and never
+// influence that lane's result.
+//
+// dp is 2 * (2k + 3) * W int32 of 32-byte-aligned scratch (two rolling band
+// rows, each with one pad slot on either side).
+//
+// For every lane with want[lane] != 0 the kernel writes dist[lane]: the exact
+// banded distance if <= k, else -1 — bit-identical to the scalar LvCore pass at
+// the same k. Lanes with want[lane] == 0 are computed but never read back.
+//
+// When hist is non-null the kernel keeps the whole band matrix instead of two
+// rolling rows: row i is written at hist + i * (2k + 3) * W (dp is then unused
+// and may be null). Callers traceback winner CIGARs from this history; cell
+// values match the scalar fill on every cell a traceback can visit (in-band
+// cells are bit-identical; cells whose cost exceeds the bound hold >= k + 1 in
+// both fills and are provably never on a traceback path).
+// ---------------------------------------------------------------------------
+struct LvPassArgs {
+  const uint8_t* pat;   // (max_m + 1) rows x W bytes, lane-interleaved
+  const uint8_t* text;  // (max_m + k + 1) rows x W bytes, lane-interleaved
+  const int32_t* n;     // W per-lane text lengths
+  const int32_t* m;     // W per-lane pattern lengths
+  const uint8_t* want;  // W flags: produce dist[lane]?
+  int32_t k;            // band bound for this pass
+  int32_t* dp;          // 2 * (2k + 3) * W int32, 32-byte aligned
+  int32_t* dist;        // W out
+  int32_t* hist;        // optional (max_m + 1) * (2k + 3) * W history, 32-byte aligned
+};
+
+inline constexpr int kLvLanesSse4 = 4;
+inline constexpr int kLvLanesAvx2 = 8;
+
+void LvPassSse4(const LvPassArgs& args);  // 4 lanes
+void LvPassAvx2(const LvPassArgs& args);  // 8 lanes
+
+// ---------------------------------------------------------------------------
+// Smith-Waterman: Farrar-striped banded Gotoh fill over one (ref, query) pair.
+//
+// Striped layout: query position i (0-based, 0 <= i < m) lives in stripe
+// s = i % S, lane l = i / S, where S = ceil(m / V) and V is the vector width.
+// A "column" j stores S vectors of V int32 at h[(j - 1) * S * V + s * V].
+// Out-of-band and padding cells hold exactly kNegInf, in-band cells the same
+// H values the scalar banded fill produces, so a traceback reading this buffer
+// through a (row, col) accessor is bit-identical to the scalar traceback.
+//
+// best/best_j are S * V running per-position maxima (value, earliest column);
+// the caller reduces them in row order to recover the scalar argmax tie-break.
+// ---------------------------------------------------------------------------
+struct SwPassArgs {
+  const uint8_t* qchars;   // S * V striped query bytes (padding bytes are 0)
+  const int32_t* profile;  // 5 x S * V: match/mismatch per canonical ref byte
+  const uint8_t* prof_idx; // 256: ref byte -> profile row, 255 = direct compare
+  const uint8_t* ref;      // raw reference bytes
+  const int32_t* row;      // S * V: 1-based query row per striped position
+  int32_t n_cols;          // columns to fill = min(n, m + hi)
+  int32_t m;               // query length
+  int32_t stripes;         // S
+  int32_t lo;              // band: j - i in [lo, hi]
+  int32_t hi;
+  int32_t match;
+  int32_t mismatch;
+  int32_t gap_open_extend; // params.gap_open + params.gap_extend
+  int32_t gap_extend;
+  int32_t neg_inf;         // the scalar kernel's kNegInf sentinel
+  int32_t* h;              // n_cols x S * V out, 32-byte aligned
+  int32_t* e;              // S * V scratch (E entering the current column)
+  int32_t* f;              // S * V scratch (lazy-F within the current column)
+  int32_t* oob;            // S * V scratch (current column's out-of-band masks)
+  int32_t* zero_col;       // S * V scratch holding the virtual column 0 (all 0)
+  int32_t* best;           // S * V out, init by kernel
+  int32_t* best_j;         // S * V out
+};
+
+void SwFillSse4(const SwPassArgs& args);  // V = 4
+void SwFillAvx2(const SwPassArgs& args);  // V = 8
+
+}  // namespace persona::align::simd
+
+#endif  // PERSONA_SRC_ALIGN_SIMD_KERNELS_H_

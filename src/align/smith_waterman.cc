@@ -1,7 +1,10 @@
 #include "src/align/smith_waterman.h"
 
 #include <algorithm>
+#include <array>
 #include <tuple>
+
+#include "src/align/simd_kernels.h"
 
 namespace persona::align {
 
@@ -16,16 +19,141 @@ void EmitCigar(const std::vector<std::pair<char, int>>& runs, std::string* out) 
   }
 }
 
-}  // namespace
+// Traceback over a filled banded H matrix, templated over the H accessor so the
+// scalar (banded row-major) and striped (column-major Farrar) layouts share one
+// implementation. `h_at(r, c)` must return 0 on the r == 0 / c == 0 boundary,
+// kNegInf out of band, and the exact H value in band — both fills guarantee
+// their stored values are bit-identical, so the emitted positions and CIGAR are
+// too. Gap-state decisions re-derive E and F from the same recurrences and
+// boundary conventions as the fill, caching one recomputed E row and one F
+// column: a Main-state diagonal step needs neither, so perfect or
+// substitution-only alignments never pay for them.
+template <typename HAt>
+void BandedTraceback(std::string_view ref, std::string_view query, const SwParams& params,
+                     int lo, int hi, int best_i, int best_j, const HAt& h_at, SwScratch& ws,
+                     SwResult* result) {
+  const int n = static_cast<int>(ref.size());
+  const int m = static_cast<int>(query.size());
+  const int width = hi - lo + 1;
+  const int go_ge = params.gap_open + params.gap_extend;
+  const int gap_extend = params.gap_extend;
+  const int match = params.match;
+  const int mismatch = params.mismatch;
+  const size_t w = static_cast<size_t>(width);
 
-SwResult SmithWaterman(std::string_view ref, std::string_view query, const SwParams& params,
-                       SwScratch* scratch) {
+  ws.e_row.resize(w);
+  ws.f_col.resize(static_cast<size_t>(m) + 1);
+  int e_row_r = -1;  // row currently held in ws.e_row
+  auto e_at = [&](int r, int c) -> int {
+    if (c == 0) {
+      return kNegInf;
+    }
+    const int p = c - r - lo;
+    if (p < 0 || p >= width) {
+      return kNegInf;
+    }
+    if (e_row_r != r) {
+      e_row_r = r;
+      const int rjlo = std::max(1, r + lo);
+      const int rjhi = std::min(n, r + hi);
+      int e = kNegInf;
+      int left_h = rjlo == 1 ? 0 : kNegInf;
+      for (int c2 = rjlo; c2 <= rjhi; ++c2) {
+        const int p2 = c2 - r - lo;
+        e = std::max(left_h + go_ge, e + gap_extend);
+        ws.e_row[static_cast<size_t>(p2)] = e;
+        left_h = h_at(r, c2);
+      }
+    }
+    return ws.e_row[static_cast<size_t>(p)];
+  };
+  int f_col_c = -1;  // column currently held in ws.f_col
+  int f_col_rlo = 0;
+  int f_col_rhi = -1;
+  auto f_at = [&](int r, int c) -> int {
+    if (f_col_c != c) {
+      f_col_c = c;
+      f_col_rlo = std::max(1, c - hi);
+      f_col_rhi = std::min(m, c - lo);
+      int f = kNegInf;
+      int up_h = f_col_rlo == 1 ? 0 : kNegInf;
+      for (int r2 = f_col_rlo; r2 <= f_col_rhi; ++r2) {
+        f = std::max(up_h + go_ge, f + gap_extend);
+        ws.f_col[static_cast<size_t>(r2)] = f;
+        up_h = h_at(r2, c);
+      }
+    }
+    if (r < f_col_rlo || r > f_col_rhi) {
+      return kNegInf;
+    }
+    return ws.f_col[static_cast<size_t>(r)];
+  };
+
+  ws.runs.clear();
+  auto push = [&ws](char op) {
+    if (!ws.runs.empty() && ws.runs.back().first == op) {
+      ++ws.runs.back().second;
+    } else {
+      ws.runs.emplace_back(op, 1);
+    }
+  };
+
+  // Same three-state machine (and tie preferences) as the full-matrix kernel: stop,
+  // then diagonal, then E, then F; gaps prefer extending on ties.
+  enum class State { kMain, kRefGap, kQueryGap };
+  State state = State::kMain;
+  int i = best_i;
+  int j = best_j;
+  while (i > 0 && j > 0) {
+    if (state == State::kMain) {
+      const int score = h_at(i, j);
+      if (score == 0) {
+        break;  // local start
+      }
+      const int sub = query[static_cast<size_t>(i - 1)] == ref[static_cast<size_t>(j - 1)]
+                          ? match
+                          : mismatch;
+      if (score == h_at(i - 1, j - 1) + sub) {
+        push('M');
+        --i;
+        --j;
+      } else if (score == e_at(i, j)) {
+        state = State::kRefGap;
+      } else {
+        state = State::kQueryGap;
+      }
+    } else if (state == State::kRefGap) {
+      push('D');
+      if (e_at(i, j) == e_at(i, j - 1) + gap_extend) {
+        --j;
+      } else {
+        --j;
+        state = State::kMain;
+      }
+    } else {
+      push('I');
+      if (f_at(i, j) == f_at(i - 1, j) + gap_extend) {
+        --i;
+      } else {
+        --i;
+        state = State::kMain;
+      }
+    }
+  }
+
+  result->query_begin = i;
+  result->query_end = best_i;
+  result->ref_begin = j;
+  result->ref_end = best_j;
+  EmitCigar(ws.runs, &result->cigar);
+}
+
+// The scalar production kernel: band-limited two-row fill (see header comment).
+SwResult SmithWatermanScalar(std::string_view ref, std::string_view query,
+                             const SwParams& params, SwScratch& ws) {
   const int n = static_cast<int>(ref.size());
   const int m = static_cast<int>(query.size());
   SwResult result;
-  if (n == 0 || m == 0) {
-    return result;
-  }
 
   // Band over diagonals d = j - i: the corner-to-corner sweep [min(n-m,0), max(n-m,0)]
   // widened by the radius on both sides. Cell (i, j) is stored at offset j - i - lo of
@@ -35,8 +163,6 @@ SwResult SmithWaterman(std::string_view ref, std::string_view query, const SwPar
   const int hi = std::max(n - m, 0) + radius;
   const int width = hi - lo + 1;
 
-  SwScratch local;
-  SwScratch& ws = scratch != nullptr ? *scratch : local;
   const size_t w = static_cast<size_t>(width);
   ws.h.resize(static_cast<size_t>(m) * w);
   ws.f_prev.resize(w);
@@ -138,11 +264,6 @@ SwResult SmithWaterman(std::string_view ref, std::string_view query, const SwPar
     return result;
   }
 
-  // --- Traceback over the stored banded H matrix. ---
-  // Gap-state decisions re-derive E and F from the same recurrences and boundary
-  // conventions as the fill (values are bit-identical), caching one recomputed E row
-  // and one F column: a Main-state diagonal step needs neither, so perfect or
-  // substitution-only alignments never pay for them.
   const int32_t* hmat = ws.h.data();
   auto h_at = [&](int r, int c) -> int {
     if (r == 0 || c == 0) {
@@ -154,112 +275,157 @@ SwResult SmithWaterman(std::string_view ref, std::string_view query, const SwPar
     }
     return hmat[static_cast<size_t>(r - 1) * w + static_cast<size_t>(p)];
   };
-  ws.e_row.resize(w);
-  ws.f_col.resize(static_cast<size_t>(m) + 1);
-  int e_row_r = -1;  // row currently held in ws.e_row
-  auto e_at = [&](int r, int c) -> int {
-    if (c == 0) {
-      return kNegInf;
-    }
-    const int p = c - r - lo;
-    if (p < 0 || p >= width) {
-      return kNegInf;
-    }
-    if (e_row_r != r) {
-      e_row_r = r;
-      const int rjlo = std::max(1, r + lo);
-      const int rjhi = std::min(n, r + hi);
-      int e = kNegInf;
-      int left_h = rjlo == 1 ? 0 : kNegInf;
-      for (int c2 = rjlo; c2 <= rjhi; ++c2) {
-        const int p2 = c2 - r - lo;
-        e = std::max(left_h + go_ge, e + gap_extend);
-        ws.e_row[p2] = e;
-        left_h = hmat[static_cast<size_t>(r - 1) * w + static_cast<size_t>(p2)];
-      }
-    }
-    return ws.e_row[p];
-  };
-  int f_col_c = -1;  // column currently held in ws.f_col
-  int f_col_rlo = 0;
-  int f_col_rhi = -1;
-  auto f_at = [&](int r, int c) -> int {
-    if (f_col_c != c) {
-      f_col_c = c;
-      f_col_rlo = std::max(1, c - hi);
-      f_col_rhi = std::min(m, c - lo);
-      int f = kNegInf;
-      int up_h = f_col_rlo == 1 ? 0 : kNegInf;
-      for (int r2 = f_col_rlo; r2 <= f_col_rhi; ++r2) {
-        f = std::max(up_h + go_ge, f + gap_extend);
-        ws.f_col[r2] = f;
-        up_h = h_at(r2, c);
-      }
-    }
-    if (r < f_col_rlo || r > f_col_rhi) {
-      return kNegInf;
-    }
-    return ws.f_col[r];
-  };
+  BandedTraceback(ref, query, params, lo, hi, best_i, best_j, h_at, ws, &result);
+  return result;
+}
 
-  ws.runs.clear();
-  auto push = [&ws](char op) {
-    if (!ws.runs.empty() && ws.runs.back().first == op) {
-      ++ws.runs.back().second;
-    } else {
-      ws.runs.emplace_back(op, 1);
+// Maps a reference byte to its row in the precomputed query profile; bytes
+// outside the canonical alphabet take the kernel's direct-compare path (255),
+// preserving the scalar kernel's exact byte-equality semantics for any input.
+const uint8_t* ProfileIndexTable() {
+  static const std::array<uint8_t, 256> table = [] {
+    std::array<uint8_t, 256> t;
+    t.fill(255);
+    const std::string_view alphabet = "ACGTN";
+    for (size_t c = 0; c < alphabet.size(); ++c) {
+      t[static_cast<uint8_t>(alphabet[c])] = static_cast<uint8_t>(c);
     }
-  };
+    return t;
+  }();
+  return table.data();
+}
 
-  // Same three-state machine (and tie preferences) as the full-matrix kernel: stop,
-  // then diagonal, then E, then F; gaps prefer extending on ties.
-  enum class State { kMain, kRefGap, kQueryGap };
-  State state = State::kMain;
-  int i = best_i;
-  int j = best_j;
-  while (i > 0 && j > 0) {
-    if (state == State::kMain) {
-      const int score = h_at(i, j);
-      if (score == 0) {
-        break;  // local start
-      }
-      const int sub = query[static_cast<size_t>(i - 1)] == ref[static_cast<size_t>(j - 1)]
-                          ? match
-                          : mismatch;
-      if (score == h_at(i - 1, j - 1) + sub) {
-        push('M');
-        --i;
-        --j;
-      } else if (score == e_at(i, j)) {
-        state = State::kRefGap;
-      } else {
-        state = State::kQueryGap;
-      }
-    } else if (state == State::kRefGap) {
-      push('D');
-      if (e_at(i, j) == e_at(i, j - 1) + gap_extend) {
-        --j;
-      } else {
-        --j;
-        state = State::kMain;
-      }
-    } else {
-      push('I');
-      if (f_at(i, j) == f_at(i - 1, j) + gap_extend) {
-        --i;
-      } else {
-        --i;
-        state = State::kMain;
-      }
+// Farrar-striped fill at a vector dispatch level + shared traceback. Bit-identical
+// to SmithWatermanScalar (see sw_simd.inc.h for the parity argument).
+SwResult SmithWatermanStriped(std::string_view ref, std::string_view query,
+                              const SwParams& params, SwScratch& ws, SimdLevel level) {
+  const int n = static_cast<int>(ref.size());
+  const int m = static_cast<int>(query.size());
+  SwResult result;
+
+  const int radius = params.band_radius > 0 ? params.band_radius : kDefaultBandRadius;
+  const int lo = std::min(n - m, 0) - radius;
+  const int hi = std::max(n - m, 0) + radius;
+  const int lanes = level == SimdLevel::kAvx2 ? 8 : 4;
+  const int stripes = (m + lanes - 1) / lanes;
+  const size_t sv = static_cast<size_t>(stripes) * lanes;
+  const int n_cols = std::min(n, m + hi);
+
+  // Striped query bytes, 1-based row indices, and the 5-row ACGTN profile.
+  // Padding positions (>= m) carry row m+1.. and are masked out by the kernel.
+  ws.sq.assign(sv, 0);
+  ws.srow.resize(sv);
+  for (size_t pos = 0; pos < sv; ++pos) {
+    const int s = static_cast<int>(pos) / lanes;
+    const int l = static_cast<int>(pos) % lanes;
+    const int i = l * stripes + s;  // 0-based query index at (stripe s, lane l)
+    ws.srow[pos] = i + 1;
+    if (i < m) {
+      ws.sq[pos] = static_cast<uint8_t>(query[static_cast<size_t>(i)]);
+    }
+  }
+  const std::string_view alphabet = "ACGTN";
+  ws.sprofile.resize(5 * sv);
+  for (size_t c = 0; c < alphabet.size(); ++c) {
+    for (size_t pos = 0; pos < sv; ++pos) {
+      ws.sprofile[c * sv + pos] =
+          ws.sq[pos] == static_cast<uint8_t>(alphabet[c]) ? params.match : params.mismatch;
+    }
+  }
+  ws.sh.resize(static_cast<size_t>(n_cols) * sv);
+  ws.se.resize(sv);
+  ws.sf.resize(sv);
+  ws.soob.resize(sv);
+  ws.szero.resize(sv);
+  ws.sbest.resize(sv);
+  ws.sbest_j.resize(sv);
+
+  simd::SwPassArgs args;
+  args.qchars = ws.sq.data();
+  args.profile = ws.sprofile.data();
+  args.prof_idx = ProfileIndexTable();
+  args.ref = reinterpret_cast<const uint8_t*>(ref.data());
+  args.row = ws.srow.data();
+  args.n_cols = n_cols;
+  args.m = m;
+  args.stripes = stripes;
+  args.lo = lo;
+  args.hi = hi;
+  args.match = params.match;
+  args.mismatch = params.mismatch;
+  args.gap_open_extend = params.gap_open + params.gap_extend;
+  args.gap_extend = params.gap_extend;
+  args.neg_inf = kNegInf;
+  args.h = ws.sh.data();
+  args.e = ws.se.data();
+  args.f = ws.sf.data();
+  args.oob = ws.soob.data();
+  args.zero_col = ws.szero.data();
+  args.best = ws.sbest.data();
+  args.best_j = ws.sbest_j.data();
+  if (level == SimdLevel::kAvx2) {
+    simd::SwFillAvx2(args);
+  } else {
+    simd::SwFillSse4(args);
+  }
+
+  // Row-order reduce with strict greater: the first (lowest-row) position among
+  // the maxima wins, and per position the kernel kept the earliest column —
+  // together the scalar fill's row-major strict-greater argmax.
+  int best = 0;
+  int best_i = 0;
+  int best_j = 0;
+  for (int i = 0; i < m; ++i) {
+    const size_t pos = static_cast<size_t>(i % stripes) * lanes + i / stripes;
+    const int v = ws.sbest[pos];
+    if (v > best) {
+      best = v;
+      best_i = i + 1;
+      best_j = ws.sbest_j[pos];
     }
   }
 
-  result.query_begin = i;
-  result.query_end = best_i;
-  result.ref_begin = j;
-  result.ref_end = best_j;
-  EmitCigar(ws.runs, &result.cigar);
+  result.score = best;
+  if (best == 0) {
+    return result;
+  }
+
+  const int32_t* smat = ws.sh.data();
+  const int width = hi - lo + 1;
+  auto h_at = [&](int r, int c) -> int {
+    if (r == 0 || c == 0) {
+      return 0;  // local-alignment boundary
+    }
+    const int p = c - r - lo;
+    if (p < 0 || p >= width) {
+      return kNegInf;  // out of band
+    }
+    const int i = r - 1;
+    const size_t pos = static_cast<size_t>(i % stripes) * lanes + i / stripes;
+    return smat[static_cast<size_t>(c - 1) * sv + pos];
+  };
+  BandedTraceback(ref, query, params, lo, hi, best_i, best_j, h_at, ws, &result);
   return result;
+}
+
+}  // namespace
+
+SwResult SmithWaterman(std::string_view ref, std::string_view query, const SwParams& params,
+                       SwScratch* scratch) {
+  return SmithWatermanAtLevel(ref, query, params, scratch, ActiveSimdLevel());
+}
+
+SwResult SmithWatermanAtLevel(std::string_view ref, std::string_view query,
+                              const SwParams& params, SwScratch* scratch, SimdLevel level) {
+  if (ref.empty() || query.empty()) {
+    return SwResult{};
+  }
+  SwScratch local;
+  SwScratch& ws = scratch != nullptr ? *scratch : local;
+  if (level != SimdLevel::kScalar && SimdLevelSupported(level)) {
+    return SmithWatermanStriped(ref, query, params, ws, level);
+  }
+  return SmithWatermanScalar(ref, query, params, ws);
 }
 
 SwResult SmithWatermanFull(std::string_view ref, std::string_view query,

@@ -22,6 +22,9 @@
 #include <utility>
 #include <vector>
 
+#include "src/util/aligned.h"
+#include "src/util/simd.h"
+
 namespace persona::align {
 
 struct SwParams {
@@ -53,11 +56,23 @@ struct SwResult {
 // the recurrences (E rows / F columns recomputed on demand), which keeps the fill's
 // inner loop to two stores and no flag computation.
 struct SwScratch {
-  std::vector<int32_t> h;          // banded H matrix: |query| rows x band width
+  AlignedVector<int32_t> h;        // banded H matrix: |query| rows x band width
   std::vector<int> f_prev, f_cur;  // rolling F rows for the fill
   std::vector<int> e_row;          // traceback: E values of one recomputed row
   std::vector<int> f_col;          // traceback: F values of one recomputed column
   std::vector<std::pair<char, int>> runs;
+  // Striped (Farrar) fill buffers, used only at vector dispatch levels. All are
+  // read with aligned 32-byte vector loads, hence AlignedVector.
+  AlignedVector<uint8_t> sq;        // striped query bytes
+  AlignedVector<int32_t> sprofile;  // 5 x stripes x lanes query profile
+  AlignedVector<int32_t> srow;      // 1-based query row per striped position
+  AlignedVector<int32_t> sh;        // striped H: n_cols columns x stripes x lanes
+  AlignedVector<int32_t> se;        // E entering the current column
+  AlignedVector<int32_t> sf;        // F within the current column (lazy-F loop)
+  AlignedVector<int32_t> soob;      // out-of-band masks for the current column
+  AlignedVector<int32_t> szero;     // the all-zero virtual column 0
+  AlignedVector<int32_t> sbest;     // per-position running max
+  AlignedVector<int32_t> sbest_j;   // earliest column achieving it
 };
 
 // Band-limited two-row local alignment (see header comment). Returns score 0 (empty
@@ -65,6 +80,15 @@ struct SwScratch {
 // null (a call-local scratch is used).
 SwResult SmithWaterman(std::string_view ref, std::string_view query, const SwParams& params = {},
                        SwScratch* scratch = nullptr);
+
+// Same kernel pinned to an explicit dispatch level (parity tests and the bench
+// drive every level on identical inputs through this). kScalar runs the banded
+// two-row fill; kSse4/kAvx2 run the Farrar-striped fill, which produces
+// bit-identical results (score, positions, CIGAR) for the standard negative gap
+// penalties. An unsupported level falls back to kScalar rather than faulting.
+// SmithWaterman == SmithWatermanAtLevel(..., ActiveSimdLevel()).
+SwResult SmithWatermanAtLevel(std::string_view ref, std::string_view query,
+                              const SwParams& params, SwScratch* scratch, SimdLevel level);
 
 // Full O(|ref| * |query|) local alignment (test oracle).
 SwResult SmithWatermanFull(std::string_view ref, std::string_view query,

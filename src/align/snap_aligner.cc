@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstring>
 
 #include "src/compress/base_compaction.h"
+#include "src/util/simd.h"
 
 namespace persona::align {
 
@@ -49,16 +51,36 @@ void SnapAligner::SeedOne(const genome::Read& read, size_t r, SnapAlignerScratch
         strand == 0 ? std::string_view(read.bases) : std::string_view(reverse_bases);
     VoteMap& votes = scratch->votes_[strand];
     votes.Reset();
+    // Prefetch-batched lookup in three passes. Resolving seeds one at a time
+    // serializes a cache miss per hash probe; packing the whole strand first and
+    // prefetching every bucket lets the misses overlap, and a second prefetch
+    // round covers each bucket's position list before any list is consumed.
+    auto& staged_seeds = scratch->seed_stage_;
+    staged_seeds.clear();
     RollingSeedPacker packer(bases, seed_len);
     for (int off = 0; off + seed_len <= read_len; off += options_.seed_stride) {
       uint64_t seed;
       if (!packer.Seed(static_cast<size_t>(off), &seed)) {
         continue;  // seed window contains N
       }
+      index_->PrefetchLookup(seed);
+      staged_seeds.emplace_back(seed, off);
+    }
+    auto& staged_hits = scratch->hit_stage_;
+    staged_hits.clear();
+    for (const auto& [seed, off] : staged_seeds) {
       if (profile != nullptr) {
         ++profile->index_probes;
       }
-      for (uint32_t pos : index_->Lookup(seed)) {
+      const auto positions = index_->Lookup(seed);
+      if (positions.empty()) {
+        continue;
+      }
+      __builtin_prefetch(positions.data(), 0, 1);
+      staged_hits.emplace_back(positions, off);
+    }
+    for (const auto& [positions, off] : staged_hits) {
+      for (uint32_t pos : positions) {
         int64_t start = static_cast<int64_t>(pos) - off;
         if (start >= 0) {
           votes.Vote(start);
@@ -143,8 +165,9 @@ void SnapAligner::VerifyOne(const genome::Read& read, size_t r, SnapAlignerScrat
   std::string_view bases = best.reverse ? std::string_view(scratch->reverse_bases_[r])
                                         : std::string_view(read.bases);
   auto slice = window_slice(best.location);
-  int cigar_distance = LandauVishkin(*slice, bases, options_.max_edit_distance,
-                                     &result->cigar, &scratch->lv_);
+  int cigar_distance =
+      LandauVishkinKnownDistance(*slice, bases, options_.max_edit_distance, best.distance,
+                                 &result->cigar, &scratch->lv_);
   if (cigar_distance != best.distance) {
     // The traceback pass re-runs the exact band the scan already verified, so a
     // disagreement means the CIGAR does not describe the reported alignment. Emit
@@ -166,15 +189,241 @@ void SnapAligner::VerifyOne(const genome::Read& read, size_t r, SnapAlignerScrat
   result->mapq = static_cast<uint8_t>(std::clamp(mapq, 0, 60));
 }
 
-void SnapAligner::AlignBatch(std::span<const genome::Read> reads,
-                             std::span<AlignmentResult> results, AlignerScratch* scratch,
-                             AlignProfile* profile) const {
+// Batched verification at a vector level. One resumable cursor per SIMD lane scans
+// one read's staged candidates in exactly VerifyOne's order; candidates that need
+// the DP (the memcmp fast path misses) are staged, and all lanes' pending DPs run
+// as a single LvBatch pass per wave. When a read finishes, its lane is refilled
+// from the next unverified read, so lanes stay occupied until the batch drains.
+//
+// Parity with the VerifyOne loop: each cursor applies the identical per-candidate
+// sequence (vote/max-candidates break, window slice with contig-end fallback,
+// best/second-best update, per-strand early break on a settled perfect hit), and
+// LvBatch is distance-parity with scalar LandauVishkin. Reads only ever interleave
+// at LvBatch boundaries, never share state, and finalize independently, so results
+// and profile totals match the scalar loop bit for bit.
+void SnapAligner::VerifyBatchVector(std::span<const genome::Read> reads,
+                                    std::span<AlignmentResult> results,
+                                    SnapAlignerScratch* s, AlignProfile* profile,
+                                    SimdLevel level) const {
+  const int width = LvBatchWidth(level);
+  const int max_k = options_.max_edit_distance;
+  s->cigar_jobs_.clear();
+
+  // A lane's scan state between waves. `staged_*` hold the candidate whose DP is
+  // pending; `in_strand` marks c/evaluated as valid resume points for `strand`.
+  struct Cursor {
+    size_t r = 0;
+    int strand = 0;
+    bool in_strand = false;
+    uint32_t c = 0;
+    int evaluated = 0;
+    Verified best{genome::kInvalidLocation, 0, false};
+    int second_best = 0;
+    int64_t staged_location = 0;
+    std::string_view staged_text;
+  };
+
+  auto window_slice = [&](int64_t location, int read_len) {
+    auto slice = reference_->Slice(location, static_cast<size_t>(read_len + max_k));
+    if (!slice.ok()) {
+      slice = reference_->Slice(location, static_cast<size_t>(read_len));
+    }
+    return slice;
+  };
+
+  auto bases_for = [&](const Cursor& cur) {
+    return cur.strand == 0 ? std::string_view(reads[cur.r].bases)
+                           : std::string_view(s->reverse_bases_[cur.r]);
+  };
+
+  // Applies one verified distance; returns true when the current strand's scan is
+  // settled early (perfect hit confirmed and MAPQ evidence in hand).
+  auto deliver = [&](Cursor& cur, int64_t location, int dist) {
+    if (dist < 0) {
+      return false;
+    }
+    if (dist < cur.best.distance) {
+      cur.second_best = cur.best.distance;
+      cur.best = Verified{location, dist, cur.strand == 1};
+    } else if (dist < cur.second_best && location != cur.best.location) {
+      cur.second_best = dist;
+    }
+    return cur.best.distance == 0 && cur.second_best <= max_k;
+  };
+
+  // Advances the cursor to its next DP-needing candidate, resolving exact-match
+  // candidates inline so only real DP jobs occupy vector lanes. Returns true with
+  // staged_* filled, false when the read's scan is complete.
+  auto advance = [&](Cursor& cur) {
+    const int read_len = static_cast<int>(reads[cur.r].bases.size());
+    for (; cur.strand < 2; ++cur.strand, cur.in_strand = false) {
+      const auto range = s->ranges_[2 * cur.r + static_cast<size_t>(cur.strand)];
+      if (!cur.in_strand) {
+        cur.c = range.begin;
+        cur.evaluated = 0;
+        cur.in_strand = true;
+      }
+      const std::string_view bases = bases_for(cur);
+      for (; cur.c < range.end; ++cur.c) {
+        const auto& [location, vote_count] = s->candidates_[cur.c];
+        if (vote_count < options_.min_votes || cur.evaluated >= options_.max_candidates) {
+          break;
+        }
+        ++cur.evaluated;
+        if (profile != nullptr) {
+          ++profile->candidates;
+        }
+        auto slice = window_slice(location, read_len);
+        if (!slice.ok()) {
+          continue;
+        }
+        if (slice->size() >= bases.size() &&
+            std::memcmp(slice->data(), bases.data(), bases.size()) == 0) {
+          if (deliver(cur, location, 0)) {
+            break;  // settled: fall through to the next strand
+          }
+          continue;
+        }
+        cur.staged_location = location;
+        cur.staged_text = *slice;
+        return true;
+      }
+    }
+    return false;
+  };
+
+  // Emits the cursor's result: VerifyOne's finalize step verbatim, except the
+  // winner's CIGAR is rebuilt at its already-known distance (skipping the failed
+  // low-k passes of the adaptive schedule), and CIGARs that need a DP traceback
+  // are deferred so they run as one vectorized LvBatchCigar pass after the wave
+  // loop drains instead of a scalar band fill per winner.
+  auto finalize = [&](const Cursor& cur) {
+    if (cur.best.location == genome::kInvalidLocation) {
+      return;  // unmapped
+    }
+    AlignmentResult* result = &results[cur.r];
+    result->location = cur.best.location;
+    result->flags = cur.best.reverse ? kFlagReverse : 0;
+    result->edit_distance = static_cast<int16_t>(cur.best.distance);
+    result->score = -cur.best.distance;
+
+    const std::string_view bases = cur.best.reverse
+                                       ? std::string_view(s->reverse_bases_[cur.r])
+                                       : std::string_view(reads[cur.r].bases);
+    const int read_len = static_cast<int>(reads[cur.r].bases.size());
+    auto slice = window_slice(cur.best.location, read_len);
+    if (cur.best.distance == 0) {
+      // Distance 0 emits the all-M CIGAR directly, no DP.
+      int cigar_distance =
+          LandauVishkinKnownDistance(*slice, bases, max_k, 0, &result->cigar, &s->lv_);
+      if (cigar_distance != 0) {
+        result->cigar.clear();  // see VerifyOne: never emit a mismatched CIGAR
+      }
+    } else {
+      // The slice (reference memory) and bases (read / scratch strings untouched
+      // for the rest of the batch) stay valid until the deferred pass runs.
+      s->cigar_jobs_.push_back(
+          LvCigarJob{*slice, bases, cur.best.distance, &result->cigar});
+    }
+
+    int gap = cur.second_best - cur.best.distance;
+    int mapq;
+    if (cur.second_best > max_k) {
+      mapq = 60 - 2 * cur.best.distance;
+    } else if (gap == 0) {
+      mapq = 1;
+    } else {
+      mapq = std::min(60, 10 * gap - cur.best.distance);
+    }
+    result->mapq = static_cast<uint8_t>(std::clamp(mapq, 0, 60));
+  };
+
+  constexpr int kMaxLanes = 8;  // widest LvBatchWidth (AVX2)
+  Cursor lanes[kMaxLanes];
+  LvBatchJob jobs[kMaxLanes];
+  int lane_map[kMaxLanes];
+  int dists[kMaxLanes];
+  uint32_t active = 0;
+  size_t next = 0;
+
+  // Pulls reads into lane l until one stages a DP job; reads that resolve entirely
+  // on fast paths finalize immediately without occupying the lane.
+  auto refill = [&](int l) {
+    while (next < reads.size()) {
+      Cursor cur;
+      cur.r = next++;
+      results[cur.r] = AlignmentResult{};
+      cur.best = Verified{genome::kInvalidLocation, max_k + 1, false};
+      cur.second_best = max_k + 1;
+      if (advance(cur)) {
+        lanes[l] = cur;
+        active |= 1u << l;
+        return;
+      }
+      finalize(cur);
+    }
+  };
+
+  for (int l = 0; l < width; ++l) {
+    refill(l);
+  }
+  while (active != 0) {
+    size_t count = 0;
+    for (int l = 0; l < width; ++l) {
+      if ((active & (1u << l)) != 0) {
+        jobs[count] = LvBatchJob{lanes[l].staged_text, bases_for(lanes[l])};
+        lane_map[count] = l;
+        ++count;
+      }
+    }
+    LvBatch(jobs, dists, count, max_k, level, &s->lv_batch_);
+    if (profile != nullptr) {
+      ++profile->lv_batch_runs;
+      profile->lv_batch_jobs += count;
+    }
+    for (size_t i = 0; i < count; ++i) {
+      Cursor& cur = lanes[lane_map[i]];
+      if (deliver(cur, cur.staged_location, dists[i])) {
+        ++cur.strand;  // settled: resume at the next strand
+        cur.in_strand = false;
+      } else {
+        ++cur.c;  // resume at the next candidate
+      }
+      if (!advance(cur)) {
+        finalize(cur);
+        active &= ~(1u << lane_map[i]);
+        refill(lane_map[i]);
+      }
+    }
+  }
+
+  // Deferred winner CIGARs: one history-keeping vector pass per band group plus
+  // a scalar traceback per winner, byte-identical to the per-read calls.
+  if (!s->cigar_jobs_.empty()) {
+    s->cigar_dists_.resize(s->cigar_jobs_.size());
+    LvBatchCigar(s->cigar_jobs_.data(), s->cigar_dists_.data(), s->cigar_jobs_.size(),
+                 max_k, level, &s->lv_batch_);
+    for (size_t i = 0; i < s->cigar_jobs_.size(); ++i) {
+      if (s->cigar_dists_[i] != s->cigar_jobs_[i].distance) {
+        s->cigar_jobs_[i].cigar->clear();  // see VerifyOne: never emit a mismatch
+      }
+    }
+  }
+}
+
+void SnapAligner::AlignBatchAtLevel(std::span<const genome::Read> reads,
+                                    std::span<AlignmentResult> results,
+                                    AlignerScratch* scratch, AlignProfile* profile,
+                                    SimdLevel level) const {
   SnapAlignerScratch* s = dynamic_cast<SnapAlignerScratch*>(scratch);
   if (s == nullptr) {
     // Null or foreign scratch (e.g. a pool shared across aligner types): fall back to
     // per-thread working memory so the call stays allocation-free after warm-up.
     thread_local SnapAlignerScratch fallback;
     s = &fallback;
+  }
+  if (!SimdLevelSupported(level)) {
+    level = SimdLevel::kScalar;
   }
 
   const size_t n = reads.size();
@@ -195,12 +444,22 @@ void SnapAligner::AlignBatch(std::span<const genome::Read> reads,
 
   // --- Verification phase: banded edit distance, best votes first. ---
   const uint64_t verify_start_ns = profile != nullptr ? NowNs() : 0;
-  for (size_t r = 0; r < n; ++r) {
-    VerifyOne(reads[r], r, s, profile, &results[r]);
+  if (LvBatchWidth(level) == 1) {
+    for (size_t r = 0; r < n; ++r) {
+      VerifyOne(reads[r], r, s, profile, &results[r]);
+    }
+  } else {
+    VerifyBatchVector(reads, results, s, profile, level);
   }
   if (profile != nullptr) {
     profile->verify_ns += NowNs() - verify_start_ns;
   }
+}
+
+void SnapAligner::AlignBatch(std::span<const genome::Read> reads,
+                             std::span<AlignmentResult> results, AlignerScratch* scratch,
+                             AlignProfile* profile) const {
+  AlignBatchAtLevel(reads, results, scratch, profile, ActiveSimdLevel());
 }
 
 AlignmentResult SnapAligner::Align(const genome::Read& read, AlignProfile* profile) const {

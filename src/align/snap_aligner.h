@@ -20,7 +20,9 @@
 #define PERSONA_SRC_ALIGN_SNAP_ALIGNER_H_
 
 #include <memory>
+#include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/align/aligner.h"
@@ -56,10 +58,15 @@ class SnapAlignerScratch final : public AlignerScratch {
   };
 
   VoteMap votes_[2];
+  std::vector<std::pair<uint64_t, int>> seed_stage_;  // (packed seed, read offset)
+  std::vector<std::pair<std::span<const uint32_t>, int>> hit_stage_;  // (positions, offset)
   std::vector<VoteCandidate> candidates_;     // flat, all reads x strands of a batch
   std::vector<CandidateRange> ranges_;        // 2 entries per read
   std::vector<std::string> reverse_bases_;    // per-read, capacity reused across batches
   LvWorkspace lv_;
+  LvBatchScratch lv_batch_;                   // interleaved lanes for vector verification
+  std::vector<LvCigarJob> cigar_jobs_;        // winner CIGARs deferred to one batch pass
+  std::vector<int> cigar_dists_;
 };
 
 class SnapAligner final : public Aligner {
@@ -81,6 +88,17 @@ class SnapAligner final : public Aligner {
   void AlignBatch(std::span<const genome::Read> reads, std::span<AlignmentResult> results,
                   AlignerScratch* scratch, AlignProfile* profile) const override;
 
+  // AlignBatch pinned to an explicit SIMD dispatch level (AlignBatch ==
+  // AlignBatchAtLevel at ActiveSimdLevel()). At vector levels the verification
+  // phase feeds candidates from up to 4/8 reads through LvBatch per pass; at
+  // kScalar it runs the per-read loop unchanged. Results are bit-identical at
+  // every level (the vector kernels are parity oracles of the scalar ones);
+  // parity tests and the bench drive all levels on identical batches through
+  // this. An unsupported level falls back to kScalar.
+  void AlignBatchAtLevel(std::span<const genome::Read> reads,
+                         std::span<AlignmentResult> results, AlignerScratch* scratch,
+                         AlignProfile* profile, SimdLevel level) const;
+
   const SnapOptions& options() const { return options_; }
 
  private:
@@ -91,6 +109,13 @@ class SnapAligner final : public Aligner {
   // Verification phase for read r: consumes the staged candidates into a result.
   void VerifyOne(const genome::Read& read, size_t r, SnapAlignerScratch* scratch,
                  AlignProfile* profile, AlignmentResult* result) const;
+  // Vector-level verification: a lane-refill wave engine advances one resumable
+  // cursor per lane (each scanning one read's staged candidates exactly as
+  // VerifyOne would) and verifies the lanes' pending candidates together in one
+  // LvBatch pass per wave. Bit-identical to the VerifyOne loop.
+  void VerifyBatchVector(std::span<const genome::Read> reads,
+                         std::span<AlignmentResult> results, SnapAlignerScratch* scratch,
+                         AlignProfile* profile, SimdLevel level) const;
 
   const genome::ReferenceGenome* reference_;
   const SeedIndex* index_;

@@ -1,0 +1,129 @@
+// Farrar-striped banded Gotoh Smith-Waterman fill.
+//
+// Included by sw_simd_sse4.cc / sw_simd_avx2.cc (each compiled with the matching
+// -m flags) with an Ops policy supplying the vector type and intrinsics wrappers.
+// Do not include anywhere else.
+//
+// Striped layout (Farrar, "Striped Smith-Waterman speeds database searches..."):
+// query position i (0-based) lives in stripe i % S, lane i / S, so element i-1
+// is the previous stripe of the same lane — except at stripe 0, where it is the
+// last stripe of the previous lane, handled by a lane shift (ShiftIn).
+//
+// Band parity with the scalar two-row kernel (smith_waterman.cc) is exact:
+//
+//  - Every cell of the column rectangle is computed, but out-of-band cells are
+//    masked to exactly kNegInf *before* anything reads them (the same value the
+//    scalar h_at/e_at/f_at boundary conventions substitute for such reads), so
+//    in-band H/E values are bit-identical to the scalar fill's.
+//  - The F chain is seeded from the row-0 boundary (H = 0) in every column.
+//    The scalar kernel only lets row 0 feed columns whose band touches row 1;
+//    in later columns the chain here passes through masked (kNegInf) H values,
+//    yielding a finite but strictly negative F that can never beat the in-band
+//    0-floor — H is unchanged. This holds for negative gap penalties (the only
+//    regime the scalar kernel is used in).
+//  - The cross-lane F dependency is resolved by iterating the lazy-F pass until
+//    a whole pass changes nothing. Values grow monotonically from below and the
+//    recurrence has a unique solution, so the fixpoint is exact.
+//  - Best tracking keeps, per position, the maximum H and the earliest column
+//    achieving it (strict-greater update); the caller reduces positions in row
+//    order, reproducing the scalar row-major strict-greater argmax tie-break.
+
+template <typename Ops>
+static void SwFillImpl(const persona::align::simd::SwPassArgs& a) {
+  using V = typename Ops::V;
+  constexpr int W = Ops::kWidth;
+  const int S = a.stripes;
+  const size_t sv = static_cast<size_t>(S) * W;
+
+  const V vneg = Ops::Set1(a.neg_inf);
+  const V vzero = Ops::Set1(0);
+  const V vgoe = Ops::Set1(a.gap_open_extend);
+  const V vge = Ops::Set1(a.gap_extend);
+  const V vmatch = Ops::Set1(a.match);
+  const V vmis = Ops::Set1(a.mismatch);
+
+  for (int s = 0; s < S; ++s) {
+    // E entering column 1: max(H[i][0] + goe, -inf) = goe (column 0 is the
+    // all-zero boundary), exactly the scalar j == 1 edge convention.
+    Ops::StoreA(a.e + static_cast<size_t>(s) * W, vgoe);
+    Ops::StoreA(a.best + static_cast<size_t>(s) * W, vzero);
+    Ops::StoreA(a.best_j + static_cast<size_t>(s) * W, vzero);
+    Ops::StoreA(a.zero_col + static_cast<size_t>(s) * W, vzero);
+  }
+
+  for (int j = 1; j <= a.n_cols; ++j) {
+    const int32_t* hprev = j >= 2 ? a.h + static_cast<size_t>(j - 2) * sv : a.zero_col;
+    int32_t* hcur = a.h + static_cast<size_t>(j - 1) * sv;
+    const uint8_t rb = a.ref[static_cast<size_t>(j - 1)];
+    const int pidx = a.prof_idx[rb];
+    const V vrb = Ops::Set1(rb);
+    // In-band rows for column j: j - hi <= row <= min(j - lo, m).
+    const int row_hi = j - a.lo < a.m ? j - a.lo : a.m;
+    const V vrow_lo = Ops::Set1(j - a.hi);
+    const V vrow_hi = Ops::Set1(row_hi);
+
+    // Phase A: H from diagonal and E (no F yet), masked, stored.
+    V diag = Ops::ShiftIn(Ops::LoadA(hprev + (static_cast<size_t>(S) - 1) * W), 0);
+    for (int s = 0; s < S; ++s) {
+      const size_t off = static_cast<size_t>(s) * W;
+      const V vrow = Ops::LoadA(a.row + off);
+      V prof;
+      if (pidx < 5) {
+        prof = Ops::LoadA(a.profile + static_cast<size_t>(pidx) * sv + off);
+      } else {
+        // Ref byte outside the canonical alphabet: exact byte compare, the same
+        // semantics the scalar kernel's direct char comparison has.
+        prof = Ops::Blend(vmis, vmatch, Ops::CmpEq(Ops::LoadBytes(a.qchars + off), vrb));
+      }
+      V h = Ops::Max(Ops::Add(diag, prof), Ops::LoadA(a.e + off));
+      h = Ops::Max(h, vzero);
+      const V oob = Ops::Or(Ops::CmpGt(vrow_lo, vrow), Ops::CmpGt(vrow, vrow_hi));
+      h = Ops::Blend(h, vneg, oob);
+      Ops::StoreA(a.oob + off, oob);
+      Ops::StoreA(hcur + off, h);
+      Ops::StoreA(a.f + off, vneg);
+      diag = Ops::LoadA(hprev + off);  // stripe s+1's diagonal is prev column stripe s
+    }
+
+    // Phase B: fold F in until a whole pass changes nothing (exact fixpoint).
+    for (;;) {
+      int any_change = 0;
+      V carry_h = Ops::ShiftIn(Ops::LoadA(hcur + (static_cast<size_t>(S) - 1) * W), 0);
+      V carry_f =
+          Ops::ShiftIn(Ops::LoadA(a.f + (static_cast<size_t>(S) - 1) * W), a.neg_inf);
+      for (int s = 0; s < S; ++s) {
+        const size_t off = static_cast<size_t>(s) * W;
+        const V old_f = Ops::LoadA(a.f + off);
+        const V old_h = Ops::LoadA(hcur + off);
+        const V new_f = Ops::Max(Ops::Max(Ops::Add(carry_h, vgoe), Ops::Add(carry_f, vge)),
+                                 old_f);
+        V new_h = Ops::Max(old_h, new_f);
+        new_h = Ops::Blend(new_h, vneg, Ops::LoadA(a.oob + off));
+        any_change |= Ops::AnyGt(new_h, old_h) | Ops::AnyGt(new_f, old_f);
+        Ops::StoreA(a.f + off, new_f);
+        Ops::StoreA(hcur + off, new_h);
+        carry_h = new_h;
+        carry_f = new_f;
+      }
+      if (any_change == 0) {
+        break;
+      }
+    }
+
+    // Phase C: best tracking (strict greater, earliest column) and next E.
+    const V vj = Ops::Set1(j);
+    for (int s = 0; s < S; ++s) {
+      const size_t off = static_cast<size_t>(s) * W;
+      const V h = Ops::LoadA(hcur + off);
+      const V b = Ops::LoadA(a.best + off);
+      const V gt = Ops::CmpGt(h, b);
+      Ops::StoreA(a.best + off, Ops::Blend(b, h, gt));
+      Ops::StoreA(a.best_j + off, Ops::Blend(Ops::LoadA(a.best_j + off), vj, gt));
+      V e_next = Ops::Max(Ops::Add(h, vgoe), Ops::Add(Ops::LoadA(a.e + off), vge));
+      // Mask with *this* column's band: the scalar left-edge convention reads
+      // E of an out-of-band left neighbor as kNegInf.
+      e_next = Ops::Blend(e_next, vneg, Ops::LoadA(a.oob + off));
+      Ops::StoreA(a.e + off, e_next);
+    }
+  }
+}

@@ -1,0 +1,65 @@
+// Striped Smith-Waterman AVX2 kernel (8 x int32 lanes). This TU is compiled
+// with -mavx2; SwFillAvx2 must only be called after SimdLevelSupported(kAvx2).
+
+#include "src/align/simd_kernels.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+#include <cstddef>
+#include <cstring>
+
+namespace {
+
+struct AvxOps {
+  using V = __m256i;
+  static constexpr int kWidth = 8;
+
+  static V Set1(int32_t x) { return _mm256_set1_epi32(x); }
+  static V LoadA(const int32_t* p) { return _mm256_load_si256(reinterpret_cast<const V*>(p)); }
+  static void StoreA(int32_t* p, V v) { _mm256_store_si256(reinterpret_cast<V*>(p), v); }
+  static V Max(V x, V y) { return _mm256_max_epi32(x, y); }
+  static V Add(V x, V y) { return _mm256_add_epi32(x, y); }
+  static V CmpEq(V x, V y) { return _mm256_cmpeq_epi32(x, y); }
+  static V CmpGt(V x, V y) { return _mm256_cmpgt_epi32(x, y); }
+  static V Or(V x, V y) { return _mm256_or_si256(x, y); }
+  static V Blend(V x, V y, V mask) { return _mm256_blendv_epi8(x, y, mask); }
+  static int AnyGt(V x, V y) { return _mm256_movemask_epi8(_mm256_cmpgt_epi32(x, y)); }
+  // [first, v0, ..., v6]: lanes shift up by one, `first` enters lane 0.
+  static V ShiftIn(V v, int32_t first) {
+    const V rotated = _mm256_permutevar8x32_epi32(
+        v, _mm256_setr_epi32(7, 0, 1, 2, 3, 4, 5, 6));
+    return _mm256_blend_epi32(rotated, _mm256_set1_epi32(first), 0x01);
+  }
+  // 8 bytes -> 8 zero-extended int32 lanes.
+  static V LoadBytes(const uint8_t* p) {
+    int64_t bits;
+    std::memcpy(&bits, p, sizeof(bits));
+    return _mm256_cvtepu8_epi32(_mm_cvtsi64_si128(bits));
+  }
+};
+
+}  // namespace
+
+#include "src/align/sw_simd.inc.h"
+
+namespace persona::align::simd {
+
+void SwFillAvx2(const SwPassArgs& args) { SwFillImpl<AvxOps>(args); }
+
+}  // namespace persona::align::simd
+
+#else  // !x86
+
+#include <cstdlib>
+
+namespace persona::align::simd {
+
+// Never reachable off x86 (dispatch resolves to kScalar); defined so the
+// symbol always links.
+void SwFillAvx2(const SwPassArgs&) { std::abort(); }
+
+}  // namespace persona::align::simd
+
+#endif

@@ -1,0 +1,63 @@
+// Striped Smith-Waterman SSE4.1 kernel (4 x int32 lanes). This TU is compiled
+// with -msse4.1; SwFillSse4 must only be called after SimdLevelSupported(kSse4).
+
+#include "src/align/simd_kernels.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+#include <cstddef>
+#include <cstring>
+
+namespace {
+
+struct SseOps {
+  using V = __m128i;
+  static constexpr int kWidth = 4;
+
+  static V Set1(int32_t x) { return _mm_set1_epi32(x); }
+  static V LoadA(const int32_t* p) { return _mm_load_si128(reinterpret_cast<const V*>(p)); }
+  static void StoreA(int32_t* p, V v) { _mm_store_si128(reinterpret_cast<V*>(p), v); }
+  static V Max(V x, V y) { return _mm_max_epi32(x, y); }
+  static V Add(V x, V y) { return _mm_add_epi32(x, y); }
+  static V CmpEq(V x, V y) { return _mm_cmpeq_epi32(x, y); }
+  static V CmpGt(V x, V y) { return _mm_cmpgt_epi32(x, y); }
+  static V Or(V x, V y) { return _mm_or_si128(x, y); }
+  static V Blend(V x, V y, V mask) { return _mm_blendv_epi8(x, y, mask); }
+  static int AnyGt(V x, V y) { return _mm_movemask_epi8(_mm_cmpgt_epi32(x, y)); }
+  // [first, v0, v1, v2]: lanes shift up by one, `first` enters lane 0.
+  static V ShiftIn(V v, int32_t first) {
+    return _mm_insert_epi32(_mm_slli_si128(v, 4), first, 0);
+  }
+  // 4 bytes -> 4 zero-extended int32 lanes.
+  static V LoadBytes(const uint8_t* p) {
+    int32_t bits;
+    std::memcpy(&bits, p, sizeof(bits));
+    return _mm_cvtepu8_epi32(_mm_cvtsi32_si128(bits));
+  }
+};
+
+}  // namespace
+
+#include "src/align/sw_simd.inc.h"
+
+namespace persona::align::simd {
+
+void SwFillSse4(const SwPassArgs& args) { SwFillImpl<SseOps>(args); }
+
+}  // namespace persona::align::simd
+
+#else  // !x86
+
+#include <cstdlib>
+
+namespace persona::align::simd {
+
+// Never reachable off x86 (dispatch resolves to kScalar); defined so the
+// symbol always links.
+void SwFillSse4(const SwPassArgs&) { std::abort(); }
+
+}  // namespace persona::align::simd
+
+#endif

@@ -234,7 +234,7 @@ std::optional<size_t> NetworkWorkSource::NextGroup() {
         {
           MutexLock lock(mu_);
           if (!lease_by_group_.empty()) {
-            PLOG(DEBUG) << "work source: no new work and " << lease_by_group_.size()
+            PLOG(DEBUG) << "work source: nothing left to lease and " << lease_by_group_.size()
                         << " lease(s) in flight locally; draining pipeline";
             return std::nullopt;
           }

@@ -1,0 +1,64 @@
+// Aligned allocation for vector-kernel buffers.
+//
+// The SIMD alignment kernels use aligned loads/stores over their DP rows and
+// interleaved sequence buffers; AlignedVector gives those buffers a 32-byte
+// (AVX2-register) alignment guarantee so no kernel needs an unaligned-load
+// fallback path. Alignment is a property of the allocation only — an
+// AlignedVector is otherwise a std::vector and all element access is unchanged.
+
+#ifndef PERSONA_SRC_UTIL_ALIGNED_H_
+#define PERSONA_SRC_UTIL_ALIGNED_H_
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+namespace persona {
+
+inline constexpr size_t kSimdAlignment = 32;  // one AVX2 register
+
+// Minimal std-compatible allocator over std::aligned_alloc. Rebind-safe and
+// stateless; equality is type-identity as required for allocator correctness.
+template <typename T, size_t Alignment = kSimdAlignment>
+class AlignedAllocator {
+ public:
+  using value_type = T;
+  static_assert(Alignment >= alignof(T), "alignment must satisfy the element type");
+  static_assert((Alignment & (Alignment - 1)) == 0, "alignment must be a power of two");
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(size_t n) {
+    if (n == 0) {
+      return nullptr;
+    }
+    // aligned_alloc requires the size to be a multiple of the alignment.
+    const size_t bytes = (n * sizeof(T) + Alignment - 1) / Alignment * Alignment;
+    void* p = std::aligned_alloc(Alignment, bytes);
+    if (p == nullptr) {
+      throw std::bad_alloc();
+    }
+    return static_cast<T*>(p);
+  }
+
+  void deallocate(T* p, size_t) { std::free(p); }
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) { return true; }
+};
+
+// A std::vector whose data() is 32-byte aligned (suitable for aligned vector
+// loads at any multiple-of-8 int32 offset).
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace persona
+
+#endif  // PERSONA_SRC_UTIL_ALIGNED_H_

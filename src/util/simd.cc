@@ -1,0 +1,83 @@
+#include "src/util/simd.h"
+
+#include <cstdlib>
+#include <string>
+
+#include "src/util/logging.h"
+
+namespace persona {
+
+std::string_view SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "off";
+    case SimdLevel::kSse4:
+      return "sse4";
+    case SimdLevel::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+Result<SimdLevel> ParseSimdLevel(std::string_view value) {
+  if (value == "off" || value == "scalar") {
+    return SimdLevel::kScalar;
+  }
+  if (value == "sse4") {
+    return SimdLevel::kSse4;
+  }
+  if (value == "avx2") {
+    return SimdLevel::kAvx2;
+  }
+  return InvalidArgumentError("unknown PERSONA_SIMD level '" + std::string(value) +
+                              "' (expected off|sse4|avx2)");
+}
+
+SimdLevel HighestSupportedSimdLevel() {
+#if defined(__x86_64__) || defined(__i386__)
+  if (__builtin_cpu_supports("avx2")) {
+    return SimdLevel::kAvx2;
+  }
+  if (__builtin_cpu_supports("sse4.1")) {
+    return SimdLevel::kSse4;
+  }
+#endif
+  return SimdLevel::kScalar;
+}
+
+bool SimdLevelSupported(SimdLevel level) {
+  return static_cast<int>(level) <= static_cast<int>(HighestSupportedSimdLevel());
+}
+
+Result<SimdLevel> ResolveSimdLevel(std::string_view value) {
+  Result<SimdLevel> parsed = ParseSimdLevel(value);
+  if (!parsed.ok()) {
+    return parsed;
+  }
+  if (!SimdLevelSupported(*parsed)) {
+    return InvalidArgumentError("PERSONA_SIMD=" + std::string(value) +
+                                " is not supported by this CPU (highest: " +
+                                std::string(SimdLevelName(HighestSupportedSimdLevel())) +
+                                ")");
+  }
+  return parsed;
+}
+
+SimdLevel ActiveSimdLevel() {
+  static const SimdLevel level = [] {
+    const char* env = std::getenv("PERSONA_SIMD");
+    if (env == nullptr || *env == '\0') {
+      return HighestSupportedSimdLevel();
+    }
+    Result<SimdLevel> resolved = ResolveSimdLevel(env);
+    if (resolved.ok()) {
+      return *resolved;
+    }
+    PLOG(WARN) << "refusing SIMD override: " << resolved.status().message()
+               << "; using " << SimdLevelName(HighestSupportedSimdLevel());
+    return HighestSupportedSimdLevel();
+  }();
+  return level;
+}
+
+}  // namespace persona

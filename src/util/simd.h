@@ -1,0 +1,60 @@
+// Runtime SIMD dispatch for the alignment kernels.
+//
+// Kernels are compiled at several x86 ISA levels in dedicated translation units
+// (see src/align/*_simd_{sse4,avx2}.cc, each built with the matching -m flags);
+// the level actually executed is chosen once at startup from what the CPU
+// supports, overridable with the PERSONA_SIMD environment variable so every
+// code path is testable on any machine:
+//
+//   PERSONA_SIMD=off   (or "scalar")  force the scalar reference kernels
+//   PERSONA_SIMD=sse4                 force the 4-lane SSE4.1 kernels
+//   PERSONA_SIMD=avx2                 force the 8-lane AVX2 kernels
+//
+// Forcing a level the CPU does not support is refused: ResolveSimdLevel returns
+// an error, and ActiveSimdLevel logs the refusal once and falls back to the
+// highest supported level (never to an illegal-instruction crash). All SIMD
+// kernels are parity oracles of their scalar counterparts — every level
+// produces bit-identical results, so the choice is performance-only.
+
+#ifndef PERSONA_SRC_UTIL_SIMD_H_
+#define PERSONA_SRC_UTIL_SIMD_H_
+
+#include <string_view>
+
+#include "src/util/result.h"
+
+namespace persona {
+
+// Ordered: a higher level implies the CPU also runs every lower one.
+enum class SimdLevel : int {
+  kScalar = 0,  // reference kernels, no vector instructions
+  kSse4 = 1,    // SSE4.1, 4 x int32 lanes
+  kAvx2 = 2,    // AVX2, 8 x int32 lanes
+};
+
+// Human-readable name ("off", "sse4", "avx2") — the same tokens PERSONA_SIMD accepts.
+std::string_view SimdLevelName(SimdLevel level);
+
+// Parses a PERSONA_SIMD value. Accepts "off"/"scalar", "sse4", "avx2";
+// anything else is an InvalidArgument error. Does not check CPU support.
+Result<SimdLevel> ParseSimdLevel(std::string_view value);
+
+// Highest level this CPU can execute (runtime __builtin_cpu_supports probe).
+SimdLevel HighestSupportedSimdLevel();
+
+// True when the CPU can execute `level`.
+bool SimdLevelSupported(SimdLevel level);
+
+// Parses `value` and verifies the CPU supports it; unsupported or unknown
+// levels are refused with a descriptive error (never a crash later).
+Result<SimdLevel> ResolveSimdLevel(std::string_view value);
+
+// The level kernels dispatch on: PERSONA_SIMD if set and valid, else the
+// highest supported level. Resolved once and cached (set the environment
+// variable before first use). An invalid or unsupported override is refused:
+// a warning is logged once and the highest supported level is used instead.
+SimdLevel ActiveSimdLevel();
+
+}  // namespace persona
+
+#endif  // PERSONA_SRC_UTIL_SIMD_H_

@@ -19,6 +19,7 @@
 #include "src/genome/generator.h"
 #include "src/genome/read_simulator.h"
 #include "src/util/rng.h"
+#include "src/util/simd.h"
 
 namespace persona::align {
 namespace {
@@ -320,6 +321,47 @@ TEST_F(AlignBatchTest, BatchMatchesPerReadExactly) {
     }
     for (size_t i = 0; i < reads.size(); ++i) {
       EXPECT_EQ(got[i], expected[i]) << "batch_size=" << batch_size << " read " << i;
+    }
+  }
+}
+
+// Every SIMD dispatch level must produce bit-identical alignments on identical
+// batches. The scalar side runs the per-read VerifyOne loop; the vector sides run
+// the lane-refill wave engine, so this is the direct engine-vs-scalar oracle (the
+// batch-vs-per-read test alone cannot catch engine drift: both routes share the
+// process-wide active level).
+TEST_F(AlignBatchTest, AllDispatchLevelsProduceIdenticalAlignments) {
+  SnapAligner aligner(reference_, seed_index_);
+  auto reads = SimulateReads(300, 0.02, 11);
+  genome::Read tiny;
+  tiny.bases = "ACGT";
+  tiny.qual = "IIII";
+  reads[23] = tiny;
+  reads[57].bases.replace(20, 40, std::string(40, 'N'));
+
+  auto scratch = aligner.MakeScratch();
+  std::vector<AlignmentResult> expected(reads.size());
+  AlignProfile scalar_profile;
+  aligner.AlignBatchAtLevel({reads.data(), reads.size()},
+                            {expected.data(), expected.size()}, scratch.get(),
+                            &scalar_profile, SimdLevel::kScalar);
+  EXPECT_EQ(scalar_profile.lv_batch_runs, 0u);  // scalar path never vectorizes
+
+  for (SimdLevel level : {SimdLevel::kSse4, SimdLevel::kAvx2}) {
+    if (!SimdLevelSupported(level)) {
+      continue;
+    }
+    std::vector<AlignmentResult> got(reads.size());
+    AlignProfile profile;
+    aligner.AlignBatchAtLevel({reads.data(), reads.size()}, {got.data(), got.size()},
+                              scratch.get(), &profile, level);
+    for (size_t i = 0; i < reads.size(); ++i) {
+      EXPECT_EQ(got[i], expected[i]) << SimdLevelName(level) << " read " << i;
+    }
+    // Same candidate set scanned, and the DP work actually went through LvBatch.
+    EXPECT_EQ(profile.candidates, scalar_profile.candidates) << SimdLevelName(level);
+    if (profile.lv_batch_runs > 0) {
+      EXPECT_GE(profile.lv_batch_jobs, profile.lv_batch_runs) << SimdLevelName(level);
     }
   }
 }

@@ -235,6 +235,26 @@ TEST_F(FmIndexTest, LocateHonorsMaxHits) {
   EXPECT_EQ(located.size(), 4u);
 }
 
+TEST_F(FmIndexTest, BatchedLocateIsByteIdenticalToSerial) {
+  // Locate's lockstep prefetch-batched walk must reproduce LocateSerial exactly
+  // — same positions, same order, same max_hits cutoff point — across interval
+  // sizes from singleton to hundreds of suffixes.
+  Rng rng(37);
+  for (int trial = 0; trial < 80; ++trial) {
+    const size_t len = 1 + rng.Uniform(14);
+    const size_t start = rng.Uniform(text_.size() - len);
+    const std::string pattern = text_.substr(start, len);
+    const FmIndex::Interval iv = index_->Count(pattern);
+    for (size_t max_hits : {size_t{0}, size_t{1}, size_t{3}, size_t{10'000}}) {
+      std::vector<int64_t> serial;
+      std::vector<int64_t> batched;
+      index_->LocateSerial(iv, max_hits, &serial);
+      index_->Locate(iv, max_hits, &batched);
+      ASSERT_EQ(batched, serial) << "pattern=" << pattern << " max_hits=" << max_hits;
+    }
+  }
+}
+
 TEST_F(FmIndexTest, ExtendBackwardAgreesWithCount) {
   std::string pattern = text_.substr(100, 12);
   FmIndex::Interval iv = index_->Whole();

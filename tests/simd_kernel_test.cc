@@ -1,0 +1,379 @@
+// Parity oracles for the SIMD alignment kernels (src/util/simd.h dispatch):
+//   * LvBatch at every CPU-supported level == scalar LandauVishkin, bit-identical,
+//     across randomized read lengths 1..513, edge k values, all-N reads, and
+//     planted-repeat reads;
+//   * LandauVishkinKnownDistance == the full adaptive call's CIGAR;
+//   * striped SmithWaterman at every supported level == the scalar banded kernel
+//     (score, positions, CIGAR) and both == the full-matrix oracle's score;
+//   * dispatch: PERSONA_SIMD parsing, forcing, and clean refusal of levels the
+//     CPU cannot execute.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/align/edit_distance.h"
+#include "src/align/smith_waterman.h"
+#include "src/util/rng.h"
+#include "src/util/simd.h"
+
+namespace persona::align {
+namespace {
+
+constexpr char kBases[] = {'A', 'C', 'G', 'T'};
+
+std::string RandomBases(Rng* rng, size_t len) {
+  std::string out;
+  out.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    out.push_back(kBases[rng->Uniform(4)]);
+  }
+  return out;
+}
+
+// Applies `edits` random point mutations / indels to `s`.
+std::string Mutate(Rng* rng, std::string s, int edits) {
+  for (int e = 0; e < edits && !s.empty(); ++e) {
+    const size_t pos = rng->Uniform(s.size());
+    switch (rng->Uniform(3)) {
+      case 0:
+        s[pos] = kBases[rng->Uniform(4)];
+        break;
+      case 1:
+        s.insert(s.begin() + static_cast<ptrdiff_t>(pos), kBases[rng->Uniform(4)]);
+        break;
+      default:
+        s.erase(s.begin() + static_cast<ptrdiff_t>(pos));
+        break;
+    }
+  }
+  return s;
+}
+
+std::vector<SimdLevel> SupportedVectorLevels() {
+  std::vector<SimdLevel> levels;
+  for (SimdLevel level : {SimdLevel::kSse4, SimdLevel::kAvx2}) {
+    if (SimdLevelSupported(level)) {
+      levels.push_back(level);
+    }
+  }
+  return levels;
+}
+
+// ---------------------------------------------------------------------------
+// LvBatch parity
+
+// Runs one corpus of jobs through scalar LandauVishkin and through LvBatch at
+// every supported vector level, requiring bit-identical distances.
+void CheckLvParity(const std::vector<std::pair<std::string, std::string>>& pairs, int max_k) {
+  std::vector<LvBatchJob> jobs;
+  jobs.reserve(pairs.size());
+  for (const auto& [text, pattern] : pairs) {
+    jobs.push_back(LvBatchJob{text, pattern});
+  }
+  LvWorkspace ws;
+  std::vector<int> want(jobs.size());
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    want[i] = LandauVishkin(jobs[i].text, jobs[i].pattern, max_k, nullptr, &ws);
+  }
+  LvBatchScratch scratch;
+  for (SimdLevel level : SupportedVectorLevels()) {
+    std::vector<int> got(jobs.size(), -2);
+    LvBatch(jobs.data(), got.data(), jobs.size(), max_k, level, &scratch);
+    for (size_t i = 0; i < jobs.size(); ++i) {
+      ASSERT_EQ(got[i], want[i])
+          << "level=" << SimdLevelName(level) << " job=" << i << " max_k=" << max_k
+          << " text=" << jobs[i].text << " pattern=" << jobs[i].pattern;
+    }
+  }
+  // The scalar batch path must agree too (it is the PERSONA_SIMD=off route).
+  std::vector<int> scalar_got(jobs.size(), -2);
+  LvBatch(jobs.data(), scalar_got.data(), jobs.size(), max_k, SimdLevel::kScalar, &scratch);
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    ASSERT_EQ(scalar_got[i], want[i]) << "scalar batch job=" << i;
+  }
+}
+
+TEST(LvBatchParityTest, RandomizedLengthsOneTo513) {
+  Rng rng(0x51u);
+  for (int max_k : {0, 1, 2, 7, 12, 40}) {
+    std::vector<std::pair<std::string, std::string>> pairs;
+    for (int rep = 0; rep < 200; ++rep) {
+      const size_t m = 1 + rng.Uniform(513);
+      std::string pattern = RandomBases(&rng, m);
+      // Mix of near-identical (realistic candidate) and unrelated texts.
+      std::string text;
+      if (rng.Uniform(4) != 0) {
+        text = Mutate(&rng, pattern, static_cast<int>(rng.Uniform(6)));
+        text += RandomBases(&rng, rng.Uniform(16));
+      } else {
+        text = RandomBases(&rng, 1 + rng.Uniform(600));
+      }
+      pairs.emplace_back(std::move(text), std::move(pattern));
+    }
+    CheckLvParity(pairs, max_k);
+  }
+}
+
+TEST(LvBatchParityTest, EdgeShapesAndDegenerateInputs) {
+  std::vector<std::pair<std::string, std::string>> pairs = {
+      {"", ""},
+      {"", "A"},
+      {"A", ""},
+      {"A", "A"},
+      {"A", "C"},
+      {"ACGT", "ACGT"},
+      {"ACGTACGT", "ACGT"},
+      {"ACGT", "ACGTACGT"},          // pattern longer than text
+      {"AAAA", "AAAAAAAAAAAAAAAA"},  // pattern far longer than text
+      {std::string(513, 'A'), std::string(513, 'A')},
+      {std::string(513, 'A'), std::string(513, 'C')},
+  };
+  for (int max_k : {0, 1, 3, 12, 513}) {
+    CheckLvParity(pairs, max_k);
+  }
+}
+
+TEST(LvBatchParityTest, AllNReadsAndPlantedRepeats) {
+  Rng rng(0xA07u);
+  std::vector<std::pair<std::string, std::string>> pairs;
+  // All-N reads: N == N is a match at the byte level, same as the scalar kernel.
+  for (size_t len : {1u, 8u, 101u, 512u, 513u}) {
+    pairs.emplace_back(std::string(len + 4, 'N'), std::string(len, 'N'));
+    pairs.emplace_back(RandomBases(&rng, len + 4), std::string(len, 'N'));
+  }
+  // Planted repeats: short period -> many equally-good alignments, stressing
+  // tie behavior in the band.
+  for (int rep = 0; rep < 40; ++rep) {
+    const size_t period = 1 + rng.Uniform(8);
+    std::string unit = RandomBases(&rng, period);
+    std::string pattern;
+    while (pattern.size() < 101) {
+      pattern += unit;
+    }
+    std::string text = Mutate(&rng, pattern, static_cast<int>(rng.Uniform(5)));
+    pairs.emplace_back(std::move(text), std::move(pattern));
+  }
+  for (int max_k : {1, 4, 12}) {
+    CheckLvParity(pairs, max_k);
+  }
+}
+
+TEST(LvKnownDistanceTest, MatchesFullAdaptiveCigar) {
+  Rng rng(0xD1u);
+  LvWorkspace ws_a;
+  LvWorkspace ws_b;
+  const int max_k = 12;
+  for (int rep = 0; rep < 300; ++rep) {
+    std::string pattern = RandomBases(&rng, 1 + rng.Uniform(200));
+    std::string text = Mutate(&rng, pattern, static_cast<int>(rng.Uniform(8)));
+    std::string want_cigar;
+    const int want = LandauVishkin(text, pattern, max_k, &want_cigar, &ws_a);
+    if (want < 0) {
+      continue;
+    }
+    std::string got_cigar;
+    const int got = LandauVishkinKnownDistance(text, pattern, max_k, want, &got_cigar, &ws_b);
+    ASSERT_EQ(got, want) << "text=" << text << " pattern=" << pattern;
+    ASSERT_EQ(got_cigar, want_cigar) << "text=" << text << " pattern=" << pattern;
+  }
+}
+
+TEST(LvBatchCigarParityTest, RandomizedDistancesAndCigarsMatchScalar) {
+  Rng rng(0xC16u);
+  const int max_k = 12;
+  LvWorkspace ws;
+  for (int round = 0; round < 6; ++round) {
+    // One corpus per round: random pairs whose distance is known from the scalar
+    // adaptive call, including d == 0 (fast path) and d == max_k (widest band).
+    std::vector<std::pair<std::string, std::string>> pairs;
+    std::vector<int> want_dist;
+    std::vector<std::string> want_cigar;
+    for (int rep = 0; rep < 150; ++rep) {
+      std::string pattern = RandomBases(&rng, 1 + rng.Uniform(300));
+      std::string text = Mutate(&rng, pattern, static_cast<int>(rng.Uniform(8)));
+      text += RandomBases(&rng, rng.Uniform(12));
+      std::string cigar;
+      const int d = LandauVishkin(text, pattern, max_k, &cigar, &ws);
+      if (d < 0) {
+        continue;  // beyond max_k; the aligner never builds a CIGAR job for these
+      }
+      pairs.emplace_back(std::move(text), std::move(pattern));
+      want_dist.push_back(d);
+      want_cigar.push_back(std::move(cigar));
+    }
+    ASSERT_FALSE(pairs.empty());
+    std::vector<std::string> got_cigar(pairs.size());
+    std::vector<LvCigarJob> jobs;
+    for (size_t i = 0; i < pairs.size(); ++i) {
+      jobs.push_back(LvCigarJob{pairs[i].first, pairs[i].second, want_dist[i],
+                                &got_cigar[i]});
+    }
+    std::vector<SimdLevel> levels = SupportedVectorLevels();
+    levels.push_back(SimdLevel::kScalar);
+    LvBatchScratch scratch;
+    for (SimdLevel level : levels) {
+      for (auto& c : got_cigar) {
+        c = "stale";  // must be overwritten, never merely left alone
+      }
+      std::vector<int> got_dist(jobs.size(), -2);
+      LvBatchCigar(jobs.data(), got_dist.data(), jobs.size(), max_k, level, &scratch);
+      for (size_t i = 0; i < jobs.size(); ++i) {
+        ASSERT_EQ(got_dist[i], want_dist[i])
+            << "level=" << SimdLevelName(level) << " job=" << i
+            << " text=" << pairs[i].first << " pattern=" << pairs[i].second;
+        ASSERT_EQ(got_cigar[i], want_cigar[i])
+            << "level=" << SimdLevelName(level) << " job=" << i
+            << " text=" << pairs[i].first << " pattern=" << pairs[i].second;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Striped Smith-Waterman parity
+
+void CheckSwParity(std::string_view ref, std::string_view query, const SwParams& params) {
+  SwScratch scalar_ws;
+  const SwResult want = SmithWatermanAtLevel(ref, query, params, &scalar_ws, SimdLevel::kScalar);
+  for (SimdLevel level : SupportedVectorLevels()) {
+    SwScratch ws;
+    const SwResult got = SmithWatermanAtLevel(ref, query, params, &ws, level);
+    ASSERT_EQ(got.score, want.score)
+        << "level=" << SimdLevelName(level) << " ref=" << ref << " query=" << query;
+    ASSERT_EQ(got.query_begin, want.query_begin) << "level=" << SimdLevelName(level);
+    ASSERT_EQ(got.query_end, want.query_end) << "level=" << SimdLevelName(level);
+    ASSERT_EQ(got.ref_begin, want.ref_begin)
+        << "level=" << SimdLevelName(level) << " ref=" << ref << " query=" << query;
+    ASSERT_EQ(got.ref_end, want.ref_end) << "level=" << SimdLevelName(level);
+    ASSERT_EQ(got.cigar, want.cigar)
+        << "level=" << SimdLevelName(level) << " ref=" << ref << " query=" << query;
+  }
+}
+
+TEST(SwStripedParityTest, RandomizedPairsAcrossShapesAndBands) {
+  Rng rng(0x5157u);
+  for (int rep = 0; rep < 400; ++rep) {
+    const size_t m = 1 + rng.Uniform(140);
+    std::string query = RandomBases(&rng, m);
+    std::string ref;
+    if (rng.Uniform(3) != 0) {
+      ref = Mutate(&rng, query, static_cast<int>(rng.Uniform(10)));
+      ref += RandomBases(&rng, rng.Uniform(30));
+    } else {
+      ref = RandomBases(&rng, 1 + rng.Uniform(200));
+    }
+    SwParams params;
+    if (rng.Uniform(2) == 0) {
+      params.band_radius = 1 + static_cast<int>(rng.Uniform(48));
+    }
+    if (rng.Uniform(4) == 0) {
+      params.match = 1 + static_cast<int>(rng.Uniform(4));
+      params.mismatch = -1 - static_cast<int>(rng.Uniform(4));
+      params.gap_open = -2 - static_cast<int>(rng.Uniform(6));
+      params.gap_extend = -1 - static_cast<int>(rng.Uniform(2));
+    }
+    CheckSwParity(ref, query, params);
+  }
+}
+
+TEST(SwStripedParityTest, GapHeavyAndDegenerateInputs) {
+  // Long deletions/insertions force the lazy-F loop across lane boundaries.
+  CheckSwParity("ACGTACGTACGTAAAAAAAAAAAAAAAAACGTACGTACGT", "ACGTACGTACGTACGTACGTACGT", {});
+  CheckSwParity("ACGTACGTACGTACGTACGTACGT", "ACGTACGTACGTAAAAAAAAAAAAAAAAACGTACGTACGT", {});
+  CheckSwParity("A", "A", {});
+  CheckSwParity("A", "C", {});
+  CheckSwParity(std::string(200, 'A'), std::string(150, 'A'), {});
+  CheckSwParity(std::string(31, 'N'), std::string(33, 'N'), {});  // N==N matches, odd sizes
+  CheckSwParity("acgt", "ACGT", {});  // case-sensitive byte compare, direct-compare path
+  CheckSwParity("xyzw", "xyzw", {});  // entirely off-alphabet bytes
+  // Wide band: banded == full-matrix regime.
+  SwParams wide;
+  wide.band_radius = 4096;
+  CheckSwParity("GATTACAGATTACAGATTACA", "GATTACATTACAGATT", wide);
+}
+
+TEST(SwStripedParityTest, MatchesFullMatrixOracleThroughDispatch) {
+  // Transitively: striped == scalar banded == (wide-band) full oracle.
+  Rng rng(0x0aceu);
+  SwParams wide;
+  wide.band_radius = 1024;
+  for (int rep = 0; rep < 50; ++rep) {
+    std::string query = RandomBases(&rng, 1 + rng.Uniform(60));
+    std::string ref = Mutate(&rng, query, static_cast<int>(rng.Uniform(8)));
+    const SwResult oracle = SmithWatermanFull(ref, query, wide);
+    for (SimdLevel level : SupportedVectorLevels()) {
+      SwScratch ws;
+      const SwResult got = SmithWatermanAtLevel(ref, query, wide, &ws, level);
+      ASSERT_EQ(got.score, oracle.score) << "ref=" << ref << " query=" << query;
+      ASSERT_EQ(got.cigar, oracle.cigar) << "ref=" << ref << " query=" << query;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch
+
+TEST(SimdDispatchTest, ParseAcceptsDocumentedTokensOnly) {
+  EXPECT_TRUE(ParseSimdLevel("off").ok());
+  EXPECT_TRUE(ParseSimdLevel("scalar").ok());
+  EXPECT_TRUE(ParseSimdLevel("sse4").ok());
+  EXPECT_TRUE(ParseSimdLevel("avx2").ok());
+  EXPECT_EQ(*ParseSimdLevel("off"), SimdLevel::kScalar);
+  EXPECT_EQ(*ParseSimdLevel("scalar"), SimdLevel::kScalar);
+  EXPECT_EQ(*ParseSimdLevel("sse4"), SimdLevel::kSse4);
+  EXPECT_EQ(*ParseSimdLevel("avx2"), SimdLevel::kAvx2);
+  EXPECT_FALSE(ParseSimdLevel("").ok());
+  EXPECT_FALSE(ParseSimdLevel("avx512").ok());
+  EXPECT_FALSE(ParseSimdLevel("AVX2").ok());
+}
+
+TEST(SimdDispatchTest, ResolveRefusesUnsupportedLevelsCleanly) {
+  // "off" is supported everywhere.
+  ASSERT_TRUE(ResolveSimdLevel("off").ok());
+  EXPECT_EQ(*ResolveSimdLevel("off"), SimdLevel::kScalar);
+  // Unknown tokens are refused with InvalidArgument, not a crash.
+  EXPECT_FALSE(ResolveSimdLevel("neon").ok());
+  // Every supported level resolves to itself; anything above the CPU's highest
+  // level must be refused.
+  const SimdLevel highest = HighestSupportedSimdLevel();
+  for (SimdLevel level : {SimdLevel::kSse4, SimdLevel::kAvx2}) {
+    const char* name = level == SimdLevel::kSse4 ? "sse4" : "avx2";
+    if (static_cast<int>(level) <= static_cast<int>(highest)) {
+      ASSERT_TRUE(ResolveSimdLevel(name).ok()) << name;
+      EXPECT_EQ(*ResolveSimdLevel(name), level);
+    } else {
+      EXPECT_FALSE(ResolveSimdLevel(name).ok()) << name;
+    }
+  }
+}
+
+TEST(SimdDispatchTest, ActiveLevelHonorsEnvironmentForcing) {
+  // ActiveSimdLevel caches on first use, and PERSONA_SIMD is set by the CI
+  // matrix before the process starts — so this test verifies consistency with
+  // the environment rather than mutating it.
+  const char* env = std::getenv("PERSONA_SIMD");
+  const SimdLevel active = ActiveSimdLevel();
+  ASSERT_TRUE(SimdLevelSupported(active));
+  if (env != nullptr && *env != '\0') {
+    Result<SimdLevel> forced = ResolveSimdLevel(env);
+    if (forced.ok()) {
+      EXPECT_EQ(active, *forced) << "PERSONA_SIMD=" << env << " not honored";
+      return;
+    }
+  }
+  EXPECT_EQ(active, HighestSupportedSimdLevel());
+}
+
+TEST(SimdDispatchTest, BatchWidthTracksLevel) {
+  EXPECT_EQ(LvBatchWidth(SimdLevel::kScalar), 1);
+  EXPECT_EQ(LvBatchWidth(SimdLevel::kSse4), 4);
+  EXPECT_EQ(LvBatchWidth(SimdLevel::kAvx2), 8);
+}
+
+}  // namespace
+}  // namespace persona::align
