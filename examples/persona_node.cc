@@ -38,6 +38,7 @@
 #include "src/genome/read_simulator.h"
 #include "src/pipeline/agd_store_util.h"
 #include "src/pipeline/persona_pipeline.h"
+#include "src/storage/cache_store.h"
 #include "src/storage/local_store.h"
 #include "src/util/file_util.h"
 #include "src/util/string_util.h"
@@ -136,15 +137,24 @@ int RunConnect(int argc, char** argv) {
   if (!store.ok()) {
     return Fail(store.status(), "opening store");
   }
-  options.store = store->get();
+  // Workers reread hot columns (references, shared manifests) across leases; a
+  // memory-budgeted cache tier (PERSONA_CACHE_MB) turns those into memory hits.
+  storage::CacheStoreOptions cache_options;
+  cache_options.budget_bytes = storage::CacheBudgetFromEnv(cache_options.budget_bytes);
+  storage::CacheStore cache(store->get(), cache_options);
+  options.store = &cache;
   auto report = cluster::RunPersonaNode(options);
   if (!report.ok()) {
     return Fail(report.status(), "worker run");
   }
-  std::printf("worker %s: %llu group(s), %llu record(s), %.2fs\n",
+  const storage::StoreStats stats = cache.stats();
+  std::printf("worker %s: %llu group(s), %llu record(s), %.2fs "
+              "(cache: %llu hit(s), %llu miss(es))\n",
               options.node_name.c_str(),
               static_cast<unsigned long long>(report->groups_completed),
-              static_cast<unsigned long long>(report->records), report->seconds);
+              static_cast<unsigned long long>(report->records), report->seconds,
+              static_cast<unsigned long long>(stats.cache_hits),
+              static_cast<unsigned long long>(stats.cache_misses));
   return 0;
 }
 

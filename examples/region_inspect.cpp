@@ -116,11 +116,15 @@ int Inspect(const std::string& region_text) {
   format::Manifest window;
   auto filter_report = pipeline::FilterAgdDataset(&store, sorted, "window", spec, {}, &window);
   PERSONA_CHECK_OK(filter_report.status());
-  std::printf("region %s -> global [%lld, %lld): %llu candidate reads (%s transferred)\n\n",
-              region_text.c_str(), static_cast<long long>(region->begin),
-              static_cast<long long>(region->end),
-              static_cast<unsigned long long>(filter_report->records_out),
-              HumanBytes(filter_report->store_stats.bytes_read).c_str());
+  std::printf(
+      "region %s -> global [%lld, %lld): %llu candidate reads "
+      "(%s transferred, %llu cache hits / %llu misses)\n\n",
+      region_text.c_str(), static_cast<long long>(region->begin),
+      static_cast<long long>(region->end),
+      static_cast<unsigned long long>(filter_report->records_out),
+      HumanBytes(filter_report->store_stats.bytes_read).c_str(),
+      static_cast<unsigned long long>(filter_report->store_stats.cache_hits),
+      static_cast<unsigned long long>(filter_report->store_stats.cache_misses));
 
   // 2. Pile up the filtered window.
   variant::PileupEngine engine(&reference, {});

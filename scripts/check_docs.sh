@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# Doc linter: keeps the markdown honest. Run from the repo root; exits non-zero
+# with one line per violation. CI runs this in the lint job; it needs nothing
+# but POSIX tools + git.
+#
+# Checks:
+#   1. Every relative link in a tracked *.md resolves to a file or directory in
+#      the tree (fragment suffixes are stripped; http(s)/mailto links are not
+#      fetched).
+#   2. The PERSONA_* knob catalogue in docs/TUNING.md matches reality both ways:
+#      every `getenv("PERSONA_...")` call site in src/ is documented, and every
+#      PERSONA_* variable the docs mention exists somewhere in the build or the
+#      sources — so a renamed or removed knob fails CI instead of rotting.
+
+set -u
+cd "$(dirname "$0")/.."
+
+fail=0
+
+report() {
+  # $1 = check name, $2 = offending lines ("" when clean). Not fed via a pipe: a
+  # pipeline stage runs in a subshell and its fail=1 would be lost.
+  local check="$1" lines="$2"
+  if [ -n "$lines" ]; then
+    echo "docs: ${check}:"
+    echo "$lines" | sed 's/^/  /'
+    fail=1
+  fi
+}
+
+# --- Check 1: relative markdown links resolve ----------------------------------------
+broken_links=$(
+  git ls-files '*.md' | while IFS= read -r doc; do
+    dir=$(dirname "$doc")
+    # Inline links only: [text](target). Reference-style links are not used here.
+    grep -oE '\]\([^)]+\)' "$doc" 2>/dev/null | sed 's/^](//; s/)$//' |
+      while IFS= read -r target; do
+        case "$target" in
+          http://*|https://*|mailto:*) continue ;;  # external; not fetched
+          '#'*) continue ;;                         # same-file anchor
+          *' '*) continue ;;  # C++ lambda in a code block, not a link
+        esac
+        path="${target%%#*}"
+        [ -n "$path" ] || continue
+        if [ ! -e "$dir/$path" ]; then
+          echo "$doc: broken link -> $target"
+        fi
+      done
+  done
+)
+report "broken relative link (target file missing)" "$broken_links"
+
+# --- Check 2: PERSONA_* env knobs vs docs/TUNING.md ----------------------------------
+tuning=docs/TUNING.md
+if [ ! -f "$tuning" ]; then
+  report "missing knob catalogue" "$tuning does not exist"
+else
+  # Authoritative set: names passed to getenv in the sources.
+  code_vars=$(grep -rhoE 'getenv\("PERSONA_[A-Z_0-9]+"' src/ 2>/dev/null |
+    sed 's/getenv("//; s/"$//' | sort -u)
+  # Documented set: every PERSONA_* token the catalogue mentions.
+  doc_vars=$(grep -oE 'PERSONA_[A-Z_0-9]+' "$tuning" | sort -u)
+
+  undocumented=$(
+    for v in $code_vars; do
+      printf '%s\n' "$doc_vars" | grep -qx "$v" ||
+        echo "$v read by $(grep -rlE "getenv\(\"$v\"" src/ | tr '\n' ' ')but absent from $tuning"
+    done
+  )
+  report "getenv knob undocumented in docs/TUNING.md" "$undocumented"
+
+  phantom=$(
+    for v in $doc_vars; do
+      # A documented name must be read somewhere: getenv in src/, or a CMake
+      # cache variable / env reference in a CMakeLists or *.cmake file.
+      grep -rqE "getenv\(\"$v\"" src/ && continue
+      git ls-files 'CMakeLists.txt' '*/CMakeLists.txt' '*.cmake' |
+        xargs grep -lq "$v" 2>/dev/null && continue
+      echo "$v documented in $tuning but not read anywhere in the tree"
+    done
+  )
+  report "documented knob with no call site (stale docs)" "$phantom"
+fi
+
+if [ "$fail" -ne 0 ]; then
+  echo "docs: FAILED"
+  exit 1
+fi
+echo "docs: OK"

@@ -46,6 +46,10 @@ json::Value StoreStatsToJson(const storage::StoreStats& stats) {
   object["write_ops"] = json::Value(stats.write_ops);
   object["retries"] = json::Value(stats.retries);
   object["give_ups"] = json::Value(stats.give_ups);
+  object["cache_hits"] = json::Value(stats.cache_hits);
+  object["cache_misses"] = json::Value(stats.cache_misses);
+  object["cache_evictions"] = json::Value(stats.cache_evictions);
+  object["cache_hit_bytes"] = json::Value(stats.cache_hit_bytes);
   return json::Value(std::move(object));
 }
 
@@ -57,12 +61,20 @@ Result<storage::StoreStats> StoreStatsFromJson(const json::Value& value) {
   PERSONA_ASSIGN_OR_RETURN(int64_t write_ops, value.GetInt("write_ops"));
   PERSONA_ASSIGN_OR_RETURN(int64_t retries, value.GetInt("retries"));
   PERSONA_ASSIGN_OR_RETURN(int64_t give_ups, value.GetInt("give_ups"));
+  PERSONA_ASSIGN_OR_RETURN(int64_t cache_hits, value.GetInt("cache_hits"));
+  PERSONA_ASSIGN_OR_RETURN(int64_t cache_misses, value.GetInt("cache_misses"));
+  PERSONA_ASSIGN_OR_RETURN(int64_t cache_evictions, value.GetInt("cache_evictions"));
+  PERSONA_ASSIGN_OR_RETURN(int64_t cache_hit_bytes, value.GetInt("cache_hit_bytes"));
   stats.bytes_read = static_cast<uint64_t>(bytes_read);
   stats.bytes_written = static_cast<uint64_t>(bytes_written);
   stats.read_ops = static_cast<uint64_t>(read_ops);
   stats.write_ops = static_cast<uint64_t>(write_ops);
   stats.retries = static_cast<uint64_t>(retries);
   stats.give_ups = static_cast<uint64_t>(give_ups);
+  stats.cache_hits = static_cast<uint64_t>(cache_hits);
+  stats.cache_misses = static_cast<uint64_t>(cache_misses);
+  stats.cache_evictions = static_cast<uint64_t>(cache_evictions);
+  stats.cache_hit_bytes = static_cast<uint64_t>(cache_hit_bytes);
   return stats;
 }
 

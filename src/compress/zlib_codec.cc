@@ -7,7 +7,8 @@ namespace persona::compress {
 Status ZlibCodec::Compress(std::span<const uint8_t> input, Buffer* out) const {
   uLongf bound = compressBound(static_cast<uLong>(input.size()));
   size_t base = out->size();
-  out->Resize(base + bound);
+  // compress2 overwrites [base, base + written); the final Resize trims to it.
+  out->ResizeUninitialized(base + bound);
   int rc = compress2(out->data() + base, &bound, input.data(),
                      static_cast<uLong>(input.size()), level_);
   if (rc != Z_OK) {
@@ -21,7 +22,8 @@ Status ZlibCodec::Compress(std::span<const uint8_t> input, Buffer* out) const {
 Status ZlibCodec::Decompress(std::span<const uint8_t> input, size_t expected_size,
                              Buffer* out) const {
   size_t base = out->size();
-  out->Resize(base + expected_size);
+  // uncompress must fill the region exactly (checked below), so no zero-fill pass.
+  out->ResizeUninitialized(base + expected_size);
   uLongf dest_len = static_cast<uLongf>(expected_size);
   int rc = uncompress(out->data() + base, &dest_len, input.data(),
                       static_cast<uLong>(input.size()));

@@ -254,6 +254,10 @@ void ChunkPipeline::SetRecordSource(RecordSourceFn next) {
   manifest_ = nullptr;
 }
 
+void ChunkPipeline::SetReadAheadColumns(std::vector<std::string> columns) {
+  read_ahead_columns_ = std::move(columns);
+}
+
 void ChunkPipeline::SetTransform(std::string name, TransformFn fn, bool ordered,
                                  DrainFn drain) {
   transform_name_ = std::move(name);
@@ -393,16 +397,26 @@ Result<ChunkPipelineReport> ChunkPipeline::Run() {
     graph.ObserveQueue("serialize", serialize_queue);
     graph.ObserveQueue("write", write_queue);
 
+    // Source-side read-ahead runs only when the store can actually hold the warmed
+    // objects; against an uncached store it would fetch every byte twice.
+    const bool read_ahead = manifest_mode && options_.read_ahead &&
+                            source_store_->CachesReads();
+    const size_t prefetch_cap = read_ahead ? cap(read_par) : 0;
+
     // Ordered manifest-mode pipelines bound their read-ahead (see OrderGate); the
-    // window matches the pipeline's natural in-flight depth so steady-state overlap
-    // is never throttled. Record mode needs no gate: its serial source feeds the
-    // single ordered worker FIFO, so nothing ever parks.
+    // window matches the pipeline's natural in-flight depth — including the prefetch
+    // stage's queue and workers when active — so steady-state overlap is never
+    // throttled. Record mode needs no gate: its serial source feeds the single
+    // ordered worker FIFO, so nothing ever parks.
     std::shared_ptr<OrderGate> gate;
     size_t order_window = 0;
     if (ordered_ && manifest_mode) {
       gate = std::make_shared<OrderGate>();
       order_window = work_cap + raw_cap + input_cap + static_cast<size_t>(read_par) +
                      static_cast<size_t>(parse_par) + 2;
+      if (read_ahead) {
+        order_window += prefetch_cap + static_cast<size_t>(read_par);
+      }
       graph.AddCancelHook([gate] { gate->CancelWaits(); });
     }
 
@@ -473,10 +487,41 @@ Result<ChunkPipelineReport> ChunkPipeline::Run() {
             });
       }
 
+      // --- Prefetch (read-ahead): warm the group's columns through the store's
+      // cache tier before the reader claims them. With `read_par` workers the stage
+      // naturally runs a work item ahead of the readers, so the device transfers
+      // chunk N+1 while the reader's batched Get for chunk N hits memory. The warmed
+      // set covers the declared columns — or the wider SetReadAheadColumns list for
+      // tools whose transform fetches extra columns itself (filter's ordered stage).
+      auto reader_in = work_queue;
+      if (read_ahead) {
+        auto prefetch_queue = dataflow::Graph::MakeQueue<Work>(prefetch_cap);
+        graph.ObserveQueue("prefetch", prefetch_queue);
+        const std::vector<std::string>* warm_columns =
+            read_ahead_columns_.empty() ? &columns_ : &read_ahead_columns_;
+        graph.AddStage<Work, Work>(
+            "prefetch", read_par, work_queue, prefetch_queue,
+            [store = source_store_, manifest = manifest_, warm_columns](
+                Work&& work, dataflow::StageOutput<Work>& out) -> Status {
+              std::vector<std::string> keys;
+              keys.reserve((work.chunk_end - work.chunk_begin) * warm_columns->size());
+              for (size_t c = work.chunk_begin; c < work.chunk_end; ++c) {
+                for (const std::string& column : *warm_columns) {
+                  keys.push_back(manifest->ChunkFileName(c, column));
+                }
+              }
+              // Best-effort by contract: a failed warm-up surfaces as a reader miss,
+              // where retry/quarantine handling applies.
+              store->Prefetch(keys);
+              return out.Push(std::move(work));
+            });
+        reader_in = prefetch_queue;
+      }
+
       // --- Reader: all columns of every chunk in the group, one batched Get into
       // pooled buffers. ---
       graph.AddStage<Work, RawItem>(
-          "reader", read_par, work_queue, raw_queue,
+          "reader", read_par, reader_in, raw_queue,
           [store = source_store_, manifest = manifest_, columns = &columns_, pool,
            skip = options_.skip_bad_chunks, quarantine,
            source = work_source_](Work&& work,

@@ -127,6 +127,15 @@ class ChunkPipeline {
     double utilization_sample_sec = 0;  // 0 disables the sampler
     int sampler_total_workers = 0;      // machine thread budget for the Fig. 5 number
 
+    // Source-side read-ahead (manifest mode): a prefetch stage ahead of the readers
+    // warms the next work items' column objects through the store's cache tier, so
+    // the reader's batched Get — and any in-transform column fetch covered by
+    // SetReadAheadColumns — runs at memory speed while the device transfers chunk
+    // N+1. Active only when the source store actually caches reads
+    // (ObjectStore::CachesReads()); prefetching into an uncached store would fetch
+    // every object twice. Default on — it is a no-op without a cache.
+    bool read_ahead = true;
+
     // Graceful degradation: when a work item's columns cannot be fetched or parsed
     // (after the store's own retry budget is spent), quarantine the item — count it
     // and its keys in the report — and keep going instead of cancelling the run.
@@ -256,6 +265,13 @@ class ChunkPipeline {
   // `index` is stamped densely by the pipeline).
   void SetRecordSource(RecordSourceFn next);
 
+  // Columns the read-ahead stage warms per chunk; defaults to the declared (reader)
+  // columns. Tools that fetch extra columns inside their transform — filter reads
+  // only "results" up front but pulls every surviving chunk's remaining columns in
+  // its ordered stage — pass the full list here so those fetches hit the cache
+  // instead of serializing on device latency (the PR 4 headroom).
+  void SetReadAheadColumns(std::vector<std::string> columns);
+
   // The tool stage. Ordered transforms run one worker and see Inputs in index order
   // (dataset order; incompatible with a cluster work_source, whose handout order is
   // not the dataset's — Run() rejects the combination). The source paces itself
@@ -291,6 +307,7 @@ class ChunkPipeline {
   storage::ObjectStore* source_store_ = nullptr;
   const format::Manifest* manifest_ = nullptr;
   std::vector<std::string> columns_;
+  std::vector<std::string> read_ahead_columns_;  // empty: use columns_
   size_t group_size_ = 1;
   WorkSource* work_source_ = nullptr;           // borrowed
   std::unique_ptr<WorkSource> owned_work_source_;  // function-adapter overload

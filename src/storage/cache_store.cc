@@ -1,0 +1,371 @@
+#include "src/storage/cache_store.h"
+
+#include <cstdlib>
+#include <unordered_set>
+#include <utility>
+
+#include "src/util/logging.h"
+
+namespace persona::storage {
+
+namespace {
+// Version map prune threshold: far above any cached working set, so pruning (which
+// conservatively aborts the fills in flight across it) is a safety valve, not a
+// steady-state event.
+constexpr size_t kMaxVersionEntries = 1u << 16;
+// Completed async-write markers are swept lazily; this caps how many can linger.
+constexpr size_t kPendingSweepThreshold = 1024;
+}  // namespace
+
+CacheStore::CacheStore(ObjectStore* base, CacheStoreOptions options)
+    : base_(base), options_(options) {}
+
+void CacheStore::TouchLocked(std::unordered_map<std::string, Entry>::iterator it) {
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+}
+
+void CacheStore::EraseLocked(const std::string& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    return;
+  }
+  bytes_cached_ -= it->second.data->size();
+  lru_.erase(it->second.lru_it);
+  entries_.erase(it);
+}
+
+void CacheStore::BumpVersionLocked(const std::string& key) {
+  ++versions_[key];
+  if (versions_.size() > kMaxVersionEntries) {
+    // Prune wholesale; the epoch bump invalidates every guard captured before it.
+    versions_.clear();
+    ++epoch_;
+  }
+}
+
+CacheStore::FillGuard CacheStore::CaptureGuardLocked(const std::string& key) {
+  FillGuard guard;
+  auto pending = pending_writes_.find(key);
+  if (pending != pending_writes_.end()) {
+    if (!pending->second.done()) {
+      return guard;  // async write in flight: reads of this key stay uncacheable
+    }
+    // The async write landed: retire the marker and invalidate guards captured while
+    // it was pending, then allow this (post-completion) read to fill.
+    pending_writes_.erase(pending);
+    BumpVersionLocked(key);
+  }
+  guard.cacheable = true;
+  guard.epoch = epoch_;
+  auto it = versions_.find(key);
+  guard.version = it == versions_.end() ? 0 : it->second;
+  return guard;
+}
+
+bool CacheStore::GuardHoldsLocked(const std::string& key, const FillGuard& guard) {
+  if (!guard.cacheable || guard.epoch != epoch_) {
+    return false;
+  }
+  if (pending_writes_.contains(key)) {
+    return false;  // an async write raced in after the guard was captured
+  }
+  auto it = versions_.find(key);
+  const uint64_t current = it == versions_.end() ? 0 : it->second;
+  return current == guard.version;
+}
+
+void CacheStore::InstallLocked(const std::string& key,
+                               std::shared_ptr<const Buffer> data) {
+  EraseLocked(key);  // replace, never duplicate
+  const size_t size = data->size();
+  if (size > options_.budget_bytes) {
+    return;  // larger than the whole budget: never cached
+  }
+  lru_.push_front(key);
+  entries_.emplace(key, Entry{std::move(data), lru_.begin()});
+  bytes_cached_ += size;
+  // Evict from the cold tail until back under budget. The fresh entry is at the
+  // front and fits by itself (checked above), so the loop always terminates first.
+  while (bytes_cached_ > options_.budget_bytes) {
+    const std::string victim = lru_.back();
+    auto it = entries_.find(victim);
+    bytes_cached_ -= it->second.data->size();
+    lru_.pop_back();
+    entries_.erase(it);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void CacheStore::PopulateIfUnchanged(const std::string& key,
+                                     std::span<const uint8_t> data,
+                                     const FillGuard& guard) {
+  if (!guard.cacheable || data.size() > options_.budget_bytes) {
+    return;
+  }
+  auto copy = std::make_shared<Buffer>();
+  copy->Append(data);
+  MutexLock lock(mu_);
+  if (!GuardHoldsLocked(key, guard)) {
+    return;  // a Put/Delete raced the backend read: its bytes may be stale
+  }
+  InstallLocked(key, std::move(copy));
+}
+
+void CacheStore::AfterPut(const std::string& key, std::span<const uint8_t> data,
+                          bool ok) {
+  std::shared_ptr<const Buffer> copy;
+  if (ok && options_.cache_writes && data.size() <= options_.budget_bytes) {
+    auto populated = std::make_shared<Buffer>();
+    populated->Append(data);
+    copy = std::move(populated);
+  }
+  MutexLock lock(mu_);
+  // The bump must come after the backend write: it cuts off miss-fills that read the
+  // pre-write bytes, and (write-through) the install below replaces the entry.
+  BumpVersionLocked(key);
+  if (copy != nullptr) {
+    InstallLocked(key, std::move(copy));
+  } else {
+    EraseLocked(key);
+  }
+}
+
+Status CacheStore::Put(const std::string& key, std::span<const uint8_t> data) {
+  Status status = base_->Put(key, data);
+  AfterPut(key, data, status.ok());
+  return status;
+}
+
+Status CacheStore::Get(const std::string& key, Buffer* out) {
+  std::shared_ptr<const Buffer> hit;
+  FillGuard guard;
+  {
+    MutexLock lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      TouchLocked(it);
+      hit = it->second.data;  // copy happens outside the lock
+    } else {
+      guard = CaptureGuardLocked(key);
+    }
+  }
+  if (hit != nullptr) {
+    RecordHit(hit->size());
+    out->Clear();
+    out->Append(hit->span());
+    return OkStatus();
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  PERSONA_RETURN_IF_ERROR(base_->Get(key, out));
+  PopulateIfUnchanged(key, out->span(), guard);
+  return OkStatus();
+}
+
+Result<uint64_t> CacheStore::Size(const std::string& key) {
+  {
+    MutexLock lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      // Metadata served from the cache; hit/miss counters track payload reads only.
+      return static_cast<uint64_t>(it->second.data->size());
+    }
+  }
+  return base_->Size(key);
+}
+
+Status CacheStore::Delete(const std::string& key) {
+  Status status = base_->Delete(key);
+  MutexLock lock(mu_);
+  BumpVersionLocked(key);
+  EraseLocked(key);
+  return status;
+}
+
+bool CacheStore::Exists(const std::string& key) {
+  {
+    MutexLock lock(mu_);
+    if (entries_.contains(key)) {
+      return true;
+    }
+  }
+  return base_->Exists(key);
+}
+
+Result<std::vector<std::string>> CacheStore::List(std::string_view prefix) {
+  return base_->List(prefix);
+}
+
+Status CacheStore::PutBatch(std::span<PutOp> ops) {
+  // Forward whole: the backend overlaps the writes across its shards. Cache
+  // bookkeeping happens after, per op outcome.
+  Status first_error = base_->PutBatch(ops);
+  for (PutOp& op : ops) {
+    AfterPut(op.key, op.data, op.status.ok());
+  }
+  return first_error;
+}
+
+Status CacheStore::GetBatch(std::span<GetOp> ops) {
+  struct Miss {
+    size_t index = 0;
+    FillGuard guard;
+  };
+  std::vector<std::pair<size_t, std::shared_ptr<const Buffer>>> hits;
+  std::vector<Miss> misses;
+  {
+    MutexLock lock(mu_);
+    for (size_t i = 0; i < ops.size(); ++i) {
+      auto it = entries_.find(ops[i].key);
+      if (it != entries_.end()) {
+        TouchLocked(it);
+        hits.emplace_back(i, it->second.data);
+      } else {
+        misses.push_back({i, CaptureGuardLocked(ops[i].key)});
+      }
+    }
+  }
+  // Hits copy at memory speed, outside the lock.
+  for (auto& [index, data] : hits) {
+    RecordHit(data->size());
+    ops[index].out->Clear();
+    ops[index].out->Append(data->span());
+    ops[index].status = OkStatus();
+  }
+  if (misses.empty()) {
+    return OkStatus();
+  }
+  misses_.fetch_add(misses.size(), std::memory_order_relaxed);
+  // One backend batch for the miss subset: its internal parallelism (and retry
+  // policy) applies to the real transfers only.
+  std::vector<GetOp> backend_ops;
+  backend_ops.reserve(misses.size());
+  for (const Miss& miss : misses) {
+    backend_ops.push_back({ops[miss.index].key, ops[miss.index].out, {}});
+  }
+  Status first_error = base_->GetBatch(backend_ops);
+  for (size_t j = 0; j < misses.size(); ++j) {
+    GetOp& op = ops[misses[j].index];
+    op.status = backend_ops[j].status;
+    if (op.status.ok()) {
+      PopulateIfUnchanged(op.key, op.out->span(), misses[j].guard);
+    }
+  }
+  return first_error;
+}
+
+Status CacheStore::DeleteBatch(std::span<DeleteOp> ops) {
+  Status first_error = base_->DeleteBatch(ops);
+  MutexLock lock(mu_);
+  for (const DeleteOp& op : ops) {
+    BumpVersionLocked(op.key);
+    EraseLocked(op.key);
+  }
+  return first_error;
+}
+
+IoTicket CacheStore::SubmitAsync(std::span<PutOp> puts, std::span<GetOp> gets) {
+  // Async gets bypass the cache (op memory is caller-owned and a cache-served subset
+  // could not share the backend's ticket); async puts make their keys uncacheable
+  // until the ticket completes — see the invalidation contract in the header.
+  IoTicket ticket = base_->SubmitAsync(puts, gets);
+  if (!puts.empty()) {
+    MutexLock lock(mu_);
+    for (const PutOp& op : puts) {
+      BumpVersionLocked(op.key);
+      EraseLocked(op.key);
+      pending_writes_[op.key] = ticket;
+    }
+    if (pending_writes_.size() > kPendingSweepThreshold) {
+      for (auto it = pending_writes_.begin(); it != pending_writes_.end();) {
+        if (it->second.done()) {
+          BumpVersionLocked(it->first);
+          it = pending_writes_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+  }
+  return ticket;
+}
+
+void CacheStore::Prefetch(std::span<const std::string> keys) {
+  struct Fetch {
+    std::string key;
+    FillGuard guard;
+    std::shared_ptr<Buffer> buffer;  // the future cache entry, filled directly
+  };
+  std::vector<Fetch> fetches;
+  {
+    std::unordered_set<std::string_view> seen;
+    MutexLock lock(mu_);
+    for (const std::string& key : keys) {
+      auto it = entries_.find(key);
+      if (it != entries_.end()) {
+        TouchLocked(it);  // about to be read: keep it hot
+        continue;
+      }
+      if (!seen.insert(key).second) {
+        continue;
+      }
+      FillGuard guard = CaptureGuardLocked(key);
+      if (!guard.cacheable) {
+        continue;
+      }
+      fetches.push_back({key, guard, std::make_shared<Buffer>()});
+    }
+  }
+  if (fetches.empty()) {
+    return;
+  }
+  std::vector<GetOp> ops;
+  ops.reserve(fetches.size());
+  for (Fetch& fetch : fetches) {
+    ops.push_back({fetch.key, fetch.buffer.get(), {}});
+  }
+  Status status = base_->GetBatch(ops);
+  if (!status.ok()) {
+    // Best-effort contract: the authoritative Get that follows surfaces errors with
+    // proper retry/quarantine handling; a failed warm-up only costs a later miss.
+    PLOG(DEBUG) << "cache prefetch: " << status.ToString();
+  }
+  for (size_t i = 0; i < fetches.size(); ++i) {
+    if (!ops[i].status.ok()) {
+      continue;
+    }
+    MutexLock lock(mu_);
+    if (GuardHoldsLocked(fetches[i].key, fetches[i].guard)) {
+      InstallLocked(fetches[i].key, std::move(fetches[i].buffer));
+    }
+  }
+}
+
+StoreStats CacheStore::stats() const {
+  StoreStats stats = base_->stats();
+  AddRetryStats(&stats);
+  stats.cache_hits += hits_.load(std::memory_order_relaxed);
+  stats.cache_misses += misses_.load(std::memory_order_relaxed);
+  stats.cache_evictions += evictions_.load(std::memory_order_relaxed);
+  stats.cache_hit_bytes += hit_bytes_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+CacheStore::Usage CacheStore::usage() const {
+  MutexLock lock(mu_);
+  return {bytes_cached_, entries_.size()};
+}
+
+size_t CacheBudgetFromEnv(size_t default_bytes) {
+  const char* env = std::getenv("PERSONA_CACHE_MB");
+  if (env == nullptr || *env == '\0') {
+    return default_bytes;
+  }
+  char* end = nullptr;
+  const unsigned long long mb = std::strtoull(env, &end, 10);
+  if (end == env) {
+    return default_bytes;
+  }
+  return static_cast<size_t>(mb) << 20;
+}
+
+}  // namespace persona::storage

@@ -1,0 +1,157 @@
+// CacheStore: a memory-budgeted LRU read cache above any ObjectStore.
+//
+// Persona's balanced-system argument (paper §3, §4.2) needs the storage tier to feed
+// compute at device speed; a reread — a region query re-scanning the same chunks, a
+// sort merge revisiting its spill files, filter's ordered stage fetching the columns
+// the prefetcher already pulled — should cost memory bandwidth, not a second trip
+// through the simulated OSDs. This decorator keeps whole chunk/column objects in an
+// LRU map under a byte budget and serves repeated Gets from memory.
+//
+// Invalidation contract (also documented in README "Storage"):
+//   - Put (scalar or PutBatch) is write-through: the backend write lands first, then
+//     the cache is repopulated with the new bytes (or just invalidated when
+//     cache_writes is off). A Get issued after a Put returns never sees the old value.
+//   - Delete / DeleteBatch erase the entry before any later Get can re-fill it with
+//     the deleted bytes.
+//   - SubmitAsync puts invalidate their keys at submission and keep them uncacheable
+//     until the submission's ticket completes — a miss-fill racing an in-flight async
+//     write can observe the pre-write bytes, and caching those would serve stale data
+//     after the ticket completes. The ticket itself is the backend's (asynchrony is
+//     preserved); async gets bypass the cache entirely.
+//   - Miss-fills are version-guarded: a fill only populates the cache if no Put/Delete
+//     of that key happened between the lookup and the backend read completing, so a
+//     racing writer can never be overwritten by a stale in-flight read.
+//   - Coherence is per-decorator: mutations that bypass this CacheStore (writing to
+//     the backend directly) are invisible to it. Share one CacheStore across every
+//     pipeline touching a store — it is thread-safe and built for that.
+//
+// Hits count in StoreStats::cache_hits/cache_hit_bytes, not read_ops/bytes_read:
+// a report's byte counters remain true device traffic, so the cache's effect is
+// visible instead of laundered into impossible device throughput.
+//
+// Batched ops forward to the backend for the miss subset only, so the backend's
+// internal parallelism (and its retry policy) still applies to real transfers.
+
+#ifndef PERSONA_SRC_STORAGE_CACHE_STORE_H_
+#define PERSONA_SRC_STORAGE_CACHE_STORE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/storage/object_store.h"
+#include "src/util/mutex.h"
+
+namespace persona::storage {
+
+struct CacheStoreOptions {
+  // Total bytes of cached payload. Objects larger than the budget are never cached.
+  size_t budget_bytes = 256ull << 20;
+  // Write-through population: a successful synchronous Put installs the new bytes in
+  // the cache (a write-then-reread workload hits without a device round trip). Off =
+  // Put only invalidates; use for write-mostly streams that would churn the budget.
+  bool cache_writes = true;
+};
+
+class CacheStore final : public ObjectStore {
+ public:
+  // `base` is borrowed and must outlive this store.
+  CacheStore(ObjectStore* base, CacheStoreOptions options = {});
+
+  using ObjectStore::Put;
+  Status Put(const std::string& key, std::span<const uint8_t> data) override;
+  Status Get(const std::string& key, Buffer* out) override;
+  Result<uint64_t> Size(const std::string& key) override;
+  Status Delete(const std::string& key) override;
+  bool Exists(const std::string& key) override;
+  Result<std::vector<std::string>> List(std::string_view prefix) override;
+
+  Status PutBatch(std::span<PutOp> ops) override;
+  Status GetBatch(std::span<GetOp> ops) override;
+  Status DeleteBatch(std::span<DeleteOp> ops) override;
+  IoTicket SubmitAsync(std::span<PutOp> puts, std::span<GetOp> gets) override;
+
+  bool CachesReads() const override { return true; }
+  // Fetches the not-yet-cached subset of `keys` from the backend with one batched Get
+  // directly into cache entries (no caller buffer, no extra copy). Best-effort: a key
+  // that fails to fetch is simply left uncached.
+  void Prefetch(std::span<const std::string> keys) override;
+
+  // Backend stats plus this tier's hit/miss/eviction counters.
+  StoreStats stats() const override;
+
+  struct Usage {
+    size_t bytes = 0;
+    size_t entries = 0;
+  };
+  Usage usage() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<const Buffer> data;
+    std::list<std::string>::iterator lru_it;  // position in lru_ (front = MRU)
+  };
+
+  // Snapshot taken before a backend miss-read; the fill installs only if the key's
+  // version (and the global epoch, bumped when the version map is pruned) is
+  // unchanged — i.e. no Put/Delete raced the read.
+  struct FillGuard {
+    uint64_t epoch = 0;
+    uint64_t version = 0;
+    bool cacheable = false;  // false: pending async write, do not install
+  };
+
+  void TouchLocked(std::unordered_map<std::string, Entry>::iterator it) REQUIRES(mu_);
+  void EraseLocked(const std::string& key) REQUIRES(mu_);
+  void BumpVersionLocked(const std::string& key) REQUIRES(mu_);
+  FillGuard CaptureGuardLocked(const std::string& key) REQUIRES(mu_);
+  bool GuardHoldsLocked(const std::string& key, const FillGuard& guard) REQUIRES(mu_);
+  // Installs `data` (evicting LRU entries past the budget); replaces any existing
+  // entry for the key.
+  void InstallLocked(const std::string& key, std::shared_ptr<const Buffer> data)
+      REQUIRES(mu_);
+  // Post-write bookkeeping shared by Put/PutBatch: bump the version and either
+  // repopulate (write-through, op succeeded) or just invalidate.
+  void AfterPut(const std::string& key, std::span<const uint8_t> data, bool ok)
+      EXCLUDES(mu_);
+  void PopulateIfUnchanged(const std::string& key, std::span<const uint8_t> data,
+                           const FillGuard& guard) EXCLUDES(mu_);
+  void RecordHit(size_t bytes) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    hit_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+
+  ObjectStore* base_;
+  const CacheStoreOptions options_;
+
+  mutable Mutex mu_;
+  std::list<std::string> lru_ GUARDED_BY(mu_);
+  std::unordered_map<std::string, Entry> entries_ GUARDED_BY(mu_);
+  size_t bytes_cached_ GUARDED_BY(mu_) = 0;
+  // Per-key mutation counters backing FillGuard. Pruned wholesale (epoch bump) when
+  // the map outgrows the cache itself, so a long run's write-only keys cannot grow it
+  // without bound; a prune conservatively skips the fills in flight across it.
+  std::unordered_map<std::string, uint64_t> versions_ GUARDED_BY(mu_);
+  uint64_t epoch_ GUARDED_BY(mu_) = 0;
+  // Keys with an async write in flight (SubmitAsync puts): uncacheable until the
+  // submission's ticket reports done, then swept lazily on the next touch.
+  std::unordered_map<std::string, IoTicket> pending_writes_ GUARDED_BY(mu_);
+
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> hit_bytes_{0};
+};
+
+// Cache budget for tools that create their own CacheStore: PERSONA_CACHE_MB from the
+// environment when set (0 disables caching at the call sites that check), else
+// `default_bytes`.
+size_t CacheBudgetFromEnv(size_t default_bytes);
+
+}  // namespace persona::storage
+
+#endif  // PERSONA_SRC_STORAGE_CACHE_STORE_H_

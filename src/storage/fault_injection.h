@@ -105,6 +105,12 @@ class FaultInjectingStore final : public ObjectStore {
   Status GetBatch(std::span<GetOp> ops) override;
   Status DeleteBatch(std::span<DeleteOp> ops) override;
 
+  // Cache-tier passthrough: chaos runs over a cached store keep the cache visible.
+  // Prefetch is advisory (its failures are invisible by contract), so faults are not
+  // injected on it — the authoritative reads that follow still get them.
+  bool CachesReads() const override { return base_->CachesReads(); }
+  void Prefetch(std::span<const std::string> keys) override { base_->Prefetch(keys); }
+
   // Backend stats plus this decorator's retry counters (batch ops run through the
   // inherited loops, so retries — driven by the faults injected here — count here).
   StoreStats stats() const override;

@@ -36,9 +36,12 @@ Status MemoryStore::Get(const std::string& key, Buffer* out) {
     if (it == objects_.end()) {
       return NotFoundError("object deleted during read: " + key);
     }
-    out->Clear();
-    out->Append(it->second.data(), it->second.size());
+    // Zero-copy fill: size the buffer without initializing, then land the payload in
+    // one write pass (the simulated device's DMA) instead of memset + copy.
     size = it->second.size();
+    out->Clear();
+    out->ResizeUninitialized(size);
+    std::memcpy(out->data(), it->second.data(), size);
   }
   stats_.RecordRead(size);
   return OkStatus();

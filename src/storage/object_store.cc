@@ -10,6 +10,10 @@ StoreStats StatsDelta(const StoreStats& before, const StoreStats& after) {
   delta.write_ops = after.write_ops - before.write_ops;
   delta.retries = after.retries - before.retries;
   delta.give_ups = after.give_ups - before.give_ups;
+  delta.cache_hits = after.cache_hits - before.cache_hits;
+  delta.cache_misses = after.cache_misses - before.cache_misses;
+  delta.cache_evictions = after.cache_evictions - before.cache_evictions;
+  delta.cache_hit_bytes = after.cache_hit_bytes - before.cache_hit_bytes;
   return delta;
 }
 

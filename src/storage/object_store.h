@@ -41,6 +41,13 @@ struct StoreStats {
   // re-attempts performed, and ops abandoned after exhausting the retry budget.
   uint64_t retries = 0;
   uint64_t give_ups = 0;
+  // Cache-tier accounting (see cache_store.h). Hits are served from memory and do NOT
+  // count toward read_ops/bytes_read — those remain device traffic, so a warm run
+  // reads as "few device ops, many hits" instead of hiding the cache's effect.
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_evictions = 0;
+  uint64_t cache_hit_bytes = 0;
 
   // Field-wise sum: merges another delta into this one. Used to combine the deltas of
   // a multi-phase run, and by the cluster work service to aggregate the per-lease
@@ -52,6 +59,10 @@ struct StoreStats {
     write_ops += other.write_ops;
     retries += other.retries;
     give_ups += other.give_ups;
+    cache_hits += other.cache_hits;
+    cache_misses += other.cache_misses;
+    cache_evictions += other.cache_evictions;
+    cache_hit_bytes += other.cache_hit_bytes;
   }
 };
 
@@ -127,6 +138,20 @@ class ObjectStore {
   // executed. Op memory (keys, data spans, output buffers) is caller-owned and must
   // outlive the ticket. The default executes inline and returns a completed ticket.
   [[nodiscard]] virtual IoTicket SubmitAsync(std::span<PutOp> puts, std::span<GetOp> gets);
+
+  // --- Cache tier (see cache_store.h). ---
+  //
+  // True when repeated Gets of the same key are served from memory (a CacheStore
+  // anywhere in the decorator stack). Pipelines use this to decide whether source-side
+  // read-ahead is worth issuing: prefetching into a store that caches nothing would
+  // just fetch every object twice.
+  virtual bool CachesReads() const { return false; }
+
+  // Best-effort cache warm-up: fetch `keys` so that near-future Gets hit memory.
+  // Advisory by contract — failures are swallowed (the authoritative Get that follows
+  // surfaces them with proper retry/error handling) and stores without a cache treat
+  // it as a no-op rather than paying device traffic twice.
+  virtual void Prefetch(std::span<const std::string> /*keys*/) {}
 
   // Convenience overloads.
   [[nodiscard]] Status Put(const std::string& key, const Buffer& data) {

@@ -3,59 +3,107 @@
 // Persona's zero-copy architecture (§4.5 of the paper) passes pooled Buffer objects
 // between dataflow nodes instead of copying payloads. Buffers keep their capacity across
 // Clear() so that pool recycling amortizes allocation.
+//
+// Storage is a raw heap block rather than std::vector so that the store read paths can
+// size a buffer without the vector's value-initialization pass: ResizeUninitialized
+// exposes bytes that the caller promises to overwrite (a Get's memcpy, a file read, a
+// codec's output), which makes one whole-object transfer a single write over the
+// payload instead of a zero-fill followed by a copy. Every heap allocation is counted
+// in a process-wide counter (TotalAllocations) so tests can assert that a warmed pool
+// serves repeated GetBatch rounds with zero new allocations — the property the pooled
+// zero-copy design exists to provide.
 
 #ifndef PERSONA_SRC_UTIL_BUFFER_H_
 #define PERSONA_SRC_UTIL_BUFFER_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
+#include <memory>
 #include <span>
 #include <string_view>
-#include <vector>
+#include <type_traits>
 
 namespace persona {
 
 class Buffer {
  public:
   Buffer() = default;
-  explicit Buffer(size_t initial_capacity) { data_.reserve(initial_capacity); }
+  explicit Buffer(size_t initial_capacity) { Reserve(initial_capacity); }
 
   // Movable, not copyable: accidental payload copies defeat the pooling design.
   Buffer(const Buffer&) = delete;
   Buffer& operator=(const Buffer&) = delete;
-  Buffer(Buffer&&) = default;
-  Buffer& operator=(Buffer&&) = default;
+  Buffer(Buffer&& other) noexcept
+      : data_(std::move(other.data_)), size_(other.size_), capacity_(other.capacity_) {
+    other.size_ = 0;
+    other.capacity_ = 0;
+  }
+  Buffer& operator=(Buffer&& other) noexcept {
+    data_ = std::move(other.data_);
+    size_ = other.size_;
+    capacity_ = other.capacity_;
+    other.size_ = 0;
+    other.capacity_ = 0;
+    return *this;
+  }
 
-  const uint8_t* data() const { return data_.data(); }
-  uint8_t* data() { return data_.data(); }
-  size_t size() const { return data_.size(); }
-  size_t capacity() const { return data_.capacity(); }
-  bool empty() const { return data_.empty(); }
+  const uint8_t* data() const { return data_.get(); }
+  uint8_t* data() { return data_.get(); }
+  size_t size() const { return size_; }
+  size_t capacity() const { return capacity_; }
+  bool empty() const { return size_ == 0; }
 
-  std::span<const uint8_t> span() const { return {data_.data(), data_.size()}; }
-  std::span<uint8_t> mutable_span() { return {data_.data(), data_.size()}; }
+  std::span<const uint8_t> span() const { return {data_.get(), size_}; }
+  std::span<uint8_t> mutable_span() { return {data_.get(), size_}; }
   std::string_view view() const {
-    return {reinterpret_cast<const char*>(data_.data()), data_.size()};
+    return {reinterpret_cast<const char*>(data_.get()), size_};
   }
 
   // Drops contents but keeps capacity (pool-recycling friendly).
-  void Clear() { data_.clear(); }
+  void Clear() { size_ = 0; }
 
-  void Reserve(size_t capacity) { data_.reserve(capacity); }
-  void Resize(size_t size) { data_.resize(size); }
+  void Reserve(size_t capacity) {
+    if (capacity > capacity_) {
+      Grow(capacity);
+    }
+  }
+
+  // vector-compatible resize: bytes added beyond the current size read as zero.
+  void Resize(size_t size) {
+    if (size > size_) {
+      EnsureCapacity(size);
+      std::memset(data_.get() + size_, 0, size - size_);
+    }
+    size_ = size;
+  }
+
+  // Resize without initializing the added bytes: the caller promises to overwrite
+  // [old_size, size) before reading it. This is the zero-copy transfer entry point —
+  // a store's Get, a file read, or a codec lands the payload directly, paying one
+  // write pass over the bytes instead of memset + copy.
+  void ResizeUninitialized(size_t size) {
+    if (size > size_) {
+      EnsureCapacity(size);
+    }
+    size_ = size;
+  }
 
   void Append(const void* src, size_t n) {
     if (n == 0) {
       return;
     }
-    const size_t old_size = data_.size();
-    data_.resize(old_size + n);
-    std::memcpy(data_.data() + old_size, src, n);
+    const size_t old_size = size_;
+    ResizeUninitialized(old_size + n);
+    std::memcpy(data_.get() + old_size, src, n);
   }
   void Append(std::span<const uint8_t> bytes) { Append(bytes.data(), bytes.size()); }
   void Append(std::string_view s) { Append(s.data(), s.size()); }
-  void AppendByte(uint8_t b) { data_.push_back(b); }
+  void AppendByte(uint8_t b) {
+    EnsureCapacity(size_ + 1);
+    data_[size_++] = b;
+  }
 
   // Fixed-width little-endian scalar append/read, used by chunk headers and records.
   template <typename T>
@@ -68,15 +116,46 @@ class Buffer {
   T ReadScalar(size_t offset) const {
     static_assert(std::is_trivially_copyable_v<T>);
     T v{};
-    std::memcpy(&v, data_.data() + offset, sizeof(v));
+    std::memcpy(&v, data_.get() + offset, sizeof(v));
     return v;
   }
 
   uint8_t& operator[](size_t i) { return data_[i]; }
   uint8_t operator[](size_t i) const { return data_[i]; }
 
+  // Process-wide count of heap allocations performed by any Buffer (monotonic). The
+  // steady-state contract of the pooled pipelines — and the cache's warm read path —
+  // is that repeated transfers through warmed buffers allocate nothing; tests take a
+  // before/after delta of this counter to prove it.
+  static uint64_t TotalAllocations() {
+    return allocations_.load(std::memory_order_relaxed);
+  }
+
  private:
-  std::vector<uint8_t> data_;
+  void EnsureCapacity(size_t needed) {
+    if (needed > capacity_) {
+      // Amortized doubling, same policy as the vector it replaces.
+      Grow(needed > capacity_ * 2 ? needed : capacity_ * 2);
+    }
+  }
+
+  void Grow(size_t new_capacity) {
+    // make_unique_for_overwrite: the block is sized, not value-initialized — newly
+    // exposed bytes are defined by Resize (memset) or the caller's overwrite.
+    auto grown = std::make_unique_for_overwrite<uint8_t[]>(new_capacity);
+    allocations_.fetch_add(1, std::memory_order_relaxed);
+    if (size_ > 0) {
+      std::memcpy(grown.get(), data_.get(), size_);
+    }
+    data_ = std::move(grown);
+    capacity_ = new_capacity;
+  }
+
+  static inline std::atomic<uint64_t> allocations_{0};
+
+  std::unique_ptr<uint8_t[]> data_;
+  size_t size_ = 0;
+  size_t capacity_ = 0;
 };
 
 }  // namespace persona

@@ -1,0 +1,440 @@
+// Tests for the CacheStore decorator: hit/miss/eviction accounting, the write-through
+// and invalidation contract (including Delete/Put racing concurrent GetBatch — the
+// TSan target), prefetch warming, sharing one cache across pipelines, and bit-identical
+// pipeline output with the cache tier on vs off.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/format/agd_chunk.h"
+#include "src/pipeline/agd_store_util.h"
+#include "src/pipeline/filter.h"
+#include "src/storage/cache_store.h"
+#include "src/storage/memory_store.h"
+#include "src/util/string_util.h"
+
+namespace persona::storage {
+namespace {
+
+std::string Blob(char fill, size_t n) { return std::string(n, fill); }
+
+TEST(CacheStore, HitMissAccountingAndUsage) {
+  MemoryStore base;
+  CacheStore cache(&base);
+  ASSERT_TRUE(base.Put("a", std::string_view("hello")).ok());
+
+  Buffer out;
+  ASSERT_TRUE(cache.Get("a", &out).ok());  // cold: backend read, fills cache
+  EXPECT_EQ(out.view(), "hello");
+  ASSERT_TRUE(cache.Get("a", &out).ok());  // warm: served from memory
+  EXPECT_EQ(out.view(), "hello");
+
+  const StoreStats stats = cache.stats();
+  EXPECT_EQ(stats.cache_misses, 1u);
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.cache_hit_bytes, 5u);
+  // Hits are memory-served: device counters show exactly one backend read.
+  EXPECT_EQ(stats.read_ops, 1u);
+  EXPECT_EQ(stats.bytes_read, 5u);
+
+  const CacheStore::Usage usage = cache.usage();
+  EXPECT_EQ(usage.entries, 1u);
+  EXPECT_EQ(usage.bytes, 5u);
+}
+
+TEST(CacheStore, WriteThroughPopulatesAndOverwrites) {
+  MemoryStore base;
+  CacheStore cache(&base);
+  ASSERT_TRUE(cache.Put("k", std::string_view("v1")).ok());
+
+  // The backend saw the write (write-through)...
+  Buffer out;
+  ASSERT_TRUE(base.Get("k", &out).ok());
+  EXPECT_EQ(out.view(), "v1");
+
+  // ...and the cache was populated by it: the read below never touches the device.
+  const uint64_t base_reads_before = base.stats().read_ops;
+  ASSERT_TRUE(cache.Get("k", &out).ok());
+  EXPECT_EQ(out.view(), "v1");
+  EXPECT_EQ(base.stats().read_ops, base_reads_before);
+  EXPECT_EQ(cache.stats().cache_hits, 1u);
+
+  // Overwrite through the cache: a later Get must see the new bytes.
+  ASSERT_TRUE(cache.Put("k", std::string_view("v2")).ok());
+  ASSERT_TRUE(cache.Get("k", &out).ok());
+  EXPECT_EQ(out.view(), "v2");
+}
+
+TEST(CacheStore, CacheWritesOffOnlyInvalidates) {
+  MemoryStore base;
+  CacheStoreOptions options;
+  options.cache_writes = false;
+  CacheStore cache(&base, options);
+
+  ASSERT_TRUE(cache.Put("k", std::string_view("v1")).ok());
+  EXPECT_EQ(cache.usage().entries, 0u);
+
+  Buffer out;
+  ASSERT_TRUE(cache.Get("k", &out).ok());  // miss: Put did not populate
+  EXPECT_EQ(out.view(), "v1");
+  EXPECT_EQ(cache.stats().cache_misses, 1u);
+
+  // Put still invalidates a cached entry even when it does not repopulate.
+  ASSERT_TRUE(cache.Put("k", std::string_view("v2")).ok());
+  ASSERT_TRUE(cache.Get("k", &out).ok());
+  EXPECT_EQ(out.view(), "v2");
+}
+
+TEST(CacheStore, DeleteInvalidates) {
+  MemoryStore base;
+  CacheStore cache(&base);
+  ASSERT_TRUE(cache.Put("k", std::string_view("v1")).ok());
+
+  Buffer out;
+  ASSERT_TRUE(cache.Get("k", &out).ok());
+  ASSERT_TRUE(cache.Delete("k").ok());
+  EXPECT_EQ(cache.Get("k", &out).code(), StatusCode::kNotFound);
+  EXPECT_FALSE(cache.Exists("k"));
+
+  std::vector<DeleteOp> deletes = {{"gone", {}}};
+  ASSERT_TRUE(cache.Put("gone", std::string_view("x")).ok());
+  ASSERT_TRUE(cache.DeleteBatch(deletes).ok());
+  EXPECT_EQ(cache.Get("gone", &out).code(), StatusCode::kNotFound);
+}
+
+TEST(CacheStore, EvictsLeastRecentlyUsedAtBudget) {
+  MemoryStore base;
+  CacheStoreOptions options;
+  options.budget_bytes = 256;
+  CacheStore cache(&base, options);
+
+  ASSERT_TRUE(cache.Put("a", Blob('a', 100)).ok());
+  ASSERT_TRUE(cache.Put("b", Blob('b', 100)).ok());
+  // Touch "a" so "b" is the LRU entry when "c" overflows the budget.
+  Buffer out;
+  ASSERT_TRUE(cache.Get("a", &out).ok());
+  ASSERT_TRUE(cache.Put("c", Blob('c', 100)).ok());
+
+  const CacheStore::Usage usage = cache.usage();
+  EXPECT_LE(usage.bytes, 256u);
+  EXPECT_EQ(usage.entries, 2u);
+  EXPECT_EQ(cache.stats().cache_evictions, 1u);
+
+  // "b" was evicted: reading it is a miss; "a" and "c" still hit.
+  const uint64_t base_reads = base.stats().read_ops;
+  ASSERT_TRUE(cache.Get("a", &out).ok());
+  ASSERT_TRUE(cache.Get("c", &out).ok());
+  EXPECT_EQ(base.stats().read_ops, base_reads);
+  ASSERT_TRUE(cache.Get("b", &out).ok());
+  EXPECT_EQ(base.stats().read_ops, base_reads + 1);
+  EXPECT_EQ(out.view(), Blob('b', 100));
+}
+
+TEST(CacheStore, OversizeObjectsAreNeverCached) {
+  MemoryStore base;
+  CacheStoreOptions options;
+  options.budget_bytes = 64;
+  CacheStore cache(&base, options);
+
+  ASSERT_TRUE(cache.Put("big", Blob('x', 1000)).ok());
+  EXPECT_EQ(cache.usage().entries, 0u);
+  Buffer out;
+  ASSERT_TRUE(cache.Get("big", &out).ok());
+  ASSERT_TRUE(cache.Get("big", &out).ok());
+  EXPECT_EQ(cache.stats().cache_hits, 0u);
+  EXPECT_EQ(cache.stats().cache_misses, 2u);
+  EXPECT_EQ(out.view(), Blob('x', 1000));
+}
+
+TEST(CacheStore, GetBatchServesHitsAndForwardsOnlyMisses) {
+  MemoryStore base;
+  CacheStore cache(&base);
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(base.Put("k" + std::to_string(i), Blob('0' + i, 10 + i)).ok());
+  }
+  // Warm the even keys.
+  Buffer warm;
+  for (int i = 0; i < 6; i += 2) {
+    ASSERT_TRUE(cache.Get("k" + std::to_string(i), &warm).ok());
+  }
+
+  const uint64_t base_reads = base.stats().read_ops;
+  std::vector<Buffer> outs(6);
+  std::vector<GetOp> gets;
+  for (int i = 0; i < 6; ++i) {
+    gets.push_back({"k" + std::to_string(i), &outs[i], {}});
+  }
+  ASSERT_TRUE(cache.GetBatch(gets).ok());
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_TRUE(gets[i].status.ok());
+    EXPECT_EQ(outs[i].view(), Blob('0' + i, 10 + i)) << "key k" << i;
+  }
+  // Only the three odd (cold) keys went to the device.
+  EXPECT_EQ(base.stats().read_ops, base_reads + 3);
+  EXPECT_EQ(cache.stats().cache_hits, 3u);
+
+  // A missing key reports per-op NotFound; the batch returns the first error but the
+  // other ops still complete.
+  Buffer missing;
+  std::vector<GetOp> mixed;
+  mixed.push_back({"k0", &outs[0], {}});
+  mixed.push_back({"absent", &missing, {}});
+  EXPECT_EQ(cache.GetBatch(mixed).code(), StatusCode::kNotFound);
+  EXPECT_TRUE(mixed[0].status.ok());
+  EXPECT_EQ(mixed[1].status.code(), StatusCode::kNotFound);
+}
+
+TEST(CacheStore, PrefetchWarmsWithoutCallerBuffers) {
+  MemoryStore base;
+  CacheStore cache(&base);
+  std::vector<std::string> keys;
+  for (int i = 0; i < 4; ++i) {
+    keys.push_back("p" + std::to_string(i));
+    ASSERT_TRUE(base.Put(keys.back(), Blob('p', 50)).ok());
+  }
+  keys.push_back("p1");      // duplicate: fetched once
+  keys.push_back("absent");  // best-effort: failure is invisible
+
+  cache.Prefetch(keys);
+  EXPECT_EQ(cache.usage().entries, 4u);
+
+  // Every real key now hits; the device sees no further reads.
+  const uint64_t base_reads = base.stats().read_ops;
+  Buffer out;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(cache.Get("p" + std::to_string(i), &out).ok());
+    EXPECT_EQ(out.view(), Blob('p', 50));
+  }
+  EXPECT_EQ(base.stats().read_ops, base_reads);
+  EXPECT_EQ(cache.stats().cache_hits, 4u);
+
+  // Prefetching already-cached keys is a no-op.
+  cache.Prefetch(keys);
+  EXPECT_EQ(base.stats().read_ops, base_reads);
+}
+
+TEST(CacheStore, SubmitAsyncKeysStayUncacheableUntilDone) {
+  MemoryStore base;
+  CacheStore cache(&base);
+  ASSERT_TRUE(cache.Put("k", std::string_view("old")).ok());
+
+  const std::string payload = "new-bytes";
+  std::vector<PutOp> puts = {
+      {"k",
+       std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(payload.data()),
+                                payload.size()),
+       {}}};
+  IoTicket ticket = cache.SubmitAsync(puts, {});
+  ticket.Wait();
+  ASSERT_TRUE(ticket.Await().ok());
+
+  Buffer out;
+  ASSERT_TRUE(cache.Get("k", &out).ok());
+  EXPECT_EQ(out.view(), "new-bytes");
+  // And once re-read, the new bytes are cacheable again.
+  const uint64_t base_reads = base.stats().read_ops;
+  ASSERT_TRUE(cache.Get("k", &out).ok());
+  EXPECT_EQ(out.view(), "new-bytes");
+  EXPECT_EQ(base.stats().read_ops, base_reads);
+}
+
+TEST(CacheStore, StatsStackAcrossSharedDecorator) {
+  // One cache shared by two "pipelines" (threads): counters aggregate, entries shared.
+  MemoryStore base;
+  CacheStore cache(&base);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(base.Put("s" + std::to_string(i), Blob('s', 100)).ok());
+  }
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 2; ++t) {
+    readers.emplace_back([&cache] {
+      Buffer out;
+      for (int pass = 0; pass < 3; ++pass) {
+        for (int i = 0; i < 8; ++i) {
+          ASSERT_TRUE(cache.Get("s" + std::to_string(i), &out).ok());
+          ASSERT_EQ(out.view(), Blob('s', 100));
+        }
+      }
+    });
+  }
+  for (std::thread& reader : readers) {
+    reader.join();
+  }
+  const StoreStats stats = cache.stats();
+  // 48 reads total; every key is filled at most... once per racing cold pass, and the
+  // backend can have served at most one read per (thread, key) before the fill lands.
+  EXPECT_EQ(stats.cache_hits + stats.cache_misses, 48u);
+  EXPECT_GE(stats.cache_hits, 32u);  // second and third passes hit for both threads
+  EXPECT_EQ(cache.usage().entries, 8u);
+}
+
+// The TSan target: Put/Delete invalidation racing concurrent GetBatch. The invariant
+// is that a reader observes only bytes that were stored for that key at some point
+// (self-consistent payloads, never torn, never resurrected-after-delete at the end).
+TEST(CacheStore, InvalidationRacesGetBatch) {
+  MemoryStore base;
+  CacheStoreOptions options;
+  options.budget_bytes = 1 << 16;
+  CacheStore cache(&base, options);
+  constexpr int kKeys = 4;
+  auto payload = [](int key, int version) {
+    // Self-describing payload: a torn or mixed read cannot parse back to a version.
+    return StrFormat("key%d-v%04d-%s", key, version,
+                     std::string(64, static_cast<char>('a' + version % 26)).c_str());
+  };
+  for (int k = 0; k < kKeys; ++k) {
+    ASSERT_TRUE(cache.Put("r" + std::to_string(k), payload(k, 0)).ok());
+  }
+
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    for (int version = 1; version <= 200; ++version) {
+      const int k = version % kKeys;
+      const std::string key = "r" + std::to_string(k);
+      if (version % 7 == 0) {
+        ASSERT_TRUE(cache.Delete(key).ok());
+        ASSERT_TRUE(cache.Put(key, payload(k, version)).ok());
+      } else {
+        ASSERT_TRUE(cache.Put(key, payload(k, version)).ok());
+      }
+    }
+    stop.store(true, std::memory_order_release);
+  });
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      std::vector<Buffer> outs(kKeys);
+      while (!stop.load(std::memory_order_acquire)) {
+        std::vector<GetOp> gets;
+        for (int k = 0; k < kKeys; ++k) {
+          gets.push_back({"r" + std::to_string(k), &outs[k], {}});
+        }
+        // The batch's first-error return mirrors a racing Delete's NotFound.
+        const Status status = cache.GetBatch(gets);
+        ASSERT_TRUE(status.ok() || status.code() == StatusCode::kNotFound)
+            << status.ToString();
+        for (int k = 0; k < kKeys; ++k) {
+          if (!gets[k].status.ok()) {
+            // Only a racing Delete can make a key vanish.
+            ASSERT_EQ(gets[k].status.code(), StatusCode::kNotFound);
+            continue;
+          }
+          const std::string_view view = outs[k].view();
+          const std::string prefix = "key" + std::to_string(k) + "-v";
+          ASSERT_EQ(view.substr(0, prefix.size()), prefix);
+          const int version =
+              static_cast<int>(ParseInt64(view.substr(prefix.size(), 4)));
+          ASSERT_EQ(view, payload(k, version)) << "torn or stale-mix read";
+        }
+      }
+    });
+  }
+  writer.join();
+  for (std::thread& reader : readers) {
+    reader.join();
+  }
+
+  // Quiescent: the cache must agree with the backend exactly (no stale entries).
+  for (int k = 0; k < kKeys; ++k) {
+    Buffer from_cache;
+    Buffer from_base;
+    const std::string key = "r" + std::to_string(k);
+    ASSERT_TRUE(cache.Get(key, &from_cache).ok());
+    ASSERT_TRUE(base.Get(key, &from_base).ok());
+    EXPECT_EQ(from_cache.view(), from_base.view()) << key;
+  }
+}
+
+TEST(CacheBudgetFromEnv, ReadsMegabytes) {
+  ASSERT_EQ(::setenv("PERSONA_CACHE_MB", "3", 1), 0);
+  EXPECT_EQ(CacheBudgetFromEnv(1), 3u << 20);
+  ASSERT_EQ(::setenv("PERSONA_CACHE_MB", "not-a-number", 1), 0);
+  EXPECT_EQ(CacheBudgetFromEnv(7), 7u);
+  ASSERT_EQ(::unsetenv("PERSONA_CACHE_MB"), 0);
+  EXPECT_EQ(CacheBudgetFromEnv(7), 7u);
+}
+
+// Pipeline parity: filtering through an explicitly shared CacheStore (prefetch stage
+// active) produces bit-identical output objects to the same run on the bare store.
+TEST(CacheStore, FilterPipelineParityCacheOnVsOff) {
+  auto build_dataset = [](ObjectStore* store) {
+    std::vector<genome::Read> reads;
+    for (int i = 0; i < 300; ++i) {
+      genome::Read read;
+      read.bases = std::string(24, "ACGT"[i % 4]);
+      read.qual = std::string(24, 'I');
+      read.metadata = StrFormat("r%03d", i);
+      reads.push_back(std::move(read));
+    }
+    auto manifest = pipeline::WriteAgdToStore(store, "ds", reads, 50);
+    EXPECT_TRUE(manifest.ok());
+    format::Manifest with_results = *manifest;
+    with_results.columns.push_back(format::ResultsColumn());
+    Buffer file;
+    for (size_t ci = 0; ci < manifest->chunks.size(); ++ci) {
+      const format::ManifestChunk& chunk = manifest->chunks[ci];
+      format::ChunkBuilder builder(format::RecordType::kResults,
+                                   compress::CodecId::kZlib);
+      for (int64_t i = chunk.first_record; i < chunk.first_record + chunk.num_records;
+           ++i) {
+        align::AlignmentResult result;
+        if (i % 5 == 0) {
+          result.flags = align::kFlagUnmapped;
+        } else {
+          result.location = i * 100;
+          result.mapq = static_cast<uint8_t>(i % 60);
+          result.cigar = "24M";
+        }
+        builder.AddResult(result);
+      }
+      EXPECT_TRUE(builder.Finalize(&file).ok());
+      EXPECT_TRUE(store->Put(chunk.path_base + ".results", file).ok());
+    }
+    return with_results;
+  };
+
+  MemoryStore plain;
+  MemoryStore cached_base;
+  const format::Manifest manifest_a = build_dataset(&plain);
+  const format::Manifest manifest_b = build_dataset(&cached_base);
+  CacheStore cache(&cached_base);
+
+  pipeline::ReadFilterSpec spec;
+  spec.excluded_flags = align::kFlagUnmapped;
+  pipeline::FilterOptions options;
+  options.chunk_size = 40;
+  pipeline::ChunkPipeline::Options uncached_pipeline;
+  uncached_pipeline.read_ahead = false;
+
+  format::Manifest out_a;
+  format::Manifest out_b;
+  auto report_a = pipeline::FilterAgdDataset(&plain, manifest_a, "flt", spec, options,
+                                             &out_a, uncached_pipeline);
+  auto report_b =
+      pipeline::FilterAgdDataset(&cache, manifest_b, "flt", spec, options, &out_b);
+  ASSERT_TRUE(report_a.ok()) << report_a.status().message();
+  ASSERT_TRUE(report_b.ok()) << report_b.status().message();
+  EXPECT_EQ(report_a->records_out, report_b->records_out);
+  EXPECT_GT(report_b->store_stats.cache_hits, 0u);
+
+  auto out_keys = plain.List("flt");
+  ASSERT_TRUE(out_keys.ok());
+  ASSERT_FALSE(out_keys->empty());
+  Buffer object_a;
+  Buffer object_b;
+  for (const std::string& key : *out_keys) {
+    ASSERT_TRUE(plain.Get(key, &object_a).ok());
+    ASSERT_TRUE(cached_base.Get(key, &object_b).ok()) << key;
+    EXPECT_EQ(object_a.view(), object_b.view()) << "object '" << key << "' differs";
+  }
+}
+
+}  // namespace
+}  // namespace persona::storage

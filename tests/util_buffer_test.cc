@@ -1,0 +1,130 @@
+// Tests for the Buffer byte container: vector-compatible Resize zero-fill vs the
+// uninitialized fast path, capacity retention across Clear (pool recycling), move
+// semantics, and the allocation counter that proves the zero-copy read paths — a
+// warmed buffer serves repeated store reads with zero new heap allocations.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/storage/cache_store.h"
+#include "src/storage/memory_store.h"
+#include "src/util/buffer.h"
+
+namespace persona {
+namespace {
+
+TEST(Buffer, ResizeZeroFillsNewTail) {
+  Buffer buffer;
+  buffer.Append(std::string_view("abc"));
+  buffer.Resize(8);
+  ASSERT_EQ(buffer.size(), 8u);
+  EXPECT_EQ(buffer.view().substr(0, 3), "abc");
+  for (size_t i = 3; i < 8; ++i) {
+    EXPECT_EQ(buffer[i], 0u) << "byte " << i;
+  }
+  // Shrink then regrow within the same block: the tail reads as zero again even
+  // though the old bytes are still in the heap block.
+  buffer[5] = 0xFF;
+  buffer.Resize(4);
+  buffer.Resize(8);
+  EXPECT_EQ(buffer[5], 0u);
+}
+
+TEST(Buffer, ResizeUninitializedSkipsZeroFill) {
+  Buffer buffer;
+  buffer.ResizeUninitialized(64);
+  ASSERT_EQ(buffer.size(), 64u);
+  // The contract is "caller overwrites": do exactly that, then read back.
+  for (size_t i = 0; i < 64; ++i) {
+    buffer[i] = static_cast<uint8_t>(i);
+  }
+  for (size_t i = 0; i < 64; ++i) {
+    ASSERT_EQ(buffer[i], static_cast<uint8_t>(i));
+  }
+  // Shrinking never reallocates or forgets capacity.
+  const size_t capacity = buffer.capacity();
+  buffer.ResizeUninitialized(8);
+  EXPECT_EQ(buffer.size(), 8u);
+  EXPECT_EQ(buffer.capacity(), capacity);
+}
+
+TEST(Buffer, ClearKeepsCapacity) {
+  Buffer buffer;
+  buffer.Append(std::string(1000, 'x'));
+  const size_t capacity = buffer.capacity();
+  ASSERT_GE(capacity, 1000u);
+  buffer.Clear();
+  EXPECT_EQ(buffer.size(), 0u);
+  EXPECT_TRUE(buffer.empty());
+  EXPECT_EQ(buffer.capacity(), capacity);
+
+  const uint64_t allocations = Buffer::TotalAllocations();
+  buffer.Append(std::string(1000, 'y'));  // refill fits in the retained block
+  EXPECT_EQ(Buffer::TotalAllocations(), allocations);
+  EXPECT_EQ(buffer.view(), std::string(1000, 'y'));
+}
+
+TEST(Buffer, MoveTransfersAndEmptiesSource) {
+  Buffer source;
+  source.Append(std::string_view("payload"));
+  Buffer dest(std::move(source));
+  EXPECT_EQ(dest.view(), "payload");
+  EXPECT_EQ(source.size(), 0u);      // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(source.capacity(), 0u);  // NOLINT(bugprone-use-after-move)
+
+  Buffer assigned;
+  assigned = std::move(dest);
+  EXPECT_EQ(assigned.view(), "payload");
+  EXPECT_EQ(dest.size(), 0u);  // NOLINT(bugprone-use-after-move)
+
+  // The moved-from buffer is reusable.
+  source.Append(std::string_view("again"));
+  EXPECT_EQ(source.view(), "again");
+}
+
+TEST(Buffer, AppendScalarRoundTrip) {
+  Buffer buffer;
+  buffer.AppendScalar<uint32_t>(0xDEADBEEF);
+  buffer.AppendScalar<uint16_t>(7);
+  ASSERT_EQ(buffer.size(), 6u);
+  EXPECT_EQ(buffer.ReadScalar<uint32_t>(0), 0xDEADBEEFu);
+  EXPECT_EQ(buffer.ReadScalar<uint16_t>(4), 7u);
+}
+
+// The zero-copy acceptance check: once a buffer's block is large enough, repeated
+// whole-object reads — scalar Get, batched GetBatch, cache hit or miss — perform no
+// heap allocation at all. A regression that reintroduces an intermediate string or a
+// fresh vector per read trips the counter.
+TEST(Buffer, WarmReadsAllocateNothing) {
+  storage::MemoryStore base;
+  storage::CacheStore cache(&base);
+  const std::string payload(4096, 'z');
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(base.Put("k" + std::to_string(i), payload).ok());
+  }
+
+  // Warm-up: size the caller buffers (and the cache entries) once.
+  std::vector<Buffer> outs(4);
+  std::vector<storage::GetOp> gets;
+  for (int i = 0; i < 4; ++i) {
+    gets.push_back({"k" + std::to_string(i), &outs[i], {}});
+  }
+  ASSERT_TRUE(cache.GetBatch(gets).ok());
+
+  const uint64_t allocations = Buffer::TotalAllocations();
+  for (int round = 0; round < 16; ++round) {
+    for (storage::GetOp& op : gets) {
+      op.status = Status();
+    }
+    ASSERT_TRUE(cache.GetBatch(gets).ok());       // cache hits
+    ASSERT_TRUE(base.Get("k0", &outs[0]).ok());   // uncached scalar read
+  }
+  EXPECT_EQ(Buffer::TotalAllocations(), allocations)
+      << "warm read path allocated; an intermediate copy crept back in";
+  EXPECT_EQ(outs[1].view(), payload);
+}
+
+}  // namespace
+}  // namespace persona
